@@ -1,0 +1,43 @@
+//! ClustalW kernel costs: pairwise DP, distance matrix (the `pairalign`
+//! stage) and the full progressive pipeline.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rhv_clustalw::matrices::Scoring;
+use rhv_clustalw::{distance, ktuple, msa, pairwise, seq};
+use std::hint::black_box;
+
+fn bench_alignment(c: &mut Criterion) {
+    let mut group = c.benchmark_group("alignment");
+    let sc = Scoring::default();
+
+    for len in [64usize, 256] {
+        let fam = seq::synthetic_family(2, len, 0.2, 1);
+        group.bench_with_input(BenchmarkId::new("pairwise_gotoh", len), &fam, |b, fam| {
+            b.iter(|| black_box(pairwise::align(&fam[0], &fam[1], sc).score))
+        });
+    }
+
+    let fam = seq::synthetic_family(12, 100, 0.2, 2);
+    group.bench_function("distance_matrix_12x100", |b| {
+        b.iter(|| black_box(distance::distance_matrix(&fam, sc)))
+    });
+
+    let fam8 = seq::synthetic_family(8, 80, 0.2, 3);
+    group.bench_function("full_msa_8x80", |b| {
+        b.iter(|| black_box(msa::align(&fam8).columns()))
+    });
+
+    // ClustalW's quick pairwise mode vs the full-DP distance stage.
+    let fam16 = seq::synthetic_family(16, 120, 0.2, 4);
+    group.bench_function("distances_full_dp_16x120", |b| {
+        b.iter(|| black_box(distance::distance_matrix(&fam16, sc)))
+    });
+    group.bench_function("distances_ktuple_16x120", |b| {
+        b.iter(|| black_box(ktuple::quick_distance_matrix(&fam16, ktuple::DEFAULT_K)))
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_alignment);
+criterion_main!(benches);

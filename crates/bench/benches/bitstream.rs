@@ -1,0 +1,39 @@
+//! Bitstream substrate costs: encode/parse round-trips and CRC, at the
+//! image sizes the grid actually ships.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use rhv_bitstream::bitstream::{crc32, Bitstream, BitstreamHeader};
+use std::hint::black_box;
+
+fn header() -> BitstreamHeader {
+    BitstreamHeader {
+        image: "pairalign.bit".into(),
+        device_part: "XC5VLX220".into(),
+        region_offset: 0,
+        region_slices: 30_790,
+        partial: true,
+    }
+}
+
+fn bench_bitstream(c: &mut Criterion) {
+    let mut group = c.benchmark_group("bitstream");
+    for kb in [64usize, 1_024] {
+        let bytes = kb * 1024;
+        let image = Bitstream::synthesize(header(), bytes);
+        let wire = image.encode();
+        group.throughput(Throughput::Bytes(bytes as u64));
+        group.bench_with_input(BenchmarkId::new("encode", kb), &image, |b, img| {
+            b.iter(|| black_box(img.encode().len()))
+        });
+        group.bench_with_input(BenchmarkId::new("parse_verify", kb), &wire, |b, wire| {
+            b.iter(|| black_box(Bitstream::parse(wire.clone()).unwrap().header.region_slices))
+        });
+        group.bench_with_input(BenchmarkId::new("crc32", kb), &wire, |b, wire| {
+            b.iter(|| black_box(crc32(wire)))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_bitstream);
+criterion_main!(benches);

@@ -1,0 +1,29 @@
+//! Discrete-event core throughput: push/pop cycles through the event queue.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rhv_sim::engine::EventQueue;
+use std::hint::black_box;
+
+fn bench_queue(c: &mut Criterion) {
+    let mut group = c.benchmark_group("des_engine");
+    for n in [1_000usize, 10_000, 100_000] {
+        group.bench_with_input(BenchmarkId::new("push_pop", n), &n, |b, &n| {
+            b.iter(|| {
+                let mut q = EventQueue::new();
+                for i in 0..n {
+                    // scattered times
+                    q.push(((i * 2_654_435_761) % 1_000_003) as f64, i);
+                }
+                let mut acc = 0usize;
+                while let Some((_, e)) = q.pop() {
+                    acc = acc.wrapping_add(e);
+                }
+                black_box(acc)
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_queue);
+criterion_main!(benches);

@@ -1,0 +1,65 @@
+//! Fabric allocator costs under the three fit policies, with a fragmenting
+//! alloc/free workload.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rhv_core::fabric::{Fabric, FitPolicy};
+use rhv_core::vfpga::VfpgaFabric;
+use std::hint::black_box;
+
+fn churn(policy: FitPolicy, ops: usize) -> u64 {
+    let mut f = Fabric::new(56_880, true);
+    let mut live = Vec::new();
+    let mut freed = 0u64;
+    for i in 0..ops {
+        let len = 500 + ((i * 2_654_435_761) % 4_000) as u64;
+        if let Ok(id) = f.allocate(len, policy) {
+            live.push(id);
+        }
+        if i % 3 == 0 && !live.is_empty() {
+            let idx = (i * 40_503) % live.len();
+            let id = live.swap_remove(idx);
+            f.free(id).expect("live region");
+            freed += 1;
+        }
+    }
+    freed + f.allocation_count() as u64
+}
+
+fn vfpga_churn(ops: usize) -> u64 {
+    let mut f = VfpgaFabric::new(56_880, 12);
+    let mut live = Vec::new();
+    let mut freed = 0u64;
+    for i in 0..ops {
+        let len = 500 + ((i * 2_654_435_761) % 4_000) as u64;
+        if let Ok(id) = f.allocate(len) {
+            live.push(id);
+        }
+        if i % 3 == 0 && !live.is_empty() {
+            let idx = (i * 40_503) % live.len();
+            let id = live.swap_remove(idx);
+            f.free(id).expect("live slot");
+            freed += 1;
+        }
+    }
+    freed + f.used_slots() as u64
+}
+
+fn bench_fabric(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fabric_alloc");
+    for policy in [FitPolicy::FirstFit, FitPolicy::BestFit, FitPolicy::WorstFit] {
+        group.bench_with_input(
+            BenchmarkId::new("churn_1000", format!("{policy:?}")),
+            &policy,
+            |b, &policy| b.iter(|| black_box(churn(policy, 1_000))),
+        );
+    }
+    // The VFPGA fixed-slot ablation (ref. [12]): O(slots) allocation with
+    // zero external fragmentation.
+    group.bench_function("churn_1000/VfpgaSlots", |b| {
+        b.iter(|| black_box(vfpga_churn(1_000)))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_fabric);
+criterion_main!(benches);

@@ -1,0 +1,44 @@
+//! Matchmaking throughput: candidates-per-second for each case-study task
+//! over grids of increasing size.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rhv_core::case_study;
+use rhv_core::ids::NodeId;
+use rhv_core::matchmaker::Matchmaker;
+use rhv_core::node::Node;
+use std::hint::black_box;
+
+fn grid_of(n_nodes: usize) -> Vec<Node> {
+    let base = case_study::grid();
+    (0..n_nodes)
+        .map(|i| {
+            let mut n = base[i % base.len()].clone();
+            n.id = NodeId(i as u64);
+            n
+        })
+        .collect()
+}
+
+fn bench_matchmaker(c: &mut Criterion) {
+    let tasks = case_study::tasks();
+    let mm = Matchmaker::new();
+    let mut group = c.benchmark_group("matchmaker");
+    for nodes in [3usize, 30, 300] {
+        let grid = grid_of(nodes);
+        group.bench_with_input(
+            BenchmarkId::new("all_case_study_tasks", nodes),
+            &grid,
+            |b, grid| {
+                b.iter(|| {
+                    for t in &tasks {
+                        black_box(mm.candidates(black_box(t), grid));
+                    }
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_matchmaker);
+criterion_main!(benches);

@@ -1,0 +1,29 @@
+//! Quipu model costs: metric extraction, OLS fitting, prediction — the
+//! paper notes the model "can make predictions in a relatively short time,
+//! as required in a hardware/software partitioning context".
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use rhv_quipu::metrics::ComplexityMetrics;
+use rhv_quipu::{corpus, model::QuipuModel};
+use std::hint::black_box;
+
+fn bench_quipu(c: &mut Criterion) {
+    let mut group = c.benchmark_group("quipu");
+    let corpus_entries = corpus::calibration_corpus();
+    let pairalign = corpus::pairalign_kernel();
+    let model = QuipuModel::fit(&corpus_entries).expect("fits");
+
+    group.bench_function("metrics_pairalign", |b| {
+        b.iter(|| black_box(ComplexityMetrics::of(black_box(&pairalign))))
+    });
+    group.bench_function("fit_full_corpus", |b| {
+        b.iter(|| black_box(QuipuModel::fit(black_box(&corpus_entries)).unwrap().r_squared()))
+    });
+    group.bench_function("predict_pairalign", |b| {
+        b.iter(|| black_box(model.predict(black_box(&pairalign)).slices))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_quipu);
+criterion_main!(benches);

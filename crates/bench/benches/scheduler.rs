@@ -1,0 +1,47 @@
+//! End-to-end simulation cost per strategy: one full DReAMSim run of a
+//! 200-task hybrid workload on the case-study grid.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rhv_core::case_study;
+use rhv_sched::strategy_by_name;
+use rhv_sim::network::NetworkModel;
+use rhv_sim::sim::{GridSimulator, SimConfig};
+use rhv_sim::streaming::{plan_pipeline, StreamApp, StreamStage};
+use rhv_sim::workload::WorkloadSpec;
+use std::hint::black_box;
+
+fn bench_strategies(c: &mut Criterion) {
+    let workload = WorkloadSpec::default_for_grid(200, 2.0, 7).generate();
+    let mut group = c.benchmark_group("scheduler");
+    for name in ["first-fit", "best-fit-area", "reuse-aware", "random"] {
+        group.bench_with_input(BenchmarkId::new("simulate_200", name), name, |b, name| {
+            b.iter(|| {
+                let mut s = strategy_by_name(name, 7).expect("known strategy");
+                let report = GridSimulator::new(case_study::grid(), SimConfig::default())
+                    .run(workload.clone(), s.as_mut());
+                black_box(report.completed)
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_streaming(c: &mut Criterion) {
+    let nodes = case_study::grid();
+    let net = NetworkModel::default();
+    let app = StreamApp {
+        name: "video".into(),
+        stages: vec![
+            StreamStage::software("capture", 600.0, 2 << 20),
+            StreamStage::accelerable("filter", 24_000.0, 0.02, 12_000, 2 << 20),
+            StreamStage::accelerable("encode", 48_000.0, 0.03, 20_000, 512 << 10),
+            StreamStage::software("pack", 1_200.0, 256 << 10),
+        ],
+    };
+    c.bench_function("scheduler/stream_plan_4stage", |b| {
+        b.iter(|| black_box(plan_pipeline(&app, &nodes, &net).unwrap().throughput))
+    });
+}
+
+criterion_group!(benches, bench_strategies, bench_streaming);
+criterion_main!(benches);

@@ -1,0 +1,42 @@
+//! Soft-core costs: packing and interpretation across issue widths —
+//! the width-scaling story of the ρ-VEX configurations.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rhv_params::softcore::SoftcoreSpec;
+use rhv_softcore::machine::Machine;
+use rhv_softcore::pack::pack_program;
+use rhv_softcore::programs;
+use std::hint::black_box;
+
+fn bench_softcore(c: &mut Criterion) {
+    let mut group = c.benchmark_group("softcore");
+    let prog = programs::matmul(8);
+    let chains = programs::parallel_chains(12, 64);
+
+    for spec in [
+        SoftcoreSpec::rvex_2w(),
+        SoftcoreSpec::rvex_4w(),
+        SoftcoreSpec::rvex_8w_2c(),
+    ] {
+        group.bench_with_input(
+            BenchmarkId::new("pack_chains", &spec.name),
+            &spec,
+            |b, spec| b.iter(|| black_box(pack_program(&chains, spec).bundles.len())),
+        );
+        group.bench_with_input(
+            BenchmarkId::new("run_matmul8", &spec.name),
+            &spec,
+            |b, spec| {
+                b.iter(|| {
+                    black_box(
+                        Machine::run_program(spec, &prog, &[]).expect("runs").cycles,
+                    )
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_softcore);
+criterion_main!(benches);

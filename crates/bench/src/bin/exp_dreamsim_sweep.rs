@@ -1,0 +1,48 @@
+//! The **DReAMSim strategy sweep** (Sec. V, refs \[20]\[21]): scheduling
+//! strategies × arrival rates on the case-study grid, reporting makespan,
+//! waiting time, utilization, reconfiguration activity and the energy proxy.
+//!
+//! Usage: `exp_dreamsim_sweep [tasks] [seed]` (defaults 400, 2012).
+
+use rhv_bench::{banner, section};
+use rhv_core::case_study;
+use rhv_sched::standard_strategies;
+use rhv_sim::sim::{GridSimulator, SimConfig};
+use rhv_sim::workload::WorkloadSpec;
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let count: usize = args.next().and_then(|a| a.parse().ok()).unwrap_or(400);
+    let seed: u64 = args.next().and_then(|a| a.parse().ok()).unwrap_or(2012);
+
+    banner(
+        "DReAMSim sweep",
+        "scheduling strategies × task arrival rates (case-study grid)",
+    );
+    println!("workload: {count} tasks per cell, hybrid mix, seed {seed}\n");
+
+    for rate in [0.2f64, 1.0, 5.0] {
+        section(&format!("arrival rate {rate} tasks/s (Poisson)"));
+        let spec = WorkloadSpec::default_for_grid(count, rate, seed);
+        let workload = spec.generate();
+        for mut strategy in standard_strategies(seed) {
+            // A 10× CAD farm keeps first-time synthesis from drowning the
+            // scheduling signal the sweep is about.
+            let cfg = SimConfig {
+                cad_speed: 10.0,
+                ..SimConfig::default()
+            };
+            let report = GridSimulator::new(case_study::grid(), cfg)
+                .run(workload.clone(), strategy.as_mut());
+            report.check_invariants().expect("report invariants");
+            println!("  {}", report.summary_row());
+        }
+    }
+
+    section("reading the sweep");
+    println!("  - mean waits rise with the arrival rate for every strategy (congestion);");
+    println!("  - reuse-aware posts the lowest setup time at high load (it avoids");
+    println!("    avoidable reconfigurations and expensive-to-configure devices);");
+    println!("  - area-aware placement (best-fit) beats naive placement on makespan");
+    println!("    at low load, where fragmentation is the binding constraint.");
+}

@@ -1,0 +1,76 @@
+//! Reproduces the **Quipu estimates** of Sec. V: `pairalign` → 30,790
+//! slices and `malign` → 18,707 slices on Virtex-5 devices, by fitting the
+//! linear SCM model on the calibration corpus and predicting the two
+//! ClustalW kernels. Also demonstrates the downstream flow: prediction →
+//! HDL spec → synthesis feasibility per Virtex-5 part.
+
+use rhv_bench::{banner, section};
+use rhv_bitstream::synth::SynthesisService;
+use rhv_params::catalog::Catalog;
+use rhv_quipu::metrics::ComplexityMetrics;
+use rhv_quipu::{corpus, model::QuipuModel};
+
+fn main() {
+    banner(
+        "Quipu estimates (Sec. V)",
+        "pairalign = 30,790 slices; malign = 18,707 slices (Virtex-5)",
+    );
+
+    let corpus_entries = corpus::calibration_corpus();
+    let model = QuipuModel::fit(&corpus_entries).expect("corpus fits");
+
+    section("model fit on the calibration corpus");
+    println!(
+        "  {} kernels, slice-model R² = {:.6}",
+        corpus_entries.len(),
+        model.r_squared()
+    );
+
+    section("complexity metrics of the two ClustalW kernels");
+    for f in [corpus::pairalign_kernel(), corpus::malign_kernel()] {
+        let m = ComplexityMetrics::of(&f);
+        println!(
+            "  {:<10} stmts {:>5}  cyclo {:>3}  loops {:>2}  depth {:>2}  N {:>6}  arrays {:>3}  muls {:>3}",
+            m.name,
+            m.statements,
+            m.cyclomatic,
+            m.loops,
+            m.max_depth,
+            m.halstead_length(),
+            m.array_accesses,
+            m.mul_ops
+        );
+    }
+
+    section("paper vs predicted");
+    let pair = model.predict(&corpus::pairalign_kernel());
+    let mal = model.predict(&corpus::malign_kernel());
+    for (name, paper, pred) in [
+        ("pairalign", 30_790u64, pair),
+        ("malign", 18_707, mal),
+    ] {
+        let err = (pred.slices as f64 - paper as f64).abs() / paper as f64 * 100.0;
+        println!(
+            "  {name:<10} paper {paper:>6} slices   predicted {:>6} slices   error {err:.2}%   ({} LUTs, {} KB BRAM, {} memory blocks)",
+            pred.slices, pred.luts, pred.bram_kb, pred.memory_blocks
+        );
+        assert!(err < 1.0, "{name} error {err:.2}% exceeds 1%");
+    }
+
+    section("prediction -> synthesis feasibility on Virtex-5 parts");
+    let cat = Catalog::builtin();
+    let svc = SynthesisService::default();
+    for (name, pred) in [("pairalign", pair), ("malign", mal)] {
+        let spec = pred.to_hdl_spec(name, 100.0);
+        print!("  {name:<10}");
+        for part in ["XC5VLX110", "XC5VLX155", "XC5VLX220", "XC5VLX330"] {
+            let dev = cat.fpga(part).expect("builtin");
+            let ok = svc.estimate(&spec, dev).is_ok();
+            print!("  {part}:{}", if ok { "fits" } else { "NO" });
+        }
+        println!();
+    }
+    println!(
+        "\n  matches Sec. V: malign needs ≥18,707 (fits LX155 up), pairalign needs ≥30,790 (fits LX220 up)"
+    );
+}

@@ -1,0 +1,87 @@
+//! The **streaming-scenario prototype** — the paper's Sec. VI future work
+//! ("we will propose a virtualization scenario for streaming applications"),
+//! built on the node model: a 4-stage video-analytics pipeline planned onto
+//! the case-study grid, all-software vs hybrid.
+
+use rhv_bench::{banner, section};
+use rhv_core::case_study;
+use rhv_sim::network::NetworkModel;
+use rhv_sim::streaming::{plan_pipeline, StreamApp, StreamStage};
+
+fn pipeline() -> StreamApp {
+    StreamApp {
+        name: "video-analytics".into(),
+        stages: vec![
+            StreamStage::software("capture", 600.0, 2 << 20),
+            StreamStage::accelerable("filter", 24_000.0, 0.02, 12_000, 2 << 20),
+            StreamStage::accelerable("detect", 48_000.0, 0.03, 20_000, 512 << 10),
+            StreamStage::software("publish", 1_200.0, 256 << 10),
+        ],
+    }
+}
+
+fn main() {
+    banner(
+        "Streaming scenario (Sec. VI future work)",
+        "4-stage pipeline planned onto the case-study grid",
+    );
+    let nodes = case_study::grid();
+    let net = NetworkModel::default();
+    let app = pipeline();
+
+    section("pipeline");
+    for (i, s) in app.stages.iter().enumerate() {
+        match s.accel_seconds_per_item {
+            Some(a) => println!(
+                "  stage {i} {:<8} {} MI/item on GPP, or {:.0} ms/item on {} fabric slices",
+                s.name,
+                s.mi_per_item,
+                a * 1e3,
+                s.accel_slices
+            ),
+            None => println!(
+                "  stage {i} {:<8} {} MI/item on GPP (software-only)",
+                s.name, s.mi_per_item
+            ),
+        }
+    }
+
+    section("all-software plan");
+    let mut sw_app = app.clone();
+    for s in &mut sw_app.stages {
+        s.accel_seconds_per_item = None;
+    }
+    let sw = plan_pipeline(&sw_app, &nodes, &net).expect("feasible");
+    print_plan(&sw_app, &sw);
+
+    section("hybrid plan (RPEs allowed)");
+    let hy = plan_pipeline(&app, &nodes, &net).expect("feasible");
+    print_plan(&app, &hy);
+
+    section("comparison");
+    let gain = hy.throughput / sw.throughput;
+    println!(
+        "  throughput {:.2} -> {:.2} items/s  ({gain:.1}×)",
+        sw.throughput, hy.throughput
+    );
+    println!(
+        "  latency    {:.1} -> {:.1} ms/item",
+        sw.latency * 1e3,
+        hy.latency * 1e3
+    );
+    assert!(gain > 1.0, "fabric must lift the pipeline bottleneck");
+    println!("  streaming scenario benefits from RPEs ✓");
+}
+
+fn print_plan(app: &StreamApp, plan: &rhv_sim::streaming::StreamPlan) {
+    for (stage, a) in app.stages.iter().zip(&plan.assignments) {
+        println!(
+            "  {:<8} -> {:<16} {:>7.2} ms/item {}",
+            stage.name,
+            a.pe.to_string(),
+            a.service_seconds * 1e3,
+            if a.accelerated { "(accelerated)" } else { "" }
+        );
+    }
+    println!("  {plan}");
+}

@@ -1,0 +1,57 @@
+//! The **VFPGA ablation** (ref. [12] of the paper, "splitting the FPGA into
+//! smaller regions"): fixed-slot vs free-list fabric virtualization on the
+//! same allocation traces — acceptance rates and fragmentation.
+
+use rhv_bench::{banner, section};
+use rhv_core::vfpga::{compare_policies, VfpgaFabric};
+
+fn main() {
+    banner(
+        "VFPGA ablation (ref. [12])",
+        "fixed-slot vs free-list fabric virtualization (XC5VLX220-sized device)",
+    );
+    const DEVICE: u64 = 34_560;
+
+    section("trace A: small accelerators (1k-4k slices), heavy churn");
+    let small: Vec<u64> = (0..200).map(|i| 1_000 + (i * 977) % 3_000).collect();
+    for regions in [4usize, 8, 16] {
+        let r = compare_policies(DEVICE, regions, &small, 2);
+        println!(
+            "  {regions:>2} slots: free-list accepted {:>3}/200, VFPGA accepted {:>3}/200 (too-large {:>3})",
+            r.freelist_accepted, r.vfpga_accepted, r.vfpga_too_large
+        );
+    }
+
+    section("trace B: large designs (10k-30k slices)");
+    let large: Vec<u64> = (0..40).map(|i| 10_000 + (i * 7_717) % 20_000).collect();
+    for regions in [2usize, 4, 8] {
+        let r = compare_policies(DEVICE, regions, &large, 1);
+        println!(
+            "  {regions:>2} slots: free-list accepted {:>3}/40, VFPGA accepted {:>3}/40 (too-large {:>3})",
+            r.freelist_accepted, r.vfpga_accepted, r.vfpga_too_large
+        );
+    }
+
+    section("internal fragmentation at steady state (8 slots)");
+    let mut v = VfpgaFabric::new(DEVICE, 8);
+    let mut loaded = 0u64;
+    for len in [1_200u64, 2_000, 3_700, 900, 4_000, 2_500] {
+        if v.allocate(len).is_ok() {
+            loaded += len;
+        }
+    }
+    println!(
+        "  {} configurations, {} slices of logic, {} slices stranded ({:.1}% of the device)",
+        v.used_slots(),
+        loaded,
+        v.internal_fragmentation(),
+        v.internal_fragmentation() as f64 / DEVICE as f64 * 100.0
+    );
+
+    section("reading the ablation");
+    println!("  fixed slots can never fragment externally — any free slot serves any");
+    println!("  admissible request — but they strand slot area internally and reject");
+    println!("  every design larger than one slot. The free-list regime accepts the");
+    println!("  large designs and wastes nothing internally, at O(regions) search and");
+    println!("  the (rare, measured) risk of external fragmentation.");
+}

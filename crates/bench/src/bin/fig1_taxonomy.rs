@@ -1,0 +1,19 @@
+//! Regenerates **Figure 1**: the taxonomy of enhanced processing elements.
+
+use rhv_bench::banner;
+use rhv_params::taxonomy::{enhanced_pe_taxonomy, Scenario};
+
+fn main() {
+    banner(
+        "Figure 1",
+        "A taxonomy of enhanced processing elements",
+    );
+    let tree = enhanced_pe_taxonomy();
+    println!("{}", tree.render());
+    println!("Use-case scenarios and their obligations (Sec. III):");
+    for sc in Scenario::all() {
+        println!("\n  {sc}");
+        println!("    user supplies:     {}", sc.user_supplies());
+        println!("    provider supplies: {}", sc.provider_supplies());
+    }
+}

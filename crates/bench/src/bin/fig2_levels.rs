@@ -1,0 +1,34 @@
+//! Regenerates **Figure 2**: virtualization/abstraction levels on a
+//! reconfigurable grid system — what the user sees at each level, and the
+//! specification-vs-performance trade-off the paper states.
+
+use rhv_bench::{banner, section};
+use rhv_core::levels::AbstractionLevel;
+use rhv_params::taxonomy::Scenario;
+
+fn main() {
+    banner(
+        "Figure 2",
+        "Different virtualization/abstraction levels on a reconfigurable grid",
+    );
+    for level in AbstractionLevel::all() {
+        println!(
+            "\n[{}] burden={} performance-rank={}",
+            level,
+            level.user_burden(),
+            level.performance_rank()
+        );
+        println!("  user view: {}", level.user_view());
+    }
+    section("Scenario → level mapping (Sec. III-C)");
+    for sc in Scenario::all() {
+        println!("  {:<42} -> {}", sc.to_string(), AbstractionLevel::for_scenario(sc));
+    }
+    section("Trade-off check");
+    println!(
+        "  'as we go to a lower abstraction level, the user should add more\n   specifications along with his/her tasks and get more performance'"
+    );
+    let burdens: Vec<u8> = AbstractionLevel::all().iter().map(|l| l.user_burden()).collect();
+    assert!(burdens.windows(2).all(|w| w[0] < w[1]));
+    println!("  monotonicity verified: burdens {burdens:?}");
+}

@@ -1,0 +1,47 @@
+//! Regenerates **Figure 3**: the grid node model
+//! `Node(NodeID, GPP Caps, RPE Caps, state)` — built live, mutated at
+//! runtime, and rendered with its dynamically changing state.
+
+use rhv_bench::{banner, section};
+use rhv_core::case_study;
+use rhv_core::fabric::FitPolicy;
+use rhv_core::ids::PeId;
+use rhv_core::state::ConfigKind;
+use rhv_params::catalog::Catalog;
+
+fn main() {
+    banner(
+        "Figure 3",
+        "A typical grid node to virtualize RPEs (Eq. 1)",
+    );
+    let mut node = case_study::grid().remove(0);
+    section("Fresh node (resources idle, RPEs unconfigured)");
+    println!("{}", node.render());
+
+    section("State is dynamic: configure RPE_1 and busy a GPP");
+    node.gpp_mut(PeId::Gpp(0))
+        .expect("gpp")
+        .state
+        .acquire_cores(2)
+        .expect("idle cores");
+    node.rpe_mut(PeId::Rpe(1))
+        .expect("rpe")
+        .state
+        .load(
+            ConfigKind::Softcore("rvex-4w".into()),
+            Catalog::builtin()
+                .softcore("rvex-4w")
+                .expect("builtin")
+                .area_slices(),
+            FitPolicy::FirstFit,
+        )
+        .expect("fits");
+    println!("{}", node.render());
+
+    section("Adaptive at runtime: add an RPE, then remove it");
+    let cat = Catalog::builtin();
+    let id = node.add_rpe(cat.fpga("XC5VLX50").expect("builtin").clone());
+    println!("added {id}; node now: {node}");
+    node.remove_last_rpe();
+    println!("removed;  node now: {node}");
+}

@@ -1,0 +1,46 @@
+//! Regenerates **Figure 4**: the application-task model
+//! `Task(TaskID, Data_in, Data_out, ExecReq, t_estimated)` with `n` inputs,
+//! `m` outputs and `k` requirement parameters.
+
+use rhv_bench::{banner, section};
+use rhv_core::execreq::{Constraint, ExecReq, TaskPayload};
+use rhv_core::ids::{DataId, TaskId};
+use rhv_core::task::Task;
+use rhv_params::param::{ParamKey, PeClass};
+
+fn main() {
+    banner("Figure 4", "Application task virtualization (Eq. 2)");
+    // A task with n = 3 inputs (from T0, T2, T5 — the paper's T8 example),
+    // m = 2 outputs, and k = 3 ExecReq parameters.
+    let task = Task::new(
+        TaskId(8),
+        ExecReq::new(
+            PeClass::Fpga,
+            vec![
+                Constraint::eq(ParamKey::DeviceFamily, "Virtex-5"),
+                Constraint::ge(ParamKey::Slices, 18_707u64),
+                Constraint::ge(ParamKey::BramKb, rhv_params::value::ParamValue::KiloBytes(512)),
+            ],
+            TaskPayload::HdlAccelerator {
+                spec_name: "malign".into(),
+                est_slices: 18_707,
+                accel_seconds: 6.0,
+            },
+        ),
+        6.0,
+    )
+    .with_input(TaskId(0), DataId(10), 40 << 20)
+    .with_input(TaskId(2), DataId(11), 12 << 20)
+    .with_input(TaskId(5), DataId(12), 4 << 20)
+    .with_output(DataId(20), 8 << 20)
+    .with_output(DataId(21), 1 << 20);
+
+    println!("{}", task.render());
+
+    section("Derived scheduler inputs");
+    println!("  source tasks: {:?}", task.source_tasks().iter().map(|t| t.to_string()).collect::<Vec<_>>());
+    println!("  input volume:  {} bytes", task.input_bytes());
+    println!("  output volume: {} bytes", task.output_bytes());
+    println!("  scenario:      {}", task.exec_req.scenario());
+    println!("  slice demand:  {:?}", task.exec_req.slice_demand());
+}

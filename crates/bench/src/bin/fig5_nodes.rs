@@ -1,0 +1,29 @@
+//! Regenerates **Figure 5**: the specifications of the 3 case-study grid
+//! nodes (Figs. 5a–5c).
+
+use rhv_bench::banner;
+use rhv_core::case_study;
+
+fn main() {
+    banner(
+        "Figure 5",
+        "Specifications of 3 grid nodes in the case study",
+    );
+    for (i, node) in case_study::grid().iter().enumerate() {
+        println!("\n(5{}) ", (b'a' + i as u8) as char);
+        println!("{}", node.render());
+    }
+    println!("Checks from the paper's text:");
+    let grid = case_study::grid();
+    assert_eq!(grid[0].gpps().len(), 2);
+    assert_eq!(grid[0].rpes().len(), 2);
+    println!("  Node_0 contains 2 GPPs and 2 RPEs               ✓");
+    for rpe in grid[0].rpes() {
+        assert!(rpe.state.is_unconfigured() && rpe.state.is_idle());
+    }
+    println!("  State_0/State_1: available, idle, unconfigured  ✓");
+    assert_eq!((grid[1].gpps().len(), grid[1].rpes().len()), (1, 2));
+    println!("  Node_1 contains one GPP and 2 RPEs              ✓");
+    assert_eq!((grid[2].gpps().len(), grid[2].rpes().len()), (0, 1));
+    println!("  Node_2 consists of only one RPE                 ✓");
+}

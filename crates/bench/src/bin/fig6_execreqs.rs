@@ -1,0 +1,29 @@
+//! Regenerates **Figure 6**: the execution requirements (`ExecReq`) of the
+//! four case-study tasks (Figs. 6a–6d).
+
+use rhv_bench::banner;
+use rhv_core::case_study;
+
+fn main() {
+    banner(
+        "Figure 6",
+        "Execution requirements for task specifications in the case study",
+    );
+    for (i, task) in case_study::tasks().iter().enumerate() {
+        println!("\n(6{}) Task_{}", (b'a' + i as u8) as char, i);
+        println!("{}", task.render());
+    }
+    println!("\nQuipu-derived area figures from the paper (Sec. V):");
+    println!(
+        "  malign    -> {} Virtex-5 slices",
+        case_study::MALIGN_SLICES
+    );
+    println!(
+        "  pairalign -> {} Virtex-5 slices",
+        case_study::PAIRALIGN_SLICES
+    );
+    println!(
+        "  Task_3 bitstream target: {}",
+        case_study::TASK3_DEVICE
+    );
+}

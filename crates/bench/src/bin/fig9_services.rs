@@ -1,0 +1,79 @@
+//! Regenerates **Figure 9**: user services in a typical grid system —
+//! a complete query/response session: submit → status → resources → cost →
+//! run → monitor.
+
+use rhv_bench::{banner, section};
+use rhv_core::appdsl::{Application, Group};
+use rhv_core::case_study;
+use rhv_core::ids::TaskId;
+use rhv_grid::cost::QosTier;
+use rhv_grid::rms::ResourceManagementSystem;
+use rhv_grid::services::{GridServices, ServiceResponse, UserQuery};
+use rhv_sched::FirstFitStrategy;
+
+fn main() {
+    banner("Figure 9", "User services in a typical grid system");
+    let rms =
+        ResourceManagementSystem::new(case_study::grid(), Box::new(FirstFitStrategy::new()));
+    let mut services = GridServices::new(rms);
+
+    section("1. submit application tasks (minimum service level)");
+    let app = Application::new(vec![Group::seq([0]), Group::par([1, 2]), Group::seq([3])]);
+    println!("  workflow: {app}");
+    let job = match services.handle(UserQuery::Submit {
+        application: app,
+        tasks: case_study::tasks(),
+        qos: QosTier::Standard,
+    }) {
+        ServiceResponse::Accepted(j) => {
+            println!("  response: accepted as {j}");
+            j
+        }
+        other => panic!("unexpected {other:?}"),
+    };
+
+    section("2. query job status");
+    println!(
+        "  response: {:?}",
+        services.handle(UserQuery::JobStatus(job))
+    );
+
+    section("3. list resources (monitoring service)");
+    if let ServiceResponse::Resources(snaps) = services.handle(UserQuery::ListResources) {
+        for s in snaps {
+            println!(
+                "  {}: cores {}/{}, slices {}/{}, {} config(s)",
+                s.node, s.cores.0, s.cores.1, s.slices.0, s.slices.1, s.configs
+            );
+        }
+    }
+
+    section("4. cost estimates per QoS tier (cost service)");
+    for tier in [QosTier::BestEffort, QosTier::Standard, QosTier::Premium] {
+        if let ServiceResponse::Price(p) = services.handle(UserQuery::CostEstimate {
+            task: Box::new(case_study::tasks()[2].clone()),
+            qos: tier,
+        }) {
+            println!(
+                "  {:?}: exec {:.3} + services {:.3} + transfer {:.3} (×{:.1}) = {:.3}",
+                tier,
+                p.execution,
+                p.services,
+                p.transfer,
+                p.multiplier,
+                p.total()
+            );
+        }
+    }
+
+    section("5. run the job and get results");
+    let status = services.run_job(job).expect("job exists");
+    println!("  final status: {status:?}");
+
+    section("6. per-task monitoring history");
+    for t in 0..4 {
+        if let ServiceResponse::History(h) = services.handle(UserQuery::Monitor(TaskId(t))) {
+            println!("  T{t}: {h:?}");
+        }
+    }
+}

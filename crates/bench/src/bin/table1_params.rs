@@ -1,0 +1,49 @@
+//! Regenerates **Table I**: parameters of different processing elements,
+//! with live example values drawn from the built-in catalog.
+
+use rhv_bench::{banner, section};
+use rhv_params::catalog::Catalog;
+use rhv_params::param::{ParamKey, PeClass};
+
+fn main() {
+    banner("Table I", "Parameters of different processing elements");
+    let cat = Catalog::builtin();
+
+    for class in [PeClass::Fpga, PeClass::Gpp, PeClass::Softcore, PeClass::Gpu] {
+        section(&class.to_string());
+        for key in ParamKey::all() {
+            if key.pe_class() == Some(class) {
+                println!("  {:<26} {}", key.to_string(), key.description());
+            }
+        }
+        match class {
+            PeClass::Fpga => {
+                let d = cat.fpga("XC5VLX155").expect("builtin");
+                println!("  example: {}", d);
+                println!("{}", indent(&d.to_params().to_string()));
+            }
+            PeClass::Gpp => {
+                let g = cat.gpp("Intel Xeon E5450").expect("builtin");
+                println!("  example: {}", g);
+                println!("{}", indent(&g.to_params().to_string()));
+            }
+            PeClass::Softcore => {
+                let s = cat.softcore("rvex-4w").expect("builtin");
+                println!("  example: {}", s);
+                println!("{}", indent(&s.to_params().to_string()));
+            }
+            PeClass::Gpu => {
+                let g = cat.gpu("Tesla C1060").expect("builtin");
+                println!("  example: {}", g);
+                println!("{}", indent(&g.to_params().to_string()));
+            }
+        }
+    }
+}
+
+fn indent(s: &str) -> String {
+    s.lines()
+        .map(|l| format!("    {l}"))
+        .collect::<Vec<_>>()
+        .join("\n")
+}

@@ -1,0 +1,50 @@
+//! Regenerates **Table II**: possible node mappings for Task_0..Task_3 and
+//! the user-selectable abstraction levels — computed by the matchmaker, then
+//! asserted against the published rows.
+
+use rhv_bench::{banner, section};
+use rhv_core::case_study::{self, Table2Row};
+
+fn main() {
+    banner(
+        "Table II",
+        "Possible node mappings for tasks Task_0..Task_3",
+    );
+    let rows = case_study::table2();
+    for row in &rows {
+        println!("\nTask_{}:", row.task.raw());
+        let mappings: Vec<String> = row.mappings.iter().map(|c| c.pe.to_string()).collect();
+        println!("  possible mappings: {}", mappings.join(", "));
+        let scenarios: Vec<String> = row.scenarios.iter().map(|s| s.to_string()).collect();
+        println!("  user-selected abstraction levels: {}", scenarios.join(" OR "));
+    }
+
+    section("Verification against the published table");
+    let expect: [&[&str]; 4] = [
+        &["GPP_0 <-> Node_0", "GPP_1 <-> Node_0", "GPP_0 <-> Node_1"],
+        &["RPE_0 <-> Node_1", "RPE_1 <-> Node_1", "RPE_0 <-> Node_2"],
+        &["RPE_1 <-> Node_1", "RPE_0 <-> Node_2"],
+        &["RPE_0 <-> Node_0"],
+    ];
+    for (row, want) in rows.iter().zip(expect) {
+        let got: Vec<String> = row.mappings.iter().map(|c| c.pe.to_string()).collect();
+        assert_eq!(got, want, "Task_{}", row.task.raw());
+        println!("  Task_{} mapping set matches the paper ✓", row.task.raw());
+    }
+    check_scenarios(&rows);
+    println!("  abstraction-level columns match the paper ✓");
+}
+
+fn check_scenarios(rows: &[Table2Row]) {
+    use rhv_params::taxonomy::Scenario::*;
+    assert_eq!(rows[0].scenarios, vec![SoftwareOnly, PredeterminedHardware]);
+    assert_eq!(
+        rows[1].scenarios,
+        vec![UserDefinedHardware, DeviceSpecificHardware]
+    );
+    assert_eq!(
+        rows[2].scenarios,
+        vec![UserDefinedHardware, DeviceSpecificHardware]
+    );
+    assert_eq!(rows[3].scenarios, vec![DeviceSpecificHardware]);
+}

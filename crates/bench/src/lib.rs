@@ -1,0 +1,31 @@
+//! Shared helpers for the reproduction harness binaries.
+//!
+//! Every table and figure of the paper has a binary under `src/bin/` that
+//! regenerates it (`cargo run -p rhv-bench --bin <name>`); see DESIGN.md's
+//! per-experiment index. These helpers keep the output format uniform.
+
+/// Prints a banner naming the reproduced artifact.
+pub fn banner(artifact: &str, caption: &str) {
+    println!("================================================================");
+    println!("  {artifact} — {caption}");
+    println!("================================================================");
+}
+
+/// Prints a section sub-header.
+pub fn section(title: &str) {
+    println!();
+    println!("--- {title} ---");
+}
+
+/// Formats a ratio as a percentage string.
+pub fn pct(x: f64) -> String {
+    format!("{:.2}%", x * 100.0)
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn pct_formats() {
+        assert_eq!(super::pct(0.8976), "89.76%");
+    }
+}

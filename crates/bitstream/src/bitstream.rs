@@ -1,0 +1,382 @@
+//! The binary bitstream format.
+//!
+//! A bitstream is the artifact the grid ships to an RPE's configuration
+//! port. The format is deliberately simple but real: a fixed magic, a
+//! device-part string (compatibility key — loading is refused on any other
+//! part), the fabric region the image configures, a payload, and a CRC-32
+//! over everything before it. Encoding/parsing uses `bytes` and round-trips
+//! exactly.
+
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Magic bytes opening every RHV bitstream.
+pub const MAGIC: &[u8; 4] = b"RHVB";
+/// Format version.
+pub const VERSION: u8 = 1;
+
+/// Parsed bitstream metadata.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct BitstreamHeader {
+    /// Image name (e.g. `pairalign.bit`).
+    pub image: String,
+    /// The exact device part the image was implemented for.
+    pub device_part: String,
+    /// First slice of the configured region.
+    pub region_offset: u64,
+    /// Slices configured.
+    pub region_slices: u64,
+    /// Whether this is a partial (true) or full-device (false) image.
+    pub partial: bool,
+}
+
+/// A complete bitstream: header plus configuration payload.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Bitstream {
+    /// Parsed header.
+    pub header: BitstreamHeader,
+    /// Configuration frames (opaque payload).
+    #[serde(with = "serde_bytes_b64")]
+    pub payload: Bytes,
+}
+
+mod serde_bytes_b64 {
+    use bytes::Bytes;
+    use serde::{Deserialize, Deserializer, Serialize, Serializer};
+
+    pub fn serialize<S: Serializer>(b: &Bytes, s: S) -> Result<S::Ok, S::Error> {
+        b.as_ref().serialize(s)
+    }
+
+    pub fn deserialize<'de, D: Deserializer<'de>>(d: D) -> Result<Bytes, D::Error> {
+        Ok(Bytes::from(Vec::<u8>::deserialize(d)?))
+    }
+}
+
+/// Errors from bitstream encoding/decoding/compatibility checks.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum BitstreamError {
+    /// Input shorter than a valid image.
+    Truncated,
+    /// Magic bytes or version mismatch.
+    BadMagic,
+    /// CRC over header+payload does not match the trailer.
+    BadChecksum {
+        /// CRC stored in the image.
+        expected: u32,
+        /// CRC computed over the received bytes.
+        actual: u32,
+    },
+    /// Header strings are not valid UTF-8.
+    BadEncoding,
+    /// The image targets a different device part.
+    WrongDevice {
+        /// Part in the image.
+        image_part: String,
+        /// Part of the device the load was attempted on.
+        device_part: String,
+    },
+}
+
+impl fmt::Display for BitstreamError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            BitstreamError::Truncated => write!(f, "bitstream truncated"),
+            BitstreamError::BadMagic => write!(f, "bad magic or version"),
+            BitstreamError::BadChecksum { expected, actual } => {
+                write!(f, "checksum mismatch: stored {expected:#x}, computed {actual:#x}")
+            }
+            BitstreamError::BadEncoding => write!(f, "header strings are not UTF-8"),
+            BitstreamError::WrongDevice {
+                image_part,
+                device_part,
+            } => write!(
+                f,
+                "bitstream for {image_part} cannot load on {device_part}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for BitstreamError {}
+
+/// CRC-32 (IEEE 802.3, reflected) — implemented here to keep the dependency
+/// set minimal.
+pub fn crc32(data: &[u8]) -> u32 {
+    let mut crc: u32 = 0xFFFF_FFFF;
+    for &b in data {
+        crc ^= b as u32;
+        for _ in 0..8 {
+            let mask = (crc & 1).wrapping_neg();
+            crc = (crc >> 1) ^ (0xEDB8_8320 & mask);
+        }
+    }
+    !crc
+}
+
+impl Bitstream {
+    /// Builds a bitstream with a deterministic synthetic payload of
+    /// `payload_len` bytes (derived from the image name so images differ).
+    pub fn synthesize(header: BitstreamHeader, payload_len: usize) -> Self {
+        let mut payload = BytesMut::with_capacity(payload_len);
+        let seed: u32 = crc32(header.image.as_bytes());
+        let mut x = seed | 1;
+        for _ in 0..payload_len {
+            // xorshift for cheap deterministic filler
+            x ^= x << 13;
+            x ^= x >> 17;
+            x ^= x << 5;
+            payload.put_u8((x & 0xFF) as u8);
+        }
+        Bitstream {
+            header,
+            payload: payload.freeze(),
+        }
+    }
+
+    /// Total encoded size in bytes.
+    pub fn encoded_len(&self) -> usize {
+        4 + 1 // magic + version
+            + 2 + self.header.image.len()
+            + 2 + self.header.device_part.len()
+            + 8 + 8 + 1 // region + partial flag
+            + 8 // payload length
+            + self.payload.len()
+            + 4 // crc
+    }
+
+    /// Encodes the image to its wire form.
+    pub fn encode(&self) -> Bytes {
+        let mut buf = BytesMut::with_capacity(self.encoded_len());
+        buf.put_slice(MAGIC);
+        buf.put_u8(VERSION);
+        buf.put_u16(self.header.image.len() as u16);
+        buf.put_slice(self.header.image.as_bytes());
+        buf.put_u16(self.header.device_part.len() as u16);
+        buf.put_slice(self.header.device_part.as_bytes());
+        buf.put_u64(self.header.region_offset);
+        buf.put_u64(self.header.region_slices);
+        buf.put_u8(self.header.partial as u8);
+        buf.put_u64(self.payload.len() as u64);
+        buf.put_slice(&self.payload);
+        let crc = crc32(&buf);
+        buf.put_u32(crc);
+        buf.freeze()
+    }
+
+    /// Parses a wire-form image, verifying magic, structure and CRC.
+    pub fn parse(mut data: Bytes) -> Result<Bitstream, BitstreamError> {
+        let full = data.clone();
+        if data.remaining() < 5 {
+            return Err(BitstreamError::Truncated);
+        }
+        let mut magic = [0u8; 4];
+        data.copy_to_slice(&mut magic);
+        let version = data.get_u8();
+        if &magic != MAGIC || version != VERSION {
+            return Err(BitstreamError::BadMagic);
+        }
+        let image = read_string(&mut data)?;
+        let device_part = read_string(&mut data)?;
+        if data.remaining() < 8 + 8 + 1 + 8 {
+            return Err(BitstreamError::Truncated);
+        }
+        let region_offset = data.get_u64();
+        let region_slices = data.get_u64();
+        let partial = data.get_u8() != 0;
+        let payload_len = data.get_u64() as usize;
+        if data.remaining() < payload_len + 4 {
+            return Err(BitstreamError::Truncated);
+        }
+        let payload = data.copy_to_bytes(payload_len);
+        let stored_crc = data.get_u32();
+        let actual = crc32(&full[..full.len() - 4 - data.remaining()]);
+        if stored_crc != actual {
+            return Err(BitstreamError::BadChecksum {
+                expected: stored_crc,
+                actual,
+            });
+        }
+        Ok(Bitstream {
+            header: BitstreamHeader {
+                image,
+                device_part,
+                region_offset,
+                region_slices,
+                partial,
+            },
+            payload,
+        })
+    }
+
+    /// Compatibility gate: an image only loads on its exact target part.
+    pub fn check_device(&self, device_part: &str) -> Result<(), BitstreamError> {
+        if self.header.device_part.eq_ignore_ascii_case(device_part) {
+            Ok(())
+        } else {
+            Err(BitstreamError::WrongDevice {
+                image_part: self.header.device_part.clone(),
+                device_part: device_part.to_owned(),
+            })
+        }
+    }
+}
+
+fn read_string(data: &mut Bytes) -> Result<String, BitstreamError> {
+    if data.remaining() < 2 {
+        return Err(BitstreamError::Truncated);
+    }
+    let len = data.get_u16() as usize;
+    if data.remaining() < len {
+        return Err(BitstreamError::Truncated);
+    }
+    let raw = data.copy_to_bytes(len);
+    String::from_utf8(raw.to_vec()).map_err(|_| BitstreamError::BadEncoding)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn header() -> BitstreamHeader {
+        BitstreamHeader {
+            image: "pairalign.bit".into(),
+            device_part: "XC5VLX220".into(),
+            region_offset: 0,
+            region_slices: 30_790,
+            partial: true,
+        }
+    }
+
+    #[test]
+    fn encode_parse_round_trip() {
+        let b = Bitstream::synthesize(header(), 4_096);
+        let wire = b.encode();
+        assert_eq!(wire.len(), b.encoded_len());
+        let parsed = Bitstream::parse(wire).unwrap();
+        assert_eq!(parsed, b);
+    }
+
+    #[test]
+    fn corruption_is_detected() {
+        let b = Bitstream::synthesize(header(), 512);
+        let mut wire = b.encode().to_vec();
+        let mid = wire.len() / 2;
+        wire[mid] ^= 0xFF;
+        match Bitstream::parse(Bytes::from(wire)) {
+            Err(BitstreamError::BadChecksum { .. }) => {}
+            other => panic!("expected checksum error, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn truncation_is_detected() {
+        let b = Bitstream::synthesize(header(), 512);
+        let wire = b.encode();
+        for cut in [0usize, 3, 8, wire.len() - 5] {
+            let sliced = wire.slice(..cut);
+            assert!(Bitstream::parse(sliced).is_err(), "cut at {cut}");
+        }
+    }
+
+    #[test]
+    fn bad_magic_rejected() {
+        let b = Bitstream::synthesize(header(), 16);
+        let mut wire = b.encode().to_vec();
+        wire[0] = b'X';
+        assert_eq!(
+            Bitstream::parse(Bytes::from(wire)).unwrap_err(),
+            BitstreamError::BadMagic
+        );
+    }
+
+    #[test]
+    fn device_compatibility_gate() {
+        let b = Bitstream::synthesize(header(), 16);
+        assert!(b.check_device("XC5VLX220").is_ok());
+        assert!(b.check_device("xc5vlx220").is_ok());
+        match b.check_device("XC6VLX365T") {
+            Err(BitstreamError::WrongDevice { image_part, .. }) => {
+                assert_eq!(image_part, "XC5VLX220");
+            }
+            other => panic!("expected WrongDevice, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn payload_is_deterministic_per_image() {
+        let a = Bitstream::synthesize(header(), 128);
+        let b = Bitstream::synthesize(header(), 128);
+        assert_eq!(a.payload, b.payload);
+        let mut h2 = header();
+        h2.image = "malign.bit".into();
+        let c = Bitstream::synthesize(h2, 128);
+        assert_ne!(a.payload, c.payload);
+    }
+
+    #[test]
+    fn crc32_known_vector() {
+        // Standard check value for "123456789".
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(crc32(b""), 0);
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    proptest! {
+        /// Arbitrary headers/payload sizes round-trip exactly.
+        #[test]
+        fn round_trip(
+            image in "[a-z_]{1,24}",
+            part in "[A-Z0-9]{4,12}",
+            offset in 0u64..100_000,
+            slices in 0u64..100_000,
+            partial in prop::bool::ANY,
+            payload_len in 0usize..2_048,
+        ) {
+            let b = Bitstream::synthesize(
+                BitstreamHeader {
+                    image,
+                    device_part: part,
+                    region_offset: offset,
+                    region_slices: slices,
+                    partial,
+                },
+                payload_len,
+            );
+            let parsed = Bitstream::parse(b.encode()).unwrap();
+            prop_assert_eq!(parsed, b);
+        }
+
+        /// Parsing never panics on arbitrary bytes.
+        #[test]
+        fn parse_never_panics(data in prop::collection::vec(any::<u8>(), 0..512)) {
+            let _ = Bitstream::parse(Bytes::from(data));
+        }
+
+        /// Single-bit flips anywhere in the image are always rejected.
+        #[test]
+        fn bit_flips_rejected(pos_seed in 0usize..10_000, bit in 0u8..8) {
+            let b = Bitstream::synthesize(
+                BitstreamHeader {
+                    image: "img".into(),
+                    device_part: "XC5VLX155".into(),
+                    region_offset: 1,
+                    region_slices: 2,
+                    partial: false,
+                },
+                256,
+            );
+            let mut wire = b.encode().to_vec();
+            let pos = pos_seed % wire.len();
+            wire[pos] ^= 1 << bit;
+            let parsed = Bitstream::parse(Bytes::from(wire));
+            prop_assert_ne!(parsed, Ok(b));
+        }
+    }
+}

@@ -1,0 +1,129 @@
+//! Generic HDL specifications (the user's side of Sec. III-B2).
+//!
+//! An [`HdlSpec`] stands in for a VHDL/Verilog design handed to the grid:
+//! it names the design and carries the structural drivers that determine
+//! its synthesized footprint (combinational logic, registers, multipliers,
+//! memories) and the clock it must close timing at. These drivers are the
+//! same quantities the Quipu software-complexity model predicts, so specs
+//! can be produced either by hand or from `rhv-quipu` estimates.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Source language of the specification.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum HdlLanguage {
+    Vhdl,
+    Verilog,
+}
+
+impl fmt::Display for HdlLanguage {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            HdlLanguage::Vhdl => "VHDL",
+            HdlLanguage::Verilog => "Verilog",
+        })
+    }
+}
+
+/// A generic (device-independent) hardware design description.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct HdlSpec {
+    /// Top-level entity/module name.
+    pub name: String,
+    /// Source language.
+    pub language: HdlLanguage,
+    /// Lines of HDL source (drives synthesis runtime).
+    pub source_lines: u64,
+    /// Estimated LUT demand of the combinational logic.
+    pub luts: u64,
+    /// Flip-flop demand.
+    pub registers: u64,
+    /// Hardware multipliers / DSP demand.
+    pub multipliers: u64,
+    /// Block memory demand in KiB.
+    pub bram_kb: u64,
+    /// Target clock in MHz the design must close timing at.
+    pub target_clock_mhz: f64,
+}
+
+impl HdlSpec {
+    /// A small convenience constructor used across tests and examples.
+    pub fn new(name: impl Into<String>, luts: u64, registers: u64) -> Self {
+        HdlSpec {
+            name: name.into(),
+            language: HdlLanguage::Vhdl,
+            source_lines: (luts + registers) / 4,
+            luts,
+            registers,
+            multipliers: 0,
+            bram_kb: 0,
+            target_clock_mhz: 100.0,
+        }
+    }
+
+    /// Slice demand on a Virtex-5-class device (4 LUTs + 4 FFs per slice;
+    /// the binding resource decides).
+    pub fn slice_demand(&self) -> u64 {
+        let lut_slices = self.luts.div_ceil(4);
+        let ff_slices = self.registers.div_ceil(4);
+        lut_slices.max(ff_slices)
+    }
+
+    /// A crude structural-complexity figure used by the synthesis-time model.
+    pub fn complexity(&self) -> f64 {
+        self.luts as f64 + 0.5 * self.registers as f64 + 8.0 * self.multipliers as f64
+            + 2.0 * self.bram_kb as f64
+    }
+}
+
+impl fmt::Display for HdlSpec {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} [{}]: {} LUTs, {} FFs, {} MULs, {} KB BRAM @ {} MHz",
+            self.name,
+            self.language,
+            self.luts,
+            self.registers,
+            self.multipliers,
+            self.bram_kb,
+            self.target_clock_mhz
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn slice_demand_is_binding_resource() {
+        // LUT-bound
+        let s = HdlSpec::new("a", 4_000, 100);
+        assert_eq!(s.slice_demand(), 1_000);
+        // FF-bound
+        let s = HdlSpec::new("b", 100, 4_000);
+        assert_eq!(s.slice_demand(), 1_000);
+        // Rounding up
+        let s = HdlSpec::new("c", 5, 1);
+        assert_eq!(s.slice_demand(), 2);
+    }
+
+    #[test]
+    fn complexity_increases_with_every_driver() {
+        let base = HdlSpec::new("x", 100, 100).complexity();
+        let mut s = HdlSpec::new("x", 100, 100);
+        s.multipliers = 4;
+        assert!(s.complexity() > base);
+        s.bram_kb = 32;
+        assert!(s.complexity() > base + 32.0);
+    }
+
+    #[test]
+    fn display_mentions_name_and_language() {
+        let s = HdlSpec::new("pairalign", 10, 10);
+        let d = s.to_string();
+        assert!(d.contains("pairalign") && d.contains("VHDL"));
+    }
+}

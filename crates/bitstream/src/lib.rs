@@ -1,0 +1,36 @@
+//! # rhv-bitstream — simulated CAD flow and bitstream substrate
+//!
+//! The paper's *user-defined hardware configuration* scenario (Sec. III-B2)
+//! requires the grid to offer "mechanism and tools to generate device
+//! specific bitstreams for the user", with the service provider possessing
+//! "the synthesis CAD tools"; the *device-specific hardware* scenario
+//! (Sec. III-B3) ships ready-made bitstreams instead. Real vendor CAD tools
+//! are a hardware gate, so this crate substitutes them with a faithful
+//! contract-level simulation:
+//!
+//! * [`hdl`] — a generic HDL specification IR ("available in generic HDLs …
+//!   VHDL and Verilog"): named module, resource footprint drivers, clock
+//!   target.
+//! * [`synth`] — a synthesis service that turns an [`hdl::HdlSpec`] into a
+//!   device-specific [`bitstream::Bitstream`] with area results and a
+//!   synthesis-time model (minutes of CAD runtime, proportional to design
+//!   size — these delays matter to scheduling).
+//! * [`bitstream`] — a binary bitstream format (magic, device part, region,
+//!   payload CRC) built on `bytes`, with encode/parse round-trips.
+//! * [`transfer`] — time models for shipping bitstreams over grid links and
+//!   loading them through the configuration port.
+//!
+//! What the substitution preserves: device-keyed compatibility (a bitstream
+//! only loads on the part it was implemented for), area results feeding the
+//! matchmaker, and realistic time constants feeding the scheduler. What it
+//! drops: actual logic synthesis — no netlists exist here.
+
+pub mod bitstream;
+pub mod hdl;
+pub mod synth;
+pub mod transfer;
+
+pub use bitstream::{Bitstream, BitstreamError, BitstreamHeader};
+pub use hdl::{HdlLanguage, HdlSpec};
+pub use synth::{SynthesisReport, SynthesisService, SynthError};
+pub use transfer::{link_transfer_seconds, reconfiguration_seconds, TransferPlan};

@@ -1,0 +1,338 @@
+//! The provider-side synthesis service (Sec. III-B2).
+//!
+//! "this scenario … provides important grid services, such as mechanism and
+//! tools to generate device specific bitstreams for the user. In this
+//! use-case, the service provider is required to possess the synthesis CAD
+//! tools."
+//!
+//! [`SynthesisService`] plays that role: it takes a generic [`HdlSpec`] and
+//! a target [`FpgaDevice`], checks resource feasibility and timing closure,
+//! and emits a device-specific [`Bitstream`] plus a [`SynthesisReport`]
+//! (area results and CAD runtime). A result cache models the common
+//! provider optimization of reusing bitstreams for (spec, part) pairs
+//! already built.
+
+use crate::bitstream::{Bitstream, BitstreamHeader};
+use crate::hdl::HdlSpec;
+use rhv_params::fpga::FpgaDevice;
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+use std::fmt;
+
+/// Area/timing results of a synthesis run.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SynthesisReport {
+    /// Design name.
+    pub spec_name: String,
+    /// Target part.
+    pub device_part: String,
+    /// Slices consumed.
+    pub slices: u64,
+    /// LUTs consumed.
+    pub luts: u64,
+    /// Registers consumed.
+    pub registers: u64,
+    /// DSP slices consumed.
+    pub dsp_slices: u64,
+    /// BRAM consumed (KiB).
+    pub bram_kb: u64,
+    /// Achieved clock (MHz).
+    pub achieved_clock_mhz: f64,
+    /// CAD-tool runtime in seconds (this is wall time the scheduler must
+    /// account for before the task can start).
+    pub synthesis_seconds: f64,
+    /// Device utilization after placement, in `[0, 1]`.
+    pub utilization: f64,
+}
+
+/// Reasons a synthesis run fails.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum SynthError {
+    /// The design needs more slices/LUTs/BRAM/DSPs than the device has.
+    ResourceOverflow {
+        /// Which resource overflowed.
+        resource: &'static str,
+        /// Amount required.
+        required: u64,
+        /// Amount available on the part.
+        available: u64,
+    },
+    /// The design's target clock exceeds what the device family can reach.
+    TimingFailure {
+        /// Requested clock (MHz).
+        requested_mhz: f64,
+        /// Best achievable clock (MHz).
+        achievable_mhz: f64,
+    },
+}
+
+impl fmt::Display for SynthError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SynthError::ResourceOverflow {
+                resource,
+                required,
+                available,
+            } => write!(
+                f,
+                "design needs {required} {resource}, device has {available}"
+            ),
+            SynthError::TimingFailure {
+                requested_mhz,
+                achievable_mhz,
+            } => write!(
+                f,
+                "timing failure: requested {requested_mhz} MHz, achievable {achievable_mhz} MHz"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for SynthError {}
+
+/// The provider's CAD-tool installation.
+///
+/// `cad_speed` scales synthesis runtime (1.0 = the reference machine); the
+/// cache keys on `(spec name, device part)`.
+#[derive(Debug, Clone)]
+pub struct SynthesisService {
+    cad_speed: f64,
+    cache: HashMap<(String, String), (Bitstream, SynthesisReport)>,
+    report_cache: HashMap<(String, String), SynthesisReport>,
+    /// Count of cache hits (for the ablation bench).
+    pub cache_hits: u64,
+    /// Count of full synthesis runs.
+    pub full_runs: u64,
+}
+
+impl Default for SynthesisService {
+    fn default() -> Self {
+        Self::new(1.0)
+    }
+}
+
+impl SynthesisService {
+    /// A service whose CAD tools run at `cad_speed` × the reference speed.
+    pub fn new(cad_speed: f64) -> Self {
+        SynthesisService {
+            cad_speed: cad_speed.max(1e-6),
+            cache: HashMap::new(),
+            report_cache: HashMap::new(),
+            cache_hits: 0,
+            full_runs: 0,
+        }
+    }
+
+    /// Synthesizes `spec` for `device`, producing a partial bitstream at
+    /// fabric offset `region_offset`.
+    ///
+    /// Results are cached per `(spec, part)`; cache hits return a zero-cost
+    /// clone with `synthesis_seconds == 0.0` so schedulers see the saving.
+    pub fn synthesize(
+        &mut self,
+        spec: &HdlSpec,
+        device: &FpgaDevice,
+        region_offset: u64,
+    ) -> Result<(Bitstream, SynthesisReport), SynthError> {
+        let key = (spec.name.clone(), device.part.clone());
+        if let Some((bit, report)) = self.cache.get(&key) {
+            self.cache_hits += 1;
+            let mut r = report.clone();
+            r.synthesis_seconds = 0.0;
+            return Ok((bit.clone(), r));
+        }
+        let report = self.estimate(spec, device)?;
+        let payload_len =
+            (report.slices as f64 * device.bytes_per_slice()).ceil() as usize;
+        let bitstream = Bitstream::synthesize(
+            BitstreamHeader {
+                image: format!("{}@{}.bit", spec.name, device.part),
+                device_part: device.part.clone(),
+                region_offset,
+                region_slices: report.slices,
+                partial: device.partial_reconfig,
+            },
+            payload_len,
+        );
+        self.full_runs += 1;
+        self.cache.insert(key, (bitstream.clone(), report.clone()));
+        Ok((bitstream, report))
+    }
+
+    /// Cache-aware estimation without materializing a bitstream image —
+    /// what a simulator uses when only the CAD runtime matters. The first
+    /// call for a `(spec, part)` pair reports the full synthesis time and
+    /// counts as a run; repeats report zero and count as cache hits.
+    pub fn estimate_cached(
+        &mut self,
+        spec: &HdlSpec,
+        device: &FpgaDevice,
+    ) -> Result<SynthesisReport, SynthError> {
+        let key = (spec.name.clone(), device.part.clone());
+        if let Some(report) = self.report_cache.get(&key) {
+            self.cache_hits += 1;
+            let mut r = report.clone();
+            r.synthesis_seconds = 0.0;
+            return Ok(r);
+        }
+        let report = self.estimate(spec, device)?;
+        self.full_runs += 1;
+        self.report_cache.insert(key, report.clone());
+        Ok(report)
+    }
+
+    /// Area/timing estimation without producing an image (the quick feasibility
+    /// probe a scheduler can afford per candidate).
+    pub fn estimate(
+        &self,
+        spec: &HdlSpec,
+        device: &FpgaDevice,
+    ) -> Result<SynthesisReport, SynthError> {
+        let slices = spec.slice_demand();
+        check("slices", slices, device.slices)?;
+        check("LUTs", spec.luts, device.luts)?;
+        check("DSP slices", spec.multipliers, device.dsp_slices)?;
+        check("BRAM KB", spec.bram_kb, device.bram_kb)?;
+
+        // Timing: the achievable clock degrades as the device fills up
+        // (routing congestion), from 80% of the speed grade when empty to
+        // 50% when full.
+        let utilization = slices as f64 / device.slices as f64;
+        let achievable = device.speed_grade_mhz * (0.8 - 0.3 * utilization);
+        if spec.target_clock_mhz > achievable {
+            return Err(SynthError::TimingFailure {
+                requested_mhz: spec.target_clock_mhz,
+                achievable_mhz: achievable,
+            });
+        }
+
+        // CAD runtime: minutes, superlinear in complexity (place & route
+        // gets harder as utilization rises).
+        let base = 60.0 + spec.complexity() * 0.02;
+        let congestion = 1.0 + 2.0 * utilization * utilization;
+        let synthesis_seconds = base * congestion / self.cad_speed;
+
+        Ok(SynthesisReport {
+            spec_name: spec.name.clone(),
+            device_part: device.part.clone(),
+            slices,
+            luts: spec.luts,
+            registers: spec.registers,
+            dsp_slices: spec.multipliers,
+            bram_kb: spec.bram_kb,
+            achieved_clock_mhz: spec.target_clock_mhz,
+            synthesis_seconds,
+            utilization,
+        })
+    }
+
+    /// Number of cached (spec, part) results.
+    pub fn cache_len(&self) -> usize {
+        self.cache.len()
+    }
+}
+
+fn check(resource: &'static str, required: u64, available: u64) -> Result<(), SynthError> {
+    if required > available {
+        Err(SynthError::ResourceOverflow {
+            resource,
+            required,
+            available,
+        })
+    } else {
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rhv_params::catalog::Catalog;
+
+    fn lx220() -> FpgaDevice {
+        Catalog::builtin().fpga("XC5VLX220").unwrap().clone()
+    }
+
+    fn pairalign_spec() -> HdlSpec {
+        // Sized so slice demand ≈ the paper's 30,790 figure.
+        let mut s = HdlSpec::new("pairalign", 123_160, 61_580);
+        s.multipliers = 32;
+        s.bram_kb = 512;
+        s.target_clock_mhz = 120.0;
+        s
+    }
+
+    #[test]
+    fn synthesis_produces_device_keyed_bitstream() {
+        let mut svc = SynthesisService::default();
+        let dev = lx220();
+        let (bit, report) = svc.synthesize(&pairalign_spec(), &dev, 0).unwrap();
+        assert_eq!(bit.header.device_part, "XC5VLX220");
+        assert_eq!(report.slices, 30_790);
+        assert!(bit.check_device("XC5VLX220").is_ok());
+        assert!(bit.check_device("XC5VLX155").is_err());
+        assert!(report.synthesis_seconds > 60.0);
+    }
+
+    #[test]
+    fn cache_hit_is_free_and_counted() {
+        let mut svc = SynthesisService::default();
+        let dev = lx220();
+        let spec = pairalign_spec();
+        let (_, r1) = svc.synthesize(&spec, &dev, 0).unwrap();
+        let (_, r2) = svc.synthesize(&spec, &dev, 0).unwrap();
+        assert!(r1.synthesis_seconds > 0.0);
+        assert_eq!(r2.synthesis_seconds, 0.0);
+        assert_eq!(svc.cache_hits, 1);
+        assert_eq!(svc.full_runs, 1);
+        assert_eq!(svc.cache_len(), 1);
+    }
+
+    #[test]
+    fn resource_overflow_detected() {
+        let svc = SynthesisService::default();
+        let small = Catalog::builtin().fpga("XC5VLX30").unwrap().clone();
+        match svc.estimate(&pairalign_spec(), &small) {
+            Err(SynthError::ResourceOverflow { resource, .. }) => {
+                assert_eq!(resource, "slices");
+            }
+            other => panic!("expected overflow, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn timing_failure_detected() {
+        let svc = SynthesisService::default();
+        let mut spec = HdlSpec::new("fastdesign", 1_000, 500);
+        spec.target_clock_mhz = 500.0; // above 0.8 × 550 × (1 - small util)
+        match svc.estimate(&spec, &lx220()) {
+            Err(SynthError::TimingFailure { achievable_mhz, .. }) => {
+                assert!(achievable_mhz < 500.0);
+            }
+            other => panic!("expected timing failure, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn fuller_devices_synthesize_slower() {
+        let svc = SynthesisService::default();
+        let dev = lx220();
+        let small = svc.estimate(&HdlSpec::new("s", 4_000, 1_000), &dev).unwrap();
+        let large = svc
+            .estimate(&HdlSpec::new("l", 120_000, 30_000), &dev)
+            .unwrap();
+        assert!(large.synthesis_seconds > small.synthesis_seconds);
+        assert!(large.utilization > small.utilization);
+    }
+
+    #[test]
+    fn faster_cad_machine_scales_runtime() {
+        let slow = SynthesisService::new(1.0);
+        let fast = SynthesisService::new(4.0);
+        let spec = HdlSpec::new("k", 10_000, 5_000);
+        let dev = lx220();
+        let ts = slow.estimate(&spec, &dev).unwrap().synthesis_seconds;
+        let tf = fast.estimate(&spec, &dev).unwrap().synthesis_seconds;
+        assert!((ts / tf - 4.0).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,112 @@
+//! Time models for moving and loading bitstreams.
+//!
+//! The paper's scheduler "takes into account various parameters, such as
+//! area slices, reconfiguration delays, and the time required to send
+//! configuration bitstreams". This module provides exactly those two time
+//! terms:
+//!
+//! * [`link_transfer_seconds`] — shipping an image over a grid link
+//!   (bandwidth + latency);
+//! * [`reconfiguration_seconds`] — pushing it through the device's
+//!   configuration port at its reconfiguration bandwidth.
+//!
+//! [`TransferPlan`] bundles both for a concrete (image, link, device)
+//! triple, which is what scheduling strategies cost out per candidate.
+
+use rhv_params::fpga::FpgaDevice;
+use serde::{Deserialize, Serialize};
+
+/// Seconds to move `bytes` over a link of `bandwidth_mbps` MB/s with
+/// `latency_ms` one-way latency.
+pub fn link_transfer_seconds(bytes: u64, bandwidth_mbps: f64, latency_ms: f64) -> f64 {
+    if bandwidth_mbps <= 0.0 {
+        return f64::INFINITY;
+    }
+    latency_ms / 1_000.0 + bytes as f64 / (bandwidth_mbps * 1e6)
+}
+
+/// Seconds to load `bytes` of configuration data into `device` through its
+/// configuration port.
+pub fn reconfiguration_seconds(bytes: u64, device: &FpgaDevice) -> f64 {
+    if device.reconfig_bandwidth_mbps <= 0.0 {
+        return f64::INFINITY;
+    }
+    bytes as f64 / (device.reconfig_bandwidth_mbps * 1e6)
+}
+
+/// The full cost breakdown of delivering and loading one image.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct TransferPlan {
+    /// Image size (bytes).
+    pub bytes: u64,
+    /// Network transfer time (seconds).
+    pub transfer_seconds: f64,
+    /// Configuration-port load time (seconds).
+    pub reconfig_seconds: f64,
+}
+
+impl TransferPlan {
+    /// Costs out delivering `bytes` over a link and loading it into `device`.
+    pub fn new(bytes: u64, bandwidth_mbps: f64, latency_ms: f64, device: &FpgaDevice) -> Self {
+        TransferPlan {
+            bytes,
+            transfer_seconds: link_transfer_seconds(bytes, bandwidth_mbps, latency_ms),
+            reconfig_seconds: reconfiguration_seconds(bytes, device),
+        }
+    }
+
+    /// Total setup delay before the task can start.
+    pub fn total_seconds(&self) -> f64 {
+        self.transfer_seconds + self.reconfig_seconds
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rhv_params::catalog::Catalog;
+
+    fn lx155() -> FpgaDevice {
+        Catalog::builtin().fpga("XC5VLX155").unwrap().clone()
+    }
+
+    #[test]
+    fn transfer_time_components() {
+        // 100 MB over a 100 MB/s link with 10 ms latency = 1.01 s.
+        let t = link_transfer_seconds(100_000_000, 100.0, 10.0);
+        assert!((t - 1.01).abs() < 1e-9);
+    }
+
+    #[test]
+    fn reconfig_time_uses_device_bandwidth() {
+        let d = lx155();
+        // 400 MB/s ICAP: 4 MB loads in 10 ms.
+        let t = reconfiguration_seconds(4_000_000, &d);
+        assert!((t - 0.01).abs() < 1e-12);
+    }
+
+    #[test]
+    fn zero_bandwidth_is_infinite() {
+        assert!(link_transfer_seconds(1, 0.0, 0.0).is_infinite());
+        let mut d = lx155();
+        d.reconfig_bandwidth_mbps = 0.0;
+        assert!(reconfiguration_seconds(1, &d).is_infinite());
+    }
+
+    #[test]
+    fn plan_totals_add_up() {
+        let d = lx155();
+        let p = TransferPlan::new(d.bitstream_bytes, 100.0, 5.0, &d);
+        assert!((p.total_seconds() - (p.transfer_seconds + p.reconfig_seconds)).abs() < 1e-12);
+        // Full-device image: reconfiguration matches the device model.
+        assert!((p.reconfig_seconds - d.full_reconfig_seconds()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn slow_wan_dominates_fast_icap() {
+        let d = lx155();
+        // A 10 MB/s WAN link vs the 400 MB/s configuration port.
+        let p = TransferPlan::new(d.bitstream_bytes, 10.0, 50.0, &d);
+        assert!(p.transfer_seconds > p.reconfig_seconds * 10.0);
+    }
+}

@@ -1,0 +1,141 @@
+//! All-pairs distance matrix — the `pairalign` stage of ClustalW.
+//!
+//! Every pair of input sequences is globally aligned and converted to a
+//! distance `1 − percent identity`. The stage is O(N²·L²) and embarrassingly
+//! parallel, so it runs under rayon — this is exactly why the paper's grid
+//! wants it on an accelerator, and why Fig. 10 shows it dominating the
+//! profile.
+
+use crate::matrices::Scoring;
+use crate::pairwise;
+use crate::seq::Sequence;
+use rayon::prelude::*;
+use serde::{Deserialize, Serialize};
+
+/// A symmetric distance matrix over `n` sequences.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DistanceMatrix {
+    n: usize,
+    /// Row-major `n × n` distances in `[0, 1]`.
+    values: Vec<f64>,
+}
+
+impl DistanceMatrix {
+    /// Number of sequences.
+    pub fn len(&self) -> usize {
+        self.n
+    }
+
+    /// True when empty.
+    pub fn is_empty(&self) -> bool {
+        self.n == 0
+    }
+
+    /// Distance between sequences `i` and `j`.
+    pub fn get(&self, i: usize, j: usize) -> f64 {
+        self.values[i * self.n + j]
+    }
+
+    /// Builds a matrix from a row-major buffer (must be `n²` long,
+    /// symmetric with zero diagonal — debug-asserted).
+    pub fn from_raw(n: usize, values: Vec<f64>) -> Self {
+        assert_eq!(values.len(), n * n);
+        let m = DistanceMatrix { n, values };
+        debug_assert!(m.check_invariants().is_ok());
+        m
+    }
+
+    /// Symmetry / diagonal / range checks.
+    pub fn check_invariants(&self) -> Result<(), String> {
+        for i in 0..self.n {
+            if self.get(i, i) != 0.0 {
+                return Err(format!("nonzero diagonal at {i}"));
+            }
+            for j in 0..self.n {
+                let d = self.get(i, j);
+                if !(0.0..=1.0).contains(&d) {
+                    return Err(format!("distance ({i},{j}) = {d} out of range"));
+                }
+                if (d - self.get(j, i)).abs() > 1e-12 {
+                    return Err(format!("asymmetry at ({i},{j})"));
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Computes the all-pairs distance matrix (parallel across pairs).
+pub fn distance_matrix(seqs: &[Sequence], sc: Scoring) -> DistanceMatrix {
+    let n = seqs.len();
+    let pairs: Vec<(usize, usize)> = (0..n)
+        .flat_map(|i| ((i + 1)..n).map(move |j| (i, j)))
+        .collect();
+    let dists: Vec<((usize, usize), f64)> = pairs
+        .par_iter()
+        .map(|&(i, j)| {
+            let al = pairwise::align(&seqs[i], &seqs[j], sc);
+            let _g = crate::profiler::scope("getdist");
+            ((i, j), 1.0 - al.percent_identity())
+        })
+        .collect();
+    let mut values = vec![0.0; n * n];
+    for ((i, j), d) in dists {
+        values[i * n + j] = d;
+        values[j * n + i] = d;
+    }
+    DistanceMatrix { n, values }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::seq::synthetic_family;
+
+    #[test]
+    fn matrix_invariants_hold() {
+        let seqs = synthetic_family(6, 60, 0.2, 1);
+        let m = distance_matrix(&seqs, Scoring::default());
+        assert_eq!(m.len(), 6);
+        m.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn identical_sequences_have_zero_distance() {
+        let seqs = synthetic_family(1, 50, 0.0, 2);
+        let twin = vec![seqs[0].clone(), seqs[0].clone()];
+        let m = distance_matrix(&twin, Scoring::default());
+        assert_eq!(m.get(0, 1), 0.0);
+    }
+
+    #[test]
+    fn closer_relatives_have_smaller_distance() {
+        // seq A vs a slightly mutated copy vs a heavily mutated copy.
+        let low = synthetic_family(2, 200, 0.05, 3);
+        let high = synthetic_family(2, 200, 0.6, 3);
+        let dl = distance_matrix(&low, Scoring::default()).get(0, 1);
+        let dh = distance_matrix(&high, Scoring::default()).get(0, 1);
+        assert!(dl < dh, "{dl} !< {dh}");
+    }
+
+    #[test]
+    fn parallel_matches_sequential() {
+        // determinism across runs (rayon order must not matter)
+        let seqs = synthetic_family(8, 40, 0.25, 4);
+        let a = distance_matrix(&seqs, Scoring::default());
+        let b = distance_matrix(&seqs, Scoring::default());
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn from_raw_validates_shape() {
+        let m = DistanceMatrix::from_raw(2, vec![0.0, 0.5, 0.5, 0.0]);
+        assert_eq!(m.get(0, 1), 0.5);
+    }
+
+    #[test]
+    #[should_panic]
+    fn from_raw_rejects_bad_length() {
+        let _ = DistanceMatrix::from_raw(2, vec![0.0; 3]);
+    }
+}

@@ -1,0 +1,162 @@
+//! FASTA parsing and formatting.
+//!
+//! The minimal dialect ClustalW inputs use: `>` header lines followed by
+//! wrapped residue lines. Parsing validates residues through
+//! [`Sequence::new`]; formatting wraps at 60 columns.
+
+use crate::seq::Sequence;
+use std::fmt;
+
+/// Residue-line wrap width on output.
+pub const WRAP: usize = 60;
+
+/// A FASTA parse failure.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FastaError {
+    /// Residues appeared before any `>` header.
+    MissingHeader {
+        /// 1-based line number.
+        line: usize,
+    },
+    /// A sequence contained an invalid residue.
+    BadResidue {
+        /// Sequence id.
+        id: String,
+        /// Underlying validation error.
+        detail: String,
+    },
+    /// A header introduced no residues.
+    EmptySequence {
+        /// Sequence id.
+        id: String,
+    },
+}
+
+impl fmt::Display for FastaError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FastaError::MissingHeader { line } => {
+                write!(f, "residues before any '>' header at line {line}")
+            }
+            FastaError::BadResidue { id, detail } => write!(f, "sequence {id}: {detail}"),
+            FastaError::EmptySequence { id } => write!(f, "sequence {id} has no residues"),
+        }
+    }
+}
+
+impl std::error::Error for FastaError {}
+
+/// Parses FASTA text into sequences.
+pub fn parse(text: &str) -> Result<Vec<Sequence>, FastaError> {
+    let mut out = Vec::new();
+    let mut current: Option<(String, Vec<u8>)> = None;
+    for (ln, raw) in text.lines().enumerate() {
+        let line = raw.trim();
+        if line.is_empty() {
+            continue;
+        }
+        if let Some(header) = line.strip_prefix('>') {
+            if let Some((id, residues)) = current.take() {
+                out.push(finish(id, residues)?);
+            }
+            // id = first whitespace-delimited token of the header
+            let id = header
+                .split_whitespace()
+                .next()
+                .unwrap_or("unnamed")
+                .to_owned();
+            current = Some((id, Vec::new()));
+        } else {
+            match &mut current {
+                Some((_, residues)) => {
+                    residues.extend(line.bytes().filter(|b| !b.is_ascii_whitespace()));
+                }
+                None => return Err(FastaError::MissingHeader { line: ln + 1 }),
+            }
+        }
+    }
+    if let Some((id, residues)) = current.take() {
+        out.push(finish(id, residues)?);
+    }
+    Ok(out)
+}
+
+fn finish(id: String, residues: Vec<u8>) -> Result<Sequence, FastaError> {
+    if residues.is_empty() {
+        return Err(FastaError::EmptySequence { id });
+    }
+    Sequence::new(id.clone(), &residues).map_err(|e| FastaError::BadResidue {
+        id,
+        detail: e.to_string(),
+    })
+}
+
+/// Formats sequences as FASTA (wrapped at [`WRAP`] columns).
+pub fn format(seqs: &[Sequence]) -> String {
+    use std::fmt::Write;
+    let mut s = String::new();
+    for seq in seqs {
+        let _ = writeln!(s, ">{}", seq.id);
+        for chunk in seq.residues.chunks(WRAP) {
+            let _ = writeln!(s, "{}", String::from_utf8_lossy(chunk));
+        }
+    }
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::seq::synthetic_family;
+
+    #[test]
+    fn parse_basic() {
+        let text = ">alpha some description\nARNDC\nQEGHI\n>beta\nLKMFP\n";
+        let seqs = parse(text).unwrap();
+        assert_eq!(seqs.len(), 2);
+        assert_eq!(seqs[0].id, "alpha");
+        assert_eq!(seqs[0].residues, b"ARNDCQEGHI");
+        assert_eq!(seqs[1].id, "beta");
+    }
+
+    #[test]
+    fn round_trip() {
+        let seqs = synthetic_family(5, 150, 0.2, 3);
+        let text = format(&seqs);
+        let back = parse(&text).unwrap();
+        assert_eq!(seqs, back);
+    }
+
+    #[test]
+    fn wrapping_at_60() {
+        let seqs = synthetic_family(1, 150, 0.0, 1);
+        let text = format(&seqs);
+        for line in text.lines().filter(|l| !l.starts_with('>')) {
+            assert!(line.len() <= WRAP);
+        }
+        assert!(text.lines().count() >= 4); // header + 3 wrapped lines
+    }
+
+    #[test]
+    fn errors() {
+        assert!(matches!(
+            parse("ARNDC\n").unwrap_err(),
+            FastaError::MissingHeader { line: 1 }
+        ));
+        assert!(matches!(
+            parse(">x\n>y\nARN\n").unwrap_err(),
+            FastaError::EmptySequence { .. }
+        ));
+        assert!(matches!(
+            parse(">x\nAR!DC\n").unwrap_err(),
+            FastaError::BadResidue { .. }
+        ));
+    }
+
+    #[test]
+    fn blank_lines_and_whitespace_tolerated() {
+        let text = "\n>x desc\n  ARN DC \n\nQEGHI\n";
+        let seqs = parse(text).unwrap();
+        assert_eq!(seqs[0].residues, b"ARNDCQEGHI");
+    }
+}

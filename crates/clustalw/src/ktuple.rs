@@ -1,0 +1,158 @@
+//! Fast k-tuple pairwise distances — ClustalW's "quick" pairwise mode.
+//!
+//! The real ClustalW offers two pairwise stages: full dynamic programming
+//! (what Fig. 10 profiles as `pairalign`) and a fast word-match heuristic
+//! for large inputs. This module is that heuristic: the fraction of length-k
+//! words (k-tuples) two sequences share, counted with multiplicity, turned
+//! into a distance. O(L) per pair instead of O(L²) — the classic
+//! speed-for-accuracy trade that the grid's GPP/RPE choice mirrors.
+
+use crate::distance::DistanceMatrix;
+use crate::profiler;
+use crate::seq::Sequence;
+use rayon::prelude::*;
+use std::collections::HashMap;
+
+/// Default word length for proteins (ClustalW uses 1–2 for proteins; 2 is
+/// a good balance on the 20-letter alphabet).
+pub const DEFAULT_K: usize = 2;
+
+/// Fraction of k-tuples shared between `x` and `y` (with multiplicity),
+/// normalized by the shorter sequence's tuple count. In `[0, 1]`.
+pub fn ktuple_similarity(x: &Sequence, y: &Sequence, k: usize) -> f64 {
+    assert!(k >= 1, "k must be at least 1");
+    let (nx, ny) = (x.len(), y.len());
+    if nx < k || ny < k {
+        return if x.residues == y.residues { 1.0 } else { 0.0 };
+    }
+    // Count tuples of the shorter sequence, stream the longer one.
+    let (short, long) = if nx <= ny { (x, y) } else { (y, x) };
+    let mut counts: HashMap<&[u8], u32> = HashMap::with_capacity(short.len());
+    for w in short.residues.windows(k) {
+        *counts.entry(w).or_insert(0) += 1;
+    }
+    let mut shared = 0u32;
+    for w in long.residues.windows(k) {
+        if let Some(c) = counts.get_mut(w) {
+            if *c > 0 {
+                *c -= 1;
+                shared += 1;
+            }
+        }
+    }
+    let denom = (short.len() - k + 1) as f64;
+    shared as f64 / denom
+}
+
+/// k-tuple distance: `1 − similarity`.
+pub fn ktuple_distance(x: &Sequence, y: &Sequence, k: usize) -> f64 {
+    1.0 - ktuple_similarity(x, y, k)
+}
+
+/// All-pairs k-tuple distance matrix (parallel). The quick counterpart of
+/// [`crate::distance::distance_matrix`]; recorded under the `pairalign_fast`
+/// kernel in the profile.
+pub fn quick_distance_matrix(seqs: &[Sequence], k: usize) -> DistanceMatrix {
+    let n = seqs.len();
+    let pairs: Vec<(usize, usize)> = (0..n)
+        .flat_map(|i| ((i + 1)..n).map(move |j| (i, j)))
+        .collect();
+    let dists: Vec<((usize, usize), f64)> = pairs
+        .par_iter()
+        .map(|&(i, j)| {
+            let _g = profiler::scope("pairalign_fast");
+            ((i, j), ktuple_distance(&seqs[i], &seqs[j], k))
+        })
+        .collect();
+    let mut values = vec![0.0; n * n];
+    for ((i, j), d) in dists {
+        values[i * n + j] = d;
+        values[j * n + i] = d;
+    }
+    DistanceMatrix::from_raw(n, values)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::distance::distance_matrix;
+    use crate::matrices::Scoring;
+    use crate::seq::synthetic_family;
+
+    fn seq(s: &[u8]) -> Sequence {
+        Sequence::new("s", s).unwrap()
+    }
+
+    #[test]
+    fn identical_sequences_have_similarity_one() {
+        let x = seq(b"ARNDCQEGHILKMF");
+        assert_eq!(ktuple_similarity(&x, &x, 2), 1.0);
+        assert_eq!(ktuple_distance(&x, &x, 2), 0.0);
+    }
+
+    #[test]
+    fn disjoint_sequences_have_similarity_zero() {
+        let x = seq(b"AAAAAAAA");
+        let y = seq(b"WWWWWWWW");
+        assert_eq!(ktuple_similarity(&x, &y, 2), 0.0);
+        assert_eq!(ktuple_distance(&x, &y, 2), 1.0);
+    }
+
+    #[test]
+    fn multiplicity_is_respected() {
+        // "AA" appears 3× in x but only once in y: only one can match.
+        let x = seq(b"AAAA"); // tuples: AA, AA, AA
+        let y = seq(b"AAWW"); // tuples: AA, AW, WW
+        let sim = ktuple_similarity(&x, &y, 2);
+        assert!((sim - 1.0 / 3.0).abs() < 1e-12, "{sim}");
+    }
+
+    #[test]
+    fn symmetric() {
+        let fam = synthetic_family(2, 80, 0.3, 5);
+        assert_eq!(
+            ktuple_similarity(&fam[0], &fam[1], 2),
+            ktuple_similarity(&fam[1], &fam[0], 2)
+        );
+    }
+
+    #[test]
+    fn short_sequences_edge_cases() {
+        let x = seq(b"A");
+        let y = seq(b"A");
+        assert_eq!(ktuple_similarity(&x, &y, 2), 1.0);
+        let z = seq(b"W");
+        assert_eq!(ktuple_similarity(&x, &z, 2), 0.0);
+    }
+
+    #[test]
+    fn quick_matrix_satisfies_invariants() {
+        let fam = synthetic_family(8, 60, 0.25, 7);
+        let m = quick_distance_matrix(&fam, DEFAULT_K);
+        m.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn quick_distances_track_full_dp_distances() {
+        // Families at increasing divergence: both metrics must rank them
+        // the same way.
+        let mut quick = Vec::new();
+        let mut full = Vec::new();
+        for (i, div) in [0.05f64, 0.2, 0.5].iter().enumerate() {
+            let fam = synthetic_family(2, 200, *div, 11 + i as u64);
+            quick.push(ktuple_distance(&fam[0], &fam[1], DEFAULT_K));
+            full.push(
+                distance_matrix(&fam, Scoring::default()).get(0, 1),
+            );
+        }
+        assert!(quick[0] < quick[1] && quick[1] < quick[2], "{quick:?}");
+        assert!(full[0] < full[1] && full[1] < full[2], "{full:?}");
+    }
+
+    #[test]
+    #[should_panic(expected = "k must be at least 1")]
+    fn zero_k_rejected() {
+        let x = seq(b"ARN");
+        let _ = ktuple_similarity(&x, &x, 0);
+    }
+}

@@ -1,0 +1,51 @@
+//! # rhv-clustalw — the case-study workload, for real
+//!
+//! The paper's case study (Sec. V) profiles **ClustalW** from the BioBench
+//! suite with gprof, finds that `pairalign` consumes 89.76 % and `malign`
+//! 7.79 % of the runtime (Fig. 10), and sizes those kernels for FPGA
+//! acceleration. The BioBench binary and its inputs are not redistributable,
+//! so this crate reimplements the ClustalW pipeline from scratch — not a
+//! mock: real dynamic-programming alignments over real (synthetic) protein
+//! sequences — and instruments it with a gprof-like profiler so Fig. 10 is
+//! *measured*, not asserted.
+//!
+//! Pipeline (classic progressive alignment):
+//!
+//! 1. [`pairwise`] — all-pairs global alignment with affine gaps (Gotoh);
+//!    this stage is the `pairalign` kernel and is data-parallel (rayon);
+//! 2. [`distance`] — percent-identity distance matrix;
+//! 3. [`nj`] — neighbor-joining guide tree;
+//! 4. [`profilealign`] — progressive profile–profile alignment up the tree;
+//!    this stage is the `malign` kernel;
+//! 5. [`msa`] — the end-to-end driver.
+//!
+//! Supporting modules: [`seq`] (sequences + a mutation-based family
+//! generator so the guide tree is meaningful), [`fasta`] I/O, [`matrices`]
+//! (BLOSUM62 and gap penalties), [`profiler`] (scoped timers → flat
+//! profile).
+//!
+//! ```
+//! use rhv_clustalw::{msa, profiler, seq};
+//!
+//! profiler::reset();
+//! let seqs = seq::synthetic_family(8, 60, 0.15, 42);
+//! let alignment = msa::align(&seqs);
+//! assert_eq!(alignment.rows.len(), 8);
+//! let profile = profiler::report();
+//! assert!(profile.total_seconds > 0.0);
+//! ```
+
+pub mod distance;
+pub mod fasta;
+pub mod ktuple;
+pub mod matrices;
+pub mod msa;
+pub mod nj;
+pub mod pairwise;
+pub mod profilealign;
+pub mod refine;
+pub mod profiler;
+pub mod seq;
+
+pub use msa::{align, Alignment};
+pub use seq::Sequence;

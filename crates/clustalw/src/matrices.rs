@@ -1,0 +1,106 @@
+//! Substitution matrices and gap penalties.
+//!
+//! ClustalW scores protein alignments with a BLOSUM-series matrix; this is
+//! the standard BLOSUM62 with the `ARNDCQEGHILKMFPSTWYV` row/column order
+//! of [`crate::seq::AMINO_ACIDS`].
+
+use crate::seq::residue_index;
+use serde::{Deserialize, Serialize};
+
+/// Alignment scoring parameters.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Scoring {
+    /// Cost of opening a gap (negative).
+    pub gap_open: i32,
+    /// Cost of extending a gap by one column (negative).
+    pub gap_extend: i32,
+}
+
+impl Default for Scoring {
+    fn default() -> Self {
+        // ClustalW protein defaults (rounded to integers).
+        Scoring {
+            gap_open: -10,
+            gap_extend: -1,
+        }
+    }
+}
+
+/// BLOSUM62, rows/columns in `ARNDCQEGHILKMFPSTWYV` order.
+#[rustfmt::skip]
+pub const BLOSUM62: [[i32; 20]; 20] = [
+    // A   R   N   D   C   Q   E   G   H   I   L   K   M   F   P   S   T   W   Y   V
+    [  4, -1, -2, -2,  0, -1, -1,  0, -2, -1, -1, -1, -1, -2, -1,  1,  0, -3, -2,  0], // A
+    [ -1,  5,  0, -2, -3,  1,  0, -2,  0, -3, -2,  2, -1, -3, -2, -1, -1, -3, -2, -3], // R
+    [ -2,  0,  6,  1, -3,  0,  0,  0,  1, -3, -3,  0, -2, -3, -2,  1,  0, -4, -2, -3], // N
+    [ -2, -2,  1,  6, -3,  0,  2, -1, -1, -3, -4, -1, -3, -3, -1,  0, -1, -4, -3, -3], // D
+    [  0, -3, -3, -3,  9, -3, -4, -3, -3, -1, -1, -3, -1, -2, -3, -1, -1, -2, -2, -1], // C
+    [ -1,  1,  0,  0, -3,  5,  2, -2,  0, -3, -2,  1,  0, -3, -1,  0, -1, -2, -1, -2], // Q
+    [ -1,  0,  0,  2, -4,  2,  5, -2,  0, -3, -3,  1, -2, -3, -1,  0, -1, -3, -2, -2], // E
+    [  0, -2,  0, -1, -3, -2, -2,  6, -2, -4, -4, -2, -3, -3, -2,  0, -2, -2, -3, -3], // G
+    [ -2,  0,  1, -1, -3,  0,  0, -2,  8, -3, -3, -1, -2, -1, -2, -1, -2, -2,  2, -3], // H
+    [ -1, -3, -3, -3, -1, -3, -3, -4, -3,  4,  2, -3,  1,  0, -3, -2, -1, -3, -1,  3], // I
+    [ -1, -2, -3, -4, -1, -2, -3, -4, -3,  2,  4, -2,  2,  0, -3, -2, -1, -2, -1,  1], // L
+    [ -1,  2,  0, -1, -3,  1,  1, -2, -1, -3, -2,  5, -1, -3, -1,  0, -1, -3, -2, -2], // K
+    [ -1, -1, -2, -3, -1,  0, -2, -3, -2,  1,  2, -1,  5,  0, -2, -1, -1, -1, -1,  1], // M
+    [ -2, -3, -3, -3, -2, -3, -3, -3, -1,  0,  0, -3,  0,  6, -4, -2, -2,  1,  3, -1], // F
+    [ -1, -2, -2, -1, -3, -1, -1, -2, -2, -3, -3, -1, -2, -4,  7, -1, -1, -4, -3, -2], // P
+    [  1, -1,  1,  0, -1,  0,  0,  0, -1, -2, -2,  0, -1, -2, -1,  4,  1, -3, -2, -2], // S
+    [  0, -1,  0, -1, -1, -1, -1, -2, -2, -1, -1, -1, -1, -2, -1,  1,  5, -2, -2,  0], // T
+    [ -3, -3, -4, -4, -2, -2, -3, -2, -2, -3, -2, -3, -1,  1, -4, -3, -2, 11,  2, -3], // W
+    [ -2, -2, -2, -3, -2, -1, -2, -3,  2, -1, -1, -2, -1,  3, -3, -2, -2,  2,  7, -2], // Y
+    [  0, -3, -3, -3, -1, -2, -2, -3, -3,  3,  1, -2,  1, -1, -2, -2,  0, -3, -2,  4], // V
+];
+
+/// Substitution score between two residues (letters).
+pub fn score(a: u8, b: u8) -> i32 {
+    let (Some(i), Some(j)) = (residue_index(a), residue_index(b)) else {
+        return -4; // unknown residue: strongly penalized, never panics
+    };
+    BLOSUM62[i][j]
+}
+
+#[cfg(test)]
+#[allow(clippy::needless_range_loop)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn matrix_is_symmetric() {
+        for i in 0..20 {
+            for j in 0..20 {
+                assert_eq!(BLOSUM62[i][j], BLOSUM62[j][i], "({i},{j})");
+            }
+        }
+    }
+
+    #[test]
+    fn diagonal_dominates_rows() {
+        for i in 0..20 {
+            for j in 0..20 {
+                if i != j {
+                    assert!(
+                        BLOSUM62[i][i] > BLOSUM62[i][j],
+                        "self-match must beat substitution ({i},{j})"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn known_values() {
+        assert_eq!(score(b'W', b'W'), 11);
+        assert_eq!(score(b'A', b'A'), 4);
+        assert_eq!(score(b'W', b'A'), -3);
+        assert_eq!(score(b'I', b'V'), 3);
+        assert_eq!(score(b'X', b'A'), -4, "unknown residue penalized");
+    }
+
+    #[test]
+    fn default_gap_costs_are_negative_and_affine() {
+        let s = Scoring::default();
+        assert!(s.gap_open < s.gap_extend);
+        assert!(s.gap_extend < 0);
+    }
+}

@@ -1,0 +1,327 @@
+//! The end-to-end ClustalW pipeline.
+//!
+//! `prdata` (input handling) → `pairalign` (all-pairs distances) →
+//! `nj_tree` (guide tree) → `malign` (progressive profile alignment).
+//! The kernel names match the instrumented scopes so the Fig. 10 profile
+//! reads like the original gprof output.
+
+use crate::distance::distance_matrix;
+use crate::matrices::Scoring;
+use crate::nj::{neighbor_joining, GuideTree};
+use crate::profilealign::{align_profiles, Profile};
+use crate::profiler;
+use crate::seq::Sequence;
+use serde::{Deserialize, Serialize};
+
+/// A finished multiple alignment.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Alignment {
+    /// Sequence ids, in input order.
+    pub ids: Vec<String>,
+    /// Aligned rows (equal length, gaps as `-`), in input order.
+    pub rows: Vec<Vec<u8>>,
+    /// The guide tree used.
+    pub tree: GuideTree,
+    /// Sum-of-pairs identity of the final alignment (coarse quality signal).
+    pub mean_pairwise_identity: f64,
+}
+
+impl Alignment {
+    /// Number of alignment columns.
+    pub fn columns(&self) -> usize {
+        self.rows.first().map(Vec::len).unwrap_or(0)
+    }
+
+    /// Consistency checks: equal-length rows, degapped rows reproduce the
+    /// inputs they claim to hold.
+    pub fn check_against_inputs(&self, inputs: &[Sequence]) -> Result<(), String> {
+        if self.rows.len() != inputs.len() {
+            return Err("row count mismatch".into());
+        }
+        let cols = self.columns();
+        for (i, row) in self.rows.iter().enumerate() {
+            if row.len() != cols {
+                return Err(format!("row {i} length differs"));
+            }
+            let degapped: Vec<u8> = row
+                .iter()
+                .copied()
+                .filter(|&c| c != crate::pairwise::GAP)
+                .collect();
+            if degapped != inputs[i].residues {
+                return Err(format!("row {i} does not degap to its input"));
+            }
+        }
+        Ok(())
+    }
+
+    /// FASTA-style rendering of the aligned rows.
+    pub fn render(&self) -> String {
+        use std::fmt::Write;
+        let mut s = String::new();
+        for (id, row) in self.ids.iter().zip(&self.rows) {
+            let _ = writeln!(s, ">{id}");
+            let _ = writeln!(s, "{}", String::from_utf8_lossy(row));
+        }
+        s
+    }
+}
+
+/// Runs the full pipeline with default scoring.
+pub fn align(seqs: &[Sequence]) -> Alignment {
+    align_with(seqs, Scoring::default())
+}
+
+/// Runs the pipeline in quick mode: the guide tree comes from the O(L)
+/// k-tuple distances instead of full dynamic programming — ClustalW's fast
+/// pairwise option for large inputs. The progressive stage is unchanged.
+pub fn align_quick(seqs: &[Sequence], k: usize) -> Alignment {
+    let sc = Scoring::default();
+    assert!(!seqs.is_empty(), "alignment needs at least one sequence");
+    let staged: Vec<Sequence> = {
+        let _g = profiler::scope("prdata");
+        seqs.to_vec()
+    };
+    if staged.len() == 1 {
+        return Alignment {
+            ids: vec![staged[0].id.clone()],
+            rows: vec![staged[0].residues.clone()],
+            tree: GuideTree::Leaf(0),
+            mean_pairwise_identity: 1.0,
+        };
+    }
+    let dist = crate::ktuple::quick_distance_matrix(&staged, k);
+    let tree = neighbor_joining(&dist);
+    finish_alignment(staged, tree, sc)
+}
+
+/// Runs the full pipeline with explicit scoring parameters.
+pub fn align_with(seqs: &[Sequence], sc: Scoring) -> Alignment {
+    assert!(!seqs.is_empty(), "alignment needs at least one sequence");
+
+    // prdata: input staging (kept tiny on purpose, like the real thing).
+    let staged: Vec<Sequence> = {
+        let _g = profiler::scope("prdata");
+        seqs.to_vec()
+    };
+
+    if staged.len() == 1 {
+        return Alignment {
+            ids: vec![staged[0].id.clone()],
+            rows: vec![staged[0].residues.clone()],
+            tree: GuideTree::Leaf(0),
+            mean_pairwise_identity: 1.0,
+        };
+    }
+
+    // pairalign: all-pairs distances (dominates the profile, Fig. 10).
+    let dist = distance_matrix(&staged, sc);
+
+    // nj_tree: guide tree.
+    let tree = neighbor_joining(&dist);
+
+    finish_alignment(staged, tree, sc)
+}
+
+/// The shared back half of the pipeline: progressive merge (`malign`),
+/// row reordering and quality accounting.
+fn finish_alignment(staged: Vec<Sequence>, tree: GuideTree, sc: Scoring) -> Alignment {
+    // malign: progressive merge up the tree.
+    let final_profile = merge(&tree, &staged, sc);
+
+    // Reorder rows back to input order.
+    let rows = {
+        let _g = profiler::scope("aln_output");
+        let cols = final_profile.columns();
+        let mut rows = vec![vec![b'-'; cols]; staged.len()];
+        for (slot, &orig) in final_profile.members.iter().enumerate() {
+            rows[orig] = final_profile.rows[slot].clone();
+        }
+        rows
+    };
+
+    let mean_pairwise_identity = {
+        let _g = profiler::scope("calc_identity");
+        mean_identity(&rows)
+    };
+
+    Alignment {
+        ids: staged.iter().map(|s| s.id.clone()).collect(),
+        rows,
+        tree,
+        mean_pairwise_identity,
+    }
+}
+
+fn merge(tree: &GuideTree, seqs: &[Sequence], sc: Scoring) -> Profile {
+    match tree {
+        GuideTree::Leaf(i) => Profile::single(*i, seqs[*i].residues.clone()),
+        GuideTree::Node { left, right, .. } => {
+            let l = merge(left, seqs, sc);
+            let r = merge(right, seqs, sc);
+            align_profiles(&l, &r, sc)
+        }
+    }
+}
+
+fn mean_identity(rows: &[Vec<u8>]) -> f64 {
+    let n = rows.len();
+    if n < 2 {
+        return 1.0;
+    }
+    let mut total = 0.0;
+    let mut pairs = 0usize;
+    for i in 0..n {
+        for j in (i + 1)..n {
+            let mut same = 0usize;
+            let mut aligned = 0usize;
+            for (&a, &b) in rows[i].iter().zip(&rows[j]) {
+                if a != b'-' && b != b'-' {
+                    aligned += 1;
+                    if a == b {
+                        same += 1;
+                    }
+                }
+            }
+            if aligned > 0 {
+                total += same as f64 / aligned as f64;
+            }
+            pairs += 1;
+        }
+    }
+    total / pairs as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::seq::synthetic_family;
+
+    #[test]
+    fn aligns_a_family_correctly() {
+        let seqs = synthetic_family(8, 80, 0.15, 11);
+        let al = align(&seqs);
+        al.check_against_inputs(&seqs).unwrap();
+        assert_eq!(al.rows.len(), 8);
+        assert!(al.columns() >= seqs.iter().map(Sequence::len).max().unwrap());
+        // Related sequences should align with substantial identity.
+        assert!(
+            al.mean_pairwise_identity > 0.5,
+            "identity {}",
+            al.mean_pairwise_identity
+        );
+    }
+
+    #[test]
+    fn single_sequence_passthrough() {
+        let seqs = synthetic_family(1, 40, 0.0, 1);
+        let al = align(&seqs);
+        assert_eq!(al.rows[0], seqs[0].residues);
+        assert_eq!(al.mean_pairwise_identity, 1.0);
+    }
+
+    #[test]
+    fn two_identical_sequences_full_identity() {
+        let fam = synthetic_family(1, 50, 0.0, 3);
+        let twins = vec![fam[0].clone(), Sequence {
+            id: "copy".into(),
+            residues: fam[0].residues.clone(),
+        }];
+        let al = align(&twins);
+        assert_eq!(al.mean_pairwise_identity, 1.0);
+        assert_eq!(al.rows[0], al.rows[1]);
+    }
+
+    #[test]
+    fn profile_shape_matches_fig10() {
+        // With enough sequences the O(N²L²) pairalign stage dominates and
+        // malign is the clear second — the Fig. 10 shape.
+        let _l = profiler::TEST_MUTEX.lock();
+        profiler::reset();
+        let seqs = synthetic_family(16, 100, 0.2, 5);
+        let _ = align(&seqs);
+        let p = profiler::report();
+        let pairalign = p.percent_of("pairalign");
+        let malign = p.percent_of("malign");
+        assert!(pairalign > 50.0, "pairalign at {pairalign:.1}%");
+        assert!(malign > 0.0);
+        assert!(pairalign > malign, "{pairalign} !> {malign}");
+    }
+
+    #[test]
+    fn rendering_is_fasta_shaped() {
+        let seqs = synthetic_family(3, 30, 0.1, 9);
+        let al = align(&seqs);
+        let r = al.render();
+        assert_eq!(r.matches('>').count(), 3);
+        assert!(r.contains(">seq0"));
+    }
+
+    #[test]
+    fn deterministic() {
+        let seqs = synthetic_family(6, 60, 0.2, 13);
+        let a = align(&seqs);
+        let b = align(&seqs);
+        assert_eq!(a.rows, b.rows);
+        assert_eq!(a.tree, b.tree);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one sequence")]
+    fn empty_input_panics() {
+        let _ = align(&[]);
+    }
+
+    #[test]
+    fn quick_mode_produces_a_valid_alignment() {
+        let seqs = synthetic_family(10, 80, 0.2, 17);
+        let al = align_quick(&seqs, crate::ktuple::DEFAULT_K);
+        al.check_against_inputs(&seqs).unwrap();
+        assert!(al.mean_pairwise_identity > 0.4);
+    }
+
+    #[test]
+    fn quick_mode_quality_close_to_full_mode() {
+        let seqs = synthetic_family(8, 100, 0.15, 23);
+        let full = align(&seqs);
+        let quick = align_quick(&seqs, crate::ktuple::DEFAULT_K);
+        // The guide trees may differ, but alignment quality must be close:
+        // quick mode trades tree fidelity, not column quality.
+        assert!(
+            quick.mean_pairwise_identity > full.mean_pairwise_identity - 0.1,
+            "quick {} vs full {}",
+            quick.mean_pairwise_identity,
+            full.mean_pairwise_identity
+        );
+    }
+
+    #[test]
+    fn quick_mode_single_sequence() {
+        let seqs = synthetic_family(1, 30, 0.0, 2);
+        let al = align_quick(&seqs, 2);
+        assert_eq!(al.rows[0], seqs[0].residues);
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use crate::seq::synthetic_family;
+    use proptest::prelude::*;
+
+    proptest! {
+        #![proptest_config(proptest::prelude::ProptestConfig::with_cases(12))]
+        /// The MSA invariants hold for arbitrary family shapes: equal-length
+        /// rows that degap to the inputs.
+        #[test]
+        fn msa_invariants(n in 2usize..7, len in 10usize..50,
+                          div in 0.0f64..0.5, seed in 0u64..100) {
+            let seqs = synthetic_family(n, len, div, seed);
+            let al = align(&seqs);
+            prop_assert!(al.check_against_inputs(&seqs).is_ok());
+            let mut sorted = al.tree.leaves();
+            sorted.sort();
+            prop_assert_eq!(sorted, (0..n).collect::<Vec<_>>());
+        }
+    }
+}

@@ -1,0 +1,278 @@
+//! Neighbor-joining guide tree.
+//!
+//! ClustalW's progressive stage follows a guide tree built from the pairwise
+//! distance matrix; the classic Saitou–Nei neighbor-joining algorithm builds
+//! it here. The tree is a binary merge order: each internal node says which
+//! two clusters to align next in `malign`.
+
+use crate::distance::DistanceMatrix;
+use crate::profiler;
+use serde::{Deserialize, Serialize};
+
+/// A guide-tree node.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum GuideTree {
+    /// A single input sequence (by index).
+    Leaf(usize),
+    /// Join of two subtrees with their branch lengths.
+    Node {
+        /// Left subtree.
+        left: Box<GuideTree>,
+        /// Right subtree.
+        right: Box<GuideTree>,
+        /// Branch length to the left subtree.
+        left_len: f64,
+        /// Branch length to the right subtree.
+        right_len: f64,
+    },
+}
+
+impl GuideTree {
+    /// Leaf indices in left-to-right order.
+    pub fn leaves(&self) -> Vec<usize> {
+        let mut out = Vec::new();
+        self.collect_leaves(&mut out);
+        out
+    }
+
+    fn collect_leaves(&self, out: &mut Vec<usize>) {
+        match self {
+            GuideTree::Leaf(i) => out.push(*i),
+            GuideTree::Node { left, right, .. } => {
+                left.collect_leaves(out);
+                right.collect_leaves(out);
+            }
+        }
+    }
+
+    /// Number of leaves.
+    pub fn leaf_count(&self) -> usize {
+        match self {
+            GuideTree::Leaf(_) => 1,
+            GuideTree::Node { left, right, .. } => left.leaf_count() + right.leaf_count(),
+        }
+    }
+
+    /// Newick rendering (leaf indices as names).
+    pub fn newick(&self) -> String {
+        let mut s = String::new();
+        self.newick_into(&mut s);
+        s.push(';');
+        s
+    }
+
+    fn newick_into(&self, out: &mut String) {
+        match self {
+            GuideTree::Leaf(i) => out.push_str(&format!("s{i}")),
+            GuideTree::Node {
+                left,
+                right,
+                left_len,
+                right_len,
+            } => {
+                out.push('(');
+                left.newick_into(out);
+                out.push_str(&format!(":{left_len:.4},"));
+                right.newick_into(out);
+                out.push_str(&format!(":{right_len:.4}"));
+                out.push(')');
+            }
+        }
+    }
+}
+
+/// Builds a guide tree with neighbor joining.
+///
+/// Panics on an empty matrix; a single sequence yields a lone leaf.
+pub fn neighbor_joining(dist: &DistanceMatrix) -> GuideTree {
+    let _g = profiler::scope("nj_tree");
+    let n = dist.len();
+    assert!(n > 0, "cannot build a tree over zero sequences");
+    if n == 1 {
+        return GuideTree::Leaf(0);
+    }
+    // Active cluster list: (tree, original index in the working matrix).
+    let mut clusters: Vec<GuideTree> = (0..n).map(GuideTree::Leaf).collect();
+    // Working distance matrix (copied, shrinks as clusters merge).
+    let mut d: Vec<Vec<f64>> = (0..n)
+        .map(|i| (0..n).map(|j| dist.get(i, j)).collect())
+        .collect();
+
+    while clusters.len() > 2 {
+        let m = clusters.len();
+        // Row sums.
+        let r: Vec<f64> = (0..m).map(|i| d[i].iter().sum()).collect();
+        // Q-matrix minimization.
+        let (mut bi, mut bj, mut best_q) = (0, 1, f64::INFINITY);
+        for i in 0..m {
+            for j in (i + 1)..m {
+                let q = (m as f64 - 2.0) * d[i][j] - r[i] - r[j];
+                if q < best_q {
+                    best_q = q;
+                    bi = i;
+                    bj = j;
+                }
+            }
+        }
+        // Branch lengths.
+        let li = 0.5 * d[bi][bj] + (r[bi] - r[bj]) / (2.0 * (m as f64 - 2.0));
+        let lj = d[bi][bj] - li;
+        // Distances from the new cluster to the rest.
+        let new_dists: Vec<f64> = (0..m)
+            .filter(|&k| k != bi && k != bj)
+            .map(|k| 0.5 * (d[bi][k] + d[bj][k] - d[bi][bj]))
+            .collect();
+        // Merge (remove bj first: bj > bi).
+        let right = clusters.remove(bj);
+        let left = clusters.remove(bi);
+        let node = GuideTree::Node {
+            left: Box::new(left),
+            right: Box::new(right),
+            left_len: li.max(0.0),
+            right_len: lj.max(0.0),
+        };
+        // Rebuild the working matrix without rows/cols bi, bj, adding the
+        // merged cluster at the end.
+        let keep: Vec<usize> = (0..m).filter(|&k| k != bi && k != bj).collect();
+        let mut nd = vec![vec![0.0; keep.len() + 1]; keep.len() + 1];
+        for (a, &ka) in keep.iter().enumerate() {
+            for (b, &kb) in keep.iter().enumerate() {
+                nd[a][b] = d[ka][kb];
+            }
+            nd[a][keep.len()] = new_dists[a];
+            nd[keep.len()][a] = new_dists[a];
+        }
+        d = nd;
+        clusters.push(node);
+    }
+    // Join the final two.
+    let right = clusters.pop().expect("two clusters remain");
+    let left = clusters.pop().expect("two clusters remain");
+    let final_d = d[0][1];
+    GuideTree::Node {
+        left: Box::new(left),
+        right: Box::new(right),
+        left_len: (final_d / 2.0).max(0.0),
+        right_len: (final_d / 2.0).max(0.0),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn matrix(n: usize, f: impl Fn(usize, usize) -> f64) -> DistanceMatrix {
+        let mut v = vec![0.0; n * n];
+        for i in 0..n {
+            for j in 0..n {
+                v[i * n + j] = if i == j { 0.0 } else { f(i.min(j), i.max(j)) };
+            }
+        }
+        DistanceMatrix::from_raw(n, v)
+    }
+
+    #[test]
+    fn joins_closest_pair_first() {
+        // 0 and 1 are nearly identical; 2 and 3 are far from everything.
+        let d = matrix(4, |i, j| match (i, j) {
+            (0, 1) => 0.05,
+            (2, 3) => 0.4,
+            _ => 0.8,
+        });
+        let tree = neighbor_joining(&d);
+        assert_eq!(tree.leaf_count(), 4);
+        // 0 and 1 must be siblings somewhere in the tree.
+        fn siblings(t: &GuideTree, a: usize, b: usize) -> bool {
+            match t {
+                GuideTree::Leaf(_) => false,
+                GuideTree::Node { left, right, .. } => {
+                    let mut l = left.leaves();
+                    let mut r = right.leaves();
+                    l.sort();
+                    r.sort();
+                    (l == vec![a] && r == vec![b])
+                        || (l == vec![b] && r == vec![a])
+                        || siblings(left, a, b)
+                        || siblings(right, a, b)
+                }
+            }
+        }
+        assert!(siblings(&tree, 0, 1), "{}", tree.newick());
+    }
+
+    #[test]
+    fn all_leaves_present_exactly_once() {
+        let d = matrix(7, |i, j| 0.1 + 0.05 * (i + j) as f64);
+        let tree = neighbor_joining(&d);
+        let mut leaves = tree.leaves();
+        leaves.sort();
+        assert_eq!(leaves, (0..7).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn two_and_one_sequence_cases() {
+        let d2 = matrix(2, |_, _| 0.3);
+        let t2 = neighbor_joining(&d2);
+        assert_eq!(t2.leaf_count(), 2);
+        let d1 = DistanceMatrix::from_raw(1, vec![0.0]);
+        assert_eq!(neighbor_joining(&d1), GuideTree::Leaf(0));
+    }
+
+    #[test]
+    fn newick_rendering() {
+        let d = matrix(3, |_, _| 0.5);
+        let t = neighbor_joining(&d);
+        let nw = t.newick();
+        assert!(nw.ends_with(';'));
+        for i in 0..3 {
+            assert!(nw.contains(&format!("s{i}")), "{nw}");
+        }
+    }
+
+    #[test]
+    fn branch_lengths_nonnegative() {
+        let d = matrix(5, |i, j| ((i * 3 + j * 7) % 10) as f64 / 10.0 + 0.05);
+        fn check(t: &GuideTree) {
+            if let GuideTree::Node {
+                left,
+                right,
+                left_len,
+                right_len,
+            } = t
+            {
+                assert!(*left_len >= 0.0);
+                assert!(*right_len >= 0.0);
+                check(left);
+                check(right);
+            }
+        }
+        check(&neighbor_joining(&d));
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    proptest! {
+        /// NJ on arbitrary symmetric matrices yields a binary tree with each
+        /// input exactly once.
+        #[test]
+        fn nj_is_a_permutation_tree(n in 2usize..12, seed in 0u64..500) {
+            let mut v = vec![0.0; n * n];
+            for i in 0..n {
+                for j in (i + 1)..n {
+                    let d = (((i * 31 + j * 17 + seed as usize * 7) % 97) as f64 + 1.0) / 100.0;
+                    v[i * n + j] = d;
+                    v[j * n + i] = d;
+                }
+            }
+            let tree = neighbor_joining(&DistanceMatrix::from_raw(n, v));
+            let mut leaves = tree.leaves();
+            leaves.sort();
+            prop_assert_eq!(leaves, (0..n).collect::<Vec<_>>());
+            prop_assert_eq!(tree.leaf_count(), n);
+        }
+    }
+}

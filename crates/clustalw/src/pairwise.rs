@@ -1,0 +1,418 @@
+//! Global pairwise alignment with affine gap penalties (Gotoh).
+//!
+//! This is the inner engine of the `pairalign` stage: a full
+//! dynamic-programming pass (the `forward_pass` kernel of the Fig. 10
+//! profile), followed by traceback (`tracepath`). A score-only recurrence
+//! (`calc_score`) provides an independent check used by the property tests.
+
+use crate::matrices::{score, Scoring};
+use crate::profiler;
+use crate::seq::Sequence;
+use serde::{Deserialize, Serialize};
+
+/// Gap character in aligned rows.
+pub const GAP: u8 = b'-';
+
+const NEG_INF: i32 = i32::MIN / 4;
+
+/// Result of one pairwise alignment.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PairAlignment {
+    /// First aligned row (with gaps).
+    pub a: Vec<u8>,
+    /// Second aligned row (with gaps).
+    pub b: Vec<u8>,
+    /// Optimal global score.
+    pub score: i32,
+}
+
+impl PairAlignment {
+    /// Fraction of aligned (non-gap/non-gap) columns with identical
+    /// residues, over the number of such columns.
+    pub fn percent_identity(&self) -> f64 {
+        let mut same = 0usize;
+        let mut aligned = 0usize;
+        for (&x, &y) in self.a.iter().zip(&self.b) {
+            if x != GAP && y != GAP {
+                aligned += 1;
+                if x == y {
+                    same += 1;
+                }
+            }
+        }
+        if aligned == 0 {
+            0.0
+        } else {
+            same as f64 / aligned as f64
+        }
+    }
+
+    /// Removes gaps from an aligned row.
+    pub fn degap(row: &[u8]) -> Vec<u8> {
+        row.iter().copied().filter(|&c| c != GAP).collect()
+    }
+}
+
+/// Aligns two sequences, returning rows and score.
+///
+/// The traceback's boundary arm (`i == 0 && j == 0`) duplicates the
+/// match-state arm on purpose — merging them would hide the boundary; the
+/// DP fills index by row/column like every textbook presentation.
+#[allow(clippy::if_same_then_else, clippy::needless_range_loop)]
+pub fn align(x: &Sequence, y: &Sequence, sc: Scoring) -> PairAlignment {
+    let (m, n) = (x.len(), y.len());
+    // Degenerate cases: all-gap alignments.
+    if m == 0 || n == 0 {
+        let gap_len = m.max(n);
+        let gap_cost = if gap_len == 0 {
+            0
+        } else {
+            sc.gap_open + sc.gap_extend * (gap_len as i32 - 1)
+        };
+        return PairAlignment {
+            a: if m == 0 {
+                vec![GAP; n]
+            } else {
+                x.residues.clone()
+            },
+            b: if n == 0 {
+                vec![GAP; m]
+            } else {
+                y.residues.clone()
+            },
+            score: gap_cost,
+        };
+    }
+
+    // Three-state Gotoh: M (match), X (gap in y / consume x), Y (gap in x).
+    let w = n + 1;
+    let (mut mm, mut xx, mut yy);
+    {
+        // The DP fill is the `pairalign` kernel of the Fig. 10 profile.
+        let _f = profiler::scope("pairalign");
+        mm = vec![NEG_INF; (m + 1) * w];
+        xx = vec![NEG_INF; (m + 1) * w];
+        yy = vec![NEG_INF; (m + 1) * w];
+        mm[0] = 0;
+        for j in 1..=n {
+            yy[j] = sc.gap_open + sc.gap_extend * (j as i32 - 1);
+        }
+        for i in 1..=m {
+            xx[i * w] = sc.gap_open + sc.gap_extend * (i as i32 - 1);
+            for j in 1..=n {
+                let s = score(x.residues[i - 1], y.residues[j - 1]);
+                let diag = mm[(i - 1) * w + j - 1]
+                    .max(xx[(i - 1) * w + j - 1])
+                    .max(yy[(i - 1) * w + j - 1]);
+                mm[i * w + j] = diag.saturating_add(s);
+                xx[i * w + j] = (mm[(i - 1) * w + j] + sc.gap_open)
+                    .max(xx[(i - 1) * w + j] + sc.gap_extend)
+                    .max(yy[(i - 1) * w + j] + sc.gap_open);
+                yy[i * w + j] = (mm[i * w + j - 1] + sc.gap_open)
+                    .max(yy[i * w + j - 1] + sc.gap_extend)
+                    .max(xx[i * w + j - 1] + sc.gap_open);
+            }
+        }
+    }
+
+    let best = mm[m * w + n].max(xx[m * w + n]).max(yy[m * w + n]);
+
+    // Traceback.
+    let _t = profiler::scope("tracepath");
+    let mut a = Vec::with_capacity(m + n);
+    let mut b = Vec::with_capacity(m + n);
+    let (mut i, mut j) = (m, n);
+    // 0 = M, 1 = X, 2 = Y
+    let mut state = if best == mm[m * w + n] {
+        0
+    } else if best == xx[m * w + n] {
+        1
+    } else {
+        2
+    };
+    while i > 0 || j > 0 {
+        match state {
+            0 => {
+                debug_assert!(i > 0 && j > 0);
+                a.push(x.residues[i - 1]);
+                b.push(y.residues[j - 1]);
+                let target = mm[i * w + j] - score(x.residues[i - 1], y.residues[j - 1]);
+                i -= 1;
+                j -= 1;
+                state = if target == mm[i * w + j] {
+                    0
+                } else if target == xx[i * w + j] {
+                    1
+                } else {
+                    2
+                };
+            }
+            1 => {
+                debug_assert!(i > 0);
+                a.push(x.residues[i - 1]);
+                b.push(GAP);
+                let cur = xx[i * w + j];
+                i -= 1;
+                state = if i == 0 && j == 0 {
+                    0
+                } else if cur == mm[i * w + j] + sc.gap_open {
+                    0
+                } else if cur == xx[i * w + j] + sc.gap_extend {
+                    1
+                } else {
+                    2
+                };
+            }
+            _ => {
+                debug_assert!(j > 0);
+                a.push(GAP);
+                b.push(y.residues[j - 1]);
+                let cur = yy[i * w + j];
+                j -= 1;
+                state = if i == 0 && j == 0 {
+                    0
+                } else if cur == mm[i * w + j] + sc.gap_open {
+                    0
+                } else if cur == yy[i * w + j] + sc.gap_extend {
+                    2
+                } else {
+                    1
+                };
+            }
+        }
+    }
+    a.reverse();
+    b.reverse();
+    PairAlignment { a, b, score: best }
+}
+
+/// Score-only recurrence (no traceback): an independent checker for
+/// [`align`] and the memory-light path for large batches.
+#[allow(clippy::needless_range_loop)]
+pub fn score_only(x: &Sequence, y: &Sequence, sc: Scoring) -> i32 {
+    let (m, n) = (x.len(), y.len());
+    if m == 0 || n == 0 {
+        let gap_len = m.max(n);
+        return if gap_len == 0 {
+            0
+        } else {
+            sc.gap_open + sc.gap_extend * (gap_len as i32 - 1)
+        };
+    }
+    let w = n + 1;
+    let mut prev_m = vec![NEG_INF; w];
+    let mut prev_x = vec![NEG_INF; w];
+    let mut prev_y = vec![NEG_INF; w];
+    prev_m[0] = 0;
+    for j in 1..=n {
+        prev_y[j] = sc.gap_open + sc.gap_extend * (j as i32 - 1);
+    }
+    let mut cur_m = vec![NEG_INF; w];
+    let mut cur_x = vec![NEG_INF; w];
+    let mut cur_y = vec![NEG_INF; w];
+    for i in 1..=m {
+        cur_m[0] = NEG_INF;
+        cur_x[0] = sc.gap_open + sc.gap_extend * (i as i32 - 1);
+        cur_y[0] = NEG_INF;
+        for j in 1..=n {
+            let s = score(x.residues[i - 1], y.residues[j - 1]);
+            cur_m[j] = prev_m[j - 1].max(prev_x[j - 1]).max(prev_y[j - 1]).saturating_add(s);
+            cur_x[j] = (prev_m[j] + sc.gap_open)
+                .max(prev_x[j] + sc.gap_extend)
+                .max(prev_y[j] + sc.gap_open);
+            cur_y[j] = (cur_m[j - 1] + sc.gap_open)
+                .max(cur_y[j - 1] + sc.gap_extend)
+                .max(cur_x[j - 1] + sc.gap_open);
+        }
+        std::mem::swap(&mut prev_m, &mut cur_m);
+        std::mem::swap(&mut prev_x, &mut cur_x);
+        std::mem::swap(&mut prev_y, &mut cur_y);
+    }
+    prev_m[n].max(prev_x[n]).max(prev_y[n])
+}
+
+/// Scores an existing alignment (used to cross-check traceback output).
+pub fn rescore(a: &[u8], b: &[u8], sc: Scoring) -> i32 {
+    assert_eq!(a.len(), b.len(), "aligned rows must have equal length");
+    let mut total = 0i32;
+    // 0 = none, 1 = gap in b, 2 = gap in a
+    let mut gap_state = 0u8;
+    for (&x, &y) in a.iter().zip(b) {
+        match (x == GAP, y == GAP) {
+            (false, false) => {
+                total += score(x, y);
+                gap_state = 0;
+            }
+            (false, true) => {
+                total += if gap_state == 1 { sc.gap_extend } else { sc.gap_open };
+                gap_state = 1;
+            }
+            (true, false) => {
+                total += if gap_state == 2 { sc.gap_extend } else { sc.gap_open };
+                gap_state = 2;
+            }
+            (true, true) => panic!("double gap column"),
+        }
+    }
+    total
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn seq(id: &str, s: &[u8]) -> Sequence {
+        Sequence::new(id, s).unwrap()
+    }
+
+    #[test]
+    fn identical_sequences_align_without_gaps() {
+        let x = seq("x", b"ARNDCQEGHILK");
+        let al = align(&x, &x, Scoring::default());
+        assert_eq!(al.a, al.b);
+        assert!(!al.a.contains(&GAP));
+        assert_eq!(al.percent_identity(), 1.0);
+        let expected: i32 = x.residues.iter().map(|&r| score(r, r)).sum();
+        assert_eq!(al.score, expected);
+    }
+
+    #[test]
+    fn simple_insertion_recovered() {
+        let x = seq("x", b"HEAGAWGHEE");
+        let y = seq("y", b"HEAGAWGHE");
+        let al = align(&x, &y, Scoring::default());
+        assert_eq!(PairAlignment::degap(&al.a), x.residues);
+        assert_eq!(PairAlignment::degap(&al.b), y.residues);
+        // one gap in the shorter row
+        assert_eq!(al.b.iter().filter(|&&c| c == GAP).count(), 1);
+    }
+
+    #[test]
+    fn score_matches_score_only_and_rescore() {
+        let x = seq("x", b"MKTAYIAKQRQISFVKSHFSRQLEERLGLIEVQ");
+        let y = seq("y", b"MKTAYIAKQRQISFVKSHFSRQLEE");
+        let sc = Scoring::default();
+        let al = align(&x, &y, sc);
+        assert_eq!(al.score, score_only(&x, &y, sc));
+        assert_eq!(al.score, rescore(&al.a, &al.b, sc));
+    }
+
+    #[test]
+    fn empty_sequences() {
+        let x = seq("x", b"");
+        let y = seq("y", b"ARN");
+        let sc = Scoring::default();
+        let al = align(&x, &y, sc);
+        assert_eq!(al.a, vec![GAP; 3]);
+        assert_eq!(al.b, y.residues);
+        assert_eq!(al.score, sc.gap_open + 2 * sc.gap_extend);
+        assert_eq!(align(&x, &x, sc).score, 0);
+    }
+
+    #[test]
+    fn affine_gaps_prefer_one_long_gap() {
+        // With affine penalties a single 3-gap beats three 1-gaps.
+        let x = seq("x", b"AAAWWWAAA");
+        let y = seq("y", b"AAAAAA");
+        let al = align(&x, &y, Scoring::default());
+        // find gap runs in b
+        let runs: Vec<usize> = {
+            let mut out = Vec::new();
+            let mut run = 0;
+            for &c in &al.b {
+                if c == GAP {
+                    run += 1;
+                } else if run > 0 {
+                    out.push(run);
+                    run = 0;
+                }
+            }
+            if run > 0 {
+                out.push(run);
+            }
+            out
+        };
+        assert_eq!(runs, vec![3], "one contiguous 3-gap, got {runs:?}");
+    }
+
+    #[test]
+    fn alignment_is_symmetric_in_score() {
+        let x = seq("x", b"WQKLAMHNV");
+        let y = seq("y", b"WQKAMHNVY");
+        let sc = Scoring::default();
+        assert_eq!(align(&x, &y, sc).score, align(&y, &x, sc).score);
+    }
+
+    #[test]
+    fn percent_identity_counts_aligned_columns_only() {
+        let al = PairAlignment {
+            a: b"AR-D".to_vec(),
+            b: b"ARN-".to_vec(),
+            score: 0,
+        };
+        // aligned columns: positions 0,1 → both identical
+        assert_eq!(al.percent_identity(), 1.0);
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use crate::seq::AMINO_ACIDS;
+    use proptest::prelude::*;
+
+    fn seq_strategy(max_len: usize) -> impl Strategy<Value = Sequence> {
+        prop::collection::vec(0usize..20, 0..max_len).prop_map(|idx| {
+            Sequence::new(
+                "p",
+                &idx.iter().map(|&i| AMINO_ACIDS[i]).collect::<Vec<u8>>(),
+            )
+            .unwrap()
+        })
+    }
+
+    proptest! {
+        /// Traceback output degaps to the inputs, never has double-gap
+        /// columns, and rescoring the rows reproduces the DP score, which
+        /// equals the score-only recurrence.
+        #[test]
+        fn alignment_invariants(x in seq_strategy(40), y in seq_strategy(40)) {
+            let sc = Scoring::default();
+            let al = align(&x, &y, sc);
+            prop_assert_eq!(al.a.len(), al.b.len());
+            prop_assert_eq!(PairAlignment::degap(&al.a), x.residues.clone());
+            prop_assert_eq!(PairAlignment::degap(&al.b), y.residues.clone());
+            for (&a, &b) in al.a.iter().zip(&al.b) {
+                prop_assert!(!(a == GAP && b == GAP), "double gap column");
+            }
+            if !x.is_empty() && !y.is_empty() {
+                prop_assert_eq!(al.score, rescore(&al.a, &al.b, sc));
+                prop_assert_eq!(al.score, score_only(&x, &y, sc));
+            }
+        }
+
+        /// The optimal score is at least the score of the trivial
+        /// gapless-prefix alignment (any valid alignment lower-bounds it).
+        #[test]
+        fn optimality_lower_bound(x in seq_strategy(30), y in seq_strategy(30)) {
+            prop_assume!(!x.is_empty() && !y.is_empty());
+            let sc = Scoring::default();
+            let n = x.len().min(y.len());
+            // trivial alignment: align prefixes, gap the rest
+            let mut a = x.residues.clone();
+            let mut b = y.residues.clone();
+            if a.len() < b.len() {
+                a.extend(std::iter::repeat_n(GAP, b.len() - a.len()));
+            } else {
+                b.extend(std::iter::repeat_n(GAP, a.len() - b.len()));
+            }
+            let trivial = if a.len() == n {
+                // equal lengths: no gaps
+                rescore(&a, &b, sc)
+            } else {
+                rescore(&a, &b, sc)
+            };
+            prop_assert!(align(&x, &y, sc).score >= trivial);
+        }
+    }
+}

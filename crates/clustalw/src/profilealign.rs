@@ -1,0 +1,406 @@
+//! Progressive profile–profile alignment — the `malign` kernel.
+//!
+//! Groups of already-aligned sequences are represented as profiles (per-
+//! column residue frequency vectors). Aligning two profiles is the same
+//! dynamic program as pairwise alignment with the substitution score
+//! replaced by the expected score between two columns (`prfscore` in the
+//! ClustalW profile of Fig. 10).
+
+use crate::matrices::{Scoring, BLOSUM62};
+use crate::pairwise::GAP;
+use crate::profiler;
+use crate::seq::residue_index;
+use serde::{Deserialize, Serialize};
+
+const NEG_INF: f64 = -1.0e18;
+
+/// A group of aligned rows (all the same length) over original sequence
+/// indices.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Profile {
+    /// Original sequence index of each row.
+    pub members: Vec<usize>,
+    /// Aligned rows (with gaps), one per member.
+    pub rows: Vec<Vec<u8>>,
+}
+
+impl Profile {
+    /// A single-sequence profile.
+    pub fn single(index: usize, residues: Vec<u8>) -> Self {
+        Profile {
+            members: vec![index],
+            rows: vec![residues],
+        }
+    }
+
+    /// Number of alignment columns.
+    pub fn columns(&self) -> usize {
+        self.rows.first().map(Vec::len).unwrap_or(0)
+    }
+
+    /// Per-column residue frequencies (20 + gap fraction).
+    fn column_freqs(&self) -> Vec<([f64; 20], f64)> {
+        let cols = self.columns();
+        let nrows = self.rows.len() as f64;
+        let mut out = Vec::with_capacity(cols);
+        for c in 0..cols {
+            let mut freq = [0.0f64; 20];
+            let mut gaps = 0.0;
+            for row in &self.rows {
+                match residue_index(row[c]) {
+                    Some(i) => freq[i] += 1.0,
+                    None => gaps += 1.0, // gap character
+                }
+            }
+            for f in &mut freq {
+                *f /= nrows;
+            }
+            out.push((freq, gaps / nrows));
+        }
+        out
+    }
+
+    /// Internal consistency: equal row lengths, members match rows.
+    pub fn check_invariants(&self) -> Result<(), String> {
+        if self.members.len() != self.rows.len() {
+            return Err("members/rows length mismatch".into());
+        }
+        let cols = self.columns();
+        for (i, r) in self.rows.iter().enumerate() {
+            if r.len() != cols {
+                return Err(format!("row {i} has {} cols, expected {cols}", r.len()));
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Expected substitution score between two frequency columns — the
+/// reference double-sum implementation; the DP uses the algebraically equal
+/// [`cell_score`] over precomputed gains, and the tests check they agree.
+#[cfg_attr(not(test), allow(dead_code))]
+fn profile_score(a: &([f64; 20], f64), b: &([f64; 20], f64)) -> f64 {
+    let mut s = 0.0;
+    for (i, &fa) in a.0.iter().enumerate() {
+        if fa == 0.0 {
+            continue;
+        }
+        for (j, &fb) in b.0.iter().enumerate() {
+            if fb == 0.0 {
+                continue;
+            }
+            s += fa * fb * BLOSUM62[i][j] as f64;
+        }
+    }
+    // Columns that are mostly gaps score softly toward zero.
+    s * (1.0 - a.1) * (1.0 - b.1)
+}
+
+/// Per-column expected score against each residue: `g[r] = Σ_i f[i]·B[i][r]`,
+/// scaled by the column's non-gap fraction. Folding one side of the double
+/// sum into this precomputation turns the per-DP-cell cost from 20×20 into a
+/// single 20-wide dot product.
+fn column_gains(freqs: &[([f64; 20], f64)]) -> Vec<[f64; 20]> {
+    freqs
+        .iter()
+        .map(|(f, gap)| {
+            let mut g = [0.0f64; 20];
+            for (i, &fi) in f.iter().enumerate() {
+                if fi == 0.0 {
+                    continue;
+                }
+                let row = &BLOSUM62[i];
+                for (r, gr) in g.iter_mut().enumerate() {
+                    *gr += fi * row[r] as f64;
+                }
+            }
+            let scale = 1.0 - gap;
+            for gr in &mut g {
+                *gr *= scale;
+            }
+            g
+        })
+        .collect()
+}
+
+/// Cell score from a precomputed gain column and a frequency column.
+fn cell_score(gain: &[f64; 20], b: &([f64; 20], f64)) -> f64 {
+    let mut s = 0.0;
+    for (r, &fb) in b.0.iter().enumerate() {
+        if fb != 0.0 {
+            s += fb * gain[r];
+        }
+    }
+    s * (1.0 - b.1)
+}
+
+/// Aligns two profiles into one (the `malign` kernel).
+///
+/// Same DP idiom as `pairwise::align`; the duplicated boundary arms in the
+/// traceback are intentional.
+#[allow(clippy::if_same_then_else, clippy::needless_range_loop)]
+pub fn align_profiles(x: &Profile, y: &Profile, sc: Scoring) -> Profile {
+    // Column-frequency extraction is the `prfscore` row of the profile;
+    // the DP merge that follows is `malign`. The scopes are disjoint so the
+    // flat profile reads as self time, like gprof's.
+    let (xf, yf, xg) = {
+        let _g = profiler::scope("prfscore");
+        let xf = x.column_freqs();
+        let yf = y.column_freqs();
+        let xg = column_gains(&xf);
+        (xf, yf, xg)
+    };
+    let _ = &xf; // retained for tests/doc symmetry; the gains drive the DP
+    let _g = profiler::scope("malign");
+    let (m, n) = (xf.len(), yf.len());
+    let w = n + 1;
+    let go = sc.gap_open as f64;
+    let ge = sc.gap_extend as f64;
+
+    // Gotoh over profile columns.
+    let mut mm = vec![NEG_INF; (m + 1) * w];
+    let mut xx = vec![NEG_INF; (m + 1) * w];
+    let mut yy = vec![NEG_INF; (m + 1) * w];
+    mm[0] = 0.0;
+    for j in 1..=n {
+        yy[j] = go + ge * (j as f64 - 1.0);
+    }
+    for i in 1..=m {
+        xx[i * w] = go + ge * (i as f64 - 1.0);
+        for j in 1..=n {
+            let s = cell_score(&xg[i - 1], &yf[j - 1]);
+            let diag = mm[(i - 1) * w + j - 1]
+                .max(xx[(i - 1) * w + j - 1])
+                .max(yy[(i - 1) * w + j - 1]);
+            mm[i * w + j] = diag + s;
+            xx[i * w + j] = (mm[(i - 1) * w + j] + go)
+                .max(xx[(i - 1) * w + j] + ge)
+                .max(yy[(i - 1) * w + j] + go);
+            yy[i * w + j] = (mm[i * w + j - 1] + go)
+                .max(yy[i * w + j - 1] + ge)
+                .max(xx[i * w + j - 1] + go);
+        }
+    }
+
+    // Traceback into column operations.
+    #[derive(Clone, Copy)]
+    enum ColOp {
+        Both,
+        XOnly,
+        YOnly,
+    }
+    let mut ops = Vec::with_capacity(m + n);
+    let (mut i, mut j) = (m, n);
+    let best = mm[m * w + n].max(xx[m * w + n]).max(yy[m * w + n]);
+    let mut state = if best == mm[m * w + n] {
+        0
+    } else if best == xx[m * w + n] {
+        1
+    } else {
+        2
+    };
+    while i > 0 || j > 0 {
+        match state {
+            0 => {
+                let s = cell_score(&xg[i - 1], &yf[j - 1]);
+                ops.push(ColOp::Both);
+                let target = mm[i * w + j] - s;
+                i -= 1;
+                j -= 1;
+                state = if (target - mm[i * w + j]).abs() < 1e-9 {
+                    0
+                } else if (target - xx[i * w + j]).abs() < 1e-9 {
+                    1
+                } else {
+                    2
+                };
+            }
+            1 => {
+                ops.push(ColOp::XOnly);
+                let cur = xx[i * w + j];
+                i -= 1;
+                state = if i == 0 && j == 0 {
+                    0
+                } else if (cur - (mm[i * w + j] + go)).abs() < 1e-9 {
+                    0
+                } else if (cur - (xx[i * w + j] + ge)).abs() < 1e-9 {
+                    1
+                } else {
+                    2
+                };
+            }
+            _ => {
+                ops.push(ColOp::YOnly);
+                let cur = yy[i * w + j];
+                j -= 1;
+                state = if i == 0 && j == 0 {
+                    0
+                } else if (cur - (mm[i * w + j] + go)).abs() < 1e-9 {
+                    0
+                } else if (cur - (yy[i * w + j] + ge)).abs() < 1e-9 {
+                    2
+                } else {
+                    1
+                };
+            }
+        }
+    }
+    ops.reverse();
+
+    // Materialize the merged rows.
+    let total_cols = ops.len();
+    let mut rows: Vec<Vec<u8>> =
+        vec![Vec::with_capacity(total_cols); x.rows.len() + y.rows.len()];
+    let (mut xi, mut yi) = (0usize, 0usize);
+    for op in ops {
+        match op {
+            ColOp::Both => {
+                for (r, row) in x.rows.iter().enumerate() {
+                    rows[r].push(row[xi]);
+                }
+                for (r, row) in y.rows.iter().enumerate() {
+                    rows[x.rows.len() + r].push(row[yi]);
+                }
+                xi += 1;
+                yi += 1;
+            }
+            ColOp::XOnly => {
+                for (r, row) in x.rows.iter().enumerate() {
+                    rows[r].push(row[xi]);
+                }
+                for r in 0..y.rows.len() {
+                    rows[x.rows.len() + r].push(GAP);
+                }
+                xi += 1;
+            }
+            ColOp::YOnly => {
+                for r in 0..x.rows.len() {
+                    rows[r].push(GAP);
+                }
+                for (r, row) in y.rows.iter().enumerate() {
+                    rows[x.rows.len() + r].push(row[yi]);
+                }
+                yi += 1;
+            }
+        }
+    }
+    debug_assert_eq!(xi, x.columns());
+    debug_assert_eq!(yi, y.columns());
+
+    let mut members = x.members.clone();
+    members.extend(&y.members);
+    let out = Profile { members, rows };
+    debug_assert!(out.check_invariants().is_ok());
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pairwise::PairAlignment;
+
+    fn profile(idx: usize, s: &[u8]) -> Profile {
+        Profile::single(idx, s.to_vec())
+    }
+
+    #[test]
+    fn single_profiles_merge_like_pairwise() {
+        let x = profile(0, b"HEAGAWGHEE");
+        let y = profile(1, b"HEAGAWGHE");
+        let merged = align_profiles(&x, &y, Scoring::default());
+        assert_eq!(merged.members, vec![0, 1]);
+        assert_eq!(merged.rows.len(), 2);
+        assert_eq!(merged.rows[0].len(), merged.rows[1].len());
+        assert_eq!(PairAlignment::degap(&merged.rows[0]), b"HEAGAWGHEE");
+        assert_eq!(PairAlignment::degap(&merged.rows[1]), b"HEAGAWGHE");
+    }
+
+    #[test]
+    fn merging_preserves_existing_columns() {
+        // First merge two identical sequences (no gaps), then merge a third
+        // shorter one; the first two rows must stay mutually identical.
+        let a = profile(0, b"ARNDCQEGH");
+        let b = profile(1, b"ARNDCQEGH");
+        let ab = align_profiles(&a, &b, Scoring::default());
+        assert_eq!(ab.rows[0], ab.rows[1]);
+        let c = profile(2, b"ARNDQEGH"); // C deleted
+        let abc = align_profiles(&ab, &c, Scoring::default());
+        abc.check_invariants().unwrap();
+        assert_eq!(abc.rows[0], abc.rows[1], "earlier alignment undisturbed");
+        assert_eq!(abc.members, vec![0, 1, 2]);
+    }
+
+    #[test]
+    #[allow(clippy::needless_range_loop)]
+    fn cell_score_matches_reference_profile_score() {
+        // `cell_score` over precomputed gains is an optimization of the
+        // reference double-sum `profile_score`; they must agree.
+        let p1 = Profile {
+            members: vec![0, 1],
+            rows: vec![b"WARD".to_vec(), b"W-RD".to_vec()],
+        };
+        let p2 = Profile {
+            members: vec![2],
+            rows: vec![b"WKND".to_vec()],
+        };
+        let f1 = p1.column_freqs();
+        let f2 = p2.column_freqs();
+        let g1 = column_gains(&f1);
+        for i in 0..f1.len() {
+            for j in 0..f2.len() {
+                let reference = profile_score(&f1[i], &f2[j]);
+                let fast = cell_score(&g1[i], &f2[j]);
+                assert!(
+                    (reference - fast).abs() < 1e-9,
+                    "({i},{j}): {reference} vs {fast}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn profile_score_favors_identical_columns() {
+        let a = profile(0, b"W");
+        let b = profile(1, b"W");
+        let c = profile(2, b"P");
+        let fa = a.column_freqs();
+        let fb = b.column_freqs();
+        let fc = c.column_freqs();
+        assert!(profile_score(&fa[0], &fb[0]) > profile_score(&fa[0], &fc[0]));
+        assert_eq!(profile_score(&fa[0], &fb[0]), 11.0); // W-W in BLOSUM62
+    }
+
+    #[test]
+    fn gap_heavy_columns_are_discounted() {
+        let solid = Profile {
+            members: vec![0, 1],
+            rows: vec![b"W".to_vec(), b"W".to_vec()],
+        };
+        let gappy = Profile {
+            members: vec![2, 3],
+            rows: vec![b"W".to_vec(), b"-".to_vec()],
+        };
+        let fs = solid.column_freqs();
+        let fg = gappy.column_freqs();
+        assert!(profile_score(&fs[0], &fs[0]) > profile_score(&fs[0], &fg[0]));
+    }
+
+    #[test]
+    fn empty_profile_edge() {
+        let x = profile(0, b"");
+        let y = profile(1, b"ARN");
+        let merged = align_profiles(&x, &y, Scoring::default());
+        merged.check_invariants().unwrap();
+        assert_eq!(merged.rows[0], vec![GAP; 3]);
+        assert_eq!(merged.rows[1], b"ARN");
+    }
+
+    #[test]
+    fn invariant_checker_catches_ragged_rows() {
+        let bad = Profile {
+            members: vec![0, 1],
+            rows: vec![b"AR".to_vec(), b"A".to_vec()],
+        };
+        assert!(bad.check_invariants().is_err());
+    }
+}

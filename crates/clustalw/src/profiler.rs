@@ -1,0 +1,251 @@
+//! A gprof-like instrumenting profiler.
+//!
+//! Figure 10 of the paper is a gprof flat profile of ClustalW's top-10
+//! kernels. This module reproduces the measurement: kernels wrap their
+//! bodies in [`scope`], a global registry accumulates per-kernel call counts
+//! and self time, and [`report`] produces a flat profile sorted by time
+//! share — the same table gprof prints.
+//!
+//! The registry is global (like gprof's) and thread-safe, so the
+//! rayon-parallel `pairalign` stage accumulates correctly.
+
+use parking_lot::Mutex;
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+use std::time::{Duration, Instant};
+
+#[derive(Default)]
+struct Registry {
+    entries: HashMap<&'static str, (u64, Duration)>,
+}
+
+static REGISTRY: Mutex<Option<Registry>> = Mutex::new(None);
+
+/// Serializes tests (across the crate) that exercise the global registry.
+#[doc(hidden)]
+pub static TEST_MUTEX: Mutex<()> = Mutex::new(());
+
+/// Clears all recorded samples.
+pub fn reset() {
+    *REGISTRY.lock() = Some(Registry::default());
+}
+
+/// Records `elapsed` against `kernel` (one call).
+pub fn record(kernel: &'static str, elapsed: Duration) {
+    let mut guard = REGISTRY.lock();
+    let reg = guard.get_or_insert_with(Registry::default);
+    let e = reg.entries.entry(kernel).or_insert((0, Duration::ZERO));
+    e.0 += 1;
+    e.1 += elapsed;
+}
+
+/// RAII timer: measures from construction to drop.
+pub struct Scope {
+    kernel: &'static str,
+    start: Instant,
+}
+
+/// Starts timing `kernel`; the sample is recorded when the guard drops.
+pub fn scope(kernel: &'static str) -> Scope {
+    Scope {
+        kernel,
+        start: Instant::now(),
+    }
+}
+
+impl Drop for Scope {
+    fn drop(&mut self) {
+        record(self.kernel, self.start.elapsed());
+    }
+}
+
+/// One row of the flat profile.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ProfileRow {
+    /// Kernel name.
+    pub kernel: String,
+    /// Calls recorded.
+    pub calls: u64,
+    /// Accumulated time in seconds.
+    pub seconds: f64,
+    /// Share of the profile total, in percent.
+    pub percent: f64,
+}
+
+/// A flat profile (gprof-style).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FlatProfile {
+    /// Rows, sorted by descending time share.
+    pub rows: Vec<ProfileRow>,
+    /// Total profiled seconds.
+    pub total_seconds: f64,
+}
+
+impl FlatProfile {
+    /// The top `n` rows (Fig. 10 shows the top 10).
+    pub fn top(&self, n: usize) -> &[ProfileRow] {
+        &self.rows[..n.min(self.rows.len())]
+    }
+
+    /// The percentage share of one kernel (0 when absent).
+    pub fn percent_of(&self, kernel: &str) -> f64 {
+        self.rows
+            .iter()
+            .find(|r| r.kernel == kernel)
+            .map(|r| r.percent)
+            .unwrap_or(0.0)
+    }
+
+    /// Renders the profile like gprof's flat listing.
+    pub fn render(&self) -> String {
+        use std::fmt::Write;
+        let mut s = String::new();
+        let _ = writeln!(s, "{:>7}  {:>12}  {:>9}  kernel", "% time", "seconds", "calls");
+        for r in &self.rows {
+            let _ = writeln!(
+                s,
+                "{:>6.2}%  {:>12.6}  {:>9}  {}",
+                r.percent, r.seconds, r.calls, r.kernel
+            );
+        }
+        s
+    }
+}
+
+/// Produces the flat profile of everything recorded since [`reset`].
+pub fn report() -> FlatProfile {
+    let guard = REGISTRY.lock();
+    let mut rows: Vec<ProfileRow> = guard
+        .as_ref()
+        .map(|reg| {
+            reg.entries
+                .iter()
+                .map(|(&k, &(calls, dur))| ProfileRow {
+                    kernel: k.to_owned(),
+                    calls,
+                    seconds: dur.as_secs_f64(),
+                    percent: 0.0,
+                })
+                .collect()
+        })
+        .unwrap_or_default();
+    let total: f64 = rows.iter().map(|r| r.seconds).sum();
+    for r in &mut rows {
+        r.percent = if total > 0.0 {
+            100.0 * r.seconds / total
+        } else {
+            0.0
+        };
+    }
+    rows.sort_by(|a, b| {
+        b.seconds
+            .partial_cmp(&a.seconds)
+            .expect("finite durations")
+            .then_with(|| a.kernel.cmp(&b.kernel))
+    });
+    FlatProfile {
+        rows,
+        total_seconds: total,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+
+    #[test]
+    fn records_and_reports() {
+        let _l = TEST_MUTEX.lock();
+        reset();
+        record("alpha", Duration::from_millis(30));
+        record("alpha", Duration::from_millis(30));
+        record("beta", Duration::from_millis(40));
+        let p = report();
+        assert_eq!(p.rows.len(), 2);
+        // alpha accumulated 60 ms, beta 40 ms: alpha leads.
+        assert_eq!(p.rows[0].kernel, "alpha");
+        assert_eq!(p.rows[0].calls, 2);
+        assert!((p.rows[0].percent - 60.0).abs() < 1e-9);
+        assert!((p.total_seconds - 0.1).abs() < 1e-9);
+    }
+
+    #[test]
+    fn percentages_sum_to_100() {
+        let _l = TEST_MUTEX.lock();
+        reset();
+        for (k, ms) in [("a", 10u64), ("b", 20), ("c", 70)] {
+            record(k, Duration::from_millis(ms));
+        }
+        let p = report();
+        let sum: f64 = p.rows.iter().map(|r| r.percent).sum();
+        assert!((sum - 100.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn scope_guard_measures() {
+        let _l = TEST_MUTEX.lock();
+        reset();
+        {
+            let _g = scope("busy");
+            std::thread::sleep(Duration::from_millis(5));
+        }
+        let p = report();
+        assert_eq!(p.rows[0].kernel, "busy");
+        assert!(p.rows[0].seconds >= 0.004);
+        assert_eq!(p.rows[0].calls, 1);
+    }
+
+    #[test]
+    fn reset_clears() {
+        let _l = TEST_MUTEX.lock();
+        reset();
+        record("x", Duration::from_millis(1));
+        reset();
+        let p = report();
+        assert!(p.rows.is_empty());
+        assert_eq!(p.total_seconds, 0.0);
+        assert_eq!(p.percent_of("x"), 0.0);
+    }
+
+    #[test]
+    fn concurrent_recording_accumulates() {
+        let _l = TEST_MUTEX.lock();
+        reset();
+        std::thread::scope(|s| {
+            for _ in 0..4 {
+                s.spawn(|| {
+                    for _ in 0..100 {
+                        record("par", Duration::from_micros(10));
+                    }
+                });
+            }
+        });
+        let p = report();
+        assert_eq!(p.rows[0].calls, 400);
+    }
+
+    #[test]
+    fn render_looks_like_gprof() {
+        let _l = TEST_MUTEX.lock();
+        reset();
+        record("pairalign", Duration::from_millis(90));
+        record("malign", Duration::from_millis(8));
+        let r = report().render();
+        assert!(r.contains("% time"));
+        assert!(r.contains("pairalign"));
+        assert!(r.lines().count() >= 3);
+    }
+
+    #[test]
+    fn top_n_truncates() {
+        let _l = TEST_MUTEX.lock();
+        reset();
+        for k in ["a", "b", "c"] {
+            record(k, Duration::from_millis(1));
+        }
+        let p = report();
+        assert_eq!(p.top(2).len(), 2);
+        assert_eq!(p.top(10).len(), 3);
+    }
+}

@@ -1,0 +1,266 @@
+//! Iterative refinement of a finished alignment.
+//!
+//! Progressive alignment is greedy: early guide-tree mistakes freeze into
+//! the final result ("once a gap, always a gap"). ClustalW's remedy — and
+//! ours — is leave-one-out refinement: remove a sequence, realign it
+//! against the profile of the rest, and keep the result when the
+//! sum-of-pairs score improves. The pass repeats until a sweep makes no
+//! improvement (or a pass budget runs out).
+
+use crate::matrices::{score, Scoring};
+use crate::msa::Alignment;
+use crate::pairwise::GAP;
+use crate::profilealign::{align_profiles, Profile};
+use crate::profiler;
+use crate::seq::Sequence;
+
+/// Sum-of-pairs score of aligned rows: every row pair scores with the
+/// substitution matrix plus affine gap runs; gap–gap columns are skipped
+/// for that pair (the standard SP convention).
+pub fn sp_score(rows: &[Vec<u8>], sc: Scoring) -> f64 {
+    let n = rows.len();
+    let mut total = 0.0;
+    for i in 0..n {
+        for j in (i + 1)..n {
+            total += pair_sp(&rows[i], &rows[j], sc);
+        }
+    }
+    total
+}
+
+fn pair_sp(a: &[u8], b: &[u8], sc: Scoring) -> f64 {
+    let mut s = 0.0;
+    // 0 = none, 1 = gap in b, 2 = gap in a
+    let mut gap_state = 0u8;
+    for (&x, &y) in a.iter().zip(b) {
+        match (x == GAP, y == GAP) {
+            (false, false) => {
+                s += score(x, y) as f64;
+                gap_state = 0;
+            }
+            (false, true) => {
+                s += if gap_state == 1 {
+                    sc.gap_extend as f64
+                } else {
+                    sc.gap_open as f64
+                };
+                gap_state = 1;
+            }
+            (true, false) => {
+                s += if gap_state == 2 {
+                    sc.gap_extend as f64
+                } else {
+                    sc.gap_open as f64
+                };
+                gap_state = 2;
+            }
+            (true, true) => {
+                // Shared gap columns are free and do not break gap runs.
+            }
+        }
+    }
+    s
+}
+
+/// Outcome of a refinement run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RefineReport {
+    /// SP score before refinement.
+    pub initial_score: f64,
+    /// SP score after refinement.
+    pub final_score: f64,
+    /// Leave-one-out attempts that improved the alignment.
+    pub improvements: usize,
+    /// Full sweeps performed.
+    pub passes: usize,
+}
+
+/// Refines `alignment` in place with up to `max_passes` leave-one-out
+/// sweeps. Monotone: the SP score never decreases.
+#[allow(clippy::needless_range_loop)]
+pub fn refine(
+    alignment: &mut Alignment,
+    seqs: &[Sequence],
+    sc: Scoring,
+    max_passes: usize,
+) -> RefineReport {
+    let _g = profiler::scope("refine");
+    let initial_score = sp_score(&alignment.rows, sc);
+    let mut best_score = initial_score;
+    let mut improvements = 0;
+    let mut passes = 0;
+    'outer: for _ in 0..max_passes {
+        passes += 1;
+        let mut improved_this_pass = false;
+        for leave in 0..alignment.rows.len() {
+            if alignment.rows.len() < 2 {
+                break 'outer;
+            }
+            // Profile of everything except `leave`, with all-gap columns
+            // squeezed out.
+            let mut members = Vec::new();
+            let mut rows = Vec::new();
+            for (i, row) in alignment.rows.iter().enumerate() {
+                if i != leave {
+                    members.push(i);
+                    rows.push(row.clone());
+                }
+            }
+            squeeze_gap_columns(&mut rows);
+            let rest = Profile { members, rows };
+            let single = Profile::single(leave, seqs[leave].residues.clone());
+            let merged = align_profiles(&rest, &single, sc);
+            // Rebuild candidate rows in input order.
+            let cols = merged.columns();
+            let mut candidate = vec![vec![GAP; cols]; alignment.rows.len()];
+            for (slot, &orig) in merged.members.iter().enumerate() {
+                candidate[orig] = merged.rows[slot].clone();
+            }
+            let cand_score = sp_score(&candidate, sc);
+            if cand_score > best_score + 1e-9 {
+                best_score = cand_score;
+                alignment.rows = candidate;
+                improvements += 1;
+                improved_this_pass = true;
+            }
+        }
+        if !improved_this_pass {
+            break;
+        }
+    }
+    // Keep the headline quality figure in sync.
+    alignment.mean_pairwise_identity = mean_identity(&alignment.rows);
+    RefineReport {
+        initial_score,
+        final_score: best_score,
+        improvements,
+        passes,
+    }
+}
+
+/// Removes columns that are gaps in every row.
+fn squeeze_gap_columns(rows: &mut [Vec<u8>]) {
+    if rows.is_empty() {
+        return;
+    }
+    let cols = rows[0].len();
+    let keep: Vec<usize> = (0..cols)
+        .filter(|&c| rows.iter().any(|r| r[c] != GAP))
+        .collect();
+    for r in rows.iter_mut() {
+        *r = keep.iter().map(|&c| r[c]).collect();
+    }
+}
+
+fn mean_identity(rows: &[Vec<u8>]) -> f64 {
+    let n = rows.len();
+    if n < 2 {
+        return 1.0;
+    }
+    let mut total = 0.0;
+    let mut pairs = 0usize;
+    for i in 0..n {
+        for j in (i + 1)..n {
+            let mut same = 0usize;
+            let mut aligned = 0usize;
+            for (&a, &b) in rows[i].iter().zip(&rows[j]) {
+                if a != GAP && b != GAP {
+                    aligned += 1;
+                    if a == b {
+                        same += 1;
+                    }
+                }
+            }
+            if aligned > 0 {
+                total += same as f64 / aligned as f64;
+            }
+            pairs += 1;
+        }
+    }
+    total / pairs as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::msa;
+    use crate::seq::synthetic_family;
+
+    #[test]
+    fn sp_score_prefers_identity() {
+        let sc = Scoring::default();
+        let good = vec![b"ARND".to_vec(), b"ARND".to_vec()];
+        let poor = vec![b"ARND".to_vec(), b"WWWW".to_vec()];
+        assert!(sp_score(&good, sc) > sp_score(&poor, sc));
+    }
+
+    #[test]
+    fn gap_gap_columns_are_free() {
+        let sc = Scoring::default();
+        let with_shared_gap = vec![b"AR-ND".to_vec(), b"AR-ND".to_vec()];
+        let without = vec![b"ARND".to_vec(), b"ARND".to_vec()];
+        assert_eq!(sp_score(&with_shared_gap, sc), sp_score(&without, sc));
+    }
+
+    #[test]
+    fn affine_runs_in_sp() {
+        let sc = Scoring::default();
+        // one 2-gap run vs two 1-gap runs
+        let one_run = vec![b"AAWW".to_vec(), b"AA--".to_vec()];
+        let two_runs = vec![b"AWAW".to_vec(), b"A-A-".to_vec()];
+        assert!(sp_score(&one_run, sc) > sp_score(&two_runs, sc));
+    }
+
+    #[test]
+    fn refinement_is_monotone_and_consistent() {
+        let seqs = synthetic_family(10, 80, 0.3, 31);
+        let mut al = msa::align(&seqs);
+        let before = sp_score(&al.rows, Scoring::default());
+        let report = refine(&mut al, &seqs, Scoring::default(), 3);
+        assert!(report.final_score >= report.initial_score - 1e-9);
+        assert!((report.initial_score - before).abs() < 1e-9);
+        assert!(report.passes >= 1);
+        // Rows still degap to the inputs.
+        al.check_against_inputs(&seqs).unwrap();
+    }
+
+    #[test]
+    fn refinement_repairs_a_deliberately_bad_alignment() {
+        let sc = Scoring::default();
+        let seqs = synthetic_family(6, 60, 0.2, 7);
+        let mut al = msa::align(&seqs);
+        // Vandalize: push row 0 right by prepending gaps (and pad others).
+        let cols = al.columns();
+        let mut bad_rows = al.rows.clone();
+        bad_rows[0] = {
+            let mut r = vec![GAP; 8];
+            r.extend_from_slice(&al.rows[0]);
+            r
+        };
+        for r in bad_rows.iter_mut().skip(1) {
+            r.extend(std::iter::repeat_n(GAP, 8));
+        }
+        assert_eq!(bad_rows[0].len(), cols + 8);
+        al.rows = bad_rows;
+        let vandalized = sp_score(&al.rows, sc);
+        let report = refine(&mut al, &seqs, sc, 4);
+        assert!(
+            report.final_score > vandalized,
+            "refinement must repair: {} -> {}",
+            vandalized,
+            report.final_score
+        );
+        assert!(report.improvements >= 1);
+        al.check_against_inputs(&seqs).unwrap();
+    }
+
+    #[test]
+    fn two_sequences_and_convergence() {
+        let seqs = synthetic_family(2, 40, 0.1, 3);
+        let mut al = msa::align(&seqs);
+        let r1 = refine(&mut al, &seqs, Scoring::default(), 10);
+        // A pairwise-optimal alignment cannot improve; convergence is fast.
+        assert!(r1.passes <= 2);
+        al.check_against_inputs(&seqs).unwrap();
+    }
+}

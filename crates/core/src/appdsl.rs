@@ -1,0 +1,472 @@
+//! The application workflow language — Eq. (3)/(4) and Fig. 8.
+//!
+//! "Each application is identified a keyword followed by a task list … a
+//! keyword shows whether the tasks can be executed in series or parallel":
+//!
+//! ```text
+//! App{Seq(T2), Par(T4, T1, T7), Seq(T5, T10)}
+//! ```
+//!
+//! Groups execute in order. Within a `Seq` group the tasks run one after
+//! another; within a `Par` group they run concurrently and the group
+//! finishes when the slowest task does (Fig. 8's timeline).
+
+use crate::ids::TaskId;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Whether a group's task list runs in series or in parallel.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum GroupKind {
+    /// Tasks run one after another.
+    Seq,
+    /// Tasks run concurrently.
+    Par,
+}
+
+impl fmt::Display for GroupKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            GroupKind::Seq => "Seq",
+            GroupKind::Par => "Par",
+        })
+    }
+}
+
+/// A keyword plus its task list ("Each task list is terminated by next
+/// keyword").
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Group {
+    /// Series or parallel execution.
+    pub kind: GroupKind,
+    /// The tasks of the group, in written order.
+    pub tasks: Vec<TaskId>,
+}
+
+impl Group {
+    /// A sequential group.
+    pub fn seq(tasks: impl IntoIterator<Item = u64>) -> Self {
+        Group {
+            kind: GroupKind::Seq,
+            tasks: tasks.into_iter().map(TaskId).collect(),
+        }
+    }
+
+    /// A parallel group.
+    pub fn par(tasks: impl IntoIterator<Item = u64>) -> Self {
+        Group {
+            kind: GroupKind::Par,
+            tasks: tasks.into_iter().map(TaskId).collect(),
+        }
+    }
+}
+
+/// An application per Eq. (3): an ordered list of keyword groups.
+#[derive(Debug, Clone, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct Application {
+    /// The groups, executed in order.
+    pub groups: Vec<Group>,
+}
+
+/// One scheduled task occurrence in an application timeline.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Slot {
+    /// Which task.
+    pub task: TaskId,
+    /// Start time (seconds from application start).
+    pub start: f64,
+    /// End time.
+    pub end: f64,
+    /// Index of the group the task belongs to.
+    pub group: usize,
+}
+
+impl Application {
+    /// Builds an application from groups.
+    pub fn new(groups: Vec<Group>) -> Self {
+        Application { groups }
+    }
+
+    /// The paper's example tuple (4):
+    /// `App{Seq(T2), Par(T4, T1, T7), Seq(T5, T10)}`.
+    pub fn paper_example() -> Self {
+        Application::new(vec![
+            Group::seq([2]),
+            Group::par([4, 1, 7]),
+            Group::seq([5, 10]),
+        ])
+    }
+
+    /// All task ids in written order (duplicates preserved).
+    pub fn task_ids(&self) -> Vec<TaskId> {
+        self.groups.iter().flat_map(|g| g.tasks.clone()).collect()
+    }
+
+    /// Parses the textual form, e.g.
+    /// `App{Seq(T2), Par(T4,T1,T7), Seq(T5,T10)}`.
+    ///
+    /// Whitespace is insignificant; keywords and task ids are
+    /// case-insensitive (`seq(t2)` parses).
+    pub fn parse(input: &str) -> Result<Self, ParseError> {
+        Parser::new(input).parse()
+    }
+
+    /// Builds the Fig. 8 execution timeline, given each task's duration.
+    ///
+    /// Groups are laid out back to back. Within `Seq`, tasks chain; within
+    /// `Par`, tasks share the group start and the group ends at the latest
+    /// task end.
+    pub fn schedule(&self, duration: impl Fn(TaskId) -> f64) -> Vec<Slot> {
+        let mut slots = Vec::new();
+        let mut clock = 0.0f64;
+        for (gi, g) in self.groups.iter().enumerate() {
+            match g.kind {
+                GroupKind::Seq => {
+                    for &t in &g.tasks {
+                        let d = duration(t).max(0.0);
+                        slots.push(Slot {
+                            task: t,
+                            start: clock,
+                            end: clock + d,
+                            group: gi,
+                        });
+                        clock += d;
+                    }
+                }
+                GroupKind::Par => {
+                    let start = clock;
+                    let mut group_end = start;
+                    for &t in &g.tasks {
+                        let d = duration(t).max(0.0);
+                        slots.push(Slot {
+                            task: t,
+                            start,
+                            end: start + d,
+                            group: gi,
+                        });
+                        group_end = group_end.max(start + d);
+                    }
+                    clock = group_end;
+                }
+            }
+        }
+        slots
+    }
+
+    /// Total application duration for the given task durations (makespan of
+    /// [`Application::schedule`]).
+    pub fn makespan(&self, duration: impl Fn(TaskId) -> f64) -> f64 {
+        self.schedule(duration)
+            .iter()
+            .map(|s| s.end)
+            .fold(0.0, f64::max)
+    }
+}
+
+impl fmt::Display for Application {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "App{{")?;
+        for (i, g) in self.groups.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{}(", g.kind)?;
+            for (j, t) in g.tasks.iter().enumerate() {
+                if j > 0 {
+                    write!(f, ", ")?;
+                }
+                write!(f, "{t}")?;
+            }
+            write!(f, ")")?;
+        }
+        write!(f, "}}")
+    }
+}
+
+/// A parse failure with byte position.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ParseError {
+    /// Byte offset of the failure.
+    pub at: usize,
+    /// Human-readable cause.
+    pub message: String,
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "parse error at byte {}: {}", self.at, self.message)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+struct Parser<'a> {
+    src: &'a str,
+    pos: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn new(src: &'a str) -> Self {
+        Parser { src, pos: 0 }
+    }
+
+    fn err(&self, message: impl Into<String>) -> ParseError {
+        ParseError {
+            at: self.pos,
+            message: message.into(),
+        }
+    }
+
+    fn rest(&self) -> &'a str {
+        &self.src[self.pos..]
+    }
+
+    fn skip_ws(&mut self) {
+        let trimmed = self.rest().trim_start();
+        self.pos = self.src.len() - trimmed.len();
+    }
+
+    fn eat(&mut self, token: &str) -> bool {
+        self.skip_ws();
+        let rest = self.rest();
+        if rest.len() >= token.len() && rest[..token.len()].eq_ignore_ascii_case(token) {
+            self.pos += token.len();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect(&mut self, token: &str) -> Result<(), ParseError> {
+        if self.eat(token) {
+            Ok(())
+        } else {
+            Err(self.err(format!("expected `{token}`")))
+        }
+    }
+
+    fn parse(mut self) -> Result<Application, ParseError> {
+        self.expect("App")?;
+        self.expect("{")?;
+        let mut groups = Vec::new();
+        loop {
+            self.skip_ws();
+            if self.eat("}") {
+                break;
+            }
+            if !groups.is_empty() {
+                self.expect(",")?;
+                self.skip_ws();
+                // Trailing comma before the closing brace is tolerated.
+                if self.eat("}") {
+                    break;
+                }
+            }
+            groups.push(self.parse_group()?);
+        }
+        self.skip_ws();
+        if !self.rest().is_empty() {
+            return Err(self.err("trailing input after `}`"));
+        }
+        if groups.is_empty() {
+            return Err(self.err("application has no groups"));
+        }
+        Ok(Application::new(groups))
+    }
+
+    fn parse_group(&mut self) -> Result<Group, ParseError> {
+        let kind = if self.eat("Seq") {
+            GroupKind::Seq
+        } else if self.eat("Par") {
+            GroupKind::Par
+        } else {
+            return Err(self.err("expected keyword `Seq` or `Par`"));
+        };
+        self.expect("(")?;
+        let mut tasks = Vec::new();
+        loop {
+            self.skip_ws();
+            if self.eat(")") {
+                break;
+            }
+            if !tasks.is_empty() {
+                self.expect(",")?;
+            }
+            tasks.push(self.parse_task_id()?);
+        }
+        if tasks.is_empty() {
+            return Err(self.err("empty task list"));
+        }
+        Ok(Group { kind, tasks })
+    }
+
+    fn parse_task_id(&mut self) -> Result<TaskId, ParseError> {
+        self.skip_ws();
+        let rest = self.rest();
+        let mut chars = rest.char_indices();
+        match chars.next() {
+            Some((_, 'T')) | Some((_, 't')) => {}
+            _ => return Err(self.err("expected task id `T<number>`")),
+        }
+        let digits: String = rest[1..].chars().take_while(char::is_ascii_digit).collect();
+        if digits.is_empty() {
+            return Err(self.err("expected digits after `T`"));
+        }
+        self.pos += 1 + digits.len();
+        let n: u64 = digits
+            .parse()
+            .map_err(|_| self.err("task number out of range"))?;
+        Ok(TaskId(n))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_paper_example() {
+        let app = Application::parse("App{Seq(T2), Par(T4, T1, T7), Seq(T5, T10)}").unwrap();
+        assert_eq!(app, Application::paper_example());
+    }
+
+    #[test]
+    fn parse_is_whitespace_and_case_insensitive() {
+        let a = Application::parse("app {  seq( t2 ) , par(t4,t1,t7), SEQ(T5,T10) }").unwrap();
+        assert_eq!(a, Application::paper_example());
+    }
+
+    #[test]
+    fn format_round_trip() {
+        let app = Application::paper_example();
+        let text = app.to_string();
+        assert_eq!(text, "App{Seq(T2), Par(T4, T1, T7), Seq(T5, T10)}");
+        assert_eq!(Application::parse(&text).unwrap(), app);
+    }
+
+    #[test]
+    fn parse_errors_carry_position() {
+        let e = Application::parse("App{Seq()}").unwrap_err();
+        assert!(e.message.contains("empty task list"), "{e}");
+        let e = Application::parse("App{Mix(T1)}").unwrap_err();
+        assert!(e.message.contains("Seq"), "{e}");
+        let e = Application::parse("App{Seq(T1)} extra").unwrap_err();
+        assert!(e.message.contains("trailing"), "{e}");
+        let e = Application::parse("App{}").unwrap_err();
+        assert!(e.message.contains("no groups"), "{e}");
+        let e = Application::parse("Seq(T1)").unwrap_err();
+        assert!(e.message.contains("App"), "{e}");
+        let e = Application::parse("App{Seq(Tx)}").unwrap_err();
+        assert!(e.message.contains("digits"), "{e}");
+    }
+
+    #[test]
+    fn fig8_timeline_semantics() {
+        // T2 runs alone; T4/T1/T7 overlap; then T5 then T10.
+        let app = Application::paper_example();
+        let dur = |t: TaskId| match t.0 {
+            2 => 2.0,
+            4 => 3.0,
+            1 => 1.0,
+            7 => 2.0,
+            5 => 1.5,
+            10 => 0.5,
+            _ => unreachable!(),
+        };
+        let slots = app.schedule(dur);
+        let by_task = |id: u64| *slots.iter().find(|s| s.task == TaskId(id)).unwrap();
+        // Seq group 0
+        assert_eq!((by_task(2).start, by_task(2).end), (0.0, 2.0));
+        // Par group 1: all start together at t=2
+        for id in [4, 1, 7] {
+            assert_eq!(by_task(id).start, 2.0);
+        }
+        // group 1 ends at slowest task (T4, 3.0) → t=5
+        assert_eq!(by_task(5).start, 5.0);
+        assert_eq!(by_task(5).end, 6.5);
+        assert_eq!(by_task(10).start, 6.5);
+        assert_eq!(app.makespan(dur), 7.0);
+    }
+
+    #[test]
+    fn par_tasks_overlap_seq_tasks_do_not() {
+        let app = Application::new(vec![Group::par([1, 2]), Group::seq([3, 4])]);
+        let slots = app.schedule(|_| 1.0);
+        let s = |id: u64| *slots.iter().find(|s| s.task == TaskId(id)).unwrap();
+        // Par overlap
+        assert!(s(1).start < s(2).end && s(2).start < s(1).end);
+        // Seq members never overlap
+        assert!(s(3).end <= s(4).start);
+        // Group barrier: nothing in group 1 starts before group 0 ends
+        assert!(s(3).start >= s(1).end.max(s(2).end));
+    }
+
+    #[test]
+    fn negative_durations_are_clamped() {
+        let app = Application::new(vec![Group::seq([1, 2])]);
+        let slots = app.schedule(|t| if t.0 == 1 { -5.0 } else { 1.0 });
+        assert_eq!(slots[0].start, slots[0].end);
+        assert_eq!(slots[1].start, 0.0);
+    }
+
+    #[test]
+    fn trailing_comma_tolerated() {
+        let a = Application::parse("App{Seq(T1),}").unwrap();
+        assert_eq!(a.groups.len(), 1);
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn group_strategy() -> impl Strategy<Value = Group> {
+        (
+            prop::bool::ANY,
+            prop::collection::vec(0u64..200, 1..8),
+        )
+            .prop_map(|(par, tasks)| {
+                if par {
+                    Group::par(tasks)
+                } else {
+                    Group::seq(tasks)
+                }
+            })
+    }
+
+    proptest! {
+        /// format → parse is the identity for arbitrary applications.
+        #[test]
+        fn format_parse_round_trip(groups in prop::collection::vec(group_strategy(), 1..6)) {
+            let app = Application::new(groups);
+            let text = app.to_string();
+            let parsed = Application::parse(&text).unwrap();
+            prop_assert_eq!(parsed, app);
+        }
+
+        /// Scheduling invariants: group barriers respected, makespan equals
+        /// the max end time, every task appears exactly once.
+        #[test]
+        fn schedule_invariants(
+            groups in prop::collection::vec(group_strategy(), 1..6),
+            seed in 0u64..1_000,
+        ) {
+            let app = Application::new(groups);
+            let dur = |t: TaskId| ((t.0 * 7 + seed) % 13) as f64 * 0.5;
+            let slots = app.schedule(dur);
+            prop_assert_eq!(slots.len(), app.task_ids().len());
+            // Group barrier: max end of group g <= min start of group g+1
+            let ngroups = app.groups.len();
+            for g in 0..ngroups.saturating_sub(1) {
+                let end_g = slots.iter().filter(|s| s.group == g)
+                    .map(|s| s.end).fold(0.0, f64::max);
+                let start_next = slots.iter().filter(|s| s.group == g + 1)
+                    .map(|s| s.start).fold(f64::INFINITY, f64::min);
+                prop_assert!(end_g <= start_next + 1e-9);
+            }
+            let max_end = slots.iter().map(|s| s.end).fold(0.0, f64::max);
+            prop_assert!((app.makespan(dur) - max_end).abs() < 1e-9);
+        }
+    }
+}

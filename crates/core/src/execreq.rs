@@ -1,0 +1,394 @@
+//! Execution requirements — the `ExecReq` element of the task tuple.
+//!
+//! "ExecReq provides the list of resources required by the task for its
+//! execution. This list is composed of the node type and its parameters.
+//! Each parameter is followed by its value. These parameters completely
+//! identify the architectural requirements by the current task." (Sec. IV-B)
+//!
+//! An [`ExecReq`] is a target PE class plus a list of [`Constraint`]s over
+//! the Table I parameter vocabulary, together with the [`TaskPayload`] the
+//! user ships (which determines the use-case scenario and hence the
+//! abstraction level of Fig. 2).
+
+use rhv_params::param::{ParamKey, ParamMap, PeClass};
+use rhv_params::taxonomy::Scenario;
+use rhv_params::value::ParamValue;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Comparison operator in a requirement constraint.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum ConstraintOp {
+    /// Capability must equal the value (text: case-insensitive; list:
+    /// membership semantics per [`ParamValue::matches`]).
+    Eq,
+    /// Capability must be ≥ the value.
+    Ge,
+    /// Capability must be ≤ the value.
+    Le,
+    /// Capability must be > the value.
+    Gt,
+    /// Capability must be < the value.
+    Lt,
+}
+
+impl fmt::Display for ConstraintOp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            ConstraintOp::Eq => "=",
+            ConstraintOp::Ge => ">=",
+            ConstraintOp::Le => "<=",
+            ConstraintOp::Gt => ">",
+            ConstraintOp::Lt => "<",
+        };
+        f.write_str(s)
+    }
+}
+
+/// One `parameter op value` requirement.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Constraint {
+    /// Which Table I parameter the constraint tests.
+    pub key: ParamKey,
+    /// How the capability is compared against the required value.
+    pub op: ConstraintOp,
+    /// The required value.
+    pub value: ParamValue,
+}
+
+impl Constraint {
+    /// Builds a constraint.
+    pub fn new(key: ParamKey, op: ConstraintOp, value: impl Into<ParamValue>) -> Self {
+        Constraint {
+            key,
+            op,
+            value: value.into(),
+        }
+    }
+
+    /// Shorthand for an equality constraint.
+    pub fn eq(key: ParamKey, value: impl Into<ParamValue>) -> Self {
+        Constraint::new(key, ConstraintOp::Eq, value)
+    }
+
+    /// Shorthand for a ≥ constraint.
+    pub fn ge(key: ParamKey, value: impl Into<ParamValue>) -> Self {
+        Constraint::new(key, ConstraintOp::Ge, value)
+    }
+
+    /// Shorthand for a ≤ constraint.
+    pub fn le(key: ParamKey, value: impl Into<ParamValue>) -> Self {
+        Constraint::new(key, ConstraintOp::Le, value)
+    }
+
+    /// Tests the constraint against a capability map.
+    ///
+    /// A missing capability never satisfies a constraint: the paper's
+    /// matchmaking is conservative — the node must *provide* the parameter.
+    pub fn satisfied_by(&self, caps: &ParamMap) -> bool {
+        let Some(have) = caps.get(&self.key) else {
+            return false;
+        };
+        match self.op {
+            ConstraintOp::Eq => have.matches(&self.value),
+            ConstraintOp::Ge | ConstraintOp::Le | ConstraintOp::Gt | ConstraintOp::Lt => {
+                let Some(ord) = have.partial_cmp_value(&self.value) else {
+                    return false;
+                };
+                match self.op {
+                    ConstraintOp::Ge => ord != std::cmp::Ordering::Less,
+                    ConstraintOp::Le => ord != std::cmp::Ordering::Greater,
+                    ConstraintOp::Gt => ord == std::cmp::Ordering::Greater,
+                    ConstraintOp::Lt => ord == std::cmp::Ordering::Less,
+                    ConstraintOp::Eq => unreachable!(),
+                }
+            }
+        }
+    }
+}
+
+impl fmt::Display for Constraint {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} {} {}", self.key, self.op, self.value)
+    }
+}
+
+/// What the user actually ships with a task.
+///
+/// The payload determines the use-case scenario (Sec. III) and what the
+/// provider must do before execution (configure a soft-core, synthesize HDL,
+/// or just load a bitstream).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum TaskPayload {
+    /// Sec. III-A: plain software for a GPP. Work is expressed in millions of
+    /// instructions so any GPP (or soft-core fallback) can derive a runtime.
+    Software {
+        /// Work in millions of instructions.
+        mega_instructions: f64,
+        /// Cores the program can use.
+        parallelism: u64,
+    },
+    /// Sec. III-B1: a kernel optimized for a named soft-core configuration.
+    SoftcoreKernel {
+        /// Name of the required soft-core configuration (e.g. `rvex-4w`).
+        core: String,
+        /// Work in millions of (VLIW) operations.
+        mega_ops: f64,
+    },
+    /// Sec. III-B2: a generic HDL accelerator the provider must synthesize.
+    HdlAccelerator {
+        /// Name of the HDL specification.
+        spec_name: String,
+        /// Estimated area demand in slices (e.g. from Quipu).
+        est_slices: u64,
+        /// Accelerated runtime in seconds once configured.
+        accel_seconds: f64,
+    },
+    /// A data-parallel kernel for a GPU — the taxonomy's third branch;
+    /// like a soft-core kernel, it targets a known (pre-determined)
+    /// architecture rather than user-defined hardware.
+    GpuKernel {
+        /// Kernel name.
+        kernel: String,
+        /// Execution seconds on a matching GPU.
+        accel_seconds: f64,
+    },
+    /// Sec. III-B3: a ready-made bitstream for one specific device.
+    Bitstream {
+        /// Image name.
+        image: String,
+        /// The exact device part the bitstream was implemented for.
+        device_part: String,
+        /// Bitstream size in bytes (drives transfer + reconfiguration time).
+        size_bytes: u64,
+        /// Accelerated runtime in seconds once configured.
+        accel_seconds: f64,
+    },
+}
+
+impl TaskPayload {
+    /// The use-case scenario this payload represents.
+    pub fn scenario(&self) -> Scenario {
+        match self {
+            TaskPayload::Software { .. } => Scenario::SoftwareOnly,
+            TaskPayload::SoftcoreKernel { .. } | TaskPayload::GpuKernel { .. } => {
+                Scenario::PredeterminedHardware
+            }
+            TaskPayload::HdlAccelerator { .. } => Scenario::UserDefinedHardware,
+            TaskPayload::Bitstream { .. } => Scenario::DeviceSpecificHardware,
+        }
+    }
+
+    /// True when the payload ultimately executes on reconfigurable fabric.
+    pub fn needs_rpe(&self) -> bool {
+        !matches!(
+            self,
+            TaskPayload::Software { .. } | TaskPayload::GpuKernel { .. }
+        )
+    }
+}
+
+/// The complete execution requirements of a task (Fig. 4, right-hand side).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ExecReq {
+    /// The node/PE type the task targets ("NodeType" in Fig. 4).
+    pub pe_class: PeClass,
+    /// The `k` parameter constraints of Fig. 4.
+    pub constraints: Vec<Constraint>,
+    /// What the user ships.
+    pub payload: TaskPayload,
+}
+
+impl ExecReq {
+    /// Builds an `ExecReq`.
+    pub fn new(pe_class: PeClass, constraints: Vec<Constraint>, payload: TaskPayload) -> Self {
+        ExecReq {
+            pe_class,
+            constraints,
+            payload,
+        }
+    }
+
+    /// The use-case scenario of the payload.
+    pub fn scenario(&self) -> Scenario {
+        self.payload.scenario()
+    }
+
+    /// Tests every constraint against a capability map.
+    pub fn satisfied_by(&self, caps: &ParamMap) -> bool {
+        self.constraints.iter().all(|c| c.satisfied_by(caps))
+    }
+
+    /// The constraints that a capability map fails, for diagnostics.
+    pub fn violations<'a>(&'a self, caps: &ParamMap) -> Vec<&'a Constraint> {
+        self.constraints
+            .iter()
+            .filter(|c| !c.satisfied_by(caps))
+            .collect()
+    }
+
+    /// The slice demand of the requirement, if it targets fabric.
+    pub fn slice_demand(&self) -> Option<u64> {
+        match &self.payload {
+            TaskPayload::HdlAccelerator { est_slices, .. } => Some(*est_slices),
+            // Bitstream and soft-core payloads state their area through the
+            // slice constraint (a bitstream reconfigures the whole device —
+            // the matchmaker widens its demand to the full fabric).
+            TaskPayload::Bitstream { .. } | TaskPayload::SoftcoreKernel { .. } => self
+                .constraints
+                .iter()
+                .find(|c| c.key == ParamKey::Slices)
+                .and_then(|c| c.value.as_u64()),
+            TaskPayload::Software { .. } | TaskPayload::GpuKernel { .. } => None,
+        }
+    }
+}
+
+impl fmt::Display for ExecReq {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "NodeType: {}", self.pe_class)?;
+        for c in &self.constraints {
+            writeln!(f, "  {c}")?;
+        }
+        write!(f, "  scenario: {}", self.scenario())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn v5_caps(slices: u64) -> ParamMap {
+        ParamMap::new()
+            .with(ParamKey::DeviceFamily, "Virtex-5")
+            .with(ParamKey::Slices, slices)
+            .with(ParamKey::DevicePart, "XC5VLX155")
+    }
+
+    #[test]
+    fn ge_constraint_on_slices() {
+        let c = Constraint::ge(ParamKey::Slices, 18_707u64);
+        assert!(c.satisfied_by(&v5_caps(24_320)));
+        assert!(c.satisfied_by(&v5_caps(18_707)));
+        assert!(!c.satisfied_by(&v5_caps(17_280)));
+    }
+
+    #[test]
+    fn missing_capability_fails() {
+        let c = Constraint::ge(ParamKey::DspSlices, 10u64);
+        assert!(!c.satisfied_by(&v5_caps(24_320)));
+    }
+
+    #[test]
+    fn eq_on_family_text() {
+        let c = Constraint::eq(ParamKey::DeviceFamily, "virtex-5");
+        assert!(c.satisfied_by(&v5_caps(100)));
+        let c6 = Constraint::eq(ParamKey::DeviceFamily, "Virtex-6");
+        assert!(!c6.satisfied_by(&v5_caps(100)));
+    }
+
+    #[test]
+    fn strict_operators() {
+        let caps = v5_caps(100);
+        assert!(Constraint::new(ParamKey::Slices, ConstraintOp::Gt, 99u64).satisfied_by(&caps));
+        assert!(!Constraint::new(ParamKey::Slices, ConstraintOp::Gt, 100u64).satisfied_by(&caps));
+        assert!(Constraint::new(ParamKey::Slices, ConstraintOp::Lt, 101u64).satisfied_by(&caps));
+        assert!(Constraint::le(ParamKey::Slices, 100u64).satisfied_by(&caps));
+    }
+
+    #[test]
+    fn incomparable_kinds_fail_closed() {
+        // Requiring slices >= "Virtex-5" is nonsense; it must not match.
+        let c = Constraint::ge(ParamKey::Slices, "Virtex-5");
+        assert!(!c.satisfied_by(&v5_caps(100)));
+    }
+
+    #[test]
+    fn execreq_all_constraints_must_hold() {
+        let req = ExecReq::new(
+            PeClass::Fpga,
+            vec![
+                Constraint::eq(ParamKey::DeviceFamily, "Virtex-5"),
+                Constraint::ge(ParamKey::Slices, 30_790u64),
+            ],
+            TaskPayload::HdlAccelerator {
+                spec_name: "pairalign".into(),
+                est_slices: 30_790,
+                accel_seconds: 10.0,
+            },
+        );
+        assert!(!req.satisfied_by(&v5_caps(24_320)));
+        assert!(req.satisfied_by(&v5_caps(34_560)));
+        assert_eq!(req.violations(&v5_caps(24_320)).len(), 1);
+        assert_eq!(req.slice_demand(), Some(30_790));
+    }
+
+    #[test]
+    fn payload_scenarios() {
+        assert_eq!(
+            TaskPayload::Software {
+                mega_instructions: 1.0,
+                parallelism: 1
+            }
+            .scenario(),
+            Scenario::SoftwareOnly
+        );
+        assert_eq!(
+            TaskPayload::SoftcoreKernel {
+                core: "rvex-2w".into(),
+                mega_ops: 1.0
+            }
+            .scenario(),
+            Scenario::PredeterminedHardware
+        );
+        assert_eq!(
+            TaskPayload::HdlAccelerator {
+                spec_name: "x".into(),
+                est_slices: 1,
+                accel_seconds: 1.0
+            }
+            .scenario(),
+            Scenario::UserDefinedHardware
+        );
+        assert_eq!(
+            TaskPayload::Bitstream {
+                image: "x.bit".into(),
+                device_part: "XC6VLX365T".into(),
+                size_bytes: 1,
+                accel_seconds: 1.0
+            }
+            .scenario(),
+            Scenario::DeviceSpecificHardware
+        );
+    }
+
+    #[test]
+    fn needs_rpe() {
+        assert!(!TaskPayload::Software {
+            mega_instructions: 1.0,
+            parallelism: 1
+        }
+        .needs_rpe());
+        assert!(TaskPayload::SoftcoreKernel {
+            core: "rvex-2w".into(),
+            mega_ops: 1.0
+        }
+        .needs_rpe());
+    }
+
+    #[test]
+    fn display_renders_fig4_shape() {
+        let req = ExecReq::new(
+            PeClass::Fpga,
+            vec![Constraint::ge(ParamKey::Slices, 18_707u64)],
+            TaskPayload::HdlAccelerator {
+                spec_name: "malign".into(),
+                est_slices: 18_707,
+                accel_seconds: 5.0,
+            },
+        );
+        let s = req.to_string();
+        assert!(s.contains("NodeType: FPGA"));
+        assert!(s.contains("slices >= 18707"));
+    }
+}

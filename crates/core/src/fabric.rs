@@ -1,0 +1,546 @@
+//! Slice-granular fabric area management for an RPE.
+//!
+//! The node model's `state` attribute "can provide the current available
+//! reconfigurable area or maintain the information of current
+//! configuration(s) on an RPE" (Sec. IV-A). [`Fabric`] is that state: a
+//! one-dimensional allocator over the device's slice count.
+//!
+//! Two regimes are modelled, following the partial-reconfiguration extension
+//! of DReAMSim (ref. \[21] of the paper):
+//!
+//! * **Partial reconfiguration (PR)**: several disjoint regions can be
+//!   configured and replaced independently.
+//! * **Full reconfiguration only**: the device holds a single configuration
+//!   at a time; any allocation claims the entire fabric.
+//!
+//! Invariants (enforced and property-tested):
+//! * allocated regions are pairwise disjoint;
+//! * every region lies within `[0, total_slices)`;
+//! * `used + available == total_slices` at all times.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A contiguous run of slices on the fabric.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Region {
+    /// First slice of the region.
+    pub offset: u64,
+    /// Number of slices.
+    pub len: u64,
+}
+
+impl Region {
+    /// One-past-the-end slice index.
+    pub fn end(&self) -> u64 {
+        self.offset + self.len
+    }
+
+    /// True when the two regions share at least one slice.
+    pub fn overlaps(&self, other: &Region) -> bool {
+        self.offset < other.end() && other.offset < self.end()
+    }
+}
+
+impl fmt::Display for Region {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[{}, {})", self.offset, self.end())
+    }
+}
+
+/// Handle to an allocated region.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct RegionId(pub u64);
+
+impl fmt::Display for RegionId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "R{}", self.0)
+    }
+}
+
+/// Placement policy for new regions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum FitPolicy {
+    /// Lowest-offset gap that fits.
+    FirstFit,
+    /// Smallest gap that fits (minimizes leftover fragments).
+    BestFit,
+    /// Largest gap that fits (keeps big gaps usable longer... or not —
+    /// included as an ablation baseline).
+    WorstFit,
+}
+
+/// Errors returned by fabric operations.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum FabricError {
+    /// No gap large enough for the requested slice count.
+    NoSpace {
+        /// Slices requested.
+        requested: u64,
+        /// Largest contiguous free run currently available.
+        largest_free: u64,
+    },
+    /// The region handle is unknown (double free or foreign id).
+    UnknownRegion(RegionId),
+    /// The device does not support partial reconfiguration and already holds
+    /// a configuration.
+    DeviceBusy,
+    /// A zero-slice allocation was requested.
+    ZeroLength,
+}
+
+impl fmt::Display for FabricError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FabricError::NoSpace {
+                requested,
+                largest_free,
+            } => write!(
+                f,
+                "no contiguous space for {requested} slices (largest free run: {largest_free})"
+            ),
+            FabricError::UnknownRegion(id) => write!(f, "unknown region {id}"),
+            FabricError::DeviceBusy => {
+                write!(f, "device without partial reconfiguration already configured")
+            }
+            FabricError::ZeroLength => write!(f, "zero-length allocation"),
+        }
+    }
+}
+
+impl std::error::Error for FabricError {}
+
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+struct Allocated {
+    id: RegionId,
+    region: Region,
+}
+
+/// The reconfigurable-area state of one RPE.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Fabric {
+    total_slices: u64,
+    partial_reconfig: bool,
+    /// Allocations sorted by offset.
+    allocs: Vec<Allocated>,
+    next_id: u64,
+}
+
+impl Fabric {
+    /// Creates a fabric of `total_slices` slices.
+    ///
+    /// When `partial_reconfig` is false, any allocation claims the whole
+    /// device (single-configuration regime).
+    pub fn new(total_slices: u64, partial_reconfig: bool) -> Self {
+        Fabric {
+            total_slices,
+            partial_reconfig,
+            allocs: Vec::new(),
+            next_id: 0,
+        }
+    }
+
+    /// Total slices on the device.
+    pub fn total_slices(&self) -> u64 {
+        self.total_slices
+    }
+
+    /// Whether the device supports dynamic partial reconfiguration.
+    pub fn partial_reconfig(&self) -> bool {
+        self.partial_reconfig
+    }
+
+    /// Slices currently allocated.
+    pub fn used_slices(&self) -> u64 {
+        self.allocs.iter().map(|a| a.region.len).sum()
+    }
+
+    /// Slices currently free.
+    pub fn available_slices(&self) -> u64 {
+        self.total_slices - self.used_slices()
+    }
+
+    /// Fraction of the fabric in use, in `[0, 1]`.
+    pub fn utilization(&self) -> f64 {
+        if self.total_slices == 0 {
+            0.0
+        } else {
+            self.used_slices() as f64 / self.total_slices as f64
+        }
+    }
+
+    /// Number of live allocations.
+    pub fn allocation_count(&self) -> usize {
+        self.allocs.len()
+    }
+
+    /// True when nothing is configured.
+    pub fn is_empty(&self) -> bool {
+        self.allocs.is_empty()
+    }
+
+    /// The free gaps between allocations, sorted by offset.
+    pub fn free_gaps(&self) -> Vec<Region> {
+        let mut gaps = Vec::with_capacity(self.allocs.len() + 1);
+        let mut cursor = 0;
+        for a in &self.allocs {
+            if a.region.offset > cursor {
+                gaps.push(Region {
+                    offset: cursor,
+                    len: a.region.offset - cursor,
+                });
+            }
+            cursor = a.region.end();
+        }
+        if cursor < self.total_slices {
+            gaps.push(Region {
+                offset: cursor,
+                len: self.total_slices - cursor,
+            });
+        }
+        gaps
+    }
+
+    /// Largest contiguous free run.
+    pub fn largest_free_run(&self) -> u64 {
+        self.free_gaps().iter().map(|g| g.len).max().unwrap_or(0)
+    }
+
+    /// True when a region of `len` slices could be placed right now.
+    pub fn can_fit(&self, len: u64) -> bool {
+        if len == 0 || len > self.total_slices {
+            return false;
+        }
+        if self.partial_reconfig {
+            self.largest_free_run() >= len
+        } else {
+            self.allocs.is_empty()
+        }
+    }
+
+    /// Allocates a region of `len` slices under `policy`.
+    ///
+    /// On a non-PR device the allocation claims the entire fabric (the
+    /// device must be reconfigured as a whole), and fails with
+    /// [`FabricError::DeviceBusy`] when anything is already configured.
+    pub fn allocate(&mut self, len: u64, policy: FitPolicy) -> Result<RegionId, FabricError> {
+        if len == 0 {
+            return Err(FabricError::ZeroLength);
+        }
+        if !self.partial_reconfig {
+            if !self.allocs.is_empty() {
+                return Err(FabricError::DeviceBusy);
+            }
+            if len > self.total_slices {
+                return Err(FabricError::NoSpace {
+                    requested: len,
+                    largest_free: self.total_slices,
+                });
+            }
+            // Whole-device configuration.
+            return Ok(self.insert(Region {
+                offset: 0,
+                len: self.total_slices,
+            }));
+        }
+        let gaps = self.free_gaps();
+        let gap = match policy {
+            FitPolicy::FirstFit => gaps.iter().find(|g| g.len >= len),
+            FitPolicy::BestFit => gaps
+                .iter()
+                .filter(|g| g.len >= len)
+                .min_by_key(|g| (g.len, g.offset)),
+            FitPolicy::WorstFit => gaps
+                .iter()
+                .filter(|g| g.len >= len)
+                .max_by_key(|g| (g.len, std::cmp::Reverse(g.offset))),
+        };
+        match gap {
+            Some(g) => {
+                let region = Region {
+                    offset: g.offset,
+                    len,
+                };
+                Ok(self.insert(region))
+            }
+            None => Err(FabricError::NoSpace {
+                requested: len,
+                largest_free: self.largest_free_run(),
+            }),
+        }
+    }
+
+    fn insert(&mut self, region: Region) -> RegionId {
+        let id = RegionId(self.next_id);
+        self.next_id += 1;
+        let pos = self
+            .allocs
+            .partition_point(|a| a.region.offset < region.offset);
+        self.allocs.insert(pos, Allocated { id, region });
+        id
+    }
+
+    /// Frees a previously allocated region.
+    pub fn free(&mut self, id: RegionId) -> Result<Region, FabricError> {
+        match self.allocs.iter().position(|a| a.id == id) {
+            Some(pos) => Ok(self.allocs.remove(pos).region),
+            None => Err(FabricError::UnknownRegion(id)),
+        }
+    }
+
+    /// Looks up the region for a handle.
+    pub fn region(&self, id: RegionId) -> Option<Region> {
+        self.allocs.iter().find(|a| a.id == id).map(|a| a.region)
+    }
+
+    /// All live allocations, sorted by offset.
+    pub fn allocations(&self) -> impl Iterator<Item = (RegionId, Region)> + '_ {
+        self.allocs.iter().map(|a| (a.id, a.region))
+    }
+
+    /// Internal consistency check used by tests and debug assertions.
+    pub fn check_invariants(&self) -> Result<(), String> {
+        let mut prev_end = 0u64;
+        for (i, a) in self.allocs.iter().enumerate() {
+            if a.region.len == 0 {
+                return Err(format!("allocation {i} has zero length"));
+            }
+            if a.region.end() > self.total_slices {
+                return Err(format!(
+                    "allocation {i} {} exceeds device size {}",
+                    a.region, self.total_slices
+                ));
+            }
+            if i > 0 && a.region.offset < prev_end {
+                return Err(format!("allocation {i} overlaps its predecessor"));
+            }
+            prev_end = a.region.end();
+        }
+        let gaps: u64 = self.free_gaps().iter().map(|g| g.len).sum();
+        if gaps + self.used_slices() != self.total_slices {
+            return Err("free + used != total".into());
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn allocate_and_free_first_fit() {
+        let mut f = Fabric::new(1000, true);
+        let a = f.allocate(300, FitPolicy::FirstFit).unwrap();
+        let b = f.allocate(300, FitPolicy::FirstFit).unwrap();
+        assert_eq!(f.used_slices(), 600);
+        assert_eq!(f.available_slices(), 400);
+        f.check_invariants().unwrap();
+        f.free(a).unwrap();
+        assert_eq!(f.available_slices(), 700);
+        // First-fit reuses the leading hole.
+        let c = f.allocate(200, FitPolicy::FirstFit).unwrap();
+        assert_eq!(f.region(c).unwrap().offset, 0);
+        f.check_invariants().unwrap();
+        f.free(b).unwrap();
+        f.free(c).unwrap();
+        assert!(f.is_empty());
+    }
+
+    #[test]
+    fn best_fit_picks_smallest_gap() {
+        let mut f = Fabric::new(1000, true);
+        let a = f.allocate(100, FitPolicy::FirstFit).unwrap(); // [0,100)
+        let _b = f.allocate(300, FitPolicy::FirstFit).unwrap(); // [100,400)
+        let c = f.allocate(150, FitPolicy::FirstFit).unwrap(); // [400,550)
+        let _d = f.allocate(250, FitPolicy::FirstFit).unwrap(); // [550,800)
+        f.free(a).unwrap(); // gap [0,100)
+        f.free(c).unwrap(); // gap [400,550)
+        // gaps now: 100 @0, 150 @400, 200 @800
+        let e = f.allocate(120, FitPolicy::BestFit).unwrap();
+        assert_eq!(f.region(e).unwrap().offset, 400, "best fit = 150-slice gap");
+        let g = f.allocate(90, FitPolicy::BestFit).unwrap();
+        assert_eq!(f.region(g).unwrap().offset, 0, "next best = 100-slice gap");
+        f.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn worst_fit_picks_largest_gap() {
+        let mut f = Fabric::new(1000, true);
+        let a = f.allocate(100, FitPolicy::FirstFit).unwrap();
+        let _b = f.allocate(400, FitPolicy::FirstFit).unwrap();
+        f.free(a).unwrap();
+        // gaps: 100 @0, 500 @500
+        let c = f.allocate(50, FitPolicy::WorstFit).unwrap();
+        assert_eq!(f.region(c).unwrap().offset, 500);
+    }
+
+    #[test]
+    fn no_space_reports_largest_run() {
+        let mut f = Fabric::new(100, true);
+        let _ = f.allocate(60, FitPolicy::FirstFit).unwrap();
+        let err = f.allocate(50, FitPolicy::FirstFit).unwrap_err();
+        assert_eq!(
+            err,
+            FabricError::NoSpace {
+                requested: 50,
+                largest_free: 40
+            }
+        );
+    }
+
+    #[test]
+    fn non_pr_device_is_exclusive_whole_fabric() {
+        let mut f = Fabric::new(24_320, false);
+        let a = f.allocate(1_000, FitPolicy::FirstFit).unwrap();
+        // The whole device is claimed even for a small configuration.
+        assert_eq!(f.region(a).unwrap().len, 24_320);
+        assert_eq!(f.available_slices(), 0);
+        assert_eq!(
+            f.allocate(1, FitPolicy::FirstFit).unwrap_err(),
+            FabricError::DeviceBusy
+        );
+        f.free(a).unwrap();
+        assert!(f.can_fit(24_320));
+    }
+
+    #[test]
+    fn zero_and_oversize_requests() {
+        let mut f = Fabric::new(100, true);
+        assert_eq!(
+            f.allocate(0, FitPolicy::FirstFit).unwrap_err(),
+            FabricError::ZeroLength
+        );
+        assert!(matches!(
+            f.allocate(101, FitPolicy::FirstFit).unwrap_err(),
+            FabricError::NoSpace { .. }
+        ));
+        assert!(!f.can_fit(0));
+        assert!(!f.can_fit(101));
+        assert!(f.can_fit(100));
+    }
+
+    #[test]
+    fn double_free_is_an_error() {
+        let mut f = Fabric::new(100, true);
+        let a = f.allocate(10, FitPolicy::FirstFit).unwrap();
+        f.free(a).unwrap();
+        assert_eq!(f.free(a).unwrap_err(), FabricError::UnknownRegion(a));
+    }
+
+    #[test]
+    fn fragmentation_can_block_fits_that_total_space_allows() {
+        let mut f = Fabric::new(300, true);
+        let a = f.allocate(100, FitPolicy::FirstFit).unwrap();
+        let _b = f.allocate(100, FitPolicy::FirstFit).unwrap();
+        let _c = f.allocate(100, FitPolicy::FirstFit).unwrap();
+        f.free(a).unwrap();
+        // 100 free at offset 0 — but a 150-slice request cannot fit.
+        assert_eq!(f.available_slices(), 100);
+        assert!(!f.can_fit(150));
+    }
+
+    #[test]
+    fn region_overlap_predicate() {
+        let a = Region { offset: 0, len: 10 };
+        let b = Region { offset: 10, len: 5 };
+        let c = Region { offset: 9, len: 2 };
+        assert!(!a.overlaps(&b));
+        assert!(a.overlaps(&c));
+        assert!(c.overlaps(&b));
+    }
+
+    #[test]
+    fn utilization_tracks_allocations() {
+        let mut f = Fabric::new(200, true);
+        assert_eq!(f.utilization(), 0.0);
+        let _ = f.allocate(50, FitPolicy::FirstFit).unwrap();
+        assert!((f.utilization() - 0.25).abs() < 1e-12);
+        assert_eq!(Fabric::new(0, true).utilization(), 0.0);
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[derive(Debug, Clone)]
+    enum Op {
+        Alloc(u64, FitPolicy),
+        FreeNth(usize),
+    }
+
+    fn op_strategy() -> impl Strategy<Value = Op> {
+        prop_oneof![
+            (1u64..2_000, prop_oneof![
+                Just(FitPolicy::FirstFit),
+                Just(FitPolicy::BestFit),
+                Just(FitPolicy::WorstFit)
+            ])
+                .prop_map(|(n, p)| Op::Alloc(n, p)),
+            (0usize..16).prop_map(Op::FreeNth),
+        ]
+    }
+
+    proptest! {
+        /// Invariants hold under arbitrary interleavings of alloc/free.
+        #[test]
+        fn invariants_hold(ops in prop::collection::vec(op_strategy(), 1..64),
+                           total in 1u64..10_000,
+                           pr in prop::bool::ANY) {
+            let mut f = Fabric::new(total, pr);
+            let mut live: Vec<RegionId> = Vec::new();
+            for op in ops {
+                match op {
+                    Op::Alloc(len, policy) => {
+                        if let Ok(id) = f.allocate(len, policy) {
+                            live.push(id);
+                        }
+                    }
+                    Op::FreeNth(i) => {
+                        if !live.is_empty() {
+                            let id = live.remove(i % live.len());
+                            f.free(id).unwrap();
+                        }
+                    }
+                }
+                prop_assert!(f.check_invariants().is_ok(), "{:?}", f.check_invariants());
+                prop_assert_eq!(f.allocation_count(), live.len());
+            }
+        }
+
+        /// Freeing everything returns the fabric to empty.
+        #[test]
+        fn full_drain(lens in prop::collection::vec(1u64..500, 1..20)) {
+            let mut f = Fabric::new(10_000, true);
+            let ids: Vec<_> = lens
+                .iter()
+                .filter_map(|&l| f.allocate(l, FitPolicy::FirstFit).ok())
+                .collect();
+            for id in ids {
+                f.free(id).unwrap();
+            }
+            prop_assert!(f.is_empty());
+            prop_assert_eq!(f.available_slices(), 10_000);
+        }
+
+        /// A successful allocation's region always lies inside the device and
+        /// never overlaps existing regions.
+        #[test]
+        fn regions_disjoint(lens in prop::collection::vec(1u64..1_000, 1..30)) {
+            let mut f = Fabric::new(8_192, true);
+            let mut regions: Vec<Region> = Vec::new();
+            for l in lens {
+                if let Ok(id) = f.allocate(l, FitPolicy::BestFit) {
+                    let r = f.region(id).unwrap();
+                    prop_assert!(r.end() <= 8_192);
+                    for prev in &regions {
+                        prop_assert!(!r.overlaps(prev));
+                    }
+                    regions.push(r);
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,507 @@
+//! Application task graphs (Figure 7).
+//!
+//! "The data dependencies among different tasks are represented by an
+//! application task graph." [`TaskGraph`] is a DAG over [`TaskId`]s with the
+//! queries a scheduler needs: topological order, ready sets, critical path.
+//!
+//! [`fig7_graph`] reconstructs the paper's 18-task example. The four
+//! dependency sets the text states explicitly are reproduced exactly
+//! (`T8 ← {T0,T2,T5}`, `T11 ← {T7,T9,T13}`, `T13 ← {T7,T8}`,
+//! `T17 ← {T7,T13}`); the remaining edges are reconstructed to connect all
+//! eighteen tasks into one plausible workflow.
+
+use crate::ids::TaskId;
+use crate::task::Task;
+use serde::{Deserialize, Serialize};
+use std::collections::{BTreeMap, BTreeSet, VecDeque};
+use std::fmt;
+
+/// A directed acyclic graph of task dependencies.
+///
+/// Edges point from producer to consumer: `add_edge(a, b)` means *b consumes
+/// the output of a*.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct TaskGraph {
+    /// consumer ← producers
+    preds: BTreeMap<TaskId, BTreeSet<TaskId>>,
+    /// producer → consumers
+    succs: BTreeMap<TaskId, BTreeSet<TaskId>>,
+    nodes: BTreeSet<TaskId>,
+}
+
+/// Error returned when an edge would close a cycle.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CycleError {
+    /// Producer of the offending edge.
+    pub from: TaskId,
+    /// Consumer of the offending edge.
+    pub to: TaskId,
+}
+
+impl fmt::Display for CycleError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "edge {} -> {} would create a cycle", self.from, self.to)
+    }
+}
+
+impl std::error::Error for CycleError {}
+
+impl TaskGraph {
+    /// An empty graph.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Builds a graph from tasks, deriving edges from each task's `Data_in`
+    /// source-task fields (Fig. 4's `TaskID` input component).
+    pub fn from_tasks<'a>(tasks: impl IntoIterator<Item = &'a Task>) -> Result<Self, CycleError> {
+        let mut g = TaskGraph::new();
+        let tasks: Vec<&Task> = tasks.into_iter().collect();
+        for t in &tasks {
+            g.add_task(t.id);
+        }
+        for t in &tasks {
+            for src in t.source_tasks() {
+                g.add_edge(src, t.id)?;
+            }
+        }
+        Ok(g)
+    }
+
+    /// Adds a task (idempotent).
+    pub fn add_task(&mut self, id: TaskId) {
+        self.nodes.insert(id);
+    }
+
+    /// Adds a dependency edge `from → to`, rejecting cycles.
+    pub fn add_edge(&mut self, from: TaskId, to: TaskId) -> Result<(), CycleError> {
+        if from == to || self.reaches(to, from) {
+            return Err(CycleError { from, to });
+        }
+        self.nodes.insert(from);
+        self.nodes.insert(to);
+        self.preds.entry(to).or_default().insert(from);
+        self.succs.entry(from).or_default().insert(to);
+        Ok(())
+    }
+
+    /// True when `from` can reach `to` along edges.
+    fn reaches(&self, from: TaskId, to: TaskId) -> bool {
+        if from == to {
+            return true;
+        }
+        let mut stack = vec![from];
+        let mut seen = BTreeSet::new();
+        while let Some(n) = stack.pop() {
+            if !seen.insert(n) {
+                continue;
+            }
+            if let Some(next) = self.succs.get(&n) {
+                for &s in next {
+                    if s == to {
+                        return true;
+                    }
+                    stack.push(s);
+                }
+            }
+        }
+        false
+    }
+
+    /// All tasks, ordered by id.
+    pub fn tasks(&self) -> impl Iterator<Item = TaskId> + '_ {
+        self.nodes.iter().copied()
+    }
+
+    /// Number of tasks.
+    pub fn task_count(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Number of edges.
+    pub fn edge_count(&self) -> usize {
+        self.succs.values().map(BTreeSet::len).sum()
+    }
+
+    /// The producers a task depends on.
+    pub fn predecessors(&self, id: TaskId) -> Vec<TaskId> {
+        self.preds
+            .get(&id)
+            .map(|s| s.iter().copied().collect())
+            .unwrap_or_default()
+    }
+
+    /// The consumers of a task's outputs.
+    pub fn successors(&self, id: TaskId) -> Vec<TaskId> {
+        self.succs
+            .get(&id)
+            .map(|s| s.iter().copied().collect())
+            .unwrap_or_default()
+    }
+
+    /// Tasks with no predecessors (the entry tasks).
+    pub fn roots(&self) -> Vec<TaskId> {
+        self.nodes
+            .iter()
+            .copied()
+            .filter(|t| self.preds.get(t).is_none_or(BTreeSet::is_empty))
+            .collect()
+    }
+
+    /// Tasks with no successors (the exit tasks).
+    pub fn sinks(&self) -> Vec<TaskId> {
+        self.nodes
+            .iter()
+            .copied()
+            .filter(|t| self.succs.get(t).is_none_or(BTreeSet::is_empty))
+            .collect()
+    }
+
+    /// Kahn topological order; deterministic (ties by id).
+    pub fn topo_order(&self) -> Vec<TaskId> {
+        let mut indeg: BTreeMap<TaskId, usize> = self
+            .nodes
+            .iter()
+            .map(|&t| (t, self.preds.get(&t).map_or(0, BTreeSet::len)))
+            .collect();
+        let mut queue: VecDeque<TaskId> = indeg
+            .iter()
+            .filter(|(_, &d)| d == 0)
+            .map(|(&t, _)| t)
+            .collect();
+        let mut out = Vec::with_capacity(self.nodes.len());
+        while let Some(t) = queue.pop_front() {
+            out.push(t);
+            for s in self.successors(t) {
+                let d = indeg.get_mut(&s).expect("successor must be a node");
+                *d -= 1;
+                if *d == 0 {
+                    queue.push_back(s);
+                }
+            }
+        }
+        debug_assert_eq!(out.len(), self.nodes.len(), "graph must be acyclic");
+        out
+    }
+
+    /// Tasks whose predecessors are all in `completed` and which are not in
+    /// `completed` themselves — the scheduler's ready set.
+    pub fn ready_tasks(&self, completed: &BTreeSet<TaskId>) -> Vec<TaskId> {
+        self.nodes
+            .iter()
+            .copied()
+            .filter(|t| !completed.contains(t))
+            .filter(|t| {
+                self.preds
+                    .get(t)
+                    .is_none_or(|ps| ps.iter().all(|p| completed.contains(p)))
+            })
+            .collect()
+    }
+
+    /// ASAP level of each task (roots at level 0).
+    pub fn levels(&self) -> BTreeMap<TaskId, usize> {
+        let mut level = BTreeMap::new();
+        for t in self.topo_order() {
+            let l = self
+                .predecessors(t)
+                .iter()
+                .map(|p| level[p] + 1)
+                .max()
+                .unwrap_or(0);
+            level.insert(t, l);
+        }
+        level
+    }
+
+    /// Critical-path length under the given task durations, plus the path.
+    pub fn critical_path(&self, duration: impl Fn(TaskId) -> f64) -> (f64, Vec<TaskId>) {
+        let order = self.topo_order();
+        let mut finish: BTreeMap<TaskId, f64> = BTreeMap::new();
+        let mut best_pred: BTreeMap<TaskId, Option<TaskId>> = BTreeMap::new();
+        for &t in &order {
+            let (start, pred) = self
+                .predecessors(t)
+                .iter()
+                .map(|&p| (finish[&p], Some(p)))
+                .fold((0.0, None), |acc, x| if x.0 > acc.0 { x } else { acc });
+            finish.insert(t, start + duration(t).max(0.0));
+            best_pred.insert(t, pred);
+        }
+        let Some((&last, &len)) = finish
+            .iter()
+            .max_by(|a, b| a.1.partial_cmp(b.1).expect("durations are finite"))
+        else {
+            return (0.0, Vec::new());
+        };
+        let mut path = vec![last];
+        let mut cur = last;
+        while let Some(Some(p)) = best_pred.get(&cur) {
+            path.push(*p);
+            cur = *p;
+        }
+        path.reverse();
+        (len, path)
+    }
+
+    /// Renders the edge list, one consumer per line, in the notation the
+    /// paper uses below Fig. 7 (`DataIN(T11) -> DataOUT(T7, T9, T13)`).
+    pub fn render_dependencies(&self) -> String {
+        use std::fmt::Write;
+        let mut s = String::new();
+        for t in self.tasks() {
+            let preds = self.predecessors(t);
+            if preds.is_empty() {
+                continue;
+            }
+            let names: Vec<String> = preds.iter().map(|p| p.to_string()).collect();
+            let _ = writeln!(s, "DataIN({t}) -> DataOUT({})", names.join(", "));
+        }
+        s
+    }
+}
+
+/// The 18-task application graph of Figure 7.
+///
+/// The text-specified dependency sets are exact; the remaining edges connect
+/// the rest of `T0..T17` into one workflow.
+pub fn fig7_graph() -> TaskGraph {
+    let mut g = TaskGraph::new();
+    for i in 0..18 {
+        g.add_task(TaskId(i));
+    }
+    let edges: &[(u64, u64)] = &[
+        // Exact, from the paper's text:
+        (0, 8),
+        (2, 8),
+        (5, 8),
+        (7, 11),
+        (9, 11),
+        (13, 11),
+        (7, 13),
+        (8, 13),
+        (7, 17),
+        (13, 17),
+        // Reconstructed to involve all 18 tasks:
+        (0, 4),
+        (1, 5),
+        (1, 6),
+        (2, 6),
+        (3, 7),
+        (3, 9),
+        (4, 10),
+        (5, 10),
+        (6, 12),
+        (9, 14),
+        (10, 15),
+        (12, 15),
+        (11, 16),
+        (14, 16),
+    ];
+    for &(a, b) in edges {
+        g.add_edge(TaskId(a), TaskId(b))
+            .expect("fig7 edges are acyclic");
+    }
+    g
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fig7_text_dependencies_are_exact() {
+        let g = fig7_graph();
+        assert_eq!(
+            g.predecessors(TaskId(8)),
+            vec![TaskId(0), TaskId(2), TaskId(5)]
+        );
+        assert_eq!(
+            g.predecessors(TaskId(11)),
+            vec![TaskId(7), TaskId(9), TaskId(13)]
+        );
+        assert_eq!(g.predecessors(TaskId(13)), vec![TaskId(7), TaskId(8)]);
+        assert_eq!(g.predecessors(TaskId(17)), vec![TaskId(7), TaskId(13)]);
+    }
+
+    #[test]
+    fn fig7_has_18_tasks_and_is_acyclic() {
+        let g = fig7_graph();
+        assert_eq!(g.task_count(), 18);
+        let order = g.topo_order();
+        assert_eq!(order.len(), 18);
+        // topological property: every edge goes forward in the order
+        let pos: BTreeMap<TaskId, usize> =
+            order.iter().enumerate().map(|(i, &t)| (t, i)).collect();
+        for t in g.tasks() {
+            for s in g.successors(t) {
+                assert!(pos[&t] < pos[&s], "{t} must precede {s}");
+            }
+        }
+    }
+
+    #[test]
+    fn cycle_rejected() {
+        let mut g = TaskGraph::new();
+        g.add_edge(TaskId(0), TaskId(1)).unwrap();
+        g.add_edge(TaskId(1), TaskId(2)).unwrap();
+        assert_eq!(
+            g.add_edge(TaskId(2), TaskId(0)).unwrap_err(),
+            CycleError {
+                from: TaskId(2),
+                to: TaskId(0)
+            }
+        );
+        assert!(g.add_edge(TaskId(0), TaskId(0)).is_err());
+    }
+
+    #[test]
+    fn ready_set_evolves_with_completion() {
+        let g = fig7_graph();
+        let mut done = BTreeSet::new();
+        let ready = g.ready_tasks(&done);
+        assert_eq!(ready, g.roots());
+        assert!(ready.contains(&TaskId(0)));
+        // Complete everything T8 needs:
+        for t in [0u64, 1, 2, 3, 5] {
+            done.insert(TaskId(t));
+        }
+        let ready = g.ready_tasks(&done);
+        assert!(ready.contains(&TaskId(8)));
+        // T13 needs T7 and T8, neither done:
+        assert!(!ready.contains(&TaskId(13)));
+    }
+
+    #[test]
+    fn levels_increase_along_edges() {
+        let g = fig7_graph();
+        let levels = g.levels();
+        for t in g.tasks() {
+            for s in g.successors(t) {
+                assert!(levels[&s] > levels[&t]);
+            }
+        }
+        for r in g.roots() {
+            assert_eq!(levels[&r], 0);
+        }
+    }
+
+    #[test]
+    fn critical_path_unit_durations() {
+        let g = fig7_graph();
+        let (len, path) = g.critical_path(|_| 1.0);
+        // With unit durations the critical path length is max level + 1.
+        let max_level = *g.levels().values().max().unwrap();
+        assert_eq!(len, (max_level + 1) as f64);
+        // The path is a chain of edges:
+        for w in path.windows(2) {
+            assert!(g.successors(w[0]).contains(&w[1]));
+        }
+    }
+
+    #[test]
+    fn from_tasks_builds_edges_from_datain() {
+        use crate::execreq::{ExecReq, TaskPayload};
+        use crate::ids::DataId;
+        use rhv_params::param::PeClass;
+        let req = || {
+            ExecReq::new(
+                PeClass::Gpp,
+                vec![],
+                TaskPayload::Software {
+                    mega_instructions: 1.0,
+                    parallelism: 1,
+                },
+            )
+        };
+        let t0 = Task::new(TaskId(0), req(), 1.0).with_output(DataId(0), 10);
+        let t1 = Task::new(TaskId(1), req(), 1.0).with_input(TaskId(0), DataId(0), 10);
+        let g = TaskGraph::from_tasks([&t0, &t1]).unwrap();
+        assert_eq!(g.successors(TaskId(0)), vec![TaskId(1)]);
+        assert_eq!(g.edge_count(), 1);
+    }
+
+    #[test]
+    fn render_matches_paper_notation() {
+        let g = fig7_graph();
+        let r = g.render_dependencies();
+        assert!(r.contains("DataIN(T11) -> DataOUT(T7, T9, T13)"), "{r}");
+        assert!(r.contains("DataIN(T13) -> DataOUT(T7, T8)"));
+        assert!(r.contains("DataIN(T17) -> DataOUT(T7, T13)"));
+    }
+
+    #[test]
+    fn empty_graph_queries() {
+        let g = TaskGraph::new();
+        assert_eq!(g.task_count(), 0);
+        assert!(g.topo_order().is_empty());
+        assert_eq!(g.critical_path(|_| 1.0), (0.0, Vec::new()));
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    proptest! {
+        /// Random forward edge sets always form a DAG whose topological order
+        /// respects every edge (generator only emits a<b edges).
+        #[test]
+        fn topo_respects_edges(edges in prop::collection::btree_set((0u64..40, 0u64..40), 1..120)) {
+            let mut g = TaskGraph::new();
+            for &(a, b) in &edges {
+                if a < b {
+                    g.add_edge(TaskId(a), TaskId(b)).unwrap();
+                }
+            }
+            let order = g.topo_order();
+            prop_assert_eq!(order.len(), g.task_count());
+            let pos: std::collections::BTreeMap<_, _> =
+                order.iter().enumerate().map(|(i, &t)| (t, i)).collect();
+            for t in g.tasks() {
+                for s in g.successors(t) {
+                    prop_assert!(pos[&t] < pos[&s]);
+                }
+            }
+        }
+
+        /// Completing tasks in topological order keeps the ready set
+        /// consistent: the next task in order is always ready.
+        #[test]
+        fn topo_completion_is_always_ready(edges in prop::collection::btree_set((0u64..25, 0u64..25), 1..80)) {
+            let mut g = TaskGraph::new();
+            for &(a, b) in &edges {
+                if a < b {
+                    g.add_edge(TaskId(a), TaskId(b)).unwrap();
+                }
+            }
+            let mut done = std::collections::BTreeSet::new();
+            for t in g.topo_order() {
+                prop_assert!(g.ready_tasks(&done).contains(&t));
+                done.insert(t);
+            }
+            prop_assert!(g.ready_tasks(&done).is_empty());
+        }
+
+        /// The critical path never exceeds the sum of all durations and is at
+        /// least the longest single task.
+        #[test]
+        fn critical_path_bounds(edges in prop::collection::btree_set((0u64..20, 0u64..20), 1..60)) {
+            let mut g = TaskGraph::new();
+            for &(a, b) in &edges {
+                if a < b {
+                    g.add_edge(TaskId(a), TaskId(b)).unwrap();
+                }
+            }
+            let dur = |t: TaskId| (t.0 % 5 + 1) as f64;
+            let (len, path) = g.critical_path(dur);
+            let total: f64 = g.tasks().map(dur).sum();
+            let longest = g.tasks().map(dur).fold(0.0, f64::max);
+            prop_assert!(len <= total + 1e-9);
+            prop_assert!(len + 1e-9 >= longest);
+            let path_sum: f64 = path.iter().map(|&t| dur(t)).sum();
+            prop_assert!((path_sum - len).abs() < 1e-9);
+        }
+    }
+}

@@ -1,0 +1,127 @@
+//! Identifier newtypes shared across the framework.
+//!
+//! The paper's tuples are keyed by plain IDs (`NodeID`, `TaskID`, `DataID`);
+//! newtypes keep them from being mixed up and give `Display` forms that match
+//! the paper's notation (`Node_0`, `T_8`, …).
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+macro_rules! id_newtype {
+    ($(#[$doc:meta])* $name:ident, $prefix:expr) => {
+        $(#[$doc])*
+        #[derive(
+            Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
+        )]
+        pub struct $name(pub u64);
+
+        impl $name {
+            /// The raw numeric id.
+            pub fn raw(self) -> u64 {
+                self.0
+            }
+        }
+
+        impl fmt::Display for $name {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                write!(f, concat!($prefix, "{}"), self.0)
+            }
+        }
+
+        impl From<u64> for $name {
+            fn from(n: u64) -> Self {
+                $name(n)
+            }
+        }
+    };
+}
+
+id_newtype!(
+    /// Identifier of a grid node (`Node_i` in the paper).
+    NodeId,
+    "Node_"
+);
+id_newtype!(
+    /// Identifier of an application task (`T_i` in the paper).
+    TaskId,
+    "T"
+);
+id_newtype!(
+    /// Identifier of a data item flowing between tasks.
+    DataId,
+    "D"
+);
+id_newtype!(
+    /// Identifier of a loaded configuration on an RPE.
+    ConfigId,
+    "C"
+);
+
+/// Identifier of a processing element *within* a node.
+///
+/// The paper writes `GPP_0 ↔ Node_0` and `RPE_1 ↔ Node_1`; a [`PeId`] is the
+/// `GPP_j` / `RPE_j` half of that pair.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum PeId {
+    /// The `j`-th GPP of a node.
+    Gpp(u32),
+    /// The `j`-th RPE of a node.
+    Rpe(u32),
+    /// The `j`-th GPU of a node (the node model is "extendable to add more
+    /// types of processing elements" — Sec. III).
+    Gpu(u32),
+}
+
+impl PeId {
+    /// True when this id names an RPE.
+    pub fn is_rpe(self) -> bool {
+        matches!(self, PeId::Rpe(_))
+    }
+
+    /// True when this id names a GPU.
+    pub fn is_gpu(self) -> bool {
+        matches!(self, PeId::Gpu(_))
+    }
+
+    /// The index within the node's GPP, RPE or GPU list.
+    pub fn index(self) -> u32 {
+        match self {
+            PeId::Gpp(i) | PeId::Rpe(i) | PeId::Gpu(i) => i,
+        }
+    }
+}
+
+impl fmt::Display for PeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PeId::Gpp(i) => write!(f, "GPP_{i}"),
+            PeId::Rpe(i) => write!(f, "RPE_{i}"),
+            PeId::Gpu(i) => write!(f, "GPU_{i}"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_matches_paper_notation() {
+        assert_eq!(NodeId(0).to_string(), "Node_0");
+        assert_eq!(TaskId(8).to_string(), "T8");
+        assert_eq!(PeId::Gpp(1).to_string(), "GPP_1");
+        assert_eq!(PeId::Rpe(0).to_string(), "RPE_0");
+    }
+
+    #[test]
+    fn ordering_and_conversion() {
+        assert!(NodeId(0) < NodeId(1));
+        assert_eq!(NodeId::from(3).raw(), 3);
+        assert!(PeId::Rpe(0).is_rpe());
+        assert!(!PeId::Gpp(0).is_rpe());
+        assert!(PeId::Gpu(0).is_gpu());
+        assert!(!PeId::Gpu(0).is_rpe());
+        assert_eq!(PeId::Gpu(1).to_string(), "GPU_1");
+        assert_eq!(PeId::Rpe(2).index(), 2);
+    }
+}

@@ -1,0 +1,133 @@
+//! Virtualization/abstraction levels (Figure 2).
+//!
+//! Figure 2 stacks the views a grid user can have of the system. "As we go to
+//! a lower abstraction level, the user should add more specifications along
+//! with his/her tasks and get more performance, and vice versa." Each
+//! use-case scenario of Section III lands on one of these levels.
+
+use rhv_params::taxonomy::Scenario;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// The abstraction levels of Fig. 2, highest (most virtualized) first.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum AbstractionLevel {
+    /// The classic virtual-organization view: only grid nodes are visible.
+    Grid,
+    /// Soft-core CPUs become visible next to the grid nodes.
+    Softcore,
+    /// The reconfigurable fabric (area, families) becomes visible.
+    Fabric,
+    /// A concrete device (part number) is visible and directly targeted.
+    Device,
+}
+
+impl AbstractionLevel {
+    /// All levels, highest abstraction first.
+    pub fn all() -> [AbstractionLevel; 4] {
+        [
+            AbstractionLevel::Grid,
+            AbstractionLevel::Softcore,
+            AbstractionLevel::Fabric,
+            AbstractionLevel::Device,
+        ]
+    }
+
+    /// The level a use-case scenario operates at (Sec. III-C):
+    /// software-only → grid; pre-determined hardware → soft-core level;
+    /// user-defined hardware → fabric level; device-specific → device level.
+    pub fn for_scenario(s: Scenario) -> AbstractionLevel {
+        match s {
+            Scenario::SoftwareOnly => AbstractionLevel::Grid,
+            Scenario::PredeterminedHardware => AbstractionLevel::Softcore,
+            Scenario::UserDefinedHardware => AbstractionLevel::Fabric,
+            Scenario::DeviceSpecificHardware => AbstractionLevel::Device,
+        }
+    }
+
+    /// What is visible to the grid user at this level.
+    pub fn user_view(&self) -> &'static str {
+        match self {
+            AbstractionLevel::Grid => "grid nodes only (hardware-independent layer)",
+            AbstractionLevel::Softcore => "grid nodes plus configurable soft-core CPUs",
+            AbstractionLevel::Fabric => {
+                "grid nodes plus reconfigurable fabric (families, slice counts)"
+            }
+            AbstractionLevel::Device => "specific devices (part numbers) in the grid",
+        }
+    }
+
+    /// Relative specification burden on the user: 0 (none beyond tasks) to 3
+    /// (device-specific bitstream). Monotone with expected performance.
+    pub fn user_burden(&self) -> u8 {
+        match self {
+            AbstractionLevel::Grid => 0,
+            AbstractionLevel::Softcore => 1,
+            AbstractionLevel::Fabric => 2,
+            AbstractionLevel::Device => 3,
+        }
+    }
+
+    /// Relative expected performance rank at this level, 0 lowest.
+    ///
+    /// The paper's trade-off: lower abstraction ⇒ more specification ⇒ more
+    /// performance. Numerically identical to the burden by construction.
+    pub fn performance_rank(&self) -> u8 {
+        self.user_burden()
+    }
+}
+
+impl fmt::Display for AbstractionLevel {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            AbstractionLevel::Grid => "Grid level",
+            AbstractionLevel::Softcore => "Soft-core CPU level",
+            AbstractionLevel::Fabric => "Reconfigurable-fabric level",
+            AbstractionLevel::Device => "Device level",
+        };
+        f.write_str(s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scenario_to_level_mapping() {
+        assert_eq!(
+            AbstractionLevel::for_scenario(Scenario::SoftwareOnly),
+            AbstractionLevel::Grid
+        );
+        assert_eq!(
+            AbstractionLevel::for_scenario(Scenario::PredeterminedHardware),
+            AbstractionLevel::Softcore
+        );
+        assert_eq!(
+            AbstractionLevel::for_scenario(Scenario::UserDefinedHardware),
+            AbstractionLevel::Fabric
+        );
+        assert_eq!(
+            AbstractionLevel::for_scenario(Scenario::DeviceSpecificHardware),
+            AbstractionLevel::Device
+        );
+    }
+
+    #[test]
+    fn burden_and_performance_increase_down_the_stack() {
+        let levels = AbstractionLevel::all();
+        for w in levels.windows(2) {
+            assert!(w[0] < w[1]);
+            assert!(w[0].user_burden() < w[1].user_burden());
+            assert!(w[0].performance_rank() < w[1].performance_rank());
+        }
+    }
+
+    #[test]
+    fn every_level_describes_its_view() {
+        for l in AbstractionLevel::all() {
+            assert!(!l.user_view().is_empty());
+            assert!(!l.to_string().is_empty());
+        }
+    }
+}

@@ -1,0 +1,75 @@
+//! # rhv-core — the RPE virtualization framework
+//!
+//! This crate implements the primary contribution of *On Virtualization of
+//! Reconfigurable Hardware in Distributed Systems* (ICPP 2012): a
+//! virtualization framework that lets a distributed grid manage
+//! Reconfigurable Processing Elements (RPEs — FPGA fabric) next to General
+//! Purpose Processors (GPPs), across four use-case scenarios and five
+//! abstraction levels.
+//!
+//! ## The two models
+//!
+//! * **Node model** (Eq. 1, Fig. 3): `Node(NodeID, GPP Caps, RPE Caps, state)`
+//!   — [`node::Node`] holds null-terminated-list-style resource lists of
+//!   [`node::GppResource`] and [`node::RpeResource`], each carrying a
+//!   capability [`ParamMap`](rhv_params::ParamMap) and a dynamically changing
+//!   [`state`]. Resources can be added and removed at runtime.
+//! * **Task model** (Eq. 2, Fig. 4):
+//!   `Task(TaskID, Data_in, Data_out, ExecReq, t_estimated)` — [`task::Task`]
+//!   with input/output data descriptors and an [`execreq::ExecReq`]
+//!   constraint set that completely identifies the architectural
+//!   requirements.
+//!
+//! Around these two models the crate provides:
+//!
+//! * [`fabric`] — a slice-granular region allocator for RPE area, with and
+//!   without dynamic partial reconfiguration;
+//! * [`execreq`] — the requirement-constraint language and the payload types
+//!   (software, soft-core kernel, generic HDL, device bitstream) of the four
+//!   scenarios;
+//! * [`levels`] — the virtualization/abstraction levels of Fig. 2;
+//! * [`appdsl`] — the `App{Seq(..), Par(..), ..}` workflow language of
+//!   Eq. (3)/(4) and Fig. 8;
+//! * [`graph`] — application task graphs (Fig. 7);
+//! * [`matchmaker`] — requirement ↔ capability matchmaking (Table II);
+//! * [`case_study`] — the Section V grid (Figs. 5/6) as ready-made data.
+//!
+//! ## Quick example
+//!
+//! ```
+//! use rhv_core::case_study;
+//! use rhv_core::matchmaker::Matchmaker;
+//!
+//! let grid = case_study::grid();              // Node_0, Node_1, Node_2 (Fig. 5)
+//! let tasks = case_study::tasks();            // Task_0 .. Task_3   (Fig. 6)
+//! let mm = Matchmaker::new();
+//! // Task_3 carries an XC6VLX365T bitstream: it fits exactly one RPE.
+//! let c = mm.candidates(&tasks[3], &grid);
+//! assert_eq!(c.len(), 1);
+//! ```
+
+pub mod appdsl;
+pub mod case_study;
+pub mod execreq;
+pub mod fabric;
+pub mod graph;
+pub mod ids;
+pub mod levels;
+pub mod matchmaker;
+pub mod node;
+pub mod reqspec;
+pub mod state;
+pub mod task;
+pub mod vfpga;
+
+pub use appdsl::{Application, Group, GroupKind};
+pub use execreq::{Constraint, ConstraintOp, ExecReq, TaskPayload};
+pub use fabric::{Fabric, FitPolicy, Region, RegionId};
+pub use ids::{ConfigId, DataId, NodeId, PeId, TaskId};
+pub use levels::AbstractionLevel;
+pub use matchmaker::{Candidate, Matchmaker, PeRef};
+pub use node::{GppResource, Node, RpeResource};
+pub use reqspec::{exec_req_from_spec, format_spec, parse_spec};
+pub use state::{ConfigKind, GppState, LoadedConfig, RpeState};
+pub use task::{DataIn, DataOut, Task};
+pub use vfpga::{compare_policies, SlotId, VfpgaFabric};

@@ -1,0 +1,510 @@
+//! Requirement ↔ capability matchmaking (the engine behind Table II).
+//!
+//! Given a task's [`ExecReq`] and a set of grid [`Node`]s, the matchmaker
+//! enumerates every `PE ↔ Node` pair that satisfies the requirements — the
+//! "possible mappings" column of Table II. A scheduling strategy (in
+//! `rhv-sched`) then picks one candidate; the matchmaker itself is policy-
+//! free, like Condor's matchmaking layer that the paper cites.
+
+use crate::execreq::{ExecReq, TaskPayload};
+use crate::ids::{ConfigId, NodeId, PeId};
+use crate::node::Node;
+use crate::state::ConfigKind;
+use crate::task::Task;
+use rhv_params::param::PeClass;
+#[cfg(test)]
+use rhv_params::param::ParamKey;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A processing element addressed across the grid (`GPP_j ↔ Node_i`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct PeRef {
+    /// The node.
+    pub node: NodeId,
+    /// The PE within the node.
+    pub pe: PeId,
+}
+
+impl fmt::Display for PeRef {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        // Table II notation: `RPE_0 <-> Node_1`
+        write!(f, "{} <-> {}", self.pe, self.node)
+    }
+}
+
+/// How a candidate would host the task.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum HostingMode {
+    /// Run on GPP cores.
+    GppCores,
+    /// Reconfigure fabric for the task (accelerator, bitstream or soft-core).
+    Reconfigure,
+    /// Reuse a compatible configuration already resident on the fabric.
+    ReuseConfig(ConfigId),
+    /// Configure a soft-core CPU on the RPE to run a software-only task
+    /// (the Sec. III-A fallback path).
+    SoftcoreFallback,
+    /// Run a data-parallel kernel on a GPU.
+    GpuRun,
+}
+
+/// One feasible mapping for a task.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Candidate {
+    /// Where the task would run.
+    pub pe: PeRef,
+    /// How it would be hosted.
+    pub mode: HostingMode,
+}
+
+impl fmt::Display for Candidate {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.pe)?;
+        match self.mode {
+            HostingMode::GppCores => Ok(()),
+            HostingMode::Reconfigure => write!(f, " (reconfigure)"),
+            HostingMode::ReuseConfig(c) => write!(f, " (reuse {c})"),
+            HostingMode::SoftcoreFallback => write!(f, " (soft-core fallback)"),
+            HostingMode::GpuRun => write!(f, " (gpu)"),
+        }
+    }
+}
+
+/// Matchmaking options.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Default)]
+pub struct MatchOptions {
+    /// When true, a candidate RPE must currently have enough free fabric for
+    /// the task's slice demand (dynamic state); when false, matching is
+    /// against static capabilities only (Table II's view of an idle grid).
+    pub respect_state: bool,
+    /// When `Some(slices)`, software-only tasks may additionally match idle
+    /// RPEs that can host a soft-core CPU of the given area — the paper's
+    /// backward-compatibility fallback (Sec. III-A).
+    pub softcore_fallback_slices: Option<u64>,
+}
+
+
+/// The matchmaker.
+#[derive(Debug, Clone, Default)]
+pub struct Matchmaker {
+    options: MatchOptions,
+}
+
+impl Matchmaker {
+    /// A matchmaker with default options (static capabilities only).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// A matchmaker with explicit options.
+    pub fn with_options(options: MatchOptions) -> Self {
+        Matchmaker { options }
+    }
+
+    /// The configured options.
+    pub fn options(&self) -> MatchOptions {
+        self.options
+    }
+
+    /// Enumerates all feasible mappings for `task` over `nodes`,
+    /// deterministically ordered by (node, pe).
+    pub fn candidates(&self, task: &Task, nodes: &[Node]) -> Vec<Candidate> {
+        let mut out = Vec::new();
+        for node in nodes {
+            self.node_candidates(&task.exec_req, node, &mut out);
+        }
+        out.sort_by_key(|c| c.pe);
+        out
+    }
+
+    /// Enumerates feasible mappings for a bare requirement.
+    pub fn candidates_for_req(&self, req: &ExecReq, nodes: &[Node]) -> Vec<Candidate> {
+        let mut out = Vec::new();
+        for node in nodes {
+            self.node_candidates(req, node, &mut out);
+        }
+        out.sort_by_key(|c| c.pe);
+        out
+    }
+
+    fn node_candidates(&self, req: &ExecReq, node: &Node, out: &mut Vec<Candidate>) {
+        match req.pe_class {
+            PeClass::Gpp => {
+                for (i, g) in node.gpps().iter().enumerate() {
+                    if req.satisfied_by(&g.caps) && self.gpp_state_ok(req, g) {
+                        out.push(Candidate {
+                            pe: PeRef {
+                                node: node.id,
+                                pe: PeId::Gpp(i as u32),
+                            },
+                            mode: HostingMode::GppCores,
+                        });
+                    }
+                }
+                // Backward-compatibility fallback: a software-only task may
+                // run on a soft-core configured on a free RPE.
+                if let (TaskPayload::Software { .. }, Some(slices)) =
+                    (&req.payload, self.options.softcore_fallback_slices)
+                {
+                    for (i, r) in node.rpes().iter().enumerate() {
+                        let fits = if self.options.respect_state {
+                            r.state.fabric().can_fit(slices)
+                        } else {
+                            r.device.slices >= slices
+                        };
+                        if fits {
+                            out.push(Candidate {
+                                pe: PeRef {
+                                    node: node.id,
+                                    pe: PeId::Rpe(i as u32),
+                                },
+                                mode: HostingMode::SoftcoreFallback,
+                            });
+                        }
+                    }
+                }
+            }
+            PeClass::Fpga | PeClass::Softcore => {
+                for (i, r) in node.rpes().iter().enumerate() {
+                    if !req.satisfied_by(&r.caps) {
+                        continue;
+                    }
+                    if !self.rpe_payload_ok(req, &r.device.part) {
+                        continue;
+                    }
+                    let pe = PeRef {
+                        node: node.id,
+                        pe: PeId::Rpe(i as u32),
+                    };
+                    // Prefer reuse when a matching configuration is resident.
+                    if let Some(kind) = Self::config_kind_for(&req.payload) {
+                        if let Some(cfg) = r.state.find_idle_config(&kind) {
+                            out.push(Candidate {
+                                pe,
+                                mode: HostingMode::ReuseConfig(cfg),
+                            });
+                            continue;
+                        }
+                    }
+                    if self.options.respect_state {
+                        // A device-specific bitstream reconfigures the whole
+                        // device, so it demands the full fabric regardless of
+                        // any stated slice figure.
+                        let demand = match &req.payload {
+                            TaskPayload::Bitstream { .. } => Some(r.device.slices),
+                            _ => req.slice_demand(),
+                        };
+                        if let Some(demand) = demand {
+                            if !r.state.fabric().can_fit(demand) {
+                                continue;
+                            }
+                        } else if !r.state.is_unconfigured() && !r.device.partial_reconfig {
+                            continue;
+                        }
+                    }
+                    out.push(Candidate {
+                        pe,
+                        mode: HostingMode::Reconfigure,
+                    });
+                }
+            }
+            PeClass::Gpu => {
+                for (i, g) in node.gpus().iter().enumerate() {
+                    if !req.satisfied_by(&g.caps) {
+                        continue;
+                    }
+                    if self.options.respect_state && !g.state.is_idle() {
+                        continue;
+                    }
+                    out.push(Candidate {
+                        pe: PeRef {
+                            node: node.id,
+                            pe: PeId::Gpu(i as u32),
+                        },
+                        mode: HostingMode::GpuRun,
+                    });
+                }
+            }
+        }
+    }
+
+    fn gpp_state_ok(&self, req: &ExecReq, g: &crate::node::GppResource) -> bool {
+        if !self.options.respect_state {
+            return true;
+        }
+        match &req.payload {
+            TaskPayload::Software { parallelism, .. } => {
+                g.state.free_cores() >= (*parallelism).max(1)
+            }
+            _ => g.state.free_cores() >= 1,
+        }
+    }
+
+    /// A device-specific bitstream only runs on the exact part it was
+    /// implemented for.
+    fn rpe_payload_ok(&self, req: &ExecReq, part: &str) -> bool {
+        match &req.payload {
+            TaskPayload::Bitstream { device_part, .. } => {
+                device_part.eq_ignore_ascii_case(part)
+            }
+            _ => true,
+        }
+    }
+
+    /// The resident-configuration kind a payload could reuse.
+    fn config_kind_for(payload: &TaskPayload) -> Option<ConfigKind> {
+        match payload {
+            TaskPayload::SoftcoreKernel { core, .. } => Some(ConfigKind::Softcore(core.clone())),
+            TaskPayload::HdlAccelerator { spec_name, .. } => {
+                Some(ConfigKind::Accelerator(spec_name.clone()))
+            }
+            TaskPayload::Bitstream { image, .. } => Some(ConfigKind::Bitstream(image.clone())),
+            TaskPayload::Software { .. } | TaskPayload::GpuKernel { .. } => None,
+        }
+    }
+}
+
+/// Requires the matchmaker to find at least one candidate; convenience for
+/// tests and examples.
+pub fn must_match(task: &Task, nodes: &[Node]) -> Vec<Candidate> {
+    let c = Matchmaker::new().candidates(task, nodes);
+    assert!(!c.is_empty(), "no mapping for {}", task.id);
+    c
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::execreq::{Constraint, ExecReq};
+    use crate::fabric::FitPolicy;
+    use crate::ids::TaskId;
+    use rhv_params::catalog::Catalog;
+
+    fn nodes() -> Vec<Node> {
+        crate::case_study::grid()
+    }
+
+    fn gpp_task() -> Task {
+        crate::case_study::tasks().remove(0)
+    }
+
+    #[test]
+    fn gpp_task_matches_all_three_gpps() {
+        let c = Matchmaker::new().candidates(&gpp_task(), &nodes());
+        let refs: Vec<String> = c.iter().map(|c| c.pe.to_string()).collect();
+        assert_eq!(
+            refs,
+            vec![
+                "GPP_0 <-> Node_0",
+                "GPP_1 <-> Node_0",
+                "GPP_0 <-> Node_1"
+            ]
+        );
+    }
+
+    #[test]
+    fn state_aware_matching_excludes_busy_gpps() {
+        let mut ns = nodes();
+        // Saturate every GPP on Node_0.
+        for i in 0..2 {
+            let free = ns[0].gpps()[i].state.free_cores();
+            ns[0]
+                .gpp_mut(PeId::Gpp(i as u32))
+                .unwrap()
+                .state
+                .acquire_cores(free)
+                .unwrap();
+        }
+        let mm = Matchmaker::with_options(MatchOptions {
+            respect_state: true,
+            softcore_fallback_slices: None,
+        });
+        let c = mm.candidates(&gpp_task(), &ns);
+        assert_eq!(c.len(), 1);
+        assert_eq!(c[0].pe.node, NodeId(1));
+    }
+
+    #[test]
+    fn softcore_fallback_offers_rpes_for_software_tasks() {
+        let mm = Matchmaker::with_options(MatchOptions {
+            respect_state: false,
+            softcore_fallback_slices: Some(4_000),
+        });
+        let c = mm.candidates(&gpp_task(), &nodes());
+        // 3 GPPs + 5 RPEs (all large enough for a 4k-slice soft-core).
+        let fallbacks = c
+            .iter()
+            .filter(|x| x.mode == HostingMode::SoftcoreFallback)
+            .count();
+        assert_eq!(fallbacks, 5);
+        assert_eq!(c.len(), 8);
+    }
+
+    #[test]
+    fn reuse_beats_reconfigure_when_config_resident() {
+        let mut ns = nodes();
+        let tasks = crate::case_study::tasks();
+        let t1 = &tasks[1]; // malign accelerator, 18,707 slices
+        // Preload the malign accelerator on Node_1's RPE_1.
+        let rpe = ns[1].rpe_mut(PeId::Rpe(1)).unwrap();
+        let cfg = rpe
+            .state
+            .load(
+                ConfigKind::Accelerator("malign".into()),
+                18_707,
+                FitPolicy::FirstFit,
+            )
+            .unwrap();
+        let c = Matchmaker::new().candidates(t1, &ns);
+        let reuse: Vec<_> = c
+            .iter()
+            .filter(|x| matches!(x.mode, HostingMode::ReuseConfig(_)))
+            .collect();
+        assert_eq!(reuse.len(), 1);
+        assert_eq!(reuse[0].pe.pe, PeId::Rpe(1));
+        assert_eq!(reuse[0].mode, HostingMode::ReuseConfig(cfg));
+    }
+
+    #[test]
+    fn state_aware_matching_excludes_full_fabric() {
+        let mut ns = nodes();
+        let tasks = crate::case_study::tasks();
+        let t2 = &tasks[2]; // pairalign, 30,790 slices
+        // Fill Node_1 RPE_1 (34,560 slices) with an unrelated config.
+        ns[1]
+            .rpe_mut(PeId::Rpe(1))
+            .unwrap()
+            .state
+            .load(ConfigKind::Accelerator("other".into()), 10_000, FitPolicy::FirstFit)
+            .unwrap();
+        let mm = Matchmaker::with_options(MatchOptions {
+            respect_state: true,
+            softcore_fallback_slices: None,
+        });
+        let c = mm.candidates(t2, &ns);
+        // Only Node_2's RPE_0 still has 30,790 contiguous free slices.
+        assert_eq!(c.len(), 1);
+        assert_eq!(c[0].pe.node, NodeId(2));
+    }
+
+    #[test]
+    fn bitstream_requires_exact_part() {
+        let tasks = crate::case_study::tasks();
+        let t3 = &tasks[3];
+        let c = Matchmaker::new().candidates(t3, &nodes());
+        assert_eq!(c.len(), 1);
+        assert_eq!(c[0].pe.to_string(), "RPE_0 <-> Node_0");
+    }
+
+    #[test]
+    fn unsatisfiable_requirement_matches_nothing() {
+        let cat = Catalog::builtin();
+        let req = ExecReq::new(
+            PeClass::Fpga,
+            vec![Constraint::ge(ParamKey::Slices, 1_000_000u64)],
+            TaskPayload::HdlAccelerator {
+                spec_name: "huge".into(),
+                est_slices: 1_000_000,
+                accel_seconds: 1.0,
+            },
+        );
+        let task = Task::new(TaskId(99), req, 1.0);
+        let c = Matchmaker::new().candidates(&task, &nodes());
+        assert!(c.is_empty());
+        drop(cat);
+    }
+
+    #[test]
+    fn gpu_class_matches_only_gpu_resources() {
+        let req = ExecReq::new(
+            PeClass::Gpu,
+            vec![Constraint::ge(ParamKey::ShaderCores, 16u64)],
+            TaskPayload::GpuKernel {
+                kernel: "nbody".into(),
+                accel_seconds: 2.0,
+            },
+        );
+        let task = Task::new(TaskId(50), req, 2.0);
+        // The case-study grid has no GPUs: no candidates.
+        assert!(Matchmaker::new().candidates(&task, &nodes()).is_empty());
+        // Extend Node_2 with a Tesla at runtime: one candidate appears.
+        let mut ns = nodes();
+        let cat = Catalog::builtin();
+        ns[2].add_gpu(cat.gpu("Tesla C1060").unwrap().clone());
+        let c = Matchmaker::new().candidates(&task, &ns);
+        assert_eq!(c.len(), 1);
+        assert_eq!(c[0].pe.to_string(), "GPU_0 <-> Node_2");
+        assert_eq!(c[0].mode, HostingMode::GpuRun);
+        // A busy GPU is excluded under state-aware matching.
+        ns[2].gpu_mut(crate::ids::PeId::Gpu(0)).unwrap().state.acquire().unwrap();
+        let live = Matchmaker::with_options(MatchOptions {
+            respect_state: true,
+            softcore_fallback_slices: None,
+        });
+        assert!(live.candidates(&task, &ns).is_empty());
+        // An under-specced requirement never matches.
+        let mut big = task.clone();
+        big.exec_req.constraints[0] = Constraint::ge(ParamKey::ShaderCores, 1_000u64);
+        assert!(Matchmaker::new().candidates(&big, &ns).is_empty());
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use crate::execreq::{Constraint, ExecReq};
+    use crate::ids::TaskId;
+    use proptest::prelude::*;
+    use rhv_params::catalog::Catalog;
+
+    proptest! {
+        /// Every candidate the matchmaker returns genuinely satisfies the
+        /// requirement's constraints against that PE's capabilities.
+        #[test]
+        fn candidates_satisfy_constraints(min_slices in 1u64..60_000, family_v5 in prop::bool::ANY) {
+            let nodes = crate::case_study::grid();
+            let mut constraints = vec![Constraint::ge(ParamKey::Slices, min_slices)];
+            if family_v5 {
+                constraints.push(Constraint::eq(ParamKey::DeviceFamily, "Virtex-5"));
+            }
+            let req = ExecReq::new(
+                PeClass::Fpga,
+                constraints,
+                TaskPayload::HdlAccelerator {
+                    spec_name: "k".into(),
+                    est_slices: min_slices,
+                    accel_seconds: 1.0,
+                },
+            );
+            let task = Task::new(TaskId(0), req.clone(), 1.0);
+            for c in Matchmaker::new().candidates(&task, &nodes) {
+                let node = nodes.iter().find(|n| n.id == c.pe.node).unwrap();
+                let rpe = node.rpe(c.pe.pe).expect("FPGA candidates are RPEs");
+                prop_assert!(req.satisfied_by(&rpe.caps));
+                prop_assert!(rpe.device.slices >= min_slices);
+                if family_v5 {
+                    prop_assert_eq!(rpe.device.family, rhv_params::fpga::FpgaFamily::Virtex5);
+                }
+            }
+            let _ = Catalog::builtin();
+        }
+
+        /// GPP matching never returns RPEs (without the fallback option) and
+        /// vice versa.
+        #[test]
+        fn class_separation(min_mips in 1.0f64..100_000.0) {
+            let nodes = crate::case_study::grid();
+            let req = ExecReq::new(
+                PeClass::Gpp,
+                vec![Constraint::ge(ParamKey::MipsRating, min_mips)],
+                TaskPayload::Software { mega_instructions: 1.0, parallelism: 1 },
+            );
+            let task = Task::new(TaskId(0), req, 1.0);
+            for c in Matchmaker::new().candidates(&task, &nodes) {
+                prop_assert!(!c.pe.pe.is_rpe());
+            }
+        }
+    }
+}

@@ -1,0 +1,386 @@
+//! The grid node model — Eq. (1) and Figs. 3/5 of the paper.
+//!
+//! `Node(NodeID, GPP Caps, RPE Caps, state)`: a node owns a list of GPP
+//! resources and a list of RPE resources. Each resource carries its
+//! capability [`ParamMap`] ("GPP Caps" / "RPE Caps") and its dynamic state.
+//! The model "is generic and adaptive in adding/removing resources at
+//! runtime", which [`Node::add_gpp`] / [`Node::remove_last_rpe`] etc. implement.
+
+use crate::ids::{NodeId, PeId};
+use crate::state::{GppState, GpuState, RpeState};
+use rhv_params::fpga::FpgaDevice;
+use rhv_params::gpp::GppSpec;
+use rhv_params::gpu::GpuSpec;
+use rhv_params::param::{ParamKey, ParamMap};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A GPP resource inside a node: capabilities plus dynamic state.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct GppResource {
+    /// The static processor description.
+    pub spec: GppSpec,
+    /// Capability parameters derived from (and extendable beyond) the spec.
+    pub caps: ParamMap,
+    /// Dynamic occupancy state.
+    pub state: GppState,
+}
+
+impl GppResource {
+    /// Wraps a spec into a resource with derived capabilities and idle state.
+    pub fn new(spec: GppSpec) -> Self {
+        let caps = spec.to_params();
+        let state = GppState::new(spec.cores);
+        GppResource { spec, caps, state }
+    }
+}
+
+/// An RPE resource inside a node: device capabilities plus fabric state.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RpeResource {
+    /// The static device description.
+    pub device: FpgaDevice,
+    /// Capability parameters derived from (and extendable beyond) the device.
+    pub caps: ParamMap,
+    /// Dynamic fabric/configuration state.
+    pub state: RpeState,
+}
+
+impl RpeResource {
+    /// Wraps a device into a resource with derived capabilities and an
+    /// unconfigured fabric.
+    pub fn new(device: FpgaDevice) -> Self {
+        let caps = device.to_params();
+        let state = RpeState::new(device.slices, device.partial_reconfig);
+        RpeResource { device, caps, state }
+    }
+
+    /// Effective capabilities for matchmaking: static caps with the dynamic
+    /// available-area figure substituted for the raw slice count when asked.
+    ///
+    /// The paper's scheduler "takes into account various parameters, such as
+    /// area slices … the availability and current status of the nodes"; this
+    /// is the hook where state flows into matchmaking.
+    pub fn effective_caps(&self) -> ParamMap {
+        let mut caps = self.caps.clone();
+        caps.set(
+            ParamKey::Custom("available_slices".into()),
+            self.state.available_slices(),
+        );
+        caps
+    }
+}
+
+/// A GPU resource inside a node (the model's extension point in action).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct GpuResource {
+    /// The static device description.
+    pub spec: GpuSpec,
+    /// Capability parameters derived from (and extendable beyond) the spec.
+    pub caps: ParamMap,
+    /// Dynamic occupancy state.
+    pub state: GpuState,
+}
+
+impl GpuResource {
+    /// Wraps a spec into a resource with derived capabilities, idle state.
+    pub fn new(spec: GpuSpec) -> Self {
+        let caps = spec.to_params();
+        GpuResource {
+            spec,
+            caps,
+            state: GpuState::new(),
+        }
+    }
+}
+
+/// A grid node per Eq. (1): `Node(NodeID, GPP Caps, RPE Caps, state)`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Node {
+    /// The node's identifier.
+    pub id: NodeId,
+    gpps: Vec<GppResource>,
+    rpes: Vec<RpeResource>,
+    #[serde(default)]
+    gpus: Vec<GpuResource>,
+}
+
+impl Node {
+    /// Creates an empty node.
+    pub fn new(id: NodeId) -> Self {
+        Node {
+            id,
+            gpps: Vec::new(),
+            rpes: Vec::new(),
+            gpus: Vec::new(),
+        }
+    }
+
+    /// Adds a GPP at runtime; returns its in-node id.
+    pub fn add_gpp(&mut self, spec: GppSpec) -> PeId {
+        self.gpps.push(GppResource::new(spec));
+        PeId::Gpp(self.gpps.len() as u32 - 1)
+    }
+
+    /// Adds an RPE at runtime; returns its in-node id.
+    pub fn add_rpe(&mut self, device: FpgaDevice) -> PeId {
+        self.rpes.push(RpeResource::new(device));
+        PeId::Rpe(self.rpes.len() as u32 - 1)
+    }
+
+    /// Adds a GPU at runtime; returns its in-node id.
+    pub fn add_gpu(&mut self, spec: GpuSpec) -> PeId {
+        self.gpus.push(GpuResource::new(spec));
+        PeId::Gpu(self.gpus.len() as u32 - 1)
+    }
+
+    /// The GPU resources.
+    pub fn gpus(&self) -> &[GpuResource] {
+        &self.gpus
+    }
+
+    /// A GPU by in-node id.
+    pub fn gpu(&self, id: PeId) -> Option<&GpuResource> {
+        match id {
+            PeId::Gpu(i) => self.gpus.get(i as usize),
+            _ => None,
+        }
+    }
+
+    /// Mutable access to a GPU by in-node id.
+    pub fn gpu_mut(&mut self, id: PeId) -> Option<&mut GpuResource> {
+        match id {
+            PeId::Gpu(i) => self.gpus.get_mut(i as usize),
+            _ => None,
+        }
+    }
+
+    /// Removes the last-added GPU.
+    pub fn remove_last_gpu(&mut self) -> Option<GpuResource> {
+        self.gpus.pop()
+    }
+
+    /// Removes the last-added GPP (list semantics follow the paper's
+    /// null-terminated resource lists). Returns the removed resource.
+    pub fn remove_last_gpp(&mut self) -> Option<GppResource> {
+        self.gpps.pop()
+    }
+
+    /// Removes the last-added RPE.
+    pub fn remove_last_rpe(&mut self) -> Option<RpeResource> {
+        self.rpes.pop()
+    }
+
+    /// The GPP resources.
+    pub fn gpps(&self) -> &[GppResource] {
+        &self.gpps
+    }
+
+    /// The RPE resources.
+    pub fn rpes(&self) -> &[RpeResource] {
+        &self.rpes
+    }
+
+    /// Mutable access to a GPP by in-node id.
+    pub fn gpp_mut(&mut self, id: PeId) -> Option<&mut GppResource> {
+        match id {
+            PeId::Gpp(i) => self.gpps.get_mut(i as usize),
+            _ => None,
+        }
+    }
+
+    /// Mutable access to an RPE by in-node id.
+    pub fn rpe_mut(&mut self, id: PeId) -> Option<&mut RpeResource> {
+        match id {
+            PeId::Rpe(i) => self.rpes.get_mut(i as usize),
+            _ => None,
+        }
+    }
+
+    /// A GPP by in-node id.
+    pub fn gpp(&self, id: PeId) -> Option<&GppResource> {
+        match id {
+            PeId::Gpp(i) => self.gpps.get(i as usize),
+            _ => None,
+        }
+    }
+
+    /// An RPE by in-node id.
+    pub fn rpe(&self, id: PeId) -> Option<&RpeResource> {
+        match id {
+            PeId::Rpe(i) => self.rpes.get(i as usize),
+            _ => None,
+        }
+    }
+
+    /// All PE ids of the node, GPPs first (matches the Fig. 3 list order).
+    pub fn pe_ids(&self) -> Vec<PeId> {
+        let mut out = Vec::with_capacity(self.pe_count());
+        out.extend((0..self.gpps.len() as u32).map(PeId::Gpp));
+        out.extend((0..self.rpes.len() as u32).map(PeId::Rpe));
+        out.extend((0..self.gpus.len() as u32).map(PeId::Gpu));
+        out
+    }
+
+    /// Total processing elements.
+    pub fn pe_count(&self) -> usize {
+        self.gpps.len() + self.rpes.len() + self.gpus.len()
+    }
+
+    /// Renders the node in the style of Fig. 5: every PE with its parameter
+    /// list and current state.
+    pub fn render(&self) -> String {
+        use std::fmt::Write;
+        let mut s = String::new();
+        let _ = writeln!(s, "{}:", self.id);
+        for (i, g) in self.gpps.iter().enumerate() {
+            let _ = writeln!(s, "  GPP_{i}: {}", g.spec);
+            let _ = writeln!(
+                s,
+                "    state: {} of {} cores in use",
+                g.state.cores_in_use(),
+                g.state.total_cores()
+            );
+        }
+        for (i, r) in self.rpes.iter().enumerate() {
+            let _ = writeln!(s, "  RPE_{i}: {}", r.device);
+            let _ = writeln!(s, "    State_{i}: {}", r.state.summary());
+        }
+        for (i, g) in self.gpus.iter().enumerate() {
+            let _ = writeln!(s, "  GPU_{i}: {}", g.spec);
+            let _ = writeln!(
+                s,
+                "    state: {}",
+                if g.state.is_idle() { "idle" } else { "busy" }
+            );
+        }
+        s
+    }
+}
+
+impl fmt::Display for Node {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} ({} GPPs, {} RPEs, {} GPUs)",
+            self.id,
+            self.gpps.len(),
+            self.rpes.len(),
+            self.gpus.len()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rhv_params::catalog::Catalog;
+
+    fn sample_node() -> Node {
+        let cat = Catalog::builtin();
+        let mut n = Node::new(NodeId(0));
+        n.add_gpp(cat.gpp("Intel Xeon E5450").unwrap().clone());
+        n.add_gpp(cat.gpp("AMD Opteron 2380").unwrap().clone());
+        n.add_rpe(cat.fpga("XC6VLX365T").unwrap().clone());
+        n.add_rpe(cat.fpga("XC5VLX110").unwrap().clone());
+        n
+    }
+
+    #[test]
+    fn node0_shape_matches_fig5a() {
+        let n = sample_node();
+        assert_eq!(n.gpps().len(), 2);
+        assert_eq!(n.rpes().len(), 2);
+        assert_eq!(n.pe_count(), 4);
+        // Fresh RPEs are available, idle and unconfigured — Fig. 5's State_0/1.
+        for r in n.rpes() {
+            assert!(r.state.is_unconfigured());
+            assert!(r.state.is_idle());
+        }
+    }
+
+    #[test]
+    fn pe_ids_enumerate_gpps_then_rpes() {
+        let n = sample_node();
+        assert_eq!(
+            n.pe_ids(),
+            vec![PeId::Gpp(0), PeId::Gpp(1), PeId::Rpe(0), PeId::Rpe(1)]
+        );
+    }
+
+    #[test]
+    fn runtime_add_remove() {
+        let cat = Catalog::builtin();
+        let mut n = sample_node();
+        let id = n.add_rpe(cat.fpga("XC5VLX30").unwrap().clone());
+        assert_eq!(id, PeId::Rpe(2));
+        assert_eq!(n.rpes().len(), 3);
+        let removed = n.remove_last_rpe().unwrap();
+        assert_eq!(removed.device.part, "XC5VLX30");
+        assert_eq!(n.rpes().len(), 2);
+        assert!(Node::new(NodeId(9)).remove_last_gpp().is_none());
+    }
+
+    #[test]
+    fn typed_accessors_reject_wrong_class() {
+        let mut n = sample_node();
+        assert!(n.gpp(PeId::Rpe(0)).is_none());
+        assert!(n.rpe(PeId::Gpp(0)).is_none());
+        assert!(n.gpp_mut(PeId::Rpe(0)).is_none());
+        assert!(n.rpe_mut(PeId::Gpp(0)).is_none());
+        assert!(n.rpe(PeId::Rpe(5)).is_none());
+    }
+
+    #[test]
+    fn effective_caps_reflect_fabric_state() {
+        use crate::fabric::FitPolicy;
+        use crate::state::ConfigKind;
+        let mut n = sample_node();
+        let avail_key = ParamKey::Custom("available_slices".into());
+        let before = n.rpes()[0].effective_caps().get_u64(avail_key.clone()).unwrap();
+        assert_eq!(before, 56_880);
+        let rpe = n.rpe_mut(PeId::Rpe(0)).unwrap();
+        rpe.state
+            .load(ConfigKind::Accelerator("x".into()), 10_000, FitPolicy::FirstFit)
+            .unwrap();
+        let after = n.rpes()[0].effective_caps().get_u64(avail_key).unwrap();
+        assert_eq!(after, 46_880);
+    }
+
+    #[test]
+    fn render_mentions_every_pe_and_state() {
+        let s = sample_node().render();
+        assert!(s.contains("GPP_0"));
+        assert!(s.contains("GPP_1"));
+        assert!(s.contains("RPE_0"));
+        assert!(s.contains("RPE_1"));
+        assert!(s.contains("State_0"));
+        assert!(s.contains("no configuration"));
+    }
+
+    #[test]
+    fn gpu_resources_extend_the_node() {
+        let cat = Catalog::builtin();
+        let mut n = sample_node();
+        let id = n.add_gpu(cat.gpu("Tesla C1060").unwrap().clone());
+        assert_eq!(id, PeId::Gpu(0));
+        assert_eq!(n.pe_count(), 5);
+        assert!(n.pe_ids().contains(&PeId::Gpu(0)));
+        assert!(n.gpu(PeId::Gpu(0)).unwrap().state.is_idle());
+        assert!(n.gpu(PeId::Rpe(0)).is_none());
+        n.gpu_mut(PeId::Gpu(0)).unwrap().state.acquire().unwrap();
+        assert!(n.render().contains("GPU_0"));
+        assert!(n.render().contains("busy"));
+        let removed = n.remove_last_gpu().unwrap();
+        assert_eq!(removed.spec.model, "Tesla C1060");
+        assert_eq!(n.pe_count(), 4);
+    }
+
+    #[test]
+    fn serde_round_trip() {
+        let n = sample_node();
+        let json = serde_json::to_string(&n).unwrap();
+        let back: Node = serde_json::from_str(&json).unwrap();
+        assert_eq!(n, back);
+    }
+}

@@ -1,0 +1,422 @@
+//! Textual execution-requirement specifications.
+//!
+//! Fig. 4 shows `ExecReq` as "a list of k parameters … Each parameter is
+//! followed by its value". This module gives that list a concrete text
+//! form, so requirement sets can live in job files and travel through the
+//! JSS as plain text:
+//!
+//! ```text
+//! NodeType: FPGA
+//! device_family = Virtex-5
+//! slices >= 18707
+//! bram_kb >= 512 KB
+//! ```
+//!
+//! Values parse by shape: integers → counts; `<n> MHz` / `<n> MB/s` /
+//! `<n> KB` / `<n> MB` → the matching unit; `true`/`false`/`yes`/`no` →
+//! flags; `[a, b, c]` → lists; anything else → text. `#` starts a comment.
+
+use crate::execreq::{Constraint, ConstraintOp, ExecReq, TaskPayload};
+use rhv_params::param::{ParamKey, PeClass};
+use rhv_params::value::ParamValue;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A specification parse failure with its 1-based line.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SpecError {
+    /// 1-based line number.
+    pub line: usize,
+    /// Cause.
+    pub message: String,
+}
+
+impl fmt::Display for SpecError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for SpecError {}
+
+/// Parses a requirement spec into `(node type, constraints)`.
+pub fn parse_spec(text: &str) -> Result<(PeClass, Vec<Constraint>), SpecError> {
+    let mut pe_class: Option<PeClass> = None;
+    let mut constraints = Vec::new();
+    for (ln, raw) in text.lines().enumerate() {
+        let line = strip_comment(raw).trim();
+        if line.is_empty() {
+            continue;
+        }
+        let err = |message: String| SpecError {
+            line: ln + 1,
+            message,
+        };
+        if let Some(rest) = line
+            .strip_prefix("NodeType:")
+            .or_else(|| line.strip_prefix("nodetype:"))
+        {
+            if pe_class.is_some() {
+                return Err(err("NodeType declared twice".into()));
+            }
+            pe_class = Some(parse_pe_class(rest.trim()).ok_or_else(|| {
+                err(format!("unknown node type `{}`", rest.trim()))
+            })?);
+            continue;
+        }
+        // constraint: key op value
+        let (key_str, op, value_str) = split_constraint(line)
+            .ok_or_else(|| err(format!("expected `key op value`, got `{line}`")))?;
+        let key = ParamKey::parse(key_str.trim())
+            .ok_or_else(|| err(format!("unknown parameter `{}`", key_str.trim())))?;
+        let value = parse_value(value_str.trim())
+            .ok_or_else(|| err(format!("cannot parse value `{}`", value_str.trim())))?;
+        constraints.push(Constraint { key, op, value });
+    }
+    let pe_class = pe_class.ok_or(SpecError {
+        line: 1,
+        message: "missing `NodeType:` line".into(),
+    })?;
+    Ok((pe_class, constraints))
+}
+
+/// Builds a full [`ExecReq`] from spec text plus the shipped payload.
+pub fn exec_req_from_spec(text: &str, payload: TaskPayload) -> Result<ExecReq, SpecError> {
+    let (pe_class, constraints) = parse_spec(text)?;
+    Ok(ExecReq::new(pe_class, constraints, payload))
+}
+
+/// Formats `(node type, constraints)` back into spec text. Round-trips with
+/// [`parse_spec`] for every representable constraint.
+pub fn format_spec(pe_class: PeClass, constraints: &[Constraint]) -> String {
+    use std::fmt::Write;
+    let mut out = String::new();
+    let _ = writeln!(out, "NodeType: {}", pe_class_name(pe_class));
+    for c in constraints {
+        let _ = writeln!(out, "{} {} {}", c.key, c.op, format_value(&c.value));
+    }
+    out
+}
+
+fn strip_comment(line: &str) -> &str {
+    match line.find('#') {
+        Some(i) => &line[..i],
+        None => line,
+    }
+}
+
+fn parse_pe_class(s: &str) -> Option<PeClass> {
+    match s.to_ascii_lowercase().as_str() {
+        "gpp" | "cpu" => Some(PeClass::Gpp),
+        "fpga" | "rpe" => Some(PeClass::Fpga),
+        "softcore" | "softcore (vliw)" | "vliw" => Some(PeClass::Softcore),
+        "gpu" => Some(PeClass::Gpu),
+        _ => None,
+    }
+}
+
+fn pe_class_name(c: PeClass) -> &'static str {
+    match c {
+        PeClass::Gpp => "GPP",
+        PeClass::Fpga => "FPGA",
+        PeClass::Softcore => "Softcore",
+        PeClass::Gpu => "GPU",
+    }
+}
+
+fn split_constraint(line: &str) -> Option<(&str, ConstraintOp, &str)> {
+    // Longest operators first so `>=` wins over `>`.
+    for (tok, op) in [
+        (">=", ConstraintOp::Ge),
+        ("<=", ConstraintOp::Le),
+        ("==", ConstraintOp::Eq),
+        ("=", ConstraintOp::Eq),
+        (">", ConstraintOp::Gt),
+        ("<", ConstraintOp::Lt),
+    ] {
+        if let Some(i) = line.find(tok) {
+            let (k, rest) = line.split_at(i);
+            return Some((k, op, &rest[tok.len()..]));
+        }
+    }
+    None
+}
+
+fn parse_value(s: &str) -> Option<ParamValue> {
+    if s.is_empty() {
+        return None;
+    }
+    // list
+    if let Some(inner) = s.strip_prefix('[').and_then(|x| x.strip_suffix(']')) {
+        let items: Vec<String> = inner
+            .split(',')
+            .map(|x| x.trim().to_owned())
+            .filter(|x| !x.is_empty())
+            .collect();
+        return Some(ParamValue::TextList(items));
+    }
+    // flags
+    match s.to_ascii_lowercase().as_str() {
+        "true" | "yes" => return Some(ParamValue::Flag(true)),
+        "false" | "no" => return Some(ParamValue::Flag(false)),
+        _ => {}
+    }
+    // unit-suffixed numbers
+    for (suffix, build) in [
+        ("MB/s", unit_mbps as fn(f64) -> Option<ParamValue>),
+        ("MHz", unit_mhz),
+        ("KB", unit_kb),
+        ("MB", unit_mb),
+    ] {
+        if let Some(num) = s.strip_suffix(suffix) {
+            let x: f64 = num.trim().parse().ok()?;
+            return build(x);
+        }
+    }
+    // bare numbers
+    if let Ok(n) = s.parse::<u64>() {
+        return Some(ParamValue::Count(n));
+    }
+    if let Ok(x) = s.parse::<f64>() {
+        return Some(ParamValue::Real(x));
+    }
+    // quoted or bare text
+    let text = s.trim_matches('"');
+    Some(ParamValue::Text(text.to_owned()))
+}
+
+fn unit_mbps(x: f64) -> Option<ParamValue> {
+    Some(ParamValue::MegaBytesPerSec(x))
+}
+
+fn unit_mhz(x: f64) -> Option<ParamValue> {
+    Some(ParamValue::MegaHertz(x))
+}
+
+fn unit_kb(x: f64) -> Option<ParamValue> {
+    if x.fract() == 0.0 && x >= 0.0 {
+        Some(ParamValue::KiloBytes(x as u64))
+    } else {
+        None
+    }
+}
+
+fn unit_mb(x: f64) -> Option<ParamValue> {
+    if x.fract() == 0.0 && x >= 0.0 {
+        Some(ParamValue::MegaBytes(x as u64))
+    } else {
+        None
+    }
+}
+
+fn format_value(v: &ParamValue) -> String {
+    match v {
+        ParamValue::Count(n) => n.to_string(),
+        ParamValue::Real(x) => format!("{x:?}"),
+        ParamValue::MegaHertz(x) => format!("{x} MHz"),
+        ParamValue::MegaBytesPerSec(x) => format!("{x} MB/s"),
+        ParamValue::KiloBytes(n) => format!("{n} KB"),
+        ParamValue::MegaBytes(n) => format!("{n} MB"),
+        ParamValue::Text(s) => s.clone(),
+        ParamValue::Flag(b) => if *b { "true" } else { "false" }.to_owned(),
+        ParamValue::TextList(items) => format!("[{}]", items.join(", ")),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const TASK2_SPEC: &str = r"
+        # pairalign accelerator requirements (Fig. 6c)
+        NodeType: FPGA
+        device_family = Virtex-5
+        slices >= 30790
+    ";
+
+    #[test]
+    fn parses_the_case_study_spec() {
+        let (class, constraints) = parse_spec(TASK2_SPEC).unwrap();
+        assert_eq!(class, PeClass::Fpga);
+        assert_eq!(constraints.len(), 2);
+        assert_eq!(constraints[1].key, ParamKey::Slices);
+        assert_eq!(constraints[1].op, ConstraintOp::Ge);
+        assert_eq!(constraints[1].value, ParamValue::Count(30_790));
+    }
+
+    #[test]
+    fn spec_matches_like_the_builder_version() {
+        use crate::case_study;
+        use crate::matchmaker::Matchmaker;
+        use crate::task::Task;
+        let req = exec_req_from_spec(
+            TASK2_SPEC,
+            TaskPayload::HdlAccelerator {
+                spec_name: "pairalign".into(),
+                est_slices: 30_790,
+                accel_seconds: 14.0,
+            },
+        )
+        .unwrap();
+        let task = Task::new(crate::ids::TaskId(2), req, 14.0);
+        let grid = case_study::grid();
+        let got: Vec<String> = Matchmaker::new()
+            .candidates(&task, &grid)
+            .iter()
+            .map(|c| c.pe.to_string())
+            .collect();
+        // Table II's Task_2 row.
+        assert_eq!(got, vec!["RPE_1 <-> Node_1", "RPE_0 <-> Node_2"]);
+    }
+
+    #[test]
+    fn value_shapes() {
+        let text = r"
+            NodeType: GPP
+            mips_rating >= 10000
+            clock_mhz >= 2500 MHz
+            ram_mb >= 4096 MB
+            os = Linux
+            cores > 1
+        ";
+        let (_, cs) = parse_spec(text).unwrap();
+        assert_eq!(cs[0].value, ParamValue::Count(10_000));
+        assert_eq!(cs[1].value, ParamValue::MegaHertz(2_500.0));
+        assert_eq!(cs[2].value, ParamValue::MegaBytes(4_096));
+        assert_eq!(cs[3].value, ParamValue::text("Linux"));
+        assert_eq!(cs[4].op, ConstraintOp::Gt);
+    }
+
+    #[test]
+    fn flags_lists_and_units() {
+        let text = r"
+            NodeType: FPGA
+            ethernet_mac = true
+            io_standards = [LVDS, SSTL2]
+            reconfig_bandwidth_mbps >= 400 MB/s
+            bram_kb >= 1024 KB
+        ";
+        let (_, cs) = parse_spec(text).unwrap();
+        assert_eq!(cs[0].value, ParamValue::Flag(true));
+        assert_eq!(cs[1].value, ParamValue::list(["LVDS", "SSTL2"]));
+        assert_eq!(cs[2].value, ParamValue::MegaBytesPerSec(400.0));
+        assert_eq!(cs[3].value, ParamValue::KiloBytes(1_024));
+    }
+
+    #[test]
+    fn errors_are_located() {
+        let e = parse_spec("slices >= 10").unwrap_err();
+        assert!(e.message.contains("NodeType"));
+
+        let e = parse_spec("NodeType: Quantum").unwrap_err();
+        assert!(e.message.contains("unknown node type"));
+        assert_eq!(e.line, 1);
+
+        let e = parse_spec("NodeType: FPGA\nwombats >= 3").unwrap_err();
+        assert_eq!(e.line, 2);
+        assert!(e.message.contains("unknown parameter"));
+
+        let e = parse_spec("NodeType: FPGA\nslices 10").unwrap_err();
+        assert!(e.message.contains("key op value"));
+
+        let e = parse_spec("NodeType: FPGA\nNodeType: GPP").unwrap_err();
+        assert!(e.message.contains("twice"));
+
+        let e = parse_spec("NodeType: FPGA\nslices >= ").unwrap_err();
+        assert!(e.message.contains("cannot parse value"), "{e}");
+    }
+
+    #[test]
+    fn format_parse_round_trip() {
+        let constraints = vec![
+            Constraint::eq(ParamKey::DeviceFamily, "Virtex-5"),
+            Constraint::ge(ParamKey::Slices, 18_707u64),
+            Constraint::new(
+                ParamKey::SpeedGradeMhz,
+                ConstraintOp::Ge,
+                ParamValue::MegaHertz(400.0),
+            ),
+            Constraint::eq(ParamKey::EthernetMac, true),
+            Constraint::eq(
+                ParamKey::IoStandards,
+                ParamValue::list(["LVDS", "LVCMOS33"]),
+            ),
+            Constraint::eq(ParamKey::Custom("rack".into()), "eu-west"),
+        ];
+        let text = format_spec(PeClass::Fpga, &constraints);
+        let (class, parsed) = parse_spec(&text).unwrap();
+        assert_eq!(class, PeClass::Fpga);
+        assert_eq!(parsed, constraints);
+    }
+
+    #[test]
+    fn comments_and_blank_lines_ok() {
+        let text = "\n# header\nNodeType: GPU   \n\n shader_cores >= 16 # inline\n";
+        let (class, cs) = parse_spec(text).unwrap();
+        assert_eq!(class, PeClass::Gpu);
+        assert_eq!(cs.len(), 1);
+        assert_eq!(cs[0].key, ParamKey::ShaderCores);
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+    use rhv_params::value::ParamValue;
+
+    fn key_strategy() -> impl Strategy<Value = ParamKey> {
+        prop_oneof![
+            prop::sample::select(ParamKey::all().to_vec()),
+            "[a-z_]{1,12}".prop_map(ParamKey::Custom),
+        ]
+    }
+
+    fn value_strategy() -> impl Strategy<Value = ParamValue> {
+        prop_oneof![
+            (0u64..1_000_000).prop_map(ParamValue::Count),
+            (0u64..100_000).prop_map(ParamValue::KiloBytes),
+            (0u64..100_000).prop_map(ParamValue::MegaBytes),
+            (0.0f64..10_000.0).prop_map(ParamValue::MegaHertz),
+            (0.0f64..10_000.0).prop_map(ParamValue::MegaBytesPerSec),
+            prop::bool::ANY.prop_map(ParamValue::Flag),
+            "[A-Za-z][A-Za-z0-9-]{0,14}".prop_map(ParamValue::Text),
+            prop::collection::vec("[A-Za-z][A-Za-z0-9]{0,8}", 1..4)
+                .prop_map(ParamValue::TextList),
+        ]
+    }
+
+    fn op_strategy() -> impl Strategy<Value = ConstraintOp> {
+        prop_oneof![
+            Just(ConstraintOp::Eq),
+            Just(ConstraintOp::Ge),
+            Just(ConstraintOp::Le),
+            Just(ConstraintOp::Gt),
+            Just(ConstraintOp::Lt),
+        ]
+    }
+
+    proptest! {
+        /// format_spec → parse_spec is the identity for arbitrary
+        /// representable constraint sets.
+        #[test]
+        fn spec_round_trip(
+            class in prop_oneof![
+                Just(PeClass::Gpp),
+                Just(PeClass::Fpga),
+                Just(PeClass::Softcore),
+                Just(PeClass::Gpu)
+            ],
+            constraints in prop::collection::vec(
+                (key_strategy(), op_strategy(), value_strategy())
+                    .prop_map(|(key, op, value)| Constraint { key, op, value }),
+                0..8,
+            ),
+        ) {
+            let text = format_spec(class, &constraints);
+            let (parsed_class, parsed) = parse_spec(&text).expect("round trip parses");
+            prop_assert_eq!(parsed_class, class);
+            prop_assert_eq!(parsed, constraints);
+        }
+    }
+}

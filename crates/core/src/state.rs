@@ -1,0 +1,519 @@
+//! Dynamic state of processing elements (the `state` attribute of Eq. 1).
+//!
+//! The paper: "*state* represents the current states of different elements.
+//! It is a dynamically changing attribute of the node. For instance, the
+//! *state* can provide the current available reconfigurable area or maintains
+//! the information of current configuration(s) on an RPE."
+//!
+//! [`RpeState`] therefore wraps a [`Fabric`] allocator plus the catalogue of
+//! currently loaded configurations; [`GppState`] tracks core occupancy.
+
+use crate::fabric::{Fabric, FabricError, FitPolicy, RegionId};
+use crate::ids::ConfigId;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// What a loaded configuration implements.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum ConfigKind {
+    /// A soft-core processor (named configuration, e.g. `rvex-2w`).
+    Softcore(String),
+    /// A synthesized user-defined accelerator (named after its HDL spec).
+    Accelerator(String),
+    /// A user-provided device-specific bitstream (named after its image).
+    Bitstream(String),
+}
+
+impl ConfigKind {
+    /// The configuration's display name.
+    pub fn name(&self) -> &str {
+        match self {
+            ConfigKind::Softcore(n) | ConfigKind::Accelerator(n) | ConfigKind::Bitstream(n) => n,
+        }
+    }
+}
+
+impl fmt::Display for ConfigKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ConfigKind::Softcore(n) => write!(f, "softcore:{n}"),
+            ConfigKind::Accelerator(n) => write!(f, "accel:{n}"),
+            ConfigKind::Bitstream(n) => write!(f, "bitstream:{n}"),
+        }
+    }
+}
+
+/// A configuration currently resident on an RPE's fabric.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct LoadedConfig {
+    /// Handle for this configuration.
+    pub id: ConfigId,
+    /// What the configuration implements.
+    pub kind: ConfigKind,
+    /// The fabric region it occupies.
+    pub region: RegionId,
+    /// Slices requested by the configuration (≤ region length on non-PR
+    /// devices, where the whole fabric is claimed).
+    pub slices: u64,
+    /// Whether a task is currently executing on this configuration.
+    pub in_use: bool,
+}
+
+/// Dynamic state of one RPE.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RpeState {
+    fabric: Fabric,
+    configs: Vec<LoadedConfig>,
+    next_config: u64,
+}
+
+impl RpeState {
+    /// A fresh, unconfigured RPE ("currently available and idle. Moreover,
+    /// they are not configured with any processor configuration" — Fig. 5).
+    pub fn new(total_slices: u64, partial_reconfig: bool) -> Self {
+        RpeState {
+            fabric: Fabric::new(total_slices, partial_reconfig),
+            configs: Vec::new(),
+            next_config: 0,
+        }
+    }
+
+    /// The underlying area allocator.
+    pub fn fabric(&self) -> &Fabric {
+        &self.fabric
+    }
+
+    /// Available (unconfigured) slices.
+    pub fn available_slices(&self) -> u64 {
+        self.fabric.available_slices()
+    }
+
+    /// True when no configuration is loaded.
+    pub fn is_unconfigured(&self) -> bool {
+        self.configs.is_empty()
+    }
+
+    /// True when no running task occupies any configuration.
+    pub fn is_idle(&self) -> bool {
+        self.configs.iter().all(|c| !c.in_use)
+    }
+
+    /// Loads a configuration of `slices` slices onto the fabric.
+    pub fn load(
+        &mut self,
+        kind: ConfigKind,
+        slices: u64,
+        policy: FitPolicy,
+    ) -> Result<ConfigId, FabricError> {
+        let region = self.fabric.allocate(slices, policy)?;
+        let id = ConfigId(self.next_config);
+        self.next_config += 1;
+        self.configs.push(LoadedConfig {
+            id,
+            kind,
+            region,
+            slices,
+            in_use: false,
+        });
+        Ok(id)
+    }
+
+    /// Unloads (frees) a configuration.
+    ///
+    /// Fails when the configuration is still executing a task.
+    pub fn unload(&mut self, id: ConfigId) -> Result<(), RpeStateError> {
+        let pos = self
+            .configs
+            .iter()
+            .position(|c| c.id == id)
+            .ok_or(RpeStateError::UnknownConfig(id))?;
+        if self.configs[pos].in_use {
+            return Err(RpeStateError::ConfigBusy(id));
+        }
+        let cfg = self.configs.remove(pos);
+        self.fabric
+            .free(cfg.region)
+            .expect("config region must be live");
+        Ok(())
+    }
+
+    /// Marks a configuration as executing a task.
+    pub fn acquire(&mut self, id: ConfigId) -> Result<(), RpeStateError> {
+        let cfg = self.config_mut(id)?;
+        if cfg.in_use {
+            return Err(RpeStateError::ConfigBusy(id));
+        }
+        cfg.in_use = true;
+        Ok(())
+    }
+
+    /// Marks a configuration as idle again.
+    pub fn release(&mut self, id: ConfigId) -> Result<(), RpeStateError> {
+        let cfg = self.config_mut(id)?;
+        if !cfg.in_use {
+            return Err(RpeStateError::ConfigIdle(id));
+        }
+        cfg.in_use = false;
+        Ok(())
+    }
+
+    fn config_mut(&mut self, id: ConfigId) -> Result<&mut LoadedConfig, RpeStateError> {
+        self.configs
+            .iter_mut()
+            .find(|c| c.id == id)
+            .ok_or(RpeStateError::UnknownConfig(id))
+    }
+
+    /// Looks up a loaded configuration.
+    pub fn config(&self, id: ConfigId) -> Option<&LoadedConfig> {
+        self.configs.iter().find(|c| c.id == id)
+    }
+
+    /// All loaded configurations.
+    pub fn configs(&self) -> &[LoadedConfig] {
+        &self.configs
+    }
+
+    /// Finds an idle loaded configuration of the given kind, if any — the
+    /// hook that lets reuse-aware scheduling skip a reconfiguration.
+    pub fn find_idle_config(&self, kind: &ConfigKind) -> Option<ConfigId> {
+        self.configs
+            .iter()
+            .find(|c| !c.in_use && &c.kind == kind)
+            .map(|c| c.id)
+    }
+
+    /// One-line state summary in the style of Fig. 5 ("available and idle,
+    /// no configuration").
+    pub fn summary(&self) -> String {
+        if self.is_unconfigured() {
+            format!(
+                "available and idle; no configuration; {} slices free",
+                self.available_slices()
+            )
+        } else {
+            let names: Vec<String> = self
+                .configs
+                .iter()
+                .map(|c| {
+                    format!(
+                        "{} ({} slices{})",
+                        c.kind,
+                        c.slices,
+                        if c.in_use { ", busy" } else { ", idle" }
+                    )
+                })
+                .collect();
+            format!(
+                "{} configuration(s): {}; {} slices free",
+                self.configs.len(),
+                names.join(", "),
+                self.available_slices()
+            )
+        }
+    }
+}
+
+/// Errors from RPE state transitions.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum RpeStateError {
+    /// No such configuration loaded.
+    UnknownConfig(ConfigId),
+    /// Configuration is executing a task.
+    ConfigBusy(ConfigId),
+    /// Release called on an idle configuration.
+    ConfigIdle(ConfigId),
+}
+
+impl fmt::Display for RpeStateError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RpeStateError::UnknownConfig(id) => write!(f, "unknown configuration {id}"),
+            RpeStateError::ConfigBusy(id) => write!(f, "configuration {id} is busy"),
+            RpeStateError::ConfigIdle(id) => write!(f, "configuration {id} is not in use"),
+        }
+    }
+}
+
+impl std::error::Error for RpeStateError {}
+
+/// Dynamic state of one GPU: a single-kernel-at-a-time device.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct GpuState {
+    busy: bool,
+}
+
+impl GpuState {
+    /// An idle GPU.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// True when no kernel is running.
+    pub fn is_idle(&self) -> bool {
+        !self.busy
+    }
+
+    /// Claims the device for a kernel.
+    pub fn acquire(&mut self) -> Result<(), GpuStateError> {
+        if self.busy {
+            Err(GpuStateError::Busy)
+        } else {
+            self.busy = true;
+            Ok(())
+        }
+    }
+
+    /// Releases the device.
+    pub fn release(&mut self) -> Result<(), GpuStateError> {
+        if self.busy {
+            self.busy = false;
+            Ok(())
+        } else {
+            Err(GpuStateError::Idle)
+        }
+    }
+}
+
+/// GPU state transition errors.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum GpuStateError {
+    /// Acquire on a busy device.
+    Busy,
+    /// Release on an idle device.
+    Idle,
+}
+
+impl fmt::Display for GpuStateError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GpuStateError::Busy => write!(f, "GPU is busy"),
+            GpuStateError::Idle => write!(f, "GPU is not in use"),
+        }
+    }
+}
+
+impl std::error::Error for GpuStateError {}
+
+/// Dynamic state of one GPP.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct GppState {
+    total_cores: u64,
+    cores_in_use: u64,
+}
+
+impl GppState {
+    /// A fully idle GPP with `total_cores` cores.
+    pub fn new(total_cores: u64) -> Self {
+        GppState {
+            total_cores,
+            cores_in_use: 0,
+        }
+    }
+
+    /// Total cores.
+    pub fn total_cores(&self) -> u64 {
+        self.total_cores
+    }
+
+    /// Cores currently running tasks.
+    pub fn cores_in_use(&self) -> u64 {
+        self.cores_in_use
+    }
+
+    /// Idle cores.
+    pub fn free_cores(&self) -> u64 {
+        self.total_cores - self.cores_in_use
+    }
+
+    /// True when no task is running.
+    pub fn is_idle(&self) -> bool {
+        self.cores_in_use == 0
+    }
+
+    /// Claims `n` cores; fails when fewer are free.
+    pub fn acquire_cores(&mut self, n: u64) -> Result<(), GppStateError> {
+        if n > self.free_cores() {
+            Err(GppStateError::NotEnoughCores {
+                requested: n,
+                free: self.free_cores(),
+            })
+        } else {
+            self.cores_in_use += n;
+            Ok(())
+        }
+    }
+
+    /// Releases `n` cores; fails on over-release.
+    pub fn release_cores(&mut self, n: u64) -> Result<(), GppStateError> {
+        if n > self.cores_in_use {
+            Err(GppStateError::OverRelease {
+                requested: n,
+                in_use: self.cores_in_use,
+            })
+        } else {
+            self.cores_in_use -= n;
+            Ok(())
+        }
+    }
+}
+
+/// Errors from GPP state transitions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum GppStateError {
+    /// More cores requested than free.
+    NotEnoughCores {
+        /// Cores requested.
+        requested: u64,
+        /// Cores currently free.
+        free: u64,
+    },
+    /// More cores released than in use.
+    OverRelease {
+        /// Cores to release.
+        requested: u64,
+        /// Cores currently in use.
+        in_use: u64,
+    },
+}
+
+impl fmt::Display for GppStateError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GppStateError::NotEnoughCores { requested, free } => {
+                write!(f, "requested {requested} cores, only {free} free")
+            }
+            GppStateError::OverRelease { requested, in_use } => {
+                write!(f, "released {requested} cores, only {in_use} in use")
+            }
+        }
+    }
+}
+
+impl std::error::Error for GppStateError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fabric::FitPolicy;
+
+    #[test]
+    fn fresh_rpe_matches_fig5_state() {
+        let s = RpeState::new(24_320, true);
+        assert!(s.is_unconfigured());
+        assert!(s.is_idle());
+        assert_eq!(s.available_slices(), 24_320);
+        assert!(s.summary().contains("available and idle"));
+    }
+
+    #[test]
+    fn load_acquire_release_unload_cycle() {
+        let mut s = RpeState::new(10_000, true);
+        let c = s
+            .load(ConfigKind::Softcore("rvex-2w".into()), 3_000, FitPolicy::FirstFit)
+            .unwrap();
+        assert!(!s.is_unconfigured());
+        assert!(s.is_idle());
+        s.acquire(c).unwrap();
+        assert!(!s.is_idle());
+        assert_eq!(s.unload(c).unwrap_err(), RpeStateError::ConfigBusy(c));
+        s.release(c).unwrap();
+        s.unload(c).unwrap();
+        assert!(s.is_unconfigured());
+        assert_eq!(s.available_slices(), 10_000);
+    }
+
+    #[test]
+    fn double_acquire_and_bad_release() {
+        let mut s = RpeState::new(1_000, true);
+        let c = s
+            .load(ConfigKind::Accelerator("fft".into()), 100, FitPolicy::FirstFit)
+            .unwrap();
+        s.acquire(c).unwrap();
+        assert_eq!(s.acquire(c).unwrap_err(), RpeStateError::ConfigBusy(c));
+        s.release(c).unwrap();
+        assert_eq!(s.release(c).unwrap_err(), RpeStateError::ConfigIdle(c));
+        assert!(matches!(
+            s.acquire(ConfigId(99)).unwrap_err(),
+            RpeStateError::UnknownConfig(_)
+        ));
+    }
+
+    #[test]
+    fn find_idle_config_enables_reuse() {
+        let mut s = RpeState::new(10_000, true);
+        let kind = ConfigKind::Accelerator("pairalign".into());
+        let c = s.load(kind.clone(), 2_000, FitPolicy::FirstFit).unwrap();
+        assert_eq!(s.find_idle_config(&kind), Some(c));
+        s.acquire(c).unwrap();
+        assert_eq!(s.find_idle_config(&kind), None);
+        assert_eq!(
+            s.find_idle_config(&ConfigKind::Accelerator("other".into())),
+            None
+        );
+    }
+
+    #[test]
+    fn multiple_configs_on_pr_device() {
+        // "hardware device virtualization — an FPGA is configured with more
+        // than one hardware functions" (Sec. II): PR devices host several.
+        let mut s = RpeState::new(24_320, true);
+        let a = s
+            .load(ConfigKind::Accelerator("malign".into()), 18_707, FitPolicy::FirstFit)
+            .unwrap();
+        let b = s
+            .load(ConfigKind::Softcore("rvex-2w".into()), 3_000, FitPolicy::FirstFit)
+            .unwrap();
+        assert_eq!(s.configs().len(), 2);
+        assert_ne!(a, b);
+        assert_eq!(s.available_slices(), 24_320 - 18_707 - 3_000);
+    }
+
+    #[test]
+    fn non_pr_device_hosts_one_config() {
+        let mut s = RpeState::new(24_320, false);
+        let _ = s
+            .load(ConfigKind::Bitstream("user.bit".into()), 1_000, FitPolicy::FirstFit)
+            .unwrap();
+        assert!(s
+            .load(ConfigKind::Softcore("rvex-2w".into()), 100, FitPolicy::FirstFit)
+            .is_err());
+    }
+
+    #[test]
+    fn gpp_core_accounting() {
+        let mut g = GppState::new(4);
+        assert!(g.is_idle());
+        g.acquire_cores(3).unwrap();
+        assert_eq!(g.free_cores(), 1);
+        assert!(matches!(
+            g.acquire_cores(2).unwrap_err(),
+            GppStateError::NotEnoughCores { .. }
+        ));
+        g.release_cores(3).unwrap();
+        assert!(matches!(
+            g.release_cores(1).unwrap_err(),
+            GppStateError::OverRelease { .. }
+        ));
+    }
+
+    #[test]
+    fn gpu_state_transitions() {
+        let mut g = GpuState::new();
+        assert!(g.is_idle());
+        g.acquire().unwrap();
+        assert!(!g.is_idle());
+        assert_eq!(g.acquire().unwrap_err(), GpuStateError::Busy);
+        g.release().unwrap();
+        assert_eq!(g.release().unwrap_err(), GpuStateError::Idle);
+    }
+
+    #[test]
+    fn config_kind_display() {
+        assert_eq!(
+            ConfigKind::Softcore("rvex-2w".into()).to_string(),
+            "softcore:rvex-2w"
+        );
+        assert_eq!(ConfigKind::Bitstream("u.bit".into()).name(), "u.bit");
+    }
+}

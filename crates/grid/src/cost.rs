@@ -1,0 +1,209 @@
+//! The cost model behind the Fig. 9 cost/QoS service.
+//!
+//! Rates are per PE-class per second of execution, plus fixed fees for the
+//! provider-side services a scenario consumes (CAD synthesis, bitstream
+//! handling). The *relative* shape matters: accelerated seconds are billed
+//! above GPP seconds, but accelerated tasks buy far fewer of them.
+
+use rhv_core::execreq::TaskPayload;
+use rhv_core::task::Task;
+use serde::{Deserialize, Serialize};
+
+/// Billing rates.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Rates {
+    /// Per GPP-core-second.
+    pub gpp_core_second: f64,
+    /// Per accelerator-second on fabric.
+    pub fpga_second: f64,
+    /// Per soft-core-second.
+    pub softcore_second: f64,
+    /// Per GPU-second.
+    pub gpu_second: f64,
+    /// Flat fee per CAD synthesis run.
+    pub synthesis_fee: f64,
+    /// Per MB of data/bitstream moved.
+    pub transfer_per_mb: f64,
+}
+
+impl Default for Rates {
+    fn default() -> Self {
+        Rates {
+            gpp_core_second: 0.01,
+            fpga_second: 0.04,
+            softcore_second: 0.015,
+            gpu_second: 0.03,
+            synthesis_fee: 2.0,
+            transfer_per_mb: 0.001,
+        }
+    }
+}
+
+/// QoS tier requested with a submission; scales the bill and the promise.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum QosTier {
+    /// Best effort — queue like everyone else.
+    BestEffort,
+    /// Standard service.
+    Standard,
+    /// Premium: front-of-queue, billed at a multiplier.
+    Premium,
+}
+
+impl QosTier {
+    /// Price multiplier for the tier.
+    pub fn multiplier(self) -> f64 {
+        match self {
+            QosTier::BestEffort => 0.8,
+            QosTier::Standard => 1.0,
+            QosTier::Premium => 1.8,
+        }
+    }
+}
+
+/// An itemized cost estimate.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CostEstimate {
+    /// Execution charge.
+    pub execution: f64,
+    /// Provider-service charge (synthesis, etc.).
+    pub services: f64,
+    /// Data/bitstream movement charge.
+    pub transfer: f64,
+    /// QoS multiplier applied.
+    pub multiplier: f64,
+}
+
+impl CostEstimate {
+    /// The billable total.
+    pub fn total(&self) -> f64 {
+        (self.execution + self.services + self.transfer) * self.multiplier
+    }
+}
+
+/// Estimates the cost of one task at a QoS tier.
+pub fn estimate(task: &Task, rates: &Rates, tier: QosTier) -> CostEstimate {
+    let bytes = task.input_bytes() + task.output_bytes();
+    let mut transfer = bytes as f64 / 1e6 * rates.transfer_per_mb;
+    let (execution, services) = match &task.exec_req.payload {
+        TaskPayload::Software {
+            mega_instructions, ..
+        } => {
+            // Billed per core-second at a nominal 12k MIPS/core; total
+            // core-seconds are parallelism-independent.
+            let core_seconds = mega_instructions / 12_000.0;
+            (core_seconds * rates.gpp_core_second, 0.0)
+        }
+        TaskPayload::SoftcoreKernel { mega_ops, .. } => {
+            let seconds = mega_ops / 300.0; // nominal soft-core MIPS
+            (seconds * rates.softcore_second, 0.0)
+        }
+        TaskPayload::HdlAccelerator { accel_seconds, .. } => (
+            accel_seconds * rates.fpga_second,
+            rates.synthesis_fee,
+        ),
+        TaskPayload::GpuKernel { accel_seconds, .. } => {
+            (accel_seconds * rates.gpu_second, 0.0)
+        }
+        TaskPayload::Bitstream {
+            accel_seconds,
+            size_bytes,
+            ..
+        } => {
+            transfer += *size_bytes as f64 / 1e6 * rates.transfer_per_mb;
+            (accel_seconds * rates.fpga_second, 0.0)
+        }
+    };
+    CostEstimate {
+        execution,
+        services,
+        transfer,
+        multiplier: tier.multiplier(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rhv_core::case_study;
+
+    #[test]
+    fn estimates_are_positive_and_itemized() {
+        let rates = Rates::default();
+        for t in case_study::tasks() {
+            let e = estimate(&t, &rates, QosTier::Standard);
+            assert!(e.total() > 0.0, "{}: {e:?}", t.id);
+            assert!((e.total()
+                - (e.execution + e.services + e.transfer) * e.multiplier)
+                .abs()
+                < 1e-12);
+        }
+    }
+
+    #[test]
+    fn hdl_tasks_pay_the_synthesis_fee() {
+        let rates = Rates::default();
+        let tasks = case_study::tasks();
+        let hdl = estimate(&tasks[1], &rates, QosTier::Standard);
+        assert_eq!(hdl.services, rates.synthesis_fee);
+        let bit = estimate(&tasks[3], &rates, QosTier::Standard);
+        assert_eq!(bit.services, 0.0, "bitstream users bring their own CAD");
+        assert!(bit.transfer > 0.0);
+    }
+
+    #[test]
+    fn qos_tiers_order_prices() {
+        let rates = Rates::default();
+        let t = &case_study::tasks()[2];
+        let be = estimate(t, &rates, QosTier::BestEffort).total();
+        let st = estimate(t, &rates, QosTier::Standard).total();
+        let pr = estimate(t, &rates, QosTier::Premium).total();
+        assert!(be < st && st < pr);
+    }
+
+    #[test]
+    fn acceleration_is_cheaper_for_heavy_work() {
+        // The same computation as software (long) vs accelerator (short):
+        // the accelerated bill comes out lower despite the higher rate —
+        // the paper's "more performance … at lower power" economics.
+        use rhv_core::execreq::{ExecReq, TaskPayload};
+        use rhv_core::ids::TaskId;
+        use rhv_params::param::PeClass;
+        let rates = Rates::default();
+        let sw = Task::new(
+            TaskId(0),
+            ExecReq::new(
+                PeClass::Gpp,
+                vec![],
+                TaskPayload::Software {
+                    mega_instructions: 1_200_000.0, // 100 s on one core
+                    parallelism: 1,
+                },
+            ),
+            100.0,
+        );
+        let hw = Task::new(
+            TaskId(1),
+            ExecReq::new(
+                PeClass::Fpga,
+                vec![],
+                TaskPayload::HdlAccelerator {
+                    spec_name: "k".into(),
+                    est_slices: 10_000,
+                    accel_seconds: 5.0, // 20× speedup
+                },
+            ),
+            5.0,
+        );
+        let sw_cost = estimate(&sw, &rates, QosTier::Standard).total();
+        let hw_cost = estimate(&hw, &rates, QosTier::Standard).total();
+        assert!(hw_cost > 0.0);
+        // 1.0 (software) vs 0.2 execution + 2.0 fee: amortized over repeats
+        // the accelerator wins; for one-shot the fee dominates. Both facts
+        // are the point: check the execution components directly.
+        let hw_exec = estimate(&hw, &rates, QosTier::Standard).execution;
+        let sw_exec = estimate(&sw, &rates, QosTier::Standard).execution;
+        assert!(hw_exec < sw_exec);
+        assert!(sw_cost < hw_cost, "one-shot: fee dominates");
+    }
+}

@@ -1,0 +1,250 @@
+//! Multi-RMS federation.
+//!
+//! Fig. 2's grid "contains various Resource Management Systems (RMS) along
+//! with the Job Submission System": real grids are federations of
+//! administrative domains, each with its own RMS. [`Federation`] routes a
+//! task to a domain that can host it — the submitting user's *home* domain
+//! first, then (when home cannot satisfy it) any peer domain, which is how
+//! a local grid borrows a remote Virtex-6 it does not own.
+
+use crate::rms::ResourceManagementSystem;
+use rhv_core::task::Task;
+use rhv_sim::strategy::Placement;
+use std::fmt;
+
+/// One administrative domain: a named RMS.
+pub struct GridDomain {
+    /// Domain name (e.g. an institution).
+    pub name: String,
+    /// The domain's resource manager.
+    pub rms: ResourceManagementSystem,
+    /// Tasks this domain has accepted.
+    pub routed: u64,
+}
+
+impl GridDomain {
+    /// Wraps an RMS as a domain.
+    pub fn new(name: impl Into<String>, rms: ResourceManagementSystem) -> Self {
+        GridDomain {
+            name: name.into(),
+            rms,
+            routed: 0,
+        }
+    }
+}
+
+/// Where the federation placed a task.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RoutedPlacement {
+    /// Index of the domain that accepted the task.
+    pub domain: usize,
+    /// The placement inside that domain.
+    pub placement: Placement,
+    /// True when the task left its home domain.
+    pub forwarded: bool,
+}
+
+/// Routing failures.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RouteError {
+    /// No domain with that index.
+    UnknownDomain(usize),
+    /// No domain in the federation can ever satisfy the task.
+    Unsatisfiable,
+    /// Some domain could satisfy the task, but none has resources free now.
+    AllBusy,
+}
+
+impl fmt::Display for RouteError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RouteError::UnknownDomain(i) => write!(f, "unknown domain index {i}"),
+            RouteError::Unsatisfiable => write!(f, "no federated domain can satisfy the task"),
+            RouteError::AllBusy => write!(f, "every capable domain is currently busy"),
+        }
+    }
+}
+
+impl std::error::Error for RouteError {}
+
+/// A federation of grid domains.
+#[derive(Default)]
+pub struct Federation {
+    domains: Vec<GridDomain>,
+}
+
+impl Federation {
+    /// An empty federation.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds a domain, returning its index.
+    pub fn add_domain(&mut self, domain: GridDomain) -> usize {
+        self.domains.push(domain);
+        self.domains.len() - 1
+    }
+
+    /// The domains.
+    pub fn domains(&self) -> &[GridDomain] {
+        &self.domains
+    }
+
+    /// Mutable access to one domain.
+    pub fn domain_mut(&mut self, index: usize) -> Option<&mut GridDomain> {
+        self.domains.get_mut(index)
+    }
+
+    /// Routes `task` for a user homed at `home`: the home RMS is consulted
+    /// first; on failure every peer is tried in index order.
+    ///
+    /// Distinguishes "nowhere, ever" ([`RouteError::Unsatisfiable`]) from
+    /// "somewhere, later" ([`RouteError::AllBusy`]) so callers know whether
+    /// to queue or reject — the same distinction the simulator draws.
+    pub fn route(
+        &mut self,
+        task: &Task,
+        home: usize,
+        now: f64,
+    ) -> Result<RoutedPlacement, RouteError> {
+        if home >= self.domains.len() {
+            return Err(RouteError::UnknownDomain(home));
+        }
+        let order: Vec<usize> = std::iter::once(home)
+            .chain((0..self.domains.len()).filter(|&i| i != home))
+            .collect();
+        let mut any_satisfiable = false;
+        for i in order {
+            let d = &mut self.domains[i];
+            if let Some(placement) = d.rms.propose(task, now) {
+                d.routed += 1;
+                return Ok(RoutedPlacement {
+                    domain: i,
+                    placement,
+                    forwarded: i != home,
+                });
+            }
+            if d.rms.is_satisfiable(task) {
+                any_satisfiable = true;
+            }
+        }
+        if any_satisfiable {
+            Err(RouteError::AllBusy)
+        } else {
+            Err(RouteError::Unsatisfiable)
+        }
+    }
+
+    /// Total tasks routed across the federation.
+    pub fn total_routed(&self) -> u64 {
+        self.domains.iter().map(|d| d.routed).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rhv_core::case_study;
+    use rhv_core::ids::{NodeId, PeId};
+    use rhv_core::node::Node;
+    use rhv_sched::FirstFitStrategy;
+
+    /// Domain A: Node_1 + Node_2 (Virtex-5 only). Domain B: Node_0 (the
+    /// Virtex-6 + GPPs).
+    fn federation() -> Federation {
+        let mut grid = case_study::grid();
+        let node0 = grid.remove(0);
+        let mut fed = Federation::new();
+        fed.add_domain(GridDomain::new(
+            "uni-a",
+            ResourceManagementSystem::new(grid, Box::new(FirstFitStrategy::new())),
+        ));
+        fed.add_domain(GridDomain::new(
+            "uni-b",
+            ResourceManagementSystem::new(vec![node0], Box::new(FirstFitStrategy::new())),
+        ));
+        fed
+    }
+
+    #[test]
+    fn home_domain_preferred() {
+        let mut fed = federation();
+        let tasks = case_study::tasks();
+        // Task_1 (Virtex-5 accelerator) is satisfiable at home (domain 0).
+        let r = fed.route(&tasks[1], 0, 0.0).unwrap();
+        assert_eq!(r.domain, 0);
+        assert!(!r.forwarded);
+        assert_eq!(fed.domains()[0].routed, 1);
+    }
+
+    #[test]
+    fn forwarding_borrows_remote_hardware() {
+        let mut fed = federation();
+        let tasks = case_study::tasks();
+        // Task_3 needs the Virtex-6 which only domain 1 owns.
+        let r = fed.route(&tasks[3], 0, 0.0).unwrap();
+        assert_eq!(r.domain, 1);
+        assert!(r.forwarded);
+        assert_eq!(r.placement.pe.to_string(), "RPE_0 <-> Node_0");
+        assert_eq!(fed.total_routed(), 1);
+    }
+
+    #[test]
+    fn unsatisfiable_vs_busy_distinction() {
+        let mut fed = federation();
+        let mut task = case_study::tasks()[2].clone();
+        // Impossible requirement → Unsatisfiable.
+        task.exec_req.constraints[1] = rhv_core::execreq::Constraint::ge(
+            rhv_params::param::ParamKey::Slices,
+            1_000_000u64,
+        );
+        assert_eq!(
+            fed.route(&task, 0, 0.0).unwrap_err(),
+            RouteError::Unsatisfiable
+        );
+        // Saturate the only PE Task_3 can use → AllBusy (still satisfiable).
+        let t3 = case_study::tasks()[3].clone();
+        let d1 = fed.domain_mut(1).unwrap();
+        let rpe = d1
+            .rms
+            .node_mut(NodeId(0))
+            .unwrap()
+            .rpe_mut(PeId::Rpe(0))
+            .unwrap();
+        rpe.state
+            .load(
+                rhv_core::state::ConfigKind::Accelerator("wall".into()),
+                rpe.device.slices,
+                rhv_core::fabric::FitPolicy::FirstFit,
+            )
+            .unwrap();
+        assert_eq!(fed.route(&t3, 0, 0.0).unwrap_err(), RouteError::AllBusy);
+    }
+
+    #[test]
+    fn unknown_home_rejected() {
+        let mut fed = federation();
+        let t = case_study::tasks()[0].clone();
+        assert_eq!(
+            fed.route(&t, 9, 0.0).unwrap_err(),
+            RouteError::UnknownDomain(9)
+        );
+    }
+
+    #[test]
+    fn empty_domain_is_skipped() {
+        let mut fed = federation();
+        let empty = fed.add_domain(GridDomain::new(
+            "empty",
+            ResourceManagementSystem::new(
+                vec![Node::new(NodeId(99))],
+                Box::new(FirstFitStrategy::new()),
+            ),
+        ));
+        let t = case_study::tasks()[0].clone();
+        // Homed at the empty domain, the task forwards out.
+        let r = fed.route(&t, empty, 0.0).unwrap();
+        assert!(r.forwarded);
+        assert_ne!(r.domain, empty);
+    }
+}

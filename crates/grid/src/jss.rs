@@ -1,0 +1,243 @@
+//! The Job Submission System.
+//!
+//! "A grid user submits his application tasks through a JSS. Each
+//! application task is part of a large application." The JSS validates a
+//! submission (an [`Application`] workflow plus its task definitions),
+//! assigns a job id, and tracks per-task state.
+
+use rhv_core::appdsl::Application;
+use rhv_core::ids::TaskId;
+use rhv_core::task::Task;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// A job handle.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct JobId(pub u64);
+
+impl fmt::Display for JobId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "job-{}", self.0)
+    }
+}
+
+/// Per-task state inside a job.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum TaskState {
+    /// Accepted, waiting for dependencies or resources.
+    Pending,
+    /// Dispatched to a PE.
+    Running,
+    /// Completed.
+    Done,
+    /// Unsatisfiable on this grid.
+    Rejected,
+}
+
+/// Aggregate job status.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum JobStatus {
+    /// Some tasks still pending/running.
+    InProgress,
+    /// All tasks done.
+    Completed,
+    /// At least one task rejected.
+    Failed,
+}
+
+/// A validated submission.
+#[derive(Debug, Clone)]
+pub struct Job {
+    /// The job's id.
+    pub id: JobId,
+    /// The workflow.
+    pub application: Application,
+    /// Task definitions by id.
+    pub tasks: BTreeMap<TaskId, Task>,
+    /// Per-task state.
+    pub states: BTreeMap<TaskId, TaskState>,
+}
+
+impl Job {
+    /// The aggregate status.
+    pub fn status(&self) -> JobStatus {
+        if self.states.values().any(|s| *s == TaskState::Rejected) {
+            JobStatus::Failed
+        } else if self.states.values().all(|s| *s == TaskState::Done) {
+            JobStatus::Completed
+        } else {
+            JobStatus::InProgress
+        }
+    }
+}
+
+/// Submission-time validation failures.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum SubmitError {
+    /// The workflow references a task with no definition.
+    UndefinedTask(TaskId),
+    /// The same task id was defined twice.
+    DuplicateTask(TaskId),
+    /// The workflow has no tasks.
+    EmptyApplication,
+}
+
+impl fmt::Display for SubmitError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SubmitError::UndefinedTask(t) => write!(f, "workflow references undefined task {t}"),
+            SubmitError::DuplicateTask(t) => write!(f, "task {t} defined twice"),
+            SubmitError::EmptyApplication => write!(f, "application has no tasks"),
+        }
+    }
+}
+
+impl std::error::Error for SubmitError {}
+
+/// The JSS: intake and tracking.
+#[derive(Debug, Default)]
+pub struct JobSubmissionSystem {
+    jobs: BTreeMap<JobId, Job>,
+    next: u64,
+}
+
+impl JobSubmissionSystem {
+    /// An empty JSS.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Validates and accepts a submission, returning its job id.
+    pub fn submit(
+        &mut self,
+        application: Application,
+        tasks: Vec<Task>,
+    ) -> Result<JobId, SubmitError> {
+        if application.task_ids().is_empty() {
+            return Err(SubmitError::EmptyApplication);
+        }
+        let mut map = BTreeMap::new();
+        for t in tasks {
+            let id = t.id;
+            if map.insert(id, t).is_some() {
+                return Err(SubmitError::DuplicateTask(id));
+            }
+        }
+        for t in application.task_ids() {
+            if !map.contains_key(&t) {
+                return Err(SubmitError::UndefinedTask(t));
+            }
+        }
+        let id = JobId(self.next);
+        self.next += 1;
+        let states = map.keys().map(|&t| (t, TaskState::Pending)).collect();
+        self.jobs.insert(
+            id,
+            Job {
+                id,
+                application,
+                tasks: map,
+                states,
+            },
+        );
+        Ok(id)
+    }
+
+    /// Looks up a job.
+    pub fn job(&self, id: JobId) -> Option<&Job> {
+        self.jobs.get(&id)
+    }
+
+    /// Mutable job access (the RMS driver updates task states).
+    pub fn job_mut(&mut self, id: JobId) -> Option<&mut Job> {
+        self.jobs.get_mut(&id)
+    }
+
+    /// Updates a task's state inside a job.
+    pub fn set_task_state(&mut self, job: JobId, task: TaskId, state: TaskState) -> bool {
+        match self.jobs.get_mut(&job) {
+            Some(j) => j.states.insert(task, state).is_some(),
+            None => false,
+        }
+    }
+
+    /// Number of tracked jobs.
+    pub fn job_count(&self) -> usize {
+        self.jobs.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rhv_core::appdsl::Group;
+    use rhv_core::case_study;
+
+    fn app_for_case_study() -> (Application, Vec<Task>) {
+        // Task_0 first, then the two kernels in parallel, then the
+        // device-specific variant — a sensible ClustalW workflow.
+        let app = Application::new(vec![
+            Group::seq([0]),
+            Group::par([1, 2]),
+            Group::seq([3]),
+        ]);
+        (app, case_study::tasks())
+    }
+
+    #[test]
+    fn submit_and_track() {
+        let mut jss = JobSubmissionSystem::new();
+        let (app, tasks) = app_for_case_study();
+        let id = jss.submit(app, tasks).unwrap();
+        assert_eq!(id, JobId(0));
+        let job = jss.job(id).unwrap();
+        assert_eq!(job.status(), JobStatus::InProgress);
+        assert_eq!(job.tasks.len(), 4);
+        // drive to completion
+        for t in 0..4 {
+            jss.set_task_state(id, TaskId(t), TaskState::Done);
+        }
+        assert_eq!(jss.job(id).unwrap().status(), JobStatus::Completed);
+    }
+
+    #[test]
+    fn rejection_fails_the_job() {
+        let mut jss = JobSubmissionSystem::new();
+        let (app, tasks) = app_for_case_study();
+        let id = jss.submit(app, tasks).unwrap();
+        jss.set_task_state(id, TaskId(2), TaskState::Rejected);
+        assert_eq!(jss.job(id).unwrap().status(), JobStatus::Failed);
+    }
+
+    #[test]
+    fn undefined_task_rejected_at_submit() {
+        let mut jss = JobSubmissionSystem::new();
+        let app = Application::new(vec![Group::seq([0, 99])]);
+        let err = jss.submit(app, case_study::tasks()).unwrap_err();
+        assert_eq!(err, SubmitError::UndefinedTask(TaskId(99)));
+        assert_eq!(jss.job_count(), 0);
+    }
+
+    #[test]
+    fn duplicate_task_rejected() {
+        let mut jss = JobSubmissionSystem::new();
+        let mut tasks = case_study::tasks();
+        tasks.push(tasks[0].clone());
+        let app = Application::new(vec![Group::seq([0])]);
+        assert!(matches!(
+            jss.submit(app, tasks).unwrap_err(),
+            SubmitError::DuplicateTask(_)
+        ));
+    }
+
+    #[test]
+    fn job_ids_increment() {
+        let mut jss = JobSubmissionSystem::new();
+        let (app, tasks) = app_for_case_study();
+        let a = jss.submit(app.clone(), tasks.clone()).unwrap();
+        let b = jss.submit(app, tasks).unwrap();
+        assert_ne!(a, b);
+        assert_eq!(jss.job_count(), 2);
+    }
+}

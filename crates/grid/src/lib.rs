@@ -1,0 +1,32 @@
+//! # rhv-grid — the grid runtime
+//!
+//! Section V: "The grid network contains various Resource Management Systems
+//! (RMS) along with the Job Submission System (JSS). A grid user submits his
+//! application tasks through a JSS. … The RMS updates the statuses of all
+//! nodes in the grid. It also implements a task scheduler which assigns the
+//! user application tasks to different nodes in the network."
+//!
+//! * [`rms`] — the RMS: a node registry with runtime add/remove, status
+//!   updates, and a pluggable scheduling strategy;
+//! * [`jss`] — the JSS: application intake ([`rhv_core::appdsl`] workflows +
+//!   task sets), validation, job tracking;
+//! * [`services`] — the Fig. 9 user-service surface: submit, status,
+//!   resource listing, cost estimation, monitoring — query in, response out;
+//! * [`cost`] — the cost model behind the QoS/cost service;
+//! * [`monitor`] — event log and utilization snapshots;
+//! * [`live`] — a threaded emulation where every node runs as its own
+//!   thread behind crossbeam channels, demonstrating the framework as an
+//!   actual concurrent distributed system rather than a simulation.
+
+pub mod cost;
+pub mod federation;
+pub mod jss;
+pub mod live;
+pub mod monitor;
+pub mod rms;
+pub mod services;
+
+pub use federation::{Federation, GridDomain};
+pub use jss::{JobId, JobStatus, JobSubmissionSystem};
+pub use rms::ResourceManagementSystem;
+pub use services::{GridServices, ServiceResponse, UserQuery};

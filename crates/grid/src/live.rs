@@ -1,0 +1,231 @@
+//! Live threaded emulation.
+//!
+//! The simulator (`rhv-sim`) models the distributed system in virtual time;
+//! this module runs it for real: every grid node is a worker thread behind
+//! crossbeam channels, the RMS dispatches tasks as messages, nodes "execute"
+//! them (wall-clock dwell scaled by `time_scale`) and report completions.
+//! This exercises the framework's concurrency story — message-passing
+//! dispatch, asynchronous completion, graceful shutdown — on a real
+//! scheduler.
+
+use crossbeam::channel::{unbounded, Receiver, Sender};
+use rhv_core::ids::{NodeId, TaskId};
+use rhv_core::matchmaker::PeRef;
+use rhv_core::task::Task;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+/// A task dispatched to a node worker.
+#[derive(Debug)]
+struct Dispatch {
+    task: TaskId,
+    pe: PeRef,
+    /// Emulated execution time in seconds (scaled before sleeping).
+    exec_seconds: f64,
+}
+
+/// A completion report from a node worker.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Completion {
+    /// The finished task.
+    pub task: TaskId,
+    /// Where it ran.
+    pub pe: PeRef,
+    /// Wall nanoseconds the worker actually dwelt.
+    pub dwell_nanos: u128,
+}
+
+/// One node's worker thread handle.
+struct Worker {
+    tx: Sender<Dispatch>,
+    handle: JoinHandle<u64>,
+}
+
+/// The live grid: node worker threads plus a completion stream.
+pub struct LiveGrid {
+    workers: Vec<(NodeId, Worker)>,
+    completions_rx: Receiver<Completion>,
+    time_scale: f64,
+}
+
+impl LiveGrid {
+    /// Spawns one worker thread per node id. `time_scale` converts emulated
+    /// seconds to wall seconds (e.g. `1e-3` runs 1000× faster than real
+    /// time).
+    pub fn spawn(node_ids: &[NodeId], time_scale: f64) -> Self {
+        let (ctx, crx) = unbounded::<Completion>();
+        let workers = node_ids
+            .iter()
+            .map(|&id| {
+                let (tx, rx) = unbounded::<Dispatch>();
+                let completions = ctx.clone();
+                let handle = std::thread::Builder::new()
+                    .name(format!("rhv-node-{}", id.raw()))
+                    .spawn(move || {
+                        let mut executed = 0u64;
+                        // The worker drains its mailbox until the RMS drops
+                        // the sender (shutdown).
+                        while let Ok(d) = rx.recv() {
+                            let start = std::time::Instant::now();
+                            let dwell = Duration::from_secs_f64(
+                                (d.exec_seconds * time_scale).max(0.0),
+                            );
+                            std::thread::sleep(dwell);
+                            executed += 1;
+                            // Receiver may be gone during shutdown races.
+                            let _ = completions.send(Completion {
+                                task: d.task,
+                                pe: d.pe,
+                                dwell_nanos: start.elapsed().as_nanos(),
+                            });
+                        }
+                        executed
+                    })
+                    .expect("spawn node worker");
+                (id, Worker { tx, handle })
+            })
+            .collect();
+        LiveGrid {
+            workers,
+            completions_rx: crx,
+            time_scale,
+        }
+    }
+
+    /// The configured time scale.
+    pub fn time_scale(&self) -> f64 {
+        self.time_scale
+    }
+
+    /// Dispatches a task to the node that owns `pe`.
+    pub fn dispatch(&self, task: &Task, pe: PeRef, exec_seconds: f64) -> Result<(), LiveError> {
+        let worker = self
+            .workers
+            .iter()
+            .find(|(id, _)| *id == pe.node)
+            .map(|(_, w)| w)
+            .ok_or(LiveError::UnknownNode(pe.node))?;
+        worker
+            .tx
+            .send(Dispatch {
+                task: task.id,
+                pe,
+                exec_seconds,
+            })
+            .map_err(|_| LiveError::NodeDown(pe.node))
+    }
+
+    /// Blocks for the next completion (with a timeout).
+    pub fn next_completion(&self, timeout: Duration) -> Option<Completion> {
+        self.completions_rx.recv_timeout(timeout).ok()
+    }
+
+    /// Shuts down all workers and returns per-node executed-task counts.
+    pub fn shutdown(self) -> Vec<(NodeId, u64)> {
+        let LiveGrid { workers, .. } = self;
+        // Dropping the senders ends each worker's recv loop.
+        workers
+            .into_iter()
+            .map(|(id, w)| {
+                drop(w.tx);
+                let count = w.handle.join().expect("worker panicked");
+                (id, count)
+            })
+            .collect()
+    }
+}
+
+/// Live-mode errors.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LiveError {
+    /// No worker for that node.
+    UnknownNode(NodeId),
+    /// The worker's mailbox is closed.
+    NodeDown(NodeId),
+}
+
+impl std::fmt::Display for LiveError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            LiveError::UnknownNode(id) => write!(f, "no live worker for {id}"),
+            LiveError::NodeDown(id) => write!(f, "worker for {id} is down"),
+        }
+    }
+}
+
+impl std::error::Error for LiveError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rhv_core::case_study;
+    use rhv_core::ids::PeId;
+
+    fn pe(node: u64, gpp: u32) -> PeRef {
+        PeRef {
+            node: NodeId(node),
+            pe: PeId::Gpp(gpp),
+        }
+    }
+
+    #[test]
+    fn dispatch_and_complete() {
+        let grid = LiveGrid::spawn(&[NodeId(0), NodeId(1)], 1e-4);
+        let tasks = case_study::tasks();
+        grid.dispatch(&tasks[0], pe(0, 0), 2.0).unwrap();
+        let c = grid
+            .next_completion(Duration::from_secs(5))
+            .expect("completion");
+        assert_eq!(c.task, tasks[0].id);
+        assert_eq!(c.pe.node, NodeId(0));
+        // 2.0 emulated seconds at 1e-4 scale ≈ 200 µs of wall dwell.
+        assert!(c.dwell_nanos >= 150_000, "dwell {}", c.dwell_nanos);
+        let counts = grid.shutdown();
+        assert_eq!(counts.iter().map(|(_, c)| c).sum::<u64>(), 1);
+    }
+
+    #[test]
+    fn parallel_dispatches_overlap() {
+        let grid = LiveGrid::spawn(&[NodeId(0), NodeId(1), NodeId(2)], 1e-3);
+        let tasks = case_study::tasks();
+        let start = std::time::Instant::now();
+        // 3 tasks × 100 ms wall each, on three different workers.
+        for n in 0..3 {
+            grid.dispatch(&tasks[0], pe(n, 0), 100.0).unwrap();
+        }
+        for _ in 0..3 {
+            grid.next_completion(Duration::from_secs(5)).unwrap();
+        }
+        let elapsed = start.elapsed();
+        // Parallel: well under the 300 ms serial floor.
+        assert!(elapsed < Duration::from_millis(280), "took {elapsed:?}");
+        grid.shutdown();
+    }
+
+    #[test]
+    fn unknown_node_rejected() {
+        let grid = LiveGrid::spawn(&[NodeId(0)], 1e-4);
+        let tasks = case_study::tasks();
+        assert_eq!(
+            grid.dispatch(&tasks[0], pe(9, 0), 1.0).unwrap_err(),
+            LiveError::UnknownNode(NodeId(9))
+        );
+        grid.shutdown();
+    }
+
+    #[test]
+    fn shutdown_counts_executed_tasks() {
+        let grid = LiveGrid::spawn(&[NodeId(0), NodeId(1)], 1e-5);
+        let tasks = case_study::tasks();
+        for _ in 0..3 {
+            grid.dispatch(&tasks[0], pe(0, 0), 1.0).unwrap();
+        }
+        grid.dispatch(&tasks[0], pe(1, 0), 1.0).unwrap();
+        for _ in 0..4 {
+            grid.next_completion(Duration::from_secs(5)).unwrap();
+        }
+        let mut counts = grid.shutdown();
+        counts.sort();
+        assert_eq!(counts, vec![(NodeId(0), 3), (NodeId(1), 1)]);
+    }
+}

@@ -1,0 +1,151 @@
+//! Monitoring — one of the Fig. 9 user services.
+//!
+//! "more services can be added to satisfy the Quality of Service (QoS)
+//! requirements. These services include cost, monitoring, and other user
+//! constraints." The monitor is an append-only event log plus utilization
+//! snapshots over a node set.
+
+use rhv_core::ids::{NodeId, TaskId};
+use rhv_core::node::Node;
+use serde::{Deserialize, Serialize};
+
+/// A monitored event.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum Event {
+    /// Node appeared in the grid.
+    NodeJoined(NodeId),
+    /// Node left the grid.
+    NodeLeft(NodeId),
+    /// Task accepted by the JSS.
+    TaskSubmitted(TaskId),
+    /// Task queued (no resources yet).
+    TaskQueued(TaskId),
+    /// Task dispatched to a PE.
+    TaskDispatched(TaskId, NodeId),
+    /// Task finished.
+    TaskCompleted(TaskId),
+    /// Task rejected as unsatisfiable.
+    TaskRejected(TaskId),
+}
+
+/// Utilization snapshot of one node.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct NodeSnapshot {
+    /// Node id.
+    pub node: NodeId,
+    /// Cores busy / total.
+    pub cores: (u64, u64),
+    /// Slices configured / total.
+    pub slices: (u64, u64),
+    /// Configurations resident.
+    pub configs: usize,
+}
+
+/// The event log.
+#[derive(Debug, Default, Clone)]
+pub struct Monitor {
+    events: Vec<Event>,
+}
+
+impl Monitor {
+    /// An empty monitor.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Appends an event.
+    pub fn record(&mut self, e: Event) {
+        self.events.push(e);
+    }
+
+    /// All events, oldest first.
+    pub fn events(&self) -> &[Event] {
+        &self.events
+    }
+
+    /// Events concerning one task.
+    pub fn task_history(&self, task: TaskId) -> Vec<Event> {
+        self.events
+            .iter()
+            .filter(|e| {
+                matches!(e,
+                    Event::TaskSubmitted(t) | Event::TaskQueued(t)
+                    | Event::TaskDispatched(t, _) | Event::TaskCompleted(t)
+                    | Event::TaskRejected(t) if *t == task)
+            })
+            .copied()
+            .collect()
+    }
+
+    /// Takes a utilization snapshot of every node.
+    pub fn snapshot(nodes: &[Node]) -> Vec<NodeSnapshot> {
+        nodes
+            .iter()
+            .map(|n| {
+                let cores_total: u64 = n.gpps().iter().map(|g| g.state.total_cores()).sum();
+                let cores_busy: u64 = n.gpps().iter().map(|g| g.state.cores_in_use()).sum();
+                let slices_total: u64 = n.rpes().iter().map(|r| r.device.slices).sum();
+                let slices_used: u64 = n
+                    .rpes()
+                    .iter()
+                    .map(|r| r.device.slices - r.state.available_slices())
+                    .sum();
+                let configs = n.rpes().iter().map(|r| r.state.configs().len()).sum();
+                NodeSnapshot {
+                    node: n.id,
+                    cores: (cores_busy, cores_total),
+                    slices: (slices_used, slices_total),
+                    configs,
+                }
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rhv_core::case_study;
+    use rhv_core::fabric::FitPolicy;
+    use rhv_core::ids::PeId;
+    use rhv_core::state::ConfigKind;
+
+    #[test]
+    fn task_history_filters() {
+        let mut m = Monitor::new();
+        m.record(Event::TaskSubmitted(TaskId(1)));
+        m.record(Event::TaskSubmitted(TaskId(2)));
+        m.record(Event::TaskDispatched(TaskId(1), NodeId(0)));
+        m.record(Event::TaskCompleted(TaskId(1)));
+        let h = m.task_history(TaskId(1));
+        assert_eq!(h.len(), 3);
+        assert_eq!(h[0], Event::TaskSubmitted(TaskId(1)));
+        assert_eq!(m.task_history(TaskId(2)).len(), 1);
+        assert!(m.task_history(TaskId(9)).is_empty());
+    }
+
+    #[test]
+    fn snapshot_reflects_state() {
+        let mut nodes = case_study::grid();
+        let snap0 = Monitor::snapshot(&nodes);
+        assert_eq!(snap0[0].cores, (0, 6)); // Xeon 4 + Core2Duo 2
+        assert_eq!(snap0[2].slices, (0, 51_840));
+        // busy a core and load a config
+        nodes[0]
+            .gpp_mut(PeId::Gpp(0))
+            .unwrap()
+            .state
+            .acquire_cores(3)
+            .unwrap();
+        nodes[2]
+            .rpe_mut(PeId::Rpe(0))
+            .unwrap()
+            .state
+            .load(ConfigKind::Accelerator("x".into()), 10_000, FitPolicy::FirstFit)
+            .unwrap();
+        let snap = Monitor::snapshot(&nodes);
+        assert_eq!(snap[0].cores, (3, 6));
+        assert_eq!(snap[2].slices, (10_000, 51_840));
+        assert_eq!(snap[2].configs, 1);
+    }
+}

@@ -1,0 +1,213 @@
+//! The Resource Management System.
+//!
+//! Owns the node registry ("The RMS updates the statuses of all nodes in the
+//! grid"), supports runtime add/remove (the node model "is generic and
+//! adaptive in adding/removing resources at runtime"), and assigns tasks via
+//! a pluggable [`Strategy`].
+
+use crate::monitor::{Event, Monitor};
+use rhv_core::ids::NodeId;
+use rhv_core::node::Node;
+use rhv_core::task::Task;
+use rhv_sim::strategy::{Placement, Strategy};
+use std::collections::VecDeque;
+
+/// The RMS: registry + scheduler + monitor.
+pub struct ResourceManagementSystem {
+    nodes: Vec<Node>,
+    strategy: Box<dyn Strategy>,
+    backlog: VecDeque<Task>,
+    monitor: Monitor,
+    next_node: u64,
+}
+
+impl ResourceManagementSystem {
+    /// An RMS over an initial set of nodes with the given strategy.
+    pub fn new(nodes: Vec<Node>, strategy: Box<dyn Strategy>) -> Self {
+        let next_node = nodes.iter().map(|n| n.id.raw() + 1).max().unwrap_or(0);
+        ResourceManagementSystem {
+            nodes,
+            strategy,
+            backlog: VecDeque::new(),
+            monitor: Monitor::new(),
+            next_node,
+        }
+    }
+
+    /// Current nodes.
+    pub fn nodes(&self) -> &[Node] {
+        &self.nodes
+    }
+
+    /// Mutable node access (state updates flow through here).
+    pub fn node_mut(&mut self, id: NodeId) -> Option<&mut Node> {
+        self.nodes.iter_mut().find(|n| n.id == id)
+    }
+
+    /// The monitor (event log, snapshots).
+    pub fn monitor(&self) -> &Monitor {
+        &self.monitor
+    }
+
+    /// Registers a new (empty) node at runtime; resources are added to it
+    /// through [`ResourceManagementSystem::node_mut`].
+    pub fn join_node(&mut self, node: Node) -> NodeId {
+        let id = node.id;
+        self.next_node = self.next_node.max(id.raw() + 1);
+        self.monitor.record(Event::NodeJoined(id));
+        self.nodes.push(node);
+        id
+    }
+
+    /// Allocates the next unused node id.
+    pub fn fresh_node_id(&mut self) -> NodeId {
+        let id = NodeId(self.next_node);
+        self.next_node += 1;
+        id
+    }
+
+    /// Removes a node at runtime (fails when any of its PEs is busy).
+    pub fn leave_node(&mut self, id: NodeId) -> Result<Node, RmsError> {
+        let pos = self
+            .nodes
+            .iter()
+            .position(|n| n.id == id)
+            .ok_or(RmsError::UnknownNode(id))?;
+        let node = &self.nodes[pos];
+        let busy = node.gpps().iter().any(|g| !g.state.is_idle())
+            || node.rpes().iter().any(|r| !r.state.is_idle());
+        if busy {
+            return Err(RmsError::NodeBusy(id));
+        }
+        self.monitor.record(Event::NodeLeft(id));
+        Ok(self.nodes.remove(pos))
+    }
+
+    /// Asks the strategy for a placement (no state mutation).
+    pub fn propose(&mut self, task: &Task, now: f64) -> Option<Placement> {
+        self.strategy.place(task, &self.nodes, now)
+    }
+
+    /// True when the task could run on this grid when idle.
+    pub fn is_satisfiable(&self, task: &Task) -> bool {
+        self.strategy.is_satisfiable(task, &self.nodes)
+    }
+
+    /// Queues a task the strategy could not place yet.
+    pub fn enqueue(&mut self, task: Task) {
+        self.monitor.record(Event::TaskQueued(task.id));
+        self.backlog.push_back(task);
+    }
+
+    /// Tasks waiting for resources.
+    pub fn backlog_len(&self) -> usize {
+        self.backlog.len()
+    }
+
+    /// Pops the next queued task (FIFO).
+    pub fn dequeue(&mut self) -> Option<Task> {
+        self.backlog.pop_front()
+    }
+
+    /// The strategy's display name.
+    pub fn strategy_name(&self) -> &str {
+        self.strategy.name()
+    }
+}
+
+/// RMS errors.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RmsError {
+    /// No node with that id.
+    UnknownNode(NodeId),
+    /// Node has running tasks.
+    NodeBusy(NodeId),
+}
+
+impl std::fmt::Display for RmsError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RmsError::UnknownNode(id) => write!(f, "unknown node {id}"),
+            RmsError::NodeBusy(id) => write!(f, "node {id} has running tasks"),
+        }
+    }
+}
+
+impl std::error::Error for RmsError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rhv_core::case_study;
+    use rhv_sched::FirstFitStrategy;
+
+    fn rms() -> ResourceManagementSystem {
+        ResourceManagementSystem::new(case_study::grid(), Box::new(FirstFitStrategy::new()))
+    }
+
+    #[test]
+    fn propose_matches_table2_first_candidates() {
+        let mut r = rms();
+        let tasks = case_study::tasks();
+        assert_eq!(
+            r.propose(&tasks[0], 0.0).unwrap().pe.to_string(),
+            "GPP_0 <-> Node_0"
+        );
+        assert_eq!(
+            r.propose(&tasks[3], 0.0).unwrap().pe.to_string(),
+            "RPE_0 <-> Node_0"
+        );
+    }
+
+    #[test]
+    fn join_and_leave_nodes_at_runtime() {
+        let mut r = rms();
+        let id = r.fresh_node_id();
+        assert_eq!(id, NodeId(3));
+        r.join_node(Node::new(id));
+        assert_eq!(r.nodes().len(), 4);
+        let node = r.leave_node(id).unwrap();
+        assert_eq!(node.id, id);
+        assert_eq!(r.nodes().len(), 3);
+        assert_eq!(r.leave_node(id).unwrap_err(), RmsError::UnknownNode(id));
+    }
+
+    #[test]
+    fn busy_node_cannot_leave() {
+        let mut r = rms();
+        r.node_mut(NodeId(0))
+            .unwrap()
+            .gpp_mut(rhv_core::ids::PeId::Gpp(0))
+            .unwrap()
+            .state
+            .acquire_cores(1)
+            .unwrap();
+        assert_eq!(
+            r.leave_node(NodeId(0)).unwrap_err(),
+            RmsError::NodeBusy(NodeId(0))
+        );
+    }
+
+    #[test]
+    fn backlog_is_fifo() {
+        let mut r = rms();
+        let tasks = case_study::tasks();
+        r.enqueue(tasks[1].clone());
+        r.enqueue(tasks[2].clone());
+        assert_eq!(r.backlog_len(), 2);
+        assert_eq!(r.dequeue().unwrap().id, tasks[1].id);
+        assert_eq!(r.dequeue().unwrap().id, tasks[2].id);
+        assert!(r.dequeue().is_none());
+    }
+
+    #[test]
+    fn monitor_records_membership_events() {
+        let mut r = rms();
+        let id = r.fresh_node_id();
+        r.join_node(Node::new(id));
+        r.leave_node(id).unwrap();
+        let events = r.monitor().events();
+        assert!(events.contains(&Event::NodeJoined(id)));
+        assert!(events.contains(&Event::NodeLeft(id)));
+    }
+}

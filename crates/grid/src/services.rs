@@ -1,0 +1,343 @@
+//! The Fig. 9 user-service surface.
+//!
+//! "The minimum level of services required by a user is to submit his
+//! application tasks and get results. But more services can be added to
+//! satisfy the Quality of Service (QoS) requirements. … With these services,
+//! a user is able to submit his/her queries and get a response."
+//!
+//! [`GridServices`] is that query/response surface: a thin façade over the
+//! JSS, RMS, cost model and monitor.
+
+use crate::cost::{self, CostEstimate, QosTier, Rates};
+use crate::jss::{JobId, JobStatus, JobSubmissionSystem, SubmitError, TaskState};
+use crate::monitor::{Event, Monitor, NodeSnapshot};
+use crate::rms::ResourceManagementSystem;
+use rhv_core::appdsl::Application;
+use rhv_core::ids::TaskId;
+use rhv_core::task::Task;
+
+/// A user query (Fig. 9's arrows into the grid).
+#[derive(Debug, Clone)]
+pub enum UserQuery {
+    /// Submit an application with its tasks at a QoS tier.
+    Submit {
+        /// The workflow.
+        application: Application,
+        /// Task definitions.
+        tasks: Vec<Task>,
+        /// Requested service tier.
+        qos: QosTier,
+    },
+    /// Ask a job's status.
+    JobStatus(JobId),
+    /// List nodes and their current utilization.
+    ListResources,
+    /// Price a task before submitting it.
+    CostEstimate {
+        /// The task to price.
+        task: Box<Task>,
+        /// Tier to price at.
+        qos: QosTier,
+    },
+    /// Fetch the event history of a task.
+    Monitor(TaskId),
+}
+
+/// The grid's response (Fig. 9's arrows back to the user).
+#[derive(Debug, Clone)]
+pub enum ServiceResponse {
+    /// Submission accepted.
+    Accepted(JobId),
+    /// Submission refused.
+    SubmitRefused(SubmitError),
+    /// Job status report.
+    Status(JobStatus),
+    /// Unknown job.
+    UnknownJob(JobId),
+    /// Resource listing.
+    Resources(Vec<NodeSnapshot>),
+    /// Itemized price.
+    Price(CostEstimate),
+    /// Task event history.
+    History(Vec<Event>),
+}
+
+/// The service façade.
+pub struct GridServices {
+    /// The job intake.
+    pub jss: JobSubmissionSystem,
+    /// The resource manager.
+    pub rms: ResourceManagementSystem,
+    /// Billing rates.
+    pub rates: Rates,
+    monitor: Monitor,
+}
+
+impl GridServices {
+    /// Builds the façade over an RMS.
+    pub fn new(rms: ResourceManagementSystem) -> Self {
+        GridServices {
+            jss: JobSubmissionSystem::new(),
+            rms,
+            rates: Rates::default(),
+            monitor: Monitor::new(),
+        }
+    }
+
+    /// Handles one user query.
+    pub fn handle(&mut self, query: UserQuery) -> ServiceResponse {
+        match query {
+            UserQuery::Submit {
+                application,
+                tasks,
+                qos: _,
+            } => {
+                let ids: Vec<TaskId> = tasks.iter().map(|t| t.id).collect();
+                match self.jss.submit(application, tasks) {
+                    Ok(job) => {
+                        for t in ids {
+                            self.monitor.record(Event::TaskSubmitted(t));
+                        }
+                        ServiceResponse::Accepted(job)
+                    }
+                    Err(e) => ServiceResponse::SubmitRefused(e),
+                }
+            }
+            UserQuery::JobStatus(id) => match self.jss.job(id) {
+                Some(j) => ServiceResponse::Status(j.status()),
+                None => ServiceResponse::UnknownJob(id),
+            },
+            UserQuery::ListResources => {
+                ServiceResponse::Resources(Monitor::snapshot(self.rms.nodes()))
+            }
+            UserQuery::CostEstimate { task, qos } => {
+                ServiceResponse::Price(cost::estimate(&task, &self.rates, qos))
+            }
+            UserQuery::Monitor(task) => {
+                let mut history = self.monitor.task_history(task);
+                history.extend(self.rms.monitor().task_history(task));
+                ServiceResponse::History(history)
+            }
+        }
+    }
+
+    /// Runs one job through the DReAMSim simulator, honouring the
+    /// application's Seq/Par structure: each group is submitted when the
+    /// previous group's timeline slot opens (using `t_estimated` for the
+    /// barrier spacing). Returns the full simulation report, and marks the
+    /// job's task states from the outcome.
+    pub fn run_job_simulated(
+        &mut self,
+        job: JobId,
+        strategy: &mut dyn rhv_sim::strategy::Strategy,
+        cfg: rhv_sim::sim::SimConfig,
+    ) -> Option<rhv_sim::metrics::SimReport> {
+        let (application, tasks) = {
+            let j = self.jss.job(job)?;
+            (j.application.clone(), j.tasks.clone())
+        };
+        // Group barriers from the Fig. 8 schedule over t_estimated.
+        let slots = application.schedule(|t| tasks.get(&t).map(|x| x.t_estimated).unwrap_or(0.0));
+        let workload: Vec<(f64, Task)> = slots
+            .iter()
+            .filter_map(|s| tasks.get(&s.task).map(|t| (s.start, t.clone())))
+            .collect();
+        let nodes = self.rms.nodes().to_vec();
+        let report = rhv_sim::sim::GridSimulator::new(nodes, cfg).run(workload, strategy);
+        for record in &report.records {
+            self.jss.set_task_state(job, record.task, TaskState::Done);
+            self.monitor.record(Event::TaskDispatched(record.task, record.pe.node));
+            self.monitor.record(Event::TaskCompleted(record.task));
+        }
+        let done: std::collections::BTreeSet<_> =
+            report.records.iter().map(|r| r.task).collect();
+        for t in tasks.keys() {
+            if !done.contains(t) {
+                self.jss.set_task_state(job, *t, TaskState::Rejected);
+                self.monitor.record(Event::TaskRejected(*t));
+            }
+        }
+        Some(report)
+    }
+
+    /// Drives one job synchronously to completion on the RMS grid (a
+    /// convenience used by examples and tests; the simulator and the live
+    /// mode are the asynchronous paths).
+    ///
+    /// Tasks run group by group per the application's Seq/Par semantics;
+    /// unsatisfiable tasks mark the job failed.
+    pub fn run_job(&mut self, job: JobId) -> Option<JobStatus> {
+        let (groups, tasks) = {
+            let j = self.jss.job(job)?;
+            (j.application.groups.clone(), j.tasks.clone())
+        };
+        for group in groups {
+            for tid in group.tasks {
+                let task = tasks.get(&tid)?.clone();
+                if self.rms.propose(&task, 0.0).is_some() {
+                    self.monitor
+                        .record(Event::TaskDispatched(tid, self.rms.nodes()[0].id));
+                    self.jss.set_task_state(job, tid, TaskState::Running);
+                    // Synchronous completion (state changes are transient).
+                    self.jss.set_task_state(job, tid, TaskState::Done);
+                    self.monitor.record(Event::TaskCompleted(tid));
+                } else if self.rms.is_satisfiable(&task) {
+                    // Busy grid in the synchronous driver: treat as done
+                    // after waiting (no clock here).
+                    self.jss.set_task_state(job, tid, TaskState::Done);
+                    self.monitor.record(Event::TaskCompleted(tid));
+                } else {
+                    self.jss.set_task_state(job, tid, TaskState::Rejected);
+                    self.monitor.record(Event::TaskRejected(tid));
+                }
+            }
+        }
+        self.jss.job(job).map(Job::status)
+    }
+}
+
+use crate::jss::Job;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rhv_core::appdsl::Group;
+    use rhv_core::case_study;
+    use rhv_sched::FirstFitStrategy;
+
+    fn services() -> GridServices {
+        GridServices::new(ResourceManagementSystem::new(
+            case_study::grid(),
+            Box::new(FirstFitStrategy::new()),
+        ))
+    }
+
+    fn submit_query() -> UserQuery {
+        UserQuery::Submit {
+            application: Application::new(vec![
+                Group::seq([0]),
+                Group::par([1, 2]),
+                Group::seq([3]),
+            ]),
+            tasks: case_study::tasks(),
+            qos: QosTier::Standard,
+        }
+    }
+
+    #[test]
+    fn fig9_query_response_cycle() {
+        let mut svc = services();
+        // submit
+        let job = match svc.handle(submit_query()) {
+            ServiceResponse::Accepted(j) => j,
+            other => panic!("expected acceptance, got {other:?}"),
+        };
+        // status
+        match svc.handle(UserQuery::JobStatus(job)) {
+            ServiceResponse::Status(JobStatus::InProgress) => {}
+            other => panic!("unexpected {other:?}"),
+        }
+        // resources
+        match svc.handle(UserQuery::ListResources) {
+            ServiceResponse::Resources(snaps) => assert_eq!(snaps.len(), 3),
+            other => panic!("unexpected {other:?}"),
+        }
+        // cost
+        let price = match svc.handle(UserQuery::CostEstimate {
+            task: Box::new(case_study::tasks()[1].clone()),
+            qos: QosTier::Premium,
+        }) {
+            ServiceResponse::Price(p) => p,
+            other => panic!("unexpected {other:?}"),
+        };
+        assert!(price.total() > 0.0);
+        // run + monitor
+        assert_eq!(svc.run_job(job), Some(JobStatus::Completed));
+        match svc.handle(UserQuery::Monitor(rhv_core::ids::TaskId(1))) {
+            ServiceResponse::History(h) => {
+                assert!(h.contains(&Event::TaskSubmitted(rhv_core::ids::TaskId(1))));
+                assert!(h.contains(&Event::TaskCompleted(rhv_core::ids::TaskId(1))));
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn unknown_job_status() {
+        let mut svc = services();
+        match svc.handle(UserQuery::JobStatus(JobId(42))) {
+            ServiceResponse::UnknownJob(JobId(42)) => {}
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn bad_submission_refused() {
+        let mut svc = services();
+        let q = UserQuery::Submit {
+            application: Application::new(vec![Group::seq([77])]),
+            tasks: case_study::tasks(),
+            qos: QosTier::BestEffort,
+        };
+        match svc.handle(q) {
+            ServiceResponse::SubmitRefused(SubmitError::UndefinedTask(t)) => {
+                assert_eq!(t.raw(), 77);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn simulated_job_run_reports_timings() {
+        use rhv_sched::ReuseAwareStrategy;
+        let mut svc = services();
+        let job = match svc.handle(submit_query()) {
+            ServiceResponse::Accepted(j) => j,
+            other => panic!("unexpected {other:?}"),
+        };
+        let mut strategy = ReuseAwareStrategy::new();
+        let report = svc
+            .run_job_simulated(job, &mut strategy, rhv_sim::sim::SimConfig::default())
+            .expect("job exists");
+        report.check_invariants().unwrap();
+        assert_eq!(report.completed, 4);
+        match svc.handle(UserQuery::JobStatus(job)) {
+            ServiceResponse::Status(JobStatus::Completed) => {}
+            other => panic!("unexpected {other:?}"),
+        }
+        // Par-group tasks (T1, T2) share their submission barrier; the Seq
+        // groups are staggered behind it. (Execution windows need not
+        // overlap — synthesis setup differs per device.)
+        let r = |id: u64| {
+            report
+                .records
+                .iter()
+                .find(|r| r.task == rhv_core::ids::TaskId(id))
+                .cloned()
+                .unwrap()
+        };
+        assert_eq!(r(1).arrival, r(2).arrival);
+        assert!(r(0).arrival < r(1).arrival);
+        assert!(r(3).arrival > r(1).arrival);
+    }
+
+    #[test]
+    fn unsatisfiable_task_fails_job() {
+        let mut svc = services();
+        let mut tasks = case_study::tasks();
+        // Make Task_2 impossible.
+        tasks[2].exec_req.constraints[1] = rhv_core::execreq::Constraint::ge(
+            rhv_params::param::ParamKey::Slices,
+            1_000_000u64,
+        );
+        let job = match svc.handle(UserQuery::Submit {
+            application: Application::new(vec![Group::seq([0, 1, 2, 3])]),
+            tasks,
+            qos: QosTier::Standard,
+        }) {
+            ServiceResponse::Accepted(j) => j,
+            other => panic!("unexpected {other:?}"),
+        };
+        assert_eq!(svc.run_job(job), Some(JobStatus::Failed));
+    }
+}

@@ -1,0 +1,355 @@
+//! Built-in device/processor catalog.
+//!
+//! The catalog supplies the concrete parts the paper's case study relies on:
+//! the Virtex-5 LX parts (the three grid nodes hold devices "with more than
+//! 24,000 slices"), the Virtex-6 `XC6VLX365T` that `Task_3` targets, plus a
+//! small set of contemporary CPUs and GPUs for populating synthetic grids.
+//!
+//! Slice/LUT/BRAM counts follow the Xilinx Virtex-5/Virtex-6 data sheets
+//! (DS100, DS150); reconfiguration bandwidth models a 32-bit ICAP at 100 MHz
+//! (400 MB/s), the figure commonly used in the partial-reconfiguration
+//! literature of the period.
+
+use crate::fpga::{FpgaDevice, FpgaFamily};
+use crate::gpp::GppSpec;
+use crate::gpu::GpuSpec;
+use crate::softcore::SoftcoreSpec;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// A lookup catalog of known devices and processors.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct Catalog {
+    fpgas: BTreeMap<String, FpgaDevice>,
+    gpps: BTreeMap<String, GppSpec>,
+    gpus: BTreeMap<String, GpuSpec>,
+    softcores: BTreeMap<String, SoftcoreSpec>,
+}
+
+impl Catalog {
+    /// An empty catalog (grid managers can register their own parts).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The built-in catalog used by the case study and the benches.
+    pub fn builtin() -> Self {
+        let mut c = Catalog::new();
+        for d in builtin_fpgas() {
+            c.register_fpga(d);
+        }
+        for g in builtin_gpps() {
+            c.register_gpp(g);
+        }
+        for g in builtin_gpus() {
+            c.register_gpu(g);
+        }
+        for s in [
+            SoftcoreSpec::rvex_2w(),
+            SoftcoreSpec::rvex_4w(),
+            SoftcoreSpec::rvex_8w_2c(),
+        ] {
+            c.register_softcore(s);
+        }
+        c
+    }
+
+    /// Registers (or replaces) an FPGA part.
+    pub fn register_fpga(&mut self, dev: FpgaDevice) {
+        self.fpgas.insert(dev.part.clone(), dev);
+    }
+
+    /// Registers (or replaces) a GPP model.
+    pub fn register_gpp(&mut self, gpp: GppSpec) {
+        self.gpps.insert(gpp.cpu_model.clone(), gpp);
+    }
+
+    /// Registers (or replaces) a GPU model.
+    pub fn register_gpu(&mut self, gpu: GpuSpec) {
+        self.gpus.insert(gpu.model.clone(), gpu);
+    }
+
+    /// Registers (or replaces) a soft-core configuration.
+    pub fn register_softcore(&mut self, sc: SoftcoreSpec) {
+        self.softcores.insert(sc.name.clone(), sc);
+    }
+
+    /// Looks up an FPGA by part number (case-insensitive).
+    pub fn fpga(&self, part: &str) -> Option<&FpgaDevice> {
+        self.fpgas
+            .get(part)
+            .or_else(|| self.fpgas.values().find(|d| d.part.eq_ignore_ascii_case(part)))
+    }
+
+    /// Looks up a GPP by model string.
+    pub fn gpp(&self, model: &str) -> Option<&GppSpec> {
+        self.gpps.get(model)
+    }
+
+    /// Looks up a GPU by model string.
+    pub fn gpu(&self, model: &str) -> Option<&GpuSpec> {
+        self.gpus.get(model)
+    }
+
+    /// Looks up a soft-core configuration by name.
+    pub fn softcore(&self, name: &str) -> Option<&SoftcoreSpec> {
+        self.softcores.get(name)
+    }
+
+    /// All FPGAs in deterministic order.
+    pub fn fpgas(&self) -> impl Iterator<Item = &FpgaDevice> {
+        self.fpgas.values()
+    }
+
+    /// All GPPs in deterministic order.
+    pub fn gpps(&self) -> impl Iterator<Item = &GppSpec> {
+        self.gpps.values()
+    }
+
+    /// All GPUs in deterministic order.
+    pub fn gpus(&self) -> impl Iterator<Item = &GpuSpec> {
+        self.gpus.values()
+    }
+
+    /// All soft-core configurations in deterministic order.
+    pub fn softcores(&self) -> impl Iterator<Item = &SoftcoreSpec> {
+        self.softcores.values()
+    }
+
+    /// FPGAs of a given family with at least `min_slices` slices.
+    pub fn fpgas_with_slices(
+        &self,
+        family: FpgaFamily,
+        min_slices: u64,
+    ) -> impl Iterator<Item = &FpgaDevice> {
+        self.fpgas
+            .values()
+            .filter(move |d| d.family == family && d.slices >= min_slices)
+    }
+}
+
+fn v5(part: &str, logic_cells: u64, slices: u64, bram_kb: u64, dsp: u64, iobs: u64, bits: u64) -> FpgaDevice {
+    FpgaDevice {
+        part: part.into(),
+        family: FpgaFamily::Virtex5,
+        logic_cells,
+        slices,
+        luts: slices * 4, // Virtex-5 slices hold four 6-input LUTs
+        bram_kb,
+        dsp_slices: dsp,
+        speed_grade_mhz: 550.0,
+        reconfig_bandwidth_mbps: 400.0,
+        iobs,
+        ethernet_macs: 4,
+        partial_reconfig: true,
+        bitstream_bytes: bits,
+    }
+}
+
+fn builtin_fpgas() -> Vec<FpgaDevice> {
+    vec![
+        // Virtex-5 LX family (DS100): slices = logic cells / ~6.4
+        v5("XC5VLX30", 30_720, 4_800, 1_152, 32, 400, 1_060_000),
+        v5("XC5VLX50", 46_080, 7_200, 1_728, 48, 560, 1_560_000),
+        v5("XC5VLX85", 82_944, 12_960, 3_456, 48, 560, 2_660_000),
+        v5("XC5VLX110", 110_592, 17_280, 4_608, 64, 800, 3_560_000),
+        v5("XC5VLX155", 155_648, 24_320, 6_912, 128, 800, 5_165_000),
+        v5("XC5VLX220", 221_184, 34_560, 6_912, 128, 800, 6_885_000),
+        v5("XC5VLX330", 331_776, 51_840, 10_368, 192, 1_200, 9_950_000),
+        // Virtex-6 (DS150): the device Task_3 of the case study targets.
+        FpgaDevice {
+            part: "XC6VLX365T".into(),
+            family: FpgaFamily::Virtex6,
+            logic_cells: 364_032,
+            slices: 56_880,
+            luts: 227_520,
+            bram_kb: 14_976,
+            dsp_slices: 576,
+            speed_grade_mhz: 600.0,
+            reconfig_bandwidth_mbps: 400.0,
+            iobs: 720,
+            ethernet_macs: 4,
+            partial_reconfig: true,
+            bitstream_bytes: 12_200_000,
+        },
+        FpgaDevice {
+            part: "XC6VLX240T".into(),
+            family: FpgaFamily::Virtex6,
+            logic_cells: 241_152,
+            slices: 37_680,
+            luts: 150_720,
+            bram_kb: 9_504,
+            dsp_slices: 768,
+            speed_grade_mhz: 600.0,
+            reconfig_bandwidth_mbps: 400.0,
+            iobs: 720,
+            ethernet_macs: 4,
+            partial_reconfig: true,
+            bitstream_bytes: 9_017_000,
+        },
+        // Virtex-4 (previous generation, no PR modelled in our grids).
+        FpgaDevice {
+            part: "XC4VLX100".into(),
+            family: FpgaFamily::Virtex4,
+            logic_cells: 110_592,
+            slices: 49_152, // Virtex-4 slices are half the size of Virtex-5's
+            luts: 98_304,
+            bram_kb: 4_320,
+            dsp_slices: 96,
+            speed_grade_mhz: 500.0,
+            reconfig_bandwidth_mbps: 100.0,
+            iobs: 960,
+            ethernet_macs: 0,
+            partial_reconfig: true,
+            bitstream_bytes: 3_825_000,
+        },
+    ]
+}
+
+fn builtin_gpps() -> Vec<GppSpec> {
+    vec![
+        GppSpec {
+            cpu_model: "Intel Xeon E5450".into(),
+            mips: 48_000.0,
+            os: "Linux".into(),
+            ram_mb: 8_192,
+            cores: 4,
+            clock_mhz: 3_000.0,
+        },
+        GppSpec {
+            cpu_model: "Intel Core 2 Duo E8400".into(),
+            mips: 22_000.0,
+            os: "Linux".into(),
+            ram_mb: 4_096,
+            cores: 2,
+            clock_mhz: 3_000.0,
+        },
+        GppSpec {
+            cpu_model: "AMD Opteron 2380".into(),
+            mips: 38_000.0,
+            os: "Linux".into(),
+            ram_mb: 16_384,
+            cores: 4,
+            clock_mhz: 2_500.0,
+        },
+        GppSpec {
+            cpu_model: "IBM PowerPC 970".into(),
+            mips: 16_000.0,
+            os: "AIX".into(),
+            ram_mb: 4_096,
+            cores: 2,
+            clock_mhz: 2_200.0,
+        },
+    ]
+}
+
+fn builtin_gpus() -> Vec<GpuSpec> {
+    vec![
+        GpuSpec {
+            model: "Tesla C1060".into(),
+            shader_cores: 30,
+            warp_size: 32,
+            simd_pipeline_width: 8,
+            shared_mem_per_core_kb: 16,
+            memory_freq_mhz: 800.0,
+        },
+        GpuSpec {
+            model: "GeForce GTX 280".into(),
+            shader_cores: 30,
+            warp_size: 32,
+            simd_pipeline_width: 8,
+            shared_mem_per_core_kb: 16,
+            memory_freq_mhz: 1_107.0,
+        },
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builtin_contains_case_study_parts() {
+        let c = Catalog::builtin();
+        // The three nodes hold Virtex-5 devices with > 24,000 slices...
+        let lx155 = c.fpga("XC5VLX155").unwrap();
+        assert!(lx155.slices > 24_000);
+        // ...and Node_0 holds the Virtex-6 part Task_3 requires.
+        let v6 = c.fpga("XC6VLX365T").unwrap();
+        assert_eq!(v6.family, FpgaFamily::Virtex6);
+        assert!(v6.slices > 50_000);
+    }
+
+    #[test]
+    fn task2_requirement_is_satisfiable_by_large_v5_parts_only() {
+        // Task_2 needs >= 30,790 Virtex-5 slices: only LX220 and LX330 qualify.
+        let c = Catalog::builtin();
+        let ok: Vec<_> = c
+            .fpgas_with_slices(FpgaFamily::Virtex5, 30_790)
+            .map(|d| d.part.clone())
+            .collect();
+        assert_eq!(ok, vec!["XC5VLX220".to_string(), "XC5VLX330".to_string()]);
+    }
+
+    #[test]
+    fn task1_requirement_matches_more_parts() {
+        // Task_1 needs >= 18,707 Virtex-5 slices.
+        let c = Catalog::builtin();
+        let n = c.fpgas_with_slices(FpgaFamily::Virtex5, 18_707).count();
+        assert_eq!(n, 3); // LX155, LX220, LX330
+    }
+
+    #[test]
+    fn lookup_is_case_insensitive() {
+        let c = Catalog::builtin();
+        assert!(c.fpga("xc5vlx155").is_some());
+        assert!(c.fpga("XC5VLX999").is_none());
+    }
+
+    #[test]
+    fn catalogs_are_deterministically_ordered() {
+        let c = Catalog::builtin();
+        let parts: Vec<_> = c.fpgas().map(|d| d.part.clone()).collect();
+        let mut sorted = parts.clone();
+        sorted.sort();
+        assert_eq!(parts, sorted);
+    }
+
+    #[test]
+    fn softcores_registered() {
+        let c = Catalog::builtin();
+        assert!(c.softcore("rvex-2w").is_some());
+        assert!(c.softcore("rvex-4w").is_some());
+        assert!(c.softcore("rvex-8w-2c").is_some());
+    }
+
+    #[test]
+    fn gpp_lookup() {
+        let c = Catalog::builtin();
+        assert_eq!(c.gpp("Intel Xeon E5450").unwrap().cores, 4);
+        assert!(c.gpu("Tesla C1060").is_some());
+    }
+
+    #[test]
+    fn registering_replaces() {
+        let mut c = Catalog::new();
+        c.register_gpp(GppSpec {
+            cpu_model: "X".into(),
+            mips: 1.0,
+            os: "L".into(),
+            ram_mb: 1,
+            cores: 1,
+            clock_mhz: 1.0,
+        });
+        c.register_gpp(GppSpec {
+            cpu_model: "X".into(),
+            mips: 2.0,
+            os: "L".into(),
+            ram_mb: 1,
+            cores: 1,
+            clock_mhz: 1.0,
+        });
+        assert_eq!(c.gpp("X").unwrap().mips, 2.0);
+        assert_eq!(c.gpps().count(), 1);
+    }
+}

@@ -1,0 +1,202 @@
+//! FPGA device descriptions.
+//!
+//! The paper's case study names concrete Xilinx parts: the three grid nodes
+//! hold Virtex-5 devices "with more than 24,000 slices" and one node holds a
+//! Virtex-6 `XC6VLX365T`. [`FpgaDevice`] captures the Table I FPGA rows for
+//! such a part; the built-in part list lives in [`crate::catalog`].
+
+use crate::param::{ParamKey, ParamMap};
+use crate::value::ParamValue;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// FPGA device family.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum FpgaFamily {
+    Virtex4,
+    Virtex5,
+    Virtex6,
+    Spartan6,
+    /// Catch-all for families we model generically.
+    Other,
+}
+
+impl fmt::Display for FpgaFamily {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            FpgaFamily::Virtex4 => "Virtex-4",
+            FpgaFamily::Virtex5 => "Virtex-5",
+            FpgaFamily::Virtex6 => "Virtex-6",
+            FpgaFamily::Spartan6 => "Spartan-6",
+            FpgaFamily::Other => "Other",
+        };
+        f.write_str(s)
+    }
+}
+
+impl FpgaFamily {
+    /// Parses the display form back into a family.
+    pub fn parse(s: &str) -> Option<FpgaFamily> {
+        match s.to_ascii_lowercase().as_str() {
+            "virtex-4" | "virtex4" => Some(FpgaFamily::Virtex4),
+            "virtex-5" | "virtex5" => Some(FpgaFamily::Virtex5),
+            "virtex-6" | "virtex6" => Some(FpgaFamily::Virtex6),
+            "spartan-6" | "spartan6" => Some(FpgaFamily::Spartan6),
+            "other" => Some(FpgaFamily::Other),
+            _ => None,
+        }
+    }
+}
+
+/// A reconfigurable device, described by the Table I FPGA parameters.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FpgaDevice {
+    /// Part number, e.g. `XC5VLX155`.
+    pub part: String,
+    /// Device family.
+    pub family: FpgaFamily,
+    /// Logic cells.
+    pub logic_cells: u64,
+    /// Configurable-logic slices. The paper sizes tasks in slices.
+    pub slices: u64,
+    /// Look-up tables.
+    pub luts: u64,
+    /// Block RAM in KiB.
+    pub bram_kb: u64,
+    /// DSP slices.
+    pub dsp_slices: u64,
+    /// Speed grade as maximum fabric frequency in MHz.
+    pub speed_grade_mhz: f64,
+    /// Reconfiguration bandwidth in MB/s (SelectMAP/ICAP-style port).
+    pub reconfig_bandwidth_mbps: f64,
+    /// I/O blocks.
+    pub iobs: u64,
+    /// Embedded Ethernet MAC blocks.
+    pub ethernet_macs: u64,
+    /// Whether the device supports dynamic partial reconfiguration.
+    pub partial_reconfig: bool,
+    /// Full-device configuration bitstream size in bytes.
+    pub bitstream_bytes: u64,
+}
+
+impl FpgaDevice {
+    /// Converts the device into the generic capability-parameter form used by
+    /// the node model and the matchmaker.
+    pub fn to_params(&self) -> ParamMap {
+        ParamMap::new()
+            .with(ParamKey::DevicePart, self.part.as_str())
+            .with(ParamKey::DeviceFamily, self.family.to_string())
+            .with(ParamKey::LogicCells, self.logic_cells)
+            .with(ParamKey::Slices, self.slices)
+            .with(ParamKey::Luts, self.luts)
+            .with(ParamKey::BramKb, ParamValue::KiloBytes(self.bram_kb))
+            .with(ParamKey::DspSlices, self.dsp_slices)
+            .with(ParamKey::SpeedGradeMhz, ParamValue::MegaHertz(self.speed_grade_mhz))
+            .with(
+                ParamKey::ReconfigBandwidthMBps,
+                ParamValue::MegaBytesPerSec(self.reconfig_bandwidth_mbps),
+            )
+            .with(ParamKey::Iobs, self.iobs)
+            .with(ParamKey::EthernetMac, self.ethernet_macs > 0)
+            .with(ParamKey::PartialReconfig, self.partial_reconfig)
+    }
+
+    /// Time to load a full-device bitstream, in seconds.
+    pub fn full_reconfig_seconds(&self) -> f64 {
+        self.bitstream_bytes as f64 / (self.reconfig_bandwidth_mbps * 1e6)
+    }
+
+    /// Time to load a partial bitstream covering `slices` slices, in seconds.
+    ///
+    /// Partial bitstream size is modelled as proportional to the fraction of
+    /// the fabric reconfigured, which matches the frame-addressed
+    /// configuration architecture of the Virtex families.
+    pub fn partial_reconfig_seconds(&self, slices: u64) -> f64 {
+        let frac = (slices.min(self.slices)) as f64 / self.slices as f64;
+        self.full_reconfig_seconds() * frac
+    }
+
+    /// Approximate bytes of configuration data per slice.
+    pub fn bytes_per_slice(&self) -> f64 {
+        self.bitstream_bytes as f64 / self.slices as f64
+    }
+}
+
+impl fmt::Display for FpgaDevice {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} ({}): {} slices, {} LUTs, {} KB BRAM, {} DSP, {} MHz",
+            self.part,
+            self.family,
+            self.slices,
+            self.luts,
+            self.bram_kb,
+            self.dsp_slices,
+            self.speed_grade_mhz
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn lx155() -> FpgaDevice {
+        FpgaDevice {
+            part: "XC5VLX155".into(),
+            family: FpgaFamily::Virtex5,
+            logic_cells: 155_000,
+            slices: 24_320,
+            luts: 97_280,
+            bram_kb: 1_640,
+            dsp_slices: 128,
+            speed_grade_mhz: 550.0,
+            reconfig_bandwidth_mbps: 400.0,
+            iobs: 800,
+            ethernet_macs: 4,
+            partial_reconfig: true,
+            bitstream_bytes: 5_165_000,
+        }
+    }
+
+    #[test]
+    fn to_params_covers_table1_rows() {
+        let p = lx155().to_params();
+        assert_eq!(p.get_u64(ParamKey::Slices), Some(24_320));
+        assert_eq!(p.get_text(ParamKey::DeviceFamily), Some("Virtex-5"));
+        assert!(p.flag(ParamKey::EthernetMac));
+        assert!(p.flag(ParamKey::PartialReconfig));
+        assert_eq!(p.get_f64(ParamKey::ReconfigBandwidthMBps), Some(400.0));
+    }
+
+    #[test]
+    fn full_reconfig_time_is_size_over_bandwidth() {
+        let d = lx155();
+        let t = d.full_reconfig_seconds();
+        assert!((t - 5_165_000.0 / 400e6).abs() < 1e-12);
+    }
+
+    #[test]
+    fn partial_reconfig_scales_with_area() {
+        let d = lx155();
+        let half = d.partial_reconfig_seconds(d.slices / 2);
+        let full = d.full_reconfig_seconds();
+        assert!((half * 2.0 - full).abs() / full < 1e-3);
+        // Requesting more slices than exist clamps to a full reconfiguration.
+        assert!((d.partial_reconfig_seconds(d.slices * 10) - full).abs() < 1e-12);
+    }
+
+    #[test]
+    fn family_parse_round_trip() {
+        for fam in [
+            FpgaFamily::Virtex4,
+            FpgaFamily::Virtex5,
+            FpgaFamily::Virtex6,
+            FpgaFamily::Spartan6,
+        ] {
+            assert_eq!(FpgaFamily::parse(&fam.to_string()), Some(fam));
+        }
+        assert_eq!(FpgaFamily::parse("stratix"), None);
+    }
+}

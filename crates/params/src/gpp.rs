@@ -1,0 +1,116 @@
+//! General-purpose processor descriptions (Table I, GPP rows).
+
+use crate::param::{ParamKey, ParamMap};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A general-purpose (multi-core) processor.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct GppSpec {
+    /// CPU type/model, e.g. `Intel Xeon E5450`.
+    pub cpu_model: String,
+    /// MIPS rating (aggregate across cores).
+    pub mips: f64,
+    /// Operating system the node runs.
+    pub os: String,
+    /// Main memory in MiB.
+    pub ram_mb: u64,
+    /// Number of cores.
+    pub cores: u64,
+    /// Core clock in MHz.
+    pub clock_mhz: f64,
+}
+
+impl GppSpec {
+    /// Converts the spec into the generic capability-parameter form.
+    pub fn to_params(&self) -> ParamMap {
+        ParamMap::new()
+            .with(ParamKey::CpuModel, self.cpu_model.as_str())
+            .with(ParamKey::MipsRating, self.mips)
+            .with(ParamKey::Os, self.os.as_str())
+            .with(ParamKey::RamMb, crate::value::ParamValue::MegaBytes(self.ram_mb))
+            .with(ParamKey::Cores, self.cores)
+            .with(
+                ParamKey::ClockMhz,
+                crate::value::ParamValue::MegaHertz(self.clock_mhz),
+            )
+    }
+
+    /// MIPS available per core.
+    pub fn mips_per_core(&self) -> f64 {
+        if self.cores == 0 {
+            0.0
+        } else {
+            self.mips / self.cores as f64
+        }
+    }
+
+    /// Seconds to execute a workload of `mega_instructions` million
+    /// instructions on `used_cores` cores (capped at the core count).
+    pub fn execution_seconds(&self, mega_instructions: f64, used_cores: u64) -> f64 {
+        let cores = used_cores.clamp(1, self.cores.max(1)) as f64;
+        let rate = self.mips_per_core() * cores;
+        if rate <= 0.0 {
+            f64::INFINITY
+        } else {
+            mega_instructions / rate
+        }
+    }
+}
+
+impl fmt::Display for GppSpec {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} ({} cores @ {} MHz, {} MIPS, {} MB RAM, {})",
+            self.cpu_model, self.cores, self.clock_mhz, self.mips, self.ram_mb, self.os
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn xeon() -> GppSpec {
+        GppSpec {
+            cpu_model: "Intel Xeon E5450".into(),
+            mips: 48_000.0,
+            os: "Linux".into(),
+            ram_mb: 8_192,
+            cores: 4,
+            clock_mhz: 3_000.0,
+        }
+    }
+
+    #[test]
+    fn params_round_trip() {
+        let p = xeon().to_params();
+        assert_eq!(p.get_text(ParamKey::CpuModel), Some("Intel Xeon E5450"));
+        assert_eq!(p.get_f64(ParamKey::MipsRating), Some(48_000.0));
+        assert_eq!(p.get_u64(ParamKey::Cores), Some(4));
+        assert_eq!(p.get_u64(ParamKey::RamMb), Some(8_192));
+    }
+
+    #[test]
+    fn mips_per_core() {
+        assert_eq!(xeon().mips_per_core(), 12_000.0);
+    }
+
+    #[test]
+    fn execution_time_scales_with_cores() {
+        let g = xeon();
+        let t1 = g.execution_seconds(120_000.0, 1);
+        let t4 = g.execution_seconds(120_000.0, 4);
+        assert!((t1 / t4 - 4.0).abs() < 1e-9);
+        // more cores than exist are clamped
+        let t8 = g.execution_seconds(120_000.0, 8);
+        assert_eq!(t4, t8);
+    }
+
+    #[test]
+    fn zero_core_spec_is_infinitely_slow() {
+        let g = GppSpec { cores: 0, mips: 0.0, ..xeon() };
+        assert!(g.execution_seconds(1.0, 1).is_infinite());
+    }
+}

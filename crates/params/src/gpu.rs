@@ -1,0 +1,98 @@
+//! GPU descriptions (Table I, GPU rows).
+//!
+//! The framework's taxonomy (Fig. 1) includes GPUs among the enhanced
+//! processing elements; the paper's node model is "extendable to add more
+//! types of processing elements", so we carry the GPU vocabulary even though
+//! the case study exercises only GPPs and FPGAs.
+
+use crate::param::{ParamKey, ParamMap};
+use crate::value::ParamValue;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A data-parallel graphics processor.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct GpuSpec {
+    /// GPU model, e.g. `Tesla C1060`.
+    pub model: String,
+    /// Number of data-parallel shader cores.
+    pub shader_cores: u64,
+    /// SIMD threads grouped together (warp size).
+    pub warp_size: u64,
+    /// SIMD pipeline width.
+    pub simd_pipeline_width: u64,
+    /// Shared memory per core in KiB.
+    pub shared_mem_per_core_kb: u64,
+    /// Maximum memory clock in MHz.
+    pub memory_freq_mhz: f64,
+}
+
+impl GpuSpec {
+    /// Converts the spec into the generic capability-parameter form.
+    pub fn to_params(&self) -> ParamMap {
+        ParamMap::new()
+            .with(ParamKey::GpuModel, self.model.as_str())
+            .with(ParamKey::ShaderCores, self.shader_cores)
+            .with(ParamKey::WarpSize, self.warp_size)
+            .with(ParamKey::SimdPipelineWidth, self.simd_pipeline_width)
+            .with(
+                ParamKey::SharedMemPerCoreKb,
+                ParamValue::KiloBytes(self.shared_mem_per_core_kb),
+            )
+            .with(
+                ParamKey::MemoryFreqMhz,
+                ParamValue::MegaHertz(self.memory_freq_mhz),
+            )
+    }
+
+    /// Total SIMD lanes across the device.
+    pub fn total_lanes(&self) -> u64 {
+        self.shader_cores * self.simd_pipeline_width
+    }
+}
+
+impl fmt::Display for GpuSpec {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} ({} cores, warp {}, SIMD {}, {} KB shared/core, mem {} MHz)",
+            self.model,
+            self.shader_cores,
+            self.warp_size,
+            self.simd_pipeline_width,
+            self.shared_mem_per_core_kb,
+            self.memory_freq_mhz
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tesla() -> GpuSpec {
+        GpuSpec {
+            model: "Tesla C1060".into(),
+            shader_cores: 30,
+            warp_size: 32,
+            simd_pipeline_width: 8,
+            shared_mem_per_core_kb: 16,
+            memory_freq_mhz: 800.0,
+        }
+    }
+
+    #[test]
+    fn params_cover_table1_gpu_rows() {
+        let p = tesla().to_params();
+        assert_eq!(p.get_text(ParamKey::GpuModel), Some("Tesla C1060"));
+        assert_eq!(p.get_u64(ParamKey::ShaderCores), Some(30));
+        assert_eq!(p.get_u64(ParamKey::WarpSize), Some(32));
+        assert_eq!(p.get_u64(ParamKey::SharedMemPerCoreKb), Some(16));
+        assert_eq!(p.get_f64(ParamKey::MemoryFreqMhz), Some(800.0));
+    }
+
+    #[test]
+    fn total_lanes() {
+        assert_eq!(tesla().total_lanes(), 240);
+    }
+}

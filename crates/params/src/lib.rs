@@ -1,0 +1,54 @@
+//! # rhv-params — capability parameters, device catalogs, and the PE taxonomy
+//!
+//! This crate is the vocabulary layer of the RHV (Reconfigurable Hardware
+//! Virtualization) framework. It reproduces **Table I** ("Parameters of
+//! different processing elements") and **Figure 1** (the taxonomy of enhanced
+//! processing elements) of the paper *On Virtualization of Reconfigurable
+//! Hardware in Distributed Systems* (ICPP 2012).
+//!
+//! The framework never talks to real hardware; every processing element —
+//! FPGA, GPP, soft-core VLIW, GPU — is described by a typed set of
+//! *capability parameters*. Matchmaking (in `rhv-core`) compares a task's
+//! execution requirements against these parameter sets.
+//!
+//! ## Layout
+//!
+//! * [`value`] — [`ParamValue`]: typed, unit-aware values.
+//! * [`param`] — `ParamKey`: the canonical parameter names
+//!   of Table I, plus [`ParamMap`], an ordered
+//!   key → value dictionary with typed accessors.
+//! * [`fpga`], [`gpp`], [`softcore`], [`gpu`] — concrete spec structs for the
+//!   four PE classes, each convertible into a [`ParamMap`].
+//! * [`catalog`] — a built-in catalog of real devices (Virtex-4/5/6 parts,
+//!   x86 CPUs, GPUs) used by the case study and the benchmarks.
+//! * [`taxonomy`] — the Fig. 1 taxonomy tree with a renderer.
+//!
+//! ## Example
+//!
+//! ```
+//! use rhv_params::catalog::Catalog;
+//! use rhv_params::param::ParamKey;
+//!
+//! let cat = Catalog::builtin();
+//! let dev = cat.fpga("XC5VLX155").expect("catalog device");
+//! assert_eq!(dev.slices, 24_320);
+//! let params = dev.to_params();
+//! assert_eq!(params.get_u64(ParamKey::Slices), Some(24_320));
+//! ```
+
+pub mod catalog;
+pub mod fpga;
+pub mod gpp;
+pub mod gpu;
+pub mod param;
+pub mod softcore;
+pub mod taxonomy;
+pub mod value;
+
+pub use catalog::Catalog;
+pub use fpga::{FpgaDevice, FpgaFamily};
+pub use gpp::GppSpec;
+pub use gpu::GpuSpec;
+pub use param::{ParamKey, ParamMap, PeClass};
+pub use softcore::SoftcoreSpec;
+pub use value::ParamValue;

@@ -1,0 +1,534 @@
+//! Canonical parameter names (Table I) and the [`ParamMap`] dictionary.
+//!
+//! Every row of Table I in the paper becomes a [`ParamKey`] variant, grouped
+//! by the processing-element class it belongs to. A node's capabilities and a
+//! task's `ExecReq` both speak in terms of these keys, which is what makes
+//! matchmaking generic across PE classes.
+
+use crate::value::ParamValue;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// The four processing-element classes of Fig. 1 / Table I.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum PeClass {
+    /// General Purpose Processor (multi-/many-core CPU).
+    Gpp,
+    /// Reconfigurable Processing Element (FPGA fabric).
+    Fpga,
+    /// Soft-core processor configured on an FPGA (e.g. the ρ-VEX VLIW).
+    Softcore,
+    /// Graphics Processing Unit.
+    Gpu,
+}
+
+impl fmt::Display for PeClass {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            PeClass::Gpp => "GPP",
+            PeClass::Fpga => "FPGA",
+            PeClass::Softcore => "Softcore (VLIW)",
+            PeClass::Gpu => "GPU",
+        };
+        f.write_str(s)
+    }
+}
+
+/// A canonical capability-parameter name from Table I.
+///
+/// The grouping mirrors the table: FPGA parameters first, then GPP, soft-core
+/// and GPU parameters. [`ParamKey::Custom`] lets a grid manager "add more
+/// parameter specifications of a particular processing element", as the
+/// paper's node model explicitly allows.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum ParamKey {
+    // ---- FPGA ----
+    /// Device part name (e.g. `XC5VLX155`, `XC6VLX365T`).
+    DevicePart,
+    /// Device family (e.g. `Virtex-5`).
+    DeviceFamily,
+    /// Logic cells available on the device.
+    LogicCells,
+    /// Configurable-logic slices.
+    Slices,
+    /// Look-up tables.
+    Luts,
+    /// Equivalent system gates (older families).
+    Gates,
+    /// CPLD macrocells.
+    Macrocells,
+    /// Adaptive logic modules (Altera naming).
+    Alms,
+    /// Block RAM, in KiB.
+    BramKb,
+    /// DSP slices (pre-configured multiply/accumulate blocks).
+    DspSlices,
+    /// Speed grade, expressed as the maximum fabric frequency in MHz.
+    SpeedGradeMhz,
+    /// Reconfiguration bandwidth, MB/s.
+    ReconfigBandwidthMBps,
+    /// I/O blocks.
+    Iobs,
+    /// Supported I/O standards.
+    IoStandards,
+    /// Embedded Ethernet MAC present.
+    EthernetMac,
+    /// Dynamic partial reconfiguration supported.
+    PartialReconfig,
+    // ---- GPP ----
+    /// CPU type/model string.
+    CpuModel,
+    /// Million-instructions-per-second rating.
+    MipsRating,
+    /// Operating system.
+    Os,
+    /// Main memory, MiB.
+    RamMb,
+    /// Number of cores.
+    Cores,
+    /// Core clock, MHz.
+    ClockMhz,
+    // ---- Softcore (VLIW) ----
+    /// Functional-unit types available (ALUs, multipliers, …).
+    FuTypes,
+    /// Number of ALUs.
+    AluCount,
+    /// Number of multipliers.
+    MulCount,
+    /// Number of memory units.
+    MemUnitCount,
+    /// Issue width (instructions per cycle).
+    IssueWidth,
+    /// Instruction memory, KiB.
+    InstrMemKb,
+    /// Data memory, KiB.
+    DataMemKb,
+    /// Register-file size (number of registers).
+    RegisterFile,
+    /// Pipeline depth (stages).
+    PipelineStages,
+    /// Number of clusters.
+    Clusters,
+    // ---- GPU ----
+    /// GPU model string.
+    GpuModel,
+    /// Number of data-parallel shader cores.
+    ShaderCores,
+    /// SIMD threads grouped together (warp size).
+    WarpSize,
+    /// SIMD pipeline width.
+    SimdPipelineWidth,
+    /// Shared memory per core, KiB.
+    SharedMemPerCoreKb,
+    /// Maximum memory clock, MHz.
+    MemoryFreqMhz,
+    // ---- Extension point ----
+    /// Grid-manager-defined parameter (the node model is explicitly open).
+    Custom(String),
+}
+
+impl ParamKey {
+    /// The PE class a parameter canonically belongs to, per Table I.
+    ///
+    /// `Custom` keys return `None`; cross-class keys (the device identity
+    /// keys) are attributed to the FPGA rows where Table I lists them.
+    pub fn pe_class(&self) -> Option<PeClass> {
+        use ParamKey::*;
+        match self {
+            DevicePart | DeviceFamily | LogicCells | Slices | Luts | Gates | Macrocells | Alms
+            | BramKb | DspSlices | SpeedGradeMhz | ReconfigBandwidthMBps | Iobs | IoStandards
+            | EthernetMac | PartialReconfig => Some(PeClass::Fpga),
+            CpuModel | MipsRating | Os | RamMb | Cores | ClockMhz => Some(PeClass::Gpp),
+            FuTypes | AluCount | MulCount | MemUnitCount | IssueWidth | InstrMemKb | DataMemKb
+            | RegisterFile | PipelineStages | Clusters => Some(PeClass::Softcore),
+            GpuModel | ShaderCores | WarpSize | SimdPipelineWidth | SharedMemPerCoreKb
+            | MemoryFreqMhz => Some(PeClass::Gpu),
+            Custom(_) => None,
+        }
+    }
+
+    /// The human-readable description used when rendering Table I.
+    pub fn description(&self) -> &'static str {
+        use ParamKey::*;
+        match self {
+            DevicePart => "Device part number",
+            DeviceFamily => "Device family",
+            LogicCells => "Logic cells implementing user-defined functions",
+            Slices => "Configurable logic slices",
+            Luts => "Look-up tables",
+            Gates => "Equivalent system gates",
+            Macrocells => "CPLD macrocells",
+            Alms => "Adaptive logic modules",
+            BramKb => "Block RAM / embedded memory (KB)",
+            DspSlices => "Pre-configured multiplier/adder/accumulator slices",
+            SpeedGradeMhz => "Maximum operating frequency (speed grade)",
+            ReconfigBandwidthMBps => "Speed to reconfigure the device (MB/s)",
+            Iobs => "I/O blocks supporting different I/O standards",
+            IoStandards => "Supported I/O standards",
+            EthernetMac => "Embedded MAC for Ethernet applications",
+            PartialReconfig => "Dynamic partial reconfiguration support",
+            CpuModel => "Type/model of CPU",
+            MipsRating => "Million instructions per second capability",
+            Os => "Operating system",
+            RamMb => "Main memory (MB)",
+            Cores => "Total number of cores",
+            ClockMhz => "Core clock frequency (MHz)",
+            FuTypes => "Functional-unit types (multipliers, ALUs)",
+            AluCount => "Number of ALUs",
+            MulCount => "Number of multipliers",
+            MemUnitCount => "Number of memory units",
+            IssueWidth => "Number of issue slots",
+            InstrMemKb => "Instruction memory (KB)",
+            DataMemKb => "Data memory (KB)",
+            RegisterFile => "Register-file size",
+            PipelineStages => "Number and size of pipelines",
+            Clusters => "Number of clusters",
+            GpuModel => "GPU model",
+            ShaderCores => "Number of data-parallel cores",
+            WarpSize => "Number of SIMD threads grouped together",
+            SimdPipelineWidth => "Size of SIMD pipeline",
+            SharedMemPerCoreKb => "Shared memory per core (KB)",
+            MemoryFreqMhz => "Maximum clock rate of memory",
+            Custom(_) => "Grid-manager-defined parameter",
+        }
+    }
+
+    /// Parses the [`Display`](fmt::Display) form back into a key
+    /// (`slices`, `device_family`, `custom:foo`, …).
+    pub fn parse(s: &str) -> Option<ParamKey> {
+        if let Some(name) = s.strip_prefix("custom:") {
+            return Some(ParamKey::Custom(name.to_owned()));
+        }
+        ParamKey::all()
+            .iter()
+            .find(|k| k.to_string() == s)
+            .cloned()
+    }
+
+    /// All canonical (non-custom) keys, in Table I order.
+    pub fn all() -> &'static [ParamKey] {
+        use ParamKey::*;
+        const ALL: &[ParamKey] = &[
+            DevicePart,
+            DeviceFamily,
+            LogicCells,
+            Slices,
+            Luts,
+            Gates,
+            Macrocells,
+            Alms,
+            BramKb,
+            DspSlices,
+            SpeedGradeMhz,
+            ReconfigBandwidthMBps,
+            Iobs,
+            IoStandards,
+            EthernetMac,
+            PartialReconfig,
+            CpuModel,
+            MipsRating,
+            Os,
+            RamMb,
+            Cores,
+            ClockMhz,
+            FuTypes,
+            AluCount,
+            MulCount,
+            MemUnitCount,
+            IssueWidth,
+            InstrMemKb,
+            DataMemKb,
+            RegisterFile,
+            PipelineStages,
+            Clusters,
+            GpuModel,
+            ShaderCores,
+            WarpSize,
+            SimdPipelineWidth,
+            SharedMemPerCoreKb,
+            MemoryFreqMhz,
+        ];
+        ALL
+    }
+}
+
+impl fmt::Display for ParamKey {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        use ParamKey::*;
+        let s = match self {
+            DevicePart => "device_part",
+            DeviceFamily => "device_family",
+            LogicCells => "logic_cells",
+            Slices => "slices",
+            Luts => "luts",
+            Gates => "gates",
+            Macrocells => "macrocells",
+            Alms => "alms",
+            BramKb => "bram_kb",
+            DspSlices => "dsp_slices",
+            SpeedGradeMhz => "speed_grade_mhz",
+            ReconfigBandwidthMBps => "reconfig_bandwidth_mbps",
+            Iobs => "iobs",
+            IoStandards => "io_standards",
+            EthernetMac => "ethernet_mac",
+            PartialReconfig => "partial_reconfig",
+            CpuModel => "cpu_model",
+            MipsRating => "mips_rating",
+            Os => "os",
+            RamMb => "ram_mb",
+            Cores => "cores",
+            ClockMhz => "clock_mhz",
+            FuTypes => "fu_types",
+            AluCount => "alu_count",
+            MulCount => "mul_count",
+            MemUnitCount => "mem_unit_count",
+            IssueWidth => "issue_width",
+            InstrMemKb => "instr_mem_kb",
+            DataMemKb => "data_mem_kb",
+            RegisterFile => "register_file",
+            PipelineStages => "pipeline_stages",
+            Clusters => "clusters",
+            GpuModel => "gpu_model",
+            ShaderCores => "shader_cores",
+            WarpSize => "warp_size",
+            SimdPipelineWidth => "simd_pipeline_width",
+            SharedMemPerCoreKb => "shared_mem_per_core_kb",
+            MemoryFreqMhz => "memory_freq_mhz",
+            Custom(name) => return write!(f, "custom:{name}"),
+        };
+        f.write_str(s)
+    }
+}
+
+/// An ordered dictionary of capability parameters.
+///
+/// `BTreeMap` keeps rendering deterministic — the figures regenerated by the
+/// bench harness must be byte-stable across runs. Serialization uses a list
+/// of `(key, value)` pairs because JSON map keys must be strings.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+#[serde(from = "Vec<(ParamKey, ParamValue)>", into = "Vec<(ParamKey, ParamValue)>")]
+pub struct ParamMap {
+    entries: BTreeMap<ParamKey, ParamValue>,
+}
+
+impl From<Vec<(ParamKey, ParamValue)>> for ParamMap {
+    fn from(pairs: Vec<(ParamKey, ParamValue)>) -> Self {
+        pairs.into_iter().collect()
+    }
+}
+
+impl From<ParamMap> for Vec<(ParamKey, ParamValue)> {
+    fn from(map: ParamMap) -> Self {
+        map.entries.into_iter().collect()
+    }
+}
+
+impl ParamMap {
+    /// Creates an empty map.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Inserts a parameter, replacing any previous value for the key.
+    pub fn set(&mut self, key: ParamKey, value: impl Into<ParamValue>) -> &mut Self {
+        self.entries.insert(key, value.into());
+        self
+    }
+
+    /// Builder-style insertion.
+    pub fn with(mut self, key: ParamKey, value: impl Into<ParamValue>) -> Self {
+        self.set(key, value);
+        self
+    }
+
+    /// Looks up a parameter.
+    pub fn get(&self, key: &ParamKey) -> Option<&ParamValue> {
+        self.entries.get(key)
+    }
+
+    /// Looks up a parameter and coerces it to `u64`.
+    pub fn get_u64(&self, key: ParamKey) -> Option<u64> {
+        self.entries.get(&key).and_then(ParamValue::as_u64)
+    }
+
+    /// Looks up a parameter and coerces it to `f64`.
+    pub fn get_f64(&self, key: ParamKey) -> Option<f64> {
+        self.entries.get(&key).and_then(ParamValue::as_f64)
+    }
+
+    /// Looks up a text parameter.
+    pub fn get_text(&self, key: ParamKey) -> Option<&str> {
+        self.entries.get(&key).and_then(ParamValue::as_text)
+    }
+
+    /// Looks up a flag parameter, defaulting to `false` when absent.
+    pub fn flag(&self, key: ParamKey) -> bool {
+        self.entries
+            .get(&key)
+            .and_then(ParamValue::as_flag)
+            .unwrap_or(false)
+    }
+
+    /// Removes a parameter, returning the previous value if any.
+    pub fn remove(&mut self, key: &ParamKey) -> Option<ParamValue> {
+        self.entries.remove(key)
+    }
+
+    /// Number of parameters in the map.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True when the map holds no parameters.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Iterates over `(key, value)` pairs in deterministic order.
+    pub fn iter(&self) -> impl Iterator<Item = (&ParamKey, &ParamValue)> {
+        self.entries.iter()
+    }
+
+    /// Merges `other` into `self`; keys in `other` win.
+    pub fn merge(&mut self, other: &ParamMap) {
+        for (k, v) in other.iter() {
+            self.entries.insert(k.clone(), v.clone());
+        }
+    }
+}
+
+impl fmt::Display for ParamMap {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for (i, (k, v)) in self.entries.iter().enumerate() {
+            if i > 0 {
+                writeln!(f)?;
+            }
+            write!(f, "{k} = {v}")?;
+        }
+        Ok(())
+    }
+}
+
+impl FromIterator<(ParamKey, ParamValue)> for ParamMap {
+    fn from_iter<T: IntoIterator<Item = (ParamKey, ParamValue)>>(iter: T) -> Self {
+        ParamMap {
+            entries: iter.into_iter().collect(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn set_get_round_trip() {
+        let mut m = ParamMap::new();
+        m.set(ParamKey::Slices, 24_320u64)
+            .set(ParamKey::DeviceFamily, "Virtex-5");
+        assert_eq!(m.get_u64(ParamKey::Slices), Some(24_320));
+        assert_eq!(m.get_text(ParamKey::DeviceFamily), Some("Virtex-5"));
+        assert_eq!(m.len(), 2);
+    }
+
+    #[test]
+    fn builder_style() {
+        let m = ParamMap::new()
+            .with(ParamKey::Cores, 4u64)
+            .with(ParamKey::Os, "Linux");
+        assert_eq!(m.get_u64(ParamKey::Cores), Some(4));
+    }
+
+    #[test]
+    fn flag_defaults_false() {
+        let m = ParamMap::new();
+        assert!(!m.flag(ParamKey::EthernetMac));
+        let m = m.with(ParamKey::EthernetMac, true);
+        assert!(m.flag(ParamKey::EthernetMac));
+    }
+
+    #[test]
+    fn merge_overwrites() {
+        let mut a = ParamMap::new().with(ParamKey::Cores, 2u64);
+        let b = ParamMap::new()
+            .with(ParamKey::Cores, 8u64)
+            .with(ParamKey::RamMb, 1024u64);
+        a.merge(&b);
+        assert_eq!(a.get_u64(ParamKey::Cores), Some(8));
+        assert_eq!(a.get_u64(ParamKey::RamMb), Some(1024));
+    }
+
+    #[test]
+    fn every_canonical_key_has_a_class_and_description() {
+        for k in ParamKey::all() {
+            assert!(k.pe_class().is_some(), "{k} must have a PE class");
+            assert!(!k.description().is_empty());
+        }
+    }
+
+    #[test]
+    fn parse_round_trips_every_key() {
+        for k in ParamKey::all() {
+            assert_eq!(ParamKey::parse(&k.to_string()).as_ref(), Some(k));
+        }
+        assert_eq!(
+            ParamKey::parse("custom:coolant"),
+            Some(ParamKey::Custom("coolant".into()))
+        );
+        assert_eq!(ParamKey::parse("nonsense"), None);
+    }
+
+    #[test]
+    fn custom_key_display_and_class() {
+        let k = ParamKey::Custom("coolant_temp".into());
+        assert_eq!(k.to_string(), "custom:coolant_temp");
+        assert_eq!(k.pe_class(), None);
+    }
+
+    #[test]
+    fn table1_grouping_counts() {
+        let fpga = ParamKey::all()
+            .iter()
+            .filter(|k| k.pe_class() == Some(PeClass::Fpga))
+            .count();
+        let gpp = ParamKey::all()
+            .iter()
+            .filter(|k| k.pe_class() == Some(PeClass::Gpp))
+            .count();
+        let sc = ParamKey::all()
+            .iter()
+            .filter(|k| k.pe_class() == Some(PeClass::Softcore))
+            .count();
+        let gpu = ParamKey::all()
+            .iter()
+            .filter(|k| k.pe_class() == Some(PeClass::Gpu))
+            .count();
+        assert_eq!(fpga + gpp + sc + gpu, ParamKey::all().len());
+        assert!(fpga >= 8, "Table I lists at least 8 FPGA parameter rows");
+        assert!(gpp >= 5);
+        assert!(sc >= 6);
+        assert!(gpu >= 6);
+    }
+
+    #[test]
+    fn display_is_deterministic() {
+        let m = ParamMap::new()
+            .with(ParamKey::Slices, 100u64)
+            .with(ParamKey::BramKb, 200u64);
+        let a = m.to_string();
+        let b = m.to_string();
+        assert_eq!(a, b);
+        assert!(a.contains("slices = 100"));
+    }
+
+    #[test]
+    fn serde_round_trip() {
+        let m = ParamMap::new()
+            .with(ParamKey::Slices, 24_320u64)
+            .with(ParamKey::Custom("x".into()), 1u64);
+        let json = serde_json::to_string(&m).unwrap();
+        let back: ParamMap = serde_json::from_str(&json).unwrap();
+        assert_eq!(m, back);
+    }
+}

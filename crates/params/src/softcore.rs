@@ -1,0 +1,213 @@
+//! Soft-core VLIW processor descriptions (Table I, Softcore rows).
+//!
+//! The paper's pre-determined-hardware-configuration scenario configures a
+//! soft-core processor — the Delft ρ-VEX VLIW is its running example — onto
+//! an RPE. A soft-core is described by its issue width, functional-unit mix,
+//! memories, register file, pipeline and cluster count, and it costs fabric
+//! area (slices) when instantiated. The cycle-accurate interpreter for these
+//! configurations lives in the `rhv-softcore` crate; this module only holds
+//! the *capability description*.
+
+use crate::param::{ParamKey, ParamMap};
+use crate::value::ParamValue;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A parameterizable soft-core VLIW configuration (ρ-VEX-style).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SoftcoreSpec {
+    /// Human-readable configuration name, e.g. `rvex-2w` or `rvex-8w-2c`.
+    pub name: String,
+    /// Instructions issued per cycle.
+    pub issue_width: u64,
+    /// Number of ALUs.
+    pub alus: u64,
+    /// Number of multipliers.
+    pub multipliers: u64,
+    /// Number of load/store (memory) units.
+    pub mem_units: u64,
+    /// Instruction memory in KiB.
+    pub instr_mem_kb: u64,
+    /// Data memory in KiB.
+    pub data_mem_kb: u64,
+    /// General-purpose registers.
+    pub registers: u64,
+    /// Pipeline depth in stages.
+    pub pipeline_stages: u64,
+    /// Number of clusters.
+    pub clusters: u64,
+    /// Fabric clock the core closes timing at, in MHz.
+    pub clock_mhz: f64,
+}
+
+impl SoftcoreSpec {
+    /// The canonical 2-issue ρ-VEX-like baseline configuration.
+    pub fn rvex_2w() -> Self {
+        SoftcoreSpec {
+            name: "rvex-2w".into(),
+            issue_width: 2,
+            alus: 2,
+            multipliers: 1,
+            mem_units: 1,
+            instr_mem_kb: 32,
+            data_mem_kb: 32,
+            registers: 64,
+            pipeline_stages: 5,
+            clusters: 1,
+            clock_mhz: 150.0,
+        }
+    }
+
+    /// A 4-issue configuration.
+    pub fn rvex_4w() -> Self {
+        SoftcoreSpec {
+            name: "rvex-4w".into(),
+            issue_width: 4,
+            alus: 4,
+            multipliers: 2,
+            mem_units: 1,
+            instr_mem_kb: 64,
+            data_mem_kb: 64,
+            registers: 64,
+            pipeline_stages: 5,
+            clusters: 1,
+            clock_mhz: 120.0,
+        }
+    }
+
+    /// An 8-issue, 2-cluster configuration.
+    pub fn rvex_8w_2c() -> Self {
+        SoftcoreSpec {
+            name: "rvex-8w-2c".into(),
+            issue_width: 8,
+            alus: 8,
+            multipliers: 4,
+            mem_units: 2,
+            instr_mem_kb: 128,
+            data_mem_kb: 128,
+            registers: 128,
+            pipeline_stages: 5,
+            clusters: 2,
+            clock_mhz: 100.0,
+        }
+    }
+
+    /// Converts the spec into the generic capability-parameter form.
+    pub fn to_params(&self) -> ParamMap {
+        let mut fu = Vec::new();
+        if self.alus > 0 {
+            fu.push("ALU".to_owned());
+        }
+        if self.multipliers > 0 {
+            fu.push("MUL".to_owned());
+        }
+        if self.mem_units > 0 {
+            fu.push("MEM".to_owned());
+        }
+        ParamMap::new()
+            .with(ParamKey::FuTypes, ParamValue::TextList(fu))
+            .with(ParamKey::AluCount, self.alus)
+            .with(ParamKey::MulCount, self.multipliers)
+            .with(ParamKey::MemUnitCount, self.mem_units)
+            .with(ParamKey::IssueWidth, self.issue_width)
+            .with(ParamKey::InstrMemKb, ParamValue::KiloBytes(self.instr_mem_kb))
+            .with(ParamKey::DataMemKb, ParamValue::KiloBytes(self.data_mem_kb))
+            .with(ParamKey::RegisterFile, self.registers)
+            .with(ParamKey::PipelineStages, self.pipeline_stages)
+            .with(ParamKey::Clusters, self.clusters)
+            .with(ParamKey::ClockMhz, ParamValue::MegaHertz(self.clock_mhz))
+    }
+
+    /// Estimated fabric area in slices for this configuration.
+    ///
+    /// A linear area model over the functional-unit mix, calibrated so the
+    /// 2-issue core lands near published ρ-VEX-on-Virtex numbers (a few
+    /// thousand slices) and area grows roughly linearly in issue width.
+    pub fn area_slices(&self) -> u64 {
+        const BASE: u64 = 900; // fetch/decode/control
+        const PER_ISSUE: u64 = 350; // datapath per issue slot
+        const PER_ALU: u64 = 220;
+        const PER_MUL: u64 = 480;
+        const PER_MEM: u64 = 260;
+        const PER_REG: u64 = 6; // register file
+        const PER_CLUSTER: u64 = 400; // inter-cluster network
+        BASE + PER_ISSUE * self.issue_width
+            + PER_ALU * self.alus
+            + PER_MUL * self.multipliers
+            + PER_MEM * self.mem_units
+            + PER_REG * self.registers
+            + PER_CLUSTER * self.clusters.saturating_sub(1)
+    }
+
+    /// Estimated BRAM demand in KiB (instruction + data memories).
+    pub fn bram_kb(&self) -> u64 {
+        self.instr_mem_kb + self.data_mem_kb
+    }
+
+    /// A rough MIPS rating for the configuration: clock × issue width ×
+    /// a sustained-IPC derate (VLIWs rarely fill every slot).
+    pub fn mips_rating(&self) -> f64 {
+        const SUSTAINED_FRACTION: f64 = 0.6;
+        self.clock_mhz * self.issue_width as f64 * SUSTAINED_FRACTION
+    }
+}
+
+impl fmt::Display for SoftcoreSpec {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} ({}-issue, {} ALU/{} MUL/{} MEM, {} regs, {} cluster(s) @ {} MHz, ~{} slices)",
+            self.name,
+            self.issue_width,
+            self.alus,
+            self.multipliers,
+            self.mem_units,
+            self.registers,
+            self.clusters,
+            self.clock_mhz,
+            self.area_slices()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn canonical_configs_are_ordered_by_area() {
+        let a2 = SoftcoreSpec::rvex_2w().area_slices();
+        let a4 = SoftcoreSpec::rvex_4w().area_slices();
+        let a8 = SoftcoreSpec::rvex_8w_2c().area_slices();
+        assert!(a2 < a4 && a4 < a8, "{a2} < {a4} < {a8}");
+    }
+
+    #[test]
+    fn baseline_area_is_a_few_thousand_slices() {
+        let a = SoftcoreSpec::rvex_2w().area_slices();
+        assert!((2_000..8_000).contains(&a), "got {a}");
+    }
+
+    #[test]
+    fn params_cover_table1_softcore_rows() {
+        let p = SoftcoreSpec::rvex_4w().to_params();
+        assert_eq!(p.get_u64(ParamKey::IssueWidth), Some(4));
+        assert_eq!(p.get_u64(ParamKey::RegisterFile), Some(64));
+        assert_eq!(p.get_u64(ParamKey::Clusters), Some(1));
+        assert!(p
+            .get(&ParamKey::FuTypes)
+            .unwrap()
+            .matches(&ParamValue::text("MUL")));
+    }
+
+    #[test]
+    fn mips_grows_with_issue_width() {
+        // wider issue at lower clock still wins here (2w@150 vs 8w@100)
+        assert!(SoftcoreSpec::rvex_8w_2c().mips_rating() > SoftcoreSpec::rvex_2w().mips_rating());
+    }
+
+    #[test]
+    fn bram_is_sum_of_memories() {
+        assert_eq!(SoftcoreSpec::rvex_2w().bram_kb(), 64);
+    }
+}

@@ -1,0 +1,265 @@
+//! The taxonomy of enhanced processing elements (Figure 1).
+//!
+//! Figure 1 of the paper organizes the processing elements of a
+//! next-generation ("polymorphic") grid and maps each leaf to the use-case
+//! scenario that exercises it. The tree is data, not code, so that the
+//! `fig1_taxonomy` harness can render it and tests can check its shape.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// The use-case scenarios of Section III.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum Scenario {
+    /// Sec. III-A: existing GPP applications, unaware of the fabric.
+    SoftwareOnly,
+    /// Sec. III-B1: kernels optimized for a known soft-core (ρ-VEX et al.).
+    PredeterminedHardware,
+    /// Sec. III-B2: user ships generic HDL; provider synthesizes it.
+    UserDefinedHardware,
+    /// Sec. III-B3: user ships a bitstream for a named device.
+    DeviceSpecificHardware,
+}
+
+impl fmt::Display for Scenario {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            Scenario::SoftwareOnly => "Software-only application",
+            Scenario::PredeterminedHardware => "Pre-determined hardware configuration",
+            Scenario::UserDefinedHardware => "User-defined hardware configuration",
+            Scenario::DeviceSpecificHardware => "Device-specific hardware",
+        };
+        f.write_str(s)
+    }
+}
+
+impl Scenario {
+    /// All scenarios, from highest to lowest abstraction.
+    pub fn all() -> [Scenario; 4] {
+        [
+            Scenario::SoftwareOnly,
+            Scenario::PredeterminedHardware,
+            Scenario::UserDefinedHardware,
+            Scenario::DeviceSpecificHardware,
+        ]
+    }
+
+    /// What the user must supply in this scenario (Sec. III / Fig. 2).
+    pub fn user_supplies(&self) -> &'static str {
+        match self {
+            Scenario::SoftwareOnly => "application code and input data",
+            Scenario::PredeterminedHardware => {
+                "application code, soft-core selection/parameters, and input data"
+            }
+            Scenario::UserDefinedHardware => {
+                "generic HDL (VHDL/Verilog) accelerator specification, application code, and input data"
+            }
+            Scenario::DeviceSpecificHardware => {
+                "device-specific bitstream/IP, application code, and input data"
+            }
+        }
+    }
+
+    /// What the service provider must supply in this scenario.
+    pub fn provider_supplies(&self) -> &'static str {
+        match self {
+            Scenario::SoftwareOnly => "GPP nodes (or a soft-core CPU fallback on a free RPE)",
+            Scenario::PredeterminedHardware => "RPEs plus maintained soft-core configurations",
+            Scenario::UserDefinedHardware => "RPEs plus synthesis CAD tools and bitstream services",
+            Scenario::DeviceSpecificHardware => "the specific device targeted by the developer",
+        }
+    }
+}
+
+/// A node in the Fig. 1 taxonomy tree.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TaxonNode {
+    /// Label of this taxon.
+    pub label: String,
+    /// Scenario this leaf corresponds to, if it is a scenario leaf.
+    pub scenario: Option<Scenario>,
+    /// Children, left to right as drawn in the figure.
+    pub children: Vec<TaxonNode>,
+}
+
+impl TaxonNode {
+    fn leaf(label: &str, scenario: Option<Scenario>) -> Self {
+        TaxonNode {
+            label: label.into(),
+            scenario,
+            children: Vec::new(),
+        }
+    }
+
+    fn branch(label: &str, children: Vec<TaxonNode>) -> Self {
+        TaxonNode {
+            label: label.into(),
+            scenario: None,
+            children,
+        }
+    }
+
+    /// Number of leaves under (and including) this node.
+    pub fn leaf_count(&self) -> usize {
+        if self.children.is_empty() {
+            1
+        } else {
+            self.children.iter().map(TaxonNode::leaf_count).sum()
+        }
+    }
+
+    /// Depth of the tree rooted here (a leaf has depth 1).
+    pub fn depth(&self) -> usize {
+        1 + self
+            .children
+            .iter()
+            .map(TaxonNode::depth)
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// Iterates over all scenario leaves.
+    pub fn scenarios(&self) -> Vec<Scenario> {
+        let mut out = Vec::new();
+        self.collect_scenarios(&mut out);
+        out
+    }
+
+    fn collect_scenarios(&self, out: &mut Vec<Scenario>) {
+        if let Some(s) = self.scenario {
+            out.push(s);
+        }
+        for c in &self.children {
+            c.collect_scenarios(out);
+        }
+    }
+
+    /// Renders the tree with box-drawing characters (deterministic).
+    pub fn render(&self) -> String {
+        let mut s = String::new();
+        self.render_into(&mut s, "", true, true);
+        s
+    }
+
+    fn render_into(&self, out: &mut String, prefix: &str, last: bool, root: bool) {
+        if root {
+            out.push_str(&self.label);
+        } else {
+            out.push_str(prefix);
+            out.push_str(if last { "└── " } else { "├── " });
+            out.push_str(&self.label);
+            if let Some(sc) = self.scenario {
+                out.push_str(&format!("  [{sc}]"));
+            }
+        }
+        out.push('\n');
+        let child_prefix = if root {
+            String::new()
+        } else {
+            format!("{prefix}{}", if last { "    " } else { "│   " })
+        };
+        let n = self.children.len();
+        for (i, c) in self.children.iter().enumerate() {
+            c.render_into(out, &child_prefix, i + 1 == n, false);
+        }
+    }
+}
+
+/// Builds the Figure 1 taxonomy of enhanced processing elements.
+pub fn enhanced_pe_taxonomy() -> TaxonNode {
+    TaxonNode::branch(
+        "Enhanced processing elements (high-performance domain)",
+        vec![
+            TaxonNode::branch(
+                "General Purpose Processors (multi-/many-core)",
+                vec![TaxonNode::leaf(
+                    "Existing grid software",
+                    Some(Scenario::SoftwareOnly),
+                )],
+            ),
+            TaxonNode::branch(
+                "Reconfigurable Processing Elements (FPGAs)",
+                vec![
+                    TaxonNode::branch(
+                        "Pre-determined hardware configuration",
+                        vec![
+                            TaxonNode::leaf(
+                                "Soft-core CPU fallback for software-only tasks",
+                                Some(Scenario::SoftwareOnly),
+                            ),
+                            TaxonNode::leaf(
+                                "Soft-core optimized kernels (ρ-VEX VLIW, µBLAZE, RISC)",
+                                Some(Scenario::PredeterminedHardware),
+                            ),
+                        ],
+                    ),
+                    TaxonNode::leaf(
+                        "User-defined hardware configuration (generic HDL accelerators)",
+                        Some(Scenario::UserDefinedHardware),
+                    ),
+                    TaxonNode::leaf(
+                        "Device-specific hardware (user bitstream/IP)",
+                        Some(Scenario::DeviceSpecificHardware),
+                    ),
+                ],
+            ),
+            TaxonNode::branch(
+                "Graphics Processing Units",
+                vec![TaxonNode::leaf("Data-parallel kernels", None)],
+            ),
+        ],
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn taxonomy_shape() {
+        let t = enhanced_pe_taxonomy();
+        assert_eq!(t.children.len(), 3, "GPP, RPE, GPU top-level branches");
+        assert!(t.depth() >= 3);
+        assert!(t.leaf_count() >= 5);
+    }
+
+    #[test]
+    fn all_four_scenarios_appear() {
+        let t = enhanced_pe_taxonomy();
+        let mut scs = t.scenarios();
+        scs.sort();
+        scs.dedup();
+        assert_eq!(scs.len(), 4);
+    }
+
+    #[test]
+    fn render_mentions_every_scenario() {
+        let r = enhanced_pe_taxonomy().render();
+        for sc in Scenario::all() {
+            assert!(r.contains(&sc.to_string()), "missing {sc} in:\n{r}");
+        }
+    }
+
+    #[test]
+    fn render_is_deterministic() {
+        assert_eq!(
+            enhanced_pe_taxonomy().render(),
+            enhanced_pe_taxonomy().render()
+        );
+    }
+
+    #[test]
+    fn scenario_obligations_are_dual() {
+        // Lower abstraction: user supplies more, provider less (no CAD tools
+        // needed at the device-specific level — the paper calls this out).
+        assert!(Scenario::UserDefinedHardware
+            .provider_supplies()
+            .contains("CAD"));
+        assert!(!Scenario::DeviceSpecificHardware
+            .provider_supplies()
+            .contains("CAD"));
+        assert!(Scenario::DeviceSpecificHardware
+            .user_supplies()
+            .contains("bitstream"));
+    }
+}

@@ -1,0 +1,297 @@
+//! Typed, unit-aware parameter values.
+//!
+//! Table I of the paper mixes integer counts (slices, cores), frequencies
+//! (speed grades, memory clocks), bandwidths (reconfiguration bandwidth in
+//! MB/s), sizes (RAM, shared memory), free-form identifiers (CPU type, OS,
+//! GPU model) and flags (Ethernet MAC present). [`ParamValue`] captures all
+//! of these in one enum so that node capabilities and task requirements can
+//! be compared generically.
+
+use serde::{Deserialize, Serialize};
+use std::cmp::Ordering;
+use std::fmt;
+
+/// A single capability-parameter value.
+///
+/// Variants carry their unit in the variant itself (e.g. [`ParamValue::MegaHertz`])
+/// so that two values are only comparable when they describe the same kind of
+/// quantity.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum ParamValue {
+    /// A dimensionless count (slices, LUTs, cores, issue slots, …).
+    Count(u64),
+    /// A real-valued quantity with no unit (MIPS ratings, ratios).
+    Real(f64),
+    /// A frequency in MHz (speed grades, memory frequency).
+    MegaHertz(f64),
+    /// A bandwidth in MB/s (reconfiguration bandwidth, link bandwidth).
+    MegaBytesPerSec(f64),
+    /// A memory size in KiB (BRAM, instruction/data memory, shared memory).
+    KiloBytes(u64),
+    /// A memory size in MiB (main memory).
+    MegaBytes(u64),
+    /// A free-form identifier (CPU model, OS name, device part, FU type).
+    Text(String),
+    /// A boolean capability flag (embedded Ethernet MAC, PR support).
+    Flag(bool),
+    /// A list of identifiers (supported I/O standards, FU types).
+    TextList(Vec<String>),
+}
+
+impl ParamValue {
+    /// Convenience constructor for [`ParamValue::Text`].
+    pub fn text(s: impl Into<String>) -> Self {
+        ParamValue::Text(s.into())
+    }
+
+    /// Convenience constructor for [`ParamValue::TextList`].
+    pub fn list<I, S>(items: I) -> Self
+    where
+        I: IntoIterator<Item = S>,
+        S: Into<String>,
+    {
+        ParamValue::TextList(items.into_iter().map(Into::into).collect())
+    }
+
+    /// Returns the value as an unsigned count, if it is one.
+    pub fn as_u64(&self) -> Option<u64> {
+        match self {
+            ParamValue::Count(n) => Some(*n),
+            ParamValue::KiloBytes(n) | ParamValue::MegaBytes(n) => Some(*n),
+            _ => None,
+        }
+    }
+
+    /// Returns the value as a float for any numeric variant.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            ParamValue::Count(n) | ParamValue::KiloBytes(n) | ParamValue::MegaBytes(n) => {
+                Some(*n as f64)
+            }
+            ParamValue::Real(x) | ParamValue::MegaHertz(x) | ParamValue::MegaBytesPerSec(x) => {
+                Some(*x)
+            }
+            _ => None,
+        }
+    }
+
+    /// Returns the text payload for [`ParamValue::Text`].
+    pub fn as_text(&self) -> Option<&str> {
+        match self {
+            ParamValue::Text(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// Returns the flag payload for [`ParamValue::Flag`].
+    pub fn as_flag(&self) -> Option<bool> {
+        match self {
+            ParamValue::Flag(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    /// True when the two values describe the same kind of quantity and can be
+    /// ordered or tested for equality against each other.
+    ///
+    /// All numeric-with-same-unit pairs are comparable; `Text` compares with
+    /// `Text` (string equality and membership only); `TextList` supports
+    /// membership tests from `Text`.
+    pub fn comparable_with(&self, other: &ParamValue) -> bool {
+        use ParamValue::*;
+        matches!(
+            (self, other),
+            (Count(_), Count(_))
+                | (Real(_), Real(_))
+                | (Real(_), Count(_))
+                | (Count(_), Real(_))
+                | (MegaHertz(_), MegaHertz(_))
+                | (MegaBytesPerSec(_), MegaBytesPerSec(_))
+                | (KiloBytes(_), KiloBytes(_))
+                | (MegaBytes(_), MegaBytes(_))
+                | (Text(_), Text(_))
+                | (Flag(_), Flag(_))
+                | (TextList(_), Text(_))
+                | (Text(_), TextList(_))
+                | (TextList(_), TextList(_))
+        )
+    }
+
+    /// Partial order between two values of the same kind.
+    ///
+    /// Returns `None` when the values are not [`comparable_with`] each other
+    /// or when the kind has no natural order (text, flags, lists).
+    ///
+    /// [`comparable_with`]: ParamValue::comparable_with
+    pub fn partial_cmp_value(&self, other: &ParamValue) -> Option<Ordering> {
+        use ParamValue::*;
+        match (self, other) {
+            (Count(a), Count(b)) => Some(a.cmp(b)),
+            (KiloBytes(a), KiloBytes(b)) | (MegaBytes(a), MegaBytes(b)) => Some(a.cmp(b)),
+            (Real(_), Real(_) | Count(_)) | (Count(_), Real(_)) => {
+                let (a, b) = (self.as_f64()?, other.as_f64()?);
+                a.partial_cmp(&b)
+            }
+            (MegaHertz(a), MegaHertz(b)) | (MegaBytesPerSec(a), MegaBytesPerSec(b)) => {
+                a.partial_cmp(b)
+            }
+            _ => None,
+        }
+    }
+
+    /// Equality across values, including `Text`-in-`TextList` membership
+    /// (used for "supported I/O standards include LVDS"-style requirements).
+    pub fn matches(&self, required: &ParamValue) -> bool {
+        use ParamValue::*;
+        match (self, required) {
+            (TextList(have), Text(want)) => have.iter().any(|s| s.eq_ignore_ascii_case(want)),
+            (Text(have), TextList(wanted)) => wanted.iter().any(|s| s.eq_ignore_ascii_case(have)),
+            (TextList(have), TextList(wanted)) => wanted
+                .iter()
+                .all(|w| have.iter().any(|h| h.eq_ignore_ascii_case(w))),
+            (Text(a), Text(b)) => a.eq_ignore_ascii_case(b),
+            (Flag(a), Flag(b)) => a == b,
+            _ => self
+                .partial_cmp_value(required)
+                .map(|o| o == Ordering::Equal)
+                .unwrap_or(false),
+        }
+    }
+}
+
+impl fmt::Display for ParamValue {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ParamValue::Count(n) => write!(f, "{n}"),
+            ParamValue::Real(x) => write!(f, "{x}"),
+            ParamValue::MegaHertz(x) => write!(f, "{x} MHz"),
+            ParamValue::MegaBytesPerSec(x) => write!(f, "{x} MB/s"),
+            ParamValue::KiloBytes(n) => write!(f, "{n} KB"),
+            ParamValue::MegaBytes(n) => write!(f, "{n} MB"),
+            ParamValue::Text(s) => write!(f, "{s}"),
+            ParamValue::Flag(b) => write!(f, "{}", if *b { "yes" } else { "no" }),
+            ParamValue::TextList(items) => write!(f, "[{}]", items.join(", ")),
+        }
+    }
+}
+
+impl From<u64> for ParamValue {
+    fn from(n: u64) -> Self {
+        ParamValue::Count(n)
+    }
+}
+
+impl From<f64> for ParamValue {
+    fn from(x: f64) -> Self {
+        ParamValue::Real(x)
+    }
+}
+
+impl From<bool> for ParamValue {
+    fn from(b: bool) -> Self {
+        ParamValue::Flag(b)
+    }
+}
+
+impl From<&str> for ParamValue {
+    fn from(s: &str) -> Self {
+        ParamValue::Text(s.to_owned())
+    }
+}
+
+impl From<String> for ParamValue {
+    fn from(s: String) -> Self {
+        ParamValue::Text(s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn count_ordering() {
+        let a = ParamValue::Count(24_320);
+        let b = ParamValue::Count(18_707);
+        assert_eq!(a.partial_cmp_value(&b), Some(Ordering::Greater));
+        assert_eq!(b.partial_cmp_value(&a), Some(Ordering::Less));
+        assert_eq!(a.partial_cmp_value(&a), Some(Ordering::Equal));
+    }
+
+    #[test]
+    fn mixed_numeric_kinds_do_not_compare() {
+        let mhz = ParamValue::MegaHertz(550.0);
+        let count = ParamValue::Count(550);
+        assert!(!mhz.comparable_with(&count));
+        assert_eq!(mhz.partial_cmp_value(&count), None);
+    }
+
+    #[test]
+    fn real_and_count_interoperate() {
+        let mips = ParamValue::Real(12_000.0);
+        let need = ParamValue::Count(10_000);
+        assert!(mips.comparable_with(&need));
+        assert_eq!(mips.partial_cmp_value(&need), Some(Ordering::Greater));
+    }
+
+    #[test]
+    fn text_matches_case_insensitive() {
+        let have = ParamValue::text("Virtex-5");
+        let want = ParamValue::text("virtex-5");
+        assert!(have.matches(&want));
+        assert!(!have.matches(&ParamValue::text("Virtex-6")));
+    }
+
+    #[test]
+    fn list_membership() {
+        let have = ParamValue::list(["LVCMOS33", "LVDS", "SSTL2"]);
+        assert!(have.matches(&ParamValue::text("lvds")));
+        assert!(!have.matches(&ParamValue::text("HSTL")));
+        // all-of semantics for list-vs-list
+        assert!(have.matches(&ParamValue::list(["LVDS", "SSTL2"])));
+        assert!(!have.matches(&ParamValue::list(["LVDS", "HSTL"])));
+    }
+
+    #[test]
+    fn text_matches_one_of_list() {
+        let have = ParamValue::text("XC5VLX155");
+        let want = ParamValue::list(["XC5VLX155", "XC5VLX220"]);
+        assert!(have.matches(&want));
+    }
+
+    #[test]
+    fn flag_matching() {
+        assert!(ParamValue::Flag(true).matches(&ParamValue::Flag(true)));
+        assert!(!ParamValue::Flag(false).matches(&ParamValue::Flag(true)));
+    }
+
+    #[test]
+    fn display_forms() {
+        assert_eq!(ParamValue::Count(42).to_string(), "42");
+        assert_eq!(ParamValue::MegaHertz(550.0).to_string(), "550 MHz");
+        assert_eq!(ParamValue::MegaBytesPerSec(400.0).to_string(), "400 MB/s");
+        assert_eq!(ParamValue::KiloBytes(64).to_string(), "64 KB");
+        assert_eq!(ParamValue::Flag(true).to_string(), "yes");
+        assert_eq!(
+            ParamValue::list(["ALU", "MUL"]).to_string(),
+            "[ALU, MUL]"
+        );
+    }
+
+    #[test]
+    fn as_accessors() {
+        assert_eq!(ParamValue::Count(7).as_u64(), Some(7));
+        assert_eq!(ParamValue::Real(1.5).as_f64(), Some(1.5));
+        assert_eq!(ParamValue::text("x").as_text(), Some("x"));
+        assert_eq!(ParamValue::Flag(true).as_flag(), Some(true));
+        assert_eq!(ParamValue::text("x").as_u64(), None);
+    }
+
+    #[test]
+    fn serde_round_trip() {
+        let v = ParamValue::list(["a", "b"]);
+        let json = serde_json::to_string(&v).unwrap();
+        let back: ParamValue = serde_json::from_str(&json).unwrap();
+        assert_eq!(v, back);
+    }
+}

@@ -1,0 +1,268 @@
+//! A mini-C intermediate representation.
+//!
+//! Quipu analyses C functions; this AST carries exactly the constructs whose
+//! structure the complexity metrics measure: assignments, arithmetic and
+//! comparison expressions, array accesses, `if`/`while`/`for`, calls and
+//! returns. Builders keep kernel construction terse.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Binary operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum BinOp {
+    Add,
+    Sub,
+    Mul,
+    Div,
+    Mod,
+    Lt,
+    Le,
+    Gt,
+    Ge,
+    Eq,
+    Ne,
+    And,
+    Or,
+}
+
+impl BinOp {
+    /// True for multiply-class operators (these drive DSP/area hardest).
+    pub fn is_multiplicative(self) -> bool {
+        matches!(self, BinOp::Mul | BinOp::Div | BinOp::Mod)
+    }
+
+    /// The operator's lexeme (used as the Halstead operator identity).
+    pub fn lexeme(self) -> &'static str {
+        match self {
+            BinOp::Add => "+",
+            BinOp::Sub => "-",
+            BinOp::Mul => "*",
+            BinOp::Div => "/",
+            BinOp::Mod => "%",
+            BinOp::Lt => "<",
+            BinOp::Le => "<=",
+            BinOp::Gt => ">",
+            BinOp::Ge => ">=",
+            BinOp::Eq => "==",
+            BinOp::Ne => "!=",
+            BinOp::And => "&&",
+            BinOp::Or => "||",
+        }
+    }
+}
+
+/// Expressions.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum Expr {
+    /// Integer literal.
+    Num(i64),
+    /// Scalar variable reference.
+    Var(String),
+    /// Array element reference `base[index]`.
+    Index {
+        /// Array name.
+        base: String,
+        /// Index expression.
+        index: Box<Expr>,
+    },
+    /// Binary operation.
+    Bin {
+        /// Operator.
+        op: BinOp,
+        /// Left operand.
+        lhs: Box<Expr>,
+        /// Right operand.
+        rhs: Box<Expr>,
+    },
+    /// Function call.
+    Call {
+        /// Callee name.
+        name: String,
+        /// Arguments.
+        args: Vec<Expr>,
+    },
+}
+
+impl Expr {
+    /// `a op b` builder.
+    pub fn bin(op: BinOp, lhs: Expr, rhs: Expr) -> Expr {
+        Expr::Bin {
+            op,
+            lhs: Box::new(lhs),
+            rhs: Box::new(rhs),
+        }
+    }
+
+    /// Variable reference builder.
+    pub fn var(name: impl Into<String>) -> Expr {
+        Expr::Var(name.into())
+    }
+
+    /// `base[index]` builder.
+    pub fn index(base: impl Into<String>, index: Expr) -> Expr {
+        Expr::Index {
+            base: base.into(),
+            index: Box::new(index),
+        }
+    }
+}
+
+/// Statements.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum Stmt {
+    /// `lhs = value;` — `lhs` is a variable or array element.
+    Assign {
+        /// Target (Var or Index).
+        lhs: Expr,
+        /// Value.
+        value: Expr,
+    },
+    /// `if (cond) { then } else { otherwise }`.
+    If {
+        /// Condition.
+        cond: Expr,
+        /// Then branch.
+        then: Vec<Stmt>,
+        /// Else branch (possibly empty).
+        otherwise: Vec<Stmt>,
+    },
+    /// `while (cond) { body }`.
+    While {
+        /// Condition.
+        cond: Expr,
+        /// Body.
+        body: Vec<Stmt>,
+    },
+    /// `for (var = from; var < to; var++) { body }` (canonical counted loop).
+    For {
+        /// Induction variable.
+        var: String,
+        /// Lower bound.
+        from: Expr,
+        /// Exclusive upper bound.
+        to: Expr,
+        /// Body.
+        body: Vec<Stmt>,
+    },
+    /// `return value;`
+    Return(Expr),
+    /// Expression statement (a bare call).
+    ExprStmt(Expr),
+}
+
+impl Stmt {
+    /// `lhs = value` builder with a variable target.
+    pub fn assign_var(name: impl Into<String>, value: Expr) -> Stmt {
+        Stmt::Assign {
+            lhs: Expr::var(name),
+            value,
+        }
+    }
+
+    /// Canonical counted loop builder.
+    pub fn for_loop(
+        var: impl Into<String>,
+        from: Expr,
+        to: Expr,
+        body: Vec<Stmt>,
+    ) -> Stmt {
+        Stmt::For {
+            var: var.into(),
+            from,
+            to,
+            body,
+        }
+    }
+}
+
+/// A C function: the unit Quipu analyses.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Function {
+    /// Function name (e.g. `pairalign`).
+    pub name: String,
+    /// Parameter names.
+    pub params: Vec<String>,
+    /// Body statements.
+    pub body: Vec<Stmt>,
+}
+
+impl Function {
+    /// Builds a function.
+    pub fn new(name: impl Into<String>, params: Vec<&str>, body: Vec<Stmt>) -> Self {
+        Function {
+            name: name.into(),
+            params: params.into_iter().map(str::to_owned).collect(),
+            body,
+        }
+    }
+}
+
+impl fmt::Display for Function {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}({})", self.name, self.params.join(", "))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builders_compose() {
+        let f = Function::new(
+            "saxpy",
+            vec!["a", "x", "y", "n"],
+            vec![Stmt::for_loop(
+                "i",
+                Expr::Num(0),
+                Expr::var("n"),
+                vec![Stmt::Assign {
+                    lhs: Expr::index("y", Expr::var("i")),
+                    value: Expr::bin(
+                        BinOp::Add,
+                        Expr::bin(
+                            BinOp::Mul,
+                            Expr::var("a"),
+                            Expr::index("x", Expr::var("i")),
+                        ),
+                        Expr::index("y", Expr::var("i")),
+                    ),
+                }],
+            )],
+        );
+        assert_eq!(f.to_string(), "saxpy(a, x, y, n)");
+        assert_eq!(f.body.len(), 1);
+    }
+
+    #[test]
+    fn multiplicative_classification() {
+        assert!(BinOp::Mul.is_multiplicative());
+        assert!(BinOp::Div.is_multiplicative());
+        assert!(BinOp::Mod.is_multiplicative());
+        assert!(!BinOp::Add.is_multiplicative());
+        assert!(!BinOp::Lt.is_multiplicative());
+    }
+
+    #[test]
+    fn lexemes_are_distinct() {
+        use std::collections::BTreeSet;
+        let all = [
+            BinOp::Add,
+            BinOp::Sub,
+            BinOp::Mul,
+            BinOp::Div,
+            BinOp::Mod,
+            BinOp::Lt,
+            BinOp::Le,
+            BinOp::Gt,
+            BinOp::Ge,
+            BinOp::Eq,
+            BinOp::Ne,
+            BinOp::And,
+            BinOp::Or,
+        ];
+        let set: BTreeSet<_> = all.iter().map(|o| o.lexeme()).collect();
+        assert_eq!(set.len(), all.len());
+    }
+}

@@ -1,0 +1,347 @@
+//! Software complexity metrics (SCMs) over the mini-C AST.
+//!
+//! Quipu "is a linear model based on software complexity metrics"; this
+//! module computes the metric set the model regresses over: statement
+//! count, McCabe cyclomatic complexity, the Halstead base counts and
+//! volume, loop count, maximum nesting depth, array-access count, and the
+//! multiply-class operation count (the strongest DSP/area driver).
+
+use crate::ast::{Expr, Function, Stmt};
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeSet;
+
+/// The metric vector for one function.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ComplexityMetrics {
+    /// Function name.
+    pub name: String,
+    /// Statements (recursively counted).
+    pub statements: u64,
+    /// McCabe cyclomatic complexity: 1 + decision points
+    /// (`if`, `while`, `for`, `&&`, `||`).
+    pub cyclomatic: u64,
+    /// Distinct operators (Halstead n1).
+    pub distinct_operators: u64,
+    /// Distinct operands (Halstead n2): variables, arrays, literals, callees.
+    pub distinct_operands: u64,
+    /// Total operator occurrences (Halstead N1).
+    pub total_operators: u64,
+    /// Total operand occurrences (Halstead N2).
+    pub total_operands: u64,
+    /// Loop statements (`while` + `for`).
+    pub loops: u64,
+    /// Maximum statement nesting depth.
+    pub max_depth: u64,
+    /// Array element accesses (reads + writes).
+    pub array_accesses: u64,
+    /// Multiply-class operations (`*`, `/`, `%`).
+    pub mul_ops: u64,
+}
+
+impl ComplexityMetrics {
+    /// Computes the metric vector for a function.
+    pub fn of(f: &Function) -> Self {
+        let mut w = Walker::default();
+        for p in &f.params {
+            w.operands.insert(format!("v:{p}"));
+        }
+        w.walk_block(&f.body, 1);
+        ComplexityMetrics {
+            name: f.name.clone(),
+            statements: w.statements,
+            cyclomatic: 1 + w.decisions,
+            distinct_operators: w.operators.len() as u64,
+            distinct_operands: w.operands.len() as u64,
+            total_operators: w.total_operators,
+            total_operands: w.total_operands,
+            loops: w.loops,
+            max_depth: w.max_depth,
+            array_accesses: w.array_accesses,
+            mul_ops: w.mul_ops,
+        }
+    }
+
+    /// Halstead program length `N = N1 + N2`.
+    pub fn halstead_length(&self) -> u64 {
+        self.total_operators + self.total_operands
+    }
+
+    /// Halstead vocabulary `n = n1 + n2`.
+    pub fn halstead_vocabulary(&self) -> u64 {
+        self.distinct_operators + self.distinct_operands
+    }
+
+    /// Halstead volume `V = N log2 n`.
+    pub fn halstead_volume(&self) -> f64 {
+        let n = self.halstead_vocabulary().max(2) as f64;
+        self.halstead_length() as f64 * n.log2()
+    }
+
+    /// Halstead difficulty `D = n1/2 × N2/n2`.
+    pub fn halstead_difficulty(&self) -> f64 {
+        if self.distinct_operands == 0 {
+            return 0.0;
+        }
+        (self.distinct_operators as f64 / 2.0)
+            * (self.total_operands as f64 / self.distinct_operands as f64)
+    }
+
+    /// Halstead effort `E = D × V`.
+    pub fn halstead_effort(&self) -> f64 {
+        self.halstead_difficulty() * self.halstead_volume()
+    }
+}
+
+#[derive(Default)]
+struct Walker {
+    statements: u64,
+    decisions: u64,
+    loops: u64,
+    max_depth: u64,
+    array_accesses: u64,
+    mul_ops: u64,
+    total_operators: u64,
+    total_operands: u64,
+    operators: BTreeSet<&'static str>,
+    operands: BTreeSet<String>,
+}
+
+impl Walker {
+    fn walk_block(&mut self, stmts: &[Stmt], depth: u64) {
+        self.max_depth = self.max_depth.max(depth);
+        for s in stmts {
+            self.walk_stmt(s, depth);
+        }
+    }
+
+    fn walk_stmt(&mut self, s: &Stmt, depth: u64) {
+        self.statements += 1;
+        match s {
+            Stmt::Assign { lhs, value } => {
+                self.op("=");
+                self.walk_expr(lhs);
+                self.walk_expr(value);
+            }
+            Stmt::If {
+                cond,
+                then,
+                otherwise,
+            } => {
+                self.decisions += 1;
+                self.op("if");
+                self.walk_expr(cond);
+                self.walk_block(then, depth + 1);
+                if !otherwise.is_empty() {
+                    self.op("else");
+                    self.walk_block(otherwise, depth + 1);
+                }
+            }
+            Stmt::While { cond, body } => {
+                self.decisions += 1;
+                self.loops += 1;
+                self.op("while");
+                self.walk_expr(cond);
+                self.walk_block(body, depth + 1);
+            }
+            Stmt::For {
+                var,
+                from,
+                to,
+                body,
+            } => {
+                self.decisions += 1;
+                self.loops += 1;
+                self.op("for");
+                self.operand(format!("v:{var}"));
+                self.walk_expr(from);
+                self.walk_expr(to);
+                self.walk_block(body, depth + 1);
+            }
+            Stmt::Return(e) => {
+                self.op("return");
+                self.walk_expr(e);
+            }
+            Stmt::ExprStmt(e) => self.walk_expr(e),
+        }
+    }
+
+    fn walk_expr(&mut self, e: &Expr) {
+        match e {
+            Expr::Num(n) => self.operand(format!("n:{n}")),
+            Expr::Var(v) => self.operand(format!("v:{v}")),
+            Expr::Index { base, index } => {
+                self.array_accesses += 1;
+                self.op("[]");
+                self.operand(format!("a:{base}"));
+                self.walk_expr(index);
+            }
+            Expr::Bin { op, lhs, rhs } => {
+                if op.is_multiplicative() {
+                    self.mul_ops += 1;
+                }
+                if matches!(op, crate::ast::BinOp::And | crate::ast::BinOp::Or) {
+                    self.decisions += 1;
+                }
+                self.op(op.lexeme());
+                self.walk_expr(lhs);
+                self.walk_expr(rhs);
+            }
+            Expr::Call { name, args } => {
+                self.op("call");
+                self.operand(format!("f:{name}"));
+                for a in args {
+                    self.walk_expr(a);
+                }
+            }
+        }
+    }
+
+    fn op(&mut self, name: &'static str) {
+        self.total_operators += 1;
+        self.operators.insert(name);
+    }
+
+    fn operand(&mut self, key: String) {
+        self.total_operands += 1;
+        self.operands.insert(key);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ast::{BinOp, Expr, Function, Stmt};
+
+    fn saxpy() -> Function {
+        Function::new(
+            "saxpy",
+            vec!["a", "n"],
+            vec![Stmt::for_loop(
+                "i",
+                Expr::Num(0),
+                Expr::var("n"),
+                vec![Stmt::Assign {
+                    lhs: Expr::index("y", Expr::var("i")),
+                    value: Expr::bin(
+                        BinOp::Add,
+                        Expr::bin(BinOp::Mul, Expr::var("a"), Expr::index("x", Expr::var("i"))),
+                        Expr::index("y", Expr::var("i")),
+                    ),
+                }],
+            )],
+        )
+    }
+
+    #[test]
+    fn saxpy_metrics() {
+        let m = ComplexityMetrics::of(&saxpy());
+        assert_eq!(m.loops, 1);
+        assert_eq!(m.cyclomatic, 2); // 1 + the for
+        assert_eq!(m.array_accesses, 3); // y[i] write, x[i], y[i] read
+        assert_eq!(m.mul_ops, 1);
+        assert_eq!(m.statements, 2); // for + assignment
+        assert_eq!(m.max_depth, 2);
+    }
+
+    #[test]
+    fn straight_line_has_cyclomatic_one() {
+        let f = Function::new(
+            "f",
+            vec![],
+            vec![Stmt::assign_var("x", Expr::Num(1))],
+        );
+        let m = ComplexityMetrics::of(&f);
+        assert_eq!(m.cyclomatic, 1);
+        assert_eq!(m.loops, 0);
+        assert_eq!(m.max_depth, 1);
+    }
+
+    #[test]
+    fn logical_ops_add_decisions() {
+        let cond = Expr::bin(
+            BinOp::And,
+            Expr::bin(BinOp::Lt, Expr::var("a"), Expr::var("b")),
+            Expr::bin(BinOp::Gt, Expr::var("c"), Expr::var("d")),
+        );
+        let f = Function::new(
+            "g",
+            vec![],
+            vec![Stmt::If {
+                cond,
+                then: vec![Stmt::assign_var("x", Expr::Num(1))],
+                otherwise: vec![],
+            }],
+        );
+        let m = ComplexityMetrics::of(&f);
+        assert_eq!(m.cyclomatic, 3); // 1 + if + &&
+    }
+
+    #[test]
+    fn nesting_depth_counts_blocks() {
+        let inner = Stmt::for_loop(
+            "j",
+            Expr::Num(0),
+            Expr::var("n"),
+            vec![Stmt::assign_var("x", Expr::var("j"))],
+        );
+        let f = Function::new(
+            "h",
+            vec!["n"],
+            vec![Stmt::for_loop("i", Expr::Num(0), Expr::var("n"), vec![inner])],
+        );
+        let m = ComplexityMetrics::of(&f);
+        assert_eq!(m.max_depth, 3);
+        assert_eq!(m.loops, 2);
+    }
+
+    #[test]
+    fn halstead_quantities_positive_and_consistent() {
+        let m = ComplexityMetrics::of(&saxpy());
+        assert!(m.halstead_volume() > 0.0);
+        assert!(m.halstead_difficulty() > 0.0);
+        assert!(
+            (m.halstead_effort() - m.halstead_difficulty() * m.halstead_volume()).abs() < 1e-9
+        );
+        assert_eq!(
+            m.halstead_length(),
+            m.total_operators + m.total_operands
+        );
+    }
+
+    #[test]
+    fn distinct_operands_distinguish_kinds() {
+        // variable x, array x and literal 1 are three distinct operands
+        let f = Function::new(
+            "k",
+            vec![],
+            vec![Stmt::Assign {
+                lhs: Expr::var("x"),
+                value: Expr::bin(
+                    BinOp::Add,
+                    Expr::index("x", Expr::Num(1)),
+                    Expr::Num(1),
+                ),
+            }],
+        );
+        let m = ComplexityMetrics::of(&f);
+        assert_eq!(m.distinct_operands, 3);
+    }
+
+    #[test]
+    fn more_code_more_metrics() {
+        let small = ComplexityMetrics::of(&saxpy());
+        // duplicate the loop body 4x
+        let mut f = saxpy();
+        if let Stmt::For { body, .. } = &mut f.body[0] {
+            let stmt = body[0].clone();
+            for _ in 0..3 {
+                body.push(stmt.clone());
+            }
+        }
+        let big = ComplexityMetrics::of(&f);
+        assert!(big.statements > small.statements);
+        assert!(big.total_operators > small.total_operators);
+        assert!(big.halstead_volume() > small.halstead_volume());
+        assert!(big.array_accesses > small.array_accesses);
+    }
+}

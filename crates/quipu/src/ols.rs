@@ -1,0 +1,286 @@
+//! Ordinary least squares, from scratch.
+//!
+//! Solves `min ‖Xβ − y‖²` via the normal equations `XᵀX β = Xᵀy` with
+//! Gaussian elimination and partial pivoting, plus a tiny ridge term for
+//! numerical safety on nearly collinear designs. Small and dependency-free —
+//! the Quipu corpus has tens of rows and a handful of features.
+
+use serde::{Deserialize, Serialize};
+
+/// A fitted linear model.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct LinearFit {
+    /// Coefficients, one per feature column.
+    pub coefficients: Vec<f64>,
+    /// Coefficient of determination on the training data.
+    pub r_squared: f64,
+    /// Per-row residuals `y − ŷ`.
+    pub residuals: Vec<f64>,
+}
+
+/// Errors from fitting.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum OlsError {
+    /// Rows and targets differ in length, or rows have differing widths.
+    ShapeMismatch,
+    /// Fewer rows than features.
+    Underdetermined {
+        /// Rows provided.
+        rows: usize,
+        /// Feature columns.
+        cols: usize,
+    },
+    /// The normal-equation system is singular beyond repair.
+    Singular,
+}
+
+impl std::fmt::Display for OlsError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            OlsError::ShapeMismatch => write!(f, "design matrix shape mismatch"),
+            OlsError::Underdetermined { rows, cols } => {
+                write!(f, "{rows} rows cannot determine {cols} coefficients")
+            }
+            OlsError::Singular => write!(f, "singular normal equations"),
+        }
+    }
+}
+
+impl std::error::Error for OlsError {}
+
+/// Fits `y ≈ X β`.
+///
+/// `x` is row-major: `x[i]` is the feature vector of observation `i`
+/// (include a constant-1 column yourself for an intercept).
+#[allow(clippy::needless_range_loop)]
+pub fn fit(x: &[Vec<f64>], y: &[f64]) -> Result<LinearFit, OlsError> {
+    let rows = x.len();
+    if rows == 0 || rows != y.len() {
+        return Err(OlsError::ShapeMismatch);
+    }
+    let cols = x[0].len();
+    if cols == 0 || x.iter().any(|r| r.len() != cols) {
+        return Err(OlsError::ShapeMismatch);
+    }
+    if rows < cols {
+        return Err(OlsError::Underdetermined { rows, cols });
+    }
+
+    // Normal equations with a tiny ridge on the diagonal (scaled to the
+    // design's magnitude) so near-collinear feature sets stay solvable.
+    let mut xtx = vec![vec![0.0f64; cols]; cols];
+    let mut xty = vec![0.0f64; cols];
+    for i in 0..rows {
+        for a in 0..cols {
+            xty[a] += x[i][a] * y[i];
+            for b in a..cols {
+                xtx[a][b] += x[i][a] * x[i][b];
+            }
+        }
+    }
+    for a in 0..cols {
+        for b in 0..a {
+            xtx[a][b] = xtx[b][a];
+        }
+    }
+    let scale = (0..cols)
+        .map(|a| xtx[a][a].abs())
+        .fold(0.0f64, f64::max)
+        .max(1.0);
+    let ridge = scale * 1e-12;
+    for (a, row) in xtx.iter_mut().enumerate() {
+        row[a] += ridge;
+    }
+
+    let coefficients = solve(xtx, xty)?;
+
+    let mut residuals = Vec::with_capacity(rows);
+    let mean_y: f64 = y.iter().sum::<f64>() / rows as f64;
+    let mut ss_res = 0.0;
+    let mut ss_tot = 0.0;
+    for i in 0..rows {
+        let pred: f64 = x[i]
+            .iter()
+            .zip(&coefficients)
+            .map(|(xi, b)| xi * b)
+            .sum();
+        let r = y[i] - pred;
+        residuals.push(r);
+        ss_res += r * r;
+        ss_tot += (y[i] - mean_y).powi(2);
+    }
+    let r_squared = if ss_tot == 0.0 {
+        1.0
+    } else {
+        1.0 - ss_res / ss_tot
+    };
+
+    Ok(LinearFit {
+        coefficients,
+        r_squared,
+        residuals,
+    })
+}
+
+/// Predicts `ŷ` for one feature vector.
+pub fn predict(coefficients: &[f64], features: &[f64]) -> f64 {
+    coefficients
+        .iter()
+        .zip(features)
+        .map(|(b, x)| b * x)
+        .sum()
+}
+
+/// Gaussian elimination with partial pivoting on an `n×n` system.
+#[allow(clippy::needless_range_loop)]
+fn solve(mut a: Vec<Vec<f64>>, mut b: Vec<f64>) -> Result<Vec<f64>, OlsError> {
+    let n = b.len();
+    for col in 0..n {
+        // pivot
+        let pivot = (col..n)
+            .max_by(|&i, &j| {
+                a[i][col]
+                    .abs()
+                    .partial_cmp(&a[j][col].abs())
+                    .expect("finite")
+            })
+            .expect("nonempty");
+        if a[pivot][col].abs() < 1e-30 {
+            return Err(OlsError::Singular);
+        }
+        a.swap(col, pivot);
+        b.swap(col, pivot);
+        // eliminate below
+        for row in col + 1..n {
+            let factor = a[row][col] / a[col][col];
+            if factor == 0.0 {
+                continue;
+            }
+            for k in col..n {
+                a[row][k] -= factor * a[col][k];
+            }
+            b[row] -= factor * b[col];
+        }
+    }
+    // back substitution
+    let mut x = vec![0.0f64; n];
+    for col in (0..n).rev() {
+        let mut acc = b[col];
+        for k in col + 1..n {
+            acc -= a[col][k] * x[k];
+        }
+        x[col] = acc / a[col][col];
+    }
+    Ok(x)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn recovers_exact_linear_relationship() {
+        // y = 3 + 2 x1 - 0.5 x2
+        let x: Vec<Vec<f64>> = (0..20)
+            .map(|i| {
+                let x1 = i as f64;
+                let x2 = (i * i % 7) as f64;
+                vec![1.0, x1, x2]
+            })
+            .collect();
+        let y: Vec<f64> = x.iter().map(|r| 3.0 + 2.0 * r[1] - 0.5 * r[2]).collect();
+        let fit = fit(&x, &y).unwrap();
+        assert!((fit.coefficients[0] - 3.0).abs() < 1e-6);
+        assert!((fit.coefficients[1] - 2.0).abs() < 1e-6);
+        assert!((fit.coefficients[2] + 0.5).abs() < 1e-6);
+        assert!(fit.r_squared > 0.999999);
+        assert!(fit.residuals.iter().all(|r| r.abs() < 1e-6));
+    }
+
+    #[test]
+    fn prediction_matches_fit() {
+        let x = vec![vec![1.0, 1.0], vec![1.0, 2.0], vec![1.0, 3.0]];
+        let y = vec![2.0, 4.0, 6.0];
+        let f = fit(&x, &y).unwrap();
+        let p = predict(&f.coefficients, &[1.0, 4.0]);
+        assert!((p - 8.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn noisy_data_good_r2() {
+        // y = 10 x + deterministic "noise"
+        let x: Vec<Vec<f64>> = (0..50).map(|i| vec![1.0, i as f64]).collect();
+        let y: Vec<f64> = (0..50)
+            .map(|i| 10.0 * i as f64 + ((i * 37 % 11) as f64 - 5.0))
+            .collect();
+        let f = fit(&x, &y).unwrap();
+        assert!(f.r_squared > 0.99);
+        assert!((f.coefficients[1] - 10.0).abs() < 0.1);
+    }
+
+    #[test]
+    fn shape_errors() {
+        assert_eq!(fit(&[], &[]).unwrap_err(), OlsError::ShapeMismatch);
+        assert_eq!(
+            fit(&[vec![1.0]], &[1.0, 2.0]).unwrap_err(),
+            OlsError::ShapeMismatch
+        );
+        assert_eq!(
+            fit(&[vec![1.0, 2.0], vec![1.0]], &[1.0, 2.0]).unwrap_err(),
+            OlsError::ShapeMismatch
+        );
+        assert_eq!(
+            fit(&[vec![1.0, 2.0, 3.0]], &[1.0]).unwrap_err(),
+            OlsError::Underdetermined { rows: 1, cols: 3 }
+        );
+    }
+
+    #[test]
+    fn collinear_design_still_solves_with_ridge() {
+        // second column = 2 × first: rank deficient; ridge keeps it solvable
+        let x: Vec<Vec<f64>> = (1..10).map(|i| vec![i as f64, 2.0 * i as f64]).collect();
+        let y: Vec<f64> = (1..10).map(|i| 5.0 * i as f64).collect();
+        let f = fit(&x, &y).unwrap();
+        // predictions still correct even if individual coefficients are not
+        let p = predict(&f.coefficients, &[10.0, 20.0]);
+        assert!((p - 50.0).abs() < 1e-3);
+    }
+
+    #[test]
+    fn constant_target_r2_is_one() {
+        let x = vec![vec![1.0], vec![1.0], vec![1.0]];
+        let y = vec![4.0, 4.0, 4.0];
+        let f = fit(&x, &y).unwrap();
+        assert_eq!(f.r_squared, 1.0);
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    proptest! {
+        /// For data generated from an exact linear rule, OLS reproduces the
+        /// targets (prediction-level identifiability, even if coefficients
+        /// are not unique).
+        #[test]
+        fn exact_data_exact_predictions(
+            w in prop::collection::vec(-5.0f64..5.0, 3),
+            rows in 6usize..30,
+        ) {
+            let x: Vec<Vec<f64>> = (0..rows)
+                .map(|i| {
+                    let t = i as f64;
+                    vec![1.0, t, (t * t * 0.1) % 13.0]
+                })
+                .collect();
+            let y: Vec<f64> = x.iter().map(|r| predict(&w, r)).collect();
+            let f = fit(&x, &y).unwrap();
+            for (r, yi) in x.iter().zip(&y) {
+                let p = predict(&f.coefficients, r);
+                prop_assert!((p - yi).abs() < 1e-5, "{p} vs {yi}");
+            }
+        }
+    }
+}

@@ -1,0 +1,715 @@
+//! A parser for the mini-C kernel language.
+//!
+//! Quipu analyses C functions; this parser accepts the subset the AST
+//! models, so kernels can be written as source text instead of built with
+//! the AST builders:
+//!
+//! ```c
+//! int saxpy(int a, int n) {
+//!     for (i = 0; i < n; i = i + 1) {
+//!         y[i] = a * x[i] + y[i];
+//!     }
+//!     return 0;
+//! }
+//! ```
+//!
+//! Grammar (expressions with C precedence, right-to-left recursion-free):
+//!
+//! ```text
+//! function := type ident '(' params ')' block
+//! stmt     := 'if' '(' expr ')' block ('else' block)?
+//!           | 'while' '(' expr ')' block
+//!           | 'for' '(' ident '=' expr ';' ident '<' expr ';' ident '=' expr ')' block
+//!           | 'return' expr ';'
+//!           | lvalue '=' expr ';'
+//!           | expr ';'
+//! expr     := or  (or := and ('||' and)*, and := cmp ('&&' cmp)*, …)
+//! ```
+//!
+//! Declarations like `int x = …;` are accepted and treated as assignments
+//! (the metrics don't distinguish them).
+
+use crate::ast::{BinOp, Expr, Function, Stmt};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A parse failure with 1-based line/column.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ParseError {
+    /// 1-based line.
+    pub line: usize,
+    /// 1-based column.
+    pub col: usize,
+    /// Cause.
+    pub message: String,
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}:{}: {}", self.line, self.col, self.message)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+#[derive(Debug, Clone, PartialEq)]
+enum Tok {
+    Ident(String),
+    Num(i64),
+    Punct(&'static str),
+    Eof,
+}
+
+struct Lexer<'a> {
+    src: &'a [u8],
+    pos: usize,
+    line: usize,
+    col: usize,
+}
+
+#[derive(Debug, Clone)]
+struct Token {
+    tok: Tok,
+    line: usize,
+    col: usize,
+}
+
+impl<'a> Lexer<'a> {
+    fn new(src: &'a str) -> Self {
+        Lexer {
+            src: src.as_bytes(),
+            pos: 0,
+            line: 1,
+            col: 1,
+        }
+    }
+
+    fn bump(&mut self) -> Option<u8> {
+        let b = *self.src.get(self.pos)?;
+        self.pos += 1;
+        if b == b'\n' {
+            self.line += 1;
+            self.col = 1;
+        } else {
+            self.col += 1;
+        }
+        Some(b)
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.src.get(self.pos).copied()
+    }
+
+    fn peek2(&self) -> Option<u8> {
+        self.src.get(self.pos + 1).copied()
+    }
+
+    fn tokens(mut self) -> Result<Vec<Token>, ParseError> {
+        let mut out = Vec::new();
+        loop {
+            // skip whitespace and comments
+            loop {
+                match self.peek() {
+                    Some(b) if b.is_ascii_whitespace() => {
+                        self.bump();
+                    }
+                    Some(b'/') if self.peek2() == Some(b'/') => {
+                        while let Some(b) = self.bump() {
+                            if b == b'\n' {
+                                break;
+                            }
+                        }
+                    }
+                    Some(b'/') if self.peek2() == Some(b'*') => {
+                        self.bump();
+                        self.bump();
+                        loop {
+                            match self.bump() {
+                                Some(b'*') if self.peek() == Some(b'/') => {
+                                    self.bump();
+                                    break;
+                                }
+                                Some(_) => {}
+                                None => {
+                                    return Err(ParseError {
+                                        line: self.line,
+                                        col: self.col,
+                                        message: "unterminated block comment".into(),
+                                    })
+                                }
+                            }
+                        }
+                    }
+                    _ => break,
+                }
+            }
+            let (line, col) = (self.line, self.col);
+            let Some(b) = self.peek() else {
+                out.push(Token {
+                    tok: Tok::Eof,
+                    line,
+                    col,
+                });
+                return Ok(out);
+            };
+            let tok = if b.is_ascii_alphabetic() || b == b'_' {
+                let mut s = String::new();
+                while let Some(c) = self.peek() {
+                    if c.is_ascii_alphanumeric() || c == b'_' {
+                        s.push(c as char);
+                        self.bump();
+                    } else {
+                        break;
+                    }
+                }
+                Tok::Ident(s)
+            } else if b.is_ascii_digit() {
+                let mut n: i64 = 0;
+                while let Some(c) = self.peek() {
+                    if c.is_ascii_digit() {
+                        n = n
+                            .checked_mul(10)
+                            .and_then(|x| x.checked_add((c - b'0') as i64))
+                            .ok_or(ParseError {
+                                line,
+                                col,
+                                message: "integer literal overflows".into(),
+                            })?;
+                        self.bump();
+                    } else {
+                        break;
+                    }
+                }
+                Tok::Num(n)
+            } else {
+                let two: Option<&'static str> = match (b, self.peek2()) {
+                    (b'<', Some(b'=')) => Some("<="),
+                    (b'>', Some(b'=')) => Some(">="),
+                    (b'=', Some(b'=')) => Some("=="),
+                    (b'!', Some(b'=')) => Some("!="),
+                    (b'&', Some(b'&')) => Some("&&"),
+                    (b'|', Some(b'|')) => Some("||"),
+                    (b'+', Some(b'+')) => Some("++"),
+                    _ => None,
+                };
+                if let Some(p) = two {
+                    self.bump();
+                    self.bump();
+                    Tok::Punct(p)
+                } else {
+                    let one: &'static str = match b {
+                        b'(' => "(",
+                        b')' => ")",
+                        b'{' => "{",
+                        b'}' => "}",
+                        b'[' => "[",
+                        b']' => "]",
+                        b';' => ";",
+                        b',' => ",",
+                        b'=' => "=",
+                        b'<' => "<",
+                        b'>' => ">",
+                        b'+' => "+",
+                        b'-' => "-",
+                        b'*' => "*",
+                        b'/' => "/",
+                        b'%' => "%",
+                        other => {
+                            return Err(ParseError {
+                                line,
+                                col,
+                                message: format!("unexpected character {:?}", other as char),
+                            })
+                        }
+                    };
+                    self.bump();
+                    Tok::Punct(one)
+                }
+            };
+            out.push(Token { tok, line, col });
+        }
+    }
+}
+
+struct Parser {
+    toks: Vec<Token>,
+    pos: usize,
+}
+
+impl Parser {
+    fn cur(&self) -> &Token {
+        &self.toks[self.pos.min(self.toks.len() - 1)]
+    }
+
+    fn err(&self, message: impl Into<String>) -> ParseError {
+        let t = self.cur();
+        ParseError {
+            line: t.line,
+            col: t.col,
+            message: message.into(),
+        }
+    }
+
+    fn eat_punct(&mut self, p: &str) -> bool {
+        if matches!(&self.cur().tok, Tok::Punct(x) if *x == p) {
+            self.pos += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect_punct(&mut self, p: &str) -> Result<(), ParseError> {
+        if self.eat_punct(p) {
+            Ok(())
+        } else {
+            Err(self.err(format!("expected `{p}`")))
+        }
+    }
+
+    fn eat_ident(&mut self) -> Option<String> {
+        if let Tok::Ident(s) = &self.cur().tok {
+            let s = s.clone();
+            self.pos += 1;
+            Some(s)
+        } else {
+            None
+        }
+    }
+
+    fn eat_keyword(&mut self, kw: &str) -> bool {
+        if matches!(&self.cur().tok, Tok::Ident(s) if s == kw) {
+            self.pos += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    fn parse_function(&mut self) -> Result<Function, ParseError> {
+        // return type (any identifier: int, void, long…)
+        self.eat_ident()
+            .ok_or_else(|| self.err("expected return type"))?;
+        let name = self
+            .eat_ident()
+            .ok_or_else(|| self.err("expected function name"))?;
+        self.expect_punct("(")?;
+        let mut params = Vec::new();
+        if !self.eat_punct(")") {
+            loop {
+                // `int x` or `int x[]` — type then name
+                let first = self
+                    .eat_ident()
+                    .ok_or_else(|| self.err("expected parameter type"))?;
+                let pname = match self.eat_ident() {
+                    Some(n) => n,
+                    None => first, // untyped parameter list
+                };
+                // array suffix tolerated
+                if self.eat_punct("[") {
+                    self.expect_punct("]")?;
+                }
+                params.push(pname);
+                if self.eat_punct(")") {
+                    break;
+                }
+                self.expect_punct(",")?;
+            }
+        }
+        let body = self.parse_block()?;
+        if !matches!(self.cur().tok, Tok::Eof) {
+            return Err(self.err("trailing input after function body"));
+        }
+        Ok(Function {
+            name,
+            params,
+            body,
+        })
+    }
+
+    fn parse_block(&mut self) -> Result<Vec<Stmt>, ParseError> {
+        self.expect_punct("{")?;
+        let mut out = Vec::new();
+        while !self.eat_punct("}") {
+            if matches!(self.cur().tok, Tok::Eof) {
+                return Err(self.err("unterminated block"));
+            }
+            out.push(self.parse_stmt()?);
+        }
+        Ok(out)
+    }
+
+    fn parse_stmt(&mut self) -> Result<Stmt, ParseError> {
+        if self.eat_keyword("if") {
+            self.expect_punct("(")?;
+            let cond = self.parse_expr()?;
+            self.expect_punct(")")?;
+            let then = self.parse_block()?;
+            let otherwise = if self.eat_keyword("else") {
+                self.parse_block()?
+            } else {
+                Vec::new()
+            };
+            return Ok(Stmt::If {
+                cond,
+                then,
+                otherwise,
+            });
+        }
+        if self.eat_keyword("while") {
+            self.expect_punct("(")?;
+            let cond = self.parse_expr()?;
+            self.expect_punct(")")?;
+            let body = self.parse_block()?;
+            return Ok(Stmt::While { cond, body });
+        }
+        if self.eat_keyword("for") {
+            // canonical counted loop: for (i = a; i < b; i = i + 1) / i++
+            self.expect_punct("(")?;
+            self.eat_keyword("int"); // optional declaration
+            let var = self
+                .eat_ident()
+                .ok_or_else(|| self.err("expected induction variable"))?;
+            self.expect_punct("=")?;
+            let from = self.parse_expr()?;
+            self.expect_punct(";")?;
+            let v2 = self
+                .eat_ident()
+                .ok_or_else(|| self.err("expected induction variable in condition"))?;
+            if v2 != var {
+                return Err(self.err("for-condition must test the induction variable"));
+            }
+            self.expect_punct("<")?;
+            let to = self.parse_expr()?;
+            self.expect_punct(";")?;
+            // increment: `i = i + 1` or `i++`
+            let v3 = self
+                .eat_ident()
+                .ok_or_else(|| self.err("expected induction variable in increment"))?;
+            if v3 != var {
+                return Err(self.err("for-increment must update the induction variable"));
+            }
+            if !self.eat_punct("++") {
+                self.expect_punct("=")?;
+                let _ = self.parse_expr()?; // shape not modelled further
+            }
+            self.expect_punct(")")?;
+            let body = self.parse_block()?;
+            return Ok(Stmt::For {
+                var,
+                from,
+                to,
+                body,
+            });
+        }
+        if self.eat_keyword("return") {
+            let e = self.parse_expr()?;
+            self.expect_punct(";")?;
+            return Ok(Stmt::Return(e));
+        }
+        // declaration-as-assignment: `int x = e;`
+        if matches!(&self.cur().tok, Tok::Ident(s) if s == "int" || s == "long") {
+            self.pos += 1;
+            let name = self
+                .eat_ident()
+                .ok_or_else(|| self.err("expected variable name"))?;
+            self.expect_punct("=")?;
+            let value = self.parse_expr()?;
+            self.expect_punct(";")?;
+            return Ok(Stmt::assign_var(name, value));
+        }
+        // assignment or expression statement
+        let e = self.parse_expr()?;
+        if self.eat_punct("=") {
+            match e {
+                Expr::Var(_) | Expr::Index { .. } => {
+                    let value = self.parse_expr()?;
+                    self.expect_punct(";")?;
+                    Ok(Stmt::Assign { lhs: e, value })
+                }
+                _ => Err(self.err("assignment target must be a variable or array element")),
+            }
+        } else {
+            self.expect_punct(";")?;
+            Ok(Stmt::ExprStmt(e))
+        }
+    }
+
+    fn parse_expr(&mut self) -> Result<Expr, ParseError> {
+        self.parse_or()
+    }
+
+    fn parse_or(&mut self) -> Result<Expr, ParseError> {
+        let mut lhs = self.parse_and()?;
+        while self.eat_punct("||") {
+            let rhs = self.parse_and()?;
+            lhs = Expr::bin(BinOp::Or, lhs, rhs);
+        }
+        Ok(lhs)
+    }
+
+    fn parse_and(&mut self) -> Result<Expr, ParseError> {
+        let mut lhs = self.parse_cmp()?;
+        while self.eat_punct("&&") {
+            let rhs = self.parse_cmp()?;
+            lhs = Expr::bin(BinOp::And, lhs, rhs);
+        }
+        Ok(lhs)
+    }
+
+    fn parse_cmp(&mut self) -> Result<Expr, ParseError> {
+        let lhs = self.parse_add()?;
+        for (p, op) in [
+            ("<=", BinOp::Le),
+            (">=", BinOp::Ge),
+            ("==", BinOp::Eq),
+            ("!=", BinOp::Ne),
+            ("<", BinOp::Lt),
+            (">", BinOp::Gt),
+        ] {
+            if self.eat_punct(p) {
+                let rhs = self.parse_add()?;
+                return Ok(Expr::bin(op, lhs, rhs));
+            }
+        }
+        Ok(lhs)
+    }
+
+    fn parse_add(&mut self) -> Result<Expr, ParseError> {
+        let mut lhs = self.parse_mul()?;
+        loop {
+            if self.eat_punct("+") {
+                let rhs = self.parse_mul()?;
+                lhs = Expr::bin(BinOp::Add, lhs, rhs);
+            } else if self.eat_punct("-") {
+                let rhs = self.parse_mul()?;
+                lhs = Expr::bin(BinOp::Sub, lhs, rhs);
+            } else {
+                return Ok(lhs);
+            }
+        }
+    }
+
+    fn parse_mul(&mut self) -> Result<Expr, ParseError> {
+        let mut lhs = self.parse_atom()?;
+        loop {
+            if self.eat_punct("*") {
+                let rhs = self.parse_atom()?;
+                lhs = Expr::bin(BinOp::Mul, lhs, rhs);
+            } else if self.eat_punct("/") {
+                let rhs = self.parse_atom()?;
+                lhs = Expr::bin(BinOp::Div, lhs, rhs);
+            } else if self.eat_punct("%") {
+                let rhs = self.parse_atom()?;
+                lhs = Expr::bin(BinOp::Mod, lhs, rhs);
+            } else {
+                return Ok(lhs);
+            }
+        }
+    }
+
+    fn parse_atom(&mut self) -> Result<Expr, ParseError> {
+        if self.eat_punct("(") {
+            let e = self.parse_expr()?;
+            self.expect_punct(")")?;
+            return Ok(e);
+        }
+        if self.eat_punct("-") {
+            // unary minus: 0 - x
+            let e = self.parse_atom()?;
+            return Ok(Expr::bin(BinOp::Sub, Expr::Num(0), e));
+        }
+        match self.cur().tok.clone() {
+            Tok::Num(n) => {
+                self.pos += 1;
+                Ok(Expr::Num(n))
+            }
+            Tok::Ident(name) => {
+                self.pos += 1;
+                if self.eat_punct("[") {
+                    let idx = self.parse_expr()?;
+                    self.expect_punct("]")?;
+                    Ok(Expr::index(name, idx))
+                } else if self.eat_punct("(") {
+                    let mut args = Vec::new();
+                    if !self.eat_punct(")") {
+                        loop {
+                            args.push(self.parse_expr()?);
+                            if self.eat_punct(")") {
+                                break;
+                            }
+                            self.expect_punct(",")?;
+                        }
+                    }
+                    Ok(Expr::Call { name, args })
+                } else {
+                    Ok(Expr::Var(name))
+                }
+            }
+            _ => Err(self.err("expected expression")),
+        }
+    }
+}
+
+/// Parses one mini-C function.
+pub fn parse_function(src: &str) -> Result<Function, ParseError> {
+    let toks = Lexer::new(src).tokens()?;
+    Parser { toks, pos: 0 }.parse_function()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::corpus;
+    use crate::metrics::ComplexityMetrics;
+
+    #[test]
+    fn parses_saxpy_equal_to_builder() {
+        let src = r"
+            int saxpy(int a, int n) {
+                for (i = 0; i < n; i = i + 1) {
+                    y[i] = a * x[i] + y[i];
+                }
+            }
+        ";
+        let parsed = parse_function(src).unwrap();
+        let built = corpus::saxpy_kernel();
+        assert_eq!(parsed, built);
+        // And therefore identical metrics.
+        assert_eq!(
+            ComplexityMetrics::of(&parsed),
+            ComplexityMetrics::of(&built)
+        );
+    }
+
+    #[test]
+    fn precedence_mul_binds_tighter_than_add() {
+        let f = parse_function("int f() { x = a + b * c; }").unwrap();
+        match &f.body[0] {
+            Stmt::Assign { value, .. } => match value {
+                Expr::Bin { op: BinOp::Add, rhs, .. } => {
+                    assert!(matches!(**rhs, Expr::Bin { op: BinOp::Mul, .. }));
+                }
+                other => panic!("unexpected {other:?}"),
+            },
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parses_if_else_while_return() {
+        let src = r"
+            int clamp(int x, int lo, int hi) {
+                while (x > hi) {
+                    x = x - 1;
+                }
+                if (x < lo && lo <= hi) {
+                    x = lo;
+                } else {
+                    x = x;
+                }
+                return x;
+            }
+        ";
+        let f = parse_function(src).unwrap();
+        assert_eq!(f.params, vec!["x", "lo", "hi"]);
+        assert!(matches!(f.body[0], Stmt::While { .. }));
+        assert!(matches!(f.body[1], Stmt::If { .. }));
+        assert!(matches!(f.body[2], Stmt::Return(_)));
+        let m = ComplexityMetrics::of(&f);
+        assert_eq!(m.loops, 1);
+        assert_eq!(m.cyclomatic, 4); // 1 + while + if + &&
+    }
+
+    #[test]
+    fn for_increment_forms() {
+        let a = parse_function("int f(int n) { for (i = 0; i < n; i++) { x = i; } }").unwrap();
+        let b =
+            parse_function("int f(int n) { for (i = 0; i < n; i = i + 1) { x = i; } }").unwrap();
+        assert_eq!(a, b);
+        // optional `int` in the init
+        let c =
+            parse_function("int f(int n) { for (int i = 0; i < n; i++) { x = i; } }").unwrap();
+        assert_eq!(a, c);
+    }
+
+    #[test]
+    fn comments_and_declarations() {
+        let src = r"
+            int f(int n) {
+                // line comment
+                int acc = 0; /* block
+                                comment */
+                acc = acc + n;
+                return acc;
+            }
+        ";
+        let f = parse_function(src).unwrap();
+        assert_eq!(f.body.len(), 3);
+        assert!(matches!(&f.body[0], Stmt::Assign { .. }));
+    }
+
+    #[test]
+    fn calls_arrays_unary_minus() {
+        let f = parse_function("int f() { y[i + 1] = g(a, -b) % 7; }").unwrap();
+        match &f.body[0] {
+            Stmt::Assign { lhs, value } => {
+                assert!(matches!(lhs, Expr::Index { .. }));
+                assert!(matches!(value, Expr::Bin { op: BinOp::Mod, .. }));
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn errors_carry_positions() {
+        let e = parse_function("int f( { }").unwrap_err();
+        assert_eq!(e.line, 1);
+        assert!(e.message.contains("parameter"));
+
+        let e = parse_function("int f() { x = ; }").unwrap_err();
+        assert!(e.message.contains("expression"));
+
+        let e = parse_function("int f() { for (i = 0; j < n; i++) {} }").unwrap_err();
+        assert!(e.message.contains("induction"));
+
+        let e = parse_function("int f() { 3 = x; }").unwrap_err();
+        assert!(e.message.contains("assignment target"));
+
+        let e = parse_function("int f() {").unwrap_err();
+        assert!(e.message.contains("unterminated"));
+
+        let e = parse_function("int f() {} extra").unwrap_err();
+        assert!(e.message.contains("trailing"));
+
+        let e = parse_function("int f() { x = $; }").unwrap_err();
+        assert!(e.message.contains("unexpected character"));
+    }
+
+    #[test]
+    fn parsed_kernels_can_feed_the_quipu_model() {
+        use crate::model::QuipuModel;
+        let model = QuipuModel::fit(&corpus::calibration_corpus()).unwrap();
+        let f = parse_function(
+            r"
+            int fir(int n, int taps) {
+                for (i = 0; i < n; i++) {
+                    int acc = 0;
+                    for (j = 0; j < taps; j++) {
+                        acc = acc + coef[j] * x[i + j];
+                    }
+                    out[i] = acc;
+                }
+            }
+        ",
+        )
+        .unwrap();
+        let pred = model.predict(&f);
+        assert!(pred.slices > 0);
+        // The parsed FIR differs from the builder version only by the
+        // declaration placement; area must land in the same ballpark.
+        let built = model.predict(&corpus::fir_kernel());
+        let ratio = pred.slices as f64 / built.slices as f64;
+        assert!((0.8..1.2).contains(&ratio), "ratio {ratio}");
+    }
+}

@@ -1,0 +1,180 @@
+//! Area-aware placements: best fit and worst fit.
+//!
+//! The paper calls out "area slices" as a first-class scheduling parameter.
+//! Best-fit picks the PE whose free capacity is tightest around the demand
+//! (minimizing stranded area on PR fabric); worst-fit picks the loosest
+//! (keeping large contiguous regions free). Both are classic allocation
+//! policies — worst-fit is retained as the ablation baseline.
+
+use crate::util::{free_capacity, live_matchmaker, placement_slices, statically_satisfiable};
+use rhv_core::matchmaker::{Candidate, HostingMode, Matchmaker};
+use rhv_core::node::Node;
+use rhv_core::task::Task;
+use rhv_sim::strategy::{Placement, Strategy};
+
+fn leftover(task: &Task, nodes: &[Node], c: &Candidate) -> u64 {
+    let free = free_capacity(nodes, c);
+    let demand = placement_slices(task, nodes, c);
+    free.saturating_sub(demand)
+}
+
+fn pick(
+    mm: &Matchmaker,
+    task: &Task,
+    nodes: &[Node],
+    smallest: bool,
+) -> Option<Placement> {
+    let candidates = mm.candidates(task, nodes);
+    // Reuse candidates are free: always prefer them (they waste nothing).
+    if let Some(reuse) = candidates
+        .iter()
+        .find(|c| matches!(c.mode, HostingMode::ReuseConfig(_)))
+    {
+        return Some((*reuse).into());
+    }
+    let scored = candidates
+        .into_iter()
+        .map(|c| (leftover(task, nodes, &c), c));
+    let best = if smallest {
+        scored.min_by_key(|(score, c)| (*score, c.pe))
+    } else {
+        scored.max_by_key(|(score, c)| (*score, std::cmp::Reverse(c.pe)))
+    };
+    best.map(|(_, c)| c.into())
+}
+
+/// Tightest-fitting PE wins.
+#[derive(Debug, Default)]
+pub struct BestFitAreaStrategy {
+    mm: Matchmaker,
+}
+
+impl BestFitAreaStrategy {
+    /// A new best-fit strategy.
+    pub fn new() -> Self {
+        BestFitAreaStrategy {
+            mm: live_matchmaker(),
+        }
+    }
+}
+
+impl Strategy for BestFitAreaStrategy {
+    fn name(&self) -> &str {
+        "best-fit-area"
+    }
+
+    fn place(&mut self, task: &Task, nodes: &[Node], _now: f64) -> Option<Placement> {
+        pick(&self.mm, task, nodes, true)
+    }
+
+    fn is_satisfiable(&self, task: &Task, nodes: &[Node]) -> bool {
+        statically_satisfiable(task, nodes)
+    }
+}
+
+/// Loosest-fitting PE wins (ablation baseline).
+#[derive(Debug, Default)]
+pub struct WorstFitAreaStrategy {
+    mm: Matchmaker,
+}
+
+impl WorstFitAreaStrategy {
+    /// A new worst-fit strategy.
+    pub fn new() -> Self {
+        WorstFitAreaStrategy {
+            mm: live_matchmaker(),
+        }
+    }
+}
+
+impl Strategy for WorstFitAreaStrategy {
+    fn name(&self) -> &str {
+        "worst-fit-area"
+    }
+
+    fn place(&mut self, task: &Task, nodes: &[Node], _now: f64) -> Option<Placement> {
+        pick(&self.mm, task, nodes, false)
+    }
+
+    fn is_satisfiable(&self, task: &Task, nodes: &[Node]) -> bool {
+        statically_satisfiable(task, nodes)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rhv_core::case_study;
+
+    #[test]
+    fn best_fit_picks_tightest_device() {
+        let nodes = case_study::grid();
+        let tasks = case_study::tasks();
+        // Task_1 (18,707 slices): candidates LX155 (24,320), LX220 (34,560),
+        // LX330 (51,840). Tightest = LX155 on Node_1.
+        let p = BestFitAreaStrategy::new()
+            .place(&tasks[1], &nodes, 0.0)
+            .unwrap();
+        assert_eq!(p.pe.to_string(), "RPE_0 <-> Node_1");
+    }
+
+    #[test]
+    fn worst_fit_picks_loosest_device() {
+        let nodes = case_study::grid();
+        let tasks = case_study::tasks();
+        // Loosest for Task_1 = LX330 on Node_2.
+        let p = WorstFitAreaStrategy::new()
+            .place(&tasks[1], &nodes, 0.0)
+            .unwrap();
+        assert_eq!(p.pe.to_string(), "RPE_0 <-> Node_2");
+    }
+
+    #[test]
+    fn both_prefer_reuse_when_available() {
+        use rhv_core::fabric::FitPolicy;
+        use rhv_core::ids::PeId;
+        use rhv_core::state::ConfigKind;
+        let mut nodes = case_study::grid();
+        let tasks = case_study::tasks();
+        // Preload malign on the *loosest* device so best-fit would normally
+        // avoid it — reuse must override.
+        nodes[2]
+            .rpe_mut(PeId::Rpe(0))
+            .unwrap()
+            .state
+            .load(
+                ConfigKind::Accelerator("malign".into()),
+                18_707,
+                FitPolicy::FirstFit,
+            )
+            .unwrap();
+        for strat in [true, false] {
+            let p = if strat {
+                BestFitAreaStrategy::new().place(&tasks[1], &nodes, 0.0)
+            } else {
+                WorstFitAreaStrategy::new().place(&tasks[1], &nodes, 0.0)
+            }
+            .unwrap();
+            assert!(matches!(p.mode, HostingMode::ReuseConfig(_)));
+            assert_eq!(p.pe.node, rhv_core::ids::NodeId(2));
+        }
+    }
+
+    #[test]
+    fn gpp_tasks_use_core_counts() {
+        let nodes = case_study::grid();
+        let tasks = case_study::tasks();
+        // Task_0 candidates: Xeon (4 cores), Core2Duo (2 cores), Opteron (4).
+        let p = BestFitAreaStrategy::new()
+            .place(&tasks[0], &nodes, 0.0)
+            .unwrap();
+        assert_eq!(p.pe.to_string(), "GPP_1 <-> Node_0"); // tightest: 2 cores
+        let p = WorstFitAreaStrategy::new()
+            .place(&tasks[0], &nodes, 0.0)
+            .unwrap();
+        assert_eq!(free_capacity(&nodes, &rhv_core::matchmaker::Candidate {
+            pe: p.pe,
+            mode: p.mode,
+        }), 4);
+    }
+}

@@ -1,0 +1,69 @@
+//! First-come-first-served, first-fit placement.
+
+use crate::util::{live_matchmaker, statically_satisfiable};
+use rhv_core::matchmaker::Matchmaker;
+use rhv_core::node::Node;
+use rhv_core::task::Task;
+use rhv_sim::strategy::{Placement, Strategy};
+
+/// Places each task on the first feasible `(node, PE)` pair in deterministic
+/// (node, pe) order. The simplest sensible policy; DReAMSim's default.
+#[derive(Debug, Default)]
+pub struct FirstFitStrategy {
+    mm: Matchmaker,
+}
+
+impl FirstFitStrategy {
+    /// A new first-fit strategy.
+    pub fn new() -> Self {
+        FirstFitStrategy {
+            mm: live_matchmaker(),
+        }
+    }
+}
+
+impl Strategy for FirstFitStrategy {
+    fn name(&self) -> &str {
+        "first-fit"
+    }
+
+    fn place(&mut self, task: &Task, nodes: &[Node], _now: f64) -> Option<Placement> {
+        self.mm
+            .candidates(task, nodes)
+            .first()
+            .copied()
+            .map(Into::into)
+    }
+
+    fn is_satisfiable(&self, task: &Task, nodes: &[Node]) -> bool {
+        statically_satisfiable(task, nodes)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rhv_core::case_study;
+
+    #[test]
+    fn picks_first_candidate_deterministically() {
+        let nodes = case_study::grid();
+        let tasks = case_study::tasks();
+        let mut s = FirstFitStrategy::new();
+        let p = s.place(&tasks[1], &nodes, 0.0).unwrap();
+        // Table II order: RPE_0 <-> Node_1 comes first for Task_1.
+        assert_eq!(p.pe.to_string(), "RPE_0 <-> Node_1");
+        let again = s.place(&tasks[1], &nodes, 5.0).unwrap();
+        assert_eq!(p.pe, again.pe);
+    }
+
+    #[test]
+    fn satisfiability_gate() {
+        let nodes = case_study::grid();
+        let tasks = case_study::tasks();
+        let s = FirstFitStrategy::new();
+        for t in &tasks {
+            assert!(s.is_satisfiable(t, &nodes));
+        }
+    }
+}

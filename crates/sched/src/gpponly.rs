@@ -1,0 +1,180 @@
+//! GPP-only baselines.
+//!
+//! [`GppOnlyStrategy`] is the Condor-era status quo the paper argues beyond:
+//! it sees only the GPP resources and can never place hardware tasks.
+//! [`GppFallbackStrategy`] adds exactly one of the paper's ideas on top —
+//! the Sec. III-A backward-compatibility path: when every suitable GPP is
+//! busy, configure a soft-core CPU on a free RPE "to obtain similar if not
+//! better performance" for software-only tasks.
+
+use crate::util::statically_satisfiable;
+use rhv_core::matchmaker::{HostingMode, MatchOptions, Matchmaker};
+use rhv_core::node::Node;
+use rhv_core::task::Task;
+use rhv_params::softcore::SoftcoreSpec;
+use rhv_sim::strategy::{Placement, Strategy};
+
+/// Ignores RPEs entirely; hardware tasks are unsatisfiable.
+#[derive(Debug, Default)]
+pub struct GppOnlyStrategy {
+    mm: Matchmaker,
+    mm_static: Matchmaker,
+}
+
+impl GppOnlyStrategy {
+    /// A new GPP-only strategy.
+    pub fn new() -> Self {
+        GppOnlyStrategy {
+            mm: Matchmaker::with_options(MatchOptions {
+                respect_state: true,
+                softcore_fallback_slices: None,
+            }),
+            mm_static: Matchmaker::new(),
+        }
+    }
+}
+
+impl Strategy for GppOnlyStrategy {
+    fn name(&self) -> &str {
+        "gpp-only"
+    }
+
+    fn place(&mut self, task: &Task, nodes: &[Node], _now: f64) -> Option<Placement> {
+        self.mm
+            .candidates(task, nodes)
+            .into_iter()
+            .find(|c| !c.pe.pe.is_rpe())
+            .map(Into::into)
+    }
+
+    fn is_satisfiable(&self, task: &Task, nodes: &[Node]) -> bool {
+        self.mm_static
+            .candidates(task, nodes)
+            .iter()
+            .any(|c| !c.pe.pe.is_rpe())
+    }
+}
+
+/// GPPs first; soft-core-on-RPE when all suitable cores are busy.
+#[derive(Debug)]
+pub struct GppFallbackStrategy {
+    mm: Matchmaker,
+}
+
+impl Default for GppFallbackStrategy {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl GppFallbackStrategy {
+    /// Falls back to the 4-issue ρ-VEX-class soft-core.
+    pub fn new() -> Self {
+        Self::with_softcore(&SoftcoreSpec::rvex_4w())
+    }
+
+    /// Falls back to an explicit soft-core configuration.
+    pub fn with_softcore(spec: &SoftcoreSpec) -> Self {
+        GppFallbackStrategy {
+            mm: Matchmaker::with_options(MatchOptions {
+                respect_state: true,
+                softcore_fallback_slices: Some(spec.area_slices()),
+            }),
+        }
+    }
+}
+
+impl Strategy for GppFallbackStrategy {
+    fn name(&self) -> &str {
+        "gpp-fallback"
+    }
+
+    fn place(&mut self, task: &Task, nodes: &[Node], _now: f64) -> Option<Placement> {
+        let candidates = self.mm.candidates(task, nodes);
+        // Prefer real GPP cores; a soft-core is the pressure valve.
+        candidates
+            .iter()
+            .find(|c| c.mode == HostingMode::GppCores)
+            .or_else(|| {
+                candidates
+                    .iter()
+                    .find(|c| c.mode == HostingMode::SoftcoreFallback)
+            })
+            .copied()
+            .map(Into::into)
+    }
+
+    fn is_satisfiable(&self, task: &Task, nodes: &[Node]) -> bool {
+        statically_satisfiable(task, nodes)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rhv_core::case_study;
+    use rhv_core::ids::PeId;
+
+    #[test]
+    fn gpp_only_rejects_hardware_tasks() {
+        let nodes = case_study::grid();
+        let tasks = case_study::tasks();
+        let mut s = GppOnlyStrategy::new();
+        assert!(s.place(&tasks[0], &nodes, 0.0).is_some());
+        for t in &tasks[1..] {
+            assert!(s.place(t, &nodes, 0.0).is_none());
+            assert!(!s.is_satisfiable(t, &nodes));
+        }
+    }
+
+    #[test]
+    fn fallback_engages_when_cores_saturate() {
+        let mut nodes = case_study::grid();
+        let tasks = case_study::tasks();
+        let mut s = GppFallbackStrategy::new();
+        // Idle grid: real cores win.
+        let p = s.place(&tasks[0], &nodes, 0.0).unwrap();
+        assert_eq!(p.mode, HostingMode::GppCores);
+        // Saturate all GPPs.
+        for node in &mut nodes {
+            for i in 0..node.gpps().len() {
+                let pe = PeId::Gpp(i as u32);
+                let free = node.gpp(pe).unwrap().state.free_cores();
+                node.gpp_mut(pe).unwrap().state.acquire_cores(free).unwrap();
+            }
+        }
+        let p = s.place(&tasks[0], &nodes, 0.0).unwrap();
+        assert_eq!(p.mode, HostingMode::SoftcoreFallback);
+        assert!(p.pe.pe.is_rpe());
+        // GPP-only would simply queue here.
+        assert!(GppOnlyStrategy::new().place(&tasks[0], &nodes, 0.0).is_none());
+    }
+
+    #[test]
+    fn fallback_respects_fabric_space() {
+        use rhv_core::fabric::FitPolicy;
+        use rhv_core::state::ConfigKind;
+        let mut nodes = case_study::grid();
+        let tasks = case_study::tasks();
+        // Saturate all GPPs and all fabric.
+        for node in &mut nodes {
+            for i in 0..node.gpps().len() {
+                let pe = PeId::Gpp(i as u32);
+                let free = node.gpp(pe).unwrap().state.free_cores();
+                node.gpp_mut(pe).unwrap().state.acquire_cores(free).unwrap();
+            }
+            for i in 0..node.rpes().len() {
+                let pe = PeId::Rpe(i as u32);
+                let rpe = node.rpe_mut(pe).unwrap();
+                let all = rpe.state.available_slices();
+                rpe.state
+                    .load(ConfigKind::Accelerator("wall".into()), all, FitPolicy::FirstFit)
+                    .unwrap();
+            }
+        }
+        let mut s = GppFallbackStrategy::new();
+        assert!(s.place(&tasks[0], &nodes, 0.0).is_none());
+        // Still satisfiable in principle (idle grid would serve it).
+        assert!(s.is_satisfiable(&tasks[0], &nodes));
+    }
+}

@@ -1,0 +1,519 @@
+//! HEFT — Heterogeneous Earliest Finish Time — for application task graphs.
+//!
+//! The paper's RMS schedules *applications* (Fig. 7 DAGs), not just
+//! independent tasks. HEFT (Topcuoglu et al.) is the canonical list
+//! scheduler for DAGs on heterogeneous resources and slots directly into
+//! the framework: computation costs come from the capability parameters
+//! (MIPS for GPPs, accelerated runtimes plus reconfiguration setup for
+//! RPEs), communication costs from the data sizes on graph edges, and
+//! placement feasibility from the matchmaker.
+//!
+//! Simplifications (documented, tested): each PE executes one task at a
+//! time (no partial-reconfiguration co-residency during one application),
+//! and EFT uses the non-insertion policy (a task starts after the PE's last
+//! scheduled finish).
+
+use crate::util::statically_satisfiable;
+use rhv_core::execreq::TaskPayload;
+use rhv_core::graph::TaskGraph;
+use rhv_core::ids::TaskId;
+use rhv_core::matchmaker::{Matchmaker, PeRef};
+use rhv_core::node::Node;
+use rhv_core::task::Task;
+use rhv_sim::workload::softcore_area;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// One scheduled task.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct HeftSlot {
+    /// The task.
+    pub task: TaskId,
+    /// Where it runs.
+    pub pe: PeRef,
+    /// Start time (seconds).
+    pub start: f64,
+    /// Finish time.
+    pub finish: f64,
+}
+
+/// A complete HEFT schedule.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct HeftSchedule {
+    /// Slots in scheduling (rank) order.
+    pub slots: Vec<HeftSlot>,
+    /// Latest finish time.
+    pub makespan: f64,
+}
+
+impl HeftSchedule {
+    /// The slot of one task.
+    pub fn slot(&self, task: TaskId) -> Option<&HeftSlot> {
+        self.slots.iter().find(|s| s.task == task)
+    }
+
+    /// Verifies precedence, PE exclusivity and makespan consistency.
+    pub fn check(&self, graph: &TaskGraph) -> Result<(), String> {
+        for s in &self.slots {
+            for pred in graph.predecessors(s.task) {
+                let p = self
+                    .slot(pred)
+                    .ok_or_else(|| format!("{pred} missing from schedule"))?;
+                if p.finish > s.start + 1e-9 {
+                    return Err(format!("{pred} finishes after {} starts", s.task));
+                }
+            }
+        }
+        // PE exclusivity.
+        for (i, a) in self.slots.iter().enumerate() {
+            for b in &self.slots[i + 1..] {
+                if a.pe == b.pe && a.start < b.finish - 1e-9 && b.start < a.finish - 1e-9 {
+                    return Err(format!("{} and {} overlap on {}", a.task, b.task, a.pe));
+                }
+            }
+        }
+        let max = self.slots.iter().map(|s| s.finish).fold(0.0, f64::max);
+        if (max - self.makespan).abs() > 1e-9 {
+            return Err("makespan mismatch".into());
+        }
+        Ok(())
+    }
+}
+
+/// Scheduling failures.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum HeftError {
+    /// A task has no feasible PE anywhere in the grid.
+    Unplaceable(TaskId),
+    /// The graph references a task with no definition.
+    UndefinedTask(TaskId),
+}
+
+impl std::fmt::Display for HeftError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            HeftError::Unplaceable(t) => write!(f, "no feasible PE for {t}"),
+            HeftError::UndefinedTask(t) => write!(f, "graph task {t} has no definition"),
+        }
+    }
+}
+
+impl std::error::Error for HeftError {}
+
+/// Estimated execution seconds of `task` on the PE behind `candidate`,
+/// setup (reconfiguration-scale costs) included.
+fn exec_cost(task: &Task, nodes: &[Node], pe: PeRef) -> f64 {
+    let node = nodes.iter().find(|n| n.id == pe.node).expect("node exists");
+    match &task.exec_req.payload {
+        TaskPayload::Software {
+            mega_instructions,
+            parallelism,
+        } => {
+            let gpp = node.gpp(pe.pe).expect("software on gpp");
+            gpp.spec.execution_seconds(*mega_instructions, *parallelism)
+        }
+        TaskPayload::SoftcoreKernel { core, mega_ops } => {
+            let rpe = node.rpe(pe.pe).expect("kernel on rpe");
+            let mips = match core.as_str() {
+                "rvex-4w" => rhv_params::softcore::SoftcoreSpec::rvex_4w().mips_rating(),
+                "rvex-8w-2c" => rhv_params::softcore::SoftcoreSpec::rvex_8w_2c().mips_rating(),
+                _ => rhv_params::softcore::SoftcoreSpec::rvex_2w().mips_rating(),
+            };
+            mega_ops / mips + rpe.device.partial_reconfig_seconds(softcore_area(core))
+        }
+        TaskPayload::HdlAccelerator {
+            est_slices,
+            accel_seconds,
+            ..
+        } => {
+            let rpe = node.rpe(pe.pe).expect("accelerator on rpe");
+            accel_seconds + rpe.device.partial_reconfig_seconds(*est_slices)
+        }
+        TaskPayload::GpuKernel { accel_seconds, .. } => *accel_seconds,
+        TaskPayload::Bitstream {
+            accel_seconds,
+            size_bytes,
+            ..
+        } => {
+            let rpe = node.rpe(pe.pe).expect("bitstream on rpe");
+            accel_seconds + rhv_bitstream_transfer(*size_bytes, rpe.device.reconfig_bandwidth_mbps)
+        }
+    }
+}
+
+fn rhv_bitstream_transfer(bytes: u64, mbps: f64) -> f64 {
+    if mbps <= 0.0 {
+        f64::INFINITY
+    } else {
+        bytes as f64 / (mbps * 1e6)
+    }
+}
+
+/// Communication seconds for `bytes` between two placements (zero when they
+/// share a node; a uniform 100 MB/s grid link otherwise).
+fn comm_cost(bytes: u64, from: PeRef, to: PeRef) -> f64 {
+    if from.node == to.node {
+        0.0
+    } else {
+        bytes as f64 / 100e6
+    }
+}
+
+/// Bytes flowing from `pred` into `task` (per the task's Data_in).
+fn edge_bytes(task: &Task, pred: TaskId) -> u64 {
+    task.inputs
+        .iter()
+        .filter(|i| i.source == pred)
+        .map(|i| i.size_bytes)
+        .sum()
+}
+
+/// Schedules `graph` (whose nodes are defined in `tasks`) onto `nodes`.
+pub fn schedule(
+    graph: &TaskGraph,
+    tasks: &BTreeMap<TaskId, Task>,
+    nodes: &[Node],
+) -> Result<HeftSchedule, HeftError> {
+    let mm = Matchmaker::new();
+    // Candidate PEs per task (static feasibility).
+    let mut candidates: BTreeMap<TaskId, Vec<PeRef>> = BTreeMap::new();
+    for t in graph.tasks() {
+        let task = tasks.get(&t).ok_or(HeftError::UndefinedTask(t))?;
+        let c: Vec<PeRef> = mm.candidates(task, nodes).iter().map(|c| c.pe).collect();
+        if c.is_empty() {
+            if !statically_satisfiable(task, nodes) {
+                return Err(HeftError::Unplaceable(t));
+            }
+        }
+        candidates.insert(t, c);
+    }
+
+    // Mean execution cost per task (over its candidates) for ranking.
+    let mean_cost: BTreeMap<TaskId, f64> = graph
+        .tasks()
+        .map(|t| {
+            let task = &tasks[&t];
+            let cs = &candidates[&t];
+            let mean = if cs.is_empty() {
+                0.0
+            } else {
+                cs.iter().map(|&pe| exec_cost(task, nodes, pe)).sum::<f64>() / cs.len() as f64
+            };
+            (t, mean)
+        })
+        .collect();
+
+    // Upward ranks (reverse topological order).
+    let order = graph.topo_order();
+    let mut rank: BTreeMap<TaskId, f64> = BTreeMap::new();
+    for &t in order.iter().rev() {
+        let task = &tasks[&t];
+        let _ = task;
+        let succ_part = graph
+            .successors(t)
+            .into_iter()
+            .map(|s| {
+                let bytes = edge_bytes(&tasks[&s], t);
+                // mean communication: half the cross-node cost (roughly the
+                // same-node/cross-node average)
+                let cbar = bytes as f64 / 100e6 / 2.0;
+                cbar + rank[&s]
+            })
+            .fold(0.0, f64::max);
+        rank.insert(t, mean_cost[&t] + succ_part);
+    }
+    let mut by_rank: Vec<TaskId> = graph.tasks().collect();
+    by_rank.sort_by(|a, b| rank[b].partial_cmp(&rank[a]).expect("finite ranks"));
+
+    // EFT placement.
+    let mut pe_ready: BTreeMap<PeRef, f64> = BTreeMap::new();
+    let mut slots: Vec<HeftSlot> = Vec::with_capacity(by_rank.len());
+    let slot_of = |slots: &[HeftSlot], t: TaskId| -> HeftSlot {
+        *slots.iter().find(|s| s.task == t).expect("scheduled before")
+    };
+    for t in by_rank {
+        let task = &tasks[&t];
+        let cs = &candidates[&t];
+        let mut best: Option<HeftSlot> = None;
+        for &pe in cs {
+            // Data-ready time on this PE.
+            let mut ready = 0.0f64;
+            for pred in graph.predecessors(t) {
+                let p = slot_of(&slots, pred);
+                let arrive = p.finish + comm_cost(edge_bytes(task, pred), p.pe, pe);
+                ready = ready.max(arrive);
+            }
+            let start = ready.max(pe_ready.get(&pe).copied().unwrap_or(0.0));
+            let finish = start + exec_cost(task, nodes, pe);
+            if best.as_ref().is_none_or(|b| finish < b.finish) {
+                best = Some(HeftSlot {
+                    task: t,
+                    pe,
+                    start,
+                    finish,
+                });
+            }
+        }
+        let chosen = best.ok_or(HeftError::Unplaceable(t))?;
+        pe_ready.insert(chosen.pe, chosen.finish);
+        slots.push(chosen);
+    }
+    let makespan = slots.iter().map(|s| s.finish).fold(0.0, f64::max);
+    Ok(HeftSchedule { slots, makespan })
+}
+
+/// Baseline for comparison: level-by-level barrier scheduling (every ASAP
+/// level completes before the next starts), first-candidate placement.
+pub fn level_barrier_schedule(
+    graph: &TaskGraph,
+    tasks: &BTreeMap<TaskId, Task>,
+    nodes: &[Node],
+) -> Result<HeftSchedule, HeftError> {
+    let mm = Matchmaker::new();
+    let levels = graph.levels();
+    let max_level = levels.values().copied().max().unwrap_or(0);
+    let mut slots = Vec::new();
+    let mut barrier = 0.0f64;
+    for level in 0..=max_level {
+        let mut pe_ready: BTreeMap<PeRef, f64> = BTreeMap::new();
+        let mut level_end = barrier;
+        for t in graph.tasks().filter(|t| levels[t] == level) {
+            let task = tasks.get(&t).ok_or(HeftError::UndefinedTask(t))?;
+            let cs = mm.candidates(task, nodes);
+            let pe = cs.first().map(|c| c.pe).ok_or(HeftError::Unplaceable(t))?;
+            let start = pe_ready.get(&pe).copied().unwrap_or(barrier);
+            let finish = start + exec_cost(task, nodes, pe);
+            pe_ready.insert(pe, finish);
+            level_end = level_end.max(finish);
+            slots.push(HeftSlot {
+                task: t,
+                pe,
+                start,
+                finish,
+            });
+        }
+        barrier = level_end;
+    }
+    let makespan = slots.iter().map(|s| s.finish).fold(0.0, f64::max);
+    Ok(HeftSchedule { slots, makespan })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rhv_core::case_study;
+    use rhv_core::execreq::{Constraint, ExecReq};
+    use rhv_core::graph::fig7_graph;
+    use rhv_core::ids::DataId;
+    use rhv_params::param::{ParamKey, PeClass};
+
+    /// Fig. 7 tasks as a software/HDL mix with data edges matching the graph.
+    fn fig7_tasks() -> BTreeMap<TaskId, Task> {
+        let g = fig7_graph();
+        let mut out = BTreeMap::new();
+        for t in g.tasks() {
+            let mut task = if t.raw() % 3 == 0 {
+                Task::new(
+                    t,
+                    ExecReq::new(
+                        PeClass::Fpga,
+                        vec![Constraint::ge(ParamKey::Slices, 8_000u64)],
+                        TaskPayload::HdlAccelerator {
+                            spec_name: format!("k{}", t.raw()),
+                            est_slices: 8_000,
+                            accel_seconds: 2.0,
+                        },
+                    ),
+                    2.0,
+                )
+            } else {
+                Task::new(
+                    t,
+                    ExecReq::new(
+                        PeClass::Gpp,
+                        vec![Constraint::ge(ParamKey::Cores, 1u64)],
+                        TaskPayload::Software {
+                            mega_instructions: 24_000.0,
+                            parallelism: 2,
+                        },
+                    ),
+                    2.0,
+                )
+            };
+            for p in g.predecessors(t) {
+                task = task.with_input(p, DataId(p.raw()), 4 << 20);
+            }
+            out.insert(t, task);
+        }
+        out
+    }
+
+    #[test]
+    fn heft_schedules_fig7_validly() {
+        let g = fig7_graph();
+        let tasks = fig7_tasks();
+        let s = schedule(&g, &tasks, &case_study::grid()).unwrap();
+        assert_eq!(s.slots.len(), 18);
+        s.check(&g).unwrap();
+        assert!(s.makespan > 0.0);
+    }
+
+    #[test]
+    fn heft_beats_or_matches_the_level_barrier_baseline() {
+        let g = fig7_graph();
+        let tasks = fig7_tasks();
+        let grid = case_study::grid();
+        let heft = schedule(&g, &tasks, &grid).unwrap();
+        let barrier = level_barrier_schedule(&g, &tasks, &grid).unwrap();
+        barrier.check(&g).unwrap();
+        assert!(
+            heft.makespan <= barrier.makespan + 1e-9,
+            "HEFT {} vs barrier {}",
+            heft.makespan,
+            barrier.makespan
+        );
+    }
+
+    #[test]
+    fn makespan_bounds() {
+        let g = fig7_graph();
+        let tasks = fig7_tasks();
+        let grid = case_study::grid();
+        let s = schedule(&g, &tasks, &grid).unwrap();
+        // Lower bound: the critical path under best-case per-task costs;
+        // cheap sanity bound: the longest single task.
+        let longest = s
+            .slots
+            .iter()
+            .map(|x| x.finish - x.start)
+            .fold(0.0, f64::max);
+        assert!(s.makespan >= longest);
+        // Upper bound: serializing everything.
+        let total: f64 = s.slots.iter().map(|x| x.finish - x.start).sum();
+        assert!(s.makespan <= total + 1e-9);
+    }
+
+    #[test]
+    fn unplaceable_task_is_reported() {
+        let mut g = TaskGraph::new();
+        g.add_task(TaskId(0));
+        let mut tasks = BTreeMap::new();
+        tasks.insert(
+            TaskId(0),
+            Task::new(
+                TaskId(0),
+                ExecReq::new(
+                    PeClass::Fpga,
+                    vec![Constraint::ge(ParamKey::Slices, 10_000_000u64)],
+                    TaskPayload::HdlAccelerator {
+                        spec_name: "huge".into(),
+                        est_slices: 10_000_000,
+                        accel_seconds: 1.0,
+                    },
+                ),
+                1.0,
+            ),
+        );
+        assert_eq!(
+            schedule(&g, &tasks, &case_study::grid()).unwrap_err(),
+            HeftError::Unplaceable(TaskId(0))
+        );
+    }
+
+    #[test]
+    fn undefined_task_is_reported() {
+        let mut g = TaskGraph::new();
+        g.add_task(TaskId(7));
+        let tasks = BTreeMap::new();
+        assert_eq!(
+            schedule(&g, &tasks, &case_study::grid()).unwrap_err(),
+            HeftError::UndefinedTask(TaskId(7))
+        );
+    }
+
+    #[test]
+    fn communication_aware_placement_prefers_colocation() {
+        // Two chained software tasks with a huge edge: HEFT should place
+        // them on the same node to dodge the transfer.
+        let mut g = TaskGraph::new();
+        g.add_edge(TaskId(0), TaskId(1)).unwrap();
+        let mk = |id: u64| {
+            Task::new(
+                TaskId(id),
+                ExecReq::new(
+                    PeClass::Gpp,
+                    vec![Constraint::ge(ParamKey::Cores, 1u64)],
+                    TaskPayload::Software {
+                        mega_instructions: 12_000.0,
+                        parallelism: 1,
+                    },
+                ),
+                1.0,
+            )
+        };
+        let mut tasks = BTreeMap::new();
+        tasks.insert(TaskId(0), mk(0));
+        tasks.insert(
+            TaskId(1),
+            mk(1).with_input(TaskId(0), DataId(0), 4_000 << 20), // 4 GB edge
+        );
+        let s = schedule(&g, &tasks, &case_study::grid()).unwrap();
+        let a = s.slot(TaskId(0)).unwrap();
+        let b = s.slot(TaskId(1)).unwrap();
+        assert_eq!(a.pe.node, b.pe.node, "co-location avoids a 40 s transfer");
+        s.check(&g).unwrap();
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+    use rhv_core::case_study;
+    use rhv_core::execreq::{Constraint, ExecReq};
+    use rhv_core::ids::DataId;
+    use rhv_params::param::{ParamKey, PeClass};
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+        /// HEFT schedules arbitrary DAGs validly: precedence, exclusivity
+        /// and makespan consistency all hold.
+        #[test]
+        fn heft_valid_on_random_dags(
+            edges in prop::collection::btree_set((0u64..12, 0u64..12), 0..30),
+            sizes in prop::collection::vec(1_000.0f64..50_000.0, 12),
+        ) {
+            let mut g = TaskGraph::new();
+            for t in 0..12u64 {
+                g.add_task(TaskId(t));
+            }
+            for &(a, b) in &edges {
+                if a < b {
+                    g.add_edge(TaskId(a), TaskId(b)).unwrap();
+                }
+            }
+            let mut tasks = BTreeMap::new();
+            for t in g.tasks() {
+                let mut task = Task::new(
+                    t,
+                    ExecReq::new(
+                        PeClass::Gpp,
+                        vec![Constraint::ge(ParamKey::Cores, 1u64)],
+                        TaskPayload::Software {
+                            mega_instructions: sizes[t.raw() as usize],
+                            parallelism: 1,
+                        },
+                    ),
+                    1.0,
+                );
+                for p in g.predecessors(t) {
+                    task = task.with_input(p, DataId(p.raw()), 1 << 20);
+                }
+                tasks.insert(t, task);
+            }
+            let s = schedule(&g, &tasks, &case_study::grid()).unwrap();
+            prop_assert!(s.check(&g).is_ok(), "{:?}", s.check(&g));
+            prop_assert_eq!(s.slots.len(), g.task_count());
+        }
+    }
+}

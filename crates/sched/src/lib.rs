@@ -1,0 +1,102 @@
+//! # rhv-sched — scheduling strategies
+//!
+//! "The mapping decisions are based on a particular scheduling strategy
+//! implemented inside the scheduler in the RMS, that takes into account
+//! various parameters, such as area slices, reconfiguration delays, and the
+//! time required to send configuration bitstreams, the availability and
+//! current status of the nodes." (Sec. V)
+//!
+//! Each strategy implements [`rhv_sim::Strategy`] over the state-aware
+//! matchmaker of `rhv-core`:
+//!
+//! * [`FirstFitStrategy`] — FCFS, first feasible `(node, PE)` pair;
+//! * [`RandomStrategy`] — uniform among feasible candidates (baseline);
+//! * [`BestFitAreaStrategy`] — the candidate whose free fabric area (or free
+//!   cores) is tightest around the demand — minimizes wasted area;
+//! * [`WorstFitAreaStrategy`] — the loosest candidate (ablation baseline);
+//! * [`ReuseAwareStrategy`] — prefers RPEs that already hold the needed
+//!   configuration, then minimizes estimated setup (reconfiguration +
+//!   bitstream transfer) — the reconfiguration-delay-aware policy the paper
+//!   motivates;
+//! * [`GppOnlyStrategy`] — the Condor-era baseline: ignores RPEs entirely;
+//! * [`GppFallbackStrategy`] — GPPs first, soft-core-on-RPE when all cores
+//!   are busy (the Sec. III-A backward-compatibility path).
+//!
+//! All strategies reject tasks that even an idle grid cannot satisfy (via
+//! [`Strategy::is_satisfiable`]).
+
+pub mod util;
+
+pub mod heft;
+
+mod bestfit;
+mod fcfs;
+mod gpponly;
+mod random;
+mod reuse;
+
+pub use bestfit::{BestFitAreaStrategy, WorstFitAreaStrategy};
+pub use heft::{schedule as heft_schedule, HeftSchedule, HeftSlot};
+pub use fcfs::FirstFitStrategy;
+pub use gpponly::{GppFallbackStrategy, GppOnlyStrategy};
+pub use random::RandomStrategy;
+pub use reuse::ReuseAwareStrategy;
+
+use rhv_sim::Strategy;
+
+/// All hybrid strategies under their canonical names — the sweep set used by
+/// the DReAMSim experiments.
+pub fn standard_strategies(seed: u64) -> Vec<Box<dyn Strategy>> {
+    vec![
+        Box::new(FirstFitStrategy::new()),
+        Box::new(RandomStrategy::new(seed)),
+        Box::new(BestFitAreaStrategy::new()),
+        Box::new(WorstFitAreaStrategy::new()),
+        Box::new(ReuseAwareStrategy::new()),
+    ]
+}
+
+/// Builds one strategy by canonical name (used by harness binaries).
+pub fn strategy_by_name(name: &str, seed: u64) -> Option<Box<dyn Strategy>> {
+    match name {
+        "first-fit" => Some(Box::new(FirstFitStrategy::new())),
+        "random" => Some(Box::new(RandomStrategy::new(seed))),
+        "best-fit-area" => Some(Box::new(BestFitAreaStrategy::new())),
+        "worst-fit-area" => Some(Box::new(WorstFitAreaStrategy::new())),
+        "reuse-aware" => Some(Box::new(ReuseAwareStrategy::new())),
+        "gpp-only" => Some(Box::new(GppOnlyStrategy::new())),
+        "gpp-fallback" => Some(Box::new(GppFallbackStrategy::new())),
+        _ => None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn standard_set_has_distinct_names() {
+        let set = standard_strategies(1);
+        let mut names: Vec<String> = set.iter().map(|s| s.name().to_owned()).collect();
+        names.sort();
+        names.dedup();
+        assert_eq!(names.len(), 5);
+    }
+
+    #[test]
+    fn strategies_resolvable_by_name() {
+        for name in [
+            "first-fit",
+            "random",
+            "best-fit-area",
+            "worst-fit-area",
+            "reuse-aware",
+            "gpp-only",
+            "gpp-fallback",
+        ] {
+            let s = strategy_by_name(name, 0).unwrap();
+            assert_eq!(s.name(), name);
+        }
+        assert!(strategy_by_name("nope", 0).is_none());
+    }
+}

@@ -1,0 +1,91 @@
+//! Uniform-random placement among feasible candidates.
+
+use crate::util::{live_matchmaker, statically_satisfiable};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use rhv_core::matchmaker::Matchmaker;
+use rhv_core::node::Node;
+use rhv_core::task::Task;
+use rhv_sim::strategy::{Placement, Strategy};
+
+/// Picks uniformly among the feasible candidates. A load-spreading baseline:
+/// no intelligence, but no systematic hot-spotting either.
+#[derive(Debug)]
+pub struct RandomStrategy {
+    mm: Matchmaker,
+    rng: StdRng,
+}
+
+impl RandomStrategy {
+    /// A random strategy with the given seed (deterministic runs).
+    pub fn new(seed: u64) -> Self {
+        RandomStrategy {
+            mm: live_matchmaker(),
+            rng: StdRng::seed_from_u64(seed),
+        }
+    }
+}
+
+impl Strategy for RandomStrategy {
+    fn name(&self) -> &str {
+        "random"
+    }
+
+    fn place(&mut self, task: &Task, nodes: &[Node], _now: f64) -> Option<Placement> {
+        let candidates = self.mm.candidates(task, nodes);
+        if candidates.is_empty() {
+            return None;
+        }
+        let i = self.rng.gen_range(0..candidates.len());
+        Some(candidates[i].into())
+    }
+
+    fn is_satisfiable(&self, task: &Task, nodes: &[Node]) -> bool {
+        statically_satisfiable(task, nodes)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rhv_core::case_study;
+    use std::collections::BTreeSet;
+
+    #[test]
+    fn same_seed_same_choices() {
+        let nodes = case_study::grid();
+        let task = &case_study::tasks()[1];
+        let picks = |seed| {
+            let mut s = RandomStrategy::new(seed);
+            (0..10)
+                .map(|_| s.place(task, &nodes, 0.0).unwrap().pe)
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(picks(5), picks(5));
+    }
+
+    #[test]
+    fn spreads_over_all_candidates() {
+        let nodes = case_study::grid();
+        let task = &case_study::tasks()[1]; // 3 candidates per Table II
+        let mut s = RandomStrategy::new(1);
+        let seen: BTreeSet<String> = (0..100)
+            .map(|_| s.place(task, &nodes, 0.0).unwrap().pe.to_string())
+            .collect();
+        assert_eq!(seen.len(), 3, "all Table II mappings should appear: {seen:?}");
+    }
+
+    #[test]
+    fn none_when_infeasible() {
+        let nodes = case_study::grid();
+        let mut t = case_study::tasks()[2].clone();
+        // Inflate the requirement beyond any device.
+        t.exec_req.constraints[1] = rhv_core::execreq::Constraint::ge(
+            rhv_params::param::ParamKey::Slices,
+            1_000_000u64,
+        );
+        let mut s = RandomStrategy::new(0);
+        assert!(s.place(&t, &nodes, 0.0).is_none());
+        assert!(!s.is_satisfiable(&t, &nodes));
+    }
+}

@@ -1,0 +1,154 @@
+//! Reconfiguration-aware placement.
+//!
+//! The policy the paper motivates: reconfiguration delays and bitstream
+//! shipping are real costs, so (1) reuse a resident configuration whenever
+//! one exists, (2) otherwise place where the estimated setup time is lowest,
+//! breaking ties toward the tightest area fit.
+
+use crate::util::{
+    estimated_setup_seconds, free_capacity, live_matchmaker, placement_slices,
+    statically_satisfiable,
+};
+use rhv_core::matchmaker::{HostingMode, Matchmaker};
+use rhv_core::node::Node;
+use rhv_core::task::Task;
+use rhv_sim::strategy::{Placement, Strategy};
+
+/// Reuse first, then minimal setup cost.
+#[derive(Debug, Default)]
+pub struct ReuseAwareStrategy {
+    mm: Matchmaker,
+}
+
+impl ReuseAwareStrategy {
+    /// A new reuse-aware strategy.
+    pub fn new() -> Self {
+        ReuseAwareStrategy {
+            mm: live_matchmaker(),
+        }
+    }
+}
+
+impl Strategy for ReuseAwareStrategy {
+    fn name(&self) -> &str {
+        "reuse-aware"
+    }
+
+    fn place(&mut self, task: &Task, nodes: &[Node], _now: f64) -> Option<Placement> {
+        let candidates = self.mm.candidates(task, nodes);
+        if let Some(reuse) = candidates
+            .iter()
+            .find(|c| matches!(c.mode, HostingMode::ReuseConfig(_)))
+        {
+            return Some((*reuse).into());
+        }
+        candidates
+            .into_iter()
+            .min_by(|a, b| {
+                let sa = estimated_setup_seconds(task, nodes, a);
+                let sb = estimated_setup_seconds(task, nodes, b);
+                sa.partial_cmp(&sb)
+                    .expect("finite setups")
+                    .then_with(|| {
+                        let la = free_capacity(nodes, a)
+                            .saturating_sub(placement_slices(task, nodes, a));
+                        let lb = free_capacity(nodes, b)
+                            .saturating_sub(placement_slices(task, nodes, b));
+                        la.cmp(&lb)
+                    })
+                    .then_with(|| a.pe.cmp(&b.pe))
+            })
+            .map(Into::into)
+    }
+
+    fn is_satisfiable(&self, task: &Task, nodes: &[Node]) -> bool {
+        statically_satisfiable(task, nodes)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rhv_core::case_study;
+    use rhv_core::fabric::FitPolicy;
+    use rhv_core::ids::{NodeId, PeId};
+    use rhv_core::state::ConfigKind;
+
+    #[test]
+    fn reuse_dominates() {
+        let mut nodes = case_study::grid();
+        let tasks = case_study::tasks();
+        nodes[1]
+            .rpe_mut(PeId::Rpe(1))
+            .unwrap()
+            .state
+            .load(
+                ConfigKind::Accelerator("malign".into()),
+                18_707,
+                FitPolicy::FirstFit,
+            )
+            .unwrap();
+        let p = ReuseAwareStrategy::new()
+            .place(&tasks[1], &nodes, 0.0)
+            .unwrap();
+        assert!(matches!(p.mode, HostingMode::ReuseConfig(_)));
+        assert_eq!(p.pe.node, NodeId(1));
+    }
+
+    #[test]
+    fn without_reuse_minimizes_setup() {
+        let nodes = case_study::grid();
+        let tasks = case_study::tasks();
+        // Among Task_1's candidates the LX330 (Node_2) has the smallest
+        // configuration-data footprint per slice, hence the cheapest setup
+        // for a fixed 18,707-slice design.
+        let p = ReuseAwareStrategy::new()
+            .place(&tasks[1], &nodes, 0.0)
+            .unwrap();
+        assert_eq!(p.pe.to_string(), "RPE_0 <-> Node_2");
+        // And that really is the minimal-setup candidate:
+        let mm = crate::util::live_matchmaker();
+        let mut setups: Vec<(f64, String)> = mm
+            .candidates(&tasks[1], &nodes)
+            .iter()
+            .map(|c| {
+                (
+                    crate::util::estimated_setup_seconds(&tasks[1], &nodes, c),
+                    c.pe.to_string(),
+                )
+            })
+            .collect();
+        setups.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap());
+        assert_eq!(setups[0].1, "RPE_0 <-> Node_2");
+    }
+
+    #[test]
+    fn simulation_reuse_hits_exceed_first_fit() {
+        use rhv_sim::sim::{GridSimulator, SimConfig};
+        use rhv_sim::workload::{TaskMix, WorkloadSpec};
+        let mut spec = WorkloadSpec::default_for_grid(300, 5.0, 21);
+        spec.mix = TaskMix {
+            software: 0.0,
+            softcore: 0.0,
+            hdl: 1.0,
+            bitstream: 0.0,
+        };
+        spec.area_range = (3_000, 9_000);
+        let run = |mut s: Box<dyn Strategy>| {
+            GridSimulator::new(case_study::grid(), SimConfig::default())
+                .run(spec.generate(), s.as_mut())
+        };
+        let reuse = run(Box::new(ReuseAwareStrategy::new()));
+        assert!(reuse.reuse_hits > 0, "reuse-aware must hit resident configs");
+        // Every completed fabric task either reused or reconfigured.
+        assert_eq!(
+            reuse.reuse_hits + reuse.reconfigurations,
+            reuse.completed as u64
+        );
+        let fcfs = run(Box::new(crate::FirstFitStrategy::new()));
+        assert_eq!(
+            fcfs.reuse_hits + fcfs.reconfigurations,
+            fcfs.completed as u64
+        );
+    }
+}

@@ -1,0 +1,151 @@
+//! Shared helpers for strategies.
+
+use rhv_core::execreq::TaskPayload;
+use rhv_core::matchmaker::{Candidate, HostingMode, MatchOptions, Matchmaker};
+use rhv_core::node::Node;
+use rhv_core::task::Task;
+use rhv_sim::workload::softcore_area;
+
+/// A state-aware matchmaker (candidates must be feasible *now*).
+pub fn live_matchmaker() -> Matchmaker {
+    Matchmaker::with_options(MatchOptions {
+        respect_state: true,
+        softcore_fallback_slices: None,
+    })
+}
+
+/// Satisfiability against an idealized idle grid — the standard
+/// `is_satisfiable` used by every hybrid strategy.
+pub fn statically_satisfiable(task: &Task, nodes: &[Node]) -> bool {
+    !Matchmaker::new().candidates(task, nodes).is_empty()
+}
+
+/// Slice demand a candidate placement would claim on its RPE.
+pub fn placement_slices(task: &Task, nodes: &[Node], c: &Candidate) -> u64 {
+    match c.mode {
+        HostingMode::GppCores | HostingMode::GpuRun => 0,
+        HostingMode::ReuseConfig(_) => 0,
+        HostingMode::SoftcoreFallback | HostingMode::Reconfigure => {
+            match &task.exec_req.payload {
+                TaskPayload::HdlAccelerator { est_slices, .. } => *est_slices,
+                TaskPayload::SoftcoreKernel { core, .. } => softcore_area(core),
+                TaskPayload::Bitstream { .. } => nodes
+                    .iter()
+                    .find(|n| n.id == c.pe.node)
+                    .and_then(|n| n.rpe(c.pe.pe))
+                    .map(|r| r.device.slices)
+                    .unwrap_or(0),
+                TaskPayload::Software { .. } => softcore_area("rvex-4w"),
+                TaskPayload::GpuKernel { .. } => 0,
+            }
+        }
+    }
+}
+
+/// Free capacity of the candidate's PE: slices for RPEs, cores for GPPs.
+pub fn free_capacity(nodes: &[Node], c: &Candidate) -> u64 {
+    let node = nodes.iter().find(|n| n.id == c.pe.node);
+    match node {
+        Some(n) => {
+            if c.pe.pe.is_rpe() {
+                n.rpe(c.pe.pe).map(|r| r.state.available_slices()).unwrap_or(0)
+            } else {
+                n.gpp(c.pe.pe).map(|g| g.state.free_cores()).unwrap_or(0)
+            }
+        }
+        None => 0,
+    }
+}
+
+/// Estimated setup seconds for a candidate: reconfiguration plus bitstream
+/// transfer at the device's configuration bandwidth (reuse and GPP
+/// placements cost nothing here).
+pub fn estimated_setup_seconds(task: &Task, nodes: &[Node], c: &Candidate) -> f64 {
+    match c.mode {
+        HostingMode::GppCores | HostingMode::ReuseConfig(_) | HostingMode::GpuRun => 0.0,
+        HostingMode::Reconfigure | HostingMode::SoftcoreFallback => {
+            let Some(rpe) = nodes
+                .iter()
+                .find(|n| n.id == c.pe.node)
+                .and_then(|n| n.rpe(c.pe.pe))
+            else {
+                return f64::INFINITY;
+            };
+            let slices = placement_slices(task, nodes, c);
+            let image_bytes = match &task.exec_req.payload {
+                TaskPayload::Bitstream { size_bytes, .. } => *size_bytes as f64,
+                _ => slices as f64 * rpe.device.bytes_per_slice(),
+            };
+            rpe.device.partial_reconfig_seconds(slices)
+                + image_bytes / (rpe.device.reconfig_bandwidth_mbps * 1e6)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rhv_core::case_study;
+    use rhv_core::matchmaker::PeRef;
+    use rhv_core::ids::{NodeId, PeId};
+
+    #[test]
+    fn capacity_of_fresh_case_study_grid() {
+        let nodes = case_study::grid();
+        let c = Candidate {
+            pe: PeRef {
+                node: NodeId(2),
+                pe: PeId::Rpe(0),
+            },
+            mode: HostingMode::Reconfigure,
+        };
+        assert_eq!(free_capacity(&nodes, &c), 51_840);
+        let g = Candidate {
+            pe: PeRef {
+                node: NodeId(0),
+                pe: PeId::Gpp(0),
+            },
+            mode: HostingMode::GppCores,
+        };
+        assert_eq!(free_capacity(&nodes, &g), 4);
+    }
+
+    #[test]
+    fn placement_slices_per_payload() {
+        let nodes = case_study::grid();
+        let tasks = case_study::tasks();
+        let rpe = |n: u64, i: u32| Candidate {
+            pe: PeRef {
+                node: NodeId(n),
+                pe: PeId::Rpe(i),
+            },
+            mode: HostingMode::Reconfigure,
+        };
+        assert_eq!(placement_slices(&tasks[1], &nodes, &rpe(1, 0)), 18_707);
+        assert_eq!(placement_slices(&tasks[2], &nodes, &rpe(2, 0)), 30_790);
+        // Task_3's bitstream claims the whole XC6VLX365T.
+        assert_eq!(placement_slices(&tasks[3], &nodes, &rpe(0, 0)), 56_880);
+    }
+
+    #[test]
+    fn setup_estimate_zero_for_gpp_and_reuse() {
+        let nodes = case_study::grid();
+        let tasks = case_study::tasks();
+        let g = Candidate {
+            pe: PeRef {
+                node: NodeId(0),
+                pe: PeId::Gpp(0),
+            },
+            mode: HostingMode::GppCores,
+        };
+        assert_eq!(estimated_setup_seconds(&tasks[0], &nodes, &g), 0.0);
+        let r = Candidate {
+            pe: PeRef {
+                node: NodeId(1),
+                pe: PeId::Rpe(0),
+            },
+            mode: HostingMode::Reconfigure,
+        };
+        assert!(estimated_setup_seconds(&tasks[1], &nodes, &r) > 0.0);
+    }
+}

@@ -1,0 +1,193 @@
+//! Task arrival processes.
+//!
+//! DReAMSim sweeps over "task arrival distributions"; these generators
+//! produce the arrival timestamps. All are deterministic given the seed.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use rand_distr::{Distribution, Exp};
+use serde::{Deserialize, Serialize};
+
+/// An arrival process specification.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum ArrivalProcess {
+    /// Poisson arrivals at `rate` tasks/second (exponential gaps).
+    Poisson {
+        /// Mean arrivals per second.
+        rate: f64,
+    },
+    /// Regular arrivals every `interval` seconds with ±`jitter` uniform
+    /// perturbation.
+    Uniform {
+        /// Gap between arrivals (seconds).
+        interval: f64,
+        /// Uniform jitter half-width (seconds).
+        jitter: f64,
+    },
+    /// Bursts of `burst_size` simultaneous arrivals every `gap` seconds —
+    /// models gateway-batched many-task submissions.
+    Burst {
+        /// Arrivals per burst.
+        burst_size: usize,
+        /// Seconds between bursts.
+        gap: f64,
+    },
+    /// Explicit timestamps (replayed traces).
+    Trace(Vec<f64>),
+}
+
+impl ArrivalProcess {
+    /// Generates `count` nondecreasing arrival times starting at 0.
+    pub fn generate(&self, count: usize, seed: u64) -> Vec<f64> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut out = Vec::with_capacity(count);
+        match self {
+            ArrivalProcess::Poisson { rate } => {
+                let exp = Exp::new(rate.max(1e-12)).expect("positive rate");
+                let mut t = 0.0;
+                for _ in 0..count {
+                    t += exp.sample(&mut rng);
+                    out.push(t);
+                }
+            }
+            ArrivalProcess::Uniform { interval, jitter } => {
+                let mut t = 0.0;
+                for _ in 0..count {
+                    let j = if *jitter > 0.0 {
+                        rng.gen_range(-jitter..=*jitter)
+                    } else {
+                        0.0
+                    };
+                    t += (interval + j).max(0.0);
+                    out.push(t);
+                }
+            }
+            ArrivalProcess::Burst { burst_size, gap } => {
+                let size = (*burst_size).max(1);
+                let mut t = 0.0;
+                while out.len() < count {
+                    for _ in 0..size.min(count - out.len()) {
+                        out.push(t);
+                    }
+                    t += gap.max(0.0);
+                }
+            }
+            ArrivalProcess::Trace(times) => {
+                let mut sorted = times.clone();
+                sorted.sort_by(|a, b| a.partial_cmp(b).expect("finite trace times"));
+                out.extend(sorted.into_iter().take(count));
+                while out.len() < count {
+                    // extend a short trace by repeating its final gap
+                    let last = out.last().copied().unwrap_or(0.0);
+                    out.push(last);
+                }
+            }
+        }
+        out
+    }
+
+    /// The long-run mean arrival rate (tasks/second), if defined.
+    pub fn mean_rate(&self) -> Option<f64> {
+        match self {
+            ArrivalProcess::Poisson { rate } => Some(*rate),
+            ArrivalProcess::Uniform { interval, .. } if *interval > 0.0 => Some(1.0 / interval),
+            ArrivalProcess::Burst { burst_size, gap } if *gap > 0.0 => {
+                Some(*burst_size as f64 / gap)
+            }
+            _ => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn poisson_rate_approximately_holds() {
+        let p = ArrivalProcess::Poisson { rate: 2.0 };
+        let times = p.generate(4_000, 7);
+        assert_eq!(times.len(), 4_000);
+        let span = times.last().unwrap() - times[0];
+        let rate = 3_999.0 / span;
+        assert!((rate - 2.0).abs() < 0.15, "measured rate {rate}");
+    }
+
+    #[test]
+    fn arrivals_are_nondecreasing_and_deterministic() {
+        for proc in [
+            ArrivalProcess::Poisson { rate: 5.0 },
+            ArrivalProcess::Uniform {
+                interval: 1.0,
+                jitter: 0.4,
+            },
+            ArrivalProcess::Burst {
+                burst_size: 4,
+                gap: 10.0,
+            },
+        ] {
+            let a = proc.generate(200, 42);
+            let b = proc.generate(200, 42);
+            assert_eq!(a, b, "determinism for {proc:?}");
+            for w in a.windows(2) {
+                assert!(w[1] >= w[0], "monotone for {proc:?}");
+            }
+            let c = proc.generate(200, 43);
+            if !matches!(proc, ArrivalProcess::Burst { .. }) {
+                assert_ne!(a, c, "seed must matter for {proc:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn uniform_without_jitter_is_regular() {
+        let p = ArrivalProcess::Uniform {
+            interval: 2.5,
+            jitter: 0.0,
+        };
+        let t = p.generate(4, 1);
+        assert_eq!(t, vec![2.5, 5.0, 7.5, 10.0]);
+    }
+
+    #[test]
+    fn bursts_arrive_together() {
+        let p = ArrivalProcess::Burst {
+            burst_size: 3,
+            gap: 5.0,
+        };
+        let t = p.generate(7, 1);
+        assert_eq!(t, vec![0.0, 0.0, 0.0, 5.0, 5.0, 5.0, 10.0]);
+    }
+
+    #[test]
+    fn trace_is_sorted_and_padded() {
+        let p = ArrivalProcess::Trace(vec![3.0, 1.0, 2.0]);
+        assert_eq!(p.generate(3, 0), vec![1.0, 2.0, 3.0]);
+        assert_eq!(p.generate(5, 0), vec![1.0, 2.0, 3.0, 3.0, 3.0]);
+    }
+
+    #[test]
+    fn mean_rates() {
+        assert_eq!(
+            ArrivalProcess::Poisson { rate: 4.0 }.mean_rate(),
+            Some(4.0)
+        );
+        assert_eq!(
+            ArrivalProcess::Uniform {
+                interval: 0.5,
+                jitter: 0.1
+            }
+            .mean_rate(),
+            Some(2.0)
+        );
+        assert_eq!(
+            ArrivalProcess::Burst {
+                burst_size: 10,
+                gap: 5.0
+            }
+            .mean_rate(),
+            Some(2.0)
+        );
+        assert_eq!(ArrivalProcess::Trace(vec![]).mean_rate(), None);
+    }
+}

@@ -1,0 +1,227 @@
+//! The discrete-event core.
+//!
+//! A minimal, deterministic event queue: events are `(time, payload)` pairs
+//! popped in time order, with insertion order breaking ties (FIFO among
+//! simultaneous events — essential for reproducible schedules). Time is
+//! `f64` seconds; pushing an event before the last popped time is a logic
+//! error and panics in debug builds.
+
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+#[derive(Debug)]
+struct Entry<E> {
+    time: f64,
+    seq: u64,
+    payload: E,
+}
+
+impl<E> PartialEq for Entry<E> {
+    fn eq(&self, other: &Self) -> bool {
+        self.time == other.time && self.seq == other.seq
+    }
+}
+
+impl<E> Eq for Entry<E> {}
+
+impl<E> Ord for Entry<E> {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // BinaryHeap is a max-heap: invert so earliest time pops first,
+        // lowest sequence first among equals.
+        other
+            .time
+            .partial_cmp(&self.time)
+            .expect("event times are finite")
+            .then_with(|| other.seq.cmp(&self.seq))
+    }
+}
+
+impl<E> PartialOrd for Entry<E> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+/// A time-ordered event queue.
+#[derive(Debug)]
+pub struct EventQueue<E> {
+    heap: BinaryHeap<Entry<E>>,
+    seq: u64,
+    now: f64,
+    processed: u64,
+}
+
+impl<E> Default for EventQueue<E> {
+    fn default() -> Self {
+        EventQueue {
+            heap: BinaryHeap::new(),
+            seq: 0,
+            now: 0.0,
+            processed: 0,
+        }
+    }
+}
+
+impl<E> EventQueue<E> {
+    /// An empty queue at time zero.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The time of the most recently popped event.
+    pub fn now(&self) -> f64 {
+        self.now
+    }
+
+    /// Number of events popped so far.
+    pub fn processed(&self) -> u64 {
+        self.processed
+    }
+
+    /// Pending events.
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// True when no events are pending.
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+
+    /// Schedules `payload` at absolute time `time`.
+    ///
+    /// Panics (debug) when scheduling into the past — a simulator bug.
+    pub fn push(&mut self, time: f64, payload: E) {
+        debug_assert!(
+            time >= self.now,
+            "event scheduled at {time} before current time {}",
+            self.now
+        );
+        debug_assert!(time.is_finite(), "event time must be finite");
+        let seq = self.seq;
+        self.seq += 1;
+        self.heap.push(Entry { time, seq, payload });
+    }
+
+    /// Schedules `payload` at `now() + delay`.
+    pub fn push_after(&mut self, delay: f64, payload: E) {
+        self.push(self.now + delay.max(0.0), payload);
+    }
+
+    /// Pops the earliest event, advancing the clock.
+    pub fn pop(&mut self) -> Option<(f64, E)> {
+        let entry = self.heap.pop()?;
+        self.now = entry.time;
+        self.processed += 1;
+        Some((entry.time, entry.payload))
+    }
+
+    /// Peeks at the earliest event time without advancing.
+    pub fn peek_time(&self) -> Option<f64> {
+        self.heap.peek().map(|e| e.time)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pops_in_time_order() {
+        let mut q = EventQueue::new();
+        q.push(3.0, "c");
+        q.push(1.0, "a");
+        q.push(2.0, "b");
+        let order: Vec<&str> = std::iter::from_fn(|| q.pop().map(|(_, e)| e)).collect();
+        assert_eq!(order, vec!["a", "b", "c"]);
+    }
+
+    #[test]
+    fn ties_break_fifo() {
+        let mut q = EventQueue::new();
+        q.push(1.0, "first");
+        q.push(1.0, "second");
+        q.push(1.0, "third");
+        let order: Vec<&str> = std::iter::from_fn(|| q.pop().map(|(_, e)| e)).collect();
+        assert_eq!(order, vec!["first", "second", "third"]);
+    }
+
+    #[test]
+    fn clock_advances_monotonically() {
+        let mut q = EventQueue::new();
+        q.push(5.0, ());
+        q.push(2.0, ());
+        let mut last = 0.0;
+        while let Some((t, ())) = q.pop() {
+            assert!(t >= last);
+            last = t;
+        }
+        assert_eq!(q.now(), 5.0);
+        assert_eq!(q.processed(), 2);
+    }
+
+    #[test]
+    fn push_after_is_relative() {
+        let mut q = EventQueue::new();
+        q.push(10.0, "x");
+        q.pop().unwrap();
+        q.push_after(5.0, "y");
+        assert_eq!(q.peek_time(), Some(15.0));
+        // negative delays clamp to "now"
+        q.push_after(-3.0, "z");
+        assert_eq!(q.pop().unwrap().1, "z");
+    }
+
+    #[test]
+    #[should_panic(expected = "before current time")]
+    fn scheduling_into_the_past_panics_in_debug() {
+        let mut q = EventQueue::new();
+        q.push(10.0, ());
+        q.pop();
+        q.push(5.0, ());
+    }
+
+    #[test]
+    fn interleaved_push_pop() {
+        let mut q = EventQueue::new();
+        q.push(1.0, 1);
+        assert_eq!(q.pop().unwrap(), (1.0, 1));
+        q.push(3.0, 3);
+        q.push(2.0, 2);
+        assert_eq!(q.pop().unwrap(), (2.0, 2));
+        q.push(2.5, 25);
+        assert_eq!(q.pop().unwrap(), (2.5, 25));
+        assert_eq!(q.pop().unwrap(), (3.0, 3));
+        assert!(q.is_empty());
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    proptest! {
+        /// Any batch of events pops in nondecreasing time order, and equal
+        /// times preserve insertion order.
+        #[test]
+        fn ordering_invariant(times in prop::collection::vec(0.0f64..1_000.0, 1..200)) {
+            let mut q = EventQueue::new();
+            for (i, &t) in times.iter().enumerate() {
+                q.push(t, i);
+            }
+            let mut last_time = f64::NEG_INFINITY;
+            let mut seen_at_time: Vec<usize> = Vec::new();
+            while let Some((t, i)) = q.pop() {
+                prop_assert!(t >= last_time);
+                if t == last_time {
+                    prop_assert!(seen_at_time.last().is_none_or(|&p| p < i));
+                } else {
+                    seen_at_time.clear();
+                }
+                seen_at_time.push(i);
+                last_time = t;
+            }
+        }
+    }
+}

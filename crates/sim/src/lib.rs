@@ -1,0 +1,47 @@
+//! # rhv-sim — DReAMSim, rebuilt
+//!
+//! Section V of the paper: "For the purpose of testing task scheduling
+//! strategies and resource management for dynamic reconfigurable processing
+//! nodes in a distributed environment, we have developed a simulation
+//! framework, termed as Dynamic Reconfigurable Autonomous Many-task
+//! Simulator (DReAMSim) … The DReAMSim can be used to investigate the
+//! desired system scenario(s) for a particular scheduling strategy and a
+//! given number of tasks, grid nodes, configurations, task arrival
+//! distributions, area ranges, and task required times etc."
+//!
+//! This crate is that simulator, rebuilt on the `rhv-core` node/task models:
+//!
+//! * [`engine`] — a deterministic discrete-event core (time-ordered queue
+//!   with FIFO tie-breaking);
+//! * [`arrival`] — task arrival processes (Poisson, uniform, bursty, trace);
+//! * [`workload`] — synthetic task generators over the paper's knobs (task
+//!   mix, area ranges, required times);
+//! * [`network`] — per-node link model for input data and bitstream
+//!   shipping;
+//! * [`strategy`] — the `Strategy` trait scheduling policies implement
+//!   (implementations live in `rhv-sched`);
+//! * [`sim`] — `GridSimulator`: arrivals → matchmaking
+//!   → setup (synthesis / transfer / reconfiguration) → execution →
+//!   completion, with configuration reuse and idle-config eviction;
+//! * [`metrics`] — per-task records and aggregate statistics (makespan,
+//!   waiting time, utilization, reconfiguration counts, energy proxy).
+//!
+//! The partial-reconfiguration extension of ref. \[21] is inherited from the
+//! fabric model in `rhv-core`: devices with `partial_reconfig` host several
+//! configurations; others are whole-device exclusive.
+
+pub mod arrival;
+pub mod engine;
+pub mod metrics;
+pub mod network;
+pub mod sim;
+pub mod strategy;
+pub mod streaming;
+pub mod trace;
+pub mod workload;
+
+pub use engine::EventQueue;
+pub use metrics::{SimReport, TaskRecord};
+pub use sim::{ChurnEvent, GridSimulator, SimConfig};
+pub use strategy::{Placement, Strategy};
+pub use streaming::{plan_pipeline, StreamApp, StreamPlan, StreamStage};

@@ -1,0 +1,328 @@
+//! Simulation statistics.
+//!
+//! Per-task [`TaskRecord`]s plus the aggregate [`SimReport`] the sweeps
+//! print: makespan, waiting/turnaround times, PE utilization, reconfiguration
+//! activity, and a simple energy proxy for the paper's "more performance …
+//! at lower power" objective.
+
+use rhv_core::ids::TaskId;
+use rhv_core::matchmaker::PeRef;
+use rhv_params::taxonomy::Scenario;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// Nominal active power per hosting kind, watts (energy proxy only — the
+/// relative magnitudes follow the reconfigurable-computing literature the
+/// paper builds on: an accelerated kernel draws far less than the cores it
+/// replaces).
+pub mod power {
+    /// One busy GPP core.
+    pub const GPP_CORE_W: f64 = 25.0;
+    /// A configured, busy accelerator region.
+    pub const FPGA_ACCEL_W: f64 = 10.0;
+    /// A soft-core running software.
+    pub const SOFTCORE_W: f64 = 6.0;
+    /// A GPU running a data-parallel kernel.
+    pub const GPU_W: f64 = 120.0;
+}
+
+/// The lifecycle timestamps of one task.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TaskRecord {
+    /// Task id.
+    pub task: TaskId,
+    /// Scenario the task belongs to.
+    pub scenario: Scenario,
+    /// Arrival time.
+    pub arrival: f64,
+    /// When the scheduler dispatched it (setup began).
+    pub dispatched: f64,
+    /// When execution proper began (setup done).
+    pub exec_start: f64,
+    /// Completion time.
+    pub finish: f64,
+    /// Where it ran.
+    pub pe: PeRef,
+    /// Energy consumed (joules, proxy).
+    pub energy_j: f64,
+    /// Whether a reconfiguration was needed (false on reuse/GPP).
+    pub reconfigured: bool,
+}
+
+impl TaskRecord {
+    /// Queueing delay: dispatch − arrival.
+    pub fn wait(&self) -> f64 {
+        self.dispatched - self.arrival
+    }
+
+    /// Setup delay: execution start − dispatch (synthesis + transfer +
+    /// reconfiguration).
+    pub fn setup(&self) -> f64 {
+        self.exec_start - self.dispatched
+    }
+
+    /// Total turnaround: finish − arrival.
+    pub fn turnaround(&self) -> f64 {
+        self.finish - self.arrival
+    }
+
+    /// Pure execution time.
+    pub fn exec_time(&self) -> f64 {
+        self.finish - self.exec_start
+    }
+}
+
+/// Aggregate results of one simulation run.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SimReport {
+    /// Strategy name.
+    pub strategy: String,
+    /// Tasks submitted.
+    pub submitted: usize,
+    /// Tasks completed.
+    pub completed: usize,
+    /// Tasks rejected as unsatisfiable on this grid.
+    pub rejected: usize,
+    /// Finish time of the last task.
+    pub makespan: f64,
+    /// Mean queueing wait.
+    pub mean_wait: f64,
+    /// Mean setup delay (synthesis/transfer/reconfiguration).
+    pub mean_setup: f64,
+    /// Mean turnaround.
+    pub mean_turnaround: f64,
+    /// Aggregate busy-time utilization of GPP cores over the makespan.
+    pub gpp_utilization: f64,
+    /// Aggregate busy-area utilization of fabric over the makespan.
+    pub rpe_utilization: f64,
+    /// Number of reconfigurations performed.
+    pub reconfigurations: u64,
+    /// Seconds spent reconfiguring (summed across devices).
+    pub reconfig_seconds: f64,
+    /// Configuration reuse hits (reconfiguration avoided).
+    pub reuse_hits: u64,
+    /// Total energy proxy (joules).
+    pub energy_j: f64,
+    /// Per-task records, completion-ordered.
+    pub records: Vec<TaskRecord>,
+}
+
+impl SimReport {
+    /// Builds the aggregate view from raw records and counters.
+    #[allow(clippy::too_many_arguments)]
+    pub fn from_records(
+        strategy: String,
+        submitted: usize,
+        rejected: usize,
+        records: Vec<TaskRecord>,
+        gpp_busy_core_seconds: f64,
+        total_gpp_cores: u64,
+        rpe_busy_slice_seconds: f64,
+        total_rpe_slices: u64,
+        reconfigurations: u64,
+        reconfig_seconds: f64,
+        reuse_hits: u64,
+    ) -> Self {
+        let completed = records.len();
+        let makespan = records.iter().map(|r| r.finish).fold(0.0, f64::max);
+        let mean = |f: fn(&TaskRecord) -> f64| {
+            if completed == 0 {
+                0.0
+            } else {
+                records.iter().map(f).sum::<f64>() / completed as f64
+            }
+        };
+        let denom_gpp = total_gpp_cores as f64 * makespan;
+        let denom_rpe = total_rpe_slices as f64 * makespan;
+        SimReport {
+            strategy,
+            submitted,
+            completed,
+            rejected,
+            makespan,
+            mean_wait: mean(TaskRecord::wait),
+            mean_setup: mean(TaskRecord::setup),
+            mean_turnaround: mean(TaskRecord::turnaround),
+            gpp_utilization: if denom_gpp > 0.0 {
+                gpp_busy_core_seconds / denom_gpp
+            } else {
+                0.0
+            },
+            rpe_utilization: if denom_rpe > 0.0 {
+                rpe_busy_slice_seconds / denom_rpe
+            } else {
+                0.0
+            },
+            reconfigurations,
+            reconfig_seconds,
+            reuse_hits,
+            energy_j: records.iter().map(|r| r.energy_j).sum(),
+            records,
+        }
+    }
+
+    /// Completed-task throughput (tasks/second over the makespan).
+    pub fn throughput(&self) -> f64 {
+        if self.makespan > 0.0 {
+            self.completed as f64 / self.makespan
+        } else {
+            0.0
+        }
+    }
+
+    /// Mean wait split by scenario, for the per-scenario tables.
+    pub fn mean_wait_by_scenario(&self) -> BTreeMap<Scenario, f64> {
+        let mut sums: BTreeMap<Scenario, (f64, usize)> = BTreeMap::new();
+        for r in &self.records {
+            let e = sums.entry(r.scenario).or_insert((0.0, 0));
+            e.0 += r.wait();
+            e.1 += 1;
+        }
+        sums.into_iter()
+            .map(|(s, (sum, n))| (s, sum / n as f64))
+            .collect()
+    }
+
+    /// One-line summary for sweep tables.
+    pub fn summary_row(&self) -> String {
+        format!(
+            "{:<18} completed {:>5}/{:<5} makespan {:>9.1}s wait {:>8.2}s setup {:>6.2}s util(GPP {:>5.1}%, RPE {:>5.1}%) reconfigs {:>5} reuse {:>4} energy {:>10.0}J",
+            self.strategy,
+            self.completed,
+            self.submitted,
+            self.makespan,
+            self.mean_wait,
+            self.mean_setup,
+            self.gpp_utilization * 100.0,
+            self.rpe_utilization * 100.0,
+            self.reconfigurations,
+            self.reuse_hits,
+            self.energy_j,
+        )
+    }
+
+    /// Internal consistency checks used by tests.
+    pub fn check_invariants(&self) -> Result<(), String> {
+        if self.completed + self.rejected > self.submitted {
+            return Err("completed + rejected exceeds submitted".into());
+        }
+        for r in &self.records {
+            if r.dispatched + 1e-9 < r.arrival {
+                return Err(format!("{}: dispatched before arrival", r.task));
+            }
+            if r.exec_start + 1e-9 < r.dispatched {
+                return Err(format!("{}: exec before dispatch", r.task));
+            }
+            if r.finish + 1e-9 < r.exec_start {
+                return Err(format!("{}: finished before exec start", r.task));
+            }
+            if r.finish > self.makespan + 1e-9 {
+                return Err(format!("{}: finish beyond makespan", r.task));
+            }
+        }
+        if !(0.0..=1.0 + 1e-9).contains(&self.gpp_utilization) {
+            return Err(format!("GPP utilization {} out of range", self.gpp_utilization));
+        }
+        if !(0.0..=1.0 + 1e-9).contains(&self.rpe_utilization) {
+            return Err(format!("RPE utilization {} out of range", self.rpe_utilization));
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rhv_core::ids::{NodeId, PeId};
+
+    fn rec(task: u64, arrival: f64, disp: f64, start: f64, finish: f64) -> TaskRecord {
+        TaskRecord {
+            task: TaskId(task),
+            scenario: Scenario::SoftwareOnly,
+            arrival,
+            dispatched: disp,
+            exec_start: start,
+            finish,
+            pe: PeRef {
+                node: NodeId(0),
+                pe: PeId::Gpp(0),
+            },
+            energy_j: 10.0,
+            reconfigured: false,
+        }
+    }
+
+    #[test]
+    fn record_derived_times() {
+        let r = rec(0, 1.0, 2.0, 3.5, 7.0);
+        assert_eq!(r.wait(), 1.0);
+        assert_eq!(r.setup(), 1.5);
+        assert_eq!(r.turnaround(), 6.0);
+        assert_eq!(r.exec_time(), 3.5);
+    }
+
+    #[test]
+    fn report_aggregates() {
+        let records = vec![rec(0, 0.0, 0.0, 0.0, 4.0), rec(1, 1.0, 2.0, 2.0, 6.0)];
+        let rep = SimReport::from_records(
+            "test".into(),
+            3,
+            1,
+            records,
+            8.0,
+            2,
+            0.0,
+            0,
+            0,
+            0.0,
+            0,
+        );
+        assert_eq!(rep.completed, 2);
+        assert_eq!(rep.rejected, 1);
+        assert_eq!(rep.makespan, 6.0);
+        assert_eq!(rep.mean_wait, 0.5);
+        assert!((rep.gpp_utilization - 8.0 / 12.0).abs() < 1e-12);
+        assert_eq!(rep.energy_j, 20.0);
+        assert!((rep.throughput() - 2.0 / 6.0).abs() < 1e-12);
+        rep.check_invariants().unwrap();
+        assert!(rep.summary_row().contains("test"));
+    }
+
+    #[test]
+    fn invariant_violations_detected() {
+        let bad = SimReport::from_records(
+            "bad".into(),
+            1,
+            1, // completed(1) + rejected(1) > submitted(1)
+            vec![rec(0, 0.0, 0.0, 0.0, 1.0)],
+            0.0,
+            1,
+            0.0,
+            1,
+            0,
+            0.0,
+            0,
+        );
+        assert!(bad.check_invariants().is_err());
+    }
+
+    #[test]
+    fn per_scenario_waits() {
+        let mut a = rec(0, 0.0, 2.0, 2.0, 3.0);
+        a.scenario = Scenario::UserDefinedHardware;
+        let b = rec(1, 0.0, 4.0, 4.0, 5.0);
+        let rep =
+            SimReport::from_records("x".into(), 2, 0, vec![a, b], 0.0, 1, 0.0, 1, 0, 0.0, 0);
+        let by = rep.mean_wait_by_scenario();
+        assert_eq!(by[&Scenario::UserDefinedHardware], 2.0);
+        assert_eq!(by[&Scenario::SoftwareOnly], 4.0);
+    }
+
+    #[test]
+    fn empty_report_is_sane() {
+        let rep = SimReport::from_records("e".into(), 0, 0, vec![], 0.0, 0, 0.0, 0, 0, 0.0, 0);
+        assert_eq!(rep.makespan, 0.0);
+        assert_eq!(rep.throughput(), 0.0);
+        rep.check_invariants().unwrap();
+    }
+}

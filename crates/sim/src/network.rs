@@ -1,0 +1,104 @@
+//! The grid network model.
+//!
+//! Nodes are geographically distributed; input data and configuration
+//! bitstreams reach them over links of finite bandwidth and latency. The
+//! scheduler must price "the time required to send configuration
+//! bitstreams" (Sec. V) per candidate node, which is what
+//! [`NetworkModel::transfer_seconds`] provides.
+
+use rhv_core::ids::NodeId;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// Link characteristics of one node's connection to the grid core.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Link {
+    /// Bandwidth in MB/s.
+    pub bandwidth_mbps: f64,
+    /// One-way latency in milliseconds.
+    pub latency_ms: f64,
+}
+
+impl Link {
+    /// A LAN-class link (gigabit).
+    pub fn lan() -> Self {
+        Link {
+            bandwidth_mbps: 100.0,
+            latency_ms: 1.0,
+        }
+    }
+
+    /// A WAN-class link.
+    pub fn wan() -> Self {
+        Link {
+            bandwidth_mbps: 10.0,
+            latency_ms: 40.0,
+        }
+    }
+}
+
+/// Per-node links with a default for unlisted nodes.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct NetworkModel {
+    default: Link,
+    links: BTreeMap<NodeId, Link>,
+}
+
+impl Default for NetworkModel {
+    fn default() -> Self {
+        NetworkModel::uniform(Link::lan())
+    }
+}
+
+impl NetworkModel {
+    /// All nodes share `link`.
+    pub fn uniform(link: Link) -> Self {
+        NetworkModel {
+            default: link,
+            links: BTreeMap::new(),
+        }
+    }
+
+    /// Overrides the link of one node.
+    pub fn set_link(&mut self, node: NodeId, link: Link) {
+        self.links.insert(node, link);
+    }
+
+    /// The link serving `node`.
+    pub fn link(&self, node: NodeId) -> Link {
+        self.links.get(&node).copied().unwrap_or(self.default)
+    }
+
+    /// Seconds to move `bytes` from the submission point to `node`.
+    pub fn transfer_seconds(&self, node: NodeId, bytes: u64) -> f64 {
+        let l = self.link(node);
+        rhv_bitstream::transfer::link_transfer_seconds(bytes, l.bandwidth_mbps, l.latency_ms)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_link_applies_to_unknown_nodes() {
+        let net = NetworkModel::default();
+        let t = net.transfer_seconds(NodeId(9), 100_000_000);
+        // 100 MB over 100 MB/s + 1 ms
+        assert!((t - 1.001).abs() < 1e-9);
+    }
+
+    #[test]
+    fn per_node_override() {
+        let mut net = NetworkModel::uniform(Link::lan());
+        net.set_link(NodeId(2), Link::wan());
+        assert!(net.transfer_seconds(NodeId(2), 10 << 20) > net.transfer_seconds(NodeId(1), 10 << 20));
+        assert_eq!(net.link(NodeId(2)).bandwidth_mbps, 10.0);
+    }
+
+    #[test]
+    fn wan_is_slower_than_lan() {
+        assert!(Link::wan().bandwidth_mbps < Link::lan().bandwidth_mbps);
+        assert!(Link::wan().latency_ms > Link::lan().latency_ms);
+    }
+}

@@ -1,0 +1,92 @@
+//! The scheduling-strategy interface.
+//!
+//! "The scheduling decisions are governed by a task scheduling algorithm and
+//! the availability of nodes" (Sec. V). The simulator owns the grid and the
+//! clock; a [`Strategy`] only *chooses* — given a task and the current node
+//! states, it returns a [`Placement`] (or `None` to leave the task queued).
+//! Concrete strategies live in `rhv-sched`.
+
+use rhv_core::matchmaker::{Candidate, HostingMode, PeRef};
+use rhv_core::node::Node;
+use rhv_core::task::Task;
+use serde::{Deserialize, Serialize};
+
+/// A strategy's decision for one task.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Placement {
+    /// Where the task goes.
+    pub pe: PeRef,
+    /// How it is hosted there (run on cores, reconfigure, reuse a resident
+    /// configuration, or configure a soft-core fallback).
+    pub mode: HostingMode,
+}
+
+impl From<Candidate> for Placement {
+    fn from(c: Candidate) -> Self {
+        Placement {
+            pe: c.pe,
+            mode: c.mode,
+        }
+    }
+}
+
+/// A task-scheduling policy.
+pub trait Strategy: Send {
+    /// The strategy's display name (used in reports and sweeps).
+    fn name(&self) -> &str;
+
+    /// Chooses a placement for `task` given current node states at simulated
+    /// time `now`, or `None` to keep the task queued.
+    ///
+    /// The returned placement must be feasible *right now* (the simulator
+    /// validates and will panic on an infeasible placement — that is a
+    /// strategy bug, not a runtime condition).
+    fn place(&mut self, task: &Task, nodes: &[Node], now: f64) -> Option<Placement>;
+
+    /// True when the strategy can never place this task on any node of the
+    /// grid even when idle (used to reject unsatisfiable tasks rather than
+    /// queue them forever). Default: conservatively claim satisfiability.
+    fn is_satisfiable(&self, _task: &Task, _nodes: &[Node]) -> bool {
+        true
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rhv_core::ids::{NodeId, PeId};
+
+    struct Never;
+
+    impl Strategy for Never {
+        fn name(&self) -> &str {
+            "never"
+        }
+        fn place(&mut self, _: &Task, _: &[Node], _: f64) -> Option<Placement> {
+            None
+        }
+    }
+
+    #[test]
+    fn trait_object_usable() {
+        let mut s: Box<dyn Strategy> = Box::new(Never);
+        assert_eq!(s.name(), "never");
+        let task = rhv_core::case_study::tasks().remove(0);
+        assert!(s.place(&task, &rhv_core::case_study::grid(), 0.0).is_none());
+        assert!(s.is_satisfiable(&task, &[]));
+    }
+
+    #[test]
+    fn placement_from_candidate() {
+        let c = Candidate {
+            pe: PeRef {
+                node: NodeId(1),
+                pe: PeId::Rpe(0),
+            },
+            mode: HostingMode::Reconfigure,
+        };
+        let p: Placement = c.into();
+        assert_eq!(p.pe.node, NodeId(1));
+        assert_eq!(p.mode, HostingMode::Reconfigure);
+    }
+}

@@ -1,0 +1,406 @@
+//! Streaming applications — the paper's declared future work, prototyped.
+//!
+//! "Currently, the framework does not support streaming applications. In
+//! our future work, we will propose a virtualization scenario for streaming
+//! applications." (Sec. VI)
+//!
+//! This module supplies that scenario on top of the existing node model: a
+//! [`StreamApp`] is a linear pipeline of stages, each with a per-item cost
+//! on each PE class and an optional fabric footprint when accelerated. A
+//! [`StreamPlan`] assigns every stage to a PE (respecting core and area
+//! budgets — two stages can share an RPE only if both footprints fit) and
+//! is scored by steady-state **throughput** (the bottleneck stage) and
+//! **pipeline latency** (stage times plus inter-node transfers).
+//! [`plan_pipeline`] searches placements exhaustively with backtracking —
+//! pipelines are short, candidate sets are small.
+
+use crate::network::NetworkModel;
+use rhv_core::ids::{NodeId, PeId};
+use rhv_core::matchmaker::PeRef;
+use rhv_core::node::Node;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// One pipeline stage.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct StreamStage {
+    /// Stage name.
+    pub name: String,
+    /// Millions of instructions per item on a GPP core.
+    pub mi_per_item: f64,
+    /// Per-item seconds when accelerated on fabric (None = software-only
+    /// stage that cannot be accelerated).
+    pub accel_seconds_per_item: Option<f64>,
+    /// Fabric footprint in slices when accelerated.
+    pub accel_slices: u64,
+    /// Bytes each item carries to the next stage.
+    pub item_bytes: u64,
+}
+
+impl StreamStage {
+    /// A software-only stage.
+    pub fn software(name: &str, mi_per_item: f64, item_bytes: u64) -> Self {
+        StreamStage {
+            name: name.into(),
+            mi_per_item,
+            accel_seconds_per_item: None,
+            accel_slices: 0,
+            item_bytes,
+        }
+    }
+
+    /// A stage with an accelerated implementation available.
+    pub fn accelerable(
+        name: &str,
+        mi_per_item: f64,
+        accel_seconds_per_item: f64,
+        accel_slices: u64,
+        item_bytes: u64,
+    ) -> Self {
+        StreamStage {
+            name: name.into(),
+            mi_per_item,
+            accel_seconds_per_item: Some(accel_seconds_per_item),
+            accel_slices,
+            item_bytes,
+        }
+    }
+}
+
+/// A streaming application: a linear chain of stages.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct StreamApp {
+    /// Application name.
+    pub name: String,
+    /// The stages, source to sink.
+    pub stages: Vec<StreamStage>,
+}
+
+/// One stage's assignment.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct StageAssignment {
+    /// Where the stage runs.
+    pub pe: PeRef,
+    /// Per-item service time there (seconds).
+    pub service_seconds: f64,
+    /// True when the stage runs accelerated on fabric.
+    pub accelerated: bool,
+}
+
+/// A complete placement of a pipeline.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct StreamPlan {
+    /// Per-stage assignments, in stage order.
+    pub assignments: Vec<StageAssignment>,
+    /// Steady-state throughput in items/second (bottleneck-limited).
+    pub throughput: f64,
+    /// End-to-end latency of one item (seconds), transfers included.
+    pub latency: f64,
+    /// Index of the bottleneck stage.
+    pub bottleneck: usize,
+}
+
+impl fmt::Display for StreamPlan {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "throughput {:.2} items/s, latency {:.3} s, bottleneck stage {}",
+            self.throughput, self.latency, self.bottleneck
+        )
+    }
+}
+
+/// Candidate execution spots for one stage.
+fn stage_candidates(stage: &StreamStage, nodes: &[Node]) -> Vec<StageAssignment> {
+    let mut out = Vec::new();
+    for node in nodes {
+        for (i, g) in node.gpps().iter().enumerate() {
+            if g.spec.cores == 0 {
+                continue;
+            }
+            out.push(StageAssignment {
+                pe: PeRef {
+                    node: node.id,
+                    pe: PeId::Gpp(i as u32),
+                },
+                service_seconds: stage.mi_per_item / g.spec.mips_per_core(),
+                accelerated: false,
+            });
+        }
+        if let Some(accel) = stage.accel_seconds_per_item {
+            for (i, r) in node.rpes().iter().enumerate() {
+                if r.device.slices >= stage.accel_slices {
+                    out.push(StageAssignment {
+                        pe: PeRef {
+                            node: node.id,
+                            pe: PeId::Rpe(i as u32),
+                        },
+                        service_seconds: accel,
+                        accelerated: true,
+                    });
+                }
+            }
+        }
+    }
+    out
+}
+
+/// Per-plan resource bookkeeping during search.
+#[derive(Default, Clone)]
+struct Budget {
+    /// Cores claimed per GPP.
+    cores: BTreeMap<(NodeId, PeId), u64>,
+    /// Slices claimed per RPE.
+    slices: BTreeMap<(NodeId, PeId), u64>,
+}
+
+impl Budget {
+    fn admits(&self, a: &StageAssignment, stage: &StreamStage, nodes: &[Node]) -> bool {
+        let key = (a.pe.node, a.pe.pe);
+        let node = nodes.iter().find(|n| n.id == a.pe.node).expect("node");
+        if a.accelerated {
+            let dev = node.rpe(a.pe.pe).expect("rpe").device.slices;
+            self.slices.get(&key).copied().unwrap_or(0) + stage.accel_slices <= dev
+        } else {
+            let cores = node.gpp(a.pe.pe).expect("gpp").spec.cores;
+            self.cores.get(&key).copied().unwrap_or(0) < cores
+        }
+    }
+
+    fn claim(&mut self, a: &StageAssignment, stage: &StreamStage) {
+        let key = (a.pe.node, a.pe.pe);
+        if a.accelerated {
+            *self.slices.entry(key).or_insert(0) += stage.accel_slices;
+        } else {
+            *self.cores.entry(key).or_insert(0) += 1;
+        }
+    }
+
+    fn release(&mut self, a: &StageAssignment, stage: &StreamStage) {
+        let key = (a.pe.node, a.pe.pe);
+        if a.accelerated {
+            *self.slices.get_mut(&key).expect("claimed") -= stage.accel_slices;
+        } else {
+            *self.cores.get_mut(&key).expect("claimed") -= 1;
+        }
+    }
+}
+
+/// Scores a full assignment.
+fn score(app: &StreamApp, assignment: &[StageAssignment], net: &NetworkModel) -> StreamPlan {
+    let mut latency = 0.0;
+    let mut slowest = 0.0f64;
+    let mut bottleneck = 0;
+    for (i, (stage, a)) in app.stages.iter().zip(assignment).enumerate() {
+        latency += a.service_seconds;
+        if a.service_seconds > slowest {
+            slowest = a.service_seconds;
+            bottleneck = i;
+        }
+        // Transfer to the next stage when it lives on a different node.
+        if let Some(next) = assignment.get(i + 1) {
+            if next.pe.node != a.pe.node {
+                latency += net.transfer_seconds(next.pe.node, stage.item_bytes);
+            }
+        }
+    }
+    StreamPlan {
+        assignments: assignment.to_vec(),
+        throughput: if slowest > 0.0 { 1.0 / slowest } else { f64::INFINITY },
+        latency,
+        bottleneck,
+    }
+}
+
+/// Exhaustively searches stage placements; returns the plan with the best
+/// throughput (ties: lowest latency). `None` when some stage has no
+/// feasible spot under the resource budgets.
+pub fn plan_pipeline(app: &StreamApp, nodes: &[Node], net: &NetworkModel) -> Option<StreamPlan> {
+    let candidates: Vec<Vec<StageAssignment>> = app
+        .stages
+        .iter()
+        .map(|s| stage_candidates(s, nodes))
+        .collect();
+    if candidates.iter().any(Vec::is_empty) {
+        return None;
+    }
+    let mut best: Option<StreamPlan> = None;
+    let mut chosen: Vec<StageAssignment> = Vec::with_capacity(app.stages.len());
+    let mut budget = Budget::default();
+    search(app, nodes, net, &candidates, 0, &mut chosen, &mut budget, &mut best);
+    best
+}
+
+#[allow(clippy::too_many_arguments)]
+fn search(
+    app: &StreamApp,
+    nodes: &[Node],
+    net: &NetworkModel,
+    candidates: &[Vec<StageAssignment>],
+    depth: usize,
+    chosen: &mut Vec<StageAssignment>,
+    budget: &mut Budget,
+    best: &mut Option<StreamPlan>,
+) {
+    if depth == candidates.len() {
+        let plan = score(app, chosen, net);
+        let better = match best {
+            None => true,
+            Some(b) => {
+                plan.throughput > b.throughput + 1e-12
+                    || ((plan.throughput - b.throughput).abs() <= 1e-12
+                        && plan.latency < b.latency)
+            }
+        };
+        if better {
+            *best = Some(plan);
+        }
+        return;
+    }
+    let stage = &app.stages[depth];
+    for a in &candidates[depth] {
+        if !budget.admits(a, stage, nodes) {
+            continue;
+        }
+        budget.claim(a, stage);
+        chosen.push(*a);
+        search(app, nodes, net, candidates, depth + 1, chosen, budget, best);
+        chosen.pop();
+        budget.release(a, stage);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rhv_core::case_study;
+
+    fn video_pipeline() -> StreamApp {
+        StreamApp {
+            name: "video".into(),
+            stages: vec![
+                StreamStage::software("capture", 600.0, 2 << 20),
+                StreamStage::accelerable("filter", 24_000.0, 0.02, 12_000, 2 << 20),
+                StreamStage::accelerable("encode", 48_000.0, 0.03, 20_000, 512 << 10),
+                StreamStage::software("pack", 1_200.0, 256 << 10),
+            ],
+        }
+    }
+
+    #[test]
+    fn planner_finds_a_hybrid_plan() {
+        let nodes = case_study::grid();
+        let plan = plan_pipeline(&video_pipeline(), &nodes, &NetworkModel::default())
+            .expect("feasible");
+        // The two heavy stages go to fabric.
+        assert!(plan.assignments[1].accelerated);
+        assert!(plan.assignments[2].accelerated);
+        assert!(!plan.assignments[0].accelerated);
+        // Throughput is bottleneck-limited.
+        let slowest = plan
+            .assignments
+            .iter()
+            .map(|a| a.service_seconds)
+            .fold(0.0, f64::max);
+        assert!((plan.throughput - 1.0 / slowest).abs() < 1e-9);
+    }
+
+    #[test]
+    fn hybrid_beats_all_software_plan() {
+        let nodes = case_study::grid();
+        let app = video_pipeline();
+        let hybrid = plan_pipeline(&app, &nodes, &NetworkModel::default()).expect("feasible");
+        // Deny acceleration: strip the accelerated option from every stage.
+        let mut sw_app = app.clone();
+        for s in &mut sw_app.stages {
+            s.accel_seconds_per_item = None;
+        }
+        let software =
+            plan_pipeline(&sw_app, &nodes, &NetworkModel::default()).expect("feasible");
+        assert!(
+            hybrid.throughput > software.throughput * 5.0,
+            "hybrid {} vs software {}",
+            hybrid.throughput,
+            software.throughput
+        );
+    }
+
+    #[test]
+    fn resource_budgets_prevent_overcommitting_fabric() {
+        use rhv_core::node::Node;
+        use rhv_core::ids::NodeId;
+        use rhv_params::catalog::Catalog;
+        // One small RPE (4,800 slices) and one weak GPP; two accelerable
+        // stages of 3,000 slices each cannot both go to fabric.
+        let cat = Catalog::builtin();
+        let mut node = Node::new(NodeId(0));
+        node.add_gpp(cat.gpp("IBM PowerPC 970").unwrap().clone());
+        node.add_rpe(cat.fpga("XC5VLX30").unwrap().clone());
+        let app = StreamApp {
+            name: "tight".into(),
+            stages: vec![
+                StreamStage::accelerable("s0", 10_000.0, 0.01, 3_000, 1024),
+                StreamStage::accelerable("s1", 10_000.0, 0.01, 3_000, 1024),
+            ],
+        };
+        let plan = plan_pipeline(&app, &[node], &NetworkModel::default()).expect("feasible");
+        let accelerated = plan.assignments.iter().filter(|a| a.accelerated).count();
+        assert_eq!(accelerated, 1, "only one stage fits the fabric");
+    }
+
+    #[test]
+    fn two_small_stages_share_one_device() {
+        use rhv_core::node::Node;
+        use rhv_core::ids::NodeId;
+        use rhv_params::catalog::Catalog;
+        let cat = Catalog::builtin();
+        let mut node = Node::new(NodeId(0));
+        node.add_gpp(cat.gpp("IBM PowerPC 970").unwrap().clone());
+        node.add_rpe(cat.fpga("XC5VLX30").unwrap().clone()); // 4,800 slices
+        let app = StreamApp {
+            name: "pair".into(),
+            stages: vec![
+                StreamStage::accelerable("s0", 10_000.0, 0.01, 2_000, 1024),
+                StreamStage::accelerable("s1", 10_000.0, 0.01, 2_000, 1024),
+            ],
+        };
+        let plan = plan_pipeline(&app, &[node], &NetworkModel::default()).expect("feasible");
+        assert!(plan.assignments.iter().all(|a| a.accelerated));
+        assert_eq!(plan.assignments[0].pe, plan.assignments[1].pe);
+    }
+
+    #[test]
+    fn infeasible_stage_yields_none() {
+        // A grid with no GPPs cannot host a software-only stage.
+        let nodes = vec![case_study::grid().remove(2)]; // Node_2: RPE only
+        let app = StreamApp {
+            name: "sw".into(),
+            stages: vec![StreamStage::software("only", 1_000.0, 1024)],
+        };
+        assert!(plan_pipeline(&app, &nodes, &NetworkModel::default()).is_none());
+    }
+
+    #[test]
+    fn cross_node_transfers_count_toward_latency() {
+        let nodes = case_study::grid();
+        let net = NetworkModel::default();
+        let app = video_pipeline();
+        let plan = plan_pipeline(&app, &nodes, &net).expect("feasible");
+        let service_sum: f64 = plan.assignments.iter().map(|a| a.service_seconds).sum();
+        assert!(plan.latency >= service_sum, "latency includes transfers");
+    }
+
+    #[test]
+    fn empty_pipeline_is_trivially_planned() {
+        let nodes = case_study::grid();
+        let app = StreamApp {
+            name: "empty".into(),
+            stages: vec![],
+        };
+        let plan = plan_pipeline(&app, &nodes, &NetworkModel::default()).expect("feasible");
+        assert!(plan.assignments.is_empty());
+        assert!(plan.throughput.is_infinite());
+        assert_eq!(plan.latency, 0.0);
+    }
+}

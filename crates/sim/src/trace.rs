@@ -1,0 +1,160 @@
+//! Trace export.
+//!
+//! DReAMSim runs are most useful when their per-task traces leave the
+//! simulator: this module renders a [`SimReport`] as CSV (one row per
+//! task), JSON (the full report), or a text Gantt chart for quick eyeball
+//! checks of schedules. All renderings are deterministic.
+
+use crate::metrics::SimReport;
+use std::fmt::Write as _;
+
+/// CSV header of [`to_csv`].
+pub const CSV_HEADER: &str =
+    "task,scenario,node,pe,arrival,dispatched,exec_start,finish,wait,setup,exec,energy_j,reconfigured";
+
+/// Renders per-task records as CSV (header + one row per completed task,
+/// completion-ordered).
+pub fn to_csv(report: &SimReport) -> String {
+    let mut out = String::with_capacity(64 * (report.records.len() + 1));
+    out.push_str(CSV_HEADER);
+    out.push('\n');
+    for r in &report.records {
+        let _ = writeln!(
+            out,
+            "{},{},{},{},{:.6},{:.6},{:.6},{:.6},{:.6},{:.6},{:.6},{:.3},{}",
+            r.task,
+            r.scenario,
+            r.pe.node,
+            r.pe.pe,
+            r.arrival,
+            r.dispatched,
+            r.exec_start,
+            r.finish,
+            r.wait(),
+            r.setup(),
+            r.exec_time(),
+            r.energy_j,
+            r.reconfigured
+        );
+    }
+    out
+}
+
+/// Serializes the full report as pretty JSON.
+pub fn to_json(report: &SimReport) -> String {
+    serde_json::to_string_pretty(report).expect("SimReport serializes")
+}
+
+/// Renders a text Gantt chart of the first `max_rows` records: one line per
+/// task, `.` for waiting, `=` for setup, `#` for execution.
+pub fn gantt(report: &SimReport, width: usize, max_rows: usize) -> String {
+    let mut out = String::new();
+    let span = report.makespan.max(1e-9);
+    let scale = |t: f64| ((t / span) * width as f64).round() as usize;
+    for r in report.records.iter().take(max_rows) {
+        let a = scale(r.arrival);
+        let d = scale(r.dispatched).max(a);
+        let x = scale(r.exec_start).max(d);
+        let f = scale(r.finish).max(x);
+        let _ = writeln!(
+            out,
+            "{:>6} {:<16} |{}{}{}{}{}|",
+            r.task.to_string(),
+            r.pe.to_string(),
+            " ".repeat(a),
+            ".".repeat(d - a),
+            "=".repeat(x - d),
+            "#".repeat((f - x).max(1)),
+            " ".repeat(width.saturating_sub(f.max(x + 1))),
+        );
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metrics::TaskRecord;
+    use rhv_core::ids::{NodeId, PeId, TaskId};
+    use rhv_core::matchmaker::PeRef;
+    use rhv_params::taxonomy::Scenario;
+
+    fn report() -> SimReport {
+        let rec = |task: u64, a: f64, d: f64, x: f64, f: f64| TaskRecord {
+            task: TaskId(task),
+            scenario: Scenario::UserDefinedHardware,
+            arrival: a,
+            dispatched: d,
+            exec_start: x,
+            finish: f,
+            pe: PeRef {
+                node: NodeId(1),
+                pe: PeId::Rpe(0),
+            },
+            energy_j: 12.5,
+            reconfigured: true,
+        };
+        SimReport::from_records(
+            "test".into(),
+            2,
+            0,
+            vec![rec(0, 0.0, 0.5, 1.0, 4.0), rec(1, 1.0, 4.0, 4.5, 8.0)],
+            0.0,
+            1,
+            100.0,
+            1_000,
+            2,
+            1.0,
+            0,
+        )
+    }
+
+    #[test]
+    fn csv_has_header_and_one_row_per_record() {
+        let csv = to_csv(&report());
+        let lines: Vec<&str> = csv.lines().collect();
+        assert_eq!(lines.len(), 3);
+        assert_eq!(lines[0], CSV_HEADER);
+        assert!(lines[1].starts_with("T0,User-defined hardware configuration,Node_1,RPE_0,"));
+        // every row has the same number of commas as the header
+        let commas = CSV_HEADER.matches(',').count();
+        for l in &lines[1..] {
+            assert_eq!(l.matches(',').count(), commas, "{l}");
+        }
+    }
+
+    #[test]
+    fn json_round_trips() {
+        let rep = report();
+        let json = to_json(&rep);
+        let back: SimReport = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, rep);
+    }
+
+    #[test]
+    fn gantt_rows_are_aligned() {
+        let g = gantt(&report(), 40, 10);
+        let lines: Vec<&str> = g.lines().collect();
+        assert_eq!(lines.len(), 2);
+        for l in &lines {
+            assert!(l.contains('#'), "{l}");
+            assert!(l.contains('|'));
+        }
+        // the second task starts later than the first
+        let pos = |l: &str| l.find('#').unwrap();
+        assert!(pos(lines[1]) > pos(lines[0]));
+    }
+
+    #[test]
+    fn gantt_respects_max_rows() {
+        let g = gantt(&report(), 40, 1);
+        assert_eq!(g.lines().count(), 1);
+    }
+
+    #[test]
+    fn deterministic() {
+        assert_eq!(to_csv(&report()), to_csv(&report()));
+        assert_eq!(to_json(&report()), to_json(&report()));
+        assert_eq!(gantt(&report(), 30, 5), gantt(&report(), 30, 5));
+    }
+}

@@ -1,0 +1,385 @@
+//! Synthetic workload generation.
+//!
+//! DReAMSim's knobs: "a given number of tasks, grid nodes, configurations,
+//! task arrival distributions, area ranges, and task required times".
+//! [`WorkloadSpec`] carries those knobs; [`WorkloadSpec::generate`] produces
+//! `(arrival_time, Task)` pairs with the four payload kinds of the use-case
+//! scenarios mixed in configurable proportions.
+
+use crate::arrival::ArrivalProcess;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use rhv_core::execreq::{Constraint, ExecReq, TaskPayload};
+use rhv_core::ids::{DataId, TaskId};
+use rhv_core::task::Task;
+use rhv_params::param::{ParamKey, PeClass};
+use rhv_params::softcore::SoftcoreSpec;
+use serde::{Deserialize, Serialize};
+
+/// Proportions of the four task kinds (normalized internally).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct TaskMix {
+    /// Sec. III-A software-only tasks.
+    pub software: f64,
+    /// Sec. III-B1 soft-core kernel tasks.
+    pub softcore: f64,
+    /// Sec. III-B2 user-defined HDL accelerator tasks.
+    pub hdl: f64,
+    /// Sec. III-B3 device-specific bitstream tasks.
+    pub bitstream: f64,
+}
+
+impl TaskMix {
+    /// The paper's hybrid workload: mostly software with a substantial
+    /// accelerated fraction.
+    pub fn hybrid() -> Self {
+        TaskMix {
+            software: 0.4,
+            softcore: 0.15,
+            hdl: 0.35,
+            bitstream: 0.1,
+        }
+    }
+
+    /// A software-only mix (the backward-compatibility scenario).
+    pub fn software_only() -> Self {
+        TaskMix {
+            software: 1.0,
+            softcore: 0.0,
+            hdl: 0.0,
+            bitstream: 0.0,
+        }
+    }
+
+    /// A hardware-heavy mix.
+    pub fn hardware_heavy() -> Self {
+        TaskMix {
+            software: 0.1,
+            softcore: 0.2,
+            hdl: 0.5,
+            bitstream: 0.2,
+        }
+    }
+
+    fn normalized(&self) -> [f64; 4] {
+        let sum = (self.software + self.softcore + self.hdl + self.bitstream).max(1e-12);
+        [
+            self.software / sum,
+            self.softcore / sum,
+            self.hdl / sum,
+            self.bitstream / sum,
+        ]
+    }
+}
+
+/// A workload recipe.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct WorkloadSpec {
+    /// Number of tasks.
+    pub count: usize,
+    /// Arrival process.
+    pub arrival: ArrivalProcess,
+    /// Task-kind proportions.
+    pub mix: TaskMix,
+    /// Accelerator area range in slices (inclusive).
+    pub area_range: (u64, u64),
+    /// Accelerated execution-time range in seconds (inclusive).
+    pub exec_range: (f64, f64),
+    /// Software task size range in millions of instructions.
+    pub mi_range: (f64, f64),
+    /// Input data size range in bytes.
+    pub data_range: (u64, u64),
+    /// Device parts bitstream tasks may target (usually the grid's parts).
+    pub bitstream_parts: Vec<String>,
+    /// Soft-core configurations kernel tasks may require.
+    pub softcore_names: Vec<String>,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl WorkloadSpec {
+    /// A reasonable default workload against the case-study grid.
+    pub fn default_for_grid(count: usize, rate: f64, seed: u64) -> Self {
+        WorkloadSpec {
+            count,
+            arrival: ArrivalProcess::Poisson { rate },
+            mix: TaskMix::hybrid(),
+            area_range: (2_000, 28_000),
+            exec_range: (1.0, 20.0),
+            mi_range: (5_000.0, 100_000.0),
+            data_range: (1 << 20, 64 << 20),
+            bitstream_parts: vec![
+                "XC6VLX365T".into(),
+                "XC5VLX155".into(),
+                "XC5VLX220".into(),
+                "XC5VLX330".into(),
+            ],
+            softcore_names: vec!["rvex-2w".into(), "rvex-4w".into()],
+            seed,
+        }
+    }
+
+    /// Generates the workload: `(arrival_time, task)` pairs, arrival-sorted.
+    pub fn generate(&self) -> Vec<(f64, Task)> {
+        let times = self.arrival.generate(self.count, self.seed);
+        let mut rng = StdRng::seed_from_u64(self.seed.wrapping_mul(0x9E37_79B9_7F4A_7C15));
+        let weights = self.mix.normalized();
+        times
+            .into_iter()
+            .enumerate()
+            .map(|(i, t)| {
+                let task = self.generate_task(TaskId(i as u64), &mut rng, &weights);
+                (t, task)
+            })
+            .collect()
+    }
+
+    fn generate_task(&self, id: TaskId, rng: &mut StdRng, weights: &[f64; 4]) -> Task {
+        let kind = pick_weighted(rng, weights);
+        let exec = range_f64(rng, self.exec_range);
+        let data = range_u64(rng, self.data_range);
+        let (req, t_est) = match kind {
+            0 => {
+                let mi = range_f64(rng, self.mi_range);
+                let parallelism = 1 << rng.gen_range(0..3); // 1, 2 or 4 cores
+                (
+                    ExecReq::new(
+                        PeClass::Gpp,
+                        vec![Constraint::ge(ParamKey::Cores, 1u64)],
+                        TaskPayload::Software {
+                            mega_instructions: mi,
+                            parallelism,
+                        },
+                    ),
+                    // rough estimate at 12k MIPS/core
+                    mi / (12_000.0 * parallelism as f64),
+                )
+            }
+            1 => {
+                let name = pick(rng, &self.softcore_names)
+                    .cloned()
+                    .unwrap_or_else(|| "rvex-2w".into());
+                let area = softcore_area(&name);
+                let mega_ops = range_f64(rng, self.mi_range) / 4.0;
+                (
+                    ExecReq::new(
+                        PeClass::Softcore,
+                        vec![Constraint::ge(ParamKey::Slices, area)],
+                        TaskPayload::SoftcoreKernel {
+                            core: name,
+                            mega_ops,
+                        },
+                    ),
+                    exec,
+                )
+            }
+            2 => {
+                // A fixed pool of named accelerator designs: the area is a
+                // deterministic function of the design, not of the task, so
+                // configuration reuse and the synthesis cache are sound.
+                let kernel = id.raw() % 23;
+                let (lo, hi) = self.area_range;
+                let span = hi.saturating_sub(lo);
+                let area = lo + if span == 0 { 0 } else { (kernel * 7919) % (span + 1) };
+                // Burn one draw to keep the RNG stream aligned with older
+                // versions of the generator (determinism across refactors is
+                // not promised, but within a version it must hold).
+                let _ = range_u64(rng, self.area_range);
+                (
+                    ExecReq::new(
+                        PeClass::Fpga,
+                        vec![Constraint::ge(ParamKey::Slices, area)],
+                        TaskPayload::HdlAccelerator {
+                            spec_name: format!("accel_{kernel}"),
+                            est_slices: area,
+                            accel_seconds: exec,
+                        },
+                    ),
+                    exec,
+                )
+            }
+            _ => {
+                let part = pick(rng, &self.bitstream_parts)
+                    .cloned()
+                    .unwrap_or_else(|| "XC5VLX155".into());
+                (
+                    ExecReq::new(
+                        PeClass::Fpga,
+                        vec![Constraint::eq(ParamKey::DevicePart, part.as_str())],
+                        TaskPayload::Bitstream {
+                            image: format!("image_{}.bit", id.raw() % 17),
+                            device_part: part,
+                            size_bytes: 4_000_000 + range_u64(rng, (0, 6_000_000)),
+                            accel_seconds: exec,
+                        },
+                    ),
+                    exec,
+                )
+            }
+        };
+        Task::new(id, req, t_est).with_output(DataId(id.raw()), data)
+    }
+}
+
+fn pick_weighted(rng: &mut StdRng, weights: &[f64; 4]) -> usize {
+    let x: f64 = rng.gen_range(0.0..1.0);
+    let mut acc = 0.0;
+    for (i, w) in weights.iter().enumerate() {
+        acc += w;
+        if x < acc {
+            return i;
+        }
+    }
+    3
+}
+
+fn pick<'a, T>(rng: &mut StdRng, items: &'a [T]) -> Option<&'a T> {
+    if items.is_empty() {
+        None
+    } else {
+        Some(&items[rng.gen_range(0..items.len())])
+    }
+}
+
+fn range_f64(rng: &mut StdRng, (lo, hi): (f64, f64)) -> f64 {
+    if hi <= lo {
+        lo
+    } else {
+        rng.gen_range(lo..=hi)
+    }
+}
+
+fn range_u64(rng: &mut StdRng, (lo, hi): (u64, u64)) -> u64 {
+    if hi <= lo {
+        lo
+    } else {
+        rng.gen_range(lo..=hi)
+    }
+}
+
+/// Fabric area of the named built-in soft-core configuration (falls back to
+/// the 2-issue baseline for unknown names).
+pub fn softcore_area(name: &str) -> u64 {
+    match name {
+        "rvex-4w" => SoftcoreSpec::rvex_4w().area_slices(),
+        "rvex-8w-2c" => SoftcoreSpec::rvex_8w_2c().area_slices(),
+        _ => SoftcoreSpec::rvex_2w().area_slices(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generation_is_deterministic_and_sorted() {
+        let spec = WorkloadSpec::default_for_grid(200, 1.0, 11);
+        let a = spec.generate();
+        let b = spec.generate();
+        assert_eq!(a.len(), 200);
+        assert_eq!(
+            a.iter().map(|(t, _)| *t).collect::<Vec<_>>(),
+            b.iter().map(|(t, _)| *t).collect::<Vec<_>>()
+        );
+        assert_eq!(
+            a.iter().map(|(_, t)| t.id).collect::<Vec<_>>(),
+            b.iter().map(|(_, t)| t.id).collect::<Vec<_>>()
+        );
+        for w in a.windows(2) {
+            assert!(w[1].0 >= w[0].0);
+        }
+    }
+
+    #[test]
+    fn mix_proportions_roughly_hold() {
+        let mut spec = WorkloadSpec::default_for_grid(2_000, 10.0, 3);
+        spec.mix = TaskMix {
+            software: 0.5,
+            softcore: 0.0,
+            hdl: 0.5,
+            bitstream: 0.0,
+        };
+        let tasks = spec.generate();
+        let sw = tasks
+            .iter()
+            .filter(|(_, t)| matches!(t.exec_req.payload, TaskPayload::Software { .. }))
+            .count();
+        let hdl = tasks
+            .iter()
+            .filter(|(_, t)| matches!(t.exec_req.payload, TaskPayload::HdlAccelerator { .. }))
+            .count();
+        assert_eq!(sw + hdl, 2_000);
+        assert!((sw as f64 / 2_000.0 - 0.5).abs() < 0.05, "sw = {sw}");
+    }
+
+    #[test]
+    fn areas_and_times_respect_ranges() {
+        let mut spec = WorkloadSpec::default_for_grid(500, 5.0, 9);
+        spec.mix = TaskMix {
+            software: 0.0,
+            softcore: 0.0,
+            hdl: 1.0,
+            bitstream: 0.0,
+        };
+        spec.area_range = (5_000, 10_000);
+        spec.exec_range = (2.0, 4.0);
+        for (_, t) in spec.generate() {
+            match &t.exec_req.payload {
+                TaskPayload::HdlAccelerator {
+                    est_slices,
+                    accel_seconds,
+                    ..
+                } => {
+                    assert!((5_000..=10_000).contains(est_slices));
+                    assert!((2.0..=4.0).contains(accel_seconds));
+                }
+                other => panic!("unexpected payload {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn software_only_mix_produces_gpp_tasks() {
+        let mut spec = WorkloadSpec::default_for_grid(100, 5.0, 1);
+        spec.mix = TaskMix::software_only();
+        for (_, t) in spec.generate() {
+            assert_eq!(t.exec_req.pe_class, PeClass::Gpp);
+        }
+    }
+
+    #[test]
+    fn bitstream_tasks_target_configured_parts() {
+        let mut spec = WorkloadSpec::default_for_grid(300, 5.0, 2);
+        spec.mix = TaskMix {
+            software: 0.0,
+            softcore: 0.0,
+            hdl: 0.0,
+            bitstream: 1.0,
+        };
+        spec.bitstream_parts = vec!["XC5VLX155".into()];
+        for (_, t) in spec.generate() {
+            match &t.exec_req.payload {
+                TaskPayload::Bitstream { device_part, .. } => {
+                    assert_eq!(device_part, "XC5VLX155");
+                }
+                other => panic!("unexpected payload {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn task_ids_are_sequential() {
+        let spec = WorkloadSpec::default_for_grid(50, 1.0, 4);
+        let tasks = spec.generate();
+        for (i, (_, t)) in tasks.iter().enumerate() {
+            assert_eq!(t.id.raw(), i as u64);
+        }
+    }
+
+    #[test]
+    fn softcore_area_lookup() {
+        assert!(softcore_area("rvex-8w-2c") > softcore_area("rvex-4w"));
+        assert!(softcore_area("rvex-4w") > softcore_area("rvex-2w"));
+        assert_eq!(softcore_area("unknown"), softcore_area("rvex-2w"));
+    }
+}

@@ -1,0 +1,350 @@
+//! A tiny assembler for the soft-core ISA.
+//!
+//! Syntax (one op per line; `;` starts a comment; labels end with `:`):
+//!
+//! ```text
+//!         movi r2, 0
+//!         movi r3, 10
+//! loop:   ld   r4, 0(r2)
+//!         add  r1, r1, r4
+//!         addi r2, r2, 1
+//!         blt  r2, r3, loop
+//!         halt
+//! ```
+//!
+//! Mnemonics: `add sub and or xor shl shr slt seq` (register and `-i`
+//! immediate forms), `mul`, `movi`, `ld`, `st`, `beq bne blt bge`, `jmp`,
+//! `halt`, `nop`. Branch targets are labels.
+
+use crate::isa::{AluOp, BranchCond, Op, Program, Reg};
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+use std::fmt;
+
+/// Assembly failure with 1-based line number.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct AsmError {
+    /// Line the error occurred on (1-based).
+    pub line: usize,
+    /// What went wrong.
+    pub message: String,
+}
+
+impl fmt::Display for AsmError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for AsmError {}
+
+/// Assembles source text into a [`Program`].
+pub fn assemble(src: &str) -> Result<Program, AsmError> {
+    // Pass 1: collect labels → op indices.
+    let mut labels: HashMap<String, usize> = HashMap::new();
+    let mut op_lines: Vec<(usize, String)> = Vec::new();
+    for (ln, raw) in src.lines().enumerate() {
+        let line = strip_comment(raw).trim().to_owned();
+        if line.is_empty() {
+            continue;
+        }
+        let mut rest = line.as_str();
+        while let Some(colon) = rest.find(':') {
+            let (label, after) = rest.split_at(colon);
+            let label = label.trim();
+            if label.is_empty() || !label.chars().all(|c| c.is_alphanumeric() || c == '_') {
+                return Err(AsmError {
+                    line: ln + 1,
+                    message: format!("invalid label `{label}`"),
+                });
+            }
+            if labels.insert(label.to_owned(), op_lines.len()).is_some() {
+                return Err(AsmError {
+                    line: ln + 1,
+                    message: format!("duplicate label `{label}`"),
+                });
+            }
+            rest = after[1..].trim_start();
+        }
+        if !rest.is_empty() {
+            op_lines.push((ln + 1, rest.to_owned()));
+        }
+    }
+    // Pass 2: parse ops.
+    let mut ops = Vec::with_capacity(op_lines.len());
+    for (ln, text) in &op_lines {
+        ops.push(parse_op(*ln, text, &labels)?);
+    }
+    Ok(Program::new(ops))
+}
+
+fn strip_comment(line: &str) -> &str {
+    match line.find(';') {
+        Some(i) => &line[..i],
+        None => line,
+    }
+}
+
+fn parse_op(line: usize, text: &str, labels: &HashMap<String, usize>) -> Result<Op, AsmError> {
+    let err = |m: String| AsmError { line, message: m };
+    let (mnemonic, rest) = match text.split_once(char::is_whitespace) {
+        Some((m, r)) => (m, r.trim()),
+        None => (text, ""),
+    };
+    let mnemonic = mnemonic.to_ascii_lowercase();
+    let args: Vec<&str> = if rest.is_empty() {
+        vec![]
+    } else {
+        rest.split(',').map(str::trim).collect()
+    };
+    let reg = |s: &str| -> Result<Reg, AsmError> {
+        let s = s.trim();
+        if let Some(num) = s.strip_prefix('r').or_else(|| s.strip_prefix('R')) {
+            num.parse::<u8>()
+                .map(Reg)
+                .map_err(|_| err(format!("bad register `{s}`")))
+        } else {
+            Err(err(format!("bad register `{s}`")))
+        }
+    };
+    let imm = |s: &str| -> Result<i64, AsmError> {
+        s.trim()
+            .parse::<i64>()
+            .map_err(|_| err(format!("bad immediate `{s}`")))
+    };
+    let label = |s: &str| -> Result<usize, AsmError> {
+        labels
+            .get(s.trim())
+            .copied()
+            .ok_or_else(|| err(format!("unknown label `{s}`")))
+    };
+    let need = |n: usize| -> Result<(), AsmError> {
+        if args.len() == n {
+            Ok(())
+        } else {
+            Err(err(format!(
+                "`{mnemonic}` expects {n} operand(s), got {}",
+                args.len()
+            )))
+        }
+    };
+    // `ld r1, 8(r2)` / `st r1, 8(r2)` address syntax.
+    let mem_operand = |s: &str| -> Result<(Reg, i64), AsmError> {
+        let s = s.trim();
+        let open = s
+            .find('(')
+            .ok_or_else(|| err(format!("expected `offset(reg)`, got `{s}`")))?;
+        if !s.ends_with(')') {
+            return Err(err(format!("expected `offset(reg)`, got `{s}`")));
+        }
+        let off_str = &s[..open];
+        let off = if off_str.trim().is_empty() {
+            0
+        } else {
+            imm(off_str)?
+        };
+        let r = reg(&s[open + 1..s.len() - 1])?;
+        Ok((r, off))
+    };
+
+    let alu = |op: AluOp| -> Result<Op, AsmError> {
+        need(3)?;
+        Ok(Op::Alu {
+            op,
+            dst: reg(args[0])?,
+            a: reg(args[1])?,
+            b: reg(args[2])?,
+        })
+    };
+    let alui = |op: AluOp| -> Result<Op, AsmError> {
+        need(3)?;
+        Ok(Op::AluI {
+            op,
+            dst: reg(args[0])?,
+            a: reg(args[1])?,
+            imm: imm(args[2])?,
+        })
+    };
+    let branch = |cond: BranchCond| -> Result<Op, AsmError> {
+        need(3)?;
+        Ok(Op::Branch {
+            cond,
+            a: reg(args[0])?,
+            b: reg(args[1])?,
+            target: label(args[2])?,
+        })
+    };
+
+    match mnemonic.as_str() {
+        "add" => alu(AluOp::Add),
+        "sub" => alu(AluOp::Sub),
+        "and" => alu(AluOp::And),
+        "or" => alu(AluOp::Or),
+        "xor" => alu(AluOp::Xor),
+        "shl" => alu(AluOp::Shl),
+        "shr" => alu(AluOp::Shr),
+        "slt" => alu(AluOp::Slt),
+        "seq" => alu(AluOp::Seq),
+        "addi" => alui(AluOp::Add),
+        "subi" => alui(AluOp::Sub),
+        "andi" => alui(AluOp::And),
+        "ori" => alui(AluOp::Or),
+        "xori" => alui(AluOp::Xor),
+        "shli" => alui(AluOp::Shl),
+        "shri" => alui(AluOp::Shr),
+        "slti" => alui(AluOp::Slt),
+        "seqi" => alui(AluOp::Seq),
+        "mul" => {
+            need(3)?;
+            Ok(Op::Mul {
+                dst: reg(args[0])?,
+                a: reg(args[1])?,
+                b: reg(args[2])?,
+            })
+        }
+        "movi" => {
+            need(2)?;
+            Ok(Op::MovI {
+                dst: reg(args[0])?,
+                imm: imm(args[1])?,
+            })
+        }
+        "ld" => {
+            need(2)?;
+            let (addr, offset) = mem_operand(args[1])?;
+            Ok(Op::Load {
+                dst: reg(args[0])?,
+                addr,
+                offset,
+            })
+        }
+        "st" => {
+            need(2)?;
+            let (addr, offset) = mem_operand(args[1])?;
+            Ok(Op::Store {
+                src: reg(args[0])?,
+                addr,
+                offset,
+            })
+        }
+        "beq" => branch(BranchCond::Eq),
+        "bne" => branch(BranchCond::Ne),
+        "blt" => branch(BranchCond::Lt),
+        "bge" => branch(BranchCond::Ge),
+        "jmp" => {
+            need(1)?;
+            Ok(Op::Jump {
+                target: label(args[0])?,
+            })
+        }
+        "halt" => {
+            need(0)?;
+            Ok(Op::Halt)
+        }
+        "nop" => {
+            need(0)?;
+            Ok(Op::Nop)
+        }
+        other => Err(err(format!("unknown mnemonic `{other}`"))),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::machine::Machine;
+    use rhv_params::softcore::SoftcoreSpec;
+
+    const SUM_SRC: &str = r"
+        ; sum mem[0..10] into r1
+                movi r1, 0
+                movi r2, 0
+                movi r3, 10
+        loop:   ld   r4, 0(r2)
+                add  r1, r1, r4
+                addi r2, r2, 1
+                blt  r2, r3, loop
+                halt
+    ";
+
+    #[test]
+    fn assemble_and_run_sum() {
+        let prog = assemble(SUM_SRC).unwrap();
+        let data: Vec<i64> = (1..=10).collect();
+        let mut m = Machine::new(SoftcoreSpec::rvex_2w());
+        m.load_mem(0, &data).unwrap();
+        m.run(&prog).unwrap();
+        assert_eq!(m.reg(Reg(1)), 55);
+    }
+
+    #[test]
+    fn labels_resolve_forward_and_backward() {
+        let src = r"
+                jmp end
+        back:   halt
+        end:    jmp back
+        ";
+        let prog = assemble(src).unwrap();
+        assert_eq!(prog.ops[0], Op::Jump { target: 2 });
+        assert_eq!(prog.ops[2], Op::Jump { target: 1 });
+    }
+
+    #[test]
+    fn offsets_in_memory_operands() {
+        let prog = assemble("ld r1, 16(r2)\nst r3, (r4)\nhalt").unwrap();
+        assert_eq!(
+            prog.ops[0],
+            Op::Load {
+                dst: Reg(1),
+                addr: Reg(2),
+                offset: 16
+            }
+        );
+        assert_eq!(
+            prog.ops[1],
+            Op::Store {
+                src: Reg(3),
+                addr: Reg(4),
+                offset: 0
+            }
+        );
+    }
+
+    #[test]
+    fn errors_carry_line_numbers() {
+        let e = assemble("movi r1, 1\nfrob r1").unwrap_err();
+        assert_eq!(e.line, 2);
+        assert!(e.message.contains("frob"));
+
+        let e = assemble("beq r1, r2, nowhere").unwrap_err();
+        assert!(e.message.contains("nowhere"));
+
+        let e = assemble("add r1, r2").unwrap_err();
+        assert!(e.message.contains("expects 3"));
+
+        let e = assemble("movi rx, 5").unwrap_err();
+        assert!(e.message.contains("bad register"));
+
+        let e = assemble("dup:\ndup:\nhalt").unwrap_err();
+        assert!(e.message.contains("duplicate"));
+    }
+
+    #[test]
+    fn immediate_alu_forms() {
+        let prog = assemble("slti r1, r2, 5\nshri r3, r4, 2\nhalt").unwrap();
+        assert!(matches!(prog.ops[0], Op::AluI { op: AluOp::Slt, .. }));
+        assert!(matches!(prog.ops[1], Op::AluI { op: AluOp::Shr, .. }));
+    }
+
+    #[test]
+    fn comments_and_blank_lines_ignored() {
+        let prog = assemble("; nothing\n\n   \nhalt ; stop\n").unwrap();
+        assert_eq!(prog.ops, vec![Op::Halt]);
+    }
+
+    #[test]
+    fn label_on_its_own_line() {
+        let prog = assemble("start:\n  movi r1, 1\n  jmp start\n").unwrap();
+        assert_eq!(prog.ops[1], Op::Jump { target: 0 });
+    }
+}

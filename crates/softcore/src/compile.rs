@@ -1,0 +1,694 @@
+//! A mini-C → VLIW compiler.
+//!
+//! Closes the loop the paper draws between its scenarios: the same kernel
+//! source that Quipu sizes for fabric (Sec. III-B2) can also *run* on the
+//! soft-core CPU of the pre-determined-hardware scenario (Sec. III-B1) —
+//! `rhv_quipu::ast::Function` in, executable [`Program`] out.
+//!
+//! Scope (documented, checked, and erroring rather than miscompiling):
+//!
+//! * scalars live in registers (no spilling — small kernels only);
+//! * each array gets a fixed-size region of data memory, assigned in order
+//!   of first appearance; the layout is returned in [`CompiledProgram`];
+//! * `/` and `%` compile to an inline repeated-subtraction loop over
+//!   non-negative operands (division by zero yields 0);
+//! * function calls are rejected (the ISA has no call/return);
+//! * `return e` moves the value to `r1` and halts; falling off the end
+//!   halts with `r1` untouched.
+
+use crate::isa::{AluOp, BranchCond, Op, Program, Reg};
+use rhv_quipu::ast::{BinOp, Expr, Function, Stmt};
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// The register holding a function's return value.
+pub const RETURN_REG: Reg = Reg(1);
+/// First register used for named variables.
+const FIRST_VAR_REG: u8 = 2;
+/// First register of the temporary pool.
+const FIRST_TEMP_REG: u8 = 40;
+/// One past the last usable register.
+const REG_LIMIT: u8 = 64;
+
+/// Default words of data memory reserved per array.
+pub const DEFAULT_ARRAY_WORDS: usize = 256;
+
+/// A compiled kernel plus its data layout.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CompiledProgram {
+    /// The executable program.
+    pub program: Program,
+    /// Register assigned to each named scalar (parameters included).
+    pub var_regs: BTreeMap<String, Reg>,
+    /// Base word address of each array, in order of first appearance.
+    pub array_bases: BTreeMap<String, usize>,
+    /// Words reserved per array.
+    pub array_words: usize,
+}
+
+/// Compilation failures.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum CompileError {
+    /// More named scalars than registers.
+    TooManyVariables {
+        /// The variable that did not fit.
+        name: String,
+    },
+    /// Expression tree deeper than the temporary pool.
+    ExpressionTooDeep,
+    /// Function calls are not supported by the ISA.
+    CallUnsupported {
+        /// Callee name.
+        name: String,
+    },
+}
+
+impl fmt::Display for CompileError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CompileError::TooManyVariables { name } => {
+                write!(f, "no register left for variable `{name}`")
+            }
+            CompileError::ExpressionTooDeep => write!(f, "expression exceeds temporary pool"),
+            CompileError::CallUnsupported { name } => {
+                write!(f, "function call `{name}` is not supported")
+            }
+        }
+    }
+}
+
+impl std::error::Error for CompileError {}
+
+struct Codegen {
+    ops: Vec<Op>,
+    vars: BTreeMap<String, Reg>,
+    arrays: BTreeMap<String, usize>,
+    array_words: usize,
+    next_var: u8,
+    next_temp: u8,
+    /// `(op index, label id)` pairs to patch.
+    fixups: Vec<(usize, usize)>,
+    /// label id → op index once bound.
+    labels: Vec<Option<usize>>,
+}
+
+impl Codegen {
+    fn new(array_words: usize) -> Self {
+        Codegen {
+            ops: Vec::new(),
+            vars: BTreeMap::new(),
+            arrays: BTreeMap::new(),
+            array_words,
+            next_var: FIRST_VAR_REG,
+            next_temp: FIRST_TEMP_REG,
+            fixups: Vec::new(),
+            labels: Vec::new(),
+        }
+    }
+
+    fn var(&mut self, name: &str) -> Result<Reg, CompileError> {
+        if let Some(&r) = self.vars.get(name) {
+            return Ok(r);
+        }
+        if self.next_var >= FIRST_TEMP_REG {
+            return Err(CompileError::TooManyVariables {
+                name: name.to_owned(),
+            });
+        }
+        let r = Reg(self.next_var);
+        self.next_var += 1;
+        self.vars.insert(name.to_owned(), r);
+        Ok(r)
+    }
+
+    fn array_base(&mut self, name: &str) -> usize {
+        if let Some(&b) = self.arrays.get(name) {
+            return b;
+        }
+        let b = self.arrays.len() * self.array_words;
+        self.arrays.insert(name.to_owned(), b);
+        b
+    }
+
+    fn alloc_temp(&mut self) -> Result<Reg, CompileError> {
+        if self.next_temp >= REG_LIMIT {
+            return Err(CompileError::ExpressionTooDeep);
+        }
+        let r = Reg(self.next_temp);
+        self.next_temp += 1;
+        Ok(r)
+    }
+
+    fn free_temps_to(&mut self, mark: u8) {
+        self.next_temp = mark;
+    }
+
+    fn new_label(&mut self) -> usize {
+        self.labels.push(None);
+        self.labels.len() - 1
+    }
+
+    fn bind(&mut self, label: usize) {
+        self.labels[label] = Some(self.ops.len());
+    }
+
+    fn emit(&mut self, op: Op) {
+        self.ops.push(op);
+    }
+
+    fn emit_jump(&mut self, label: usize) {
+        self.fixups.push((self.ops.len(), label));
+        self.emit(Op::Jump { target: usize::MAX });
+    }
+
+    fn emit_branch(&mut self, cond: BranchCond, a: Reg, b: Reg, label: usize) {
+        self.fixups.push((self.ops.len(), label));
+        self.emit(Op::Branch {
+            cond,
+            a,
+            b,
+            target: usize::MAX,
+        });
+    }
+
+    fn patch(&mut self) {
+        for &(at, label) in &self.fixups {
+            let target = self.labels[label].expect("label bound");
+            match &mut self.ops[at] {
+                Op::Jump { target: t } | Op::Branch { target: t, .. } => *t = target,
+                other => panic!("fixup at non-branch {other:?}"),
+            }
+        }
+    }
+
+    // ---- expressions ---------------------------------------------------
+
+    /// Evaluates `e` into a register (a variable register when possible).
+    fn expr(&mut self, e: &Expr) -> Result<Reg, CompileError> {
+        match e {
+            Expr::Num(n) => {
+                let t = self.alloc_temp()?;
+                self.emit(Op::MovI { dst: t, imm: *n });
+                Ok(t)
+            }
+            Expr::Var(name) => self.var(name),
+            Expr::Index { base, index } => {
+                let mark = self.next_temp;
+                let idx = self.expr(index)?;
+                let addr_base = self.array_base(base) as i64;
+                let dst = {
+                    self.free_temps_to(mark);
+                    self.alloc_temp()?
+                };
+                self.emit(Op::Load {
+                    dst,
+                    addr: idx,
+                    offset: addr_base,
+                });
+                Ok(dst)
+            }
+            Expr::Bin { op, lhs, rhs } => self.binop(*op, lhs, rhs),
+            Expr::Call { name, .. } => Err(CompileError::CallUnsupported { name: name.clone() }),
+        }
+    }
+
+    fn binop(&mut self, op: BinOp, lhs: &Expr, rhs: &Expr) -> Result<Reg, CompileError> {
+        let mark = self.next_temp;
+        let a = self.expr(lhs)?;
+        let b = self.expr(rhs)?;
+        // Results go to a fresh temp above the operand temps, then the
+        // operand temps are released.
+        let dst = self.alloc_temp()?;
+        match op {
+            BinOp::Add => self.emit(alu(AluOp::Add, dst, a, b)),
+            BinOp::Sub => self.emit(alu(AluOp::Sub, dst, a, b)),
+            BinOp::Mul => self.emit(Op::Mul { dst, a, b }),
+            BinOp::Div => self.divmod(dst, a, b, true)?,
+            BinOp::Mod => self.divmod(dst, a, b, false)?,
+            BinOp::Lt => self.emit(alu(AluOp::Slt, dst, a, b)),
+            BinOp::Gt => self.emit(alu(AluOp::Slt, dst, b, a)),
+            BinOp::Le => {
+                // a <= b  ⇔  !(b < a)
+                self.emit(alu(AluOp::Slt, dst, b, a));
+                self.emit(alui(AluOp::Seq, dst, dst, 0));
+            }
+            BinOp::Ge => {
+                self.emit(alu(AluOp::Slt, dst, a, b));
+                self.emit(alui(AluOp::Seq, dst, dst, 0));
+            }
+            BinOp::Eq => self.emit(alu(AluOp::Seq, dst, a, b)),
+            BinOp::Ne => {
+                self.emit(alu(AluOp::Seq, dst, a, b));
+                self.emit(alui(AluOp::Seq, dst, dst, 0));
+            }
+            BinOp::And => {
+                // both nonzero → 1. ne0(x) = (x == 0) == 0.
+                let t = self.alloc_temp()?;
+                self.emit(alui(AluOp::Seq, dst, a, 0));
+                self.emit(alui(AluOp::Seq, dst, dst, 0));
+                self.emit(alui(AluOp::Seq, t, b, 0));
+                self.emit(alui(AluOp::Seq, t, t, 0));
+                self.emit(alu(AluOp::And, dst, dst, t));
+            }
+            BinOp::Or => {
+                let t = self.alloc_temp()?;
+                self.emit(alui(AluOp::Seq, dst, a, 0));
+                self.emit(alui(AluOp::Seq, dst, dst, 0));
+                self.emit(alui(AluOp::Seq, t, b, 0));
+                self.emit(alui(AluOp::Seq, t, t, 0));
+                self.emit(alu(AluOp::Or, dst, dst, t));
+            }
+        }
+        // Move the result below released temps so callers can keep it.
+        self.free_temps_to(mark);
+        let keep = self.alloc_temp()?;
+        if keep != dst {
+            self.emit(alu(AluOp::Add, keep, dst, Reg(0)));
+        }
+        Ok(keep)
+    }
+
+    /// Repeated-subtraction division: `q = a / b`, `r = a % b` over
+    /// non-negative operands; division by zero yields 0.
+    fn divmod(&mut self, dst: Reg, a: Reg, b: Reg, want_quotient: bool) -> Result<(), CompileError> {
+        let q = self.alloc_temp()?;
+        let r = self.alloc_temp()?;
+        self.emit(Op::MovI { dst: q, imm: 0 });
+        self.emit(alu(AluOp::Add, r, a, Reg(0)));
+        let end = self.new_label();
+        let loop_top = self.new_label();
+        // div by zero guard: if b == 0, result stays (q=0, r=a)
+        self.emit_branch(BranchCond::Eq, b, Reg(0), end);
+        self.bind(loop_top);
+        // while r >= b { r -= b; q += 1 }
+        self.emit_branch(BranchCond::Lt, r, b, end);
+        self.emit(alu(AluOp::Sub, r, r, b));
+        self.emit(alui(AluOp::Add, q, q, 1));
+        self.emit_jump(loop_top);
+        self.bind(end);
+        let src = if want_quotient { q } else { r };
+        self.emit(alu(AluOp::Add, dst, src, Reg(0)));
+        Ok(())
+    }
+
+    // ---- statements ----------------------------------------------------
+
+    fn block(&mut self, stmts: &[Stmt], exit: usize) -> Result<(), CompileError> {
+        for s in stmts {
+            self.stmt(s, exit)?;
+        }
+        Ok(())
+    }
+
+    fn stmt(&mut self, s: &Stmt, exit: usize) -> Result<(), CompileError> {
+        let mark = self.next_temp;
+        match s {
+            Stmt::Assign { lhs, value } => {
+                match lhs {
+                    Expr::Var(name) => {
+                        let v = self.expr(value)?;
+                        let dst = self.var(name)?;
+                        if dst != v {
+                            self.emit(alu(AluOp::Add, dst, v, Reg(0)));
+                        }
+                    }
+                    Expr::Index { base, index } => {
+                        let v = self.expr(value)?;
+                        let idx = self.expr(index)?;
+                        let offset = self.array_base(base) as i64;
+                        self.emit(Op::Store {
+                            src: v,
+                            addr: idx,
+                            offset,
+                        });
+                    }
+                    other => panic!("invalid assignment target {other:?} (parser enforces this)"),
+                }
+            }
+            Stmt::If {
+                cond,
+                then,
+                otherwise,
+            } => {
+                let c = self.expr(cond)?;
+                let else_l = self.new_label();
+                let end_l = self.new_label();
+                self.emit_branch(BranchCond::Eq, c, Reg(0), else_l);
+                self.free_temps_to(mark);
+                self.block(then, exit)?;
+                self.emit_jump(end_l);
+                self.bind(else_l);
+                self.block(otherwise, exit)?;
+                self.bind(end_l);
+            }
+            Stmt::While { cond, body } => {
+                let top = self.new_label();
+                let end = self.new_label();
+                self.bind(top);
+                let c = self.expr(cond)?;
+                self.emit_branch(BranchCond::Eq, c, Reg(0), end);
+                self.free_temps_to(mark);
+                self.block(body, exit)?;
+                self.emit_jump(top);
+                self.bind(end);
+            }
+            Stmt::For {
+                var,
+                from,
+                to,
+                body,
+            } => {
+                let v = self.var(var)?;
+                let f = self.expr(from)?;
+                if v != f {
+                    self.emit(alu(AluOp::Add, v, f, Reg(0)));
+                }
+                self.free_temps_to(mark);
+                let top = self.new_label();
+                let end = self.new_label();
+                self.bind(top);
+                let limit = self.expr(to)?;
+                self.emit_branch(BranchCond::Ge, v, limit, end);
+                self.free_temps_to(mark);
+                self.block(body, exit)?;
+                self.emit(alui(AluOp::Add, v, v, 1));
+                self.emit_jump(top);
+                self.bind(end);
+            }
+            Stmt::Return(e) => {
+                let v = self.expr(e)?;
+                if v != RETURN_REG {
+                    self.emit(alu(AluOp::Add, RETURN_REG, v, Reg(0)));
+                }
+                self.emit_jump(exit);
+            }
+            Stmt::ExprStmt(e) => {
+                let _ = self.expr(e)?;
+            }
+        }
+        self.free_temps_to(mark);
+        Ok(())
+    }
+}
+
+fn alu(op: AluOp, dst: Reg, a: Reg, b: Reg) -> Op {
+    Op::Alu { op, dst, a, b }
+}
+
+fn alui(op: AluOp, dst: Reg, a: Reg, imm: i64) -> Op {
+    Op::AluI { op, dst, a, imm }
+}
+
+/// Compiles a mini-C function with the default array region size.
+pub fn compile(f: &Function) -> Result<CompiledProgram, CompileError> {
+    compile_with(f, DEFAULT_ARRAY_WORDS)
+}
+
+/// Compiles with an explicit per-array data-memory region size.
+pub fn compile_with(f: &Function, array_words: usize) -> Result<CompiledProgram, CompileError> {
+    let mut cg = Codegen::new(array_words);
+    // Parameters claim the first variable registers, in order.
+    for p in &f.params {
+        cg.var(p)?;
+    }
+    let exit = cg.new_label();
+    cg.block(&f.body, exit)?;
+    cg.bind(exit);
+    cg.emit(Op::Halt);
+    cg.patch();
+    Ok(CompiledProgram {
+        program: Program::new(cg.ops),
+        var_regs: cg.vars,
+        array_bases: cg.arrays,
+        array_words: cg.array_words,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::machine::Machine;
+    use rhv_params::softcore::SoftcoreSpec;
+    use rhv_quipu::parser::parse_function;
+
+    /// Compiles source, loads arrays/params, runs, returns the machine.
+    fn run(src: &str, params: &[(&str, i64)], arrays: &[(&str, &[i64])]) -> (Machine, CompiledProgram) {
+        let f = parse_function(src).expect("parses");
+        let c = compile(&f).expect("compiles");
+        c.program.validate(64).expect("valid program");
+        let mut m = Machine::new(SoftcoreSpec::rvex_4w());
+        for (name, data) in arrays {
+            let base = *c.array_bases.get(*name).unwrap_or_else(|| {
+                panic!("array {name} not used by kernel {:?}", c.array_bases)
+            });
+            m.load_mem(base, data).expect("fits");
+        }
+        for (name, v) in params {
+            let r = c.var_regs[*name];
+            m.set_reg(r, *v);
+        }
+        m.run(&c.program).expect("runs");
+        (m, c)
+    }
+
+    #[test]
+    fn return_of_arithmetic() {
+        let (m, _) = run("int f(int a, int b) { return a * b + 7; }", &[("a", 6), ("b", 9)], &[]);
+        assert_eq!(m.reg(RETURN_REG), 61);
+    }
+
+    #[test]
+    fn saxpy_from_source_runs() {
+        let src = r"
+            int saxpy(int a, int n) {
+                for (i = 0; i < n; i++) {
+                    y[i] = a * x[i] + y[i];
+                }
+                return 0;
+            }
+        ";
+        let x: Vec<i64> = (0..10).collect();
+        let y: Vec<i64> = (0..10).map(|v| 100 + v).collect();
+        let (m, c) = run(src, &[("a", 3), ("n", 10)], &[("x", &x), ("y", &y)]);
+        let ybase = c.array_bases["y"];
+        for i in 0..10 {
+            assert_eq!(m.mem()[ybase + i], 3 * i as i64 + (100 + i as i64));
+        }
+    }
+
+    #[test]
+    fn dot_product_matches_handwritten_kernel() {
+        let src = r"
+            int dot(int n) {
+                int acc = 0;
+                for (i = 0; i < n; i++) {
+                    acc = acc + a[i] * b[i];
+                }
+                return acc;
+            }
+        ";
+        let a: Vec<i64> = (1..=16).collect();
+        let b: Vec<i64> = (1..=16).map(|v| v * 2).collect();
+        let expected: i64 = a.iter().zip(&b).map(|(x, y)| x * y).sum();
+        let (m, _) = run(src, &[("n", 16)], &[("a", &a), ("b", &b)]);
+        assert_eq!(m.reg(RETURN_REG), expected);
+    }
+
+    #[test]
+    fn while_and_if_else() {
+        let src = r"
+            int collatz_steps(int x) {
+                int steps = 0;
+                while (x != 1) {
+                    if (x % 2 == 0) {
+                        x = x / 2;
+                    } else {
+                        x = 3 * x + 1;
+                    }
+                    steps = steps + 1;
+                }
+                return steps;
+            }
+        ";
+        let (m, _) = run(src, &[("x", 27)], &[]);
+        assert_eq!(m.reg(RETURN_REG), 111); // well-known Collatz length of 27
+    }
+
+    #[test]
+    fn division_and_modulo_semantics() {
+        for (a, b, q, r) in [(17i64, 5i64, 3i64, 2i64), (10, 10, 1, 0), (3, 7, 0, 3), (9, 0, 0, 9)] {
+            let (m, _) = run(
+                "int f(int a, int b) { return a / b; }",
+                &[("a", a), ("b", b)],
+                &[],
+            );
+            assert_eq!(m.reg(RETURN_REG), q, "{a}/{b}");
+            let (m, _) = run(
+                "int f(int a, int b) { return a % b; }",
+                &[("a", a), ("b", b)],
+                &[],
+            );
+            assert_eq!(m.reg(RETURN_REG), r, "{a}%{b}");
+        }
+    }
+
+    #[test]
+    fn comparisons_and_logic() {
+        let src = r"
+            int inrange(int x, int lo, int hi) {
+                if (x >= lo && x <= hi) {
+                    return 1;
+                }
+                return 0;
+            }
+        ";
+        for (x, expect) in [(5i64, 1i64), (1, 1), (9, 1), (0, 0), (10, 0)] {
+            let (m, _) = run(src, &[("x", x), ("lo", 1), ("hi", 9)], &[]);
+            assert_eq!(m.reg(RETURN_REG), expect, "x = {x}");
+        }
+        let src_or = "int f(int a, int b) { if (a || b) { return 1; } return 0; }";
+        for (a, b, expect) in [(0i64, 0i64, 0i64), (2, 0, 1), (0, 3, 1), (1, 1, 1)] {
+            let (m, _) = run(src_or, &[("a", a), ("b", b)], &[]);
+            assert_eq!(m.reg(RETURN_REG), expect);
+        }
+    }
+
+    #[test]
+    fn histogram_kernel_compiles_and_counts() {
+        let src = r"
+            int histogram(int n, int bins) {
+                for (i = 0; i < n; i++) {
+                    int bin = x[i] % bins;
+                    hist[bin] = hist[bin] + 1;
+                }
+                return 0;
+            }
+        ";
+        let data: Vec<i64> = vec![0, 1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11];
+        let (m, c) = run(src, &[("n", 12), ("bins", 4)], &[("x", &data)]);
+        let hbase = c.array_bases["hist"];
+        assert_eq!(&m.mem()[hbase..hbase + 4], &[3, 3, 3, 3]);
+    }
+
+    #[test]
+    fn early_return_skips_rest() {
+        let src = r"
+            int f(int x) {
+                if (x > 10) {
+                    return 100;
+                }
+                return 1;
+            }
+        ";
+        let (m, _) = run(src, &[("x", 50)], &[]);
+        assert_eq!(m.reg(RETURN_REG), 100);
+        let (m, _) = run(src, &[("x", 5)], &[]);
+        assert_eq!(m.reg(RETURN_REG), 1);
+    }
+
+    #[test]
+    fn nested_loops_matrix_sum() {
+        let src = r"
+            int trace_sum(int n) {
+                int acc = 0;
+                for (i = 0; i < n; i++) {
+                    for (j = 0; j < n; j++) {
+                        acc = acc + m[i * n + j];
+                    }
+                }
+                return acc;
+            }
+        ";
+        let mat: Vec<i64> = (1..=9).collect();
+        let (m, _) = run(src, &[("n", 3)], &[("m", &mat)]);
+        assert_eq!(m.reg(RETURN_REG), 45);
+    }
+
+    #[test]
+    fn calls_are_rejected() {
+        let f = parse_function("int f() { return g(1); }").unwrap();
+        assert_eq!(
+            compile(&f).unwrap_err(),
+            CompileError::CallUnsupported { name: "g".into() }
+        );
+    }
+
+    #[test]
+    fn array_layout_is_deterministic() {
+        let f = parse_function("int f(int n) { a[0] = b[0] + c[0]; return 0; }").unwrap();
+        let c = compile(&f).unwrap();
+        // first-appearance order: b and c (RHS evaluated first), then a.
+        let bases: Vec<(&str, usize)> = c
+            .array_bases
+            .iter()
+            .map(|(k, &v)| (k.as_str(), v))
+            .collect();
+        let mut by_base = bases.clone();
+        by_base.sort_by_key(|&(_, b)| b);
+        assert_eq!(by_base.len(), 3);
+        assert_eq!(by_base[0].1, 0);
+        assert_eq!(by_base[1].1, DEFAULT_ARRAY_WORDS);
+        assert_eq!(by_base[2].1, 2 * DEFAULT_ARRAY_WORDS);
+    }
+
+    #[test]
+    fn quipu_corpus_kernels_compile() {
+        // Every call-free corpus kernel must compile and validate.
+        use rhv_quipu::corpus;
+        for f in [
+            corpus::saxpy_kernel(),
+            corpus::fir_kernel(),
+            corpus::matmul_kernel(),
+            corpus::histogram_kernel(),
+            corpus::stencil_kernel(),
+            corpus::crc_kernel(),
+            corpus::reduce_max_kernel(),
+            corpus::prefix_sum_kernel(),
+            corpus::nw_cell_kernel(),
+            corpus::dot_kernel(),
+            corpus::butterfly_kernel(),
+            corpus::prdata_kernel(),
+        ] {
+            let c = compile(&f).unwrap_or_else(|e| panic!("{}: {e}", f.name));
+            c.program
+                .validate(64)
+                .unwrap_or_else(|e| panic!("{}: {e}", f.name));
+        }
+    }
+
+    #[test]
+    fn wider_cores_run_compiled_code_faster() {
+        let f = parse_function(
+            r"
+            int poly(int n) {
+                int acc = 0;
+                for (i = 0; i < n; i++) {
+                    acc = acc + a[i] * a[i] + b[i] * b[i] + a[i] * b[i];
+                }
+                return acc;
+            }
+        ",
+        )
+        .unwrap();
+        let c = compile(&f).unwrap();
+        let a: Vec<i64> = (0..48).collect();
+        let b: Vec<i64> = (0..48).map(|v| v + 1).collect();
+        let mut results = Vec::new();
+        for spec in [SoftcoreSpec::rvex_2w(), SoftcoreSpec::rvex_8w_2c()] {
+            let mut m = Machine::new(spec);
+            m.load_mem(c.array_bases["a"], &a).unwrap();
+            m.load_mem(c.array_bases["b"], &b).unwrap();
+            m.set_reg(c.var_regs["n"], 48);
+            let stats = m.run(&c.program).unwrap();
+            results.push((m.reg(RETURN_REG), stats.cycles));
+        }
+        assert_eq!(results[0].0, results[1].0, "same answer on both cores");
+        assert!(
+            results[1].1 < results[0].1,
+            "8-wide ({}) should beat 2-wide ({})",
+            results[1].1,
+            results[0].1
+        );
+    }
+}

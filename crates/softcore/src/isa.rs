@@ -1,0 +1,325 @@
+//! The soft-core instruction set.
+//!
+//! Operations are typed by the functional unit that executes them, because
+//! the VLIW packer must respect the configured FU counts (`alus`,
+//! `multipliers`, `mem_units` in the spec). Register `r0` is hardwired to
+//! zero, ρ-VEX/RISC style.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A register name (`r0` is hardwired zero).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct Reg(pub u8);
+
+impl fmt::Display for Reg {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "r{}", self.0)
+    }
+}
+
+/// Which functional unit executes an operation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum FuKind {
+    /// Integer ALU.
+    Alu,
+    /// Multiplier.
+    Mul,
+    /// Load/store unit.
+    Mem,
+    /// Branch/control (one per bundle).
+    Ctrl,
+}
+
+/// ALU operation selector.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum AluOp {
+    Add,
+    Sub,
+    And,
+    Or,
+    Xor,
+    Shl,
+    Shr,
+    /// Set `dst` to 1 when `a < b` (signed), else 0.
+    Slt,
+    /// Set `dst` to 1 when `a == b`, else 0.
+    Seq,
+}
+
+/// Branch condition.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum BranchCond {
+    /// Branch when `a == b`.
+    Eq,
+    /// Branch when `a != b`.
+    Ne,
+    /// Branch when `a < b` (signed).
+    Lt,
+    /// Branch when `a >= b` (signed).
+    Ge,
+}
+
+/// One machine operation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Op {
+    /// `dst = a (op) b`.
+    Alu {
+        op: AluOp,
+        dst: Reg,
+        a: Reg,
+        b: Reg,
+    },
+    /// `dst = a (op) imm`.
+    AluI {
+        op: AluOp,
+        dst: Reg,
+        a: Reg,
+        imm: i64,
+    },
+    /// `dst = a * b` (multiplier unit).
+    Mul { dst: Reg, a: Reg, b: Reg },
+    /// `dst = mem[addr + offset]` (word-addressed).
+    Load { dst: Reg, addr: Reg, offset: i64 },
+    /// `mem[addr + offset] = src`.
+    Store { src: Reg, addr: Reg, offset: i64 },
+    /// `dst = imm`.
+    MovI { dst: Reg, imm: i64 },
+    /// Conditional branch to absolute op index `target`.
+    Branch {
+        cond: BranchCond,
+        a: Reg,
+        b: Reg,
+        target: usize,
+    },
+    /// Unconditional jump to absolute op index.
+    Jump { target: usize },
+    /// Stop execution.
+    Halt,
+    /// No operation (ALU slot).
+    Nop,
+}
+
+impl Op {
+    /// The functional unit this operation occupies.
+    pub fn fu(&self) -> FuKind {
+        match self {
+            Op::Alu { .. } | Op::AluI { .. } | Op::MovI { .. } | Op::Nop => FuKind::Alu,
+            Op::Mul { .. } => FuKind::Mul,
+            Op::Load { .. } | Op::Store { .. } => FuKind::Mem,
+            Op::Branch { .. } | Op::Jump { .. } | Op::Halt => FuKind::Ctrl,
+        }
+    }
+
+    /// The register this operation writes, if any.
+    pub fn writes(&self) -> Option<Reg> {
+        match *self {
+            Op::Alu { dst, .. }
+            | Op::AluI { dst, .. }
+            | Op::Mul { dst, .. }
+            | Op::Load { dst, .. }
+            | Op::MovI { dst, .. } => Some(dst),
+            _ => None,
+        }
+    }
+
+    /// The registers this operation reads.
+    pub fn reads(&self) -> Vec<Reg> {
+        match *self {
+            Op::Alu { a, b, .. } | Op::Mul { a, b, .. } => vec![a, b],
+            Op::AluI { a, .. } => vec![a],
+            Op::Load { addr, .. } => vec![addr],
+            Op::Store { src, addr, .. } => vec![src, addr],
+            Op::Branch { a, b, .. } => vec![a, b],
+            Op::MovI { .. } | Op::Jump { .. } | Op::Halt | Op::Nop => vec![],
+        }
+    }
+
+    /// True for control-flow operations (at most one per bundle; they end a
+    /// basic block for the packer).
+    pub fn is_control(&self) -> bool {
+        self.fu() == FuKind::Ctrl
+    }
+
+    /// True when the operation touches data memory.
+    pub fn is_mem(&self) -> bool {
+        self.fu() == FuKind::Mem
+    }
+}
+
+impl fmt::Display for Op {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match *self {
+            Op::Alu { op, dst, a, b } => write!(f, "{} {dst}, {a}, {b}", alu_name(op)),
+            Op::AluI { op, dst, a, imm } => write!(f, "{}i {dst}, {a}, {imm}", alu_name(op)),
+            Op::Mul { dst, a, b } => write!(f, "mul {dst}, {a}, {b}"),
+            Op::Load { dst, addr, offset } => write!(f, "ld {dst}, {offset}({addr})"),
+            Op::Store { src, addr, offset } => write!(f, "st {src}, {offset}({addr})"),
+            Op::MovI { dst, imm } => write!(f, "movi {dst}, {imm}"),
+            Op::Branch { cond, a, b, target } => {
+                let c = match cond {
+                    BranchCond::Eq => "beq",
+                    BranchCond::Ne => "bne",
+                    BranchCond::Lt => "blt",
+                    BranchCond::Ge => "bge",
+                };
+                write!(f, "{c} {a}, {b}, @{target}")
+            }
+            Op::Jump { target } => write!(f, "jmp @{target}"),
+            Op::Halt => write!(f, "halt"),
+            Op::Nop => write!(f, "nop"),
+        }
+    }
+}
+
+fn alu_name(op: AluOp) -> &'static str {
+    match op {
+        AluOp::Add => "add",
+        AluOp::Sub => "sub",
+        AluOp::And => "and",
+        AluOp::Or => "or",
+        AluOp::Xor => "xor",
+        AluOp::Shl => "shl",
+        AluOp::Shr => "shr",
+        AluOp::Slt => "slt",
+        AluOp::Seq => "seq",
+    }
+}
+
+/// A sequential program: the packer turns it into bundles.
+#[derive(Debug, Clone, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct Program {
+    /// Operations in program order; branch targets are op indices.
+    pub ops: Vec<Op>,
+}
+
+impl Program {
+    /// Wraps an op list.
+    pub fn new(ops: Vec<Op>) -> Self {
+        Program { ops }
+    }
+
+    /// Number of operations.
+    pub fn len(&self) -> usize {
+        self.ops.len()
+    }
+
+    /// True when the program has no operations.
+    pub fn is_empty(&self) -> bool {
+        self.ops.is_empty()
+    }
+
+    /// Validates branch targets and register bounds against a register-file
+    /// size.
+    pub fn validate(&self, registers: u64) -> Result<(), String> {
+        for (i, op) in self.ops.iter().enumerate() {
+            if let Op::Branch { target, .. } | Op::Jump { target } = op {
+                if *target > self.ops.len() {
+                    return Err(format!("op {i}: branch target {target} out of range"));
+                }
+            }
+            for r in op.reads().into_iter().chain(op.writes()) {
+                if u64::from(r.0) >= registers {
+                    return Err(format!("op {i}: register {r} exceeds register file"));
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fu_typing() {
+        assert_eq!(
+            Op::Alu {
+                op: AluOp::Add,
+                dst: Reg(1),
+                a: Reg(2),
+                b: Reg(3)
+            }
+            .fu(),
+            FuKind::Alu
+        );
+        assert_eq!(
+            Op::Mul {
+                dst: Reg(1),
+                a: Reg(2),
+                b: Reg(3)
+            }
+            .fu(),
+            FuKind::Mul
+        );
+        assert_eq!(
+            Op::Load {
+                dst: Reg(1),
+                addr: Reg(2),
+                offset: 0
+            }
+            .fu(),
+            FuKind::Mem
+        );
+        assert!(Op::Halt.is_control());
+        assert!(Op::Store {
+            src: Reg(1),
+            addr: Reg(2),
+            offset: 0
+        }
+        .is_mem());
+    }
+
+    #[test]
+    fn read_write_sets() {
+        let op = Op::Alu {
+            op: AluOp::Add,
+            dst: Reg(1),
+            a: Reg(2),
+            b: Reg(3),
+        };
+        assert_eq!(op.writes(), Some(Reg(1)));
+        assert_eq!(op.reads(), vec![Reg(2), Reg(3)]);
+        let st = Op::Store {
+            src: Reg(4),
+            addr: Reg(5),
+            offset: 8,
+        };
+        assert_eq!(st.writes(), None);
+        assert_eq!(st.reads(), vec![Reg(4), Reg(5)]);
+        assert_eq!(Op::MovI { dst: Reg(7), imm: 3 }.reads(), vec![]);
+    }
+
+    #[test]
+    fn validate_rejects_bad_targets_and_registers() {
+        let p = Program::new(vec![Op::Jump { target: 99 }]);
+        assert!(p.validate(64).is_err());
+        let p = Program::new(vec![Op::MovI {
+            dst: Reg(70),
+            imm: 0,
+        }]);
+        assert!(p.validate(64).is_err());
+        assert!(p.validate(128).is_ok());
+    }
+
+    #[test]
+    fn display_forms() {
+        let op = Op::Branch {
+            cond: BranchCond::Lt,
+            a: Reg(1),
+            b: Reg(2),
+            target: 5,
+        };
+        assert_eq!(op.to_string(), "blt r1, r2, @5");
+        assert_eq!(
+            Op::Load {
+                dst: Reg(3),
+                addr: Reg(4),
+                offset: 16
+            }
+            .to_string(),
+            "ld r3, 16(r4)"
+        );
+    }
+}

@@ -1,0 +1,49 @@
+//! # rhv-softcore — a parameterizable soft-core VLIW processor
+//!
+//! The paper's *pre-determined hardware configuration* scenario runs kernels
+//! on a soft-core processor configured onto an RPE — its running example is
+//! the Delft ρ-VEX VLIW, which "can be adopted to several parameters such
+//! as, the number of issue slots, cluster cores, the number and types of
+//! functional units, or the number of memory units" (Sec. III-B1). The same
+//! soft-core is the *backward-compatibility fallback* of Sec. III-A: when no
+//! GPP is free, a software-only task can run on a soft-core CPU configured
+//! on an available RPE.
+//!
+//! Real soft-cores are a hardware gate; this crate substitutes a behavioural
+//! model that preserves what the framework observes — *executions really
+//! happen* and *the configuration parameters change performance*:
+//!
+//! * [`isa`] — a small RISC-flavoured operation set typed by functional
+//!   unit (ALU / MUL / MEM / CTRL);
+//! * [`asm`] — an assembler for a textual form with labels;
+//! * [`pack`] — a hazard-aware packer that schedules a sequential operation
+//!   stream into VLIW bundles honouring the core's issue width and FU
+//!   counts (this is where issue width buys cycles);
+//! * [`machine`] — a cycle-counting interpreter parameterized by
+//!   [`SoftcoreSpec`](rhv_params::softcore::SoftcoreSpec);
+//! * [`programs`] — ready-made kernels (vector ops, dot product, fib,
+//!   memcpy, matmul) used by examples, tests and the scaling bench.
+//!
+//! ```
+//! use rhv_params::softcore::SoftcoreSpec;
+//! use rhv_softcore::{machine::Machine, pack, programs};
+//!
+//! let prog = programs::dot_product(64);
+//! let narrow = Machine::run_program(&SoftcoreSpec::rvex_2w(), &prog, &[]).unwrap();
+//! let wide = Machine::run_program(&SoftcoreSpec::rvex_8w_2c(), &prog, &[]).unwrap();
+//! assert!(wide.cycles < narrow.cycles, "wider issue ⇒ fewer cycles");
+//! # let _ = pack::pack_program;
+//! ```
+
+pub mod asm;
+pub mod compile;
+pub mod isa;
+pub mod machine;
+pub mod pack;
+pub mod refinterp;
+pub mod programs;
+
+pub use asm::{assemble, AsmError};
+pub use compile::{compile, CompileError, CompiledProgram};
+pub use isa::{FuKind, Op, Program, Reg};
+pub use machine::{ExecStats, Machine, MachineError};

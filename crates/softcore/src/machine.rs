@@ -1,0 +1,484 @@
+//! The cycle-counting VLIW interpreter.
+//!
+//! [`Machine`] executes a [`PackedProgram`] under a
+//! [`SoftcoreSpec`]: one bundle per
+//! cycle, parallel-read semantics (every slot reads the register state from
+//! before the bundle), `r0` hardwired to zero, word-addressed data memory
+//! sized by the spec's `data_mem_kb`. [`ExecStats`] converts cycles into
+//! wall time at the configured clock, which is how the grid scheduler prices
+//! soft-core execution.
+
+use crate::isa::{AluOp, BranchCond, Op, Program, Reg};
+use crate::pack::{pack_program, PackedProgram};
+use rhv_params::softcore::SoftcoreSpec;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Execution outcome statistics.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ExecStats {
+    /// Cycles consumed (= bundles executed).
+    pub cycles: u64,
+    /// Operations executed (NOPs included).
+    pub ops_executed: u64,
+    /// Achieved instructions per cycle.
+    pub ipc: f64,
+    /// Wall time at the core's configured clock, in seconds.
+    pub seconds: f64,
+}
+
+/// Errors during execution.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum MachineError {
+    /// Program failed static validation.
+    InvalidProgram(String),
+    /// Data-memory access out of bounds.
+    MemFault {
+        /// Word address accessed.
+        addr: i64,
+        /// Words of data memory available.
+        mem_words: usize,
+    },
+    /// The cycle budget ran out (runaway loop guard).
+    FuelExhausted {
+        /// The budget that was exhausted.
+        budget: u64,
+    },
+    /// Program ran past its end without `halt`.
+    FellOffEnd,
+}
+
+impl fmt::Display for MachineError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MachineError::InvalidProgram(m) => write!(f, "invalid program: {m}"),
+            MachineError::MemFault { addr, mem_words } => {
+                write!(f, "memory fault at word {addr} (memory: {mem_words} words)")
+            }
+            MachineError::FuelExhausted { budget } => {
+                write!(f, "cycle budget {budget} exhausted")
+            }
+            MachineError::FellOffEnd => write!(f, "execution ran past program end"),
+        }
+    }
+}
+
+impl std::error::Error for MachineError {}
+
+/// The soft-core machine state.
+#[derive(Debug, Clone)]
+pub struct Machine {
+    spec: SoftcoreSpec,
+    regs: Vec<i64>,
+    mem: Vec<i64>,
+    fuel: u64,
+}
+
+/// Default cycle budget (generous; kernels here run in thousands of cycles).
+pub const DEFAULT_FUEL: u64 = 50_000_000;
+
+impl Machine {
+    /// A machine for `spec` with zeroed registers and memory.
+    pub fn new(spec: SoftcoreSpec) -> Self {
+        let regs = vec![0i64; spec.registers.max(1) as usize];
+        let mem_words = (spec.data_mem_kb as usize * 1024) / 8;
+        Machine {
+            spec,
+            regs,
+            mem: vec![0i64; mem_words],
+            fuel: DEFAULT_FUEL,
+        }
+    }
+
+    /// Overrides the runaway-loop cycle budget.
+    pub fn with_fuel(mut self, fuel: u64) -> Self {
+        self.fuel = fuel;
+        self
+    }
+
+    /// Read a register.
+    pub fn reg(&self, r: Reg) -> i64 {
+        if r.0 == 0 {
+            0
+        } else {
+            self.regs[r.0 as usize]
+        }
+    }
+
+    /// Write a register (writes to `r0` are discarded).
+    pub fn set_reg(&mut self, r: Reg, v: i64) {
+        if r.0 != 0 {
+            self.regs[r.0 as usize] = v;
+        }
+    }
+
+    /// Data memory (words).
+    pub fn mem(&self) -> &[i64] {
+        &self.mem
+    }
+
+    /// Writes `data` into data memory starting at word `base`.
+    pub fn load_mem(&mut self, base: usize, data: &[i64]) -> Result<(), MachineError> {
+        let end = base + data.len();
+        if end > self.mem.len() {
+            return Err(MachineError::MemFault {
+                addr: end as i64,
+                mem_words: self.mem.len(),
+            });
+        }
+        self.mem[base..end].copy_from_slice(data);
+        Ok(())
+    }
+
+    /// Validates, packs and runs a sequential program with `input` preloaded
+    /// at memory word 0. Returns statistics.
+    pub fn run_program(
+        spec: &SoftcoreSpec,
+        program: &Program,
+        input: &[i64],
+    ) -> Result<ExecStats, MachineError> {
+        let mut m = Machine::new(spec.clone());
+        m.load_mem(0, input)?;
+        m.run(program)
+    }
+
+    /// Validates, packs and executes `program` on this machine.
+    pub fn run(&mut self, program: &Program) -> Result<ExecStats, MachineError> {
+        program
+            .validate(self.spec.registers)
+            .map_err(MachineError::InvalidProgram)?;
+        let packed = pack_program(program, &self.spec);
+        self.run_packed(program, &packed)
+    }
+
+    /// Executes an already-packed program.
+    pub fn run_packed(
+        &mut self,
+        program: &Program,
+        packed: &PackedProgram,
+    ) -> Result<ExecStats, MachineError> {
+        let mut cycles: u64 = 0;
+        let mut ops_executed: u64 = 0;
+        let mut bi = 0usize; // bundle index
+
+        while bi < packed.bundles.len() {
+            if cycles >= self.fuel {
+                return Err(MachineError::FuelExhausted { budget: self.fuel });
+            }
+            cycles += 1;
+            let bundle = &packed.bundles[bi];
+            // Parallel-read semantics: stage all effects, then commit.
+            let mut reg_writes: Vec<(Reg, i64)> = Vec::with_capacity(bundle.len());
+            let mut mem_writes: Vec<(usize, i64)> = Vec::new();
+            let mut next: Option<usize> = None; // bundle index override
+            let mut halted = false;
+
+            for &(_, op) in &bundle.ops {
+                ops_executed += 1;
+                match op {
+                    Op::Alu { op, dst, a, b } => {
+                        reg_writes.push((dst, alu_eval(op, self.reg(a), self.reg(b))));
+                    }
+                    Op::AluI { op, dst, a, imm } => {
+                        reg_writes.push((dst, alu_eval(op, self.reg(a), imm)));
+                    }
+                    Op::Mul { dst, a, b } => {
+                        reg_writes.push((dst, self.reg(a).wrapping_mul(self.reg(b))));
+                    }
+                    Op::MovI { dst, imm } => reg_writes.push((dst, imm)),
+                    Op::Load { dst, addr, offset } => {
+                        let a = self.mem_addr(self.reg(addr) + offset)?;
+                        reg_writes.push((dst, self.mem[a]));
+                    }
+                    Op::Store { src, addr, offset } => {
+                        let a = self.mem_addr(self.reg(addr) + offset)?;
+                        mem_writes.push((a, self.reg(src)));
+                    }
+                    Op::Branch { cond, a, b, target } => {
+                        let taken = match cond {
+                            BranchCond::Eq => self.reg(a) == self.reg(b),
+                            BranchCond::Ne => self.reg(a) != self.reg(b),
+                            BranchCond::Lt => self.reg(a) < self.reg(b),
+                            BranchCond::Ge => self.reg(a) >= self.reg(b),
+                        };
+                        if taken {
+                            next = Some(self.target_bundle(packed, program, target)?);
+                        }
+                    }
+                    Op::Jump { target } => {
+                        next = Some(self.target_bundle(packed, program, target)?);
+                    }
+                    Op::Halt => halted = true,
+                    Op::Nop => {}
+                }
+            }
+            for (r, v) in reg_writes {
+                self.set_reg(r, v);
+            }
+            for (a, v) in mem_writes {
+                self.mem[a] = v;
+            }
+            if halted {
+                let ipc = ops_executed as f64 / cycles as f64;
+                return Ok(ExecStats {
+                    cycles,
+                    ops_executed,
+                    ipc,
+                    seconds: cycles as f64 / (self.spec.clock_mhz * 1e6),
+                });
+            }
+            bi = match next {
+                Some(n) => n,
+                None => bi + 1,
+            };
+        }
+        Err(MachineError::FellOffEnd)
+    }
+
+    fn mem_addr(&self, addr: i64) -> Result<usize, MachineError> {
+        if addr < 0 || addr as usize >= self.mem.len() {
+            Err(MachineError::MemFault {
+                addr,
+                mem_words: self.mem.len(),
+            })
+        } else {
+            Ok(addr as usize)
+        }
+    }
+
+    fn target_bundle(
+        &self,
+        packed: &PackedProgram,
+        program: &Program,
+        target: usize,
+    ) -> Result<usize, MachineError> {
+        if target == program.ops.len() {
+            // Branch to end = fall off; treated as past-the-end bundle.
+            Ok(packed.bundles.len())
+        } else if target < program.ops.len() {
+            Ok(packed.bundle_of[target])
+        } else {
+            Err(MachineError::InvalidProgram(format!(
+                "branch target {target} out of range"
+            )))
+        }
+    }
+}
+
+fn alu_eval(op: AluOp, a: i64, b: i64) -> i64 {
+    match op {
+        AluOp::Add => a.wrapping_add(b),
+        AluOp::Sub => a.wrapping_sub(b),
+        AluOp::And => a & b,
+        AluOp::Or => a | b,
+        AluOp::Xor => a ^ b,
+        AluOp::Shl => a.wrapping_shl((b & 63) as u32),
+        AluOp::Shr => (a as u64).wrapping_shr((b & 63) as u32) as i64,
+        AluOp::Slt => i64::from(a < b),
+        AluOp::Seq => i64::from(a == b),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::programs;
+
+    #[test]
+    fn fibonacci_computes_correctly() {
+        let spec = SoftcoreSpec::rvex_2w();
+        let prog = programs::fibonacci(20);
+        let mut m = Machine::new(spec);
+        m.run(&prog).unwrap();
+        // Result convention: r1 holds fib(n).
+        assert_eq!(m.reg(Reg(1)), 6_765);
+    }
+
+    #[test]
+    fn vector_sum_sums_memory() {
+        let spec = SoftcoreSpec::rvex_4w();
+        let data: Vec<i64> = (1..=32).collect();
+        let prog = programs::vector_sum(32);
+        let mut m = Machine::new(spec);
+        m.load_mem(0, &data).unwrap();
+        m.run(&prog).unwrap();
+        assert_eq!(m.reg(Reg(1)), (1..=32).sum::<i64>());
+    }
+
+    #[test]
+    fn dot_product_result_and_width_scaling() {
+        let a: Vec<i64> = (0..64).collect();
+        let b: Vec<i64> = (0..64).map(|x| 2 * x).collect();
+        let expected: i64 = a.iter().zip(&b).map(|(x, y)| x * y).sum();
+        let prog = programs::dot_product(64);
+        let mut input = a.clone();
+        input.extend(&b);
+
+        let mut m2 = Machine::new(SoftcoreSpec::rvex_2w());
+        m2.load_mem(0, &input).unwrap();
+        let s2 = m2.run(&prog).unwrap();
+        assert_eq!(m2.reg(Reg(1)), expected);
+
+        let mut m8 = Machine::new(SoftcoreSpec::rvex_8w_2c());
+        m8.load_mem(0, &input).unwrap();
+        let s8 = m8.run(&prog).unwrap();
+        assert_eq!(m8.reg(Reg(1)), expected);
+
+        assert!(s8.cycles < s2.cycles, "{} !< {}", s8.cycles, s2.cycles);
+        // Same ops either way; identical results, different schedules.
+        assert_eq!(s2.ops_executed, s8.ops_executed);
+    }
+
+    #[test]
+    fn memcpy_moves_data() {
+        let spec = SoftcoreSpec::rvex_4w();
+        let prog = programs::memcpy(16, 0, 100);
+        let data: Vec<i64> = (10..26).collect();
+        let mut m = Machine::new(spec);
+        m.load_mem(0, &data).unwrap();
+        m.run(&prog).unwrap();
+        assert_eq!(&m.mem()[100..116], data.as_slice());
+    }
+
+    #[test]
+    fn matmul_small() {
+        // 3x3 identity × arbitrary = arbitrary
+        let n = 3usize;
+        let ident = [1i64, 0, 0, 0, 1, 0, 0, 0, 1];
+        let b: Vec<i64> = (1..=9).collect();
+        let prog = programs::matmul(n);
+        let mut m = Machine::new(SoftcoreSpec::rvex_4w());
+        m.load_mem(0, &ident).unwrap();
+        m.load_mem(n * n, &b).unwrap();
+        m.run(&prog).unwrap();
+        let c_base = 2 * n * n;
+        assert_eq!(&m.mem()[c_base..c_base + 9], b.as_slice());
+    }
+
+    #[test]
+    fn mem_fault_detected() {
+        let spec = SoftcoreSpec::rvex_2w();
+        let prog = Program::new(vec![
+            Op::MovI {
+                dst: Reg(2),
+                imm: -1,
+            },
+            Op::Load {
+                dst: Reg(1),
+                addr: Reg(2),
+                offset: 0,
+            },
+            Op::Halt,
+        ]);
+        let err = Machine::new(spec).run(&prog).unwrap_err();
+        assert!(matches!(err, MachineError::MemFault { addr: -1, .. }));
+    }
+
+    #[test]
+    fn runaway_loop_hits_fuel() {
+        let spec = SoftcoreSpec::rvex_2w();
+        let prog = Program::new(vec![Op::Jump { target: 0 }]);
+        let err = Machine::new(spec).with_fuel(1_000).run(&prog).unwrap_err();
+        assert_eq!(err, MachineError::FuelExhausted { budget: 1_000 });
+    }
+
+    #[test]
+    fn missing_halt_is_an_error() {
+        let spec = SoftcoreSpec::rvex_2w();
+        let prog = Program::new(vec![Op::MovI {
+            dst: Reg(1),
+            imm: 7,
+        }]);
+        assert_eq!(
+            Machine::new(spec).run(&prog).unwrap_err(),
+            MachineError::FellOffEnd
+        );
+    }
+
+    #[test]
+    fn r0_is_hardwired_zero() {
+        let spec = SoftcoreSpec::rvex_2w();
+        let prog = Program::new(vec![
+            Op::MovI {
+                dst: Reg(0),
+                imm: 42,
+            },
+            Op::AluI {
+                op: AluOp::Add,
+                dst: Reg(1),
+                a: Reg(0),
+                imm: 1,
+            },
+            Op::Halt,
+        ]);
+        let mut m = Machine::new(spec);
+        m.run(&prog).unwrap();
+        assert_eq!(m.reg(Reg(0)), 0);
+        assert_eq!(m.reg(Reg(1)), 1);
+    }
+
+    #[test]
+    fn stats_are_consistent() {
+        let prog = programs::vector_sum(8);
+        let spec = SoftcoreSpec::rvex_2w();
+        let stats = Machine::run_program(&spec, &prog, &[1, 2, 3, 4, 5, 6, 7, 8]).unwrap();
+        assert!(stats.cycles > 0);
+        assert!(stats.ops_executed >= stats.cycles); // IPC >= 1 impossible? no: >= 0
+        assert!((stats.ipc - stats.ops_executed as f64 / stats.cycles as f64).abs() < 1e-12);
+        assert!((stats.seconds - stats.cycles as f64 / (spec.clock_mhz * 1e6)).abs() < 1e-18);
+    }
+
+    #[test]
+    fn branch_to_program_end_halts_cleanly() {
+        let prog = Program::new(vec![
+            Op::MovI { dst: Reg(1), imm: 1 },
+            Op::Branch {
+                cond: BranchCond::Eq,
+                a: Reg(0),
+                b: Reg(0),
+                target: 3,
+            },
+            Op::Halt,
+        ]);
+        // Branch target == ops.len() → falls past the end → FellOffEnd.
+        let err = Machine::new(SoftcoreSpec::rvex_2w()).run(&prog).unwrap_err();
+        assert_eq!(err, MachineError::FellOffEnd);
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use crate::programs;
+    use proptest::prelude::*;
+
+    proptest! {
+        /// vector_sum computes the exact sum for arbitrary data, on every
+        /// canonical core configuration.
+        #[test]
+        fn vector_sum_correct(data in prop::collection::vec(-1_000i64..1_000, 1..64)) {
+            let n = data.len();
+            let prog = programs::vector_sum(n);
+            for spec in [
+                SoftcoreSpec::rvex_2w(),
+                SoftcoreSpec::rvex_4w(),
+                SoftcoreSpec::rvex_8w_2c(),
+            ] {
+                let mut m = Machine::new(spec);
+                m.load_mem(0, &data).unwrap();
+                m.run(&prog).unwrap();
+                prop_assert_eq!(m.reg(Reg(1)), data.iter().sum::<i64>());
+            }
+        }
+
+        /// Execution is deterministic: same program + input ⇒ same stats.
+        #[test]
+        fn deterministic(data in prop::collection::vec(0i64..100, 1..32)) {
+            let prog = programs::vector_sum(data.len());
+            let spec = SoftcoreSpec::rvex_4w();
+            let a = Machine::run_program(&spec, &prog, &data).unwrap();
+            let b = Machine::run_program(&spec, &prog, &data).unwrap();
+            prop_assert_eq!(a, b);
+        }
+    }
+}

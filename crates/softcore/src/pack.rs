@@ -1,0 +1,430 @@
+//! Hazard-aware VLIW bundle packing.
+//!
+//! The performance knob of the ρ-VEX-style core is its issue width and FU
+//! mix: the packer schedules a sequential operation stream into bundles
+//! (one bundle per cycle) such that
+//!
+//! * a bundle holds at most `issue_width` operations;
+//! * per-FU counts respect the configuration (`alus`, `multipliers`,
+//!   `mem_units`; at most one control op, and it must end the bundle);
+//! * no RAW/WAW/WAR hazard exists *within* a bundle (all reads observe
+//!   pre-bundle register state, so two writers to one register or a read of
+//!   a same-bundle write are forbidden);
+//! * memory operations keep their program order (loads may not pass stores
+//!   and stores may not pass anything — conservative, no alias analysis);
+//! * packing never crosses basic-block boundaries (labels/branch targets).
+//!
+//! The result is a [`PackedProgram`] whose bundle count the interpreter
+//! turns into cycles.
+
+use crate::isa::{FuKind, Op, Program};
+use rhv_params::softcore::SoftcoreSpec;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeSet;
+
+/// One VLIW bundle: the ops issued in a single cycle.
+#[derive(Debug, Clone, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct Bundle {
+    /// `(original op index, op)` pairs, in issue order.
+    pub ops: Vec<(usize, Op)>,
+}
+
+impl Bundle {
+    /// Number of occupied slots.
+    pub fn len(&self) -> usize {
+        self.ops.len()
+    }
+
+    /// True when no op was packed (should not occur in valid output).
+    pub fn is_empty(&self) -> bool {
+        self.ops.is_empty()
+    }
+}
+
+/// A program scheduled into bundles.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PackedProgram {
+    /// The bundles, in execution order.
+    pub bundles: Vec<Bundle>,
+    /// For each original op index, the bundle that contains it.
+    pub bundle_of: Vec<usize>,
+}
+
+impl PackedProgram {
+    /// Total issue slots used vs available — the sustained IPC measure.
+    pub fn slot_utilization(&self, issue_width: u64) -> f64 {
+        if self.bundles.is_empty() {
+            return 0.0;
+        }
+        let used: usize = self.bundles.iter().map(Bundle::len).sum();
+        used as f64 / (self.bundles.len() as f64 * issue_width as f64)
+    }
+}
+
+/// Packs `program` for `spec`, returning the bundled schedule.
+///
+/// Packing is greedy within each basic block: each op is appended to the
+/// current bundle unless width, FU budget, a hazard, or memory ordering
+/// forbids it, in which case a new bundle starts.
+pub fn pack_program(program: &Program, spec: &SoftcoreSpec) -> PackedProgram {
+    let leaders = block_leaders(program);
+    let width = spec.issue_width.max(1) as usize;
+
+    let mut bundles: Vec<Bundle> = Vec::new();
+    let mut bundle_of: Vec<usize> = vec![0; program.ops.len()];
+
+    let mut cur = Bundle::default();
+    let mut cur_writes: BTreeSet<u8> = BTreeSet::new();
+    let mut cur_reads: BTreeSet<u8> = BTreeSet::new();
+    let mut cur_fu = [0usize; 3]; // alu, mul, mem
+    let mut cur_has_store = false;
+    let mut cur_has_mem = false;
+
+    macro_rules! flush {
+        () => {
+            if !cur.is_empty() {
+                bundles.push(std::mem::take(&mut cur));
+                cur_writes.clear();
+                cur_reads.clear();
+                cur_fu = [0; 3];
+                cur_has_store = false;
+                cur_has_mem = false;
+            }
+        };
+    }
+
+    for (i, &op) in program.ops.iter().enumerate() {
+        // A block leader always starts a fresh bundle.
+        if leaders.contains(&i) {
+            flush!();
+        }
+        let fits = fits_in_bundle(
+            &op,
+            &cur,
+            width,
+            spec,
+            &cur_writes,
+            &cur_reads,
+            &cur_fu,
+            cur_has_store,
+            cur_has_mem,
+        );
+        if !fits {
+            flush!();
+        }
+        // Account the op into the (possibly fresh) bundle.
+        match op.fu() {
+            FuKind::Alu => cur_fu[0] += 1,
+            FuKind::Mul => cur_fu[1] += 1,
+            FuKind::Mem => cur_fu[2] += 1,
+            FuKind::Ctrl => {}
+        }
+        if matches!(op, Op::Store { .. }) {
+            cur_has_store = true;
+        }
+        if op.is_mem() {
+            cur_has_mem = true;
+        }
+        if let Some(w) = op.writes() {
+            cur_writes.insert(w.0);
+        }
+        for r in op.reads() {
+            cur_reads.insert(r.0);
+        }
+        bundle_of[i] = bundles.len();
+        cur.ops.push((i, op));
+        // Control ops terminate the bundle.
+        if op.is_control() {
+            flush!();
+        }
+    }
+    flush!();
+    // The trailing flush's state resets are intentionally unread.
+    let _ = (cur_fu, cur_has_store, cur_has_mem, cur_writes, cur_reads);
+
+    PackedProgram { bundles, bundle_of }
+}
+
+#[allow(clippy::too_many_arguments)]
+fn fits_in_bundle(
+    op: &Op,
+    cur: &Bundle,
+    width: usize,
+    spec: &SoftcoreSpec,
+    cur_writes: &BTreeSet<u8>,
+    cur_reads: &BTreeSet<u8>,
+    cur_fu: &[usize; 3],
+    cur_has_store: bool,
+    cur_has_mem: bool,
+) -> bool {
+    if cur.len() >= width {
+        return false;
+    }
+    // FU budget.
+    let ok_fu = match op.fu() {
+        FuKind::Alu => cur_fu[0] < spec.alus.max(1) as usize,
+        FuKind::Mul => cur_fu[1] < spec.multipliers as usize,
+        FuKind::Mem => cur_fu[2] < spec.mem_units as usize,
+        FuKind::Ctrl => true, // control always allowed; it closes the bundle
+    };
+    if !ok_fu {
+        return false;
+    }
+    // RAW: op reads a register written earlier in this bundle.
+    if op.reads().iter().any(|r| cur_writes.contains(&r.0)) {
+        return false;
+    }
+    if let Some(w) = op.writes() {
+        // WAW: two writers to one register in one cycle.
+        if cur_writes.contains(&w.0) {
+            return false;
+        }
+        // WAR within a bundle is actually fine under parallel-read
+        // semantics, but writing a register another slot reads keeps the
+        // schedule valid on simpler register files too — forbid it.
+        if cur_reads.contains(&w.0) {
+            return false;
+        }
+    }
+    // Memory ordering: a store may not join a bundle that already has any
+    // memory op; a load may not join a bundle containing a store.
+    if matches!(op, Op::Store { .. }) && cur_has_mem {
+        return false;
+    }
+    if matches!(op, Op::Load { .. }) && cur_has_store {
+        return false;
+    }
+    true
+}
+
+/// Basic-block leader indices: op 0, branch targets, and ops following a
+/// control op.
+fn block_leaders(program: &Program) -> BTreeSet<usize> {
+    let mut leaders = BTreeSet::new();
+    leaders.insert(0);
+    for (i, op) in program.ops.iter().enumerate() {
+        match op {
+            Op::Branch { target, .. } | Op::Jump { target } => {
+                leaders.insert(*target);
+                leaders.insert(i + 1);
+            }
+            Op::Halt => {
+                leaders.insert(i + 1);
+            }
+            _ => {}
+        }
+    }
+    leaders
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::isa::{AluOp, Reg};
+
+    fn add(dst: u8, a: u8, b: u8) -> Op {
+        Op::Alu {
+            op: AluOp::Add,
+            dst: Reg(dst),
+            a: Reg(a),
+            b: Reg(b),
+        }
+    }
+
+    #[test]
+    fn independent_ops_pack_together() {
+        // Four independent adds pack into one 4-wide bundle.
+        let p = Program::new(vec![add(1, 0, 0), add(2, 0, 0), add(3, 0, 0), add(4, 0, 0)]);
+        let packed = pack_program(&p, &rhv_params::softcore::SoftcoreSpec::rvex_4w());
+        assert_eq!(packed.bundles.len(), 1);
+        assert_eq!(packed.bundles[0].len(), 4);
+    }
+
+    #[test]
+    fn raw_hazard_splits_bundles() {
+        // r2 depends on r1: must take two cycles even on a wide core.
+        let p = Program::new(vec![add(1, 0, 0), add(2, 1, 1)]);
+        let packed = pack_program(&p, &rhv_params::softcore::SoftcoreSpec::rvex_8w_2c());
+        assert_eq!(packed.bundles.len(), 2);
+    }
+
+    #[test]
+    fn waw_hazard_splits_bundles() {
+        let p = Program::new(vec![add(1, 0, 0), add(1, 2, 2)]);
+        let packed = pack_program(&p, &rhv_params::softcore::SoftcoreSpec::rvex_8w_2c());
+        assert_eq!(packed.bundles.len(), 2);
+    }
+
+    #[test]
+    fn issue_width_limits_parallelism() {
+        let ops: Vec<Op> = (1..=8).map(|i| add(i, 0, 0)).collect();
+        let p = Program::new(ops);
+        let two = pack_program(&p, &rhv_params::softcore::SoftcoreSpec::rvex_2w());
+        let eight = pack_program(&p, &rhv_params::softcore::SoftcoreSpec::rvex_8w_2c());
+        assert_eq!(two.bundles.len(), 4);
+        assert_eq!(eight.bundles.len(), 1);
+    }
+
+    #[test]
+    fn mul_units_limit_multiplies() {
+        let muls: Vec<Op> = (1..=4)
+            .map(|i| Op::Mul {
+                dst: Reg(i),
+                a: Reg(0),
+                b: Reg(0),
+            })
+            .collect();
+        let p = Program::new(muls);
+        // rvex_2w has 1 multiplier: one mul per cycle.
+        let packed = pack_program(&p, &rhv_params::softcore::SoftcoreSpec::rvex_2w());
+        assert_eq!(packed.bundles.len(), 4);
+        // rvex_8w_2c has 4 multipliers: all in one cycle.
+        let packed = pack_program(&p, &rhv_params::softcore::SoftcoreSpec::rvex_8w_2c());
+        assert_eq!(packed.bundles.len(), 1);
+    }
+
+    #[test]
+    fn control_ops_end_bundles_and_start_blocks() {
+        let p = Program::new(vec![
+            add(1, 0, 0),
+            Op::Jump { target: 3 },
+            add(2, 0, 0), // unreachable, separate block
+            add(3, 0, 0), // branch target: new block leader
+        ]);
+        let packed = pack_program(&p, &rhv_params::softcore::SoftcoreSpec::rvex_8w_2c());
+        // bundle 0: add+jmp; bundle 1: add(2); bundle 2: add(3)
+        assert_eq!(packed.bundles.len(), 3);
+        assert!(packed.bundles[0].ops.iter().any(|(_, o)| o.is_control()));
+    }
+
+    #[test]
+    fn stores_do_not_reorder_with_loads() {
+        let p = Program::new(vec![
+            Op::Load {
+                dst: Reg(1),
+                addr: Reg(0),
+                offset: 0,
+            },
+            Op::Store {
+                src: Reg(2),
+                addr: Reg(0),
+                offset: 0,
+            },
+            Op::Load {
+                dst: Reg(3),
+                addr: Reg(0),
+                offset: 0,
+            },
+        ]);
+        // Even with 2 mem units, the store must not share with the load.
+        let packed = pack_program(&p, &rhv_params::softcore::SoftcoreSpec::rvex_8w_2c());
+        assert_eq!(packed.bundles.len(), 3);
+    }
+
+    #[test]
+    fn bundle_of_is_monotone_and_consistent() {
+        let p = Program::new(vec![add(1, 0, 0), add(2, 1, 0), add(3, 2, 0)]);
+        let packed = pack_program(&p, &rhv_params::softcore::SoftcoreSpec::rvex_4w());
+        for w in packed.bundle_of.windows(2) {
+            assert!(w[0] <= w[1]);
+        }
+        for (bi, b) in packed.bundles.iter().enumerate() {
+            for (i, _) in &b.ops {
+                assert_eq!(packed.bundle_of[*i], bi);
+            }
+        }
+    }
+
+    #[test]
+    fn slot_utilization() {
+        let p = Program::new(vec![add(1, 0, 0), add(2, 0, 0)]);
+        let packed = pack_program(&p, &rhv_params::softcore::SoftcoreSpec::rvex_4w());
+        assert!((packed.slot_utilization(4) - 0.5).abs() < 1e-12);
+        let empty = pack_program(&Program::default(), &rhv_params::softcore::SoftcoreSpec::rvex_4w());
+        assert_eq!(empty.slot_utilization(4), 0.0);
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use crate::isa::{AluOp, Reg};
+    use proptest::prelude::*;
+
+    fn op_strategy() -> impl Strategy<Value = Op> {
+        prop_oneof![
+            (0u8..16, 0u8..16, 0u8..16).prop_map(|(d, a, b)| Op::Alu {
+                op: AluOp::Add,
+                dst: Reg(d),
+                a: Reg(a),
+                b: Reg(b)
+            }),
+            (0u8..16, 0u8..16, 0u8..16).prop_map(|(d, a, b)| Op::Mul {
+                dst: Reg(d),
+                a: Reg(a),
+                b: Reg(b)
+            }),
+            (0u8..16, 0u8..16).prop_map(|(d, a)| Op::Load {
+                dst: Reg(d),
+                addr: Reg(a),
+                offset: 0
+            }),
+            (0u8..16, 0u8..16).prop_map(|(s, a)| Op::Store {
+                src: Reg(s),
+                addr: Reg(a),
+                offset: 0
+            }),
+            (0u8..16, -50i64..50).prop_map(|(d, imm)| Op::MovI { dst: Reg(d), imm }),
+        ]
+    }
+
+    proptest! {
+        /// Packed output preserves every op exactly once, in program order
+        /// within each bundle sequence, and respects width/FU/hazard rules.
+        #[test]
+        fn packing_is_valid(ops in prop::collection::vec(op_strategy(), 1..80)) {
+            let spec = rhv_params::softcore::SoftcoreSpec::rvex_4w();
+            let p = Program::new(ops.clone());
+            let packed = pack_program(&p, &spec);
+            // every op exactly once, order preserved
+            let flat: Vec<usize> = packed
+                .bundles
+                .iter()
+                .flat_map(|b| b.ops.iter().map(|(i, _)| *i))
+                .collect();
+            prop_assert_eq!(&flat, &(0..ops.len()).collect::<Vec<_>>());
+            for b in &packed.bundles {
+                prop_assert!(b.len() <= spec.issue_width as usize);
+                let mut writes = std::collections::BTreeSet::new();
+                let mut fu = [0usize; 3];
+                for (_, op) in &b.ops {
+                    for r in op.reads() {
+                        prop_assert!(!writes.contains(&r.0), "RAW within bundle");
+                    }
+                    if let Some(w) = op.writes() {
+                        prop_assert!(writes.insert(w.0), "WAW within bundle");
+                    }
+                    match op.fu() {
+                        FuKind::Alu => fu[0] += 1,
+                        FuKind::Mul => fu[1] += 1,
+                        FuKind::Mem => fu[2] += 1,
+                        FuKind::Ctrl => {}
+                    }
+                }
+                prop_assert!(fu[0] <= spec.alus as usize);
+                prop_assert!(fu[1] <= spec.multipliers as usize);
+                prop_assert!(fu[2] <= spec.mem_units as usize);
+            }
+        }
+
+        /// A wider core never needs more bundles than a narrower one with
+        /// the same FU ratios.
+        #[test]
+        fn wider_is_never_worse(ops in prop::collection::vec(op_strategy(), 1..60)) {
+            let p = Program::new(ops);
+            let narrow = pack_program(&p, &rhv_params::softcore::SoftcoreSpec::rvex_2w());
+            let wide = pack_program(&p, &rhv_params::softcore::SoftcoreSpec::rvex_8w_2c());
+            prop_assert!(wide.bundles.len() <= narrow.bundles.len());
+        }
+    }
+}

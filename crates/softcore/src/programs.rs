@@ -1,0 +1,245 @@
+//! Ready-made kernels for the soft-core.
+//!
+//! These are the "software kernels (FFTs, filters, multipliers etc.)
+//! optimized for VLIW" of Sec. III-B1, scaled to what examples and benches
+//! need. Conventions: results in `r1`; inputs preloaded at data-memory
+//! word 0 unless stated otherwise.
+
+use crate::isa::{AluOp, BranchCond, Op, Program, Reg};
+
+fn movi(dst: u8, imm: i64) -> Op {
+    Op::MovI { dst: Reg(dst), imm }
+}
+
+fn add(dst: u8, a: u8, b: u8) -> Op {
+    Op::Alu {
+        op: AluOp::Add,
+        dst: Reg(dst),
+        a: Reg(a),
+        b: Reg(b),
+    }
+}
+
+fn addi(dst: u8, a: u8, imm: i64) -> Op {
+    Op::AluI {
+        op: AluOp::Add,
+        dst: Reg(dst),
+        a: Reg(a),
+        imm,
+    }
+}
+
+fn mul(dst: u8, a: u8, b: u8) -> Op {
+    Op::Mul {
+        dst: Reg(dst),
+        a: Reg(a),
+        b: Reg(b),
+    }
+}
+
+fn ld(dst: u8, addr: u8, offset: i64) -> Op {
+    Op::Load {
+        dst: Reg(dst),
+        addr: Reg(addr),
+        offset,
+    }
+}
+
+fn st(src: u8, addr: u8, offset: i64) -> Op {
+    Op::Store {
+        src: Reg(src),
+        addr: Reg(addr),
+        offset,
+    }
+}
+
+fn blt(a: u8, b: u8, target: usize) -> Op {
+    Op::Branch {
+        cond: BranchCond::Lt,
+        a: Reg(a),
+        b: Reg(b),
+        target,
+    }
+}
+
+/// Sums `mem[0..n]` into `r1`.
+pub fn vector_sum(n: usize) -> Program {
+    Program::new(vec![
+        movi(1, 0),              // 0: acc = 0
+        movi(2, 0),              // 1: i = 0
+        movi(3, n as i64),       // 2: limit
+        ld(4, 2, 0),             // 3: loop: r4 = mem[i]
+        add(1, 1, 4),            // 4: acc += r4
+        addi(2, 2, 1),           // 5: i += 1
+        blt(2, 3, 3),            // 6: if i < n goto 3
+        Op::Halt,                // 7
+    ])
+}
+
+/// Dot product of `mem[0..n]` and `mem[n..2n]` into `r1`.
+pub fn dot_product(n: usize) -> Program {
+    Program::new(vec![
+        movi(1, 0),              // 0: acc
+        movi(2, 0),              // 1: i
+        movi(3, n as i64),       // 2: limit
+        ld(4, 2, 0),             // 3: loop: a[i]
+        addi(5, 2, n as i64),    // 4: &b[i]
+        ld(6, 5, 0),             // 5: b[i]
+        mul(7, 4, 6),            // 6: a[i]*b[i]
+        add(1, 1, 7),            // 7: acc += …
+        addi(2, 2, 1),           // 8: i += 1
+        blt(2, 3, 3),            // 9: loop
+        Op::Halt,                // 10
+    ])
+}
+
+/// Iterative Fibonacci: leaves `fib(n)` in `r1`.
+pub fn fibonacci(n: u64) -> Program {
+    Program::new(vec![
+        movi(1, 0),                       // 0: fib(0)
+        movi(2, 1),                       // 1: fib(1)
+        movi(3, 0),                       // 2: i
+        movi(4, n as i64),                // 3: n
+        Op::Branch {
+            cond: BranchCond::Eq,
+            a: Reg(3),
+            b: Reg(4),
+            target: 10,
+        },                                // 4: while i != n
+        add(5, 1, 2),                     // 5: t = a + b
+        add(1, 2, 0),                     // 6: a = b
+        add(2, 5, 0),                     // 7: b = t
+        addi(3, 3, 1),                    // 8: i += 1
+        Op::Jump { target: 4 },           // 9
+        Op::Halt,                         // 10
+    ])
+}
+
+/// Copies `n` words from word address `src` to `dst`.
+pub fn memcpy(n: usize, src: usize, dst: usize) -> Program {
+    Program::new(vec![
+        movi(2, src as i64),     // 0
+        movi(3, dst as i64),     // 1
+        movi(4, 0),              // 2: i
+        movi(5, n as i64),       // 3
+        ld(6, 2, 0),             // 4: loop
+        st(6, 3, 0),             // 5
+        addi(2, 2, 1),           // 6
+        addi(3, 3, 1),           // 7
+        addi(4, 4, 1),           // 8
+        blt(4, 5, 4),            // 9
+        Op::Halt,                // 10
+    ])
+}
+
+/// `n×n` matrix multiply: `A` at word 0, `B` at `n²`, result `C` at `2n²`.
+pub fn matmul(n: usize) -> Program {
+    let n_i = n as i64;
+    let nn = (n * n) as i64;
+    Program::new(vec![
+        movi(5, n_i),            // 0
+        movi(2, 0),              // 1: i = 0
+        movi(3, 0),              // 2: iloop: j = 0
+        movi(6, 0),              // 3: jloop: acc = 0
+        movi(4, 0),              // 4: k = 0
+        mul(7, 2, 5),            // 5: kloop: i*n
+        add(7, 7, 4),            // 6: i*n + k
+        ld(8, 7, 0),             // 7: A[i*n+k]
+        mul(9, 4, 5),            // 8: k*n
+        add(9, 9, 3),            // 9: k*n + j
+        addi(9, 9, nn),          // 10: + B base
+        ld(10, 9, 0),            // 11: B[k*n+j]
+        mul(11, 8, 10),          // 12
+        add(6, 6, 11),           // 13: acc += …
+        addi(4, 4, 1),           // 14: k += 1
+        blt(4, 5, 5),            // 15
+        mul(7, 2, 5),            // 16: i*n
+        add(7, 7, 3),            // 17: i*n + j
+        addi(7, 7, 2 * nn),      // 18: + C base
+        st(6, 7, 0),             // 19: C[i*n+j] = acc
+        addi(3, 3, 1),           // 20: j += 1
+        blt(3, 5, 3),            // 21
+        addi(2, 2, 1),           // 22: i += 1
+        blt(2, 5, 2),            // 23
+        Op::Halt,                // 24
+    ])
+}
+
+/// An embarrassingly parallel unrolled kernel: `lanes` independent
+/// accumulator chains, each `depth` adds long. Exposes ILP that scales with
+/// issue width (used by the width-scaling bench).
+pub fn parallel_chains(lanes: u8, depth: usize) -> Program {
+    assert!((1..=24).contains(&lanes), "register budget");
+    let mut ops = Vec::new();
+    for l in 0..lanes {
+        ops.push(movi(l + 1, i64::from(l) + 1));
+    }
+    for _ in 0..depth {
+        for l in 0..lanes {
+            // each lane only depends on itself — fully parallel across lanes
+            ops.push(addi(l + 1, l + 1, 1));
+        }
+    }
+    // Sum the lanes into r1 (sequential tail).
+    for l in 1..lanes {
+        ops.push(add(1, 1, l + 1));
+    }
+    ops.push(Op::Halt);
+    Program::new(ops)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::machine::Machine;
+    use rhv_params::softcore::SoftcoreSpec;
+
+    #[test]
+    fn all_kernels_validate() {
+        for p in [
+            vector_sum(16),
+            dot_product(16),
+            fibonacci(10),
+            memcpy(8, 0, 64),
+            matmul(4),
+            parallel_chains(8, 4),
+        ] {
+            p.validate(64).unwrap();
+        }
+    }
+
+    #[test]
+    fn matmul_2x2_known_product() {
+        let a = [1i64, 2, 3, 4];
+        let b = [5i64, 6, 7, 8];
+        let mut m = Machine::new(SoftcoreSpec::rvex_4w());
+        m.load_mem(0, &a).unwrap();
+        m.load_mem(4, &b).unwrap();
+        m.run(&matmul(2)).unwrap();
+        assert_eq!(&m.mem()[8..12], &[19, 22, 43, 50]);
+    }
+
+    #[test]
+    fn parallel_chains_result_and_ilp() {
+        let lanes = 8u8;
+        let depth = 32usize;
+        let prog = parallel_chains(lanes, depth);
+        let mut m = Machine::new(SoftcoreSpec::rvex_8w_2c());
+        let s8 = m.run(&prog).unwrap();
+        // lane l starts at l+1 and gains `depth`: sum = Σ (l+1+depth)
+        let expected: i64 = (0..lanes as i64).map(|l| l + 1 + depth as i64).sum();
+        assert_eq!(m.reg(crate::isa::Reg(1)), expected);
+        // The wide core should sustain much higher IPC than the 2-wide core.
+        let s2 = Machine::run_program(&SoftcoreSpec::rvex_2w(), &prog, &[]).unwrap();
+        assert!(s8.ipc > s2.ipc * 1.5, "ipc {} vs {}", s8.ipc, s2.ipc);
+    }
+
+    #[test]
+    fn fibonacci_small_values() {
+        for (n, expect) in [(0u64, 0i64), (1, 1), (2, 1), (3, 2), (10, 55)] {
+            let mut m = Machine::new(SoftcoreSpec::rvex_2w());
+            m.run(&fibonacci(n)).unwrap();
+            assert_eq!(m.reg(crate::isa::Reg(1)), expect, "fib({n})");
+        }
+    }
+}

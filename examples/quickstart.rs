@@ -1,0 +1,89 @@
+//! Quickstart: build a grid with GPPs and RPEs, describe tasks with
+//! `ExecReq`, matchmake, and run an application through the user services.
+//!
+//! ```sh
+//! cargo run -p rhv-bench --example quickstart
+//! ```
+
+use rhv_core::appdsl::{Application, Group};
+use rhv_core::execreq::{Constraint, ExecReq, TaskPayload};
+use rhv_core::ids::{NodeId, TaskId};
+use rhv_core::matchmaker::Matchmaker;
+use rhv_core::node::Node;
+use rhv_core::task::Task;
+use rhv_grid::cost::QosTier;
+use rhv_grid::rms::ResourceManagementSystem;
+use rhv_grid::services::{GridServices, ServiceResponse, UserQuery};
+use rhv_params::catalog::Catalog;
+use rhv_params::param::{ParamKey, PeClass};
+use rhv_sched::FirstFitStrategy;
+
+fn main() {
+    // 1. Build a grid node with a CPU and an FPGA from the catalog.
+    let cat = Catalog::builtin();
+    let mut node = Node::new(NodeId(0));
+    node.add_gpp(cat.gpp("Intel Xeon E5450").unwrap().clone());
+    node.add_rpe(cat.fpga("XC5VLX155").unwrap().clone());
+    println!("--- the node (Eq. 1) ---\n{}", node.render());
+
+    // 2. Describe two tasks: plain software, and an HDL accelerator.
+    let sw = Task::new(
+        TaskId(0),
+        ExecReq::new(
+            PeClass::Gpp,
+            vec![Constraint::ge(ParamKey::Cores, 2u64)],
+            TaskPayload::Software {
+                mega_instructions: 24_000.0,
+                parallelism: 2,
+            },
+        ),
+        2.0,
+    );
+    let hw = Task::new(
+        TaskId(1),
+        ExecReq::new(
+            PeClass::Fpga,
+            vec![
+                Constraint::eq(ParamKey::DeviceFamily, "Virtex-5"),
+                Constraint::ge(ParamKey::Slices, 12_000u64),
+            ],
+            TaskPayload::HdlAccelerator {
+                spec_name: "fir128".into(),
+                est_slices: 12_000,
+                accel_seconds: 1.5,
+            },
+        ),
+        1.5,
+    );
+
+    // 3. Matchmake: which PEs can host each task?
+    let mm = Matchmaker::new();
+    let nodes = vec![node];
+    for t in [&sw, &hw] {
+        let c = mm.candidates(t, &nodes);
+        println!(
+            "--- candidates for {} ({}) ---",
+            t.id,
+            t.exec_req.scenario()
+        );
+        for cand in &c {
+            println!("  {cand}");
+        }
+        assert!(!c.is_empty());
+    }
+
+    // 4. Submit both as one application through the Fig. 9 services.
+    let rms = ResourceManagementSystem::new(nodes, Box::new(FirstFitStrategy::new()));
+    let mut services = GridServices::new(rms);
+    let response = services.handle(UserQuery::Submit {
+        application: Application::new(vec![Group::seq([0]), Group::seq([1])]),
+        tasks: vec![sw, hw],
+        qos: QosTier::Standard,
+    });
+    let job = match response {
+        ServiceResponse::Accepted(j) => j,
+        other => panic!("submission failed: {other:?}"),
+    };
+    let status = services.run_job(job).expect("job exists");
+    println!("--- job {job} finished: {status:?} ---");
+}

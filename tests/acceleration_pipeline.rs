@@ -1,0 +1,129 @@
+//! Integration: the user-defined-hardware pipeline from source to fabric —
+//! mini-C kernel → Quipu estimate → HDL spec → synthesis → device-keyed
+//! bitstream → fabric load on a case-study RPE.
+
+use rhv_bitstream::bitstream::Bitstream;
+use rhv_bitstream::synth::{SynthError, SynthesisService};
+use rhv_core::case_study;
+use rhv_core::fabric::FitPolicy;
+use rhv_core::ids::PeId;
+use rhv_core::state::ConfigKind;
+use rhv_params::catalog::Catalog;
+use rhv_quipu::{corpus, model::QuipuModel};
+
+#[test]
+fn source_to_fabric_for_malign() {
+    // 1. Estimate area from source complexity.
+    let model = QuipuModel::fit(&corpus::calibration_corpus()).expect("fits");
+    let prediction = model.predict(&corpus::malign_kernel());
+
+    // 2. Turn the prediction into a synthesizable HDL spec.
+    let spec = prediction.to_hdl_spec("malign", 100.0);
+    assert_eq!(spec.slice_demand(), prediction.slices);
+
+    // 3. Synthesize for the LX220 in Node_1 (Table II row for Task_1).
+    let cat = Catalog::builtin();
+    let device = cat.fpga("XC5VLX220").expect("builtin").clone();
+    let mut service = SynthesisService::default();
+    let (bitstream, report) = service.synthesize(&spec, &device, 0).expect("fits LX220");
+    assert_eq!(report.slices, prediction.slices);
+    assert!(report.synthesis_seconds > 0.0);
+
+    // 4. The bitstream is keyed to its device.
+    assert!(bitstream.check_device("XC5VLX220").is_ok());
+    assert!(bitstream.check_device("XC5VLX155").is_err());
+    // Wire round-trip survives.
+    let parsed = Bitstream::parse(bitstream.encode()).expect("parses");
+    assert_eq!(parsed, bitstream);
+
+    // 5. Load onto the grid node's fabric and verify the state bookkeeping.
+    let mut grid = case_study::grid();
+    let rpe = grid[1].rpe_mut(PeId::Rpe(1)).expect("LX220 in Node_1");
+    assert_eq!(rpe.device.part, "XC5VLX220");
+    let before = rpe.state.available_slices();
+    let cfg = rpe
+        .state
+        .load(
+            ConfigKind::Accelerator("malign".into()),
+            report.slices,
+            FitPolicy::FirstFit,
+        )
+        .expect("fits on fabric");
+    assert_eq!(rpe.state.available_slices(), before - report.slices);
+    // 6. Reconfiguration timing comes from the device model.
+    let t = device.partial_reconfig_seconds(report.slices);
+    assert!(t > 0.0 && t < device.full_reconfig_seconds());
+    rpe.state.unload(cfg).expect("idle unload");
+}
+
+#[test]
+fn pairalign_overflows_small_parts_and_fits_large_ones() {
+    let model = QuipuModel::fit(&corpus::calibration_corpus()).expect("fits");
+    let spec = model
+        .predict(&corpus::pairalign_kernel())
+        .to_hdl_spec("pairalign", 100.0);
+    let cat = Catalog::builtin();
+    let service = SynthesisService::default();
+    // The same boundary Sec. V states: 30,790 slices passes on LX220/LX330,
+    // fails on LX155 and below.
+    for (part, should_fit) in [
+        ("XC5VLX110", false),
+        ("XC5VLX155", false),
+        ("XC5VLX220", true),
+        ("XC5VLX330", true),
+    ] {
+        let dev = cat.fpga(part).expect("builtin");
+        let result = service.estimate(&spec, dev);
+        if should_fit {
+            assert!(result.is_ok(), "{part} should fit pairalign");
+        } else {
+            assert!(
+                matches!(result, Err(SynthError::ResourceOverflow { .. })),
+                "{part} should overflow"
+            );
+        }
+    }
+}
+
+#[test]
+fn synthesis_cache_amortizes_across_identical_requests() {
+    let model = QuipuModel::fit(&corpus::calibration_corpus()).expect("fits");
+    let spec = model
+        .predict(&corpus::malign_kernel())
+        .to_hdl_spec("malign", 100.0);
+    let cat = Catalog::builtin();
+    let dev = cat.fpga("XC5VLX330").expect("builtin").clone();
+    let mut service = SynthesisService::default();
+    let (_, first) = service.synthesize(&spec, &dev, 0).expect("fits");
+    let (_, second) = service.synthesize(&spec, &dev, 0).expect("cached");
+    assert!(first.synthesis_seconds > 0.0);
+    assert_eq!(second.synthesis_seconds, 0.0);
+    assert_eq!(service.cache_hits, 1);
+    assert_eq!(service.full_runs, 1);
+}
+
+#[test]
+fn bitstream_for_wrong_device_never_loads() {
+    // The Task_3 discipline: a device-specific image only targets its part.
+    let image = Bitstream::synthesize(
+        rhv_bitstream::bitstream::BitstreamHeader {
+            image: "clustalw_full.bit".into(),
+            device_part: case_study::TASK3_DEVICE.into(),
+            region_offset: 0,
+            region_slices: 56_880,
+            partial: false,
+        },
+        1024,
+    );
+    let grid = case_study::grid();
+    let mut compatible = 0;
+    for node in &grid {
+        for rpe in node.rpes() {
+            if image.check_device(&rpe.device.part).is_ok() {
+                compatible += 1;
+            }
+        }
+    }
+    // Exactly one RPE in the whole grid — Table II's Task_3 row.
+    assert_eq!(compatible, 1);
+}

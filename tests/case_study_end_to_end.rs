@@ -1,0 +1,133 @@
+//! Integration: the Section V case study across crates — the grid data in
+//! `rhv-core`, the Quipu estimates in `rhv-quipu`, the ClustalW profile in
+//! `rhv-clustalw`, and the scheduling stack in `rhv-sched`/`rhv-sim` must
+//! all tell one coherent story.
+
+use rhv_clustalw::{msa, profiler, seq};
+use rhv_core::case_study;
+use rhv_core::matchmaker::{HostingMode, Matchmaker};
+use rhv_quipu::{corpus, model::QuipuModel};
+use rhv_sched::{strategy_by_name, FirstFitStrategy};
+use rhv_sim::sim::{GridSimulator, SimConfig};
+
+/// Quipu's predictions are the slice figures the case-study tasks demand.
+#[test]
+fn quipu_predictions_match_task_requirements() {
+    let model = QuipuModel::fit(&corpus::calibration_corpus()).expect("fits");
+    let pair = model.predict(&corpus::pairalign_kernel()).slices;
+    let mal = model.predict(&corpus::malign_kernel()).slices;
+    // Within 1% of the constants the tasks carry.
+    assert!((pair as f64 - case_study::PAIRALIGN_SLICES as f64).abs() < 308.0);
+    assert!((mal as f64 - case_study::MALIGN_SLICES as f64).abs() < 188.0);
+    // And the task ExecReqs use exactly those constants.
+    let tasks = case_study::tasks();
+    assert_eq!(tasks[1].exec_req.slice_demand(), Some(case_study::MALIGN_SLICES));
+    assert_eq!(
+        tasks[2].exec_req.slice_demand(),
+        Some(case_study::PAIRALIGN_SLICES)
+    );
+}
+
+/// The measured ClustalW profile has the Fig. 10 shape that motivated the
+/// hardware mapping: pairalign dominant, malign second.
+#[test]
+fn clustalw_profile_shape_justifies_the_decomposition() {
+    let _l = profiler::TEST_MUTEX.lock();
+    profiler::reset();
+    let family = seq::synthetic_family(20, 100, 0.2, 4);
+    let alignment = msa::align(&family);
+    alignment.check_against_inputs(&family).expect("consistent");
+    let profile = profiler::report();
+    let pair = profile.percent_of("pairalign");
+    let mal = profile.percent_of("malign");
+    assert!(pair > 60.0, "pairalign at {pair:.1}%");
+    assert!(mal > 0.5, "malign at {mal:.1}%");
+    assert_eq!(profile.rows[0].kernel, "pairalign");
+    assert!(pair > mal);
+}
+
+/// Table II holds under the full scheduling stack: simulating the four
+/// tasks dispatches each to one of its published mappings.
+#[test]
+fn simulated_dispatches_stay_inside_table2() {
+    let table = case_study::table2();
+    let workload: Vec<(f64, rhv_core::task::Task)> = case_study::tasks()
+        .into_iter()
+        .enumerate()
+        .map(|(i, t)| (i as f64, t))
+        .collect();
+    for name in ["first-fit", "best-fit-area", "worst-fit-area", "reuse-aware"] {
+        let mut strategy = strategy_by_name(name, 1).expect("known");
+        let report = GridSimulator::new(case_study::grid(), SimConfig::default())
+            .run(workload.clone(), strategy.as_mut());
+        assert_eq!(report.completed, 4, "{name} must run all four tasks");
+        for record in &report.records {
+            let row = table
+                .iter()
+                .find(|r| r.task == record.task)
+                .expect("row exists");
+            let allowed: Vec<String> =
+                row.mappings.iter().map(|c| c.pe.to_string()).collect();
+            assert!(
+                allowed.contains(&record.pe.to_string()),
+                "{name}: {} ran on {}, Table II allows {:?}",
+                record.task,
+                record.pe,
+                allowed
+            );
+        }
+    }
+}
+
+/// Loading the malign accelerator leaves enough fabric on the LX220 for
+/// the matchmaker to still (and only) offer reuse on it for a second
+/// malign task — cross-checking fabric state, matchmaker and case study.
+#[test]
+fn resident_configuration_reuse_across_the_stack() {
+    use rhv_core::fabric::FitPolicy;
+    use rhv_core::ids::PeId;
+    use rhv_core::state::ConfigKind;
+    let mut grid = case_study::grid();
+    let tasks = case_study::tasks();
+    grid[1]
+        .rpe_mut(PeId::Rpe(1))
+        .unwrap()
+        .state
+        .load(
+            ConfigKind::Accelerator("malign".into()),
+            case_study::MALIGN_SLICES,
+            FitPolicy::FirstFit,
+        )
+        .unwrap();
+    let candidates = Matchmaker::new().candidates(&tasks[1], &grid);
+    let reuse: Vec<_> = candidates
+        .iter()
+        .filter(|c| matches!(c.mode, HostingMode::ReuseConfig(_)))
+        .collect();
+    assert_eq!(reuse.len(), 1);
+    assert_eq!(reuse[0].pe.to_string(), "RPE_1 <-> Node_1");
+    // The other two Table II mappings remain as reconfigure options.
+    assert_eq!(candidates.len(), 3);
+}
+
+/// A simulation of many copies of the case-study application completes
+/// fully and conserves tasks.
+#[test]
+fn repeated_case_study_applications_conserve() {
+    let mut workload = Vec::new();
+    for rep in 0..25u64 {
+        for (i, mut t) in case_study::tasks().into_iter().enumerate() {
+            t.id = rhv_core::ids::TaskId(rep * 4 + i as u64);
+            workload.push((rep as f64 * 2.0, t));
+        }
+    }
+    let mut strategy = FirstFitStrategy::new();
+    let report = GridSimulator::new(case_study::grid(), SimConfig::default())
+        .run(workload, &mut strategy);
+    report.check_invariants().expect("invariants");
+    assert_eq!(report.submitted, 100);
+    assert_eq!(report.completed, 100);
+    assert_eq!(report.rejected, 0);
+    // Reuse must kick in across repetitions of the same accelerators.
+    assert!(report.reuse_hits > 0);
+}

@@ -1,0 +1,201 @@
+//! Integration: the beyond-the-paper extensions working together —
+//! mini-C parsing → Quipu sizing → soft-core compilation (one source, two
+//! destinies), the streaming scenario, federation, node churn with crash
+//! recovery, textual ExecReq specs, and GPU resources.
+
+use rhv_core::case_study;
+use rhv_core::execreq::TaskPayload;
+use rhv_core::ids::{NodeId, TaskId};
+use rhv_core::reqspec;
+use rhv_core::task::Task;
+use rhv_grid::federation::{Federation, GridDomain, RouteError};
+use rhv_grid::rms::ResourceManagementSystem;
+use rhv_params::catalog::Catalog;
+use rhv_params::softcore::SoftcoreSpec;
+use rhv_quipu::parser::parse_function;
+use rhv_quipu::{corpus, model::QuipuModel};
+use rhv_sched::FirstFitStrategy;
+use rhv_sim::network::NetworkModel;
+use rhv_sim::sim::{ChurnEvent, GridSimulator, SimConfig};
+use rhv_sim::streaming::{plan_pipeline, StreamApp, StreamStage};
+use rhv_softcore::compile::{compile, RETURN_REG};
+use rhv_softcore::machine::Machine;
+
+/// One kernel source: parsed once, sized by Quipu, compiled and executed
+/// on the soft-core — and the Quipu-predicted area feeds a requirement
+/// spec that the matchmaker resolves on the case-study grid.
+#[test]
+fn one_source_two_destinies_and_a_matchmade_spec() {
+    let src = r"
+        int dist2(int n) {
+            int acc = 0;
+            for (i = 0; i < n; i++) {
+                int d = p[i] - q[i];
+                acc = acc + d * d;
+            }
+            return acc;
+        }
+    ";
+    let f = parse_function(src).expect("parses");
+
+    // Destiny 1: fabric sizing.
+    let model = QuipuModel::fit(&corpus::calibration_corpus()).expect("fits");
+    let prediction = model.predict(&f);
+    assert!(prediction.slices > 0);
+
+    // Destiny 2: soft-core execution with a verified answer.
+    let compiled = compile(&f).expect("compiles");
+    let p: Vec<i64> = (0..32).collect();
+    let q: Vec<i64> = (0..32).map(|x| x + 3).collect();
+    let mut m = Machine::new(SoftcoreSpec::rvex_4w());
+    m.load_mem(compiled.array_bases["p"], &p).unwrap();
+    m.load_mem(compiled.array_bases["q"], &q).unwrap();
+    m.set_reg(compiled.var_regs["n"], 32);
+    m.run(&compiled.program).expect("runs");
+    assert_eq!(m.reg(RETURN_REG), 32 * 9);
+
+    // The prediction becomes a textual requirement spec → matchmaking.
+    let spec_text = format!(
+        "NodeType: FPGA\nslices >= {}\ndevice_family = Virtex-5\n",
+        prediction.slices
+    );
+    let req = reqspec::exec_req_from_spec(
+        &spec_text,
+        TaskPayload::HdlAccelerator {
+            spec_name: "dist2".into(),
+            est_slices: prediction.slices,
+            accel_seconds: 0.5,
+        },
+    )
+    .expect("spec parses");
+    let task = Task::new(TaskId(0), req, 0.5);
+    let candidates = rhv_core::matchmaker::Matchmaker::new().candidates(&task, &case_study::grid());
+    // dist2 is small: every Virtex-5 RPE qualifies (4 of them in the grid).
+    assert_eq!(candidates.len(), 4);
+}
+
+/// Streaming pipelines plan across a federated, GPU-extended grid, and a
+/// crash mid-stream re-plans on what remains.
+#[test]
+fn streaming_over_churning_hardware() {
+    let cat = Catalog::builtin();
+    let mut nodes = case_study::grid();
+    nodes[1].add_gpu(cat.gpu("Tesla C1060").unwrap().clone());
+    let net = NetworkModel::default();
+    let app = StreamApp {
+        name: "sensor".into(),
+        stages: vec![
+            StreamStage::software("ingest", 1_200.0, 1 << 20),
+            StreamStage::accelerable("fft", 30_000.0, 0.015, 10_000, 1 << 20),
+            StreamStage::software("emit", 600.0, 64 << 10),
+        ],
+    };
+    let plan = plan_pipeline(&app, &nodes, &net).expect("feasible");
+    assert!(plan.assignments[1].accelerated);
+    // Remove the node hosting the accelerated stage; re-planning succeeds
+    // on the remaining fabric.
+    let lost = plan.assignments[1].pe.node;
+    nodes.retain(|n| n.id != lost);
+    let replanned = plan_pipeline(&app, &nodes, &net).expect("still feasible");
+    assert!(replanned.throughput > 0.0);
+    assert!(replanned
+        .assignments
+        .iter()
+        .all(|a| a.pe.node != lost));
+}
+
+/// Federation routes around a domain-local crash: after domain B's Virtex-6
+/// node dies, Task_3 becomes federation-wide unsatisfiable, while Task_1
+/// still routes at home.
+#[test]
+fn federation_after_crash() {
+    let mut grid = case_study::grid();
+    let node0 = grid.remove(0);
+    let mut fed = Federation::new();
+    fed.add_domain(GridDomain::new(
+        "home",
+        ResourceManagementSystem::new(grid, Box::new(FirstFitStrategy::new())),
+    ));
+    fed.add_domain(GridDomain::new(
+        "remote",
+        ResourceManagementSystem::new(vec![node0], Box::new(FirstFitStrategy::new())),
+    ));
+    let tasks = case_study::tasks();
+    // Before: Task_3 forwards to the remote domain.
+    let routed = fed.route(&tasks[3], 0, 0.0).unwrap();
+    assert!(routed.forwarded);
+    // The remote node "crashes": remove it from its RMS.
+    fed.domain_mut(1)
+        .unwrap()
+        .rms
+        .leave_node(NodeId(0))
+        .expect("idle node leaves");
+    assert_eq!(
+        fed.route(&tasks[3], 0, 0.0).unwrap_err(),
+        RouteError::Unsatisfiable
+    );
+    // Task_1 is untouched: home still serves it.
+    assert!(!fed.route(&tasks[1], 0, 0.0).unwrap().forwarded);
+}
+
+/// A GPU-extended grid runs a mixed workload under churn and conserves
+/// every task despite a crash.
+#[test]
+fn mixed_gpu_fabric_workload_with_crash() {
+    use rhv_core::execreq::{Constraint, ExecReq};
+    use rhv_params::param::{ParamKey, PeClass};
+    let cat = Catalog::builtin();
+    let mut nodes = case_study::grid();
+    nodes[0].add_gpu(cat.gpu("GeForce GTX 280").unwrap().clone());
+    let gpu_task = |id: u64| {
+        Task::new(
+            TaskId(id),
+            ExecReq::new(
+                PeClass::Gpu,
+                vec![Constraint::ge(ParamKey::ShaderCores, 8u64)],
+                TaskPayload::GpuKernel {
+                    kernel: "conv".into(),
+                    accel_seconds: 1.0,
+                },
+            ),
+            1.0,
+        )
+    };
+    let hdl_task = |id: u64| {
+        Task::new(
+            TaskId(id),
+            ExecReq::new(
+                PeClass::Fpga,
+                vec![Constraint::ge(ParamKey::Slices, 8_000u64)],
+                TaskPayload::HdlAccelerator {
+                    spec_name: "conv_hdl".into(),
+                    est_slices: 8_000,
+                    accel_seconds: 1.0,
+                },
+            ),
+            1.0,
+        )
+    };
+    let mut workload = Vec::new();
+    for i in 0..20u64 {
+        workload.push((i as f64 * 0.5, gpu_task(i)));
+        workload.push((i as f64 * 0.5, hdl_task(100 + i)));
+    }
+    // Node_2 (fabric only) crashes mid-run.
+    let churn = vec![(4.0, ChurnEvent::Crash(NodeId(2)))];
+    let mut strategy = FirstFitStrategy::new();
+    let (report, final_nodes) = GridSimulator::new(nodes, SimConfig::default())
+        .run_with_churn(workload, churn, &mut strategy);
+    report.check_invariants().unwrap();
+    assert_eq!(report.completed + report.rejected, 40);
+    assert_eq!(report.completed, 40, "other fabric absorbs the crash");
+    assert_eq!(final_nodes.len(), 2);
+    // GPU tasks ran on the GPU; fabric tasks on RPEs.
+    for r in &report.records {
+        if r.task.raw() < 100 {
+            assert!(r.pe.pe.is_gpu());
+        } else {
+            assert!(r.pe.pe.is_rpe());
+        }
+    }
+}

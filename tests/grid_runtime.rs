@@ -1,0 +1,130 @@
+//! Integration: the grid runtime — JSS/RMS/services plus the live threaded
+//! mode — driving case-study work end to end.
+
+use rhv_core::appdsl::{Application, Group};
+use rhv_core::case_study;
+use rhv_core::ids::{NodeId, TaskId};
+use rhv_grid::cost::QosTier;
+use rhv_grid::jss::JobStatus;
+use rhv_grid::live::LiveGrid;
+use rhv_grid::monitor::Event;
+use rhv_grid::rms::ResourceManagementSystem;
+use rhv_grid::services::{GridServices, ServiceResponse, UserQuery};
+use rhv_sched::{FirstFitStrategy, ReuseAwareStrategy};
+use std::time::Duration;
+
+fn services_with(strategy: Box<dyn rhv_sim::strategy::Strategy>) -> GridServices {
+    GridServices::new(ResourceManagementSystem::new(case_study::grid(), strategy))
+}
+
+#[test]
+fn submit_run_monitor_full_cycle() {
+    let mut svc = services_with(Box::new(FirstFitStrategy::new()));
+    let job = match svc.handle(UserQuery::Submit {
+        application: Application::new(vec![Group::seq([0]), Group::par([1, 2]), Group::seq([3])]),
+        tasks: case_study::tasks(),
+        qos: QosTier::Standard,
+    }) {
+        ServiceResponse::Accepted(j) => j,
+        other => panic!("unexpected {other:?}"),
+    };
+    assert_eq!(svc.run_job(job), Some(JobStatus::Completed));
+    for t in 0..4u64 {
+        match svc.handle(UserQuery::Monitor(TaskId(t))) {
+            ServiceResponse::History(h) => {
+                assert!(h.contains(&Event::TaskSubmitted(TaskId(t))));
+                assert!(h.contains(&Event::TaskCompleted(TaskId(t))));
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+}
+
+#[test]
+fn dynamic_membership_changes_matchmaking() {
+    let mut svc = services_with(Box::new(ReuseAwareStrategy::new()));
+    let tasks = case_study::tasks();
+    // Task_3 needs the XC6VLX365T in Node_0. Remove Node_0: unsatisfiable.
+    assert!(svc.rms.is_satisfiable(&tasks[3]));
+    let node0 = svc.rms.leave_node(NodeId(0)).expect("idle node leaves");
+    assert!(!svc.rms.is_satisfiable(&tasks[3]));
+    // Rejoin: satisfiable again — "adaptive in adding/removing resources".
+    svc.rms.join_node(node0);
+    assert!(svc.rms.is_satisfiable(&tasks[3]));
+}
+
+#[test]
+fn cost_estimates_rank_scenarios_sensibly() {
+    let mut svc = services_with(Box::new(FirstFitStrategy::new()));
+    let tasks = case_study::tasks();
+    let mut price = |task: &rhv_core::task::Task, qos| match svc.handle(UserQuery::CostEstimate {
+        task: Box::new(task.clone()),
+        qos,
+    }) {
+        ServiceResponse::Price(p) => p,
+        other => panic!("unexpected {other:?}"),
+    };
+    for t in &tasks {
+        let std = price(t, QosTier::Standard);
+        let prem = price(t, QosTier::Premium);
+        assert!(prem.total() > std.total(), "{}", t.id);
+    }
+    // HDL tasks carry the synthesis fee; the bitstream task does not.
+    assert!(price(&tasks[1], QosTier::Standard).services > 0.0);
+    assert_eq!(price(&tasks[3], QosTier::Standard).services, 0.0);
+}
+
+#[test]
+fn live_grid_runs_the_case_study_concurrently() {
+    let nodes = case_study::grid();
+    let ids: Vec<NodeId> = nodes.iter().map(|n| n.id).collect();
+    let live = LiveGrid::spawn(&ids, 1e-3);
+    let tasks = case_study::tasks();
+
+    // Dispatch each task to its first Table II mapping.
+    let table = case_study::table2();
+    for (task, row) in tasks.iter().zip(&table) {
+        let pe = row.mappings[0].pe;
+        live.dispatch(task, pe, task.t_estimated).expect("dispatch");
+    }
+    let mut seen = Vec::new();
+    for _ in 0..tasks.len() {
+        let c = live
+            .next_completion(Duration::from_secs(10))
+            .expect("completion arrives");
+        seen.push(c.task);
+    }
+    seen.sort();
+    assert_eq!(seen, vec![TaskId(0), TaskId(1), TaskId(2), TaskId(3)]);
+    let counts = live.shutdown();
+    let total: u64 = counts.iter().map(|(_, c)| *c).sum();
+    assert_eq!(total, 4);
+}
+
+#[test]
+fn live_and_simulated_execution_agree_on_placement_feasibility() {
+    // Whatever the simulator dispatches, the live grid can execute: the
+    // node ids and PE references are the same vocabulary.
+    use rhv_sim::sim::{GridSimulator, SimConfig};
+    let workload: Vec<(f64, rhv_core::task::Task)> = case_study::tasks()
+        .into_iter()
+        .enumerate()
+        .map(|(i, t)| (i as f64 * 0.1, t))
+        .collect();
+    let mut strategy = FirstFitStrategy::new();
+    let report = GridSimulator::new(case_study::grid(), SimConfig::default())
+        .run(workload, &mut strategy);
+    assert_eq!(report.completed, 4);
+
+    let ids: Vec<NodeId> = case_study::grid().iter().map(|n| n.id).collect();
+    let live = LiveGrid::spawn(&ids, 1e-4);
+    let tasks = case_study::tasks();
+    for record in &report.records {
+        let task = tasks.iter().find(|t| t.id == record.task).expect("task");
+        live.dispatch(task, record.pe, 0.5).expect("live accepts the simulated placement");
+    }
+    for _ in 0..report.records.len() {
+        live.next_completion(Duration::from_secs(10)).expect("completes");
+    }
+    live.shutdown();
+}

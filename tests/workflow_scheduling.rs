@@ -1,0 +1,150 @@
+//! Integration: workflow structures — the App DSL (Eq. 3/4), the Fig. 7
+//! task graph, and the DReAMSim scheduling stack working together.
+
+use rhv_core::appdsl::{Application, Group};
+use rhv_core::execreq::{Constraint, ExecReq, TaskPayload};
+use rhv_core::graph::{fig7_graph, TaskGraph};
+use rhv_core::ids::{DataId, TaskId};
+use rhv_core::task::Task;
+use rhv_core::case_study;
+use rhv_params::param::{ParamKey, PeClass};
+use rhv_sched::FirstFitStrategy;
+use rhv_sim::sim::{GridSimulator, SimConfig};
+use std::collections::BTreeSet;
+
+fn software_task(id: u64) -> Task {
+    Task::new(
+        TaskId(id),
+        ExecReq::new(
+            PeClass::Gpp,
+            vec![Constraint::ge(ParamKey::Cores, 1u64)],
+            TaskPayload::Software {
+                mega_instructions: 6_000.0,
+                parallelism: 1,
+            },
+        ),
+        0.5,
+    )
+    .with_output(DataId(id), 1 << 20)
+}
+
+/// The Fig. 7 graph can be scheduled level by level as Seq(Par(...)) groups
+/// and the resulting application respects every dependency.
+#[test]
+fn fig7_graph_as_level_parallel_application() {
+    let g = fig7_graph();
+    let levels = g.levels();
+    let max_level = *levels.values().max().unwrap();
+    // Build Par groups per ASAP level.
+    let mut groups = Vec::new();
+    for l in 0..=max_level {
+        let tasks: Vec<u64> = g
+            .tasks()
+            .filter(|t| levels[t] == l)
+            .map(|t| t.raw())
+            .collect();
+        assert!(!tasks.is_empty());
+        groups.push(Group::par(tasks));
+    }
+    let app = Application::new(groups);
+    // Round-trip through the DSL text form.
+    let parsed = Application::parse(&app.to_string()).expect("round-trips");
+    assert_eq!(parsed, app);
+    // Schedule with unit durations; every edge must be respected.
+    let slots = app.schedule(|_| 1.0);
+    let start = |t: TaskId| slots.iter().find(|s| s.task == t).unwrap().start;
+    let end = |t: TaskId| slots.iter().find(|s| s.task == t).unwrap().end;
+    for t in g.tasks() {
+        for s in g.successors(t) {
+            assert!(
+                end(t) <= start(s) + 1e-9,
+                "dependency {t} -> {s} violated"
+            );
+        }
+    }
+}
+
+/// Executing the Fig. 7 workflow on the simulator level by level: each
+/// level's tasks are submitted when the previous level completes, and the
+/// whole 18-task application finishes.
+#[test]
+fn fig7_workflow_executes_on_the_grid() {
+    let g = fig7_graph();
+    let levels = g.levels();
+    let max_level = *levels.values().max().unwrap();
+    let mut workload = Vec::new();
+    for l in 0..=max_level {
+        for t in g.tasks().filter(|t| levels[t] == l) {
+            // Stagger levels in arrival time (a simple barrier submission).
+            workload.push((l as f64 * 30.0, software_task(t.raw())));
+        }
+    }
+    let mut strategy = FirstFitStrategy::new();
+    let report = GridSimulator::new(case_study::grid(), SimConfig::default())
+        .run(workload, &mut strategy);
+    report.check_invariants().expect("invariants");
+    assert_eq!(report.completed, 18);
+    // Tasks of level l never start before their submission barrier.
+    for record in &report.records {
+        let level = levels[&record.task];
+        assert!(record.dispatched + 1e-9 >= level as f64 * 30.0);
+    }
+}
+
+/// Graph built from task Data_in declarations matches the explicit edges.
+#[test]
+fn datain_graphs_round_trip() {
+    let t0 = software_task(0);
+    let t1 = software_task(1).with_input(TaskId(0), DataId(0), 1024);
+    let t2 = software_task(2)
+        .with_input(TaskId(0), DataId(0), 1024)
+        .with_input(TaskId(1), DataId(1), 2048);
+    let g = TaskGraph::from_tasks([&t0, &t1, &t2]).expect("acyclic");
+    assert_eq!(g.predecessors(TaskId(2)), vec![TaskId(0), TaskId(1)]);
+    assert_eq!(g.roots(), vec![TaskId(0)]);
+    assert_eq!(g.sinks(), vec![TaskId(2)]);
+    // Ready-set execution covers all tasks in dependency order.
+    let mut done = BTreeSet::new();
+    let mut executed = Vec::new();
+    while done.len() < g.task_count() {
+        let ready = g.ready_tasks(&done);
+        assert!(!ready.is_empty(), "no deadlock");
+        for t in ready {
+            executed.push(t);
+            done.insert(t);
+        }
+    }
+    assert_eq!(executed.len(), 3);
+}
+
+/// The paper's example tuple (4) executes on the simulator with the Seq/Par
+/// overlap structure of Fig. 8.
+#[test]
+fn paper_tuple4_runs_with_correct_overlap() {
+    let app = Application::paper_example();
+    // Submit each group when the previous group's makespan elapses,
+    // emulating the Fig. 8 barriers with generous spacing.
+    let mut workload = Vec::new();
+    for (gi, group) in app.groups.iter().enumerate() {
+        for &t in &group.tasks {
+            workload.push((gi as f64 * 100.0, software_task(t.raw())));
+        }
+    }
+    let mut strategy = FirstFitStrategy::new();
+    let report = GridSimulator::new(case_study::grid(), SimConfig::default())
+        .run(workload, &mut strategy);
+    assert_eq!(report.completed, 6);
+    // The Par group's three tasks overlap in execution.
+    let recs: Vec<_> = report
+        .records
+        .iter()
+        .filter(|r| [4u64, 1, 7].contains(&r.task.raw()))
+        .collect();
+    assert_eq!(recs.len(), 3);
+    let latest_start = recs.iter().map(|r| r.exec_start).fold(0.0, f64::max);
+    let earliest_end = recs.iter().map(|r| r.finish).fold(f64::INFINITY, f64::min);
+    assert!(
+        latest_start < earliest_end,
+        "Par tasks should overlap: starts to {latest_start}, first end {earliest_end}"
+    );
+}
