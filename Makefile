@@ -1,0 +1,18 @@
+# Pre-PR gate: `make check` must pass before pushing.
+#
+# In offline containers (no crates.io access) route the same cargo
+# invocations through the stub harness instead:
+#   devtools/offline-check.sh test --workspace -q
+
+.PHONY: check fmt clippy test
+
+check: fmt clippy test
+
+fmt:
+	cargo fmt --all -- --check
+
+clippy:
+	cargo clippy --workspace --all-targets -- -D warnings
+
+test:
+	cargo test --workspace -q

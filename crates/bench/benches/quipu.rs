@@ -17,7 +17,13 @@ fn bench_quipu(c: &mut Criterion) {
         b.iter(|| black_box(ComplexityMetrics::of(black_box(&pairalign))))
     });
     group.bench_function("fit_full_corpus", |b| {
-        b.iter(|| black_box(QuipuModel::fit(black_box(&corpus_entries)).unwrap().r_squared()))
+        b.iter(|| {
+            black_box(
+                QuipuModel::fit(black_box(&corpus_entries))
+                    .unwrap()
+                    .r_squared(),
+            )
+        })
     });
     group.bench_function("predict_pairalign", |b| {
         b.iter(|| black_box(model.predict(black_box(&pairalign)).slices))

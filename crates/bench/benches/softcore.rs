@@ -27,11 +27,7 @@ fn bench_softcore(c: &mut Criterion) {
             BenchmarkId::new("run_matmul8", &spec.name),
             &spec,
             |b, spec| {
-                b.iter(|| {
-                    black_box(
-                        Machine::run_program(spec, &prog, &[]).expect("runs").cycles,
-                    )
-                })
+                b.iter(|| black_box(Machine::run_program(spec, &prog, &[]).expect("runs").cycles))
             },
         );
     }

@@ -4,8 +4,8 @@
 //! several configurations; whole-device reconfiguration serializes them.
 
 use rhv_bench::{banner, section};
-use rhv_core::node::Node;
 use rhv_core::ids::NodeId;
+use rhv_core::node::Node;
 use rhv_params::catalog::Catalog;
 use rhv_sched::FirstFitStrategy;
 use rhv_sim::sim::{GridSimulator, SimConfig};

@@ -45,10 +45,7 @@ fn main() {
     section("paper vs predicted");
     let pair = model.predict(&corpus::pairalign_kernel());
     let mal = model.predict(&corpus::malign_kernel());
-    for (name, paper, pred) in [
-        ("pairalign", 30_790u64, pair),
-        ("malign", 18_707, mal),
-    ] {
+    for (name, paper, pred) in [("pairalign", 30_790u64, pair), ("malign", 18_707, mal)] {
         let err = (pred.slices as f64 - paper as f64).abs() / paper as f64 * 100.0;
         println!(
             "  {name:<10} paper {paper:>6} slices   predicted {:>6} slices   error {err:.2}%   ({} LUTs, {} KB BRAM, {} memory blocks)",

@@ -14,14 +14,8 @@ use rhv_core::case_study::{MALIGN_TIME_FRACTION, PAIRALIGN_TIME_FRACTION};
 
 fn main() {
     let mut args = std::env::args().skip(1);
-    let n: usize = args
-        .next()
-        .and_then(|a| a.parse().ok())
-        .unwrap_or(64);
-    let len: usize = args
-        .next()
-        .and_then(|a| a.parse().ok())
-        .unwrap_or(150);
+    let n: usize = args.next().and_then(|a| a.parse().ok()).unwrap_or(64);
+    let len: usize = args.next().and_then(|a| a.parse().ok()).unwrap_or(150);
 
     banner(
         "Figure 10",
@@ -53,7 +47,11 @@ fn main() {
     println!(
         "  shape check: pairalign dominates ({}) and malign is second ({})",
         pair > 50.0,
-        profile.rows.get(1).map(|r| r.kernel == "malign").unwrap_or(false)
+        profile
+            .rows
+            .get(1)
+            .map(|r| r.kernel == "malign")
+            .unwrap_or(false)
     );
 
     section("alignment sanity");

@@ -4,10 +4,7 @@ use rhv_bench::banner;
 use rhv_params::taxonomy::{enhanced_pe_taxonomy, Scenario};
 
 fn main() {
-    banner(
-        "Figure 1",
-        "A taxonomy of enhanced processing elements",
-    );
+    banner("Figure 1", "A taxonomy of enhanced processing elements");
     let tree = enhanced_pe_taxonomy();
     println!("{}", tree.render());
     println!("Use-case scenarios and their obligations (Sec. III):");

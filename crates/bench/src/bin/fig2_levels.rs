@@ -22,13 +22,20 @@ fn main() {
     }
     section("Scenario → level mapping (Sec. III-C)");
     for sc in Scenario::all() {
-        println!("  {:<42} -> {}", sc.to_string(), AbstractionLevel::for_scenario(sc));
+        println!(
+            "  {:<42} -> {}",
+            sc.to_string(),
+            AbstractionLevel::for_scenario(sc)
+        );
     }
     section("Trade-off check");
     println!(
         "  'as we go to a lower abstraction level, the user should add more\n   specifications along with his/her tasks and get more performance'"
     );
-    let burdens: Vec<u8> = AbstractionLevel::all().iter().map(|l| l.user_burden()).collect();
+    let burdens: Vec<u8> = AbstractionLevel::all()
+        .iter()
+        .map(|l| l.user_burden())
+        .collect();
     assert!(burdens.windows(2).all(|w| w[0] < w[1]));
     println!("  monotonicity verified: burdens {burdens:?}");
 }

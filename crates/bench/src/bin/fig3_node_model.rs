@@ -10,10 +10,7 @@ use rhv_core::state::ConfigKind;
 use rhv_params::catalog::Catalog;
 
 fn main() {
-    banner(
-        "Figure 3",
-        "A typical grid node to virtualize RPEs (Eq. 1)",
-    );
+    banner("Figure 3", "A typical grid node to virtualize RPEs (Eq. 1)");
     let mut node = case_study::grid().remove(0);
     section("Fresh node (resources idle, RPEs unconfigured)");
     println!("{}", node.render());

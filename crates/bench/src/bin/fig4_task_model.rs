@@ -19,7 +19,10 @@ fn main() {
             vec![
                 Constraint::eq(ParamKey::DeviceFamily, "Virtex-5"),
                 Constraint::ge(ParamKey::Slices, 18_707u64),
-                Constraint::ge(ParamKey::BramKb, rhv_params::value::ParamValue::KiloBytes(512)),
+                Constraint::ge(
+                    ParamKey::BramKb,
+                    rhv_params::value::ParamValue::KiloBytes(512),
+                ),
             ],
             TaskPayload::HdlAccelerator {
                 spec_name: "malign".into(),
@@ -38,7 +41,13 @@ fn main() {
     println!("{}", task.render());
 
     section("Derived scheduler inputs");
-    println!("  source tasks: {:?}", task.source_tasks().iter().map(|t| t.to_string()).collect::<Vec<_>>());
+    println!(
+        "  source tasks: {:?}",
+        task.source_tasks()
+            .iter()
+            .map(|t| t.to_string())
+            .collect::<Vec<_>>()
+    );
     println!("  input volume:  {} bytes", task.input_bytes());
     println!("  output volume: {} bytes", task.output_bytes());
     println!("  scenario:      {}", task.exec_req.scenario());

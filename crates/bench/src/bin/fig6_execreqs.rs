@@ -22,8 +22,5 @@ fn main() {
         "  pairalign -> {} Virtex-5 slices",
         case_study::PAIRALIGN_SLICES
     );
-    println!(
-        "  Task_3 bitstream target: {}",
-        case_study::TASK3_DEVICE
-    );
+    println!("  Task_3 bitstream target: {}", case_study::TASK3_DEVICE);
 }

@@ -51,6 +51,9 @@ fn main() {
     );
     println!(
         "  topological order: {:?}",
-        g.topo_order().iter().map(|t| t.to_string()).collect::<Vec<_>>()
+        g.topo_order()
+            .iter()
+            .map(|t| t.to_string())
+            .collect::<Vec<_>>()
     );
 }

@@ -48,12 +48,22 @@ fn main() {
 
     section("Semantics checks");
     // T2 alone first.
-    let by = |id: u64| slots.iter().find(|s| s.task == TaskId(id)).copied().unwrap();
+    let by = |id: u64| {
+        slots
+            .iter()
+            .find(|s| s.task == TaskId(id))
+            .copied()
+            .unwrap()
+    };
     assert_eq!(by(2).start, 0.0);
     for id in [4, 1, 7] {
         assert_eq!(by(id).start, by(2).end, "Par group starts after Seq(T2)");
     }
-    assert_eq!(by(5).start, by(4).end, "Seq group waits for slowest Par task");
+    assert_eq!(
+        by(5).start,
+        by(4).end,
+        "Seq group waits for slowest Par task"
+    );
     assert_eq!(by(10).start, by(5).end, "T10 follows T5 sequentially");
     println!("  Seq(T2) ; Par(T4,T1,T7) ; Seq(T5,T10) ordering verified ✓");
 }

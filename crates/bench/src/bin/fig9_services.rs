@@ -13,8 +13,7 @@ use rhv_sched::FirstFitStrategy;
 
 fn main() {
     banner("Figure 9", "User services in a typical grid system");
-    let rms =
-        ResourceManagementSystem::new(case_study::grid(), Box::new(FirstFitStrategy::new()));
+    let rms = ResourceManagementSystem::new(case_study::grid(), Box::new(FirstFitStrategy::new()));
     let mut services = GridServices::new(rms);
 
     section("1. submit application tasks (minimum service level)");

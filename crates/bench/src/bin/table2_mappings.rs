@@ -16,7 +16,10 @@ fn main() {
         let mappings: Vec<String> = row.mappings.iter().map(|c| c.pe.to_string()).collect();
         println!("  possible mappings: {}", mappings.join(", "));
         let scenarios: Vec<String> = row.scenarios.iter().map(|s| s.to_string()).collect();
-        println!("  user-selected abstraction levels: {}", scenarios.join(" OR "));
+        println!(
+            "  user-selected abstraction levels: {}",
+            scenarios.join(" OR ")
+        );
     }
 
     section("Verification against the published table");

@@ -41,6 +41,9 @@ pub struct Bitstream {
     pub payload: Bytes,
 }
 
+// Referenced only through `#[serde(with = "serde_bytes_b64")]`, which a
+// non-derive serde implementation may not expand into calls.
+#[allow(dead_code)]
 mod serde_bytes_b64 {
     use bytes::Bytes;
     use serde::{Deserialize, Deserializer, Serialize, Serializer};
@@ -85,16 +88,16 @@ impl fmt::Display for BitstreamError {
             BitstreamError::Truncated => write!(f, "bitstream truncated"),
             BitstreamError::BadMagic => write!(f, "bad magic or version"),
             BitstreamError::BadChecksum { expected, actual } => {
-                write!(f, "checksum mismatch: stored {expected:#x}, computed {actual:#x}")
+                write!(
+                    f,
+                    "checksum mismatch: stored {expected:#x}, computed {actual:#x}"
+                )
             }
             BitstreamError::BadEncoding => write!(f, "header strings are not UTF-8"),
             BitstreamError::WrongDevice {
                 image_part,
                 device_part,
-            } => write!(
-                f,
-                "bitstream for {image_part} cannot load on {device_part}"
-            ),
+            } => write!(f, "bitstream for {image_part} cannot load on {device_part}"),
         }
     }
 }

@@ -72,7 +72,9 @@ impl HdlSpec {
 
     /// A crude structural-complexity figure used by the synthesis-time model.
     pub fn complexity(&self) -> f64 {
-        self.luts as f64 + 0.5 * self.registers as f64 + 8.0 * self.multipliers as f64
+        self.luts as f64
+            + 0.5 * self.registers as f64
+            + 8.0 * self.multipliers as f64
             + 2.0 * self.bram_kb as f64
     }
 }

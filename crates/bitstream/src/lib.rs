@@ -32,5 +32,5 @@ pub mod transfer;
 
 pub use bitstream::{Bitstream, BitstreamError, BitstreamHeader};
 pub use hdl::{HdlLanguage, HdlSpec};
-pub use synth::{SynthesisReport, SynthesisService, SynthError};
+pub use synth::{SynthError, SynthesisReport, SynthesisService};
 pub use transfer::{link_transfer_seconds, reconfiguration_seconds, TransferPlan};

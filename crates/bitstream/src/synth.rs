@@ -142,8 +142,7 @@ impl SynthesisService {
             return Ok((bit.clone(), r));
         }
         let report = self.estimate(spec, device)?;
-        let payload_len =
-            (report.slices as f64 * device.bytes_per_slice()).ceil() as usize;
+        let payload_len = (report.slices as f64 * device.bytes_per_slice()).ceil() as usize;
         let bitstream = Bitstream::synthesize(
             BitstreamHeader {
                 image: format!("{}@{}.bit", spec.name, device.part),
@@ -317,7 +316,9 @@ mod tests {
     fn fuller_devices_synthesize_slower() {
         let svc = SynthesisService::default();
         let dev = lx220();
-        let small = svc.estimate(&HdlSpec::new("s", 4_000, 1_000), &dev).unwrap();
+        let small = svc
+            .estimate(&HdlSpec::new("s", 4_000, 1_000), &dev)
+            .unwrap();
         let large = svc
             .estimate(&HdlSpec::new("l", 120_000, 30_000), &dev)
             .unwrap();

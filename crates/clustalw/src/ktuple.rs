@@ -141,9 +141,7 @@ mod tests {
         for (i, div) in [0.05f64, 0.2, 0.5].iter().enumerate() {
             let fam = synthetic_family(2, 200, *div, 11 + i as u64);
             quick.push(ktuple_distance(&fam[0], &fam[1], DEFAULT_K));
-            full.push(
-                distance_matrix(&fam, Scoring::default()).get(0, 1),
-            );
+            full.push(distance_matrix(&fam, Scoring::default()).get(0, 1));
         }
         assert!(quick[0] < quick[1] && quick[1] < quick[2], "{quick:?}");
         assert!(full[0] < full[1] && full[1] < full[2], "{full:?}");

@@ -43,8 +43,8 @@ pub mod msa;
 pub mod nj;
 pub mod pairwise;
 pub mod profilealign;
-pub mod refine;
 pub mod profiler;
+pub mod refine;
 pub mod seq;
 
 pub use msa::{align, Alignment};

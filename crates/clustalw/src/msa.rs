@@ -223,10 +223,13 @@ mod tests {
     #[test]
     fn two_identical_sequences_full_identity() {
         let fam = synthetic_family(1, 50, 0.0, 3);
-        let twins = vec![fam[0].clone(), Sequence {
-            id: "copy".into(),
-            residues: fam[0].residues.clone(),
-        }];
+        let twins = vec![
+            fam[0].clone(),
+            Sequence {
+                id: "copy".into(),
+                residues: fam[0].residues.clone(),
+            },
+        ];
         let al = align(&twins);
         assert_eq!(al.mean_pairwise_identity, 1.0);
         assert_eq!(al.rows[0], al.rows[1]);

@@ -216,7 +216,10 @@ pub fn score_only(x: &Sequence, y: &Sequence, sc: Scoring) -> i32 {
         cur_y[0] = NEG_INF;
         for j in 1..=n {
             let s = score(x.residues[i - 1], y.residues[j - 1]);
-            cur_m[j] = prev_m[j - 1].max(prev_x[j - 1]).max(prev_y[j - 1]).saturating_add(s);
+            cur_m[j] = prev_m[j - 1]
+                .max(prev_x[j - 1])
+                .max(prev_y[j - 1])
+                .saturating_add(s);
             cur_x[j] = (prev_m[j] + sc.gap_open)
                 .max(prev_x[j] + sc.gap_extend)
                 .max(prev_y[j] + sc.gap_open);
@@ -244,11 +247,19 @@ pub fn rescore(a: &[u8], b: &[u8], sc: Scoring) -> i32 {
                 gap_state = 0;
             }
             (false, true) => {
-                total += if gap_state == 1 { sc.gap_extend } else { sc.gap_open };
+                total += if gap_state == 1 {
+                    sc.gap_extend
+                } else {
+                    sc.gap_open
+                };
                 gap_state = 1;
             }
             (true, false) => {
-                total += if gap_state == 2 { sc.gap_extend } else { sc.gap_open };
+                total += if gap_state == 2 {
+                    sc.gap_extend
+                } else {
+                    sc.gap_open
+                };
                 gap_state = 2;
             }
             (true, true) => panic!("double gap column"),

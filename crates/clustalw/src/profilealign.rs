@@ -249,8 +249,7 @@ pub fn align_profiles(x: &Profile, y: &Profile, sc: Scoring) -> Profile {
 
     // Materialize the merged rows.
     let total_cols = ops.len();
-    let mut rows: Vec<Vec<u8>> =
-        vec![Vec::with_capacity(total_cols); x.rows.len() + y.rows.len()];
+    let mut rows: Vec<Vec<u8>> = vec![Vec::with_capacity(total_cols); x.rows.len() + y.rows.len()];
     let (mut xi, mut yi) = (0usize, 0usize);
     for op in ops {
         match op {

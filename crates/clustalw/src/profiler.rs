@@ -100,7 +100,11 @@ impl FlatProfile {
     pub fn render(&self) -> String {
         use std::fmt::Write;
         let mut s = String::new();
-        let _ = writeln!(s, "{:>7}  {:>12}  {:>9}  kernel", "% time", "seconds", "calls");
+        let _ = writeln!(
+            s,
+            "{:>7}  {:>12}  {:>9}  kernel",
+            "% time", "seconds", "calls"
+        );
         for r in &self.rows {
             let _ = writeln!(
                 s,
@@ -152,7 +156,6 @@ pub fn report() -> FlatProfile {
 #[cfg(test)]
 mod tests {
     use super::*;
-
 
     #[test]
     fn records_and_reports() {

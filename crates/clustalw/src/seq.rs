@@ -62,12 +62,7 @@ impl Sequence {
 
 impl fmt::Display for Sequence {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(
-            f,
-            "{} ({} aa)",
-            self.id,
-            self.len()
-        )
+        write!(f, "{} ({} aa)", self.id, self.len())
     }
 }
 

@@ -153,6 +153,52 @@ impl Application {
         slots
     }
 
+    /// The dependency DAG the group structure implies.
+    ///
+    /// Group `g+1` depends on group `g`'s *finish frontier*: the last task
+    /// of a `Seq` group, or every task of a `Par` group (the group ends
+    /// when its slowest task does). Within a `Seq` group, consecutive tasks
+    /// chain. Unlike [`Application::schedule`], the resulting graph carries
+    /// no durations — a dependency-driven scheduler releases each task at
+    /// the *actual* completion of its predecessors, so wrong `t_estimated`
+    /// values cannot break the ordering.
+    ///
+    /// Self-edges and edges already implied by a duplicate task id are
+    /// skipped rather than rejected.
+    pub fn dependency_graph(&self) -> crate::graph::TaskGraph {
+        let mut g = crate::graph::TaskGraph::new();
+        let mut frontier: Vec<TaskId> = Vec::new();
+        for group in &self.groups {
+            for &t in &group.tasks {
+                g.add_task(t);
+            }
+            match group.kind {
+                GroupKind::Seq => {
+                    let mut prev = frontier.clone();
+                    for &t in &group.tasks {
+                        for &p in &prev {
+                            // A duplicated task id can only produce a
+                            // self-loop or back-edge here; drop it instead
+                            // of failing the whole application.
+                            let _ = g.add_edge(p, t);
+                        }
+                        prev = vec![t];
+                    }
+                    frontier = prev;
+                }
+                GroupKind::Par => {
+                    for &t in &group.tasks {
+                        for &p in &frontier {
+                            let _ = g.add_edge(p, t);
+                        }
+                    }
+                    frontier = group.tasks.clone();
+                }
+            }
+        }
+        g
+    }
+
     /// Total application duration for the given task durations (makespan of
     /// [`Application::schedule`]).
     pub fn makespan(&self, duration: impl Fn(TaskId) -> f64) -> f64 {
@@ -410,6 +456,34 @@ mod tests {
     }
 
     #[test]
+    fn dependency_graph_of_paper_example() {
+        // App{Seq(T2), Par(T4, T1, T7), Seq(T5, T10)}
+        let g = Application::paper_example().dependency_graph();
+        assert_eq!(g.roots(), vec![TaskId(2)]);
+        for id in [4u64, 1, 7] {
+            assert_eq!(g.predecessors(TaskId(id)), vec![TaskId(2)]);
+        }
+        // The join task waits on the entire Par group.
+        assert_eq!(
+            g.predecessors(TaskId(5)),
+            vec![TaskId(1), TaskId(4), TaskId(7)]
+        );
+        assert_eq!(g.predecessors(TaskId(10)), vec![TaskId(5)]);
+        assert_eq!(g.sinks(), vec![TaskId(10)]);
+        assert_eq!(g.task_count(), 6);
+    }
+
+    #[test]
+    fn dependency_graph_tolerates_duplicate_ids() {
+        // T1 appears twice; the back-edge is dropped, not an error.
+        let app = Application::new(vec![Group::seq([1, 2, 1])]);
+        let g = app.dependency_graph();
+        assert_eq!(g.task_count(), 2);
+        assert_eq!(g.predecessors(TaskId(2)), vec![TaskId(1)]);
+        assert_eq!(g.topo_order().len(), 2);
+    }
+
+    #[test]
     fn trailing_comma_tolerated() {
         let a = Application::parse("App{Seq(T1),}").unwrap();
         assert_eq!(a.groups.len(), 1);
@@ -422,17 +496,13 @@ mod proptests {
     use proptest::prelude::*;
 
     fn group_strategy() -> impl Strategy<Value = Group> {
-        (
-            prop::bool::ANY,
-            prop::collection::vec(0u64..200, 1..8),
-        )
-            .prop_map(|(par, tasks)| {
-                if par {
-                    Group::par(tasks)
-                } else {
-                    Group::seq(tasks)
-                }
-            })
+        (prop::bool::ANY, prop::collection::vec(0u64..200, 1..8)).prop_map(|(par, tasks)| {
+            if par {
+                Group::par(tasks)
+            } else {
+                Group::seq(tasks)
+            }
+        })
     }
 
     proptest! {

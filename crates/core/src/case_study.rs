@@ -180,10 +180,9 @@ pub fn table2() -> Vec<Table2Row> {
 pub fn user_selectable_scenarios(task: &Task) -> Vec<Scenario> {
     match &task.exec_req.payload {
         // "Software-only application OR Predetermined hardware configuration"
-        TaskPayload::Software { .. } => vec![
-            Scenario::SoftwareOnly,
-            Scenario::PredeterminedHardware,
-        ],
+        TaskPayload::Software { .. } => {
+            vec![Scenario::SoftwareOnly, Scenario::PredeterminedHardware]
+        }
         TaskPayload::SoftcoreKernel { .. } | TaskPayload::GpuKernel { .. } => {
             vec![Scenario::PredeterminedHardware]
         }
@@ -273,7 +272,11 @@ mod tests {
             x > lo && x < hi
         }
         assert!(in_range(PAIRALIGN_TIME_FRACTION, 0.89, 0.90));
-        assert!(in_range(PAIRALIGN_TIME_FRACTION + MALIGN_TIME_FRACTION, 0.0, 1.0));
+        assert!(in_range(
+            PAIRALIGN_TIME_FRACTION + MALIGN_TIME_FRACTION,
+            0.0,
+            1.0
+        ));
     }
 
     #[test]

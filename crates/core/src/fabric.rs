@@ -101,7 +101,10 @@ impl fmt::Display for FabricError {
             ),
             FabricError::UnknownRegion(id) => write!(f, "unknown region {id}"),
             FabricError::DeviceBusy => {
-                write!(f, "device without partial reconfiguration already configured")
+                write!(
+                    f,
+                    "device without partial reconfiguration already configured"
+                )
             }
             FabricError::ZeroLength => write!(f, "zero-length allocation"),
         }
@@ -356,7 +359,7 @@ mod tests {
         let _d = f.allocate(250, FitPolicy::FirstFit).unwrap(); // [550,800)
         f.free(a).unwrap(); // gap [0,100)
         f.free(c).unwrap(); // gap [400,550)
-        // gaps now: 100 @0, 150 @400, 200 @800
+                            // gaps now: 100 @0, 150 @400, 200 @800
         let e = f.allocate(120, FitPolicy::BestFit).unwrap();
         assert_eq!(f.region(e).unwrap().offset, 400, "best fit = 150-slice gap");
         let g = f.allocate(90, FitPolicy::BestFit).unwrap();
@@ -473,11 +476,14 @@ mod proptests {
 
     fn op_strategy() -> impl Strategy<Value = Op> {
         prop_oneof![
-            (1u64..2_000, prop_oneof![
-                Just(FitPolicy::FirstFit),
-                Just(FitPolicy::BestFit),
-                Just(FitPolicy::WorstFit)
-            ])
+            (
+                1u64..2_000,
+                prop_oneof![
+                    Just(FitPolicy::FirstFit),
+                    Just(FitPolicy::BestFit),
+                    Just(FitPolicy::WorstFit)
+                ]
+            )
                 .prop_map(|(n, p)| Op::Alloc(n, p)),
             (0usize..16).prop_map(Op::FreeNth),
         ]

@@ -199,6 +199,27 @@ impl TaskGraph {
             .collect()
     }
 
+    /// True when every predecessor of `id` is in `completed`.
+    pub fn is_ready(&self, id: TaskId, completed: &BTreeSet<TaskId>) -> bool {
+        self.preds
+            .get(&id)
+            .is_none_or(|ps| ps.iter().all(|p| completed.contains(p)))
+    }
+
+    /// The successors of `just_completed` that became ready exactly now:
+    /// not themselves completed, and with every predecessor in `completed`
+    /// (which must already contain `just_completed`). This is the
+    /// incremental form of [`TaskGraph::ready_tasks`] an event-driven
+    /// scheduler wants on each completion — only the completed task's
+    /// out-neighbours need checking.
+    pub fn newly_ready(&self, just_completed: TaskId, completed: &BTreeSet<TaskId>) -> Vec<TaskId> {
+        self.successors(just_completed)
+            .into_iter()
+            .filter(|s| !completed.contains(s))
+            .filter(|&s| self.is_ready(s, completed))
+            .collect()
+    }
+
     /// ASAP level of each task (roots at level 0).
     pub fn levels(&self) -> BTreeMap<TaskId, usize> {
         let mut level = BTreeMap::new();
@@ -331,8 +352,7 @@ mod tests {
         let order = g.topo_order();
         assert_eq!(order.len(), 18);
         // topological property: every edge goes forward in the order
-        let pos: BTreeMap<TaskId, usize> =
-            order.iter().enumerate().map(|(i, &t)| (t, i)).collect();
+        let pos: BTreeMap<TaskId, usize> = order.iter().enumerate().map(|(i, &t)| (t, i)).collect();
         for t in g.tasks() {
             for s in g.successors(t) {
                 assert!(pos[&t] < pos[&s], "{t} must precede {s}");
@@ -370,6 +390,30 @@ mod tests {
         assert!(ready.contains(&TaskId(8)));
         // T13 needs T7 and T8, neither done:
         assert!(!ready.contains(&TaskId(13)));
+    }
+
+    #[test]
+    fn newly_ready_matches_full_ready_set() {
+        let g = fig7_graph();
+        let mut done = BTreeSet::new();
+        // Drive the whole graph by completing in topological order; the
+        // union of roots + newly_ready deltas must cover every task exactly
+        // when the full ready set says so.
+        for t in g.topo_order() {
+            assert!(g.is_ready(t, &done), "{t} ready in topo order");
+            done.insert(t);
+            let delta = g.newly_ready(t, &done);
+            let full = g.ready_tasks(&done);
+            for d in &delta {
+                assert!(full.contains(d), "{d} in delta must be in full set");
+                assert!(g.predecessors(*d).contains(&t));
+            }
+        }
+        // T8 unlocks only when the last of {T0, T2, T5} completes.
+        let mut done = BTreeSet::from([TaskId(0), TaskId(2)]);
+        assert!(g.newly_ready(TaskId(2), &done).is_empty());
+        done.insert(TaskId(5));
+        assert_eq!(g.newly_ready(TaskId(5), &done), vec![TaskId(8)]);
     }
 
     #[test]

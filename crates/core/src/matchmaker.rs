@@ -11,9 +11,9 @@ use crate::ids::{ConfigId, NodeId, PeId};
 use crate::node::Node;
 use crate::state::ConfigKind;
 use crate::task::Task;
-use rhv_params::param::PeClass;
 #[cfg(test)]
 use rhv_params::param::ParamKey;
+use rhv_params::param::PeClass;
 use serde::{Deserialize, Serialize};
 use std::fmt;
 
@@ -72,8 +72,7 @@ impl fmt::Display for Candidate {
 }
 
 /// Matchmaking options.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
-#[derive(Default)]
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize, Default)]
 pub struct MatchOptions {
     /// When true, a candidate RPE must currently have enough free fabric for
     /// the task's slice demand (dynamic state); when false, matching is
@@ -84,7 +83,6 @@ pub struct MatchOptions {
     /// backward-compatibility fallback (Sec. III-A).
     pub softcore_fallback_slices: Option<u64>,
 }
-
 
 /// The matchmaker.
 #[derive(Debug, Clone, Default)]
@@ -246,9 +244,7 @@ impl Matchmaker {
     /// implemented for.
     fn rpe_payload_ok(&self, req: &ExecReq, part: &str) -> bool {
         match &req.payload {
-            TaskPayload::Bitstream { device_part, .. } => {
-                device_part.eq_ignore_ascii_case(part)
-            }
+            TaskPayload::Bitstream { device_part, .. } => device_part.eq_ignore_ascii_case(part),
             _ => true,
         }
     }
@@ -296,11 +292,7 @@ mod tests {
         let refs: Vec<String> = c.iter().map(|c| c.pe.to_string()).collect();
         assert_eq!(
             refs,
-            vec![
-                "GPP_0 <-> Node_0",
-                "GPP_1 <-> Node_0",
-                "GPP_0 <-> Node_1"
-            ]
+            vec!["GPP_0 <-> Node_0", "GPP_1 <-> Node_0", "GPP_0 <-> Node_1"]
         );
     }
 
@@ -347,7 +339,7 @@ mod tests {
         let mut ns = nodes();
         let tasks = crate::case_study::tasks();
         let t1 = &tasks[1]; // malign accelerator, 18,707 slices
-        // Preload the malign accelerator on Node_1's RPE_1.
+                            // Preload the malign accelerator on Node_1's RPE_1.
         let rpe = ns[1].rpe_mut(PeId::Rpe(1)).unwrap();
         let cfg = rpe
             .state
@@ -372,12 +364,16 @@ mod tests {
         let mut ns = nodes();
         let tasks = crate::case_study::tasks();
         let t2 = &tasks[2]; // pairalign, 30,790 slices
-        // Fill Node_1 RPE_1 (34,560 slices) with an unrelated config.
+                            // Fill Node_1 RPE_1 (34,560 slices) with an unrelated config.
         ns[1]
             .rpe_mut(PeId::Rpe(1))
             .unwrap()
             .state
-            .load(ConfigKind::Accelerator("other".into()), 10_000, FitPolicy::FirstFit)
+            .load(
+                ConfigKind::Accelerator("other".into()),
+                10_000,
+                FitPolicy::FirstFit,
+            )
             .unwrap();
         let mm = Matchmaker::with_options(MatchOptions {
             respect_state: true,
@@ -438,7 +434,12 @@ mod tests {
         assert_eq!(c[0].pe.to_string(), "GPU_0 <-> Node_2");
         assert_eq!(c[0].mode, HostingMode::GpuRun);
         // A busy GPU is excluded under state-aware matching.
-        ns[2].gpu_mut(crate::ids::PeId::Gpu(0)).unwrap().state.acquire().unwrap();
+        ns[2]
+            .gpu_mut(crate::ids::PeId::Gpu(0))
+            .unwrap()
+            .state
+            .acquire()
+            .unwrap();
         let live = Matchmaker::with_options(MatchOptions {
             respect_state: true,
             softcore_fallback_slices: None,

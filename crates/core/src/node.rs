@@ -52,7 +52,11 @@ impl RpeResource {
     pub fn new(device: FpgaDevice) -> Self {
         let caps = device.to_params();
         let state = RpeState::new(device.slices, device.partial_reconfig);
-        RpeResource { device, caps, state }
+        RpeResource {
+            device,
+            caps,
+            state,
+        }
     }
 
     /// Effective capabilities for matchmaking: static caps with the dynamic
@@ -337,11 +341,18 @@ mod tests {
         use crate::state::ConfigKind;
         let mut n = sample_node();
         let avail_key = ParamKey::Custom("available_slices".into());
-        let before = n.rpes()[0].effective_caps().get_u64(avail_key.clone()).unwrap();
+        let before = n.rpes()[0]
+            .effective_caps()
+            .get_u64(avail_key.clone())
+            .unwrap();
         assert_eq!(before, 56_880);
         let rpe = n.rpe_mut(PeId::Rpe(0)).unwrap();
         rpe.state
-            .load(ConfigKind::Accelerator("x".into()), 10_000, FitPolicy::FirstFit)
+            .load(
+                ConfigKind::Accelerator("x".into()),
+                10_000,
+                FitPolicy::FirstFit,
+            )
             .unwrap();
         let after = n.rpes()[0].effective_caps().get_u64(avail_key).unwrap();
         assert_eq!(after, 46_880);

@@ -59,9 +59,10 @@ pub fn parse_spec(text: &str) -> Result<(PeClass, Vec<Constraint>), SpecError> {
             if pe_class.is_some() {
                 return Err(err("NodeType declared twice".into()));
             }
-            pe_class = Some(parse_pe_class(rest.trim()).ok_or_else(|| {
-                err(format!("unknown node type `{}`", rest.trim()))
-            })?);
+            pe_class = Some(
+                parse_pe_class(rest.trim())
+                    .ok_or_else(|| err(format!("unknown node type `{}`", rest.trim())))?,
+            );
             continue;
         }
         // constraint: key op value
@@ -381,8 +382,7 @@ mod proptests {
             (0.0f64..10_000.0).prop_map(ParamValue::MegaBytesPerSec),
             prop::bool::ANY.prop_map(ParamValue::Flag),
             "[A-Za-z][A-Za-z0-9-]{0,14}".prop_map(ParamValue::Text),
-            prop::collection::vec("[A-Za-z][A-Za-z0-9]{0,8}", 1..4)
-                .prop_map(ParamValue::TextList),
+            prop::collection::vec("[A-Za-z][A-Za-z0-9]{0,8}", 1..4).prop_map(ParamValue::TextList),
         ]
     }
 

@@ -410,7 +410,11 @@ mod tests {
     fn load_acquire_release_unload_cycle() {
         let mut s = RpeState::new(10_000, true);
         let c = s
-            .load(ConfigKind::Softcore("rvex-2w".into()), 3_000, FitPolicy::FirstFit)
+            .load(
+                ConfigKind::Softcore("rvex-2w".into()),
+                3_000,
+                FitPolicy::FirstFit,
+            )
             .unwrap();
         assert!(!s.is_unconfigured());
         assert!(s.is_idle());
@@ -427,7 +431,11 @@ mod tests {
     fn double_acquire_and_bad_release() {
         let mut s = RpeState::new(1_000, true);
         let c = s
-            .load(ConfigKind::Accelerator("fft".into()), 100, FitPolicy::FirstFit)
+            .load(
+                ConfigKind::Accelerator("fft".into()),
+                100,
+                FitPolicy::FirstFit,
+            )
             .unwrap();
         s.acquire(c).unwrap();
         assert_eq!(s.acquire(c).unwrap_err(), RpeStateError::ConfigBusy(c));
@@ -459,10 +467,18 @@ mod tests {
         // than one hardware functions" (Sec. II): PR devices host several.
         let mut s = RpeState::new(24_320, true);
         let a = s
-            .load(ConfigKind::Accelerator("malign".into()), 18_707, FitPolicy::FirstFit)
+            .load(
+                ConfigKind::Accelerator("malign".into()),
+                18_707,
+                FitPolicy::FirstFit,
+            )
             .unwrap();
         let b = s
-            .load(ConfigKind::Softcore("rvex-2w".into()), 3_000, FitPolicy::FirstFit)
+            .load(
+                ConfigKind::Softcore("rvex-2w".into()),
+                3_000,
+                FitPolicy::FirstFit,
+            )
             .unwrap();
         assert_eq!(s.configs().len(), 2);
         assert_ne!(a, b);
@@ -473,10 +489,18 @@ mod tests {
     fn non_pr_device_hosts_one_config() {
         let mut s = RpeState::new(24_320, false);
         let _ = s
-            .load(ConfigKind::Bitstream("user.bit".into()), 1_000, FitPolicy::FirstFit)
+            .load(
+                ConfigKind::Bitstream("user.bit".into()),
+                1_000,
+                FitPolicy::FirstFit,
+            )
             .unwrap();
         assert!(s
-            .load(ConfigKind::Softcore("rvex-2w".into()), 100, FitPolicy::FirstFit)
+            .load(
+                ConfigKind::Softcore("rvex-2w".into()),
+                100,
+                FitPolicy::FirstFit
+            )
             .is_err());
     }
 

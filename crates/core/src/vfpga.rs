@@ -155,11 +155,7 @@ impl VfpgaFabric {
 
     /// Slices actually used by resident configurations.
     pub fn used_slices(&self) -> u64 {
-        self.slots
-            .iter()
-            .flatten()
-            .map(|u| u.used_slices)
-            .sum()
+        self.slots.iter().flatten().map(|u| u.used_slices).sum()
     }
 
     /// Internal fragmentation: slot area stranded beyond configurations'

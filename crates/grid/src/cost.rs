@@ -98,13 +98,10 @@ pub fn estimate(task: &Task, rates: &Rates, tier: QosTier) -> CostEstimate {
             let seconds = mega_ops / 300.0; // nominal soft-core MIPS
             (seconds * rates.softcore_second, 0.0)
         }
-        TaskPayload::HdlAccelerator { accel_seconds, .. } => (
-            accel_seconds * rates.fpga_second,
-            rates.synthesis_fee,
-        ),
-        TaskPayload::GpuKernel { accel_seconds, .. } => {
-            (accel_seconds * rates.gpu_second, 0.0)
+        TaskPayload::HdlAccelerator { accel_seconds, .. } => {
+            (accel_seconds * rates.fpga_second, rates.synthesis_fee)
         }
+        TaskPayload::GpuKernel { accel_seconds, .. } => (accel_seconds * rates.gpu_second, 0.0),
         TaskPayload::Bitstream {
             accel_seconds,
             size_bytes,
@@ -133,10 +130,9 @@ mod tests {
         for t in case_study::tasks() {
             let e = estimate(&t, &rates, QosTier::Standard);
             assert!(e.total() > 0.0, "{}: {e:?}", t.id);
-            assert!((e.total()
-                - (e.execution + e.services + e.transfer) * e.multiplier)
-                .abs()
-                < 1e-12);
+            assert!(
+                (e.total() - (e.execution + e.services + e.transfer) * e.multiplier).abs() < 1e-12
+            );
         }
     }
 

@@ -194,10 +194,8 @@ mod tests {
         let mut fed = federation();
         let mut task = case_study::tasks()[2].clone();
         // Impossible requirement → Unsatisfiable.
-        task.exec_req.constraints[1] = rhv_core::execreq::Constraint::ge(
-            rhv_params::param::ParamKey::Slices,
-            1_000_000u64,
-        );
+        task.exec_req.constraints[1] =
+            rhv_core::execreq::Constraint::ge(rhv_params::param::ParamKey::Slices, 1_000_000u64);
         assert_eq!(
             fed.route(&task, 0, 0.0).unwrap_err(),
             RouteError::Unsatisfiable

@@ -177,11 +177,7 @@ mod tests {
     fn app_for_case_study() -> (Application, Vec<Task>) {
         // Task_0 first, then the two kernels in parallel, then the
         // device-specific variant — a sensible ClustalW workflow.
-        let app = Application::new(vec![
-            Group::seq([0]),
-            Group::par([1, 2]),
-            Group::seq([3]),
-        ]);
+        let app = Application::new(vec![Group::seq([0]), Group::par([1, 2]), Group::seq([3])]);
         (app, case_study::tasks())
     }
 

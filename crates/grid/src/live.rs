@@ -67,9 +67,8 @@ impl LiveGrid {
                         // the sender (shutdown).
                         while let Ok(d) = rx.recv() {
                             let start = std::time::Instant::now();
-                            let dwell = Duration::from_secs_f64(
-                                (d.exec_seconds * time_scale).max(0.0),
-                            );
+                            let dwell =
+                                Duration::from_secs_f64((d.exec_seconds * time_scale).max(0.0));
                             std::thread::sleep(dwell);
                             executed += 1;
                             // Receiver may be gone during shutdown races.
@@ -99,6 +98,12 @@ impl LiveGrid {
 
     /// Dispatches a task to the node that owns `pe`.
     pub fn dispatch(&self, task: &Task, pe: PeRef, exec_seconds: f64) -> Result<(), LiveError> {
+        self.dispatch_id(task.id, pe, exec_seconds)
+    }
+
+    /// Dispatches by task id — what a kernel front-end holds after the
+    /// lifecycle kernel has consumed the task itself.
+    pub fn dispatch_id(&self, task: TaskId, pe: PeRef, exec_seconds: f64) -> Result<(), LiveError> {
         let worker = self
             .workers
             .iter()
@@ -108,7 +113,7 @@ impl LiveGrid {
         worker
             .tx
             .send(Dispatch {
-                task: task.id,
+                task,
                 pe,
                 exec_seconds,
             })
@@ -133,6 +138,70 @@ impl LiveGrid {
             })
             .collect()
     }
+}
+
+/// Runs a workload on live worker threads, driven by the shared
+/// [`LifecycleKernel`](rhv_sim::LifecycleKernel) — the third front-end of
+/// the one task-lifecycle state machine (simulator, step-driven grid
+/// runtime, live emulation).
+///
+/// The kernel decides placement, setup and timing exactly as the simulator
+/// would; this function merely transports each scheduled completion through
+/// a real worker thread (wall dwell = the kernel's setup + execution,
+/// scaled by `time_scale`) and feeds it back at the kernel's virtual
+/// completion time. Pass a dependency `graph` to hold tasks until their
+/// predecessors actually complete.
+///
+/// Returns the kernel's report plus per-node executed-task counts from the
+/// worker threads.
+pub fn run_live(
+    nodes: Vec<rhv_core::node::Node>,
+    cfg: rhv_sim::sim::SimConfig,
+    workload: Vec<Task>,
+    graph: Option<rhv_core::graph::TaskGraph>,
+    strategy: &mut dyn rhv_sim::Strategy,
+    time_scale: f64,
+) -> (rhv_sim::SimReport, Vec<(NodeId, u64)>) {
+    use rhv_sim::{LifecycleKernel, PendingCompletion};
+    use std::collections::BTreeMap;
+
+    let node_ids: Vec<NodeId> = nodes.iter().map(|n| n.id).collect();
+    let grid = LiveGrid::spawn(&node_ids, time_scale);
+    let mut kernel = LifecycleKernel::new(nodes, cfg);
+    if let Some(g) = graph {
+        kernel.set_dependencies(g);
+    }
+    let name = strategy.name().to_owned();
+
+    let mut inflight: BTreeMap<TaskId, PendingCompletion> = BTreeMap::new();
+    let launch = |scheduled: Vec<PendingCompletion>,
+                  inflight: &mut BTreeMap<TaskId, PendingCompletion>| {
+        for p in scheduled {
+            grid.dispatch_id(p.task(), p.pe(), p.duration())
+                .expect("live worker exists until shutdown");
+            inflight.insert(p.task(), p);
+        }
+    };
+    for task in workload {
+        let scheduled = kernel.submit(task, 0.0, strategy);
+        launch(scheduled, &mut inflight);
+    }
+    // The kernel's clock is virtual; wall completions only sequence it.
+    let mut clock = 0.0f64;
+    while !inflight.is_empty() {
+        let Some(c) = grid.next_completion(Duration::from_secs(30)) else {
+            break; // a wedged worker must not hang the caller
+        };
+        let Some(p) = inflight.remove(&c.task) else {
+            continue;
+        };
+        clock = clock.max(p.finish());
+        let scheduled = kernel.complete(p, clock, strategy);
+        launch(scheduled, &mut inflight);
+    }
+    let counts = grid.shutdown();
+    let (report, _) = kernel.finish(&name);
+    (report, counts)
 }
 
 /// Live-mode errors.
@@ -211,6 +280,44 @@ mod tests {
             LiveError::UnknownNode(NodeId(9))
         );
         grid.shutdown();
+    }
+
+    #[test]
+    fn run_live_drives_the_shared_kernel() {
+        use rhv_core::appdsl::{Application, Group};
+        use rhv_sched::FirstFitStrategy;
+        let nodes = case_study::grid();
+        let tasks = case_study::tasks();
+        // Seq(T0), Par(T1, T2): T1/T2 may only start after T0 completes.
+        let app = Application::new(vec![Group::seq([0]), Group::par([1, 2])]);
+        let workload: Vec<Task> = app
+            .task_ids()
+            .iter()
+            .map(|t| tasks[t.raw() as usize].clone())
+            .collect();
+        let mut strategy = FirstFitStrategy::new();
+        let (report, counts) = run_live(
+            nodes,
+            rhv_sim::sim::SimConfig::default(),
+            workload,
+            Some(app.dependency_graph()),
+            &mut strategy,
+            1e-6,
+        );
+        assert_eq!(report.completed, 3);
+        assert_eq!(counts.iter().map(|(_, c)| c).sum::<u64>(), 3);
+        let r = |id: u64| {
+            report
+                .records
+                .iter()
+                .find(|r| r.task == TaskId(id))
+                .cloned()
+                .unwrap()
+        };
+        // Dependency-driven release: children arrive at the parent's finish.
+        assert_eq!(r(1).arrival, r(0).finish);
+        assert_eq!(r(2).arrival, r(0).finish);
+        report.check_invariants().unwrap();
     }
 
     #[test]

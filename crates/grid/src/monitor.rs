@@ -141,7 +141,11 @@ mod tests {
             .rpe_mut(PeId::Rpe(0))
             .unwrap()
             .state
-            .load(ConfigKind::Accelerator("x".into()), 10_000, FitPolicy::FirstFit)
+            .load(
+                ConfigKind::Accelerator("x".into()),
+                10_000,
+                FitPolicy::FirstFit,
+            )
             .unwrap();
         let snap = Monitor::snapshot(&nodes);
         assert_eq!(snap[0].cores, (3, 6));

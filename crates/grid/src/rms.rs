@@ -113,6 +113,12 @@ impl ResourceManagementSystem {
     pub fn strategy_name(&self) -> &str {
         self.strategy.name()
     }
+
+    /// Mutable access to the scheduling strategy, for driving a
+    /// [`rhv_sim::LifecycleKernel`] with the RMS's own policy.
+    pub fn strategy_mut(&mut self) -> &mut dyn Strategy {
+        self.strategy.as_mut()
+    }
 }
 
 /// RMS errors.

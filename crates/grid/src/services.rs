@@ -122,10 +122,12 @@ impl GridServices {
     }
 
     /// Runs one job through the DReAMSim simulator, honouring the
-    /// application's Seq/Par structure: each group is submitted when the
-    /// previous group's timeline slot opens (using `t_estimated` for the
-    /// barrier spacing). Returns the full simulation report, and marks the
-    /// job's task states from the outcome.
+    /// application's Seq/Par structure **dependency-driven**: every task is
+    /// submitted up front and the shared lifecycle kernel releases each one
+    /// at the actual completion of its predecessors (no `t_estimated`
+    /// barrier approximation — wrong estimates cannot reorder the
+    /// workflow). Returns the full simulation report, and marks the job's
+    /// task states from the outcome.
     pub fn run_job_simulated(
         &mut self,
         job: JobId,
@@ -136,21 +138,23 @@ impl GridServices {
             let j = self.jss.job(job)?;
             (j.application.clone(), j.tasks.clone())
         };
-        // Group barriers from the Fig. 8 schedule over t_estimated.
-        let slots = application.schedule(|t| tasks.get(&t).map(|x| x.t_estimated).unwrap_or(0.0));
-        let workload: Vec<(f64, Task)> = slots
+        let graph = application.dependency_graph();
+        let workload: Vec<(f64, Task)> = application
+            .task_ids()
             .iter()
-            .filter_map(|s| tasks.get(&s.task).map(|t| (s.start, t.clone())))
+            .filter_map(|t| tasks.get(t).map(|task| (0.0, task.clone())))
             .collect();
         let nodes = self.rms.nodes().to_vec();
-        let report = rhv_sim::sim::GridSimulator::new(nodes, cfg).run(workload, strategy);
+        let report = rhv_sim::sim::GridSimulator::new(nodes, cfg)
+            .with_dependencies(graph)
+            .run(workload, strategy);
         for record in &report.records {
             self.jss.set_task_state(job, record.task, TaskState::Done);
-            self.monitor.record(Event::TaskDispatched(record.task, record.pe.node));
+            self.monitor
+                .record(Event::TaskDispatched(record.task, record.pe.node));
             self.monitor.record(Event::TaskCompleted(record.task));
         }
-        let done: std::collections::BTreeSet<_> =
-            report.records.iter().map(|r| r.task).collect();
+        let done: std::collections::BTreeSet<_> = report.records.iter().map(|r| r.task).collect();
         for t in tasks.keys() {
             if !done.contains(t) {
                 self.jss.set_task_state(job, *t, TaskState::Rejected);
@@ -164,32 +168,57 @@ impl GridServices {
     /// convenience used by examples and tests; the simulator and the live
     /// mode are the asynchronous paths).
     ///
-    /// Tasks run group by group per the application's Seq/Par semantics;
-    /// unsatisfiable tasks mark the job failed.
+    /// Steps the shared [`rhv_sim::LifecycleKernel`] completion by
+    /// completion — no event queue — over a copy of the RMS node states,
+    /// using the RMS's own strategy. The application's Seq/Par structure is
+    /// honoured dependency-driven; unsatisfiable tasks mark the job failed.
     pub fn run_job(&mut self, job: JobId) -> Option<JobStatus> {
-        let (groups, tasks) = {
+        use rhv_sim::{LifecycleKernel, PendingCompletion};
+        let (application, tasks) = {
             let j = self.jss.job(job)?;
-            (j.application.groups.clone(), j.tasks.clone())
+            (j.application.clone(), j.tasks.clone())
         };
-        for group in groups {
-            for tid in group.tasks {
-                let task = tasks.get(&tid)?.clone();
-                if self.rms.propose(&task, 0.0).is_some() {
-                    self.monitor
-                        .record(Event::TaskDispatched(tid, self.rms.nodes()[0].id));
-                    self.jss.set_task_state(job, tid, TaskState::Running);
-                    // Synchronous completion (state changes are transient).
-                    self.jss.set_task_state(job, tid, TaskState::Done);
-                    self.monitor.record(Event::TaskCompleted(tid));
-                } else if self.rms.is_satisfiable(&task) {
-                    // Busy grid in the synchronous driver: treat as done
-                    // after waiting (no clock here).
-                    self.jss.set_task_state(job, tid, TaskState::Done);
-                    self.monitor.record(Event::TaskCompleted(tid));
-                } else {
-                    self.jss.set_task_state(job, tid, TaskState::Rejected);
-                    self.monitor.record(Event::TaskRejected(tid));
-                }
+        let mut kernel = LifecycleKernel::new(
+            self.rms.nodes().to_vec(),
+            rhv_sim::sim::SimConfig::default(),
+        )
+        .with_dependencies(application.dependency_graph());
+        let mut pending: Vec<PendingCompletion> = Vec::new();
+        for tid in application.task_ids() {
+            let task = tasks.get(&tid)?.clone();
+            pending.extend(kernel.submit(task, 0.0, self.rms.strategy_mut()));
+        }
+        // Deliver completions in time order until the kernel runs dry.
+        while !pending.is_empty() {
+            let next = pending
+                .iter()
+                .enumerate()
+                .min_by(|a, b| {
+                    a.1.finish()
+                        .partial_cmp(&b.1.finish())
+                        .expect("finite times")
+                })
+                .map(|(i, _)| i)
+                .expect("pending is non-empty");
+            let p = pending.swap_remove(next);
+            let now = p.finish();
+            pending.extend(kernel.complete(p, now, self.rms.strategy_mut()));
+        }
+        let (report, _) = kernel.finish(self.rms.strategy_name());
+        for record in &report.records {
+            self.jss
+                .set_task_state(job, record.task, TaskState::Running);
+            self.monitor
+                .record(Event::TaskDispatched(record.task, record.pe.node));
+            // Synchronous completion (state changes are transient).
+            self.jss.set_task_state(job, record.task, TaskState::Done);
+            self.monitor.record(Event::TaskCompleted(record.task));
+        }
+        let done: std::collections::BTreeSet<_> = report.records.iter().map(|r| r.task).collect();
+        for t in tasks.keys() {
+            if !done.contains(t) {
+                self.jss.set_task_state(job, *t, TaskState::Rejected);
+                self.monitor.record(Event::TaskRejected(*t));
             }
         }
         self.jss.job(job).map(Job::status)
@@ -326,10 +355,8 @@ mod tests {
         let mut svc = services();
         let mut tasks = case_study::tasks();
         // Make Task_2 impossible.
-        tasks[2].exec_req.constraints[1] = rhv_core::execreq::Constraint::ge(
-            rhv_params::param::ParamKey::Slices,
-            1_000_000u64,
-        );
+        tasks[2].exec_req.constraints[1] =
+            rhv_core::execreq::Constraint::ge(rhv_params::param::ParamKey::Slices, 1_000_000u64);
         let job = match svc.handle(UserQuery::Submit {
             application: Application::new(vec![Group::seq([0, 1, 2, 3])]),
             tasks,

@@ -76,9 +76,11 @@ impl Catalog {
 
     /// Looks up an FPGA by part number (case-insensitive).
     pub fn fpga(&self, part: &str) -> Option<&FpgaDevice> {
-        self.fpgas
-            .get(part)
-            .or_else(|| self.fpgas.values().find(|d| d.part.eq_ignore_ascii_case(part)))
+        self.fpgas.get(part).or_else(|| {
+            self.fpgas
+                .values()
+                .find(|d| d.part.eq_ignore_ascii_case(part))
+        })
     }
 
     /// Looks up a GPP by model string.
@@ -128,7 +130,15 @@ impl Catalog {
     }
 }
 
-fn v5(part: &str, logic_cells: u64, slices: u64, bram_kb: u64, dsp: u64, iobs: u64, bits: u64) -> FpgaDevice {
+fn v5(
+    part: &str,
+    logic_cells: u64,
+    slices: u64,
+    bram_kb: u64,
+    dsp: u64,
+    iobs: u64,
+    bits: u64,
+) -> FpgaDevice {
     FpgaDevice {
         part: part.into(),
         family: FpgaFamily::Virtex5,

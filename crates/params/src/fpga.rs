@@ -91,7 +91,10 @@ impl FpgaDevice {
             .with(ParamKey::Luts, self.luts)
             .with(ParamKey::BramKb, ParamValue::KiloBytes(self.bram_kb))
             .with(ParamKey::DspSlices, self.dsp_slices)
-            .with(ParamKey::SpeedGradeMhz, ParamValue::MegaHertz(self.speed_grade_mhz))
+            .with(
+                ParamKey::SpeedGradeMhz,
+                ParamValue::MegaHertz(self.speed_grade_mhz),
+            )
             .with(
                 ParamKey::ReconfigBandwidthMBps,
                 ParamValue::MegaBytesPerSec(self.reconfig_bandwidth_mbps),

@@ -28,7 +28,10 @@ impl GppSpec {
             .with(ParamKey::CpuModel, self.cpu_model.as_str())
             .with(ParamKey::MipsRating, self.mips)
             .with(ParamKey::Os, self.os.as_str())
-            .with(ParamKey::RamMb, crate::value::ParamValue::MegaBytes(self.ram_mb))
+            .with(
+                ParamKey::RamMb,
+                crate::value::ParamValue::MegaBytes(self.ram_mb),
+            )
             .with(ParamKey::Cores, self.cores)
             .with(
                 ParamKey::ClockMhz,
@@ -110,7 +113,11 @@ mod tests {
 
     #[test]
     fn zero_core_spec_is_infinitely_slow() {
-        let g = GppSpec { cores: 0, mips: 0.0, ..xeon() };
+        let g = GppSpec {
+            cores: 0,
+            mips: 0.0,
+            ..xeon()
+        };
         assert!(g.execution_seconds(1.0, 1).is_infinite());
     }
 }

@@ -136,9 +136,22 @@ impl ParamKey {
     pub fn pe_class(&self) -> Option<PeClass> {
         use ParamKey::*;
         match self {
-            DevicePart | DeviceFamily | LogicCells | Slices | Luts | Gates | Macrocells | Alms
-            | BramKb | DspSlices | SpeedGradeMhz | ReconfigBandwidthMBps | Iobs | IoStandards
-            | EthernetMac | PartialReconfig => Some(PeClass::Fpga),
+            DevicePart
+            | DeviceFamily
+            | LogicCells
+            | Slices
+            | Luts
+            | Gates
+            | Macrocells
+            | Alms
+            | BramKb
+            | DspSlices
+            | SpeedGradeMhz
+            | ReconfigBandwidthMBps
+            | Iobs
+            | IoStandards
+            | EthernetMac
+            | PartialReconfig => Some(PeClass::Fpga),
             CpuModel | MipsRating | Os | RamMb | Cores | ClockMhz => Some(PeClass::Gpp),
             FuTypes | AluCount | MulCount | MemUnitCount | IssueWidth | InstrMemKb | DataMemKb
             | RegisterFile | PipelineStages | Clusters => Some(PeClass::Softcore),
@@ -200,10 +213,7 @@ impl ParamKey {
         if let Some(name) = s.strip_prefix("custom:") {
             return Some(ParamKey::Custom(name.to_owned()));
         }
-        ParamKey::all()
-            .iter()
-            .find(|k| k.to_string() == s)
-            .cloned()
+        ParamKey::all().iter().find(|k| k.to_string() == s).cloned()
     }
 
     /// All canonical (non-custom) keys, in Table I order.
@@ -307,7 +317,10 @@ impl fmt::Display for ParamKey {
 /// bench harness must be byte-stable across runs. Serialization uses a list
 /// of `(key, value)` pairs because JSON map keys must be strings.
 #[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
-#[serde(from = "Vec<(ParamKey, ParamValue)>", into = "Vec<(ParamKey, ParamValue)>")]
+#[serde(
+    from = "Vec<(ParamKey, ParamValue)>",
+    into = "Vec<(ParamKey, ParamValue)>"
+)]
 pub struct ParamMap {
     entries: BTreeMap<ParamKey, ParamValue>,
 }

@@ -110,7 +110,10 @@ impl SoftcoreSpec {
             .with(ParamKey::MulCount, self.multipliers)
             .with(ParamKey::MemUnitCount, self.mem_units)
             .with(ParamKey::IssueWidth, self.issue_width)
-            .with(ParamKey::InstrMemKb, ParamValue::KiloBytes(self.instr_mem_kb))
+            .with(
+                ParamKey::InstrMemKb,
+                ParamValue::KiloBytes(self.instr_mem_kb),
+            )
             .with(ParamKey::DataMemKb, ParamValue::KiloBytes(self.data_mem_kb))
             .with(ParamKey::RegisterFile, self.registers)
             .with(ParamKey::PipelineStages, self.pipeline_stages)

@@ -272,10 +272,7 @@ mod tests {
         assert_eq!(ParamValue::MegaBytesPerSec(400.0).to_string(), "400 MB/s");
         assert_eq!(ParamValue::KiloBytes(64).to_string(), "64 KB");
         assert_eq!(ParamValue::Flag(true).to_string(), "yes");
-        assert_eq!(
-            ParamValue::list(["ALU", "MUL"]).to_string(),
-            "[ALU, MUL]"
-        );
+        assert_eq!(ParamValue::list(["ALU", "MUL"]).to_string(), "[ALU, MUL]");
     }
 
     #[test]

@@ -161,12 +161,7 @@ impl Stmt {
     }
 
     /// Canonical counted loop builder.
-    pub fn for_loop(
-        var: impl Into<String>,
-        from: Expr,
-        to: Expr,
-        body: Vec<Stmt>,
-    ) -> Stmt {
+    pub fn for_loop(var: impl Into<String>, from: Expr, to: Expr, body: Vec<Stmt>) -> Stmt {
         Stmt::For {
             var: var.into(),
             from,
@@ -221,11 +216,7 @@ mod tests {
                     lhs: Expr::index("y", Expr::var("i")),
                     value: Expr::bin(
                         BinOp::Add,
-                        Expr::bin(
-                            BinOp::Mul,
-                            Expr::var("a"),
-                            Expr::index("x", Expr::var("i")),
-                        ),
+                        Expr::bin(BinOp::Mul, Expr::var("a"), Expr::index("x", Expr::var("i"))),
                         Expr::index("y", Expr::var("i")),
                     ),
                 }],

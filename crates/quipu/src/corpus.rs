@@ -48,7 +48,8 @@ pub fn synthetic_area(m: &ComplexityMetrics) -> (u64, u64, u64) {
         + 200.0 * m.loops as f64
         + 90.0 * m.array_accesses as f64
         + 700.0 * m.mul_ops as f64;
-    let bram = 2.0 * m.array_accesses as f64 + 6.0 * m.loops as f64 + 1.5 * m.distinct_operands as f64;
+    let bram =
+        2.0 * m.array_accesses as f64 + 6.0 * m.loops as f64 + 1.5 * m.distinct_operands as f64;
     (
         slices.round().max(0.0) as u64,
         luts.round().max(0.0) as u64,
@@ -82,7 +83,12 @@ fn calibrate(mut f: Function, target_slices: u64) -> Function {
     // block of pads (single-pad deltas alternate with integer rounding),
     // bulk-pad most of the way, then trim to the closest value one pad at a
     // time.
-    let pad = || Stmt::assign_var("acc", Expr::bin(BinOp::Add, Expr::var("acc"), Expr::var("tpad")));
+    let pad = || {
+        Stmt::assign_var(
+            "acc",
+            Expr::bin(BinOp::Add, Expr::var("acc"), Expr::var("tpad")),
+        )
+    };
     f.body.push(Stmt::assign_var("tpad", Expr::Num(1)));
     f.body.push(pad());
     let after_one = gt(&f);
@@ -301,14 +307,8 @@ pub fn crc_kernel() -> Function {
                     num(8),
                     vec![Stmt::If {
                         cond: b(BinOp::Eq, b(BinOp::Mod, v("c"), num(2)), num(1)),
-                        then: vec![Stmt::assign_var(
-                            "c",
-                            b(BinOp::Div, v("c"), num(2)),
-                        )],
-                        otherwise: vec![Stmt::assign_var(
-                            "c",
-                            b(BinOp::Mul, v("c"), num(2)),
-                        )],
+                        then: vec![Stmt::assign_var("c", b(BinOp::Div, v("c"), num(2)))],
+                        otherwise: vec![Stmt::assign_var("c", b(BinOp::Mul, v("c"), num(2)))],
                     }],
                 ),
             ],
@@ -392,11 +392,7 @@ pub fn nw_cell_kernel() -> Function {
                     ),
                     Stmt::assign_var(
                         "left",
-                        b(
-                            BinOp::Sub,
-                            ix("H", b(BinOp::Mul, v("i"), v("m"))),
-                            v("gap"),
-                        ),
+                        b(BinOp::Sub, ix("H", b(BinOp::Mul, v("i"), v("m"))), v("gap")),
                     ),
                     Stmt::assign_var("best", v("diag")),
                     Stmt::If {
@@ -410,10 +406,7 @@ pub fn nw_cell_kernel() -> Function {
                         otherwise: vec![],
                     },
                     Stmt::Assign {
-                        lhs: ix(
-                            "H",
-                            b(BinOp::Add, b(BinOp::Mul, v("i"), v("m")), v("j")),
-                        ),
+                        lhs: ix("H", b(BinOp::Add, b(BinOp::Mul, v("i"), v("m")), v("j"))),
                         value: v("best"),
                     },
                 ],
@@ -567,7 +560,10 @@ mod tests {
         );
         let mal = malign_kernel();
         let (s, _, _) = synthetic_area(&ComplexityMetrics::of(&mal));
-        assert!((s as f64 - 18_707.0).abs() < 40.0, "malign ground truth {s}");
+        assert!(
+            (s as f64 - 18_707.0).abs() < 40.0,
+            "malign ground truth {s}"
+        );
     }
 
     #[test]

@@ -245,11 +245,7 @@ mod tests {
 
     #[test]
     fn straight_line_has_cyclomatic_one() {
-        let f = Function::new(
-            "f",
-            vec![],
-            vec![Stmt::assign_var("x", Expr::Num(1))],
-        );
+        let f = Function::new("f", vec![], vec![Stmt::assign_var("x", Expr::Num(1))]);
         let m = ComplexityMetrics::of(&f);
         assert_eq!(m.cyclomatic, 1);
         assert_eq!(m.loops, 0);
@@ -287,7 +283,12 @@ mod tests {
         let f = Function::new(
             "h",
             vec!["n"],
-            vec![Stmt::for_loop("i", Expr::Num(0), Expr::var("n"), vec![inner])],
+            vec![Stmt::for_loop(
+                "i",
+                Expr::Num(0),
+                Expr::var("n"),
+                vec![inner],
+            )],
         );
         let m = ComplexityMetrics::of(&f);
         assert_eq!(m.max_depth, 3);
@@ -299,13 +300,8 @@ mod tests {
         let m = ComplexityMetrics::of(&saxpy());
         assert!(m.halstead_volume() > 0.0);
         assert!(m.halstead_difficulty() > 0.0);
-        assert!(
-            (m.halstead_effort() - m.halstead_difficulty() * m.halstead_volume()).abs() < 1e-9
-        );
-        assert_eq!(
-            m.halstead_length(),
-            m.total_operators + m.total_operands
-        );
+        assert!((m.halstead_effort() - m.halstead_difficulty() * m.halstead_volume()).abs() < 1e-9);
+        assert_eq!(m.halstead_length(), m.total_operators + m.total_operands);
     }
 
     #[test]
@@ -316,11 +312,7 @@ mod tests {
             vec![],
             vec![Stmt::Assign {
                 lhs: Expr::var("x"),
-                value: Expr::bin(
-                    BinOp::Add,
-                    Expr::index("x", Expr::Num(1)),
-                    Expr::Num(1),
-                ),
+                value: Expr::bin(BinOp::Add, Expr::index("x", Expr::Num(1)), Expr::Num(1)),
             }],
         );
         let m = ComplexityMetrics::of(&f);

@@ -99,11 +99,7 @@ pub fn fit(x: &[Vec<f64>], y: &[f64]) -> Result<LinearFit, OlsError> {
     let mut ss_res = 0.0;
     let mut ss_tot = 0.0;
     for i in 0..rows {
-        let pred: f64 = x[i]
-            .iter()
-            .zip(&coefficients)
-            .map(|(xi, b)| xi * b)
-            .sum();
+        let pred: f64 = x[i].iter().zip(&coefficients).map(|(xi, b)| xi * b).sum();
         let r = y[i] - pred;
         residuals.push(r);
         ss_res += r * r;
@@ -124,11 +120,7 @@ pub fn fit(x: &[Vec<f64>], y: &[f64]) -> Result<LinearFit, OlsError> {
 
 /// Predicts `ŷ` for one feature vector.
 pub fn predict(coefficients: &[f64], features: &[f64]) -> f64 {
-    coefficients
-        .iter()
-        .zip(features)
-        .map(|(b, x)| b * x)
-        .sum()
+    coefficients.iter().zip(features).map(|(b, x)| b * x).sum()
 }
 
 /// Gaussian elimination with partial pivoting on an `n×n` system.

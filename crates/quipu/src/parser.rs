@@ -320,11 +320,7 @@ impl Parser {
         if !matches!(self.cur().tok, Tok::Eof) {
             return Err(self.err("trailing input after function body"));
         }
-        Ok(Function {
-            name,
-            params,
-            body,
-        })
+        Ok(Function { name, params, body })
     }
 
     fn parse_block(&mut self) -> Result<Vec<Stmt>, ParseError> {
@@ -587,7 +583,11 @@ mod tests {
         let f = parse_function("int f() { x = a + b * c; }").unwrap();
         match &f.body[0] {
             Stmt::Assign { value, .. } => match value {
-                Expr::Bin { op: BinOp::Add, rhs, .. } => {
+                Expr::Bin {
+                    op: BinOp::Add,
+                    rhs,
+                    ..
+                } => {
                     assert!(matches!(**rhs, Expr::Bin { op: BinOp::Mul, .. }));
                 }
                 other => panic!("unexpected {other:?}"),
@@ -628,8 +628,7 @@ mod tests {
             parse_function("int f(int n) { for (i = 0; i < n; i = i + 1) { x = i; } }").unwrap();
         assert_eq!(a, b);
         // optional `int` in the init
-        let c =
-            parse_function("int f(int n) { for (int i = 0; i < n; i++) { x = i; } }").unwrap();
+        let c = parse_function("int f(int n) { for (int i = 0; i < n; i++) { x = i; } }").unwrap();
         assert_eq!(a, c);
     }
 

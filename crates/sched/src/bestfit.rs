@@ -18,12 +18,7 @@ fn leftover(task: &Task, nodes: &[Node], c: &Candidate) -> u64 {
     free.saturating_sub(demand)
 }
 
-fn pick(
-    mm: &Matchmaker,
-    task: &Task,
-    nodes: &[Node],
-    smallest: bool,
-) -> Option<Placement> {
+fn pick(mm: &Matchmaker, task: &Task, nodes: &[Node], smallest: bool) -> Option<Placement> {
     let candidates = mm.candidates(task, nodes);
     // Reuse candidates are free: always prefer them (they waste nothing).
     if let Some(reuse) = candidates
@@ -172,9 +167,15 @@ mod tests {
         let p = WorstFitAreaStrategy::new()
             .place(&tasks[0], &nodes, 0.0)
             .unwrap();
-        assert_eq!(free_capacity(&nodes, &rhv_core::matchmaker::Candidate {
-            pe: p.pe,
-            mode: p.mode,
-        }), 4);
+        assert_eq!(
+            free_capacity(
+                &nodes,
+                &rhv_core::matchmaker::Candidate {
+                    pe: p.pe,
+                    mode: p.mode,
+                }
+            ),
+            4
+        );
     }
 }

@@ -147,7 +147,9 @@ mod tests {
         assert_eq!(p.mode, HostingMode::SoftcoreFallback);
         assert!(p.pe.pe.is_rpe());
         // GPP-only would simply queue here.
-        assert!(GppOnlyStrategy::new().place(&tasks[0], &nodes, 0.0).is_none());
+        assert!(GppOnlyStrategy::new()
+            .place(&tasks[0], &nodes, 0.0)
+            .is_none());
     }
 
     #[test]
@@ -168,7 +170,11 @@ mod tests {
                 let rpe = node.rpe_mut(pe).unwrap();
                 let all = rpe.state.available_slices();
                 rpe.state
-                    .load(ConfigKind::Accelerator("wall".into()), all, FitPolicy::FirstFit)
+                    .load(
+                        ConfigKind::Accelerator("wall".into()),
+                        all,
+                        FitPolicy::FirstFit,
+                    )
                     .unwrap();
             }
         }

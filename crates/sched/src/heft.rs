@@ -180,10 +180,8 @@ pub fn schedule(
     for t in graph.tasks() {
         let task = tasks.get(&t).ok_or(HeftError::UndefinedTask(t))?;
         let c: Vec<PeRef> = mm.candidates(task, nodes).iter().map(|c| c.pe).collect();
-        if c.is_empty() {
-            if !statically_satisfiable(task, nodes) {
-                return Err(HeftError::Unplaceable(t));
-            }
+        if c.is_empty() && !statically_satisfiable(task, nodes) {
+            return Err(HeftError::Unplaceable(t));
         }
         candidates.insert(t, c);
     }
@@ -229,7 +227,10 @@ pub fn schedule(
     let mut pe_ready: BTreeMap<PeRef, f64> = BTreeMap::new();
     let mut slots: Vec<HeftSlot> = Vec::with_capacity(by_rank.len());
     let slot_of = |slots: &[HeftSlot], t: TaskId| -> HeftSlot {
-        *slots.iter().find(|s| s.task == t).expect("scheduled before")
+        *slots
+            .iter()
+            .find(|s| s.task == t)
+            .expect("scheduled before")
     };
     for t in by_rank {
         let task = &tasks[&t];

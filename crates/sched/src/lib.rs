@@ -36,9 +36,9 @@ mod random;
 mod reuse;
 
 pub use bestfit::{BestFitAreaStrategy, WorstFitAreaStrategy};
-pub use heft::{schedule as heft_schedule, HeftSchedule, HeftSlot};
 pub use fcfs::FirstFitStrategy;
 pub use gpponly::{GppFallbackStrategy, GppOnlyStrategy};
+pub use heft::{schedule as heft_schedule, HeftSchedule, HeftSlot};
 pub use random::RandomStrategy;
 pub use reuse::ReuseAwareStrategy;
 

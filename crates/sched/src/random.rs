@@ -72,7 +72,11 @@ mod tests {
         let seen: BTreeSet<String> = (0..100)
             .map(|_| s.place(task, &nodes, 0.0).unwrap().pe.to_string())
             .collect();
-        assert_eq!(seen.len(), 3, "all Table II mappings should appear: {seen:?}");
+        assert_eq!(
+            seen.len(),
+            3,
+            "all Table II mappings should appear: {seen:?}"
+        );
     }
 
     #[test]
@@ -80,10 +84,8 @@ mod tests {
         let nodes = case_study::grid();
         let mut t = case_study::tasks()[2].clone();
         // Inflate the requirement beyond any device.
-        t.exec_req.constraints[1] = rhv_core::execreq::Constraint::ge(
-            rhv_params::param::ParamKey::Slices,
-            1_000_000u64,
-        );
+        t.exec_req.constraints[1] =
+            rhv_core::execreq::Constraint::ge(rhv_params::param::ParamKey::Slices, 1_000_000u64);
         let mut s = RandomStrategy::new(0);
         assert!(s.place(&t, &nodes, 0.0).is_none());
         assert!(!s.is_satisfiable(&t, &nodes));

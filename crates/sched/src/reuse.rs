@@ -139,7 +139,10 @@ mod tests {
                 .run(spec.generate(), s.as_mut())
         };
         let reuse = run(Box::new(ReuseAwareStrategy::new()));
-        assert!(reuse.reuse_hits > 0, "reuse-aware must hit resident configs");
+        assert!(
+            reuse.reuse_hits > 0,
+            "reuse-aware must hit resident configs"
+        );
         // Every completed fabric task either reused or reconfigured.
         assert_eq!(
             reuse.reuse_hits + reuse.reconfigurations,

@@ -25,20 +25,18 @@ pub fn placement_slices(task: &Task, nodes: &[Node], c: &Candidate) -> u64 {
     match c.mode {
         HostingMode::GppCores | HostingMode::GpuRun => 0,
         HostingMode::ReuseConfig(_) => 0,
-        HostingMode::SoftcoreFallback | HostingMode::Reconfigure => {
-            match &task.exec_req.payload {
-                TaskPayload::HdlAccelerator { est_slices, .. } => *est_slices,
-                TaskPayload::SoftcoreKernel { core, .. } => softcore_area(core),
-                TaskPayload::Bitstream { .. } => nodes
-                    .iter()
-                    .find(|n| n.id == c.pe.node)
-                    .and_then(|n| n.rpe(c.pe.pe))
-                    .map(|r| r.device.slices)
-                    .unwrap_or(0),
-                TaskPayload::Software { .. } => softcore_area("rvex-4w"),
-                TaskPayload::GpuKernel { .. } => 0,
-            }
-        }
+        HostingMode::SoftcoreFallback | HostingMode::Reconfigure => match &task.exec_req.payload {
+            TaskPayload::HdlAccelerator { est_slices, .. } => *est_slices,
+            TaskPayload::SoftcoreKernel { core, .. } => softcore_area(core),
+            TaskPayload::Bitstream { .. } => nodes
+                .iter()
+                .find(|n| n.id == c.pe.node)
+                .and_then(|n| n.rpe(c.pe.pe))
+                .map(|r| r.device.slices)
+                .unwrap_or(0),
+            TaskPayload::Software { .. } => softcore_area("rvex-4w"),
+            TaskPayload::GpuKernel { .. } => 0,
+        },
     }
 }
 
@@ -48,7 +46,9 @@ pub fn free_capacity(nodes: &[Node], c: &Candidate) -> u64 {
     match node {
         Some(n) => {
             if c.pe.pe.is_rpe() {
-                n.rpe(c.pe.pe).map(|r| r.state.available_slices()).unwrap_or(0)
+                n.rpe(c.pe.pe)
+                    .map(|r| r.state.available_slices())
+                    .unwrap_or(0)
             } else {
                 n.gpp(c.pe.pe).map(|g| g.state.free_cores()).unwrap_or(0)
             }
@@ -86,8 +86,8 @@ pub fn estimated_setup_seconds(task: &Task, nodes: &[Node], c: &Candidate) -> f6
 mod tests {
     use super::*;
     use rhv_core::case_study;
-    use rhv_core::matchmaker::PeRef;
     use rhv_core::ids::{NodeId, PeId};
+    use rhv_core::matchmaker::PeRef;
 
     #[test]
     fn capacity_of_fresh_case_study_grid() {

@@ -168,10 +168,7 @@ mod tests {
 
     #[test]
     fn mean_rates() {
-        assert_eq!(
-            ArrivalProcess::Poisson { rate: 4.0 }.mean_rate(),
-            Some(4.0)
-        );
+        assert_eq!(ArrivalProcess::Poisson { rate: 4.0 }.mean_rate(), Some(4.0));
         assert_eq!(
             ArrivalProcess::Uniform {
                 interval: 0.5,

@@ -223,5 +223,86 @@ mod proptests {
                 last_time = t;
             }
         }
+
+        /// Time-monotonic pops survive arbitrary push/pop interleavings:
+        /// after each drain step the clock never goes backwards, and every
+        /// event pushed is eventually popped exactly once.
+        #[test]
+        fn interleaved_push_pop_stays_monotonic(
+            script in prop::collection::vec((0.0f64..500.0, prop::bool::ANY), 1..200),
+        ) {
+            let mut q = EventQueue::new();
+            let mut pushed = 0usize;
+            let mut popped = 0usize;
+            let mut last = f64::NEG_INFINITY;
+            for &(dt, do_pop) in &script {
+                // Schedule relative to the clock so pushes are always legal.
+                q.push_after(dt, pushed);
+                pushed += 1;
+                if do_pop {
+                    let (t, _) = q.pop().expect("just pushed");
+                    prop_assert!(t >= last);
+                    prop_assert!((t - q.now()).abs() == 0.0);
+                    last = t;
+                    popped += 1;
+                }
+            }
+            while let Some((t, _)) = q.pop() {
+                prop_assert!(t >= last);
+                last = t;
+                popped += 1;
+            }
+            prop_assert_eq!(popped, pushed);
+            prop_assert_eq!(q.processed(), pushed as u64);
+            prop_assert!(q.is_empty());
+        }
+
+        /// FIFO tie-breaking holds for arbitrarily large groups of
+        /// simultaneous events, even when distinct times interleave the
+        /// groups in the heap.
+        #[test]
+        fn fifo_among_equal_times(
+            groups in prop::collection::vec((0u32..10, 1usize..8), 1..30),
+        ) {
+            let mut q = EventQueue::new();
+            let mut id = 0usize;
+            for &(slot, count) in &groups {
+                for _ in 0..count {
+                    // Many pushes share the same f64 time (exact, not
+                    // approximate: small integers are representable).
+                    q.push(f64::from(slot), id);
+                    id += 1;
+                }
+            }
+            let mut per_time: std::collections::BTreeMap<u32, Vec<usize>> =
+                Default::default();
+            while let Some((t, i)) = q.pop() {
+                per_time.entry(t as u32).or_default().push(i);
+            }
+            for ids in per_time.values() {
+                for w in ids.windows(2) {
+                    prop_assert!(w[0] < w[1], "FIFO violated: {} after {}", w[0], w[1]);
+                }
+            }
+        }
+
+        /// Scheduling before the current time is a caught bug in debug
+        /// builds, whatever the times involved.
+        #[test]
+        fn past_push_panics_in_debug(
+            t1 in 1.0f64..1_000.0,
+            frac in 0.0f64..0.999,
+        ) {
+            if cfg!(debug_assertions) {
+                let past = t1 * frac;
+                let result = std::panic::catch_unwind(move || {
+                    let mut q = EventQueue::new();
+                    q.push(t1, ());
+                    q.pop();
+                    q.push(past, ());
+                });
+                prop_assert!(result.is_err(), "push at {past} after popping {t1} must panic");
+            }
+        }
     }
 }

@@ -1,0 +1,1123 @@
+//! The shared task-lifecycle kernel.
+//!
+//! Every front-end of this workspace — the discrete-event simulator
+//! ([`crate::sim::GridSimulator`]), the grid services' synchronous and
+//! simulated job runs, and the live threaded emulation in `rhv-grid` — used
+//! to carry its own copy of the task state machine (place → setup → execute
+//! → complete → retry backlog). [`LifecycleKernel`] is that state machine,
+//! extracted once: it owns the node states, the backlog, resident-config
+//! reuse accounting, churn handling and per-task [`TaskRecord`] emission,
+//! but **not** the clock. The caller supplies an event source:
+//!
+//! * the simulator pumps it from an [`crate::engine::EventQueue`];
+//! * the grid runtime steps it completion by completion;
+//! * the live emulation feeds it wall-clock completions from worker threads.
+//!
+//! Each mutating call ([`LifecycleKernel::submit`],
+//! [`LifecycleKernel::complete`], [`LifecycleKernel::churn`]) returns the
+//! completions it scheduled as [`PendingCompletion`] tokens; the event
+//! source must deliver each token back via `complete` at (or after) its
+//! `finish` time.
+//!
+//! The kernel is **dependency-driven**: give it a task graph
+//! ([`LifecycleKernel::set_dependencies`]) and a submitted task is *held*
+//! until every predecessor has completed — released at the actual
+//! completion instant, not at a `t_estimated` guess. Tasks absent from the
+//! graph, or with no predecessors, dispatch immediately.
+
+use crate::metrics::{power, SimReport, TaskRecord};
+use crate::network::NetworkModel;
+use crate::strategy::{Placement, Strategy};
+use rhv_bitstream::hdl::HdlSpec;
+use rhv_bitstream::synth::SynthesisService;
+use rhv_core::execreq::TaskPayload;
+use rhv_core::fabric::FitPolicy;
+use rhv_core::graph::TaskGraph;
+use rhv_core::ids::{ConfigId, NodeId, PeId, TaskId};
+use rhv_core::matchmaker::{HostingMode, PeRef};
+use rhv_core::node::Node;
+use rhv_core::state::ConfigKind;
+use rhv_core::task::Task;
+use rhv_params::softcore::SoftcoreSpec;
+use std::collections::{BTreeSet, VecDeque};
+use std::fmt;
+
+/// Kernel configuration (shared by every front-end).
+#[derive(Debug, Clone)]
+pub struct SimConfig {
+    /// Region placement policy on PR-capable fabric.
+    pub fit_policy: FitPolicy,
+    /// Keep configurations resident after completion so later tasks reuse
+    /// them (true = the reuse-friendly regime).
+    pub keep_configs_resident: bool,
+    /// Evict idle configurations when queued tasks cannot fit.
+    pub evict_idle_configs: bool,
+    /// Soft-core used for software-only fallback placements.
+    pub softcore_fallback: SoftcoreSpec,
+    /// Relative speed of the provider's CAD machines.
+    pub cad_speed: f64,
+    /// Network model.
+    pub network: NetworkModel,
+}
+
+impl Default for SimConfig {
+    fn default() -> Self {
+        SimConfig {
+            fit_policy: FitPolicy::FirstFit,
+            keep_configs_resident: true,
+            evict_idle_configs: true,
+            softcore_fallback: SoftcoreSpec::rvex_4w(),
+            cad_speed: 1.0,
+            network: NetworkModel::default(),
+        }
+    }
+}
+
+/// A grid-membership change during a run — the node model is "adaptive in
+/// adding/removing resources at runtime".
+#[derive(Debug, Clone)]
+pub enum ChurnEvent {
+    /// A node joins the grid.
+    Join(Box<Node>),
+    /// A node leaves. If it is busy at the scheduled time, departure is
+    /// deferred until its last task completes.
+    Leave(NodeId),
+    /// A node crashes: it vanishes immediately; tasks running on it are
+    /// lost and re-enter the queue (re-dispatched from scratch, setup and
+    /// all — work on a crashed node is gone).
+    Crash(NodeId),
+}
+
+/// Why an otherwise-accepted [`Placement`] could not be applied.
+///
+/// A strategy is contractually obliged to return placements feasible *right
+/// now*; a `PlacementError` therefore indicates a strategy bug. The kernel
+/// surfaces it as a typed error instead of panicking — release builds
+/// reject the task and keep the run alive, debug builds still assert so the
+/// bug is caught in tests.
+#[derive(Debug, Clone, PartialEq)]
+pub enum PlacementError {
+    /// The placement names a node the kernel does not know.
+    UnknownNode(NodeId),
+    /// The placement's PE kind does not match its hosting mode.
+    WrongPeKind {
+        /// The offending PE.
+        pe: PeRef,
+        /// What the hosting mode required.
+        expected: &'static str,
+    },
+    /// The hosting mode is incompatible with the task payload.
+    PayloadMismatch {
+        /// The offending PE.
+        pe: PeRef,
+        /// The hosting mode that cannot run this payload.
+        mode: &'static str,
+    },
+    /// The target resource is already occupied.
+    Busy(PeRef),
+    /// The fabric has no room for the configuration.
+    NoFabricSpace {
+        /// The offending PE.
+        pe: PeRef,
+        /// Slices the configuration needed.
+        slices: u64,
+    },
+    /// The design cannot be synthesized for the target device.
+    Unsynthesizable {
+        /// The offending PE.
+        pe: PeRef,
+        /// Name of the HDL spec.
+        spec: String,
+    },
+    /// A reuse placement names a configuration that is not loaded.
+    UnknownConfig {
+        /// The offending PE.
+        pe: PeRef,
+        /// The missing configuration.
+        config: ConfigId,
+    },
+}
+
+impl fmt::Display for PlacementError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PlacementError::UnknownNode(id) => write!(f, "placement on unknown node {id}"),
+            PlacementError::WrongPeKind { pe, expected } => {
+                write!(f, "placement on {pe} but the hosting mode needs {expected}")
+            }
+            PlacementError::PayloadMismatch { pe, mode } => {
+                write!(f, "{mode} placement on {pe} for an incompatible payload")
+            }
+            PlacementError::Busy(pe) => write!(f, "{pe} is busy"),
+            PlacementError::NoFabricSpace { pe, slices } => {
+                write!(f, "{pe} cannot fit {slices} slices")
+            }
+            PlacementError::Unsynthesizable { pe, spec } => {
+                write!(f, "design `{spec}` does not synthesize for {pe}")
+            }
+            PlacementError::UnknownConfig { pe, config } => {
+                write!(f, "{pe} has no loaded configuration {config}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for PlacementError {}
+
+/// A dispatched task in flight.
+#[derive(Debug)]
+struct Running {
+    task: Task,
+    pe: PeRef,
+    config: Option<ConfigId>,
+    cores: u64,
+    record: TaskRecord,
+    unload_after: bool,
+}
+
+/// A completion scheduled by the kernel, to be delivered back by the event
+/// source via [`LifecycleKernel::complete`] at (or after) [`finish`].
+///
+/// [`finish`]: PendingCompletion::finish
+#[derive(Debug)]
+pub struct PendingCompletion {
+    finish: f64,
+    running: Box<Running>,
+}
+
+impl PendingCompletion {
+    /// Absolute completion time.
+    pub fn finish(&self) -> f64 {
+        self.finish
+    }
+
+    /// The dispatched task.
+    pub fn task(&self) -> TaskId {
+        self.running.task.id
+    }
+
+    /// Where it runs.
+    pub fn pe(&self) -> PeRef {
+        self.running.record.pe
+    }
+
+    /// Wall time the task occupies its PE (setup + execution) — what a live
+    /// transport should dwell before reporting the completion back.
+    pub fn duration(&self) -> f64 {
+        self.finish - self.running.record.dispatched
+    }
+}
+
+/// The shared task-lifecycle state machine (see the module docs).
+pub struct LifecycleKernel {
+    nodes: Vec<Node>,
+    cfg: SimConfig,
+    synth: SynthesisService,
+    backlog: VecDeque<(f64, Task)>,
+    records: Vec<TaskRecord>,
+    rejected: usize,
+    submitted: usize,
+    pending_leaves: Vec<NodeId>,
+    crashed: Vec<NodeId>,
+    failures: u64,
+    placement_errors: Vec<PlacementError>,
+    gpp_busy_core_seconds: f64,
+    rpe_busy_slice_seconds: f64,
+    reconfigurations: u64,
+    reconfig_seconds: f64,
+    reuse_hits: u64,
+    graph: Option<TaskGraph>,
+    completed: BTreeSet<TaskId>,
+    held: Vec<Task>,
+}
+
+impl LifecycleKernel {
+    /// A kernel over `nodes` with configuration `cfg`.
+    pub fn new(nodes: Vec<Node>, cfg: SimConfig) -> Self {
+        let cad_speed = cfg.cad_speed;
+        LifecycleKernel {
+            nodes,
+            cfg,
+            synth: SynthesisService::new(cad_speed),
+            backlog: VecDeque::new(),
+            records: Vec::new(),
+            rejected: 0,
+            submitted: 0,
+            pending_leaves: Vec::new(),
+            crashed: Vec::new(),
+            failures: 0,
+            placement_errors: Vec::new(),
+            gpp_busy_core_seconds: 0.0,
+            rpe_busy_slice_seconds: 0.0,
+            reconfigurations: 0,
+            reconfig_seconds: 0.0,
+            reuse_hits: 0,
+            graph: None,
+            completed: BTreeSet::new(),
+            held: Vec::new(),
+        }
+    }
+
+    /// Makes the kernel dependency-driven: a submitted task that appears in
+    /// `graph` is held until all its predecessors complete.
+    pub fn set_dependencies(&mut self, graph: TaskGraph) {
+        self.graph = Some(graph);
+    }
+
+    /// Builder form of [`LifecycleKernel::set_dependencies`].
+    pub fn with_dependencies(mut self, graph: TaskGraph) -> Self {
+        self.set_dependencies(graph);
+        self
+    }
+
+    /// Current node states (read-only view for inspection).
+    pub fn nodes(&self) -> &[Node] {
+        &self.nodes
+    }
+
+    /// Task executions lost to crashes (each re-queued).
+    pub fn failures(&self) -> u64 {
+        self.failures
+    }
+
+    /// Infeasible placements a strategy produced so far (each task counted
+    /// as rejected).
+    pub fn placement_errors(&self) -> &[PlacementError] {
+        &self.placement_errors
+    }
+
+    /// Tasks queued for resources.
+    pub fn backlog_len(&self) -> usize {
+        self.backlog.len()
+    }
+
+    /// Tasks held for unmet dependencies.
+    pub fn held_len(&self) -> usize {
+        self.held.len()
+    }
+
+    /// Submits a task at time `now`.
+    ///
+    /// If a dependency graph is set and the task has incomplete
+    /// predecessors, it is held (released by the completion that satisfies
+    /// the last predecessor, with its arrival stamped at that release
+    /// instant). Otherwise the task dispatches, queues, or is rejected as
+    /// unsatisfiable — exactly the arrival step of the paper's lifecycle.
+    pub fn submit(
+        &mut self,
+        task: Task,
+        now: f64,
+        strategy: &mut dyn Strategy,
+    ) -> Vec<PendingCompletion> {
+        self.submitted += 1;
+        if let Some(graph) = &self.graph {
+            let waiting = graph
+                .predecessors(task.id)
+                .iter()
+                .any(|p| !self.completed.contains(p));
+            if waiting {
+                self.held.push(task);
+                return Vec::new();
+            }
+        }
+        let mut out = Vec::new();
+        self.arrive(task, now, strategy, &mut out);
+        out
+    }
+
+    /// Delivers a completion back to the kernel at time `now`.
+    ///
+    /// Releases the task's resources, emits its record, re-tries the
+    /// backlog, and releases any held tasks whose dependencies are now all
+    /// complete.
+    pub fn complete(
+        &mut self,
+        pending: PendingCompletion,
+        now: f64,
+        strategy: &mut dyn Strategy,
+    ) -> Vec<PendingCompletion> {
+        let Running {
+            task,
+            pe,
+            config,
+            cores,
+            record,
+            unload_after,
+        } = *pending.running;
+        let mut out = Vec::new();
+        // A completion from a crashed node is a lost execution: the node is
+        // gone (nothing to release) and the task goes back in the queue
+        // with its original arrival (and its dependencies still satisfied).
+        if self.crashed.contains(&pe.node) {
+            self.failures += 1;
+            self.backlog.push_back((record.arrival, task));
+            self.drain_backlog(now, strategy, &mut out);
+            return out;
+        }
+        let finished = task.id;
+        self.records.push(record);
+        let node = self
+            .nodes
+            .iter_mut()
+            .find(|n| n.id == pe.node)
+            .expect("completion on a known node");
+        match pe.pe {
+            PeId::Gpp(_) => {
+                node.gpp_mut(pe.pe)
+                    .expect("gpp exists")
+                    .state
+                    .release_cores(cores)
+                    .expect("release matches acquire");
+            }
+            PeId::Gpu(_) => {
+                node.gpu_mut(pe.pe)
+                    .expect("gpu exists")
+                    .state
+                    .release()
+                    .expect("release matches acquire");
+            }
+            PeId::Rpe(_) => {
+                let rpe = node.rpe_mut(pe.pe).expect("rpe exists");
+                let cfg_id = config.expect("rpe placements carry a config");
+                rpe.state.release(cfg_id).expect("config was acquired");
+                if unload_after {
+                    rpe.state.unload(cfg_id).expect("idle config unloads");
+                }
+            }
+        }
+        if !self.pending_leaves.is_empty() {
+            self.apply_pending_leaves();
+        }
+        self.drain_backlog(now, strategy, &mut out);
+        self.release_dependents(finished, now, strategy, &mut out);
+        out
+    }
+
+    /// Applies a grid-membership change at time `now`.
+    pub fn churn(
+        &mut self,
+        change: ChurnEvent,
+        now: f64,
+        strategy: &mut dyn Strategy,
+    ) -> Vec<PendingCompletion> {
+        let mut out = Vec::new();
+        match change {
+            ChurnEvent::Join(node) => {
+                self.nodes.push(*node);
+                // New capacity may unblock queued tasks.
+                self.drain_backlog(now, strategy, &mut out);
+            }
+            ChurnEvent::Leave(id) => {
+                self.pending_leaves.push(id);
+                self.apply_pending_leaves();
+            }
+            ChurnEvent::Crash(id) => {
+                // The node vanishes now; in-flight completions on it are
+                // intercepted in `complete` and their tasks re-queued.
+                if self.nodes.iter().any(|n| n.id == id) {
+                    self.nodes.retain(|n| n.id != id);
+                    self.crashed.push(id);
+                }
+            }
+        }
+        out
+    }
+
+    /// Closes the run: whatever still sits in the backlog or is held on
+    /// unmet dependencies can never run, and counts as rejected. Returns
+    /// the aggregate report plus the final node states.
+    pub fn finish(mut self, strategy_name: &str) -> (SimReport, Vec<Node>) {
+        self.rejected += self.backlog.len() + self.held.len();
+        self.backlog.clear();
+        self.held.clear();
+
+        let total_gpp_cores: u64 = self
+            .nodes
+            .iter()
+            .flat_map(|n| n.gpps())
+            .map(|g| g.spec.cores)
+            .sum();
+        let total_rpe_slices: u64 = self
+            .nodes
+            .iter()
+            .flat_map(|n| n.rpes())
+            .map(|r| r.device.slices)
+            .sum();
+        let mut records = std::mem::take(&mut self.records);
+        records.sort_by(|a, b| a.finish.partial_cmp(&b.finish).expect("finite times"));
+        let report = SimReport::from_records(
+            strategy_name.to_owned(),
+            self.submitted,
+            self.rejected,
+            records,
+            self.gpp_busy_core_seconds,
+            total_gpp_cores,
+            self.rpe_busy_slice_seconds,
+            total_rpe_slices,
+            self.reconfigurations,
+            self.reconfig_seconds,
+            self.reuse_hits,
+        );
+        (report, self.nodes)
+    }
+
+    /// The arrival step: dispatch now, queue if satisfiable, else reject.
+    fn arrive(
+        &mut self,
+        task: Task,
+        now: f64,
+        strategy: &mut dyn Strategy,
+        out: &mut Vec<PendingCompletion>,
+    ) {
+        if !self.try_dispatch(&task, now, now, strategy, out) {
+            if strategy.is_satisfiable(&task, &self.nodes) {
+                self.backlog.push_back((now, task));
+            } else {
+                self.rejected += 1;
+            }
+        }
+    }
+
+    /// Releases held tasks unblocked by the completion of `finished`.
+    ///
+    /// A held task becomes ready exactly when its last predecessor
+    /// completes, so only the successors of `finished` need checking. The
+    /// released task's arrival is stamped `now` — the release instant.
+    fn release_dependents(
+        &mut self,
+        finished: TaskId,
+        now: f64,
+        strategy: &mut dyn Strategy,
+        out: &mut Vec<PendingCompletion>,
+    ) {
+        let Some(graph) = &self.graph else { return };
+        self.completed.insert(finished);
+        let ready = graph.newly_ready(finished, &self.completed);
+        for id in ready {
+            while let Some(i) = self.held.iter().position(|t| t.id == id) {
+                let task = self.held.remove(i);
+                self.arrive(task, now, strategy, out);
+            }
+        }
+    }
+
+    /// Removes every pending-leave node that is now fully idle.
+    fn apply_pending_leaves(&mut self) {
+        let pending = std::mem::take(&mut self.pending_leaves);
+        for id in pending {
+            let idle = self.nodes.iter().find(|n| n.id == id).is_some_and(|n| {
+                n.gpps().iter().all(|g| g.state.is_idle())
+                    && n.rpes().iter().all(|r| r.state.is_idle())
+            });
+            if idle {
+                self.nodes.retain(|n| n.id != id);
+            } else if self.nodes.iter().any(|n| n.id == id) {
+                self.pending_leaves.push(id);
+            }
+        }
+    }
+
+    fn drain_backlog(
+        &mut self,
+        now: f64,
+        strategy: &mut dyn Strategy,
+        out: &mut Vec<PendingCompletion>,
+    ) {
+        // FIFO with backfill: try every queued task once, keep the rest.
+        let mut remaining = VecDeque::new();
+        while let Some((arrival, task)) = self.backlog.pop_front() {
+            if self.try_dispatch(&task, arrival, now, strategy, out) {
+                continue;
+            }
+            // Make room by evicting idle configurations — but only the
+            // minimum, on fabric this task could actually use, so resident
+            // configurations keep their reuse value.
+            if self.cfg.evict_idle_configs
+                && self.evict_for(&task)
+                && self.try_dispatch(&task, arrival, now, strategy, out)
+            {
+                continue;
+            }
+            remaining.push_back((arrival, task));
+        }
+        self.backlog = remaining;
+    }
+
+    /// Targeted eviction: on each RPE that statically matches `task`, unload
+    /// just enough idle configurations for the task's area demand to fit.
+    /// Returns true when at least one RPE gained room.
+    fn evict_for(&mut self, task: &Task) -> bool {
+        use rhv_core::matchmaker::Matchmaker;
+        let candidates = Matchmaker::new().candidates(task, &self.nodes);
+        let fallback_area = self.cfg.softcore_fallback.area_slices();
+        let mut made_room = false;
+        for c in candidates {
+            if !c.pe.pe.is_rpe() {
+                continue;
+            }
+            let Some(node) = self.nodes.iter_mut().find(|n| n.id == c.pe.node) else {
+                continue;
+            };
+            let Some(rpe) = node.rpe_mut(c.pe.pe) else {
+                continue;
+            };
+            let demand = match &task.exec_req.payload {
+                TaskPayload::Bitstream { .. } => rpe.device.slices,
+                TaskPayload::HdlAccelerator { est_slices, .. } => *est_slices,
+                TaskPayload::SoftcoreKernel { core, .. } => crate::workload::softcore_area(core),
+                TaskPayload::Software { .. } => fallback_area,
+                // GPU kernels never claim fabric; nothing to evict for.
+                TaskPayload::GpuKernel { .. } => continue,
+            };
+            while !rpe.state.fabric().can_fit(demand) {
+                let idle: Option<ConfigId> = rpe
+                    .state
+                    .configs()
+                    .iter()
+                    .find(|cfg| !cfg.in_use)
+                    .map(|cfg| cfg.id);
+                match idle {
+                    Some(id) => {
+                        rpe.state.unload(id).expect("idle config unloads");
+                    }
+                    None => break,
+                }
+            }
+            if rpe.state.fabric().can_fit(demand) {
+                made_room = true;
+            }
+        }
+        made_room
+    }
+
+    /// Attempts to place and start `task`; true when the task is consumed
+    /// (dispatched, or rejected on an infeasible placement).
+    fn try_dispatch(
+        &mut self,
+        task: &Task,
+        arrival: f64,
+        now: f64,
+        strategy: &mut dyn Strategy,
+        out: &mut Vec<PendingCompletion>,
+    ) -> bool {
+        let Some(placement) = strategy.place(task, &self.nodes, now) else {
+            return false;
+        };
+        match self.try_place(task, placement, arrival, now) {
+            Ok(pending) => {
+                out.push(pending);
+                true
+            }
+            Err(e) => {
+                debug_assert!(false, "strategy produced an infeasible placement: {e}");
+                self.placement_errors.push(e);
+                self.rejected += 1;
+                true
+            }
+        }
+    }
+
+    /// Applies a placement: mutates node state, prices setup and execution,
+    /// and returns the scheduled completion. This is the **single** site in
+    /// the workspace computing setup = synthesis + transfer +
+    /// reconfiguration.
+    ///
+    /// An infeasible placement returns a typed [`PlacementError`] without
+    /// mutating any state.
+    pub fn try_place(
+        &mut self,
+        task: &Task,
+        placement: Placement,
+        arrival: f64,
+        now: f64,
+    ) -> Result<PendingCompletion, PlacementError> {
+        let Placement { pe, mode } = placement;
+        let data_transfer = self
+            .cfg
+            .network
+            .transfer_seconds(pe.node, task.input_bytes() + task.output_bytes());
+        let scenario = task.exec_req.scenario();
+
+        // Synthesis cost must be priced before borrowing the node mutably.
+        let synth_seconds = match (&mode, &task.exec_req.payload) {
+            (
+                HostingMode::Reconfigure,
+                TaskPayload::HdlAccelerator {
+                    spec_name,
+                    est_slices,
+                    ..
+                },
+            ) => {
+                let device = {
+                    let node = self
+                        .nodes
+                        .iter()
+                        .find(|n| n.id == pe.node)
+                        .ok_or(PlacementError::UnknownNode(pe.node))?;
+                    node.rpe(pe.pe)
+                        .ok_or(PlacementError::WrongPeKind {
+                            pe,
+                            expected: "an RPE",
+                        })?
+                        .device
+                        .clone()
+                };
+                let spec = HdlSpec::new(spec_name.clone(), est_slices * 4, est_slices * 2);
+                self.synth
+                    .estimate_cached(&spec, &device)
+                    .map_err(|_| PlacementError::Unsynthesizable {
+                        pe,
+                        spec: spec_name.clone(),
+                    })?
+                    .synthesis_seconds
+            }
+            _ => 0.0,
+        };
+
+        let fallback_spec = self.cfg.softcore_fallback.clone();
+        let fit_policy = self.cfg.fit_policy;
+        let keep_resident = self.cfg.keep_configs_resident;
+        let bit_transfer_of =
+            |network: &NetworkModel, bytes: u64| network.transfer_seconds(pe.node, bytes);
+        let network = self.cfg.network.clone();
+
+        let node = self
+            .nodes
+            .iter_mut()
+            .find(|n| n.id == pe.node)
+            .ok_or(PlacementError::UnknownNode(pe.node))?;
+
+        let (setup, exec, energy, cores, slices, config, reconfigured, unload_after) = match mode {
+            HostingMode::GpuRun => {
+                let gpu = node.gpu_mut(pe.pe).ok_or(PlacementError::WrongPeKind {
+                    pe,
+                    expected: "a GPU",
+                })?;
+                gpu.state.acquire().map_err(|_| PlacementError::Busy(pe))?;
+                let (exec, energy) = execution_of(&task.exec_req.payload, &self.cfg);
+                (data_transfer, exec, energy, 0, 0, None, false, false)
+            }
+            HostingMode::GppCores => {
+                let gpp = node.gpp_mut(pe.pe).ok_or(PlacementError::WrongPeKind {
+                    pe,
+                    expected: "a GPP",
+                })?;
+                let TaskPayload::Software {
+                    mega_instructions,
+                    parallelism,
+                } = task.exec_req.payload
+                else {
+                    return Err(PlacementError::PayloadMismatch {
+                        pe,
+                        mode: "GppCores",
+                    });
+                };
+                let cores = parallelism.clamp(1, gpp.state.free_cores().max(1));
+                gpp.state
+                    .acquire_cores(cores)
+                    .map_err(|_| PlacementError::Busy(pe))?;
+                let exec = gpp.spec.execution_seconds(mega_instructions, cores);
+                let energy = cores as f64 * power::GPP_CORE_W * exec;
+                (data_transfer, exec, energy, cores, 0, None, false, false)
+            }
+            HostingMode::SoftcoreFallback => {
+                let rpe = node.rpe_mut(pe.pe).ok_or(PlacementError::WrongPeKind {
+                    pe,
+                    expected: "an RPE",
+                })?;
+                let TaskPayload::Software {
+                    mega_instructions, ..
+                } = task.exec_req.payload
+                else {
+                    return Err(PlacementError::PayloadMismatch {
+                        pe,
+                        mode: "SoftcoreFallback",
+                    });
+                };
+                let slices = fallback_spec.area_slices().min(rpe.device.slices);
+                let reconfig = rpe.device.partial_reconfig_seconds(slices);
+                let cfg_id = rpe
+                    .state
+                    .load(
+                        ConfigKind::Softcore(fallback_spec.name.clone()),
+                        slices,
+                        fit_policy,
+                    )
+                    .map_err(|_| PlacementError::NoFabricSpace { pe, slices })?;
+                rpe.state.acquire(cfg_id).expect("fresh config is idle");
+                let exec = mega_instructions / fallback_spec.mips_rating();
+                let energy = power::SOFTCORE_W * exec;
+                self.reconfigurations += 1;
+                self.reconfig_seconds += reconfig;
+                (
+                    data_transfer + reconfig,
+                    exec,
+                    energy,
+                    0,
+                    slices,
+                    Some(cfg_id),
+                    true,
+                    !keep_resident,
+                )
+            }
+            HostingMode::ReuseConfig(cfg_id) => {
+                let rpe = node.rpe_mut(pe.pe).ok_or(PlacementError::WrongPeKind {
+                    pe,
+                    expected: "an RPE",
+                })?;
+                let slices = rpe
+                    .state
+                    .config(cfg_id)
+                    .ok_or(PlacementError::UnknownConfig { pe, config: cfg_id })?
+                    .slices;
+                rpe.state
+                    .acquire(cfg_id)
+                    .map_err(|_| PlacementError::Busy(pe))?;
+                let (exec, energy) = execution_of(&task.exec_req.payload, &self.cfg);
+                self.reuse_hits += 1;
+                (
+                    data_transfer,
+                    exec,
+                    energy,
+                    0,
+                    slices,
+                    Some(cfg_id),
+                    false,
+                    false, // a reused config stays resident
+                )
+            }
+            HostingMode::Reconfigure => {
+                let rpe = node.rpe_mut(pe.pe).ok_or(PlacementError::WrongPeKind {
+                    pe,
+                    expected: "an RPE",
+                })?;
+                let device = rpe.device.clone();
+                let (kind, slices, image_bytes) = match &task.exec_req.payload {
+                    TaskPayload::HdlAccelerator {
+                        spec_name,
+                        est_slices,
+                        ..
+                    } => (
+                        ConfigKind::Accelerator(spec_name.clone()),
+                        *est_slices,
+                        (*est_slices as f64 * device.bytes_per_slice()) as u64,
+                    ),
+                    TaskPayload::Bitstream {
+                        image, size_bytes, ..
+                    } => (
+                        ConfigKind::Bitstream(image.clone()),
+                        device.slices,
+                        *size_bytes,
+                    ),
+                    TaskPayload::SoftcoreKernel { core, .. } => {
+                        let area = crate::workload::softcore_area(core);
+                        (
+                            ConfigKind::Softcore(core.clone()),
+                            area,
+                            (area as f64 * device.bytes_per_slice()) as u64,
+                        )
+                    }
+                    TaskPayload::Software { .. } | TaskPayload::GpuKernel { .. } => {
+                        return Err(PlacementError::PayloadMismatch {
+                            pe,
+                            mode: "Reconfigure",
+                        });
+                    }
+                };
+                let cfg_id = rpe
+                    .state
+                    .load(kind, slices, fit_policy)
+                    .map_err(|_| PlacementError::NoFabricSpace { pe, slices })?;
+                rpe.state.acquire(cfg_id).expect("fresh config is idle");
+                let bit_transfer = bit_transfer_of(&network, image_bytes);
+                let reconfig = device.partial_reconfig_seconds(slices);
+                let (exec, energy) = execution_of(&task.exec_req.payload, &self.cfg);
+                self.reconfigurations += 1;
+                self.reconfig_seconds += reconfig;
+                (
+                    data_transfer + synth_seconds + bit_transfer + reconfig,
+                    exec,
+                    energy,
+                    0,
+                    slices,
+                    Some(cfg_id),
+                    true,
+                    !keep_resident,
+                )
+            }
+        };
+
+        let exec_start = now + setup;
+        let finish = exec_start + exec;
+        match pe.pe {
+            PeId::Gpp(_) => self.gpp_busy_core_seconds += cores as f64 * exec,
+            PeId::Rpe(_) => self.rpe_busy_slice_seconds += slices as f64 * exec,
+            PeId::Gpu(_) => {}
+        }
+        let record = TaskRecord {
+            task: task.id,
+            scenario,
+            arrival,
+            dispatched: now,
+            exec_start,
+            finish,
+            pe,
+            energy_j: energy,
+            reconfigured,
+        };
+        Ok(PendingCompletion {
+            finish,
+            running: Box::new(Running {
+                task: task.clone(),
+                pe,
+                config,
+                cores,
+                record,
+                unload_after,
+            }),
+        })
+    }
+}
+
+/// Execution time and energy of an accelerated payload.
+pub(crate) fn execution_of(payload: &TaskPayload, cfg: &SimConfig) -> (f64, f64) {
+    match payload {
+        TaskPayload::HdlAccelerator { accel_seconds, .. }
+        | TaskPayload::Bitstream { accel_seconds, .. } => {
+            (*accel_seconds, power::FPGA_ACCEL_W * accel_seconds)
+        }
+        TaskPayload::SoftcoreKernel { core, mega_ops } => {
+            let mips = match core.as_str() {
+                "rvex-4w" => SoftcoreSpec::rvex_4w().mips_rating(),
+                "rvex-8w-2c" => SoftcoreSpec::rvex_8w_2c().mips_rating(),
+                _ => SoftcoreSpec::rvex_2w().mips_rating(),
+            };
+            let exec = mega_ops / mips;
+            (exec, power::SOFTCORE_W * exec)
+        }
+        TaskPayload::GpuKernel { accel_seconds, .. } => {
+            (*accel_seconds, power::GPU_W * accel_seconds)
+        }
+        TaskPayload::Software {
+            mega_instructions, ..
+        } => {
+            let exec = mega_instructions / cfg.softcore_fallback.mips_rating();
+            (exec, power::SOFTCORE_W * exec)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rhv_core::execreq::{Constraint, ExecReq};
+    use rhv_core::matchmaker::{MatchOptions, Matchmaker};
+    use rhv_params::param::{ParamKey, PeClass};
+
+    struct FirstFit {
+        mm: Matchmaker,
+    }
+
+    impl FirstFit {
+        fn new() -> Self {
+            FirstFit {
+                mm: Matchmaker::with_options(MatchOptions {
+                    respect_state: true,
+                    softcore_fallback_slices: None,
+                }),
+            }
+        }
+    }
+
+    impl Strategy for FirstFit {
+        fn name(&self) -> &str {
+            "first-fit"
+        }
+        fn place(&mut self, task: &Task, nodes: &[Node], _now: f64) -> Option<Placement> {
+            self.mm
+                .candidates(task, nodes)
+                .first()
+                .copied()
+                .map(Into::into)
+        }
+        fn is_satisfiable(&self, task: &Task, nodes: &[Node]) -> bool {
+            !Matchmaker::new().candidates(task, nodes).is_empty()
+        }
+    }
+
+    fn software_task(id: u64) -> Task {
+        Task::new(
+            TaskId(id),
+            ExecReq::new(
+                PeClass::Gpp,
+                vec![Constraint::ge(ParamKey::Cores, 1u64)],
+                TaskPayload::Software {
+                    mega_instructions: 5_000.0,
+                    parallelism: 1,
+                },
+            ),
+            1.0,
+        )
+    }
+
+    /// Pops the earliest pending completion (a minimal inline event source).
+    fn pop_earliest(pending: &mut Vec<PendingCompletion>) -> Option<PendingCompletion> {
+        let i = pending
+            .iter()
+            .enumerate()
+            .min_by(|a, b| a.1.finish().partial_cmp(&b.1.finish()).unwrap())
+            .map(|(i, _)| i)?;
+        Some(pending.swap_remove(i))
+    }
+
+    #[test]
+    fn step_driven_lifecycle_without_event_queue() {
+        let mut strategy = FirstFit::new();
+        let mut kernel = LifecycleKernel::new(rhv_core::case_study::grid(), SimConfig::default());
+        let mut pending = Vec::new();
+        for id in 0..6 {
+            pending.extend(kernel.submit(software_task(id), 0.0, &mut strategy));
+        }
+        while let Some(p) = pop_earliest(&mut pending) {
+            let now = p.finish();
+            pending.extend(kernel.complete(p, now, &mut strategy));
+        }
+        let (report, nodes) = kernel.finish("first-fit");
+        assert_eq!(report.completed, 6);
+        assert_eq!(report.rejected, 0);
+        report.check_invariants().unwrap();
+        // Everything released.
+        for n in &nodes {
+            assert!(n.gpps().iter().all(|g| g.state.is_idle()));
+            assert!(n.rpes().iter().all(|r| r.state.is_idle()));
+        }
+    }
+
+    #[test]
+    fn dependency_hold_and_release() {
+        use rhv_core::graph::TaskGraph;
+        let mut g = TaskGraph::new();
+        g.add_edge(TaskId(0), TaskId(1)).unwrap();
+        g.add_edge(TaskId(0), TaskId(2)).unwrap();
+        g.add_edge(TaskId(1), TaskId(3)).unwrap();
+        g.add_edge(TaskId(2), TaskId(3)).unwrap();
+        let mut strategy = FirstFit::new();
+        let mut kernel = LifecycleKernel::new(rhv_core::case_study::grid(), SimConfig::default())
+            .with_dependencies(g);
+        let mut pending = Vec::new();
+        for id in 0..4 {
+            pending.extend(kernel.submit(software_task(id), 0.0, &mut strategy));
+        }
+        // Only the root dispatches; the rest are held.
+        assert_eq!(pending.len(), 1);
+        assert_eq!(kernel.held_len(), 3);
+        while let Some(p) = pop_earliest(&mut pending) {
+            let now = p.finish();
+            pending.extend(kernel.complete(p, now, &mut strategy));
+        }
+        let (report, _) = kernel.finish("first-fit");
+        assert_eq!(report.completed, 4);
+        let rec = |id: u64| {
+            report
+                .records
+                .iter()
+                .find(|r| r.task == TaskId(id))
+                .cloned()
+                .unwrap()
+        };
+        // Children arrive exactly when the parent finishes; the join task
+        // arrives when the *last* of its two predecessors finishes.
+        assert_eq!(rec(1).arrival, rec(0).finish);
+        assert_eq!(rec(2).arrival, rec(0).finish);
+        assert_eq!(rec(3).arrival, rec(1).finish.max(rec(2).finish));
+        report.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn infeasible_placement_is_a_typed_error_not_a_panic() {
+        use rhv_core::ids::{NodeId, PeId};
+        let mut kernel = LifecycleKernel::new(rhv_core::case_study::grid(), SimConfig::default());
+        let task = software_task(0);
+        // A GPP hosting mode pointed at an RPE.
+        let bad = Placement {
+            pe: PeRef {
+                node: NodeId(0),
+                pe: PeId::Rpe(0),
+            },
+            mode: HostingMode::GppCores,
+        };
+        let err = kernel.try_place(&task, bad, 0.0, 0.0).unwrap_err();
+        assert!(matches!(err, PlacementError::WrongPeKind { .. }), "{err}");
+        // Unknown node.
+        let err = kernel
+            .try_place(
+                &task,
+                Placement {
+                    pe: PeRef {
+                        node: NodeId(99),
+                        pe: PeId::Gpp(0),
+                    },
+                    mode: HostingMode::GppCores,
+                },
+                0.0,
+                0.0,
+            )
+            .unwrap_err();
+        assert_eq!(err, PlacementError::UnknownNode(NodeId(99)));
+        // Reuse of a configuration that was never loaded.
+        let err = kernel
+            .try_place(
+                &task,
+                Placement {
+                    pe: PeRef {
+                        node: NodeId(0),
+                        pe: PeId::Rpe(0),
+                    },
+                    mode: HostingMode::ReuseConfig(ConfigId(7)),
+                },
+                0.0,
+                0.0,
+            )
+            .unwrap_err();
+        assert!(matches!(err, PlacementError::UnknownConfig { .. }), "{err}");
+        // No state was touched: a feasible dispatch still works.
+        let mut strategy = FirstFit::new();
+        let out = kernel.submit(software_task(1), 0.0, &mut strategy);
+        assert_eq!(out.len(), 1);
+        assert!(kernel.placement_errors().is_empty());
+    }
+
+    #[test]
+    fn busy_placement_errors_without_double_acquire() {
+        use rhv_core::ids::{NodeId, PeId};
+        let mut kernel = LifecycleKernel::new(rhv_core::case_study::grid(), SimConfig::default());
+        let gpu_free = |k: &LifecycleKernel| {
+            k.nodes()
+                .iter()
+                .flat_map(|n| n.gpps())
+                .map(|g| g.state.free_cores())
+                .sum::<u64>()
+        };
+        let before = gpu_free(&kernel);
+        // Occupy every core of Node_0's first GPP.
+        let p = Placement {
+            pe: PeRef {
+                node: NodeId(0),
+                pe: PeId::Gpp(0),
+            },
+            mode: HostingMode::GppCores,
+        };
+        let mut big = software_task(0);
+        if let TaskPayload::Software { parallelism, .. } = &mut big.exec_req.payload {
+            *parallelism = u64::MAX;
+        }
+        kernel.try_place(&big, p, 0.0, 0.0).unwrap();
+        let mid = gpu_free(&kernel);
+        assert!(mid < before);
+        // A second full-width claim on the same GPP must fail cleanly...
+        let err = kernel.try_place(&big, p, 0.0, 0.0).unwrap_err();
+        assert_eq!(err, PlacementError::Busy(p.pe));
+        // ...without mutating core accounting.
+        assert_eq!(gpu_free(&kernel), mid);
+    }
+}

@@ -20,9 +20,13 @@
 //!   shipping;
 //! * [`strategy`] — the `Strategy` trait scheduling policies implement
 //!   (implementations live in `rhv-sched`);
-//! * [`sim`] — `GridSimulator`: arrivals → matchmaking
-//!   → setup (synthesis / transfer / reconfiguration) → execution →
-//!   completion, with configuration reuse and idle-config eviction;
+//! * [`kernel`] — `LifecycleKernel`: the clock-agnostic task state machine
+//!   (matchmaking → setup (synthesis / transfer / reconfiguration) →
+//!   execution → completion, with configuration reuse, idle-config
+//!   eviction, churn, and dependency-driven release);
+//! * [`sim`] — `GridSimulator`: the discrete-event front-end pumping the
+//!   kernel from an `EventQueue` (the grid runtime in `rhv-grid` steps the
+//!   same kernel directly);
 //! * [`metrics`] — per-task records and aggregate statistics (makespan,
 //!   waiting time, utilization, reconfiguration counts, energy proxy).
 //!
@@ -32,6 +36,7 @@
 
 pub mod arrival;
 pub mod engine;
+pub mod kernel;
 pub mod metrics;
 pub mod network;
 pub mod sim;
@@ -41,6 +46,7 @@ pub mod trace;
 pub mod workload;
 
 pub use engine::EventQueue;
+pub use kernel::{LifecycleKernel, PendingCompletion, PlacementError};
 pub use metrics::{SimReport, TaskRecord};
 pub use sim::{ChurnEvent, GridSimulator, SimConfig};
 pub use strategy::{Placement, Strategy};

@@ -221,10 +221,16 @@ impl SimReport {
             }
         }
         if !(0.0..=1.0 + 1e-9).contains(&self.gpp_utilization) {
-            return Err(format!("GPP utilization {} out of range", self.gpp_utilization));
+            return Err(format!(
+                "GPP utilization {} out of range",
+                self.gpp_utilization
+            ));
         }
         if !(0.0..=1.0 + 1e-9).contains(&self.rpe_utilization) {
-            return Err(format!("RPE utilization {} out of range", self.rpe_utilization));
+            return Err(format!(
+                "RPE utilization {} out of range",
+                self.rpe_utilization
+            ));
         }
         Ok(())
     }
@@ -264,19 +270,7 @@ mod tests {
     #[test]
     fn report_aggregates() {
         let records = vec![rec(0, 0.0, 0.0, 0.0, 4.0), rec(1, 1.0, 2.0, 2.0, 6.0)];
-        let rep = SimReport::from_records(
-            "test".into(),
-            3,
-            1,
-            records,
-            8.0,
-            2,
-            0.0,
-            0,
-            0,
-            0.0,
-            0,
-        );
+        let rep = SimReport::from_records("test".into(), 3, 1, records, 8.0, 2, 0.0, 0, 0, 0.0, 0);
         assert_eq!(rep.completed, 2);
         assert_eq!(rep.rejected, 1);
         assert_eq!(rep.makespan, 6.0);
@@ -311,8 +305,7 @@ mod tests {
         let mut a = rec(0, 0.0, 2.0, 2.0, 3.0);
         a.scenario = Scenario::UserDefinedHardware;
         let b = rec(1, 0.0, 4.0, 4.0, 5.0);
-        let rep =
-            SimReport::from_records("x".into(), 2, 0, vec![a, b], 0.0, 1, 0.0, 1, 0, 0.0, 0);
+        let rep = SimReport::from_records("x".into(), 2, 0, vec![a, b], 0.0, 1, 0.0, 1, 0, 0.0, 0);
         let by = rep.mean_wait_by_scenario();
         assert_eq!(by[&Scenario::UserDefinedHardware], 2.0);
         assert_eq!(by[&Scenario::SoftwareOnly], 4.0);

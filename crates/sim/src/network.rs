@@ -92,7 +92,9 @@ mod tests {
     fn per_node_override() {
         let mut net = NetworkModel::uniform(Link::lan());
         net.set_link(NodeId(2), Link::wan());
-        assert!(net.transfer_seconds(NodeId(2), 10 << 20) > net.transfer_seconds(NodeId(1), 10 << 20));
+        assert!(
+            net.transfer_seconds(NodeId(2), 10 << 20) > net.transfer_seconds(NodeId(1), 10 << 20)
+        );
         assert_eq!(net.link(NodeId(2)).bandwidth_mbps, 10.0);
     }
 

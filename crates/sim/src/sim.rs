@@ -1,10 +1,12 @@
-//! The grid simulator proper.
+//! The grid simulator proper — the discrete-event front-end of the shared
+//! [`LifecycleKernel`].
 //!
 //! [`GridSimulator`] drives the full DReAMSim loop over the `rhv-core` node
 //! model:
 //!
 //! 1. task **arrival** (JSS hands the task to the RMS);
-//! 2. the [`Strategy`] picks a [`Placement`] — or the task queues;
+//! 2. the [`Strategy`] picks a [`crate::strategy::Placement`] — or the task
+//!    queues;
 //! 3. **setup**: input-data transfer, plus for fabric placements HDL
 //!    synthesis (cache-aware, via `rhv-bitstream`), bitstream shipping and
 //!    reconfiguration (partial where the device supports it);
@@ -12,145 +14,64 @@
 //! 5. **completion**: resources release, resident configurations stay for
 //!    reuse (configurable), and queued tasks are retried.
 //!
+//! All of steps 2–5 live in [`crate::kernel`]; this module only owns the
+//! clock: it feeds arrivals and churn from an
+//! [`EventQueue`](crate::engine::EventQueue) and loops completions back at
+//! their scheduled times. The grid runtime in `rhv-grid` steps the same
+//! kernel without any event queue — one lifecycle, two front-ends.
+//!
 //! When the backlog cannot be served and idle-config eviction is enabled,
 //! idle configurations are unloaded to make room — the "logic
 //! virtualization" behaviour of the paper's ref. \[8].
 
 use crate::engine::EventQueue;
-use crate::metrics::{power, SimReport, TaskRecord};
-use crate::network::NetworkModel;
-use crate::strategy::{Placement, Strategy};
-use rhv_bitstream::hdl::HdlSpec;
-use rhv_bitstream::synth::SynthesisService;
-use rhv_core::execreq::TaskPayload;
-use rhv_core::fabric::FitPolicy;
-use rhv_core::ids::{ConfigId, PeId};
-use rhv_core::matchmaker::{HostingMode, PeRef};
+use crate::kernel::{LifecycleKernel, PendingCompletion};
+use crate::metrics::SimReport;
+use crate::strategy::Strategy;
+use rhv_core::graph::TaskGraph;
 use rhv_core::node::Node;
-use rhv_core::state::ConfigKind;
 use rhv_core::task::Task;
-use rhv_params::softcore::SoftcoreSpec;
-use std::collections::VecDeque;
 
-/// Simulator configuration.
-#[derive(Debug, Clone)]
-pub struct SimConfig {
-    /// Region placement policy on PR-capable fabric.
-    pub fit_policy: FitPolicy,
-    /// Keep configurations resident after completion so later tasks reuse
-    /// them (true = the reuse-friendly regime).
-    pub keep_configs_resident: bool,
-    /// Evict idle configurations when queued tasks cannot fit.
-    pub evict_idle_configs: bool,
-    /// Soft-core used for software-only fallback placements.
-    pub softcore_fallback: SoftcoreSpec,
-    /// Relative speed of the provider's CAD machines.
-    pub cad_speed: f64,
-    /// Network model.
-    pub network: NetworkModel,
-}
-
-impl Default for SimConfig {
-    fn default() -> Self {
-        SimConfig {
-            fit_policy: FitPolicy::FirstFit,
-            keep_configs_resident: true,
-            evict_idle_configs: true,
-            softcore_fallback: SoftcoreSpec::rvex_4w(),
-            cad_speed: 1.0,
-            network: NetworkModel::default(),
-        }
-    }
-}
+pub use crate::kernel::{ChurnEvent, PlacementError, SimConfig};
 
 #[derive(Debug)]
 enum Ev {
     Arrival(Box<Task>),
-    Completion(Box<Running>),
+    Completion(PendingCompletion),
     Churn(ChurnEvent),
 }
 
-/// A grid-membership change during a simulation — the node model is
-/// "adaptive in adding/removing resources at runtime".
-#[derive(Debug, Clone)]
-pub enum ChurnEvent {
-    /// A node joins the grid.
-    Join(Box<Node>),
-    /// A node leaves. If it is busy at the scheduled time, departure is
-    /// deferred until its last task completes.
-    Leave(rhv_core::ids::NodeId),
-    /// A node crashes: it vanishes immediately; tasks running on it are
-    /// lost and re-enter the queue (re-dispatched from scratch, setup and
-    /// all — work on a crashed node is gone).
-    Crash(rhv_core::ids::NodeId),
-}
-
-#[derive(Debug)]
-struct Running {
-    task: Task,
-    pe: PeRef,
-    config: Option<ConfigId>,
-    cores: u64,
-    record: TaskRecord,
-    unload_after: bool,
-}
-
-/// The DReAMSim grid simulator.
+/// The DReAMSim grid simulator: an [`EventQueue`] pumping a
+/// [`LifecycleKernel`].
 pub struct GridSimulator {
-    nodes: Vec<Node>,
-    cfg: SimConfig,
-    synth: SynthesisService,
+    kernel: LifecycleKernel,
     queue: EventQueue<Ev>,
-    backlog: VecDeque<(f64, Task)>,
-    records: Vec<TaskRecord>,
-    rejected: usize,
-    submitted: usize,
-    pending_leaves: Vec<rhv_core::ids::NodeId>,
-    crashed: Vec<rhv_core::ids::NodeId>,
-    /// Task executions lost to crashes (each re-queued).
-    pub failures: u64,
-    gpp_busy_core_seconds: f64,
-    rpe_busy_slice_seconds: f64,
-    reconfigurations: u64,
-    reconfig_seconds: f64,
-    reuse_hits: u64,
 }
 
 impl GridSimulator {
     /// A simulator over `nodes` with configuration `cfg`.
     pub fn new(nodes: Vec<Node>, cfg: SimConfig) -> Self {
-        let cad_speed = cfg.cad_speed;
         GridSimulator {
-            nodes,
-            cfg,
-            synth: SynthesisService::new(cad_speed),
+            kernel: LifecycleKernel::new(nodes, cfg),
             queue: EventQueue::new(),
-            backlog: VecDeque::new(),
-            records: Vec::new(),
-            rejected: 0,
-            submitted: 0,
-            pending_leaves: Vec::new(),
-            crashed: Vec::new(),
-            failures: 0,
-            gpp_busy_core_seconds: 0.0,
-            rpe_busy_slice_seconds: 0.0,
-            reconfigurations: 0,
-            reconfig_seconds: 0.0,
-            reuse_hits: 0,
         }
+    }
+
+    /// Makes the run dependency-driven: a task appearing in `graph` starts
+    /// only after all its predecessors complete, regardless of its arrival
+    /// time (see [`LifecycleKernel::set_dependencies`]).
+    pub fn with_dependencies(mut self, graph: TaskGraph) -> Self {
+        self.kernel.set_dependencies(graph);
+        self
     }
 
     /// Current node states (read-only view for inspection).
     pub fn nodes(&self) -> &[Node] {
-        &self.nodes
+        self.kernel.nodes()
     }
 
     /// Runs `workload` to completion under `strategy` and reports.
-    pub fn run(
-        self,
-        workload: Vec<(f64, Task)>,
-        strategy: &mut dyn Strategy,
-    ) -> SimReport {
+    pub fn run(self, workload: Vec<(f64, Task)>, strategy: &mut dyn Strategy) -> SimReport {
         self.run_with_churn(workload, Vec::new(), strategy).0
     }
 
@@ -163,472 +84,33 @@ impl GridSimulator {
         churn: Vec<(f64, ChurnEvent)>,
         strategy: &mut dyn Strategy,
     ) -> (SimReport, Vec<Node>) {
-        self.submitted = workload.len();
         for (t, task) in workload {
             self.queue.push(t, Ev::Arrival(Box::new(task)));
         }
         for (t, ev) in churn {
             self.queue.push(t, Ev::Churn(ev));
         }
+        let name = strategy.name().to_owned();
         while let Some((now, ev)) = self.queue.pop() {
-            match ev {
-                Ev::Arrival(task) => self.on_arrival(*task, now, strategy),
-                Ev::Completion(running) => self.on_completion(*running, now, strategy),
-                Ev::Churn(change) => self.on_churn(change, now, strategy),
-            }
-        }
-        // Whatever still sits in the backlog can never run (no events left
-        // to free resources): count as rejected.
-        self.rejected += self.backlog.len();
-        self.backlog.clear();
-
-        let total_gpp_cores: u64 = self
-            .nodes
-            .iter()
-            .flat_map(|n| n.gpps())
-            .map(|g| g.spec.cores)
-            .sum();
-        let total_rpe_slices: u64 = self
-            .nodes
-            .iter()
-            .flat_map(|n| n.rpes())
-            .map(|r| r.device.slices)
-            .sum();
-        let mut records = std::mem::take(&mut self.records);
-        records.sort_by(|a, b| a.finish.partial_cmp(&b.finish).expect("finite times"));
-        let report = SimReport::from_records(
-            strategy.name().to_owned(),
-            self.submitted,
-            self.rejected,
-            records,
-            self.gpp_busy_core_seconds,
-            total_gpp_cores,
-            self.rpe_busy_slice_seconds,
-            total_rpe_slices,
-            self.reconfigurations,
-            self.reconfig_seconds,
-            self.reuse_hits,
-        );
-        (report, self.nodes)
-    }
-
-    fn on_churn(&mut self, change: ChurnEvent, now: f64, strategy: &mut dyn Strategy) {
-        match change {
-            ChurnEvent::Join(node) => {
-                self.nodes.push(*node);
-                // New capacity may unblock queued tasks.
-                self.drain_backlog(now, strategy);
-            }
-            ChurnEvent::Leave(id) => {
-                self.pending_leaves.push(id);
-                self.apply_pending_leaves();
-            }
-            ChurnEvent::Crash(id) => {
-                // The node vanishes now; in-flight completions on it are
-                // intercepted in `on_completion` and their tasks re-queued.
-                if self.nodes.iter().any(|n| n.id == id) {
-                    self.nodes.retain(|n| n.id != id);
-                    self.crashed.push(id);
-                }
-            }
-        }
-    }
-
-    /// Removes every pending-leave node that is now fully idle.
-    fn apply_pending_leaves(&mut self) {
-        let pending = std::mem::take(&mut self.pending_leaves);
-        for id in pending {
-            let idle = self.nodes.iter().find(|n| n.id == id).is_some_and(|n| {
-                n.gpps().iter().all(|g| g.state.is_idle())
-                    && n.rpes().iter().all(|r| r.state.is_idle())
-            });
-            if idle {
-                self.nodes.retain(|n| n.id != id);
-            } else if self.nodes.iter().any(|n| n.id == id) {
-                self.pending_leaves.push(id);
-            }
-        }
-    }
-
-    fn on_arrival(&mut self, task: Task, now: f64, strategy: &mut dyn Strategy) {
-        if !self.try_dispatch(&task, now, now, strategy) {
-            if strategy.is_satisfiable(&task, &self.nodes) {
-                self.backlog.push_back((now, task));
-            } else {
-                self.rejected += 1;
-            }
-        }
-    }
-
-    fn on_completion(&mut self, running: Running, now: f64, strategy: &mut dyn Strategy) {
-        let Running {
-            task,
-            pe,
-            config,
-            cores,
-            record,
-            unload_after,
-        } = running;
-        // A completion from a crashed node is a lost execution: the node is
-        // gone (nothing to release) and the task goes back in the queue.
-        if self.crashed.contains(&pe.node) {
-            self.failures += 1;
-            self.backlog.push_back((record.arrival, task));
-            self.drain_backlog(now, strategy);
-            return;
-        }
-        self.records.push(record);
-        let node = self
-            .nodes
-            .iter_mut()
-            .find(|n| n.id == pe.node)
-            .expect("completion on a known node");
-        match pe.pe {
-            PeId::Gpp(_) => {
-                node.gpp_mut(pe.pe)
-                    .expect("gpp exists")
-                    .state
-                    .release_cores(cores)
-                    .expect("release matches acquire");
-            }
-            PeId::Gpu(_) => {
-                node.gpu_mut(pe.pe)
-                    .expect("gpu exists")
-                    .state
-                    .release()
-                    .expect("release matches acquire");
-            }
-            PeId::Rpe(_) => {
-                let rpe = node.rpe_mut(pe.pe).expect("rpe exists");
-                let cfg_id = config.expect("rpe placements carry a config");
-                rpe.state.release(cfg_id).expect("config was acquired");
-                if unload_after {
-                    rpe.state.unload(cfg_id).expect("idle config unloads");
-                }
-            }
-        }
-        if !self.pending_leaves.is_empty() {
-            self.apply_pending_leaves();
-        }
-        self.drain_backlog(now, strategy);
-    }
-
-    fn drain_backlog(&mut self, now: f64, strategy: &mut dyn Strategy) {
-        // FIFO with backfill: try every queued task once, keep the rest.
-        let mut remaining = VecDeque::new();
-        while let Some((arrival, task)) = self.backlog.pop_front() {
-            if self.try_dispatch(&task, arrival, now, strategy) {
-                continue;
-            }
-            // Make room by evicting idle configurations — but only the
-            // minimum, on fabric this task could actually use, so resident
-            // configurations keep their reuse value.
-            if self.cfg.evict_idle_configs
-                && self.evict_for(&task)
-                && self.try_dispatch(&task, arrival, now, strategy)
-            {
-                continue;
-            }
-            remaining.push_back((arrival, task));
-        }
-        self.backlog = remaining;
-    }
-
-    /// Targeted eviction: on each RPE that statically matches `task`, unload
-    /// just enough idle configurations for the task's area demand to fit.
-    /// Returns true when at least one RPE gained room.
-    fn evict_for(&mut self, task: &Task) -> bool {
-        use rhv_core::matchmaker::Matchmaker;
-        let candidates = Matchmaker::new().candidates(task, &self.nodes);
-        let fallback_area = self.cfg.softcore_fallback.area_slices();
-        let mut made_room = false;
-        for c in candidates {
-            if !c.pe.pe.is_rpe() {
-                continue;
-            }
-            let Some(node) = self.nodes.iter_mut().find(|n| n.id == c.pe.node) else {
-                continue;
+            let scheduled = match ev {
+                Ev::Arrival(task) => self.kernel.submit(*task, now, strategy),
+                Ev::Completion(pending) => self.kernel.complete(pending, now, strategy),
+                Ev::Churn(change) => self.kernel.churn(change, now, strategy),
             };
-            let Some(rpe) = node.rpe_mut(c.pe.pe) else {
-                continue;
-            };
-            let demand = match &task.exec_req.payload {
-                TaskPayload::Bitstream { .. } => rpe.device.slices,
-                TaskPayload::HdlAccelerator { est_slices, .. } => *est_slices,
-                TaskPayload::SoftcoreKernel { core, .. } => {
-                    crate::workload::softcore_area(core)
-                }
-                TaskPayload::Software { .. } => fallback_area,
-                // GPU kernels never claim fabric; nothing to evict for.
-                TaskPayload::GpuKernel { .. } => continue,
-            };
-            while !rpe.state.fabric().can_fit(demand) {
-                let idle: Option<ConfigId> = rpe
-                    .state
-                    .configs()
-                    .iter()
-                    .find(|cfg| !cfg.in_use)
-                    .map(|cfg| cfg.id);
-                match idle {
-                    Some(id) => {
-                        rpe.state.unload(id).expect("idle config unloads");
-                    }
-                    None => break,
-                }
-            }
-            if rpe.state.fabric().can_fit(demand) {
-                made_room = true;
+            for pending in scheduled {
+                self.queue.push(pending.finish(), Ev::Completion(pending));
             }
         }
-        made_room
-    }
-
-    /// Attempts to place and start `task`; true on success.
-    fn try_dispatch(
-        &mut self,
-        task: &Task,
-        arrival: f64,
-        now: f64,
-        strategy: &mut dyn Strategy,
-    ) -> bool {
-        let Some(placement) = strategy.place(task, &self.nodes, now) else {
-            return false;
-        };
-        self.start_task(task.clone(), placement, arrival, now);
-        true
-    }
-
-    /// Applies a placement: mutates node state, prices setup and execution,
-    /// schedules the completion event. Panics on infeasible placements —
-    /// those are strategy bugs.
-    fn start_task(&mut self, task: Task, placement: Placement, arrival: f64, now: f64) {
-        let Placement { pe, mode } = placement;
-        let data_transfer = self
-            .cfg
-            .network
-            .transfer_seconds(pe.node, task.input_bytes() + task.output_bytes());
-        let scenario = task.exec_req.scenario();
-
-        // Synthesis cost must be priced before borrowing the node mutably.
-        let synth_seconds = match (&mode, &task.exec_req.payload) {
-            (HostingMode::Reconfigure, TaskPayload::HdlAccelerator { spec_name, est_slices, .. }) => {
-                let device = {
-                    let node = self.nodes.iter().find(|n| n.id == pe.node).expect("node");
-                    node.rpe(pe.pe).expect("rpe").device.clone()
-                };
-                let spec = HdlSpec::new(spec_name.clone(), est_slices * 4, est_slices * 2);
-                self.synth
-                    .estimate_cached(&spec, &device)
-                    .expect("strategy placed a synthesizable design")
-                    .synthesis_seconds
-            }
-            _ => 0.0,
-        };
-
-        let node = self
-            .nodes
-            .iter_mut()
-            .find(|n| n.id == pe.node)
-            .expect("placement on a known node");
-
-        let (setup, exec, energy, cores, slices, config, reconfigured, unload_after) = match mode {
-            HostingMode::GpuRun => {
-                let gpu = node.gpu_mut(pe.pe).expect("gpu placement on a gpu");
-                gpu.state.acquire().expect("strategy checked idleness");
-                let (exec, energy) = execution_of(&task.exec_req.payload, &self.cfg);
-                (data_transfer, exec, energy, 0, 0, None, false, false)
-            }
-            HostingMode::GppCores => {
-                let gpp = node.gpp_mut(pe.pe).expect("gpp placement on gpp");
-                let TaskPayload::Software {
-                    mega_instructions,
-                    parallelism,
-                } = task.exec_req.payload
-                else {
-                    panic!("GppCores placement for non-software payload");
-                };
-                let cores = parallelism.clamp(1, gpp.state.free_cores().max(1));
-                gpp.state
-                    .acquire_cores(cores)
-                    .expect("strategy checked core availability");
-                let exec = gpp.spec.execution_seconds(mega_instructions, cores);
-                let energy = cores as f64 * power::GPP_CORE_W * exec;
-                (data_transfer, exec, energy, cores, 0, None, false, false)
-            }
-            HostingMode::SoftcoreFallback => {
-                let spec = self.cfg.softcore_fallback.clone();
-                let rpe = node.rpe_mut(pe.pe).expect("fallback on an rpe");
-                let slices = spec.area_slices().min(rpe.device.slices);
-                let reconfig = rpe.device.partial_reconfig_seconds(slices);
-                let cfg_id = rpe
-                    .state
-                    .load(
-                        ConfigKind::Softcore(spec.name.clone()),
-                        slices,
-                        self.cfg.fit_policy,
-                    )
-                    .expect("strategy checked fabric space");
-                rpe.state.acquire(cfg_id).expect("fresh config is idle");
-                let TaskPayload::Software {
-                    mega_instructions, ..
-                } = task.exec_req.payload
-                else {
-                    panic!("SoftcoreFallback for non-software payload");
-                };
-                let exec = mega_instructions / spec.mips_rating();
-                let energy = power::SOFTCORE_W * exec;
-                self.reconfigurations += 1;
-                self.reconfig_seconds += reconfig;
-                (
-                    data_transfer + reconfig,
-                    exec,
-                    energy,
-                    0,
-                    slices,
-                    Some(cfg_id),
-                    true,
-                    !self.cfg.keep_configs_resident,
-                )
-            }
-            HostingMode::ReuseConfig(cfg_id) => {
-                let rpe = node.rpe_mut(pe.pe).expect("reuse on an rpe");
-                rpe.state
-                    .acquire(cfg_id)
-                    .expect("strategy proposed an idle config");
-                let loaded = rpe.state.config(cfg_id).expect("config exists");
-                let slices = loaded.slices;
-                let (exec, energy) = execution_of(&task.exec_req.payload, &self.cfg);
-                self.reuse_hits += 1;
-                (
-                    data_transfer,
-                    exec,
-                    energy,
-                    0,
-                    slices,
-                    Some(cfg_id),
-                    false,
-                    false, // a reused config stays resident
-                )
-            }
-            HostingMode::Reconfigure => {
-                let rpe = node.rpe_mut(pe.pe).expect("reconfigure on an rpe");
-                let device = rpe.device.clone();
-                let (kind, slices, image_bytes) = match &task.exec_req.payload {
-                    TaskPayload::HdlAccelerator {
-                        spec_name,
-                        est_slices,
-                        ..
-                    } => (
-                        ConfigKind::Accelerator(spec_name.clone()),
-                        *est_slices,
-                        (*est_slices as f64 * device.bytes_per_slice()) as u64,
-                    ),
-                    TaskPayload::Bitstream {
-                        image, size_bytes, ..
-                    } => (
-                        ConfigKind::Bitstream(image.clone()),
-                        device.slices,
-                        *size_bytes,
-                    ),
-                    TaskPayload::SoftcoreKernel { core, .. } => {
-                        let area = crate::workload::softcore_area(core);
-                        (
-                            ConfigKind::Softcore(core.clone()),
-                            area,
-                            (area as f64 * device.bytes_per_slice()) as u64,
-                        )
-                    }
-                    TaskPayload::Software { .. } | TaskPayload::GpuKernel { .. } => {
-                        panic!("Reconfigure placement for a non-fabric payload")
-                    }
-                };
-                let cfg_id = rpe
-                    .state
-                    .load(kind, slices, self.cfg.fit_policy)
-                    .expect("strategy checked fabric space");
-                rpe.state.acquire(cfg_id).expect("fresh config is idle");
-                let bit_transfer = self.cfg.network.transfer_seconds(pe.node, image_bytes);
-                let reconfig = device.partial_reconfig_seconds(slices);
-                let (exec, energy) = execution_of(&task.exec_req.payload, &self.cfg);
-                self.reconfigurations += 1;
-                self.reconfig_seconds += reconfig;
-                (
-                    data_transfer + synth_seconds + bit_transfer + reconfig,
-                    exec,
-                    energy,
-                    0,
-                    slices,
-                    Some(cfg_id),
-                    true,
-                    !self.cfg.keep_configs_resident,
-                )
-            }
-        };
-
-        let exec_start = now + setup;
-        let finish = exec_start + exec;
-        match pe.pe {
-            PeId::Gpp(_) => self.gpp_busy_core_seconds += cores as f64 * exec,
-            PeId::Rpe(_) => self.rpe_busy_slice_seconds += slices as f64 * exec,
-            PeId::Gpu(_) => {}
-        }
-        let record = TaskRecord {
-            task: task.id,
-            scenario,
-            arrival,
-            dispatched: now,
-            exec_start,
-            finish,
-            pe,
-            energy_j: energy,
-            reconfigured,
-        };
-        self.queue.push(
-            finish,
-            Ev::Completion(Box::new(Running {
-                task,
-                pe,
-                config,
-                cores,
-                record,
-                unload_after,
-            })),
-        );
-    }
-}
-
-/// Execution time and energy of an accelerated payload.
-fn execution_of(payload: &TaskPayload, cfg: &SimConfig) -> (f64, f64) {
-    match payload {
-        TaskPayload::HdlAccelerator { accel_seconds, .. }
-        | TaskPayload::Bitstream { accel_seconds, .. } => {
-            (*accel_seconds, power::FPGA_ACCEL_W * accel_seconds)
-        }
-        TaskPayload::SoftcoreKernel { core, mega_ops } => {
-            let mips = match core.as_str() {
-                "rvex-4w" => SoftcoreSpec::rvex_4w().mips_rating(),
-                "rvex-8w-2c" => SoftcoreSpec::rvex_8w_2c().mips_rating(),
-                _ => SoftcoreSpec::rvex_2w().mips_rating(),
-            };
-            let exec = mega_ops / mips;
-            (exec, power::SOFTCORE_W * exec)
-        }
-        TaskPayload::GpuKernel { accel_seconds, .. } => {
-            (*accel_seconds, power::GPU_W * accel_seconds)
-        }
-        TaskPayload::Software {
-            mega_instructions, ..
-        } => {
-            let exec = mega_instructions / cfg.softcore_fallback.mips_rating();
-            (exec, power::SOFTCORE_W * exec)
-        }
+        self.kernel.finish(&name)
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::strategy::Placement;
     use crate::workload::{TaskMix, WorkloadSpec};
+    use rhv_core::execreq::TaskPayload;
     use rhv_core::matchmaker::{MatchOptions, Matchmaker};
 
     /// A minimal first-candidate strategy for exercising the simulator
@@ -653,7 +135,11 @@ mod tests {
             "first-fit"
         }
         fn place(&mut self, task: &Task, nodes: &[Node], _now: f64) -> Option<Placement> {
-            self.mm.candidates(task, nodes).first().copied().map(Into::into)
+            self.mm
+                .candidates(task, nodes)
+                .first()
+                .copied()
+                .map(Into::into)
         }
         fn is_satisfiable(&self, task: &Task, nodes: &[Node]) -> bool {
             // Against an idealized idle grid.
@@ -712,10 +198,10 @@ mod tests {
             .map(|(t, task)| (t / 100.0, task.clone()))
             .collect();
         let nodes = rhv_core::case_study::grid();
-        let slow = GridSimulator::new(nodes.clone(), SimConfig::default())
-            .run(base, &mut FirstFit::new());
-        let fast = GridSimulator::new(nodes, SimConfig::default())
-            .run(compressed, &mut FirstFit::new());
+        let slow =
+            GridSimulator::new(nodes.clone(), SimConfig::default()).run(base, &mut FirstFit::new());
+        let fast =
+            GridSimulator::new(nodes, SimConfig::default()).run(compressed, &mut FirstFit::new());
         assert!(
             fast.mean_wait > slow.mean_wait,
             "wait {} !> {}",
@@ -818,8 +304,11 @@ mod tests {
         let tasks = rhv_core::case_study::tasks();
         let workload = vec![(10.0, tasks[3].clone())];
         let churn = vec![(5.0, crate::sim::ChurnEvent::Join(Box::new(node0)))];
-        let (report, final_nodes) = GridSimulator::new(grid, SimConfig::default())
-            .run_with_churn(workload, churn, &mut FirstFit::new());
+        let (report, final_nodes) = GridSimulator::new(grid, SimConfig::default()).run_with_churn(
+            workload,
+            churn,
+            &mut FirstFit::new(),
+        );
         assert_eq!(report.completed, 1);
         assert_eq!(report.records[0].pe.node, NodeId(0));
         assert_eq!(final_nodes.len(), 3);
@@ -834,8 +323,11 @@ mod tests {
         // Node_0 leaves at t=1; Task_3 (only runnable there) arrives at t=5.
         let workload = vec![(5.0, tasks[3].clone())];
         let churn = vec![(1.0, crate::sim::ChurnEvent::Leave(NodeId(0)))];
-        let (report, final_nodes) = GridSimulator::new(grid, SimConfig::default())
-            .run_with_churn(workload, churn, &mut FirstFit::new());
+        let (report, final_nodes) = GridSimulator::new(grid, SimConfig::default()).run_with_churn(
+            workload,
+            churn,
+            &mut FirstFit::new(),
+        );
         assert_eq!(report.completed, 0);
         assert_eq!(report.rejected, 1);
         assert_eq!(final_nodes.len(), 2);
@@ -851,11 +343,17 @@ mod tests {
         // t=0.5 must wait for the completion, and the task must finish.
         let workload = vec![(0.0, tasks[0].clone())];
         let churn = vec![(0.5, crate::sim::ChurnEvent::Leave(NodeId(0)))];
-        let (report, final_nodes) = GridSimulator::new(grid, SimConfig::default())
-            .run_with_churn(workload, churn, &mut FirstFit::new());
+        let (report, final_nodes) = GridSimulator::new(grid, SimConfig::default()).run_with_churn(
+            workload,
+            churn,
+            &mut FirstFit::new(),
+        );
         assert_eq!(report.completed, 1);
         assert_eq!(report.records[0].pe.node, NodeId(0));
-        assert!(final_nodes.iter().all(|n| n.id != NodeId(0)), "left after idle");
+        assert!(
+            final_nodes.iter().all(|n| n.id != NodeId(0)),
+            "left after idle"
+        );
         assert_eq!(final_nodes.len(), 2);
     }
 
@@ -868,8 +366,11 @@ mod tests {
         // the task must be re-dispatched (Node_1's GPP also satisfies it).
         let workload = vec![(0.0, tasks[0].clone())];
         let churn = vec![(0.1, crate::sim::ChurnEvent::Crash(NodeId(0)))];
-        let (report, final_nodes) = GridSimulator::new(grid, SimConfig::default())
-            .run_with_churn(workload, churn, &mut FirstFit::new());
+        let (report, final_nodes) = GridSimulator::new(grid, SimConfig::default()).run_with_churn(
+            workload,
+            churn,
+            &mut FirstFit::new(),
+        );
         assert_eq!(report.completed, 1);
         assert_eq!(report.records[0].pe.node, NodeId(1), "recovered elsewhere");
         assert!(final_nodes.iter().all(|n| n.id != NodeId(0)));
@@ -885,8 +386,11 @@ mod tests {
         // Task_3 only runs on Node_0; crash it mid-execution.
         let workload = vec![(0.0, tasks[3].clone())];
         let churn = vec![(0.1, crate::sim::ChurnEvent::Crash(NodeId(0)))];
-        let (report, _) = GridSimulator::new(grid, SimConfig::default())
-            .run_with_churn(workload, churn, &mut FirstFit::new());
+        let (report, _) = GridSimulator::new(grid, SimConfig::default()).run_with_churn(
+            workload,
+            churn,
+            &mut FirstFit::new(),
+        );
         assert_eq!(report.completed, 0);
         assert_eq!(report.rejected, 1, "lost and never placeable again");
     }
@@ -900,8 +404,11 @@ mod tests {
             (20.0, crate::sim::ChurnEvent::Crash(NodeId(2))),
             (40.0, crate::sim::ChurnEvent::Crash(NodeId(1))),
         ];
-        let (report, final_nodes) = GridSimulator::new(grid, SimConfig::default())
-            .run_with_churn(spec.generate(), churn, &mut FirstFit::new());
+        let (report, final_nodes) = GridSimulator::new(grid, SimConfig::default()).run_with_churn(
+            spec.generate(),
+            churn,
+            &mut FirstFit::new(),
+        );
         report.check_invariants().unwrap();
         assert_eq!(report.completed + report.rejected, 120);
         assert_eq!(final_nodes.len(), 1);
@@ -941,8 +448,8 @@ mod tests {
         };
         // Two kernels, one GPU: the second must wait for the first.
         let workload = vec![(0.0, mk(0)), (0.0, mk(1))];
-        let report = GridSimulator::new(nodes, SimConfig::default())
-            .run(workload, &mut FirstFit::new());
+        let report =
+            GridSimulator::new(nodes, SimConfig::default()).run(workload, &mut FirstFit::new());
         report.check_invariants().unwrap();
         assert_eq!(report.completed, 2);
         let r0 = &report.records[0];

@@ -207,7 +207,11 @@ fn score(app: &StreamApp, assignment: &[StageAssignment], net: &NetworkModel) ->
     }
     StreamPlan {
         assignments: assignment.to_vec(),
-        throughput: if slowest > 0.0 { 1.0 / slowest } else { f64::INFINITY },
+        throughput: if slowest > 0.0 {
+            1.0 / slowest
+        } else {
+            f64::INFINITY
+        },
         latency,
         bottleneck,
     }
@@ -228,7 +232,16 @@ pub fn plan_pipeline(app: &StreamApp, nodes: &[Node], net: &NetworkModel) -> Opt
     let mut best: Option<StreamPlan> = None;
     let mut chosen: Vec<StageAssignment> = Vec::with_capacity(app.stages.len());
     let mut budget = Budget::default();
-    search(app, nodes, net, &candidates, 0, &mut chosen, &mut budget, &mut best);
+    search(
+        app,
+        nodes,
+        net,
+        &candidates,
+        0,
+        &mut chosen,
+        &mut budget,
+        &mut best,
+    );
     best
 }
 
@@ -249,8 +262,7 @@ fn search(
             None => true,
             Some(b) => {
                 plan.throughput > b.throughput + 1e-12
-                    || ((plan.throughput - b.throughput).abs() <= 1e-12
-                        && plan.latency < b.latency)
+                    || ((plan.throughput - b.throughput).abs() <= 1e-12 && plan.latency < b.latency)
             }
         };
         if better {
@@ -291,8 +303,8 @@ mod tests {
     #[test]
     fn planner_finds_a_hybrid_plan() {
         let nodes = case_study::grid();
-        let plan = plan_pipeline(&video_pipeline(), &nodes, &NetworkModel::default())
-            .expect("feasible");
+        let plan =
+            plan_pipeline(&video_pipeline(), &nodes, &NetworkModel::default()).expect("feasible");
         // The two heavy stages go to fabric.
         assert!(plan.assignments[1].accelerated);
         assert!(plan.assignments[2].accelerated);
@@ -316,8 +328,7 @@ mod tests {
         for s in &mut sw_app.stages {
             s.accel_seconds_per_item = None;
         }
-        let software =
-            plan_pipeline(&sw_app, &nodes, &NetworkModel::default()).expect("feasible");
+        let software = plan_pipeline(&sw_app, &nodes, &NetworkModel::default()).expect("feasible");
         assert!(
             hybrid.throughput > software.throughput * 5.0,
             "hybrid {} vs software {}",
@@ -328,8 +339,8 @@ mod tests {
 
     #[test]
     fn resource_budgets_prevent_overcommitting_fabric() {
-        use rhv_core::node::Node;
         use rhv_core::ids::NodeId;
+        use rhv_core::node::Node;
         use rhv_params::catalog::Catalog;
         // One small RPE (4,800 slices) and one weak GPP; two accelerable
         // stages of 3,000 slices each cannot both go to fabric.
@@ -351,8 +362,8 @@ mod tests {
 
     #[test]
     fn two_small_stages_share_one_device() {
-        use rhv_core::node::Node;
         use rhv_core::ids::NodeId;
+        use rhv_core::node::Node;
         use rhv_params::catalog::Catalog;
         let cat = Catalog::builtin();
         let mut node = Node::new(NodeId(0));

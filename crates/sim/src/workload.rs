@@ -180,7 +180,12 @@ impl WorkloadSpec {
                 let kernel = id.raw() % 23;
                 let (lo, hi) = self.area_range;
                 let span = hi.saturating_sub(lo);
-                let area = lo + if span == 0 { 0 } else { (kernel * 7919) % (span + 1) };
+                let area = lo
+                    + if span == 0 {
+                        0
+                    } else {
+                        (kernel * 7919) % (span + 1)
+                    };
                 // Burn one draw to keep the RNG stream aligned with older
                 // versions of the generator (determinism across refactors is
                 // not promised, but within a version it must hold).

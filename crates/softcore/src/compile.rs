@@ -271,7 +271,13 @@ impl Codegen {
 
     /// Repeated-subtraction division: `q = a / b`, `r = a % b` over
     /// non-negative operands; division by zero yields 0.
-    fn divmod(&mut self, dst: Reg, a: Reg, b: Reg, want_quotient: bool) -> Result<(), CompileError> {
+    fn divmod(
+        &mut self,
+        dst: Reg,
+        a: Reg,
+        b: Reg,
+        want_quotient: bool,
+    ) -> Result<(), CompileError> {
         let q = self.alloc_temp()?;
         let r = self.alloc_temp()?;
         self.emit(Op::MovI { dst: q, imm: 0 });
@@ -304,28 +310,26 @@ impl Codegen {
     fn stmt(&mut self, s: &Stmt, exit: usize) -> Result<(), CompileError> {
         let mark = self.next_temp;
         match s {
-            Stmt::Assign { lhs, value } => {
-                match lhs {
-                    Expr::Var(name) => {
-                        let v = self.expr(value)?;
-                        let dst = self.var(name)?;
-                        if dst != v {
-                            self.emit(alu(AluOp::Add, dst, v, Reg(0)));
-                        }
+            Stmt::Assign { lhs, value } => match lhs {
+                Expr::Var(name) => {
+                    let v = self.expr(value)?;
+                    let dst = self.var(name)?;
+                    if dst != v {
+                        self.emit(alu(AluOp::Add, dst, v, Reg(0)));
                     }
-                    Expr::Index { base, index } => {
-                        let v = self.expr(value)?;
-                        let idx = self.expr(index)?;
-                        let offset = self.array_base(base) as i64;
-                        self.emit(Op::Store {
-                            src: v,
-                            addr: idx,
-                            offset,
-                        });
-                    }
-                    other => panic!("invalid assignment target {other:?} (parser enforces this)"),
                 }
-            }
+                Expr::Index { base, index } => {
+                    let v = self.expr(value)?;
+                    let idx = self.expr(index)?;
+                    let offset = self.array_base(base) as i64;
+                    self.emit(Op::Store {
+                        src: v,
+                        addr: idx,
+                        offset,
+                    });
+                }
+                other => panic!("invalid assignment target {other:?} (parser enforces this)"),
+            },
             Stmt::If {
                 cond,
                 then,
@@ -433,15 +437,20 @@ mod tests {
     use rhv_quipu::parser::parse_function;
 
     /// Compiles source, loads arrays/params, runs, returns the machine.
-    fn run(src: &str, params: &[(&str, i64)], arrays: &[(&str, &[i64])]) -> (Machine, CompiledProgram) {
+    fn run(
+        src: &str,
+        params: &[(&str, i64)],
+        arrays: &[(&str, &[i64])],
+    ) -> (Machine, CompiledProgram) {
         let f = parse_function(src).expect("parses");
         let c = compile(&f).expect("compiles");
         c.program.validate(64).expect("valid program");
         let mut m = Machine::new(SoftcoreSpec::rvex_4w());
         for (name, data) in arrays {
-            let base = *c.array_bases.get(*name).unwrap_or_else(|| {
-                panic!("array {name} not used by kernel {:?}", c.array_bases)
-            });
+            let base = *c
+                .array_bases
+                .get(*name)
+                .unwrap_or_else(|| panic!("array {name} not used by kernel {:?}", c.array_bases));
             m.load_mem(base, data).expect("fits");
         }
         for (name, v) in params {
@@ -454,7 +463,11 @@ mod tests {
 
     #[test]
     fn return_of_arithmetic() {
-        let (m, _) = run("int f(int a, int b) { return a * b + 7; }", &[("a", 6), ("b", 9)], &[]);
+        let (m, _) = run(
+            "int f(int a, int b) { return a * b + 7; }",
+            &[("a", 6), ("b", 9)],
+            &[],
+        );
         assert_eq!(m.reg(RETURN_REG), 61);
     }
 
@@ -517,7 +530,12 @@ mod tests {
 
     #[test]
     fn division_and_modulo_semantics() {
-        for (a, b, q, r) in [(17i64, 5i64, 3i64, 2i64), (10, 10, 1, 0), (3, 7, 0, 3), (9, 0, 0, 9)] {
+        for (a, b, q, r) in [
+            (17i64, 5i64, 3i64, 2i64),
+            (10, 10, 1, 0),
+            (3, 7, 0, 3),
+            (9, 0, 0, 9),
+        ] {
             let (m, _) = run(
                 "int f(int a, int b) { return a / b; }",
                 &[("a", a), ("b", b)],

@@ -64,12 +64,7 @@ pub enum BranchCond {
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
 pub enum Op {
     /// `dst = a (op) b`.
-    Alu {
-        op: AluOp,
-        dst: Reg,
-        a: Reg,
-        b: Reg,
-    },
+    Alu { op: AluOp, dst: Reg, a: Reg, b: Reg },
     /// `dst = a (op) imm`.
     AluI {
         op: AluOp,
@@ -288,7 +283,14 @@ mod tests {
         };
         assert_eq!(st.writes(), None);
         assert_eq!(st.reads(), vec![Reg(4), Reg(5)]);
-        assert_eq!(Op::MovI { dst: Reg(7), imm: 3 }.reads(), vec![]);
+        assert_eq!(
+            Op::MovI {
+                dst: Reg(7),
+                imm: 3
+            }
+            .reads(),
+            vec![]
+        );
     }
 
     #[test]

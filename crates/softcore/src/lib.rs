@@ -40,8 +40,8 @@ pub mod compile;
 pub mod isa;
 pub mod machine;
 pub mod pack;
-pub mod refinterp;
 pub mod programs;
+pub mod refinterp;
 
 pub use asm::{assemble, AsmError};
 pub use compile::{compile, CompileError, CompiledProgram};

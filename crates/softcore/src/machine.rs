@@ -431,7 +431,10 @@ mod tests {
     #[test]
     fn branch_to_program_end_halts_cleanly() {
         let prog = Program::new(vec![
-            Op::MovI { dst: Reg(1), imm: 1 },
+            Op::MovI {
+                dst: Reg(1),
+                imm: 1,
+            },
             Op::Branch {
                 cond: BranchCond::Eq,
                 a: Reg(0),
@@ -441,7 +444,9 @@ mod tests {
             Op::Halt,
         ]);
         // Branch target == ops.len() → falls past the end → FellOffEnd.
-        let err = Machine::new(SoftcoreSpec::rvex_2w()).run(&prog).unwrap_err();
+        let err = Machine::new(SoftcoreSpec::rvex_2w())
+            .run(&prog)
+            .unwrap_err();
         assert_eq!(err, MachineError::FellOffEnd);
     }
 }

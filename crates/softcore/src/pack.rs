@@ -340,7 +340,10 @@ mod tests {
         let p = Program::new(vec![add(1, 0, 0), add(2, 0, 0)]);
         let packed = pack_program(&p, &rhv_params::softcore::SoftcoreSpec::rvex_4w());
         assert!((packed.slot_utilization(4) - 0.5).abs() < 1e-12);
-        let empty = pack_program(&Program::default(), &rhv_params::softcore::SoftcoreSpec::rvex_4w());
+        let empty = pack_program(
+            &Program::default(),
+            &rhv_params::softcore::SoftcoreSpec::rvex_4w(),
+        );
         assert_eq!(empty.slot_utilization(4), 0.0);
     }
 }

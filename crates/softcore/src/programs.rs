@@ -65,70 +65,70 @@ fn blt(a: u8, b: u8, target: usize) -> Op {
 /// Sums `mem[0..n]` into `r1`.
 pub fn vector_sum(n: usize) -> Program {
     Program::new(vec![
-        movi(1, 0),              // 0: acc = 0
-        movi(2, 0),              // 1: i = 0
-        movi(3, n as i64),       // 2: limit
-        ld(4, 2, 0),             // 3: loop: r4 = mem[i]
-        add(1, 1, 4),            // 4: acc += r4
-        addi(2, 2, 1),           // 5: i += 1
-        blt(2, 3, 3),            // 6: if i < n goto 3
-        Op::Halt,                // 7
+        movi(1, 0),        // 0: acc = 0
+        movi(2, 0),        // 1: i = 0
+        movi(3, n as i64), // 2: limit
+        ld(4, 2, 0),       // 3: loop: r4 = mem[i]
+        add(1, 1, 4),      // 4: acc += r4
+        addi(2, 2, 1),     // 5: i += 1
+        blt(2, 3, 3),      // 6: if i < n goto 3
+        Op::Halt,          // 7
     ])
 }
 
 /// Dot product of `mem[0..n]` and `mem[n..2n]` into `r1`.
 pub fn dot_product(n: usize) -> Program {
     Program::new(vec![
-        movi(1, 0),              // 0: acc
-        movi(2, 0),              // 1: i
-        movi(3, n as i64),       // 2: limit
-        ld(4, 2, 0),             // 3: loop: a[i]
-        addi(5, 2, n as i64),    // 4: &b[i]
-        ld(6, 5, 0),             // 5: b[i]
-        mul(7, 4, 6),            // 6: a[i]*b[i]
-        add(1, 1, 7),            // 7: acc += …
-        addi(2, 2, 1),           // 8: i += 1
-        blt(2, 3, 3),            // 9: loop
-        Op::Halt,                // 10
+        movi(1, 0),           // 0: acc
+        movi(2, 0),           // 1: i
+        movi(3, n as i64),    // 2: limit
+        ld(4, 2, 0),          // 3: loop: a[i]
+        addi(5, 2, n as i64), // 4: &b[i]
+        ld(6, 5, 0),          // 5: b[i]
+        mul(7, 4, 6),         // 6: a[i]*b[i]
+        add(1, 1, 7),         // 7: acc += …
+        addi(2, 2, 1),        // 8: i += 1
+        blt(2, 3, 3),         // 9: loop
+        Op::Halt,             // 10
     ])
 }
 
 /// Iterative Fibonacci: leaves `fib(n)` in `r1`.
 pub fn fibonacci(n: u64) -> Program {
     Program::new(vec![
-        movi(1, 0),                       // 0: fib(0)
-        movi(2, 1),                       // 1: fib(1)
-        movi(3, 0),                       // 2: i
-        movi(4, n as i64),                // 3: n
+        movi(1, 0),        // 0: fib(0)
+        movi(2, 1),        // 1: fib(1)
+        movi(3, 0),        // 2: i
+        movi(4, n as i64), // 3: n
         Op::Branch {
             cond: BranchCond::Eq,
             a: Reg(3),
             b: Reg(4),
             target: 10,
-        },                                // 4: while i != n
-        add(5, 1, 2),                     // 5: t = a + b
-        add(1, 2, 0),                     // 6: a = b
-        add(2, 5, 0),                     // 7: b = t
-        addi(3, 3, 1),                    // 8: i += 1
-        Op::Jump { target: 4 },           // 9
-        Op::Halt,                         // 10
+        }, // 4: while i != n
+        add(5, 1, 2),      // 5: t = a + b
+        add(1, 2, 0),      // 6: a = b
+        add(2, 5, 0),      // 7: b = t
+        addi(3, 3, 1),     // 8: i += 1
+        Op::Jump { target: 4 }, // 9
+        Op::Halt,          // 10
     ])
 }
 
 /// Copies `n` words from word address `src` to `dst`.
 pub fn memcpy(n: usize, src: usize, dst: usize) -> Program {
     Program::new(vec![
-        movi(2, src as i64),     // 0
-        movi(3, dst as i64),     // 1
-        movi(4, 0),              // 2: i
-        movi(5, n as i64),       // 3
-        ld(6, 2, 0),             // 4: loop
-        st(6, 3, 0),             // 5
-        addi(2, 2, 1),           // 6
-        addi(3, 3, 1),           // 7
-        addi(4, 4, 1),           // 8
-        blt(4, 5, 4),            // 9
-        Op::Halt,                // 10
+        movi(2, src as i64), // 0
+        movi(3, dst as i64), // 1
+        movi(4, 0),          // 2: i
+        movi(5, n as i64),   // 3
+        ld(6, 2, 0),         // 4: loop
+        st(6, 3, 0),         // 5
+        addi(2, 2, 1),       // 6
+        addi(3, 3, 1),       // 7
+        addi(4, 4, 1),       // 8
+        blt(4, 5, 4),        // 9
+        Op::Halt,            // 10
     ])
 }
 
@@ -137,31 +137,31 @@ pub fn matmul(n: usize) -> Program {
     let n_i = n as i64;
     let nn = (n * n) as i64;
     Program::new(vec![
-        movi(5, n_i),            // 0
-        movi(2, 0),              // 1: i = 0
-        movi(3, 0),              // 2: iloop: j = 0
-        movi(6, 0),              // 3: jloop: acc = 0
-        movi(4, 0),              // 4: k = 0
-        mul(7, 2, 5),            // 5: kloop: i*n
-        add(7, 7, 4),            // 6: i*n + k
-        ld(8, 7, 0),             // 7: A[i*n+k]
-        mul(9, 4, 5),            // 8: k*n
-        add(9, 9, 3),            // 9: k*n + j
-        addi(9, 9, nn),          // 10: + B base
-        ld(10, 9, 0),            // 11: B[k*n+j]
-        mul(11, 8, 10),          // 12
-        add(6, 6, 11),           // 13: acc += …
-        addi(4, 4, 1),           // 14: k += 1
-        blt(4, 5, 5),            // 15
-        mul(7, 2, 5),            // 16: i*n
-        add(7, 7, 3),            // 17: i*n + j
-        addi(7, 7, 2 * nn),      // 18: + C base
-        st(6, 7, 0),             // 19: C[i*n+j] = acc
-        addi(3, 3, 1),           // 20: j += 1
-        blt(3, 5, 3),            // 21
-        addi(2, 2, 1),           // 22: i += 1
-        blt(2, 5, 2),            // 23
-        Op::Halt,                // 24
+        movi(5, n_i),       // 0
+        movi(2, 0),         // 1: i = 0
+        movi(3, 0),         // 2: iloop: j = 0
+        movi(6, 0),         // 3: jloop: acc = 0
+        movi(4, 0),         // 4: k = 0
+        mul(7, 2, 5),       // 5: kloop: i*n
+        add(7, 7, 4),       // 6: i*n + k
+        ld(8, 7, 0),        // 7: A[i*n+k]
+        mul(9, 4, 5),       // 8: k*n
+        add(9, 9, 3),       // 9: k*n + j
+        addi(9, 9, nn),     // 10: + B base
+        ld(10, 9, 0),       // 11: B[k*n+j]
+        mul(11, 8, 10),     // 12
+        add(6, 6, 11),      // 13: acc += …
+        addi(4, 4, 1),      // 14: k += 1
+        blt(4, 5, 5),       // 15
+        mul(7, 2, 5),       // 16: i*n
+        add(7, 7, 3),       // 17: i*n + j
+        addi(7, 7, 2 * nn), // 18: + C base
+        st(6, 7, 0),        // 19: C[i*n+j] = acc
+        addi(3, 3, 1),      // 20: j += 1
+        blt(3, 5, 3),       // 21
+        addi(2, 2, 1),      // 22: i += 1
+        blt(2, 5, 2),       // 23
+        Op::Halt,           // 24
     ])
 }
 

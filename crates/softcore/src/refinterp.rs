@@ -198,14 +198,22 @@ impl RefMachine {
                     // compiled divmod loop.
                     BinOp::Div => {
                         if b <= 0 || a < 0 {
-                            if b == 0 { 0 } else { ref_divmod(a, b).0 }
+                            if b == 0 {
+                                0
+                            } else {
+                                ref_divmod(a, b).0
+                            }
                         } else {
                             a / b
                         }
                     }
                     BinOp::Mod => {
                         if b <= 0 || a < 0 {
-                            if b == 0 { a } else { ref_divmod(a, b).1 }
+                            if b == 0 {
+                                a
+                            } else {
+                                ref_divmod(a, b).1
+                            }
                         } else {
                             a % b
                         }

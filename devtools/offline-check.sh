@@ -1,0 +1,54 @@
+#!/usr/bin/env sh
+# Build/test the workspace in a container with no network and no cargo
+# registry cache, using the API stubs in devtools/stubs/ (see its README).
+#
+#   devtools/offline-check.sh                 # build + test -q
+#   devtools/offline-check.sh test -q foo     # any cargo subcommand
+set -eu
+
+root="$(cd "$(dirname "$0")/.." && pwd)"
+manifest="$root/Cargo.toml"
+backup="$root/Cargo.toml.offline-bak"
+
+[ -f "$backup" ] && {
+    echo "offline-check: stale $backup exists; restore or remove it first" >&2
+    exit 1
+}
+
+cp "$manifest" "$backup"
+
+restore() {
+    mv "$backup" "$manifest"
+    rm -f "$root/Cargo.lock"
+}
+trap restore EXIT INT TERM
+
+for dep in rand rand_distr proptest criterion crossbeam parking_lot bytes serde_json rayon; do
+    sed -i "s|^$dep = .*|$dep = { path = \"devtools/stubs/$dep\" }|" "$manifest"
+done
+sed -i "s|^serde = .*|serde = { path = \"devtools/stubs/serde\", features = [\"derive\"] }|" "$manifest"
+
+cd "$root"
+if [ "$#" -eq 0 ]; then
+    cargo build --offline --workspace
+    cargo test --offline --workspace -q
+else
+    # Insert --offline before any `--` separator so it stays a cargo flag
+    # (e.g. `clippy -- -D warnings` must not hand --offline to rustc).
+    n=$#
+    inserted=0
+    i=0
+    while [ "$i" -lt "$n" ]; do
+        arg="$1"
+        shift
+        if [ "$inserted" -eq 0 ] && [ "$arg" = "--" ]; then
+            set -- "$@" --offline "$arg"
+            inserted=1
+        else
+            set -- "$@" "$arg"
+        fi
+        i=$((i + 1))
+    done
+    [ "$inserted" -eq 0 ] && set -- "$@" --offline
+    cargo "$@"
+fi

@@ -1,0 +1,277 @@
+//! Offline stub of `bytes` — see `devtools/stubs/README.md`.
+//!
+//! A functional `Bytes`/`BytesMut` pair: `Bytes` is a cheaply-cloneable
+//! `Arc<[u8]>` view with a consuming cursor (`Buf`), `BytesMut` is a
+//! growable builder (`BufMut`). Integers are big-endian, as in the real
+//! crate's `get_*`/`put_*` defaults.
+
+use std::ops::{Bound, Deref, RangeBounds};
+use std::sync::Arc;
+
+#[derive(Clone, Default)]
+pub struct Bytes {
+    data: Arc<Vec<u8>>,
+    start: usize,
+    end: usize,
+}
+
+impl Bytes {
+    pub fn new() -> Self {
+        Bytes::default()
+    }
+
+    pub fn from_vec(v: Vec<u8>) -> Self {
+        let end = v.len();
+        Bytes {
+            data: Arc::new(v),
+            start: 0,
+            end,
+        }
+    }
+
+    pub fn len(&self) -> usize {
+        self.end - self.start
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    pub fn as_slice(&self) -> &[u8] {
+        &self.data[self.start..self.end]
+    }
+
+    pub fn to_vec(&self) -> Vec<u8> {
+        self.as_slice().to_vec()
+    }
+
+    /// Sub-view relative to the current view (like the real `Bytes::slice`).
+    pub fn slice(&self, range: impl RangeBounds<usize>) -> Bytes {
+        let lo = match range.start_bound() {
+            Bound::Included(&n) => n,
+            Bound::Excluded(&n) => n + 1,
+            Bound::Unbounded => 0,
+        };
+        let hi = match range.end_bound() {
+            Bound::Included(&n) => n + 1,
+            Bound::Excluded(&n) => n,
+            Bound::Unbounded => self.len(),
+        };
+        assert!(lo <= hi && hi <= self.len(), "slice out of bounds");
+        Bytes {
+            data: Arc::clone(&self.data),
+            start: self.start + lo,
+            end: self.start + hi,
+        }
+    }
+}
+
+impl From<Vec<u8>> for Bytes {
+    fn from(v: Vec<u8>) -> Self {
+        Bytes::from_vec(v)
+    }
+}
+
+impl From<&'static [u8]> for Bytes {
+    fn from(v: &'static [u8]) -> Self {
+        Bytes::from_vec(v.to_vec())
+    }
+}
+
+impl Deref for Bytes {
+    type Target = [u8];
+    fn deref(&self) -> &[u8] {
+        self.as_slice()
+    }
+}
+
+impl AsRef<[u8]> for Bytes {
+    fn as_ref(&self) -> &[u8] {
+        self.as_slice()
+    }
+}
+
+impl PartialEq for Bytes {
+    fn eq(&self, other: &Self) -> bool {
+        self.as_slice() == other.as_slice()
+    }
+}
+
+impl Eq for Bytes {}
+
+impl std::hash::Hash for Bytes {
+    fn hash<H: std::hash::Hasher>(&self, state: &mut H) {
+        self.as_slice().hash(state)
+    }
+}
+
+impl std::fmt::Debug for Bytes {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "b\"")?;
+        for &b in self.as_slice().iter().take(32) {
+            write!(f, "\\x{b:02x}")?;
+        }
+        if self.len() > 32 {
+            write!(f, "…({} bytes)", self.len())?;
+        }
+        write!(f, "\"")
+    }
+}
+
+/// Read side: a consuming cursor over a byte view. Big-endian integers.
+pub trait Buf {
+    fn remaining(&self) -> usize;
+    fn advance(&mut self, cnt: usize);
+    fn peek_slice(&self) -> &[u8];
+
+    fn get_u8(&mut self) -> u8 {
+        let b = self.peek_slice()[0];
+        self.advance(1);
+        b
+    }
+
+    fn get_u16(&mut self) -> u16 {
+        let mut raw = [0u8; 2];
+        self.copy_to_slice(&mut raw);
+        u16::from_be_bytes(raw)
+    }
+
+    fn get_u32(&mut self) -> u32 {
+        let mut raw = [0u8; 4];
+        self.copy_to_slice(&mut raw);
+        u32::from_be_bytes(raw)
+    }
+
+    fn get_u64(&mut self) -> u64 {
+        let mut raw = [0u8; 8];
+        self.copy_to_slice(&mut raw);
+        u64::from_be_bytes(raw)
+    }
+
+    fn copy_to_slice(&mut self, dst: &mut [u8]) {
+        assert!(self.remaining() >= dst.len(), "copy_to_slice underflow");
+        dst.copy_from_slice(&self.peek_slice()[..dst.len()]);
+        self.advance(dst.len());
+    }
+}
+
+impl Buf for Bytes {
+    fn remaining(&self) -> usize {
+        self.len()
+    }
+
+    fn advance(&mut self, cnt: usize) {
+        assert!(cnt <= self.len(), "advance past end");
+        self.start += cnt;
+    }
+
+    fn peek_slice(&self) -> &[u8] {
+        self.as_slice()
+    }
+}
+
+impl Bytes {
+    pub fn copy_to_bytes(&mut self, len: usize) -> Bytes {
+        let out = self.slice(..len);
+        self.advance(len);
+        out
+    }
+}
+
+/// Write side: an append-only builder. Big-endian integers.
+pub trait BufMut {
+    fn put_slice(&mut self, src: &[u8]);
+
+    fn put_u8(&mut self, v: u8) {
+        self.put_slice(&[v]);
+    }
+
+    fn put_u16(&mut self, v: u16) {
+        self.put_slice(&v.to_be_bytes());
+    }
+
+    fn put_u32(&mut self, v: u32) {
+        self.put_slice(&v.to_be_bytes());
+    }
+
+    fn put_u64(&mut self, v: u64) {
+        self.put_slice(&v.to_be_bytes());
+    }
+}
+
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct BytesMut {
+    data: Vec<u8>,
+}
+
+impl BytesMut {
+    pub fn new() -> Self {
+        BytesMut::default()
+    }
+
+    pub fn with_capacity(cap: usize) -> Self {
+        BytesMut {
+            data: Vec::with_capacity(cap),
+        }
+    }
+
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    pub fn freeze(self) -> Bytes {
+        Bytes::from_vec(self.data)
+    }
+}
+
+impl BufMut for BytesMut {
+    fn put_slice(&mut self, src: &[u8]) {
+        self.data.extend_from_slice(src);
+    }
+}
+
+impl AsRef<[u8]> for BytesMut {
+    fn as_ref(&self) -> &[u8] {
+        &self.data
+    }
+}
+
+impl Deref for BytesMut {
+    type Target = [u8];
+    fn deref(&self) -> &[u8] {
+        &self.data
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trip_and_views() {
+        let mut b = BytesMut::with_capacity(16);
+        b.put_u8(1);
+        b.put_u16(0x0203);
+        b.put_u32(0x0405_0607);
+        b.put_u64(0x0809_0A0B_0C0D_0E0F);
+        b.put_slice(&[0xAA, 0xBB]);
+        let mut bytes = b.freeze();
+        assert_eq!(bytes.len(), 17);
+        let view = bytes.slice(1..3);
+        assert_eq!(view.as_slice(), &[2, 3]);
+        assert_eq!(bytes.get_u8(), 1);
+        assert_eq!(bytes.get_u16(), 0x0203);
+        assert_eq!(bytes.get_u32(), 0x0405_0607);
+        let payload = bytes.copy_to_bytes(8);
+        assert_eq!(payload.as_slice()[0], 8);
+        assert_eq!(bytes.remaining(), 2);
+        let mut two = [0u8; 2];
+        bytes.copy_to_slice(&mut two);
+        assert_eq!(two, [0xAA, 0xBB]);
+        assert_eq!(bytes.remaining(), 0);
+    }
+}

@@ -1,0 +1,25 @@
+//! Offline stub of `parking_lot` — see `devtools/stubs/README.md`.
+//!
+//! `Mutex` with `const fn new` and a non-poisoning `lock()`, backed by
+//! `std::sync::Mutex`.
+
+pub type MutexGuard<'a, T> = std::sync::MutexGuard<'a, T>;
+
+#[derive(Debug, Default)]
+pub struct Mutex<T>(std::sync::Mutex<T>);
+
+impl<T> Mutex<T> {
+    pub const fn new(value: T) -> Self {
+        Mutex(std::sync::Mutex::new(value))
+    }
+
+    pub fn lock(&self) -> MutexGuard<'_, T> {
+        self.0.lock().unwrap_or_else(|poisoned| poisoned.into_inner())
+    }
+
+    pub fn into_inner(self) -> T {
+        self.0
+            .into_inner()
+            .unwrap_or_else(|poisoned| poisoned.into_inner())
+    }
+}

@@ -1,0 +1,62 @@
+//! Offline stub of `rand_distr` — see `devtools/stubs/README.md`.
+//!
+//! Only the exponential distribution (inverse-CDF sampling), which is all
+//! the workspace's Poisson arrival process needs.
+
+use rand::RngCore;
+
+pub trait Distribution<T> {
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> T;
+}
+
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Exp {
+    lambda: f64,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ExpError {
+    LambdaTooSmall,
+}
+
+impl std::fmt::Display for ExpError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "lambda must be positive")
+    }
+}
+
+impl std::error::Error for ExpError {}
+
+impl Exp {
+    pub fn new(lambda: f64) -> Result<Exp, ExpError> {
+        if lambda > 0.0 && lambda.is_finite() {
+            Ok(Exp { lambda })
+        } else {
+            Err(ExpError::LambdaTooSmall)
+        }
+    }
+}
+
+impl Distribution<f64> for Exp {
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> f64 {
+        // u in (0, 1]: avoids ln(0).
+        let u = ((rng.next_u64() >> 11) as f64 + 1.0) / (1u64 << 53) as f64;
+        -u.ln() / self.lambda
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::{rngs::StdRng, SeedableRng};
+
+    #[test]
+    fn exp_mean_roughly_inverse_lambda() {
+        let exp = Exp::new(2.0).unwrap();
+        let mut rng = StdRng::seed_from_u64(11);
+        let n = 20_000;
+        let mean: f64 = (0..n).map(|_| exp.sample(&mut rng)).sum::<f64>() / n as f64;
+        assert!((mean - 0.5).abs() < 0.05, "mean {mean}");
+        assert!(Exp::new(0.0).is_err());
+    }
+}

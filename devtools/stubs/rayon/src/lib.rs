@@ -1,0 +1,27 @@
+//! Offline stub of `rayon` — see `devtools/stubs/README.md`.
+//!
+//! `par_iter()` degrades to the sequential `slice::Iter`; downstream
+//! `.map(...).collect()` chains are ordinary `Iterator` adapters, so
+//! results are identical to real rayon (which also preserves order in
+//! collect), just not parallel.
+
+pub mod prelude {
+    pub trait IntoParallelRefIterator<'data> {
+        type Iter;
+        fn par_iter(&'data self) -> Self::Iter;
+    }
+
+    impl<'data, T: 'data> IntoParallelRefIterator<'data> for [T] {
+        type Iter = std::slice::Iter<'data, T>;
+        fn par_iter(&'data self) -> Self::Iter {
+            self.iter()
+        }
+    }
+
+    impl<'data, T: 'data> IntoParallelRefIterator<'data> for Vec<T> {
+        type Iter = std::slice::Iter<'data, T>;
+        fn par_iter(&'data self) -> Self::Iter {
+            self.iter()
+        }
+    }
+}

@@ -1,0 +1,50 @@
+//! Offline stub of `serde` — see `devtools/stubs/README.md`.
+//!
+//! Provides the trait surface the workspace compiles against. Derived
+//! `Serialize` succeeds with a placeholder value; derived `Deserialize`
+//! returns an error (round-trip tests are expected to fail under stubs,
+//! identically before and after any refactor).
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Constructor hook so stub-derived impls can fabricate error values.
+pub trait StubErrorCtor {
+    fn stub() -> Self;
+}
+
+pub trait Serializer: Sized {
+    type Ok;
+    type Error: StubErrorCtor;
+    /// Emit a placeholder value; the stub serializer ignores the data.
+    fn stub_emit(self) -> Result<Self::Ok, Self::Error>;
+}
+
+pub trait Deserializer<'de>: Sized {
+    type Error: StubErrorCtor;
+}
+
+pub trait Serialize {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error>;
+}
+
+pub trait Deserialize<'de>: Sized {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error>;
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        (**self).serialize(serializer)
+    }
+}
+
+impl Serialize for [u8] {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        serializer.stub_emit()
+    }
+}
+
+impl<'de> Deserialize<'de> for Vec<u8> {
+    fn deserialize<D: Deserializer<'de>>(_deserializer: D) -> Result<Self, D::Error> {
+        Err(<D::Error as StubErrorCtor>::stub())
+    }
+}

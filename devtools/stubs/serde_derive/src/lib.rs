@@ -1,0 +1,53 @@
+//! Offline stub of `serde_derive` — see `devtools/stubs/README.md`.
+//!
+//! Parses just enough of the item to find the type name (the workspace
+//! derives serde only on non-generic types) and emits trivial impls.
+
+use proc_macro::{TokenStream, TokenTree};
+
+fn type_name(input: TokenStream) -> String {
+    let mut iter = input.into_iter();
+    while let Some(tt) = iter.next() {
+        if let TokenTree::Ident(id) = &tt {
+            let s = id.to_string();
+            if s == "struct" || s == "enum" {
+                for tt2 in iter.by_ref() {
+                    if let TokenTree::Ident(id2) = tt2 {
+                        return id2.to_string();
+                    }
+                }
+            }
+        }
+    }
+    panic!("serde_derive stub: could not find struct/enum name")
+}
+
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let name = type_name(input);
+    format!(
+        "impl ::serde::Serialize for {name} {{\
+           fn serialize<S: ::serde::Serializer>(&self, serializer: S)\
+             -> ::core::result::Result<S::Ok, S::Error> {{\
+               ::serde::Serializer::stub_emit(serializer)\
+           }}\
+         }}"
+    )
+    .parse()
+    .expect("serde_derive stub: generated impl parses")
+}
+
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let name = type_name(input);
+    format!(
+        "impl<'de> ::serde::Deserialize<'de> for {name} {{\
+           fn deserialize<D: ::serde::Deserializer<'de>>(_deserializer: D)\
+             -> ::core::result::Result<Self, D::Error> {{\
+               ::core::result::Result::Err(<D::Error as ::serde::StubErrorCtor>::stub())\
+           }}\
+         }}"
+    )
+    .parse()
+    .expect("serde_derive stub: generated impl parses")
+}

@@ -1,0 +1,54 @@
+//! Offline stub of `serde_json` — see `devtools/stubs/README.md`.
+//!
+//! `to_string` / `to_string_pretty` drive the stub serializer and return a
+//! placeholder document; `from_str` always errors (derived `Deserialize` is
+//! a stub). JSON round-trip tests fail under stubs, by design, identically
+//! in the recorded baseline and in any later run.
+
+use std::fmt;
+
+#[derive(Debug, Clone)]
+pub struct Error(&'static str);
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "serde_json stub: {}", self.0)
+    }
+}
+
+impl std::error::Error for Error {}
+
+impl serde::StubErrorCtor for Error {
+    fn stub() -> Self {
+        Error("deserialization unavailable offline")
+    }
+}
+
+struct StubSerializer;
+
+impl serde::Serializer for StubSerializer {
+    type Ok = ();
+    type Error = Error;
+    fn stub_emit(self) -> Result<(), Error> {
+        Ok(())
+    }
+}
+
+struct StubDeserializer;
+
+impl<'de> serde::Deserializer<'de> for StubDeserializer {
+    type Error = Error;
+}
+
+pub fn to_string<T: serde::Serialize + ?Sized>(value: &T) -> Result<String, Error> {
+    value.serialize(StubSerializer)?;
+    Ok(String::from("{\"stub\":true}"))
+}
+
+pub fn to_string_pretty<T: serde::Serialize + ?Sized>(value: &T) -> Result<String, Error> {
+    to_string(value)
+}
+
+pub fn from_str<'a, T: serde::Deserialize<'a>>(_s: &'a str) -> Result<T, Error> {
+    T::deserialize(StubDeserializer)
+}

@@ -84,6 +84,9 @@ fn main() {
             core.clock_mhz
         );
     }
-    println!("\nsame source, same answer — on fabric it would cost {} slices,", prediction.slices);
+    println!(
+        "\nsame source, same answer — on fabric it would cost {} slices,",
+        prediction.slices
+    );
     println!("on the soft-core it costs cycles; the grid's scheduler gets to choose.");
 }

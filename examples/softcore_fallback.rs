@@ -49,7 +49,9 @@ fn main() {
             node.gpp_mut(pe).unwrap().state.acquire_cores(free).unwrap();
         }
     }
-    let p = strategy.place(&task, &nodes, 1.0).expect("fallback placement");
+    let p = strategy
+        .place(&task, &nodes, 1.0)
+        .expect("fallback placement");
     println!("  placement: {} ({:?})", p.pe, p.mode);
     assert_eq!(p.mode, HostingMode::SoftcoreFallback);
 

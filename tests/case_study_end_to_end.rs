@@ -21,7 +21,10 @@ fn quipu_predictions_match_task_requirements() {
     assert!((mal as f64 - case_study::MALIGN_SLICES as f64).abs() < 188.0);
     // And the task ExecReqs use exactly those constants.
     let tasks = case_study::tasks();
-    assert_eq!(tasks[1].exec_req.slice_demand(), Some(case_study::MALIGN_SLICES));
+    assert_eq!(
+        tasks[1].exec_req.slice_demand(),
+        Some(case_study::MALIGN_SLICES)
+    );
     assert_eq!(
         tasks[2].exec_req.slice_demand(),
         Some(case_study::PAIRALIGN_SLICES)
@@ -56,7 +59,12 @@ fn simulated_dispatches_stay_inside_table2() {
         .enumerate()
         .map(|(i, t)| (i as f64, t))
         .collect();
-    for name in ["first-fit", "best-fit-area", "worst-fit-area", "reuse-aware"] {
+    for name in [
+        "first-fit",
+        "best-fit-area",
+        "worst-fit-area",
+        "reuse-aware",
+    ] {
         let mut strategy = strategy_by_name(name, 1).expect("known");
         let report = GridSimulator::new(case_study::grid(), SimConfig::default())
             .run(workload.clone(), strategy.as_mut());
@@ -66,8 +74,7 @@ fn simulated_dispatches_stay_inside_table2() {
                 .iter()
                 .find(|r| r.task == record.task)
                 .expect("row exists");
-            let allowed: Vec<String> =
-                row.mappings.iter().map(|c| c.pe.to_string()).collect();
+            let allowed: Vec<String> = row.mappings.iter().map(|c| c.pe.to_string()).collect();
             assert!(
                 allowed.contains(&record.pe.to_string()),
                 "{name}: {} ran on {}, Table II allows {:?}",
@@ -122,8 +129,8 @@ fn repeated_case_study_applications_conserve() {
         }
     }
     let mut strategy = FirstFitStrategy::new();
-    let report = GridSimulator::new(case_study::grid(), SimConfig::default())
-        .run(workload, &mut strategy);
+    let report =
+        GridSimulator::new(case_study::grid(), SimConfig::default()).run(workload, &mut strategy);
     report.check_invariants().expect("invariants");
     assert_eq!(report.submitted, 100);
     assert_eq!(report.completed, 100);

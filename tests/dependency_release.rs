@@ -1,0 +1,124 @@
+//! Dependency-driven release through the shared lifecycle kernel.
+//!
+//! An application `Seq(a), Par(b, c), Seq(d)` must start `d` only after
+//! BOTH `b` and `c` actually complete — even when every task's
+//! `t_estimated` is wildly wrong. The old t_estimated-barrier
+//! approximation staggered arrivals by the *estimates* and broke exactly
+//! here; the kernel releases tasks at real completion instants.
+
+use rhv_core::appdsl::{Application, Group};
+use rhv_core::execreq::{Constraint, ExecReq, TaskPayload};
+use rhv_core::ids::TaskId;
+use rhv_core::task::Task;
+use rhv_params::param::{ParamKey, PeClass};
+use rhv_sched::FirstFitStrategy;
+use rhv_sim::metrics::TaskRecord;
+use rhv_sim::sim::{GridSimulator, SimConfig};
+use rhv_sim::SimReport;
+
+/// A 1-core software task whose actual length is `mega_instructions` but
+/// whose declared estimate is `t_estimated` (free to lie).
+fn software(id: u64, mega_instructions: f64, t_estimated: f64) -> Task {
+    Task::new(
+        TaskId(id),
+        ExecReq::new(
+            PeClass::Gpp,
+            vec![Constraint::ge(ParamKey::Cores, 1u64)],
+            TaskPayload::Software {
+                mega_instructions,
+                parallelism: 1,
+            },
+        ),
+        t_estimated,
+    )
+}
+
+/// a = T0, b = T1 (actually long), c = T2 (actually short), d = T3.
+/// Every estimate claims one millisecond.
+fn lying_tasks() -> Vec<Task> {
+    vec![
+        software(0, 2_000.0, 0.001),
+        software(1, 800_000.0, 0.001), // b: far longer than estimated
+        software(2, 1_000.0, 0.001),   // c: short
+        software(3, 2_000.0, 0.001),
+    ]
+}
+
+fn seq_par_seq() -> Application {
+    Application::new(vec![Group::seq([0]), Group::par([1, 2]), Group::seq([3])])
+}
+
+fn record(report: &SimReport, id: u64) -> TaskRecord {
+    report
+        .records
+        .iter()
+        .find(|r| r.task == TaskId(id))
+        .cloned()
+        .unwrap_or_else(|| panic!("T{id} must complete"))
+}
+
+fn assert_join_waits_for_both(report: &SimReport) {
+    assert_eq!(report.completed, 4);
+    let (a, b, c, d) = (
+        record(report, 0),
+        record(report, 1),
+        record(report, 2),
+        record(report, 3),
+    );
+    // Par members release together at a's real finish.
+    assert_eq!(b.arrival, a.finish);
+    assert_eq!(c.arrival, a.finish);
+    // The estimates lied: b really runs much longer than c.
+    assert!(
+        b.finish > c.finish + 1.0,
+        "b.finish {} must dwarf c.finish {}",
+        b.finish,
+        c.finish
+    );
+    // The join task waits for BOTH — i.e. for b, not for c's (or the
+    // estimate's) earlier finish.
+    let barrier = b.finish.max(c.finish);
+    assert_eq!(d.arrival, barrier);
+    assert!(d.dispatched >= barrier);
+    assert!(d.exec_start >= barrier);
+    report.check_invariants().unwrap();
+}
+
+#[test]
+fn join_task_waits_for_both_par_members_despite_wrong_estimates() {
+    let app = seq_par_seq();
+    let workload: Vec<(f64, Task)> = lying_tasks().into_iter().map(|t| (0.0, t)).collect();
+    let report = GridSimulator::new(rhv_core::case_study::grid(), SimConfig::default())
+        .with_dependencies(app.dependency_graph())
+        .run(workload, &mut FirstFitStrategy::new());
+    assert_join_waits_for_both(&report);
+}
+
+#[test]
+fn grid_services_path_obeys_the_same_barrier() {
+    use rhv_grid::cost::QosTier;
+    use rhv_grid::jss::JobStatus;
+    use rhv_grid::rms::ResourceManagementSystem;
+    use rhv_grid::services::{GridServices, ServiceResponse, UserQuery};
+
+    let mut svc = GridServices::new(ResourceManagementSystem::new(
+        rhv_core::case_study::grid(),
+        Box::new(FirstFitStrategy::new()),
+    ));
+    let job = match svc.handle(UserQuery::Submit {
+        application: seq_par_seq(),
+        tasks: lying_tasks(),
+        qos: QosTier::Standard,
+    }) {
+        ServiceResponse::Accepted(j) => j,
+        other => panic!("expected acceptance, got {other:?}"),
+    };
+    let report = svc
+        .run_job_simulated(job, &mut FirstFitStrategy::new(), SimConfig::default())
+        .expect("job exists");
+    assert_join_waits_for_both(&report);
+    match svc.handle(UserQuery::JobStatus(job)) {
+        ServiceResponse::Status(JobStatus::Completed) => {}
+        other => panic!("unexpected {other:?}"),
+    }
+}

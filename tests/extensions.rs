@@ -98,10 +98,7 @@ fn streaming_over_churning_hardware() {
     nodes.retain(|n| n.id != lost);
     let replanned = plan_pipeline(&app, &nodes, &net).expect("still feasible");
     assert!(replanned.throughput > 0.0);
-    assert!(replanned
-        .assignments
-        .iter()
-        .all(|a| a.pe.node != lost));
+    assert!(replanned.assignments.iter().all(|a| a.pe.node != lost));
 }
 
 /// Federation routes around a domain-local crash: after domain B's Virtex-6
@@ -184,8 +181,11 @@ fn mixed_gpu_fabric_workload_with_crash() {
     // Node_2 (fabric only) crashes mid-run.
     let churn = vec![(4.0, ChurnEvent::Crash(NodeId(2)))];
     let mut strategy = FirstFitStrategy::new();
-    let (report, final_nodes) = GridSimulator::new(nodes, SimConfig::default())
-        .run_with_churn(workload, churn, &mut strategy);
+    let (report, final_nodes) = GridSimulator::new(nodes, SimConfig::default()).run_with_churn(
+        workload,
+        churn,
+        &mut strategy,
+    );
     report.check_invariants().unwrap();
     assert_eq!(report.completed + report.rejected, 40);
     assert_eq!(report.completed, 40, "other fabric absorbs the crash");

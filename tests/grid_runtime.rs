@@ -112,8 +112,8 @@ fn live_and_simulated_execution_agree_on_placement_feasibility() {
         .map(|(i, t)| (i as f64 * 0.1, t))
         .collect();
     let mut strategy = FirstFitStrategy::new();
-    let report = GridSimulator::new(case_study::grid(), SimConfig::default())
-        .run(workload, &mut strategy);
+    let report =
+        GridSimulator::new(case_study::grid(), SimConfig::default()).run(workload, &mut strategy);
     assert_eq!(report.completed, 4);
 
     let ids: Vec<NodeId> = case_study::grid().iter().map(|n| n.id).collect();
@@ -121,10 +121,12 @@ fn live_and_simulated_execution_agree_on_placement_feasibility() {
     let tasks = case_study::tasks();
     for record in &report.records {
         let task = tasks.iter().find(|t| t.id == record.task).expect("task");
-        live.dispatch(task, record.pe, 0.5).expect("live accepts the simulated placement");
+        live.dispatch(task, record.pe, 0.5)
+            .expect("live accepts the simulated placement");
     }
     for _ in 0..report.records.len() {
-        live.next_completion(Duration::from_secs(10)).expect("completes");
+        live.next_completion(Duration::from_secs(10))
+            .expect("completes");
     }
     live.shutdown();
 }

@@ -2,11 +2,11 @@
 //! task graph, and the DReAMSim scheduling stack working together.
 
 use rhv_core::appdsl::{Application, Group};
+use rhv_core::case_study;
 use rhv_core::execreq::{Constraint, ExecReq, TaskPayload};
 use rhv_core::graph::{fig7_graph, TaskGraph};
 use rhv_core::ids::{DataId, TaskId};
 use rhv_core::task::Task;
-use rhv_core::case_study;
 use rhv_params::param::{ParamKey, PeClass};
 use rhv_sched::FirstFitStrategy;
 use rhv_sim::sim::{GridSimulator, SimConfig};
@@ -56,10 +56,7 @@ fn fig7_graph_as_level_parallel_application() {
     let end = |t: TaskId| slots.iter().find(|s| s.task == t).unwrap().end;
     for t in g.tasks() {
         for s in g.successors(t) {
-            assert!(
-                end(t) <= start(s) + 1e-9,
-                "dependency {t} -> {s} violated"
-            );
+            assert!(end(t) <= start(s) + 1e-9, "dependency {t} -> {s} violated");
         }
     }
 }
@@ -80,8 +77,8 @@ fn fig7_workflow_executes_on_the_grid() {
         }
     }
     let mut strategy = FirstFitStrategy::new();
-    let report = GridSimulator::new(case_study::grid(), SimConfig::default())
-        .run(workload, &mut strategy);
+    let report =
+        GridSimulator::new(case_study::grid(), SimConfig::default()).run(workload, &mut strategy);
     report.check_invariants().expect("invariants");
     assert_eq!(report.completed, 18);
     // Tasks of level l never start before their submission barrier.
@@ -131,8 +128,8 @@ fn paper_tuple4_runs_with_correct_overlap() {
         }
     }
     let mut strategy = FirstFitStrategy::new();
-    let report = GridSimulator::new(case_study::grid(), SimConfig::default())
-        .run(workload, &mut strategy);
+    let report =
+        GridSimulator::new(case_study::grid(), SimConfig::default()).run(workload, &mut strategy);
     assert_eq!(report.completed, 6);
     // The Par group's three tasks overlap in execution.
     let recs: Vec<_> = report
