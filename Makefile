@@ -4,9 +4,9 @@
 # invocations through the stub harness instead:
 #   devtools/offline-check.sh test --workspace -q
 
-.PHONY: check fmt clippy test
+.PHONY: check fmt clippy test telemetry-smoke
 
-check: fmt clippy test
+check: fmt clippy test telemetry-smoke
 
 fmt:
 	cargo fmt --all -- --check
@@ -16,3 +16,9 @@ clippy:
 
 test:
 	cargo test --workspace -q
+
+# Runs the Table II case study with the telemetry spine attached and
+# validates the Perfetto JSON + Prometheus exposition it produces (fails on
+# malformed JSON, NaN or negative timestamps/durations, missing tracks).
+telemetry-smoke:
+	cargo run -q -p rhv-bench --bin trace_dump -- --check --out target/telemetry

@@ -13,7 +13,10 @@
 //! * [`services`] — the Fig. 9 user-service surface: submit, status,
 //!   resource listing, cost estimation, monitoring — query in, response out;
 //! * [`cost`] — the cost model behind the QoS/cost service;
-//! * [`monitor`] — event log and utilization snapshots;
+//! * [`monitor`] — timestamped event log and utilization snapshots;
+//! * [`telemetry`] — the [`telemetry::MonitorSink`] adapter feeding kernel
+//!   lifecycle spans into the monitor (the kernel is the only emitter of
+//!   task lifecycle events; the grid only consumes them);
 //! * [`live`] — a threaded emulation where every node runs as its own
 //!   thread behind crossbeam channels, demonstrating the framework as an
 //!   actual concurrent distributed system rather than a simulation.
@@ -25,6 +28,7 @@ pub mod live;
 pub mod monitor;
 pub mod rms;
 pub mod services;
+pub mod telemetry;
 
 pub use federation::{Federation, GridDomain};
 pub use jss::{JobId, JobStatus, JobSubmissionSystem};

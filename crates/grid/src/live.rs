@@ -162,6 +162,105 @@ pub fn run_live(
     strategy: &mut dyn rhv_sim::Strategy,
     time_scale: f64,
 ) -> (rhv_sim::SimReport, Vec<(NodeId, u64)>) {
+    run_live_sinked(nodes, cfg, workload, graph, strategy, time_scale, None)
+}
+
+/// One wall-clock progress sample taken by the live metrics reporter.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MetricsSample {
+    /// Wall time since the run started.
+    pub wall: Duration,
+    /// `rhv_tasks_submitted_total` at that instant.
+    pub submitted: u64,
+    /// `rhv_tasks_completed_total` at that instant.
+    pub completed: u64,
+    /// `rhv_queue_depth` at that instant.
+    pub queue_depth: f64,
+}
+
+fn sample_registry(registry: &rhv_telemetry::MetricsRegistry, wall: Duration) -> MetricsSample {
+    use rhv_telemetry::Instrument;
+    let counter = |name: &str| match registry.find(name) {
+        Some(Instrument::Counter(c)) => c.get(),
+        _ => 0,
+    };
+    let gauge = |name: &str| match registry.find(name) {
+        Some(Instrument::Gauge(g)) => g.get(),
+        _ => 0.0,
+    };
+    MetricsSample {
+        wall,
+        submitted: counter("rhv_tasks_submitted_total"),
+        completed: counter("rhv_tasks_completed_total"),
+        queue_depth: gauge("rhv_queue_depth"),
+    }
+}
+
+/// [`run_live`] with kernel telemetry aggregated into `registry` (via a
+/// [`rhv_telemetry::MetricsSink`]) and a background reporter thread that
+/// samples the registry on a wall-clock period — the live front-end's
+/// equivalent of the simulator's sim-time metrics. Returns the usual report
+/// and per-node counts plus the reporter's samples (always at least the
+/// final one, taken after the run drains).
+#[allow(clippy::too_many_arguments)]
+pub fn run_live_with_telemetry(
+    nodes: Vec<rhv_core::node::Node>,
+    cfg: rhv_sim::sim::SimConfig,
+    workload: Vec<Task>,
+    graph: Option<rhv_core::graph::TaskGraph>,
+    strategy: &mut dyn rhv_sim::Strategy,
+    time_scale: f64,
+    registry: rhv_telemetry::MetricsRegistry,
+    report_every: Duration,
+) -> (rhv_sim::SimReport, Vec<(NodeId, u64)>, Vec<MetricsSample>) {
+    use std::sync::atomic::{AtomicBool, Ordering};
+    use std::sync::Arc;
+
+    let sink = rhv_telemetry::MetricsSink::new(registry.clone());
+    let stop = Arc::new(AtomicBool::new(false));
+    let reporter = {
+        let registry = registry.clone();
+        let stop = stop.clone();
+        let period = report_every.max(Duration::from_millis(1));
+        let start = std::time::Instant::now();
+        std::thread::Builder::new()
+            .name("rhv-metrics-reporter".into())
+            .spawn(move || {
+                let mut samples = Vec::new();
+                while !stop.load(Ordering::Relaxed) {
+                    std::thread::sleep(period);
+                    samples.push(sample_registry(&registry, start.elapsed()));
+                }
+                // Final sample after the run drains, so short runs still
+                // report something.
+                samples.push(sample_registry(&registry, start.elapsed()));
+                samples
+            })
+            .expect("spawn metrics reporter")
+    };
+    let (report, counts) = run_live_sinked(
+        nodes,
+        cfg,
+        workload,
+        graph,
+        strategy,
+        time_scale,
+        Some(Box::new(sink)),
+    );
+    stop.store(true, Ordering::Relaxed);
+    let samples = reporter.join().expect("reporter panicked");
+    (report, counts, samples)
+}
+
+fn run_live_sinked(
+    nodes: Vec<rhv_core::node::Node>,
+    cfg: rhv_sim::sim::SimConfig,
+    workload: Vec<Task>,
+    graph: Option<rhv_core::graph::TaskGraph>,
+    strategy: &mut dyn rhv_sim::Strategy,
+    time_scale: f64,
+    sink: Option<Box<dyn rhv_telemetry::TelemetrySink>>,
+) -> (rhv_sim::SimReport, Vec<(NodeId, u64)>) {
     use rhv_sim::{LifecycleKernel, PendingCompletion};
     use std::collections::BTreeMap;
 
@@ -170,6 +269,9 @@ pub fn run_live(
     let mut kernel = LifecycleKernel::new(nodes, cfg);
     if let Some(g) = graph {
         kernel.set_dependencies(g);
+    }
+    if let Some(s) = sink {
+        kernel.set_sink(s);
     }
     let name = strategy.name().to_owned();
 
@@ -318,6 +420,34 @@ mod tests {
         assert_eq!(r(1).arrival, r(0).finish);
         assert_eq!(r(2).arrival, r(0).finish);
         report.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn run_live_with_telemetry_samples_metrics() {
+        use rhv_sched::FirstFitStrategy;
+        let nodes = case_study::grid();
+        let workload = case_study::tasks();
+        let mut strategy = FirstFitStrategy::new();
+        let registry = rhv_telemetry::MetricsRegistry::new();
+        let (report, _, samples) = run_live_with_telemetry(
+            nodes,
+            rhv_sim::sim::SimConfig::default(),
+            workload,
+            None,
+            &mut strategy,
+            1e-6,
+            registry.clone(),
+            Duration::from_millis(5),
+        );
+        assert!(report.completed > 0);
+        // At least the final sample exists and agrees with the kernel.
+        let last = samples.last().expect("final sample");
+        assert_eq!(last.submitted, 4);
+        assert_eq!(last.completed as usize, report.completed);
+        // The registry holds the exportable aggregate too.
+        let prom = rhv_sim::trace::to_prometheus(&registry);
+        assert!(prom.contains("rhv_tasks_completed_total"));
+        assert!(prom.contains("rhv_task_exec_seconds_bucket"));
     }
 
     #[test]

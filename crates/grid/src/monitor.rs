@@ -2,8 +2,14 @@
 //!
 //! "more services can be added to satisfy the Quality of Service (QoS)
 //! requirements. These services include cost, monitoring, and other user
-//! constraints." The monitor is an append-only event log plus utilization
-//! snapshots over a node set.
+//! constraints." The monitor is an append-only **timestamped** event log
+//! plus utilization snapshots over a node set.
+//!
+//! The monitor does not invent lifecycle events of its own: the task events
+//! it logs arrive from the lifecycle kernel through the
+//! [`crate::telemetry::MonitorSink`] adapter, already stamped with the
+//! kernel's sim-time clock. Administrative events (RMS joins/leaves) are
+//! stamped with the monitor's last-seen time.
 
 use rhv_core::ids::{NodeId, TaskId};
 use rhv_core::node::Node;
@@ -16,16 +22,50 @@ pub enum Event {
     NodeJoined(NodeId),
     /// Node left the grid.
     NodeLeft(NodeId),
+    /// Node crashed (its running tasks were evicted).
+    NodeCrashed(NodeId),
     /// Task accepted by the JSS.
     TaskSubmitted(TaskId),
+    /// Task held until its workflow predecessors complete.
+    TaskHeld(TaskId),
     /// Task queued (no resources yet).
     TaskQueued(TaskId),
-    /// Task dispatched to a PE.
+    /// Task dispatched to a PE (setup begins).
     TaskDispatched(TaskId, NodeId),
+    /// Task's setup finished; execution proper begins.
+    TaskExecStarted(TaskId, NodeId),
     /// Task finished.
     TaskCompleted(TaskId),
+    /// Task's execution was lost to node churn; it re-queues.
+    TaskEvicted(TaskId, NodeId),
     /// Task rejected as unsatisfiable.
     TaskRejected(TaskId),
+}
+
+impl Event {
+    /// The task this event concerns, if any.
+    pub fn task(&self) -> Option<TaskId> {
+        match self {
+            Event::TaskSubmitted(t)
+            | Event::TaskHeld(t)
+            | Event::TaskQueued(t)
+            | Event::TaskDispatched(t, _)
+            | Event::TaskExecStarted(t, _)
+            | Event::TaskCompleted(t)
+            | Event::TaskEvicted(t, _)
+            | Event::TaskRejected(t) => Some(*t),
+            Event::NodeJoined(_) | Event::NodeLeft(_) | Event::NodeCrashed(_) => None,
+        }
+    }
+}
+
+/// An [`Event`] with the sim-time second it happened at.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct TimedEvent {
+    /// When (sim seconds).
+    pub at: f64,
+    /// What.
+    pub event: Event,
 }
 
 /// Utilization snapshot of one node.
@@ -44,7 +84,9 @@ pub struct NodeSnapshot {
 /// The event log.
 #[derive(Debug, Default, Clone)]
 pub struct Monitor {
-    events: Vec<Event>,
+    events: Vec<TimedEvent>,
+    snapshots: Vec<(f64, Vec<NodeSnapshot>)>,
+    clock: f64,
 }
 
 impl Monitor {
@@ -53,28 +95,53 @@ impl Monitor {
         Self::default()
     }
 
-    /// Appends an event.
-    pub fn record(&mut self, e: Event) {
-        self.events.push(e);
+    /// Appends an event at time `at` (advances the monitor's clock).
+    pub fn record_at(&mut self, at: f64, e: Event) {
+        self.clock = self.clock.max(at);
+        self.events.push(TimedEvent { at, event: e });
     }
 
-    /// All events, oldest first.
-    pub fn events(&self) -> &[Event] {
+    /// Appends an event stamped with the monitor's last-seen time (for
+    /// administrative callers with no clock of their own).
+    pub fn record(&mut self, e: Event) {
+        self.record_at(self.clock, e);
+    }
+
+    /// All events, append-ordered. (Timestamps may run ahead of append
+    /// order: a placement logs its future exec-start alongside it.)
+    pub fn events(&self) -> &[TimedEvent] {
         &self.events
     }
 
-    /// Events concerning one task.
-    pub fn task_history(&self, task: TaskId) -> Vec<Event> {
+    /// True when `e` was recorded (at any time).
+    pub fn contains(&self, e: &Event) -> bool {
+        self.events.iter().any(|te| te.event == *e)
+    }
+
+    /// Events concerning one task, append-ordered.
+    pub fn task_history(&self, task: TaskId) -> Vec<TimedEvent> {
         self.events
             .iter()
-            .filter(|e| {
-                matches!(e,
-                    Event::TaskSubmitted(t) | Event::TaskQueued(t)
-                    | Event::TaskDispatched(t, _) | Event::TaskCompleted(t)
-                    | Event::TaskRejected(t) if *t == task)
-            })
+            .filter(|te| te.event.task() == Some(task))
             .copied()
             .collect()
+    }
+
+    /// Stores a utilization snapshot of `nodes` taken at time `at`. A
+    /// snapshot at the same instant replaces the previous one, so callers
+    /// may snapshot on every kernel mutation without flooding the log.
+    pub fn record_snapshot(&mut self, at: f64, nodes: &[Node]) {
+        self.clock = self.clock.max(at);
+        let snap = Self::snapshot(nodes);
+        match self.snapshots.last_mut() {
+            Some((t, s)) if *t == at => *s = snap,
+            _ => self.snapshots.push((at, snap)),
+        }
+    }
+
+    /// Stored snapshots, time-ordered.
+    pub fn snapshots(&self) -> &[(f64, Vec<NodeSnapshot>)] {
+        &self.snapshots
     }
 
     /// Takes a utilization snapshot of every node.
@@ -111,17 +178,42 @@ mod tests {
     use rhv_core::state::ConfigKind;
 
     #[test]
-    fn task_history_filters() {
+    fn task_history_filters_and_keeps_timestamps() {
         let mut m = Monitor::new();
-        m.record(Event::TaskSubmitted(TaskId(1)));
-        m.record(Event::TaskSubmitted(TaskId(2)));
-        m.record(Event::TaskDispatched(TaskId(1), NodeId(0)));
-        m.record(Event::TaskCompleted(TaskId(1)));
+        m.record_at(0.0, Event::TaskSubmitted(TaskId(1)));
+        m.record_at(0.0, Event::TaskSubmitted(TaskId(2)));
+        m.record_at(1.5, Event::TaskDispatched(TaskId(1), NodeId(0)));
+        m.record_at(2.0, Event::TaskExecStarted(TaskId(1), NodeId(0)));
+        m.record_at(4.0, Event::TaskCompleted(TaskId(1)));
         let h = m.task_history(TaskId(1));
-        assert_eq!(h.len(), 3);
-        assert_eq!(h[0], Event::TaskSubmitted(TaskId(1)));
+        assert_eq!(h.len(), 4);
+        assert_eq!(h[0].event, Event::TaskSubmitted(TaskId(1)));
+        assert_eq!(h[1].at, 1.5);
+        assert_eq!(h[2].at, 2.0);
         assert_eq!(m.task_history(TaskId(2)).len(), 1);
         assert!(m.task_history(TaskId(9)).is_empty());
+    }
+
+    #[test]
+    fn clockless_record_inherits_last_time() {
+        let mut m = Monitor::new();
+        m.record_at(7.0, Event::TaskSubmitted(TaskId(0)));
+        m.record(Event::NodeJoined(NodeId(5)));
+        assert_eq!(m.events()[1].at, 7.0);
+        assert!(m.contains(&Event::NodeJoined(NodeId(5))));
+        assert!(!m.contains(&Event::NodeLeft(NodeId(5))));
+    }
+
+    #[test]
+    fn snapshots_replace_same_instant() {
+        let nodes = case_study::grid();
+        let mut m = Monitor::new();
+        m.record_snapshot(1.0, &nodes);
+        m.record_snapshot(1.0, &nodes);
+        m.record_snapshot(2.0, &nodes);
+        assert_eq!(m.snapshots().len(), 2);
+        assert_eq!(m.snapshots()[0].0, 1.0);
+        assert_eq!(m.snapshots()[1].0, 2.0);
     }
 
     #[test]

@@ -212,8 +212,7 @@ mod tests {
         let id = r.fresh_node_id();
         r.join_node(Node::new(id));
         r.leave_node(id).unwrap();
-        let events = r.monitor().events();
-        assert!(events.contains(&Event::NodeJoined(id)));
-        assert!(events.contains(&Event::NodeLeft(id)));
+        assert!(r.monitor().contains(&Event::NodeJoined(id)));
+        assert!(r.monitor().contains(&Event::NodeLeft(id)));
     }
 }

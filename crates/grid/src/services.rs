@@ -10,11 +10,15 @@
 
 use crate::cost::{self, CostEstimate, QosTier, Rates};
 use crate::jss::{JobId, JobStatus, JobSubmissionSystem, SubmitError, TaskState};
-use crate::monitor::{Event, Monitor, NodeSnapshot};
+use crate::monitor::{Monitor, NodeSnapshot, TimedEvent};
 use crate::rms::ResourceManagementSystem;
+use crate::telemetry::MonitorSink;
+use parking_lot::Mutex;
 use rhv_core::appdsl::Application;
 use rhv_core::ids::TaskId;
 use rhv_core::task::Task;
+use rhv_telemetry::{FanoutSink, TelemetrySink};
+use std::sync::Arc;
 
 /// A user query (Fig. 9's arrows into the grid).
 #[derive(Debug, Clone)]
@@ -58,8 +62,8 @@ pub enum ServiceResponse {
     Resources(Vec<NodeSnapshot>),
     /// Itemized price.
     Price(CostEstimate),
-    /// Task event history.
-    History(Vec<Event>),
+    /// Task event history (timestamped, append-ordered).
+    History(Vec<TimedEvent>),
 }
 
 /// The service façade.
@@ -70,7 +74,7 @@ pub struct GridServices {
     pub rms: ResourceManagementSystem,
     /// Billing rates.
     pub rates: Rates,
-    monitor: Monitor,
+    monitor: Arc<Mutex<Monitor>>,
 }
 
 impl GridServices {
@@ -80,7 +84,23 @@ impl GridServices {
             jss: JobSubmissionSystem::new(),
             rms,
             rates: Rates::default(),
-            monitor: Monitor::new(),
+            monitor: Arc::new(Mutex::new(Monitor::new())),
+        }
+    }
+
+    /// The shared monitor (job runs feed it through the kernel's telemetry
+    /// sink; queries read it concurrently).
+    pub fn monitor(&self) -> Arc<Mutex<Monitor>> {
+        self.monitor.clone()
+    }
+
+    /// The kernel-facing telemetry sink for a job run: the monitor adapter,
+    /// optionally fanned out with a caller-provided sink.
+    fn job_sink(&self, extra: Option<Box<dyn TelemetrySink>>) -> Box<dyn TelemetrySink> {
+        let monitor = Box::new(MonitorSink::new(self.monitor.clone()));
+        match extra {
+            Some(sink) => Box::new(FanoutSink::new().with(monitor).with(sink)),
+            None => monitor,
         }
     }
 
@@ -92,14 +112,12 @@ impl GridServices {
                 tasks,
                 qos: _,
             } => {
-                let ids: Vec<TaskId> = tasks.iter().map(|t| t.id).collect();
+                // Intake is not recorded here: the lifecycle kernel emits
+                // the Submitted span when the job runs, and the monitor
+                // receives it through the sink adapter (only the kernel
+                // emits lifecycle events).
                 match self.jss.submit(application, tasks) {
-                    Ok(job) => {
-                        for t in ids {
-                            self.monitor.record(Event::TaskSubmitted(t));
-                        }
-                        ServiceResponse::Accepted(job)
-                    }
+                    Ok(job) => ServiceResponse::Accepted(job),
                     Err(e) => ServiceResponse::SubmitRefused(e),
                 }
             }
@@ -114,7 +132,7 @@ impl GridServices {
                 ServiceResponse::Price(cost::estimate(&task, &self.rates, qos))
             }
             UserQuery::Monitor(task) => {
-                let mut history = self.monitor.task_history(task);
+                let mut history = self.monitor.lock().task_history(task);
                 history.extend(self.rms.monitor().task_history(task));
                 ServiceResponse::History(history)
             }
@@ -134,6 +152,20 @@ impl GridServices {
         strategy: &mut dyn rhv_sim::strategy::Strategy,
         cfg: rhv_sim::sim::SimConfig,
     ) -> Option<rhv_sim::metrics::SimReport> {
+        self.run_job_simulated_with_sink(job, strategy, cfg, None)
+    }
+
+    /// [`GridServices::run_job_simulated`] with an extra telemetry sink
+    /// (e.g. a [`rhv_telemetry::SpanCollector`] or
+    /// [`rhv_telemetry::MetricsSink`]) fanned out alongside the monitor
+    /// adapter.
+    pub fn run_job_simulated_with_sink(
+        &mut self,
+        job: JobId,
+        strategy: &mut dyn rhv_sim::strategy::Strategy,
+        cfg: rhv_sim::sim::SimConfig,
+        sink: Option<Box<dyn TelemetrySink>>,
+    ) -> Option<rhv_sim::metrics::SimReport> {
         let (application, tasks) = {
             let j = self.jss.job(job)?;
             (j.application.clone(), j.tasks.clone())
@@ -145,20 +177,20 @@ impl GridServices {
             .filter_map(|t| tasks.get(t).map(|task| (0.0, task.clone())))
             .collect();
         let nodes = self.rms.nodes().to_vec();
+        // The kernel emits every lifecycle event into the monitor (and any
+        // extra sink) as the run progresses — nothing is re-derived from
+        // the report afterwards.
         let report = rhv_sim::sim::GridSimulator::new(nodes, cfg)
             .with_dependencies(graph)
+            .with_sink(self.job_sink(sink))
             .run(workload, strategy);
         for record in &report.records {
             self.jss.set_task_state(job, record.task, TaskState::Done);
-            self.monitor
-                .record(Event::TaskDispatched(record.task, record.pe.node));
-            self.monitor.record(Event::TaskCompleted(record.task));
         }
         let done: std::collections::BTreeSet<_> = report.records.iter().map(|r| r.task).collect();
         for t in tasks.keys() {
             if !done.contains(t) {
                 self.jss.set_task_state(job, *t, TaskState::Rejected);
-                self.monitor.record(Event::TaskRejected(*t));
             }
         }
         Some(report)
@@ -173,6 +205,16 @@ impl GridServices {
     /// using the RMS's own strategy. The application's Seq/Par structure is
     /// honoured dependency-driven; unsatisfiable tasks mark the job failed.
     pub fn run_job(&mut self, job: JobId) -> Option<JobStatus> {
+        self.run_job_with_sink(job, None)
+    }
+
+    /// [`GridServices::run_job`] with an extra telemetry sink fanned out
+    /// alongside the monitor adapter.
+    pub fn run_job_with_sink(
+        &mut self,
+        job: JobId,
+        sink: Option<Box<dyn TelemetrySink>>,
+    ) -> Option<JobStatus> {
         use rhv_sim::{LifecycleKernel, PendingCompletion};
         let (application, tasks) = {
             let j = self.jss.job(job)?;
@@ -182,7 +224,8 @@ impl GridServices {
             self.rms.nodes().to_vec(),
             rhv_sim::sim::SimConfig::default(),
         )
-        .with_dependencies(application.dependency_graph());
+        .with_dependencies(application.dependency_graph())
+        .with_sink(self.job_sink(sink));
         let mut pending: Vec<PendingCompletion> = Vec::new();
         for tid in application.task_ids() {
             let task = tasks.get(&tid)?.clone();
@@ -208,17 +251,13 @@ impl GridServices {
         for record in &report.records {
             self.jss
                 .set_task_state(job, record.task, TaskState::Running);
-            self.monitor
-                .record(Event::TaskDispatched(record.task, record.pe.node));
             // Synchronous completion (state changes are transient).
             self.jss.set_task_state(job, record.task, TaskState::Done);
-            self.monitor.record(Event::TaskCompleted(record.task));
         }
         let done: std::collections::BTreeSet<_> = report.records.iter().map(|r| r.task).collect();
         for t in tasks.keys() {
             if !done.contains(t) {
                 self.jss.set_task_state(job, *t, TaskState::Rejected);
-                self.monitor.record(Event::TaskRejected(*t));
             }
         }
         self.jss.job(job).map(Job::status)
@@ -230,9 +269,20 @@ use crate::jss::Job;
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::monitor::Event;
     use rhv_core::appdsl::Group;
     use rhv_core::case_study;
     use rhv_sched::FirstFitStrategy;
+
+    /// The node a task-history's dispatch event names.
+    fn report_node(h: &[TimedEvent]) -> rhv_core::ids::NodeId {
+        h.iter()
+            .find_map(|te| match te.event {
+                Event::TaskDispatched(_, n) => Some(n),
+                _ => None,
+            })
+            .expect("dispatched")
+    }
 
     fn services() -> GridServices {
         GridServices::new(ResourceManagementSystem::new(
@@ -284,8 +334,21 @@ mod tests {
         assert_eq!(svc.run_job(job), Some(JobStatus::Completed));
         match svc.handle(UserQuery::Monitor(rhv_core::ids::TaskId(1))) {
             ServiceResponse::History(h) => {
-                assert!(h.contains(&Event::TaskSubmitted(rhv_core::ids::TaskId(1))));
-                assert!(h.contains(&Event::TaskCompleted(rhv_core::ids::TaskId(1))));
+                let has = |e: Event| h.iter().any(|te| te.event == e);
+                assert!(has(Event::TaskSubmitted(rhv_core::ids::TaskId(1))));
+                assert!(has(Event::TaskDispatched(
+                    rhv_core::ids::TaskId(1),
+                    report_node(&h)
+                )));
+                assert!(has(Event::TaskCompleted(rhv_core::ids::TaskId(1))));
+                // The kernel stamped the dispatch after the submission.
+                let at = |e: fn(&Event) -> bool| {
+                    h.iter().find(|te| e(&te.event)).map(|te| te.at).unwrap()
+                };
+                assert!(
+                    at(|e| matches!(e, Event::TaskCompleted(_)))
+                        >= at(|e| matches!(e, Event::TaskDispatched(..)))
+                );
             }
             other => panic!("unexpected {other:?}"),
         }

@@ -1,0 +1,133 @@
+//! Bridging kernel telemetry into the grid's monitoring service.
+//!
+//! The lifecycle kernel is the only emitter of task lifecycle spans; the
+//! grid's [`Monitor`] is one of their consumers. [`MonitorSink`] is the
+//! adapter: a [`TelemetrySink`] that maps each span onto the monitor's
+//! [`Event`] vocabulary (timestamped with the kernel's sim clock), forwards
+//! node-membership changes, and stores utilization snapshots from the
+//! kernel's grid-state reports.
+//!
+//! The monitor sits behind `Arc<Mutex<_>>` so the services façade keeps
+//! answering `UserQuery::Monitor` while a run is feeding events in.
+
+use crate::monitor::{Event, Monitor};
+use parking_lot::Mutex;
+use rhv_core::node::Node;
+use rhv_telemetry::{LifecycleSpan, NodeEvent, SpanEvent, TelemetrySink};
+use std::sync::Arc;
+
+/// A [`TelemetrySink`] that appends kernel lifecycle spans to a shared
+/// [`Monitor`] as timestamped events.
+#[derive(Clone)]
+pub struct MonitorSink {
+    monitor: Arc<Mutex<Monitor>>,
+}
+
+impl MonitorSink {
+    /// A sink feeding `monitor`.
+    pub fn new(monitor: Arc<Mutex<Monitor>>) -> Self {
+        MonitorSink { monitor }
+    }
+
+    /// The shared monitor this sink feeds.
+    pub fn monitor(&self) -> Arc<Mutex<Monitor>> {
+        self.monitor.clone()
+    }
+}
+
+impl TelemetrySink for MonitorSink {
+    fn record(&mut self, span: &LifecycleSpan) {
+        let mut m = self.monitor.lock();
+        let t = span.task;
+        match &span.event {
+            SpanEvent::Submitted => m.record_at(span.at, Event::TaskSubmitted(t)),
+            SpanEvent::HeldOnDeps => m.record_at(span.at, Event::TaskHeld(t)),
+            SpanEvent::Queued => m.record_at(span.at, Event::TaskQueued(t)),
+            SpanEvent::Placed(p) => {
+                // The placement marks the setup/exec boundary explicitly:
+                // dispatch at the span time, exec start once setup is paid.
+                m.record_at(span.at, Event::TaskDispatched(t, p.pe.node));
+                m.record_at(p.exec_start, Event::TaskExecStarted(t, p.pe.node));
+            }
+            SpanEvent::PlacementFailed { .. } | SpanEvent::Rejected => {
+                m.record_at(span.at, Event::TaskRejected(t))
+            }
+            SpanEvent::Completed(_) => m.record_at(span.at, Event::TaskCompleted(t)),
+            SpanEvent::ChurnEvicted { pe } => m.record_at(span.at, Event::TaskEvicted(t, pe.node)),
+        }
+    }
+
+    fn node_event(&mut self, at: f64, event: NodeEvent) {
+        let mut m = self.monitor.lock();
+        match event {
+            NodeEvent::Joined(id) => m.record_at(at, Event::NodeJoined(id)),
+            NodeEvent::Left(id) => m.record_at(at, Event::NodeLeft(id)),
+            NodeEvent::Crashed(id) => m.record_at(at, Event::NodeCrashed(id)),
+        }
+    }
+
+    fn grid_state(&mut self, at: f64, nodes: &[Node], _queue_depth: usize, _held: usize) {
+        self.monitor.lock().record_snapshot(at, nodes);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rhv_core::ids::{NodeId, PeId, TaskId};
+    use rhv_core::matchmaker::PeRef;
+    use rhv_telemetry::{PlacedSpan, SetupPhases};
+
+    #[test]
+    fn spans_become_timestamped_monitor_events() {
+        let monitor = Arc::new(Mutex::new(Monitor::new()));
+        let mut sink = MonitorSink::new(monitor.clone());
+        let pe = PeRef {
+            node: NodeId(2),
+            pe: PeId::Rpe(0),
+        };
+        let span = |at: f64, event: SpanEvent| LifecycleSpan {
+            task: TaskId(7),
+            at,
+            event,
+        };
+        sink.record(&span(0.0, SpanEvent::Submitted));
+        sink.record(&span(
+            1.0,
+            SpanEvent::Placed(PlacedSpan {
+                pe,
+                setup: SetupPhases {
+                    data_in: 0.5,
+                    ..SetupPhases::default()
+                },
+                exec_start: 1.5,
+                finish: 3.0,
+                reused: false,
+            }),
+        ));
+        sink.record(&span(3.0, SpanEvent::ChurnEvicted { pe }));
+        sink.node_event(3.0, NodeEvent::Crashed(NodeId(2)));
+
+        let m = monitor.lock();
+        let h = m.task_history(TaskId(7));
+        assert_eq!(h.len(), 4);
+        assert_eq!(h[0].event, Event::TaskSubmitted(TaskId(7)));
+        assert_eq!(h[1].event, Event::TaskDispatched(TaskId(7), NodeId(2)));
+        assert_eq!(h[1].at, 1.0);
+        assert_eq!(h[2].event, Event::TaskExecStarted(TaskId(7), NodeId(2)));
+        assert_eq!(h[2].at, 1.5, "exec start is the setup/exec boundary");
+        assert_eq!(h[3].event, Event::TaskEvicted(TaskId(7), NodeId(2)));
+        assert!(m.contains(&Event::NodeCrashed(NodeId(2))));
+    }
+
+    #[test]
+    fn grid_state_records_snapshots() {
+        let monitor = Arc::new(Mutex::new(Monitor::new()));
+        let mut sink = MonitorSink::new(monitor.clone());
+        let nodes = rhv_core::case_study::grid();
+        sink.grid_state(1.0, &nodes, 2, 0);
+        sink.grid_state(1.0, &nodes, 3, 0);
+        sink.grid_state(5.0, &nodes, 0, 0);
+        assert_eq!(monitor.lock().snapshots().len(), 2);
+    }
+}

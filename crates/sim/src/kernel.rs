@@ -24,6 +24,16 @@
 //! until every predecessor has completed — released at the actual
 //! completion instant, not at a `t_estimated` guess. Tasks absent from the
 //! graph, or with no predecessors, dispatch immediately.
+//!
+//! The kernel is also the **only** emitter of telemetry lifecycle spans:
+//! hand it a [`rhv_telemetry::TelemetrySink`]
+//! ([`LifecycleKernel::set_sink`]) and every state mutation — submit, hold,
+//! queue, placement (with its setup-phase breakdown), completion, churn
+//! eviction, rejection — is reported with the kernel's sim-time timestamps.
+//! The default [`rhv_telemetry::NoopSink`] keeps the hot path free of any
+//! telemetry cost: span payloads are stack-only `Copy` data, and the one
+//! allocating event (`PlacementFailed`'s reason string) is built only when
+//! the sink is enabled.
 
 use crate::metrics::{power, SimReport, TaskRecord};
 use crate::network::NetworkModel;
@@ -39,6 +49,10 @@ use rhv_core::node::Node;
 use rhv_core::state::ConfigKind;
 use rhv_core::task::Task;
 use rhv_params::softcore::SoftcoreSpec;
+use rhv_telemetry::{
+    CompletedSpan, LifecycleSpan, NodeEvent, NoopSink, PlacedSpan, SetupPhases, SpanEvent,
+    TelemetrySink,
+};
 use std::collections::{BTreeSet, VecDeque};
 use std::fmt;
 
@@ -173,6 +187,8 @@ struct Running {
     cores: u64,
     record: TaskRecord,
     unload_after: bool,
+    phases: SetupPhases,
+    reused: bool,
 }
 
 /// A completion scheduled by the kernel, to be delivered back by the event
@@ -229,6 +245,8 @@ pub struct LifecycleKernel {
     graph: Option<TaskGraph>,
     completed: BTreeSet<TaskId>,
     held: Vec<Task>,
+    sink: Box<dyn TelemetrySink>,
+    last_now: f64,
 }
 
 impl LifecycleKernel {
@@ -255,6 +273,36 @@ impl LifecycleKernel {
             graph: None,
             completed: BTreeSet::new(),
             held: Vec::new(),
+            sink: Box::new(NoopSink),
+            last_now: 0.0,
+        }
+    }
+
+    /// Installs the telemetry sink that receives every lifecycle span this
+    /// kernel emits (default: the allocation-free no-op sink).
+    pub fn set_sink(&mut self, sink: Box<dyn TelemetrySink>) {
+        self.sink = sink;
+    }
+
+    /// Builder form of [`LifecycleKernel::set_sink`].
+    pub fn with_sink(mut self, sink: Box<dyn TelemetrySink>) -> Self {
+        self.set_sink(sink);
+        self
+    }
+
+    /// Emits one lifecycle span (cheap: span payloads are `Copy`, and the
+    /// disabled no-op sink short-circuits).
+    fn emit(&mut self, task: TaskId, at: f64, event: SpanEvent) {
+        if self.sink.enabled() {
+            self.sink.record(&LifecycleSpan { task, at, event });
+        }
+    }
+
+    /// Reports the post-mutation grid state to the sink.
+    fn observe_state(&mut self, at: f64) {
+        if self.sink.enabled() {
+            let (queue_depth, held) = (self.backlog.len(), self.held.len());
+            self.sink.grid_state(at, &self.nodes, queue_depth, held);
         }
     }
 
@@ -310,18 +358,23 @@ impl LifecycleKernel {
         strategy: &mut dyn Strategy,
     ) -> Vec<PendingCompletion> {
         self.submitted += 1;
+        self.last_now = self.last_now.max(now);
+        self.emit(task.id, now, SpanEvent::Submitted);
         if let Some(graph) = &self.graph {
             let waiting = graph
                 .predecessors(task.id)
                 .iter()
                 .any(|p| !self.completed.contains(p));
             if waiting {
+                self.emit(task.id, now, SpanEvent::HeldOnDeps);
                 self.held.push(task);
+                self.observe_state(now);
                 return Vec::new();
             }
         }
         let mut out = Vec::new();
         self.arrive(task, now, strategy, &mut out);
+        self.observe_state(now);
         out
     }
 
@@ -343,18 +396,34 @@ impl LifecycleKernel {
             cores,
             record,
             unload_after,
+            ..
         } = *pending.running;
         let mut out = Vec::new();
+        self.last_now = self.last_now.max(now);
         // A completion from a crashed node is a lost execution: the node is
         // gone (nothing to release) and the task goes back in the queue
         // with its original arrival (and its dependencies still satisfied).
         if self.crashed.contains(&pe.node) {
             self.failures += 1;
+            self.emit(task.id, now, SpanEvent::ChurnEvicted { pe });
+            self.emit(task.id, now, SpanEvent::Queued);
             self.backlog.push_back((record.arrival, task));
             self.drain_backlog(now, strategy, &mut out);
+            self.observe_state(now);
             return out;
         }
         let finished = task.id;
+        self.emit(
+            finished,
+            now,
+            SpanEvent::Completed(CompletedSpan {
+                pe,
+                wait: record.dispatched - record.arrival,
+                setup: record.exec_start - record.dispatched,
+                exec: record.finish - record.exec_start,
+                turnaround: record.finish - record.arrival,
+            }),
+        );
         self.records.push(record);
         let node = self
             .nodes
@@ -390,6 +459,7 @@ impl LifecycleKernel {
         }
         self.drain_backlog(now, strategy, &mut out);
         self.release_dependents(finished, now, strategy, &mut out);
+        self.observe_state(now);
         out
     }
 
@@ -401,15 +471,19 @@ impl LifecycleKernel {
         strategy: &mut dyn Strategy,
     ) -> Vec<PendingCompletion> {
         let mut out = Vec::new();
+        self.last_now = self.last_now.max(now);
         match change {
             ChurnEvent::Join(node) => {
+                let id = node.id;
                 self.nodes.push(*node);
+                self.sink.node_event(now, NodeEvent::Joined(id));
                 // New capacity may unblock queued tasks.
                 self.drain_backlog(now, strategy, &mut out);
             }
             ChurnEvent::Leave(id) => {
                 self.pending_leaves.push(id);
                 self.apply_pending_leaves();
+                self.sink.node_event(now, NodeEvent::Left(id));
             }
             ChurnEvent::Crash(id) => {
                 // The node vanishes now; in-flight completions on it are
@@ -417,9 +491,11 @@ impl LifecycleKernel {
                 if self.nodes.iter().any(|n| n.id == id) {
                     self.nodes.retain(|n| n.id != id);
                     self.crashed.push(id);
+                    self.sink.node_event(now, NodeEvent::Crashed(id));
                 }
             }
         }
+        self.observe_state(now);
         out
     }
 
@@ -428,8 +504,21 @@ impl LifecycleKernel {
     /// the aggregate report plus the final node states.
     pub fn finish(mut self, strategy_name: &str) -> (SimReport, Vec<Node>) {
         self.rejected += self.backlog.len() + self.held.len();
+        if self.sink.enabled() {
+            let at = self.last_now;
+            let leftovers: Vec<TaskId> = self
+                .backlog
+                .iter()
+                .map(|(_, t)| t.id)
+                .chain(self.held.iter().map(|t| t.id))
+                .collect();
+            for id in leftovers {
+                self.emit(id, at, SpanEvent::Rejected);
+            }
+        }
         self.backlog.clear();
         self.held.clear();
+        self.sink.flush();
 
         let total_gpp_cores: u64 = self
             .nodes
@@ -457,6 +546,8 @@ impl LifecycleKernel {
             self.reconfigurations,
             self.reconfig_seconds,
             self.reuse_hits,
+            self.failures,
+            self.placement_errors.len(),
         );
         (report, self.nodes)
     }
@@ -471,8 +562,10 @@ impl LifecycleKernel {
     ) {
         if !self.try_dispatch(&task, now, now, strategy, out) {
             if strategy.is_satisfiable(&task, &self.nodes) {
+                self.emit(task.id, now, SpanEvent::Queued);
                 self.backlog.push_back((now, task));
             } else {
+                self.emit(task.id, now, SpanEvent::Rejected);
                 self.rejected += 1;
             }
         }
@@ -605,11 +698,33 @@ impl LifecycleKernel {
         };
         match self.try_place(task, placement, arrival, now) {
             Ok(pending) => {
+                self.emit(
+                    task.id,
+                    now,
+                    SpanEvent::Placed(PlacedSpan {
+                        pe: pending.running.pe,
+                        setup: pending.running.phases,
+                        exec_start: pending.running.record.exec_start,
+                        finish: pending.finish,
+                        reused: pending.running.reused,
+                    }),
+                );
                 out.push(pending);
                 true
             }
             Err(e) => {
                 debug_assert!(false, "strategy produced an infeasible placement: {e}");
+                if self.sink.enabled() {
+                    // The reason string is the one allocating span payload;
+                    // build it only when someone is listening.
+                    self.emit(
+                        task.id,
+                        now,
+                        SpanEvent::PlacementFailed {
+                            reason: e.to_string(),
+                        },
+                    );
+                }
                 self.placement_errors.push(e);
                 self.rejected += 1;
                 true
@@ -639,7 +754,10 @@ impl LifecycleKernel {
         let scenario = task.exec_req.scenario();
 
         // Synthesis cost must be priced before borrowing the node mutably.
-        let synth_seconds = match (&mode, &task.exec_req.payload) {
+        // `Some(seconds)` only when the placement actually involves
+        // synthesis (HDL + Reconfigure); zero seconds there means the CAD
+        // cache served the design.
+        let synth_priced = match (&mode, &task.exec_req.payload) {
             (
                 HostingMode::Reconfigure,
                 TaskPayload::HdlAccelerator {
@@ -663,16 +781,19 @@ impl LifecycleKernel {
                         .clone()
                 };
                 let spec = HdlSpec::new(spec_name.clone(), est_slices * 4, est_slices * 2);
-                self.synth
-                    .estimate_cached(&spec, &device)
-                    .map_err(|_| PlacementError::Unsynthesizable {
-                        pe,
-                        spec: spec_name.clone(),
-                    })?
-                    .synthesis_seconds
+                Some(
+                    self.synth
+                        .estimate_cached(&spec, &device)
+                        .map_err(|_| PlacementError::Unsynthesizable {
+                            pe,
+                            spec: spec_name.clone(),
+                        })?
+                        .synthesis_seconds,
+                )
             }
-            _ => 0.0,
+            _ => None,
         };
+        let synth_seconds = synth_priced.unwrap_or(0.0);
 
         let fallback_spec = self.cfg.softcore_fallback.clone();
         let fit_policy = self.cfg.fit_policy;
@@ -686,6 +807,14 @@ impl LifecycleKernel {
             .iter_mut()
             .find(|n| n.id == pe.node)
             .ok_or(PlacementError::UnknownNode(pe.node))?;
+
+        // Telemetry: per-phase setup breakdown, filled in by the arms.
+        let reused = matches!(mode, HostingMode::ReuseConfig(_));
+        let mut phases = SetupPhases {
+            data_in: data_transfer,
+            synth_cache_hit: synth_priced.map(|s| s == 0.0),
+            ..SetupPhases::default()
+        };
 
         let (setup, exec, energy, cores, slices, config, reconfigured, unload_after) = match mode {
             HostingMode::GpuRun => {
@@ -749,6 +878,7 @@ impl LifecycleKernel {
                 let energy = power::SOFTCORE_W * exec;
                 self.reconfigurations += 1;
                 self.reconfig_seconds += reconfig;
+                phases.reconfig = reconfig;
                 (
                     data_transfer + reconfig,
                     exec,
@@ -834,6 +964,9 @@ impl LifecycleKernel {
                 let (exec, energy) = execution_of(&task.exec_req.payload, &self.cfg);
                 self.reconfigurations += 1;
                 self.reconfig_seconds += reconfig;
+                phases.synth = synth_seconds;
+                phases.bitstream = bit_transfer;
+                phases.reconfig = reconfig;
                 (
                     data_transfer + synth_seconds + bit_transfer + reconfig,
                     exec,
@@ -874,6 +1007,8 @@ impl LifecycleKernel {
                 cores,
                 record,
                 unload_after,
+                phases,
+                reused,
             }),
         })
     }

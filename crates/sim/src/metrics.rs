@@ -101,6 +101,14 @@ pub struct SimReport {
     pub reconfig_seconds: f64,
     /// Configuration reuse hits (reconfiguration avoided).
     pub reuse_hits: u64,
+    /// Task executions lost to node churn (each re-queued and counted
+    /// again when it eventually completes or is rejected).
+    #[serde(default)]
+    pub failures: u64,
+    /// Infeasible placements produced by the strategy (each task counted
+    /// as rejected).
+    #[serde(default)]
+    pub placement_errors: usize,
     /// Total energy proxy (joules).
     pub energy_j: f64,
     /// Per-task records, completion-ordered.
@@ -122,6 +130,8 @@ impl SimReport {
         reconfigurations: u64,
         reconfig_seconds: f64,
         reuse_hits: u64,
+        failures: u64,
+        placement_errors: usize,
     ) -> Self {
         let completed = records.len();
         let makespan = records.iter().map(|r| r.finish).fold(0.0, f64::max);
@@ -156,6 +166,8 @@ impl SimReport {
             reconfigurations,
             reconfig_seconds,
             reuse_hits,
+            failures,
+            placement_errors,
             energy_j: records.iter().map(|r| r.energy_j).sum(),
             records,
         }
@@ -186,7 +198,7 @@ impl SimReport {
     /// One-line summary for sweep tables.
     pub fn summary_row(&self) -> String {
         format!(
-            "{:<18} completed {:>5}/{:<5} makespan {:>9.1}s wait {:>8.2}s setup {:>6.2}s util(GPP {:>5.1}%, RPE {:>5.1}%) reconfigs {:>5} reuse {:>4} energy {:>10.0}J",
+            "{:<18} completed {:>5}/{:<5} makespan {:>9.1}s wait {:>8.2}s setup {:>6.2}s util(GPP {:>5.1}%, RPE {:>5.1}%) reconfigs {:>5} reuse {:>4} failures {:>3} placement-errors {:>3} energy {:>10.0}J",
             self.strategy,
             self.completed,
             self.submitted,
@@ -197,6 +209,8 @@ impl SimReport {
             self.rpe_utilization * 100.0,
             self.reconfigurations,
             self.reuse_hits,
+            self.failures,
+            self.placement_errors,
             self.energy_j,
         )
     }
@@ -270,7 +284,21 @@ mod tests {
     #[test]
     fn report_aggregates() {
         let records = vec![rec(0, 0.0, 0.0, 0.0, 4.0), rec(1, 1.0, 2.0, 2.0, 6.0)];
-        let rep = SimReport::from_records("test".into(), 3, 1, records, 8.0, 2, 0.0, 0, 0, 0.0, 0);
+        let rep = SimReport::from_records(
+            "test".into(),
+            3,
+            1,
+            records,
+            8.0,
+            2,
+            0.0,
+            0,
+            0,
+            0.0,
+            0,
+            0,
+            0,
+        );
         assert_eq!(rep.completed, 2);
         assert_eq!(rep.rejected, 1);
         assert_eq!(rep.makespan, 6.0);
@@ -296,6 +324,8 @@ mod tests {
             0,
             0.0,
             0,
+            0,
+            0,
         );
         assert!(bad.check_invariants().is_err());
     }
@@ -305,7 +335,21 @@ mod tests {
         let mut a = rec(0, 0.0, 2.0, 2.0, 3.0);
         a.scenario = Scenario::UserDefinedHardware;
         let b = rec(1, 0.0, 4.0, 4.0, 5.0);
-        let rep = SimReport::from_records("x".into(), 2, 0, vec![a, b], 0.0, 1, 0.0, 1, 0, 0.0, 0);
+        let rep = SimReport::from_records(
+            "x".into(),
+            2,
+            0,
+            vec![a, b],
+            0.0,
+            1,
+            0.0,
+            1,
+            0,
+            0.0,
+            0,
+            0,
+            0,
+        );
         let by = rep.mean_wait_by_scenario();
         assert_eq!(by[&Scenario::UserDefinedHardware], 2.0);
         assert_eq!(by[&Scenario::SoftwareOnly], 4.0);
@@ -313,7 +357,8 @@ mod tests {
 
     #[test]
     fn empty_report_is_sane() {
-        let rep = SimReport::from_records("e".into(), 0, 0, vec![], 0.0, 0, 0.0, 0, 0, 0.0, 0);
+        let rep =
+            SimReport::from_records("e".into(), 0, 0, vec![], 0.0, 0, 0.0, 0, 0, 0.0, 0, 0, 0);
         assert_eq!(rep.makespan, 0.0);
         assert_eq!(rep.throughput(), 0.0);
         rep.check_invariants().unwrap();

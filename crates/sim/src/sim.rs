@@ -65,6 +65,15 @@ impl GridSimulator {
         self
     }
 
+    /// Streams every kernel lifecycle span into `sink` (see
+    /// [`LifecycleKernel::set_sink`]); pass a
+    /// [`rhv_telemetry::SpanCollector`] or
+    /// [`rhv_telemetry::MetricsSink`] clone and read it after the run.
+    pub fn with_sink(mut self, sink: Box<dyn rhv_telemetry::TelemetrySink>) -> Self {
+        self.kernel.set_sink(sink);
+        self
+    }
+
     /// Current node states (read-only view for inspection).
     pub fn nodes(&self) -> &[Node] {
         self.kernel.nodes()

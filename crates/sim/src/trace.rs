@@ -4,8 +4,15 @@
 //! simulator: this module renders a [`SimReport`] as CSV (one row per
 //! task), JSON (the full report), or a text Gantt chart for quick eyeball
 //! checks of schedules. All renderings are deterministic.
+//!
+//! The richer telemetry exporters live in `rhv-telemetry` and are
+//! re-exported here so every trace renderer is reachable from one place:
+//! [`to_chrome_trace`] (Perfetto/`chrome://tracing` JSON over lifecycle
+//! spans) and [`to_prometheus`] (text exposition over a metrics registry).
 
 use crate::metrics::SimReport;
+pub use rhv_telemetry::perfetto::to_chrome_trace;
+pub use rhv_telemetry::prometheus::render as to_prometheus;
 use std::fmt::Write as _;
 
 /// CSV header of [`to_csv`].
@@ -105,6 +112,8 @@ mod tests {
             1_000,
             2,
             1.0,
+            0,
+            0,
             0,
         )
     }

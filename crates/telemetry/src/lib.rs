@@ -1,0 +1,33 @@
+//! `rhv-telemetry`: the kernel-level telemetry spine.
+//!
+//! The task-lifecycle kernel (`rhv-sim`) is the *only* component that
+//! emits lifecycle spans — every front-end (event-driven simulator,
+//! step-driven grid services, wall-clock live runtime) observes the same
+//! vocabulary by handing the kernel a [`TelemetrySink`]. This crate holds
+//! that contract plus the stock consumers:
+//!
+//! * [`span`] — the structured [`LifecycleSpan`] / [`SpanEvent`]
+//!   vocabulary covering the full state machine (submitted → held-on-deps
+//!   → placed/placement-error → setup {data-in, synth {cache-hit|miss},
+//!   bitstream-transfer, reconfig} → exec → completed | queued |
+//!   churn-evicted), stamped with sim-time seconds.
+//! * [`sink`] — the [`TelemetrySink`] trait, the allocation-free
+//!   [`NoopSink`], a cloneable [`SpanCollector`] and a [`FanoutSink`].
+//! * [`registry`] — a lock-cheap [`MetricsRegistry`] (atomic counters,
+//!   gauges, fixed-bucket histograms) and the [`MetricsSink`] aggregator.
+//! * [`perfetto`] — Chrome trace-event JSON export (one track per PE).
+//! * [`prometheus`] — text exposition rendering of a registry.
+//! * [`json`] — a minimal JSON reader used to validate exporter output
+//!   without depending on a functional `serde_json` (offline builds stub
+//!   it out).
+
+pub mod json;
+pub mod perfetto;
+pub mod prometheus;
+pub mod registry;
+pub mod sink;
+pub mod span;
+
+pub use registry::{Counter, Gauge, Histogram, Instrument, MetricsRegistry, MetricsSink};
+pub use sink::{FanoutSink, NoopSink, SpanCollector, TelemetrySink};
+pub use span::{CompletedSpan, LifecycleSpan, NodeEvent, PlacedSpan, SetupPhases, SpanEvent};

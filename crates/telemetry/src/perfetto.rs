@@ -1,0 +1,435 @@
+//! Chrome trace-event export (loadable in Perfetto / `chrome://tracing`).
+//!
+//! [`to_chrome_trace`] turns a lifecycle-span stream into the JSON
+//! trace-event format: one *process* per grid node, one *thread* (track)
+//! per PE, complete (`"ph":"X"`) slices for each setup phase
+//! (`data-in`, `synth`, `bitstream-transfer`, `reconfig`) and for `exec`,
+//! plus instant events for queueing, placement errors, rejections and
+//! churn evictions. Timestamps are sim-time microseconds.
+//!
+//! The emission is hand-rolled and fully deterministic: events are sorted
+//! by `(pid, tid, ts, name)` so every track's `ts` sequence is
+//! monotonically non-decreasing, and the output is byte-identical across
+//! runs. NaN or negative times are reported as [`ExportError`]s rather
+//! than written into the file.
+
+use crate::json::escape;
+use crate::span::{LifecycleSpan, SpanEvent};
+use rhv_core::ids::{PeId, TaskId};
+use rhv_core::matchmaker::PeRef;
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+/// Synthetic "process" id for kernel-side events with no PE.
+const KERNEL_PID: u64 = 1_000_000;
+
+/// Why a span stream could not be exported.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ExportError {
+    /// A timestamp or duration was NaN/infinite.
+    NonFiniteTime {
+        /// The offending task.
+        task: TaskId,
+        /// Which field was non-finite.
+        field: &'static str,
+    },
+    /// A timestamp or duration was negative.
+    NegativeTime {
+        /// The offending task.
+        task: TaskId,
+        /// Which field was negative.
+        field: &'static str,
+        /// The offending value (seconds).
+        value: f64,
+    },
+}
+
+impl std::fmt::Display for ExportError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ExportError::NonFiniteTime { task, field } => {
+                write!(f, "{task}: non-finite {field}")
+            }
+            ExportError::NegativeTime { task, field, value } => {
+                write!(f, "{task}: negative {field} ({value})")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ExportError {}
+
+/// Track id of a PE inside its node: disjoint ranges per PE kind so the
+/// Perfetto UI groups GPPs, RPEs and GPUs separately.
+fn tid_of(pe: PeId) -> u64 {
+    match pe {
+        PeId::Gpp(i) => 1_000 + i as u64,
+        PeId::Rpe(i) => 2_000 + i as u64,
+        PeId::Gpu(i) => 3_000 + i as u64,
+    }
+}
+
+/// One emitted trace event (pre-serialization form).
+struct TraceEvent {
+    pid: u64,
+    tid: u64,
+    ts_us: u64,
+    dur_us: Option<u64>, // Some => "X" slice, None => "i" instant
+    name: String,
+    args: Vec<(String, String)>, // value is pre-rendered JSON
+}
+
+fn us(task: TaskId, field: &'static str, seconds: f64) -> Result<u64, ExportError> {
+    if !seconds.is_finite() {
+        return Err(ExportError::NonFiniteTime { task, field });
+    }
+    if seconds < 0.0 {
+        return Err(ExportError::NegativeTime {
+            task,
+            field,
+            value: seconds,
+        });
+    }
+    Ok((seconds * 1e6).round() as u64)
+}
+
+/// Renders `spans` as Chrome trace-event JSON.
+pub fn to_chrome_trace(spans: &[LifecycleSpan]) -> Result<String, ExportError> {
+    let mut events: Vec<TraceEvent> = Vec::new();
+    let mut tracks: BTreeMap<(u64, u64), String> = BTreeMap::new();
+    // Queueing delay: remember when each task last joined the backlog so
+    // its eventual placement can carry the measured wait as an arg.
+    let mut queued_at: BTreeMap<TaskId, f64> = BTreeMap::new();
+
+    let mut track = |pe: PeRef| -> (u64, u64) {
+        let key = (pe.node.raw(), tid_of(pe.pe));
+        tracks.entry(key).or_insert_with(|| pe.pe.to_string());
+        key
+    };
+
+    for span in spans {
+        let t = span.task;
+        match &span.event {
+            SpanEvent::Submitted | SpanEvent::HeldOnDeps | SpanEvent::Rejected => {
+                // Kernel-side states with no PE: rendered on a synthetic
+                // "kernel" track (pid u64::MAX) so they stay visible.
+                let ts_us = us(t, "at", span.at)?;
+                events.push(TraceEvent {
+                    pid: KERNEL_PID,
+                    tid: 0,
+                    ts_us,
+                    dur_us: None,
+                    name: format!("{}:{}", span.event.label(), t),
+                    args: vec![("task".into(), format!("\"{t}\""))],
+                });
+            }
+            SpanEvent::Queued => {
+                queued_at.insert(t, span.at);
+                let ts_us = us(t, "at", span.at)?;
+                events.push(TraceEvent {
+                    pid: KERNEL_PID,
+                    tid: 0,
+                    ts_us,
+                    dur_us: None,
+                    name: format!("queued:{t}"),
+                    args: vec![("task".into(), format!("\"{t}\""))],
+                });
+            }
+            SpanEvent::PlacementFailed { reason } => {
+                let ts_us = us(t, "at", span.at)?;
+                events.push(TraceEvent {
+                    pid: KERNEL_PID,
+                    tid: 0,
+                    ts_us,
+                    dur_us: None,
+                    name: format!("placement-error:{t}"),
+                    args: vec![("reason".into(), format!("\"{}\"", escape(reason)))],
+                });
+            }
+            SpanEvent::Placed(p) => {
+                let (pid, tid) = track(p.pe);
+                let mut cursor = span.at;
+                let wait = queued_at.remove(&t).map(|q| span.at - q);
+                let phases: [(&str, f64); 4] = [
+                    ("data-in", p.setup.data_in),
+                    ("synth", p.setup.synth),
+                    ("bitstream-transfer", p.setup.bitstream),
+                    ("reconfig", p.setup.reconfig),
+                ];
+                for (name, dur) in phases {
+                    if dur <= 0.0 {
+                        continue;
+                    }
+                    events.push(TraceEvent {
+                        pid,
+                        tid,
+                        ts_us: us(t, name, cursor)?,
+                        dur_us: Some(us(t, name, dur)?),
+                        name: format!("{name}:{t}"),
+                        args: vec![("task".into(), format!("\"{t}\""))],
+                    });
+                    cursor += dur;
+                }
+                if p.setup.synth_cache_hit == Some(true) {
+                    events.push(TraceEvent {
+                        pid,
+                        tid,
+                        ts_us: us(t, "at", span.at)?,
+                        dur_us: None,
+                        name: format!("synth-cache-hit:{t}"),
+                        args: vec![("task".into(), format!("\"{t}\""))],
+                    });
+                }
+                let exec_dur = p.finish - p.exec_start;
+                let mut args = vec![
+                    ("task".into(), format!("\"{t}\"")),
+                    ("reused".into(), p.reused.to_string()),
+                ];
+                if let Some(w) = wait {
+                    args.push(("wait_s".into(), format_f64(t, w)?));
+                }
+                events.push(TraceEvent {
+                    pid,
+                    tid,
+                    ts_us: us(t, "exec_start", p.exec_start)?,
+                    dur_us: Some(us(t, "exec", exec_dur)?),
+                    name: format!("exec:{t}"),
+                    args,
+                });
+            }
+            SpanEvent::Completed(_) => {
+                // The exec slice already carries the window; nothing extra.
+            }
+            SpanEvent::ChurnEvicted { pe } => {
+                let (pid, tid) = track(*pe);
+                events.push(TraceEvent {
+                    pid,
+                    tid,
+                    ts_us: us(t, "at", span.at)?,
+                    dur_us: None,
+                    name: format!("churn-evicted:{t}"),
+                    args: vec![("task".into(), format!("\"{t}\""))],
+                });
+            }
+        }
+    }
+
+    // Deterministic track-grouped order; ts non-decreasing inside a track.
+    events.sort_by(|a, b| (a.pid, a.tid, a.ts_us, &a.name).cmp(&(b.pid, b.tid, b.ts_us, &b.name)));
+
+    let mut out = String::with_capacity(events.len() * 96 + 1024);
+    out.push_str("{\"displayTimeUnit\":\"ms\",\"traceEvents\":[");
+    let mut first = true;
+    let push = |s: String, out: &mut String, first: &mut bool| {
+        if !*first {
+            out.push(',');
+        }
+        *first = false;
+        out.push('\n');
+        out.push_str(&s);
+    };
+    // Metadata first: process (node) and thread (PE) names.
+    let mut named_pids: Vec<u64> = tracks.keys().map(|(pid, _)| *pid).collect();
+    named_pids.dedup();
+    for pid in named_pids {
+        push(
+            format!(
+                "{{\"ph\":\"M\",\"pid\":{pid},\"name\":\"process_name\",\"args\":{{\"name\":\"Node_{pid}\"}}}}"
+            ),
+            &mut out,
+            &mut first,
+        );
+    }
+    for ((pid, tid), name) in &tracks {
+        push(
+            format!(
+                "{{\"ph\":\"M\",\"pid\":{pid},\"tid\":{tid},\"name\":\"thread_name\",\"args\":{{\"name\":\"{}\"}}}}",
+                escape(name)
+            ),
+            &mut out,
+            &mut first,
+        );
+    }
+    if events.iter().any(|e| e.pid == KERNEL_PID) {
+        push(
+            format!(
+                "{{\"ph\":\"M\",\"pid\":{},\"name\":\"process_name\",\"args\":{{\"name\":\"kernel\"}}}}",
+                KERNEL_PID
+            ),
+            &mut out,
+            &mut first,
+        );
+    }
+    for e in &events {
+        let mut line = format!(
+            "{{\"name\":\"{}\",\"cat\":\"lifecycle\",\"pid\":{},\"tid\":{},\"ts\":{}",
+            escape(&e.name),
+            e.pid,
+            e.tid,
+            e.ts_us
+        );
+        match e.dur_us {
+            Some(d) => {
+                let _ = write!(line, ",\"ph\":\"X\",\"dur\":{d}");
+            }
+            None => {
+                line.push_str(",\"ph\":\"i\",\"s\":\"t\"");
+            }
+        }
+        line.push_str(",\"args\":{");
+        for (i, (k, v)) in e.args.iter().enumerate() {
+            if i > 0 {
+                line.push(',');
+            }
+            let _ = write!(line, "\"{}\":{}", escape(k), v);
+        }
+        line.push_str("}}");
+        push(line, &mut out, &mut first);
+    }
+    out.push_str("\n]}");
+    Ok(out)
+}
+
+fn format_f64(task: TaskId, v: f64) -> Result<String, ExportError> {
+    if !v.is_finite() {
+        return Err(ExportError::NonFiniteTime {
+            task,
+            field: "wait",
+        });
+    }
+    Ok(format!("{v:.6}"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::json;
+    use crate::span::{PlacedSpan, SetupPhases};
+    use rhv_core::ids::NodeId;
+
+    fn pe(node: u64, id: PeId) -> PeRef {
+        PeRef {
+            node: NodeId(node),
+            pe: id,
+        }
+    }
+
+    fn placed(task: u64, at: f64, setup: SetupPhases, exec: f64, target: PeRef) -> LifecycleSpan {
+        LifecycleSpan {
+            task: TaskId(task),
+            at,
+            event: SpanEvent::Placed(PlacedSpan {
+                pe: target,
+                exec_start: at + setup.total(),
+                finish: at + setup.total() + exec,
+                setup,
+                reused: false,
+            }),
+        }
+    }
+
+    #[test]
+    fn emits_phase_slices_on_pe_tracks() {
+        let spans = vec![
+            LifecycleSpan {
+                task: TaskId(0),
+                at: 0.0,
+                event: SpanEvent::Submitted,
+            },
+            placed(
+                0,
+                1.0,
+                SetupPhases {
+                    data_in: 0.5,
+                    synth: 60.0,
+                    synth_cache_hit: Some(false),
+                    bitstream: 0.25,
+                    reconfig: 0.125,
+                },
+                10.0,
+                pe(1, PeId::Rpe(0)),
+            ),
+        ];
+        let json_text = to_chrome_trace(&spans).unwrap();
+        let doc = json::parse(&json_text).unwrap();
+        let events = doc.get("traceEvents").unwrap().as_array().unwrap();
+        let names: Vec<&str> = events
+            .iter()
+            .filter_map(|e| e.get("name").and_then(|n| n.as_str()))
+            .collect();
+        for expected in [
+            "data-in:T0",
+            "synth:T0",
+            "bitstream-transfer:T0",
+            "reconfig:T0",
+            "exec:T0",
+            "submitted:T0",
+        ] {
+            assert!(names.contains(&expected), "missing {expected}: {names:?}");
+        }
+        // Slices on the RPE track carry durations; phases are contiguous.
+        let slice = |n: &str| {
+            events
+                .iter()
+                .find(|e| e.get("name").and_then(|v| v.as_str()) == Some(n))
+                .unwrap()
+        };
+        let ts = |n: &str| slice(n).get("ts").unwrap().as_f64().unwrap();
+        let dur = |n: &str| slice(n).get("dur").unwrap().as_f64().unwrap();
+        assert_eq!(ts("data-in:T0"), 1_000_000.0);
+        assert_eq!(ts("synth:T0"), ts("data-in:T0") + dur("data-in:T0"));
+        assert_eq!(ts("exec:T0"), 61_875_000.0);
+        assert_eq!(dur("exec:T0"), 10_000_000.0);
+    }
+
+    #[test]
+    fn track_timestamps_are_monotone() {
+        let target = pe(0, PeId::Gpp(0));
+        let spans: Vec<LifecycleSpan> = (0..10)
+            .map(|i| placed(i, i as f64 * 2.0, SetupPhases::default(), 1.0, target))
+            .collect();
+        let doc = json::parse(&to_chrome_trace(&spans).unwrap()).unwrap();
+        let mut last: Option<(f64, f64, f64)> = None;
+        for e in doc.get("traceEvents").unwrap().as_array().unwrap() {
+            if e.get("ph").and_then(|p| p.as_str()) != Some("X") {
+                continue;
+            }
+            let key = (
+                e.get("pid").unwrap().as_f64().unwrap(),
+                e.get("tid").unwrap().as_f64().unwrap(),
+                e.get("ts").unwrap().as_f64().unwrap(),
+            );
+            if let Some(prev) = last {
+                assert!(key >= prev, "{key:?} after {prev:?}");
+            }
+            last = Some(key);
+        }
+    }
+
+    #[test]
+    fn nan_and_negative_times_are_errors() {
+        let target = pe(0, PeId::Gpp(0));
+        let bad = placed(0, f64::NAN, SetupPhases::default(), 1.0, target);
+        assert!(matches!(
+            to_chrome_trace(&[bad]),
+            Err(ExportError::NonFiniteTime { .. })
+        ));
+        let neg = placed(0, -1.0, SetupPhases::default(), 1.0, target);
+        assert!(matches!(
+            to_chrome_trace(&[neg]),
+            Err(ExportError::NegativeTime { .. })
+        ));
+    }
+
+    #[test]
+    fn deterministic_output() {
+        let spans = vec![
+            placed(1, 0.0, SetupPhases::default(), 1.0, pe(0, PeId::Gpp(0))),
+            placed(2, 0.5, SetupPhases::default(), 2.0, pe(1, PeId::Rpe(1))),
+        ];
+        assert_eq!(
+            to_chrome_trace(&spans).unwrap(),
+            to_chrome_trace(&spans).unwrap()
+        );
+    }
+}

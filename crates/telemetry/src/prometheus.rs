@@ -1,0 +1,118 @@
+//! Prometheus text exposition (version 0.0.4).
+//!
+//! [`render`] serialises a [`MetricsRegistry`] snapshot into the plain-text
+//! scrape format: `# HELP` / `# TYPE` headers, `_bucket{le="..."}` lines
+//! with cumulative counts ending at `le="+Inf"`, and `_sum` / `_count` for
+//! histograms. Output is sorted by metric name so identical registries
+//! render byte-identically.
+
+use crate::registry::{Instrument, MetricsRegistry};
+use std::fmt::Write as _;
+
+/// Formats a float the way Prometheus expects: integers without a trailing
+/// `.0`, everything else via the shortest round-trip representation.
+fn num(v: f64) -> String {
+    if v == v.trunc() && v.abs() < 1e15 {
+        format!("{}", v as i64)
+    } else {
+        format!("{v}")
+    }
+}
+
+/// Renders every instrument in `registry` as Prometheus exposition text.
+pub fn render(registry: &MetricsRegistry) -> String {
+    let mut out = String::new();
+    for entry in registry.sorted_entries() {
+        let name = &entry.name;
+        let help = entry.help.replace('\\', "\\\\").replace('\n', "\\n");
+        match &entry.instrument {
+            Instrument::Counter(c) => {
+                let _ = writeln!(out, "# HELP {name} {help}");
+                let _ = writeln!(out, "# TYPE {name} counter");
+                let _ = writeln!(out, "{name} {}", c.get());
+            }
+            Instrument::Gauge(g) => {
+                let _ = writeln!(out, "# HELP {name} {help}");
+                let _ = writeln!(out, "# TYPE {name} gauge");
+                let _ = writeln!(out, "{name} {}", num(g.get()));
+            }
+            Instrument::Histogram(h) => {
+                let _ = writeln!(out, "# HELP {name} {help}");
+                let _ = writeln!(out, "# TYPE {name} histogram");
+                let cumulative = h.cumulative();
+                for (bound, cum) in h.bounds().iter().zip(&cumulative) {
+                    let _ = writeln!(out, "{name}_bucket{{le=\"{}\"}} {cum}", num(*bound));
+                }
+                let _ = writeln!(
+                    out,
+                    "{name}_bucket{{le=\"+Inf\"}} {}",
+                    cumulative.last().copied().unwrap_or(0)
+                );
+                let _ = writeln!(out, "{name}_sum {}", num(h.sum()));
+                let _ = writeln!(out, "{name}_count {}", h.count());
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_registry() -> MetricsRegistry {
+        let reg = MetricsRegistry::new();
+        let c = reg.counter("rhv_tasks_total", "Tasks seen");
+        c.add(7);
+        let g = reg.gauge("rhv_depth", "Queue depth");
+        g.set(2.0);
+        let h = reg.histogram("rhv_wait_seconds", "Queueing delay", &[1.0, 10.0]);
+        h.observe(0.5);
+        h.observe(3.0);
+        h.observe(30.0);
+        reg
+    }
+
+    #[test]
+    fn renders_all_instrument_kinds() {
+        let text = render(&sample_registry());
+        assert!(text.contains("# TYPE rhv_tasks_total counter"));
+        assert!(text.contains("rhv_tasks_total 7"));
+        assert!(text.contains("# TYPE rhv_depth gauge"));
+        assert!(text.contains("rhv_depth 2"));
+        assert!(text.contains("# TYPE rhv_wait_seconds histogram"));
+        assert!(text.contains("rhv_wait_seconds_bucket{le=\"1\"} 1"));
+        assert!(text.contains("rhv_wait_seconds_bucket{le=\"10\"} 2"));
+        assert!(text.contains("rhv_wait_seconds_bucket{le=\"+Inf\"} 3"));
+        assert!(text.contains("rhv_wait_seconds_sum 33.5"));
+        assert!(text.contains("rhv_wait_seconds_count 3"));
+    }
+
+    #[test]
+    fn output_is_sorted_and_deterministic() {
+        let a = render(&sample_registry());
+        let b = render(&sample_registry());
+        assert_eq!(a, b);
+        let names: Vec<&str> = a
+            .lines()
+            .filter_map(|l| l.strip_prefix("# HELP "))
+            .filter_map(|l| l.split(' ').next())
+            .collect();
+        let mut sorted = names.clone();
+        sorted.sort_unstable();
+        assert_eq!(names, sorted);
+    }
+
+    #[test]
+    fn float_formatting_has_no_trailing_zeroes() {
+        assert_eq!(num(2.0), "2");
+        assert_eq!(num(0.5), "0.5");
+        assert_eq!(num(-3.0), "-3");
+        assert_eq!(num(0.001), "0.001");
+    }
+
+    #[test]
+    fn empty_registry_renders_empty() {
+        assert_eq!(render(&MetricsRegistry::new()), "");
+    }
+}

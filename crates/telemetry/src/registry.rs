@@ -1,0 +1,509 @@
+//! A lock-cheap metrics registry.
+//!
+//! Instruments are plain atomics behind `Arc` handles: updating a counter,
+//! gauge or histogram takes a handful of relaxed atomic operations and no
+//! lock. The registry's own mutex guards only registration and rendering —
+//! never the hot path. The registry is cheaply cloneable; every clone sees
+//! the same instruments, so a front-end can hand one to a kernel sink and
+//! keep another for a reporter thread or a Prometheus scrape.
+//!
+//! [`MetricsSink`] is the stock [`TelemetrySink`] that aggregates lifecycle
+//! spans into a registry: task counters, the configuration reuse-hit ratio,
+//! wait/setup/exec latency histograms and a queue-depth gauge/histogram.
+
+use crate::sink::TelemetrySink;
+use crate::span::{LifecycleSpan, NodeEvent, SpanEvent};
+use rhv_core::node::Node;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+/// A monotonically increasing counter.
+#[derive(Debug, Default)]
+pub struct Counter(AtomicU64);
+
+impl Counter {
+    /// Adds 1.
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Adds `n`.
+    pub fn add(&self, n: u64) {
+        self.0.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// A settable float gauge (stored as `f64` bits in an atomic).
+#[derive(Debug, Default)]
+pub struct Gauge(AtomicU64);
+
+impl Gauge {
+    /// Sets the gauge.
+    pub fn set(&self, v: f64) {
+        self.0.store(v.to_bits(), Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> f64 {
+        f64::from_bits(self.0.load(Ordering::Relaxed))
+    }
+}
+
+/// A fixed-bucket histogram with cumulative-friendly buckets plus sum and
+/// count, Prometheus-style. Bounds are the *upper* edges of the finite
+/// buckets; one implicit `+Inf` bucket catches the rest.
+#[derive(Debug)]
+pub struct Histogram {
+    bounds: Box<[f64]>,
+    buckets: Box<[AtomicU64]>,
+    count: AtomicU64,
+    /// Sum of observations, `f64` bits updated by CAS.
+    sum_bits: AtomicU64,
+}
+
+impl Histogram {
+    /// A histogram over ascending finite `bounds` (upper bucket edges).
+    pub fn new(bounds: &[f64]) -> Self {
+        assert!(
+            bounds.windows(2).all(|w| w[0] < w[1]),
+            "histogram bounds must ascend"
+        );
+        assert!(
+            bounds.iter().all(|b| b.is_finite()),
+            "histogram bounds must be finite"
+        );
+        Histogram {
+            bounds: bounds.into(),
+            buckets: (0..=bounds.len()).map(|_| AtomicU64::new(0)).collect(),
+            count: AtomicU64::new(0),
+            sum_bits: AtomicU64::new(0f64.to_bits()),
+        }
+    }
+
+    /// Default latency bounds (seconds): sub-millisecond to half an hour.
+    pub fn latency_bounds() -> &'static [f64] {
+        &[0.001, 0.01, 0.1, 0.5, 1.0, 5.0, 15.0, 60.0, 300.0, 1800.0]
+    }
+
+    /// Default depth bounds (tasks in queue).
+    pub fn depth_bounds() -> &'static [f64] {
+        &[0.0, 1.0, 2.0, 4.0, 8.0, 16.0, 32.0, 64.0, 128.0]
+    }
+
+    /// Records one observation (NaN observations are dropped).
+    pub fn observe(&self, v: f64) {
+        if v.is_nan() {
+            return;
+        }
+        let idx = self
+            .bounds
+            .iter()
+            .position(|&b| v <= b)
+            .unwrap_or(self.bounds.len());
+        self.buckets[idx].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        let mut cur = self.sum_bits.load(Ordering::Relaxed);
+        loop {
+            let next = (f64::from_bits(cur) + v).to_bits();
+            match self.sum_bits.compare_exchange_weak(
+                cur,
+                next,
+                Ordering::Relaxed,
+                Ordering::Relaxed,
+            ) {
+                Ok(_) => break,
+                Err(actual) => cur = actual,
+            }
+        }
+    }
+
+    /// Number of observations.
+    pub fn count(&self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+
+    /// Sum of observations.
+    pub fn sum(&self) -> f64 {
+        f64::from_bits(self.sum_bits.load(Ordering::Relaxed))
+    }
+
+    /// Upper edges of the finite buckets.
+    pub fn bounds(&self) -> &[f64] {
+        &self.bounds
+    }
+
+    /// Cumulative count of observations `<= bounds()[i]`, ending with the
+    /// `+Inf` bucket (== `count()`).
+    pub fn cumulative(&self) -> Vec<u64> {
+        let mut acc = 0;
+        self.buckets
+            .iter()
+            .map(|b| {
+                acc += b.load(Ordering::Relaxed);
+                acc
+            })
+            .collect()
+    }
+}
+
+/// One registered instrument.
+#[derive(Debug, Clone)]
+pub enum Instrument {
+    /// A counter.
+    Counter(Arc<Counter>),
+    /// A gauge.
+    Gauge(Arc<Gauge>),
+    /// A histogram.
+    Histogram(Arc<Histogram>),
+}
+
+#[derive(Debug, Clone)]
+pub(crate) struct Entry {
+    pub name: String,
+    pub help: String,
+    pub instrument: Instrument,
+}
+
+/// The registry: named instruments, shared across clones.
+#[derive(Debug, Default, Clone)]
+pub struct MetricsRegistry {
+    entries: Arc<Mutex<Vec<Entry>>>,
+}
+
+impl MetricsRegistry {
+    /// An empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    fn register_with<T>(
+        &self,
+        name: &str,
+        help: &str,
+        make: impl FnOnce() -> Instrument,
+        pick: impl Fn(&Instrument) -> Option<T>,
+    ) -> T {
+        let mut entries = self.entries.lock().expect("registry lock");
+        if let Some(e) = entries.iter().find(|e| e.name == name) {
+            return pick(&e.instrument)
+                .unwrap_or_else(|| panic!("metric `{name}` re-registered with another kind"));
+        }
+        let instrument = make();
+        let picked = pick(&instrument).expect("freshly made instrument matches");
+        entries.push(Entry {
+            name: name.to_owned(),
+            help: help.to_owned(),
+            instrument,
+        });
+        picked
+    }
+
+    /// Registers (or finds) a counter.
+    pub fn counter(&self, name: &str, help: &str) -> Arc<Counter> {
+        self.register_with(
+            name,
+            help,
+            || Instrument::Counter(Arc::new(Counter::default())),
+            |i| match i {
+                Instrument::Counter(c) => Some(c.clone()),
+                _ => None,
+            },
+        )
+    }
+
+    /// Registers (or finds) a gauge.
+    pub fn gauge(&self, name: &str, help: &str) -> Arc<Gauge> {
+        self.register_with(
+            name,
+            help,
+            || Instrument::Gauge(Arc::new(Gauge::default())),
+            |i| match i {
+                Instrument::Gauge(g) => Some(g.clone()),
+                _ => None,
+            },
+        )
+    }
+
+    /// Registers (or finds) a histogram over `bounds`.
+    pub fn histogram(&self, name: &str, help: &str, bounds: &[f64]) -> Arc<Histogram> {
+        self.register_with(
+            name,
+            help,
+            || Instrument::Histogram(Arc::new(Histogram::new(bounds))),
+            |i| match i {
+                Instrument::Histogram(h) => Some(h.clone()),
+                _ => None,
+            },
+        )
+    }
+
+    /// Snapshot of all entries, sorted by name (for deterministic export).
+    pub(crate) fn sorted_entries(&self) -> Vec<Entry> {
+        let mut entries = self.entries.lock().expect("registry lock").clone();
+        entries.sort_by(|a, b| a.name.cmp(&b.name));
+        entries
+    }
+
+    /// Looks an instrument up by name.
+    pub fn find(&self, name: &str) -> Option<Instrument> {
+        self.entries
+            .lock()
+            .expect("registry lock")
+            .iter()
+            .find(|e| e.name == name)
+            .map(|e| e.instrument.clone())
+    }
+}
+
+/// The stock aggregation sink: lifecycle spans → registry instruments.
+pub struct MetricsSink {
+    registry: MetricsRegistry,
+    submitted: Arc<Counter>,
+    completed: Arc<Counter>,
+    rejected: Arc<Counter>,
+    queued: Arc<Counter>,
+    held: Arc<Counter>,
+    placed: Arc<Counter>,
+    placement_errors: Arc<Counter>,
+    churn_evictions: Arc<Counter>,
+    reuse_hits: Arc<Counter>,
+    reconfigurations: Arc<Counter>,
+    synth_cache_hits: Arc<Counter>,
+    synth_cache_misses: Arc<Counter>,
+    node_joins: Arc<Counter>,
+    node_leaves: Arc<Counter>,
+    node_crashes: Arc<Counter>,
+    reuse_ratio: Arc<Gauge>,
+    queue_depth: Arc<Gauge>,
+    held_depth: Arc<Gauge>,
+    wait: Arc<Histogram>,
+    setup: Arc<Histogram>,
+    exec: Arc<Histogram>,
+    turnaround: Arc<Histogram>,
+    queue_depth_hist: Arc<Histogram>,
+}
+
+impl MetricsSink {
+    /// Builds the sink, registering the standard instrument set (prefix
+    /// `rhv_`) in `registry`.
+    pub fn new(registry: MetricsRegistry) -> Self {
+        let c = |n: &str, h: &str| registry.counter(n, h);
+        let lat = Histogram::latency_bounds();
+        MetricsSink {
+            submitted: c("rhv_tasks_submitted_total", "Tasks submitted to the kernel"),
+            completed: c("rhv_tasks_completed_total", "Tasks completed"),
+            rejected: c(
+                "rhv_tasks_rejected_total",
+                "Tasks rejected as unsatisfiable",
+            ),
+            queued: c("rhv_tasks_queued_total", "Backlog entries (queue joins)"),
+            held: c("rhv_tasks_held_total", "Tasks held on unmet dependencies"),
+            placed: c("rhv_tasks_placed_total", "Successful placements"),
+            placement_errors: c(
+                "rhv_placement_errors_total",
+                "Infeasible placements produced by the strategy",
+            ),
+            churn_evictions: c(
+                "rhv_churn_evictions_total",
+                "Task executions lost to node churn",
+            ),
+            reuse_hits: c(
+                "rhv_config_reuse_hits_total",
+                "Placements served by a resident configuration",
+            ),
+            reconfigurations: c(
+                "rhv_reconfigurations_total",
+                "Placements that reconfigured fabric",
+            ),
+            synth_cache_hits: c("rhv_synth_cache_hits_total", "CAD cache hits"),
+            synth_cache_misses: c("rhv_synth_cache_misses_total", "Full CAD synthesis runs"),
+            node_joins: c("rhv_node_joins_total", "Nodes joined"),
+            node_leaves: c("rhv_node_leaves_total", "Nodes left"),
+            node_crashes: c("rhv_node_crashes_total", "Nodes crashed"),
+            reuse_ratio: registry.gauge(
+                "rhv_config_reuse_hit_ratio",
+                "reuse hits / (reuse hits + reconfigurations)",
+            ),
+            queue_depth: registry.gauge("rhv_queue_depth", "Tasks waiting in the backlog"),
+            held_depth: registry.gauge("rhv_held_depth", "Tasks held on dependencies"),
+            wait: registry.histogram("rhv_task_wait_seconds", "Queueing delay", lat),
+            setup: registry.histogram(
+                "rhv_task_setup_seconds",
+                "Setup delay (synthesis + transfer + reconfiguration)",
+                lat,
+            ),
+            exec: registry.histogram("rhv_task_exec_seconds", "Pure execution time", lat),
+            turnaround: registry.histogram("rhv_task_turnaround_seconds", "Total turnaround", lat),
+            queue_depth_hist: registry.histogram(
+                "rhv_queue_depth_observed",
+                "Backlog depth sampled at span boundaries",
+                Histogram::depth_bounds(),
+            ),
+            registry,
+        }
+    }
+
+    /// The registry this sink feeds.
+    pub fn registry(&self) -> &MetricsRegistry {
+        &self.registry
+    }
+
+    fn update_reuse_ratio(&self) {
+        let hits = self.reuse_hits.get() as f64;
+        let total = hits + self.reconfigurations.get() as f64;
+        self.reuse_ratio
+            .set(if total > 0.0 { hits / total } else { 0.0 });
+    }
+}
+
+impl TelemetrySink for MetricsSink {
+    fn record(&mut self, span: &LifecycleSpan) {
+        match &span.event {
+            SpanEvent::Submitted => self.submitted.inc(),
+            SpanEvent::HeldOnDeps => self.held.inc(),
+            SpanEvent::Queued => self.queued.inc(),
+            SpanEvent::Placed(p) => {
+                self.placed.inc();
+                if p.reused {
+                    self.reuse_hits.inc();
+                } else if p.setup.reconfig > 0.0 {
+                    self.reconfigurations.inc();
+                }
+                match p.setup.synth_cache_hit {
+                    Some(true) => self.synth_cache_hits.inc(),
+                    Some(false) => self.synth_cache_misses.inc(),
+                    None => {}
+                }
+                self.update_reuse_ratio();
+            }
+            SpanEvent::PlacementFailed { .. } => self.placement_errors.inc(),
+            SpanEvent::Rejected => self.rejected.inc(),
+            SpanEvent::Completed(c) => {
+                self.completed.inc();
+                self.wait.observe(c.wait);
+                self.setup.observe(c.setup);
+                self.exec.observe(c.exec);
+                self.turnaround.observe(c.turnaround);
+            }
+            SpanEvent::ChurnEvicted { .. } => self.churn_evictions.inc(),
+        }
+    }
+
+    fn node_event(&mut self, _at: f64, event: NodeEvent) {
+        match event {
+            NodeEvent::Joined(_) => self.node_joins.inc(),
+            NodeEvent::Left(_) => self.node_leaves.inc(),
+            NodeEvent::Crashed(_) => self.node_crashes.inc(),
+        }
+    }
+
+    fn grid_state(&mut self, _at: f64, _nodes: &[Node], queue_depth: usize, held: usize) {
+        self.queue_depth.set(queue_depth as f64);
+        self.held_depth.set(held as f64);
+        self.queue_depth_hist.observe(queue_depth as f64);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::span::{CompletedSpan, PlacedSpan, SetupPhases};
+    use rhv_core::ids::{NodeId, PeId, TaskId};
+    use rhv_core::matchmaker::PeRef;
+
+    #[test]
+    fn counters_and_gauges() {
+        let reg = MetricsRegistry::new();
+        let c = reg.counter("x_total", "help");
+        c.inc();
+        c.add(2);
+        assert_eq!(c.get(), 3);
+        // Re-registration returns the same instrument.
+        assert_eq!(reg.counter("x_total", "help").get(), 3);
+        let g = reg.gauge("g", "help");
+        g.set(2.5);
+        assert_eq!(g.get(), 2.5);
+    }
+
+    #[test]
+    fn histogram_buckets_cumulate() {
+        let h = Histogram::new(&[1.0, 10.0]);
+        for v in [0.5, 0.9, 5.0, 100.0] {
+            h.observe(v);
+        }
+        h.observe(f64::NAN); // dropped
+        assert_eq!(h.count(), 4);
+        assert_eq!(h.cumulative(), vec![2, 3, 4]);
+        assert!((h.sum() - 106.4).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "another kind")]
+    fn kind_mismatch_panics() {
+        let reg = MetricsRegistry::new();
+        reg.counter("m", "");
+        reg.gauge("m", "");
+    }
+
+    #[test]
+    fn metrics_sink_aggregates_lifecycle() {
+        let reg = MetricsRegistry::new();
+        let mut sink = MetricsSink::new(reg.clone());
+        let pe = PeRef {
+            node: NodeId(0),
+            pe: PeId::Rpe(0),
+        };
+        let span = |event: SpanEvent| LifecycleSpan {
+            task: TaskId(0),
+            at: 0.0,
+            event,
+        };
+        sink.record(&span(SpanEvent::Submitted));
+        sink.record(&span(SpanEvent::Placed(PlacedSpan {
+            pe,
+            setup: SetupPhases {
+                reconfig: 0.1,
+                synth_cache_hit: Some(false),
+                ..SetupPhases::default()
+            },
+            exec_start: 0.1,
+            finish: 1.1,
+            reused: false,
+        })));
+        sink.record(&span(SpanEvent::Placed(PlacedSpan {
+            pe,
+            setup: SetupPhases::default(),
+            exec_start: 1.1,
+            finish: 2.1,
+            reused: true,
+        })));
+        sink.record(&span(SpanEvent::Completed(CompletedSpan {
+            pe,
+            wait: 0.0,
+            setup: 0.1,
+            exec: 1.0,
+            turnaround: 1.1,
+        })));
+        sink.node_event(0.0, NodeEvent::Crashed(NodeId(2)));
+        sink.grid_state(0.0, &[], 3, 1);
+        assert_eq!(sink.submitted.get(), 1);
+        assert_eq!(sink.placed.get(), 2);
+        assert_eq!(sink.reconfigurations.get(), 1);
+        assert_eq!(sink.reuse_hits.get(), 1);
+        assert_eq!(sink.reuse_ratio.get(), 0.5);
+        assert_eq!(sink.synth_cache_misses.get(), 1);
+        assert_eq!(sink.wait.count(), 1);
+        assert_eq!(sink.queue_depth.get(), 3.0);
+        assert_eq!(sink.node_crashes.get(), 1);
+        // The shared registry sees the same values.
+        match reg.find("rhv_tasks_placed_total").unwrap() {
+            Instrument::Counter(c) => assert_eq!(c.get(), 2),
+            _ => panic!("wrong kind"),
+        }
+    }
+}

@@ -1,0 +1,223 @@
+//! The [`TelemetrySink`] trait and the stock sinks.
+//!
+//! A sink receives [`LifecycleSpan`]s from the task-lifecycle kernel (plus
+//! node-membership events and periodic grid-state snapshots) and does
+//! whatever it likes with them: collect, aggregate into a
+//! [`MetricsRegistry`](crate::registry::MetricsRegistry), forward to a
+//! monitor. The kernel holds exactly one boxed sink; fan out with
+//! [`FanoutSink`].
+//!
+//! The no-op sink is the default everywhere and must keep the kernel's hot
+//! path allocation-free: emitters check [`TelemetrySink::enabled`] before
+//! building any span that would allocate, and all span payloads except the
+//! rare `PlacementFailed { reason }` are plain `Copy` data on the stack.
+
+use crate::span::{LifecycleSpan, NodeEvent};
+use rhv_core::node::Node;
+use std::sync::{Arc, Mutex};
+
+/// Receiver of kernel telemetry. All methods default to no-ops so sinks
+/// implement only what they consume.
+pub trait TelemetrySink: Send {
+    /// False when the sink discards everything — lets emitters skip span
+    /// construction entirely (the no-op hot path).
+    fn enabled(&self) -> bool {
+        true
+    }
+
+    /// One lifecycle mutation of one task.
+    fn record(&mut self, span: &LifecycleSpan) {
+        let _ = span;
+    }
+
+    /// A grid-membership change at sim time `at`.
+    fn node_event(&mut self, at: f64, event: NodeEvent) {
+        let _ = (at, event);
+    }
+
+    /// Grid state after a kernel mutation: current nodes plus backlog and
+    /// held-queue depths. Called on every span boundary; implementations
+    /// that snapshot nodes should throttle themselves.
+    fn grid_state(&mut self, at: f64, nodes: &[Node], queue_depth: usize, held: usize) {
+        let _ = (at, nodes, queue_depth, held);
+    }
+
+    /// The run is over; flush buffered state.
+    fn flush(&mut self) {}
+}
+
+/// The default sink: drops everything, reports itself disabled.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct NoopSink;
+
+impl TelemetrySink for NoopSink {
+    fn enabled(&self) -> bool {
+        false
+    }
+}
+
+/// Collects every span (and node event) into shared vectors; clone one
+/// handle into the kernel and keep another to read the trace afterwards.
+#[derive(Debug, Default, Clone)]
+pub struct SpanCollector {
+    inner: Arc<Mutex<CollectorInner>>,
+}
+
+#[derive(Debug, Default)]
+struct CollectorInner {
+    spans: Vec<LifecycleSpan>,
+    node_events: Vec<(f64, NodeEvent)>,
+}
+
+impl SpanCollector {
+    /// An empty collector.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// A copy of every span recorded so far, emission-ordered.
+    pub fn spans(&self) -> Vec<LifecycleSpan> {
+        self.inner.lock().expect("collector lock").spans.clone()
+    }
+
+    /// A copy of every node event recorded so far.
+    pub fn node_events(&self) -> Vec<(f64, NodeEvent)> {
+        self.inner
+            .lock()
+            .expect("collector lock")
+            .node_events
+            .clone()
+    }
+
+    /// Number of spans recorded.
+    pub fn len(&self) -> usize {
+        self.inner.lock().expect("collector lock").spans.len()
+    }
+
+    /// True when nothing was recorded.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+impl TelemetrySink for SpanCollector {
+    fn record(&mut self, span: &LifecycleSpan) {
+        self.inner
+            .lock()
+            .expect("collector lock")
+            .spans
+            .push(span.clone());
+    }
+
+    fn node_event(&mut self, at: f64, event: NodeEvent) {
+        self.inner
+            .lock()
+            .expect("collector lock")
+            .node_events
+            .push((at, event));
+    }
+}
+
+/// Forwards everything to each inner sink in order.
+#[derive(Default)]
+pub struct FanoutSink {
+    sinks: Vec<Box<dyn TelemetrySink>>,
+}
+
+impl FanoutSink {
+    /// An empty fan-out.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Builder: adds a sink.
+    pub fn with(mut self, sink: Box<dyn TelemetrySink>) -> Self {
+        self.sinks.push(sink);
+        self
+    }
+}
+
+impl TelemetrySink for FanoutSink {
+    fn enabled(&self) -> bool {
+        self.sinks.iter().any(|s| s.enabled())
+    }
+
+    fn record(&mut self, span: &LifecycleSpan) {
+        for s in &mut self.sinks {
+            s.record(span);
+        }
+    }
+
+    fn node_event(&mut self, at: f64, event: NodeEvent) {
+        for s in &mut self.sinks {
+            s.node_event(at, event);
+        }
+    }
+
+    fn grid_state(&mut self, at: f64, nodes: &[Node], queue_depth: usize, held: usize) {
+        for s in &mut self.sinks {
+            s.grid_state(at, nodes, queue_depth, held);
+        }
+    }
+
+    fn flush(&mut self) {
+        for s in &mut self.sinks {
+            s.flush();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::span::SpanEvent;
+    use rhv_core::ids::{NodeId, TaskId};
+
+    fn span(task: u64, at: f64) -> LifecycleSpan {
+        LifecycleSpan {
+            task: TaskId(task),
+            at,
+            event: SpanEvent::Submitted,
+        }
+    }
+
+    #[test]
+    fn noop_is_disabled() {
+        assert!(!NoopSink.enabled());
+        // Default methods accept everything without effect.
+        let mut s = NoopSink;
+        s.record(&span(0, 0.0));
+        s.node_event(1.0, NodeEvent::Joined(NodeId(4)));
+        s.flush();
+    }
+
+    #[test]
+    fn collector_shares_state_across_clones() {
+        let collector = SpanCollector::new();
+        let mut handle: Box<dyn TelemetrySink> = Box::new(collector.clone());
+        assert!(handle.enabled());
+        handle.record(&span(1, 0.5));
+        handle.record(&span(2, 1.5));
+        handle.node_event(2.0, NodeEvent::Crashed(NodeId(1)));
+        assert_eq!(collector.len(), 2);
+        assert_eq!(collector.spans()[1].task, TaskId(2));
+        assert_eq!(
+            collector.node_events(),
+            vec![(2.0, NodeEvent::Crashed(NodeId(1)))]
+        );
+    }
+
+    #[test]
+    fn fanout_forwards_to_all() {
+        let a = SpanCollector::new();
+        let b = SpanCollector::new();
+        let mut fan = FanoutSink::new()
+            .with(Box::new(a.clone()))
+            .with(Box::new(b.clone()));
+        assert!(fan.enabled());
+        fan.record(&span(7, 3.0));
+        assert_eq!(a.len(), 1);
+        assert_eq!(b.len(), 1);
+        assert!(!FanoutSink::new().with(Box::new(NoopSink)).enabled());
+    }
+}

@@ -1,0 +1,178 @@
+//! The lifecycle-span vocabulary.
+//!
+//! One [`LifecycleSpan`] is emitted by the task-lifecycle kernel at each
+//! mutation of a task's state, stamped with the kernel's sim-time clock.
+//! The vocabulary covers the full state machine of the paper's lifecycle:
+//!
+//! ```text
+//! submitted → held-on-deps → placed | placement-error | queued | rejected
+//! placed → setup { data-in, synth {cache-hit|miss}, bitstream-transfer,
+//!                  reconfig } → exec → completed | churn-evicted
+//! ```
+//!
+//! Only the kernel emits lifecycle spans; front-ends may add
+//! transport-level events of their own but must not re-derive these.
+
+use rhv_core::ids::{NodeId, TaskId};
+use rhv_core::matchmaker::PeRef;
+use serde::{Deserialize, Serialize};
+
+/// Durations of the setup phases of one placement, in sim seconds.
+///
+/// Phases the placement did not need are zero. The phases run back-to-back
+/// starting at the dispatch instant, in the declaration order below — the
+/// same order the kernel prices them.
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct SetupPhases {
+    /// Input/output data shipping to the node.
+    pub data_in: f64,
+    /// HDL synthesis (zero on a CAD-cache hit).
+    pub synth: f64,
+    /// Whether synthesis was served from the CAD cache (`None` when the
+    /// placement needed no synthesis at all).
+    pub synth_cache_hit: Option<bool>,
+    /// Bitstream shipping to the device.
+    pub bitstream: f64,
+    /// (Partial) reconfiguration of the fabric.
+    pub reconfig: f64,
+}
+
+impl SetupPhases {
+    /// Total setup time.
+    pub fn total(&self) -> f64 {
+        self.data_in + self.synth + self.bitstream + self.reconfig
+    }
+}
+
+/// A successful placement: the task's future on its PE is fully priced at
+/// the dispatch instant (this is a simulator — setup and execution windows
+/// are known once the placement is applied).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct PlacedSpan {
+    /// Where the task runs.
+    pub pe: PeRef,
+    /// Setup-phase breakdown, starting at the span's `at`.
+    pub setup: SetupPhases,
+    /// When execution proper begins (`at + setup.total()`).
+    pub exec_start: f64,
+    /// Scheduled completion.
+    pub finish: f64,
+    /// True when a resident configuration was reused (no reconfiguration).
+    pub reused: bool,
+}
+
+/// A delivered completion, with the derived per-task latencies.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct CompletedSpan {
+    /// Where the task ran.
+    pub pe: PeRef,
+    /// Queueing delay (dispatch − arrival).
+    pub wait: f64,
+    /// Setup delay (exec start − dispatch).
+    pub setup: f64,
+    /// Pure execution time.
+    pub exec: f64,
+    /// Total turnaround (finish − arrival).
+    pub turnaround: f64,
+}
+
+/// What happened to a task at one lifecycle mutation.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum SpanEvent {
+    /// The task entered the kernel.
+    Submitted,
+    /// The task is held until its graph predecessors complete.
+    HeldOnDeps,
+    /// The task entered the retry backlog (resources busy right now).
+    Queued,
+    /// The task was placed; setup begins immediately.
+    Placed(PlacedSpan),
+    /// The strategy produced an infeasible placement (a strategy bug the
+    /// kernel survives); the task is rejected.
+    PlacementFailed {
+        /// Human-readable reason (the typed `PlacementError` display).
+        reason: String,
+    },
+    /// The task can never run on this grid and was rejected.
+    Rejected,
+    /// The task finished and released its resources.
+    Completed(CompletedSpan),
+    /// The task's execution was lost to node churn (crash); it re-enters
+    /// the backlog and will be re-dispatched from scratch.
+    ChurnEvicted {
+        /// The PE whose node crashed.
+        pe: PeRef,
+    },
+}
+
+impl SpanEvent {
+    /// Short stable label, used by exporters and logs.
+    pub fn label(&self) -> &'static str {
+        match self {
+            SpanEvent::Submitted => "submitted",
+            SpanEvent::HeldOnDeps => "held-on-deps",
+            SpanEvent::Queued => "queued",
+            SpanEvent::Placed(_) => "placed",
+            SpanEvent::PlacementFailed { .. } => "placement-error",
+            SpanEvent::Rejected => "rejected",
+            SpanEvent::Completed(_) => "completed",
+            SpanEvent::ChurnEvicted { .. } => "churn-evicted",
+        }
+    }
+}
+
+/// One timestamped lifecycle event of one task.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct LifecycleSpan {
+    /// The task.
+    pub task: TaskId,
+    /// Sim-time timestamp of the mutation (seconds).
+    pub at: f64,
+    /// What happened.
+    pub event: SpanEvent,
+}
+
+/// A grid-membership change, emitted by the kernel's churn handler (and by
+/// the RMS for administrative joins/leaves).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum NodeEvent {
+    /// A node joined the grid.
+    Joined(NodeId),
+    /// A node left the grid (possibly deferred until idle).
+    Left(NodeId),
+    /// A node crashed; its running tasks are churn-evicted.
+    Crashed(NodeId),
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rhv_core::ids::PeId;
+
+    #[test]
+    fn setup_total_sums_phases() {
+        let s = SetupPhases {
+            data_in: 1.0,
+            synth: 2.0,
+            synth_cache_hit: Some(false),
+            bitstream: 0.5,
+            reconfig: 0.25,
+        };
+        assert_eq!(s.total(), 3.75);
+        assert_eq!(SetupPhases::default().total(), 0.0);
+    }
+
+    #[test]
+    fn labels_are_stable() {
+        let pe = PeRef {
+            node: NodeId(0),
+            pe: PeId::Rpe(0),
+        };
+        assert_eq!(SpanEvent::Submitted.label(), "submitted");
+        assert_eq!(SpanEvent::ChurnEvicted { pe }.label(), "churn-evicted");
+        assert_eq!(
+            SpanEvent::PlacementFailed { reason: "x".into() }.label(),
+            "placement-error"
+        );
+    }
+}
