@@ -4,7 +4,7 @@
 # invocations through the stub harness instead:
 #   devtools/offline-check.sh test --workspace -q
 
-.PHONY: check fmt clippy test telemetry-smoke
+.PHONY: check fmt clippy test telemetry-smoke bench-smoke
 
 check: fmt clippy test telemetry-smoke
 
@@ -22,3 +22,12 @@ test:
 # malformed JSON, NaN or negative timestamps/durations, missing tracks).
 telemetry-smoke:
 	cargo run -q -p rhv-bench --bin trace_dump -- --check --out target/telemetry
+
+# Quick benchmark smoke: the criterion micro-benches (match index vs naive
+# scan) plus the 1,000-node matchmaker hot-path comparison in scaled-down
+# mode (asserts indexed == naive, leaves BENCH_matchmaker.json untouched).
+# Offline containers run the same steps via:
+#   devtools/offline-check.sh bench-smoke
+bench-smoke:
+	cargo bench -p rhv-bench --bench match_index
+	cargo run -q --release -p rhv-bench --bin bench_matchmaker -- --smoke

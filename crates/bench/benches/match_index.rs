@@ -1,0 +1,82 @@
+//! Candidate queries on a mostly-occupied grid: the naive full scan vs the
+//! incremental `MatchIndex` range query, at grid sizes up to the
+//! thousand-node/4,000-PE acceptance point.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rhv_core::case_study;
+use rhv_core::fabric::FitPolicy;
+use rhv_core::ids::{NodeId, PeId};
+use rhv_core::matchindex::{GridView, MatchIndex};
+use rhv_core::matchmaker::{MatchOptions, Matchmaker};
+use rhv_core::node::Node;
+use rhv_core::state::ConfigKind;
+use std::hint::black_box;
+
+fn live() -> MatchOptions {
+    MatchOptions {
+        respect_state: true,
+        ..MatchOptions::default()
+    }
+}
+
+/// `n` clones of the 4-PE case-study Node_0, with every PE on 95 of each
+/// 100 nodes saturated (cores acquired, fabric filled by a busy config).
+fn occupied_grid_of(n: usize) -> Vec<Node> {
+    let base = case_study::grid().remove(0);
+    (0..n)
+        .map(|i| {
+            let mut node = base.clone();
+            node.id = NodeId(i as u64);
+            if i % 100 < 95 {
+                for g in 0..node.gpps().len() {
+                    let pe = PeId::Gpp(g as u32);
+                    let free = node.gpp(pe).unwrap().state.free_cores();
+                    node.gpp_mut(pe).unwrap().state.acquire_cores(free).unwrap();
+                }
+                for r in 0..node.rpes().len() {
+                    let pe = PeId::Rpe(r as u32);
+                    let slices = node.rpe(pe).unwrap().state.available_slices();
+                    let state = &mut node.rpe_mut(pe).unwrap().state;
+                    let cfg = state
+                        .load(
+                            ConfigKind::Accelerator(format!("occ-{i}-{r}")),
+                            slices,
+                            FitPolicy::FirstFit,
+                        )
+                        .unwrap();
+                    state.acquire(cfg).unwrap();
+                }
+            }
+            node
+        })
+        .collect()
+}
+
+fn bench_match_index(c: &mut Criterion) {
+    let tasks = case_study::tasks();
+    let mm = Matchmaker::with_options(live());
+    let mut group = c.benchmark_group("match_index");
+    for nodes in [100usize, 1000] {
+        let grid = occupied_grid_of(nodes);
+        let index = MatchIndex::build(&grid);
+        group.bench_with_input(BenchmarkId::new("naive_scan", nodes), &grid, |b, grid| {
+            b.iter(|| {
+                for t in &tasks {
+                    black_box(mm.candidates(black_box(t), grid));
+                }
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("indexed", nodes), &grid, |b, grid| {
+            let view = GridView::new(grid, &index);
+            b.iter(|| {
+                for t in &tasks {
+                    black_box(view.candidates(black_box(t), live()));
+                }
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_match_index);
+criterion_main!(benches);

@@ -1,0 +1,288 @@
+//! **Matchmaking hot-path benchmark**: the naive full-grid scan vs the
+//! incremental [`MatchIndex`] on a thousand-node grid, measured two ways —
+//! raw candidate queries on a mostly-occupied grid, and a full dispatch
+//! trajectory through the lifecycle kernel (where the index also powers
+//! dirty-class backlog skipping).
+//!
+//! The full run writes the before/after trajectory to `BENCH_matchmaker.json`
+//! at the repository root; `--smoke` runs a scaled-down sanity pass and
+//! writes nothing.
+//!
+//! Usage: `bench_matchmaker [--smoke]`
+
+use rhv_bench::{banner, section};
+use rhv_core::case_study;
+use rhv_core::fabric::FitPolicy;
+use rhv_core::ids::{NodeId, PeId};
+use rhv_core::matchindex::{GridView, MatchIndex};
+use rhv_core::matchmaker::{MatchOptions, Matchmaker};
+use rhv_core::node::Node;
+use rhv_core::state::ConfigKind;
+use rhv_core::task::Task;
+use rhv_sched::FirstFitStrategy;
+use rhv_sim::sim::{GridSimulator, SimConfig};
+use rhv_sim::strategy::{Placement, Strategy};
+use rhv_sim::workload::WorkloadSpec;
+use rhv_telemetry::{MetricsRegistry, MetricsSink};
+use std::time::Instant;
+
+/// The first case-study node (2 GPPs + 2 RPEs = 4 PEs) cloned `n` times:
+/// 1,000 nodes → 4,000 PEs, the grid size the acceptance bar names.
+fn grid_of(n: usize) -> Vec<Node> {
+    let base = case_study::grid().remove(0);
+    (0..n)
+        .map(|i| {
+            let mut node = base.clone();
+            node.id = NodeId(i as u64);
+            node
+        })
+        .collect()
+}
+
+/// Saturates every PE on ~`percent`% of the nodes: all GPP cores acquired,
+/// all fabric filled by an in-use configuration. This is the regime the
+/// index is built for — the naive scan still walks every PE, while the
+/// free-slice range query only visits the few that can actually host work.
+fn occupy(nodes: &mut [Node], percent: usize) {
+    for (i, node) in nodes.iter_mut().enumerate() {
+        if i % 100 >= percent {
+            continue;
+        }
+        for g in 0..node.gpps().len() {
+            let pe = PeId::Gpp(g as u32);
+            let free = node.gpp(pe).unwrap().state.free_cores();
+            node.gpp_mut(pe).unwrap().state.acquire_cores(free).unwrap();
+        }
+        for r in 0..node.rpes().len() {
+            let pe = PeId::Rpe(r as u32);
+            let slices = node.rpe(pe).unwrap().state.available_slices();
+            let state = &mut node.rpe_mut(pe).unwrap().state;
+            let cfg = state
+                .load(
+                    ConfigKind::Accelerator(format!("occ-{i}-{r}")),
+                    slices,
+                    FitPolicy::FirstFit,
+                )
+                .unwrap();
+            state.acquire(cfg).unwrap();
+        }
+    }
+}
+
+/// First-fit over the naive `Matchmaker` scan — the pre-index baseline the
+/// trajectory comparison runs against. Candidate order is identical to the
+/// indexed path (both sort by `PeRef`), so placements — and therefore the
+/// whole simulation — must agree; only the time differs.
+struct NaiveFirstFit {
+    live: Matchmaker,
+    statics: Matchmaker,
+}
+
+impl NaiveFirstFit {
+    fn new() -> Self {
+        NaiveFirstFit {
+            live: Matchmaker::with_options(MatchOptions {
+                respect_state: true,
+                ..MatchOptions::default()
+            }),
+            statics: Matchmaker::new(),
+        }
+    }
+}
+
+impl Strategy for NaiveFirstFit {
+    fn name(&self) -> &str {
+        "first-fit"
+    }
+
+    fn place(&mut self, task: &Task, grid: &GridView<'_>, _now: f64) -> Option<Placement> {
+        self.live
+            .candidates(task, grid.nodes())
+            .first()
+            .copied()
+            .map(Into::into)
+    }
+
+    fn is_satisfiable(&self, task: &Task, grid: &GridView<'_>) -> bool {
+        !self.statics.candidates(task, grid.nodes()).is_empty()
+    }
+}
+
+struct QueryResult {
+    naive_us: f64,
+    indexed_us: f64,
+}
+
+/// Times `iters` rounds of candidate queries for every case-study task,
+/// naive scan vs index, asserting along the way that they agree.
+fn query_benchmark(nodes: &[Node], iters: usize) -> QueryResult {
+    let tasks = case_study::tasks();
+    let live = MatchOptions {
+        respect_state: true,
+        ..MatchOptions::default()
+    };
+    let mm = Matchmaker::with_options(live);
+    let index = MatchIndex::build(nodes);
+    let view = GridView::new(nodes, &index);
+    for t in &tasks {
+        assert_eq!(
+            mm.candidates(t, nodes),
+            view.candidates(t, live),
+            "indexed candidates diverge from the naive scan for {}",
+            t.id
+        );
+    }
+
+    let queries = (iters * tasks.len()) as f64;
+    let start = Instant::now();
+    for _ in 0..iters {
+        for t in &tasks {
+            std::hint::black_box(mm.candidates(t, nodes));
+        }
+    }
+    let naive_us = start.elapsed().as_secs_f64() * 1e6 / queries;
+    let start = Instant::now();
+    for _ in 0..iters {
+        for t in &tasks {
+            std::hint::black_box(view.candidates(t, live));
+        }
+    }
+    let indexed_us = start.elapsed().as_secs_f64() * 1e6 / queries;
+    QueryResult {
+        naive_us,
+        indexed_us,
+    }
+}
+
+struct TrajectoryResult {
+    tasks: usize,
+    naive_s: f64,
+    indexed_s: f64,
+    index_hits: u64,
+    scan_fallbacks: u64,
+    range_width: u64,
+    backlog_skipped: u64,
+}
+
+/// Runs the same workload through the kernel twice — naive-scan strategy vs
+/// the indexed one — asserting identical reports and returning both wall
+/// times plus the index counters the indexed run exported. The grid is 95%
+/// pre-occupied so tasks contend for the free tail: queues form, and the
+/// dirty-class backlog skipping has something to skip.
+fn trajectory_benchmark(
+    n_nodes: usize,
+    n_tasks: usize,
+    percent: usize,
+    seed: u64,
+) -> TrajectoryResult {
+    let workload = WorkloadSpec::default_for_grid(n_tasks, 5.0, seed).generate();
+    let cfg = SimConfig {
+        cad_speed: 10.0,
+        ..SimConfig::default()
+    };
+    let grid = || {
+        let mut nodes = grid_of(n_nodes);
+        occupy(&mut nodes, percent);
+        nodes
+    };
+
+    let mut naive = NaiveFirstFit::new();
+    let start = Instant::now();
+    let before = GridSimulator::new(grid(), cfg.clone()).run(workload.clone(), &mut naive);
+    let naive_s = start.elapsed().as_secs_f64();
+
+    let registry = MetricsRegistry::new();
+    let sink = MetricsSink::new(registry.clone());
+    let mut indexed = FirstFitStrategy::new();
+    let start = Instant::now();
+    let after = GridSimulator::new(grid(), cfg)
+        .with_sink(Box::new(sink))
+        .run(workload, &mut indexed);
+    let indexed_s = start.elapsed().as_secs_f64();
+
+    assert_eq!(
+        before.summary_row(),
+        after.summary_row(),
+        "indexed dispatch changed the trajectory"
+    );
+    let counter = |name: &str| registry.counter(name, "").get();
+    TrajectoryResult {
+        tasks: n_tasks,
+        naive_s,
+        indexed_s,
+        index_hits: counter("rhv_match_index_hits_total"),
+        scan_fallbacks: counter("rhv_match_scan_fallbacks_total"),
+        range_width: counter("rhv_match_range_width_total"),
+        backlog_skipped: counter("rhv_backlog_skipped_total"),
+    }
+}
+
+fn main() {
+    let smoke = std::env::args().any(|a| a == "--smoke");
+    let (n_nodes, iters, n_tasks) = if smoke {
+        (1000, 3, 80)
+    } else {
+        (1000, 20, 400)
+    };
+    let occupied = 95;
+    // The trajectory needs real contention (queues) to exercise backlog
+    // skipping: leave only 1% of nodes free there.
+    let traj_occupied = 99;
+
+    banner(
+        "matchmaker hot path",
+        "naive full-grid scan vs incremental MatchIndex",
+    );
+    println!(
+        "grid: {} nodes, {} PEs, {}% of nodes fully occupied{}",
+        n_nodes,
+        4 * n_nodes,
+        occupied,
+        if smoke { "  [smoke]" } else { "" }
+    );
+
+    section("candidate queries (mostly-occupied grid)");
+    let mut nodes = grid_of(n_nodes);
+    occupy(&mut nodes, occupied);
+    let q = query_benchmark(&nodes, iters);
+    let q_speedup = q.naive_us / q.indexed_us;
+    println!("  naive scan : {:>10.2} µs/query", q.naive_us);
+    println!("  indexed    : {:>10.2} µs/query", q.indexed_us);
+    println!("  speedup    : {q_speedup:>10.1}×");
+
+    section("kernel dispatch trajectory (identical placements, timed)");
+    let t = trajectory_benchmark(n_nodes, n_tasks, traj_occupied, 2012);
+    let t_speedup = t.naive_s / t.indexed_s;
+    println!(
+        "  {} tasks, first-fit, arrival rate 5 tasks/s, {}% of nodes pre-occupied",
+        t.tasks, traj_occupied
+    );
+    println!("  naive scan : {:>10.3} s", t.naive_s);
+    println!("  indexed    : {:>10.3} s", t.indexed_s);
+    println!("  speedup    : {t_speedup:>10.1}×");
+    println!(
+        "  counters   : {} index hits, {} scan fallbacks, {} PEs ranged, {} backlog skips",
+        t.index_hits, t.scan_fallbacks, t.range_width, t.backlog_skipped
+    );
+
+    if smoke {
+        println!("\nsmoke run — BENCH_matchmaker.json left untouched");
+        return;
+    }
+
+    let json = format!(
+        "{{\n  \"benchmark\": \"matchmaker_hot_path\",\n  \"grid\": {{ \"nodes\": {n_nodes}, \"pes\": {pes}, \"occupied_node_percent\": {occupied} }},\n  \"query\": {{\n    \"iterations\": {iters},\n    \"naive_us_per_query\": {naive_us:.3},\n    \"indexed_us_per_query\": {indexed_us:.3},\n    \"speedup\": {q_speedup:.1}\n  }},\n  \"dispatch\": {{\n    \"tasks\": {tasks},\n    \"naive_seconds\": {naive_s:.3},\n    \"indexed_seconds\": {indexed_s:.3},\n    \"speedup\": {t_speedup:.1},\n    \"index_hits\": {hits},\n    \"scan_fallbacks\": {fallbacks},\n    \"range_width\": {width},\n    \"backlog_skipped\": {skipped}\n  }}\n}}\n",
+        pes = 4 * n_nodes,
+        naive_us = q.naive_us,
+        indexed_us = q.indexed_us,
+        tasks = t.tasks,
+        naive_s = t.naive_s,
+        indexed_s = t.indexed_s,
+        hits = t.index_hits,
+        fallbacks = t.scan_fallbacks,
+        width = t.range_width,
+        skipped = t.backlog_skipped,
+    );
+    std::fs::write("BENCH_matchmaker.json", &json).expect("write BENCH_matchmaker.json");
+    println!("\nwrote BENCH_matchmaker.json");
+}

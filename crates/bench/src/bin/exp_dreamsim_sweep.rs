@@ -2,18 +2,21 @@
 //! strategies × arrival rates on the case-study grid, reporting makespan,
 //! waiting time, utilization, reconfiguration activity and the energy proxy.
 //!
-//! Usage: `exp_dreamsim_sweep [tasks] [seed]` (defaults 400, 2012).
+//! Cells run in parallel across scoped threads (see [`rhv_bench::sweep`]);
+//! every cell rebuilds its workload and strategy from a derived seed, so the
+//! printed aggregates are byte-identical to the old serial loop.
+//!
+//! Usage: `exp_dreamsim_sweep [tasks] [seed] [replications]`
+//! (defaults 400, 2012, 1).
 
+use rhv_bench::sweep::SweepSpec;
 use rhv_bench::{banner, section};
-use rhv_core::case_study;
-use rhv_sched::standard_strategies;
-use rhv_sim::sim::{GridSimulator, SimConfig};
-use rhv_sim::workload::WorkloadSpec;
 
 fn main() {
     let mut args = std::env::args().skip(1);
     let count: usize = args.next().and_then(|a| a.parse().ok()).unwrap_or(400);
     let seed: u64 = args.next().and_then(|a| a.parse().ok()).unwrap_or(2012);
+    let replications: u64 = args.next().and_then(|a| a.parse().ok()).unwrap_or(1);
 
     banner(
         "DReAMSim sweep",
@@ -21,21 +24,14 @@ fn main() {
     );
     println!("workload: {count} tasks per cell, hybrid mix, seed {seed}\n");
 
-    for rate in [0.2f64, 1.0, 5.0] {
+    let mut spec = SweepSpec::standard(count, seed);
+    spec.replications = replications;
+    let rows = spec.run_parallel();
+
+    for (rate_idx, rate) in spec.rates.iter().enumerate() {
         section(&format!("arrival rate {rate} tasks/s (Poisson)"));
-        let spec = WorkloadSpec::default_for_grid(count, rate, seed);
-        let workload = spec.generate();
-        for mut strategy in standard_strategies(seed) {
-            // A 10× CAD farm keeps first-time synthesis from drowning the
-            // scheduling signal the sweep is about.
-            let cfg = SimConfig {
-                cad_speed: 10.0,
-                ..SimConfig::default()
-            };
-            let report = GridSimulator::new(case_study::grid(), cfg)
-                .run(workload.clone(), strategy.as_mut());
-            report.check_invariants().expect("report invariants");
-            println!("  {}", report.summary_row());
+        for row in rows.iter().filter(|r| r.cell.rate_idx == rate_idx) {
+            println!("  {}", row.report.summary_row());
         }
     }
 

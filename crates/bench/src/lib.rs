@@ -4,6 +4,8 @@
 //! regenerates it (`cargo run -p rhv-bench --bin <name>`); see DESIGN.md's
 //! per-experiment index. These helpers keep the output format uniform.
 
+pub mod sweep;
+
 /// Prints a banner naming the reproduced artifact.
 pub fn banner(artifact: &str, caption: &str) {
     println!("================================================================");

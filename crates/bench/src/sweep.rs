@@ -1,0 +1,213 @@
+//! The DReAMSim sweep as a reusable, parallelizable driver.
+//!
+//! A sweep is a grid of independent **cells**: arrival rate × scheduling
+//! strategy × replication. Each cell is self-contained — it regenerates its
+//! workload and strategy from the sweep seed (replication `r` derives seed
+//! `seed + r`), so cells can run in any order on any thread and still produce
+//! byte-identical reports. [`SweepSpec::run_parallel`] fans the cells out over
+//! scoped threads; [`SweepSpec::run_serial`] is the reference order used to
+//! prove equivalence.
+
+use rhv_core::case_study;
+use rhv_sched::standard_strategies;
+use rhv_sim::metrics::SimReport;
+use rhv_sim::sim::{GridSimulator, SimConfig};
+use rhv_sim::workload::WorkloadSpec;
+
+/// Parameters of one sweep (defaults match `exp_dreamsim_sweep`).
+#[derive(Debug, Clone)]
+pub struct SweepSpec {
+    /// Tasks per cell.
+    pub tasks: usize,
+    /// Base RNG seed; replication `r` uses `seed.wrapping_add(r)`.
+    pub seed: u64,
+    /// Poisson arrival rates (tasks/s), one sweep section per rate.
+    pub rates: Vec<f64>,
+    /// Independent replications per (rate, strategy) cell.
+    pub replications: u64,
+    /// Relative CAD-farm speed applied to every cell.
+    pub cad_speed: f64,
+}
+
+/// Coordinates of one cell in the sweep grid.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SweepCell {
+    /// Index into [`SweepSpec::rates`].
+    pub rate_idx: usize,
+    /// Index into [`standard_strategies`].
+    pub strategy_idx: usize,
+    /// Replication number, 0-based.
+    pub replication: u64,
+}
+
+/// A finished cell: its coordinates plus the simulator report.
+#[derive(Debug)]
+pub struct SweepRow {
+    /// Where this row sits in the sweep grid.
+    pub cell: SweepCell,
+    /// The arrival rate the cell ran at.
+    pub rate: f64,
+    /// The full simulation report.
+    pub report: SimReport,
+}
+
+impl SweepSpec {
+    /// The standard paper sweep: rates 0.2/1.0/5.0 tasks/s, one replication,
+    /// a 10× CAD farm (keeps first-time synthesis from drowning the
+    /// scheduling signal the sweep is about).
+    pub fn standard(tasks: usize, seed: u64) -> Self {
+        SweepSpec {
+            tasks,
+            seed,
+            rates: vec![0.2, 1.0, 5.0],
+            replications: 1,
+            cad_speed: 10.0,
+        }
+    }
+
+    /// How many strategies each rate section holds.
+    pub fn strategy_count() -> usize {
+        standard_strategies(0).len()
+    }
+
+    /// Every cell in serial order: rate-major, then strategy, then
+    /// replication — the order `run_serial` executes and the sweep binary
+    /// prints.
+    pub fn cells(&self) -> Vec<SweepCell> {
+        let mut cells = Vec::new();
+        for rate_idx in 0..self.rates.len() {
+            for strategy_idx in 0..Self::strategy_count() {
+                for replication in 0..self.replications {
+                    cells.push(SweepCell {
+                        rate_idx,
+                        strategy_idx,
+                        replication,
+                    });
+                }
+            }
+        }
+        cells
+    }
+
+    /// Runs one cell from scratch. Deterministic in the cell coordinates:
+    /// the workload and the strategy are rebuilt from the derived seed, so
+    /// the result does not depend on which thread (or in what order) the
+    /// cell runs.
+    pub fn run_cell(&self, cell: SweepCell) -> SweepRow {
+        let rate = self.rates[cell.rate_idx];
+        let cell_seed = self.seed.wrapping_add(cell.replication);
+        let workload = WorkloadSpec::default_for_grid(self.tasks, rate, cell_seed).generate();
+        let mut strategy = standard_strategies(cell_seed)
+            .into_iter()
+            .nth(cell.strategy_idx)
+            .expect("strategy index in range");
+        let cfg = SimConfig {
+            cad_speed: self.cad_speed,
+            ..SimConfig::default()
+        };
+        let report = GridSimulator::new(case_study::grid(), cfg).run(workload, strategy.as_mut());
+        report.check_invariants().expect("report invariants");
+        SweepRow { cell, rate, report }
+    }
+
+    /// All cells, one after the other, in `cells()` order.
+    pub fn run_serial(&self) -> Vec<SweepRow> {
+        self.cells().into_iter().map(|c| self.run_cell(c)).collect()
+    }
+
+    /// All cells across scoped threads; the returned rows are in `cells()`
+    /// order and identical to `run_serial`'s. Cells are dealt to one worker
+    /// per available core in contiguous chunks, each worker writing only its
+    /// own slice of the result vector.
+    pub fn run_parallel(&self) -> Vec<SweepRow> {
+        let cells = self.cells();
+        if cells.is_empty() {
+            return Vec::new();
+        }
+        let workers = std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1)
+            .clamp(1, cells.len());
+        let chunk = cells.len().div_ceil(workers);
+        let mut slots: Vec<Option<SweepRow>> = Vec::with_capacity(cells.len());
+        slots.resize_with(cells.len(), || None);
+        std::thread::scope(|scope| {
+            for (slot_chunk, cell_chunk) in slots.chunks_mut(chunk).zip(cells.chunks(chunk)) {
+                scope.spawn(move || {
+                    for (slot, cell) in slot_chunk.iter_mut().zip(cell_chunk) {
+                        *slot = Some(self.run_cell(*cell));
+                    }
+                });
+            }
+        });
+        slots
+            .into_iter()
+            .map(|s| s.expect("every cell runs"))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parallel_rows_match_serial_exactly() {
+        let spec = SweepSpec {
+            tasks: 40,
+            seed: 2012,
+            rates: vec![1.0, 5.0],
+            replications: 2,
+            cad_speed: 10.0,
+        };
+        let serial = spec.run_serial();
+        let parallel = spec.run_parallel();
+        assert_eq!(serial.len(), parallel.len());
+        for (s, p) in serial.iter().zip(&parallel) {
+            assert_eq!(s.cell, p.cell);
+            assert_eq!(s.rate, p.rate);
+            // Byte-identical aggregate lines, plus the raw floats behind them.
+            assert_eq!(s.report.summary_row(), p.report.summary_row());
+            assert_eq!(s.report.makespan, p.report.makespan);
+            assert_eq!(s.report.energy_j, p.report.energy_j);
+        }
+    }
+
+    #[test]
+    fn replications_draw_distinct_workloads() {
+        let spec = SweepSpec {
+            tasks: 30,
+            seed: 7,
+            rates: vec![5.0],
+            replications: 2,
+            cad_speed: 10.0,
+        };
+        let rows = spec.run_serial();
+        // Rows 0 and 1 are replications of the same (rate, strategy) cell;
+        // different derived seeds must yield different workload draws.
+        assert_eq!(rows[0].cell.strategy_idx, rows[1].cell.strategy_idx);
+        assert_ne!(rows[0].report.makespan, rows[1].report.makespan);
+    }
+
+    #[test]
+    fn first_replication_reproduces_the_base_seed() {
+        // Replication 0 derives seed + 0, i.e. exactly what the original
+        // serial sweep binary ran — the parallel refactor may not change it.
+        let spec = SweepSpec {
+            tasks: 25,
+            seed: 2012,
+            rates: vec![1.0],
+            replications: 1,
+            cad_speed: 10.0,
+        };
+        let rows = spec.run_parallel();
+        let workload = WorkloadSpec::default_for_grid(25, 1.0, 2012).generate();
+        let mut strategy = standard_strategies(2012).remove(0);
+        let cfg = SimConfig {
+            cad_speed: 10.0,
+            ..SimConfig::default()
+        };
+        let report = GridSimulator::new(case_study::grid(), cfg).run(workload, strategy.as_mut());
+        assert_eq!(rows[0].report.summary_row(), report.summary_row());
+    }
+}

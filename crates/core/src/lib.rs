@@ -55,6 +55,7 @@ pub mod fabric;
 pub mod graph;
 pub mod ids;
 pub mod levels;
+pub mod matchindex;
 pub mod matchmaker;
 pub mod node;
 pub mod reqspec;
@@ -67,6 +68,7 @@ pub use execreq::{Constraint, ConstraintOp, ExecReq, TaskPayload};
 pub use fabric::{Fabric, FitPolicy, Region, RegionId};
 pub use ids::{ConfigId, DataId, NodeId, PeId, TaskId};
 pub use levels::AbstractionLevel;
+pub use matchindex::{GridView, IndexStatsSnapshot, MatchIndex};
 pub use matchmaker::{Candidate, Matchmaker, PeRef};
 pub use node::{GppResource, Node, RpeResource};
 pub use reqspec::{exec_req_from_spec, format_spec, parse_spec};

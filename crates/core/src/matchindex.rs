@@ -1,0 +1,1146 @@
+//! Indexed matchmaking — the scan-free twin of [`crate::matchmaker`].
+//!
+//! [`Matchmaker::candidates`](crate::matchmaker::Matchmaker::candidates) is
+//! an O(nodes × PEs) enumeration. That is exactly Table II's semantics, but
+//! on a thousand-node grid every dispatch, backlog retry and satisfiability
+//! probe pays the full scan. [`MatchIndex`] answers the same queries from
+//! three structures that RC3E-style resource managers and Condor's
+//! matchmaker both converge on:
+//!
+//! * **per-class capability groups** — PEs with identical capability maps
+//!   collapse into one group, so a requirement's constraints are evaluated
+//!   once per *group* instead of once per PE;
+//! * **a free-capacity ordered structure** — each group keys its members by
+//!   free cores (GPPs) or by the largest placeable configuration
+//!   (RPEs: the *fit key*), so `respect_state` matching is a BTreeMap range
+//!   query instead of a per-PE fabric walk;
+//! * **a resident-config map** — `ConfigKind → {PeRef}` for O(1) reuse-hit
+//!   lookup (the `ReuseConfig` fast path).
+//!
+//! The index is maintained **incrementally**: the lifecycle kernel calls
+//! [`MatchIndex::refresh_pe`] at its single mutation sites
+//! (acquire/release/configure/evict) and [`MatchIndex::add_node`] /
+//! [`MatchIndex::remove_node`] on churn — mirroring how telemetry spans are
+//! emitted. Queries go through a [`GridView`], which pairs the index with
+//! the live node slice so reuse hits can resolve exact `ConfigId`s.
+//!
+//! The contract, enforced by proptests below: for any task, options and
+//! mutation history, [`GridView::candidates`] returns **exactly** the same
+//! candidate vector as the naive scan.
+
+use crate::execreq::{ExecReq, TaskPayload};
+use crate::ids::{NodeId, PeId};
+use crate::matchmaker::{Candidate, HostingMode, MatchOptions, PeRef};
+use crate::node::{Node, RpeResource};
+use crate::state::ConfigKind;
+use crate::task::Task;
+use rhv_params::param::{ParamMap, PeClass};
+use std::collections::{BTreeMap, BTreeSet, HashMap};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Query counters, updated through `&self` (queries never need `&mut`).
+#[derive(Debug, Default)]
+pub struct IndexStats {
+    hits: AtomicU64,
+    scan_fallbacks: AtomicU64,
+    range_width: AtomicU64,
+}
+
+/// A point-in-time copy of [`IndexStats`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct IndexStatsSnapshot {
+    /// Queries answered by the index.
+    pub hits: u64,
+    /// Linear member scans the index could not avoid (bitstream part
+    /// matching, demand-free reconfigurability checks, static enumeration).
+    pub scan_fallbacks: u64,
+    /// Total PEs visited through ordered range queries.
+    pub range_width: u64,
+}
+
+impl IndexStats {
+    fn hit(&self) {
+        self.hits.fetch_add(1, Ordering::Relaxed);
+    }
+    fn fallback(&self) {
+        self.scan_fallbacks.fetch_add(1, Ordering::Relaxed);
+    }
+    fn ranged(&self, width: u64) {
+        self.range_width.fetch_add(width, Ordering::Relaxed);
+    }
+
+    /// Current counter values.
+    pub fn snapshot(&self) -> IndexStatsSnapshot {
+        IndexStatsSnapshot {
+            hits: self.hits.load(Ordering::Relaxed),
+            scan_fallbacks: self.scan_fallbacks.load(Ordering::Relaxed),
+            range_width: self.range_width.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// GPPs sharing one capability map, ordered by free cores.
+#[derive(Debug, Default)]
+struct GppGroup {
+    caps: ParamMap,
+    members: BTreeSet<PeRef>,
+    by_free_cores: BTreeMap<u64, BTreeSet<PeRef>>,
+}
+
+/// Static facts about one RPE, cached so queries avoid the node walk.
+#[derive(Debug, Clone)]
+struct RpeMeta {
+    part: String,
+    total_slices: u64,
+    partial_reconfig: bool,
+}
+
+/// RPEs sharing one capability map, ordered by fit key.
+#[derive(Debug, Default)]
+struct RpeGroup {
+    caps: ParamMap,
+    members: BTreeMap<PeRef, RpeMeta>,
+    by_fit: BTreeMap<u64, BTreeSet<PeRef>>,
+}
+
+/// GPUs sharing one capability map, with the idle subset materialized.
+#[derive(Debug, Default)]
+struct GpuGroup {
+    caps: ParamMap,
+    members: BTreeSet<PeRef>,
+    idle: BTreeSet<PeRef>,
+}
+
+/// The incremental matchmaking index (see the module docs).
+#[derive(Debug, Default)]
+pub struct MatchIndex {
+    node_pos: HashMap<NodeId, usize>,
+    gpp_groups: Vec<GppGroup>,
+    rpe_groups: Vec<RpeGroup>,
+    gpu_groups: Vec<GpuGroup>,
+    // Reverse maps: where each PE lives, and the dynamic key it is filed
+    // under — needed to remove the stale entry before re-inserting.
+    gpp_group_of: HashMap<PeRef, usize>,
+    rpe_group_of: HashMap<PeRef, usize>,
+    gpu_group_of: HashMap<PeRef, usize>,
+    gpp_cores: HashMap<PeRef, u64>,
+    rpe_fit: HashMap<PeRef, u64>,
+    // Resident-config map: kinds with >= 1 *idle* loaded config, per RPE and
+    // inverted for the O(1) reuse lookup.
+    resident_kinds: HashMap<PeRef, Vec<ConfigKind>>,
+    resident: HashMap<ConfigKind, BTreeSet<PeRef>>,
+    stats: IndexStats,
+}
+
+/// The fit key of an RPE: the largest `len` with `fabric.can_fit(len)`.
+///
+/// `can_fit(len) ⇔ 1 ≤ len ≤ fit_key`: on PR fabric the largest free run;
+/// on single-configuration fabric the whole device when unconfigured, else 0.
+fn fit_key(rpe: &RpeResource) -> u64 {
+    let f = rpe.state.fabric();
+    if f.partial_reconfig() {
+        f.largest_free_run()
+    } else if f.is_empty() {
+        f.total_slices()
+    } else {
+        0
+    }
+}
+
+/// Kinds with at least one idle loaded configuration, deduplicated in load
+/// order (mirrors [`crate::state::RpeState::find_idle_config`]'s scan).
+fn idle_kinds(rpe: &RpeResource) -> Vec<ConfigKind> {
+    let mut kinds: Vec<ConfigKind> = Vec::new();
+    for cfg in rpe.state.configs() {
+        if !cfg.in_use && !kinds.contains(&cfg.kind) {
+            kinds.push(cfg.kind.clone());
+        }
+    }
+    kinds
+}
+
+/// The resident-configuration kind a payload could reuse (same mapping as
+/// the naive matchmaker's).
+fn config_kind_for(payload: &TaskPayload) -> Option<ConfigKind> {
+    match payload {
+        TaskPayload::SoftcoreKernel { core, .. } => Some(ConfigKind::Softcore(core.clone())),
+        TaskPayload::HdlAccelerator { spec_name, .. } => {
+            Some(ConfigKind::Accelerator(spec_name.clone()))
+        }
+        TaskPayload::Bitstream { image, .. } => Some(ConfigKind::Bitstream(image.clone())),
+        TaskPayload::Software { .. } | TaskPayload::GpuKernel { .. } => None,
+    }
+}
+
+impl MatchIndex {
+    /// Builds the index over `nodes` (positions in the slice are recorded
+    /// for O(1) [`GridView::node`] lookup).
+    pub fn build(nodes: &[Node]) -> Self {
+        let mut idx = MatchIndex::default();
+        for (pos, node) in nodes.iter().enumerate() {
+            idx.node_pos.insert(node.id, pos);
+            for pe_id in node.pe_ids() {
+                idx.index_pe(node, pe_id);
+            }
+        }
+        idx
+    }
+
+    /// Query counters.
+    pub fn stats(&self) -> &IndexStats {
+        &self.stats
+    }
+
+    /// Position of `id` in the indexed node slice.
+    pub fn node_pos(&self, id: NodeId) -> Option<usize> {
+        self.node_pos.get(&id).copied()
+    }
+
+    /// Pairs the index with the node slice it was built over.
+    pub fn view<'a>(&'a self, nodes: &'a [Node]) -> GridView<'a> {
+        GridView { nodes, index: self }
+    }
+
+    /// Re-files one PE after its dynamic state changed (acquire, release,
+    /// configure, evict). Call this with the **post-mutation** node.
+    pub fn refresh_pe(&mut self, node: &Node, pe_id: PeId) {
+        self.index_pe(node, pe_id);
+    }
+
+    /// Indexes the last node of `nodes` (a churn join: the kernel pushes the
+    /// node, then registers it here).
+    pub fn add_node(&mut self, nodes: &[Node]) {
+        let Some(node) = nodes.last() else { return };
+        self.node_pos.insert(node.id, nodes.len() - 1);
+        for pe_id in node.pe_ids() {
+            self.index_pe(node, pe_id);
+        }
+    }
+
+    /// Drops every PE of `id` and re-derives node positions from the
+    /// post-removal slice (a churn leave or crash).
+    pub fn remove_node(&mut self, id: NodeId, nodes_after: &[Node]) {
+        let stale: Vec<PeRef> = self
+            .gpp_group_of
+            .keys()
+            .chain(self.rpe_group_of.keys())
+            .chain(self.gpu_group_of.keys())
+            .filter(|pe| pe.node == id)
+            .copied()
+            .collect();
+        for pe in stale {
+            self.remove_pe(pe);
+        }
+        self.node_pos.clear();
+        for (pos, node) in nodes_after.iter().enumerate() {
+            self.node_pos.insert(node.id, pos);
+        }
+    }
+
+    /// Removes a PE from every structure it is filed in.
+    fn remove_pe(&mut self, pe: PeRef) {
+        if let Some(gi) = self.gpp_group_of.remove(&pe) {
+            let g = &mut self.gpp_groups[gi];
+            g.members.remove(&pe);
+            if let Some(old) = self.gpp_cores.remove(&pe) {
+                if let Some(bucket) = g.by_free_cores.get_mut(&old) {
+                    bucket.remove(&pe);
+                    if bucket.is_empty() {
+                        g.by_free_cores.remove(&old);
+                    }
+                }
+            }
+        }
+        if let Some(gi) = self.rpe_group_of.remove(&pe) {
+            let g = &mut self.rpe_groups[gi];
+            g.members.remove(&pe);
+            if let Some(old) = self.rpe_fit.remove(&pe) {
+                if let Some(bucket) = g.by_fit.get_mut(&old) {
+                    bucket.remove(&pe);
+                    if bucket.is_empty() {
+                        g.by_fit.remove(&old);
+                    }
+                }
+            }
+            for kind in self.resident_kinds.remove(&pe).unwrap_or_default() {
+                if let Some(set) = self.resident.get_mut(&kind) {
+                    set.remove(&pe);
+                    if set.is_empty() {
+                        self.resident.remove(&kind);
+                    }
+                }
+            }
+        }
+        if let Some(gi) = self.gpu_group_of.remove(&pe) {
+            let g = &mut self.gpu_groups[gi];
+            g.members.remove(&pe);
+            g.idle.remove(&pe);
+        }
+    }
+
+    /// (Re-)files one PE under its current capability group and dynamic key.
+    fn index_pe(&mut self, node: &Node, pe_id: PeId) {
+        let pe = PeRef {
+            node: node.id,
+            pe: pe_id,
+        };
+        match pe_id {
+            PeId::Gpp(_) => {
+                let Some(gpp) = node.gpp(pe_id) else { return };
+                let free = gpp.state.free_cores();
+                let gi = match self.gpp_group_of.get(&pe) {
+                    Some(&gi) if self.gpp_groups[gi].caps == gpp.caps => gi,
+                    _ => {
+                        self.remove_pe(pe);
+                        let gi = Self::group_for(&mut self.gpp_groups, &gpp.caps, |g| &g.caps);
+                        self.gpp_group_of.insert(pe, gi);
+                        gi
+                    }
+                };
+                let g = &mut self.gpp_groups[gi];
+                g.members.insert(pe);
+                if let Some(old) = self.gpp_cores.insert(pe, free) {
+                    if old != free {
+                        if let Some(bucket) = g.by_free_cores.get_mut(&old) {
+                            bucket.remove(&pe);
+                            if bucket.is_empty() {
+                                g.by_free_cores.remove(&old);
+                            }
+                        }
+                    }
+                }
+                g.by_free_cores.entry(free).or_default().insert(pe);
+            }
+            PeId::Rpe(_) => {
+                let Some(rpe) = node.rpe(pe_id) else { return };
+                let fit = fit_key(rpe);
+                let gi = match self.rpe_group_of.get(&pe) {
+                    Some(&gi) if self.rpe_groups[gi].caps == rpe.caps => gi,
+                    _ => {
+                        self.remove_pe(pe);
+                        let gi = Self::group_for(&mut self.rpe_groups, &rpe.caps, |g| &g.caps);
+                        self.rpe_group_of.insert(pe, gi);
+                        gi
+                    }
+                };
+                let g = &mut self.rpe_groups[gi];
+                g.members.insert(
+                    pe,
+                    RpeMeta {
+                        part: rpe.device.part.clone(),
+                        total_slices: rpe.device.slices,
+                        partial_reconfig: rpe.device.partial_reconfig,
+                    },
+                );
+                if let Some(old) = self.rpe_fit.insert(pe, fit) {
+                    if old != fit {
+                        if let Some(bucket) = g.by_fit.get_mut(&old) {
+                            bucket.remove(&pe);
+                            if bucket.is_empty() {
+                                g.by_fit.remove(&old);
+                            }
+                        }
+                    }
+                }
+                g.by_fit.entry(fit).or_default().insert(pe);
+                // Resident-config map: diff old vs new idle kinds.
+                let kinds = idle_kinds(rpe);
+                let old = self
+                    .resident_kinds
+                    .insert(pe, kinds.clone())
+                    .unwrap_or_default();
+                for kind in &old {
+                    if !kinds.contains(kind) {
+                        if let Some(set) = self.resident.get_mut(kind) {
+                            set.remove(&pe);
+                            if set.is_empty() {
+                                self.resident.remove(kind);
+                            }
+                        }
+                    }
+                }
+                for kind in kinds {
+                    if !old.contains(&kind) {
+                        self.resident.entry(kind).or_default().insert(pe);
+                    }
+                }
+            }
+            PeId::Gpu(_) => {
+                let Some(gpu) = node.gpu(pe_id) else { return };
+                let gi = match self.gpu_group_of.get(&pe) {
+                    Some(&gi) if self.gpu_groups[gi].caps == gpu.caps => gi,
+                    _ => {
+                        self.remove_pe(pe);
+                        let gi = Self::group_for(&mut self.gpu_groups, &gpu.caps, |g| &g.caps);
+                        self.gpu_group_of.insert(pe, gi);
+                        gi
+                    }
+                };
+                let g = &mut self.gpu_groups[gi];
+                g.members.insert(pe);
+                if gpu.state.is_idle() {
+                    g.idle.insert(pe);
+                } else {
+                    g.idle.remove(&pe);
+                }
+            }
+        }
+    }
+
+    /// Finds the group with `caps`, creating it if absent. Capability maps
+    /// have no hash, but cloned grids collapse into a handful of groups, so
+    /// the linear probe runs only at (re-)index time over few entries.
+    fn group_for<G>(
+        groups: &mut Vec<G>,
+        caps: &ParamMap,
+        caps_of: impl Fn(&G) -> &ParamMap,
+    ) -> usize
+    where
+        G: CapsGroup + Default,
+    {
+        if let Some(i) = groups.iter().position(|g| caps_of(g) == caps) {
+            return i;
+        }
+        let mut g = G::default();
+        g.set_caps(caps.clone());
+        groups.push(g);
+        groups.len() - 1
+    }
+}
+
+/// Internal helper so `group_for` can construct any group kind.
+trait CapsGroup {
+    fn set_caps(&mut self, caps: ParamMap);
+}
+impl CapsGroup for GppGroup {
+    fn set_caps(&mut self, caps: ParamMap) {
+        self.caps = caps;
+    }
+}
+impl CapsGroup for RpeGroup {
+    fn set_caps(&mut self, caps: ParamMap) {
+        self.caps = caps;
+    }
+}
+impl CapsGroup for GpuGroup {
+    fn set_caps(&mut self, caps: ParamMap) {
+        self.caps = caps;
+    }
+}
+
+/// An immutable view pairing the live node slice with its [`MatchIndex`] —
+/// what scheduling strategies receive instead of a bare `&[Node]`.
+#[derive(Clone, Copy)]
+pub struct GridView<'a> {
+    nodes: &'a [Node],
+    index: &'a MatchIndex,
+}
+
+impl<'a> GridView<'a> {
+    /// A view over `nodes` and the index maintained for them.
+    pub fn new(nodes: &'a [Node], index: &'a MatchIndex) -> Self {
+        GridView { nodes, index }
+    }
+
+    /// The underlying node slice.
+    pub fn nodes(&self) -> &'a [Node] {
+        self.nodes
+    }
+
+    /// O(1) node lookup by id.
+    pub fn node(&self, id: NodeId) -> Option<&'a Node> {
+        self.index.node_pos(id).and_then(|i| self.nodes.get(i))
+    }
+
+    /// The index backing this view.
+    pub fn index(&self) -> &'a MatchIndex {
+        self.index
+    }
+
+    /// Indexed equivalent of
+    /// [`Matchmaker::candidates`](crate::matchmaker::Matchmaker::candidates):
+    /// same candidates, same order.
+    pub fn candidates(&self, task: &Task, options: MatchOptions) -> Vec<Candidate> {
+        self.candidates_for_req(&task.exec_req, options)
+    }
+
+    /// Indexed candidate enumeration for a bare requirement.
+    pub fn candidates_for_req(&self, req: &ExecReq, options: MatchOptions) -> Vec<Candidate> {
+        let mut out = Vec::new();
+        self.collect(req, options, false, &mut out);
+        out.sort_by_key(|c| c.pe);
+        out
+    }
+
+    /// True when at least one candidate exists (early-exits the query).
+    pub fn satisfiable(&self, req: &ExecReq, options: MatchOptions) -> bool {
+        let mut out = Vec::new();
+        self.collect(req, options, true, &mut out)
+    }
+
+    /// Static-capability satisfiability of a task (the rejection test).
+    pub fn statically_satisfiable(&self, task: &Task) -> bool {
+        self.satisfiable(&task.exec_req, MatchOptions::default())
+    }
+
+    /// The query core. Pushes candidates into `out`; with `first_only` it
+    /// stops at the first one. Returns whether anything matched.
+    fn collect(
+        &self,
+        req: &ExecReq,
+        options: MatchOptions,
+        first_only: bool,
+        out: &mut Vec<Candidate>,
+    ) -> bool {
+        let idx = self.index;
+        idx.stats.hit();
+        let before = out.len();
+        match req.pe_class {
+            PeClass::Gpp => {
+                for g in &idx.gpp_groups {
+                    if g.members.is_empty() || !req.satisfied_by(&g.caps) {
+                        continue;
+                    }
+                    if options.respect_state {
+                        let need = match &req.payload {
+                            TaskPayload::Software { parallelism, .. } => (*parallelism).max(1),
+                            _ => 1,
+                        };
+                        let mut width = 0u64;
+                        for pes in g.by_free_cores.range(need..).map(|(_, s)| s) {
+                            for &pe in pes {
+                                width += 1;
+                                out.push(Candidate {
+                                    pe,
+                                    mode: HostingMode::GppCores,
+                                });
+                                if first_only {
+                                    idx.stats.ranged(width);
+                                    return true;
+                                }
+                            }
+                        }
+                        idx.stats.ranged(width);
+                    } else {
+                        idx.stats.fallback();
+                        for &pe in &g.members {
+                            out.push(Candidate {
+                                pe,
+                                mode: HostingMode::GppCores,
+                            });
+                            if first_only {
+                                return true;
+                            }
+                        }
+                    }
+                }
+                // Soft-core fallback: software-only tasks may take idle
+                // fabric. The naive scan checks no RPE capabilities here,
+                // so neither do we.
+                if let (TaskPayload::Software { .. }, Some(slices)) =
+                    (&req.payload, options.softcore_fallback_slices)
+                {
+                    if options.respect_state {
+                        if slices > 0 {
+                            let mut width = 0u64;
+                            for g in &idx.rpe_groups {
+                                for pes in g.by_fit.range(slices..).map(|(_, s)| s) {
+                                    for &pe in pes {
+                                        width += 1;
+                                        out.push(Candidate {
+                                            pe,
+                                            mode: HostingMode::SoftcoreFallback,
+                                        });
+                                        if first_only {
+                                            idx.stats.ranged(width);
+                                            return true;
+                                        }
+                                    }
+                                }
+                            }
+                            idx.stats.ranged(width);
+                        }
+                    } else {
+                        for g in &idx.rpe_groups {
+                            if g.members.is_empty() {
+                                continue;
+                            }
+                            idx.stats.fallback();
+                            for (&pe, meta) in &g.members {
+                                if meta.total_slices >= slices {
+                                    out.push(Candidate {
+                                        pe,
+                                        mode: HostingMode::SoftcoreFallback,
+                                    });
+                                    if first_only {
+                                        return true;
+                                    }
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+            PeClass::Fpga | PeClass::Softcore => {
+                let kind = config_kind_for(&req.payload);
+                for (gi, g) in idx.rpe_groups.iter().enumerate() {
+                    if g.members.is_empty() || !req.satisfied_by(&g.caps) {
+                        continue;
+                    }
+                    // Reuse fast path: resident idle configs of the right
+                    // kind, resolved to exact ConfigIds on the live node.
+                    let mut reused: Vec<PeRef> = Vec::new();
+                    if let Some(kind) = &kind {
+                        if let Some(set) = idx.resident.get(kind) {
+                            for &pe in set {
+                                if idx.rpe_group_of.get(&pe) != Some(&gi) {
+                                    continue;
+                                }
+                                if let TaskPayload::Bitstream { device_part, .. } = &req.payload {
+                                    let part_ok = g
+                                        .members
+                                        .get(&pe)
+                                        .is_some_and(|m| device_part.eq_ignore_ascii_case(&m.part));
+                                    if !part_ok {
+                                        continue;
+                                    }
+                                }
+                                let cfg = self
+                                    .node(pe.node)
+                                    .and_then(|n| n.rpe(pe.pe))
+                                    .and_then(|r| r.state.find_idle_config(kind));
+                                if let Some(cfg) = cfg {
+                                    reused.push(pe);
+                                    out.push(Candidate {
+                                        pe,
+                                        mode: HostingMode::ReuseConfig(cfg),
+                                    });
+                                    if first_only {
+                                        return true;
+                                    }
+                                }
+                            }
+                        }
+                    }
+                    let not_reused = |pe: &PeRef| !reused.contains(pe);
+                    match (&req.payload, options.respect_state) {
+                        // A bitstream needs its exact part and the whole
+                        // device: per-member scan (part strings defeat the
+                        // range structure).
+                        (TaskPayload::Bitstream { device_part, .. }, respect) => {
+                            idx.stats.fallback();
+                            for (&pe, meta) in &g.members {
+                                if !not_reused(&pe) || !device_part.eq_ignore_ascii_case(&meta.part)
+                                {
+                                    continue;
+                                }
+                                if respect
+                                    && !(meta.total_slices > 0
+                                        && idx.rpe_fit.get(&pe) == Some(&meta.total_slices))
+                                {
+                                    continue;
+                                }
+                                out.push(Candidate {
+                                    pe,
+                                    mode: HostingMode::Reconfigure,
+                                });
+                                if first_only {
+                                    return true;
+                                }
+                            }
+                        }
+                        (_, false) => {
+                            idx.stats.fallback();
+                            for &pe in g.members.keys() {
+                                if not_reused(&pe) {
+                                    out.push(Candidate {
+                                        pe,
+                                        mode: HostingMode::Reconfigure,
+                                    });
+                                    if first_only {
+                                        return true;
+                                    }
+                                }
+                            }
+                        }
+                        (_, true) => match req.slice_demand() {
+                            Some(demand) => {
+                                if demand > 0 {
+                                    let mut width = 0u64;
+                                    for pes in g.by_fit.range(demand..).map(|(_, s)| s) {
+                                        for &pe in pes {
+                                            width += 1;
+                                            if not_reused(&pe) {
+                                                out.push(Candidate {
+                                                    pe,
+                                                    mode: HostingMode::Reconfigure,
+                                                });
+                                                if first_only {
+                                                    idx.stats.ranged(width);
+                                                    return true;
+                                                }
+                                            }
+                                        }
+                                    }
+                                    idx.stats.ranged(width);
+                                }
+                            }
+                            // No stated demand: the device must be PR-capable
+                            // or still unconfigured.
+                            None => {
+                                idx.stats.fallback();
+                                for (&pe, meta) in &g.members {
+                                    let open = meta.partial_reconfig
+                                        || idx.rpe_fit.get(&pe) == Some(&meta.total_slices);
+                                    if open && not_reused(&pe) {
+                                        out.push(Candidate {
+                                            pe,
+                                            mode: HostingMode::Reconfigure,
+                                        });
+                                        if first_only {
+                                            return true;
+                                        }
+                                    }
+                                }
+                            }
+                        },
+                    }
+                }
+            }
+            PeClass::Gpu => {
+                for g in &idx.gpu_groups {
+                    if g.members.is_empty() || !req.satisfied_by(&g.caps) {
+                        continue;
+                    }
+                    let set = if options.respect_state {
+                        &g.idle
+                    } else {
+                        &g.members
+                    };
+                    for &pe in set {
+                        out.push(Candidate {
+                            pe,
+                            mode: HostingMode::GpuRun,
+                        });
+                        if first_only {
+                            return true;
+                        }
+                    }
+                }
+            }
+        }
+        out.len() > before
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::case_study;
+    use crate::fabric::FitPolicy;
+    use crate::matchmaker::Matchmaker;
+
+    fn assert_same(nodes: &[Node], task: &Task, options: MatchOptions) {
+        let naive = Matchmaker::with_options(options).candidates(task, nodes);
+        let idx = MatchIndex::build(nodes);
+        let indexed = idx.view(nodes).candidates(task, options);
+        assert_eq!(naive, indexed, "options {options:?} task {}", task.id);
+    }
+
+    fn all_option_sets() -> Vec<MatchOptions> {
+        let mut v = Vec::new();
+        for respect_state in [false, true] {
+            for fallback in [None, Some(0), Some(4_000), Some(60_000)] {
+                v.push(MatchOptions {
+                    respect_state,
+                    softcore_fallback_slices: fallback,
+                });
+            }
+        }
+        v
+    }
+
+    #[test]
+    fn fresh_grid_matches_naive_for_all_case_study_tasks() {
+        let nodes = case_study::grid();
+        for task in case_study::tasks() {
+            for options in all_option_sets() {
+                assert_same(&nodes, &task, options);
+            }
+        }
+    }
+
+    #[test]
+    fn table2_row0_exact_strings() {
+        let nodes = case_study::grid();
+        let idx = MatchIndex::build(&nodes);
+        let c = idx
+            .view(&nodes)
+            .candidates(&case_study::tasks()[0], MatchOptions::default());
+        let refs: Vec<String> = c.iter().map(|c| c.pe.to_string()).collect();
+        assert_eq!(
+            refs,
+            vec!["GPP_0 <-> Node_0", "GPP_1 <-> Node_0", "GPP_0 <-> Node_1"]
+        );
+    }
+
+    #[test]
+    fn incremental_refresh_tracks_acquire_release() {
+        let mut nodes = case_study::grid();
+        let mut idx = MatchIndex::build(&nodes);
+        let live = MatchOptions {
+            respect_state: true,
+            softcore_fallback_slices: None,
+        };
+        let task = case_study::tasks().remove(0);
+        // Saturate Node_0's GPPs, refreshing after each mutation.
+        for i in 0..2u32 {
+            let free = nodes[0].gpps()[i as usize].state.free_cores();
+            nodes[0]
+                .gpp_mut(PeId::Gpp(i))
+                .unwrap()
+                .state
+                .acquire_cores(free)
+                .unwrap();
+            idx.refresh_pe(&nodes[0], PeId::Gpp(i));
+        }
+        let c = idx.view(&nodes).candidates(&task, live);
+        assert_eq!(c, Matchmaker::with_options(live).candidates(&task, &nodes));
+        assert_eq!(c.len(), 1);
+        assert_eq!(c[0].pe.node, NodeId(1));
+        // Release again: all three GPPs come back.
+        for i in 0..2u32 {
+            let used = nodes[0].gpps()[i as usize].spec.cores;
+            nodes[0]
+                .gpp_mut(PeId::Gpp(i))
+                .unwrap()
+                .state
+                .release_cores(used)
+                .unwrap();
+            idx.refresh_pe(&nodes[0], PeId::Gpp(i));
+        }
+        assert_eq!(idx.view(&nodes).candidates(&task, live).len(), 3);
+    }
+
+    #[test]
+    fn resident_config_map_yields_reuse_hits() {
+        let mut nodes = case_study::grid();
+        let tasks = case_study::tasks();
+        let cfg = nodes[1]
+            .rpe_mut(PeId::Rpe(1))
+            .unwrap()
+            .state
+            .load(
+                ConfigKind::Accelerator("malign".into()),
+                case_study::MALIGN_SLICES,
+                FitPolicy::FirstFit,
+            )
+            .unwrap();
+        let mut idx = MatchIndex::build(&nodes);
+        let c = idx
+            .view(&nodes)
+            .candidates(&tasks[1], MatchOptions::default());
+        let reuse: Vec<_> = c
+            .iter()
+            .filter(|x| matches!(x.mode, HostingMode::ReuseConfig(_)))
+            .collect();
+        assert_eq!(reuse.len(), 1);
+        assert_eq!(reuse[0].mode, HostingMode::ReuseConfig(cfg));
+        for options in all_option_sets() {
+            assert_same(&nodes, &tasks[1], options);
+        }
+        // Acquire the config: the reuse hit disappears after a refresh.
+        nodes[1]
+            .rpe_mut(PeId::Rpe(1))
+            .unwrap()
+            .state
+            .acquire(cfg)
+            .unwrap();
+        idx.refresh_pe(&nodes[1], PeId::Rpe(1));
+        let c = idx
+            .view(&nodes)
+            .candidates(&tasks[1], MatchOptions::default());
+        assert!(c.iter().all(|x| x.mode == HostingMode::Reconfigure));
+        for options in all_option_sets() {
+            assert_same(&nodes, &tasks[1], options);
+        }
+    }
+
+    #[test]
+    fn churn_add_and_remove_node() {
+        let mut nodes = case_study::grid();
+        let mut idx = MatchIndex::build(&nodes);
+        let task = case_study::tasks().remove(2); // pairalign, 30,790 slices
+        assert_eq!(
+            idx.view(&nodes)
+                .candidates(&task, MatchOptions::default())
+                .len(),
+            2
+        );
+        // A clone of Node_2 joins as Node_7.
+        let mut joined = nodes[2].clone();
+        joined.id = NodeId(7);
+        nodes.push(joined);
+        idx.add_node(&nodes);
+        assert_eq!(
+            idx.view(&nodes)
+                .candidates(&task, MatchOptions::default())
+                .len(),
+            3
+        );
+        assert_eq!(idx.node_pos(NodeId(7)), Some(3));
+        // Node_1 crashes.
+        nodes.retain(|n| n.id != NodeId(1));
+        idx.remove_node(NodeId(1), &nodes);
+        let c = idx.view(&nodes).candidates(&task, MatchOptions::default());
+        assert_eq!(c.len(), 2);
+        assert!(c.iter().all(|x| x.pe.node != NodeId(1)));
+        // Positions re-derived after the shift.
+        assert_eq!(idx.node_pos(NodeId(7)), Some(2));
+        for options in all_option_sets() {
+            assert_same(&nodes, &task, options);
+        }
+    }
+
+    #[test]
+    fn stats_count_hits_ranges_and_fallbacks() {
+        let nodes = case_study::grid();
+        let idx = MatchIndex::build(&nodes);
+        let tasks = case_study::tasks();
+        let live = MatchOptions {
+            respect_state: true,
+            softcore_fallback_slices: None,
+        };
+        let view = idx.view(&nodes);
+        view.candidates(&tasks[1], live); // HDL: range query
+        view.candidates(&tasks[3], live); // bitstream: member-scan fallback
+        let s = idx.stats().snapshot();
+        assert_eq!(s.hits, 2);
+        assert!(s.range_width >= 1);
+        assert!(s.scan_fallbacks >= 1);
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use crate::case_study;
+    use crate::execreq::Constraint;
+    use crate::fabric::FitPolicy;
+    use crate::ids::TaskId;
+    use crate::matchmaker::Matchmaker;
+    use proptest::prelude::*;
+    use rhv_params::param::ParamKey;
+
+    /// A battery of requirements spanning every payload/class arm.
+    fn probe_tasks() -> Vec<Task> {
+        let mut ts = case_study::tasks();
+        ts.push(Task::new(
+            TaskId(10),
+            ExecReq::new(
+                PeClass::Softcore,
+                vec![Constraint::ge(ParamKey::Slices, 1_000u64)],
+                TaskPayload::SoftcoreKernel {
+                    core: "rvex-2w".into(),
+                    mega_ops: 100.0,
+                },
+            ),
+            1.0,
+        ));
+        ts.push(Task::new(
+            TaskId(11),
+            ExecReq::new(
+                PeClass::Fpga,
+                vec![Constraint::eq(ParamKey::DeviceFamily, "Virtex-5")],
+                TaskPayload::Software {
+                    mega_instructions: 10.0,
+                    parallelism: 1,
+                },
+            ),
+            1.0,
+        ));
+        ts.push(Task::new(
+            TaskId(12),
+            ExecReq::new(
+                PeClass::Gpu,
+                vec![Constraint::ge(ParamKey::ShaderCores, 16u64)],
+                TaskPayload::GpuKernel {
+                    kernel: "nbody".into(),
+                    accel_seconds: 1.0,
+                },
+            ),
+            1.0,
+        ));
+        ts
+    }
+
+    /// One randomized state mutation applied identically to the nodes and,
+    /// via `refresh_pe`, to the index under test.
+    #[derive(Debug, Clone)]
+    enum Mutation {
+        AcquireCores {
+            node: usize,
+            gpp: u32,
+            cores: u64,
+        },
+        ReleaseCores {
+            node: usize,
+            gpp: u32,
+        },
+        Load {
+            node: usize,
+            rpe: u32,
+            kind: u8,
+            slices: u64,
+        },
+        AcquireConfig {
+            node: usize,
+            rpe: u32,
+        },
+        ReleaseConfig {
+            node: usize,
+            rpe: u32,
+        },
+        Evict {
+            node: usize,
+            rpe: u32,
+        },
+    }
+
+    fn mutation() -> impl Strategy<Value = Mutation> {
+        prop_oneof![
+            (0..3usize, 0..2u32, 1..8u64).prop_map(|(node, gpp, cores)| Mutation::AcquireCores {
+                node,
+                gpp,
+                cores
+            }),
+            (0..3usize, 0..2u32).prop_map(|(node, gpp)| Mutation::ReleaseCores { node, gpp }),
+            (0..3usize, 0..2u32, 0..3u8, 1..40_000u64).prop_map(|(node, rpe, kind, slices)| {
+                Mutation::Load {
+                    node,
+                    rpe,
+                    kind,
+                    slices,
+                }
+            }),
+            (0..3usize, 0..2u32).prop_map(|(node, rpe)| Mutation::AcquireConfig { node, rpe }),
+            (0..3usize, 0..2u32).prop_map(|(node, rpe)| Mutation::ReleaseConfig { node, rpe }),
+            (0..3usize, 0..2u32).prop_map(|(node, rpe)| Mutation::Evict { node, rpe }),
+        ]
+    }
+
+    /// Applies `m` to `nodes` (ignoring infeasible ops) and returns the PE
+    /// to refresh, if any state changed.
+    fn apply(nodes: &mut [Node], m: &Mutation) -> Option<(usize, PeId)> {
+        match *m {
+            Mutation::AcquireCores { node, gpp, cores } => {
+                let g = nodes.get_mut(node)?.gpp_mut(PeId::Gpp(gpp))?;
+                let take = cores.min(g.state.free_cores());
+                if take == 0 {
+                    return None;
+                }
+                g.state.acquire_cores(take).ok()?;
+                Some((node, PeId::Gpp(gpp)))
+            }
+            Mutation::ReleaseCores { node, gpp } => {
+                let g = nodes.get_mut(node)?.gpp_mut(PeId::Gpp(gpp))?;
+                let used = g.spec.cores - g.state.free_cores();
+                if used == 0 {
+                    return None;
+                }
+                g.state.release_cores(used).ok()?;
+                Some((node, PeId::Gpp(gpp)))
+            }
+            Mutation::Load {
+                node,
+                rpe,
+                kind,
+                slices,
+            } => {
+                let r = nodes.get_mut(node)?.rpe_mut(PeId::Rpe(rpe))?;
+                let kind = match kind {
+                    0 => ConfigKind::Accelerator("malign".into()),
+                    1 => ConfigKind::Softcore("rvex-2w".into()),
+                    _ => ConfigKind::Bitstream("clustalw_full.bit".into()),
+                };
+                r.state.load(kind, slices, FitPolicy::FirstFit).ok()?;
+                Some((node, PeId::Rpe(rpe)))
+            }
+            Mutation::AcquireConfig { node, rpe } => {
+                let r = nodes.get_mut(node)?.rpe_mut(PeId::Rpe(rpe))?;
+                let idle = r.state.configs().iter().find(|c| !c.in_use)?.id;
+                r.state.acquire(idle).ok()?;
+                Some((node, PeId::Rpe(rpe)))
+            }
+            Mutation::ReleaseConfig { node, rpe } => {
+                let r = nodes.get_mut(node)?.rpe_mut(PeId::Rpe(rpe))?;
+                let busy = r.state.configs().iter().find(|c| c.in_use)?.id;
+                r.state.release(busy).ok()?;
+                Some((node, PeId::Rpe(rpe)))
+            }
+            Mutation::Evict { node, rpe } => {
+                let r = nodes.get_mut(node)?.rpe_mut(PeId::Rpe(rpe))?;
+                let idle = r.state.configs().iter().find(|c| !c.in_use)?.id;
+                r.state.unload(idle).ok()?;
+                Some((node, PeId::Rpe(rpe)))
+            }
+        }
+    }
+
+    proptest! {
+        /// The tentpole contract: after any interleaved
+        /// acquire/release/load/evict sequence, the incrementally maintained
+        /// index answers every query exactly like the naive scan.
+        #[test]
+        fn indexed_equals_naive_under_mutations(
+            muts in prop::collection::vec(mutation(), 0..25),
+            respect_state in prop::bool::ANY,
+            fallback in prop_oneof![Just(None), (0..70_000u64).prop_map(Some)],
+        ) {
+            let mut nodes = case_study::grid();
+            let mut idx = MatchIndex::build(&nodes);
+            for m in &muts {
+                if let Some((node, pe)) = apply(&mut nodes, m) {
+                    idx.refresh_pe(&nodes[node], pe);
+                }
+            }
+            let options = MatchOptions { respect_state, softcore_fallback_slices: fallback };
+            let naive = Matchmaker::with_options(options);
+            let view = idx.view(&nodes);
+            for task in probe_tasks() {
+                let want = naive.candidates(&task, &nodes);
+                let got = view.candidates(&task, options);
+                prop_assert_eq!(&want, &got, "task {} diverged", task.id);
+                prop_assert_eq!(view.satisfiable(&task.exec_req, options), !want.is_empty());
+            }
+        }
+
+        /// Randomized requirements over the untouched grid agree too.
+        #[test]
+        fn indexed_equals_naive_for_random_requirements(
+            min_slices in 1u64..60_000,
+            family_v5 in prop::bool::ANY,
+            respect_state in prop::bool::ANY,
+        ) {
+            let nodes = case_study::grid();
+            let idx = MatchIndex::build(&nodes);
+            let mut constraints = vec![Constraint::ge(ParamKey::Slices, min_slices)];
+            if family_v5 {
+                constraints.push(Constraint::eq(ParamKey::DeviceFamily, "Virtex-5"));
+            }
+            let req = ExecReq::new(
+                PeClass::Fpga,
+                constraints,
+                TaskPayload::HdlAccelerator {
+                    spec_name: "k".into(),
+                    est_slices: min_slices,
+                    accel_seconds: 1.0,
+                },
+            );
+            let options = MatchOptions { respect_state, softcore_fallback_slices: None };
+            let want = Matchmaker::with_options(options).candidates_for_req(&req, &nodes);
+            let got = idx.view(&nodes).candidates_for_req(&req, options);
+            prop_assert_eq!(want, got);
+        }
+    }
+}

@@ -7,6 +7,7 @@
 
 use crate::monitor::{Event, Monitor};
 use rhv_core::ids::NodeId;
+use rhv_core::matchindex::{GridView, MatchIndex};
 use rhv_core::node::Node;
 use rhv_core::task::Task;
 use rhv_sim::strategy::{Placement, Strategy};
@@ -15,6 +16,12 @@ use std::collections::VecDeque;
 /// The RMS: registry + scheduler + monitor.
 pub struct ResourceManagementSystem {
     nodes: Vec<Node>,
+    /// Cached match index over `nodes`, dropped whenever a caller gains
+    /// mutable node access (state updates flow through [`node_mut`]) and
+    /// rebuilt lazily at the next placement query.
+    ///
+    /// [`node_mut`]: ResourceManagementSystem::node_mut
+    index: Option<MatchIndex>,
     strategy: Box<dyn Strategy>,
     backlog: VecDeque<Task>,
     monitor: Monitor,
@@ -27,10 +34,17 @@ impl ResourceManagementSystem {
         let next_node = nodes.iter().map(|n| n.id.raw() + 1).max().unwrap_or(0);
         ResourceManagementSystem {
             nodes,
+            index: None,
             strategy,
             backlog: VecDeque::new(),
             monitor: Monitor::new(),
             next_node,
+        }
+    }
+
+    fn ensure_index(&mut self) {
+        if self.index.is_none() {
+            self.index = Some(MatchIndex::build(&self.nodes));
         }
     }
 
@@ -41,6 +55,8 @@ impl ResourceManagementSystem {
 
     /// Mutable node access (state updates flow through here).
     pub fn node_mut(&mut self, id: NodeId) -> Option<&mut Node> {
+        // The caller may mutate PE state the cached index depends on.
+        self.index = None;
         self.nodes.iter_mut().find(|n| n.id == id)
     }
 
@@ -56,6 +72,7 @@ impl ResourceManagementSystem {
         self.next_node = self.next_node.max(id.raw() + 1);
         self.monitor.record(Event::NodeJoined(id));
         self.nodes.push(node);
+        self.index = None;
         id
     }
 
@@ -80,17 +97,22 @@ impl ResourceManagementSystem {
             return Err(RmsError::NodeBusy(id));
         }
         self.monitor.record(Event::NodeLeft(id));
+        self.index = None;
         Ok(self.nodes.remove(pos))
     }
 
     /// Asks the strategy for a placement (no state mutation).
     pub fn propose(&mut self, task: &Task, now: f64) -> Option<Placement> {
-        self.strategy.place(task, &self.nodes, now)
+        self.ensure_index();
+        let view = GridView::new(&self.nodes, self.index.as_ref().expect("just built"));
+        self.strategy.place(task, &view, now)
     }
 
     /// True when the task could run on this grid when idle.
-    pub fn is_satisfiable(&self, task: &Task) -> bool {
-        self.strategy.is_satisfiable(task, &self.nodes)
+    pub fn is_satisfiable(&mut self, task: &Task) -> bool {
+        self.ensure_index();
+        let view = GridView::new(&self.nodes, self.index.as_ref().expect("just built"));
+        self.strategy.is_satisfiable(task, &view)
     }
 
     /// Queues a task the strategy could not place yet.

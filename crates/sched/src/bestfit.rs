@@ -6,20 +6,25 @@
 //! (keeping large contiguous regions free). Both are classic allocation
 //! policies — worst-fit is retained as the ablation baseline.
 
-use crate::util::{free_capacity, live_matchmaker, placement_slices, statically_satisfiable};
-use rhv_core::matchmaker::{Candidate, HostingMode, Matchmaker};
-use rhv_core::node::Node;
+use crate::util::{free_capacity, live_options, placement_slices, statically_satisfiable};
+use rhv_core::matchindex::GridView;
+use rhv_core::matchmaker::{Candidate, HostingMode, MatchOptions};
 use rhv_core::task::Task;
 use rhv_sim::strategy::{Placement, Strategy};
 
-fn leftover(task: &Task, nodes: &[Node], c: &Candidate) -> u64 {
-    let free = free_capacity(nodes, c);
-    let demand = placement_slices(task, nodes, c);
+fn leftover(task: &Task, grid: &GridView<'_>, c: &Candidate) -> u64 {
+    let free = free_capacity(grid, c);
+    let demand = placement_slices(task, grid, c);
     free.saturating_sub(demand)
 }
 
-fn pick(mm: &Matchmaker, task: &Task, nodes: &[Node], smallest: bool) -> Option<Placement> {
-    let candidates = mm.candidates(task, nodes);
+fn pick(
+    options: MatchOptions,
+    task: &Task,
+    grid: &GridView<'_>,
+    smallest: bool,
+) -> Option<Placement> {
+    let candidates = grid.candidates(task, options);
     // Reuse candidates are free: always prefer them (they waste nothing).
     if let Some(reuse) = candidates
         .iter()
@@ -29,7 +34,7 @@ fn pick(mm: &Matchmaker, task: &Task, nodes: &[Node], smallest: bool) -> Option<
     }
     let scored = candidates
         .into_iter()
-        .map(|c| (leftover(task, nodes, &c), c));
+        .map(|c| (leftover(task, grid, &c), c));
     let best = if smallest {
         scored.min_by_key(|(score, c)| (*score, c.pe))
     } else {
@@ -41,14 +46,14 @@ fn pick(mm: &Matchmaker, task: &Task, nodes: &[Node], smallest: bool) -> Option<
 /// Tightest-fitting PE wins.
 #[derive(Debug, Default)]
 pub struct BestFitAreaStrategy {
-    mm: Matchmaker,
+    options: MatchOptions,
 }
 
 impl BestFitAreaStrategy {
     /// A new best-fit strategy.
     pub fn new() -> Self {
         BestFitAreaStrategy {
-            mm: live_matchmaker(),
+            options: live_options(),
         }
     }
 }
@@ -58,26 +63,26 @@ impl Strategy for BestFitAreaStrategy {
         "best-fit-area"
     }
 
-    fn place(&mut self, task: &Task, nodes: &[Node], _now: f64) -> Option<Placement> {
-        pick(&self.mm, task, nodes, true)
+    fn place(&mut self, task: &Task, grid: &GridView<'_>, _now: f64) -> Option<Placement> {
+        pick(self.options, task, grid, true)
     }
 
-    fn is_satisfiable(&self, task: &Task, nodes: &[Node]) -> bool {
-        statically_satisfiable(task, nodes)
+    fn is_satisfiable(&self, task: &Task, grid: &GridView<'_>) -> bool {
+        statically_satisfiable(task, grid)
     }
 }
 
 /// Loosest-fitting PE wins (ablation baseline).
 #[derive(Debug, Default)]
 pub struct WorstFitAreaStrategy {
-    mm: Matchmaker,
+    options: MatchOptions,
 }
 
 impl WorstFitAreaStrategy {
     /// A new worst-fit strategy.
     pub fn new() -> Self {
         WorstFitAreaStrategy {
-            mm: live_matchmaker(),
+            options: live_options(),
         }
     }
 }
@@ -87,12 +92,12 @@ impl Strategy for WorstFitAreaStrategy {
         "worst-fit-area"
     }
 
-    fn place(&mut self, task: &Task, nodes: &[Node], _now: f64) -> Option<Placement> {
-        pick(&self.mm, task, nodes, false)
+    fn place(&mut self, task: &Task, grid: &GridView<'_>, _now: f64) -> Option<Placement> {
+        pick(self.options, task, grid, false)
     }
 
-    fn is_satisfiable(&self, task: &Task, nodes: &[Node]) -> bool {
-        statically_satisfiable(task, nodes)
+    fn is_satisfiable(&self, task: &Task, grid: &GridView<'_>) -> bool {
+        statically_satisfiable(task, grid)
     }
 }
 
@@ -100,15 +105,18 @@ impl Strategy for WorstFitAreaStrategy {
 mod tests {
     use super::*;
     use rhv_core::case_study;
+    use rhv_core::matchindex::MatchIndex;
 
     #[test]
     fn best_fit_picks_tightest_device() {
         let nodes = case_study::grid();
+        let index = MatchIndex::build(&nodes);
+        let grid = GridView::new(&nodes, &index);
         let tasks = case_study::tasks();
         // Task_1 (18,707 slices): candidates LX155 (24,320), LX220 (34,560),
         // LX330 (51,840). Tightest = LX155 on Node_1.
         let p = BestFitAreaStrategy::new()
-            .place(&tasks[1], &nodes, 0.0)
+            .place(&tasks[1], &grid, 0.0)
             .unwrap();
         assert_eq!(p.pe.to_string(), "RPE_0 <-> Node_1");
     }
@@ -116,10 +124,12 @@ mod tests {
     #[test]
     fn worst_fit_picks_loosest_device() {
         let nodes = case_study::grid();
+        let index = MatchIndex::build(&nodes);
+        let grid = GridView::new(&nodes, &index);
         let tasks = case_study::tasks();
         // Loosest for Task_1 = LX330 on Node_2.
         let p = WorstFitAreaStrategy::new()
-            .place(&tasks[1], &nodes, 0.0)
+            .place(&tasks[1], &grid, 0.0)
             .unwrap();
         assert_eq!(p.pe.to_string(), "RPE_0 <-> Node_2");
     }
@@ -143,11 +153,13 @@ mod tests {
                 FitPolicy::FirstFit,
             )
             .unwrap();
+        let index = MatchIndex::build(&nodes);
+        let grid = GridView::new(&nodes, &index);
         for strat in [true, false] {
             let p = if strat {
-                BestFitAreaStrategy::new().place(&tasks[1], &nodes, 0.0)
+                BestFitAreaStrategy::new().place(&tasks[1], &grid, 0.0)
             } else {
-                WorstFitAreaStrategy::new().place(&tasks[1], &nodes, 0.0)
+                WorstFitAreaStrategy::new().place(&tasks[1], &grid, 0.0)
             }
             .unwrap();
             assert!(matches!(p.mode, HostingMode::ReuseConfig(_)));
@@ -158,18 +170,20 @@ mod tests {
     #[test]
     fn gpp_tasks_use_core_counts() {
         let nodes = case_study::grid();
+        let index = MatchIndex::build(&nodes);
+        let grid = GridView::new(&nodes, &index);
         let tasks = case_study::tasks();
         // Task_0 candidates: Xeon (4 cores), Core2Duo (2 cores), Opteron (4).
         let p = BestFitAreaStrategy::new()
-            .place(&tasks[0], &nodes, 0.0)
+            .place(&tasks[0], &grid, 0.0)
             .unwrap();
         assert_eq!(p.pe.to_string(), "GPP_1 <-> Node_0"); // tightest: 2 cores
         let p = WorstFitAreaStrategy::new()
-            .place(&tasks[0], &nodes, 0.0)
+            .place(&tasks[0], &grid, 0.0)
             .unwrap();
         assert_eq!(
             free_capacity(
-                &nodes,
+                &grid,
                 &rhv_core::matchmaker::Candidate {
                     pe: p.pe,
                     mode: p.mode,

@@ -1,8 +1,8 @@
 //! First-come-first-served, first-fit placement.
 
-use crate::util::{live_matchmaker, statically_satisfiable};
-use rhv_core::matchmaker::Matchmaker;
-use rhv_core::node::Node;
+use crate::util::{live_options, statically_satisfiable};
+use rhv_core::matchindex::GridView;
+use rhv_core::matchmaker::MatchOptions;
 use rhv_core::task::Task;
 use rhv_sim::strategy::{Placement, Strategy};
 
@@ -10,14 +10,14 @@ use rhv_sim::strategy::{Placement, Strategy};
 /// (node, pe) order. The simplest sensible policy; DReAMSim's default.
 #[derive(Debug, Default)]
 pub struct FirstFitStrategy {
-    mm: Matchmaker,
+    options: MatchOptions,
 }
 
 impl FirstFitStrategy {
     /// A new first-fit strategy.
     pub fn new() -> Self {
         FirstFitStrategy {
-            mm: live_matchmaker(),
+            options: live_options(),
         }
     }
 }
@@ -27,16 +27,15 @@ impl Strategy for FirstFitStrategy {
         "first-fit"
     }
 
-    fn place(&mut self, task: &Task, nodes: &[Node], _now: f64) -> Option<Placement> {
-        self.mm
-            .candidates(task, nodes)
+    fn place(&mut self, task: &Task, grid: &GridView<'_>, _now: f64) -> Option<Placement> {
+        grid.candidates(task, self.options)
             .first()
             .copied()
             .map(Into::into)
     }
 
-    fn is_satisfiable(&self, task: &Task, nodes: &[Node]) -> bool {
-        statically_satisfiable(task, nodes)
+    fn is_satisfiable(&self, task: &Task, grid: &GridView<'_>) -> bool {
+        statically_satisfiable(task, grid)
     }
 }
 
@@ -44,26 +43,31 @@ impl Strategy for FirstFitStrategy {
 mod tests {
     use super::*;
     use rhv_core::case_study;
+    use rhv_core::matchindex::MatchIndex;
 
     #[test]
     fn picks_first_candidate_deterministically() {
         let nodes = case_study::grid();
+        let index = MatchIndex::build(&nodes);
+        let grid = GridView::new(&nodes, &index);
         let tasks = case_study::tasks();
         let mut s = FirstFitStrategy::new();
-        let p = s.place(&tasks[1], &nodes, 0.0).unwrap();
+        let p = s.place(&tasks[1], &grid, 0.0).unwrap();
         // Table II order: RPE_0 <-> Node_1 comes first for Task_1.
         assert_eq!(p.pe.to_string(), "RPE_0 <-> Node_1");
-        let again = s.place(&tasks[1], &nodes, 5.0).unwrap();
+        let again = s.place(&tasks[1], &grid, 5.0).unwrap();
         assert_eq!(p.pe, again.pe);
     }
 
     #[test]
     fn satisfiability_gate() {
         let nodes = case_study::grid();
+        let index = MatchIndex::build(&nodes);
+        let grid = GridView::new(&nodes, &index);
         let tasks = case_study::tasks();
         let s = FirstFitStrategy::new();
         for t in &tasks {
-            assert!(s.is_satisfiable(t, &nodes));
+            assert!(s.is_satisfiable(t, &grid));
         }
     }
 }

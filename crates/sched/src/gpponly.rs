@@ -8,8 +8,8 @@
 //! better performance" for software-only tasks.
 
 use crate::util::statically_satisfiable;
-use rhv_core::matchmaker::{HostingMode, MatchOptions, Matchmaker};
-use rhv_core::node::Node;
+use rhv_core::matchindex::GridView;
+use rhv_core::matchmaker::{HostingMode, MatchOptions};
 use rhv_core::task::Task;
 use rhv_params::softcore::SoftcoreSpec;
 use rhv_sim::strategy::{Placement, Strategy};
@@ -17,19 +17,19 @@ use rhv_sim::strategy::{Placement, Strategy};
 /// Ignores RPEs entirely; hardware tasks are unsatisfiable.
 #[derive(Debug, Default)]
 pub struct GppOnlyStrategy {
-    mm: Matchmaker,
-    mm_static: Matchmaker,
+    options: MatchOptions,
+    options_static: MatchOptions,
 }
 
 impl GppOnlyStrategy {
     /// A new GPP-only strategy.
     pub fn new() -> Self {
         GppOnlyStrategy {
-            mm: Matchmaker::with_options(MatchOptions {
+            options: MatchOptions {
                 respect_state: true,
                 softcore_fallback_slices: None,
-            }),
-            mm_static: Matchmaker::new(),
+            },
+            options_static: MatchOptions::default(),
         }
     }
 }
@@ -39,17 +39,15 @@ impl Strategy for GppOnlyStrategy {
         "gpp-only"
     }
 
-    fn place(&mut self, task: &Task, nodes: &[Node], _now: f64) -> Option<Placement> {
-        self.mm
-            .candidates(task, nodes)
+    fn place(&mut self, task: &Task, grid: &GridView<'_>, _now: f64) -> Option<Placement> {
+        grid.candidates(task, self.options)
             .into_iter()
             .find(|c| !c.pe.pe.is_rpe())
             .map(Into::into)
     }
 
-    fn is_satisfiable(&self, task: &Task, nodes: &[Node]) -> bool {
-        self.mm_static
-            .candidates(task, nodes)
+    fn is_satisfiable(&self, task: &Task, grid: &GridView<'_>) -> bool {
+        grid.candidates(task, self.options_static)
             .iter()
             .any(|c| !c.pe.pe.is_rpe())
     }
@@ -58,7 +56,7 @@ impl Strategy for GppOnlyStrategy {
 /// GPPs first; soft-core-on-RPE when all suitable cores are busy.
 #[derive(Debug)]
 pub struct GppFallbackStrategy {
-    mm: Matchmaker,
+    options: MatchOptions,
 }
 
 impl Default for GppFallbackStrategy {
@@ -76,10 +74,10 @@ impl GppFallbackStrategy {
     /// Falls back to an explicit soft-core configuration.
     pub fn with_softcore(spec: &SoftcoreSpec) -> Self {
         GppFallbackStrategy {
-            mm: Matchmaker::with_options(MatchOptions {
+            options: MatchOptions {
                 respect_state: true,
                 softcore_fallback_slices: Some(spec.area_slices()),
-            }),
+            },
         }
     }
 }
@@ -89,8 +87,8 @@ impl Strategy for GppFallbackStrategy {
         "gpp-fallback"
     }
 
-    fn place(&mut self, task: &Task, nodes: &[Node], _now: f64) -> Option<Placement> {
-        let candidates = self.mm.candidates(task, nodes);
+    fn place(&mut self, task: &Task, grid: &GridView<'_>, _now: f64) -> Option<Placement> {
+        let candidates = grid.candidates(task, self.options);
         // Prefer real GPP cores; a soft-core is the pressure valve.
         candidates
             .iter()
@@ -104,8 +102,8 @@ impl Strategy for GppFallbackStrategy {
             .map(Into::into)
     }
 
-    fn is_satisfiable(&self, task: &Task, nodes: &[Node]) -> bool {
-        statically_satisfiable(task, nodes)
+    fn is_satisfiable(&self, task: &Task, grid: &GridView<'_>) -> bool {
+        statically_satisfiable(task, grid)
     }
 }
 
@@ -114,16 +112,19 @@ mod tests {
     use super::*;
     use rhv_core::case_study;
     use rhv_core::ids::PeId;
+    use rhv_core::matchindex::MatchIndex;
 
     #[test]
     fn gpp_only_rejects_hardware_tasks() {
         let nodes = case_study::grid();
+        let index = MatchIndex::build(&nodes);
+        let grid = GridView::new(&nodes, &index);
         let tasks = case_study::tasks();
         let mut s = GppOnlyStrategy::new();
-        assert!(s.place(&tasks[0], &nodes, 0.0).is_some());
+        assert!(s.place(&tasks[0], &grid, 0.0).is_some());
         for t in &tasks[1..] {
-            assert!(s.place(t, &nodes, 0.0).is_none());
-            assert!(!s.is_satisfiable(t, &nodes));
+            assert!(s.place(t, &grid, 0.0).is_none());
+            assert!(!s.is_satisfiable(t, &grid));
         }
     }
 
@@ -133,8 +134,12 @@ mod tests {
         let tasks = case_study::tasks();
         let mut s = GppFallbackStrategy::new();
         // Idle grid: real cores win.
-        let p = s.place(&tasks[0], &nodes, 0.0).unwrap();
-        assert_eq!(p.mode, HostingMode::GppCores);
+        {
+            let index = MatchIndex::build(&nodes);
+            let grid = GridView::new(&nodes, &index);
+            let p = s.place(&tasks[0], &grid, 0.0).unwrap();
+            assert_eq!(p.mode, HostingMode::GppCores);
+        }
         // Saturate all GPPs.
         for node in &mut nodes {
             for i in 0..node.gpps().len() {
@@ -143,12 +148,14 @@ mod tests {
                 node.gpp_mut(pe).unwrap().state.acquire_cores(free).unwrap();
             }
         }
-        let p = s.place(&tasks[0], &nodes, 0.0).unwrap();
+        let index = MatchIndex::build(&nodes);
+        let grid = GridView::new(&nodes, &index);
+        let p = s.place(&tasks[0], &grid, 0.0).unwrap();
         assert_eq!(p.mode, HostingMode::SoftcoreFallback);
         assert!(p.pe.pe.is_rpe());
         // GPP-only would simply queue here.
         assert!(GppOnlyStrategy::new()
-            .place(&tasks[0], &nodes, 0.0)
+            .place(&tasks[0], &grid, 0.0)
             .is_none());
     }
 
@@ -178,9 +185,11 @@ mod tests {
                     .unwrap();
             }
         }
+        let index = MatchIndex::build(&nodes);
+        let grid = GridView::new(&nodes, &index);
         let mut s = GppFallbackStrategy::new();
-        assert!(s.place(&tasks[0], &nodes, 0.0).is_none());
+        assert!(s.place(&tasks[0], &grid, 0.0).is_none());
         // Still satisfiable in principle (idle grid would serve it).
-        assert!(s.is_satisfiable(&tasks[0], &nodes));
+        assert!(s.is_satisfiable(&tasks[0], &grid));
     }
 }

@@ -17,12 +17,13 @@ use crate::util::statically_satisfiable;
 use rhv_core::execreq::TaskPayload;
 use rhv_core::graph::TaskGraph;
 use rhv_core::ids::TaskId;
-use rhv_core::matchmaker::{Matchmaker, PeRef};
+use rhv_core::matchindex::{GridView, MatchIndex};
+use rhv_core::matchmaker::{MatchOptions, PeRef};
 use rhv_core::node::Node;
 use rhv_core::task::Task;
 use rhv_sim::workload::softcore_area;
 use serde::{Deserialize, Serialize};
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, HashMap};
 
 /// One scheduled task.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
@@ -38,18 +39,47 @@ pub struct HeftSlot {
 }
 
 /// A complete HEFT schedule.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct HeftSchedule {
     /// Slots in scheduling (rank) order.
     pub slots: Vec<HeftSlot>,
     /// Latest finish time.
     pub makespan: f64,
+    /// Task → slot position, so [`HeftSchedule::slot`] is O(1) rather than a
+    /// scan over the whole schedule. Rebuilt lazily after deserialization
+    /// (serde skips it).
+    #[serde(skip)]
+    by_task: HashMap<TaskId, usize>,
+}
+
+impl PartialEq for HeftSchedule {
+    fn eq(&self, other: &Self) -> bool {
+        // The lookup map is derived state; two schedules are equal when
+        // their slots and makespan agree.
+        self.slots == other.slots && self.makespan == other.makespan
+    }
 }
 
 impl HeftSchedule {
+    /// A schedule from its slots, with the task lookup map prebuilt.
+    fn from_slots(slots: Vec<HeftSlot>) -> Self {
+        let makespan = slots.iter().map(|s| s.finish).fold(0.0, f64::max);
+        let by_task = slots.iter().enumerate().map(|(i, s)| (s.task, i)).collect();
+        HeftSchedule {
+            slots,
+            makespan,
+            by_task,
+        }
+    }
+
     /// The slot of one task.
     pub fn slot(&self, task: TaskId) -> Option<&HeftSlot> {
-        self.slots.iter().find(|s| s.task == task)
+        if self.by_task.len() == self.slots.len() {
+            self.by_task.get(&task).map(|&i| &self.slots[i])
+        } else {
+            // Deserialized (or hand-built) schedule without the map.
+            self.slots.iter().find(|s| s.task == task)
+        }
     }
 
     /// Verifies precedence, PE exclusivity and makespan consistency.
@@ -102,8 +132,8 @@ impl std::error::Error for HeftError {}
 
 /// Estimated execution seconds of `task` on the PE behind `candidate`,
 /// setup (reconfiguration-scale costs) included.
-fn exec_cost(task: &Task, nodes: &[Node], pe: PeRef) -> f64 {
-    let node = nodes.iter().find(|n| n.id == pe.node).expect("node exists");
+fn exec_cost(task: &Task, grid: &GridView<'_>, pe: PeRef) -> f64 {
+    let node = grid.node(pe.node).expect("node exists");
     match &task.exec_req.payload {
         TaskPayload::Software {
             mega_instructions,
@@ -174,13 +204,19 @@ pub fn schedule(
     tasks: &BTreeMap<TaskId, Task>,
     nodes: &[Node],
 ) -> Result<HeftSchedule, HeftError> {
-    let mm = Matchmaker::new();
+    let index = MatchIndex::build(nodes);
+    let grid = GridView::new(nodes, &index);
+    let options = MatchOptions::default();
     // Candidate PEs per task (static feasibility).
     let mut candidates: BTreeMap<TaskId, Vec<PeRef>> = BTreeMap::new();
     for t in graph.tasks() {
         let task = tasks.get(&t).ok_or(HeftError::UndefinedTask(t))?;
-        let c: Vec<PeRef> = mm.candidates(task, nodes).iter().map(|c| c.pe).collect();
-        if c.is_empty() && !statically_satisfiable(task, nodes) {
+        let c: Vec<PeRef> = grid
+            .candidates(task, options)
+            .iter()
+            .map(|c| c.pe)
+            .collect();
+        if c.is_empty() && !statically_satisfiable(task, &grid) {
             return Err(HeftError::Unplaceable(t));
         }
         candidates.insert(t, c);
@@ -195,7 +231,7 @@ pub fn schedule(
             let mean = if cs.is_empty() {
                 0.0
             } else {
-                cs.iter().map(|&pe| exec_cost(task, nodes, pe)).sum::<f64>() / cs.len() as f64
+                cs.iter().map(|&pe| exec_cost(task, &grid, pe)).sum::<f64>() / cs.len() as f64
             };
             (t, mean)
         })
@@ -205,8 +241,6 @@ pub fn schedule(
     let order = graph.topo_order();
     let mut rank: BTreeMap<TaskId, f64> = BTreeMap::new();
     for &t in order.iter().rev() {
-        let task = &tasks[&t];
-        let _ = task;
         let succ_part = graph
             .successors(t)
             .into_iter()
@@ -223,15 +257,11 @@ pub fn schedule(
     let mut by_rank: Vec<TaskId> = graph.tasks().collect();
     by_rank.sort_by(|a, b| rank[b].partial_cmp(&rank[a]).expect("finite ranks"));
 
-    // EFT placement.
+    // EFT placement. `placed` mirrors `slots` so predecessor lookup is O(1)
+    // instead of a scan per (task, candidate) pair.
     let mut pe_ready: BTreeMap<PeRef, f64> = BTreeMap::new();
     let mut slots: Vec<HeftSlot> = Vec::with_capacity(by_rank.len());
-    let slot_of = |slots: &[HeftSlot], t: TaskId| -> HeftSlot {
-        *slots
-            .iter()
-            .find(|s| s.task == t)
-            .expect("scheduled before")
-    };
+    let mut placed: HashMap<TaskId, usize> = HashMap::with_capacity(by_rank.len());
     for t in by_rank {
         let task = &tasks[&t];
         let cs = &candidates[&t];
@@ -240,12 +270,12 @@ pub fn schedule(
             // Data-ready time on this PE.
             let mut ready = 0.0f64;
             for pred in graph.predecessors(t) {
-                let p = slot_of(&slots, pred);
+                let p = slots[placed[&pred]];
                 let arrive = p.finish + comm_cost(edge_bytes(task, pred), p.pe, pe);
                 ready = ready.max(arrive);
             }
             let start = ready.max(pe_ready.get(&pe).copied().unwrap_or(0.0));
-            let finish = start + exec_cost(task, nodes, pe);
+            let finish = start + exec_cost(task, &grid, pe);
             if best.as_ref().is_none_or(|b| finish < b.finish) {
                 best = Some(HeftSlot {
                     task: t,
@@ -257,10 +287,10 @@ pub fn schedule(
         }
         let chosen = best.ok_or(HeftError::Unplaceable(t))?;
         pe_ready.insert(chosen.pe, chosen.finish);
+        placed.insert(t, slots.len());
         slots.push(chosen);
     }
-    let makespan = slots.iter().map(|s| s.finish).fold(0.0, f64::max);
-    Ok(HeftSchedule { slots, makespan })
+    Ok(HeftSchedule::from_slots(slots))
 }
 
 /// Baseline for comparison: level-by-level barrier scheduling (every ASAP
@@ -270,7 +300,9 @@ pub fn level_barrier_schedule(
     tasks: &BTreeMap<TaskId, Task>,
     nodes: &[Node],
 ) -> Result<HeftSchedule, HeftError> {
-    let mm = Matchmaker::new();
+    let index = MatchIndex::build(nodes);
+    let grid = GridView::new(nodes, &index);
+    let options = MatchOptions::default();
     let levels = graph.levels();
     let max_level = levels.values().copied().max().unwrap_or(0);
     let mut slots = Vec::new();
@@ -280,10 +312,10 @@ pub fn level_barrier_schedule(
         let mut level_end = barrier;
         for t in graph.tasks().filter(|t| levels[t] == level) {
             let task = tasks.get(&t).ok_or(HeftError::UndefinedTask(t))?;
-            let cs = mm.candidates(task, nodes);
+            let cs = grid.candidates(task, options);
             let pe = cs.first().map(|c| c.pe).ok_or(HeftError::Unplaceable(t))?;
             let start = pe_ready.get(&pe).copied().unwrap_or(barrier);
-            let finish = start + exec_cost(task, nodes, pe);
+            let finish = start + exec_cost(task, &grid, pe);
             pe_ready.insert(pe, finish);
             level_end = level_end.max(finish);
             slots.push(HeftSlot {
@@ -295,8 +327,7 @@ pub fn level_barrier_schedule(
         }
         barrier = level_end;
     }
-    let makespan = slots.iter().map(|s| s.finish).fold(0.0, f64::max);
-    Ok(HeftSchedule { slots, makespan })
+    Ok(HeftSchedule::from_slots(slots))
 }
 
 #[cfg(test)]
@@ -392,6 +423,26 @@ mod tests {
         // Upper bound: serializing everything.
         let total: f64 = s.slots.iter().map(|x| x.finish - x.start).sum();
         assert!(s.makespan <= total + 1e-9);
+    }
+
+    #[test]
+    fn slot_lookup_uses_the_task_map() {
+        let g = fig7_graph();
+        let tasks = fig7_tasks();
+        let s = schedule(&g, &tasks, &case_study::grid()).unwrap();
+        assert_eq!(s.by_task.len(), s.slots.len());
+        for slot in &s.slots {
+            assert_eq!(s.slot(slot.task), Some(slot));
+        }
+        assert!(s.slot(TaskId(10_000)).is_none());
+        // A deserialized schedule loses the map (serde skips it) but still
+        // answers correctly via the linear fallback.
+        let mut back = s.clone();
+        back.by_task.clear();
+        for slot in &s.slots {
+            assert_eq!(back.slot(slot.task), Some(slot));
+        }
+        assert_eq!(back, s, "lookup map must not affect equality");
     }
 
     #[test]

@@ -1,10 +1,10 @@
 //! Uniform-random placement among feasible candidates.
 
-use crate::util::{live_matchmaker, statically_satisfiable};
+use crate::util::{live_options, statically_satisfiable};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
-use rhv_core::matchmaker::Matchmaker;
-use rhv_core::node::Node;
+use rhv_core::matchindex::GridView;
+use rhv_core::matchmaker::MatchOptions;
 use rhv_core::task::Task;
 use rhv_sim::strategy::{Placement, Strategy};
 
@@ -12,7 +12,7 @@ use rhv_sim::strategy::{Placement, Strategy};
 /// no intelligence, but no systematic hot-spotting either.
 #[derive(Debug)]
 pub struct RandomStrategy {
-    mm: Matchmaker,
+    options: MatchOptions,
     rng: StdRng,
 }
 
@@ -20,7 +20,7 @@ impl RandomStrategy {
     /// A random strategy with the given seed (deterministic runs).
     pub fn new(seed: u64) -> Self {
         RandomStrategy {
-            mm: live_matchmaker(),
+            options: live_options(),
             rng: StdRng::seed_from_u64(seed),
         }
     }
@@ -31,8 +31,8 @@ impl Strategy for RandomStrategy {
         "random"
     }
 
-    fn place(&mut self, task: &Task, nodes: &[Node], _now: f64) -> Option<Placement> {
-        let candidates = self.mm.candidates(task, nodes);
+    fn place(&mut self, task: &Task, grid: &GridView<'_>, _now: f64) -> Option<Placement> {
+        let candidates = grid.candidates(task, self.options);
         if candidates.is_empty() {
             return None;
         }
@@ -40,8 +40,8 @@ impl Strategy for RandomStrategy {
         Some(candidates[i].into())
     }
 
-    fn is_satisfiable(&self, task: &Task, nodes: &[Node]) -> bool {
-        statically_satisfiable(task, nodes)
+    fn is_satisfiable(&self, task: &Task, grid: &GridView<'_>) -> bool {
+        statically_satisfiable(task, grid)
     }
 }
 
@@ -49,16 +49,19 @@ impl Strategy for RandomStrategy {
 mod tests {
     use super::*;
     use rhv_core::case_study;
+    use rhv_core::matchindex::MatchIndex;
     use std::collections::BTreeSet;
 
     #[test]
     fn same_seed_same_choices() {
         let nodes = case_study::grid();
+        let index = MatchIndex::build(&nodes);
+        let grid = GridView::new(&nodes, &index);
         let task = &case_study::tasks()[1];
         let picks = |seed| {
             let mut s = RandomStrategy::new(seed);
             (0..10)
-                .map(|_| s.place(task, &nodes, 0.0).unwrap().pe)
+                .map(|_| s.place(task, &grid, 0.0).unwrap().pe)
                 .collect::<Vec<_>>()
         };
         assert_eq!(picks(5), picks(5));
@@ -67,10 +70,12 @@ mod tests {
     #[test]
     fn spreads_over_all_candidates() {
         let nodes = case_study::grid();
+        let index = MatchIndex::build(&nodes);
+        let grid = GridView::new(&nodes, &index);
         let task = &case_study::tasks()[1]; // 3 candidates per Table II
         let mut s = RandomStrategy::new(1);
         let seen: BTreeSet<String> = (0..100)
-            .map(|_| s.place(task, &nodes, 0.0).unwrap().pe.to_string())
+            .map(|_| s.place(task, &grid, 0.0).unwrap().pe.to_string())
             .collect();
         assert_eq!(
             seen.len(),
@@ -82,12 +87,14 @@ mod tests {
     #[test]
     fn none_when_infeasible() {
         let nodes = case_study::grid();
+        let index = MatchIndex::build(&nodes);
+        let grid = GridView::new(&nodes, &index);
         let mut t = case_study::tasks()[2].clone();
         // Inflate the requirement beyond any device.
         t.exec_req.constraints[1] =
             rhv_core::execreq::Constraint::ge(rhv_params::param::ParamKey::Slices, 1_000_000u64);
         let mut s = RandomStrategy::new(0);
-        assert!(s.place(&t, &nodes, 0.0).is_none());
-        assert!(!s.is_satisfiable(&t, &nodes));
+        assert!(s.place(&t, &grid, 0.0).is_none());
+        assert!(!s.is_satisfiable(&t, &grid));
     }
 }

@@ -6,25 +6,24 @@
 //! breaking ties toward the tightest area fit.
 
 use crate::util::{
-    estimated_setup_seconds, free_capacity, live_matchmaker, placement_slices,
-    statically_satisfiable,
+    estimated_setup_seconds, free_capacity, live_options, placement_slices, statically_satisfiable,
 };
-use rhv_core::matchmaker::{HostingMode, Matchmaker};
-use rhv_core::node::Node;
+use rhv_core::matchindex::GridView;
+use rhv_core::matchmaker::{HostingMode, MatchOptions};
 use rhv_core::task::Task;
 use rhv_sim::strategy::{Placement, Strategy};
 
 /// Reuse first, then minimal setup cost.
 #[derive(Debug, Default)]
 pub struct ReuseAwareStrategy {
-    mm: Matchmaker,
+    options: MatchOptions,
 }
 
 impl ReuseAwareStrategy {
     /// A new reuse-aware strategy.
     pub fn new() -> Self {
         ReuseAwareStrategy {
-            mm: live_matchmaker(),
+            options: live_options(),
         }
     }
 }
@@ -34,8 +33,8 @@ impl Strategy for ReuseAwareStrategy {
         "reuse-aware"
     }
 
-    fn place(&mut self, task: &Task, nodes: &[Node], _now: f64) -> Option<Placement> {
-        let candidates = self.mm.candidates(task, nodes);
+    fn place(&mut self, task: &Task, grid: &GridView<'_>, _now: f64) -> Option<Placement> {
+        let candidates = grid.candidates(task, self.options);
         if let Some(reuse) = candidates
             .iter()
             .find(|c| matches!(c.mode, HostingMode::ReuseConfig(_)))
@@ -45,15 +44,15 @@ impl Strategy for ReuseAwareStrategy {
         candidates
             .into_iter()
             .min_by(|a, b| {
-                let sa = estimated_setup_seconds(task, nodes, a);
-                let sb = estimated_setup_seconds(task, nodes, b);
+                let sa = estimated_setup_seconds(task, grid, a);
+                let sb = estimated_setup_seconds(task, grid, b);
                 sa.partial_cmp(&sb)
                     .expect("finite setups")
                     .then_with(|| {
-                        let la = free_capacity(nodes, a)
-                            .saturating_sub(placement_slices(task, nodes, a));
-                        let lb = free_capacity(nodes, b)
-                            .saturating_sub(placement_slices(task, nodes, b));
+                        let la =
+                            free_capacity(grid, a).saturating_sub(placement_slices(task, grid, a));
+                        let lb =
+                            free_capacity(grid, b).saturating_sub(placement_slices(task, grid, b));
                         la.cmp(&lb)
                     })
                     .then_with(|| a.pe.cmp(&b.pe))
@@ -61,8 +60,8 @@ impl Strategy for ReuseAwareStrategy {
             .map(Into::into)
     }
 
-    fn is_satisfiable(&self, task: &Task, nodes: &[Node]) -> bool {
-        statically_satisfiable(task, nodes)
+    fn is_satisfiable(&self, task: &Task, grid: &GridView<'_>) -> bool {
+        statically_satisfiable(task, grid)
     }
 }
 
@@ -72,6 +71,7 @@ mod tests {
     use rhv_core::case_study;
     use rhv_core::fabric::FitPolicy;
     use rhv_core::ids::{NodeId, PeId};
+    use rhv_core::matchindex::MatchIndex;
     use rhv_core::state::ConfigKind;
 
     #[test]
@@ -88,8 +88,10 @@ mod tests {
                 FitPolicy::FirstFit,
             )
             .unwrap();
+        let index = MatchIndex::build(&nodes);
+        let grid = GridView::new(&nodes, &index);
         let p = ReuseAwareStrategy::new()
-            .place(&tasks[1], &nodes, 0.0)
+            .place(&tasks[1], &grid, 0.0)
             .unwrap();
         assert!(matches!(p.mode, HostingMode::ReuseConfig(_)));
         assert_eq!(p.pe.node, NodeId(1));
@@ -98,22 +100,23 @@ mod tests {
     #[test]
     fn without_reuse_minimizes_setup() {
         let nodes = case_study::grid();
+        let index = MatchIndex::build(&nodes);
+        let grid = GridView::new(&nodes, &index);
         let tasks = case_study::tasks();
         // Among Task_1's candidates the LX330 (Node_2) has the smallest
         // configuration-data footprint per slice, hence the cheapest setup
         // for a fixed 18,707-slice design.
         let p = ReuseAwareStrategy::new()
-            .place(&tasks[1], &nodes, 0.0)
+            .place(&tasks[1], &grid, 0.0)
             .unwrap();
         assert_eq!(p.pe.to_string(), "RPE_0 <-> Node_2");
         // And that really is the minimal-setup candidate:
-        let mm = crate::util::live_matchmaker();
-        let mut setups: Vec<(f64, String)> = mm
-            .candidates(&tasks[1], &nodes)
+        let mut setups: Vec<(f64, String)> = grid
+            .candidates(&tasks[1], crate::util::live_options())
             .iter()
             .map(|c| {
                 (
-                    crate::util::estimated_setup_seconds(&tasks[1], &nodes, c),
+                    crate::util::estimated_setup_seconds(&tasks[1], &grid, c),
                     c.pe.to_string(),
                 )
             })

@@ -1,36 +1,43 @@
 //! Shared helpers for strategies.
 
 use rhv_core::execreq::TaskPayload;
+use rhv_core::matchindex::GridView;
 use rhv_core::matchmaker::{Candidate, HostingMode, MatchOptions, Matchmaker};
-use rhv_core::node::Node;
 use rhv_core::task::Task;
 use rhv_sim::workload::softcore_area;
 
-/// A state-aware matchmaker (candidates must be feasible *now*).
-pub fn live_matchmaker() -> Matchmaker {
-    Matchmaker::with_options(MatchOptions {
+/// State-aware matchmaking options (candidates must be feasible *now*).
+pub fn live_options() -> MatchOptions {
+    MatchOptions {
         respect_state: true,
         softcore_fallback_slices: None,
-    })
+    }
+}
+
+/// A state-aware naive matchmaker — the unindexed scan baseline, kept for
+/// benchmarks and equivalence tests (strategies themselves query the
+/// [`GridView`] index).
+pub fn live_matchmaker() -> Matchmaker {
+    Matchmaker::with_options(live_options())
 }
 
 /// Satisfiability against an idealized idle grid — the standard
-/// `is_satisfiable` used by every hybrid strategy.
-pub fn statically_satisfiable(task: &Task, nodes: &[Node]) -> bool {
-    !Matchmaker::new().candidates(task, nodes).is_empty()
+/// `is_satisfiable` used by every hybrid strategy. An indexed early-exit
+/// query, not a scan.
+pub fn statically_satisfiable(task: &Task, grid: &GridView<'_>) -> bool {
+    grid.statically_satisfiable(task)
 }
 
 /// Slice demand a candidate placement would claim on its RPE.
-pub fn placement_slices(task: &Task, nodes: &[Node], c: &Candidate) -> u64 {
+pub fn placement_slices(task: &Task, grid: &GridView<'_>, c: &Candidate) -> u64 {
     match c.mode {
         HostingMode::GppCores | HostingMode::GpuRun => 0,
         HostingMode::ReuseConfig(_) => 0,
         HostingMode::SoftcoreFallback | HostingMode::Reconfigure => match &task.exec_req.payload {
             TaskPayload::HdlAccelerator { est_slices, .. } => *est_slices,
             TaskPayload::SoftcoreKernel { core, .. } => softcore_area(core),
-            TaskPayload::Bitstream { .. } => nodes
-                .iter()
-                .find(|n| n.id == c.pe.node)
+            TaskPayload::Bitstream { .. } => grid
+                .node(c.pe.node)
                 .and_then(|n| n.rpe(c.pe.pe))
                 .map(|r| r.device.slices)
                 .unwrap_or(0),
@@ -41,9 +48,8 @@ pub fn placement_slices(task: &Task, nodes: &[Node], c: &Candidate) -> u64 {
 }
 
 /// Free capacity of the candidate's PE: slices for RPEs, cores for GPPs.
-pub fn free_capacity(nodes: &[Node], c: &Candidate) -> u64 {
-    let node = nodes.iter().find(|n| n.id == c.pe.node);
-    match node {
+pub fn free_capacity(grid: &GridView<'_>, c: &Candidate) -> u64 {
+    match grid.node(c.pe.node) {
         Some(n) => {
             if c.pe.pe.is_rpe() {
                 n.rpe(c.pe.pe)
@@ -60,18 +66,14 @@ pub fn free_capacity(nodes: &[Node], c: &Candidate) -> u64 {
 /// Estimated setup seconds for a candidate: reconfiguration plus bitstream
 /// transfer at the device's configuration bandwidth (reuse and GPP
 /// placements cost nothing here).
-pub fn estimated_setup_seconds(task: &Task, nodes: &[Node], c: &Candidate) -> f64 {
+pub fn estimated_setup_seconds(task: &Task, grid: &GridView<'_>, c: &Candidate) -> f64 {
     match c.mode {
         HostingMode::GppCores | HostingMode::ReuseConfig(_) | HostingMode::GpuRun => 0.0,
         HostingMode::Reconfigure | HostingMode::SoftcoreFallback => {
-            let Some(rpe) = nodes
-                .iter()
-                .find(|n| n.id == c.pe.node)
-                .and_then(|n| n.rpe(c.pe.pe))
-            else {
+            let Some(rpe) = grid.node(c.pe.node).and_then(|n| n.rpe(c.pe.pe)) else {
                 return f64::INFINITY;
             };
-            let slices = placement_slices(task, nodes, c);
+            let slices = placement_slices(task, grid, c);
             let image_bytes = match &task.exec_req.payload {
                 TaskPayload::Bitstream { size_bytes, .. } => *size_bytes as f64,
                 _ => slices as f64 * rpe.device.bytes_per_slice(),
@@ -87,11 +89,14 @@ mod tests {
     use super::*;
     use rhv_core::case_study;
     use rhv_core::ids::{NodeId, PeId};
+    use rhv_core::matchindex::MatchIndex;
     use rhv_core::matchmaker::PeRef;
 
     #[test]
     fn capacity_of_fresh_case_study_grid() {
         let nodes = case_study::grid();
+        let index = MatchIndex::build(&nodes);
+        let grid = GridView::new(&nodes, &index);
         let c = Candidate {
             pe: PeRef {
                 node: NodeId(2),
@@ -99,7 +104,7 @@ mod tests {
             },
             mode: HostingMode::Reconfigure,
         };
-        assert_eq!(free_capacity(&nodes, &c), 51_840);
+        assert_eq!(free_capacity(&grid, &c), 51_840);
         let g = Candidate {
             pe: PeRef {
                 node: NodeId(0),
@@ -107,12 +112,14 @@ mod tests {
             },
             mode: HostingMode::GppCores,
         };
-        assert_eq!(free_capacity(&nodes, &g), 4);
+        assert_eq!(free_capacity(&grid, &g), 4);
     }
 
     #[test]
     fn placement_slices_per_payload() {
         let nodes = case_study::grid();
+        let index = MatchIndex::build(&nodes);
+        let grid = GridView::new(&nodes, &index);
         let tasks = case_study::tasks();
         let rpe = |n: u64, i: u32| Candidate {
             pe: PeRef {
@@ -121,15 +128,17 @@ mod tests {
             },
             mode: HostingMode::Reconfigure,
         };
-        assert_eq!(placement_slices(&tasks[1], &nodes, &rpe(1, 0)), 18_707);
-        assert_eq!(placement_slices(&tasks[2], &nodes, &rpe(2, 0)), 30_790);
+        assert_eq!(placement_slices(&tasks[1], &grid, &rpe(1, 0)), 18_707);
+        assert_eq!(placement_slices(&tasks[2], &grid, &rpe(2, 0)), 30_790);
         // Task_3's bitstream claims the whole XC6VLX365T.
-        assert_eq!(placement_slices(&tasks[3], &nodes, &rpe(0, 0)), 56_880);
+        assert_eq!(placement_slices(&tasks[3], &grid, &rpe(0, 0)), 56_880);
     }
 
     #[test]
     fn setup_estimate_zero_for_gpp_and_reuse() {
         let nodes = case_study::grid();
+        let index = MatchIndex::build(&nodes);
+        let grid = GridView::new(&nodes, &index);
         let tasks = case_study::tasks();
         let g = Candidate {
             pe: PeRef {
@@ -138,7 +147,7 @@ mod tests {
             },
             mode: HostingMode::GppCores,
         };
-        assert_eq!(estimated_setup_seconds(&tasks[0], &nodes, &g), 0.0);
+        assert_eq!(estimated_setup_seconds(&tasks[0], &grid, &g), 0.0);
         let r = Candidate {
             pe: PeRef {
                 node: NodeId(1),
@@ -146,6 +155,6 @@ mod tests {
             },
             mode: HostingMode::Reconfigure,
         };
-        assert!(estimated_setup_seconds(&tasks[1], &nodes, &r) > 0.0);
+        assert!(estimated_setup_seconds(&tasks[1], &grid, &r) > 0.0);
     }
 }

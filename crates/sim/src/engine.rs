@@ -68,6 +68,27 @@ impl<E> EventQueue<E> {
         Self::default()
     }
 
+    /// An empty queue at time zero with room for `capacity` pending events
+    /// before the heap reallocates. Front-ends that know their workload size
+    /// up front (the simulator does) reserve once instead of regrowing the
+    /// heap as arrivals, churn and completions pile in.
+    pub fn with_capacity(capacity: usize) -> Self {
+        EventQueue {
+            heap: BinaryHeap::with_capacity(capacity),
+            ..Self::default()
+        }
+    }
+
+    /// Reserves room for at least `additional` more pending events.
+    pub fn reserve(&mut self, additional: usize) {
+        self.heap.reserve(additional);
+    }
+
+    /// Events the queue can hold without reallocating.
+    pub fn capacity(&self) -> usize {
+        self.heap.capacity()
+    }
+
     /// The time of the most recently popped event.
     pub fn now(&self) -> f64 {
         self.now
@@ -179,6 +200,21 @@ mod tests {
         q.push(10.0, ());
         q.pop();
         q.push(5.0, ());
+    }
+
+    #[test]
+    fn with_capacity_preallocates() {
+        let mut q: EventQueue<u32> = EventQueue::with_capacity(64);
+        assert!(q.capacity() >= 64);
+        assert_eq!(q.len(), 0);
+        let before = q.capacity();
+        for i in 0..64 {
+            q.push(f64::from(i), i);
+        }
+        assert_eq!(q.len(), 64);
+        assert_eq!(q.capacity(), before, "no regrowth within the reservation");
+        q.reserve(128);
+        assert!(q.capacity() >= 64 + 128);
     }
 
     #[test]

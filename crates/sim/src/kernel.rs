@@ -44,17 +44,48 @@ use rhv_core::execreq::TaskPayload;
 use rhv_core::fabric::FitPolicy;
 use rhv_core::graph::TaskGraph;
 use rhv_core::ids::{ConfigId, NodeId, PeId, TaskId};
-use rhv_core::matchmaker::{HostingMode, PeRef};
+use rhv_core::matchindex::{GridView, IndexStatsSnapshot, MatchIndex};
+use rhv_core::matchmaker::{HostingMode, MatchOptions, PeRef};
 use rhv_core::node::Node;
 use rhv_core::state::ConfigKind;
 use rhv_core::task::Task;
+use rhv_params::param::PeClass;
 use rhv_params::softcore::SoftcoreSpec;
 use rhv_telemetry::{
-    CompletedSpan, LifecycleSpan, NodeEvent, NoopSink, PlacedSpan, SetupPhases, SpanEvent,
-    TelemetrySink,
+    CompletedSpan, LifecycleSpan, MatchStats, NodeEvent, NoopSink, PlacedSpan, SetupPhases,
+    SpanEvent, TelemetrySink,
 };
 use std::collections::{BTreeSet, VecDeque};
 use std::fmt;
+
+/// Capacity-class dirty bits: set when a kernel mutation *frees* capacity of
+/// a class, cleared when the backlog is re-examined. A queued task is only
+/// re-tried when a class it could consume gained capacity since its last
+/// examination.
+const DIRTY_GPP: u8 = 1;
+const DIRTY_FABRIC: u8 = 1 << 1;
+const DIRTY_GPU: u8 = 1 << 2;
+const DIRTY_ALL: u8 = DIRTY_GPP | DIRTY_FABRIC | DIRTY_GPU;
+
+/// The capacity classes a task's candidates can draw from. GPP-class tasks
+/// also watch fabric: the soft-core fallback can host software on an RPE.
+fn class_mask(task: &Task) -> u8 {
+    match task.exec_req.pe_class {
+        PeClass::Gpp => DIRTY_GPP | DIRTY_FABRIC,
+        PeClass::Fpga | PeClass::Softcore => DIRTY_FABRIC,
+        PeClass::Gpu => DIRTY_GPU,
+    }
+}
+
+/// One queued task: its original arrival, and whether the kernel has
+/// already tried (and failed) to dispatch it since the last relevant
+/// capacity change.
+#[derive(Debug)]
+struct BacklogEntry {
+    arrival: f64,
+    task: Task,
+    tried: bool,
+}
 
 /// Kernel configuration (shared by every front-end).
 #[derive(Debug, Clone)]
@@ -227,9 +258,17 @@ impl PendingCompletion {
 /// The shared task-lifecycle state machine (see the module docs).
 pub struct LifecycleKernel {
     nodes: Vec<Node>,
+    /// Incrementally maintained match index over `nodes` — updated at every
+    /// mutation site (place/release/evict/churn), exactly where spans are
+    /// emitted.
+    index: MatchIndex,
+    /// Capacity classes freed since the last backlog examination.
+    dirty: u8,
+    backlog_skipped: u64,
+    match_reported: MatchStats,
     cfg: SimConfig,
     synth: SynthesisService,
-    backlog: VecDeque<(f64, Task)>,
+    backlog: VecDeque<BacklogEntry>,
     records: Vec<TaskRecord>,
     rejected: usize,
     submitted: usize,
@@ -253,8 +292,13 @@ impl LifecycleKernel {
     /// A kernel over `nodes` with configuration `cfg`.
     pub fn new(nodes: Vec<Node>, cfg: SimConfig) -> Self {
         let cad_speed = cfg.cad_speed;
+        let index = MatchIndex::build(&nodes);
         LifecycleKernel {
             nodes,
+            index,
+            dirty: 0,
+            backlog_skipped: 0,
+            match_reported: MatchStats::default(),
             cfg,
             synth: SynthesisService::new(cad_speed),
             backlog: VecDeque::new(),
@@ -298,11 +342,29 @@ impl LifecycleKernel {
         }
     }
 
-    /// Reports the post-mutation grid state to the sink.
+    /// Reports the post-mutation grid state (and matchmaking-index deltas)
+    /// to the sink.
     fn observe_state(&mut self, at: f64) {
         if self.sink.enabled() {
             let (queue_depth, held) = (self.backlog.len(), self.held.len());
             self.sink.grid_state(at, &self.nodes, queue_depth, held);
+            let snap = self.index.stats().snapshot();
+            let totals = MatchStats {
+                index_hits: snap.hits,
+                scan_fallbacks: snap.scan_fallbacks,
+                range_width: snap.range_width,
+                backlog_skipped: self.backlog_skipped,
+            };
+            let delta = MatchStats {
+                index_hits: totals.index_hits - self.match_reported.index_hits,
+                scan_fallbacks: totals.scan_fallbacks - self.match_reported.scan_fallbacks,
+                range_width: totals.range_width - self.match_reported.range_width,
+                backlog_skipped: totals.backlog_skipped - self.match_reported.backlog_skipped,
+            };
+            if !delta.is_empty() {
+                self.sink.match_stats(at, delta);
+            }
+            self.match_reported = totals;
         }
     }
 
@@ -337,6 +399,16 @@ impl LifecycleKernel {
     /// Tasks queued for resources.
     pub fn backlog_len(&self) -> usize {
         self.backlog.len()
+    }
+
+    /// Backlog re-examinations avoided by dirty-class tracking so far.
+    pub fn backlog_skipped(&self) -> u64 {
+        self.backlog_skipped
+    }
+
+    /// Cumulative match-index query statistics for this kernel.
+    pub fn index_stats(&self) -> IndexStatsSnapshot {
+        self.index.stats().snapshot()
     }
 
     /// Tasks held for unmet dependencies.
@@ -407,7 +479,11 @@ impl LifecycleKernel {
             self.failures += 1;
             self.emit(task.id, now, SpanEvent::ChurnEvicted { pe });
             self.emit(task.id, now, SpanEvent::Queued);
-            self.backlog.push_back((record.arrival, task));
+            self.backlog.push_back(BacklogEntry {
+                arrival: record.arrival,
+                task,
+                tried: false,
+            });
             self.drain_backlog(now, strategy, &mut out);
             self.observe_state(now);
             return out;
@@ -425,11 +501,11 @@ impl LifecycleKernel {
             }),
         );
         self.records.push(record);
-        let node = self
-            .nodes
-            .iter_mut()
-            .find(|n| n.id == pe.node)
+        let pos = self
+            .index
+            .node_pos(pe.node)
             .expect("completion on a known node");
+        let node = &mut self.nodes[pos];
         match pe.pe {
             PeId::Gpp(_) => {
                 node.gpp_mut(pe.pe)
@@ -454,6 +530,15 @@ impl LifecycleKernel {
                 }
             }
         }
+        // The release freed capacity: re-index the PE and mark its class so
+        // the backlog re-examines only tasks that could use it.
+        self.index.refresh_pe(&self.nodes[pos], pe.pe);
+        self.dirty |= match pe.pe {
+            PeId::Gpp(_) => DIRTY_GPP,
+            // Freed fabric also serves software via the soft-core fallback.
+            PeId::Rpe(_) => DIRTY_FABRIC | DIRTY_GPP,
+            PeId::Gpu(_) => DIRTY_GPU,
+        };
         if !self.pending_leaves.is_empty() {
             self.apply_pending_leaves();
         }
@@ -476,6 +561,8 @@ impl LifecycleKernel {
             ChurnEvent::Join(node) => {
                 let id = node.id;
                 self.nodes.push(*node);
+                self.index.add_node(&self.nodes);
+                self.dirty = DIRTY_ALL;
                 self.sink.node_event(now, NodeEvent::Joined(id));
                 // New capacity may unblock queued tasks.
                 self.drain_backlog(now, strategy, &mut out);
@@ -488,8 +575,9 @@ impl LifecycleKernel {
             ChurnEvent::Crash(id) => {
                 // The node vanishes now; in-flight completions on it are
                 // intercepted in `complete` and their tasks re-queued.
-                if self.nodes.iter().any(|n| n.id == id) {
+                if self.index.node_pos(id).is_some() {
                     self.nodes.retain(|n| n.id != id);
+                    self.index.remove_node(id, &self.nodes);
                     self.crashed.push(id);
                     self.sink.node_event(now, NodeEvent::Crashed(id));
                 }
@@ -509,7 +597,7 @@ impl LifecycleKernel {
             let leftovers: Vec<TaskId> = self
                 .backlog
                 .iter()
-                .map(|(_, t)| t.id)
+                .map(|e| e.task.id)
                 .chain(self.held.iter().map(|t| t.id))
                 .collect();
             for id in leftovers {
@@ -561,9 +649,19 @@ impl LifecycleKernel {
         out: &mut Vec<PendingCompletion>,
     ) {
         if !self.try_dispatch(&task, now, now, strategy, out) {
-            if strategy.is_satisfiable(&task, &self.nodes) {
+            let satisfiable = {
+                let view = GridView::new(&self.nodes, &self.index);
+                strategy.is_satisfiable(&task, &view)
+            };
+            if satisfiable {
                 self.emit(task.id, now, SpanEvent::Queued);
-                self.backlog.push_back((now, task));
+                // `tried: true` — dispatch was just attempted; the next
+                // examination waits for a relevant capacity change.
+                self.backlog.push_back(BacklogEntry {
+                    arrival: now,
+                    task,
+                    tried: true,
+                });
             } else {
                 self.emit(task.id, now, SpanEvent::Rejected);
                 self.rejected += 1;
@@ -598,14 +696,16 @@ impl LifecycleKernel {
     fn apply_pending_leaves(&mut self) {
         let pending = std::mem::take(&mut self.pending_leaves);
         for id in pending {
-            let idle = self.nodes.iter().find(|n| n.id == id).is_some_and(|n| {
-                n.gpps().iter().all(|g| g.state.is_idle())
-                    && n.rpes().iter().all(|r| r.state.is_idle())
-            });
-            if idle {
-                self.nodes.retain(|n| n.id != id);
-            } else if self.nodes.iter().any(|n| n.id == id) {
-                self.pending_leaves.push(id);
+            if let Some(pos) = self.index.node_pos(id) {
+                let n = &self.nodes[pos];
+                let idle = n.gpps().iter().all(|g| g.state.is_idle())
+                    && n.rpes().iter().all(|r| r.state.is_idle());
+                if idle {
+                    self.nodes.retain(|n| n.id != id);
+                    self.index.remove_node(id, &self.nodes);
+                } else {
+                    self.pending_leaves.push(id);
+                }
             }
         }
     }
@@ -616,22 +716,35 @@ impl LifecycleKernel {
         strategy: &mut dyn Strategy,
         out: &mut Vec<PendingCompletion>,
     ) {
-        // FIFO with backfill: try every queued task once, keep the rest.
+        // FIFO with backfill, filtered by dirty-class tracking: a task that
+        // already failed a dispatch attempt is re-examined only when a
+        // capacity class it could consume was freed since. Bits set *during*
+        // this pass (by evictions) are honoured too — `self.dirty` refills
+        // as we go — so nothing reachable by the naive full re-scan is
+        // missed; those bits also persist into the next pass, which is
+        // conservative but never skips a dispatchable task.
+        let dirty = std::mem::take(&mut self.dirty);
         let mut remaining = VecDeque::new();
-        while let Some((arrival, task)) = self.backlog.pop_front() {
-            if self.try_dispatch(&task, arrival, now, strategy, out) {
+        while let Some(mut entry) = self.backlog.pop_front() {
+            if entry.tried && (dirty | self.dirty) & class_mask(&entry.task) == 0 {
+                self.backlog_skipped += 1;
+                remaining.push_back(entry);
+                continue;
+            }
+            entry.tried = true;
+            if self.try_dispatch(&entry.task, entry.arrival, now, strategy, out) {
                 continue;
             }
             // Make room by evicting idle configurations — but only the
             // minimum, on fabric this task could actually use, so resident
             // configurations keep their reuse value.
             if self.cfg.evict_idle_configs
-                && self.evict_for(&task)
-                && self.try_dispatch(&task, arrival, now, strategy, out)
+                && self.evict_for(&entry.task)
+                && self.try_dispatch(&entry.task, entry.arrival, now, strategy, out)
             {
                 continue;
             }
-            remaining.push_back((arrival, task));
+            remaining.push_back(entry);
         }
         self.backlog = remaining;
     }
@@ -640,18 +753,22 @@ impl LifecycleKernel {
     /// just enough idle configurations for the task's area demand to fit.
     /// Returns true when at least one RPE gained room.
     fn evict_for(&mut self, task: &Task) -> bool {
-        use rhv_core::matchmaker::Matchmaker;
-        let candidates = Matchmaker::new().candidates(task, &self.nodes);
+        // Static candidates: eviction targets fabric the task *could* use
+        // once cleared, not just fabric with room right now.
+        let candidates = {
+            let view = GridView::new(&self.nodes, &self.index);
+            view.candidates(task, MatchOptions::default())
+        };
         let fallback_area = self.cfg.softcore_fallback.area_slices();
         let mut made_room = false;
         for c in candidates {
             if !c.pe.pe.is_rpe() {
                 continue;
             }
-            let Some(node) = self.nodes.iter_mut().find(|n| n.id == c.pe.node) else {
+            let Some(pos) = self.index.node_pos(c.pe.node) else {
                 continue;
             };
-            let Some(rpe) = node.rpe_mut(c.pe.pe) else {
+            let Some(rpe) = self.nodes[pos].rpe_mut(c.pe.pe) else {
                 continue;
             };
             let demand = match &task.exec_req.payload {
@@ -662,6 +779,7 @@ impl LifecycleKernel {
                 // GPU kernels never claim fabric; nothing to evict for.
                 TaskPayload::GpuKernel { .. } => continue,
             };
+            let mut unloaded = false;
             while !rpe.state.fabric().can_fit(demand) {
                 let idle: Option<ConfigId> = rpe
                     .state
@@ -672,12 +790,17 @@ impl LifecycleKernel {
                 match idle {
                     Some(id) => {
                         rpe.state.unload(id).expect("idle config unloads");
+                        unloaded = true;
                     }
                     None => break,
                 }
             }
             if rpe.state.fabric().can_fit(demand) {
                 made_room = true;
+            }
+            if unloaded {
+                self.index.refresh_pe(&self.nodes[pos], c.pe.pe);
+                self.dirty |= DIRTY_FABRIC | DIRTY_GPP;
             }
         }
         made_room
@@ -693,7 +816,11 @@ impl LifecycleKernel {
         strategy: &mut dyn Strategy,
         out: &mut Vec<PendingCompletion>,
     ) -> bool {
-        let Some(placement) = strategy.place(task, &self.nodes, now) else {
+        let placement = {
+            let view = GridView::new(&self.nodes, &self.index);
+            strategy.place(task, &view, now)
+        };
+        let Some(placement) = placement else {
             return false;
         };
         match self.try_place(task, placement, arrival, now) {
@@ -767,12 +894,12 @@ impl LifecycleKernel {
                 },
             ) => {
                 let device = {
-                    let node = self
-                        .nodes
-                        .iter()
-                        .find(|n| n.id == pe.node)
+                    let pos = self
+                        .index
+                        .node_pos(pe.node)
                         .ok_or(PlacementError::UnknownNode(pe.node))?;
-                    node.rpe(pe.pe)
+                    self.nodes[pos]
+                        .rpe(pe.pe)
                         .ok_or(PlacementError::WrongPeKind {
                             pe,
                             expected: "an RPE",
@@ -802,11 +929,11 @@ impl LifecycleKernel {
             |network: &NetworkModel, bytes: u64| network.transfer_seconds(pe.node, bytes);
         let network = self.cfg.network.clone();
 
-        let node = self
-            .nodes
-            .iter_mut()
-            .find(|n| n.id == pe.node)
+        let pos = self
+            .index
+            .node_pos(pe.node)
             .ok_or(PlacementError::UnknownNode(pe.node))?;
+        let node = &mut self.nodes[pos];
 
         // Telemetry: per-phase setup breakdown, filled in by the arms.
         let reused = matches!(mode, HostingMode::ReuseConfig(_));
@@ -980,6 +1107,11 @@ impl LifecycleKernel {
             }
         };
 
+        // The placement consumed capacity (every error path above returns
+        // before mutating node state): re-index the PE so queries later in
+        // the same instant see the post-placement free capacity.
+        self.index.refresh_pe(&self.nodes[pos], pe.pe);
+
         let exec_start = now + setup;
         let finish = exec_start + exec;
         match pe.pe {
@@ -1046,20 +1178,19 @@ pub(crate) fn execution_of(payload: &TaskPayload, cfg: &SimConfig) -> (f64, f64)
 mod tests {
     use super::*;
     use rhv_core::execreq::{Constraint, ExecReq};
-    use rhv_core::matchmaker::{MatchOptions, Matchmaker};
     use rhv_params::param::{ParamKey, PeClass};
 
     struct FirstFit {
-        mm: Matchmaker,
+        options: MatchOptions,
     }
 
     impl FirstFit {
         fn new() -> Self {
             FirstFit {
-                mm: Matchmaker::with_options(MatchOptions {
+                options: MatchOptions {
                     respect_state: true,
                     softcore_fallback_slices: None,
-                }),
+                },
             }
         }
     }
@@ -1068,15 +1199,14 @@ mod tests {
         fn name(&self) -> &str {
             "first-fit"
         }
-        fn place(&mut self, task: &Task, nodes: &[Node], _now: f64) -> Option<Placement> {
-            self.mm
-                .candidates(task, nodes)
+        fn place(&mut self, task: &Task, grid: &GridView<'_>, _now: f64) -> Option<Placement> {
+            grid.candidates(task, self.options)
                 .first()
                 .copied()
                 .map(Into::into)
         }
-        fn is_satisfiable(&self, task: &Task, nodes: &[Node]) -> bool {
-            !Matchmaker::new().candidates(task, nodes).is_empty()
+        fn is_satisfiable(&self, task: &Task, grid: &GridView<'_>) -> bool {
+            grid.statically_satisfiable(task)
         }
     }
 
@@ -1166,6 +1296,71 @@ mod tests {
         assert_eq!(rec(2).arrival, rec(0).finish);
         assert_eq!(rec(3).arrival, rec(1).finish.max(rec(2).finish));
         report.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn dirty_class_tracking_skips_unaffected_backlog_entries() {
+        use rhv_core::ids::NodeId;
+        use rhv_params::catalog::Catalog;
+        let cat = Catalog::builtin();
+        let mut node0 = Node::new(NodeId(0));
+        node0.add_gpp(cat.gpp("Intel Xeon E5450").unwrap().clone());
+        let mut node1 = Node::new(NodeId(1));
+        node1.add_rpe(cat.fpga("XC5VLX30").unwrap().clone()); // 4,800 slices
+        let mut strategy = FirstFit::new();
+        let mut kernel = LifecycleKernel::new(vec![node0, node1], SimConfig::default());
+
+        let hdl = |id: u64, secs: f64| {
+            Task::new(
+                TaskId(id),
+                ExecReq::new(
+                    PeClass::Fpga,
+                    vec![Constraint::ge(ParamKey::Slices, 3_000u64)],
+                    TaskPayload::HdlAccelerator {
+                        spec_name: format!("acc-{id}"),
+                        est_slices: 3_000,
+                        accel_seconds: secs,
+                    },
+                ),
+                secs,
+            )
+        };
+        let sw = |id: u64| {
+            let mut t = software_task(id);
+            if let TaskPayload::Software { parallelism, .. } = &mut t.exec_req.payload {
+                *parallelism = 4; // claim every core of the Xeon E5450
+            }
+            t
+        };
+        let mut pending = Vec::new();
+        pending.extend(kernel.submit(sw(0), 0.0, &mut strategy)); // GPP saturated
+        pending.extend(kernel.submit(hdl(1, 1e6), 0.0, &mut strategy)); // fabric saturated, long
+        pending.extend(kernel.submit(sw(2), 0.0, &mut strategy)); // queues on GPP
+        pending.extend(kernel.submit(hdl(3, 1.0), 0.0, &mut strategy)); // queues on fabric
+        assert_eq!(pending.len(), 2);
+        assert_eq!(kernel.backlog_len(), 2);
+        assert_eq!(kernel.backlog_skipped(), 0);
+
+        // Complete the software task: only GPP capacity is freed, so the
+        // queued software task is re-tried (and dispatches) while the queued
+        // HDL task is skipped without re-running its matchmaking.
+        let p = pop_earliest(&mut pending).unwrap();
+        let now = p.finish();
+        pending.extend(kernel.complete(p, now, &mut strategy));
+        assert_eq!(kernel.backlog_len(), 1);
+        assert_eq!(kernel.backlog_skipped(), 1);
+
+        // Draining the rest still dispatches everything: freed fabric marks
+        // the HDL task's class dirty and it runs (after evicting the idle
+        // resident config).
+        while let Some(p) = pop_earliest(&mut pending) {
+            let now = p.finish();
+            pending.extend(kernel.complete(p, now, &mut strategy));
+        }
+        assert!(kernel.index_stats().hits > 0);
+        let (report, _) = kernel.finish("first-fit");
+        assert_eq!(report.completed, 4);
+        assert_eq!(report.rejected, 0);
     }
 
     #[test]

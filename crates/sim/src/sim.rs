@@ -93,6 +93,9 @@ impl GridSimulator {
         churn: Vec<(f64, ChurnEvent)>,
         strategy: &mut dyn Strategy,
     ) -> (SimReport, Vec<Node>) {
+        // Arrivals and churn are known up front, and completions in flight
+        // stay far below the arrival count: one reservation covers the run.
+        self.queue.reserve(workload.len() + churn.len());
         for (t, task) in workload {
             self.queue.push(t, Ev::Arrival(Box::new(task)));
         }
@@ -120,21 +123,22 @@ mod tests {
     use crate::strategy::Placement;
     use crate::workload::{TaskMix, WorkloadSpec};
     use rhv_core::execreq::TaskPayload;
-    use rhv_core::matchmaker::{MatchOptions, Matchmaker};
+    use rhv_core::matchindex::GridView;
+    use rhv_core::matchmaker::MatchOptions;
 
     /// A minimal first-candidate strategy for exercising the simulator
     /// without depending on `rhv-sched` (which depends on this crate).
     struct FirstFit {
-        mm: Matchmaker,
+        options: MatchOptions,
     }
 
     impl FirstFit {
         fn new() -> Self {
             FirstFit {
-                mm: Matchmaker::with_options(MatchOptions {
+                options: MatchOptions {
                     respect_state: true,
                     softcore_fallback_slices: None,
-                }),
+                },
             }
         }
     }
@@ -143,16 +147,15 @@ mod tests {
         fn name(&self) -> &str {
             "first-fit"
         }
-        fn place(&mut self, task: &Task, nodes: &[Node], _now: f64) -> Option<Placement> {
-            self.mm
-                .candidates(task, nodes)
+        fn place(&mut self, task: &Task, grid: &GridView<'_>, _now: f64) -> Option<Placement> {
+            grid.candidates(task, self.options)
                 .first()
                 .copied()
                 .map(Into::into)
         }
-        fn is_satisfiable(&self, task: &Task, nodes: &[Node]) -> bool {
+        fn is_satisfiable(&self, task: &Task, grid: &GridView<'_>) -> bool {
             // Against an idealized idle grid.
-            !Matchmaker::new().candidates(task, nodes).is_empty()
+            grid.statically_satisfiable(task)
         }
     }
 

@@ -2,12 +2,15 @@
 //!
 //! "The scheduling decisions are governed by a task scheduling algorithm and
 //! the availability of nodes" (Sec. V). The simulator owns the grid and the
-//! clock; a [`Strategy`] only *chooses* — given a task and the current node
-//! states, it returns a [`Placement`] (or `None` to leave the task queued).
+//! clock; a [`Strategy`] only *chooses* — given a task and a [`GridView`]
+//! over the current node states, it returns a [`Placement`] (or `None` to
+//! leave the task queued). The view pairs the raw node slice with the
+//! kernel-maintained [`rhv_core::matchindex::MatchIndex`], so strategies
+//! enumerate candidates by indexed lookup instead of scanning every PE.
 //! Concrete strategies live in `rhv-sched`.
 
+use rhv_core::matchindex::GridView;
 use rhv_core::matchmaker::{Candidate, HostingMode, PeRef};
-use rhv_core::node::Node;
 use rhv_core::task::Task;
 use serde::{Deserialize, Serialize};
 
@@ -35,18 +38,19 @@ pub trait Strategy: Send {
     /// The strategy's display name (used in reports and sweeps).
     fn name(&self) -> &str;
 
-    /// Chooses a placement for `task` given current node states at simulated
-    /// time `now`, or `None` to keep the task queued.
+    /// Chooses a placement for `task` given the indexed view of current
+    /// node states at simulated time `now`, or `None` to keep the task
+    /// queued.
     ///
     /// The returned placement must be feasible *right now* (the simulator
     /// validates and will panic on an infeasible placement — that is a
     /// strategy bug, not a runtime condition).
-    fn place(&mut self, task: &Task, nodes: &[Node], now: f64) -> Option<Placement>;
+    fn place(&mut self, task: &Task, grid: &GridView<'_>, now: f64) -> Option<Placement>;
 
     /// True when the strategy can never place this task on any node of the
     /// grid even when idle (used to reject unsatisfiable tasks rather than
     /// queue them forever). Default: conservatively claim satisfiability.
-    fn is_satisfiable(&self, _task: &Task, _nodes: &[Node]) -> bool {
+    fn is_satisfiable(&self, _task: &Task, _grid: &GridView<'_>) -> bool {
         true
     }
 }
@@ -55,6 +59,7 @@ pub trait Strategy: Send {
 mod tests {
     use super::*;
     use rhv_core::ids::{NodeId, PeId};
+    use rhv_core::matchindex::MatchIndex;
 
     struct Never;
 
@@ -62,7 +67,7 @@ mod tests {
         fn name(&self) -> &str {
             "never"
         }
-        fn place(&mut self, _: &Task, _: &[Node], _: f64) -> Option<Placement> {
+        fn place(&mut self, _: &Task, _: &GridView<'_>, _: f64) -> Option<Placement> {
             None
         }
     }
@@ -72,8 +77,11 @@ mod tests {
         let mut s: Box<dyn Strategy> = Box::new(Never);
         assert_eq!(s.name(), "never");
         let task = rhv_core::case_study::tasks().remove(0);
-        assert!(s.place(&task, &rhv_core::case_study::grid(), 0.0).is_none());
-        assert!(s.is_satisfiable(&task, &[]));
+        let nodes = rhv_core::case_study::grid();
+        let index = MatchIndex::build(&nodes);
+        let view = GridView::new(&nodes, &index);
+        assert!(s.place(&task, &view, 0.0).is_none());
+        assert!(s.is_satisfiable(&task, &view));
     }
 
     #[test]

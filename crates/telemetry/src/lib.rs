@@ -30,4 +30,6 @@ pub mod span;
 
 pub use registry::{Counter, Gauge, Histogram, Instrument, MetricsRegistry, MetricsSink};
 pub use sink::{FanoutSink, NoopSink, SpanCollector, TelemetrySink};
-pub use span::{CompletedSpan, LifecycleSpan, NodeEvent, PlacedSpan, SetupPhases, SpanEvent};
+pub use span::{
+    CompletedSpan, LifecycleSpan, MatchStats, NodeEvent, PlacedSpan, SetupPhases, SpanEvent,
+};

@@ -12,7 +12,7 @@
 //! wait/setup/exec latency histograms and a queue-depth gauge/histogram.
 
 use crate::sink::TelemetrySink;
-use crate::span::{LifecycleSpan, NodeEvent, SpanEvent};
+use crate::span::{LifecycleSpan, MatchStats, NodeEvent, SpanEvent};
 use rhv_core::node::Node;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
@@ -278,6 +278,10 @@ pub struct MetricsSink {
     node_joins: Arc<Counter>,
     node_leaves: Arc<Counter>,
     node_crashes: Arc<Counter>,
+    match_index_hits: Arc<Counter>,
+    match_scan_fallbacks: Arc<Counter>,
+    match_range_width: Arc<Counter>,
+    backlog_skipped: Arc<Counter>,
     reuse_ratio: Arc<Gauge>,
     queue_depth: Arc<Gauge>,
     held_depth: Arc<Gauge>,
@@ -325,6 +329,22 @@ impl MetricsSink {
             node_joins: c("rhv_node_joins_total", "Nodes joined"),
             node_leaves: c("rhv_node_leaves_total", "Nodes left"),
             node_crashes: c("rhv_node_crashes_total", "Nodes crashed"),
+            match_index_hits: c(
+                "rhv_match_index_hits_total",
+                "Candidate queries answered from the match index",
+            ),
+            match_scan_fallbacks: c(
+                "rhv_match_scan_fallbacks_total",
+                "Match queries that fell back to enumerating group members",
+            ),
+            match_range_width: c(
+                "rhv_match_range_width_total",
+                "Summed candidate width of free-capacity range queries",
+            ),
+            backlog_skipped: c(
+                "rhv_backlog_skipped_total",
+                "Backlog re-examinations avoided by dirty-class tracking",
+            ),
             reuse_ratio: registry.gauge(
                 "rhv_config_reuse_hit_ratio",
                 "reuse hits / (reuse hits + reconfigurations)",
@@ -406,6 +426,13 @@ impl TelemetrySink for MetricsSink {
         self.queue_depth.set(queue_depth as f64);
         self.held_depth.set(held as f64);
         self.queue_depth_hist.observe(queue_depth as f64);
+    }
+
+    fn match_stats(&mut self, _at: f64, stats: MatchStats) {
+        self.match_index_hits.add(stats.index_hits);
+        self.match_scan_fallbacks.add(stats.scan_fallbacks);
+        self.match_range_width.add(stats.range_width);
+        self.backlog_skipped.add(stats.backlog_skipped);
     }
 }
 
@@ -505,5 +532,39 @@ mod tests {
             Instrument::Counter(c) => assert_eq!(c.get(), 2),
             _ => panic!("wrong kind"),
         }
+    }
+
+    #[test]
+    fn match_stats_accumulate_and_export() {
+        let reg = MetricsRegistry::new();
+        let mut sink = MetricsSink::new(reg.clone());
+        sink.match_stats(
+            0.0,
+            MatchStats {
+                index_hits: 3,
+                scan_fallbacks: 1,
+                range_width: 12,
+                backlog_skipped: 2,
+            },
+        );
+        sink.match_stats(
+            1.0,
+            MatchStats {
+                index_hits: 2,
+                scan_fallbacks: 0,
+                range_width: 4,
+                backlog_skipped: 5,
+            },
+        );
+        assert_eq!(sink.match_index_hits.get(), 5);
+        assert_eq!(sink.match_scan_fallbacks.get(), 1);
+        assert_eq!(sink.match_range_width.get(), 16);
+        assert_eq!(sink.backlog_skipped.get(), 7);
+        let text = crate::prometheus::render(&reg);
+        assert!(text.contains("# TYPE rhv_match_index_hits_total counter"));
+        assert!(text.contains("rhv_match_index_hits_total 5"));
+        assert!(text.contains("rhv_match_scan_fallbacks_total 1"));
+        assert!(text.contains("rhv_match_range_width_total 16"));
+        assert!(text.contains("rhv_backlog_skipped_total 7"));
     }
 }

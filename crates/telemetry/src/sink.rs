@@ -12,7 +12,7 @@
 //! building any span that would allocate, and all span payloads except the
 //! rare `PlacementFailed { reason }` are plain `Copy` data on the stack.
 
-use crate::span::{LifecycleSpan, NodeEvent};
+use crate::span::{LifecycleSpan, MatchStats, NodeEvent};
 use rhv_core::node::Node;
 use std::sync::{Arc, Mutex};
 
@@ -40,6 +40,14 @@ pub trait TelemetrySink: Send {
     /// that snapshot nodes should throttle themselves.
     fn grid_state(&mut self, at: f64, nodes: &[Node], queue_depth: usize, held: usize) {
         let _ = (at, nodes, queue_depth, held);
+    }
+
+    /// Matchmaking-index activity (index hits, scan fallbacks, range-query
+    /// width, backlog skips) since the previous report — deltas, not
+    /// totals. Emitted with the same cadence as
+    /// [`grid_state`](TelemetrySink::grid_state).
+    fn match_stats(&mut self, at: f64, stats: MatchStats) {
+        let _ = (at, stats);
     }
 
     /// The run is over; flush buffered state.
@@ -157,6 +165,12 @@ impl TelemetrySink for FanoutSink {
     fn grid_state(&mut self, at: f64, nodes: &[Node], queue_depth: usize, held: usize) {
         for s in &mut self.sinks {
             s.grid_state(at, nodes, queue_depth, held);
+        }
+    }
+
+    fn match_stats(&mut self, at: f64, stats: MatchStats) {
+        for s in &mut self.sinks {
+            s.match_stats(at, stats);
         }
     }
 

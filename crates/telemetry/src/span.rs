@@ -44,6 +44,30 @@ impl SetupPhases {
     }
 }
 
+/// Matchmaking-index activity since the previous report, emitted by the
+/// kernel at span boundaries alongside [`grid
+/// state`](crate::sink::TelemetrySink::grid_state). All fields are deltas,
+/// so sinks aggregate by summing.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct MatchStats {
+    /// Candidate queries answered from the `MatchIndex`.
+    pub index_hits: u64,
+    /// Queries that fell back to enumerating a group's members.
+    pub scan_fallbacks: u64,
+    /// Summed width (candidate PEs visited) of free-capacity range queries.
+    pub range_width: u64,
+    /// Backlog entries skipped because no capacity of their requirement
+    /// class was freed since they were last examined.
+    pub backlog_skipped: u64,
+}
+
+impl MatchStats {
+    /// True when nothing happened since the previous report.
+    pub fn is_empty(&self) -> bool {
+        *self == MatchStats::default()
+    }
+}
+
 /// A successful placement: the task's future on its PE is fully priced at
 /// the dispatch instant (this is a simulator — setup and execution windows
 /// are known once the placement is applied).

@@ -32,6 +32,12 @@ cd "$root"
 if [ "$#" -eq 0 ]; then
     cargo build --offline --workspace
     cargo test --offline --workspace -q
+elif [ "$1" = "bench-smoke" ]; then
+    # Mirrors `make bench-smoke` for offline containers: the criterion
+    # stub smoke-runs each bench closure, then the 1,000-node hot-path
+    # comparison runs in --smoke mode (asserts indexed == naive scan).
+    cargo bench --offline -p rhv-bench --bench match_index
+    cargo run --offline -q --release -p rhv-bench --bin bench_matchmaker -- --smoke
 else
     # Insert --offline before any `--` separator so it stays a cargo flag
     # (e.g. `clippy -- -D warnings` must not hand --offline to rustc).

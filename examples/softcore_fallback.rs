@@ -10,6 +10,7 @@
 
 use rhv_core::case_study;
 use rhv_core::ids::PeId;
+use rhv_core::matchindex::{GridView, MatchIndex};
 use rhv_core::matchmaker::HostingMode;
 use rhv_params::softcore::SoftcoreSpec;
 use rhv_sched::GppFallbackStrategy;
@@ -37,7 +38,10 @@ fn main() {
     let mut strategy = GppFallbackStrategy::new();
 
     println!("== idle grid: the task lands on real cores ==");
-    let p = strategy.place(&task, &nodes, 0.0).expect("placement");
+    let index = MatchIndex::build(&nodes);
+    let p = strategy
+        .place(&task, &GridView::new(&nodes, &index), 0.0)
+        .expect("placement");
     println!("  placement: {} ({:?})", p.pe, p.mode);
     assert_eq!(p.mode, HostingMode::GppCores);
 
@@ -49,8 +53,9 @@ fn main() {
             node.gpp_mut(pe).unwrap().state.acquire_cores(free).unwrap();
         }
     }
+    let index = MatchIndex::build(&nodes);
     let p = strategy
-        .place(&task, &nodes, 1.0)
+        .place(&task, &GridView::new(&nodes, &index), 1.0)
         .expect("fallback placement");
     println!("  placement: {} ({:?})", p.pe, p.mode);
     assert_eq!(p.mode, HostingMode::SoftcoreFallback);
