@@ -31,3 +31,4 @@ telemetry-smoke:
 bench-smoke:
 	cargo bench -p rhv-bench --bench match_index
 	cargo run -q --release -p rhv-bench --bin bench_matchmaker -- --smoke
+	cargo run -q --release -p rhv-bench --bin bench_engine -- --smoke

@@ -1,25 +1,63 @@
-//! Discrete-event core throughput: push/pop cycles through the event queue.
+//! Discrete-event core throughput: push/pop cycles through the event
+//! queue, timing wheel vs the legacy binary heap.
+//!
+//! Two access patterns: a bulk `push_pop` (load everything, drain
+//! everything — the workload-preload shape of a simulation start) and the
+//! classic `hold` model (steady state: pop the earliest event, schedule a
+//! successor a short offset ahead — the shape of completions feeding back
+//! into the queue mid-run).
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use rhv_sim::engine::EventQueue;
 use std::hint::black_box;
 
+fn bulk(mut q: EventQueue<usize>, n: usize) -> usize {
+    for i in 0..n {
+        // scattered times
+        q.push(((i * 2_654_435_761) % 1_000_003) as f64, i);
+    }
+    let mut acc = 0usize;
+    while let Some((_, e)) = q.pop() {
+        acc = acc.wrapping_add(e);
+    }
+    acc
+}
+
+fn hold(mut q: EventQueue<usize>, n: usize) -> usize {
+    // Steady state: 4,096 events in flight, each pop schedules the next.
+    let mut rng = 0x2545F491u64;
+    let mut delta = || {
+        rng ^= rng << 13;
+        rng ^= rng >> 7;
+        rng ^= rng << 17;
+        0.1 + (rng % 1000) as f64 * 0.05
+    };
+    for i in 0..4096usize {
+        q.push(delta(), i);
+    }
+    let mut acc = 0usize;
+    for _ in 0..n {
+        let (now, e) = q.pop().expect("hold queue never empties");
+        acc = acc.wrapping_add(e);
+        q.push(now + delta(), e);
+    }
+    acc
+}
+
 fn bench_queue(c: &mut Criterion) {
     let mut group = c.benchmark_group("des_engine");
     for n in [1_000usize, 10_000, 100_000] {
-        group.bench_with_input(BenchmarkId::new("push_pop", n), &n, |b, &n| {
-            b.iter(|| {
-                let mut q = EventQueue::new();
-                for i in 0..n {
-                    // scattered times
-                    q.push(((i * 2_654_435_761) % 1_000_003) as f64, i);
-                }
-                let mut acc = 0usize;
-                while let Some((_, e)) = q.pop() {
-                    acc = acc.wrapping_add(e);
-                }
-                black_box(acc)
-            })
+        group.bench_with_input(BenchmarkId::new("push_pop/wheel", n), &n, |b, &n| {
+            b.iter(|| black_box(bulk(EventQueue::new(), n)))
+        });
+        group.bench_with_input(BenchmarkId::new("push_pop/heap", n), &n, |b, &n| {
+            b.iter(|| black_box(bulk(EventQueue::heap_backed(), n)))
+        });
+        group.bench_with_input(BenchmarkId::new("hold/wheel", n), &n, |b, &n| {
+            b.iter(|| black_box(hold(EventQueue::new(), n)))
+        });
+        group.bench_with_input(BenchmarkId::new("hold/heap", n), &n, |b, &n| {
+            b.iter(|| black_box(hold(EventQueue::heap_backed(), n)))
         });
     }
     group.finish();

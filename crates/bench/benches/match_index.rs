@@ -39,7 +39,7 @@ fn occupied_grid_of(n: usize) -> Vec<Node> {
                     let state = &mut node.rpe_mut(pe).unwrap().state;
                     let cfg = state
                         .load(
-                            ConfigKind::Accelerator(format!("occ-{i}-{r}")),
+                            ConfigKind::Accelerator(format!("occ-{i}-{r}").into()),
                             slices,
                             FitPolicy::FirstFit,
                         )

@@ -1,0 +1,200 @@
+//! **Event-engine benchmark**: the hierarchical timing wheel vs the legacy
+//! binary heap behind [`EventQueue`], measured two ways — a raw event loop
+//! in the classic *hold model* (steady-state pop-earliest/schedule-next,
+//! the access pattern a saturated simulation produces), and a full
+//! 1,000-node DReAMSim run where both engines must reproduce the same
+//! report byte for byte.
+//!
+//! The full run writes `BENCH_engine.json` at the repository root;
+//! `--smoke` runs a scaled-down sanity pass (all assertions, no file).
+//!
+//! Usage: `bench_engine [--smoke]`
+
+use rhv_bench::{banner, section};
+use rhv_core::case_study;
+use rhv_core::ids::NodeId;
+use rhv_core::node::Node;
+use rhv_sched::FirstFitStrategy;
+use rhv_sim::engine::EventQueue;
+use rhv_sim::sim::{ChurnEvent, GridSimulator, SimConfig};
+use rhv_sim::workload::WorkloadSpec;
+use std::time::Instant;
+
+/// The first case-study node cloned `n` times (the same 1,000-node grid the
+/// matchmaker benchmark uses: 4,000 PEs).
+fn grid_of(n: usize) -> Vec<Node> {
+    let base = case_study::grid().remove(0);
+    (0..n)
+        .map(|i| {
+            let mut node = base.clone();
+            node.id = NodeId(i as u64);
+            node
+        })
+        .collect()
+}
+
+/// Hold model: `in_flight` events seeded, then `n` iterations of pop the
+/// earliest event and schedule its successor a pseudo-random offset ahead.
+/// Returns events per second. The xorshift stream is identical across
+/// backends, so both process exactly the same (time, payload) sequence.
+fn hold_model(mut q: EventQueue<usize>, in_flight: usize, n: usize) -> f64 {
+    let mut rng = 0x2545F491u64;
+    let mut delta = || {
+        rng ^= rng << 13;
+        rng ^= rng >> 7;
+        rng ^= rng << 17;
+        0.1 + (rng % 1000) as f64 * 0.05
+    };
+    for i in 0..in_flight {
+        q.push(delta(), i);
+    }
+    let start = Instant::now();
+    let mut acc = 0usize;
+    for _ in 0..n {
+        let (now, e) = q.pop().expect("hold queue never empties");
+        acc = acc.wrapping_add(e);
+        q.push(now + delta(), e);
+    }
+    std::hint::black_box(acc);
+    n as f64 / start.elapsed().as_secs_f64()
+}
+
+struct EngineResult {
+    events: usize,
+    wheel_eps: f64,
+    heap_eps: f64,
+}
+
+/// Times the raw event loop on both backends.
+fn engine_benchmark(in_flight: usize, events: usize) -> EngineResult {
+    // Warm-up pass so neither backend pays first-touch costs in the timed run.
+    let _ = hold_model(EventQueue::new(), in_flight, events / 10);
+    let _ = hold_model(EventQueue::heap_backed(), in_flight, events / 10);
+    EngineResult {
+        events,
+        wheel_eps: hold_model(EventQueue::with_capacity(in_flight), in_flight, events),
+        heap_eps: hold_model(
+            EventQueue::heap_backed_with_capacity(in_flight),
+            in_flight,
+            events,
+        ),
+    }
+}
+
+struct SimResult {
+    tasks: usize,
+    wheel_s: f64,
+    heap_s: f64,
+    completed: usize,
+}
+
+/// Runs the same seeded workload (with mid-run churn) on both engine
+/// backends and asserts the rendered reports and final node states are
+/// identical before returning the wall times.
+fn simulation_benchmark(n_nodes: usize, n_tasks: usize, seed: u64) -> SimResult {
+    let workload = WorkloadSpec::default_for_grid(n_tasks, 50.0, seed).generate();
+    let churn = vec![
+        (20.0, ChurnEvent::Crash(NodeId(7))),
+        (40.0, ChurnEvent::Leave(NodeId(3))),
+    ];
+    let cfg = SimConfig {
+        cad_speed: 10.0,
+        ..SimConfig::default()
+    };
+
+    let start = Instant::now();
+    let (wheel, wheel_nodes) = GridSimulator::new(grid_of(n_nodes), cfg.clone()).run_with_churn(
+        workload.clone(),
+        churn.clone(),
+        &mut FirstFitStrategy::new(),
+    );
+    let wheel_s = start.elapsed().as_secs_f64();
+
+    let start = Instant::now();
+    let (heap, heap_nodes) = GridSimulator::heap_backed(grid_of(n_nodes), cfg).run_with_churn(
+        workload,
+        churn,
+        &mut FirstFitStrategy::new(),
+    );
+    let heap_s = start.elapsed().as_secs_f64();
+
+    assert_eq!(
+        format!("{wheel:?}"),
+        format!("{heap:?}"),
+        "wheel and heap engines diverged on the simulation report"
+    );
+    assert_eq!(
+        format!("{wheel_nodes:?}"),
+        format!("{heap_nodes:?}"),
+        "wheel and heap engines left different node states"
+    );
+    SimResult {
+        tasks: n_tasks,
+        wheel_s,
+        heap_s,
+        completed: wheel.completed,
+    }
+}
+
+fn main() {
+    let smoke = std::env::args().any(|a| a == "--smoke");
+    // `in_flight` matches the regime the wheel is built for: a saturated
+    // thousand-node grid keeps tens of thousands of scheduled completions
+    // in the queue at once.
+    let (n_nodes, n_tasks, events, in_flight) = if smoke {
+        (1000, 2_000, 400_000, 32_768)
+    } else {
+        (1000, 20_000, 4_000_000, 32_768)
+    };
+
+    banner(
+        "event engine hot loop",
+        "hierarchical timing wheel vs binary heap",
+    );
+    println!(
+        "raw loop: {events} events, {in_flight} in flight; simulation: {n_nodes} nodes, {n_tasks} tasks{}",
+        if smoke { "  [smoke]" } else { "" }
+    );
+
+    section("raw event loop (hold model)");
+    let e = engine_benchmark(in_flight, events);
+    let e_speedup = e.wheel_eps / e.heap_eps;
+    println!("  wheel      : {:>12.0} events/s", e.wheel_eps);
+    println!("  heap       : {:>12.0} events/s", e.heap_eps);
+    println!("  speedup    : {e_speedup:>12.1}×");
+
+    section("full simulation (identical reports asserted)");
+    let s = simulation_benchmark(n_nodes, n_tasks, 2013);
+    let s_speedup = s.heap_s / s.wheel_s;
+    println!(
+        "  {} tasks over {} nodes, {} completed, first-fit",
+        s.tasks, n_nodes, s.completed
+    );
+    println!("  wheel      : {:>12.3} s", s.wheel_s);
+    println!("  heap       : {:>12.3} s", s.heap_s);
+    println!("  speedup    : {s_speedup:>12.2}×");
+
+    if smoke {
+        println!("\nsmoke run — BENCH_engine.json left untouched");
+        return;
+    }
+
+    assert!(
+        e_speedup >= 2.0,
+        "timing wheel must sustain at least 2x the heap's event-loop \
+         throughput (got {e_speedup:.2}x)"
+    );
+
+    let json = format!(
+        "{{\n  \"benchmark\": \"event_engine\",\n  \"engine\": {{\n    \"events\": {events},\n    \"in_flight\": {in_flight},\n    \"wheel_events_per_sec\": {wheel_eps:.0},\n    \"heap_events_per_sec\": {heap_eps:.0},\n    \"speedup\": {e_speedup:.2}\n  }},\n  \"simulation\": {{\n    \"nodes\": {n_nodes},\n    \"tasks\": {tasks},\n    \"completed\": {completed},\n    \"wheel_seconds\": {wheel_s:.3},\n    \"heap_seconds\": {heap_s:.3},\n    \"speedup\": {s_speedup:.2},\n    \"reports_identical\": true\n  }}\n}}\n",
+        events = e.events,
+        wheel_eps = e.wheel_eps,
+        heap_eps = e.heap_eps,
+        tasks = s.tasks,
+        completed = s.completed,
+        wheel_s = s.wheel_s,
+        heap_s = s.heap_s,
+    );
+    std::fs::write("BENCH_engine.json", &json).expect("write BENCH_engine.json");
+    println!("\nwrote BENCH_engine.json");
+}

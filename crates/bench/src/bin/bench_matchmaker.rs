@@ -59,7 +59,7 @@ fn occupy(nodes: &mut [Node], percent: usize) {
             let state = &mut node.rpe_mut(pe).unwrap().state;
             let cfg = state
                 .load(
-                    ConfigKind::Accelerator(format!("occ-{i}-{r}")),
+                    ConfigKind::Accelerator(format!("occ-{i}-{r}").into()),
                     slices,
                     FitPolicy::FirstFit,
                 )
@@ -263,6 +263,14 @@ fn main() {
     println!(
         "  counters   : {} index hits, {} scan fallbacks, {} PEs ranged, {} backlog skips",
         t.index_hits, t.scan_fallbacks, t.range_width, t.backlog_skipped
+    );
+
+    assert!(
+        t.scan_fallbacks < t.index_hits,
+        "index must answer most queries without falling back to a member \
+         scan ({} fallbacks vs {} hits)",
+        t.scan_fallbacks,
+        t.index_hits
     );
 
     if smoke {

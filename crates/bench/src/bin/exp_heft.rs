@@ -24,7 +24,7 @@ fn fig7_tasks() -> BTreeMap<TaskId, Task> {
                     PeClass::Fpga,
                     vec![Constraint::ge(ParamKey::Slices, 8_000u64)],
                     TaskPayload::HdlAccelerator {
-                        spec_name: format!("k{}", t.raw()),
+                        spec_name: format!("k{}", t.raw()).into(),
                         est_slices: 8_000,
                         accel_seconds: 2.0 + (t.raw() % 4) as f64,
                     },

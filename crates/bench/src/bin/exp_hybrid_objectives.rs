@@ -44,7 +44,7 @@ fn hybrid_task(id: u64, giga_ops: f64) -> Task {
             PeClass::Fpga,
             vec![Constraint::ge(ParamKey::Slices, 18_707u64)],
             TaskPayload::HdlAccelerator {
-                spec_name: format!("kernel_{}", id % 6),
+                spec_name: format!("kernel_{}", id % 6).into(),
                 est_slices: 18_707,
                 accel_seconds: gpp_seconds / 20.0,
             },

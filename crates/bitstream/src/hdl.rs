@@ -9,6 +9,7 @@
 
 use serde::{Deserialize, Serialize};
 use std::fmt;
+use std::sync::Arc;
 
 /// Source language of the specification.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
@@ -29,8 +30,9 @@ impl fmt::Display for HdlLanguage {
 /// A generic (device-independent) hardware design description.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct HdlSpec {
-    /// Top-level entity/module name.
-    pub name: String,
+    /// Top-level entity/module name (interned: specs are rebuilt per
+    /// placement from task payloads, and the name must clone refcounted).
+    pub name: Arc<str>,
     /// Source language.
     pub language: HdlLanguage,
     /// Lines of HDL source (drives synthesis runtime).
@@ -49,7 +51,7 @@ pub struct HdlSpec {
 
 impl HdlSpec {
     /// A small convenience constructor used across tests and examples.
-    pub fn new(name: impl Into<String>, luts: u64, registers: u64) -> Self {
+    pub fn new(name: impl Into<Arc<str>>, luts: u64, registers: u64) -> Self {
         HdlSpec {
             name: name.into(),
             language: HdlLanguage::Vhdl,

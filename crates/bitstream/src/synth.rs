@@ -18,6 +18,7 @@ use rhv_params::fpga::FpgaDevice;
 use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
 use std::fmt;
+use std::sync::Arc;
 
 /// Area/timing results of a synthesis run.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -97,8 +98,10 @@ impl std::error::Error for SynthError {}
 #[derive(Debug, Clone)]
 pub struct SynthesisService {
     cad_speed: f64,
-    cache: HashMap<(String, String), (Bitstream, SynthesisReport)>,
-    report_cache: HashMap<(String, String), SynthesisReport>,
+    cache: HashMap<(Arc<str>, String), (Bitstream, SynthesisReport)>,
+    /// Nested by spec name then part so the hot cache probe
+    /// ([`SynthesisService::estimate_seconds_cached`]) allocates nothing.
+    report_cache: HashMap<Arc<str>, HashMap<String, SynthesisReport>>,
     /// Count of cache hits (for the ablation bench).
     pub cache_hits: u64,
     /// Count of full synthesis runs.
@@ -167,17 +170,51 @@ impl SynthesisService {
         spec: &HdlSpec,
         device: &FpgaDevice,
     ) -> Result<SynthesisReport, SynthError> {
-        let key = (spec.name.clone(), device.part.clone());
-        if let Some(report) = self.report_cache.get(&key) {
-            self.cache_hits += 1;
+        if let Some(report) = self
+            .report_cache
+            .get(&spec.name)
+            .and_then(|parts| parts.get(device.part.as_str()))
+        {
             let mut r = report.clone();
+            self.cache_hits += 1;
             r.synthesis_seconds = 0.0;
             return Ok(r);
         }
         let report = self.estimate(spec, device)?;
         self.full_runs += 1;
-        self.report_cache.insert(key, report.clone());
+        self.report_cache
+            .entry(spec.name.clone())
+            .or_default()
+            .insert(device.part.clone(), report.clone());
         Ok(report)
+    }
+
+    /// The CAD runtime [`SynthesisService::estimate_cached`] would charge,
+    /// without cloning a report: zero on a cache hit, the full synthesis
+    /// time (cached for next time) on a miss. This is the dispatch hot
+    /// path's entry point — a hit costs two hash probes and no allocation.
+    pub fn estimate_seconds_cached(
+        &mut self,
+        spec: &HdlSpec,
+        device: &FpgaDevice,
+    ) -> Result<f64, SynthError> {
+        if self
+            .report_cache
+            .get(&spec.name)
+            .and_then(|parts| parts.get(device.part.as_str()))
+            .is_some()
+        {
+            self.cache_hits += 1;
+            return Ok(0.0);
+        }
+        let report = self.estimate(spec, device)?;
+        let seconds = report.synthesis_seconds;
+        self.full_runs += 1;
+        self.report_cache
+            .entry(spec.name.clone())
+            .or_default()
+            .insert(device.part.clone(), report);
+        Ok(seconds)
     }
 
     /// Area/timing estimation without producing an image (the quick feasibility
@@ -212,7 +249,7 @@ impl SynthesisService {
         let synthesis_seconds = base * congestion / self.cad_speed;
 
         Ok(SynthesisReport {
-            spec_name: spec.name.clone(),
+            spec_name: spec.name.to_string(),
             device_part: device.part.clone(),
             slices,
             luts: spec.luts,

@@ -15,6 +15,7 @@ use rhv_params::taxonomy::Scenario;
 use rhv_params::value::ParamValue;
 use serde::{Deserialize, Serialize};
 use std::fmt;
+use std::sync::Arc;
 
 /// Comparison operator in a requirement constraint.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
@@ -131,14 +132,14 @@ pub enum TaskPayload {
     /// Sec. III-B1: a kernel optimized for a named soft-core configuration.
     SoftcoreKernel {
         /// Name of the required soft-core configuration (e.g. `rvex-4w`).
-        core: String,
+        core: Arc<str>,
         /// Work in millions of (VLIW) operations.
         mega_ops: f64,
     },
     /// Sec. III-B2: a generic HDL accelerator the provider must synthesize.
     HdlAccelerator {
         /// Name of the HDL specification.
-        spec_name: String,
+        spec_name: Arc<str>,
         /// Estimated area demand in slices (e.g. from Quipu).
         est_slices: u64,
         /// Accelerated runtime in seconds once configured.
@@ -149,16 +150,16 @@ pub enum TaskPayload {
     /// architecture rather than user-defined hardware.
     GpuKernel {
         /// Kernel name.
-        kernel: String,
+        kernel: Arc<str>,
         /// Execution seconds on a matching GPU.
         accel_seconds: f64,
     },
     /// Sec. III-B3: a ready-made bitstream for one specific device.
     Bitstream {
         /// Image name.
-        image: String,
+        image: Arc<str>,
         /// The exact device part the bitstream was implemented for.
-        device_part: String,
+        device_part: Arc<str>,
         /// Bitstream size in bytes (drives transfer + reconfiguration time).
         size_bytes: u64,
         /// Accelerated runtime in seconds once configured.

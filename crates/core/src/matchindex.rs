@@ -51,19 +51,18 @@ pub struct IndexStats {
 pub struct IndexStatsSnapshot {
     /// Queries answered by the index.
     pub hits: u64,
-    /// Linear member scans the index could not avoid (bitstream part
-    /// matching, demand-free reconfigurability checks, static enumeration).
+    /// Linear member scans the index could not serve. Every current query
+    /// shape is index-served (bitstream parts, demand-free openness and
+    /// static sizing all have dedicated structures), so this stays at zero;
+    /// the counter is retained as a regression canary for future payloads.
     pub scan_fallbacks: u64,
-    /// Total PEs visited through ordered range queries.
+    /// Total PEs visited through ordered range and set queries.
     pub range_width: u64,
 }
 
 impl IndexStats {
     fn hit(&self) {
         self.hits.fetch_add(1, Ordering::Relaxed);
-    }
-    fn fallback(&self) {
-        self.scan_fallbacks.fetch_add(1, Ordering::Relaxed);
     }
     fn ranged(&self, width: u64) {
         self.range_width.fetch_add(width, Ordering::Relaxed);
@@ -92,7 +91,6 @@ struct GppGroup {
 struct RpeMeta {
     part: String,
     total_slices: u64,
-    partial_reconfig: bool,
 }
 
 /// RPEs sharing one capability map, ordered by fit key.
@@ -101,6 +99,17 @@ struct RpeGroup {
     caps: ParamMap,
     members: BTreeMap<PeRef, RpeMeta>,
     by_fit: BTreeMap<u64, BTreeSet<PeRef>>,
+    /// Members by device part (case-normalized probe, one entry per part
+    /// case-class) — bitstream queries visit only matching devices. A
+    /// group collapses identical capability maps, so the list holds a
+    /// handful of distinct parts; probing it stays allocation-free.
+    by_part: Vec<(String, BTreeSet<PeRef>)>,
+    /// Members by total device slices — softcore-fallback sizing without
+    /// the per-member scan.
+    by_total: BTreeMap<u64, BTreeSet<PeRef>>,
+    /// Members that can host a demand-free reconfiguration: PR-capable or
+    /// currently unconfigured (fit key equals the whole device).
+    open: BTreeSet<PeRef>,
 }
 
 /// GPUs sharing one capability map, with the idle subset materialized.
@@ -253,7 +262,25 @@ impl MatchIndex {
         }
         if let Some(gi) = self.rpe_group_of.remove(&pe) {
             let g = &mut self.rpe_groups[gi];
-            g.members.remove(&pe);
+            if let Some(meta) = g.members.remove(&pe) {
+                if let Some(i) = g
+                    .by_part
+                    .iter()
+                    .position(|(p, _)| p.eq_ignore_ascii_case(&meta.part))
+                {
+                    g.by_part[i].1.remove(&pe);
+                    if g.by_part[i].1.is_empty() {
+                        g.by_part.remove(i);
+                    }
+                }
+                if let Some(set) = g.by_total.get_mut(&meta.total_slices) {
+                    set.remove(&pe);
+                    if set.is_empty() {
+                        g.by_total.remove(&meta.total_slices);
+                    }
+                }
+            }
+            g.open.remove(&pe);
             if let Some(old) = self.rpe_fit.remove(&pe) {
                 if let Some(bucket) = g.by_fit.get_mut(&old) {
                     bucket.remove(&pe);
@@ -329,9 +356,28 @@ impl MatchIndex {
                     RpeMeta {
                         part: rpe.device.part.clone(),
                         total_slices: rpe.device.slices,
-                        partial_reconfig: rpe.device.partial_reconfig,
                     },
                 );
+                // Static keys: idempotent on re-index within the same group
+                // (a group change goes through `remove_pe` first).
+                match g
+                    .by_part
+                    .iter()
+                    .position(|(p, _)| p.eq_ignore_ascii_case(&rpe.device.part))
+                {
+                    Some(i) => {
+                        g.by_part[i].1.insert(pe);
+                    }
+                    None => g
+                        .by_part
+                        .push((rpe.device.part.clone(), BTreeSet::from([pe]))),
+                }
+                g.by_total.entry(rpe.device.slices).or_default().insert(pe);
+                if rpe.device.partial_reconfig || fit == rpe.device.slices {
+                    g.open.insert(pe);
+                } else {
+                    g.open.remove(&pe);
+                }
                 if let Some(old) = self.rpe_fit.insert(pe, fit) {
                     if old != fit {
                         if let Some(bucket) = g.by_fit.get_mut(&old) {
@@ -522,7 +568,9 @@ impl<'a> GridView<'a> {
                         }
                         idx.stats.ranged(width);
                     } else {
-                        idx.stats.fallback();
+                        // Static enumeration: the group member set *is* the
+                        // answer — an index-served query, not a scan.
+                        idx.stats.ranged(g.members.len() as u64);
                         for &pe in &g.members {
                             out.push(Candidate {
                                 pe,
@@ -562,21 +610,21 @@ impl<'a> GridView<'a> {
                         }
                     } else {
                         for g in &idx.rpe_groups {
-                            if g.members.is_empty() {
-                                continue;
-                            }
-                            idx.stats.fallback();
-                            for (&pe, meta) in &g.members {
-                                if meta.total_slices >= slices {
+                            let mut width = 0u64;
+                            for pes in g.by_total.range(slices..).map(|(_, s)| s) {
+                                for &pe in pes {
+                                    width += 1;
                                     out.push(Candidate {
                                         pe,
                                         mode: HostingMode::SoftcoreFallback,
                                     });
                                     if first_only {
+                                        idx.stats.ranged(width);
                                         return true;
                                     }
                                 }
                             }
+                            idx.stats.ranged(width);
                         }
                     }
                 }
@@ -625,32 +673,44 @@ impl<'a> GridView<'a> {
                     let not_reused = |pe: &PeRef| !reused.contains(pe);
                     match (&req.payload, options.respect_state) {
                         // A bitstream needs its exact part and the whole
-                        // device: per-member scan (part strings defeat the
-                        // range structure).
+                        // device: the per-part set narrows the visit to
+                        // matching devices, each checked against the fit
+                        // map in O(1).
                         (TaskPayload::Bitstream { device_part, .. }, respect) => {
-                            idx.stats.fallback();
-                            for (&pe, meta) in &g.members {
-                                if !not_reused(&pe) || !device_part.eq_ignore_ascii_case(&meta.part)
-                                {
-                                    continue;
+                            if let Some((_, pes)) = g
+                                .by_part
+                                .iter()
+                                .find(|(p, _)| device_part.eq_ignore_ascii_case(p))
+                            {
+                                let mut width = 0u64;
+                                for &pe in pes {
+                                    width += 1;
+                                    if !not_reused(&pe) {
+                                        continue;
+                                    }
+                                    if respect {
+                                        let whole = g.members.get(&pe).is_some_and(|m| {
+                                            m.total_slices > 0
+                                                && idx.rpe_fit.get(&pe) == Some(&m.total_slices)
+                                        });
+                                        if !whole {
+                                            continue;
+                                        }
+                                    }
+                                    out.push(Candidate {
+                                        pe,
+                                        mode: HostingMode::Reconfigure,
+                                    });
+                                    if first_only {
+                                        idx.stats.ranged(width);
+                                        return true;
+                                    }
                                 }
-                                if respect
-                                    && !(meta.total_slices > 0
-                                        && idx.rpe_fit.get(&pe) == Some(&meta.total_slices))
-                                {
-                                    continue;
-                                }
-                                out.push(Candidate {
-                                    pe,
-                                    mode: HostingMode::Reconfigure,
-                                });
-                                if first_only {
-                                    return true;
-                                }
+                                idx.stats.ranged(width);
                             }
                         }
                         (_, false) => {
-                            idx.stats.fallback();
+                            idx.stats.ranged(g.members.len() as u64);
                             for &pe in g.members.keys() {
                                 if not_reused(&pe) {
                                     out.push(Candidate {
@@ -686,13 +746,12 @@ impl<'a> GridView<'a> {
                                 }
                             }
                             // No stated demand: the device must be PR-capable
-                            // or still unconfigured.
+                            // or still unconfigured — the maintained `open`
+                            // set, no member walk.
                             None => {
-                                idx.stats.fallback();
-                                for (&pe, meta) in &g.members {
-                                    let open = meta.partial_reconfig
-                                        || idx.rpe_fit.get(&pe) == Some(&meta.total_slices);
-                                    if open && not_reused(&pe) {
+                                idx.stats.ranged(g.open.len() as u64);
+                                for &pe in &g.open {
+                                    if not_reused(&pe) {
                                         out.push(Candidate {
                                             pe,
                                             mode: HostingMode::Reconfigure,
@@ -903,7 +962,7 @@ mod tests {
     }
 
     #[test]
-    fn stats_count_hits_ranges_and_fallbacks() {
+    fn stats_count_hits_and_ranges_without_fallbacks() {
         let nodes = case_study::grid();
         let idx = MatchIndex::build(&nodes);
         let tasks = case_study::tasks();
@@ -912,12 +971,12 @@ mod tests {
             softcore_fallback_slices: None,
         };
         let view = idx.view(&nodes);
-        view.candidates(&tasks[1], live); // HDL: range query
-        view.candidates(&tasks[3], live); // bitstream: member-scan fallback
+        view.candidates(&tasks[1], live); // HDL: fit-key range query
+        view.candidates(&tasks[3], live); // bitstream: per-part set query
         let s = idx.stats().snapshot();
         assert_eq!(s.hits, 2);
         assert!(s.range_width >= 1);
-        assert!(s.scan_fallbacks >= 1);
+        assert_eq!(s.scan_fallbacks, 0, "every query shape is index-served");
     }
 }
 

@@ -12,16 +12,21 @@ use crate::fabric::{Fabric, FabricError, FitPolicy, RegionId};
 use crate::ids::ConfigId;
 use serde::{Deserialize, Serialize};
 use std::fmt;
+use std::sync::Arc;
 
 /// What a loaded configuration implements.
+///
+/// Names are interned `Arc<str>`: configurations flow from task payloads
+/// through the placement hot path into per-PE resident maps, and cloning a
+/// kind must be a refcount bump, not a string allocation.
 #[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
 pub enum ConfigKind {
     /// A soft-core processor (named configuration, e.g. `rvex-2w`).
-    Softcore(String),
+    Softcore(Arc<str>),
     /// A synthesized user-defined accelerator (named after its HDL spec).
-    Accelerator(String),
+    Accelerator(Arc<str>),
     /// A user-provided device-specific bitstream (named after its image).
-    Bitstream(String),
+    Bitstream(Arc<str>),
 }
 
 impl ConfigKind {

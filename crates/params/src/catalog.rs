@@ -71,7 +71,7 @@ impl Catalog {
 
     /// Registers (or replaces) a soft-core configuration.
     pub fn register_softcore(&mut self, sc: SoftcoreSpec) {
-        self.softcores.insert(sc.name.clone(), sc);
+        self.softcores.insert(sc.name.to_string(), sc);
     }
 
     /// Looks up an FPGA by part number (case-insensitive).

@@ -12,12 +12,15 @@ use crate::param::{ParamKey, ParamMap};
 use crate::value::ParamValue;
 use serde::{Deserialize, Serialize};
 use std::fmt;
+use std::sync::Arc;
 
 /// A parameterizable soft-core VLIW configuration (ρ-VEX-style).
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct SoftcoreSpec {
-    /// Human-readable configuration name, e.g. `rvex-2w` or `rvex-8w-2c`.
-    pub name: String,
+    /// Human-readable configuration name, e.g. `rvex-2w` or `rvex-8w-2c`
+    /// (interned: the fallback spec's name is cloned into every soft-core
+    /// fallback configuration the kernel loads).
+    pub name: Arc<str>,
     /// Instructions issued per cycle.
     pub issue_width: u64,
     /// Number of ALUs.

@@ -32,7 +32,11 @@ impl Prediction {
     /// Converts the prediction into a synthesizable [`HdlSpec`] whose
     /// [`slice_demand`](HdlSpec::slice_demand) equals the predicted slices,
     /// so Quipu output feeds the synthesis service directly.
-    pub fn to_hdl_spec(&self, name: impl Into<String>, target_clock_mhz: f64) -> HdlSpec {
+    pub fn to_hdl_spec(
+        &self,
+        name: impl Into<std::sync::Arc<str>>,
+        target_clock_mhz: f64,
+    ) -> HdlSpec {
         let registers = self.slices * 4; // FF-bound at exactly `slices`
         HdlSpec {
             name: name.into(),

@@ -144,7 +144,7 @@ fn exec_cost(task: &Task, grid: &GridView<'_>, pe: PeRef) -> f64 {
         }
         TaskPayload::SoftcoreKernel { core, mega_ops } => {
             let rpe = node.rpe(pe.pe).expect("kernel on rpe");
-            let mips = match core.as_str() {
+            let mips = match &**core {
                 "rvex-4w" => rhv_params::softcore::SoftcoreSpec::rvex_4w().mips_rating(),
                 "rvex-8w-2c" => rhv_params::softcore::SoftcoreSpec::rvex_8w_2c().mips_rating(),
                 _ => rhv_params::softcore::SoftcoreSpec::rvex_2w().mips_rating(),
@@ -351,7 +351,7 @@ mod tests {
                         PeClass::Fpga,
                         vec![Constraint::ge(ParamKey::Slices, 8_000u64)],
                         TaskPayload::HdlAccelerator {
-                            spec_name: format!("k{}", t.raw()),
+                            spec_name: format!("k{}", t.raw()).into(),
                             est_slices: 8_000,
                             accel_seconds: 2.0,
                         },

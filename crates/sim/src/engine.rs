@@ -5,15 +5,51 @@
 //! simultaneous events — essential for reproducible schedules). Time is
 //! `f64` seconds; pushing an event before the last popped time is a logic
 //! error and panics in debug builds.
+//!
+//! # Backends
+//!
+//! The default backend is a **hierarchical timing wheel** (a calendar
+//! queue): a near wheel of [`WHEEL_BUCKETS`] fixed-width buckets covers one
+//! rotation of sim time, and events beyond the current rotation wait in a
+//! `BTreeMap` keyed by rotation number. Pushing is an append into a bucket
+//! (or the overflow map); popping scans an occupancy bitmap for the next
+//! non-empty bucket and sorts that bucket once on first contact. For the
+//! dense near-future traffic a discrete-event simulator generates —
+//! completions scheduled seconds ahead of `now` — both operations are O(1)
+//! amortized, where a binary heap pays O(log n) comparisons (and their
+//! cache misses) on every push and pop.
+//!
+//! A heap-backed implementation remains available via
+//! [`EventQueue::heap_backed`] for differential testing; both backends
+//! honour the same determinism contract and the proptests below drive the
+//! wheel through the identical invariants the heap satisfied.
 
 use std::cmp::Ordering;
-use std::collections::BinaryHeap;
+use std::collections::{BTreeMap, BinaryHeap};
+
+/// Buckets in the near wheel (power of two: slot math stays a mask).
+const WHEEL_BUCKETS: usize = 1024;
+/// Width of one near-wheel bucket in sim seconds. A power of two keeps the
+/// `time / BUCKET_WIDTH` slot mapping an exact multiplication, and a narrow
+/// bucket keeps per-bucket populations small — the lazy bucket sort is the
+/// wheel's only super-constant cost, so the fewer events share a bucket,
+/// the closer both operations sit to O(1).
+const BUCKET_WIDTH: f64 = 1.0 / 16.0;
+/// Words in the bucket-occupancy bitmap.
+const WHEEL_WORDS: usize = WHEEL_BUCKETS / 64;
 
 #[derive(Debug)]
 struct Entry<E> {
     time: f64,
     seq: u64,
     payload: E,
+}
+
+impl<E> Entry<E> {
+    /// The sort key: earliest time first, lowest sequence among equals.
+    fn key(&self) -> (f64, u64) {
+        (self.time, self.seq)
+    }
 }
 
 impl<E> PartialEq for Entry<E> {
@@ -42,10 +78,266 @@ impl<E> PartialOrd for Entry<E> {
     }
 }
 
+/// One near-wheel bucket. Entries accumulate unsorted; the first pop that
+/// lands on the bucket sorts it **descending** by `(time, seq)` so draining
+/// is `Vec::pop` from the back. Pushes into an already-sorted bucket (same
+/// instant cascades while draining) binary-insert to keep the order.
+#[derive(Debug)]
+struct Bucket<E> {
+    entries: Vec<Entry<E>>,
+    sorted: bool,
+}
+
+impl<E> Default for Bucket<E> {
+    fn default() -> Self {
+        Bucket {
+            entries: Vec::new(),
+            sorted: false,
+        }
+    }
+}
+
+#[derive(Debug)]
+struct Wheel<E> {
+    buckets: Vec<Bucket<E>>,
+    /// One bit per bucket: set while the bucket holds entries.
+    occupied: [u64; WHEEL_WORDS],
+    /// Global bucket index (`floor(time / BUCKET_WIDTH)`) of the last
+    /// popped event. The ring is a **sliding window** over global buckets
+    /// `[cursor, cursor + WHEEL_BUCKETS)`, stored at `global % WHEEL_BUCKETS`
+    /// — so a push stays in the ring whenever it lands under one span ahead
+    /// of the cursor, with no aligned-rotation boundary to spill over.
+    cursor: u64,
+    /// Far-future events (at least one span ahead of the cursor at push
+    /// time), keyed by global bucket index and merged into the ring as the
+    /// cursor approaches.
+    overflow: BTreeMap<u64, Vec<Entry<E>>>,
+    /// Cached smallest overflow key (`u64::MAX` when empty): the per-pop
+    /// eligibility check is one compare, not a tree walk.
+    min_overflow: u64,
+    len: usize,
+    /// Reservation bookkeeping backing `EventQueue::capacity` — the wheel
+    /// amortizes storage across buckets, so the "capacity" contract is a
+    /// high-water hint rather than one contiguous allocation.
+    reserved: usize,
+}
+
+impl<E> Wheel<E> {
+    fn new(reserved: usize) -> Self {
+        let mut buckets = Vec::new();
+        buckets.resize_with(WHEEL_BUCKETS, Bucket::default);
+        Wheel {
+            buckets,
+            occupied: [0; WHEEL_WORDS],
+            cursor: 0,
+            overflow: BTreeMap::new(),
+            min_overflow: u64::MAX,
+            len: 0,
+            reserved,
+        }
+    }
+
+    /// Global bucket index of `time`. Times are non-negative in practice
+    /// (`now` starts at zero and pushes into the past are a debug panic);
+    /// the clamp keeps release builds safe for degenerate inputs.
+    fn global_bucket(time: f64) -> u64 {
+        (time.max(0.0) / BUCKET_WIDTH) as u64
+    }
+
+    fn push(&mut self, entry: Entry<E>) {
+        let g = Self::global_bucket(entry.time);
+        if g >= self.cursor + WHEEL_BUCKETS as u64 {
+            self.overflow.entry(g).or_default().push(entry);
+            self.min_overflow = self.min_overflow.min(g);
+        } else {
+            // `max(cursor)` clamps a past push (already a debug panic
+            // upstream) into the cursor bucket so release builds surface
+            // it immediately, exactly as the heap backend would.
+            let g = g.max(self.cursor);
+            self.insert_near((g % WHEEL_BUCKETS as u64) as usize, entry);
+        }
+        self.len += 1;
+    }
+
+    fn insert_near(&mut self, slot: usize, entry: Entry<E>) {
+        let bucket = &mut self.buckets[slot];
+        if bucket.sorted {
+            let key = entry.key();
+            let at = bucket.entries.partition_point(|e| e.key() > key);
+            bucket.entries.insert(at, entry);
+        } else {
+            bucket.entries.push(entry);
+        }
+        self.occupied[slot / 64] |= 1 << (slot % 64);
+    }
+
+    /// First occupied slot at or after `from`, if any, via the bitmap.
+    fn first_occupied(&self, from: usize) -> Option<usize> {
+        let mut word = from / 64;
+        if word >= WHEEL_WORDS {
+            return None;
+        }
+        let mut bits = self.occupied[word] & (!0u64 << (from % 64));
+        loop {
+            if bits != 0 {
+                return Some(word * 64 + bits.trailing_zeros() as usize);
+            }
+            word += 1;
+            if word >= WHEEL_WORDS {
+                return None;
+            }
+            bits = self.occupied[word];
+        }
+    }
+
+    /// First occupied slot strictly before `before`, if any.
+    fn first_occupied_below(&self, before: usize) -> Option<usize> {
+        let last_word = before / 64;
+        for word in 0..WHEEL_WORDS.min(last_word + 1) {
+            let mut bits = self.occupied[word];
+            if word == last_word {
+                bits &= (1u64 << (before % 64)) - 1;
+            }
+            if bits != 0 {
+                return Some(word * 64 + bits.trailing_zeros() as usize);
+            }
+        }
+        None
+    }
+
+    /// Global bucket index of the first occupied ring slot in circular
+    /// order from the cursor: `[cursor slot, end)` is the current window
+    /// head, `[0, cursor slot)` is the wrapped tail one span later.
+    fn first_occupied_global(&self) -> Option<u64> {
+        let cur = (self.cursor % WHEEL_BUCKETS as u64) as usize;
+        if let Some(slot) = self.first_occupied(cur) {
+            return Some(self.cursor + (slot - cur) as u64);
+        }
+        self.first_occupied_below(cur)
+            .map(|slot| self.cursor + (WHEEL_BUCKETS - cur + slot) as u64)
+    }
+
+    /// Moves every overflow bucket that slid inside the ring window into
+    /// its slot. Each far event is touched exactly once on its way in.
+    fn merge_eligible_overflow(&mut self) {
+        while self.min_overflow < self.cursor + WHEEL_BUCKETS as u64 {
+            let (g, entries) = self
+                .overflow
+                .pop_first()
+                .expect("min_overflow tracks a live key");
+            let slot = (g % WHEEL_BUCKETS as u64) as usize;
+            for entry in entries {
+                self.insert_near(slot, entry);
+            }
+            self.min_overflow = self.overflow.keys().next().copied().unwrap_or(u64::MAX);
+        }
+    }
+
+    fn pop(&mut self) -> Option<Entry<E>> {
+        if self.len == 0 {
+            return None;
+        }
+        loop {
+            self.merge_eligible_overflow();
+            if let Some(g) = self.first_occupied_global() {
+                self.cursor = g;
+                let slot = (g % WHEEL_BUCKETS as u64) as usize;
+                let bucket = &mut self.buckets[slot];
+                if !bucket.sorted {
+                    // `Entry::cmp` is the inverted max-heap order, so
+                    // sorting ascending lays the bucket out descending by
+                    // `(time, seq)` — drain from the back.
+                    bucket.entries.sort_unstable();
+                    bucket.sorted = true;
+                }
+                let entry = bucket.entries.pop().expect("occupied bucket is non-empty");
+                if bucket.entries.is_empty() {
+                    bucket.sorted = false;
+                    self.occupied[slot / 64] &= !(1 << (slot % 64));
+                }
+                self.len -= 1;
+                return Some(entry);
+            }
+            // Ring exhausted: jump the cursor to the nearest far bucket and
+            // let the merge above pull it in. `len > 0` guarantees the
+            // overflow map is non-empty here.
+            debug_assert_ne!(
+                self.min_overflow,
+                u64::MAX,
+                "non-empty queue with an empty ring has overflow"
+            );
+            self.cursor = self.min_overflow;
+        }
+    }
+
+    fn peek_time(&self) -> Option<f64> {
+        if self.len == 0 {
+            return None;
+        }
+        // Overflow buckets that slid into the window since the last pop may
+        // precede the first occupied ring bucket (`peek` cannot merge);
+        // compare global bucket indices and only fall back to entry times
+        // when both sides share a bucket.
+        let ring = self.first_occupied_global().map(|g| {
+            let bucket = &self.buckets[(g % WHEEL_BUCKETS as u64) as usize];
+            let t = if bucket.sorted {
+                bucket.entries.last().map(|e| e.time)
+            } else {
+                min_time(&bucket.entries)
+            };
+            (g, t.expect("occupied bucket is non-empty"))
+        });
+        let far = (self.min_overflow != u64::MAX).then(|| {
+            let entries = &self.overflow[&self.min_overflow];
+            (
+                self.min_overflow,
+                min_time(entries).expect("overflow buckets are non-empty"),
+            )
+        });
+        match (ring, far) {
+            (Some((gr, tr)), Some((gf, tf))) => match gr.cmp(&gf) {
+                Ordering::Less => Some(tr),
+                Ordering::Greater => Some(tf),
+                Ordering::Equal => Some(tr.min(tf)),
+            },
+            (Some((_, t)), None) | (None, Some((_, t))) => Some(t),
+            (None, None) => None,
+        }
+    }
+
+    /// Debug-only bookkeeping check: the maintained `len` must equal the
+    /// entries actually stored across buckets and overflow.
+    #[cfg(debug_assertions)]
+    fn assert_len_consistent(&self) {
+        let stored: usize = self.buckets.iter().map(|b| b.entries.len()).sum::<usize>()
+            + self.overflow.values().map(Vec::len).sum::<usize>();
+        assert_eq!(
+            stored, self.len,
+            "wheel len bookkeeping out of sync with stored entries"
+        );
+    }
+}
+
+fn min_time<E>(entries: &[Entry<E>]) -> Option<f64> {
+    entries
+        .iter()
+        .map(|e| e.time)
+        .fold(None, |min, t| match min {
+            Some(m) if m <= t => Some(m),
+            _ => Some(t),
+        })
+}
+
+#[derive(Debug)]
+enum Backend<E> {
+    Heap(BinaryHeap<Entry<E>>),
+    Wheel(Wheel<E>),
+}
+
 /// A time-ordered event queue.
 #[derive(Debug)]
 pub struct EventQueue<E> {
-    heap: BinaryHeap<Entry<E>>,
+    backend: Backend<E>,
     seq: u64,
     now: f64,
     processed: u64,
@@ -54,7 +346,7 @@ pub struct EventQueue<E> {
 impl<E> Default for EventQueue<E> {
     fn default() -> Self {
         EventQueue {
-            heap: BinaryHeap::new(),
+            backend: Backend::Wheel(Wheel::new(0)),
             seq: 0,
             now: 0.0,
             processed: 0,
@@ -63,30 +355,62 @@ impl<E> Default for EventQueue<E> {
 }
 
 impl<E> EventQueue<E> {
-    /// An empty queue at time zero.
+    /// An empty queue at time zero (timing-wheel backend).
     pub fn new() -> Self {
         Self::default()
     }
 
     /// An empty queue at time zero with room for `capacity` pending events
-    /// before the heap reallocates. Front-ends that know their workload size
-    /// up front (the simulator does) reserve once instead of regrowing the
-    /// heap as arrivals, churn and completions pile in.
+    /// before the backend reallocates. Front-ends that know their workload
+    /// size up front (the simulator does) reserve once instead of regrowing
+    /// storage as arrivals, churn and completions pile in.
     pub fn with_capacity(capacity: usize) -> Self {
         EventQueue {
-            heap: BinaryHeap::with_capacity(capacity),
+            backend: Backend::Wheel(Wheel::new(capacity)),
             ..Self::default()
         }
     }
 
-    /// Reserves room for at least `additional` more pending events.
-    pub fn reserve(&mut self, additional: usize) {
-        self.heap.reserve(additional);
+    /// An empty queue at time zero backed by a binary heap — the reference
+    /// backend kept for differential testing against the timing wheel.
+    pub fn heap_backed() -> Self {
+        EventQueue {
+            backend: Backend::Heap(BinaryHeap::new()),
+            ..Self::default()
+        }
     }
 
-    /// Events the queue can hold without reallocating.
+    /// [`EventQueue::heap_backed`] with an up-front reservation.
+    pub fn heap_backed_with_capacity(capacity: usize) -> Self {
+        EventQueue {
+            backend: Backend::Heap(BinaryHeap::with_capacity(capacity)),
+            ..Self::default()
+        }
+    }
+
+    /// True when this queue runs on the heap reference backend.
+    pub fn is_heap_backed(&self) -> bool {
+        matches!(self.backend, Backend::Heap(_))
+    }
+
+    /// Reserves room for at least `additional` more pending events.
+    pub fn reserve(&mut self, additional: usize) {
+        match &mut self.backend {
+            Backend::Heap(heap) => heap.reserve(additional),
+            Backend::Wheel(wheel) => {
+                wheel.reserved = wheel.reserved.max(wheel.len + additional);
+            }
+        }
+    }
+
+    /// Events the queue can hold without reallocating. The wheel backend
+    /// spreads storage across buckets, so this reports the reservation
+    /// high-water mark rather than one contiguous buffer.
     pub fn capacity(&self) -> usize {
-        self.heap.capacity()
+        match &self.backend {
+            Backend::Heap(heap) => heap.capacity(),
+            Backend::Wheel(wheel) => wheel.reserved.max(wheel.len),
+        }
     }
 
     /// The time of the most recently popped event.
@@ -101,12 +425,15 @@ impl<E> EventQueue<E> {
 
     /// Pending events.
     pub fn len(&self) -> usize {
-        self.heap.len()
+        match &self.backend {
+            Backend::Heap(heap) => heap.len(),
+            Backend::Wheel(wheel) => wheel.len,
+        }
     }
 
     /// True when no events are pending.
     pub fn is_empty(&self) -> bool {
-        self.heap.is_empty()
+        self.len() == 0
     }
 
     /// Schedules `payload` at absolute time `time`.
@@ -121,7 +448,15 @@ impl<E> EventQueue<E> {
         debug_assert!(time.is_finite(), "event time must be finite");
         let seq = self.seq;
         self.seq += 1;
-        self.heap.push(Entry { time, seq, payload });
+        let entry = Entry { time, seq, payload };
+        match &mut self.backend {
+            Backend::Heap(heap) => heap.push(entry),
+            Backend::Wheel(wheel) => {
+                wheel.push(entry);
+                #[cfg(debug_assertions)]
+                wheel.assert_len_consistent();
+            }
+        }
     }
 
     /// Schedules `payload` at `now() + delay`.
@@ -131,7 +466,15 @@ impl<E> EventQueue<E> {
 
     /// Pops the earliest event, advancing the clock.
     pub fn pop(&mut self) -> Option<(f64, E)> {
-        let entry = self.heap.pop()?;
+        let entry = match &mut self.backend {
+            Backend::Heap(heap) => heap.pop()?,
+            Backend::Wheel(wheel) => {
+                let entry = wheel.pop()?;
+                #[cfg(debug_assertions)]
+                wheel.assert_len_consistent();
+                entry
+            }
+        };
         self.now = entry.time;
         self.processed += 1;
         Some((entry.time, entry.payload))
@@ -139,7 +482,25 @@ impl<E> EventQueue<E> {
 
     /// Peeks at the earliest event time without advancing.
     pub fn peek_time(&self) -> Option<f64> {
-        self.heap.peek().map(|e| e.time)
+        match &self.backend {
+            Backend::Heap(heap) => heap.peek().map(|e| e.time),
+            Backend::Wheel(wheel) => wheel.peek_time(),
+        }
+    }
+
+    /// Drains every event sharing the earliest pending timestamp into
+    /// `buf` (appending, FIFO order preserved) and advances the clock to
+    /// that instant. Returns the instant, or `None` when the queue is
+    /// empty. Events pushed *while the caller processes the batch* at the
+    /// same timestamp form the next batch — determinism is unaffected.
+    pub fn pop_instant(&mut self, buf: &mut Vec<E>) -> Option<f64> {
+        let (instant, first) = self.pop()?;
+        buf.push(first);
+        while self.peek_time() == Some(instant) {
+            let (_, payload) = self.pop().expect("peeked event exists");
+            buf.push(payload);
+        }
+        Some(instant)
     }
 }
 
@@ -218,6 +579,17 @@ mod tests {
     }
 
     #[test]
+    fn heap_backend_capacity_parity() {
+        let mut q: EventQueue<u32> = EventQueue::heap_backed_with_capacity(64);
+        assert!(q.is_heap_backed());
+        assert!(q.capacity() >= 64);
+        q.reserve(128);
+        assert!(q.capacity() >= 128);
+        let w: EventQueue<u32> = EventQueue::new();
+        assert!(!w.is_heap_backed());
+    }
+
+    #[test]
     fn interleaved_push_pop() {
         let mut q = EventQueue::new();
         q.push(1.0, 1);
@@ -229,6 +601,62 @@ mod tests {
         assert_eq!(q.pop().unwrap(), (2.5, 25));
         assert_eq!(q.pop().unwrap(), (3.0, 3));
         assert!(q.is_empty());
+    }
+
+    #[test]
+    fn far_future_events_cross_rotations() {
+        // Span several wheel rotations (WHEEL_BUCKETS * BUCKET_WIDTH each)
+        // so overflow refills are exercised, including equal-time ties far
+        // out and a push landing between already-queued rotations.
+        let span = WHEEL_BUCKETS as f64 * BUCKET_WIDTH;
+        let mut q = EventQueue::new();
+        q.push(span * 3.0 + 7.25, "far-b");
+        q.push(0.5, "near");
+        q.push(span * 3.0 + 7.25, "far-c");
+        q.push(span + 1.0, "mid");
+        assert_eq!(q.pop().unwrap(), (0.5, "near"));
+        q.push(span * 2.0 + 3.0, "between");
+        assert_eq!(q.pop().unwrap(), (span + 1.0, "mid"));
+        assert_eq!(q.pop().unwrap(), (span * 2.0 + 3.0, "between"));
+        assert_eq!(q.pop().unwrap(), (span * 3.0 + 7.25, "far-b"));
+        assert_eq!(q.pop().unwrap(), (span * 3.0 + 7.25, "far-c"));
+        assert!(q.is_empty());
+        assert_eq!(q.processed(), 5);
+    }
+
+    #[test]
+    fn same_instant_push_while_draining_bucket() {
+        // Pops sort the cursor bucket; a push at the same instant must slot
+        // into the live drain order, not corrupt it.
+        let mut q = EventQueue::new();
+        q.push(2.0, 0);
+        q.push(2.0, 1);
+        q.push(2.5, 9);
+        assert_eq!(q.pop().unwrap(), (2.0, 0));
+        q.push_after(0.0, 2); // same instant, after the bucket was sorted
+        assert_eq!(q.pop().unwrap(), (2.0, 1));
+        assert_eq!(q.pop().unwrap(), (2.0, 2));
+        assert_eq!(q.pop().unwrap(), (2.5, 9));
+    }
+
+    #[test]
+    fn pop_instant_batches_equal_timestamps() {
+        let mut q = EventQueue::new();
+        q.push(1.0, "a");
+        q.push(2.0, "c");
+        q.push(1.0, "b");
+        q.push(2.0, "d");
+        let mut buf = Vec::new();
+        assert_eq!(q.pop_instant(&mut buf), Some(1.0));
+        assert_eq!(buf, vec!["a", "b"]);
+        buf.clear();
+        assert_eq!(q.pop_instant(&mut buf), Some(2.0));
+        assert_eq!(buf, vec!["c", "d"]);
+        buf.clear();
+        assert_eq!(q.pop_instant(&mut buf), None);
+        assert!(buf.is_empty());
+        assert_eq!(q.now(), 2.0);
+        assert_eq!(q.processed(), 4);
     }
 }
 
@@ -339,6 +767,73 @@ mod proptests {
                 });
                 prop_assert!(result.is_err(), "push at {past} after popping {t1} must panic");
             }
+        }
+
+        /// Differential contract: the wheel and the reference heap pop
+        /// byte-identical `(time, payload)` streams under arbitrary
+        /// push / `push_after` / pop interleavings — including negative
+        /// (clamped-to-now) delays and equal-timestamp FIFO runs, with
+        /// times spread far enough to cross wheel rotations.
+        #[test]
+        fn wheel_and_heap_pop_identical_streams(
+            script in prop::collection::vec(
+                (-5.0f64..5_000.0, 0u8..4, prop::bool::ANY),
+                1..250,
+            ),
+        ) {
+            let mut wheel = EventQueue::new();
+            let mut heap = EventQueue::heap_backed();
+            let mut id = 0usize;
+            for &(dt, dup, do_pop) in &script {
+                // `dup + 1` simultaneous pushes exercise FIFO ties; negative
+                // delays exercise the past-push clamp in both backends.
+                for _ in 0..=dup {
+                    wheel.push_after(dt, id);
+                    heap.push_after(dt, id);
+                    id += 1;
+                }
+                if do_pop {
+                    prop_assert_eq!(wheel.pop(), heap.pop());
+                    prop_assert_eq!(wheel.now(), heap.now());
+                    prop_assert_eq!(wheel.peek_time(), heap.peek_time());
+                }
+            }
+            loop {
+                let (w, h) = (wheel.pop(), heap.pop());
+                prop_assert_eq!(w, h);
+                if h.is_none() {
+                    break;
+                }
+            }
+            prop_assert_eq!(wheel.processed(), heap.processed());
+        }
+
+        /// `pop_instant` batches exactly the events a pop-by-pop drain
+        /// would yield for each timestamp, in the same order.
+        #[test]
+        fn pop_instant_matches_pop_by_pop(
+            times in prop::collection::vec((0.0f64..50.0, 0u8..3), 1..120),
+        ) {
+            let mut batched = EventQueue::new();
+            let mut single = EventQueue::heap_backed();
+            let mut id = 0usize;
+            for &(t, dup) in &times {
+                // Coarse-quantized times create plenty of exact ties.
+                let t = (t * 2.0).floor() / 2.0;
+                for _ in 0..=dup {
+                    batched.push(t, id);
+                    single.push(t, id);
+                    id += 1;
+                }
+            }
+            let mut buf = Vec::new();
+            while let Some(instant) = batched.pop_instant(&mut buf) {
+                for payload in buf.drain(..) {
+                    prop_assert_eq!(single.pop(), Some((instant, payload)));
+                }
+                prop_assert_eq!(batched.now(), single.now());
+            }
+            prop_assert!(single.is_empty());
         }
     }
 }

@@ -209,6 +209,52 @@ impl fmt::Display for PlacementError {
 
 impl std::error::Error for PlacementError {}
 
+/// One event a clock-owning front-end can feed the kernel. The simulator
+/// batches every event sharing a timestamp into a single
+/// [`LifecycleKernel::step_instant`] call; step-driven front-ends keep using
+/// the per-event [`LifecycleKernel::submit`] / [`LifecycleKernel::complete`]
+/// / [`LifecycleKernel::churn`] wrappers.
+#[derive(Debug)]
+pub enum KernelEvent {
+    /// A task arrives (JSS hands it to the RMS).
+    Arrival(Box<Task>),
+    /// A scheduled completion comes due.
+    Completion(PendingCompletion),
+    /// The grid membership changes.
+    Churn(ChurnEvent),
+}
+
+/// Everything a successful placement decided, minus the task itself. The
+/// dispatcher moves its owned [`Task`] in via [`Applied::into_pending`], so
+/// the dispatch hot path constructs the completion without cloning.
+#[derive(Debug)]
+struct Applied {
+    finish: f64,
+    pe: PeRef,
+    config: Option<ConfigId>,
+    cores: u64,
+    record: TaskRecord,
+    unload_after: bool,
+    phases: SetupPhases,
+    reused: bool,
+}
+
+impl Applied {
+    fn into_pending(self, task: Task) -> PendingCompletion {
+        PendingCompletion {
+            finish: self.finish,
+            running: Box::new(Running {
+                task,
+                pe: self.pe,
+                config: self.config,
+                cores: self.cores,
+                record: self.record,
+                unload_after: self.unload_after,
+            }),
+        }
+    }
+}
+
 /// A dispatched task in flight.
 #[derive(Debug)]
 struct Running {
@@ -218,8 +264,6 @@ struct Running {
     cores: u64,
     record: TaskRecord,
     unload_after: bool,
-    phases: SetupPhases,
-    reused: bool,
 }
 
 /// A completion scheduled by the kernel, to be delivered back by the event
@@ -286,6 +330,10 @@ pub struct LifecycleKernel {
     held: Vec<Task>,
     sink: Box<dyn TelemetrySink>,
     last_now: f64,
+    /// Scratch for `step_instant`: completions finished this instant whose
+    /// dependents release after the single backlog drain (reused, so batch
+    /// processing allocates nothing per instant).
+    instant_finished: Vec<TaskId>,
 }
 
 impl LifecycleKernel {
@@ -319,6 +367,7 @@ impl LifecycleKernel {
             held: Vec::new(),
             sink: Box::new(NoopSink),
             last_now: 0.0,
+            instant_finished: Vec::new(),
         }
     }
 
@@ -429,8 +478,24 @@ impl LifecycleKernel {
         now: f64,
         strategy: &mut dyn Strategy,
     ) -> Vec<PendingCompletion> {
-        self.submitted += 1;
+        let mut out = Vec::new();
         self.last_now = self.last_now.max(now);
+        self.submit_core(task, now, strategy, &mut out);
+        self.observe_state(now);
+        out
+    }
+
+    /// The submit mutation without the end-of-call bookkeeping
+    /// (`observe_state`), so [`LifecycleKernel::step_instant`] can run it
+    /// once per event but report state once per instant.
+    fn submit_core(
+        &mut self,
+        task: Task,
+        now: f64,
+        strategy: &mut dyn Strategy,
+        out: &mut Vec<PendingCompletion>,
+    ) {
+        self.submitted += 1;
         self.emit(task.id, now, SpanEvent::Submitted);
         if let Some(graph) = &self.graph {
             let waiting = graph
@@ -440,14 +505,10 @@ impl LifecycleKernel {
             if waiting {
                 self.emit(task.id, now, SpanEvent::HeldOnDeps);
                 self.held.push(task);
-                self.observe_state(now);
-                return Vec::new();
+                return;
             }
         }
-        let mut out = Vec::new();
-        self.arrive(task, now, strategy, &mut out);
-        self.observe_state(now);
-        out
+        self.arrive(task, now, strategy, out);
     }
 
     /// Delivers a completion back to the kernel at time `now`.
@@ -461,6 +522,29 @@ impl LifecycleKernel {
         now: f64,
         strategy: &mut dyn Strategy,
     ) -> Vec<PendingCompletion> {
+        let mut out = Vec::new();
+        self.last_now = self.last_now.max(now);
+        let finished = self.complete_core(pending, now, &mut out);
+        self.drain_backlog(now, strategy, &mut out);
+        if let Some(id) = finished {
+            self.release_dependents(id, now, strategy, &mut out);
+        }
+        self.observe_state(now);
+        out
+    }
+
+    /// The completion mutation — release resources, emit the record — minus
+    /// the backlog drain, dependent release and state observation that the
+    /// per-event wrapper (or the per-instant batch) performs afterwards.
+    /// Returns the finished task, or `None` for a crash-lost execution
+    /// (which re-queues instead of completing).
+    fn complete_core(
+        &mut self,
+        pending: PendingCompletion,
+        now: f64,
+        out: &mut Vec<PendingCompletion>,
+    ) -> Option<TaskId> {
+        let _ = &out; // the crash path keeps the signature future-proof
         let Running {
             task,
             pe,
@@ -470,8 +554,6 @@ impl LifecycleKernel {
             unload_after,
             ..
         } = *pending.running;
-        let mut out = Vec::new();
-        self.last_now = self.last_now.max(now);
         // A completion from a crashed node is a lost execution: the node is
         // gone (nothing to release) and the task goes back in the queue
         // with its original arrival (and its dependencies still satisfied).
@@ -484,9 +566,7 @@ impl LifecycleKernel {
                 task,
                 tried: false,
             });
-            self.drain_backlog(now, strategy, &mut out);
-            self.observe_state(now);
-            return out;
+            return None;
         }
         let finished = task.id;
         self.emit(
@@ -539,13 +619,13 @@ impl LifecycleKernel {
             PeId::Rpe(_) => DIRTY_FABRIC | DIRTY_GPP,
             PeId::Gpu(_) => DIRTY_GPU,
         };
+        if self.graph.is_some() {
+            self.completed.insert(finished);
+        }
         if !self.pending_leaves.is_empty() {
             self.apply_pending_leaves();
         }
-        self.drain_backlog(now, strategy, &mut out);
-        self.release_dependents(finished, now, strategy, &mut out);
-        self.observe_state(now);
-        out
+        Some(finished)
     }
 
     /// Applies a grid-membership change at time `now`.
@@ -557,6 +637,17 @@ impl LifecycleKernel {
     ) -> Vec<PendingCompletion> {
         let mut out = Vec::new();
         self.last_now = self.last_now.max(now);
+        if self.churn_core(change, now) {
+            // New capacity may unblock queued tasks.
+            self.drain_backlog(now, strategy, &mut out);
+        }
+        self.observe_state(now);
+        out
+    }
+
+    /// The membership mutation; true when it added capacity (a join) and
+    /// the backlog should be drained.
+    fn churn_core(&mut self, change: ChurnEvent, now: f64) -> bool {
         match change {
             ChurnEvent::Join(node) => {
                 let id = node.id;
@@ -564,13 +655,13 @@ impl LifecycleKernel {
                 self.index.add_node(&self.nodes);
                 self.dirty = DIRTY_ALL;
                 self.sink.node_event(now, NodeEvent::Joined(id));
-                // New capacity may unblock queued tasks.
-                self.drain_backlog(now, strategy, &mut out);
+                true
             }
             ChurnEvent::Leave(id) => {
                 self.pending_leaves.push(id);
                 self.apply_pending_leaves();
                 self.sink.node_event(now, NodeEvent::Left(id));
+                false
             }
             ChurnEvent::Crash(id) => {
                 // The node vanishes now; in-flight completions on it are
@@ -581,10 +672,64 @@ impl LifecycleKernel {
                     self.crashed.push(id);
                     self.sink.node_event(now, NodeEvent::Crashed(id));
                 }
+                false
             }
         }
+    }
+
+    /// Processes every event of one simulation instant as a single kernel
+    /// pass: the per-event mutations run in FIFO order, but the backlog
+    /// drain, dependent release, dirty-class bookkeeping and telemetry
+    /// state/match-stat deltas are computed **once per instant** instead of
+    /// once per event. `events` is drained (its allocation is the caller's
+    /// reusable batch buffer); scheduled completions append to `out`.
+    ///
+    /// Within an instant, completions release capacity before later
+    /// arrivals in the same batch try to dispatch — identical to the
+    /// per-event order an event queue would produce.
+    pub fn step_instant(
+        &mut self,
+        events: &mut Vec<KernelEvent>,
+        now: f64,
+        strategy: &mut dyn Strategy,
+        out: &mut Vec<PendingCompletion>,
+    ) {
+        if events.is_empty() {
+            return;
+        }
+        let count = events.len() as u64;
+        self.last_now = self.last_now.max(now);
+        let mut needs_drain = false;
+        for ev in events.drain(..) {
+            match ev {
+                KernelEvent::Arrival(task) => self.submit_core(*task, now, strategy, out),
+                KernelEvent::Completion(pending) => {
+                    if let Some(finished) = self.complete_core(pending, now, out) {
+                        if self.graph.is_some() {
+                            self.instant_finished.push(finished);
+                        }
+                    }
+                    needs_drain = true;
+                }
+                KernelEvent::Churn(change) => needs_drain |= self.churn_core(change, now),
+            }
+        }
+        if needs_drain {
+            self.drain_backlog(now, strategy, out);
+        }
+        if !self.instant_finished.is_empty() {
+            let finished = std::mem::take(&mut self.instant_finished);
+            for &id in &finished {
+                self.release_dependents(id, now, strategy, out);
+            }
+            // Hand the (now cleared) scratch allocation back for reuse.
+            self.instant_finished = finished;
+            self.instant_finished.clear();
+        }
         self.observe_state(now);
-        out
+        if self.sink.enabled() {
+            self.sink.instant(now, count);
+        }
     }
 
     /// Closes the run: whatever still sits in the backlog or is held on
@@ -648,24 +793,25 @@ impl LifecycleKernel {
         strategy: &mut dyn Strategy,
         out: &mut Vec<PendingCompletion>,
     ) {
-        if !self.try_dispatch(&task, now, now, strategy, out) {
-            let satisfiable = {
-                let view = GridView::new(&self.nodes, &self.index);
-                strategy.is_satisfiable(&task, &view)
-            };
-            if satisfiable {
-                self.emit(task.id, now, SpanEvent::Queued);
-                // `tried: true` — dispatch was just attempted; the next
-                // examination waits for a relevant capacity change.
-                self.backlog.push_back(BacklogEntry {
-                    arrival: now,
-                    task,
-                    tried: true,
-                });
-            } else {
-                self.emit(task.id, now, SpanEvent::Rejected);
-                self.rejected += 1;
-            }
+        let Some(task) = self.try_dispatch(task, now, now, strategy, out) else {
+            return;
+        };
+        let satisfiable = {
+            let view = GridView::new(&self.nodes, &self.index);
+            strategy.is_satisfiable(&task, &view)
+        };
+        if satisfiable {
+            self.emit(task.id, now, SpanEvent::Queued);
+            // `tried: true` — dispatch was just attempted; the next
+            // examination waits for a relevant capacity change.
+            self.backlog.push_back(BacklogEntry {
+                arrival: now,
+                task,
+                tried: true,
+            });
+        } else {
+            self.emit(task.id, now, SpanEvent::Rejected);
+            self.rejected += 1;
         }
     }
 
@@ -682,7 +828,7 @@ impl LifecycleKernel {
         out: &mut Vec<PendingCompletion>,
     ) {
         let Some(graph) = &self.graph else { return };
-        self.completed.insert(finished);
+        debug_assert!(self.completed.contains(&finished));
         let ready = graph.newly_ready(finished, &self.completed);
         for id in ready {
             while let Some(i) = self.held.iter().position(|t| t.id == id) {
@@ -725,26 +871,40 @@ impl LifecycleKernel {
         // conservative but never skips a dispatchable task.
         let dirty = std::mem::take(&mut self.dirty);
         let mut remaining = VecDeque::new();
-        while let Some(mut entry) = self.backlog.pop_front() {
-            if entry.tried && (dirty | self.dirty) & class_mask(&entry.task) == 0 {
+        while let Some(entry) = self.backlog.pop_front() {
+            let BacklogEntry {
+                arrival,
+                task,
+                tried,
+            } = entry;
+            if tried && (dirty | self.dirty) & class_mask(&task) == 0 {
                 self.backlog_skipped += 1;
-                remaining.push_back(entry);
+                remaining.push_back(BacklogEntry {
+                    arrival,
+                    task,
+                    tried,
+                });
                 continue;
             }
-            entry.tried = true;
-            if self.try_dispatch(&entry.task, entry.arrival, now, strategy, out) {
+            let Some(task) = self.try_dispatch(task, arrival, now, strategy, out) else {
                 continue;
-            }
+            };
             // Make room by evicting idle configurations — but only the
             // minimum, on fabric this task could actually use, so resident
             // configurations keep their reuse value.
-            if self.cfg.evict_idle_configs
-                && self.evict_for(&entry.task)
-                && self.try_dispatch(&entry.task, entry.arrival, now, strategy, out)
-            {
-                continue;
-            }
-            remaining.push_back(entry);
+            let task = if self.cfg.evict_idle_configs && self.evict_for(&task) {
+                match self.try_dispatch(task, arrival, now, strategy, out) {
+                    None => continue,
+                    Some(task) => task,
+                }
+            } else {
+                task
+            };
+            remaining.push_back(BacklogEntry {
+                arrival,
+                task,
+                tried: true,
+            });
         }
         self.backlog = remaining;
     }
@@ -806,38 +966,40 @@ impl LifecycleKernel {
         made_room
     }
 
-    /// Attempts to place and start `task`; true when the task is consumed
-    /// (dispatched, or rejected on an infeasible placement).
+    /// Attempts to place and start `task`. The task is consumed on success
+    /// (it moves into the scheduled completion without cloning) and on an
+    /// infeasible placement (rejected); it is handed back unconsumed when
+    /// the strategy declines to place it.
     fn try_dispatch(
         &mut self,
-        task: &Task,
+        task: Task,
         arrival: f64,
         now: f64,
         strategy: &mut dyn Strategy,
         out: &mut Vec<PendingCompletion>,
-    ) -> bool {
+    ) -> Option<Task> {
         let placement = {
             let view = GridView::new(&self.nodes, &self.index);
-            strategy.place(task, &view, now)
+            strategy.place(&task, &view, now)
         };
         let Some(placement) = placement else {
-            return false;
+            return Some(task);
         };
-        match self.try_place(task, placement, arrival, now) {
-            Ok(pending) => {
+        match self.apply_placement(&task, placement, arrival, now) {
+            Ok(applied) => {
                 self.emit(
                     task.id,
                     now,
                     SpanEvent::Placed(PlacedSpan {
-                        pe: pending.running.pe,
-                        setup: pending.running.phases,
-                        exec_start: pending.running.record.exec_start,
-                        finish: pending.finish,
-                        reused: pending.running.reused,
+                        pe: applied.pe,
+                        setup: applied.phases,
+                        exec_start: applied.record.exec_start,
+                        finish: applied.finish,
+                        reused: applied.reused,
                     }),
                 );
-                out.push(pending);
-                true
+                out.push(applied.into_pending(task));
+                None
             }
             Err(e) => {
                 debug_assert!(false, "strategy produced an infeasible placement: {e}");
@@ -854,18 +1016,15 @@ impl LifecycleKernel {
                 }
                 self.placement_errors.push(e);
                 self.rejected += 1;
-                true
+                None
             }
         }
     }
 
     /// Applies a placement: mutates node state, prices setup and execution,
-    /// and returns the scheduled completion. This is the **single** site in
-    /// the workspace computing setup = synthesis + transfer +
-    /// reconfiguration.
-    ///
-    /// An infeasible placement returns a typed [`PlacementError`] without
-    /// mutating any state.
+    /// and returns the scheduled completion. A compatibility wrapper over
+    /// [`LifecycleKernel::apply_placement`] for callers holding only a
+    /// borrowed task — it clones the task into the completion.
     pub fn try_place(
         &mut self,
         task: &Task,
@@ -873,6 +1032,26 @@ impl LifecycleKernel {
         arrival: f64,
         now: f64,
     ) -> Result<PendingCompletion, PlacementError> {
+        self.apply_placement(task, placement, arrival, now)
+            .map(|applied| applied.into_pending(task.clone()))
+    }
+
+    /// Applies a placement: mutates node state, prices setup and execution,
+    /// and returns everything about the scheduled completion *except* the
+    /// task itself — the dispatcher moves its owned [`Task`] in afterwards
+    /// via [`Applied::into_pending`], so the hot path never clones a task.
+    /// This is the **single** site in the workspace computing setup =
+    /// synthesis + transfer + reconfiguration.
+    ///
+    /// An infeasible placement returns a typed [`PlacementError`] without
+    /// mutating any state.
+    fn apply_placement(
+        &mut self,
+        task: &Task,
+        placement: Placement,
+        arrival: f64,
+        now: f64,
+    ) -> Result<Applied, PlacementError> {
         let Placement { pe, mode } = placement;
         let data_transfer = self
             .cfg
@@ -893,41 +1072,35 @@ impl LifecycleKernel {
                     ..
                 },
             ) => {
-                let device = {
-                    let pos = self
-                        .index
-                        .node_pos(pe.node)
-                        .ok_or(PlacementError::UnknownNode(pe.node))?;
-                    self.nodes[pos]
-                        .rpe(pe.pe)
-                        .ok_or(PlacementError::WrongPeKind {
-                            pe,
-                            expected: "an RPE",
-                        })?
-                        .device
-                        .clone()
-                };
+                let pos = self
+                    .index
+                    .node_pos(pe.node)
+                    .ok_or(PlacementError::UnknownNode(pe.node))?;
+                let device = &self.nodes[pos]
+                    .rpe(pe.pe)
+                    .ok_or(PlacementError::WrongPeKind {
+                        pe,
+                        expected: "an RPE",
+                    })?
+                    .device;
                 let spec = HdlSpec::new(spec_name.clone(), est_slices * 4, est_slices * 2);
+                // `synth` and `nodes` are disjoint fields, so the cached
+                // probe runs against the borrowed device — no clone.
                 Some(
                     self.synth
-                        .estimate_cached(&spec, &device)
+                        .estimate_seconds_cached(&spec, device)
                         .map_err(|_| PlacementError::Unsynthesizable {
                             pe,
-                            spec: spec_name.clone(),
-                        })?
-                        .synthesis_seconds,
+                            spec: spec_name.to_string(),
+                        })?,
                 )
             }
             _ => None,
         };
         let synth_seconds = synth_priced.unwrap_or(0.0);
 
-        let fallback_spec = self.cfg.softcore_fallback.clone();
         let fit_policy = self.cfg.fit_policy;
         let keep_resident = self.cfg.keep_configs_resident;
-        let bit_transfer_of =
-            |network: &NetworkModel, bytes: u64| network.transfer_seconds(pe.node, bytes);
-        let network = self.cfg.network.clone();
 
         let pos = self
             .index
@@ -990,18 +1163,22 @@ impl LifecycleKernel {
                         mode: "SoftcoreFallback",
                     });
                 };
-                let slices = fallback_spec.area_slices().min(rpe.device.slices);
+                let slices = self
+                    .cfg
+                    .softcore_fallback
+                    .area_slices()
+                    .min(rpe.device.slices);
                 let reconfig = rpe.device.partial_reconfig_seconds(slices);
                 let cfg_id = rpe
                     .state
                     .load(
-                        ConfigKind::Softcore(fallback_spec.name.clone()),
+                        ConfigKind::Softcore(self.cfg.softcore_fallback.name.clone()),
                         slices,
                         fit_policy,
                     )
                     .map_err(|_| PlacementError::NoFabricSpace { pe, slices })?;
                 rpe.state.acquire(cfg_id).expect("fresh config is idle");
-                let exec = mega_instructions / fallback_spec.mips_rating();
+                let exec = mega_instructions / self.cfg.softcore_fallback.mips_rating();
                 let energy = power::SOFTCORE_W * exec;
                 self.reconfigurations += 1;
                 self.reconfig_seconds += reconfig;
@@ -1048,7 +1225,9 @@ impl LifecycleKernel {
                     pe,
                     expected: "an RPE",
                 })?;
-                let device = rpe.device.clone();
+                // `device` and `state` are disjoint fields of the RPE, so
+                // pricing can borrow the device while loading the config.
+                let device = &rpe.device;
                 let (kind, slices, image_bytes) = match &task.exec_req.payload {
                     TaskPayload::HdlAccelerator {
                         spec_name,
@@ -1086,8 +1265,8 @@ impl LifecycleKernel {
                     .load(kind, slices, fit_policy)
                     .map_err(|_| PlacementError::NoFabricSpace { pe, slices })?;
                 rpe.state.acquire(cfg_id).expect("fresh config is idle");
-                let bit_transfer = bit_transfer_of(&network, image_bytes);
-                let reconfig = device.partial_reconfig_seconds(slices);
+                let bit_transfer = self.cfg.network.transfer_seconds(pe.node, image_bytes);
+                let reconfig = rpe.device.partial_reconfig_seconds(slices);
                 let (exec, energy) = execution_of(&task.exec_req.payload, &self.cfg);
                 self.reconfigurations += 1;
                 self.reconfig_seconds += reconfig;
@@ -1130,18 +1309,15 @@ impl LifecycleKernel {
             energy_j: energy,
             reconfigured,
         };
-        Ok(PendingCompletion {
+        Ok(Applied {
             finish,
-            running: Box::new(Running {
-                task: task.clone(),
-                pe,
-                config,
-                cores,
-                record,
-                unload_after,
-                phases,
-                reused,
-            }),
+            pe,
+            config,
+            cores,
+            record,
+            unload_after,
+            phases,
+            reused,
         })
     }
 }
@@ -1154,7 +1330,7 @@ pub(crate) fn execution_of(payload: &TaskPayload, cfg: &SimConfig) -> (f64, f64)
             (*accel_seconds, power::FPGA_ACCEL_W * accel_seconds)
         }
         TaskPayload::SoftcoreKernel { core, mega_ops } => {
-            let mips = match core.as_str() {
+            let mips = match &**core {
                 "rvex-4w" => SoftcoreSpec::rvex_4w().mips_rating(),
                 "rvex-8w-2c" => SoftcoreSpec::rvex_8w_2c().mips_rating(),
                 _ => SoftcoreSpec::rvex_2w().mips_rating(),
@@ -1317,7 +1493,7 @@ mod tests {
                     PeClass::Fpga,
                     vec![Constraint::ge(ParamKey::Slices, 3_000u64)],
                     TaskPayload::HdlAccelerator {
-                        spec_name: format!("acc-{id}"),
+                        spec_name: format!("acc-{id}").into(),
                         est_slices: 3_000,
                         accel_seconds: secs,
                     },

@@ -46,7 +46,7 @@ pub mod trace;
 pub mod workload;
 
 pub use engine::EventQueue;
-pub use kernel::{LifecycleKernel, PendingCompletion, PlacementError};
+pub use kernel::{KernelEvent, LifecycleKernel, PendingCompletion, PlacementError};
 pub use metrics::{SimReport, TaskRecord};
 pub use sim::{ChurnEvent, GridSimulator, SimConfig};
 pub use strategy::{Placement, Strategy};

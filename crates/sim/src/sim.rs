@@ -25,7 +25,7 @@
 //! virtualization" behaviour of the paper's ref. \[8].
 
 use crate::engine::EventQueue;
-use crate::kernel::{LifecycleKernel, PendingCompletion};
+use crate::kernel::{KernelEvent, LifecycleKernel};
 use crate::metrics::SimReport;
 use crate::strategy::Strategy;
 use rhv_core::graph::TaskGraph;
@@ -34,26 +34,30 @@ use rhv_core::task::Task;
 
 pub use crate::kernel::{ChurnEvent, PlacementError, SimConfig};
 
-#[derive(Debug)]
-enum Ev {
-    Arrival(Box<Task>),
-    Completion(PendingCompletion),
-    Churn(ChurnEvent),
-}
-
 /// The DReAMSim grid simulator: an [`EventQueue`] pumping a
 /// [`LifecycleKernel`].
 pub struct GridSimulator {
     kernel: LifecycleKernel,
-    queue: EventQueue<Ev>,
+    queue: EventQueue<KernelEvent>,
 }
 
 impl GridSimulator {
-    /// A simulator over `nodes` with configuration `cfg`.
+    /// A simulator over `nodes` with configuration `cfg`, on the default
+    /// timing-wheel event queue.
     pub fn new(nodes: Vec<Node>, cfg: SimConfig) -> Self {
         GridSimulator {
             kernel: LifecycleKernel::new(nodes, cfg),
             queue: EventQueue::new(),
+        }
+    }
+
+    /// The same simulator over the legacy binary-heap event queue — kept
+    /// for differential testing of the timing-wheel engine (the two must
+    /// produce identical reports on any workload).
+    pub fn heap_backed(nodes: Vec<Node>, cfg: SimConfig) -> Self {
+        GridSimulator {
+            kernel: LifecycleKernel::new(nodes, cfg),
+            queue: EventQueue::heap_backed(),
         }
     }
 
@@ -97,20 +101,23 @@ impl GridSimulator {
         // stay far below the arrival count: one reservation covers the run.
         self.queue.reserve(workload.len() + churn.len());
         for (t, task) in workload {
-            self.queue.push(t, Ev::Arrival(Box::new(task)));
+            self.queue.push(t, KernelEvent::Arrival(Box::new(task)));
         }
         for (t, ev) in churn {
-            self.queue.push(t, Ev::Churn(ev));
+            self.queue.push(t, KernelEvent::Churn(ev));
         }
         let name = strategy.name().to_owned();
-        while let Some((now, ev)) = self.queue.pop() {
-            let scheduled = match ev {
-                Ev::Arrival(task) => self.kernel.submit(*task, now, strategy),
-                Ev::Completion(pending) => self.kernel.complete(pending, now, strategy),
-                Ev::Churn(change) => self.kernel.churn(change, now, strategy),
-            };
-            for pending in scheduled {
-                self.queue.push(pending.finish(), Ev::Completion(pending));
+        // Two buffers reused across every instant: the drained batch and
+        // the completions it schedules. The hot loop itself allocates
+        // nothing — each instant is one `pop_instant` + one kernel pass.
+        let mut batch = Vec::new();
+        let mut scheduled = Vec::new();
+        while let Some(now) = self.queue.pop_instant(&mut batch) {
+            self.kernel
+                .step_instant(&mut batch, now, strategy, &mut scheduled);
+            for pending in scheduled.drain(..) {
+                self.queue
+                    .push(pending.finish(), KernelEvent::Completion(pending));
             }
         }
         self.kernel.finish(&name)
@@ -470,6 +477,29 @@ mod tests {
         assert!(r1.exec_start + 1e-9 >= r0.finish, "GPU serializes kernels");
         assert!(report.energy_j > 0.0);
         assert_eq!(report.reconfigurations, 0);
+    }
+
+    #[test]
+    fn wheel_and_heap_engines_produce_identical_reports() {
+        use rhv_core::ids::NodeId;
+        // A seeded mixed workload with churn mid-run: crashes re-queue
+        // in-flight tasks and a leave defers until idle, so the two engines
+        // must agree on queue order through every code path. The reports
+        // (records, energy, makespan, counters) and final node states must
+        // be byte-identical when rendered.
+        let spec = WorkloadSpec::default_for_grid(250, 4.0, 17);
+        let churn = vec![
+            (20.0, ChurnEvent::Crash(NodeId(2))),
+            (45.0, ChurnEvent::Leave(NodeId(1))),
+        ];
+        let nodes = rhv_core::case_study::grid();
+        let (wheel, wheel_nodes) = GridSimulator::new(nodes.clone(), SimConfig::default())
+            .run_with_churn(spec.generate(), churn.clone(), &mut FirstFit::new());
+        let (heap, heap_nodes) = GridSimulator::heap_backed(nodes, SimConfig::default())
+            .run_with_churn(spec.generate(), churn, &mut FirstFit::new());
+        assert!(wheel.completed > 0);
+        assert_eq!(format!("{wheel:?}"), format!("{heap:?}"));
+        assert_eq!(format!("{wheel_nodes:?}"), format!("{heap_nodes:?}"));
     }
 
     #[test]

@@ -166,7 +166,7 @@ impl WorkloadSpec {
                         PeClass::Softcore,
                         vec![Constraint::ge(ParamKey::Slices, area)],
                         TaskPayload::SoftcoreKernel {
-                            core: name,
+                            core: name.into(),
                             mega_ops,
                         },
                     ),
@@ -195,7 +195,7 @@ impl WorkloadSpec {
                         PeClass::Fpga,
                         vec![Constraint::ge(ParamKey::Slices, area)],
                         TaskPayload::HdlAccelerator {
-                            spec_name: format!("accel_{kernel}"),
+                            spec_name: format!("accel_{kernel}").into(),
                             est_slices: area,
                             accel_seconds: exec,
                         },
@@ -212,8 +212,8 @@ impl WorkloadSpec {
                         PeClass::Fpga,
                         vec![Constraint::eq(ParamKey::DevicePart, part.as_str())],
                         TaskPayload::Bitstream {
-                            image: format!("image_{}.bit", id.raw() % 17),
-                            device_part: part,
+                            image: format!("image_{}.bit", id.raw() % 17).into(),
+                            device_part: part.into(),
                             size_bytes: 4_000_000 + range_u64(rng, (0, 6_000_000)),
                             accel_seconds: exec,
                         },
@@ -365,7 +365,7 @@ mod tests {
         for (_, t) in spec.generate() {
             match &t.exec_req.payload {
                 TaskPayload::Bitstream { device_part, .. } => {
-                    assert_eq!(device_part, "XC5VLX155");
+                    assert_eq!(&**device_part, "XC5VLX155");
                 }
                 other => panic!("unexpected payload {other:?}"),
             }

@@ -282,6 +282,8 @@ pub struct MetricsSink {
     match_scan_fallbacks: Arc<Counter>,
     match_range_width: Arc<Counter>,
     backlog_skipped: Arc<Counter>,
+    kernel_instants: Arc<Counter>,
+    kernel_batch_events: Arc<Counter>,
     reuse_ratio: Arc<Gauge>,
     queue_depth: Arc<Gauge>,
     held_depth: Arc<Gauge>,
@@ -344,6 +346,14 @@ impl MetricsSink {
             backlog_skipped: c(
                 "rhv_backlog_skipped_total",
                 "Backlog re-examinations avoided by dirty-class tracking",
+            ),
+            kernel_instants: c(
+                "rhv_kernel_instants_total",
+                "Simulation instants batch-processed by the kernel",
+            ),
+            kernel_batch_events: c(
+                "rhv_kernel_batch_events_total",
+                "Kernel events drained inside batched instants",
             ),
             reuse_ratio: registry.gauge(
                 "rhv_config_reuse_hit_ratio",
@@ -433,6 +443,11 @@ impl TelemetrySink for MetricsSink {
         self.match_scan_fallbacks.add(stats.scan_fallbacks);
         self.match_range_width.add(stats.range_width);
         self.backlog_skipped.add(stats.backlog_skipped);
+    }
+
+    fn instant(&mut self, _at: f64, events: u64) {
+        self.kernel_instants.inc();
+        self.kernel_batch_events.add(events);
     }
 }
 

@@ -50,6 +50,14 @@ pub trait TelemetrySink: Send {
         let _ = (at, stats);
     }
 
+    /// One simulation instant was batch-processed: `events` kernel events
+    /// shared the timestamp `at` and were drained in a single kernel pass.
+    /// Emitted once per instant (after the per-event spans), only by
+    /// batch-driven front-ends.
+    fn instant(&mut self, at: f64, events: u64) {
+        let _ = (at, events);
+    }
+
     /// The run is over; flush buffered state.
     fn flush(&mut self) {}
 }
@@ -171,6 +179,12 @@ impl TelemetrySink for FanoutSink {
     fn match_stats(&mut self, at: f64, stats: MatchStats) {
         for s in &mut self.sinks {
             s.match_stats(at, stats);
+        }
+    }
+
+    fn instant(&mut self, at: f64, events: u64) {
+        for s in &mut self.sinks {
+            s.instant(at, events);
         }
     }
 

@@ -35,9 +35,12 @@ if [ "$#" -eq 0 ]; then
 elif [ "$1" = "bench-smoke" ]; then
     # Mirrors `make bench-smoke` for offline containers: the criterion
     # stub smoke-runs each bench closure, then the 1,000-node hot-path
-    # comparison runs in --smoke mode (asserts indexed == naive scan).
+    # comparisons run in --smoke mode (bench_matchmaker asserts indexed ==
+    # naive scan and fallbacks < hits; bench_engine asserts wheel == heap
+    # reports).
     cargo bench --offline -p rhv-bench --bench match_index
     cargo run --offline -q --release -p rhv-bench --bin bench_matchmaker -- --smoke
+    cargo run --offline -q --release -p rhv-bench --bin bench_engine -- --smoke
 else
     # Insert --offline before any `--` separator so it stays a cargo flag
     # (e.g. `clippy -- -D warnings` must not hand --offline to rustc).
