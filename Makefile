@@ -24,11 +24,14 @@ telemetry-smoke:
 	cargo run -q -p rhv-bench --bin trace_dump -- --check --out target/telemetry
 
 # Quick benchmark smoke: the criterion micro-benches (match index vs naive
-# scan) plus the 1,000-node matchmaker hot-path comparison in scaled-down
-# mode (asserts indexed == naive, leaves BENCH_matchmaker.json untouched).
+# scan) plus the 1,000-node hot-path comparisons in scaled-down mode
+# (bench_matchmaker asserts indexed == naive, bench_engine asserts
+# wheel == heap, bench_faults asserts conservation + recovery counters
+# under the churn storm; all BENCH_*.json files left untouched).
 # Offline containers run the same steps via:
 #   devtools/offline-check.sh bench-smoke
 bench-smoke:
 	cargo bench -p rhv-bench --bench match_index
 	cargo run -q --release -p rhv-bench --bin bench_matchmaker -- --smoke
 	cargo run -q --release -p rhv-bench --bin bench_engine -- --smoke
+	cargo run -q --release -p rhv-bench --bin bench_faults -- --smoke

@@ -1,0 +1,205 @@
+//! **Fault-recovery benchmark**: goodput of a 1,000-node grid under the
+//! seeded 10%-churn storm ([`FaultPlan::churn_storm`]) with the kernel's
+//! [`RetryPolicy`] enabled, against the same workload on a quiet grid.
+//!
+//! Three properties are asserted on every run:
+//!
+//! * **conservation** — every submitted task either completes or is
+//!   rejected with a typed reason; nothing is silently stuck when the
+//!   event stream runs dry;
+//! * **engine differential** — the timing-wheel and binary-heap backends
+//!   reproduce the same faulted report byte for byte (fault injection and
+//!   retry timers ride the same event queue as everything else);
+//! * **telemetry** — the recovery counters (`rhv_retries_total`,
+//!   `rhv_fallbacks_total`, `rhv_blacklisted_nodes`, the retry-delay
+//!   histogram) surface in the Prometheus exposition.
+//!
+//! The full run writes `BENCH_faults.json` at the repository root;
+//! `--smoke` runs a scaled-down sanity pass (all assertions, no file).
+//!
+//! Usage: `bench_faults [--smoke]`
+
+use rhv_bench::{banner, section};
+use rhv_core::case_study;
+use rhv_core::ids::NodeId;
+use rhv_core::node::Node;
+use rhv_sched::FirstFitStrategy;
+use rhv_sim::sim::{GridSimulator, SimConfig};
+use rhv_sim::workload::WorkloadSpec;
+use rhv_sim::{FaultPlan, RetryPolicy, SimReport};
+use rhv_telemetry::{MetricsRegistry, MetricsSink};
+use std::time::Instant;
+
+/// The first case-study node cloned `n` times (the same 1,000-node grid the
+/// engine and matchmaker benchmarks use: 4,000 PEs).
+fn grid_of(n: usize) -> Vec<Node> {
+    let base = case_study::grid().remove(0);
+    (0..n)
+        .map(|i| {
+            let mut node = base.clone();
+            node.id = NodeId(i as u64);
+            node
+        })
+        .collect()
+}
+
+struct FaultedRun {
+    report: SimReport,
+    wall_s: f64,
+    exposition: String,
+}
+
+/// One full faulted simulation with the retry policy on and kernel
+/// telemetry aggregated into a Prometheus registry.
+fn run_faulted(
+    n_nodes: usize,
+    workload: Vec<(f64, rhv_core::task::Task)>,
+    plan: &FaultPlan,
+    heap: bool,
+) -> FaultedRun {
+    let cfg = SimConfig {
+        cad_speed: 10.0,
+        retry: Some(RetryPolicy::default()),
+        ..SimConfig::default()
+    };
+    let registry = MetricsRegistry::new();
+    let sink = MetricsSink::new(registry.clone());
+    let sim = if heap {
+        GridSimulator::heap_backed(grid_of(n_nodes), cfg)
+    } else {
+        GridSimulator::new(grid_of(n_nodes), cfg)
+    };
+    let start = Instant::now();
+    let (report, _) = sim.with_sink(Box::new(sink)).run_with_fault_plan(
+        workload,
+        plan,
+        &mut FirstFitStrategy::new(),
+    );
+    let wall_s = start.elapsed().as_secs_f64();
+    FaultedRun {
+        report,
+        wall_s,
+        exposition: rhv_sim::trace::to_prometheus(&registry),
+    }
+}
+
+/// Completed tasks per sim-second — the goodput a user of the grid sees.
+fn goodput(report: &SimReport) -> f64 {
+    if report.makespan > 0.0 {
+        report.completed as f64 / report.makespan
+    } else {
+        0.0
+    }
+}
+
+fn main() {
+    let smoke = std::env::args().any(|a| a == "--smoke");
+    let (n_nodes, n_tasks) = if smoke { (1000, 2_000) } else { (1000, 20_000) };
+    let rate = 50.0;
+    let seed = 2013;
+    // The storm horizon covers the whole arrival window, so crashes,
+    // rejoins, degradations and slowdowns land while work is in flight.
+    let horizon = n_tasks as f64 / rate;
+    let workload = WorkloadSpec::default_for_grid(n_tasks, rate, seed).generate();
+    let storm = FaultPlan::churn_storm(seed, horizon);
+    let quiet = FaultPlan::quiet(horizon);
+
+    banner(
+        "fault injection & recovery",
+        "goodput under a 10%-churn storm, retry policy on",
+    );
+    println!(
+        "{n_nodes} nodes, {n_tasks} tasks, storm horizon {horizon:.0}s{}",
+        if smoke { "  [smoke]" } else { "" }
+    );
+
+    section("quiet baseline (no faults)");
+    let base = run_faulted(n_nodes, workload.clone(), &quiet, false);
+    let base_goodput = goodput(&base.report);
+    println!(
+        "  completed  : {:>8} / {n_tasks}   makespan {:.1}s   wall {:.3}s",
+        base.report.completed, base.report.makespan, base.wall_s
+    );
+    println!("  goodput    : {base_goodput:>8.1} tasks/sim-s");
+    assert_eq!(
+        base.report.completed + base.report.rejected,
+        n_tasks,
+        "quiet run must conserve tasks"
+    );
+
+    section("churn storm (wheel engine, Prometheus sink)");
+    let wheel = run_faulted(n_nodes, workload.clone(), &storm, false);
+    let storm_goodput = goodput(&wheel.report);
+    let r = &wheel.report;
+    println!(
+        "  completed  : {:>8} / {n_tasks}   makespan {:.1}s   wall {:.3}s",
+        r.completed, r.makespan, wheel.wall_s
+    );
+    println!(
+        "  recovery   : {:>8} retries, {} fallbacks, {} lost executions, {} churn no-ops",
+        r.retries, r.fallbacks, r.failures, r.churn_noops
+    );
+    println!(
+        "  goodput    : {storm_goodput:>8.1} tasks/sim-s ({:.1}% of quiet)",
+        100.0 * storm_goodput / base_goodput
+    );
+
+    // Conservation: no task is silently stuck — completed or typed-rejected.
+    assert_eq!(
+        r.completed + r.rejected,
+        n_tasks,
+        "storm run must conserve tasks: {} completed + {} rejected != {n_tasks}",
+        r.completed,
+        r.rejected
+    );
+    assert!(r.failures > 0, "a 10% churn storm must lose executions");
+    assert!(r.retries > 0, "lost executions must be retried");
+
+    // The recovery counters surface in the Prometheus exposition.
+    for metric in [
+        "rhv_retries_total",
+        "rhv_fallbacks_total",
+        "rhv_blacklisted_nodes",
+        "rhv_retry_delay_seconds",
+    ] {
+        assert!(
+            wheel.exposition.contains(metric),
+            "{metric} missing from the Prometheus exposition"
+        );
+    }
+
+    section("engine differential (wheel vs heap, identical reports asserted)");
+    let heap = run_faulted(n_nodes, workload, &storm, true);
+    assert_eq!(
+        format!("{:?}", wheel.report),
+        format!("{:?}", heap.report),
+        "wheel and heap engines diverged on the faulted report"
+    );
+    println!(
+        "  wheel      : {:>8.3} s\n  heap       : {:>8.3} s\n  identical  : yes",
+        wheel.wall_s, heap.wall_s
+    );
+
+    if smoke {
+        println!("\nsmoke run — BENCH_faults.json left untouched");
+        return;
+    }
+
+    let json = format!(
+        "{{\n  \"benchmark\": \"fault_recovery\",\n  \"nodes\": {n_nodes},\n  \"tasks\": {n_tasks},\n  \"storm\": {{\n    \"seed\": {seed},\n    \"horizon_seconds\": {horizon:.0},\n    \"crash_fraction\": {crash:.2},\n    \"completed\": {completed},\n    \"rejected\": {rejected},\n    \"lost_executions\": {failures},\n    \"retries\": {retries},\n    \"fallbacks\": {fallbacks},\n    \"churn_noops\": {noops},\n    \"makespan_seconds\": {makespan:.1},\n    \"goodput_tasks_per_sim_second\": {storm_goodput:.2},\n    \"wall_seconds\": {wall:.3}\n  }},\n  \"quiet_baseline\": {{\n    \"completed\": {bcompleted},\n    \"makespan_seconds\": {bmakespan:.1},\n    \"goodput_tasks_per_sim_second\": {base_goodput:.2}\n  }},\n  \"goodput_retained\": {retained:.3},\n  \"reports_identical_across_engines\": true,\n  \"recovery_counters_in_prometheus\": true\n}}\n",
+        crash = storm.crash_fraction,
+        completed = r.completed,
+        rejected = r.rejected,
+        failures = r.failures,
+        retries = r.retries,
+        fallbacks = r.fallbacks,
+        noops = r.churn_noops,
+        makespan = r.makespan,
+        wall = wheel.wall_s,
+        bcompleted = base.report.completed,
+        bmakespan = base.report.makespan,
+        retained = storm_goodput / base_goodput,
+    );
+    std::fs::write("BENCH_faults.json", &json).expect("write BENCH_faults.json");
+    println!("\nwrote BENCH_faults.json");
+}

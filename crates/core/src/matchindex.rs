@@ -112,6 +112,18 @@ struct RpeGroup {
     open: BTreeSet<PeRef>,
 }
 
+/// Failure history of one node, kept by the index so dispatch can avoid
+/// flaky nodes. Entries survive churn removal/re-join on purpose: a node
+/// that crashes, rejoins and crashes again keeps accumulating its streak.
+#[derive(Debug, Clone, Copy, Default)]
+struct NodeHealth {
+    /// Failures since the last success on this node.
+    consecutive_failures: u32,
+    /// Blacklisted until this sim time (candidates are filtered out while
+    /// `now < blacklisted_until`); expiry is the timed parole.
+    blacklisted_until: f64,
+}
+
 /// GPUs sharing one capability map, with the idle subset materialized.
 #[derive(Debug, Default)]
 struct GpuGroup {
@@ -138,6 +150,9 @@ pub struct MatchIndex {
     // inverted for the O(1) reuse lookup.
     resident_kinds: HashMap<PeRef, Vec<ConfigKind>>,
     resident: HashMap<ConfigKind, BTreeSet<PeRef>>,
+    /// Per-node failure streaks and blacklist windows (independent of
+    /// membership: survives remove/re-add so rejoining nodes keep history).
+    health: HashMap<NodeId, NodeHealth>,
     stats: IndexStats,
 }
 
@@ -205,9 +220,74 @@ impl MatchIndex {
         self.node_pos.get(&id).copied()
     }
 
-    /// Pairs the index with the node slice it was built over.
+    /// Pairs the index with the node slice it was built over. The view is
+    /// timeless (`now = ∞`): blacklist windows never filter. Use
+    /// [`GridView::at`] for health-aware dispatch.
     pub fn view<'a>(&'a self, nodes: &'a [Node]) -> GridView<'a> {
-        GridView { nodes, index: self }
+        GridView {
+            nodes,
+            index: self,
+            now: f64::INFINITY,
+        }
+    }
+
+    /// Records one failure (a crash-lost execution) against `node`. When
+    /// the streak reaches `threshold`, the node is blacklisted until
+    /// `now + parole` (the streak resets so the next window needs a fresh
+    /// streak) and `true` is returned.
+    pub fn record_node_failure(
+        &mut self,
+        node: NodeId,
+        now: f64,
+        threshold: u32,
+        parole: f64,
+    ) -> bool {
+        let h = self.health.entry(node).or_default();
+        h.consecutive_failures += 1;
+        if threshold > 0 && h.consecutive_failures >= threshold {
+            h.consecutive_failures = 0;
+            h.blacklisted_until = now + parole;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Records a successful completion on `node`: the streak resets and any
+    /// blacklist window is lifted (the node demonstrably works).
+    pub fn record_node_success(&mut self, node: NodeId) {
+        self.health.remove(&node);
+    }
+
+    /// True while `node` sits in a blacklist window at sim time `now`.
+    pub fn blacklisted(&self, node: NodeId, now: f64) -> bool {
+        self.health
+            .get(&node)
+            .is_some_and(|h| h.blacklisted_until > now)
+    }
+
+    /// Number of nodes blacklisted at sim time `now`.
+    pub fn blacklisted_count(&self, now: f64) -> u64 {
+        self.health
+            .values()
+            .filter(|h| h.blacklisted_until > now)
+            .count() as u64
+    }
+
+    /// The earliest parole expiry strictly after `now`, if any node is
+    /// still blacklisted — the wake-up a front-end must schedule so parole
+    /// actually re-admits the node (no starvation).
+    pub fn next_parole_after(&self, now: f64) -> Option<f64> {
+        self.health
+            .values()
+            .map(|h| h.blacklisted_until)
+            .filter(|&u| u > now)
+            .min_by(|a, b| a.partial_cmp(b).expect("finite parole times"))
+    }
+
+    /// True when no node carries failure history (the filter fast path).
+    fn health_empty(&self) -> bool {
+        self.health.is_empty()
     }
 
     /// Re-files one PE after its dynamic state changed (acquire, release,
@@ -480,12 +560,29 @@ impl CapsGroup for GpuGroup {
 pub struct GridView<'a> {
     nodes: &'a [Node],
     index: &'a MatchIndex,
+    /// Sim time of the view. Finite times make candidate enumeration
+    /// health-aware (blacklisted nodes are filtered out); `∞` (the
+    /// [`GridView::new`] default) disables filtering, since every blacklist
+    /// window has expired by then.
+    now: f64,
 }
 
 impl<'a> GridView<'a> {
-    /// A view over `nodes` and the index maintained for them.
+    /// A timeless view over `nodes` and the index maintained for them
+    /// (blacklist windows never filter; see [`GridView::at`]).
     pub fn new(nodes: &'a [Node], index: &'a MatchIndex) -> Self {
-        GridView { nodes, index }
+        GridView {
+            nodes,
+            index,
+            now: f64::INFINITY,
+        }
+    }
+
+    /// A view at sim time `now`: candidate enumeration skips nodes inside a
+    /// blacklist window. Satisfiability probes stay health-blind — a
+    /// blacklist is temporary, so it must never turn into a rejection.
+    pub fn at(nodes: &'a [Node], index: &'a MatchIndex, now: f64) -> Self {
+        GridView { nodes, index, now }
     }
 
     /// The underlying node slice.
@@ -514,6 +611,9 @@ impl<'a> GridView<'a> {
     pub fn candidates_for_req(&self, req: &ExecReq, options: MatchOptions) -> Vec<Candidate> {
         let mut out = Vec::new();
         self.collect(req, options, false, &mut out);
+        if self.now.is_finite() && !self.index.health_empty() {
+            out.retain(|c| !self.index.blacklisted(c.pe.node, self.now));
+        }
         out.sort_by_key(|c| c.pe);
         out
     }
@@ -959,6 +1059,42 @@ mod tests {
         for options in all_option_sets() {
             assert_same(&nodes, &task, options);
         }
+    }
+
+    #[test]
+    fn blacklist_filters_timed_views_only_and_paroles() {
+        let nodes = case_study::grid();
+        let mut idx = MatchIndex::build(&nodes);
+        let task = case_study::tasks().remove(0); // GPP task, 3 candidates
+        let before = idx.view(&nodes).candidates(&task, MatchOptions::default());
+        assert_eq!(before.len(), 3);
+        // Two failures at threshold 2 → blacklisted until 10 + 30.
+        assert!(!idx.record_node_failure(NodeId(0), 5.0, 2, 30.0));
+        assert!(idx.record_node_failure(NodeId(0), 10.0, 2, 30.0));
+        assert!(idx.blacklisted(NodeId(0), 15.0));
+        assert_eq!(idx.blacklisted_count(15.0), 1);
+        assert_eq!(idx.next_parole_after(15.0), Some(40.0));
+        // A timed view filters the blacklisted node's candidates...
+        let timed = GridView::at(&nodes, &idx, 15.0);
+        let c = timed.candidates(&task, MatchOptions::default());
+        assert_eq!(c.len(), 1);
+        assert!(c.iter().all(|x| x.pe.node != NodeId(0)));
+        // ...while the timeless view and satisfiability stay health-blind.
+        assert_eq!(
+            idx.view(&nodes)
+                .candidates(&task, MatchOptions::default())
+                .len(),
+            3
+        );
+        assert!(timed.statically_satisfiable(&task));
+        // Parole: the window expires, candidates return.
+        let after = GridView::at(&nodes, &idx, 40.0);
+        assert_eq!(after.candidates(&task, MatchOptions::default()).len(), 3);
+        assert_eq!(idx.next_parole_after(40.0), None);
+        // A success wipes the history entirely.
+        idx.record_node_failure(NodeId(1), 0.0, 2, 30.0);
+        idx.record_node_success(NodeId(1));
+        assert!(!idx.record_node_failure(NodeId(1), 0.0, 2, 30.0));
     }
 
     #[test]

@@ -38,8 +38,14 @@ pub enum Event {
     TaskCompleted(TaskId),
     /// Task's execution was lost to node churn; it re-queues.
     TaskEvicted(TaskId, NodeId),
-    /// Task rejected as unsatisfiable.
+    /// Task rejected (unsatisfiable, retry budget spent, deadline passed,
+    /// or left over when the run closed).
     TaskRejected(TaskId),
+    /// Task parked for a retry backoff after a crash-lost execution.
+    TaskRetryScheduled(TaskId),
+    /// Hybrid task demoted to software execution after repeated fabric
+    /// loss (graceful degradation).
+    TaskDegraded(TaskId),
 }
 
 impl Event {
@@ -53,7 +59,9 @@ impl Event {
             | Event::TaskExecStarted(t, _)
             | Event::TaskCompleted(t)
             | Event::TaskEvicted(t, _)
-            | Event::TaskRejected(t) => Some(*t),
+            | Event::TaskRejected(t)
+            | Event::TaskRetryScheduled(t)
+            | Event::TaskDegraded(t) => Some(*t),
             Event::NodeJoined(_) | Event::NodeLeft(_) | Event::NodeCrashed(_) => None,
         }
     }

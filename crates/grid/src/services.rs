@@ -262,6 +262,95 @@ impl GridServices {
         }
         self.jss.job(job).map(Job::status)
     }
+
+    /// [`GridServices::run_job`] under an injected [`rhv_sim::FaultPlan`]:
+    /// the same synchronous completion-by-completion pump, with the plan's
+    /// compiled crash/rejoin/degradation schedule and the kernel's retry
+    /// timers (parked backoffs, blacklist paroles) interleaved on the
+    /// virtual clock. `cfg` carries the retry policy (`SimConfig::retry`);
+    /// without one the kernel falls back to its legacy requeue-on-loss
+    /// behaviour. Returns the job status plus the full simulation report so
+    /// callers can inspect the recovery counters.
+    pub fn run_job_faulted(
+        &mut self,
+        job: JobId,
+        cfg: rhv_sim::sim::SimConfig,
+        plan: &rhv_sim::FaultPlan,
+        sink: Option<Box<dyn TelemetrySink>>,
+    ) -> Option<(JobStatus, rhv_sim::metrics::SimReport)> {
+        use rhv_sim::{KernelEvent, LifecycleKernel, PendingCompletion};
+        use std::collections::VecDeque;
+        let (application, tasks) = {
+            let j = self.jss.job(job)?;
+            (j.application.clone(), j.tasks.clone())
+        };
+        let nodes = self.rms.nodes().to_vec();
+        let mut schedule: VecDeque<(f64, KernelEvent)> = plan.compile(&nodes).into();
+        let mut kernel = LifecycleKernel::new(nodes, cfg)
+            .with_dependencies(application.dependency_graph())
+            .with_sink(self.job_sink(sink));
+        let mut pending: Vec<PendingCompletion> = Vec::new();
+        for tid in application.task_ids() {
+            let task = tasks.get(&tid)?.clone();
+            pending.extend(kernel.submit(task, 0.0, self.rms.strategy_mut()));
+        }
+        let mut clock = 0.0f64;
+        loop {
+            let next_done = pending
+                .iter()
+                .map(PendingCompletion::finish)
+                .min_by(|a, b| a.partial_cmp(b).expect("finite times"));
+            let next_event = schedule.front().map(|(t, _)| *t);
+            let next_wake = kernel.next_wakeup();
+            let step = [next_event, next_wake, next_done]
+                .into_iter()
+                .flatten()
+                .min_by(|a, b| a.partial_cmp(b).expect("finite times"));
+            let Some(t) = step else { break };
+            clock = clock.max(t);
+            // At equal instants, scheduled faults land before timers and
+            // timers before completions: a crash precedes the completion
+            // it invalidates, exactly as the event-queue front-end orders
+            // them.
+            if next_event.is_some_and(|e| e <= clock) {
+                let (at, event) = schedule.pop_front().expect("front was due");
+                match event {
+                    KernelEvent::Churn(c) => {
+                        pending.extend(kernel.churn(c, at, self.rms.strategy_mut()));
+                    }
+                    KernelEvent::Fault(f) => kernel.fault(f, at),
+                    _ => {}
+                }
+            } else if next_wake.is_some_and(|w| w <= clock) {
+                pending.extend(kernel.wake(clock, self.rms.strategy_mut()));
+            } else {
+                let next = pending
+                    .iter()
+                    .enumerate()
+                    .min_by(|a, b| {
+                        a.1.finish()
+                            .partial_cmp(&b.1.finish())
+                            .expect("finite times")
+                    })
+                    .map(|(i, _)| i)
+                    .expect("a completion was the earliest step");
+                let p = pending.swap_remove(next);
+                pending.extend(kernel.complete(p, clock, self.rms.strategy_mut()));
+            }
+        }
+        let (report, _) = kernel.finish(self.rms.strategy_name());
+        for record in &report.records {
+            self.jss.set_task_state(job, record.task, TaskState::Done);
+        }
+        let done: std::collections::BTreeSet<_> = report.records.iter().map(|r| r.task).collect();
+        for t in tasks.keys() {
+            if !done.contains(t) {
+                self.jss.set_task_state(job, *t, TaskState::Rejected);
+            }
+        }
+        let status = self.jss.job(job).map(Job::status)?;
+        Some((status, report))
+    }
 }
 
 use crate::jss::Job;
@@ -411,6 +500,60 @@ mod tests {
         assert_eq!(r(1).arrival, r(2).arrival);
         assert!(r(0).arrival < r(1).arrival);
         assert!(r(3).arrival > r(1).arrival);
+    }
+
+    #[test]
+    fn faulted_job_run_conserves_tasks_under_a_storm() {
+        let mut svc = services();
+        let job = match svc.handle(submit_query()) {
+            ServiceResponse::Accepted(j) => j,
+            other => panic!("unexpected {other:?}"),
+        };
+        let cfg = rhv_sim::sim::SimConfig {
+            retry: Some(rhv_sim::RetryPolicy::default()),
+            ..rhv_sim::sim::SimConfig::default()
+        };
+        // Every node crashes once and rejoins shortly after: losses are
+        // guaranteed, recovery is possible.
+        let plan = rhv_sim::FaultPlan {
+            seed: 3,
+            crash_fraction: 1.0,
+            rejoin_after: Some((1.0, 4.0)),
+            ..rhv_sim::FaultPlan::quiet(60.0)
+        };
+        let (status, report) = svc
+            .run_job_faulted(job, cfg, &plan, None)
+            .expect("job exists");
+        report.check_invariants().unwrap();
+        // Conservation: nothing is silently stuck — every task completed
+        // or was rejected with a typed reason.
+        assert_eq!(report.completed + report.rejected, 4);
+        assert_eq!(
+            status == JobStatus::Completed,
+            report.completed == 4,
+            "job status mirrors the report: {status:?} vs {report:?}"
+        );
+        match svc.handle(UserQuery::JobStatus(job)) {
+            ServiceResponse::Status(s) => assert_eq!(s, status),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn quiet_fault_plan_matches_plain_run() {
+        let mut svc = services();
+        let job = match svc.handle(submit_query()) {
+            ServiceResponse::Accepted(j) => j,
+            other => panic!("unexpected {other:?}"),
+        };
+        let plan = rhv_sim::FaultPlan::quiet(100.0);
+        let (status, report) = svc
+            .run_job_faulted(job, rhv_sim::sim::SimConfig::default(), &plan, None)
+            .expect("job exists");
+        assert_eq!(status, JobStatus::Completed);
+        assert_eq!(report.completed, 4);
+        assert_eq!(report.retries, 0);
+        assert_eq!(report.fallbacks, 0);
     }
 
     #[test]

@@ -49,11 +49,13 @@ impl TelemetrySink for MonitorSink {
                 m.record_at(span.at, Event::TaskDispatched(t, p.pe.node));
                 m.record_at(p.exec_start, Event::TaskExecStarted(t, p.pe.node));
             }
-            SpanEvent::PlacementFailed { .. } | SpanEvent::Rejected => {
+            SpanEvent::PlacementFailed { .. } | SpanEvent::Rejected { .. } => {
                 m.record_at(span.at, Event::TaskRejected(t))
             }
             SpanEvent::Completed(_) => m.record_at(span.at, Event::TaskCompleted(t)),
             SpanEvent::ChurnEvicted { pe } => m.record_at(span.at, Event::TaskEvicted(t, pe.node)),
+            SpanEvent::RetryScheduled { .. } => m.record_at(span.at, Event::TaskRetryScheduled(t)),
+            SpanEvent::Degraded { .. } => m.record_at(span.at, Event::TaskDegraded(t)),
         }
     }
 

@@ -1,0 +1,205 @@
+//! Deterministic fault injection.
+//!
+//! A [`FaultPlan`] is a seeded, declarative description of the failures a
+//! run should suffer: node crashes (with optional rejoin after a downtime),
+//! transient link degradation (scaling the [`crate::network::NetworkModel`]
+//! transfer times) and transient node slowdown. [`FaultPlan::compile`]
+//! turns the plan into a time-sorted schedule of [`KernelEvent`]s against a
+//! concrete node set — the same currency the timing-wheel engine and every
+//! kernel front-end already speak, so injected faults flow through the
+//! exact code paths real churn does. The same seed always compiles to the
+//! same schedule, which is what makes the recovery differentials
+//! (wheel ≡ heap, indexed ≡ naive) reproducible under failure.
+
+use crate::kernel::{ChurnEvent, FaultEvent, KernelEvent};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use rhv_core::node::Node;
+
+/// A seeded fault schedule generator (see the module docs).
+///
+/// Fractions are per-node probabilities; durations and factors are sampled
+/// uniformly from the given inclusive ranges. Fault onsets land in the
+/// first three quarters of the horizon so their effects (and recoveries)
+/// play out inside the run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FaultPlan {
+    /// RNG seed: same seed, same node set → same schedule.
+    pub seed: u64,
+    /// Run horizon in seconds; all onsets fall inside it.
+    pub horizon: f64,
+    /// Probability that a node crashes during the horizon.
+    pub crash_fraction: f64,
+    /// Downtime range before a crashed node rejoins (pristine state —
+    /// whatever it was running is gone). `None`: crashed nodes stay gone.
+    pub rejoin_after: Option<(f64, f64)>,
+    /// Probability that a node's link transiently degrades.
+    pub degrade_fraction: f64,
+    /// Transfer-time multiplier range for a degraded link.
+    pub degrade_factor: (f64, f64),
+    /// Duration range of a link degradation.
+    pub degrade_duration: (f64, f64),
+    /// Probability that a node transiently slows down.
+    pub slow_fraction: f64,
+    /// Execution-time multiplier range for a slowed node.
+    pub slow_factor: (f64, f64),
+    /// Duration range of a node slowdown.
+    pub slow_duration: (f64, f64),
+}
+
+impl FaultPlan {
+    /// A plan with no faults at all (the identity schedule).
+    pub fn quiet(horizon: f64) -> Self {
+        FaultPlan {
+            seed: 0,
+            horizon,
+            crash_fraction: 0.0,
+            rejoin_after: None,
+            degrade_fraction: 0.0,
+            degrade_factor: (1.0, 1.0),
+            degrade_duration: (0.0, 0.0),
+            slow_fraction: 0.0,
+            slow_factor: (1.0, 1.0),
+            slow_duration: (0.0, 0.0),
+        }
+    }
+
+    /// The benchmark storm: ~10% of nodes crash (and rejoin after a
+    /// downtime), a few percent suffer degraded links or slowdowns.
+    pub fn churn_storm(seed: u64, horizon: f64) -> Self {
+        FaultPlan {
+            seed,
+            horizon,
+            crash_fraction: 0.10,
+            rejoin_after: Some((0.05 * horizon, 0.25 * horizon)),
+            degrade_fraction: 0.05,
+            degrade_factor: (2.0, 8.0),
+            degrade_duration: (0.10 * horizon, 0.30 * horizon),
+            slow_fraction: 0.05,
+            slow_factor: (1.5, 4.0),
+            slow_duration: (0.10 * horizon, 0.30 * horizon),
+        }
+    }
+
+    /// Compiles the plan against a concrete node set into a time-sorted
+    /// event schedule. Rejoins re-introduce a pristine clone of the node as
+    /// it stood at compile time (its pre-crash runtime state is lost, which
+    /// is the point).
+    pub fn compile(&self, nodes: &[Node]) -> Vec<(f64, KernelEvent)> {
+        let mut rng = StdRng::seed_from_u64(self.seed.wrapping_mul(0xA076_1D64_78BD_642F));
+        let mut out: Vec<(f64, KernelEvent)> = Vec::new();
+        for node in nodes {
+            if rng.gen_range(0.0..1.0) < self.crash_fraction {
+                let at = rng.gen_range(0.05..=0.75) * self.horizon;
+                out.push((at, KernelEvent::Churn(ChurnEvent::Crash(node.id))));
+                if let Some((lo, hi)) = self.rejoin_after {
+                    let downtime = rng.gen_range(lo..=hi);
+                    out.push((
+                        at + downtime,
+                        KernelEvent::Churn(ChurnEvent::Join(Box::new(node.clone()))),
+                    ));
+                }
+            }
+            if rng.gen_range(0.0..1.0) < self.degrade_fraction {
+                let at = rng.gen_range(0.05..=0.75) * self.horizon;
+                let factor = rng.gen_range(self.degrade_factor.0..=self.degrade_factor.1);
+                let dur = rng.gen_range(self.degrade_duration.0..=self.degrade_duration.1);
+                out.push((
+                    at,
+                    KernelEvent::Fault(FaultEvent::LinkDegrade {
+                        node: node.id,
+                        factor,
+                    }),
+                ));
+                out.push((
+                    at + dur,
+                    KernelEvent::Fault(FaultEvent::LinkRestore(node.id)),
+                ));
+            }
+            if rng.gen_range(0.0..1.0) < self.slow_fraction {
+                let at = rng.gen_range(0.05..=0.75) * self.horizon;
+                let factor = rng.gen_range(self.slow_factor.0..=self.slow_factor.1);
+                let dur = rng.gen_range(self.slow_duration.0..=self.slow_duration.1);
+                out.push((
+                    at,
+                    KernelEvent::Fault(FaultEvent::SlowNode {
+                        node: node.id,
+                        factor,
+                    }),
+                ));
+                out.push((
+                    at + dur,
+                    KernelEvent::Fault(FaultEvent::SlowRestore(node.id)),
+                ));
+            }
+        }
+        // Stable sort: equal-instant events keep their per-node order, so
+        // the schedule is fully deterministic.
+        out.sort_by(|a, b| a.0.partial_cmp(&b.0).expect("finite fault times"));
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rhv_core::ids::NodeId;
+    use rhv_params::catalog::Catalog;
+
+    fn grid(n: u64) -> Vec<Node> {
+        let cat = Catalog::builtin();
+        (0..n)
+            .map(|i| {
+                let mut node = Node::new(NodeId(i));
+                node.add_gpp(cat.gpp("Intel Xeon E5450").unwrap().clone());
+                node
+            })
+            .collect()
+    }
+
+    #[test]
+    fn same_seed_same_schedule() {
+        let nodes = grid(64);
+        let a = FaultPlan::churn_storm(7, 1_000.0).compile(&nodes);
+        let b = FaultPlan::churn_storm(7, 1_000.0).compile(&nodes);
+        assert!(!a.is_empty());
+        assert_eq!(format!("{a:?}"), format!("{b:?}"));
+        let c = FaultPlan::churn_storm(8, 1_000.0).compile(&nodes);
+        assert_ne!(format!("{a:?}"), format!("{c:?}"));
+    }
+
+    #[test]
+    fn schedule_is_sorted_and_crashes_rejoin() {
+        let nodes = grid(200);
+        let plan = FaultPlan::churn_storm(42, 1_000.0);
+        let schedule = plan.compile(&nodes);
+        assert!(schedule.windows(2).all(|w| w[0].0 <= w[1].0));
+        let crashes: Vec<NodeId> = schedule
+            .iter()
+            .filter_map(|(_, e)| match e {
+                KernelEvent::Churn(ChurnEvent::Crash(id)) => Some(*id),
+                _ => None,
+            })
+            .collect();
+        let rejoins: Vec<NodeId> = schedule
+            .iter()
+            .filter_map(|(_, e)| match e {
+                KernelEvent::Churn(ChurnEvent::Join(n)) => Some(n.id),
+                _ => None,
+            })
+            .collect();
+        // Roughly a tenth of the grid crashes, and every crash rejoins.
+        assert!((10..=30).contains(&crashes.len()), "{}", crashes.len());
+        assert_eq!(crashes.len(), rejoins.len());
+        for id in &crashes {
+            assert!(rejoins.contains(id));
+        }
+        // Onsets stay inside the horizon.
+        assert!(schedule.first().unwrap().0 >= 0.0);
+    }
+
+    #[test]
+    fn quiet_plan_compiles_to_nothing() {
+        assert!(FaultPlan::quiet(100.0).compile(&grid(32)).is_empty());
+    }
+}

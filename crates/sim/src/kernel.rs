@@ -40,7 +40,7 @@ use crate::network::NetworkModel;
 use crate::strategy::{Placement, Strategy};
 use rhv_bitstream::hdl::HdlSpec;
 use rhv_bitstream::synth::SynthesisService;
-use rhv_core::execreq::TaskPayload;
+use rhv_core::execreq::{Constraint, ExecReq, TaskPayload};
 use rhv_core::fabric::FitPolicy;
 use rhv_core::graph::TaskGraph;
 use rhv_core::ids::{ConfigId, NodeId, PeId, TaskId};
@@ -49,13 +49,14 @@ use rhv_core::matchmaker::{HostingMode, MatchOptions, PeRef};
 use rhv_core::node::Node;
 use rhv_core::state::ConfigKind;
 use rhv_core::task::Task;
-use rhv_params::param::PeClass;
+use rhv_params::param::{ParamKey, PeClass};
 use rhv_params::softcore::SoftcoreSpec;
 use rhv_telemetry::{
-    CompletedSpan, LifecycleSpan, MatchStats, NodeEvent, NoopSink, PlacedSpan, SetupPhases,
-    SpanEvent, TelemetrySink,
+    CompletedSpan, FaultStats, LifecycleSpan, MatchStats, NodeEvent, NoopSink, PlacedSpan,
+    RejectReason, SetupPhases, SpanEvent, TelemetrySink,
 };
-use std::collections::{BTreeSet, VecDeque};
+use serde::{Deserialize, Serialize};
+use std::collections::{BTreeSet, HashMap, HashSet, VecDeque};
 use std::fmt;
 
 /// Capacity-class dirty bits: set when a kernel mutation *frees* capacity of
@@ -87,6 +88,24 @@ struct BacklogEntry {
     tried: bool,
 }
 
+/// Loss counters for one task under a [`RetryPolicy`].
+#[derive(Debug, Clone, Copy, Default)]
+struct Attempts {
+    /// Executions lost to crashes (any PE class).
+    losses: u32,
+    /// The subset lost on fabric — drives the software-fallback demotion.
+    fabric_losses: u32,
+}
+
+/// A task waiting out a retry backoff; it re-enters the arrival path (with
+/// its original arrival stamp) at `release`.
+#[derive(Debug)]
+struct Parked {
+    release: f64,
+    arrival: f64,
+    task: Task,
+}
+
 /// Kernel configuration (shared by every front-end).
 #[derive(Debug, Clone)]
 pub struct SimConfig {
@@ -103,6 +122,9 @@ pub struct SimConfig {
     pub cad_speed: f64,
     /// Network model.
     pub network: NetworkModel,
+    /// Retry policy for crash-lost executions. `None` preserves the legacy
+    /// behavior: lost tasks re-queue immediately and indefinitely.
+    pub retry: Option<RetryPolicy>,
 }
 
 impl Default for SimConfig {
@@ -114,9 +136,62 @@ impl Default for SimConfig {
             softcore_fallback: SoftcoreSpec::rvex_4w(),
             cad_speed: 1.0,
             network: NetworkModel::default(),
+            retry: None,
         }
     }
 }
+
+/// Bounded-retry policy for crash-lost executions.
+///
+/// With a policy installed ([`SimConfig::retry`]), a completion lost to a
+/// node crash does not re-queue unconditionally: the kernel counts the loss,
+/// parks the task for an exponential-backoff delay (delivered as a
+/// [`KernelEvent::Wakeup`] / [`LifecycleKernel::wake`] timer), demotes
+/// repeatedly fabric-bitten hybrid tasks to software execution, blacklists
+/// repeat-offender nodes with a timed parole, and — past the attempt or
+/// deadline budget — rejects the task with a typed
+/// [`rhv_telemetry::RejectReason`] instead of retrying forever.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct RetryPolicy {
+    /// Total execution attempts before the task is rejected as
+    /// `RetriesExhausted` (the first dispatch counts as attempt one).
+    pub max_attempts: u32,
+    /// First backoff delay in seconds; doubles with every further loss.
+    pub backoff_base: f64,
+    /// Upper bound on a single backoff delay.
+    pub backoff_cap: f64,
+    /// Per-task deadline in seconds after arrival: a retry that would
+    /// release past it is rejected as `DeadlineExceeded`. `None` = no
+    /// deadline.
+    pub deadline: Option<f64>,
+    /// Fabric-side losses after which a hybrid task is demoted to pure
+    /// software execution on GPPs (0 disables the graceful degradation).
+    pub fallback_after: u32,
+    /// Consecutive losses after which a node is blacklisted (0 disables).
+    pub blacklist_after: u32,
+    /// Blacklist duration in seconds — a timed parole, so a flaky node is
+    /// avoided for a while but never starved out of the grid.
+    pub parole: f64,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        RetryPolicy {
+            max_attempts: 4,
+            backoff_base: 0.5,
+            backoff_cap: 8.0,
+            deadline: None,
+            fallback_after: 2,
+            blacklist_after: 2,
+            parole: 30.0,
+        }
+    }
+}
+
+/// Slowdown applied when a hybrid task is demoted to software execution:
+/// the software path runs this many times the accelerated execution time at
+/// the fallback core's MIPS rating (the paper's GPP-vs-accelerator gap).
+const SOFTWARE_FALLBACK_SLOWDOWN: f64 = 10.0;
 
 /// A grid-membership change during a run — the node model is "adaptive in
 /// adding/removing resources at runtime".
@@ -131,6 +206,32 @@ pub enum ChurnEvent {
     /// lost and re-enter the queue (re-dispatched from scratch, setup and
     /// all — work on a crashed node is gone).
     Crash(NodeId),
+}
+
+/// An injected infrastructure fault beyond membership churn: transient link
+/// degradation and node slowdown. Compiled into the event stream by
+/// [`crate::faults::FaultPlan`]; step-driven front-ends apply them via
+/// [`LifecycleKernel::fault`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum FaultEvent {
+    /// Transfers to `node` take `factor` times as long until restored.
+    LinkDegrade {
+        /// The degraded node.
+        node: NodeId,
+        /// Transfer-time multiplier (clamped to ≥ 1.0).
+        factor: f64,
+    },
+    /// Lifts a link degradation.
+    LinkRestore(NodeId),
+    /// Execution on `node` takes `factor` times as long until restored.
+    SlowNode {
+        /// The slowed node.
+        node: NodeId,
+        /// Execution-time multiplier (clamped to ≥ 1.0).
+        factor: f64,
+    },
+    /// Lifts a node slowdown.
+    SlowRestore(NodeId),
 }
 
 /// Why an otherwise-accepted [`Placement`] could not be applied.
@@ -222,6 +323,13 @@ pub enum KernelEvent {
     Completion(PendingCompletion),
     /// The grid membership changes.
     Churn(ChurnEvent),
+    /// An injected infrastructure fault takes effect or lifts.
+    Fault(FaultEvent),
+    /// A timer wakeup: parked retries that have come due re-enter the
+    /// arrival path, and the backlog is re-examined (a blacklist parole may
+    /// have expired). Scheduled by the front-end at
+    /// [`LifecycleKernel::next_wakeup`]; spurious wakeups are harmless.
+    Wakeup,
 }
 
 /// Everything a successful placement decided, minus the task itself. The
@@ -237,6 +345,7 @@ struct Applied {
     unload_after: bool,
     phases: SetupPhases,
     reused: bool,
+    epoch: u64,
 }
 
 impl Applied {
@@ -250,6 +359,7 @@ impl Applied {
                 cores: self.cores,
                 record: self.record,
                 unload_after: self.unload_after,
+                epoch: self.epoch,
             }),
         }
     }
@@ -264,6 +374,11 @@ struct Running {
     cores: u64,
     record: TaskRecord,
     unload_after: bool,
+    /// The hosting node's membership epoch at placement time. A completion
+    /// whose epoch no longer matches the node's current epoch ran on an
+    /// incarnation that crashed — it is a lost execution even if a node
+    /// with the same [`NodeId`] has since rejoined.
+    epoch: u64,
 }
 
 /// A completion scheduled by the kernel, to be delivered back by the event
@@ -317,7 +432,26 @@ pub struct LifecycleKernel {
     rejected: usize,
     submitted: usize,
     pending_leaves: Vec<NodeId>,
-    crashed: Vec<NodeId>,
+    /// Nodes currently absent because they crashed (cleared when the node
+    /// rejoins). Kept as a set: churn storms probe it per completion.
+    crashed: HashSet<NodeId>,
+    /// Per-node membership epoch: bumped on every crash, *not* on rejoin.
+    /// In-flight completions carry the epoch they were placed under, so a
+    /// stale completion is recognized as lost even after the node rejoined
+    /// — and a post-rejoin completion counts as the success it is.
+    epochs: HashMap<NodeId, u64>,
+    /// Churn events naming an unknown or already-present node: counted,
+    /// otherwise ignored.
+    churn_noops: u64,
+    /// Loss counters per in-flight-or-parked task (retry policy only).
+    attempts: HashMap<TaskId, Attempts>,
+    /// Tasks waiting out a retry backoff.
+    parked: Vec<Parked>,
+    retries: u64,
+    fallbacks: u64,
+    fault_reported: FaultStats,
+    /// Transient execution-slowdown factors from fault injection.
+    slow: HashMap<NodeId, f64>,
     failures: u64,
     placement_errors: Vec<PlacementError>,
     gpp_busy_core_seconds: f64,
@@ -341,6 +475,7 @@ impl LifecycleKernel {
     pub fn new(nodes: Vec<Node>, cfg: SimConfig) -> Self {
         let cad_speed = cfg.cad_speed;
         let index = MatchIndex::build(&nodes);
+        let epochs = nodes.iter().map(|n| (n.id, 0)).collect();
         LifecycleKernel {
             nodes,
             index,
@@ -354,7 +489,15 @@ impl LifecycleKernel {
             rejected: 0,
             submitted: 0,
             pending_leaves: Vec::new(),
-            crashed: Vec::new(),
+            crashed: HashSet::new(),
+            epochs,
+            churn_noops: 0,
+            attempts: HashMap::new(),
+            parked: Vec::new(),
+            retries: 0,
+            fallbacks: 0,
+            fault_reported: FaultStats::default(),
+            slow: HashMap::new(),
             failures: 0,
             placement_errors: Vec::new(),
             gpp_busy_core_seconds: 0.0,
@@ -414,6 +557,29 @@ impl LifecycleKernel {
                 self.sink.match_stats(at, delta);
             }
             self.match_reported = totals;
+            let fault_totals = FaultStats {
+                retries: self.retries,
+                fallbacks: self.fallbacks,
+                churn_noops: self.churn_noops,
+                blacklisted: if self.cfg.retry.is_some() {
+                    self.index.blacklisted_count(at)
+                } else {
+                    0
+                },
+            };
+            if fault_totals != self.fault_reported {
+                // Counters go out as deltas; the blacklist gauge is absolute.
+                self.sink.fault_stats(
+                    at,
+                    FaultStats {
+                        retries: fault_totals.retries - self.fault_reported.retries,
+                        fallbacks: fault_totals.fallbacks - self.fault_reported.fallbacks,
+                        churn_noops: fault_totals.churn_noops - self.fault_reported.churn_noops,
+                        blacklisted: fault_totals.blacklisted,
+                    },
+                );
+                self.fault_reported = fault_totals;
+            }
         }
     }
 
@@ -434,9 +600,33 @@ impl LifecycleKernel {
         &self.nodes
     }
 
-    /// Task executions lost to crashes (each re-queued).
+    /// Task executions lost to crashes (each re-queued or, under a
+    /// [`RetryPolicy`], retried with backoff or rejected with a typed
+    /// reason).
     pub fn failures(&self) -> u64 {
         self.failures
+    }
+
+    /// Crash-retry re-dispatches scheduled so far (retry policy only).
+    pub fn retries(&self) -> u64 {
+        self.retries
+    }
+
+    /// Hybrid tasks demoted to software execution after repeated fabric
+    /// loss.
+    pub fn fallbacks(&self) -> u64 {
+        self.fallbacks
+    }
+
+    /// Churn events that named an unknown or already-present node and were
+    /// therefore counted no-ops.
+    pub fn churn_noops(&self) -> u64 {
+        self.churn_noops
+    }
+
+    /// Tasks currently parked on a retry backoff.
+    pub fn parked_len(&self) -> usize {
+        self.parked.len()
     }
 
     /// Infeasible placements a strategy produced so far (each task counted
@@ -552,20 +742,31 @@ impl LifecycleKernel {
             cores,
             record,
             unload_after,
-            ..
+            epoch,
         } = *pending.running;
-        // A completion from a crashed node is a lost execution: the node is
-        // gone (nothing to release) and the task goes back in the queue
-        // with its original arrival (and its dependencies still satisfied).
-        if self.crashed.contains(&pe.node) {
+        // A completion placed under an older membership epoch ran on a node
+        // incarnation that has since crashed: the execution is lost (there
+        // is nothing to release — the fresh incarnation, if any, never
+        // acquired these resources). The epoch comparison, not mere set
+        // membership, keeps this correct across rejoins: a completion
+        // placed *after* the rejoin matches the current epoch and counts as
+        // the success it is.
+        if self.epochs.get(&pe.node).copied() != Some(epoch) {
             self.failures += 1;
             self.emit(task.id, now, SpanEvent::ChurnEvicted { pe });
-            self.emit(task.id, now, SpanEvent::Queued);
-            self.backlog.push_back(BacklogEntry {
-                arrival: record.arrival,
-                task,
-                tried: false,
-            });
+            match self.cfg.retry {
+                Some(policy) => self.retry_after_loss(policy, task, record.arrival, pe, now),
+                None => {
+                    // Legacy behavior: back in the queue immediately, with
+                    // the original arrival (dependencies stay satisfied).
+                    self.emit(task.id, now, SpanEvent::Queued);
+                    self.backlog.push_back(BacklogEntry {
+                        arrival: record.arrival,
+                        task,
+                        tried: false,
+                    });
+                }
+            }
             return None;
         }
         let finished = task.id;
@@ -619,6 +820,12 @@ impl LifecycleKernel {
             PeId::Rpe(_) => DIRTY_FABRIC | DIRTY_GPP,
             PeId::Gpu(_) => DIRTY_GPU,
         };
+        if self.cfg.retry.is_some() {
+            // The node demonstrably works: reset its failure streak, and
+            // forget the task's loss history now that it completed.
+            self.index.record_node_success(pe.node);
+            self.attempts.remove(&finished);
+        }
         if self.graph.is_some() {
             self.completed.insert(finished);
         }
@@ -626,6 +833,99 @@ impl LifecycleKernel {
             self.apply_pending_leaves();
         }
         Some(finished)
+    }
+
+    /// Retry-policy handling of one crash-lost execution: count the loss
+    /// (against the task and the node), then reject with a typed reason
+    /// when the attempt or deadline budget is spent, demote a repeatedly
+    /// fabric-bitten hybrid task to software, and park the task for an
+    /// exponential backoff otherwise.
+    fn retry_after_loss(
+        &mut self,
+        policy: RetryPolicy,
+        mut task: Task,
+        arrival: f64,
+        pe: PeRef,
+        now: f64,
+    ) {
+        if policy.blacklist_after > 0 {
+            self.index
+                .record_node_failure(pe.node, now, policy.blacklist_after, policy.parole);
+        }
+        let a = self.attempts.entry(task.id).or_default();
+        a.losses += 1;
+        if pe.pe.is_rpe() {
+            a.fabric_losses += 1;
+        }
+        let Attempts {
+            losses,
+            fabric_losses,
+        } = *a;
+        if losses >= policy.max_attempts {
+            self.attempts.remove(&task.id);
+            self.reject(task.id, now, RejectReason::RetriesExhausted);
+            return;
+        }
+        let backoff =
+            (policy.backoff_base * 2f64.powi((losses as i32 - 1).min(60))).min(policy.backoff_cap);
+        let release = now + backoff;
+        if let Some(deadline) = policy.deadline {
+            if release > arrival + deadline {
+                self.attempts.remove(&task.id);
+                self.reject(task.id, now, RejectReason::DeadlineExceeded);
+                return;
+            }
+        }
+        if policy.fallback_after > 0 && fabric_losses >= policy.fallback_after {
+            self.degrade_to_software(&mut task, now, fabric_losses);
+        }
+        self.retries += 1;
+        self.emit(
+            task.id,
+            now,
+            SpanEvent::RetryScheduled {
+                attempt: losses,
+                release,
+            },
+        );
+        self.parked.push(Parked {
+            release,
+            arrival,
+            task,
+        });
+    }
+
+    /// Graceful degradation: rewrites a hybrid task's requirement to pure
+    /// software on GPP cores (the paper's "software execution level"), so a
+    /// task the fabric keeps losing still makes progress — slower, but off
+    /// the faulty path. Returns false for payloads with no software shape.
+    fn degrade_to_software(&mut self, task: &mut Task, now: f64, fabric_losses: u32) -> bool {
+        let mips = self.cfg.softcore_fallback.mips_rating();
+        let mega_instructions = match &task.exec_req.payload {
+            TaskPayload::HdlAccelerator { accel_seconds, .. }
+            | TaskPayload::Bitstream { accel_seconds, .. } => {
+                SOFTWARE_FALLBACK_SLOWDOWN * accel_seconds * mips
+            }
+            TaskPayload::SoftcoreKernel { mega_ops, .. } => SOFTWARE_FALLBACK_SLOWDOWN * mega_ops,
+            TaskPayload::Software { .. } | TaskPayload::GpuKernel { .. } => return false,
+        };
+        task.exec_req = ExecReq::new(
+            PeClass::Gpp,
+            vec![Constraint::ge(ParamKey::Cores, 1u64)],
+            TaskPayload::Software {
+                mega_instructions,
+                parallelism: 1,
+            },
+        );
+        self.fallbacks += 1;
+        self.emit(task.id, now, SpanEvent::Degraded { fabric_losses });
+        true
+    }
+
+    /// Emits a typed rejection and counts it.
+    fn reject(&mut self, task: TaskId, now: f64, reason: RejectReason) {
+        self.emit(task, now, SpanEvent::Rejected { reason });
+        self.rejected += 1;
     }
 
     /// Applies a grid-membership change at time `now`.
@@ -651,6 +951,19 @@ impl LifecycleKernel {
         match change {
             ChurnEvent::Join(node) => {
                 let id = node.id;
+                if self.index.node_pos(id).is_some() {
+                    // A join for a node already in the grid would push a
+                    // duplicate into `nodes` and corrupt the index:
+                    // counted no-op, the existing node wins.
+                    self.churn_noops += 1;
+                    return false;
+                }
+                // A rejoin after a crash: the node is back (with pristine
+                // state — whatever ran on the old incarnation is gone, and
+                // the epoch bump at crash time keeps stale completions
+                // classified as lost).
+                self.crashed.remove(&id);
+                self.epochs.entry(id).or_insert(0);
                 self.nodes.push(*node);
                 self.index.add_node(&self.nodes);
                 self.dirty = DIRTY_ALL;
@@ -658,6 +971,11 @@ impl LifecycleKernel {
                 true
             }
             ChurnEvent::Leave(id) => {
+                if self.index.node_pos(id).is_none() {
+                    // Unknown or already-departed node: counted no-op.
+                    self.churn_noops += 1;
+                    return false;
+                }
                 self.pending_leaves.push(id);
                 self.apply_pending_leaves();
                 self.sink.node_event(now, NodeEvent::Left(id));
@@ -666,14 +984,100 @@ impl LifecycleKernel {
             ChurnEvent::Crash(id) => {
                 // The node vanishes now; in-flight completions on it are
                 // intercepted in `complete` and their tasks re-queued.
-                if self.index.node_pos(id).is_some() {
-                    self.nodes.retain(|n| n.id != id);
-                    self.index.remove_node(id, &self.nodes);
-                    self.crashed.push(id);
-                    self.sink.node_event(now, NodeEvent::Crashed(id));
+                if self.index.node_pos(id).is_none() {
+                    // Unknown or already-departed node: counted no-op.
+                    self.churn_noops += 1;
+                    return false;
                 }
+                self.nodes.retain(|n| n.id != id);
+                self.index.remove_node(id, &self.nodes);
+                self.crashed.insert(id);
+                *self.epochs.entry(id).or_insert(0) += 1;
+                self.sink.node_event(now, NodeEvent::Crashed(id));
                 false
             }
+        }
+    }
+
+    /// Applies an injected fault at time `now` (step-driven front-ends; the
+    /// simulator feeds [`KernelEvent::Fault`] through
+    /// [`LifecycleKernel::step_instant`]).
+    pub fn fault(&mut self, event: FaultEvent, now: f64) {
+        self.last_now = self.last_now.max(now);
+        self.apply_fault(event);
+        self.observe_state(now);
+    }
+
+    fn apply_fault(&mut self, event: FaultEvent) {
+        match event {
+            FaultEvent::LinkDegrade { node, factor } => self.cfg.network.degrade_link(node, factor),
+            FaultEvent::LinkRestore(node) => self.cfg.network.restore_link(node),
+            FaultEvent::SlowNode { node, factor } => {
+                self.slow.insert(node, factor.max(1.0));
+            }
+            FaultEvent::SlowRestore(node) => {
+                self.slow.remove(&node);
+            }
+        }
+    }
+
+    /// The earliest instant at which the kernel has timer-driven work: a
+    /// parked retry coming due, or — while tasks still queue — a blacklist
+    /// parole expiring. A clock-owning front-end schedules a
+    /// [`KernelEvent::Wakeup`] (or calls [`LifecycleKernel::wake`]) at this
+    /// time; without it a parked task would sit forever once the event
+    /// stream runs dry.
+    pub fn next_wakeup(&self) -> Option<f64> {
+        let parked = self
+            .parked
+            .iter()
+            .map(|p| p.release)
+            .min_by(|a, b| a.partial_cmp(b).expect("finite release times"));
+        let parole = if self.cfg.retry.is_some() && !self.backlog.is_empty() {
+            self.index.next_parole_after(self.last_now)
+        } else {
+            None
+        };
+        match (parked, parole) {
+            (Some(a), Some(b)) => Some(a.min(b)),
+            (a, b) => a.or(b),
+        }
+    }
+
+    /// Timer wakeup for step-driven front-ends: releases parked retries due
+    /// at `now` and re-examines the backlog (a parole may have expired).
+    pub fn wake(&mut self, now: f64, strategy: &mut dyn Strategy) -> Vec<PendingCompletion> {
+        let mut out = Vec::new();
+        self.last_now = self.last_now.max(now);
+        self.release_due_parked(now, strategy, &mut out);
+        self.dirty = DIRTY_ALL;
+        self.drain_backlog(now, strategy, &mut out);
+        self.observe_state(now);
+        out
+    }
+
+    /// Re-enters every parked task whose backoff has elapsed through the
+    /// arrival path, preserving its original arrival stamp.
+    fn release_due_parked(
+        &mut self,
+        now: f64,
+        strategy: &mut dyn Strategy,
+        out: &mut Vec<PendingCompletion>,
+    ) {
+        if self.parked.is_empty() {
+            return;
+        }
+        let mut due = Vec::new();
+        let mut i = 0;
+        while i < self.parked.len() {
+            if self.parked[i].release <= now {
+                due.push(self.parked.remove(i));
+            } else {
+                i += 1;
+            }
+        }
+        for p in due {
+            self.arrive_at(p.task, p.arrival, now, strategy, out);
         }
     }
 
@@ -712,6 +1116,14 @@ impl LifecycleKernel {
                     needs_drain = true;
                 }
                 KernelEvent::Churn(change) => needs_drain |= self.churn_core(change, now),
+                KernelEvent::Fault(fault) => self.apply_fault(fault),
+                KernelEvent::Wakeup => {
+                    self.release_due_parked(now, strategy, out);
+                    // A parole may have expired: every queued task deserves
+                    // a fresh look at the (possibly re-admitted) capacity.
+                    self.dirty = DIRTY_ALL;
+                    needs_drain = true;
+                }
             }
         }
         if needs_drain {
@@ -732,11 +1144,13 @@ impl LifecycleKernel {
         }
     }
 
-    /// Closes the run: whatever still sits in the backlog or is held on
-    /// unmet dependencies can never run, and counts as rejected. Returns
-    /// the aggregate report plus the final node states.
+    /// Closes the run: whatever still sits in the backlog, is held on
+    /// unmet dependencies, or is parked on a retry backoff can never run,
+    /// and counts as rejected (reason: the run is over — no task is ever
+    /// silently dropped). Returns the aggregate report plus the final node
+    /// states.
     pub fn finish(mut self, strategy_name: &str) -> (SimReport, Vec<Node>) {
-        self.rejected += self.backlog.len() + self.held.len();
+        self.rejected += self.backlog.len() + self.held.len() + self.parked.len();
         if self.sink.enabled() {
             let at = self.last_now;
             let leftovers: Vec<TaskId> = self
@@ -744,13 +1158,21 @@ impl LifecycleKernel {
                 .iter()
                 .map(|e| e.task.id)
                 .chain(self.held.iter().map(|t| t.id))
+                .chain(self.parked.iter().map(|p| p.task.id))
                 .collect();
             for id in leftovers {
-                self.emit(id, at, SpanEvent::Rejected);
+                self.emit(
+                    id,
+                    at,
+                    SpanEvent::Rejected {
+                        reason: RejectReason::RunOver,
+                    },
+                );
             }
         }
         self.backlog.clear();
         self.held.clear();
+        self.parked.clear();
         self.sink.flush();
 
         let total_gpp_cores: u64 = self
@@ -767,7 +1189,7 @@ impl LifecycleKernel {
             .sum();
         let mut records = std::mem::take(&mut self.records);
         records.sort_by(|a, b| a.finish.partial_cmp(&b.finish).expect("finite times"));
-        let report = SimReport::from_records(
+        let mut report = SimReport::from_records(
             strategy_name.to_owned(),
             self.submitted,
             self.rejected,
@@ -782,6 +1204,9 @@ impl LifecycleKernel {
             self.failures,
             self.placement_errors.len(),
         );
+        report.retries = self.retries;
+        report.fallbacks = self.fallbacks;
+        report.churn_noops = self.churn_noops;
         (report, self.nodes)
     }
 
@@ -793,10 +1218,26 @@ impl LifecycleKernel {
         strategy: &mut dyn Strategy,
         out: &mut Vec<PendingCompletion>,
     ) {
-        let Some(task) = self.try_dispatch(task, now, now, strategy, out) else {
+        self.arrive_at(task, now, now, strategy, out);
+    }
+
+    /// Arrival with an explicit arrival stamp — `arrival < now` for a
+    /// retried task re-entering after a backoff: its queueing clock keeps
+    /// running from the original submission.
+    fn arrive_at(
+        &mut self,
+        task: Task,
+        arrival: f64,
+        now: f64,
+        strategy: &mut dyn Strategy,
+        out: &mut Vec<PendingCompletion>,
+    ) {
+        let Some(task) = self.try_dispatch(task, arrival, now, strategy, out) else {
             return;
         };
         let satisfiable = {
+            // Deliberately health-blind: a blacklist is temporary, so it
+            // must never turn "queue and wait" into a rejection.
             let view = GridView::new(&self.nodes, &self.index);
             strategy.is_satisfiable(&task, &view)
         };
@@ -805,13 +1246,12 @@ impl LifecycleKernel {
             // `tried: true` — dispatch was just attempted; the next
             // examination waits for a relevant capacity change.
             self.backlog.push_back(BacklogEntry {
-                arrival: now,
+                arrival,
                 task,
                 tried: true,
             });
         } else {
-            self.emit(task.id, now, SpanEvent::Rejected);
-            self.rejected += 1;
+            self.reject(task.id, now, RejectReason::Unsatisfiable);
         }
     }
 
@@ -979,7 +1419,15 @@ impl LifecycleKernel {
         out: &mut Vec<PendingCompletion>,
     ) -> Option<Task> {
         let placement = {
-            let view = GridView::new(&self.nodes, &self.index);
+            // Under a retry policy the dispatch view is time-aware:
+            // blacklisted nodes drop out of the candidate lists until their
+            // parole expires. Without one the view is timeless — exactly
+            // the legacy behavior.
+            let view = if self.cfg.retry.is_some() {
+                GridView::at(&self.nodes, &self.index, now)
+            } else {
+                GridView::new(&self.nodes, &self.index)
+            };
             strategy.place(&task, &view, now)
         };
         let Some(placement) = placement else {
@@ -1291,6 +1739,12 @@ impl LifecycleKernel {
         // the same instant see the post-placement free capacity.
         self.index.refresh_pe(&self.nodes[pos], pe.pe);
 
+        // A transiently slow node (fault injection) stretches execution —
+        // and the energy spent on it — by its slowdown factor. Setup costs
+        // already went through the network model's degradation factors.
+        let slow = self.slow.get(&pe.node).copied().unwrap_or(1.0);
+        let (exec, energy) = (exec * slow, energy * slow);
+
         let exec_start = now + setup;
         let finish = exec_start + exec;
         match pe.pe {
@@ -1318,6 +1772,7 @@ impl LifecycleKernel {
             unload_after,
             phases,
             reused,
+            epoch: self.epochs.get(&pe.node).copied().unwrap_or(0),
         })
     }
 }
@@ -1593,6 +2048,241 @@ mod tests {
         assert!(kernel.placement_errors().is_empty());
     }
 
+    fn one_gpp_node(id: u64) -> Node {
+        use rhv_params::catalog::Catalog;
+        let cat = Catalog::builtin();
+        let mut node = Node::new(rhv_core::ids::NodeId(id));
+        node.add_gpp(cat.gpp("Intel Xeon E5450").unwrap().clone());
+        node
+    }
+
+    /// The headline regression: a node crashes, rejoins with the same
+    /// [`NodeId`], and a task placed on the *rejoined* node completes. The
+    /// old `crashed: Vec<NodeId>` was never cleared on rejoin, so that
+    /// healthy completion was misclassified as a lost execution and
+    /// re-queued forever.
+    #[test]
+    fn crash_then_rejoin_counts_completion_not_failure() {
+        use rhv_core::ids::NodeId;
+        let node = one_gpp_node(0);
+        let pristine = node.clone();
+        let mut strategy = FirstFit::new();
+        let mut kernel = LifecycleKernel::new(vec![node], SimConfig::default());
+        kernel.churn(ChurnEvent::Crash(NodeId(0)), 1.0, &mut strategy);
+        kernel.churn(ChurnEvent::Join(Box::new(pristine)), 2.0, &mut strategy);
+        let mut pending = kernel.submit(software_task(0), 3.0, &mut strategy);
+        assert_eq!(pending.len(), 1, "rejoined node accepts work");
+        let p = pending.pop().unwrap();
+        let now = p.finish();
+        let out = kernel.complete(p, now, &mut strategy);
+        assert!(out.is_empty());
+        assert_eq!(kernel.failures(), 0, "post-rejoin completion is a success");
+        let (report, _) = kernel.finish("first-fit");
+        assert_eq!(report.completed, 1);
+        assert_eq!(report.failures, 0);
+        report.check_invariants().unwrap();
+    }
+
+    /// The dual of the rejoin fix: a completion placed *before* the crash
+    /// but delivered *after* the rejoin ran on the dead incarnation. The
+    /// epoch check classifies it as lost (and must not touch the fresh
+    /// node's accounting); the re-queued task then runs on the rejoined
+    /// node and completes.
+    #[test]
+    fn stale_completion_after_rejoin_is_lost_then_retried() {
+        use rhv_core::ids::NodeId;
+        let node = one_gpp_node(0);
+        let pristine = node.clone();
+        let mut strategy = FirstFit::new();
+        let mut kernel = LifecycleKernel::new(vec![node], SimConfig::default());
+        let mut pending = kernel.submit(software_task(0), 0.0, &mut strategy);
+        assert_eq!(pending.len(), 1);
+        kernel.churn(ChurnEvent::Crash(NodeId(0)), 0.1, &mut strategy);
+        kernel.churn(ChurnEvent::Join(Box::new(pristine)), 0.2, &mut strategy);
+        // Deliver the stale completion: lost, re-queued, re-dispatched.
+        let p = pending.pop().unwrap();
+        let now = p.finish();
+        pending.extend(kernel.complete(p, now, &mut strategy));
+        assert_eq!(kernel.failures(), 1);
+        assert_eq!(pending.len(), 1, "lost task re-dispatched on the rejoin");
+        while let Some(p) = pop_earliest(&mut pending) {
+            let now = p.finish();
+            pending.extend(kernel.complete(p, now, &mut strategy));
+        }
+        let (report, nodes) = kernel.finish("first-fit");
+        assert_eq!(report.completed, 1);
+        assert_eq!(report.failures, 1);
+        assert!(nodes[0].gpps().iter().all(|g| g.state.is_idle()));
+        report.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn duplicate_join_and_unknown_churn_are_counted_noops() {
+        use rhv_core::ids::NodeId;
+        let node = one_gpp_node(0);
+        let dup = node.clone();
+        let mut strategy = FirstFit::new();
+        let mut kernel = LifecycleKernel::new(vec![node], SimConfig::default());
+        // Double join of a present node: rejected, nodes stay unique.
+        kernel.churn(ChurnEvent::Join(Box::new(dup)), 1.0, &mut strategy);
+        assert_eq!(kernel.nodes().len(), 1);
+        assert_eq!(kernel.churn_noops(), 1);
+        // Crash and leave of unknown nodes: counted, nothing else.
+        kernel.churn(ChurnEvent::Crash(NodeId(42)), 2.0, &mut strategy);
+        kernel.churn(ChurnEvent::Leave(NodeId(42)), 3.0, &mut strategy);
+        assert_eq!(kernel.churn_noops(), 3);
+        assert_eq!(kernel.nodes().len(), 1);
+        // The grid still works.
+        let pending = kernel.submit(software_task(0), 4.0, &mut strategy);
+        assert_eq!(pending.len(), 1);
+    }
+
+    #[test]
+    fn retry_policy_parks_lost_task_and_redispatches_after_backoff() {
+        use rhv_core::ids::NodeId;
+        let cfg = SimConfig {
+            retry: Some(RetryPolicy::default()),
+            ..SimConfig::default()
+        };
+        let mut strategy = FirstFit::new();
+        let mut kernel = LifecycleKernel::new(vec![one_gpp_node(0), one_gpp_node(1)], cfg);
+        let mut pending = kernel.submit(software_task(0), 0.0, &mut strategy);
+        assert_eq!(pending.len(), 1);
+        assert_eq!(pending[0].pe().node, NodeId(0), "first-fit picks node 0");
+        kernel.churn(ChurnEvent::Crash(NodeId(0)), 0.1, &mut strategy);
+        let p = pending.pop().unwrap();
+        let lost_at = p.finish();
+        let out = kernel.complete(p, lost_at, &mut strategy);
+        assert!(out.is_empty(), "lost task parks instead of re-queuing");
+        assert_eq!(kernel.parked_len(), 1);
+        assert_eq!(kernel.failures(), 1);
+        assert_eq!(kernel.retries(), 1);
+        let release = kernel.next_wakeup().expect("a parked retry awaits");
+        assert!(release > lost_at);
+        pending.extend(kernel.wake(release, &mut strategy));
+        assert_eq!(kernel.parked_len(), 0);
+        assert_eq!(pending.len(), 1, "retry dispatched on the surviving node");
+        assert_eq!(pending[0].pe().node, NodeId(1));
+        while let Some(p) = pop_earliest(&mut pending) {
+            let now = p.finish();
+            pending.extend(kernel.complete(p, now, &mut strategy));
+        }
+        let (report, _) = kernel.finish("first-fit");
+        assert_eq!(report.completed, 1);
+        assert_eq!(report.retries, 1);
+        report.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn retry_policy_rejects_typed_when_attempts_exhaust() {
+        use rhv_core::ids::NodeId;
+        let cfg = SimConfig {
+            retry: Some(RetryPolicy {
+                max_attempts: 1,
+                ..RetryPolicy::default()
+            }),
+            ..SimConfig::default()
+        };
+        let mut strategy = FirstFit::new();
+        let mut kernel = LifecycleKernel::new(vec![one_gpp_node(0), one_gpp_node(1)], cfg);
+        let mut pending = kernel.submit(software_task(0), 0.0, &mut strategy);
+        kernel.churn(ChurnEvent::Crash(NodeId(0)), 0.1, &mut strategy);
+        let p = pending.pop().unwrap();
+        let now = p.finish();
+        let out = kernel.complete(p, now, &mut strategy);
+        assert!(out.is_empty());
+        assert_eq!(kernel.parked_len(), 0, "budget spent: no retry parked");
+        let (report, _) = kernel.finish("first-fit");
+        assert_eq!(report.completed, 0);
+        assert_eq!(report.rejected, 1);
+        assert_eq!(report.failures, 1);
+        report.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn repeated_fabric_loss_degrades_hybrid_task_to_software() {
+        use rhv_core::ids::NodeId;
+        use rhv_params::catalog::Catalog;
+        let cat = Catalog::builtin();
+        let mut fabric_node = Node::new(NodeId(0));
+        fabric_node.add_rpe(cat.fpga("XC5VLX30").unwrap().clone());
+        let gpp_node = one_gpp_node(1);
+        let cfg = SimConfig {
+            retry: Some(RetryPolicy {
+                fallback_after: 1,
+                blacklist_after: 0,
+                ..RetryPolicy::default()
+            }),
+            ..SimConfig::default()
+        };
+        let mut strategy = FirstFit::new();
+        let mut kernel = LifecycleKernel::new(vec![fabric_node, gpp_node], cfg);
+        let hdl = Task::new(
+            TaskId(0),
+            ExecReq::new(
+                PeClass::Fpga,
+                vec![Constraint::ge(ParamKey::Slices, 1_000u64)],
+                TaskPayload::HdlAccelerator {
+                    spec_name: "acc".into(),
+                    est_slices: 1_000,
+                    accel_seconds: 2.0,
+                },
+            ),
+            2.0,
+        );
+        let mut pending = kernel.submit(hdl, 0.0, &mut strategy);
+        assert_eq!(pending.len(), 1);
+        assert!(pending[0].pe().pe.is_rpe());
+        kernel.churn(ChurnEvent::Crash(NodeId(0)), 0.1, &mut strategy);
+        let p = pending.pop().unwrap();
+        let now = p.finish();
+        let out = kernel.complete(p, now, &mut strategy);
+        assert!(out.is_empty());
+        assert_eq!(kernel.fallbacks(), 1, "one fabric loss demotes the task");
+        let release = kernel.next_wakeup().unwrap();
+        pending.extend(kernel.wake(release, &mut strategy));
+        assert_eq!(pending.len(), 1, "demoted task runs on the GPP node");
+        assert_eq!(pending[0].pe().node, NodeId(1));
+        while let Some(p) = pop_earliest(&mut pending) {
+            let now = p.finish();
+            pending.extend(kernel.complete(p, now, &mut strategy));
+        }
+        let (report, _) = kernel.finish("first-fit");
+        assert_eq!(report.completed, 1);
+        assert_eq!(report.fallbacks, 1);
+        report.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn slow_node_fault_stretches_execution_until_restored() {
+        let mut strategy = FirstFit::new();
+        let mut kernel = LifecycleKernel::new(vec![one_gpp_node(0)], SimConfig::default());
+        let mut pending = kernel.submit(software_task(0), 0.0, &mut strategy);
+        let base = pending.pop().unwrap();
+        let base_dur = base.duration();
+        let now = base.finish();
+        kernel.complete(base, now, &mut strategy);
+        kernel.fault(
+            FaultEvent::SlowNode {
+                node: rhv_core::ids::NodeId(0),
+                factor: 3.0,
+            },
+            now,
+        );
+        let mut pending = kernel.submit(software_task(1), now, &mut strategy);
+        let slowed = pending.pop().unwrap();
+        // Only execution stretches; setup (the 1 ms LAN latency on a
+        // zero-byte payload) is priced by the network model.
+        let setup = 0.001;
+        assert!(((slowed.duration() - setup) - 3.0 * (base_dur - setup)).abs() < 1e-9);
+        let now = slowed.finish();
+        kernel.complete(slowed, now, &mut strategy);
+        kernel.fault(FaultEvent::SlowRestore(rhv_core::ids::NodeId(0)), now);
+        let mut pending = kernel.submit(software_task(2), now, &mut strategy);
+        let restored = pending.pop().unwrap();
+        assert!((restored.duration() - base_dur).abs() < 1e-9);
+    }
+
     #[test]
     fn busy_placement_errors_without_double_acquire() {
         use rhv_core::ids::{NodeId, PeId};
@@ -1625,5 +2315,161 @@ mod tests {
         assert_eq!(err, PlacementError::Busy(p.pe));
         // ...without mutating core accounting.
         assert_eq!(gpu_free(&kernel), mid);
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::{
+        prop, prop_assert_eq, prop_oneof, proptest, Just, Strategy as PropStrategy,
+    };
+    use rhv_core::matchmaker::Matchmaker;
+    use rhv_params::catalog::Catalog;
+
+    /// One step of an arbitrary churn/workload interleaving.
+    #[derive(Debug, Clone, Copy)]
+    enum Op {
+        Join(u64),
+        Leave(u64),
+        Crash(u64),
+        Submit,
+        CompleteEarliest,
+    }
+
+    fn op() -> impl PropStrategy<Value = Op> {
+        prop_oneof![
+            (0..6u64).prop_map(Op::Join),
+            (0..6u64).prop_map(Op::Leave),
+            (0..6u64).prop_map(Op::Crash),
+            Just(Op::Submit),
+            Just(Op::CompleteEarliest),
+        ]
+    }
+
+    struct FirstFit;
+
+    impl Strategy for FirstFit {
+        fn name(&self) -> &str {
+            "first-fit"
+        }
+        fn place(&mut self, task: &Task, grid: &GridView<'_>, _now: f64) -> Option<Placement> {
+            grid.candidates(
+                task,
+                MatchOptions {
+                    respect_state: true,
+                    softcore_fallback_slices: None,
+                },
+            )
+            .first()
+            .copied()
+            .map(Into::into)
+        }
+        fn is_satisfiable(&self, task: &Task, grid: &GridView<'_>) -> bool {
+            grid.statically_satisfiable(task)
+        }
+    }
+
+    fn gpp_node(id: u64) -> Node {
+        let mut node = Node::new(NodeId(id));
+        node.add_gpp(
+            Catalog::builtin()
+                .gpp("Intel Xeon E5450")
+                .expect("catalog GPP")
+                .clone(),
+        );
+        node
+    }
+
+    fn software_task(id: u64) -> Task {
+        Task::new(
+            TaskId(id),
+            ExecReq::new(
+                PeClass::Gpp,
+                vec![Constraint::ge(ParamKey::Cores, 1u64)],
+                TaskPayload::Software {
+                    mega_instructions: 1_000.0,
+                    parallelism: 1,
+                },
+            ),
+            1.0,
+        )
+    }
+
+    proptest! {
+        /// Under any interleaving of joins (including duplicates), leaves,
+        /// crashes (including of unknown nodes), submissions and
+        /// completions: the node set never holds two nodes with the same
+        /// id, and the kernel's incrementally maintained index answers
+        /// candidate queries exactly like a naive scan over the node set.
+        #[test]
+        fn arbitrary_churn_keeps_nodes_unique_and_index_consistent(
+            ops in prop::collection::vec(op(), 0..40),
+            with_retry in prop::bool::ANY,
+        ) {
+            let cfg = SimConfig {
+                retry: if with_retry { Some(RetryPolicy::default()) } else { None },
+                ..SimConfig::default()
+            };
+            let mut kernel = LifecycleKernel::new(rhv_core::case_study::grid(), cfg);
+            let mut strategy = FirstFit;
+            let mut pending: Vec<PendingCompletion> = Vec::new();
+            let mut next_task = 0u64;
+            let mut now = 0.0;
+            for op in &ops {
+                now += 1.0;
+                match *op {
+                    Op::Join(id) => {
+                        pending.extend(kernel.churn(
+                            ChurnEvent::Join(Box::new(gpp_node(id))),
+                            now,
+                            &mut strategy,
+                        ));
+                    }
+                    Op::Leave(id) => {
+                        pending.extend(kernel.churn(ChurnEvent::Leave(NodeId(id)), now, &mut strategy));
+                    }
+                    Op::Crash(id) => {
+                        pending.extend(kernel.churn(ChurnEvent::Crash(NodeId(id)), now, &mut strategy));
+                    }
+                    Op::Submit => {
+                        let task = software_task(next_task);
+                        next_task += 1;
+                        pending.extend(kernel.submit(task, now, &mut strategy));
+                    }
+                    Op::CompleteEarliest => {
+                        let earliest = pending
+                            .iter()
+                            .enumerate()
+                            .min_by(|a, b| {
+                                a.1.finish().partial_cmp(&b.1.finish()).expect("finite")
+                            })
+                            .map(|(i, _)| i);
+                        if let Some(i) = earliest {
+                            let p = pending.swap_remove(i);
+                            let at = now.max(p.finish());
+                            now = at;
+                            pending.extend(kernel.complete(p, at, &mut strategy));
+                        }
+                    }
+                }
+                // Node-id uniqueness: a duplicate join must not corrupt
+                // the node set.
+                let mut ids: Vec<NodeId> = kernel.nodes.iter().map(|n| n.id).collect();
+                ids.sort();
+                ids.dedup();
+                prop_assert_eq!(ids.len(), kernel.nodes.len(), "duplicate node ids");
+                // Indexed matchmaking stays equivalent to the naive scan.
+                let options = MatchOptions {
+                    respect_state: true,
+                    softcore_fallback_slices: None,
+                };
+                let view = kernel.index.view(&kernel.nodes);
+                let probe = software_task(u64::MAX);
+                let want = Matchmaker::with_options(options).candidates(&probe, &kernel.nodes);
+                let got = view.candidates(&probe, options);
+                prop_assert_eq!(want, got, "indexed != naive after churn");
+            }
+        }
     }
 }

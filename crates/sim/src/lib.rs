@@ -18,6 +18,11 @@
 //!   mix, area ranges, required times);
 //! * [`network`] — per-node link model for input data and bitstream
 //!   shipping;
+//! * [`faults`] — deterministic fault injection: a seeded `FaultPlan`
+//!   compiles crash/rejoin, link-degradation and slow-node schedules into
+//!   kernel events; paired with `SimConfig::retry` (bounded backoff,
+//!   typed rejection, software fallback, node blacklisting) for the
+//!   recovery experiments;
 //! * [`strategy`] — the `Strategy` trait scheduling policies implement
 //!   (implementations live in `rhv-sched`);
 //! * [`kernel`] — `LifecycleKernel`: the clock-agnostic task state machine
@@ -36,6 +41,7 @@
 
 pub mod arrival;
 pub mod engine;
+pub mod faults;
 pub mod kernel;
 pub mod metrics;
 pub mod network;
@@ -46,7 +52,10 @@ pub mod trace;
 pub mod workload;
 
 pub use engine::EventQueue;
-pub use kernel::{KernelEvent, LifecycleKernel, PendingCompletion, PlacementError};
+pub use faults::FaultPlan;
+pub use kernel::{
+    FaultEvent, KernelEvent, LifecycleKernel, PendingCompletion, PlacementError, RetryPolicy,
+};
 pub use metrics::{SimReport, TaskRecord};
 pub use sim::{ChurnEvent, GridSimulator, SimConfig};
 pub use strategy::{Placement, Strategy};

@@ -109,6 +109,17 @@ pub struct SimReport {
     /// as rejected).
     #[serde(default)]
     pub placement_errors: usize,
+    /// Crash-retry re-dispatches scheduled by the retry policy.
+    #[serde(default)]
+    pub retries: u64,
+    /// Hybrid tasks demoted to software execution after repeated fabric
+    /// loss (graceful degradation).
+    #[serde(default)]
+    pub fallbacks: u64,
+    /// Churn events naming an unknown or already-present node (counted
+    /// no-ops).
+    #[serde(default)]
+    pub churn_noops: u64,
     /// Total energy proxy (joules).
     pub energy_j: f64,
     /// Per-task records, completion-ordered.
@@ -168,6 +179,9 @@ impl SimReport {
             reuse_hits,
             failures,
             placement_errors,
+            retries: 0,
+            fallbacks: 0,
+            churn_noops: 0,
             energy_j: records.iter().map(|r| r.energy_j).sum(),
             records,
         }

@@ -42,6 +42,10 @@ impl Link {
 pub struct NetworkModel {
     default: Link,
     links: BTreeMap<NodeId, Link>,
+    /// Transient degradation factors (≥ 1.0) multiplying transfer times —
+    /// fault injection scales a link without forgetting its base shape.
+    #[serde(default)]
+    degraded: BTreeMap<NodeId, f64>,
 }
 
 impl Default for NetworkModel {
@@ -56,6 +60,7 @@ impl NetworkModel {
         NetworkModel {
             default: link,
             links: BTreeMap::new(),
+            degraded: BTreeMap::new(),
         }
     }
 
@@ -69,10 +74,28 @@ impl NetworkModel {
         self.links.get(&node).copied().unwrap_or(self.default)
     }
 
+    /// Degrades `node`'s link: transfers take `factor` times as long until
+    /// [`NetworkModel::restore_link`]. Factors below 1.0 are clamped (fault
+    /// injection never speeds a link up).
+    pub fn degrade_link(&mut self, node: NodeId, factor: f64) {
+        self.degraded.insert(node, factor.max(1.0));
+    }
+
+    /// Lifts a transient degradation of `node`'s link.
+    pub fn restore_link(&mut self, node: NodeId) {
+        self.degraded.remove(&node);
+    }
+
+    /// The degradation factor currently applied to `node` (1.0 = healthy).
+    pub fn degradation(&self, node: NodeId) -> f64 {
+        self.degraded.get(&node).copied().unwrap_or(1.0)
+    }
+
     /// Seconds to move `bytes` from the submission point to `node`.
     pub fn transfer_seconds(&self, node: NodeId, bytes: u64) -> f64 {
         let l = self.link(node);
         rhv_bitstream::transfer::link_transfer_seconds(bytes, l.bandwidth_mbps, l.latency_ms)
+            * self.degradation(node)
     }
 }
 
@@ -96,6 +119,22 @@ mod tests {
             net.transfer_seconds(NodeId(2), 10 << 20) > net.transfer_seconds(NodeId(1), 10 << 20)
         );
         assert_eq!(net.link(NodeId(2)).bandwidth_mbps, 10.0);
+    }
+
+    #[test]
+    fn degradation_scales_and_restores() {
+        let mut net = NetworkModel::default();
+        let base = net.transfer_seconds(NodeId(3), 10 << 20);
+        net.degrade_link(NodeId(3), 4.0);
+        assert!((net.transfer_seconds(NodeId(3), 10 << 20) - 4.0 * base).abs() < 1e-12);
+        // Other nodes are untouched.
+        assert!((net.transfer_seconds(NodeId(4), 10 << 20) - base).abs() < 1e-12);
+        // Sub-unit factors clamp to 1.0 (no speed-ups from faults).
+        net.degrade_link(NodeId(5), 0.25);
+        assert!((net.transfer_seconds(NodeId(5), 10 << 20) - base).abs() < 1e-12);
+        net.restore_link(NodeId(3));
+        assert!((net.transfer_seconds(NodeId(3), 10 << 20) - base).abs() < 1e-12);
+        assert_eq!(net.degradation(NodeId(3)), 1.0);
     }
 
     #[test]

@@ -32,7 +32,7 @@ use rhv_core::graph::TaskGraph;
 use rhv_core::node::Node;
 use rhv_core::task::Task;
 
-pub use crate::kernel::{ChurnEvent, PlacementError, SimConfig};
+pub use crate::kernel::{ChurnEvent, FaultEvent, PlacementError, RetryPolicy, SimConfig};
 
 /// The DReAMSim grid simulator: an [`EventQueue`] pumping a
 /// [`LifecycleKernel`].
@@ -92,19 +92,52 @@ impl GridSimulator {
     /// Returns the report plus the final node states (joins applied,
     /// departures — possibly deferred past a node's last task — removed).
     pub fn run_with_churn(
-        mut self,
+        self,
         workload: Vec<(f64, Task)>,
         churn: Vec<(f64, ChurnEvent)>,
         strategy: &mut dyn Strategy,
     ) -> (SimReport, Vec<Node>) {
+        self.run_with_faults(workload, churn, Vec::new(), strategy)
+    }
+
+    /// Runs `workload` under a compiled fault plan (see
+    /// [`crate::faults::FaultPlan::compile`]): the plan's crash/rejoin
+    /// churn, link degradations and node slowdowns are injected into the
+    /// event stream alongside the workload.
+    pub fn run_with_fault_plan(
+        self,
+        workload: Vec<(f64, Task)>,
+        plan: &crate::faults::FaultPlan,
+        strategy: &mut dyn Strategy,
+    ) -> (SimReport, Vec<Node>) {
+        let faults = plan.compile(self.kernel.nodes());
+        self.run_with_faults(workload, Vec::new(), faults, strategy)
+    }
+
+    /// The full-generality run: workload, explicit churn, and an arbitrary
+    /// pre-compiled schedule of extra kernel events (faults, wakeups).
+    /// Retry wakeups requested by the kernel ([`LifecycleKernel::next_wakeup`])
+    /// are scheduled automatically, so parked retries and blacklist paroles
+    /// fire even after the external event stream runs dry.
+    pub fn run_with_faults(
+        mut self,
+        workload: Vec<(f64, Task)>,
+        churn: Vec<(f64, ChurnEvent)>,
+        faults: Vec<(f64, KernelEvent)>,
+        strategy: &mut dyn Strategy,
+    ) -> (SimReport, Vec<Node>) {
         // Arrivals and churn are known up front, and completions in flight
         // stay far below the arrival count: one reservation covers the run.
-        self.queue.reserve(workload.len() + churn.len());
+        self.queue
+            .reserve(workload.len() + churn.len() + faults.len());
         for (t, task) in workload {
             self.queue.push(t, KernelEvent::Arrival(Box::new(task)));
         }
         for (t, ev) in churn {
             self.queue.push(t, KernelEvent::Churn(ev));
+        }
+        for (t, ev) in faults {
+            self.queue.push(t, ev);
         }
         let name = strategy.name().to_owned();
         // Two buffers reused across every instant: the drained batch and
@@ -112,12 +145,31 @@ impl GridSimulator {
         // nothing — each instant is one `pop_instant` + one kernel pass.
         let mut batch = Vec::new();
         let mut scheduled = Vec::new();
+        // The earliest retry/parole wakeup currently sitting in the queue.
+        // Spurious wakeups are harmless (the kernel treats them as a
+        // backlog re-examination), but a *missing* one would strand a
+        // parked task, so the timer is re-armed whenever the kernel's next
+        // wakeup moves earlier than what is scheduled.
+        let mut next_wake: Option<f64> = None;
         while let Some(now) = self.queue.pop_instant(&mut batch) {
+            if next_wake.is_some_and(|w| w <= now) {
+                next_wake = None;
+            }
             self.kernel
                 .step_instant(&mut batch, now, strategy, &mut scheduled);
             for pending in scheduled.drain(..) {
                 self.queue
                     .push(pending.finish(), KernelEvent::Completion(pending));
+            }
+            if let Some(wake) = self.kernel.next_wakeup() {
+                let earlier = match next_wake {
+                    Some(w) => wake < w,
+                    None => true,
+                };
+                if earlier {
+                    self.queue.push(wake.max(now), KernelEvent::Wakeup);
+                    next_wake = Some(wake.max(now));
+                }
             }
         }
         self.kernel.finish(&name)
@@ -500,6 +552,50 @@ mod tests {
         assert!(wheel.completed > 0);
         assert_eq!(format!("{wheel:?}"), format!("{heap:?}"));
         assert_eq!(format!("{wheel_nodes:?}"), format!("{heap_nodes:?}"));
+    }
+
+    #[test]
+    fn fault_plan_with_retry_conserves_and_matches_across_engines() {
+        use crate::faults::FaultPlan;
+        use crate::kernel::RetryPolicy;
+        use rhv_core::ids::NodeId;
+        // Two dozen case-study clones, a seeded churn storm (crash + rejoin
+        // + link/slow faults) and the retry policy on: every task must end
+        // as completed or typed-rejected (nothing silently stuck), and the
+        // wheel and heap engines must agree byte-for-byte — including the
+        // retry wakeup timers.
+        let mk_nodes = || -> Vec<Node> {
+            let proto = rhv_core::case_study::grid();
+            (0..24u64)
+                .map(|i| {
+                    let mut n = proto[(i % 3) as usize].clone();
+                    n.id = NodeId(i);
+                    n
+                })
+                .collect()
+        };
+        let cfg = || SimConfig {
+            retry: Some(RetryPolicy::default()),
+            ..SimConfig::default()
+        };
+        let spec = WorkloadSpec::default_for_grid(200, 6.0, 23);
+        let plan = FaultPlan::churn_storm(5, 60.0);
+        let (wheel, wheel_nodes) = GridSimulator::new(mk_nodes(), cfg()).run_with_fault_plan(
+            spec.generate(),
+            &plan,
+            &mut FirstFit::new(),
+        );
+        let (heap, heap_nodes) = GridSimulator::heap_backed(mk_nodes(), cfg()).run_with_fault_plan(
+            spec.generate(),
+            &plan,
+            &mut FirstFit::new(),
+        );
+        assert_eq!(wheel.completed + wheel.rejected, wheel.submitted);
+        assert!(wheel.completed > 0);
+        assert!(wheel.failures > 0, "the storm must actually bite");
+        assert_eq!(format!("{wheel:?}"), format!("{heap:?}"));
+        assert_eq!(format!("{wheel_nodes:?}"), format!("{heap_nodes:?}"));
+        wheel.check_invariants().unwrap();
     }
 
     #[test]

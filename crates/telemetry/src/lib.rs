@@ -31,5 +31,6 @@ pub mod span;
 pub use registry::{Counter, Gauge, Histogram, Instrument, MetricsRegistry, MetricsSink};
 pub use sink::{FanoutSink, NoopSink, SpanCollector, TelemetrySink};
 pub use span::{
-    CompletedSpan, LifecycleSpan, MatchStats, NodeEvent, PlacedSpan, SetupPhases, SpanEvent,
+    CompletedSpan, FaultStats, LifecycleSpan, MatchStats, NodeEvent, PlacedSpan, RejectReason,
+    SetupPhases, SpanEvent,
 };

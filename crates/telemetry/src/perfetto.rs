@@ -110,7 +110,7 @@ pub fn to_chrome_trace(spans: &[LifecycleSpan]) -> Result<String, ExportError> {
     for span in spans {
         let t = span.task;
         match &span.event {
-            SpanEvent::Submitted | SpanEvent::HeldOnDeps | SpanEvent::Rejected => {
+            SpanEvent::Submitted | SpanEvent::HeldOnDeps => {
                 // Kernel-side states with no PE: rendered on a synthetic
                 // "kernel" track (pid u64::MAX) so they stay visible.
                 let ts_us = us(t, "at", span.at)?;
@@ -121,6 +121,51 @@ pub fn to_chrome_trace(spans: &[LifecycleSpan]) -> Result<String, ExportError> {
                     dur_us: None,
                     name: format!("{}:{}", span.event.label(), t),
                     args: vec![("task".into(), format!("\"{t}\""))],
+                });
+            }
+            SpanEvent::Rejected { reason } => {
+                let ts_us = us(t, "at", span.at)?;
+                events.push(TraceEvent {
+                    pid: KERNEL_PID,
+                    tid: 0,
+                    ts_us,
+                    dur_us: None,
+                    name: format!("rejected:{t}"),
+                    args: vec![
+                        ("task".into(), format!("\"{t}\"")),
+                        ("reason".into(), format!("\"{}\"", reason.label())),
+                    ],
+                });
+            }
+            SpanEvent::RetryScheduled { attempt, release } => {
+                // The retry "arrow": a backoff slice on the kernel's retry
+                // track spanning loss → scheduled re-arrival.
+                let ts_us = us(t, "at", span.at)?;
+                let dur_us = us(t, "retry_backoff", release - span.at)?;
+                events.push(TraceEvent {
+                    pid: KERNEL_PID,
+                    tid: 1,
+                    ts_us,
+                    dur_us: Some(dur_us),
+                    name: format!("retry-backoff:{t}"),
+                    args: vec![
+                        ("task".into(), format!("\"{t}\"")),
+                        ("attempt".into(), attempt.to_string()),
+                    ],
+                });
+            }
+            SpanEvent::Degraded { fabric_losses } => {
+                let ts_us = us(t, "at", span.at)?;
+                events.push(TraceEvent {
+                    pid: KERNEL_PID,
+                    tid: 0,
+                    ts_us,
+                    dur_us: None,
+                    name: format!("degraded:{t}"),
+                    args: vec![
+                        ("task".into(), format!("\"{t}\"")),
+                        ("fabric_losses".into(), fabric_losses.to_string()),
+                    ],
                 });
             }
             SpanEvent::Queued => {
@@ -419,6 +464,55 @@ mod tests {
             to_chrome_trace(&[neg]),
             Err(ExportError::NegativeTime { .. })
         ));
+    }
+
+    #[test]
+    fn retry_and_rejection_events_render_on_kernel_tracks() {
+        use crate::span::RejectReason;
+        let spans = vec![
+            LifecycleSpan {
+                task: TaskId(3),
+                at: 5.0,
+                event: SpanEvent::RetryScheduled {
+                    attempt: 2,
+                    release: 6.5,
+                },
+            },
+            LifecycleSpan {
+                task: TaskId(3),
+                at: 6.5,
+                event: SpanEvent::Degraded { fabric_losses: 2 },
+            },
+            LifecycleSpan {
+                task: TaskId(4),
+                at: 7.0,
+                event: SpanEvent::Rejected {
+                    reason: RejectReason::RetriesExhausted,
+                },
+            },
+        ];
+        let doc = json::parse(&to_chrome_trace(&spans).unwrap()).unwrap();
+        let events = doc.get("traceEvents").unwrap().as_array().unwrap();
+        let find = |n: &str| {
+            events
+                .iter()
+                .find(|e| e.get("name").and_then(|v| v.as_str()) == Some(n))
+                .unwrap_or_else(|| panic!("missing {n}"))
+        };
+        let backoff = find("retry-backoff:T3");
+        assert_eq!(backoff.get("ph").unwrap().as_str(), Some("X"));
+        assert_eq!(backoff.get("dur").unwrap().as_f64().unwrap(), 1_500_000.0);
+        assert_eq!(find("degraded:T3").get("ph").unwrap().as_str(), Some("i"));
+        let rej = find("rejected:T4");
+        assert_eq!(
+            rej.get("args")
+                .unwrap()
+                .get("reason")
+                .unwrap()
+                .as_str()
+                .unwrap(),
+            "retries-exhausted"
+        );
     }
 
     #[test]

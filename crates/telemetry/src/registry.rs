@@ -12,7 +12,7 @@
 //! wait/setup/exec latency histograms and a queue-depth gauge/histogram.
 
 use crate::sink::TelemetrySink;
-use crate::span::{LifecycleSpan, MatchStats, NodeEvent, SpanEvent};
+use crate::span::{FaultStats, LifecycleSpan, MatchStats, NodeEvent, SpanEvent};
 use rhv_core::node::Node;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
@@ -284,6 +284,11 @@ pub struct MetricsSink {
     backlog_skipped: Arc<Counter>,
     kernel_instants: Arc<Counter>,
     kernel_batch_events: Arc<Counter>,
+    retries: Arc<Counter>,
+    fallbacks: Arc<Counter>,
+    churn_noops: Arc<Counter>,
+    blacklisted: Arc<Gauge>,
+    retry_delay: Arc<Histogram>,
     reuse_ratio: Arc<Gauge>,
     queue_depth: Arc<Gauge>,
     held_depth: Arc<Gauge>,
@@ -355,6 +360,27 @@ impl MetricsSink {
                 "rhv_kernel_batch_events_total",
                 "Kernel events drained inside batched instants",
             ),
+            retries: c(
+                "rhv_retries_total",
+                "Crash-lost executions re-scheduled by the retry policy",
+            ),
+            fallbacks: c(
+                "rhv_fallbacks_total",
+                "Hybrid tasks degraded to their software execution level",
+            ),
+            churn_noops: c(
+                "rhv_churn_noops_total",
+                "Churn events naming unknown or duplicate nodes (counted no-ops)",
+            ),
+            blacklisted: registry.gauge(
+                "rhv_blacklisted_nodes",
+                "Nodes currently blacklisted by the health tracker",
+            ),
+            retry_delay: registry.histogram(
+                "rhv_retry_delay_seconds",
+                "Backoff delay between a lost execution and its retry release",
+                lat,
+            ),
             reuse_ratio: registry.gauge(
                 "rhv_config_reuse_hit_ratio",
                 "reuse hits / (reuse hits + reconfigurations)",
@@ -412,7 +438,7 @@ impl TelemetrySink for MetricsSink {
                 self.update_reuse_ratio();
             }
             SpanEvent::PlacementFailed { .. } => self.placement_errors.inc(),
-            SpanEvent::Rejected => self.rejected.inc(),
+            SpanEvent::Rejected { .. } => self.rejected.inc(),
             SpanEvent::Completed(c) => {
                 self.completed.inc();
                 self.wait.observe(c.wait);
@@ -421,6 +447,10 @@ impl TelemetrySink for MetricsSink {
                 self.turnaround.observe(c.turnaround);
             }
             SpanEvent::ChurnEvicted { .. } => self.churn_evictions.inc(),
+            SpanEvent::RetryScheduled { release, .. } => {
+                self.retry_delay.observe(release - span.at);
+            }
+            SpanEvent::Degraded { .. } => {}
         }
     }
 
@@ -443,6 +473,13 @@ impl TelemetrySink for MetricsSink {
         self.match_scan_fallbacks.add(stats.scan_fallbacks);
         self.match_range_width.add(stats.range_width);
         self.backlog_skipped.add(stats.backlog_skipped);
+    }
+
+    fn fault_stats(&mut self, _at: f64, stats: FaultStats) {
+        self.retries.add(stats.retries);
+        self.fallbacks.add(stats.fallbacks);
+        self.churn_noops.add(stats.churn_noops);
+        self.blacklisted.set(stats.blacklisted as f64);
     }
 
     fn instant(&mut self, _at: f64, events: u64) {
@@ -547,6 +584,50 @@ mod tests {
             Instrument::Counter(c) => assert_eq!(c.get(), 2),
             _ => panic!("wrong kind"),
         }
+    }
+
+    #[test]
+    fn fault_stats_feed_recovery_instruments() {
+        let reg = MetricsRegistry::new();
+        let mut sink = MetricsSink::new(reg.clone());
+        sink.record(&LifecycleSpan {
+            task: TaskId(4),
+            at: 10.0,
+            event: SpanEvent::RetryScheduled {
+                attempt: 1,
+                release: 10.5,
+            },
+        });
+        sink.fault_stats(
+            10.5,
+            FaultStats {
+                retries: 2,
+                fallbacks: 1,
+                churn_noops: 3,
+                blacklisted: 4,
+            },
+        );
+        sink.fault_stats(
+            11.0,
+            FaultStats {
+                retries: 1,
+                fallbacks: 0,
+                churn_noops: 0,
+                blacklisted: 2,
+            },
+        );
+        assert_eq!(sink.retries.get(), 3);
+        assert_eq!(sink.fallbacks.get(), 1);
+        assert_eq!(sink.churn_noops.get(), 3);
+        assert_eq!(sink.blacklisted.get(), 2.0); // gauge: last absolute value
+        assert_eq!(sink.retry_delay.count(), 1);
+        assert!((sink.retry_delay.sum() - 0.5).abs() < 1e-12);
+        let text = crate::prometheus::render(&reg);
+        assert!(text.contains("rhv_retries_total 3"));
+        assert!(text.contains("rhv_fallbacks_total 1"));
+        assert!(text.contains("rhv_churn_noops_total 3"));
+        assert!(text.contains("rhv_blacklisted_nodes 2"));
+        assert!(text.contains("# TYPE rhv_retry_delay_seconds histogram"));
     }
 
     #[test]

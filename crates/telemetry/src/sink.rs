@@ -12,7 +12,7 @@
 //! building any span that would allocate, and all span payloads except the
 //! rare `PlacementFailed { reason }` are plain `Copy` data on the stack.
 
-use crate::span::{LifecycleSpan, MatchStats, NodeEvent};
+use crate::span::{FaultStats, LifecycleSpan, MatchStats, NodeEvent};
 use rhv_core::node::Node;
 use std::sync::{Arc, Mutex};
 
@@ -47,6 +47,15 @@ pub trait TelemetrySink: Send {
     /// totals. Emitted with the same cadence as
     /// [`grid_state`](TelemetrySink::grid_state).
     fn match_stats(&mut self, at: f64, stats: MatchStats) {
+        let _ = (at, stats);
+    }
+
+    /// Fault-recovery activity (retries, software fallbacks, counted churn
+    /// no-ops — deltas) plus the current blacklisted-node count (absolute)
+    /// since the previous report. Emitted with the same cadence as
+    /// [`grid_state`](TelemetrySink::grid_state), only when something
+    /// changed.
+    fn fault_stats(&mut self, at: f64, stats: FaultStats) {
         let _ = (at, stats);
     }
 
@@ -179,6 +188,12 @@ impl TelemetrySink for FanoutSink {
     fn match_stats(&mut self, at: f64, stats: MatchStats) {
         for s in &mut self.sinks {
             s.match_stats(at, stats);
+        }
+    }
+
+    fn fault_stats(&mut self, at: f64, stats: FaultStats) {
+        for s in &mut self.sinks {
+            s.fault_stats(at, stats);
         }
     }
 

@@ -68,6 +68,50 @@ impl MatchStats {
     }
 }
 
+/// Why the kernel gave up on a task. Every rejection carries one of these,
+/// so "no task silently stuck" is checkable: a task either completes or is
+/// rejected with a typed reason.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum RejectReason {
+    /// No node in the grid can ever satisfy the task's requirements.
+    Unsatisfiable,
+    /// The retry policy's attempt budget was exhausted by repeated losses.
+    RetriesExhausted,
+    /// The next retry would release after the task's deadline.
+    DeadlineExceeded,
+    /// The run ended while the task was still queued, held or parked.
+    RunOver,
+}
+
+impl RejectReason {
+    /// Short stable label, used by exporters and logs.
+    pub fn label(&self) -> &'static str {
+        match self {
+            RejectReason::Unsatisfiable => "unsatisfiable",
+            RejectReason::RetriesExhausted => "retries-exhausted",
+            RejectReason::DeadlineExceeded => "deadline-exceeded",
+            RejectReason::RunOver => "run-over",
+        }
+    }
+}
+
+/// Fault-recovery activity since the previous report, emitted by the kernel
+/// alongside [`grid state`](crate::sink::TelemetrySink::grid_state). The
+/// counters (`retries`, `fallbacks`, `churn_noops`) are **deltas**, so
+/// sinks aggregate by summing; `blacklisted` is the **absolute** number of
+/// currently blacklisted nodes (a gauge — sinks set, not add).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct FaultStats {
+    /// Crash-lost executions re-scheduled with a backoff delay.
+    pub retries: u64,
+    /// Hybrid tasks degraded to their software execution level.
+    pub fallbacks: u64,
+    /// Churn events that named an unknown / duplicate node (counted no-ops).
+    pub churn_noops: u64,
+    /// Nodes currently blacklisted by the per-node health tracker.
+    pub blacklisted: u64,
+}
+
 /// A successful placement: the task's future on its PE is fully priced at
 /// the dispatch instant (this is a simulator — setup and execution windows
 /// are known once the placement is applied).
@@ -117,8 +161,11 @@ pub enum SpanEvent {
         /// Human-readable reason (the typed `PlacementError` display).
         reason: String,
     },
-    /// The task can never run on this grid and was rejected.
-    Rejected,
+    /// The kernel gave up on the task for the typed reason.
+    Rejected {
+        /// Why the task will never complete.
+        reason: RejectReason,
+    },
     /// The task finished and released its resources.
     Completed(CompletedSpan),
     /// The task's execution was lost to node churn (crash); it re-enters
@@ -126,6 +173,21 @@ pub enum SpanEvent {
     ChurnEvicted {
         /// The PE whose node crashed.
         pe: PeRef,
+    },
+    /// A crash-lost task was parked by the retry policy; it re-arrives at
+    /// `release`.
+    RetryScheduled {
+        /// Which loss this was (1 = first loss).
+        attempt: u32,
+        /// Sim time at which the task re-enters the arrival path.
+        release: f64,
+    },
+    /// The retry policy demoted a hybrid task to its software execution
+    /// level after repeated fabric-side losses (the paper's
+    /// pre-determined-configuration fallback).
+    Degraded {
+        /// Fabric-side losses that triggered the demotion.
+        fabric_losses: u32,
     },
 }
 
@@ -138,9 +200,11 @@ impl SpanEvent {
             SpanEvent::Queued => "queued",
             SpanEvent::Placed(_) => "placed",
             SpanEvent::PlacementFailed { .. } => "placement-error",
-            SpanEvent::Rejected => "rejected",
+            SpanEvent::Rejected { .. } => "rejected",
             SpanEvent::Completed(_) => "completed",
             SpanEvent::ChurnEvicted { .. } => "churn-evicted",
+            SpanEvent::RetryScheduled { .. } => "retry-scheduled",
+            SpanEvent::Degraded { .. } => "degraded",
         }
     }
 }
@@ -198,5 +262,22 @@ mod tests {
             SpanEvent::PlacementFailed { reason: "x".into() }.label(),
             "placement-error"
         );
+        assert_eq!(
+            SpanEvent::Rejected {
+                reason: RejectReason::RetriesExhausted
+            }
+            .label(),
+            "rejected"
+        );
+        assert_eq!(
+            SpanEvent::RetryScheduled {
+                attempt: 1,
+                release: 2.0
+            }
+            .label(),
+            "retry-scheduled"
+        );
+        assert_eq!(SpanEvent::Degraded { fabric_losses: 2 }.label(), "degraded");
+        assert_eq!(RejectReason::DeadlineExceeded.label(), "deadline-exceeded");
     }
 }

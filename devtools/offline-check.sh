@@ -31,16 +31,19 @@ sed -i "s|^serde = .*|serde = { path = \"devtools/stubs/serde\", features = [\"d
 cd "$root"
 if [ "$#" -eq 0 ]; then
     cargo build --offline --workspace
+    cargo clippy --offline --workspace --all-targets -- -D warnings
     cargo test --offline --workspace -q
 elif [ "$1" = "bench-smoke" ]; then
     # Mirrors `make bench-smoke` for offline containers: the criterion
     # stub smoke-runs each bench closure, then the 1,000-node hot-path
     # comparisons run in --smoke mode (bench_matchmaker asserts indexed ==
     # naive scan and fallbacks < hits; bench_engine asserts wheel == heap
-    # reports).
+    # reports; bench_faults asserts conservation, recovery counters and
+    # wheel == heap under the churn storm).
     cargo bench --offline -p rhv-bench --bench match_index
     cargo run --offline -q --release -p rhv-bench --bin bench_matchmaker -- --smoke
     cargo run --offline -q --release -p rhv-bench --bin bench_engine -- --smoke
+    cargo run --offline -q --release -p rhv-bench --bin bench_faults -- --smoke
 else
     # Insert --offline before any `--` separator so it stays a cargo flag
     # (e.g. `clippy -- -D warnings` must not hand --offline to rustc).

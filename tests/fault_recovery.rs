@@ -1,0 +1,210 @@
+//! Integration: fault injection and recovery. A seeded churn storm
+//! (crash/rejoin/leave interleavings from a [`FaultPlan`] plus explicit
+//! departures) runs on both event-engine backends, with and without the
+//! retry policy, and the reports must agree byte for byte. The telemetry
+//! spine is the witness: `failures` counts exactly the genuinely lost
+//! executions (one `ChurnEvicted` span each), every submitted task reaches
+//! a terminal span (completed, or rejected with a typed reason), and the
+//! recovery counters surface in the Prometheus exposition.
+
+use rhv_core::case_study;
+use rhv_core::ids::NodeId;
+use rhv_core::node::Node;
+use rhv_sched::FirstFitStrategy;
+use rhv_sim::sim::{ChurnEvent, GridSimulator, SimConfig};
+use rhv_sim::workload::WorkloadSpec;
+use rhv_sim::{FaultPlan, RetryPolicy, SimReport};
+use rhv_telemetry::{
+    FanoutSink, MetricsRegistry, MetricsSink, SpanCollector, SpanEvent, TelemetrySink,
+};
+use std::collections::{BTreeMap, BTreeSet};
+
+/// A homogeneous grid of case-study nodes (all three prototypes, cycled).
+fn grid_of(n: usize) -> Vec<Node> {
+    let protos = case_study::grid();
+    (0..n)
+        .map(|i| {
+            let mut node = protos[i % protos.len()].clone();
+            node.id = NodeId(i as u64);
+            node
+        })
+        .collect()
+}
+
+/// Explicit departures layered on top of the compiled fault plan, so the
+/// storm interleaves crashes, rejoins *and* leaves.
+fn leaves(n_nodes: usize, horizon: f64) -> Vec<(f64, ChurnEvent)> {
+    (0..n_nodes / 20)
+        .map(|i| {
+            let at = (0.2 + 0.5 * (i as f64) / (n_nodes as f64 / 20.0)) * horizon;
+            (at, ChurnEvent::Leave(NodeId((i * 17 % n_nodes) as u64)))
+        })
+        .collect()
+}
+
+struct StormRun {
+    report: SimReport,
+    nodes: Vec<Node>,
+    spans: SpanCollector,
+    exposition: String,
+}
+
+fn run_storm(n_nodes: usize, n_tasks: usize, seed: u64, retry: bool, heap: bool) -> StormRun {
+    let horizon = 60.0;
+    let workload =
+        WorkloadSpec::default_for_grid(n_tasks, n_tasks as f64 / horizon, seed).generate();
+    let plan = FaultPlan::churn_storm(seed, horizon);
+    let cfg = SimConfig {
+        retry: retry.then(RetryPolicy::default),
+        ..SimConfig::default()
+    };
+    let collector = SpanCollector::new();
+    let registry = MetricsRegistry::new();
+    let sink: Box<dyn TelemetrySink> = Box::new(
+        FanoutSink::new()
+            .with(Box::new(collector.clone()))
+            .with(Box::new(MetricsSink::new(registry.clone()))),
+    );
+    let sim = if heap {
+        GridSimulator::heap_backed(grid_of(n_nodes), cfg)
+    } else {
+        GridSimulator::new(grid_of(n_nodes), cfg)
+    };
+    let faults = plan.compile(sim.nodes());
+    let (report, nodes) = sim.with_sink(sink).run_with_faults(
+        workload,
+        leaves(n_nodes, horizon),
+        faults,
+        &mut FirstFitStrategy::new(),
+    );
+    StormRun {
+        report,
+        nodes,
+        spans: collector,
+        exposition: rhv_sim::trace::to_prometheus(&registry),
+    }
+}
+
+#[test]
+fn storm_reports_are_byte_identical_across_engines() {
+    for retry in [false, true] {
+        let wheel = run_storm(60, 300, 42, retry, false);
+        let heap = run_storm(60, 300, 42, retry, true);
+        assert_eq!(
+            format!("{:?}", wheel.report),
+            format!("{:?}", heap.report),
+            "retry={retry}: engine backends diverged on the report"
+        );
+        assert_eq!(
+            format!("{:?}", wheel.nodes),
+            format!("{:?}", heap.nodes),
+            "retry={retry}: engine backends left different node states"
+        );
+        wheel.report.check_invariants().unwrap();
+    }
+}
+
+#[test]
+fn failures_count_exactly_the_lost_executions() {
+    let run = run_storm(60, 300, 7, true, false);
+    let evicted = run
+        .spans
+        .spans()
+        .iter()
+        .filter(|s| matches!(s.event, SpanEvent::ChurnEvicted { .. }))
+        .count() as u64;
+    assert!(run.report.failures > 0, "the storm must lose executions");
+    assert_eq!(
+        run.report.failures, evicted,
+        "failures must count exactly the ChurnEvicted spans"
+    );
+}
+
+#[test]
+fn retry_storm_conserves_every_task_with_typed_reasons() {
+    let run = run_storm(60, 300, 11, true, false);
+    let r = &run.report;
+    // Conservation: nothing is silently stuck when the event stream runs
+    // dry — every submitted task completed or was rejected.
+    assert_eq!(
+        r.completed + r.rejected,
+        r.submitted,
+        "conservation violated: {r:?}"
+    );
+    assert!(
+        r.retries > 0,
+        "crash losses under a retry policy must retry"
+    );
+
+    // Every submitted task reaches a terminal span; rejections carry their
+    // typed reason by construction of the span vocabulary.
+    let spans = run.spans.spans();
+    let mut terminal: BTreeMap<_, bool> = BTreeMap::new();
+    let mut submitted = BTreeSet::new();
+    let mut rejected_spans = 0usize;
+    for s in &spans {
+        match s.event {
+            SpanEvent::Submitted => {
+                submitted.insert(s.task);
+                terminal.entry(s.task).or_insert(false);
+            }
+            SpanEvent::Completed(_) => {
+                terminal.insert(s.task, true);
+            }
+            SpanEvent::Rejected { .. } => {
+                rejected_spans += 1;
+                terminal.insert(s.task, true);
+            }
+            _ => {}
+        }
+    }
+    assert_eq!(submitted.len(), r.submitted);
+    let stuck: Vec<_> = terminal
+        .iter()
+        .filter(|(_, done)| !**done)
+        .map(|(t, _)| *t)
+        .collect();
+    assert!(stuck.is_empty(), "tasks with no terminal span: {stuck:?}");
+    assert_eq!(
+        rejected_spans, r.rejected,
+        "one Rejected span per rejection"
+    );
+
+    // The recovery counters surface in the Prometheus exposition.
+    for metric in [
+        "rhv_retries_total",
+        "rhv_fallbacks_total",
+        "rhv_churn_noops_total",
+        "rhv_blacklisted_nodes",
+        "rhv_retry_delay_seconds",
+    ] {
+        assert!(
+            run.exposition.contains(metric),
+            "{metric} missing from the Prometheus exposition"
+        );
+    }
+}
+
+#[test]
+fn quiet_plan_with_retry_changes_nothing() {
+    let horizon = 60.0;
+    let workload = WorkloadSpec::default_for_grid(200, 200.0 / horizon, 5).generate();
+    let plan = FaultPlan::quiet(horizon);
+    let plain = GridSimulator::new(grid_of(30), SimConfig::default())
+        .run(workload.clone(), &mut FirstFitStrategy::new());
+    let cfg = SimConfig {
+        retry: Some(RetryPolicy::default()),
+        ..SimConfig::default()
+    };
+    let (faulted, _) = GridSimulator::new(grid_of(30), cfg).run_with_fault_plan(
+        workload,
+        &plan,
+        &mut FirstFitStrategy::new(),
+    );
+    // No faults → the retry machinery is pure overhead-free scaffolding:
+    // identical completions, no retries, no fallbacks.
+    assert_eq!(plain.completed, faulted.completed);
+    assert_eq!(plain.rejected, faulted.rejected);
+    assert_eq!(faulted.retries, 0);
+    assert_eq!(faulted.fallbacks, 0);
+}
