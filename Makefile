@@ -4,7 +4,7 @@
 # invocations through the stub harness instead:
 #   devtools/offline-check.sh test --workspace -q
 
-.PHONY: check fmt clippy test telemetry-smoke bench-smoke
+.PHONY: check fmt clippy test telemetry-smoke bench-smoke obs-smoke
 
 check: fmt clippy test telemetry-smoke
 
@@ -35,3 +35,14 @@ bench-smoke:
 	cargo run -q --release -p rhv-bench --bin bench_matchmaker -- --smoke
 	cargo run -q --release -p rhv-bench --bin bench_engine -- --smoke
 	cargo run -q --release -p rhv-bench --bin bench_faults -- --smoke
+
+# Profiler smoke: obs_report over a small deterministic ClustalW-at-scale
+# run with the `obs_report/v1` JSON schema validated by the internal
+# parser, then bench_obs in --smoke mode (asserts the profiled report is
+# byte-identical to the NoopSink baseline, blame telescopes to turnaround,
+# and the critical path is bounded by the makespan; BENCH_obs.json left
+# untouched). Offline containers run the same steps via:
+#   devtools/offline-check.sh obs-smoke
+obs-smoke:
+	cargo run -q --release -p rhv-bench --bin obs_report -- --nodes 60 --jobs 20 --check
+	cargo run -q --release -p rhv-bench --bin bench_obs -- --smoke

@@ -18,6 +18,7 @@ use rhv_sched::FirstFitStrategy;
 use rhv_sim::engine::EventQueue;
 use rhv_sim::sim::{ChurnEvent, GridSimulator, SimConfig};
 use rhv_sim::workload::WorkloadSpec;
+use rhv_telemetry::{MetricsRegistry, MetricsSink};
 use std::time::Instant;
 
 /// The first case-study node cloned `n` times (the same 1,000-node grid the
@@ -86,11 +87,16 @@ struct SimResult {
     wheel_s: f64,
     heap_s: f64,
     completed: usize,
+    /// `(p50, p99)` of `rhv_task_turnaround_seconds`, bucket-estimated
+    /// from the wheel run's registry (the heap run's must match).
+    turnaround_q: (f64, f64),
 }
 
 /// Runs the same seeded workload (with mid-run churn) on both engine
 /// backends and asserts the rendered reports and final node states are
-/// identical before returning the wall times.
+/// identical before returning the wall times. Both runs carry a metrics
+/// sink so the timed paths stay symmetric and the turnaround histogram
+/// can be quoted.
 fn simulation_benchmark(n_nodes: usize, n_tasks: usize, seed: u64) -> SimResult {
     let workload = WorkloadSpec::default_for_grid(n_tasks, 50.0, seed).generate();
     let churn = vec![
@@ -102,21 +108,30 @@ fn simulation_benchmark(n_nodes: usize, n_tasks: usize, seed: u64) -> SimResult 
         ..SimConfig::default()
     };
 
+    let wheel_registry = MetricsRegistry::new();
     let start = Instant::now();
-    let (wheel, wheel_nodes) = GridSimulator::new(grid_of(n_nodes), cfg.clone()).run_with_churn(
-        workload.clone(),
-        churn.clone(),
-        &mut FirstFitStrategy::new(),
-    );
+    let (wheel, wheel_nodes) = GridSimulator::new(grid_of(n_nodes), cfg.clone())
+        .with_sink(Box::new(MetricsSink::new(wheel_registry.clone())))
+        .run_with_churn(
+            workload.clone(),
+            churn.clone(),
+            &mut FirstFitStrategy::new(),
+        );
     let wheel_s = start.elapsed().as_secs_f64();
 
+    let heap_registry = MetricsRegistry::new();
     let start = Instant::now();
-    let (heap, heap_nodes) = GridSimulator::heap_backed(grid_of(n_nodes), cfg).run_with_churn(
-        workload,
-        churn,
-        &mut FirstFitStrategy::new(),
-    );
+    let (heap, heap_nodes) = GridSimulator::heap_backed(grid_of(n_nodes), cfg)
+        .with_sink(Box::new(MetricsSink::new(heap_registry.clone())))
+        .run_with_churn(workload, churn, &mut FirstFitStrategy::new());
     let heap_s = start.elapsed().as_secs_f64();
+
+    let turnaround_q = rhv_bench::hist_p50_p99(&wheel_registry, "rhv_task_turnaround_seconds");
+    assert_eq!(
+        turnaround_q,
+        rhv_bench::hist_p50_p99(&heap_registry, "rhv_task_turnaround_seconds"),
+        "wheel and heap engines diverged on the turnaround histogram"
+    );
 
     assert_eq!(
         format!("{wheel:?}"),
@@ -133,6 +148,7 @@ fn simulation_benchmark(n_nodes: usize, n_tasks: usize, seed: u64) -> SimResult 
         wheel_s,
         heap_s,
         completed: wheel.completed,
+        turnaround_q,
     }
 }
 
@@ -173,6 +189,10 @@ fn main() {
     println!("  wheel      : {:>12.3} s", s.wheel_s);
     println!("  heap       : {:>12.3} s", s.heap_s);
     println!("  speedup    : {s_speedup:>12.2}×");
+    println!(
+        "  latency    : turnaround p50 {:.1}s p99 {:.1}s",
+        s.turnaround_q.0, s.turnaround_q.1
+    );
 
     if smoke {
         println!("\nsmoke run — BENCH_engine.json left untouched");
@@ -186,12 +206,14 @@ fn main() {
     );
 
     let json = format!(
-        "{{\n  \"benchmark\": \"event_engine\",\n  \"engine\": {{\n    \"events\": {events},\n    \"in_flight\": {in_flight},\n    \"wheel_events_per_sec\": {wheel_eps:.0},\n    \"heap_events_per_sec\": {heap_eps:.0},\n    \"speedup\": {e_speedup:.2}\n  }},\n  \"simulation\": {{\n    \"nodes\": {n_nodes},\n    \"tasks\": {tasks},\n    \"completed\": {completed},\n    \"wheel_seconds\": {wheel_s:.3},\n    \"heap_seconds\": {heap_s:.3},\n    \"speedup\": {s_speedup:.2},\n    \"reports_identical\": true\n  }}\n}}\n",
+        "{{\n  \"benchmark\": \"event_engine\",\n  \"engine\": {{\n    \"events\": {events},\n    \"in_flight\": {in_flight},\n    \"wheel_events_per_sec\": {wheel_eps:.0},\n    \"heap_events_per_sec\": {heap_eps:.0},\n    \"speedup\": {e_speedup:.2}\n  }},\n  \"simulation\": {{\n    \"nodes\": {n_nodes},\n    \"tasks\": {tasks},\n    \"completed\": {completed},\n    \"turnaround_p50_seconds\": {tq50:.3},\n    \"turnaround_p99_seconds\": {tq99:.3},\n    \"wheel_seconds\": {wheel_s:.3},\n    \"heap_seconds\": {heap_s:.3},\n    \"speedup\": {s_speedup:.2},\n    \"reports_identical\": true\n  }}\n}}\n",
         events = e.events,
         wheel_eps = e.wheel_eps,
         heap_eps = e.heap_eps,
         tasks = s.tasks,
         completed = s.completed,
+        tq50 = s.turnaround_q.0,
+        tq99 = s.turnaround_q.1,
         wheel_s = s.wheel_s,
         heap_s = s.heap_s,
     );

@@ -47,6 +47,10 @@ struct FaultedRun {
     report: SimReport,
     wall_s: f64,
     exposition: String,
+    /// `(p50, p99)` of `rhv_task_turnaround_seconds`, bucket-estimated.
+    turnaround_q: (f64, f64),
+    /// `(p50, p99)` of `rhv_retry_delay_seconds`.
+    retry_delay_q: (f64, f64),
 }
 
 /// One full faulted simulation with the retry policy on and kernel
@@ -80,6 +84,8 @@ fn run_faulted(
         report,
         wall_s,
         exposition: rhv_sim::trace::to_prometheus(&registry),
+        turnaround_q: rhv_bench::hist_p50_p99(&registry, "rhv_task_turnaround_seconds"),
+        retry_delay_q: rhv_bench::hist_p50_p99(&registry, "rhv_retry_delay_seconds"),
     }
 }
 
@@ -143,6 +149,10 @@ fn main() {
         "  goodput    : {storm_goodput:>8.1} tasks/sim-s ({:.1}% of quiet)",
         100.0 * storm_goodput / base_goodput
     );
+    println!(
+        "  latency    : turnaround p50 {:.1}s p99 {:.1}s   retry delay p50 {:.1}s p99 {:.1}s",
+        wheel.turnaround_q.0, wheel.turnaround_q.1, wheel.retry_delay_q.0, wheel.retry_delay_q.1
+    );
 
     // Conservation: no task is silently stuck — completed or typed-rejected.
     assert_eq!(
@@ -186,7 +196,7 @@ fn main() {
     }
 
     let json = format!(
-        "{{\n  \"benchmark\": \"fault_recovery\",\n  \"nodes\": {n_nodes},\n  \"tasks\": {n_tasks},\n  \"storm\": {{\n    \"seed\": {seed},\n    \"horizon_seconds\": {horizon:.0},\n    \"crash_fraction\": {crash:.2},\n    \"completed\": {completed},\n    \"rejected\": {rejected},\n    \"lost_executions\": {failures},\n    \"retries\": {retries},\n    \"fallbacks\": {fallbacks},\n    \"churn_noops\": {noops},\n    \"makespan_seconds\": {makespan:.1},\n    \"goodput_tasks_per_sim_second\": {storm_goodput:.2},\n    \"wall_seconds\": {wall:.3}\n  }},\n  \"quiet_baseline\": {{\n    \"completed\": {bcompleted},\n    \"makespan_seconds\": {bmakespan:.1},\n    \"goodput_tasks_per_sim_second\": {base_goodput:.2}\n  }},\n  \"goodput_retained\": {retained:.3},\n  \"reports_identical_across_engines\": true,\n  \"recovery_counters_in_prometheus\": true\n}}\n",
+        "{{\n  \"benchmark\": \"fault_recovery\",\n  \"nodes\": {n_nodes},\n  \"tasks\": {n_tasks},\n  \"storm\": {{\n    \"seed\": {seed},\n    \"horizon_seconds\": {horizon:.0},\n    \"crash_fraction\": {crash:.2},\n    \"completed\": {completed},\n    \"rejected\": {rejected},\n    \"lost_executions\": {failures},\n    \"retries\": {retries},\n    \"fallbacks\": {fallbacks},\n    \"churn_noops\": {noops},\n    \"makespan_seconds\": {makespan:.1},\n    \"goodput_tasks_per_sim_second\": {storm_goodput:.2},\n    \"turnaround_p50_seconds\": {tq50:.3},\n    \"turnaround_p99_seconds\": {tq99:.3},\n    \"retry_delay_p50_seconds\": {rq50:.3},\n    \"retry_delay_p99_seconds\": {rq99:.3},\n    \"wall_seconds\": {wall:.3}\n  }},\n  \"quiet_baseline\": {{\n    \"completed\": {bcompleted},\n    \"makespan_seconds\": {bmakespan:.1},\n    \"goodput_tasks_per_sim_second\": {base_goodput:.2}\n  }},\n  \"goodput_retained\": {retained:.3},\n  \"reports_identical_across_engines\": true,\n  \"recovery_counters_in_prometheus\": true\n}}\n",
         crash = storm.crash_fraction,
         completed = r.completed,
         rejected = r.rejected,
@@ -195,6 +205,10 @@ fn main() {
         fallbacks = r.fallbacks,
         noops = r.churn_noops,
         makespan = r.makespan,
+        tq50 = wheel.turnaround_q.0,
+        tq99 = wheel.turnaround_q.1,
+        rq50 = wheel.retry_delay_q.0,
+        rq99 = wheel.retry_delay_q.1,
         wall = wheel.wall_s,
         bcompleted = base.report.completed,
         bmakespan = base.report.makespan,

@@ -162,6 +162,8 @@ struct TrajectoryResult {
     scan_fallbacks: u64,
     range_width: u64,
     backlog_skipped: u64,
+    /// `(p50, p99)` of `rhv_task_turnaround_seconds`, bucket-estimated.
+    turnaround_q: (f64, f64),
 }
 
 /// Runs the same workload through the kernel twice — naive-scan strategy vs
@@ -214,6 +216,7 @@ fn trajectory_benchmark(
         scan_fallbacks: counter("rhv_match_scan_fallbacks_total"),
         range_width: counter("rhv_match_range_width_total"),
         backlog_skipped: counter("rhv_backlog_skipped_total"),
+        turnaround_q: rhv_bench::hist_p50_p99(&registry, "rhv_task_turnaround_seconds"),
     }
 }
 
@@ -264,6 +267,10 @@ fn main() {
         "  counters   : {} index hits, {} scan fallbacks, {} PEs ranged, {} backlog skips",
         t.index_hits, t.scan_fallbacks, t.range_width, t.backlog_skipped
     );
+    println!(
+        "  latency    : turnaround p50 {:.1}s, p99 {:.1}s",
+        t.turnaround_q.0, t.turnaround_q.1
+    );
 
     assert!(
         t.scan_fallbacks < t.index_hits,
@@ -279,7 +286,7 @@ fn main() {
     }
 
     let json = format!(
-        "{{\n  \"benchmark\": \"matchmaker_hot_path\",\n  \"grid\": {{ \"nodes\": {n_nodes}, \"pes\": {pes}, \"occupied_node_percent\": {occupied} }},\n  \"query\": {{\n    \"iterations\": {iters},\n    \"naive_us_per_query\": {naive_us:.3},\n    \"indexed_us_per_query\": {indexed_us:.3},\n    \"speedup\": {q_speedup:.1}\n  }},\n  \"dispatch\": {{\n    \"tasks\": {tasks},\n    \"naive_seconds\": {naive_s:.3},\n    \"indexed_seconds\": {indexed_s:.3},\n    \"speedup\": {t_speedup:.1},\n    \"index_hits\": {hits},\n    \"scan_fallbacks\": {fallbacks},\n    \"range_width\": {width},\n    \"backlog_skipped\": {skipped}\n  }}\n}}\n",
+        "{{\n  \"benchmark\": \"matchmaker_hot_path\",\n  \"grid\": {{ \"nodes\": {n_nodes}, \"pes\": {pes}, \"occupied_node_percent\": {occupied} }},\n  \"query\": {{\n    \"iterations\": {iters},\n    \"naive_us_per_query\": {naive_us:.3},\n    \"indexed_us_per_query\": {indexed_us:.3},\n    \"speedup\": {q_speedup:.1}\n  }},\n  \"dispatch\": {{\n    \"tasks\": {tasks},\n    \"naive_seconds\": {naive_s:.3},\n    \"indexed_seconds\": {indexed_s:.3},\n    \"speedup\": {t_speedup:.1},\n    \"index_hits\": {hits},\n    \"scan_fallbacks\": {fallbacks},\n    \"range_width\": {width},\n    \"backlog_skipped\": {skipped},\n    \"turnaround_p50_seconds\": {tq50:.3},\n    \"turnaround_p99_seconds\": {tq99:.3}\n  }}\n}}\n",
         pes = 4 * n_nodes,
         naive_us = q.naive_us,
         indexed_us = q.indexed_us,
@@ -290,6 +297,8 @@ fn main() {
         fallbacks = t.scan_fallbacks,
         width = t.range_width,
         skipped = t.backlog_skipped,
+        tq50 = t.turnaround_q.0,
+        tq99 = t.turnaround_q.1,
     );
     std::fs::write("BENCH_matchmaker.json", &json).expect("write BENCH_matchmaker.json");
     println!("\nwrote BENCH_matchmaker.json");

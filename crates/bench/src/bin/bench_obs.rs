@@ -1,0 +1,179 @@
+//! **Observability-overhead benchmark**: the cost of running the full
+//! profiler (span collection + wait-cause classification + timeline
+//! recording) against the same ClustalW-at-scale run on the default
+//! `NoopSink`.
+//!
+//! Three properties are asserted on every run:
+//!
+//! * **non-interference** — the profiled run's `SimReport` is byte-for-byte
+//!   the baseline's (telemetry observes, never steers);
+//! * **blame telescopes** — every completed task's blame components sum to
+//!   its turnaround time, and the critical path never exceeds the makespan;
+//! * **overhead** (full runs only) — the profiled run costs < 5% extra
+//!   wall clock, best-of-rounds on both sides with interleaved timing.
+//!
+//! The full run writes `BENCH_obs.json` at the repository root; `--smoke`
+//! runs a scaled-down sanity pass (correctness assertions, no file and no
+//! overhead gate — debug-build timings are noise).
+//!
+//! Usage: `bench_obs [--smoke]`
+
+use rhv_bench::clustalw_scale::{clustalw_workload, run_clustalw_grid};
+use rhv_bench::{banner, section};
+use rhv_grid::profile::Profiler;
+use rhv_obs::{Outcome, ProfileReport};
+use rhv_sim::SimReport;
+
+/// One run of the scenario, optionally profiled.
+fn one_run(
+    n_nodes: usize,
+    n_jobs: usize,
+    profiled: bool,
+) -> (f64, SimReport, Option<ProfileReport>) {
+    let profiler = profiled.then(Profiler::new);
+    let sink = profiler.as_ref().map(|p| p.sink());
+    let (report, wall_s) = run_clustalw_grid(n_nodes, n_jobs, sink);
+    let profile = profiler.map(|p| {
+        let (_, graph) = clustalw_workload(n_jobs);
+        p.report(Some(&graph))
+    });
+    (wall_s, report, profile)
+}
+
+/// Best wall time per configuration over `rounds` interleaved
+/// baseline/profiled pairs (after one unmeasured warm-up of each, so
+/// neither side pays first-touch costs and allocator drift cancels out).
+fn best_of(
+    rounds: usize,
+    n_nodes: usize,
+    n_jobs: usize,
+) -> (f64, SimReport, f64, SimReport, ProfileReport) {
+    let _ = one_run(n_nodes, n_jobs, false);
+    let _ = one_run(n_nodes, n_jobs, true);
+    let mut best_base = f64::INFINITY;
+    let mut best_prof = f64::INFINITY;
+    let mut last = None;
+    for _ in 0..rounds {
+        let (base_s, base_report, _) = one_run(n_nodes, n_jobs, false);
+        let (prof_s, prof_report, profile) = one_run(n_nodes, n_jobs, true);
+        best_base = best_base.min(base_s);
+        best_prof = best_prof.min(prof_s);
+        last = Some((base_report, prof_report, profile.expect("profiled run")));
+    }
+    let (base_report, prof_report, profile) = last.expect("at least one round");
+    (best_base, base_report, best_prof, prof_report, profile)
+}
+
+/// The correctness invariants the profiler promises, independent of scale.
+fn assert_profile_invariants(profile: &ProfileReport) {
+    for b in &profile.tasks {
+        if b.outcome == Outcome::Completed {
+            let turnaround = b.turnaround().expect("completed tasks have a finish");
+            assert!(
+                (b.total() - turnaround).abs() < 1e-9,
+                "{}: blame components sum to {} but turnaround is {}",
+                b.task,
+                b.total(),
+                turnaround
+            );
+        }
+    }
+    assert!(
+        profile.totals.unattributed.abs() < 1e-9,
+        "unattributed time in a clean run: {}",
+        profile.totals.unattributed
+    );
+    let cp = profile
+        .critical_path
+        .as_ref()
+        .expect("a completed run has a critical path");
+    assert!(
+        cp.length <= cp.makespan + 1e-9,
+        "critical path {} exceeds makespan {}",
+        cp.length,
+        cp.makespan
+    );
+    assert!(!cp.tasks.is_empty(), "critical path is empty");
+}
+
+fn main() {
+    let smoke = std::env::args().any(|a| a == "--smoke");
+    let (n_nodes, n_jobs, rounds) = if smoke {
+        (1000, 100, 1)
+    } else {
+        (1000, 5000, 5)
+    };
+
+    banner(
+        "observability overhead",
+        "full profiler vs NoopSink on the ClustalW-at-scale run",
+    );
+    println!(
+        "{} nodes, {} jobs ({} tasks), best of {} round(s){}",
+        n_nodes,
+        n_jobs,
+        n_jobs * 4,
+        rounds,
+        if smoke { "  [smoke]" } else { "" }
+    );
+
+    let (base_s, base_report, prof_s, prof_report, profile) = best_of(rounds, n_nodes, n_jobs);
+
+    section("baseline (NoopSink)");
+    println!(
+        "  completed  : {:>8} / {}   makespan {:.1}s   wall {:.3}s",
+        base_report.completed,
+        n_jobs * 4,
+        base_report.makespan,
+        base_s
+    );
+
+    section("profiled (spans + wait causes + timeline)");
+    let overhead = prof_s / base_s - 1.0;
+    println!(
+        "  completed  : {:>8} / {}   makespan {:.1}s   wall {:.3}s",
+        prof_report.completed,
+        n_jobs * 4,
+        prof_report.makespan,
+        prof_s
+    );
+    println!("  overhead   : {:>8.2}%", 100.0 * overhead);
+
+    assert_eq!(
+        format!("{base_report:?}"),
+        format!("{prof_report:?}"),
+        "the profiler changed the simulation outcome"
+    );
+    assert_profile_invariants(&profile);
+    let cp = profile.critical_path.as_ref().unwrap();
+    println!(
+        "  profile    : {} tasks, critical path {:.1}s / {:.1}s makespan, dominant {}",
+        profile.tasks.len(),
+        cp.length,
+        cp.makespan,
+        cp.dominant().map(|(l, _)| l).unwrap_or("-")
+    );
+
+    if smoke {
+        println!("\nsmoke run — BENCH_obs.json left untouched, overhead not gated");
+        return;
+    }
+
+    assert!(
+        overhead < 0.05,
+        "profiler overhead must stay under 5% (got {:.2}%)",
+        100.0 * overhead
+    );
+
+    let json = format!(
+        "{{\n  \"benchmark\": \"observability_overhead\",\n  \"nodes\": {n_nodes},\n  \"jobs\": {n_jobs},\n  \"tasks\": {tasks},\n  \"rounds\": {rounds},\n  \"baseline_wall_seconds\": {base_s:.3},\n  \"profiled_wall_seconds\": {prof_s:.3},\n  \"overhead_fraction\": {overhead:.4},\n  \"overhead_budget_fraction\": 0.05,\n  \"reports_identical\": true,\n  \"profile\": {{\n    \"completed\": {completed},\n    \"makespan_seconds\": {makespan:.3},\n    \"critical_path_seconds\": {cp_len:.3},\n    \"critical_path_tasks\": {cp_tasks},\n    \"dominant\": \"{dominant}\"\n  }}\n}}\n",
+        tasks = n_jobs * 4,
+        completed = prof_report.completed,
+        makespan = prof_report.makespan,
+        cp_len = cp.length,
+        cp_tasks = cp.tasks.len(),
+        dominant = cp.dominant().map(|(l, _)| l).unwrap_or("-"),
+    );
+    std::fs::write("BENCH_obs.json", &json).expect("write BENCH_obs.json");
+    println!("\nwrote BENCH_obs.json");
+}

@@ -1,0 +1,112 @@
+//! **`obs_report`**: the profiler's text dashboard over the deterministic
+//! ClustalW-at-scale run — per-task blame totals, wait-cause breakdown,
+//! critical path and time-series percentiles in one screen.
+//!
+//! The run is `--jobs` copies of the Section V four-task diamond over a
+//! `--nodes`-node grid (defaults: 250 jobs, 1,000 nodes), profiled through
+//! [`rhv_grid::profile::Profiler`]. Besides the dashboard the binary can
+//! emit the structured report (`--json`), the flow-annotated Perfetto
+//! trace (`--trace FILE`), or validate the `obs_report/v1` JSON schema
+//! with the internal parser (`--check`).
+//!
+//! Usage: `obs_report [--nodes N] [--jobs N] [--json] [--trace FILE] [--check]`
+
+use rhv_bench::clustalw_scale::{clustalw_workload, run_clustalw_grid};
+use rhv_grid::profile::Profiler;
+use rhv_telemetry::{json, perfetto};
+
+/// Parses `--flag N` out of the argument list.
+fn flag_value(args: &[String], flag: &str) -> Option<String> {
+    args.iter()
+        .position(|a| a == flag)
+        .and_then(|i| args.get(i + 1))
+        .cloned()
+}
+
+/// Asserts the `obs_report/v1` shape with the stub-proof internal JSON
+/// parser: schema tag, blame block with every wait cause, critical-path
+/// and timeline fields present (as objects or explicit nulls).
+fn check_schema(rendered: &str) {
+    let v = json::parse(rendered).expect("obs_report JSON must parse");
+    assert_eq!(
+        v.get("schema").and_then(|s| s.as_str()),
+        Some("obs_report/v1"),
+        "schema tag"
+    );
+    for key in ["makespan_s", "tasks", "blame", "critical_path", "timeline"] {
+        assert!(v.get(key).is_some(), "missing top-level key {key:?}");
+    }
+    let blame = v.get("blame").expect("blame block");
+    for key in [
+        "wait",
+        "data_in",
+        "synth",
+        "bitstream",
+        "reconfig",
+        "exec",
+        "lost",
+        "unattributed",
+        "reuse",
+    ] {
+        assert!(blame.get(key).is_some(), "missing blame key {key:?}");
+    }
+    let wait = blame.get("wait").expect("wait block");
+    for cause in rhv_telemetry::WaitCause::ALL {
+        assert!(
+            wait.get(cause.label()).is_some(),
+            "missing wait cause {:?}",
+            cause.label()
+        );
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let n_nodes: usize = flag_value(&args, "--nodes")
+        .map(|v| v.parse().expect("--nodes takes an integer"))
+        .unwrap_or(1000);
+    let n_jobs: usize = flag_value(&args, "--jobs")
+        .map(|v| v.parse().expect("--jobs takes an integer"))
+        .unwrap_or(250);
+    let want_json = args.iter().any(|a| a == "--json");
+    let check = args.iter().any(|a| a == "--check");
+    let trace_out = flag_value(&args, "--trace");
+
+    let profiler = Profiler::new();
+    let (report, wall_s) = run_clustalw_grid(n_nodes, n_jobs, Some(profiler.sink()));
+    let (_, graph) = clustalw_workload(n_jobs);
+    let profile = profiler.report(Some(&graph));
+
+    eprintln!(
+        "ran {} jobs ({} tasks) over {} nodes in {:.3}s wall: {} completed, {} rejected",
+        n_jobs,
+        n_jobs * 4,
+        n_nodes,
+        wall_s,
+        report.completed,
+        report.rejected
+    );
+
+    if let Some(path) = trace_out {
+        let edges = rhv_obs::flow_edges(&graph);
+        let trace =
+            perfetto::to_chrome_trace_with_flows(&profiler.spans(), &edges).expect("trace export");
+        std::fs::write(&path, trace).expect("write trace file");
+        eprintln!("wrote flow-annotated Perfetto trace to {path}");
+    }
+
+    if check {
+        check_schema(&profile.to_json());
+        println!(
+            "obs_report schema ok ({} tasks profiled)",
+            profile.tasks.len()
+        );
+        return;
+    }
+
+    if want_json {
+        print!("{}", profile.to_json());
+    } else {
+        print!("{}", profile.render_text());
+    }
+}

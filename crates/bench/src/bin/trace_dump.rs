@@ -194,7 +194,10 @@ fn check_perfetto(trace: &str) {
 }
 
 /// Validates the Prometheus exposition: the headline instruments are
-/// present and every sample line parses as a finite number.
+/// present, every sample line parses as a finite number, metric families
+/// are emitted in deterministic sorted order with exactly one `# HELP` and
+/// one `# TYPE` header each, and the whole text round-trips through the
+/// crate's own exposition parser.
 fn check_prometheus(prom: &str) {
     for needed in [
         "rhv_tasks_completed_total",
@@ -219,5 +222,68 @@ fn check_prometheus(prom: &str) {
             die(&format!("negative/NaN sample `{line}`"));
         }
     }
-    println!("  prometheus check ✓");
+
+    // Family headers: one HELP + one TYPE per family, TYPE kinds valid,
+    // families in sorted order (the exposition must be deterministic).
+    let helps: Vec<&str> = prom
+        .lines()
+        .filter_map(|l| l.strip_prefix("# HELP "))
+        .filter_map(|l| l.split(' ').next())
+        .collect();
+    let types: Vec<(&str, &str)> = prom
+        .lines()
+        .filter_map(|l| l.strip_prefix("# TYPE "))
+        .filter_map(|l| l.split_once(' '))
+        .collect();
+    if helps.len() != types.len() {
+        die(&format!(
+            "{} HELP headers but {} TYPE headers",
+            helps.len(),
+            types.len()
+        ));
+    }
+    let families: Vec<&str> = types.iter().map(|(name, _)| *name).collect();
+    if helps != families {
+        die("HELP and TYPE headers disagree on family names or order");
+    }
+    let mut sorted = families.clone();
+    sorted.sort_unstable();
+    sorted.dedup();
+    if families != sorted {
+        die("metric families are not in sorted deterministic order");
+    }
+    for (name, kind) in &types {
+        if !matches!(*kind, "counter" | "gauge" | "histogram") {
+            die(&format!("family {name} has invalid TYPE {kind:?}"));
+        }
+        if *kind == "histogram" && !prom.contains(&format!("{name}_bucket{{le=\"+Inf\"}}")) {
+            die(&format!("histogram {name} lacks a +Inf bucket"));
+        }
+    }
+
+    // Round trip through the crate's own exposition parser: every sample
+    // line yields exactly one parsed sample with a matching value.
+    let samples = rhv_telemetry::prometheus::parse_exposition(prom)
+        .unwrap_or_else(|e| die(&format!("exposition does not round-trip: {e}")));
+    let sample_lines = prom
+        .lines()
+        .filter(|l| !l.starts_with('#') && !l.is_empty())
+        .count();
+    if samples.len() != sample_lines {
+        die(&format!(
+            "parser saw {} samples but the text has {} sample lines",
+            samples.len(),
+            sample_lines
+        ));
+    }
+    for s in &samples {
+        if !s.value.is_finite() {
+            die(&format!("round-tripped sample {} is non-finite", s.name));
+        }
+    }
+    println!(
+        "  prometheus check ✓ ({} families, {} samples round-tripped)",
+        families.len(),
+        samples.len()
+    );
 }

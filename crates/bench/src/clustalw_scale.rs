@@ -1,0 +1,117 @@
+//! The deterministic ClustalW-at-scale scenario behind `obs_report`,
+//! `bench_obs`, `tests/obs_profile.rs` and `examples/profile_clustalw.rs`.
+//!
+//! The Section V case study is one four-task diamond
+//! (`T0 → {T1, T2} → T3`); here it is stamped out `n_jobs` times over a
+//! grid of `n_nodes` case-study nodes, each copy renumbered into a
+//! disjoint `TaskId` range and submitted a fixed spacing apart. Everything
+//! is seedless and arithmetic, so two runs of the same shape produce
+//! byte-identical lifecycle spans — the property the profiler's
+//! determinism tests pin.
+
+use rhv_core::case_study;
+use rhv_core::graph::TaskGraph;
+use rhv_core::ids::{NodeId, TaskId};
+use rhv_core::node::Node;
+use rhv_core::task::Task;
+use rhv_sched::FirstFitStrategy;
+use rhv_sim::sim::{GridSimulator, SimConfig};
+use rhv_sim::SimReport;
+use rhv_telemetry::TelemetrySink;
+use std::time::Instant;
+
+/// Seconds between consecutive job submissions.
+pub const JOB_SPACING_S: f64 = 0.25;
+
+/// The full three-node case-study ensemble cloned round-robin to `n`
+/// nodes. Unlike the engine/matchmaker benchmarks' node-0-only grid, every
+/// device class of Section V is present — `malign` (≥ 18,707 Virtex-5
+/// slices) and `pairalign` (≥ 30,790) need Node_1/Node_2's larger parts.
+pub fn grid_of(n: usize) -> Vec<Node> {
+    let base = case_study::grid();
+    (0..n)
+        .map(|i| {
+            let mut node = base[i % base.len()].clone();
+            node.id = NodeId(i as u64);
+            node
+        })
+        .collect()
+}
+
+/// `n_jobs` copies of the ClustalW diamond, job `k` owning
+/// `TaskId(4k) .. TaskId(4k+3)` and arriving at `k * JOB_SPACING_S`.
+/// Returns the workload plus the dependency graph over every copy.
+pub fn clustalw_workload(n_jobs: usize) -> (Vec<(f64, Task)>, TaskGraph) {
+    let templates = case_study::tasks();
+    let mut graph = TaskGraph::new();
+    let mut workload = Vec::with_capacity(n_jobs * templates.len());
+    for k in 0..n_jobs as u64 {
+        let base = 4 * k;
+        for template in &templates {
+            let mut task = template.clone();
+            task.id = TaskId(base + task.id.0);
+            for input in &mut task.inputs {
+                input.source = TaskId(base + input.source.0);
+            }
+            workload.push((k as f64 * JOB_SPACING_S, task));
+        }
+        for (from, to) in [(0, 1), (0, 2), (1, 3), (2, 3)] {
+            graph
+                .add_edge(TaskId(base + from), TaskId(base + to))
+                .expect("the diamond is acyclic");
+        }
+    }
+    (workload, graph)
+}
+
+/// One full run of the scenario: `n_jobs` diamonds over `n_nodes` nodes,
+/// dependency-held, through the given sink (`None` leaves the simulator's
+/// default `NoopSink` in place). Returns the report and the wall time.
+pub fn run_clustalw_grid(
+    n_nodes: usize,
+    n_jobs: usize,
+    sink: Option<Box<dyn TelemetrySink>>,
+) -> (SimReport, f64) {
+    let (workload, graph) = clustalw_workload(n_jobs);
+    let cfg = SimConfig {
+        cad_speed: 10.0,
+        ..SimConfig::default()
+    };
+    let mut sim = GridSimulator::new(grid_of(n_nodes), cfg).with_dependencies(graph);
+    if let Some(sink) = sink {
+        sim = sim.with_sink(sink);
+    }
+    let start = Instant::now();
+    let report = sim.run(workload, &mut FirstFitStrategy::new());
+    (report, start.elapsed().as_secs_f64())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn workload_renumbers_ids_and_inputs_into_disjoint_ranges() {
+        let (workload, graph) = clustalw_workload(3);
+        assert_eq!(workload.len(), 12);
+        assert_eq!(graph.task_count(), 12);
+        // Job 2's pairalign copy: id 4*2+2, input rewired to its own T0.
+        let (at, t2) = &workload[10];
+        assert_eq!(*at, 2.0 * JOB_SPACING_S);
+        assert_eq!(t2.id, TaskId(10));
+        assert_eq!(t2.source_tasks(), vec![TaskId(8)]);
+        // Dependency edges never cross job boundaries.
+        for from in graph.tasks() {
+            for to in graph.successors(from) {
+                assert_eq!(from.0 / 4, to.0 / 4, "edge {from} -> {to} crosses jobs");
+            }
+        }
+    }
+
+    #[test]
+    fn small_run_completes_every_task() {
+        let (report, _) = run_clustalw_grid(3, 2, None);
+        assert_eq!(report.completed, 8);
+        assert_eq!(report.rejected, 0);
+    }
+}

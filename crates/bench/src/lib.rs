@@ -4,6 +4,7 @@
 //! regenerates it (`cargo run -p rhv-bench --bin <name>`); see DESIGN.md's
 //! per-experiment index. These helpers keep the output format uniform.
 
+pub mod clustalw_scale;
 pub mod sweep;
 
 /// Prints a banner naming the reproduced artifact.
@@ -22,6 +23,20 @@ pub fn section(title: &str) {
 /// Formats a ratio as a percentage string.
 pub fn pct(x: f64) -> String {
     format!("{:.2}%", x * 100.0)
+}
+
+/// `(p50, p99)` of a registry histogram, estimated from its cumulative
+/// buckets ([`rhv_telemetry::Histogram::quantile`]); `(0, 0)` when the
+/// histogram is missing or empty. The BENCH_*.json writers all quote their
+/// latency percentiles through this one path.
+pub fn hist_p50_p99(registry: &rhv_telemetry::MetricsRegistry, name: &str) -> (f64, f64) {
+    match registry.find(name) {
+        Some(rhv_telemetry::Instrument::Histogram(h)) => (
+            h.quantile(0.50).unwrap_or(0.0),
+            h.quantile(0.99).unwrap_or(0.0),
+        ),
+        _ => (0.0, 0.0),
+    }
 }
 
 #[cfg(test)]

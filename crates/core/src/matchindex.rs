@@ -146,6 +146,15 @@ pub struct MatchIndex {
     gpu_group_of: HashMap<PeRef, usize>,
     gpp_cores: HashMap<PeRef, u64>,
     rpe_fit: HashMap<PeRef, u64>,
+    /// Free slices per RPE at last indexing, backing the O(1) fragmentation
+    /// aggregates below (retire-old / add-new on every re-index).
+    rpe_free: HashMap<PeRef, u64>,
+    /// Σ fit key (largest usable run) over RPEs with free slices.
+    frag_fit_sum: u64,
+    /// Σ free slices over the same RPEs.
+    frag_free_sum: u64,
+    /// Number of RPEs with free slices.
+    frag_devices: u64,
     // Resident-config map: kinds with >= 1 *idle* loaded config, per RPE and
     // inverted for the O(1) reuse lookup.
     resident_kinds: HashMap<PeRef, Vec<ConfigKind>>,
@@ -290,6 +299,27 @@ impl MatchIndex {
         self.health.is_empty()
     }
 
+    /// Free-slice fragmentation index in `[0, 1]` across every indexed
+    /// fabric device with free slices: `1 − Σ largest-usable-run / Σ free`.
+    /// `0` means all free capacity is reachable in one contiguous
+    /// allocation per device; values near `1` mean the free slices are
+    /// shattered (or stranded on configured single-configuration fabric,
+    /// whose usable run is 0). Maintained incrementally — this accessor is
+    /// O(1) and costs no scan.
+    pub fn fragmentation_index(&self) -> f64 {
+        if self.frag_free_sum == 0 {
+            0.0
+        } else {
+            1.0 - self.frag_fit_sum as f64 / self.frag_free_sum as f64
+        }
+    }
+
+    /// The raw aggregates behind [`MatchIndex::fragmentation_index`]:
+    /// `(Σ largest usable run, Σ free slices, devices with free slices)`.
+    pub fn fragmentation_stats(&self) -> (u64, u64, u64) {
+        (self.frag_fit_sum, self.frag_free_sum, self.frag_devices)
+    }
+
     /// Re-files one PE after its dynamic state changed (acquire, release,
     /// configure, evict). Call this with the **post-mutation** node.
     pub fn refresh_pe(&mut self, node: &Node, pe_id: PeId) {
@@ -361,6 +391,13 @@ impl MatchIndex {
                 }
             }
             g.open.remove(&pe);
+            if let Some(free) = self.rpe_free.remove(&pe) {
+                if free > 0 {
+                    self.frag_fit_sum -= self.rpe_fit.get(&pe).copied().unwrap_or(0);
+                    self.frag_free_sum -= free;
+                    self.frag_devices -= 1;
+                }
+            }
             if let Some(old) = self.rpe_fit.remove(&pe) {
                 if let Some(bucket) = g.by_fit.get_mut(&old) {
                     bucket.remove(&pe);
@@ -457,6 +494,22 @@ impl MatchIndex {
                     g.open.insert(pe);
                 } else {
                     g.open.remove(&pe);
+                }
+                // Fragmentation aggregates: retire the previous (fit, free)
+                // contribution, add the current one — O(1) per re-index.
+                let free = rpe.state.fabric().available_slices();
+                let old_fit = self.rpe_fit.get(&pe).copied().unwrap_or(0);
+                if let Some(old_free) = self.rpe_free.insert(pe, free) {
+                    if old_free > 0 {
+                        self.frag_fit_sum -= old_fit;
+                        self.frag_free_sum -= old_free;
+                        self.frag_devices -= 1;
+                    }
+                }
+                if free > 0 {
+                    self.frag_fit_sum += fit;
+                    self.frag_free_sum += free;
+                    self.frag_devices += 1;
                 }
                 if let Some(old) = self.rpe_fit.insert(pe, fit) {
                     if old != fit {
@@ -1113,6 +1166,66 @@ mod tests {
         assert_eq!(s.hits, 2);
         assert!(s.range_width >= 1);
         assert_eq!(s.scan_fallbacks, 0, "every query shape is index-served");
+    }
+
+    #[test]
+    fn fragmentation_index_pins_hand_built_grid() {
+        use rhv_params::catalog::Catalog;
+        // A fresh grid has every fabric empty: largest run == free slices on
+        // every device, so the index is exactly zero.
+        let fresh = MatchIndex::build(&case_study::grid());
+        assert_eq!(fresh.fragmentation_index(), 0.0);
+
+        // One node, one XC5VLX110 (17,280 slices, partial reconfig). Three
+        // contiguous 5,000-slice loads, then unload the middle one:
+        //   [A 0..5000)[hole 5000..10000)[C 10000..15000)[tail 15000..17280)
+        // free = 5000 + 2280 = 7280, largest run = 5000.
+        let cat = Catalog::builtin();
+        let mut node = Node::new(NodeId(0));
+        let pe = node.add_rpe(cat.fpga("XC5VLX110").expect("builtin part").clone());
+        let rpe = node.rpe_mut(pe).unwrap();
+        let mut load = |n: &str| {
+            rpe.state.load(
+                ConfigKind::Accelerator(n.into()),
+                5_000,
+                FitPolicy::FirstFit,
+            )
+        };
+        let _a = load("a").unwrap();
+        let b = load("b").unwrap();
+        let _c = load("c").unwrap();
+        node.rpe_mut(pe).unwrap().state.unload(b).unwrap();
+        let mut nodes = vec![node];
+        let mut idx = MatchIndex::build(&nodes);
+        assert_eq!(idx.fragmentation_stats(), (5_000, 7_280, 1));
+        let want = 1.0 - 5_000.0 / 7_280.0;
+        assert!((idx.fragmentation_index() - want).abs() < 1e-12);
+
+        // Incremental refresh agrees with a from-scratch rebuild: a 4,000-
+        // slice load lands first-fit inside the hole, leaving gaps of 1,000
+        // and 2,280 (largest run 2,280 of 3,280 free).
+        nodes[0]
+            .rpe_mut(pe)
+            .unwrap()
+            .state
+            .load(
+                ConfigKind::Accelerator("d".into()),
+                4_000,
+                FitPolicy::FirstFit,
+            )
+            .unwrap();
+        idx.refresh_pe(&nodes[0], pe);
+        assert_eq!(idx.fragmentation_stats(), (2_280, 3_280, 1));
+        assert_eq!(
+            idx.fragmentation_stats(),
+            MatchIndex::build(&nodes).fragmentation_stats()
+        );
+
+        // Node churn retires the contribution entirely.
+        nodes.clear();
+        idx.remove_node(NodeId(0), &nodes);
+        assert_eq!(idx.fragmentation_stats(), (0, 0, 0));
+        assert_eq!(idx.fragmentation_index(), 0.0);
     }
 }
 

@@ -19,13 +19,17 @@
 //!   task lifecycle events; the grid only consumes them);
 //! * [`live`] — a threaded emulation where every node runs as its own
 //!   thread behind crossbeam channels, demonstrating the framework as an
-//!   actual concurrent distributed system rather than a simulation.
+//!   actual concurrent distributed system rather than a simulation;
+//! * [`profile`] — the [`profile::Profiler`] bundle wiring the `rhv-obs`
+//!   critical-path profiler (span collector + timeline recorder) into any
+//!   front-end that accepts a telemetry sink.
 
 pub mod cost;
 pub mod federation;
 pub mod jss;
 pub mod live;
 pub mod monitor;
+pub mod profile;
 pub mod rms;
 pub mod services;
 pub mod telemetry;

@@ -167,6 +167,38 @@ pub fn run_live(
     )
 }
 
+/// [`run_live`] with the `rhv-obs` profiler riding the kernel's sink: the
+/// wall-clock run is observed exactly like a simulated one (the kernel is
+/// the only span emitter), so the same per-task blame fold, critical path
+/// and timeline percentiles come back as a
+/// [`rhv_obs::ProfileReport`] next to the report.
+pub fn run_live_profiled(
+    nodes: Vec<rhv_core::node::Node>,
+    cfg: rhv_sim::sim::SimConfig,
+    workload: Vec<Task>,
+    graph: Option<rhv_core::graph::TaskGraph>,
+    strategy: &mut dyn rhv_sim::Strategy,
+    time_scale: f64,
+) -> (
+    rhv_sim::SimReport,
+    Vec<(NodeId, u64)>,
+    rhv_obs::ProfileReport,
+) {
+    let profiler = crate::profile::Profiler::new();
+    let (report, counts) = run_live_sinked(
+        nodes,
+        cfg,
+        workload,
+        graph.clone(),
+        strategy,
+        time_scale,
+        Some(profiler.sink()),
+        None,
+    );
+    let profile = profiler.report(graph.as_ref());
+    (report, counts, profile)
+}
+
 /// [`run_live`] under an injected [`rhv_sim::FaultPlan`]: the plan is
 /// compiled against the node set and its crash/rejoin/degradation events are
 /// fed to the kernel in virtual-time order, interleaved with the wall-clock

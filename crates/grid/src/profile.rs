@@ -1,0 +1,117 @@
+//! Front-end profiling wiring: attach the `rhv-obs` profiler to any run.
+//!
+//! [`Profiler`] bundles the two observers a profile needs — a
+//! [`SpanCollector`] for the lifecycle stream and a shared
+//! [`TimelineRecorder`] for the per-instant gauges — behind one
+//! [`TelemetrySink`] handle that front-ends already accept. After the run,
+//! [`Profiler::report`] folds everything into a
+//! [`ProfileReport`](rhv_obs::ProfileReport).
+
+use parking_lot::Mutex;
+use rhv_core::graph::TaskGraph;
+use rhv_obs::{ProfileReport, TimelineRecorder};
+use rhv_telemetry::{
+    FanoutSink, LifecycleSpan, NodeEvent, SpanCollector, TelemetrySink, TimelineStats,
+};
+use std::sync::Arc;
+
+/// A clonable [`TelemetrySink`] handle over one shared
+/// [`TimelineRecorder`] — lets the recorder ride a boxed sink into a run
+/// and still be read afterwards.
+#[derive(Clone, Default)]
+pub struct SharedRecorder {
+    inner: Arc<Mutex<TimelineRecorder>>,
+}
+
+impl SharedRecorder {
+    /// Wraps a recorder.
+    pub fn new(recorder: TimelineRecorder) -> Self {
+        SharedRecorder {
+            inner: Arc::new(Mutex::new(recorder)),
+        }
+    }
+
+    /// Runs `f` over the recorded timeline.
+    pub fn with<R>(&self, f: impl FnOnce(&TimelineRecorder) -> R) -> R {
+        f(&self.inner.lock())
+    }
+}
+
+impl TelemetrySink for SharedRecorder {
+    fn enabled(&self) -> bool {
+        true
+    }
+
+    fn record(&mut self, span: &LifecycleSpan) {
+        self.inner.lock().record(span);
+    }
+
+    fn timeline(&mut self, at: f64, stats: TimelineStats) {
+        self.inner.lock().timeline(at, stats);
+    }
+
+    fn node_event(&mut self, at: f64, event: NodeEvent) {
+        self.inner.lock().node_event(at, event);
+    }
+}
+
+/// Span collector + timeline recorder, packaged for one profiled run.
+#[derive(Clone, Default)]
+pub struct Profiler {
+    spans: SpanCollector,
+    recorder: SharedRecorder,
+}
+
+impl Profiler {
+    /// A fresh profiler.
+    pub fn new() -> Self {
+        Profiler::default()
+    }
+
+    /// The sink to hand to a front-end (`run_job_simulated_with_sink`,
+    /// `run_live_*`'s `sink` argument, a `GridSimulator::with_sink`, …).
+    pub fn sink(&self) -> Box<dyn TelemetrySink> {
+        Box::new(
+            FanoutSink::new()
+                .with(Box::new(self.spans.clone()))
+                .with(Box::new(self.recorder.clone())),
+        )
+    }
+
+    /// The raw lifecycle spans collected so far.
+    pub fn spans(&self) -> Vec<LifecycleSpan> {
+        self.spans.spans()
+    }
+
+    /// Folds everything observed so far into a report. Pass the job's
+    /// dependency `graph` to get critical-path extraction.
+    pub fn report(&self, graph: Option<&TaskGraph>) -> ProfileReport {
+        let spans = self.spans.spans();
+        self.recorder
+            .with(|r| ProfileReport::build(&spans, graph, Some(r)))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn profiler_sink_feeds_both_observers() {
+        use rhv_core::ids::TaskId;
+        use rhv_telemetry::{SpanEvent, TimelineStats};
+        let p = Profiler::new();
+        let mut sink = p.sink();
+        assert!(sink.enabled());
+        sink.record(&LifecycleSpan {
+            task: TaskId(0),
+            at: 0.0,
+            event: SpanEvent::Submitted,
+        });
+        sink.timeline(0.0, TimelineStats::default());
+        assert_eq!(p.spans().len(), 1);
+        let report = p.report(None);
+        assert_eq!(report.tasks.len(), 1);
+        assert_eq!(report.timeline.unwrap().samples, 1);
+    }
+}

@@ -196,6 +196,24 @@ impl GridServices {
         Some(report)
     }
 
+    /// [`GridServices::run_job_simulated`] with the `rhv-obs` profiler
+    /// attached: collects the lifecycle spans and the per-instant timeline
+    /// during the run, then folds them — against the job's dependency
+    /// graph — into a [`rhv_obs::ProfileReport`] (per-task blame, critical
+    /// path, time-series percentiles) returned alongside the simulation
+    /// report.
+    pub fn run_job_profiled(
+        &mut self,
+        job: JobId,
+        strategy: &mut dyn rhv_sim::strategy::Strategy,
+        cfg: rhv_sim::sim::SimConfig,
+    ) -> Option<(rhv_sim::metrics::SimReport, rhv_obs::ProfileReport)> {
+        let profiler = crate::profile::Profiler::new();
+        let graph = self.jss.job(job)?.application.dependency_graph();
+        let report = self.run_job_simulated_with_sink(job, strategy, cfg, Some(profiler.sink()))?;
+        Some((report, profiler.report(Some(&graph))))
+    }
+
     /// Drives one job synchronously to completion on the RMS grid (a
     /// convenience used by examples and tests; the simulator and the live
     /// mode are the asynchronous paths).

@@ -42,7 +42,7 @@ impl TelemetrySink for MonitorSink {
         match &span.event {
             SpanEvent::Submitted => m.record_at(span.at, Event::TaskSubmitted(t)),
             SpanEvent::HeldOnDeps => m.record_at(span.at, Event::TaskHeld(t)),
-            SpanEvent::Queued => m.record_at(span.at, Event::TaskQueued(t)),
+            SpanEvent::Queued { .. } => m.record_at(span.at, Event::TaskQueued(t)),
             SpanEvent::Placed(p) => {
                 // The placement marks the setup/exec boundary explicitly:
                 // dispatch at the span time, exec start once setup is paid.

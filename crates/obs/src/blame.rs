@@ -1,0 +1,473 @@
+//! Per-task blame folding: spans in, typed time attribution out.
+//!
+//! The kernel emits one [`LifecycleSpan`] per task-state mutation; between
+//! two consecutive spans the task sits in exactly one state. The fold
+//! attributes every interval `[t_i, t_{i+1})` of a task's life to the bucket
+//! named by the span that *opened* it — wait (by [`WaitCause`]), the four
+//! setup phases, execution, or work lost to churn — so the buckets telescope:
+//! their sum is exactly `finish − submit`, the observed turnaround. No
+//! component is re-derived from grid state; the spans carry everything.
+
+use rhv_core::ids::TaskId;
+use rhv_telemetry::{LifecycleSpan, RejectReason, SpanEvent, WaitCause};
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// How a task's story ended (or didn't).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Outcome {
+    /// The task completed.
+    Completed,
+    /// The kernel gave up for the typed reason.
+    Rejected(RejectReason),
+    /// The span stream ended mid-flight (truncated trace).
+    InFlight,
+}
+
+/// The folded blame breakdown of one task's turnaround.
+///
+/// All durations are sim seconds. Invariant (checked by the profiler's
+/// tests): `wait + setup + exec + lost + unattributed == turnaround()` for
+/// every task with a terminal span — the fold telescopes over the span
+/// timeline, so nothing is double-counted or dropped.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TaskBlame {
+    /// The task.
+    pub task: TaskId,
+    /// When the task entered the kernel (first span).
+    pub submitted_at: f64,
+    /// When the task left dependency hold (equals `submitted_at` for tasks
+    /// that were never held) — the anchor for per-edge slack.
+    pub released_at: f64,
+    /// Terminal timestamp (completion or rejection), if any.
+    pub finished_at: Option<f64>,
+    /// Waiting time by typed cause, indexed by [`WaitCause::ALL`] order.
+    /// `HeldOnDeps` intervals land in the `DependencyWait` slot and
+    /// retry parking in `RetryBackoff`, so one array covers every wait.
+    pub wait: [f64; WaitCause::ALL.len()],
+    /// Setup: input data shipping.
+    pub data_in: f64,
+    /// Setup: HDL synthesis (zero on a CAD-cache hit).
+    pub synth: f64,
+    /// Setup: bitstream shipping.
+    pub bitstream: f64,
+    /// Setup: fabric (partial) reconfiguration.
+    pub reconfig: f64,
+    /// Pure execution time of the placement that completed.
+    pub exec: f64,
+    /// Placed work discarded by node churn (setup + partial exec of
+    /// evicted placements).
+    pub lost: f64,
+    /// Intervals whose opening span names no duration bucket (expected 0;
+    /// nonzero flags a truncated or out-of-vocabulary stream).
+    pub unattributed: f64,
+    /// Placements attempted (1 + churn-evicted re-placements).
+    pub placements: u32,
+    /// Placements that reused a resident configuration.
+    pub reuse_hits: u32,
+    /// How the task ended.
+    pub outcome: Outcome,
+}
+
+impl TaskBlame {
+    fn new(task: TaskId, at: f64) -> Self {
+        TaskBlame {
+            task,
+            submitted_at: at,
+            released_at: at,
+            finished_at: None,
+            wait: [0.0; WaitCause::ALL.len()],
+            data_in: 0.0,
+            synth: 0.0,
+            bitstream: 0.0,
+            reconfig: 0.0,
+            exec: 0.0,
+            lost: 0.0,
+            unattributed: 0.0,
+            placements: 0,
+            reuse_hits: 0,
+            outcome: Outcome::InFlight,
+        }
+    }
+
+    /// Waiting time attributed to `cause`.
+    pub fn wait_for(&self, cause: WaitCause) -> f64 {
+        self.wait[cause.index()]
+    }
+
+    /// Total waiting time, all causes.
+    pub fn wait_total(&self) -> f64 {
+        self.wait.iter().sum()
+    }
+
+    /// Total setup time of the completing placement.
+    pub fn setup_total(&self) -> f64 {
+        self.data_in + self.synth + self.bitstream + self.reconfig
+    }
+
+    /// Sum of every blame bucket — equals [`TaskBlame::turnaround`] for
+    /// tasks with a terminal span.
+    pub fn total(&self) -> f64 {
+        self.wait_total() + self.setup_total() + self.exec + self.lost + self.unattributed
+    }
+
+    /// Observed turnaround: terminal span minus first span.
+    pub fn turnaround(&self) -> Option<f64> {
+        self.finished_at.map(|f| f - self.submitted_at)
+    }
+}
+
+fn cause_slot(cause: WaitCause) -> usize {
+    cause.index()
+}
+
+/// Folds a span stream into one [`TaskBlame`] per task, keyed by id.
+///
+/// Spans must be in emission order per task (the kernel's natural order);
+/// tasks may interleave freely. Unknown tasks appear on their first span.
+pub fn fold_blame(spans: &[LifecycleSpan]) -> BTreeMap<TaskId, TaskBlame> {
+    let mut per_task: BTreeMap<TaskId, Vec<&LifecycleSpan>> = BTreeMap::new();
+    for s in spans {
+        per_task.entry(s.task).or_default().push(s);
+    }
+    let mut out = BTreeMap::new();
+    for (task, seq) in per_task {
+        out.insert(task, fold_task(task, &seq));
+    }
+    out
+}
+
+fn fold_task(task: TaskId, seq: &[&LifecycleSpan]) -> TaskBlame {
+    let mut b = TaskBlame::new(task, seq[0].at);
+    let mut held = false;
+    for (i, span) in seq.iter().enumerate() {
+        let next_at = seq.get(i + 1).map(|s| s.at);
+        let interval = next_at.map(|t| (t - span.at).max(0.0)).unwrap_or(0.0);
+        match &span.event {
+            SpanEvent::Submitted => b.unattributed += interval,
+            SpanEvent::HeldOnDeps => {
+                held = true;
+                b.wait[cause_slot(WaitCause::DependencyWait)] += interval;
+            }
+            SpanEvent::Queued { cause } => {
+                if held {
+                    held = false;
+                    b.released_at = span.at;
+                }
+                b.wait[cause_slot(*cause)] += interval;
+            }
+            SpanEvent::RetryScheduled { .. } => {
+                b.wait[cause_slot(WaitCause::RetryBackoff)] += interval;
+            }
+            SpanEvent::Placed(p) => {
+                if held {
+                    held = false;
+                    b.released_at = span.at;
+                }
+                b.placements += 1;
+                if p.reused {
+                    b.reuse_hits += 1;
+                }
+                match next_at.map(|_| &seq[i + 1].event) {
+                    Some(SpanEvent::Completed(_)) => {
+                        // Split the placement interval into its priced
+                        // phases; any residual (float noise, or a
+                        // completion delivered off-schedule) goes to exec
+                        // so the buckets still telescope exactly.
+                        b.data_in += p.setup.data_in;
+                        b.synth += p.setup.synth;
+                        b.bitstream += p.setup.bitstream;
+                        b.reconfig += p.setup.reconfig;
+                        b.exec += interval - p.setup.total();
+                    }
+                    Some(SpanEvent::ChurnEvicted { .. }) => b.lost += interval,
+                    _ => b.unattributed += interval,
+                }
+            }
+            SpanEvent::Completed(_) => {
+                b.finished_at = Some(span.at);
+                b.outcome = Outcome::Completed;
+                b.unattributed += interval;
+            }
+            SpanEvent::Rejected { reason } => {
+                b.finished_at = Some(span.at);
+                b.outcome = Outcome::Rejected(*reason);
+                b.unattributed += interval;
+            }
+            SpanEvent::PlacementFailed { .. }
+            | SpanEvent::ChurnEvicted { .. }
+            | SpanEvent::Degraded { .. } => b.unattributed += interval,
+        }
+    }
+    b
+}
+
+/// Grid-level aggregation of every task's blame.
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+pub struct BlameTotals {
+    /// Summed waiting time by cause ([`WaitCause::ALL`] order).
+    pub wait: [f64; WaitCause::ALL.len()],
+    /// Summed setup, by phase.
+    pub data_in: f64,
+    /// Summed synthesis time.
+    pub synth: f64,
+    /// Summed bitstream-transfer time.
+    pub bitstream: f64,
+    /// Summed reconfiguration time.
+    pub reconfig: f64,
+    /// Summed execution time.
+    pub exec: f64,
+    /// Summed churn-lost work.
+    pub lost: f64,
+    /// Summed unattributed time (expected 0).
+    pub unattributed: f64,
+    /// Estimated setup seconds avoided by configuration reuse: reuse hits
+    /// × the mean fabric-side setup (synth + transfer + reconfig) of the
+    /// run's cache-cold completions. Informational — reuse shows up in the
+    /// fold as *absent* setup, so the credit sits outside the telescoping
+    /// sum.
+    pub reuse_credit: f64,
+    /// Completed tasks.
+    pub completed: u64,
+    /// Rejected tasks.
+    pub rejected: u64,
+    /// Total reuse hits.
+    pub reuse_hits: u64,
+}
+
+impl BlameTotals {
+    /// Sums task blames into grid totals.
+    pub fn from_tasks<'a>(tasks: impl IntoIterator<Item = &'a TaskBlame>) -> Self {
+        let mut t = BlameTotals::default();
+        let (mut cold_setup, mut cold) = (0.0, 0u64);
+        for b in tasks {
+            for (acc, w) in t.wait.iter_mut().zip(b.wait.iter()) {
+                *acc += w;
+            }
+            t.data_in += b.data_in;
+            t.synth += b.synth;
+            t.bitstream += b.bitstream;
+            t.reconfig += b.reconfig;
+            t.exec += b.exec;
+            t.lost += b.lost;
+            t.unattributed += b.unattributed;
+            match b.outcome {
+                Outcome::Completed => t.completed += 1,
+                Outcome::Rejected(_) => t.rejected += 1,
+                Outcome::InFlight => {}
+            }
+            t.reuse_hits += u64::from(b.reuse_hits);
+            let fabric_setup = b.synth + b.bitstream + b.reconfig;
+            if b.outcome == Outcome::Completed && b.reuse_hits == 0 && fabric_setup > 0.0 {
+                cold_setup += fabric_setup;
+                cold += 1;
+            }
+        }
+        if cold > 0 {
+            t.reuse_credit = t.reuse_hits as f64 * (cold_setup / cold as f64);
+        }
+        t
+    }
+
+    /// `(label, seconds)` pairs of every nonzero bucket, largest first —
+    /// the "what dominated" ranking.
+    pub fn ranked(&self) -> Vec<(&'static str, f64)> {
+        let mut v: Vec<(&'static str, f64)> = Vec::new();
+        for (i, cause) in WaitCause::ALL.iter().enumerate() {
+            if self.wait[i] > 0.0 {
+                v.push((cause.label(), self.wait[i]));
+            }
+        }
+        for (label, x) in [
+            ("data-in", self.data_in),
+            ("synth", self.synth),
+            ("bitstream-transfer", self.bitstream),
+            ("reconfig", self.reconfig),
+            ("exec", self.exec),
+            ("churn-lost", self.lost),
+            ("unattributed", self.unattributed),
+        ] {
+            if x > 0.0 {
+                v.push((label, x));
+            }
+        }
+        v.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap().then(a.0.cmp(b.0)));
+        v
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rhv_core::ids::{NodeId, PeId};
+    use rhv_core::matchmaker::PeRef;
+    use rhv_telemetry::{CompletedSpan, PlacedSpan, SetupPhases};
+
+    fn span(task: u64, at: f64, event: SpanEvent) -> LifecycleSpan {
+        LifecycleSpan {
+            task: TaskId(task),
+            at,
+            event,
+        }
+    }
+
+    fn pe() -> PeRef {
+        PeRef {
+            node: NodeId(0),
+            pe: PeId::Rpe(0),
+        }
+    }
+
+    #[test]
+    fn fold_telescopes_to_turnaround() {
+        let setup = SetupPhases {
+            data_in: 1.0,
+            synth: 4.0,
+            synth_cache_hit: Some(false),
+            bitstream: 0.5,
+            reconfig: 0.5,
+        };
+        let spans = vec![
+            span(7, 0.0, SpanEvent::Submitted),
+            span(7, 0.0, SpanEvent::HeldOnDeps),
+            span(
+                7,
+                2.0,
+                SpanEvent::Queued {
+                    cause: WaitCause::NoFreeSlices,
+                },
+            ),
+            span(
+                7,
+                5.0,
+                SpanEvent::Placed(PlacedSpan {
+                    pe: pe(),
+                    setup,
+                    exec_start: 11.0,
+                    finish: 21.0,
+                    reused: false,
+                }),
+            ),
+            span(
+                7,
+                21.0,
+                SpanEvent::Completed(CompletedSpan {
+                    pe: pe(),
+                    wait: 3.0,
+                    setup: 6.0,
+                    exec: 10.0,
+                    turnaround: 19.0,
+                }),
+            ),
+        ];
+        let blames = fold_blame(&spans);
+        let b = &blames[&TaskId(7)];
+        assert_eq!(b.wait_for(WaitCause::DependencyWait), 2.0);
+        assert_eq!(b.wait_for(WaitCause::NoFreeSlices), 3.0);
+        assert_eq!(b.released_at, 2.0);
+        assert_eq!(b.setup_total(), 6.0);
+        assert_eq!(b.exec, 10.0);
+        assert_eq!(b.unattributed, 0.0);
+        assert_eq!(b.turnaround(), Some(21.0));
+        assert!((b.total() - b.turnaround().unwrap()).abs() < 1e-12);
+        assert_eq!(b.outcome, Outcome::Completed);
+    }
+
+    #[test]
+    fn churn_evicted_interval_is_lost_work() {
+        let spans = vec![
+            span(1, 0.0, SpanEvent::Submitted),
+            span(
+                1,
+                0.0,
+                SpanEvent::Placed(PlacedSpan {
+                    pe: pe(),
+                    setup: SetupPhases::default(),
+                    exec_start: 0.0,
+                    finish: 10.0,
+                    reused: true,
+                }),
+            ),
+            span(1, 4.0, SpanEvent::ChurnEvicted { pe: pe() }),
+            span(
+                1,
+                4.0,
+                SpanEvent::Queued {
+                    cause: WaitCause::NoFreeSlices,
+                },
+            ),
+            span(
+                1,
+                6.0,
+                SpanEvent::Placed(PlacedSpan {
+                    pe: pe(),
+                    setup: SetupPhases::default(),
+                    exec_start: 6.0,
+                    finish: 16.0,
+                    reused: true,
+                }),
+            ),
+            span(
+                1,
+                16.0,
+                SpanEvent::Completed(CompletedSpan {
+                    pe: pe(),
+                    wait: 6.0,
+                    setup: 0.0,
+                    exec: 10.0,
+                    turnaround: 16.0,
+                }),
+            ),
+        ];
+        let b = &fold_blame(&spans)[&TaskId(1)];
+        assert_eq!(b.lost, 4.0);
+        assert_eq!(b.exec, 10.0);
+        assert_eq!(b.wait_for(WaitCause::NoFreeSlices), 2.0);
+        assert_eq!(b.placements, 2);
+        assert_eq!(b.reuse_hits, 2);
+        assert!((b.total() - 16.0).abs() < 1e-12);
+        let totals = BlameTotals::from_tasks(fold_blame(&spans).values());
+        let ranked = totals.ranked();
+        assert_eq!(ranked[0].0, "exec");
+        assert_eq!(totals.completed, 1);
+    }
+
+    #[test]
+    fn retry_parking_is_backoff_wait() {
+        let spans = vec![
+            span(2, 0.0, SpanEvent::Submitted),
+            span(
+                2,
+                0.0,
+                SpanEvent::Placed(PlacedSpan {
+                    pe: pe(),
+                    setup: SetupPhases::default(),
+                    exec_start: 0.0,
+                    finish: 5.0,
+                    reused: false,
+                }),
+            ),
+            span(2, 3.0, SpanEvent::ChurnEvicted { pe: pe() }),
+            span(
+                2,
+                3.0,
+                SpanEvent::RetryScheduled {
+                    attempt: 1,
+                    release: 8.0,
+                },
+            ),
+            span(
+                2,
+                8.0,
+                SpanEvent::Rejected {
+                    reason: RejectReason::RetriesExhausted,
+                },
+            ),
+        ];
+        let b = &fold_blame(&spans)[&TaskId(2)];
+        assert_eq!(b.lost, 3.0);
+        assert_eq!(b.wait_for(WaitCause::RetryBackoff), 5.0);
+        assert_eq!(b.outcome, Outcome::Rejected(RejectReason::RetriesExhausted));
+        assert!((b.total() - 8.0).abs() < 1e-12);
+    }
+}

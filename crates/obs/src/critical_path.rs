@@ -1,0 +1,252 @@
+//! Critical-path extraction over a [`TaskGraph`] and folded blames.
+//!
+//! The walk is purely observational: it uses the *actual* finish times the
+//! spans recorded, not model estimates, so the resulting path is "the chain
+//! of tasks that really gated the makespan". Starting from the
+//! latest-finishing completed task, each step follows the predecessor whose
+//! completion released the current task last (ties broken toward the lowest
+//! task id for determinism) until a task with no completed predecessor is
+//! reached. By construction the path's length — last finish minus first
+//! submit — can never exceed the makespan, which spans the earliest submit
+//! and the latest finish of the whole job.
+
+use crate::blame::{BlameTotals, Outcome, TaskBlame};
+use rhv_core::graph::TaskGraph;
+use rhv_core::ids::TaskId;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// One dependency edge with its observed slack.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct EdgeSlack {
+    /// The predecessor.
+    pub from: TaskId,
+    /// The dependent.
+    pub to: TaskId,
+    /// `released(to) − finish(from)`: how long after `from` completed the
+    /// dependent still had to wait for *other* predecessors. `0` marks the
+    /// binding edge — shrinking `from` would move `to`.
+    pub slack: f64,
+    /// True when this edge lies on the critical path.
+    pub on_critical_path: bool,
+}
+
+/// The observed critical path of one job.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CriticalPath {
+    /// Path tasks in execution order (first submitted → last finished).
+    pub tasks: Vec<TaskId>,
+    /// `finish(last) − submit(first)`: wall time the chain actually spanned.
+    pub length: f64,
+    /// `max finish − min submit` over every completed task.
+    pub makespan: f64,
+    /// Every dependency edge between completed tasks, with slack, ordered
+    /// by `(from, to)`.
+    pub edges: Vec<EdgeSlack>,
+    /// Blame totals over the path tasks only — "what dominated the
+    /// makespan" in the same vocabulary as the per-task fold.
+    pub blame: BlameTotals,
+}
+
+impl CriticalPath {
+    /// The single largest blame bucket on the path, `(label, seconds)`.
+    pub fn dominant(&self) -> Option<(&'static str, f64)> {
+        self.blame.ranked().into_iter().next()
+    }
+}
+
+/// Extracts the critical path from `graph` and the folded `blames`.
+///
+/// Returns `None` when no task completed. Tasks without a terminal
+/// completion (rejected, in-flight) never appear on the path; an edge whose
+/// endpoints both completed gets a slack entry.
+pub fn critical_path(
+    graph: &TaskGraph,
+    blames: &BTreeMap<TaskId, TaskBlame>,
+) -> Option<CriticalPath> {
+    let finish = |id: TaskId| -> Option<f64> {
+        blames
+            .get(&id)
+            .filter(|b| b.outcome == Outcome::Completed)
+            .and_then(|b| b.finished_at)
+    };
+    let end = blames
+        .values()
+        .filter(|b| b.outcome == Outcome::Completed)
+        .max_by(|a, b| {
+            let fa = a.finished_at.unwrap_or(f64::NEG_INFINITY);
+            let fb = b.finished_at.unwrap_or(f64::NEG_INFINITY);
+            fa.partial_cmp(&fb).unwrap().then(b.task.cmp(&a.task)) // tie → lowest id wins the max
+        })?
+        .task;
+
+    // Backward walk: the binding predecessor is the one that finished last
+    // (it released the dependent; every earlier one left slack).
+    let mut path = vec![end];
+    let mut cur = end;
+    loop {
+        let pred = graph
+            .predecessors(cur)
+            .into_iter()
+            .filter_map(|p| finish(p).map(|f| (p, f)))
+            .max_by(|a, b| a.1.partial_cmp(&b.1).unwrap().then(b.0.cmp(&a.0)));
+        match pred {
+            Some((p, _)) => {
+                path.push(p);
+                cur = p;
+            }
+            None => break,
+        }
+    }
+    path.reverse();
+
+    let mut edges = Vec::new();
+    for from in graph.tasks() {
+        let Some(f_finish) = finish(from) else {
+            continue;
+        };
+        for to in graph.successors(from) {
+            let Some(b) = blames.get(&to).filter(|b| b.outcome == Outcome::Completed) else {
+                continue;
+            };
+            let on_cp = path.windows(2).any(|w| w[0] == from && w[1] == to);
+            edges.push(EdgeSlack {
+                from,
+                to,
+                slack: (b.released_at - f_finish).max(0.0),
+                on_critical_path: on_cp,
+            });
+        }
+    }
+    edges.sort_by_key(|e| (e.from, e.to));
+
+    let completed: Vec<&TaskBlame> = blames
+        .values()
+        .filter(|b| b.outcome == Outcome::Completed)
+        .collect();
+    let min_submit = completed
+        .iter()
+        .map(|b| b.submitted_at)
+        .fold(f64::INFINITY, f64::min);
+    let max_finish = completed
+        .iter()
+        .filter_map(|b| b.finished_at)
+        .fold(f64::NEG_INFINITY, f64::max);
+    let first = &blames[&path[0]];
+    let last = &blames[path.last().unwrap()];
+    let blame = BlameTotals::from_tasks(path.iter().map(|id| &blames[id]));
+    Some(CriticalPath {
+        length: last.finished_at.unwrap() - first.submitted_at,
+        makespan: max_finish - min_submit,
+        tasks: path,
+        edges,
+        blame,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::blame::fold_blame;
+    use rhv_core::ids::{NodeId, PeId};
+    use rhv_core::matchmaker::PeRef;
+    use rhv_telemetry::{
+        CompletedSpan, LifecycleSpan, PlacedSpan, SetupPhases, SpanEvent, WaitCause,
+    };
+
+    fn pe() -> PeRef {
+        PeRef {
+            node: NodeId(0),
+            pe: PeId::Gpp(0),
+        }
+    }
+
+    /// Submit → (held) → queue → place → complete, with the given window.
+    fn life(task: u64, submit: f64, release: f64, start: f64, finish: f64) -> Vec<LifecycleSpan> {
+        let mut v = vec![LifecycleSpan {
+            task: TaskId(task),
+            at: submit,
+            event: SpanEvent::Submitted,
+        }];
+        if release > submit {
+            v.push(LifecycleSpan {
+                task: TaskId(task),
+                at: submit,
+                event: SpanEvent::HeldOnDeps,
+            });
+        }
+        v.push(LifecycleSpan {
+            task: TaskId(task),
+            at: release,
+            event: SpanEvent::Queued {
+                cause: WaitCause::NoFreeSlices,
+            },
+        });
+        v.push(LifecycleSpan {
+            task: TaskId(task),
+            at: start,
+            event: SpanEvent::Placed(PlacedSpan {
+                pe: pe(),
+                setup: SetupPhases::default(),
+                exec_start: start,
+                finish,
+                reused: false,
+            }),
+        });
+        v.push(LifecycleSpan {
+            task: TaskId(task),
+            at: finish,
+            event: SpanEvent::Completed(CompletedSpan {
+                pe: pe(),
+                wait: start - release,
+                setup: 0.0,
+                exec: finish - start,
+                turnaround: finish - release,
+            }),
+        });
+        v
+    }
+
+    /// Diamond: 0 → {1, 2} → 3; task 2 finishes later, so it gates 3.
+    #[test]
+    fn diamond_picks_the_binding_chain() {
+        let mut graph = TaskGraph::new();
+        for t in 0..4 {
+            graph.add_task(TaskId(t));
+        }
+        graph.add_edge(TaskId(0), TaskId(1)).unwrap();
+        graph.add_edge(TaskId(0), TaskId(2)).unwrap();
+        graph.add_edge(TaskId(1), TaskId(3)).unwrap();
+        graph.add_edge(TaskId(2), TaskId(3)).unwrap();
+        let mut spans = Vec::new();
+        spans.extend(life(0, 0.0, 0.0, 0.0, 2.0));
+        spans.extend(life(1, 0.0, 2.0, 2.0, 5.0)); // short branch
+        spans.extend(life(2, 0.0, 2.0, 2.0, 9.0)); // long branch
+        spans.extend(life(3, 0.0, 9.0, 9.0, 12.0));
+        let blames = fold_blame(&spans);
+        let cp = critical_path(&graph, &blames).unwrap();
+        assert_eq!(cp.tasks, vec![TaskId(0), TaskId(2), TaskId(3)]);
+        assert_eq!(cp.makespan, 12.0);
+        assert_eq!(cp.length, 12.0);
+        assert!(cp.length <= cp.makespan);
+        // Edge slacks: 1→3 waited 4 s on branch 2; the binding edges are 0.
+        let slack = |f: u64, t: u64| {
+            cp.edges
+                .iter()
+                .find(|e| e.from == TaskId(f) && e.to == TaskId(t))
+                .unwrap()
+        };
+        assert_eq!(slack(1, 3).slack, 4.0);
+        assert!(!slack(1, 3).on_critical_path);
+        assert_eq!(slack(2, 3).slack, 0.0);
+        assert!(slack(2, 3).on_critical_path);
+        assert_eq!(slack(0, 1).slack, 0.0);
+        assert_eq!(cp.dominant().unwrap().0, "exec");
+    }
+
+    #[test]
+    fn no_completions_yields_none() {
+        let graph = TaskGraph::new();
+        assert!(critical_path(&graph, &BTreeMap::new()).is_none());
+    }
+}

@@ -1,0 +1,40 @@
+//! `rhv-obs`: the critical-path profiler and time-series observability
+//! layer on top of the telemetry spine.
+//!
+//! The kernel already narrates every task's life as [`LifecycleSpan`]s and
+//! samples its own state at instant boundaries; this crate turns those raw
+//! streams into answers:
+//!
+//! * [`blame`] — folds a span stream into a per-task blame breakdown:
+//!   waiting time by typed [`WaitCause`], the four setup phases, execution,
+//!   churn-lost work. The buckets telescope, so they sum exactly to each
+//!   task's observed turnaround.
+//! * [`critical_path`] — walks the dependency graph backward along the
+//!   binding (latest-finishing) predecessors to find the chain that really
+//!   gated the makespan, with per-edge slack and a blame ranking over the
+//!   path ("what dominated").
+//! * [`timeline`] — a [`TimelineRecorder`] sink with a decimating ring
+//!   buffer of per-instant gauges (queue depth, held/parked, blacklist,
+//!   fragmentation index, running tasks per PE kind) and nearest-rank
+//!   p50/p95/p99 summaries.
+//! * [`report`] — the assembled [`ProfileReport`] with a text dashboard
+//!   and a deterministic hand-formatted JSON schema (`obs_report/v1`).
+//!
+//! Everything here is a pure consumer: no grid state is re-derived, no new
+//! kernel hooks are needed beyond the [`rhv_telemetry::TelemetrySink`]
+//! contract.
+//!
+//! [`LifecycleSpan`]: rhv_telemetry::LifecycleSpan
+//! [`WaitCause`]: rhv_telemetry::WaitCause
+//! [`TimelineRecorder`]: timeline::TimelineRecorder
+//! [`ProfileReport`]: report::ProfileReport
+
+pub mod blame;
+pub mod critical_path;
+pub mod report;
+pub mod timeline;
+
+pub use blame::{fold_blame, BlameTotals, Outcome, TaskBlame};
+pub use critical_path::{critical_path, CriticalPath, EdgeSlack};
+pub use report::{flow_edges, ProfileReport};
+pub use timeline::{SeriesSummary, TimeSample, TimelineRecorder, TimelineSummary};

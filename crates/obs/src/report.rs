@@ -1,0 +1,292 @@
+//! The assembled [`ProfileReport`]: blame fold + critical path + timeline
+//! summaries, with a text dashboard and a deterministic JSON rendering.
+//!
+//! JSON is hand-formatted (sorted, fixed field order, `{:.6}` floats) so
+//! reports from identical runs are byte-identical and parse with the
+//! stub-proof `rhv_telemetry::json` reader — no functional `serde_json`
+//! needed.
+
+use crate::blame::{fold_blame, BlameTotals, Outcome, TaskBlame};
+use crate::critical_path::{critical_path, CriticalPath};
+use crate::timeline::{SeriesSummary, TimelineRecorder, TimelineSummary};
+use rhv_core::graph::TaskGraph;
+use rhv_telemetry::{LifecycleSpan, WaitCause};
+use serde::{Deserialize, Serialize};
+use std::fmt::Write as _;
+
+/// Everything the profiler derived from one run.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ProfileReport {
+    /// `max finish − min submit` over completed tasks (0 when none).
+    pub makespan: f64,
+    /// Per-task blame, ordered by task id.
+    pub tasks: Vec<TaskBlame>,
+    /// Grid-level blame totals.
+    pub totals: BlameTotals,
+    /// The observed critical path (requires a dependency graph and at
+    /// least one completion).
+    pub critical_path: Option<CriticalPath>,
+    /// Time-series summaries (when a recorder was attached).
+    pub timeline: Option<TimelineSummary>,
+}
+
+impl ProfileReport {
+    /// Folds `spans` (and optional graph/recorder) into a report.
+    pub fn build(
+        spans: &[LifecycleSpan],
+        graph: Option<&TaskGraph>,
+        recorder: Option<&TimelineRecorder>,
+    ) -> ProfileReport {
+        let blames = fold_blame(spans);
+        let cp = graph.and_then(|g| critical_path(g, &blames));
+        let completed: Vec<&TaskBlame> = blames
+            .values()
+            .filter(|b| b.outcome == Outcome::Completed)
+            .collect();
+        let makespan = if completed.is_empty() {
+            0.0
+        } else {
+            let min = completed
+                .iter()
+                .map(|b| b.submitted_at)
+                .fold(f64::INFINITY, f64::min);
+            let max = completed
+                .iter()
+                .filter_map(|b| b.finished_at)
+                .fold(f64::NEG_INFINITY, f64::max);
+            max - min
+        };
+        let tasks: Vec<TaskBlame> = blames.into_values().collect();
+        let totals = BlameTotals::from_tasks(tasks.iter());
+        ProfileReport {
+            makespan,
+            tasks,
+            totals,
+            critical_path: cp,
+            timeline: recorder.map(|r| r.summary()),
+        }
+    }
+
+    /// The text dashboard: blame ranking, wait causes, critical path and
+    /// time-series percentiles, ~80 columns.
+    pub fn render_text(&self) -> String {
+        let mut s = String::new();
+        let _ = writeln!(s, "== profile report ==");
+        let _ = writeln!(
+            s,
+            "tasks: {} completed, {} rejected   makespan: {:.3} s",
+            self.totals.completed, self.totals.rejected, self.makespan
+        );
+        let busy: f64 = self.totals.exec
+            + self.totals.lost
+            + self.totals.data_in
+            + self.totals.synth
+            + self.totals.bitstream
+            + self.totals.reconfig
+            + self.totals.wait.iter().sum::<f64>()
+            + self.totals.unattributed;
+        let _ = writeln!(s, "\n-- blame (task-seconds, all tasks) --");
+        for (label, secs) in self.totals.ranked() {
+            let pct = if busy > 0.0 { 100.0 * secs / busy } else { 0.0 };
+            let bar = "#".repeat(((pct / 2.5).round() as usize).min(40));
+            let _ = writeln!(s, "{label:>22} {secs:>12.3} s {pct:>5.1}% {bar}");
+        }
+        let _ = writeln!(
+            s,
+            "{:>22} {:>12.3} s        ({} hits)",
+            "reuse-credit", self.totals.reuse_credit, self.totals.reuse_hits
+        );
+        if let Some(cp) = &self.critical_path {
+            let _ = writeln!(s, "\n-- critical path --");
+            let chain: Vec<String> = cp.tasks.iter().map(|t| t.to_string()).collect();
+            let _ = writeln!(
+                s,
+                "{} tasks, {:.3} s of {:.3} s makespan ({:.1}%)",
+                cp.tasks.len(),
+                cp.length,
+                cp.makespan,
+                if cp.makespan > 0.0 {
+                    100.0 * cp.length / cp.makespan
+                } else {
+                    0.0
+                }
+            );
+            let _ = writeln!(s, "chain: {}", chain.join(" -> "));
+            if let Some((label, secs)) = cp.dominant() {
+                let _ = writeln!(s, "dominated by: {label} ({secs:.3} s on the path)");
+            }
+            let slack_edges = cp.edges.iter().filter(|e| e.slack > 0.0).count();
+            let _ = writeln!(
+                s,
+                "edges: {} total, {} with slack",
+                cp.edges.len(),
+                slack_edges
+            );
+        }
+        if let Some(t) = &self.timeline {
+            let _ = writeln!(
+                s,
+                "\n-- time series ({} samples, stride {}) --",
+                t.samples, t.stride
+            );
+            let _ = writeln!(
+                s,
+                "{:>14} {:>9} {:>9} {:>9} {:>9}",
+                "series", "p50", "p95", "p99", "max"
+            );
+            for (name, col) in [
+                ("queue-depth", &t.queue_depth),
+                ("held", &t.held),
+                ("parked", &t.parked),
+                ("blacklisted", &t.blacklisted),
+                ("frag-index", &t.frag_index),
+                ("running", &t.running),
+                ("running-rpe", &t.running_rpe),
+            ] {
+                let _ = writeln!(
+                    s,
+                    "{:>14} {:>9.3} {:>9.3} {:>9.3} {:>9.3}",
+                    name, col.p50, col.p95, col.p99, col.max
+                );
+            }
+        }
+        s
+    }
+
+    /// Deterministic JSON (schema: `obs_report` v1).
+    pub fn to_json(&self) -> String {
+        let mut s = String::new();
+        s.push_str("{\n  \"schema\": \"obs_report/v1\",\n");
+        let _ = writeln!(s, "  \"makespan_s\": {:.6},", self.makespan);
+        let _ = writeln!(
+            s,
+            "  \"tasks\": {{ \"total\": {}, \"completed\": {}, \"rejected\": {} }},",
+            self.tasks.len(),
+            self.totals.completed,
+            self.totals.rejected
+        );
+        s.push_str("  \"blame\": {\n    \"wait\": {");
+        for (i, cause) in WaitCause::ALL.iter().enumerate() {
+            let sep = if i == 0 { " " } else { ", " };
+            let _ = write!(s, "{sep}\"{}\": {:.6}", cause.label(), self.totals.wait[i]);
+        }
+        s.push_str(" },\n");
+        let t = &self.totals;
+        let _ = writeln!(s, "    \"data_in\": {:.6},", t.data_in);
+        let _ = writeln!(s, "    \"synth\": {:.6},", t.synth);
+        let _ = writeln!(s, "    \"bitstream\": {:.6},", t.bitstream);
+        let _ = writeln!(s, "    \"reconfig\": {:.6},", t.reconfig);
+        let _ = writeln!(s, "    \"exec\": {:.6},", t.exec);
+        let _ = writeln!(s, "    \"lost\": {:.6},", t.lost);
+        let _ = writeln!(s, "    \"unattributed\": {:.6},", t.unattributed);
+        let _ = writeln!(
+            s,
+            "    \"reuse\": {{ \"hits\": {}, \"credit_s\": {:.6} }}",
+            t.reuse_hits, t.reuse_credit
+        );
+        s.push_str("  },\n");
+        match &self.critical_path {
+            Some(cp) => {
+                s.push_str("  \"critical_path\": {\n");
+                let _ = writeln!(s, "    \"length_s\": {:.6},", cp.length);
+                let _ = writeln!(s, "    \"makespan_s\": {:.6},", cp.makespan);
+                let ids: Vec<String> = cp.tasks.iter().map(|t| t.0.to_string()).collect();
+                let _ = writeln!(s, "    \"tasks\": [{}],", ids.join(", "));
+                let dominant = cp
+                    .dominant()
+                    .map(|(l, _)| format!("\"{l}\""))
+                    .unwrap_or_else(|| "null".into());
+                let _ = writeln!(s, "    \"dominant\": {dominant},");
+                let _ = writeln!(
+                    s,
+                    "    \"edges\": {{ \"total\": {}, \"slack\": {} }}",
+                    cp.edges.len(),
+                    cp.edges.iter().filter(|e| e.slack > 0.0).count()
+                );
+                s.push_str("  },\n");
+            }
+            None => s.push_str("  \"critical_path\": null,\n"),
+        }
+        match &self.timeline {
+            Some(t) => {
+                s.push_str("  \"timeline\": {\n");
+                let _ = writeln!(
+                    s,
+                    "    \"samples\": {}, \"instants\": {}, \"stride\": {},",
+                    t.samples, t.instants, t.stride
+                );
+                let series = |s: &mut String, name: &str, c: &SeriesSummary, last: bool| {
+                    let _ = writeln!(
+                        s,
+                        "    \"{name}\": {{ \"p50\": {:.6}, \"p95\": {:.6}, \"p99\": {:.6}, \"max\": {:.6} }}{}",
+                        c.p50,
+                        c.p95,
+                        c.p99,
+                        c.max,
+                        if last { "" } else { "," }
+                    );
+                };
+                series(&mut s, "queue_depth", &t.queue_depth, false);
+                series(&mut s, "held", &t.held, false);
+                series(&mut s, "parked", &t.parked, false);
+                series(&mut s, "blacklisted", &t.blacklisted, false);
+                series(&mut s, "frag_index", &t.frag_index, false);
+                series(&mut s, "running", &t.running, false);
+                series(&mut s, "running_rpe", &t.running_rpe, true);
+                s.push_str("  }\n");
+            }
+            None => s.push_str("  \"timeline\": null\n"),
+        }
+        s.push_str("}\n");
+        s
+    }
+}
+
+/// The dependency edges of `graph` as `(from, to)` pairs, ordered — the
+/// shape `rhv_telemetry::perfetto::to_chrome_trace_with_flows` wants for
+/// flow-arrow annotation.
+pub fn flow_edges(graph: &TaskGraph) -> Vec<(rhv_core::ids::TaskId, rhv_core::ids::TaskId)> {
+    let mut edges = Vec::new();
+    for from in graph.tasks() {
+        for to in graph.successors(from) {
+            edges.push((from, to));
+        }
+    }
+    edges.sort();
+    edges
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rhv_core::ids::TaskId;
+    use rhv_telemetry::json;
+
+    #[test]
+    fn empty_report_renders_and_parses() {
+        let r = ProfileReport::build(&[], None, None);
+        assert_eq!(r.makespan, 0.0);
+        let text = r.render_text();
+        assert!(text.contains("profile report"));
+        let v = json::parse(&r.to_json()).expect("valid json");
+        assert_eq!(
+            v.get("schema").and_then(|s| s.as_str()),
+            Some("obs_report/v1")
+        );
+        assert!(v.get("critical_path").is_some());
+    }
+
+    #[test]
+    fn flow_edges_are_sorted_pairs() {
+        let mut g = TaskGraph::new();
+        for t in 0..3 {
+            g.add_task(TaskId(t));
+        }
+        g.add_edge(TaskId(0), TaskId(2)).unwrap();
+        g.add_edge(TaskId(0), TaskId(1)).unwrap();
+        assert_eq!(
+            flow_edges(&g),
+            vec![(TaskId(0), TaskId(1)), (TaskId(0), TaskId(2))]
+        );
+    }
+}

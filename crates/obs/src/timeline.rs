@@ -1,0 +1,307 @@
+//! The ring-buffer time-series recorder.
+//!
+//! [`TimelineRecorder`] is a [`TelemetrySink`] that samples the kernel's
+//! per-instant state observation ([`TelemetrySink::timeline`]) into a
+//! bounded buffer: queue depth, held/parked tasks, blacklist size, the
+//! free-slice fragmentation index, and a running-tasks gauge per PE kind
+//! derived from the placement spans themselves. When the buffer fills it
+//! decimates deterministically — every other retained sample is dropped and
+//! the sampling stride doubles — so arbitrarily long runs keep a uniform,
+//! reproducible ~half-full window at O(capacity) memory.
+
+use rhv_telemetry::{LifecycleSpan, SpanEvent, TelemetrySink, TimelineStats};
+use serde::{Deserialize, Serialize};
+
+/// One retained time-series sample.
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct TimeSample {
+    /// Sim time of the observation.
+    pub at: f64,
+    /// The kernel's gauges at that instant.
+    pub stats: TimelineStats,
+    /// Tasks executing on GPP cores.
+    pub running_gpp: u64,
+    /// Tasks executing on reconfigurable fabric.
+    pub running_rpe: u64,
+    /// Tasks executing on GPUs.
+    pub running_gpu: u64,
+}
+
+impl TimeSample {
+    /// All running tasks, any PE kind.
+    pub fn running_total(&self) -> u64 {
+        self.running_gpp + self.running_rpe + self.running_gpu
+    }
+}
+
+/// `p50/p95/p99` (nearest-rank over retained samples) plus the peak.
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct SeriesSummary {
+    /// Median.
+    pub p50: f64,
+    /// 95th percentile.
+    pub p95: f64,
+    /// 99th percentile.
+    pub p99: f64,
+    /// Maximum.
+    pub max: f64,
+}
+
+impl SeriesSummary {
+    fn over(mut values: Vec<f64>) -> SeriesSummary {
+        if values.is_empty() {
+            return SeriesSummary::default();
+        }
+        values.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let rank = |q: f64| {
+            let i = ((q * values.len() as f64).ceil() as usize).max(1) - 1;
+            values[i.min(values.len() - 1)]
+        };
+        SeriesSummary {
+            p50: rank(0.50),
+            p95: rank(0.95),
+            p99: rank(0.99),
+            max: *values.last().unwrap(),
+        }
+    }
+}
+
+/// Summaries of every recorded series.
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct TimelineSummary {
+    /// Samples retained (post-decimation).
+    pub samples: u64,
+    /// Observation instants seen (pre-decimation).
+    pub instants: u64,
+    /// Final sampling stride (1 = every instant retained).
+    pub stride: u64,
+    /// Queue depth.
+    pub queue_depth: SeriesSummary,
+    /// Held-on-dependency tasks.
+    pub held: SeriesSummary,
+    /// Retry-parked tasks.
+    pub parked: SeriesSummary,
+    /// Blacklisted nodes.
+    pub blacklisted: SeriesSummary,
+    /// Fragmentation index.
+    pub frag_index: SeriesSummary,
+    /// Running tasks, all PE kinds.
+    pub running: SeriesSummary,
+    /// Running tasks on fabric only.
+    pub running_rpe: SeriesSummary,
+}
+
+/// The recording sink. Cheap enough to leave on: every callback is O(1)
+/// amortized, and span handling touches two integers.
+#[derive(Debug)]
+pub struct TimelineRecorder {
+    samples: Vec<TimeSample>,
+    capacity: usize,
+    stride: u64,
+    instants: u64,
+    running_gpp: u64,
+    running_rpe: u64,
+    running_gpu: u64,
+}
+
+impl Default for TimelineRecorder {
+    fn default() -> Self {
+        TimelineRecorder::with_capacity(4096)
+    }
+}
+
+impl TimelineRecorder {
+    /// A recorder retaining at most `capacity` samples (min 2).
+    pub fn with_capacity(capacity: usize) -> Self {
+        TimelineRecorder {
+            samples: Vec::new(),
+            capacity: capacity.max(2),
+            stride: 1,
+            instants: 0,
+            running_gpp: 0,
+            running_rpe: 0,
+            running_gpu: 0,
+        }
+    }
+
+    /// The retained samples, in time order.
+    pub fn samples(&self) -> &[TimeSample] {
+        &self.samples
+    }
+
+    /// Observation instants seen, including decimated ones.
+    pub fn instants(&self) -> u64 {
+        self.instants
+    }
+
+    /// Current sampling stride (doubles on each decimation).
+    pub fn stride(&self) -> u64 {
+        self.stride
+    }
+
+    /// Percentile summaries over the retained window.
+    pub fn summary(&self) -> TimelineSummary {
+        let col = |f: &dyn Fn(&TimeSample) -> f64| {
+            SeriesSummary::over(self.samples.iter().map(f).collect())
+        };
+        TimelineSummary {
+            samples: self.samples.len() as u64,
+            instants: self.instants,
+            stride: self.stride,
+            queue_depth: col(&|s| s.stats.queue_depth as f64),
+            held: col(&|s| s.stats.held as f64),
+            parked: col(&|s| s.stats.parked as f64),
+            blacklisted: col(&|s| s.stats.blacklisted as f64),
+            frag_index: col(&|s| s.stats.frag.index()),
+            running: col(&|s| s.running_total() as f64),
+            running_rpe: col(&|s| s.running_rpe as f64),
+        }
+    }
+
+    fn running_slot(&mut self, is_rpe: bool, is_gpu: bool) -> &mut u64 {
+        if is_rpe {
+            &mut self.running_rpe
+        } else if is_gpu {
+            &mut self.running_gpu
+        } else {
+            &mut self.running_gpp
+        }
+    }
+}
+
+impl TelemetrySink for TimelineRecorder {
+    fn enabled(&self) -> bool {
+        true
+    }
+
+    fn record(&mut self, span: &LifecycleSpan) {
+        match &span.event {
+            SpanEvent::Placed(p) => {
+                *self.running_slot(p.pe.pe.is_rpe(), p.pe.pe.is_gpu()) += 1;
+            }
+            SpanEvent::Completed(c) => {
+                let slot = self.running_slot(c.pe.pe.is_rpe(), c.pe.pe.is_gpu());
+                *slot = slot.saturating_sub(1);
+            }
+            SpanEvent::ChurnEvicted { pe } => {
+                let slot = self.running_slot(pe.pe.is_rpe(), pe.pe.is_gpu());
+                *slot = slot.saturating_sub(1);
+            }
+            _ => {}
+        }
+    }
+
+    fn timeline(&mut self, at: f64, stats: TimelineStats) {
+        self.instants += 1;
+        // Deterministic stride sampling: instant k is retained iff
+        // k ≡ 0 (mod stride), counting from the first observation.
+        if !(self.instants - 1).is_multiple_of(self.stride) {
+            return;
+        }
+        self.samples.push(TimeSample {
+            at,
+            stats,
+            running_gpp: self.running_gpp,
+            running_rpe: self.running_rpe,
+            running_gpu: self.running_gpu,
+        });
+        if self.samples.len() >= self.capacity {
+            // Keep every other sample; future instants arrive at 2× stride,
+            // so the retained grid stays uniform.
+            let mut i = 0;
+            self.samples.retain(|_| {
+                let keep = i % 2 == 0;
+                i += 1;
+                keep
+            });
+            self.stride *= 2;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rhv_telemetry::FragSnapshot;
+
+    fn stats(queue: u64) -> TimelineStats {
+        TimelineStats {
+            queue_depth: queue,
+            held: 0,
+            parked: 0,
+            blacklisted: 0,
+            frag: FragSnapshot {
+                largest_runs: 1,
+                free_slices: 4,
+                devices: 1,
+            },
+        }
+    }
+
+    #[test]
+    fn decimation_keeps_uniform_grid_and_counts_instants() {
+        let mut r = TimelineRecorder::with_capacity(8);
+        for k in 0..64u64 {
+            r.timeline(k as f64, stats(k));
+        }
+        assert_eq!(r.instants(), 64);
+        assert!(r.samples().len() < 8);
+        assert_eq!(r.stride(), 16);
+        // Retained timestamps are exactly the multiples of the stride that
+        // survived each halving — a uniform grid.
+        let ats: Vec<f64> = r.samples().iter().map(|s| s.at).collect();
+        for w in ats.windows(2) {
+            assert_eq!(w[1] - w[0], 16.0);
+        }
+        assert_eq!(ats[0], 0.0);
+    }
+
+    #[test]
+    fn summary_percentiles_are_nearest_rank() {
+        let mut r = TimelineRecorder::with_capacity(256);
+        for k in 1..=100u64 {
+            r.timeline(k as f64, stats(k));
+        }
+        let s = r.summary();
+        assert_eq!(s.queue_depth.p50, 50.0);
+        assert_eq!(s.queue_depth.p95, 95.0);
+        assert_eq!(s.queue_depth.p99, 99.0);
+        assert_eq!(s.queue_depth.max, 100.0);
+        assert_eq!(s.frag_index.p50, 0.75);
+        assert_eq!(s.samples, 100);
+        assert_eq!(s.stride, 1);
+    }
+
+    #[test]
+    fn running_gauges_follow_placement_spans() {
+        use rhv_core::ids::{NodeId, PeId, TaskId};
+        use rhv_core::matchmaker::PeRef;
+        use rhv_telemetry::{PlacedSpan, SetupPhases};
+        let mut r = TimelineRecorder::default();
+        let pe = PeRef {
+            node: NodeId(0),
+            pe: PeId::Rpe(0),
+        };
+        r.record(&LifecycleSpan {
+            task: TaskId(0),
+            at: 0.0,
+            event: SpanEvent::Placed(PlacedSpan {
+                pe,
+                setup: SetupPhases::default(),
+                exec_start: 0.0,
+                finish: 5.0,
+                reused: false,
+            }),
+        });
+        r.timeline(0.0, stats(0));
+        assert_eq!(r.samples()[0].running_rpe, 1);
+        r.record(&LifecycleSpan {
+            task: TaskId(0),
+            at: 5.0,
+            event: SpanEvent::ChurnEvicted { pe },
+        });
+        r.timeline(5.0, stats(0));
+        assert_eq!(r.samples()[1].running_rpe, 0);
+        assert_eq!(r.samples()[1].running_total(), 0);
+    }
+}

@@ -52,8 +52,8 @@ use rhv_core::task::Task;
 use rhv_params::param::{ParamKey, PeClass};
 use rhv_params::softcore::SoftcoreSpec;
 use rhv_telemetry::{
-    CompletedSpan, FaultStats, LifecycleSpan, MatchStats, NodeEvent, NoopSink, PlacedSpan,
-    RejectReason, SetupPhases, SpanEvent, TelemetrySink,
+    CompletedSpan, FaultStats, FragSnapshot, LifecycleSpan, MatchStats, NodeEvent, NoopSink,
+    PlacedSpan, RejectReason, SetupPhases, SpanEvent, TelemetrySink, TimelineStats, WaitCause,
 };
 use serde::{Deserialize, Serialize};
 use std::collections::{BTreeSet, HashMap, HashSet, VecDeque};
@@ -567,6 +567,7 @@ impl LifecycleKernel {
                     0
                 },
             };
+            let blacklisted = fault_totals.blacklisted;
             if fault_totals != self.fault_reported {
                 // Counters go out as deltas; the blacklist gauge is absolute.
                 self.sink.fault_stats(
@@ -580,7 +581,55 @@ impl LifecycleKernel {
                 );
                 self.fault_reported = fault_totals;
             }
+            let (largest_runs, free_slices, devices) = self.index.fragmentation_stats();
+            self.sink.timeline(
+                at,
+                TimelineStats {
+                    queue_depth: queue_depth as u64,
+                    held: held as u64,
+                    parked: self.parked.len() as u64,
+                    blacklisted,
+                    frag: FragSnapshot {
+                        largest_runs,
+                        free_slices,
+                        devices,
+                    },
+                },
+            );
         }
+    }
+
+    /// Classifies why a task is entering the wait queue — emitted alongside
+    /// every `Queued` span so consumers can fold wait time into typed blame.
+    /// Sink-gated by the callers: with telemetry off no classification runs.
+    ///
+    /// The classifier asks the same match index the dispatcher uses, in
+    /// order of specificity: no PE of the required class/caps exists in the
+    /// current grid at all (`NoCandidatePeClass`, e.g. after churn removed
+    /// the only capable device), capable fabric exists but none has room
+    /// right now (`NoFreeSlices`), or live capacity exists yet every
+    /// candidate node sits on the health blacklist (`Blacklisted`).
+    fn classify_wait(&self, task: &Task, now: f64) -> WaitCause {
+        let live = MatchOptions {
+            respect_state: true,
+            softcore_fallback_slices: None,
+        };
+        let blind = GridView::new(&self.nodes, &self.index);
+        if blind.candidates(task, MatchOptions::default()).is_empty() {
+            return WaitCause::NoCandidatePeClass;
+        }
+        if blind.candidates(task, live).is_empty() {
+            return WaitCause::NoFreeSlices;
+        }
+        if self.cfg.retry.is_some() {
+            let timed = GridView::at(&self.nodes, &self.index, now);
+            if timed.candidates(task, live).is_empty() {
+                return WaitCause::Blacklisted;
+            }
+        }
+        // Live candidates exist but the strategy still declined to place —
+        // the capacity it wanted (cores, contiguous slices) is busy.
+        WaitCause::NoFreeSlices
     }
 
     /// Makes the kernel dependency-driven: a submitted task that appears in
@@ -759,7 +808,10 @@ impl LifecycleKernel {
                 None => {
                     // Legacy behavior: back in the queue immediately, with
                     // the original arrival (dependencies stay satisfied).
-                    self.emit(task.id, now, SpanEvent::Queued);
+                    if self.sink.enabled() {
+                        let cause = self.classify_wait(&task, now);
+                        self.emit(task.id, now, SpanEvent::Queued { cause });
+                    }
                     self.backlog.push_back(BacklogEntry {
                         arrival: record.arrival,
                         task,
@@ -1242,7 +1294,10 @@ impl LifecycleKernel {
             strategy.is_satisfiable(&task, &view)
         };
         if satisfiable {
-            self.emit(task.id, now, SpanEvent::Queued);
+            if self.sink.enabled() {
+                let cause = self.classify_wait(&task, now);
+                self.emit(task.id, now, SpanEvent::Queued { cause });
+            }
             // `tried: true` — dispatch was just attempted; the next
             // examination waits for a relevant capacity change.
             self.backlog.push_back(BacklogEntry {

@@ -31,6 +31,6 @@ pub mod span;
 pub use registry::{Counter, Gauge, Histogram, Instrument, MetricsRegistry, MetricsSink};
 pub use sink::{FanoutSink, NoopSink, SpanCollector, TelemetrySink};
 pub use span::{
-    CompletedSpan, FaultStats, LifecycleSpan, MatchStats, NodeEvent, PlacedSpan, RejectReason,
-    SetupPhases, SpanEvent,
+    CompletedSpan, FaultStats, FragSnapshot, LifecycleSpan, MatchStats, NodeEvent, PlacedSpan,
+    RejectReason, SetupPhases, SpanEvent, TimelineStats, WaitCause,
 };

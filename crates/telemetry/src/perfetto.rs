@@ -69,12 +69,24 @@ fn tid_of(pe: PeId) -> u64 {
     }
 }
 
+/// Phase of one emitted trace event.
+enum Ph {
+    /// A complete (`"X"`) slice with a duration.
+    Slice(u64),
+    /// An instant (`"i"`) marker.
+    Instant,
+    /// A flow-start (`"s"`) binding point; flows pair by `(name, id)`.
+    FlowOut(u64),
+    /// The matching flow-finish (`"f"`).
+    FlowIn(u64),
+}
+
 /// One emitted trace event (pre-serialization form).
 struct TraceEvent {
     pid: u64,
     tid: u64,
     ts_us: u64,
-    dur_us: Option<u64>, // Some => "X" slice, None => "i" instant
+    ph: Ph,
     name: String,
     args: Vec<(String, String)>, // value is pre-rendered JSON
 }
@@ -95,11 +107,26 @@ fn us(task: TaskId, field: &'static str, seconds: f64) -> Result<u64, ExportErro
 
 /// Renders `spans` as Chrome trace-event JSON.
 pub fn to_chrome_trace(spans: &[LifecycleSpan]) -> Result<String, ExportError> {
+    to_chrome_trace_with_flows(spans, &[])
+}
+
+/// [`to_chrome_trace`] with dependency-flow annotations: for every `(from,
+/// to)` edge whose tasks both ran, a flow arrow (`"ph":"s"` → `"ph":"f"`)
+/// is drawn from the end of `from`'s exec slice to the start of `to`'s —
+/// the Perfetto rendering of a critical path. Edges whose endpoints never
+/// placed are skipped.
+pub fn to_chrome_trace_with_flows(
+    spans: &[LifecycleSpan],
+    flows: &[(TaskId, TaskId)],
+) -> Result<String, ExportError> {
     let mut events: Vec<TraceEvent> = Vec::new();
     let mut tracks: BTreeMap<(u64, u64), String> = BTreeMap::new();
     // Queueing delay: remember when each task last joined the backlog so
     // its eventual placement can carry the measured wait as an arg.
     let mut queued_at: BTreeMap<TaskId, f64> = BTreeMap::new();
+    // Final placement of each task: (pid, tid, exec_start_us, finish_us),
+    // the anchor points for flow arrows.
+    let mut placed_pos: BTreeMap<TaskId, (u64, u64, u64, u64)> = BTreeMap::new();
 
     let mut track = |pe: PeRef| -> (u64, u64) {
         let key = (pe.node.raw(), tid_of(pe.pe));
@@ -118,7 +145,7 @@ pub fn to_chrome_trace(spans: &[LifecycleSpan]) -> Result<String, ExportError> {
                     pid: KERNEL_PID,
                     tid: 0,
                     ts_us,
-                    dur_us: None,
+                    ph: Ph::Instant,
                     name: format!("{}:{}", span.event.label(), t),
                     args: vec![("task".into(), format!("\"{t}\""))],
                 });
@@ -129,7 +156,7 @@ pub fn to_chrome_trace(spans: &[LifecycleSpan]) -> Result<String, ExportError> {
                     pid: KERNEL_PID,
                     tid: 0,
                     ts_us,
-                    dur_us: None,
+                    ph: Ph::Instant,
                     name: format!("rejected:{t}"),
                     args: vec![
                         ("task".into(), format!("\"{t}\"")),
@@ -146,7 +173,7 @@ pub fn to_chrome_trace(spans: &[LifecycleSpan]) -> Result<String, ExportError> {
                     pid: KERNEL_PID,
                     tid: 1,
                     ts_us,
-                    dur_us: Some(dur_us),
+                    ph: Ph::Slice(dur_us),
                     name: format!("retry-backoff:{t}"),
                     args: vec![
                         ("task".into(), format!("\"{t}\"")),
@@ -160,7 +187,7 @@ pub fn to_chrome_trace(spans: &[LifecycleSpan]) -> Result<String, ExportError> {
                     pid: KERNEL_PID,
                     tid: 0,
                     ts_us,
-                    dur_us: None,
+                    ph: Ph::Instant,
                     name: format!("degraded:{t}"),
                     args: vec![
                         ("task".into(), format!("\"{t}\"")),
@@ -168,16 +195,19 @@ pub fn to_chrome_trace(spans: &[LifecycleSpan]) -> Result<String, ExportError> {
                     ],
                 });
             }
-            SpanEvent::Queued => {
+            SpanEvent::Queued { cause } => {
                 queued_at.insert(t, span.at);
                 let ts_us = us(t, "at", span.at)?;
                 events.push(TraceEvent {
                     pid: KERNEL_PID,
                     tid: 0,
                     ts_us,
-                    dur_us: None,
+                    ph: Ph::Instant,
                     name: format!("queued:{t}"),
-                    args: vec![("task".into(), format!("\"{t}\""))],
+                    args: vec![
+                        ("task".into(), format!("\"{t}\"")),
+                        ("cause".into(), format!("\"{}\"", cause.label())),
+                    ],
                 });
             }
             SpanEvent::PlacementFailed { reason } => {
@@ -186,7 +216,7 @@ pub fn to_chrome_trace(spans: &[LifecycleSpan]) -> Result<String, ExportError> {
                     pid: KERNEL_PID,
                     tid: 0,
                     ts_us,
-                    dur_us: None,
+                    ph: Ph::Instant,
                     name: format!("placement-error:{t}"),
                     args: vec![("reason".into(), format!("\"{}\"", escape(reason)))],
                 });
@@ -209,7 +239,7 @@ pub fn to_chrome_trace(spans: &[LifecycleSpan]) -> Result<String, ExportError> {
                         pid,
                         tid,
                         ts_us: us(t, name, cursor)?,
-                        dur_us: Some(us(t, name, dur)?),
+                        ph: Ph::Slice(us(t, name, dur)?),
                         name: format!("{name}:{t}"),
                         args: vec![("task".into(), format!("\"{t}\""))],
                     });
@@ -220,7 +250,7 @@ pub fn to_chrome_trace(spans: &[LifecycleSpan]) -> Result<String, ExportError> {
                         pid,
                         tid,
                         ts_us: us(t, "at", span.at)?,
-                        dur_us: None,
+                        ph: Ph::Instant,
                         name: format!("synth-cache-hit:{t}"),
                         args: vec![("task".into(), format!("\"{t}\""))],
                     });
@@ -233,14 +263,16 @@ pub fn to_chrome_trace(spans: &[LifecycleSpan]) -> Result<String, ExportError> {
                 if let Some(w) = wait {
                     args.push(("wait_s".into(), format_f64(t, w)?));
                 }
+                let exec_start_us = us(t, "exec_start", p.exec_start)?;
                 events.push(TraceEvent {
                     pid,
                     tid,
-                    ts_us: us(t, "exec_start", p.exec_start)?,
-                    dur_us: Some(us(t, "exec", exec_dur)?),
+                    ts_us: exec_start_us,
+                    ph: Ph::Slice(us(t, "exec", exec_dur)?),
                     name: format!("exec:{t}"),
                     args,
                 });
+                placed_pos.insert(t, (pid, tid, exec_start_us, us(t, "finish", p.finish)?));
             }
             SpanEvent::Completed(_) => {
                 // The exec slice already carries the window; nothing extra.
@@ -251,12 +283,45 @@ pub fn to_chrome_trace(spans: &[LifecycleSpan]) -> Result<String, ExportError> {
                     pid,
                     tid,
                     ts_us: us(t, "at", span.at)?,
-                    dur_us: None,
+                    ph: Ph::Instant,
                     name: format!("churn-evicted:{t}"),
                     args: vec![("task".into(), format!("\"{t}\""))],
                 });
             }
         }
+    }
+
+    // Flow arrows: from the end of the upstream exec slice to the start of
+    // the downstream one, paired by a shared name and id.
+    for (flow_id, (from, to)) in flows.iter().enumerate() {
+        let (Some(&(fpid, ftid, _, ffinish)), Some(&(tpid, ttid, texec, _))) =
+            (placed_pos.get(from), placed_pos.get(to))
+        else {
+            continue;
+        };
+        let name = format!("dep:{from}->{to}");
+        let args = vec![
+            ("from".into(), format!("\"{from}\"")),
+            ("to".into(), format!("\"{to}\"")),
+        ];
+        events.push(TraceEvent {
+            pid: fpid,
+            tid: ftid,
+            ts_us: ffinish,
+            ph: Ph::FlowOut(flow_id as u64),
+            name: name.clone(),
+            args: args.clone(),
+        });
+        events.push(TraceEvent {
+            pid: tpid,
+            tid: ttid,
+            // A flow must not finish before it starts; released tasks
+            // begin at or after the releasing completion by construction.
+            ts_us: texec.max(ffinish),
+            ph: Ph::FlowIn(flow_id as u64),
+            name,
+            args,
+        });
     }
 
     // Deterministic track-grouped order; ts non-decreasing inside a track.
@@ -313,12 +378,18 @@ pub fn to_chrome_trace(spans: &[LifecycleSpan]) -> Result<String, ExportError> {
             e.tid,
             e.ts_us
         );
-        match e.dur_us {
-            Some(d) => {
+        match e.ph {
+            Ph::Slice(d) => {
                 let _ = write!(line, ",\"ph\":\"X\",\"dur\":{d}");
             }
-            None => {
+            Ph::Instant => {
                 line.push_str(",\"ph\":\"i\",\"s\":\"t\"");
+            }
+            Ph::FlowOut(id) => {
+                let _ = write!(line, ",\"ph\":\"s\",\"id\":{id}");
+            }
+            Ph::FlowIn(id) => {
+                let _ = write!(line, ",\"ph\":\"f\",\"bp\":\"e\",\"id\":{id}");
             }
         }
         line.push_str(",\"args\":{");
@@ -525,5 +596,43 @@ mod tests {
             to_chrome_trace(&spans).unwrap(),
             to_chrome_trace(&spans).unwrap()
         );
+    }
+
+    #[test]
+    fn flow_arrows_link_dependent_exec_slices() {
+        let spans = vec![
+            placed(0, 0.0, SetupPhases::default(), 1.0, pe(0, PeId::Gpp(0))),
+            placed(1, 1.0, SetupPhases::default(), 2.0, pe(1, PeId::Rpe(0))),
+        ];
+        let flows = [(TaskId(0), TaskId(1)), (TaskId(0), TaskId(99))];
+        let text = to_chrome_trace_with_flows(&spans, &flows).unwrap();
+        let doc = json::parse(&text).unwrap();
+        let events = doc.get("traceEvents").unwrap().as_array().unwrap();
+        let phase = |ph: &str| {
+            events
+                .iter()
+                .find(|e| e.get("ph").and_then(|v| v.as_str()) == Some(ph))
+                .unwrap_or_else(|| panic!("missing ph {ph}"))
+        };
+        let s = phase("s");
+        let f = phase("f");
+        assert_eq!(s.get("name").unwrap().as_str(), Some("dep:T0->T1"));
+        assert_eq!(f.get("name").unwrap().as_str(), Some("dep:T0->T1"));
+        assert_eq!(s.get("id").unwrap().as_f64(), f.get("id").unwrap().as_f64());
+        // From T0's finish (1s) to T1's exec start (1s).
+        assert_eq!(s.get("ts").unwrap().as_f64(), Some(1_000_000.0));
+        assert!(f.get("ts").unwrap().as_f64() >= s.get("ts").unwrap().as_f64());
+        // The edge to the never-placed T99 was skipped, not emitted.
+        assert!(!text.contains("T99"));
+        // Queued instants carry their cause.
+        let queued = vec![LifecycleSpan {
+            task: TaskId(5),
+            at: 0.5,
+            event: SpanEvent::Queued {
+                cause: crate::span::WaitCause::NoFreeSlices,
+            },
+        }];
+        let text = to_chrome_trace(&queued).unwrap();
+        assert!(text.contains("\"cause\":\"no-free-slices\""));
     }
 }

@@ -1,10 +1,13 @@
 //! Prometheus text exposition (version 0.0.4).
 //!
 //! [`render`] serialises a [`MetricsRegistry`] snapshot into the plain-text
-//! scrape format: `# HELP` / `# TYPE` headers, `_bucket{le="..."}` lines
-//! with cumulative counts ending at `le="+Inf"`, and `_sum` / `_count` for
-//! histograms. Output is sorted by metric name so identical registries
-//! render byte-identically.
+//! scrape format: `# HELP` / `# TYPE` headers (one per metric family),
+//! `_bucket{le="..."}` lines with cumulative counts ending at `le="+Inf"`,
+//! `_sum` / `_count` for histograms, and `name{label="value"}` samples for
+//! labeled families with the mandated `\\` / `\"` / `\n` escaping. Output
+//! is sorted by metric name then labels so identical registries render
+//! byte-identically. [`parse_exposition`] is the matching reader used by
+//! round-trip checks.
 
 use crate::registry::{Instrument, MetricsRegistry};
 use std::fmt::Write as _;
@@ -19,41 +22,183 @@ fn num(v: f64) -> String {
     }
 }
 
+/// Escapes a label value per the exposition format: backslash, double
+/// quote and newline.
+fn escape_label(v: &str) -> String {
+    v.replace('\\', "\\\\")
+        .replace('"', "\\\"")
+        .replace('\n', "\\n")
+}
+
+/// Renders a label set as `{k="v",...}`, or nothing when unlabeled.
+fn label_block(labels: &[(String, String)]) -> String {
+    if labels.is_empty() {
+        return String::new();
+    }
+    let inner: Vec<String> = labels
+        .iter()
+        .map(|(k, v)| format!("{k}=\"{}\"", escape_label(v)))
+        .collect();
+    format!("{{{}}}", inner.join(","))
+}
+
 /// Renders every instrument in `registry` as Prometheus exposition text.
 pub fn render(registry: &MetricsRegistry) -> String {
     let mut out = String::new();
+    let mut last_header: Option<String> = None;
     for entry in registry.sorted_entries() {
         let name = &entry.name;
         let help = entry.help.replace('\\', "\\\\").replace('\n', "\\n");
+        // One HELP/TYPE header per family: labeled samples sort adjacent,
+        // so a repeated name means the header is already out.
+        let mut header = |out: &mut String, kind: &str| {
+            if last_header.as_deref() != Some(name.as_str()) {
+                let _ = writeln!(out, "# HELP {name} {help}");
+                let _ = writeln!(out, "# TYPE {name} {kind}");
+                last_header = Some(name.clone());
+            }
+        };
+        let labels = label_block(&entry.labels);
         match &entry.instrument {
             Instrument::Counter(c) => {
-                let _ = writeln!(out, "# HELP {name} {help}");
-                let _ = writeln!(out, "# TYPE {name} counter");
-                let _ = writeln!(out, "{name} {}", c.get());
+                header(&mut out, "counter");
+                let _ = writeln!(out, "{name}{labels} {}", c.get());
             }
             Instrument::Gauge(g) => {
-                let _ = writeln!(out, "# HELP {name} {help}");
-                let _ = writeln!(out, "# TYPE {name} gauge");
-                let _ = writeln!(out, "{name} {}", num(g.get()));
+                header(&mut out, "gauge");
+                let _ = writeln!(out, "{name}{labels} {}", num(g.get()));
             }
             Instrument::Histogram(h) => {
-                let _ = writeln!(out, "# HELP {name} {help}");
-                let _ = writeln!(out, "# TYPE {name} histogram");
+                header(&mut out, "histogram");
+                // Histogram bucket labels merge `le` after any fixed labels.
+                let prefix: String = entry
+                    .labels
+                    .iter()
+                    .map(|(k, v)| format!("{k}=\"{}\",", escape_label(v)))
+                    .collect();
                 let cumulative = h.cumulative();
                 for (bound, cum) in h.bounds().iter().zip(&cumulative) {
-                    let _ = writeln!(out, "{name}_bucket{{le=\"{}\"}} {cum}", num(*bound));
+                    let _ = writeln!(out, "{name}_bucket{{{prefix}le=\"{}\"}} {cum}", num(*bound));
                 }
                 let _ = writeln!(
                     out,
-                    "{name}_bucket{{le=\"+Inf\"}} {}",
+                    "{name}_bucket{{{prefix}le=\"+Inf\"}} {}",
                     cumulative.last().copied().unwrap_or(0)
                 );
-                let _ = writeln!(out, "{name}_sum {}", num(h.sum()));
-                let _ = writeln!(out, "{name}_count {}", h.count());
+                let _ = writeln!(out, "{name}_sum{labels} {}", num(h.sum()));
+                let _ = writeln!(out, "{name}_count{labels} {}", h.count());
             }
         }
     }
     out
+}
+
+/// One sample line parsed back out of exposition text.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Sample {
+    /// Metric (or series: `_bucket`/`_sum`/`_count`) name.
+    pub name: String,
+    /// Label pairs in source order, unescaped.
+    pub labels: Vec<(String, String)>,
+    /// The sample value.
+    pub value: f64,
+}
+
+/// Parses exposition text back into samples (comment and blank lines are
+/// skipped). The inverse of [`render`] for round-trip checks; returns a
+/// line-tagged error on any malformed sample.
+pub fn parse_exposition(text: &str) -> Result<Vec<Sample>, String> {
+    let mut out = Vec::new();
+    for (lineno, line) in text.lines().enumerate() {
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let err = |what: &str| format!("line {}: {what}: {line}", lineno + 1);
+        let (series, value_str) = match line.find('{') {
+            Some(open) => {
+                let close = line.rfind('}').ok_or_else(|| err("unclosed label block"))?;
+                if close < open {
+                    return Err(err("mismatched braces"));
+                }
+                (&line[..close + 1], line[close + 1..].trim())
+            }
+            None => {
+                let sp = line.find(' ').ok_or_else(|| err("no value"))?;
+                (&line[..sp], line[sp + 1..].trim())
+            }
+        };
+        let (name, labels) = match series.find('{') {
+            Some(open) => {
+                let body = &series[open + 1..series.len() - 1];
+                (series[..open].to_owned(), parse_labels(body, &err)?)
+            }
+            None => (series.to_owned(), Vec::new()),
+        };
+        if name.is_empty()
+            || !name
+                .chars()
+                .all(|c| c.is_ascii_alphanumeric() || c == '_' || c == ':')
+        {
+            return Err(err("invalid metric name"));
+        }
+        let value = match value_str {
+            "+Inf" => f64::INFINITY,
+            "-Inf" => f64::NEG_INFINITY,
+            v => v.parse::<f64>().map_err(|_| err("unparseable value"))?,
+        };
+        out.push(Sample {
+            name,
+            labels,
+            value,
+        });
+    }
+    Ok(out)
+}
+
+/// Parses `k="v",k2="v2"` with escape handling.
+fn parse_labels(body: &str, err: &dyn Fn(&str) -> String) -> Result<Vec<(String, String)>, String> {
+    let mut labels = Vec::new();
+    let mut rest = body;
+    while !rest.is_empty() {
+        let eq = rest.find('=').ok_or_else(|| err("label without `=`"))?;
+        let key = rest[..eq].trim().to_owned();
+        if key.is_empty() {
+            return Err(err("empty label name"));
+        }
+        let after = &rest[eq + 1..];
+        if !after.starts_with('"') {
+            return Err(err("unquoted label value"));
+        }
+        // Scan the quoted value, honouring backslash escapes.
+        let mut value = String::new();
+        let mut chars = after[1..].char_indices();
+        let mut end = None;
+        while let Some((i, c)) = chars.next() {
+            match c {
+                '\\' => match chars.next() {
+                    Some((_, '\\')) => value.push('\\'),
+                    Some((_, '"')) => value.push('"'),
+                    Some((_, 'n')) => value.push('\n'),
+                    _ => return Err(err("bad escape in label value")),
+                },
+                '"' => {
+                    end = Some(i);
+                    break;
+                }
+                c => value.push(c),
+            }
+        }
+        let end = end.ok_or_else(|| err("unterminated label value"))?;
+        labels.push((key, value));
+        rest = after[1 + end + 1..].trim_start();
+        if let Some(r) = rest.strip_prefix(',') {
+            rest = r.trim_start();
+        } else if !rest.is_empty() {
+            return Err(err("junk after label value"));
+        }
+    }
+    Ok(labels)
 }
 
 #[cfg(test)]
@@ -114,5 +259,82 @@ mod tests {
     #[test]
     fn empty_registry_renders_empty() {
         assert_eq!(render(&MetricsRegistry::new()), "");
+    }
+
+    #[test]
+    fn labeled_family_shares_one_header() {
+        let reg = MetricsRegistry::new();
+        reg.counter_with("fam_total", &[("cause", "b")], "Family")
+            .add(2);
+        reg.counter_with("fam_total", &[("cause", "a")], "Family")
+            .add(1);
+        let text = render(&reg);
+        assert_eq!(text.matches("# HELP fam_total").count(), 1);
+        assert_eq!(text.matches("# TYPE fam_total counter").count(), 1);
+        // Samples are sorted by label set under the single header.
+        let a = text.find("fam_total{cause=\"a\"} 1").unwrap();
+        let b = text.find("fam_total{cause=\"b\"} 2").unwrap();
+        assert!(a < b);
+    }
+
+    #[test]
+    fn label_values_are_escaped() {
+        let reg = MetricsRegistry::new();
+        reg.counter_with("esc_total", &[("path", "a\\b\"c\nd")], "h")
+            .inc();
+        let text = render(&reg);
+        assert!(text.contains("esc_total{path=\"a\\\\b\\\"c\\nd\"} 1"));
+        // And the parser unescapes it back.
+        let samples = parse_exposition(&text).unwrap();
+        assert_eq!(
+            samples[0].labels,
+            vec![("path".into(), "a\\b\"c\nd".into())]
+        );
+    }
+
+    #[test]
+    fn parse_round_trips_render() {
+        let reg = sample_registry();
+        reg.counter_with("rhv_wait_cause_total", &[("cause", "no-free-slices")], "h")
+            .add(3);
+        let text = render(&reg);
+        let samples = parse_exposition(&text).unwrap();
+        let find = |name: &str, labels: &[(&str, &str)]| {
+            samples
+                .iter()
+                .find(|s| {
+                    s.name == name
+                        && s.labels.len() == labels.len()
+                        && s.labels
+                            .iter()
+                            .zip(labels)
+                            .all(|(have, want)| have.0 == want.0 && have.1 == want.1)
+                })
+                .map(|s| s.value)
+        };
+        assert_eq!(find("rhv_tasks_total", &[]), Some(7.0));
+        assert_eq!(find("rhv_depth", &[]), Some(2.0));
+        assert_eq!(find("rhv_wait_seconds_bucket", &[("le", "1")]), Some(1.0));
+        assert_eq!(
+            find("rhv_wait_seconds_bucket", &[("le", "+Inf")]),
+            Some(3.0)
+        );
+        assert_eq!(find("rhv_wait_seconds_count", &[]), Some(3.0));
+        assert_eq!(
+            find("rhv_wait_cause_total", &[("cause", "no-free-slices")]),
+            Some(3.0)
+        );
+    }
+
+    #[test]
+    fn parse_rejects_malformed_lines() {
+        assert!(parse_exposition("name_without_value").is_err());
+        assert!(parse_exposition("bad{le=\"1\" 2").is_err());
+        assert!(parse_exposition("bad{le=1} 2").is_err());
+        assert!(parse_exposition("bad{=\"v\"} 2").is_err());
+        assert!(parse_exposition("name abc").is_err());
+        assert!(parse_exposition("we ird 2").is_err());
+        // Comments and blanks are fine.
+        assert_eq!(parse_exposition("# HELP x y\n\n").unwrap(), vec![]);
     }
 }

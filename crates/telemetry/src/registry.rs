@@ -12,7 +12,9 @@
 //! wait/setup/exec latency histograms and a queue-depth gauge/histogram.
 
 use crate::sink::TelemetrySink;
-use crate::span::{FaultStats, LifecycleSpan, MatchStats, NodeEvent, SpanEvent};
+use crate::span::{
+    FaultStats, LifecycleSpan, MatchStats, NodeEvent, SpanEvent, TimelineStats, WaitCause,
+};
 use rhv_core::node::Node;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
@@ -149,6 +151,48 @@ impl Histogram {
             })
             .collect()
     }
+
+    /// Estimates the `q`-quantile (`0 ≤ q ≤ 1`) from the cumulative
+    /// buckets, `histogram_quantile`-style: linear interpolation inside the
+    /// bucket whose cumulative count crosses the target rank, with the
+    /// first finite bucket anchored at a lower edge of 0. Observations that
+    /// landed in the `+Inf` bucket clamp to the largest finite bound (the
+    /// estimate cannot exceed what the buckets resolve). Returns `None`
+    /// when the histogram is empty, has no finite buckets, or `q` is
+    /// outside `[0, 1]`.
+    pub fn quantile(&self, q: f64) -> Option<f64> {
+        if !(0.0..=1.0).contains(&q) {
+            return None;
+        }
+        let total = self.count();
+        if total == 0 || self.bounds.is_empty() {
+            return None;
+        }
+        let cumulative = self.cumulative();
+        let rank = q * total as f64;
+        // First non-empty bucket whose cumulative count reaches the rank.
+        let idx = cumulative
+            .iter()
+            .position(|&c| c > 0 && c as f64 >= rank)
+            .unwrap_or(cumulative.len() - 1);
+        if idx >= self.bounds.len() {
+            // The rank falls in the +Inf bucket: clamp.
+            return self.bounds.last().copied();
+        }
+        let upper = self.bounds[idx];
+        let lower = if idx == 0 {
+            upper.min(0.0)
+        } else {
+            self.bounds[idx - 1]
+        };
+        let below = if idx == 0 { 0 } else { cumulative[idx - 1] };
+        let in_bucket = cumulative[idx] - below;
+        if in_bucket == 0 {
+            return Some(upper);
+        }
+        let fraction = ((rank - below as f64) / in_bucket as f64).clamp(0.0, 1.0);
+        Some(lower + (upper - lower) * fraction)
+    }
 }
 
 /// One registered instrument.
@@ -165,6 +209,7 @@ pub enum Instrument {
 #[derive(Debug, Clone)]
 pub(crate) struct Entry {
     pub name: String,
+    pub labels: Vec<(String, String)>,
     pub help: String,
     pub instrument: Instrument,
 }
@@ -184,19 +229,37 @@ impl MetricsRegistry {
     fn register_with<T>(
         &self,
         name: &str,
+        labels: &[(&str, &str)],
         help: &str,
         make: impl FnOnce() -> Instrument,
         pick: impl Fn(&Instrument) -> Option<T>,
     ) -> T {
         let mut entries = self.entries.lock().expect("registry lock");
+        // Every entry of a metric family (same name, any labels) must share
+        // one instrument kind — the exposition format requires it.
         if let Some(e) = entries.iter().find(|e| e.name == name) {
-            return pick(&e.instrument)
-                .unwrap_or_else(|| panic!("metric `{name}` re-registered with another kind"));
+            if pick(&e.instrument).is_none() {
+                panic!("metric `{name}` re-registered with another kind");
+            }
+        }
+        if let Some(e) = entries.iter().find(|e| {
+            e.name == name
+                && e.labels.len() == labels.len()
+                && e.labels
+                    .iter()
+                    .zip(labels)
+                    .all(|(have, want)| have.0 == want.0 && have.1 == want.1)
+        }) {
+            return pick(&e.instrument).expect("family kind already checked");
         }
         let instrument = make();
         let picked = pick(&instrument).expect("freshly made instrument matches");
         entries.push(Entry {
             name: name.to_owned(),
+            labels: labels
+                .iter()
+                .map(|(k, v)| ((*k).to_owned(), (*v).to_owned()))
+                .collect(),
             help: help.to_owned(),
             instrument,
         });
@@ -205,8 +268,17 @@ impl MetricsRegistry {
 
     /// Registers (or finds) a counter.
     pub fn counter(&self, name: &str, help: &str) -> Arc<Counter> {
+        self.counter_with(name, &[], help)
+    }
+
+    /// Registers (or finds) a counter carrying fixed labels — one sample of
+    /// a labeled metric family. Entries of a family share the `# HELP`/`#
+    /// TYPE` header (the first registration's help wins) and must share the
+    /// instrument kind.
+    pub fn counter_with(&self, name: &str, labels: &[(&str, &str)], help: &str) -> Arc<Counter> {
         self.register_with(
             name,
+            labels,
             help,
             || Instrument::Counter(Arc::new(Counter::default())),
             |i| match i {
@@ -220,6 +292,7 @@ impl MetricsRegistry {
     pub fn gauge(&self, name: &str, help: &str) -> Arc<Gauge> {
         self.register_with(
             name,
+            &[],
             help,
             || Instrument::Gauge(Arc::new(Gauge::default())),
             |i| match i {
@@ -233,6 +306,7 @@ impl MetricsRegistry {
     pub fn histogram(&self, name: &str, help: &str, bounds: &[f64]) -> Arc<Histogram> {
         self.register_with(
             name,
+            &[],
             help,
             || Instrument::Histogram(Arc::new(Histogram::new(bounds))),
             |i| match i {
@@ -242,20 +316,40 @@ impl MetricsRegistry {
         )
     }
 
-    /// Snapshot of all entries, sorted by name (for deterministic export).
+    /// Snapshot of all entries, sorted by name then labels (for
+    /// deterministic export; a labeled family's samples stay adjacent under
+    /// one header).
     pub(crate) fn sorted_entries(&self) -> Vec<Entry> {
         let mut entries = self.entries.lock().expect("registry lock").clone();
-        entries.sort_by(|a, b| a.name.cmp(&b.name));
+        entries.sort_by(|a, b| a.name.cmp(&b.name).then_with(|| a.labels.cmp(&b.labels)));
         entries
     }
 
-    /// Looks an instrument up by name.
+    /// Looks an instrument up by name (the first sample of a labeled
+    /// family, in registration order).
     pub fn find(&self, name: &str) -> Option<Instrument> {
         self.entries
             .lock()
             .expect("registry lock")
             .iter()
             .find(|e| e.name == name)
+            .map(|e| e.instrument.clone())
+    }
+
+    /// Looks a labeled sample up by name and exact label set.
+    pub fn find_with(&self, name: &str, labels: &[(&str, &str)]) -> Option<Instrument> {
+        self.entries
+            .lock()
+            .expect("registry lock")
+            .iter()
+            .find(|e| {
+                e.name == name
+                    && e.labels.len() == labels.len()
+                    && e.labels
+                        .iter()
+                        .zip(labels)
+                        .all(|(have, want)| have.0 == want.0 && have.1 == want.1)
+            })
             .map(|e| e.instrument.clone())
     }
 }
@@ -297,6 +391,12 @@ pub struct MetricsSink {
     exec: Arc<Histogram>,
     turnaround: Arc<Histogram>,
     queue_depth_hist: Arc<Histogram>,
+    /// One counter per typed wait cause, indexed by `WaitCause::ALL` order.
+    wait_causes: [Arc<Counter>; WaitCause::ALL.len()],
+    parked_depth: Arc<Gauge>,
+    frag_index: Arc<Gauge>,
+    frag_free_slices: Arc<Gauge>,
+    frag_index_hist: Arc<Histogram>,
 }
 
 impl MetricsSink {
@@ -400,8 +500,37 @@ impl MetricsSink {
                 "Backlog depth sampled at span boundaries",
                 Histogram::depth_bounds(),
             ),
+            wait_causes: WaitCause::ALL.map(|cause| {
+                registry.counter_with(
+                    "rhv_wait_cause_total",
+                    &[("cause", cause.label())],
+                    "Waiting intervals entered, by typed wait cause",
+                )
+            }),
+            parked_depth: registry.gauge("rhv_parked_tasks", "Tasks parked on a retry backoff"),
+            frag_index: registry.gauge(
+                "rhv_frag_index",
+                "Free-slice fragmentation index (1 - largest runs / free slices)",
+            ),
+            frag_free_slices: registry.gauge(
+                "rhv_frag_free_slices",
+                "Free fabric slices across devices with free capacity",
+            ),
+            frag_index_hist: registry.histogram(
+                "rhv_frag_index_observed",
+                "Fragmentation index sampled at span boundaries",
+                &[0.05, 0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9],
+            ),
             registry,
         }
+    }
+
+    fn count_wait_cause(&self, cause: WaitCause) {
+        let idx = WaitCause::ALL
+            .iter()
+            .position(|c| *c == cause)
+            .expect("cause is in ALL");
+        self.wait_causes[idx].inc();
     }
 
     /// The registry this sink feeds.
@@ -421,8 +550,14 @@ impl TelemetrySink for MetricsSink {
     fn record(&mut self, span: &LifecycleSpan) {
         match &span.event {
             SpanEvent::Submitted => self.submitted.inc(),
-            SpanEvent::HeldOnDeps => self.held.inc(),
-            SpanEvent::Queued => self.queued.inc(),
+            SpanEvent::HeldOnDeps => {
+                self.held.inc();
+                self.count_wait_cause(WaitCause::DependencyWait);
+            }
+            SpanEvent::Queued { cause } => {
+                self.queued.inc();
+                self.count_wait_cause(*cause);
+            }
             SpanEvent::Placed(p) => {
                 self.placed.inc();
                 if p.reused {
@@ -449,6 +584,7 @@ impl TelemetrySink for MetricsSink {
             SpanEvent::ChurnEvicted { .. } => self.churn_evictions.inc(),
             SpanEvent::RetryScheduled { release, .. } => {
                 self.retry_delay.observe(release - span.at);
+                self.count_wait_cause(WaitCause::RetryBackoff);
             }
             SpanEvent::Degraded { .. } => {}
         }
@@ -480,6 +616,14 @@ impl TelemetrySink for MetricsSink {
         self.fallbacks.add(stats.fallbacks);
         self.churn_noops.add(stats.churn_noops);
         self.blacklisted.set(stats.blacklisted as f64);
+    }
+
+    fn timeline(&mut self, _at: f64, stats: TimelineStats) {
+        self.parked_depth.set(stats.parked as f64);
+        let frag = stats.frag.index();
+        self.frag_index.set(frag);
+        self.frag_free_slices.set(stats.frag.free_slices as f64);
+        self.frag_index_hist.observe(frag);
     }
 
     fn instant(&mut self, _at: f64, events: u64) {
@@ -527,6 +671,118 @@ mod tests {
         let reg = MetricsRegistry::new();
         reg.counter("m", "");
         reg.gauge("m", "");
+    }
+
+    #[test]
+    fn quantile_interpolates_within_buckets() {
+        let h = Histogram::new(&[1.0, 2.0, 4.0]);
+        // 10 observations spread 5/5 across the first two buckets.
+        for _ in 0..5 {
+            h.observe(0.5);
+        }
+        for _ in 0..5 {
+            h.observe(1.5);
+        }
+        // p50: rank 5 is exactly the top of bucket (0, 1].
+        assert!((h.quantile(0.5).unwrap() - 1.0).abs() < 1e-9);
+        // p75: rank 7.5, 2.5 into the 5 observations of bucket (1, 2].
+        assert!((h.quantile(0.75).unwrap() - 1.5).abs() < 1e-9);
+        // p100 resolves to the upper edge of the last non-empty bucket.
+        assert!((h.quantile(1.0).unwrap() - 2.0).abs() < 1e-9);
+        // p0 anchors at the lower edge of the first non-empty bucket.
+        assert_eq!(h.quantile(0.0).unwrap(), 0.0);
+    }
+
+    #[test]
+    fn quantile_edge_cases() {
+        let h = Histogram::new(&[1.0, 2.0]);
+        assert_eq!(h.quantile(0.5), None); // empty
+        h.observe(100.0); // +Inf bucket only
+        assert_eq!(h.quantile(0.99), Some(2.0)); // clamps to largest bound
+        assert_eq!(h.quantile(1.5), None); // out of range
+        assert_eq!(h.quantile(f64::NAN), None);
+    }
+
+    #[test]
+    fn labeled_counters_are_distinct_samples_of_one_family() {
+        let reg = MetricsRegistry::new();
+        let a = reg.counter_with("family_total", &[("cause", "a")], "h");
+        let b = reg.counter_with("family_total", &[("cause", "b")], "h");
+        a.inc();
+        a.inc();
+        b.inc();
+        // Re-registration with the same labels finds the same sample.
+        assert_eq!(
+            reg.counter_with("family_total", &[("cause", "a")], "h")
+                .get(),
+            2
+        );
+        match reg.find_with("family_total", &[("cause", "b")]).unwrap() {
+            Instrument::Counter(c) => assert_eq!(c.get(), 1),
+            _ => panic!("wrong kind"),
+        }
+        assert!(reg.find_with("family_total", &[("cause", "zzz")]).is_none());
+    }
+
+    #[test]
+    #[should_panic(expected = "another kind")]
+    fn labeled_family_kind_mismatch_panics() {
+        let reg = MetricsRegistry::new();
+        reg.counter_with("fam", &[("l", "1")], "");
+        reg.gauge("fam", "");
+    }
+
+    #[test]
+    fn wait_causes_and_timeline_feed_instruments() {
+        use crate::span::FragSnapshot;
+        let reg = MetricsRegistry::new();
+        let mut sink = MetricsSink::new(reg.clone());
+        let span = |event: SpanEvent| LifecycleSpan {
+            task: TaskId(9),
+            at: 1.0,
+            event,
+        };
+        sink.record(&span(SpanEvent::Queued {
+            cause: WaitCause::NoFreeSlices,
+        }));
+        sink.record(&span(SpanEvent::Queued {
+            cause: WaitCause::NoFreeSlices,
+        }));
+        sink.record(&span(SpanEvent::Queued {
+            cause: WaitCause::Blacklisted,
+        }));
+        sink.record(&span(SpanEvent::HeldOnDeps));
+        sink.timeline(
+            2.0,
+            TimelineStats {
+                queue_depth: 3,
+                held: 1,
+                parked: 2,
+                blacklisted: 1,
+                frag: FragSnapshot {
+                    largest_runs: 3,
+                    free_slices: 12,
+                    devices: 2,
+                },
+            },
+        );
+        let count = |cause: &str| match reg
+            .find_with("rhv_wait_cause_total", &[("cause", cause)])
+            .unwrap()
+        {
+            Instrument::Counter(c) => c.get(),
+            _ => panic!("wrong kind"),
+        };
+        assert_eq!(count("no-free-slices"), 2);
+        assert_eq!(count("blacklisted"), 1);
+        assert_eq!(count("dependency-wait"), 1);
+        assert_eq!(count("retry-backoff"), 0);
+        assert_eq!(sink.parked_depth.get(), 2.0);
+        assert_eq!(sink.frag_free_slices.get(), 12.0);
+        assert!((sink.frag_index.get() - 0.75).abs() < 1e-12);
+        let text = crate::prometheus::render(&reg);
+        assert!(text.contains("rhv_wait_cause_total{cause=\"no-free-slices\"} 2"));
+        assert!(text.contains("rhv_frag_index 0.75"));
     }
 
     #[test]

@@ -12,7 +12,7 @@
 //! building any span that would allocate, and all span payloads except the
 //! rare `PlacementFailed { reason }` are plain `Copy` data on the stack.
 
-use crate::span::{FaultStats, LifecycleSpan, MatchStats, NodeEvent};
+use crate::span::{FaultStats, LifecycleSpan, MatchStats, NodeEvent, TimelineStats};
 use rhv_core::node::Node;
 use std::sync::{Arc, Mutex};
 
@@ -56,6 +56,14 @@ pub trait TelemetrySink: Send {
     /// [`grid_state`](TelemetrySink::grid_state), only when something
     /// changed.
     fn fault_stats(&mut self, at: f64, stats: FaultStats) {
+        let _ = (at, stats);
+    }
+
+    /// One time-series sample of the kernel's waiting-state and
+    /// fragmentation gauges, emitted with the same cadence as
+    /// [`grid_state`](TelemetrySink::grid_state). All fields are absolute;
+    /// construction is O(1) so the emitter needs no throttling.
+    fn timeline(&mut self, at: f64, stats: TimelineStats) {
         let _ = (at, stats);
     }
 
@@ -194,6 +202,12 @@ impl TelemetrySink for FanoutSink {
     fn fault_stats(&mut self, at: f64, stats: FaultStats) {
         for s in &mut self.sinks {
             s.fault_stats(at, stats);
+        }
+    }
+
+    fn timeline(&mut self, at: f64, stats: TimelineStats) {
+        for s in &mut self.sinks {
+            s.timeline(at, stats);
         }
     }
 

@@ -68,6 +68,116 @@ impl MatchStats {
     }
 }
 
+/// Why a task is waiting instead of running. Every queued interval carries
+/// one of these, assigned by the kernel at the emission site from the state
+/// it just observed, so profilers can fold span streams into a per-cause
+/// blame breakdown without re-deriving grid state.
+///
+/// `DependencyWait` and `RetryBackoff` are also implied by the dedicated
+/// `HeldOnDeps` / `RetryScheduled` span events; they appear here so a single
+/// vocabulary covers every waiting state. `ReservationHold` is reserved for
+/// the advance-reservation co-allocator (ROADMAP item 2) and is never
+/// emitted yet.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum WaitCause {
+    /// Candidates of the right class exist but none has free capacity
+    /// (cores, slices, or an idle device) right now.
+    NoFreeSlices,
+    /// Free capacity exists somewhere, but the strategy found no candidate
+    /// it was willing to place on (class mismatch under current policy).
+    NoCandidatePeClass,
+    /// The task is held until its graph predecessors complete.
+    DependencyWait,
+    /// The task is parked on a retry backoff after a crash loss.
+    RetryBackoff,
+    /// The only nodes that could serve the task are currently blacklisted
+    /// by the health tracker.
+    Blacklisted,
+    /// The task's resources are promised to an advance reservation
+    /// (forward-compatible; not yet emitted).
+    ReservationHold,
+}
+
+impl WaitCause {
+    /// Every cause, in declaration order (stable export ordering).
+    pub const ALL: [WaitCause; 6] = [
+        WaitCause::NoFreeSlices,
+        WaitCause::NoCandidatePeClass,
+        WaitCause::DependencyWait,
+        WaitCause::RetryBackoff,
+        WaitCause::Blacklisted,
+        WaitCause::ReservationHold,
+    ];
+
+    /// This cause's slot in [`WaitCause::ALL`] — the index per-cause
+    /// accumulators (e.g. blame arrays) are laid out by.
+    pub fn index(&self) -> usize {
+        WaitCause::ALL
+            .iter()
+            .position(|c| c == self)
+            .expect("ALL lists every cause")
+    }
+
+    /// Short stable label, used by exporters and logs.
+    pub fn label(&self) -> &'static str {
+        match self {
+            WaitCause::NoFreeSlices => "no-free-slices",
+            WaitCause::NoCandidatePeClass => "no-candidate-pe-class",
+            WaitCause::DependencyWait => "dependency-wait",
+            WaitCause::RetryBackoff => "retry-backoff",
+            WaitCause::Blacklisted => "blacklisted",
+            WaitCause::ReservationHold => "reservation-hold",
+        }
+    }
+}
+
+/// One sample of the kernel's time-series state, emitted from the same
+/// per-instant observation point as [`grid
+/// state`](crate::sink::TelemetrySink::grid_state). All fields are absolute
+/// (gauges); construction is O(1) — the fragmentation figures come from the
+/// `MatchIndex`'s incremental aggregates, not a scan.
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct TimelineStats {
+    /// Tasks queued for resources (the retry backlog).
+    pub queue_depth: u64,
+    /// Tasks held on unmet dependencies.
+    pub held: u64,
+    /// Tasks parked on a retry backoff timer.
+    pub parked: u64,
+    /// Nodes currently blacklisted by the health tracker.
+    pub blacklisted: u64,
+    /// Free-slice fragmentation across partially-reconfigurable fabrics.
+    pub frag: FragSnapshot,
+}
+
+/// Aggregate free-slice fragmentation figures over every fabric device with
+/// free slices, maintained incrementally by the `MatchIndex`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct FragSnapshot {
+    /// Σ largest contiguous free run, over devices with free slices.
+    pub largest_runs: u64,
+    /// Σ free slices, over the same devices.
+    pub free_slices: u64,
+    /// Number of devices with free slices.
+    pub devices: u64,
+}
+
+impl FragSnapshot {
+    /// Fragmentation index in `[0, 1]`: `1 − Σ largest-run / Σ free`.
+    /// `0` = every free slice is reachable in one contiguous allocation;
+    /// approaching `1` = free capacity is shattered into unusable shards.
+    /// Devices without partial reconfiguration count their free slices as
+    /// fully fragmented once configured (their largest run is 0 — the
+    /// fabric must be wiped to be reused).
+    pub fn index(&self) -> f64 {
+        if self.free_slices == 0 {
+            0.0
+        } else {
+            1.0 - self.largest_runs as f64 / self.free_slices as f64
+        }
+    }
+}
+
 /// Why the kernel gave up on a task. Every rejection carries one of these,
 /// so "no task silently stuck" is checkable: a task either completes or is
 /// rejected with a typed reason.
@@ -151,8 +261,11 @@ pub enum SpanEvent {
     Submitted,
     /// The task is held until its graph predecessors complete.
     HeldOnDeps,
-    /// The task entered the retry backlog (resources busy right now).
-    Queued,
+    /// The task entered the retry backlog, waiting for the typed cause.
+    Queued {
+        /// Why the task could not run right now.
+        cause: WaitCause,
+    },
     /// The task was placed; setup begins immediately.
     Placed(PlacedSpan),
     /// The strategy produced an infeasible placement (a strategy bug the
@@ -197,7 +310,7 @@ impl SpanEvent {
         match self {
             SpanEvent::Submitted => "submitted",
             SpanEvent::HeldOnDeps => "held-on-deps",
-            SpanEvent::Queued => "queued",
+            SpanEvent::Queued { .. } => "queued",
             SpanEvent::Placed(_) => "placed",
             SpanEvent::PlacementFailed { .. } => "placement-error",
             SpanEvent::Rejected { .. } => "rejected",
@@ -279,5 +392,47 @@ mod tests {
         );
         assert_eq!(SpanEvent::Degraded { fabric_losses: 2 }.label(), "degraded");
         assert_eq!(RejectReason::DeadlineExceeded.label(), "deadline-exceeded");
+        assert_eq!(
+            SpanEvent::Queued {
+                cause: WaitCause::NoFreeSlices
+            }
+            .label(),
+            "queued"
+        );
+    }
+
+    #[test]
+    fn wait_cause_labels_are_stable_and_distinct() {
+        let labels: Vec<&str> = WaitCause::ALL.iter().map(WaitCause::label).collect();
+        assert_eq!(
+            labels,
+            [
+                "no-free-slices",
+                "no-candidate-pe-class",
+                "dependency-wait",
+                "retry-backoff",
+                "blacklisted",
+                "reservation-hold",
+            ]
+        );
+        let unique: std::collections::BTreeSet<&str> = labels.iter().copied().collect();
+        assert_eq!(unique.len(), WaitCause::ALL.len());
+    }
+
+    #[test]
+    fn fragmentation_index_bounds() {
+        assert_eq!(FragSnapshot::default().index(), 0.0);
+        let contiguous = FragSnapshot {
+            largest_runs: 8,
+            free_slices: 8,
+            devices: 1,
+        };
+        assert_eq!(contiguous.index(), 0.0);
+        let shattered = FragSnapshot {
+            largest_runs: 2,
+            free_slices: 8,
+            devices: 2,
+        };
+        assert_eq!(shattered.index(), 0.75);
     }
 }

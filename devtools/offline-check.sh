@@ -44,6 +44,14 @@ elif [ "$1" = "bench-smoke" ]; then
     cargo run --offline -q --release -p rhv-bench --bin bench_matchmaker -- --smoke
     cargo run --offline -q --release -p rhv-bench --bin bench_engine -- --smoke
     cargo run --offline -q --release -p rhv-bench --bin bench_faults -- --smoke
+elif [ "$1" = "obs-smoke" ]; then
+    # Mirrors `make obs-smoke` for offline containers: obs_report renders
+    # and schema-validates a small deterministic profiled run, then
+    # bench_obs --smoke asserts the profiler's correctness invariants
+    # (report identical to the NoopSink baseline, blame telescopes to
+    # turnaround, critical path <= makespan).
+    cargo run --offline -q --release -p rhv-bench --bin obs_report -- --nodes 60 --jobs 20 --check
+    cargo run --offline -q --release -p rhv-bench --bin bench_obs -- --smoke
 else
     # Insert --offline before any `--` separator so it stays a cargo flag
     # (e.g. `clippy -- -D warnings` must not hand --offline to rustc).

@@ -16,7 +16,9 @@ use rhv_grid::{GridServices, ResourceManagementSystem};
 use rhv_sched::FirstFitStrategy;
 use rhv_sim::sim::{GridSimulator, SimConfig};
 use rhv_telemetry::json::{self, Value};
-use rhv_telemetry::{perfetto, LifecycleSpan, PlacedSpan, SetupPhases, SpanCollector, SpanEvent};
+use rhv_telemetry::{
+    perfetto, LifecycleSpan, PlacedSpan, SetupPhases, SpanCollector, SpanEvent, WaitCause,
+};
 use std::collections::BTreeMap;
 
 fn clustalw_app() -> Application {
@@ -85,7 +87,7 @@ fn assert_span_invariants(spans: &[LifecycleSpan]) {
             // `wait` covers ready → dispatch.
             let queued = seq
                 .iter()
-                .rfind(|s| matches!(s.event, SpanEvent::Queued))
+                .rfind(|s| matches!(s.event, SpanEvent::Queued { .. }))
                 .map(|s| s.at);
             let was_held = seq.iter().any(|s| matches!(s.event, SpanEvent::HeldOnDeps));
             let ready = queued.unwrap_or(if was_held { p_at } else { seq[0].at });
@@ -108,7 +110,8 @@ fn assert_clustalw_dependencies(spans: &[LifecycleSpan]) {
         spans
             .iter()
             .find(|s| {
-                s.task == TaskId(t) && matches!(s.event, SpanEvent::Queued | SpanEvent::Placed(_))
+                s.task == TaskId(t)
+                    && matches!(s.event, SpanEvent::Queued { .. } | SpanEvent::Placed(_))
             })
             .map(|s| s.at)
             .expect("released")
@@ -294,7 +297,9 @@ fn task_lifecycle(
         LifecycleSpan {
             task: TaskId(task),
             at: arrival,
-            event: SpanEvent::Queued,
+            event: SpanEvent::Queued {
+                cause: WaitCause::NoFreeSlices,
+            },
         },
         LifecycleSpan {
             task: TaskId(task),
