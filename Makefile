@@ -27,7 +27,8 @@ telemetry-smoke:
 # scan) plus the 1,000-node hot-path comparisons in scaled-down mode
 # (bench_matchmaker asserts indexed == naive, bench_engine asserts
 # wheel == heap, bench_faults asserts conservation + recovery counters
-# under the churn storm; all BENCH_*.json files left untouched).
+# under the churn storm, bench_shards asserts sharded serial == parallel
+# and P=1 == unsharded; all BENCH_*.json files left untouched).
 # Offline containers run the same steps via:
 #   devtools/offline-check.sh bench-smoke
 bench-smoke:
@@ -35,6 +36,7 @@ bench-smoke:
 	cargo run -q --release -p rhv-bench --bin bench_matchmaker -- --smoke
 	cargo run -q --release -p rhv-bench --bin bench_engine -- --smoke
 	cargo run -q --release -p rhv-bench --bin bench_faults -- --smoke
+	cargo run -q --release -p rhv-bench --bin bench_shards -- --smoke
 
 # Profiler smoke: obs_report over a small deterministic ClustalW-at-scale
 # run with the `obs_report/v1` JSON schema validated by the internal

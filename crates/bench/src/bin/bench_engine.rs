@@ -16,10 +16,11 @@ use rhv_core::ids::NodeId;
 use rhv_core::node::Node;
 use rhv_sched::FirstFitStrategy;
 use rhv_sim::engine::EventQueue;
+use rhv_sim::kernel::{KernelEvent, LifecycleKernel};
 use rhv_sim::sim::{ChurnEvent, GridSimulator, SimConfig};
 use rhv_sim::workload::WorkloadSpec;
 use rhv_telemetry::{MetricsRegistry, MetricsSink};
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 /// The first case-study node cloned `n` times (the same 1,000-node grid the
 /// matchmaker benchmark uses: 4,000 PEs).
@@ -90,6 +91,8 @@ struct SimResult {
     /// `(p50, p99)` of `rhv_task_turnaround_seconds`, bucket-estimated
     /// from the wheel run's registry (the heap run's must match).
     turnaround_q: (f64, f64),
+    /// Rendered wheel report — the identity reference for the split pass.
+    report: String,
 }
 
 /// Runs the same seeded workload (with mid-run churn) on both engine
@@ -149,7 +152,105 @@ fn simulation_benchmark(n_nodes: usize, n_tasks: usize, seed: u64) -> SimResult 
         heap_s,
         completed: wheel.completed,
         turnaround_q,
+        report: format!("{wheel:?}"),
     }
+}
+
+struct SplitResult {
+    /// Distinct instants pumped (each is one `pop_instant` + kernel pass).
+    instants: u64,
+    /// Kernel events across all instants.
+    batch_events: u64,
+    /// `batch_events / instants` — the batching the wheel's same-instant
+    /// coalescing achieves on this workload.
+    mean_batch: f64,
+    /// Fraction of loop wall-time spent inside `step_instant` (the rest is
+    /// queue traffic: pop/push/rearm).
+    kernel_share: f64,
+}
+
+/// Reruns the wheel configuration of [`simulation_benchmark`] through an
+/// inline event loop (the exact `GridSimulator` pump) with timers around
+/// the kernel pass, splitting wall time into kernel work vs queue traffic,
+/// and counting per-instant batch sizes. The produced report must equal
+/// the un-instrumented wheel run's — the timers may not perturb outcomes.
+fn kernel_split_benchmark(n_nodes: usize, n_tasks: usize, seed: u64, expected: &str) -> SplitResult {
+    let workload = WorkloadSpec::default_for_grid(n_tasks, 50.0, seed).generate();
+    let churn = vec![
+        (20.0, ChurnEvent::Crash(NodeId(7))),
+        (40.0, ChurnEvent::Leave(NodeId(3))),
+    ];
+    let cfg = SimConfig {
+        cad_speed: 10.0,
+        ..SimConfig::default()
+    };
+    let registry = MetricsRegistry::new();
+    let mut kernel = LifecycleKernel::new(grid_of(n_nodes), cfg)
+        .with_sink(Box::new(MetricsSink::new(registry.clone())));
+    let mut queue: EventQueue<KernelEvent> = EventQueue::new();
+    queue.reserve(workload.len() + churn.len());
+    for (t, task) in workload {
+        queue.push(t, KernelEvent::Arrival(Box::new(task)));
+    }
+    for (t, ev) in churn {
+        queue.push(t, KernelEvent::Churn(ev));
+    }
+    let mut strategy = FirstFitStrategy::new();
+    let mut batch = Vec::new();
+    let mut scheduled = Vec::new();
+    let mut next_wake: Option<f64> = None;
+    let mut instants = 0u64;
+    let mut batch_events = 0u64;
+    let mut kernel_t = Duration::ZERO;
+    let loop_start = Instant::now();
+    while let Some(now) = queue.pop_instant(&mut batch) {
+        instants += 1;
+        batch_events += batch.len() as u64;
+        if next_wake.is_some_and(|w| w <= now) {
+            next_wake = None;
+        }
+        let t = Instant::now();
+        kernel.step_instant(&mut batch, now, &mut strategy, &mut scheduled);
+        kernel_t += t.elapsed();
+        for pending in scheduled.drain(..) {
+            queue.push(pending.finish(), KernelEvent::Completion(pending));
+        }
+        if let Some(wake) = kernel.next_wakeup() {
+            let earlier = match next_wake {
+                Some(w) => wake < w,
+                None => true,
+            };
+            if earlier {
+                queue.push(wake.max(now), KernelEvent::Wakeup);
+                next_wake = Some(wake.max(now));
+            }
+        }
+    }
+    let loop_s = loop_start.elapsed().as_secs_f64();
+    let (report, _nodes) = kernel.finish("first-fit");
+    assert_eq!(
+        format!("{report:?}"),
+        expected,
+        "instrumented loop diverged from the wheel engine run"
+    );
+    // The kernel's own counters must agree with the loop-side tallies.
+    let (sunk_instants, sunk_events) = (
+        registry_counter(&registry, "rhv_kernel_instants_total"),
+        registry_counter(&registry, "rhv_kernel_batch_events_total"),
+    );
+    assert_eq!(instants, sunk_instants, "instant counters diverged");
+    assert_eq!(batch_events, sunk_events, "batch-event counters diverged");
+    SplitResult {
+        instants,
+        batch_events,
+        mean_batch: batch_events as f64 / instants.max(1) as f64,
+        kernel_share: (kernel_t.as_secs_f64() / loop_s).clamp(0.0, 1.0),
+    }
+}
+
+/// Reads a counter back out of `registry` by name (0 when absent).
+fn registry_counter(registry: &MetricsRegistry, name: &str) -> u64 {
+    registry.counter(name, "").get()
 }
 
 fn main() {
@@ -194,6 +295,18 @@ fn main() {
         s.turnaround_q.0, s.turnaround_q.1
     );
 
+    section("kernel/queue wall-time split (instrumented loop)");
+    let split = kernel_split_benchmark(n_nodes, n_tasks, 2013, &s.report);
+    println!(
+        "  instants   : {:>12} ({} events, {:.2} events/instant)",
+        split.instants, split.batch_events, split.mean_batch
+    );
+    println!(
+        "  kernel     : {:>11.1}% of loop time (queue traffic {:.1}%)",
+        100.0 * split.kernel_share,
+        100.0 * (1.0 - split.kernel_share)
+    );
+
     if smoke {
         println!("\nsmoke run — BENCH_engine.json left untouched");
         return;
@@ -206,7 +319,7 @@ fn main() {
     );
 
     let json = format!(
-        "{{\n  \"benchmark\": \"event_engine\",\n  \"engine\": {{\n    \"events\": {events},\n    \"in_flight\": {in_flight},\n    \"wheel_events_per_sec\": {wheel_eps:.0},\n    \"heap_events_per_sec\": {heap_eps:.0},\n    \"speedup\": {e_speedup:.2}\n  }},\n  \"simulation\": {{\n    \"nodes\": {n_nodes},\n    \"tasks\": {tasks},\n    \"completed\": {completed},\n    \"turnaround_p50_seconds\": {tq50:.3},\n    \"turnaround_p99_seconds\": {tq99:.3},\n    \"wheel_seconds\": {wheel_s:.3},\n    \"heap_seconds\": {heap_s:.3},\n    \"speedup\": {s_speedup:.2},\n    \"reports_identical\": true\n  }}\n}}\n",
+        "{{\n  \"benchmark\": \"event_engine\",\n  \"engine\": {{\n    \"events\": {events},\n    \"in_flight\": {in_flight},\n    \"wheel_events_per_sec\": {wheel_eps:.0},\n    \"heap_events_per_sec\": {heap_eps:.0},\n    \"speedup\": {e_speedup:.2}\n  }},\n  \"simulation\": {{\n    \"nodes\": {n_nodes},\n    \"tasks\": {tasks},\n    \"completed\": {completed},\n    \"turnaround_p50_seconds\": {tq50:.3},\n    \"turnaround_p99_seconds\": {tq99:.3},\n    \"wheel_seconds\": {wheel_s:.3},\n    \"heap_seconds\": {heap_s:.3},\n    \"speedup\": {s_speedup:.2},\n    \"reports_identical\": true\n  }},\n  \"kernel_split\": {{\n    \"instants\": {instants},\n    \"batch_events\": {batch_events},\n    \"mean_batch_size\": {mean_batch:.3},\n    \"kernel_time_share\": {kernel_share:.4},\n    \"queue_time_share\": {queue_share:.4}\n  }}\n}}\n",
         events = e.events,
         wheel_eps = e.wheel_eps,
         heap_eps = e.heap_eps,
@@ -216,6 +329,11 @@ fn main() {
         tq99 = s.turnaround_q.1,
         wheel_s = s.wheel_s,
         heap_s = s.heap_s,
+        instants = split.instants,
+        batch_events = split.batch_events,
+        mean_batch = split.mean_batch,
+        kernel_share = split.kernel_share,
+        queue_share = 1.0 - split.kernel_share,
     );
     std::fs::write("BENCH_engine.json", &json).expect("write BENCH_engine.json");
     println!("\nwrote BENCH_engine.json");

@@ -1,0 +1,487 @@
+//! **Sharding benchmark**: the sharded lifecycle kernel
+//! ([`ShardedGridSimulator`]) on a 100,000-node grid under a 1,000,000-task
+//! workload, swept over 1 → 8 shards.
+//!
+//! Three presets, every one asserting determinism before quoting a number:
+//!
+//! * **quiet sweep** — a flavor-heterogeneous grid (16 GPP classes, hashed
+//!   onto nodes so every shard holds every class) under a near-saturating
+//!   constrained workload. Each decomposition `P ∈ {1, 2, 4, 8}` is timed;
+//!   `P = 8` is additionally re-run with 2 worker threads and must
+//!   reproduce the serial run's merged report and node states byte for
+//!   byte — the serial ≡ parallel identity that makes worker count a pure
+//!   execution knob. The wall-clock win over `P = 1` is *algorithmic*
+//!   (shard-local candidate scans and backlog drains touch 1/P of the
+//!   grid), so it holds even on a single core.
+//! * **aligned sweep** — flavors assigned by node/task id so that each
+//!   capability class lives wholly on its tasks' home shard. Candidate
+//!   domains are then disjoint across shards and *every* decomposition is
+//!   asserted byte-identical to the unsharded [`GridSimulator`] — the
+//!   strongest identity the BSP design guarantees.
+//! * **churn storm** — the fault-recovery storm (crash/rejoin churn plus
+//!   link/slow faults, retry policy on) at `P = 8`, serial vs 2 workers
+//!   byte-identical (reports, node states, per-shard span streams), task
+//!   conservation checked, and cross-shard spill traffic reported —
+//!   graceful degradation means the spill ratio stays bounded, not zero.
+//!
+//! The full run writes `BENCH_shards.json` at the repository root;
+//! `--smoke` runs a scaled-down pass (all assertions, no file).
+//!
+//! Usage: `bench_shards [--smoke]`
+
+use rhv_bench::{banner, section};
+use rhv_core::execreq::{Constraint, ExecReq, TaskPayload};
+use rhv_core::ids::NodeId;
+use rhv_core::ids::TaskId;
+use rhv_core::node::Node;
+use rhv_params::gpp::GppSpec;
+use rhv_params::param::{ParamKey, PeClass};
+use rhv_sched::FirstFitStrategy;
+use rhv_sim::shard::{ShardPlan, ShardedGridSimulator, ShardedRun};
+use rhv_sim::sim::{GridSimulator, SimConfig};
+use rhv_sim::strategy::Strategy;
+use rhv_sim::FaultPlan;
+use rhv_telemetry::{MetricsRegistry, ShardedCollector};
+use rhv_core::task::Task;
+use std::time::Instant;
+
+/// GPP capability classes in the grid ("flavors").
+const FLAVORS: u64 = 16;
+/// Work per task in mega-instructions. With the bench GPP's 2048 MIPS per
+/// core this is exactly 64 simulated seconds — a dyadic duration, so every
+/// busy-seconds sum is exact in f64 regardless of addition order (a
+/// prerequisite for cross-decomposition byte-identity).
+const TASK_MI: f64 = 131_072.0;
+/// Seconds one task runs for (`TASK_MI` / 2048).
+const TASK_SECONDS: f64 = 64.0;
+
+/// Decorrelated flavor: a multiplicative hash of the id, independent of
+/// `id mod P` for every shard count — each shard holds every flavor.
+fn hashed_flavor(id: u64) -> u64 {
+    (id.wrapping_mul(0x9E37_79B9_7F4A_7C15) >> 56) & (FLAVORS - 1)
+}
+
+/// Aligned flavor: `id mod 16`. With the default [`ShardPlan`] keys and a
+/// shard count dividing 16, every flavor-f node lands on shard `f mod P` —
+/// exactly where every flavor-f task is homed, so candidate domains are
+/// disjoint across shards.
+fn aligned_flavor(id: u64) -> u64 {
+    id % FLAVORS
+}
+
+/// Rare flavors (numbered 16..24) exist on exactly one node each in the
+/// storm grid — nodes 0..8, which the default plan spreads over the
+/// shards. A task demanding a rare flavor is usually homed on a shard
+/// that cannot host it and must spill to the owner at the next exchange
+/// barrier: steady, bounded cross-shard traffic.
+const RARE_FLAVORS: u64 = 8;
+/// One storm task in this many demands a rare flavor.
+const RARE_EVERY: u64 = 256;
+
+fn storm_node_flavor(id: u64) -> u64 {
+    if id < RARE_FLAVORS {
+        FLAVORS + id
+    } else {
+        hashed_flavor(id)
+    }
+}
+
+fn storm_task_flavor(id: u64) -> u64 {
+    if id.is_multiple_of(RARE_EVERY) {
+        FLAVORS + (id / RARE_EVERY) % RARE_FLAVORS
+    } else {
+        hashed_flavor(id)
+    }
+}
+
+/// One four-core GPP of the given flavor: 8192 aggregate MIPS = 2048 per
+/// core (a power of two, keeping execution times dyadic).
+fn bench_gpp(flavor: u64) -> GppSpec {
+    GppSpec {
+        cpu_model: format!("flavor-{flavor}"),
+        mips: 8192.0,
+        os: "Linux".into(),
+        ram_mb: 4096,
+        cores: 4,
+        clock_mhz: 2048.0,
+    }
+}
+
+/// `n` single-GPP nodes, flavored by `flavor_of(node id)`.
+fn grid_of(n: usize, flavor_of: fn(u64) -> u64) -> Vec<Node> {
+    (0..n as u64)
+        .map(|i| {
+            let mut node = Node::new(NodeId(i));
+            node.add_gpp(bench_gpp(flavor_of(i)));
+            node
+        })
+        .collect()
+}
+
+/// A flavor-constrained software task. Rare-flavor tasks are 16× shorter
+/// (4 s, still dyadic) so their single-node owners keep up.
+fn bench_task(id: u64, flavor: u64) -> Task {
+    let mi = if flavor >= FLAVORS {
+        TASK_MI / 16.0
+    } else {
+        TASK_MI
+    };
+    Task::new(
+        TaskId(id),
+        ExecReq::new(
+            PeClass::Gpp,
+            vec![Constraint::eq(
+                ParamKey::CpuModel,
+                format!("flavor-{flavor}"),
+            )],
+            TaskPayload::Software {
+                mega_instructions: mi,
+                parallelism: 1,
+            },
+        ),
+        TASK_SECONDS * mi / TASK_MI,
+    )
+}
+
+/// `total` tasks arriving `per_slot` at a time on a 1/16-second grid (all
+/// arrival instants dyadic). `per_slot` slightly above the grid's service
+/// rate keeps a persistent backlog — the regime where the shard-local
+/// drain scans matter.
+fn workload(total: usize, per_slot: usize, flavor_of: fn(u64) -> u64) -> Vec<(f64, Task)> {
+    (0..total as u64)
+        .map(|k| {
+            let slot = k / per_slot as u64;
+            (slot as f64 / 16.0, bench_task(k, flavor_of(k)))
+        })
+        .collect()
+}
+
+fn mk_strategy() -> Box<dyn Strategy> {
+    Box::new(FirstFitStrategy::new())
+}
+
+/// One timed sharded run (quiet preset: no churn, no sinks, K workers).
+fn timed_run(
+    n_nodes: usize,
+    load: &[(f64, Task)],
+    shards: usize,
+    workers: usize,
+    flavor_of: fn(u64) -> u64,
+) -> (ShardedRun, f64) {
+    let sim = ShardedGridSimulator::new(
+        grid_of(n_nodes, flavor_of),
+        SimConfig::default(),
+        ShardPlan::new(shards),
+        &mut mk_strategy,
+    )
+    .with_workers(workers);
+    let start = Instant::now();
+    let run = sim.run(load.to_vec());
+    (run, start.elapsed().as_secs_f64())
+}
+
+struct SweepPoint {
+    shards: usize,
+    seconds: f64,
+    events: u64,
+    events_per_sec: f64,
+    spills: u64,
+    imbalance: f64,
+    events_per_shard: Vec<u64>,
+}
+
+/// The quiet sweep: times P ∈ `shard_counts`, asserts serial ≡ parallel at
+/// the largest P, returns the per-P points plus the largest-P run (for
+/// latency quantiles).
+fn quiet_sweep(
+    n_nodes: usize,
+    n_tasks: usize,
+    per_slot: usize,
+    shard_counts: &[usize],
+) -> (Vec<SweepPoint>, ShardedRun) {
+    let load = workload(n_tasks, per_slot, hashed_flavor);
+    let mut points = Vec::new();
+    let mut last: Option<ShardedRun> = None;
+    for &p in shard_counts {
+        let (run, secs) = timed_run(n_nodes, &load, p, 1, hashed_flavor);
+        assert_eq!(
+            run.report.completed + run.report.rejected,
+            run.report.submitted,
+            "P={p}: tasks not conserved"
+        );
+        let events: u64 = run.stats.events_per_shard.iter().sum();
+        println!(
+            "  P={p:<2} : {secs:>8.2} s   {:>11.0} events/s   spills {}   imbalance {:.3}",
+            events as f64 / secs,
+            run.stats.spills,
+            run.stats.imbalance
+        );
+        points.push(SweepPoint {
+            shards: p,
+            seconds: secs,
+            events,
+            events_per_sec: events as f64 / secs,
+            spills: run.stats.spills,
+            imbalance: run.stats.imbalance,
+            events_per_shard: run.stats.events_per_shard.clone(),
+        });
+        last = Some(run);
+    }
+    let last = last.expect("non-empty sweep");
+    // Serial ≡ parallel at the largest decomposition: worker count must be
+    // invisible in the merged output.
+    let p_max = *shard_counts.last().expect("non-empty sweep");
+    let (threaded, _) = timed_run(n_nodes, &load, p_max, 2, hashed_flavor);
+    assert_eq!(
+        format!("{:?}", last.report),
+        format!("{:?}", threaded.report),
+        "P={p_max}: 2-worker run diverged from serial"
+    );
+    assert_eq!(
+        format!("{:?}", last.nodes),
+        format!("{:?}", threaded.nodes),
+        "P={p_max}: 2-worker node states diverged from serial"
+    );
+    println!("  P={p_max} with 2 workers: byte-identical to serial ✓");
+    (points, last)
+}
+
+/// The aligned sweep: every decomposition byte-identical to the unsharded
+/// simulator.
+fn aligned_sweep(n_nodes: usize, n_tasks: usize, per_slot: usize, shard_counts: &[usize]) {
+    let load = workload(n_tasks, per_slot, aligned_flavor);
+    let (reference, ref_nodes) = GridSimulator::new(
+        grid_of(n_nodes, aligned_flavor),
+        SimConfig::default(),
+    )
+    .run_with_churn(load.clone(), Vec::new(), &mut FirstFitStrategy::new());
+    let reference = format!("{reference:?}");
+    // The sharded merge concatenates final node states in shard order; the
+    // unsharded simulator keeps insertion order. Compare them as id-sorted
+    // sets — the states themselves must match byte for byte.
+    let by_id = |mut nodes: Vec<Node>| {
+        nodes.sort_by_key(|n| n.id.0);
+        format!("{nodes:?}")
+    };
+    let ref_nodes = by_id(ref_nodes);
+    for &p in shard_counts {
+        let (run, _) = timed_run(n_nodes, &load, p, 1, aligned_flavor);
+        assert_eq!(
+            format!("{:?}", run.report),
+            reference,
+            "aligned P={p}: report diverged from the unsharded simulator"
+        );
+        assert_eq!(
+            by_id(run.nodes),
+            ref_nodes,
+            "aligned P={p}: node states diverged from the unsharded simulator"
+        );
+        assert_eq!(run.stats.spills, 0, "aligned P={p}: unexpected spill");
+    }
+    println!(
+        "  P ∈ {shard_counts:?}: all byte-identical to the unsharded simulator ✓ (zero spills)"
+    );
+}
+
+struct StormResult {
+    submitted: usize,
+    completed: usize,
+    rejected: usize,
+    spills: u64,
+    spill_rejects: u64,
+    churn_migrations: u64,
+    spill_ratio_permille: f64,
+    imbalance: f64,
+    turnaround_p50: f64,
+    turnaround_p99: f64,
+}
+
+/// The churn storm at P = 8: serial vs 2 workers byte-identical (including
+/// per-shard span streams), conservation checked, spill traffic reported.
+fn storm(n_nodes: usize, n_tasks: usize, per_slot: usize, shards: usize) -> StormResult {
+    let load = workload(n_tasks, per_slot, storm_task_flavor);
+    let horizon = (n_tasks / per_slot) as f64 / 16.0;
+    let run_once = |workers: usize| -> (ShardedRun, Vec<Vec<rhv_telemetry::LifecycleSpan>>) {
+        let nodes = grid_of(n_nodes, storm_node_flavor);
+        let faults = FaultPlan::churn_storm(4242, horizon).compile(&nodes);
+        let cfg = SimConfig {
+            retry: Some(rhv_sim::RetryPolicy::default()),
+            ..SimConfig::default()
+        };
+        let collector = ShardedCollector::new(shards);
+        let handles: Vec<_> = (0..shards).map(|i| collector.shard(i)).collect();
+        let run = ShardedGridSimulator::new(nodes, cfg, ShardPlan::new(shards), &mut mk_strategy)
+            .with_workers(workers)
+            .with_sinks(&mut |i| Box::new(handles[i].clone()))
+            .run_with_faults(load.to_vec(), Vec::new(), faults);
+        let streams = (0..shards).map(|i| collector.shard(i).spans()).collect();
+        (run, streams)
+    };
+    let (serial, serial_spans) = run_once(1);
+    let (threaded, threaded_spans) = run_once(2);
+    assert_eq!(
+        format!("{:?}", serial.report),
+        format!("{:?}", threaded.report),
+        "storm: 2-worker run diverged from serial"
+    );
+    assert_eq!(
+        format!("{:?}", serial.nodes),
+        format!("{:?}", threaded.nodes),
+        "storm: 2-worker node states diverged"
+    );
+    assert_eq!(
+        serial_spans, threaded_spans,
+        "storm: per-shard span streams diverged under threading"
+    );
+    serial.report.check_invariants().expect("storm invariants");
+    assert_eq!(
+        serial.report.completed + serial.report.rejected,
+        serial.report.submitted,
+        "storm: tasks not conserved under churn"
+    );
+
+    // Publish the sharding metrics under their standard names and read the
+    // headline pair back out — the path the observability layer consumes.
+    let registry = MetricsRegistry::new();
+    serial.stats.record_to(&registry);
+    let spills = registry.counter("rhv_shard_spill_total", "").get();
+    let imbalance = registry.gauge("rhv_shard_imbalance", "").get();
+    assert_eq!(spills, serial.stats.spills);
+
+    let (p50, p99) = turnaround_quantiles(&serial);
+    println!(
+        "  {} tasks: {} completed, {} rejected; spills {} (ratio {:.2}‰), \
+         churn migrations {}, imbalance {:.3}",
+        serial.report.submitted,
+        serial.report.completed,
+        serial.report.rejected,
+        spills,
+        serial.stats.spill_ratio_permille,
+        serial.stats.churn_migrations,
+        imbalance
+    );
+    println!("  serial ≡ 2-worker: reports, nodes and span streams identical ✓");
+    StormResult {
+        submitted: serial.report.submitted,
+        completed: serial.report.completed,
+        rejected: serial.report.rejected,
+        spills,
+        spill_rejects: serial.stats.spill_rejects,
+        churn_migrations: serial.stats.churn_migrations,
+        spill_ratio_permille: serial.stats.spill_ratio_permille,
+        imbalance,
+        turnaround_p50: p50,
+        turnaround_p99: p99,
+    }
+}
+
+/// Turnaround p50/p99 straight from the task records.
+fn turnaround_quantiles(run: &ShardedRun) -> (f64, f64) {
+    let mut t: Vec<f64> = run
+        .report
+        .records
+        .iter()
+        .map(|r| r.finish - r.arrival)
+        .collect();
+    if t.is_empty() {
+        return (0.0, 0.0);
+    }
+    t.sort_by(|a, b| a.partial_cmp(b).expect("finite turnarounds"));
+    let at = |q: f64| t[((t.len() - 1) as f64 * q) as usize];
+    (at(0.50), at(0.99))
+}
+
+fn main() {
+    let smoke = std::env::args().any(|a| a == "--smoke");
+    // Per-slot arrival sizing: one 4-core GPP serves its cores every 64 s,
+    // so `n` nodes retire `n * 4 / 64 / 16` tasks per 1/16-second slot;
+    // one extra task per slot keeps the backlog persistent but bounded.
+    let service_per_slot = |nodes: usize| nodes * 4 / 64 / 16;
+    let (n_nodes, n_tasks, sweep): (usize, usize, &[usize]) = if smoke {
+        (2_048, 16_384, &[1, 2])
+    } else {
+        (100_000, 1_000_000, &[1, 2, 4, 8])
+    };
+    let per_slot = service_per_slot(n_nodes) + 1;
+    let (storm_nodes, storm_tasks) = if smoke { (1_024, 8_192) } else { (20_000, 200_000) };
+    let storm_per_slot = service_per_slot(storm_nodes) + 1;
+    let (aligned_nodes, aligned_tasks) = if smoke { (512, 4_096) } else { (1_600, 16_000) };
+    let aligned_per_slot = service_per_slot(aligned_nodes) + 1;
+
+    banner(
+        "sharded lifecycle kernel",
+        "1 → 8 shards, deterministic cross-shard messaging",
+    );
+    println!(
+        "quiet: {n_nodes} nodes, {n_tasks} tasks; storm: {storm_nodes} nodes, {storm_tasks} \
+         tasks; aligned: {aligned_nodes} nodes, {aligned_tasks} tasks{}",
+        if smoke { "  [smoke]" } else { "" }
+    );
+
+    section("quiet sweep (serial ≡ parallel asserted at max P)");
+    let (points, best) = quiet_sweep(n_nodes, n_tasks, per_slot, sweep);
+    let t1 = points.first().expect("sweep has P=1").seconds;
+    let t_max = points.last().expect("sweep has max P").seconds;
+    let speedup = t1 / t_max;
+    let p_max = points.last().unwrap().shards;
+    println!("  speedup P={p_max} vs P=1: {speedup:.2}×");
+    let (q50, q99) = turnaround_quantiles(&best);
+    println!("  latency (P={p_max}): turnaround p50 {q50:.1}s p99 {q99:.1}s");
+
+    section("aligned sweep (byte-identity to the unsharded simulator)");
+    aligned_sweep(aligned_nodes, aligned_tasks, aligned_per_slot, sweep);
+
+    section("churn storm (10% churn, retry policy, spans compared)");
+    let s = storm(storm_nodes, storm_tasks, storm_per_slot, *sweep.last().unwrap());
+
+    if smoke {
+        println!("\nsmoke run — BENCH_shards.json left untouched");
+        return;
+    }
+
+    assert!(
+        speedup >= 3.0,
+        "sharded kernel must run at least 3x faster at P={p_max} than single-shard \
+         (got {speedup:.2}x)"
+    );
+
+    let sweep_json: Vec<String> = points
+        .iter()
+        .map(|p| {
+            format!(
+                "      {{\n        \"shards\": {},\n        \"seconds\": {:.3},\n        \
+                 \"events\": {},\n        \"events_per_sec\": {:.0},\n        \"spills\": {},\n        \
+                 \"imbalance\": {:.4},\n        \"events_per_shard\": {:?}\n      }}",
+                p.shards, p.seconds, p.events, p.events_per_sec, p.spills, p.imbalance,
+                p.events_per_shard
+            )
+        })
+        .collect();
+    let json = format!(
+        "{{\n  \"benchmark\": \"sharded_kernel\",\n  \"quiet\": {{\n    \"nodes\": {n_nodes},\n    \
+         \"tasks\": {n_tasks},\n    \"sweep\": [\n{sweep}\n    ],\n    \"speedup_p{p_max}_vs_p1\": {speedup:.2},\n    \
+         \"serial_parallel_identical\": true,\n    \"turnaround_p50_seconds\": {q50:.3},\n    \
+         \"turnaround_p99_seconds\": {q99:.3}\n  }},\n  \"aligned\": {{\n    \"nodes\": {aligned_nodes},\n    \
+         \"tasks\": {aligned_tasks},\n    \"all_decompositions_identical_to_unsharded\": true\n  }},\n  \
+         \"storm\": {{\n    \"nodes\": {storm_nodes},\n    \"tasks\": {storm_tasks},\n    \
+         \"shards\": {p_max},\n    \"submitted\": {submitted},\n    \"completed\": {completed},\n    \
+         \"rejected\": {rejected},\n    \"rhv_shard_spill_total\": {spills},\n    \
+         \"spill_rejects\": {spill_rejects},\n    \"churn_migrations\": {churn_migrations},\n    \
+         \"spill_ratio_permille\": {spill_ratio:.3},\n    \"rhv_shard_imbalance\": {imbalance:.4},\n    \
+         \"turnaround_p50_seconds\": {sp50:.3},\n    \"turnaround_p99_seconds\": {sp99:.3},\n    \
+         \"serial_parallel_identical\": true\n  }}\n}}\n",
+        sweep = sweep_json.join(",\n"),
+        submitted = s.submitted,
+        completed = s.completed,
+        rejected = s.rejected,
+        spills = s.spills,
+        spill_rejects = s.spill_rejects,
+        churn_migrations = s.churn_migrations,
+        spill_ratio = s.spill_ratio_permille,
+        imbalance = s.imbalance,
+        sp50 = s.turnaround_p50,
+        sp99 = s.turnaround_p99,
+    );
+    std::fs::write("BENCH_shards.json", &json).expect("write BENCH_shards.json");
+    println!("\nwrote BENCH_shards.json");
+}

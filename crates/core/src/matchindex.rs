@@ -677,6 +677,20 @@ impl<'a> GridView<'a> {
         self.collect(req, options, true, &mut out)
     }
 
+    /// Spill-over probe: the first candidate in group-scan order, stopping
+    /// at the first hit instead of materializing (and sorting) the full
+    /// candidate vector — the single-element buffer is the only allocation.
+    /// Health-blind like [`GridView::satisfiable`]: a shard router asking
+    /// "could this grid ever host the task?" must not let a temporary
+    /// blacklist turn into a rejection. The returned candidate is a
+    /// *witness*, not necessarily the one [`GridView::candidates`] would
+    /// rank first.
+    pub fn first_candidate(&self, req: &ExecReq, options: MatchOptions) -> Option<Candidate> {
+        let mut out = Vec::with_capacity(1);
+        self.collect(req, options, true, &mut out);
+        out.pop()
+    }
+
     /// Static-capability satisfiability of a task (the rejection test).
     pub fn statically_satisfiable(&self, task: &Task) -> bool {
         self.satisfiable(&task.exec_req, MatchOptions::default())
@@ -1148,6 +1162,41 @@ mod tests {
         idx.record_node_failure(NodeId(1), 0.0, 2, 30.0);
         idx.record_node_success(NodeId(1));
         assert!(!idx.record_node_failure(NodeId(1), 0.0, 2, 30.0));
+    }
+
+    #[test]
+    fn first_candidate_probe_agrees_with_full_enumeration() {
+        let nodes = case_study::grid();
+        let idx = MatchIndex::build(&nodes);
+        let view = idx.view(&nodes);
+        let live = MatchOptions {
+            respect_state: true,
+            softcore_fallback_slices: None,
+        };
+        for task in case_study::tasks() {
+            let full = view.candidates(&task, live);
+            let probe = view.first_candidate(&task.exec_req, live);
+            assert_eq!(
+                probe.is_some(),
+                !full.is_empty(),
+                "probe must witness exactly when candidates exist"
+            );
+            if let Some(c) = probe {
+                assert!(
+                    full.contains(&c),
+                    "the probe's witness must be a real candidate"
+                );
+            }
+        }
+        // An impossible requirement: probe and enumeration agree on `None`.
+        let mut task = case_study::tasks().remove(0);
+        task.exec_req.constraints.push(crate::execreq::Constraint::new(
+            rhv_params::param::ParamKey::Cores,
+            crate::execreq::ConstraintOp::Ge,
+            u64::MAX,
+        ));
+        assert!(view.first_candidate(&task.exec_req, live).is_none());
+        assert!(view.candidates(&task, live).is_empty());
     }
 
     #[test]

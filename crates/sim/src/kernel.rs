@@ -330,6 +330,21 @@ pub enum KernelEvent {
     /// have expired). Scheduled by the front-end at
     /// [`LifecycleKernel::next_wakeup`]; spurious wakeups are harmless.
     Wakeup,
+    /// A task spilled over from another shard (see
+    /// [`crate::shard::ShardedGridSimulator`]): it was already counted
+    /// `submitted` (and had its `Submitted` span emitted) by its home
+    /// kernel, so it enters through the arrival path directly, keeping its
+    /// original arrival stamp for the queueing clock.
+    RemoteArrival {
+        /// The task's original submission time at its home shard.
+        arrival: f64,
+        /// The migrating task.
+        task: Box<Task>,
+    },
+    /// Tasks that completed on *other* shards during the last exchange
+    /// window. Only meaningful on dependency-driven runs: the ids enter
+    /// this kernel's completed set so held successors release.
+    RemoteCompletions(Vec<TaskId>),
 }
 
 /// Everything a successful placement decided, minus the task itself. The
@@ -414,6 +429,104 @@ impl PendingCompletion {
     }
 }
 
+/// The raw end-of-run aggregates of one kernel, before report assembly —
+/// what [`LifecycleKernel::finish_tally`] returns. Tallies from several
+/// shard kernels [`merge`](KernelTally::merge) into one, and
+/// [`into_report`](KernelTally::into_report) then builds the exact same
+/// [`SimReport`] a single kernel over the union grid would have produced
+/// from the same records.
+#[derive(Debug)]
+pub struct KernelTally {
+    /// Tasks submitted (spilled tasks count at their home kernel).
+    pub submitted: usize,
+    /// Tasks rejected, including end-of-run leftovers.
+    pub rejected: usize,
+    /// Completion records, in local completion order (unsorted).
+    pub records: Vec<TaskRecord>,
+    /// Σ cores × occupancy-seconds on GPPs.
+    pub gpp_busy_core_seconds: f64,
+    /// Total GPP cores in the final grid.
+    pub total_gpp_cores: u64,
+    /// Σ slices × occupancy-seconds on fabric.
+    pub rpe_busy_slice_seconds: f64,
+    /// Total fabric slices in the final grid.
+    pub total_rpe_slices: u64,
+    /// Full/partial reconfigurations performed.
+    pub reconfigurations: u64,
+    /// Seconds spent reconfiguring.
+    pub reconfig_seconds: f64,
+    /// Placements served by a resident configuration.
+    pub reuse_hits: u64,
+    /// Executions lost to churn.
+    pub failures: u64,
+    /// Placement errors recorded.
+    pub placement_errors: usize,
+    /// Retry dispatches.
+    pub retries: u64,
+    /// Software-fallback demotions.
+    pub fallbacks: u64,
+    /// Ignored churn events.
+    pub churn_noops: u64,
+    /// Final node states.
+    pub nodes: Vec<Node>,
+}
+
+impl KernelTally {
+    /// Folds another kernel's tally into this one (counter sums, record and
+    /// node concatenation). Merge in ascending shard order so float
+    /// accumulation order — and therefore the merged report — is identical
+    /// on every run of the same decomposition.
+    pub fn merge(&mut self, other: KernelTally) {
+        self.submitted += other.submitted;
+        self.rejected += other.rejected;
+        self.records.extend(other.records);
+        self.gpp_busy_core_seconds += other.gpp_busy_core_seconds;
+        self.total_gpp_cores += other.total_gpp_cores;
+        self.rpe_busy_slice_seconds += other.rpe_busy_slice_seconds;
+        self.total_rpe_slices += other.total_rpe_slices;
+        self.reconfigurations += other.reconfigurations;
+        self.reconfig_seconds += other.reconfig_seconds;
+        self.reuse_hits += other.reuse_hits;
+        self.failures += other.failures;
+        self.placement_errors += other.placement_errors;
+        self.retries += other.retries;
+        self.fallbacks += other.fallbacks;
+        self.churn_noops += other.churn_noops;
+        self.nodes.extend(other.nodes);
+    }
+
+    /// Builds the final report. Records sort by `(finish, task)` — a total
+    /// order, so a merged multi-shard tally and a single-kernel run order
+    /// identical record multisets identically.
+    pub fn into_report(mut self, strategy_name: &str) -> (SimReport, Vec<Node>) {
+        self.records.sort_by(|a, b| {
+            a.finish
+                .partial_cmp(&b.finish)
+                .expect("finite times")
+                .then_with(|| a.task.cmp(&b.task))
+        });
+        let mut report = SimReport::from_records(
+            strategy_name.to_owned(),
+            self.submitted,
+            self.rejected,
+            self.records,
+            self.gpp_busy_core_seconds,
+            self.total_gpp_cores,
+            self.rpe_busy_slice_seconds,
+            self.total_rpe_slices,
+            self.reconfigurations,
+            self.reconfig_seconds,
+            self.reuse_hits,
+            self.failures,
+            self.placement_errors,
+        );
+        report.retries = self.retries;
+        report.fallbacks = self.fallbacks;
+        report.churn_noops = self.churn_noops;
+        (report, self.nodes)
+    }
+}
+
 /// The shared task-lifecycle state machine (see the module docs).
 pub struct LifecycleKernel {
     nodes: Vec<Node>,
@@ -468,6 +581,22 @@ pub struct LifecycleKernel {
     /// dependents release after the single backlog drain (reused, so batch
     /// processing allocates nothing per instant).
     instant_finished: Vec<TaskId>,
+    /// Shard mode (see [`crate::shard`]): when set, a task this kernel's
+    /// strategy deems locally unsatisfiable is diverted into `spilled`
+    /// instead of being rejected — the sharded front-end re-routes it to a
+    /// sibling kernel at the next exchange boundary.
+    spill: bool,
+    /// Tasks diverted by the spill path, with their original arrival stamps.
+    spilled: Vec<(f64, Task)>,
+    /// Local completions since the last [`LifecycleKernel::take_finished`]
+    /// call — the cross-shard dependency-release broadcast. Recorded only
+    /// in shard mode on dependency-driven runs.
+    shard_finished: Vec<TaskId>,
+    /// Bumped whenever grid membership actually changes (join applied,
+    /// crash applied, deferred leave executed). Shard front-ends compare it
+    /// across exchange windows to decide when queued tasks need a fresh
+    /// local-satisfiability check.
+    membership_rev: u64,
 }
 
 impl LifecycleKernel {
@@ -511,6 +640,10 @@ impl LifecycleKernel {
             sink: Box::new(NoopSink),
             last_now: 0.0,
             instant_finished: Vec::new(),
+            spill: false,
+            spilled: Vec::new(),
+            shard_finished: Vec::new(),
+            membership_rev: 0,
         }
     }
 
@@ -702,6 +835,74 @@ impl LifecycleKernel {
     /// Tasks held for unmet dependencies.
     pub fn held_len(&self) -> usize {
         self.held.len()
+    }
+
+    // ---- shard mode (see `crate::shard`) -------------------------------
+
+    /// Switches spill mode on or off. In spill mode a locally unsatisfiable
+    /// task is buffered (see [`LifecycleKernel::take_spilled`]) instead of
+    /// rejected, and local completions are recorded for the cross-shard
+    /// dependency broadcast.
+    pub fn set_spill(&mut self, on: bool) {
+        self.spill = on;
+    }
+
+    /// Drains the spill buffer: `(original arrival, task)` pairs, in the
+    /// order the kernel diverted them.
+    pub fn take_spilled(&mut self) -> Vec<(f64, Task)> {
+        std::mem::take(&mut self.spilled)
+    }
+
+    /// Drains the local-completion log kept in spill mode on
+    /// dependency-driven runs (the shard front-end broadcasts these ids so
+    /// remote kernels release held successors).
+    pub fn take_finished(&mut self) -> Vec<TaskId> {
+        std::mem::take(&mut self.shard_finished)
+    }
+
+    /// Monotone revision counter of actual membership changes (joins,
+    /// crashes, executed leaves). Unchanged revision ⇒ local
+    /// satisfiability of queued tasks cannot have degraded.
+    pub fn membership_rev(&self) -> u64 {
+        self.membership_rev
+    }
+
+    /// True when this kernel's grid could host `task` on static
+    /// capabilities alone (health-blind, state-blind) — the no-alloc probe
+    /// a shard router uses before forwarding a spilled task here.
+    pub fn can_statically_host(&self, task: &Task, strategy: &dyn Strategy) -> bool {
+        let view = GridView::new(&self.nodes, &self.index);
+        strategy.is_satisfiable(task, &view)
+    }
+
+    /// Formally rejects a task no shard could host (emits the
+    /// `Unsatisfiable` span and counts it here). The task itself is dropped
+    /// by the caller — it was never queued on this kernel.
+    pub fn reject_remote(&mut self, task: TaskId, now: f64) {
+        self.last_now = self.last_now.max(now);
+        self.reject(task, now, RejectReason::Unsatisfiable);
+    }
+
+    /// Removes and returns every backlog entry whose task is no longer
+    /// locally satisfiable (with original arrival stamps). Called by the
+    /// shard front-end after membership shrank, so tasks stranded behind a
+    /// crashed or departed node migrate instead of waiting out the run.
+    pub fn drain_unsatisfiable(&mut self, strategy: &mut dyn Strategy) -> Vec<(f64, Task)> {
+        let mut moved = Vec::new();
+        let mut remaining = VecDeque::with_capacity(self.backlog.len());
+        for entry in std::mem::take(&mut self.backlog) {
+            let satisfiable = {
+                let view = GridView::new(&self.nodes, &self.index);
+                strategy.is_satisfiable(&entry.task, &view)
+            };
+            if satisfiable {
+                remaining.push_back(entry);
+            } else {
+                moved.push((entry.arrival, entry.task));
+            }
+        }
+        self.backlog = remaining;
+        moved
     }
 
     /// Submits a task at time `now`.
@@ -1019,6 +1220,7 @@ impl LifecycleKernel {
                 self.nodes.push(*node);
                 self.index.add_node(&self.nodes);
                 self.dirty = DIRTY_ALL;
+                self.membership_rev += 1;
                 self.sink.node_event(now, NodeEvent::Joined(id));
                 true
             }
@@ -1045,6 +1247,7 @@ impl LifecycleKernel {
                 self.index.remove_node(id, &self.nodes);
                 self.crashed.insert(id);
                 *self.epochs.entry(id).or_insert(0) += 1;
+                self.membership_rev += 1;
                 self.sink.node_event(now, NodeEvent::Crashed(id));
                 false
             }
@@ -1163,6 +1366,9 @@ impl LifecycleKernel {
                     if let Some(finished) = self.complete_core(pending, now, out) {
                         if self.graph.is_some() {
                             self.instant_finished.push(finished);
+                            if self.spill {
+                                self.shard_finished.push(finished);
+                            }
                         }
                     }
                     needs_drain = true;
@@ -1175,6 +1381,25 @@ impl LifecycleKernel {
                     // a fresh look at the (possibly re-admitted) capacity.
                     self.dirty = DIRTY_ALL;
                     needs_drain = true;
+                }
+                KernelEvent::RemoteArrival { arrival, task } => {
+                    // Already counted submitted (and span-emitted) at its
+                    // home shard: enter through the arrival path directly,
+                    // queueing clock still anchored at the original arrival.
+                    self.arrive_at(*task, arrival, now, strategy, out);
+                }
+                KernelEvent::RemoteCompletions(ids) => {
+                    if self.graph.is_some() {
+                        for id in ids {
+                            // Releases run through `instant_finished` below;
+                            // remote ids are deliberately *not* re-logged to
+                            // `shard_finished`, or shards would echo them
+                            // back and forth forever.
+                            if self.completed.insert(id) {
+                                self.instant_finished.push(id);
+                            }
+                        }
+                    }
                 }
             }
         }
@@ -1201,7 +1426,17 @@ impl LifecycleKernel {
     /// and counts as rejected (reason: the run is over — no task is ever
     /// silently dropped). Returns the aggregate report plus the final node
     /// states.
-    pub fn finish(mut self, strategy_name: &str) -> (SimReport, Vec<Node>) {
+    pub fn finish(self, strategy_name: &str) -> (SimReport, Vec<Node>) {
+        self.finish_tally().into_report(strategy_name)
+    }
+
+    /// The closing bookkeeping of [`LifecycleKernel::finish`] without the
+    /// report assembly: leftovers are counted rejected (with `RunOver`
+    /// spans), the sink flushes, and the raw aggregates come back as a
+    /// [`KernelTally`]. Sharded front-ends merge one tally per shard and
+    /// build a single report, so the merged output goes through exactly the
+    /// same [`SimReport::from_records`] path as a single-kernel run.
+    pub fn finish_tally(mut self) -> KernelTally {
         self.rejected += self.backlog.len() + self.held.len() + self.parked.len();
         if self.sink.enabled() {
             let at = self.last_now;
@@ -1239,27 +1474,24 @@ impl LifecycleKernel {
             .flat_map(|n| n.rpes())
             .map(|r| r.device.slices)
             .sum();
-        let mut records = std::mem::take(&mut self.records);
-        records.sort_by(|a, b| a.finish.partial_cmp(&b.finish).expect("finite times"));
-        let mut report = SimReport::from_records(
-            strategy_name.to_owned(),
-            self.submitted,
-            self.rejected,
-            records,
-            self.gpp_busy_core_seconds,
+        KernelTally {
+            submitted: self.submitted,
+            rejected: self.rejected,
+            records: self.records,
+            gpp_busy_core_seconds: self.gpp_busy_core_seconds,
             total_gpp_cores,
-            self.rpe_busy_slice_seconds,
+            rpe_busy_slice_seconds: self.rpe_busy_slice_seconds,
             total_rpe_slices,
-            self.reconfigurations,
-            self.reconfig_seconds,
-            self.reuse_hits,
-            self.failures,
-            self.placement_errors.len(),
-        );
-        report.retries = self.retries;
-        report.fallbacks = self.fallbacks;
-        report.churn_noops = self.churn_noops;
-        (report, self.nodes)
+            reconfigurations: self.reconfigurations,
+            reconfig_seconds: self.reconfig_seconds,
+            reuse_hits: self.reuse_hits,
+            failures: self.failures,
+            placement_errors: self.placement_errors.len(),
+            retries: self.retries,
+            fallbacks: self.fallbacks,
+            churn_noops: self.churn_noops,
+            nodes: self.nodes,
+        }
     }
 
     /// The arrival step: dispatch now, queue if satisfiable, else reject.
@@ -1305,6 +1537,12 @@ impl LifecycleKernel {
                 task,
                 tried: true,
             });
+        } else if self.spill {
+            // Shard mode: some sibling kernel may host what this one
+            // cannot. Divert to the spill buffer; the sharded front-end
+            // routes (or formally rejects) it at the next exchange
+            // boundary.
+            self.spilled.push((arrival, task));
         } else {
             self.reject(task.id, now, RejectReason::Unsatisfiable);
         }
@@ -1344,6 +1582,7 @@ impl LifecycleKernel {
                 if idle {
                     self.nodes.retain(|n| n.id != id);
                     self.index.remove_node(id, &self.nodes);
+                    self.membership_rev += 1;
                 } else {
                     self.pending_leaves.push(id);
                 }

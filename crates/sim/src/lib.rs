@@ -45,6 +45,7 @@ pub mod faults;
 pub mod kernel;
 pub mod metrics;
 pub mod network;
+pub mod shard;
 pub mod sim;
 pub mod strategy;
 pub mod streaming;
@@ -57,6 +58,7 @@ pub use kernel::{
     FaultEvent, KernelEvent, LifecycleKernel, PendingCompletion, PlacementError, RetryPolicy,
 };
 pub use metrics::{SimReport, TaskRecord};
+pub use shard::{ShardPlan, ShardStats, ShardedGridSimulator, ShardedRun};
 pub use sim::{ChurnEvent, GridSimulator, SimConfig};
 pub use strategy::{Placement, Strategy};
 pub use streaming::{plan_pipeline, StreamApp, StreamPlan, StreamStage};

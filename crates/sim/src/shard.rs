@@ -1,0 +1,830 @@
+//! Sharded lifecycle simulation: conservative bulk-synchronous parallel
+//! discrete-event execution over a partitioned grid.
+//!
+//! The grid is split into `P` *shards* by a [`ShardPlan`] (region striping
+//! by default; any node-key function, e.g. capability-class ownership,
+//! works). Each shard runs its own [`LifecycleKernel`] + timing-wheel
+//! [`EventQueue`] + match index, so every candidate query, backlog scan and
+//! index update touches 1/P of the grid — that locality, not thread count,
+//! is where the wall-clock win comes from, and it holds even on one core.
+//!
+//! Time advances in *exchange windows*. A window starts at the earliest
+//! pending event across all shards (`t₀`) and spans `[t₀, t₀ + epoch)`.
+//! Within a window every shard processes its own events independently — in
+//! parallel when [`ShardedGridSimulator::with_workers`] asks for threads —
+//! and no cross-shard effect is visible until the *barrier* at the window
+//! end, where the coordinator drains three kinds of epoch-stamped messages
+//! in deterministic (shard id, local order) sequence:
+//!
+//! 1. **placement spill-over** — a task its shard found locally
+//!    unsatisfiable is forwarded to the first sibling (ring order from its
+//!    origin) whose grid could statically host it, entering that kernel as
+//!    a [`KernelEvent::RemoteArrival`] at the window boundary with its
+//!    original arrival stamp (no shard ever double-counts `submitted`);
+//!    when no sibling qualifies the origin formally rejects it;
+//! 2. **churn fallout** — after a shard's membership shrank, backlog
+//!    entries stranded behind the lost capacity migrate through the same
+//!    spill routing instead of waiting out the run;
+//! 3. **dependency releases** — on dependency-driven runs each shard's
+//!    completions are broadcast so remote kernels release held successors
+//!    ([`KernelEvent::RemoteCompletions`]).
+//!
+//! ### Determinism
+//!
+//! Shard decomposition is *semantic*: the partition (and the epoch) define
+//! the model. Worker count is *execution-only*: shards share no state
+//! inside a window, the barrier exchange is single-threaded in ascending
+//! shard order, and message delivery times are pinned to the window
+//! boundary — so a run with `K` workers is byte-identical (merged
+//! [`SimReport`], per-shard span streams, final node states) to the same
+//! decomposition run serially. With `P = 1` the window loop degenerates to
+//! exactly the [`GridSimulator`](crate::sim::GridSimulator) loop and the
+//! report is byte-identical to the unsharded simulator's.
+//!
+//! [`EventQueue`]: crate::engine::EventQueue
+
+use crate::engine::EventQueue;
+use crate::kernel::{ChurnEvent, FaultEvent, KernelEvent, KernelTally, LifecycleKernel};
+use crate::kernel::{PendingCompletion, SimConfig};
+use crate::metrics::SimReport;
+use crate::strategy::Strategy;
+use rhv_core::graph::TaskGraph;
+use rhv_core::ids::{NodeId, TaskId};
+use rhv_core::node::Node;
+use rhv_core::task::Task;
+use rhv_telemetry::TelemetrySink;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Barrier, Mutex};
+
+/// How nodes and tasks map onto shards: `shard = key(id) mod shards`.
+///
+/// The default keys use the raw ids, striping nodes round-robin into
+/// "regions". Aligned ownership (tasks homed where their candidates live)
+/// comes from passing matching key functions — e.g. hash a capability
+/// class out of both ids.
+#[derive(Clone, Copy)]
+pub struct ShardPlan {
+    shards: usize,
+    node_key: fn(NodeId) -> u64,
+    task_key: fn(TaskId) -> u64,
+}
+
+impl ShardPlan {
+    /// Round-robin striping over `shards` partitions (raw-id keys).
+    pub fn new(shards: usize) -> Self {
+        ShardPlan {
+            shards: shards.max(1),
+            node_key: |n| n.0,
+            task_key: |t| t.0,
+        }
+    }
+
+    /// Custom ownership keys. `node_key` decides which shard owns a node
+    /// (and receives its churn/fault events); `task_key` decides a task's
+    /// home shard (where it is submitted and counted).
+    pub fn with_keys(
+        shards: usize,
+        node_key: fn(NodeId) -> u64,
+        task_key: fn(TaskId) -> u64,
+    ) -> Self {
+        ShardPlan {
+            shards: shards.max(1),
+            node_key,
+            task_key,
+        }
+    }
+
+    /// Number of shards.
+    pub fn shards(&self) -> usize {
+        self.shards
+    }
+
+    /// The shard owning node `id`.
+    pub fn node_shard(&self, id: NodeId) -> usize {
+        ((self.node_key)(id) % self.shards as u64) as usize
+    }
+
+    /// The home shard of task `id`.
+    pub fn task_shard(&self, id: TaskId) -> usize {
+        ((self.task_key)(id) % self.shards as u64) as usize
+    }
+}
+
+/// Execution statistics of one sharded run (beyond the merged report).
+#[derive(Debug, Clone)]
+pub struct ShardStats {
+    /// Shards in the decomposition.
+    pub shards: usize,
+    /// Worker threads used (1 = serial reference execution).
+    pub workers: usize,
+    /// Exchange windows executed.
+    pub windows: u64,
+    /// Tasks forwarded to a sibling shard (spill-over + churn migration).
+    pub spills: u64,
+    /// Spilled tasks no shard could statically host (formally rejected at
+    /// their origin).
+    pub spill_rejects: u64,
+    /// Spills caused by membership loss (subset of `spills`).
+    pub churn_migrations: u64,
+    /// Kernel events processed per shard (the occupancy profile).
+    pub events_per_shard: Vec<u64>,
+    /// max/mean of `events_per_shard` — 1.0 is a perfectly balanced
+    /// decomposition.
+    pub imbalance: f64,
+    /// Spills per 1000 processed events — the cross-shard traffic ratio.
+    pub spill_ratio_permille: f64,
+}
+
+impl ShardStats {
+    /// Publishes the run's sharding metrics into `registry` under the
+    /// standard names: `rhv_shard_spill_total`,
+    /// `rhv_shard_spill_rejects_total`, `rhv_shard_churn_migrations_total`,
+    /// `rhv_shard_windows_total`, `rhv_shard_imbalance`, and per-shard
+    /// `rhv_shard_events_total{shard="i"}`.
+    pub fn record_to(&self, registry: &rhv_telemetry::MetricsRegistry) {
+        registry
+            .counter(
+                "rhv_shard_spill_total",
+                "Tasks forwarded to a sibling shard at an exchange barrier",
+            )
+            .add(self.spills);
+        registry
+            .counter(
+                "rhv_shard_spill_rejects_total",
+                "Spilled tasks no shard could statically host",
+            )
+            .add(self.spill_rejects);
+        registry
+            .counter(
+                "rhv_shard_churn_migrations_total",
+                "Backlog tasks migrated after shard membership loss",
+            )
+            .add(self.churn_migrations);
+        registry
+            .counter(
+                "rhv_shard_windows_total",
+                "Exchange windows executed by the sharded driver",
+            )
+            .add(self.windows);
+        registry
+            .gauge(
+                "rhv_shard_imbalance",
+                "max/mean kernel events per shard (1.0 = balanced)",
+            )
+            .set(self.imbalance);
+        for (i, events) in self.events_per_shard.iter().enumerate() {
+            registry
+                .counter_with(
+                    "rhv_shard_events_total",
+                    &[("shard", &i.to_string())],
+                    "Kernel events processed, per shard",
+                )
+                .add(*events);
+        }
+    }
+
+    fn finalize(&mut self) {
+        let total: u64 = self.events_per_shard.iter().sum();
+        let max = self.events_per_shard.iter().copied().max().unwrap_or(0);
+        let mean = total as f64 / self.events_per_shard.len().max(1) as f64;
+        self.imbalance = if mean > 0.0 { max as f64 / mean } else { 1.0 };
+        self.spill_ratio_permille = if total > 0 {
+            1000.0 * self.spills as f64 / total as f64
+        } else {
+            0.0
+        };
+    }
+}
+
+/// Everything a sharded run produces.
+#[derive(Debug)]
+pub struct ShardedRun {
+    /// The merged report — built from the per-shard tallies through the
+    /// same [`SimReport::from_records`] path a single kernel uses.
+    pub report: SimReport,
+    /// Final node states, concatenated in shard order.
+    pub nodes: Vec<Node>,
+    /// Execution statistics.
+    pub stats: ShardStats,
+}
+
+/// One shard: a kernel, its event queue, its strategy, and the per-shard
+/// loop state the window driver needs.
+struct Shard {
+    kernel: LifecycleKernel,
+    queue: EventQueue<KernelEvent>,
+    strategy: Box<dyn Strategy>,
+    /// Earliest retry/parole wakeup currently scheduled (see the identical
+    /// bookkeeping in [`crate::sim::GridSimulator::run_with_faults`]).
+    next_wake: Option<f64>,
+    batch: Vec<KernelEvent>,
+    scheduled: Vec<PendingCompletion>,
+    events: u64,
+    /// `membership_rev` at the last exchange — a change triggers the
+    /// stranded-backlog migration check.
+    last_rev: u64,
+}
+
+impl Shard {
+    /// Processes every event strictly before `end` — the intra-window loop,
+    /// step for step the [`crate::sim::GridSimulator`] loop so a
+    /// single-shard decomposition replays it byte for byte.
+    fn run_window(&mut self, end: f64) {
+        while self.queue.peek_time().is_some_and(|t| t < end) {
+            let Some(now) = self.queue.pop_instant(&mut self.batch) else {
+                break;
+            };
+            self.events += self.batch.len() as u64;
+            if self.next_wake.is_some_and(|w| w <= now) {
+                self.next_wake = None;
+            }
+            self.kernel
+                .step_instant(&mut self.batch, now, &mut *self.strategy, &mut self.scheduled);
+            for pending in self.scheduled.drain(..) {
+                self.queue
+                    .push(pending.finish(), KernelEvent::Completion(pending));
+            }
+            if let Some(wake) = self.kernel.next_wakeup() {
+                let earlier = match self.next_wake {
+                    Some(w) => wake < w,
+                    None => true,
+                };
+                if earlier {
+                    self.queue.push(wake.max(now), KernelEvent::Wakeup);
+                    self.next_wake = Some(wake.max(now));
+                }
+            }
+        }
+    }
+
+    /// Earliest pending event, if any.
+    fn peek(&self) -> Option<f64> {
+        self.queue.peek_time()
+    }
+}
+
+/// The sharded front-end: `P` kernels in lockstep exchange windows (see
+/// the module docs).
+pub struct ShardedGridSimulator {
+    shards: Vec<Shard>,
+    plan: ShardPlan,
+    epoch: f64,
+    workers: usize,
+    dependency_driven: bool,
+}
+
+impl ShardedGridSimulator {
+    /// Partitions `nodes` per `plan` and builds one kernel per shard, each
+    /// with its own strategy from `mk_strategy` (strategies are stateful
+    /// and not shareable across threads). `cfg` is cloned per shard.
+    pub fn new(
+        nodes: Vec<Node>,
+        cfg: SimConfig,
+        plan: ShardPlan,
+        mk_strategy: &mut dyn FnMut() -> Box<dyn Strategy>,
+    ) -> Self {
+        let p = plan.shards();
+        let mut parts: Vec<Vec<Node>> = (0..p).map(|_| Vec::new()).collect();
+        for node in nodes {
+            parts[plan.node_shard(node.id)].push(node);
+        }
+        let shards = parts
+            .into_iter()
+            .map(|part| {
+                let mut kernel = LifecycleKernel::new(part, cfg.clone());
+                // Spill-over only exists between siblings: a lone shard
+                // rejects inline, exactly like the unsharded simulator.
+                kernel.set_spill(p > 1);
+                Shard {
+                    kernel,
+                    queue: EventQueue::new(),
+                    strategy: mk_strategy(),
+                    next_wake: None,
+                    batch: Vec::new(),
+                    scheduled: Vec::new(),
+                    events: 0,
+                    last_rev: 0,
+                }
+            })
+            .collect();
+        ShardedGridSimulator {
+            shards,
+            plan,
+            epoch: 0.25,
+            workers: 1,
+            dependency_driven: false,
+        }
+    }
+
+    /// Sets the exchange-window length in simulated seconds (default 0.25).
+    /// Shorter epochs deliver spills sooner; longer epochs amortize more
+    /// work per barrier. The epoch is part of the model: changing it may
+    /// change the simulation outcome (never its determinism).
+    pub fn with_epoch(mut self, epoch: f64) -> Self {
+        self.epoch = if epoch > 0.0 { epoch } else { 0.25 };
+        self
+    }
+
+    /// Uses `workers` threads for window processing (default 1 = serial).
+    /// Purely an execution knob: results are byte-identical for every
+    /// worker count.
+    pub fn with_workers(mut self, workers: usize) -> Self {
+        self.workers = workers.max(1);
+        self
+    }
+
+    /// Makes the run dependency-driven (every shard holds its own tasks on
+    /// the shared graph; completions are broadcast at window boundaries).
+    pub fn with_dependencies(mut self, graph: TaskGraph) -> Self {
+        for shard in &mut self.shards {
+            shard.kernel.set_dependencies(graph.clone());
+        }
+        self.dependency_driven = true;
+        self
+    }
+
+    /// Installs one telemetry sink per shard (`mk_sink(shard_id)`), e.g.
+    /// handles of a [`rhv_telemetry::ShardedCollector`]. Per-shard streams
+    /// merge deterministically regardless of worker count.
+    pub fn with_sinks(mut self, mk_sink: &mut dyn FnMut(usize) -> Box<dyn TelemetrySink>) -> Self {
+        for (i, shard) in self.shards.iter_mut().enumerate() {
+            shard.kernel.set_sink(mk_sink(i));
+        }
+        self
+    }
+
+    /// Number of shards.
+    pub fn shard_count(&self) -> usize {
+        self.plan.shards()
+    }
+
+    /// Runs `workload` to completion.
+    pub fn run(self, workload: Vec<(f64, Task)>) -> ShardedRun {
+        self.run_with_faults(workload, Vec::new(), Vec::new())
+    }
+
+    /// Runs `workload` under membership churn.
+    pub fn run_with_churn(
+        self,
+        workload: Vec<(f64, Task)>,
+        churn: Vec<(f64, ChurnEvent)>,
+    ) -> ShardedRun {
+        self.run_with_faults(workload, churn, Vec::new())
+    }
+
+    /// The full-generality run: workload, churn and a pre-compiled fault
+    /// event schedule (see [`crate::faults::FaultPlan::compile`]). Events
+    /// are routed to their owning shard up front: arrivals by task home,
+    /// churn and faults by the affected node.
+    pub fn run_with_faults(
+        mut self,
+        workload: Vec<(f64, Task)>,
+        churn: Vec<(f64, ChurnEvent)>,
+        faults: Vec<(f64, KernelEvent)>,
+    ) -> ShardedRun {
+        let p = self.plan.shards();
+        for (t, task) in workload {
+            let s = self.plan.task_shard(task.id);
+            self.shards[s].queue.push(t, KernelEvent::Arrival(Box::new(task)));
+        }
+        for (t, ev) in churn {
+            let s = self.churn_shard(&ev);
+            self.shards[s].queue.push(t, KernelEvent::Churn(ev));
+        }
+        for (t, ev) in faults {
+            let s = match &ev {
+                KernelEvent::Churn(c) => self.churn_shard(c),
+                KernelEvent::Fault(f) => self.plan.node_shard(fault_node(f)),
+                KernelEvent::Arrival(task) => self.plan.task_shard(task.id),
+                // Anything else in a pre-compiled schedule (wakeups…) has
+                // no owner; shard 0 hosts it deterministically.
+                _ => 0,
+            };
+            self.shards[s].queue.push(t, ev);
+        }
+
+        let mut stats = ShardStats {
+            shards: p,
+            workers: self.workers,
+            windows: 0,
+            spills: 0,
+            spill_rejects: 0,
+            churn_migrations: 0,
+            events_per_shard: vec![0; p],
+            imbalance: 1.0,
+            spill_ratio_permille: 0.0,
+        };
+
+        if self.workers <= 1 || p == 1 {
+            self.drive_serial(&mut stats);
+        } else {
+            self.drive_parallel(&mut stats);
+        }
+
+        let name = self.shards[0].strategy.name().to_owned();
+        let mut tally: Option<KernelTally> = None;
+        for (i, shard) in self.shards.into_iter().enumerate() {
+            stats.events_per_shard[i] = shard.events;
+            let t = shard.kernel.finish_tally();
+            match &mut tally {
+                Some(acc) => acc.merge(t),
+                None => tally = Some(t),
+            }
+        }
+        stats.finalize();
+        let (report, nodes) = tally.expect("at least one shard").into_report(&name);
+        ShardedRun {
+            report,
+            nodes,
+            stats,
+        }
+    }
+
+    fn churn_shard(&self, ev: &ChurnEvent) -> usize {
+        let id = match ev {
+            ChurnEvent::Join(node) => node.id,
+            ChurnEvent::Leave(id) | ChurnEvent::Crash(id) => *id,
+        };
+        self.plan.node_shard(id)
+    }
+
+    /// The serial driver: windows in shard order, then the exchange.
+    fn drive_serial(&mut self, stats: &mut ShardStats) {
+        while let Some(t0) = earliest(self.shards.iter().map(Shard::peek)) {
+            let end = t0 + self.epoch;
+            stats.windows += 1;
+            for shard in &mut self.shards {
+                shard.run_window(end);
+            }
+            let mut refs: Vec<&mut Shard> = self.shards.iter_mut().collect();
+            exchange(&mut refs, end, self.dependency_driven, stats);
+        }
+    }
+
+    /// The threaded driver: persistent workers process disjoint shard
+    /// stripes between two barriers; the main thread computes windows and
+    /// runs the exchange alone while the workers wait. Everything a worker
+    /// touches is its own stripe, so the outcome is identical to
+    /// [`ShardedGridSimulator::drive_serial`].
+    fn drive_parallel(&mut self, stats: &mut ShardStats) {
+        let p = self.shards.len();
+        let k = self.workers.min(p);
+        let epoch = self.epoch;
+        let dep = self.dependency_driven;
+        let cells: Vec<Mutex<&mut Shard>> = self.shards.iter_mut().map(Mutex::new).collect();
+        let cells = &cells;
+        let window_bits = AtomicU64::new(0);
+        let done = AtomicBool::new(false);
+        let start = Barrier::new(k + 1);
+        let finished = Barrier::new(k + 1);
+        std::thread::scope(|scope| {
+            for w in 0..k {
+                let (window_bits, done) = (&window_bits, &done);
+                let (start, finished) = (&start, &finished);
+                scope.spawn(move || loop {
+                    start.wait();
+                    if done.load(Ordering::SeqCst) {
+                        break;
+                    }
+                    let end = f64::from_bits(window_bits.load(Ordering::SeqCst));
+                    for i in (w..cells.len()).step_by(k) {
+                        cells[i].lock().expect("shard lock").run_window(end);
+                    }
+                    finished.wait();
+                });
+            }
+            loop {
+                let t0 = earliest(
+                    cells
+                        .iter()
+                        .map(|c| c.lock().expect("shard lock").peek()),
+                );
+                let Some(t0) = t0 else {
+                    done.store(true, Ordering::SeqCst);
+                    start.wait();
+                    break;
+                };
+                let end = t0 + epoch;
+                stats.windows += 1;
+                window_bits.store(end.to_bits(), Ordering::SeqCst);
+                start.wait();
+                finished.wait();
+                // Workers are parked at `start` again; the exchange owns
+                // every shard (uncontended locks).
+                let mut guards: Vec<_> = cells
+                    .iter()
+                    .map(|c| c.lock().expect("shard lock"))
+                    .collect();
+                let mut refs: Vec<&mut Shard> = guards.iter_mut().map(|g| &mut ***g).collect();
+                exchange(&mut refs, end, dep, stats);
+            }
+        });
+    }
+}
+
+/// Minimum of the present values (event times are finite by construction).
+fn earliest(times: impl Iterator<Item = Option<f64>>) -> Option<f64> {
+    times
+        .flatten()
+        .min_by(|a, b| a.partial_cmp(b).expect("finite event times"))
+}
+
+/// The node an infrastructure fault targets (for shard routing).
+fn fault_node(f: &FaultEvent) -> NodeId {
+    match f {
+        FaultEvent::LinkDegrade { node, .. }
+        | FaultEvent::LinkRestore(node)
+        | FaultEvent::SlowNode { node, .. }
+        | FaultEvent::SlowRestore(node) => *node,
+    }
+}
+
+/// The window-boundary barrier: drains every shard's outbox and delivers
+/// cross-shard messages at time `end`, in deterministic (origin shard,
+/// local order) sequence. Runs single-threaded in both drivers.
+fn exchange(shards: &mut [&mut Shard], end: f64, dependency_driven: bool, stats: &mut ShardStats) {
+    let p = shards.len();
+    if p <= 1 {
+        return;
+    }
+    // 1. Collect spill-overs, plus backlog entries stranded by membership
+    //    loss since the previous barrier.
+    let mut outbox: Vec<(usize, f64, Task)> = Vec::new();
+    for (s, shard) in shards.iter_mut().enumerate() {
+        for (arrival, task) in shard.kernel.take_spilled() {
+            outbox.push((s, arrival, task));
+        }
+        let rev = shard.kernel.membership_rev();
+        if rev != shard.last_rev {
+            shard.last_rev = rev;
+            let strategy = &mut *shard.strategy;
+            for (arrival, task) in shard.kernel.drain_unsatisfiable(strategy) {
+                stats.churn_migrations += 1;
+                outbox.push((s, arrival, task));
+            }
+        }
+    }
+    // 2. Route: first statically capable sibling in ring order from the
+    //    origin; no taker ⇒ the origin rejects formally.
+    for (origin, arrival, task) in outbox {
+        let dest = (1..p)
+            .map(|k| (origin + k) % p)
+            .find(|&d| shards[d].kernel.can_statically_host(&task, &*shards[d].strategy));
+        match dest {
+            Some(d) => {
+                stats.spills += 1;
+                shards[d].queue.push(
+                    end,
+                    KernelEvent::RemoteArrival {
+                        arrival,
+                        task: Box::new(task),
+                    },
+                );
+            }
+            None => {
+                stats.spill_rejects += 1;
+                shards[origin].kernel.reject_remote(task.id, end);
+            }
+        }
+    }
+    // 3. Dependency broadcast: every shard's window completions reach every
+    //    sibling, concatenated in shard order.
+    if dependency_driven {
+        let finished: Vec<Vec<TaskId>> = shards
+            .iter_mut()
+            .map(|s| s.kernel.take_finished())
+            .collect();
+        for (d, shard) in shards.iter_mut().enumerate() {
+            let ids: Vec<TaskId> = finished
+                .iter()
+                .enumerate()
+                .filter(|&(s, _)| s != d)
+                .flat_map(|(_, v)| v.iter().copied())
+                .collect();
+            if !ids.is_empty() {
+                shard.queue.push(end, KernelEvent::RemoteCompletions(ids));
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::faults::FaultPlan;
+    use crate::kernel::RetryPolicy;
+    use crate::sim::GridSimulator;
+    use crate::workload::WorkloadSpec;
+    use rhv_core::case_study;
+    use rhv_telemetry::{ShardedCollector, SpanCollector};
+
+    fn grid_of(n: usize) -> Vec<Node> {
+        let protos = case_study::grid();
+        (0..n)
+            .map(|i| {
+                let mut node = protos[i % protos.len()].clone();
+                node.id = NodeId(i as u64);
+                node
+            })
+            .collect()
+    }
+
+    fn mk_first_fit() -> Box<dyn Strategy> {
+        // The sim crate cannot depend on rhv-sched; an inline first-fit
+        // mirroring `rhv_sched::FirstFitStrategy` (same candidate order).
+        struct FirstFit(rhv_core::matchmaker::MatchOptions);
+        impl Strategy for FirstFit {
+            fn name(&self) -> &str {
+                "first-fit"
+            }
+            fn place(
+                &mut self,
+                task: &Task,
+                grid: &rhv_core::matchindex::GridView<'_>,
+                _now: f64,
+            ) -> Option<crate::strategy::Placement> {
+                grid.candidates(task, self.0).first().copied().map(Into::into)
+            }
+            fn is_satisfiable(
+                &self,
+                task: &Task,
+                grid: &rhv_core::matchindex::GridView<'_>,
+            ) -> bool {
+                grid.statically_satisfiable(task)
+            }
+        }
+        Box::new(FirstFit(rhv_core::matchmaker::MatchOptions {
+            respect_state: true,
+            softcore_fallback_slices: None,
+        }))
+    }
+
+    #[allow(clippy::type_complexity)]
+    fn storm_inputs(
+        nodes: &[Node],
+        tasks: usize,
+        seed: u64,
+    ) -> (Vec<(f64, Task)>, Vec<(f64, KernelEvent)>) {
+        let horizon = 40.0;
+        let workload =
+            WorkloadSpec::default_for_grid(tasks, tasks as f64 / horizon, seed).generate();
+        let faults = FaultPlan::churn_storm(seed, horizon).compile(nodes);
+        (workload, faults)
+    }
+
+    fn run_sharded(
+        n_nodes: usize,
+        tasks: usize,
+        seed: u64,
+        shards: usize,
+        workers: usize,
+        retry: bool,
+    ) -> (ShardedRun, Vec<Vec<rhv_telemetry::LifecycleSpan>>) {
+        let nodes = grid_of(n_nodes);
+        let (workload, faults) = storm_inputs(&nodes, tasks, seed);
+        let cfg = SimConfig {
+            retry: retry.then(RetryPolicy::default),
+            ..SimConfig::default()
+        };
+        let collector = ShardedCollector::new(shards);
+        let handles: Vec<SpanCollector> = (0..shards).map(|i| collector.shard(i)).collect();
+        let run = ShardedGridSimulator::new(nodes, cfg, ShardPlan::new(shards), &mut || {
+            mk_first_fit()
+        })
+        .with_workers(workers)
+        .with_sinks(&mut |i| Box::new(handles[i].clone()))
+        .run_with_faults(workload, Vec::new(), faults);
+        let streams = (0..shards).map(|i| collector.shard(i).spans()).collect();
+        (run, streams)
+    }
+
+    #[test]
+    fn single_shard_decomposition_replays_grid_simulator_byte_for_byte() {
+        let nodes = grid_of(24);
+        let (workload, faults) = storm_inputs(&nodes, 160, 11);
+        // The storm compiler is deterministic: regenerate instead of
+        // cloning (KernelEvent is deliberately not Clone).
+        let (_, faults_again) = storm_inputs(&nodes, 160, 11);
+        let (reference, ref_nodes) = GridSimulator::new(nodes.clone(), SimConfig::default())
+            .run_with_faults(workload.clone(), Vec::new(), faults_again, &mut *mk_first_fit());
+        let run = ShardedGridSimulator::new(
+            nodes,
+            SimConfig::default(),
+            ShardPlan::new(1),
+            &mut mk_first_fit,
+        )
+        .run_with_faults(workload, Vec::new(), faults);
+        assert_eq!(
+            format!("{reference:?}"),
+            format!("{:?}", run.report),
+            "P=1 must replay the unsharded simulator"
+        );
+        assert_eq!(format!("{ref_nodes:?}"), format!("{:?}", run.nodes));
+    }
+
+    #[test]
+    fn parallel_execution_is_byte_identical_to_serial_for_every_worker_count() {
+        for shards in [2, 3, 4] {
+            let (serial, serial_spans) = run_sharded(24, 160, 7, shards, 1, true);
+            for workers in [2, 4] {
+                let (parallel, parallel_spans) = run_sharded(24, 160, 7, shards, workers, true);
+                assert_eq!(
+                    format!("{:?}", serial.report),
+                    format!("{:?}", parallel.report),
+                    "P={shards} K={workers}: parallel report diverged"
+                );
+                assert_eq!(
+                    format!("{:?}", serial.nodes),
+                    format!("{:?}", parallel.nodes),
+                    "P={shards} K={workers}: node states diverged"
+                );
+                for (s, (a, b)) in serial_spans.iter().zip(&parallel_spans).enumerate() {
+                    assert_eq!(
+                        format!("{a:?}"),
+                        format!("{b:?}"),
+                        "P={shards} K={workers}: shard {s} span stream diverged"
+                    );
+                }
+                assert_eq!(serial.stats.spills, parallel.stats.spills);
+                assert_eq!(serial.stats.windows, parallel.stats.windows);
+            }
+        }
+    }
+
+    #[test]
+    fn sharded_storm_conserves_tasks_and_reports_spills() {
+        let (run, _) = run_sharded(30, 240, 13, 3, 1, true);
+        run.report.check_invariants().unwrap();
+        assert_eq!(
+            run.report.completed + run.report.rejected,
+            run.report.submitted,
+            "every submitted task must reach a terminal state"
+        );
+        assert_eq!(run.stats.events_per_shard.len(), 3);
+        assert!(run.stats.windows > 0);
+        assert!(run.stats.imbalance >= 1.0);
+    }
+
+    #[test]
+    fn spilled_task_lands_on_capable_sibling_instead_of_rejecting() {
+        // Asymmetric plan: Node_0 (the only XC6VLX365T owner) alone on
+        // shard 1, Node_1/Node_2 on shard 0, every task homed on shard 0.
+        // Task_3 — the device-pinned Virtex-6 bitstream — is unsatisfiable
+        // on its home shard and must spill to shard 1 and complete there.
+        let nodes = case_study::grid();
+        let task3 = case_study::tasks()
+            .into_iter()
+            .find(|t| {
+                matches!(
+                    t.exec_req.payload,
+                    rhv_core::execreq::TaskPayload::Bitstream { .. }
+                )
+            })
+            .expect("case study has a bitstream task");
+        let plan = ShardPlan::with_keys(2, |n| u64::from(n.0 == 0), |_| 0);
+        let run = ShardedGridSimulator::new(nodes, SimConfig::default(), plan, &mut mk_first_fit)
+            .run(vec![(0.0, task3)]);
+        assert_eq!(run.report.submitted, 1);
+        assert_eq!(run.report.completed, 1, "the spill must complete remotely");
+        assert_eq!(run.stats.spills, 1);
+        assert_eq!(run.stats.spill_rejects, 0);
+    }
+
+    #[test]
+    fn dependency_release_crosses_shards() {
+        // Two independent tasks on different shards, a third depending on
+        // both: the completion broadcast must release it.
+        let nodes = grid_of(8);
+        let horizon = 10.0;
+        let workload = WorkloadSpec::default_for_grid(12, 12.0 / horizon, 21).generate();
+        let mut graph = TaskGraph::default();
+        let ids: Vec<TaskId> = workload.iter().map(|(_, t)| t.id).collect();
+        graph.add_edge(ids[0], ids[5]).unwrap();
+        graph.add_edge(ids[1], ids[5]).unwrap();
+        graph.add_edge(ids[2], ids[7]).unwrap();
+        let reference = {
+            let (r, _) = GridSimulator::new(nodes.clone(), SimConfig::default())
+                .with_dependencies(graph.clone())
+                .run_with_churn(workload.clone(), Vec::new(), &mut *mk_first_fit());
+            r
+        };
+        let run = ShardedGridSimulator::new(
+            nodes,
+            SimConfig::default(),
+            ShardPlan::new(3),
+            &mut mk_first_fit,
+        )
+        .with_dependencies(graph)
+        .run(workload);
+        run.report.check_invariants().unwrap();
+        assert_eq!(run.report.submitted, reference.submitted);
+        assert_eq!(
+            run.report.completed + run.report.rejected,
+            run.report.submitted
+        );
+        // The decomposition may order placements differently, but nothing
+        // may be lost: the sharded run completes at least the tasks with
+        // no dependent chain stretching across a window boundary.
+        assert!(run.report.completed > 0);
+    }
+}

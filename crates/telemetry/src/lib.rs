@@ -29,7 +29,7 @@ pub mod sink;
 pub mod span;
 
 pub use registry::{Counter, Gauge, Histogram, Instrument, MetricsRegistry, MetricsSink};
-pub use sink::{FanoutSink, NoopSink, SpanCollector, TelemetrySink};
+pub use sink::{FanoutSink, NoopSink, ShardedCollector, SpanCollector, TelemetrySink};
 pub use span::{
     CompletedSpan, FaultStats, FragSnapshot, LifecycleSpan, MatchStats, NodeEvent, PlacedSpan,
     RejectReason, SetupPhases, SpanEvent, TimelineStats, WaitCause,

@@ -151,6 +151,66 @@ impl TelemetrySink for SpanCollector {
     }
 }
 
+/// Per-shard span collection with a deterministic merge — the telemetry
+/// fan-in for `rhv_sim`'s sharded simulator.
+///
+/// Each shard's kernel writes into its own [`SpanCollector`] (no
+/// cross-thread contention inside an exchange window), and the merged
+/// views interleave the streams by a **stable** sort on sim-time with
+/// shard id as the implicit tiebreak: equal-time spans keep ascending
+/// shard order, and within one shard emission order. The merged stream is
+/// therefore a pure function of the shard decomposition — identical for
+/// every worker count, byte for byte.
+#[derive(Debug, Clone)]
+pub struct ShardedCollector {
+    shards: Vec<SpanCollector>,
+}
+
+impl ShardedCollector {
+    /// A collector set for `shards` shards (at least one).
+    pub fn new(shards: usize) -> Self {
+        ShardedCollector {
+            shards: (0..shards.max(1)).map(|_| SpanCollector::new()).collect(),
+        }
+    }
+
+    /// Number of per-shard collectors.
+    pub fn shards(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// A handle to shard `i`'s collector (clones share storage — hand one
+    /// clone to the kernel, keep another to read).
+    pub fn shard(&self, i: usize) -> SpanCollector {
+        self.shards[i].clone()
+    }
+
+    /// All spans across shards, merged deterministically (see type docs).
+    pub fn merged_spans(&self) -> Vec<LifecycleSpan> {
+        let mut all: Vec<LifecycleSpan> = self.shards.iter().flat_map(|s| s.spans()).collect();
+        all.sort_by(|a, b| a.at.partial_cmp(&b.at).expect("finite span times"));
+        all
+    }
+
+    /// All node events across shards, merged deterministically.
+    pub fn merged_node_events(&self) -> Vec<(f64, NodeEvent)> {
+        let mut all: Vec<(f64, NodeEvent)> =
+            self.shards.iter().flat_map(|s| s.node_events()).collect();
+        all.sort_by(|a, b| a.0.partial_cmp(&b.0).expect("finite event times"));
+        all
+    }
+
+    /// Total spans recorded across all shards.
+    pub fn len(&self) -> usize {
+        self.shards.iter().map(SpanCollector::len).sum()
+    }
+
+    /// True when no shard recorded anything.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
 /// Forwards everything to each inner sink in order.
 #[derive(Default)]
 pub struct FanoutSink {

@@ -39,11 +39,13 @@ elif [ "$1" = "bench-smoke" ]; then
     # comparisons run in --smoke mode (bench_matchmaker asserts indexed ==
     # naive scan and fallbacks < hits; bench_engine asserts wheel == heap
     # reports; bench_faults asserts conservation, recovery counters and
-    # wheel == heap under the churn storm).
+    # wheel == heap under the churn storm; bench_shards asserts sharded
+    # serial == parallel and P=1 == unsharded byte-identity).
     cargo bench --offline -p rhv-bench --bench match_index
     cargo run --offline -q --release -p rhv-bench --bin bench_matchmaker -- --smoke
     cargo run --offline -q --release -p rhv-bench --bin bench_engine -- --smoke
     cargo run --offline -q --release -p rhv-bench --bin bench_faults -- --smoke
+    cargo run --offline -q --release -p rhv-bench --bin bench_shards -- --smoke
 elif [ "$1" = "obs-smoke" ]; then
     # Mirrors `make obs-smoke` for offline containers: obs_report renders
     # and schema-validates a small deterministic profiled run, then

@@ -1,26 +1,36 @@
 //! Offline stub of `serde` — see `devtools/stubs/README.md`.
 //!
-//! Provides the trait surface the workspace compiles against. Derived
-//! `Serialize` succeeds with a placeholder value; derived `Deserialize`
-//! returns an error (round-trip tests are expected to fail under stubs,
-//! identically before and after any refactor).
+//! Unlike the first-generation placeholder (whose derived `Deserialize`
+//! always errored), this stub is **functional**: values serialize into the
+//! [`value::Value`] tree and deserialize back out of it, so the workspace's
+//! JSON round-trip tests pass offline exactly as they do against the real
+//! crates. The trait *signatures* mirror real serde (`serialize<S:
+//! Serializer>`, `deserialize<D: Deserializer>`), so handwritten call sites
+//! — e.g. `#[serde(with = "…")]` modules — compile unchanged; only the
+//! associated machinery behind the traits is simplified to a value tree
+//! instead of serde's full visitor data model.
 
 pub use serde_derive::{Deserialize, Serialize};
 
-/// Constructor hook so stub-derived impls can fabricate error values.
+/// Error constructor hook shared by every stub error type, so generated
+/// code can fabricate and translate errors without naming a concrete type.
 pub trait StubErrorCtor {
     fn stub() -> Self;
+    /// An error carrying a human-readable message.
+    fn msg(m: String) -> Self;
 }
 
+/// Serializers accept one fully-built [`value::Value`].
 pub trait Serializer: Sized {
     type Ok;
     type Error: StubErrorCtor;
-    /// Emit a placeholder value; the stub serializer ignores the data.
-    fn stub_emit(self) -> Result<Self::Ok, Self::Error>;
+    fn emit_value(self, v: value::Value) -> Result<Self::Ok, Self::Error>;
 }
 
+/// Deserializers surrender one fully-parsed [`value::Value`].
 pub trait Deserializer<'de>: Sized {
     type Error: StubErrorCtor;
+    fn take_value(self) -> Result<value::Value, Self::Error>;
 }
 
 pub trait Serialize {
@@ -31,20 +41,497 @@ pub trait Deserialize<'de>: Sized {
     fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error>;
 }
 
+/// The simplified data model plus the plumbing the derive macro targets.
+pub mod value {
+    use super::{Deserialize, Deserializer, Serialize, Serializer, StubErrorCtor};
+    use std::collections::{BTreeMap, BTreeSet, HashMap, HashSet, VecDeque};
+    use std::fmt;
+    use std::hash::Hash;
+    use std::rc::Rc;
+    use std::sync::Arc;
+
+    /// A self-describing JSON-shaped value tree.
+    #[derive(Debug, Clone, PartialEq)]
+    pub enum Value {
+        Null,
+        Bool(bool),
+        U64(u64),
+        I64(i64),
+        F64(f64),
+        Str(String),
+        Seq(Vec<Value>),
+        /// Insertion-ordered string-keyed map (JSON object).
+        Map(Vec<(String, Value)>),
+    }
+
+    impl Value {
+        /// Externally-tagged enum payload: `{"Variant": value}`.
+        pub fn variant(name: &str, payload: Value) -> Value {
+            Value::Map(vec![(name.to_string(), payload)])
+        }
+    }
+
+    /// Error used by the value-tree serializer/deserializer.
+    #[derive(Debug, Clone)]
+    pub struct ValueError(pub String);
+
+    impl fmt::Display for ValueError {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            write!(f, "serde stub: {}", self.0)
+        }
+    }
+
+    impl std::error::Error for ValueError {}
+
+    impl StubErrorCtor for ValueError {
+        fn stub() -> Self {
+            ValueError("value error".to_string())
+        }
+        fn msg(m: String) -> Self {
+            ValueError(m)
+        }
+    }
+
+    /// Translate a [`ValueError`] into any stub error type (generated code
+    /// runs its field plumbing under `ValueError` and escalates once).
+    pub fn escalate<E: StubErrorCtor>(e: ValueError) -> E {
+        E::msg(e.0)
+    }
+
+    /// Serializer whose output *is* the value tree.
+    pub struct ValueSerializer;
+
+    impl Serializer for ValueSerializer {
+        type Ok = Value;
+        type Error = ValueError;
+        fn emit_value(self, v: Value) -> Result<Value, ValueError> {
+            Ok(v)
+        }
+    }
+
+    /// Deserializer fed from an owned value tree.
+    pub struct ValueDeserializer(pub Value);
+
+    impl<'de> Deserializer<'de> for ValueDeserializer {
+        type Error = ValueError;
+        fn take_value(self) -> Result<Value, ValueError> {
+            Ok(self.0)
+        }
+    }
+
+    pub fn to_value<T: Serialize + ?Sized>(t: &T) -> Result<Value, ValueError> {
+        t.serialize(ValueSerializer)
+    }
+
+    pub fn from_value<T: for<'x> Deserialize<'x>>(v: Value) -> Result<T, ValueError> {
+        T::deserialize(ValueDeserializer(v))
+    }
+
+    /// Map keys serialize through the value tree and must land on a type
+    /// with a canonical string form (real serde_json stringifies integer
+    /// keys the same way).
+    fn key_string(v: Value) -> Result<String, ValueError> {
+        match v {
+            Value::Str(s) => Ok(s),
+            Value::U64(n) => Ok(n.to_string()),
+            Value::I64(n) => Ok(n.to_string()),
+            _ => Err(ValueError("map key must be a string or integer".into())),
+        }
+    }
+
+    /// Reader for named-struct bodies: pulls fields out of a `Value::Map`.
+    pub struct FieldMap(Vec<(String, Value)>);
+
+    impl FieldMap {
+        pub fn new(v: Value) -> Result<FieldMap, ValueError> {
+            match v {
+                Value::Map(m) => Ok(FieldMap(m)),
+                other => Err(ValueError(format!("expected object, got {other:?}"))),
+            }
+        }
+
+        fn take(&mut self, name: &str) -> Option<Value> {
+            let i = self.0.iter().position(|(k, _)| k == name)?;
+            Some(self.0.remove(i).1)
+        }
+
+        pub fn required<T: for<'x> Deserialize<'x>>(
+            &mut self,
+            name: &str,
+        ) -> Result<T, ValueError> {
+            match self.take(name) {
+                Some(v) => from_value(v)
+                    .map_err(|e| ValueError(format!("field `{name}`: {}", e.0))),
+                None => Err(ValueError(format!("missing field `{name}`"))),
+            }
+        }
+
+        /// `#[serde(default)]`: absent (or null) fields fall back to
+        /// `Default::default()`.
+        pub fn defaulted<T: for<'x> Deserialize<'x> + Default>(
+            &mut self,
+            name: &str,
+        ) -> Result<T, ValueError> {
+            match self.take(name) {
+                None | Some(Value::Null) => Ok(T::default()),
+                Some(v) => from_value(v)
+                    .map_err(|e| ValueError(format!("field `{name}`: {}", e.0))),
+            }
+        }
+
+        /// Raw access for `#[serde(with = "…")]` fields.
+        pub fn raw(&mut self, name: &str) -> Result<Value, ValueError> {
+            self.take(name)
+                .ok_or_else(|| ValueError(format!("missing field `{name}`")))
+        }
+    }
+
+    /// Reader for tuple payloads (tuple structs / tuple enum variants).
+    pub struct SeqReader(std::vec::IntoIter<Value>);
+
+    impl SeqReader {
+        pub fn new(v: Value) -> Result<SeqReader, ValueError> {
+            match v {
+                Value::Seq(s) => Ok(SeqReader(s.into_iter())),
+                other => Err(ValueError(format!("expected array, got {other:?}"))),
+            }
+        }
+
+        // Not an Iterator: each call deserializes into a caller-chosen type.
+        #[allow(clippy::should_implement_trait)]
+        pub fn next<T: for<'x> Deserialize<'x>>(&mut self) -> Result<T, ValueError> {
+            match self.0.next() {
+                Some(v) => from_value(v),
+                None => Err(ValueError("tuple shorter than expected".into())),
+            }
+        }
+    }
+
+    /// Split an externally-tagged enum value into `(variant, payload)`.
+    pub fn enum_parts(v: Value) -> Result<(String, Option<Value>), ValueError> {
+        match v {
+            Value::Str(s) => Ok((s, None)),
+            Value::Map(mut m) if m.len() == 1 => {
+                let (k, v) = m.remove(0);
+                Ok((k, Some(v)))
+            }
+            other => Err(ValueError(format!("expected enum, got {other:?}"))),
+        }
+    }
+
+    /// The payload a data-carrying variant requires.
+    pub fn payload(p: Option<Value>, variant: &str) -> Result<Value, ValueError> {
+        p.ok_or_else(|| ValueError(format!("variant `{variant}` expects a payload")))
+    }
+
+    // ---- primitive impls -------------------------------------------------
+
+    macro_rules! ser_uint {
+        ($($t:ty),*) => {$(
+            impl Serialize for $t {
+                fn serialize<S: Serializer>(&self, s: S) -> Result<S::Ok, S::Error> {
+                    s.emit_value(Value::U64(*self as u64))
+                }
+            }
+            impl<'de> Deserialize<'de> for $t {
+                fn deserialize<D: Deserializer<'de>>(d: D) -> Result<Self, D::Error> {
+                    let v = d.take_value()?;
+                    let n = match v {
+                        Value::U64(n) => n,
+                        Value::I64(n) if n >= 0 => n as u64,
+                        // Map keys arrive as strings; mirror serde_json's
+                        // numeric key parsing.
+                        Value::Str(ref s) => s
+                            .parse::<u64>()
+                            .map_err(|_| escalate(ValueError(format!("expected unsigned integer, got {v:?}"))))?,
+                        _ => return Err(escalate(ValueError(format!("expected unsigned integer, got {v:?}")))),
+                    };
+                    <$t>::try_from(n)
+                        .map_err(|_| escalate(ValueError(format!("{n} out of range"))))
+                }
+            }
+        )*};
+    }
+    ser_uint!(u8, u16, u32, u64, usize);
+
+    macro_rules! ser_int {
+        ($($t:ty),*) => {$(
+            impl Serialize for $t {
+                fn serialize<S: Serializer>(&self, s: S) -> Result<S::Ok, S::Error> {
+                    s.emit_value(Value::I64(*self as i64))
+                }
+            }
+            impl<'de> Deserialize<'de> for $t {
+                fn deserialize<D: Deserializer<'de>>(d: D) -> Result<Self, D::Error> {
+                    let v = d.take_value()?;
+                    let n = match v {
+                        Value::I64(n) => n,
+                        Value::U64(n) => i64::try_from(n)
+                            .map_err(|_| escalate(ValueError(format!("{n} out of range"))))?,
+                        Value::Str(ref s) => s
+                            .parse::<i64>()
+                            .map_err(|_| escalate(ValueError(format!("expected integer, got {v:?}"))))?,
+                        _ => return Err(escalate(ValueError(format!("expected integer, got {v:?}")))),
+                    };
+                    <$t>::try_from(n)
+                        .map_err(|_| escalate(ValueError(format!("{n} out of range"))))
+                }
+            }
+        )*};
+    }
+    ser_int!(i8, i16, i32, i64, isize);
+
+    macro_rules! ser_float {
+        ($($t:ty),*) => {$(
+            impl Serialize for $t {
+                fn serialize<S: Serializer>(&self, s: S) -> Result<S::Ok, S::Error> {
+                    s.emit_value(Value::F64(*self as f64))
+                }
+            }
+            impl<'de> Deserialize<'de> for $t {
+                fn deserialize<D: Deserializer<'de>>(d: D) -> Result<Self, D::Error> {
+                    match d.take_value()? {
+                        Value::F64(n) => Ok(n as $t),
+                        Value::U64(n) => Ok(n as $t),
+                        Value::I64(n) => Ok(n as $t),
+                        v => Err(escalate(ValueError(format!("expected number, got {v:?}")))),
+                    }
+                }
+            }
+        )*};
+    }
+    ser_float!(f32, f64);
+
+    impl Serialize for bool {
+        fn serialize<S: Serializer>(&self, s: S) -> Result<S::Ok, S::Error> {
+            s.emit_value(Value::Bool(*self))
+        }
+    }
+    impl<'de> Deserialize<'de> for bool {
+        fn deserialize<D: Deserializer<'de>>(d: D) -> Result<Self, D::Error> {
+            match d.take_value()? {
+                Value::Bool(b) => Ok(b),
+                v => Err(escalate(ValueError(format!("expected bool, got {v:?}")))),
+            }
+        }
+    }
+
+    impl Serialize for char {
+        fn serialize<S: Serializer>(&self, s: S) -> Result<S::Ok, S::Error> {
+            s.emit_value(Value::Str(self.to_string()))
+        }
+    }
+    impl<'de> Deserialize<'de> for char {
+        fn deserialize<D: Deserializer<'de>>(d: D) -> Result<Self, D::Error> {
+            match d.take_value()? {
+                Value::Str(s) if s.chars().count() == 1 => Ok(s.chars().next().unwrap()),
+                v => Err(escalate(ValueError(format!("expected char, got {v:?}")))),
+            }
+        }
+    }
+
+    impl Serialize for str {
+        fn serialize<S: Serializer>(&self, s: S) -> Result<S::Ok, S::Error> {
+            s.emit_value(Value::Str(self.to_string()))
+        }
+    }
+    impl Serialize for String {
+        fn serialize<S: Serializer>(&self, s: S) -> Result<S::Ok, S::Error> {
+            s.emit_value(Value::Str(self.clone()))
+        }
+    }
+    // Real serde borrows `&str` from the input document; the value tree
+    // owns its strings, so the stub leaks instead. Only `&'static str`
+    // enum fields hit this (e.g. resource names), and only in tests.
+    impl<'de> Deserialize<'de> for &'static str {
+        fn deserialize<D: Deserializer<'de>>(d: D) -> Result<Self, D::Error> {
+            match d.take_value()? {
+                Value::Str(s) => Ok(Box::leak(s.into_boxed_str())),
+                v => Err(escalate(ValueError(format!("expected string, got {v:?}")))),
+            }
+        }
+    }
+
+    impl<'de> Deserialize<'de> for String {
+        fn deserialize<D: Deserializer<'de>>(d: D) -> Result<Self, D::Error> {
+            match d.take_value()? {
+                Value::Str(s) => Ok(s),
+                v => Err(escalate(ValueError(format!("expected string, got {v:?}")))),
+            }
+        }
+    }
+
+    impl<T: Serialize> Serialize for Option<T> {
+        fn serialize<S: Serializer>(&self, s: S) -> Result<S::Ok, S::Error> {
+            match self {
+                None => s.emit_value(Value::Null),
+                Some(t) => t.serialize(s),
+            }
+        }
+    }
+    impl<'de, T: for<'x> Deserialize<'x>> Deserialize<'de> for Option<T> {
+        fn deserialize<D: Deserializer<'de>>(d: D) -> Result<Self, D::Error> {
+            match d.take_value()? {
+                Value::Null => Ok(None),
+                v => from_value(v).map(Some).map_err(escalate),
+            }
+        }
+    }
+
+    fn seq_to_value<'a, T: Serialize + 'a, I: Iterator<Item = &'a T>>(
+        it: I,
+    ) -> Result<Value, ValueError> {
+        Ok(Value::Seq(it.map(to_value).collect::<Result<_, _>>()?))
+    }
+
+    macro_rules! ser_seq {
+        ($($c:ident),*) => {$(
+            impl<T: Serialize> Serialize for $c<T> {
+                fn serialize<S: Serializer>(&self, s: S) -> Result<S::Ok, S::Error> {
+                    let v = seq_to_value(self.iter()).map_err(escalate)?;
+                    s.emit_value(v)
+                }
+            }
+        )*};
+    }
+    ser_seq!(Vec, VecDeque, BTreeSet, HashSet);
+
+    impl<T: Serialize> Serialize for [T] {
+        fn serialize<S: Serializer>(&self, s: S) -> Result<S::Ok, S::Error> {
+            let v = seq_to_value(self.iter()).map_err(escalate)?;
+            s.emit_value(v)
+        }
+    }
+    impl<T: Serialize, const N: usize> Serialize for [T; N] {
+        fn serialize<S: Serializer>(&self, s: S) -> Result<S::Ok, S::Error> {
+            self.as_slice().serialize(s)
+        }
+    }
+
+    impl<'de, T: for<'x> Deserialize<'x>, const N: usize> Deserialize<'de> for [T; N] {
+        fn deserialize<D: Deserializer<'de>>(d: D) -> Result<Self, D::Error> {
+            let v: Vec<T> = Vec::deserialize(d)?;
+            <[T; N]>::try_from(v)
+                .map_err(|v| escalate(ValueError(format!("expected {N} elements, got {}", v.len()))))
+        }
+    }
+
+    fn value_to_seq(v: Value) -> Result<Vec<Value>, ValueError> {
+        match v {
+            Value::Seq(s) => Ok(s),
+            other => Err(ValueError(format!("expected array, got {other:?}"))),
+        }
+    }
+
+    impl<'de, T: for<'x> Deserialize<'x>> Deserialize<'de> for Vec<T> {
+        fn deserialize<D: Deserializer<'de>>(d: D) -> Result<Self, D::Error> {
+            value_to_seq(d.take_value()?)
+                .and_then(|s| s.into_iter().map(from_value).collect())
+                .map_err(escalate)
+        }
+    }
+    impl<'de, T: for<'x> Deserialize<'x>> Deserialize<'de> for VecDeque<T> {
+        fn deserialize<D: Deserializer<'de>>(d: D) -> Result<Self, D::Error> {
+            Vec::<T>::deserialize(d).map(VecDeque::from)
+        }
+    }
+    impl<'de, T: for<'x> Deserialize<'x> + Ord> Deserialize<'de> for BTreeSet<T> {
+        fn deserialize<D: Deserializer<'de>>(d: D) -> Result<Self, D::Error> {
+            Vec::<T>::deserialize(d).map(|v| v.into_iter().collect())
+        }
+    }
+    impl<'de, T: for<'x> Deserialize<'x> + Hash + Eq> Deserialize<'de> for HashSet<T> {
+        fn deserialize<D: Deserializer<'de>>(d: D) -> Result<Self, D::Error> {
+            Vec::<T>::deserialize(d).map(|v| v.into_iter().collect())
+        }
+    }
+
+    macro_rules! ser_map {
+        ($c:ident, $($bound:tt)*) => {
+            impl<K: Serialize, V: Serialize> Serialize for $c<K, V> {
+                fn serialize<S: Serializer>(&self, s: S) -> Result<S::Ok, S::Error> {
+                    let m = self
+                        .iter()
+                        .map(|(k, v)| Ok((key_string(to_value(k)?)?, to_value(v)?)))
+                        .collect::<Result<Vec<_>, ValueError>>()
+                        .map_err(escalate)?;
+                    s.emit_value(Value::Map(m))
+                }
+            }
+            impl<'de, K: for<'x> Deserialize<'x> + $($bound)*, V: for<'x> Deserialize<'x>>
+                Deserialize<'de> for $c<K, V>
+            {
+                fn deserialize<D: Deserializer<'de>>(d: D) -> Result<Self, D::Error> {
+                    match d.take_value()? {
+                        Value::Map(m) => m
+                            .into_iter()
+                            .map(|(k, v)| {
+                                Ok((from_value(Value::Str(k))?, from_value(v)?))
+                            })
+                            .collect::<Result<_, ValueError>>()
+                            .map_err(escalate),
+                        v => Err(escalate(ValueError(format!("expected object, got {v:?}")))),
+                    }
+                }
+            }
+        };
+    }
+    ser_map!(BTreeMap, Ord);
+    ser_map!(HashMap, Hash + Eq);
+
+    macro_rules! ser_tuple {
+        ($(($($t:ident . $i:tt),+))*) => {$(
+            impl<$($t: Serialize),+> Serialize for ($($t,)+) {
+                fn serialize<S: Serializer>(&self, s: S) -> Result<S::Ok, S::Error> {
+                    let v = Value::Seq(vec![$(to_value(&self.$i).map_err(escalate::<S::Error>)?),+]);
+                    s.emit_value(v)
+                }
+            }
+            impl<'de, $($t: for<'x> Deserialize<'x>),+> Deserialize<'de> for ($($t,)+) {
+                fn deserialize<D: Deserializer<'de>>(d: D) -> Result<Self, D::Error> {
+                    let mut r = SeqReader::new(d.take_value()?).map_err(escalate::<D::Error>)?;
+                    Ok(($({ let v: $t = r.next().map_err(escalate::<D::Error>)?; v },)+))
+                }
+            }
+        )*};
+    }
+    ser_tuple! {
+        (A.0)
+        (A.0, B.1)
+        (A.0, B.1, C.2)
+        (A.0, B.1, C.2, E.3)
+    }
+
+    macro_rules! ser_ptr {
+        ($($p:ident),*) => {$(
+            impl<T: Serialize + ?Sized> Serialize for $p<T> {
+                fn serialize<S: Serializer>(&self, s: S) -> Result<S::Ok, S::Error> {
+                    (**self).serialize(s)
+                }
+            }
+        )*};
+    }
+    ser_ptr!(Box, Arc, Rc);
+
+    impl<'de, T: for<'x> Deserialize<'x>> Deserialize<'de> for Box<T> {
+        fn deserialize<D: Deserializer<'de>>(d: D) -> Result<Self, D::Error> {
+            T::deserialize(d).map(Box::new)
+        }
+    }
+    impl<'de, T: for<'x> Deserialize<'x>> Deserialize<'de> for Arc<T> {
+        fn deserialize<D: Deserializer<'de>>(d: D) -> Result<Self, D::Error> {
+            T::deserialize(d).map(Arc::new)
+        }
+    }
+    impl<'de> Deserialize<'de> for Arc<str> {
+        fn deserialize<D: Deserializer<'de>>(d: D) -> Result<Self, D::Error> {
+            String::deserialize(d).map(Arc::from)
+        }
+    }
+}
+
 impl<T: Serialize + ?Sized> Serialize for &T {
     fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
         (**self).serialize(serializer)
-    }
-}
-
-impl Serialize for [u8] {
-    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
-        serializer.stub_emit()
-    }
-}
-
-impl<'de> Deserialize<'de> for Vec<u8> {
-    fn deserialize<D: Deserializer<'de>>(_deserializer: D) -> Result<Self, D::Error> {
-        Err(<D::Error as StubErrorCtor>::stub())
     }
 }

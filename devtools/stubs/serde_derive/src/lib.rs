@@ -1,53 +1,476 @@
 //! Offline stub of `serde_derive` — see `devtools/stubs/README.md`.
 //!
-//! Parses just enough of the item to find the type name (the workspace
-//! derives serde only on non-generic types) and emits trivial impls.
+//! A functional miniature of the real derive: it parses the item body with
+//! `proc_macro` alone (no `syn`), understands the attribute subset the
+//! workspace uses (`#[serde(default)]`, `#[serde(skip)]`,
+//! `#[serde(with = "…")]` on fields; `#[serde(from = "…", into = "…")]` on
+//! containers), and generates impls against the stub serde's value-tree
+//! data model. Representations match real serde_json: named structs are
+//! objects, newtype structs are transparent, tuple structs are arrays,
+//! enums are externally tagged. Generic types are not supported (the
+//! workspace derives serde only on concrete types).
 
-use proc_macro::{TokenStream, TokenTree};
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+use std::iter::Peekable;
 
-fn type_name(input: TokenStream) -> String {
-    let mut iter = input.into_iter();
-    while let Some(tt) = iter.next() {
-        if let TokenTree::Ident(id) = &tt {
-            let s = id.to_string();
-            if s == "struct" || s == "enum" {
-                for tt2 in iter.by_ref() {
-                    if let TokenTree::Ident(id2) = tt2 {
-                        return id2.to_string();
+#[derive(Default, Clone)]
+struct FieldAttrs {
+    skip: bool,
+    default: bool,
+    with: Option<String>,
+}
+
+#[derive(Default)]
+struct ContainerAttrs {
+    from: Option<String>,
+    into: Option<String>,
+}
+
+struct Field {
+    name: String,
+    attrs: FieldAttrs,
+}
+
+enum Body {
+    NamedStruct(Vec<Field>),
+    TupleStruct(usize),
+    UnitStruct,
+    Enum(Vec<Variant>),
+}
+
+struct Variant {
+    name: String,
+    kind: VariantKind,
+}
+
+enum VariantKind {
+    Unit,
+    Tuple(usize),
+    Struct(Vec<Field>),
+}
+
+/// Strips the surrounding quotes from a string-literal token.
+fn lit_str(t: &TokenTree) -> String {
+    let s = t.to_string();
+    s.trim_matches('"').to_string()
+}
+
+/// Parses the content of one `#[…]` attribute. Returns serde key/value
+/// items, or an empty list for non-serde attributes (docs, cfg, …).
+fn parse_attr(group: TokenStream) -> Vec<(String, Option<String>)> {
+    let mut iter = group.into_iter();
+    match iter.next() {
+        Some(TokenTree::Ident(id)) if id.to_string() == "serde" => {}
+        _ => return Vec::new(),
+    }
+    let inner = match iter.next() {
+        Some(TokenTree::Group(g)) => g.stream(),
+        _ => return Vec::new(),
+    };
+    let mut items = Vec::new();
+    let mut it = inner.into_iter().peekable();
+    while let Some(tt) = it.next() {
+        if let TokenTree::Ident(id) = tt {
+            let key = id.to_string();
+            let mut val = None;
+            if matches!(it.peek(), Some(TokenTree::Punct(p)) if p.as_char() == '=') {
+                it.next();
+                val = it.next().map(|t| lit_str(&t));
+            }
+            items.push((key, val));
+        }
+    }
+    items
+}
+
+fn merge_field_attrs(attrs: &mut FieldAttrs, items: Vec<(String, Option<String>)>) {
+    for (key, val) in items {
+        match key.as_str() {
+            "skip" => attrs.skip = true,
+            "default" => attrs.default = true,
+            "with" => attrs.with = val,
+            other => panic!("serde_derive stub: unsupported field attribute `{other}`"),
+        }
+    }
+}
+
+/// Parses a named-field body (struct body or struct-variant body).
+fn parse_named_fields(stream: TokenStream) -> Vec<Field> {
+    let mut fields = Vec::new();
+    let mut attrs = FieldAttrs::default();
+    let mut it = stream.into_iter().peekable();
+    while let Some(tt) = it.next() {
+        match tt {
+            TokenTree::Punct(p) if p.as_char() == '#' => {
+                if let Some(TokenTree::Group(g)) = it.next() {
+                    merge_field_attrs(&mut attrs, parse_attr(g.stream()));
+                }
+            }
+            TokenTree::Ident(id) if id.to_string() == "pub" => {
+                if matches!(it.peek(), Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis)
+                {
+                    it.next();
+                }
+            }
+            TokenTree::Ident(id) => {
+                fields.push(Field {
+                    name: id.to_string(),
+                    attrs: std::mem::take(&mut attrs),
+                });
+                // Skip `: Type` up to the next top-level comma.
+                skip_past_comma(&mut it);
+            }
+            _ => {}
+        }
+    }
+    fields
+}
+
+/// Consumes tokens up to and including the next comma at angle-bracket
+/// depth 0. Groups are atomic tokens, so only `<`/`>` need tracking.
+fn skip_past_comma<I: Iterator<Item = TokenTree>>(it: &mut Peekable<I>) {
+    let mut depth = 0i32;
+    for tt in it.by_ref() {
+        if let TokenTree::Punct(p) = &tt {
+            match p.as_char() {
+                '<' => depth += 1,
+                '>' => depth -= 1,
+                ',' if depth == 0 => return,
+                _ => {}
+            }
+        }
+    }
+}
+
+/// Number of fields in a tuple-struct / tuple-variant parenthesis body.
+fn tuple_arity(stream: TokenStream) -> usize {
+    let mut arity = 0usize;
+    let mut seen_any = false;
+    let mut depth = 0i32;
+    for tt in stream {
+        if let TokenTree::Punct(p) = &tt {
+            match p.as_char() {
+                '<' => depth += 1,
+                '>' => depth -= 1,
+                ',' if depth == 0 => {
+                    arity += 1;
+                    seen_any = false;
+                    continue;
+                }
+                _ => {}
+            }
+        }
+        seen_any = true;
+    }
+    arity + usize::from(seen_any)
+}
+
+fn parse_variants(stream: TokenStream) -> Vec<Variant> {
+    let mut variants = Vec::new();
+    let mut it = stream.into_iter().peekable();
+    while let Some(tt) = it.next() {
+        match tt {
+            TokenTree::Punct(p) if p.as_char() == '#' => {
+                it.next(); // attribute body (docs only on variants here)
+            }
+            TokenTree::Ident(id) => {
+                let name = id.to_string();
+                let kind = match it.peek() {
+                    Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                        let k = VariantKind::Tuple(tuple_arity(g.stream()));
+                        it.next();
+                        k
+                    }
+                    Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                        let k = VariantKind::Struct(parse_named_fields(g.stream()));
+                        it.next();
+                        k
+                    }
+                    _ => VariantKind::Unit,
+                };
+                variants.push(Variant { name, kind });
+                skip_past_comma(&mut it); // also skips explicit discriminants
+            }
+            _ => {}
+        }
+    }
+    variants
+}
+
+fn parse_input(input: TokenStream) -> (String, ContainerAttrs, Body) {
+    let mut container = ContainerAttrs::default();
+    let mut it = input.into_iter().peekable();
+    while let Some(tt) = it.next() {
+        match tt {
+            TokenTree::Punct(p) if p.as_char() == '#' => {
+                if let Some(TokenTree::Group(g)) = it.next() {
+                    for (key, val) in parse_attr(g.stream()) {
+                        match key.as_str() {
+                            "from" => container.from = val,
+                            "into" => container.into = val,
+                            other => panic!(
+                                "serde_derive stub: unsupported container attribute `{other}`"
+                            ),
+                        }
                     }
                 }
             }
+            TokenTree::Ident(id) if id.to_string() == "struct" => {
+                let name = expect_name(&mut it);
+                let body = match it.next() {
+                    Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                        Body::NamedStruct(parse_named_fields(g.stream()))
+                    }
+                    Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                        Body::TupleStruct(tuple_arity(g.stream()))
+                    }
+                    _ => Body::UnitStruct,
+                };
+                return (name, container, body);
+            }
+            TokenTree::Ident(id) if id.to_string() == "enum" => {
+                let name = expect_name(&mut it);
+                match it.next() {
+                    Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                        return (name, container, Body::Enum(parse_variants(g.stream())));
+                    }
+                    _ => panic!("serde_derive stub: malformed enum body"),
+                }
+            }
+            _ => {}
         }
     }
     panic!("serde_derive stub: could not find struct/enum name")
 }
 
+fn expect_name<I: Iterator<Item = TokenTree>>(it: &mut Peekable<I>) -> String {
+    match it.next() {
+        Some(TokenTree::Ident(id)) => {
+            if matches!(it.peek(), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
+                panic!("serde_derive stub: generic types are not supported");
+            }
+            id.to_string()
+        }
+        _ => panic!("serde_derive stub: expected item name"),
+    }
+}
+
+const V: &str = "::serde::value";
+
+/// Expression producing `Value` for one serialized field access (`expr` is
+/// `&self.a`, `__f0`, …), honoring `with`.
+fn ser_field_expr(expr: &str, attrs: &FieldAttrs) -> String {
+    match &attrs.with {
+        Some(path) => format!("{path}::serialize({expr}, {V}::ValueSerializer)?"),
+        None => format!("{V}::to_value({expr})?"),
+    }
+}
+
+fn ser_named_fields(fields: &[Field], access: impl Fn(&str) -> String) -> String {
+    let mut out = String::new();
+    for f in fields.iter().filter(|f| !f.attrs.skip) {
+        let expr = ser_field_expr(&access(&f.name), &f.attrs);
+        out.push_str(&format!(
+            "__f.push((::std::string::String::from(\"{}\"), {expr}));",
+            f.name
+        ));
+    }
+    format!(
+        "{{ let mut __f: ::std::vec::Vec<(::std::string::String, {V}::Value)> = \
+         ::std::vec::Vec::new(); {out} {V}::Value::Map(__f) }}"
+    )
+}
+
+/// Expression extracting one named field from the ambient `__m: FieldMap`.
+fn de_named_field(f: &Field) -> String {
+    if f.attrs.skip {
+        return format!("{}: ::core::default::Default::default()", f.name);
+    }
+    let expr = match &f.attrs.with {
+        Some(path) => format!(
+            "{path}::deserialize({V}::ValueDeserializer(__m.raw(\"{}\")?))?",
+            f.name
+        ),
+        None if f.attrs.default => format!("__m.defaulted(\"{}\")?", f.name),
+        None => format!("__m.required(\"{}\")?", f.name),
+    };
+    format!("{}: {expr}", f.name)
+}
+
+fn serialize_body(name: &str, container: &ContainerAttrs, body: &Body) -> String {
+    if let Some(into_ty) = &container.into {
+        return format!(
+            "{{ let __inter: {into_ty} = \
+             ::core::convert::Into::into(::core::clone::Clone::clone(self)); \
+             {V}::to_value(&__inter)? }}"
+        );
+    }
+    match body {
+        Body::NamedStruct(fields) => ser_named_fields(fields, |n| format!("&self.{n}")),
+        Body::TupleStruct(0) => format!("{V}::Value::Null"),
+        Body::TupleStruct(1) => format!("{V}::to_value(&self.0)?"),
+        Body::TupleStruct(n) => {
+            let items: Vec<String> = (0..*n)
+                .map(|i| format!("{V}::to_value(&self.{i})?"))
+                .collect();
+            format!("{V}::Value::Seq(::std::vec![{}])", items.join(", "))
+        }
+        Body::UnitStruct => format!("{V}::Value::Null"),
+        Body::Enum(variants) => {
+            let arms: Vec<String> = variants
+                .iter()
+                .map(|v| {
+                    let vn = &v.name;
+                    match &v.kind {
+                        VariantKind::Unit => format!(
+                            "{name}::{vn} => {V}::Value::Str(::std::string::String::from(\"{vn}\")),"
+                        ),
+                        VariantKind::Tuple(1) => format!(
+                            "{name}::{vn}(__f0) => \
+                             {V}::Value::variant(\"{vn}\", {V}::to_value(__f0)?),"
+                        ),
+                        VariantKind::Tuple(n) => {
+                            let binds: Vec<String> = (0..*n).map(|i| format!("__f{i}")).collect();
+                            let items: Vec<String> = (0..*n)
+                                .map(|i| format!("{V}::to_value(__f{i})?"))
+                                .collect();
+                            format!(
+                                "{name}::{vn}({}) => {V}::Value::variant(\"{vn}\", \
+                                 {V}::Value::Seq(::std::vec![{}])),",
+                                binds.join(", "),
+                                items.join(", ")
+                            )
+                        }
+                        VariantKind::Struct(fields) => {
+                            let binds: Vec<String> =
+                                fields.iter().map(|f| f.name.clone()).collect();
+                            let map = ser_named_fields(fields, |n| n.to_string());
+                            format!(
+                                "{name}::{vn} {{ {} }} => {V}::Value::variant(\"{vn}\", {map}),",
+                                binds.join(", ")
+                            )
+                        }
+                    }
+                })
+                .collect();
+            format!("match self {{ {} }}", arms.join(" "))
+        }
+    }
+}
+
+fn deserialize_body(name: &str, container: &ContainerAttrs, body: &Body) -> String {
+    if let Some(from_ty) = &container.from {
+        return format!(
+            "let __inter: {from_ty} = {V}::from_value(__v)?; \
+             ::core::result::Result::Ok(::core::convert::From::from(__inter))"
+        );
+    }
+    match body {
+        Body::NamedStruct(fields) => {
+            let inits: Vec<String> = fields.iter().map(de_named_field).collect();
+            format!(
+                "let mut __m = {V}::FieldMap::new(__v)?; let _ = &mut __m; \
+                 ::core::result::Result::Ok({name} {{ {} }})",
+                inits.join(", ")
+            )
+        }
+        Body::TupleStruct(0) | Body::UnitStruct => {
+            format!("let _ = __v; ::core::result::Result::Ok({name})")
+        }
+        Body::TupleStruct(1) => {
+            format!("::core::result::Result::Ok({name}({V}::from_value(__v)?))")
+        }
+        Body::TupleStruct(n) => {
+            let items: Vec<String> = (0..*n).map(|_| "__s.next()?".to_string()).collect();
+            format!(
+                "let mut __s = {V}::SeqReader::new(__v)?; \
+                 ::core::result::Result::Ok({name}({}))",
+                items.join(", ")
+            )
+        }
+        Body::Enum(variants) => {
+            let arms: Vec<String> = variants
+                .iter()
+                .map(|v| {
+                    let vn = &v.name;
+                    match &v.kind {
+                        VariantKind::Unit => {
+                            format!("\"{vn}\" => ::core::result::Result::Ok({name}::{vn}),")
+                        }
+                        VariantKind::Tuple(1) => format!(
+                            "\"{vn}\" => ::core::result::Result::Ok({name}::{vn}(\
+                             {V}::from_value({V}::payload(__payload, \"{vn}\")?)?)),"
+                        ),
+                        VariantKind::Tuple(n) => {
+                            let items: Vec<String> =
+                                (0..*n).map(|_| "__s.next()?".to_string()).collect();
+                            format!(
+                                "\"{vn}\" => {{ let mut __s = {V}::SeqReader::new(\
+                                 {V}::payload(__payload, \"{vn}\")?)?; \
+                                 ::core::result::Result::Ok({name}::{vn}({})) }}",
+                                items.join(", ")
+                            )
+                        }
+                        VariantKind::Struct(fields) => {
+                            let inits: Vec<String> = fields.iter().map(de_named_field).collect();
+                            format!(
+                                "\"{vn}\" => {{ let mut __m = {V}::FieldMap::new(\
+                                 {V}::payload(__payload, \"{vn}\")?)?; let _ = &mut __m; \
+                                 ::core::result::Result::Ok({name}::{vn} {{ {} }}) }}",
+                                inits.join(", ")
+                            )
+                        }
+                    }
+                })
+                .collect();
+            format!(
+                "let (__name, __payload) = {V}::enum_parts(__v)?; let _ = &__payload; \
+                 match __name.as_str() {{ {} __other => ::core::result::Result::Err(\
+                 {V}::ValueError(::std::format!(\"unknown variant `{{}}`\", __other))) }}",
+                arms.join(" ")
+            )
+        }
+    }
+}
+
 #[proc_macro_derive(Serialize, attributes(serde))]
 pub fn derive_serialize(input: TokenStream) -> TokenStream {
-    let name = type_name(input);
+    let (name, container, body) = parse_input(input);
+    let build = serialize_body(&name, &container, &body);
     format!(
-        "impl ::serde::Serialize for {name} {{\
-           fn serialize<S: ::serde::Serializer>(&self, serializer: S)\
-             -> ::core::result::Result<S::Ok, S::Error> {{\
-               ::serde::Serializer::stub_emit(serializer)\
-           }}\
+        "#[automatically_derived] \
+         #[allow(unused_mut, unused_variables, clippy::all)] \
+         impl ::serde::Serialize for {name} {{ \
+           fn serialize<S: ::serde::Serializer>(&self, serializer: S) \
+             -> ::core::result::Result<S::Ok, S::Error> {{ \
+               let __v = (|| -> ::core::result::Result<{V}::Value, {V}::ValueError> {{ \
+                 ::core::result::Result::Ok({build}) \
+               }})().map_err({V}::escalate::<S::Error>)?; \
+               ::serde::Serializer::emit_value(serializer, __v) \
+           }} \
          }}"
     )
     .parse()
-    .expect("serde_derive stub: generated impl parses")
+    .expect("serde_derive stub: generated Serialize impl parses")
 }
 
 #[proc_macro_derive(Deserialize, attributes(serde))]
 pub fn derive_deserialize(input: TokenStream) -> TokenStream {
-    let name = type_name(input);
+    let (name, container, body) = parse_input(input);
+    let build = deserialize_body(&name, &container, &body);
     format!(
-        "impl<'de> ::serde::Deserialize<'de> for {name} {{\
-           fn deserialize<D: ::serde::Deserializer<'de>>(_deserializer: D)\
-             -> ::core::result::Result<Self, D::Error> {{\
-               ::core::result::Result::Err(<D::Error as ::serde::StubErrorCtor>::stub())\
-           }}\
+        "#[automatically_derived] \
+         #[allow(unused_mut, unused_variables, clippy::all)] \
+         impl<'de> ::serde::Deserialize<'de> for {name} {{ \
+           fn deserialize<D: ::serde::Deserializer<'de>>(deserializer: D) \
+             -> ::core::result::Result<Self, D::Error> {{ \
+               let __v = ::serde::Deserializer::take_value(deserializer)?; \
+               (move || -> ::core::result::Result<Self, {V}::ValueError> {{ \
+                 {build} \
+               }})().map_err({V}::escalate::<D::Error>) \
+           }} \
          }}"
     )
     .parse()
-    .expect("serde_derive stub: generated impl parses")
+    .expect("serde_derive stub: generated Deserialize impl parses")
 }

@@ -1,0 +1,229 @@
+//! Integration: sharded ≡ serial identity. The sharded lifecycle kernel's
+//! determinism contract, checked the same way `fault_recovery` checks
+//! wheel ≡ heap: for arbitrary grids, workloads and fault plans, and for
+//! every shard decomposition, the worker count must be invisible — the
+//! merged [`SimReport`], the final node states, the per-shard span streams
+//! and the deterministically merged stream are byte-identical between a
+//! serial run and any threaded run of the same decomposition. A
+//! single-shard decomposition must additionally replay the unsharded
+//! [`GridSimulator`] byte for byte, storm and all.
+
+use proptest::prelude::*;
+use rhv_core::case_study;
+use rhv_core::ids::NodeId;
+use rhv_core::node::Node;
+use rhv_sched::FirstFitStrategy;
+use rhv_sim::shard::{ShardPlan, ShardedGridSimulator, ShardedRun};
+use rhv_sim::sim::{ChurnEvent, GridSimulator, SimConfig};
+use rhv_sim::strategy::Strategy;
+use rhv_sim::workload::WorkloadSpec;
+use rhv_sim::{FaultPlan, RetryPolicy};
+use rhv_telemetry::{LifecycleSpan, ShardedCollector};
+
+/// A heterogeneous grid of case-study nodes (all three prototypes, cycled).
+fn grid_of(n: usize) -> Vec<Node> {
+    let protos = case_study::grid();
+    (0..n)
+        .map(|i| {
+            let mut node = protos[i % protos.len()].clone();
+            node.id = NodeId(i as u64);
+            node
+        })
+        .collect()
+}
+
+/// Explicit departures layered on the compiled fault plan (same mix the
+/// fault-recovery storm uses).
+fn leaves(n_nodes: usize, horizon: f64) -> Vec<(f64, ChurnEvent)> {
+    (0..n_nodes / 20)
+        .map(|i| {
+            let at = (0.2 + 0.5 * (i as f64) / (n_nodes as f64 / 20.0)) * horizon;
+            (at, ChurnEvent::Leave(NodeId((i * 17 % n_nodes) as u64)))
+        })
+        .collect()
+}
+
+fn mk_strategy() -> Box<dyn Strategy> {
+    Box::new(FirstFitStrategy::new())
+}
+
+struct ShardedStorm {
+    run: ShardedRun,
+    per_shard_spans: Vec<Vec<LifecycleSpan>>,
+    merged_spans: Vec<LifecycleSpan>,
+}
+
+/// One sharded storm run: seeded workload, churn-storm fault plan plus
+/// explicit leaves, `shards` decomposition, `workers` threads.
+fn run_sharded(
+    n_nodes: usize,
+    n_tasks: usize,
+    seed: u64,
+    shards: usize,
+    workers: usize,
+    retry: bool,
+) -> ShardedStorm {
+    let horizon = 60.0;
+    let workload =
+        WorkloadSpec::default_for_grid(n_tasks, n_tasks as f64 / horizon, seed).generate();
+    let nodes = grid_of(n_nodes);
+    let faults = FaultPlan::churn_storm(seed, horizon).compile(&nodes);
+    let cfg = SimConfig {
+        retry: retry.then(RetryPolicy::default),
+        ..SimConfig::default()
+    };
+    let collector = ShardedCollector::new(shards);
+    let handles: Vec<_> = (0..shards).map(|i| collector.shard(i)).collect();
+    let run = ShardedGridSimulator::new(nodes, cfg, ShardPlan::new(shards), &mut mk_strategy)
+        .with_workers(workers)
+        .with_sinks(&mut |i| Box::new(handles[i].clone()))
+        .run_with_faults(workload, leaves(n_nodes, horizon), faults);
+    ShardedStorm {
+        run,
+        per_shard_spans: (0..shards).map(|i| collector.shard(i).spans()).collect(),
+        merged_spans: collector.merged_spans(),
+    }
+}
+
+/// The unsharded reference under the identical storm.
+fn run_reference(n_nodes: usize, n_tasks: usize, seed: u64, retry: bool) -> (String, String) {
+    let horizon = 60.0;
+    let workload =
+        WorkloadSpec::default_for_grid(n_tasks, n_tasks as f64 / horizon, seed).generate();
+    let nodes = grid_of(n_nodes);
+    let faults = FaultPlan::churn_storm(seed, horizon).compile(&nodes);
+    let cfg = SimConfig {
+        retry: retry.then(RetryPolicy::default),
+        ..SimConfig::default()
+    };
+    let (report, nodes) = GridSimulator::new(nodes, cfg).run_with_faults(
+        workload,
+        leaves(n_nodes, horizon),
+        faults,
+        &mut FirstFitStrategy::new(),
+    );
+    (format!("{report:?}"), format!("{nodes:?}"))
+}
+
+#[test]
+fn single_shard_storm_replays_the_unsharded_simulator() {
+    for retry in [false, true] {
+        let (ref_report, ref_nodes) = run_reference(48, 240, 23, retry);
+        let sharded = run_sharded(48, 240, 23, 1, 1, retry);
+        assert_eq!(
+            format!("{:?}", sharded.run.report),
+            ref_report,
+            "retry={retry}: P=1 diverged from GridSimulator"
+        );
+        assert_eq!(
+            format!("{:?}", sharded.run.nodes),
+            ref_nodes,
+            "retry={retry}: P=1 node states diverged from GridSimulator"
+        );
+        assert_eq!(sharded.run.stats.spills, 0, "P=1 can never spill");
+    }
+}
+
+#[test]
+fn every_decomposition_is_worker_count_invariant_under_storm() {
+    for shards in [2, 4, 8] {
+        let serial = run_sharded(48, 240, 31, shards, 1, true);
+        for workers in [2, 4] {
+            let threaded = run_sharded(48, 240, 31, shards, workers, true);
+            assert_eq!(
+                format!("{:?}", serial.run.report),
+                format!("{:?}", threaded.run.report),
+                "P={shards} K={workers}: merged report diverged"
+            );
+            assert_eq!(
+                format!("{:?}", serial.run.nodes),
+                format!("{:?}", threaded.run.nodes),
+                "P={shards} K={workers}: node states diverged"
+            );
+            assert_eq!(
+                serial.per_shard_spans, threaded.per_shard_spans,
+                "P={shards} K={workers}: a per-shard span stream diverged"
+            );
+            assert_eq!(
+                serial.merged_spans, threaded.merged_spans,
+                "P={shards} K={workers}: the merged span stream diverged"
+            );
+            assert_eq!(serial.run.stats.spills, threaded.run.stats.spills);
+            assert_eq!(serial.run.stats.windows, threaded.run.stats.windows);
+        }
+    }
+}
+
+#[test]
+fn sharded_storm_conserves_every_task() {
+    for shards in [2, 4, 8] {
+        let storm = run_sharded(48, 240, 37, shards, 1, true);
+        let r = &storm.run.report;
+        r.check_invariants().unwrap();
+        assert_eq!(
+            r.completed + r.rejected,
+            r.submitted,
+            "P={shards}: conservation violated: {r:?}"
+        );
+        // Every span lives in exactly one shard stream, and the merge
+        // loses none of them.
+        let per_shard: usize = storm.per_shard_spans.iter().map(Vec::len).sum();
+        assert_eq!(per_shard, storm.merged_spans.len());
+        // The merged stream is time-ordered.
+        assert!(
+            storm
+                .merged_spans
+                .windows(2)
+                .all(|w| w[0].at <= w[1].at),
+            "P={shards}: merged span stream out of order"
+        );
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    /// For arbitrary grid sizes, workload sizes, seeds and decompositions,
+    /// a threaded run is byte-identical to the serial run — reports, node
+    /// states and span streams.
+    #[test]
+    fn arbitrary_storms_are_worker_count_invariant(
+        n_nodes in 12usize..40,
+        n_tasks in 60usize..180,
+        seed in 0u64..1_000,
+        shards in proptest::sample::select(vec![2usize, 4, 8]),
+        retry in proptest::bool::ANY,
+    ) {
+        let serial = run_sharded(n_nodes, n_tasks, seed, shards, 1, retry);
+        let threaded = run_sharded(n_nodes, n_tasks, seed, shards, 2, retry);
+        prop_assert_eq!(
+            format!("{:?}", serial.run.report),
+            format!("{:?}", threaded.run.report)
+        );
+        prop_assert_eq!(
+            format!("{:?}", serial.run.nodes),
+            format!("{:?}", threaded.run.nodes)
+        );
+        prop_assert_eq!(&serial.per_shard_spans, &threaded.per_shard_spans);
+        prop_assert_eq!(&serial.merged_spans, &threaded.merged_spans);
+        prop_assert_eq!(
+            serial.run.report.completed + serial.run.report.rejected,
+            serial.run.report.submitted
+        );
+    }
+
+    /// For arbitrary storms, a single-shard decomposition replays the
+    /// unsharded simulator byte for byte.
+    #[test]
+    fn arbitrary_single_shard_storms_replay_grid_simulator(
+        n_nodes in 12usize..40,
+        n_tasks in 60usize..180,
+        seed in 0u64..1_000,
+        retry in proptest::bool::ANY,
+    ) {
+        let (ref_report, ref_nodes) = run_reference(n_nodes, n_tasks, seed, retry);
+        let sharded = run_sharded(n_nodes, n_tasks, seed, 1, 1, retry);
+        prop_assert_eq!(format!("{:?}", sharded.run.report), ref_report);
+        prop_assert_eq!(format!("{:?}", sharded.run.nodes), ref_nodes);
+    }
+}
