@@ -37,6 +37,7 @@ bench-smoke:
 	cargo run -q --release -p rhv-bench --bin bench_engine -- --smoke
 	cargo run -q --release -p rhv-bench --bin bench_faults -- --smoke
 	cargo run -q --release -p rhv-bench --bin bench_shards -- --smoke
+	cargo run -q --release -p rhv-bench --bin bench_synth -- --smoke
 
 # Profiler smoke: obs_report over a small deterministic ClustalW-at-scale
 # run with the `obs_report/v1` JSON schema validated by the internal

@@ -1,0 +1,412 @@
+//! **Synthesis-store benchmark**: the content-addressed fleet-wide
+//! synthesis cache ([`SynthStore`]) under a ClustalW-style mixed workload —
+//! per-job pairwise-alignment designs plus fleet-shared guide-tree and
+//! progressive-alignment stages, exactly the accelerator mix the paper's
+//! bioinformatics case study schedules.
+//!
+//! Five sections, every one asserting its claim before quoting a number:
+//!
+//! * **allocation-free warm probes** — a counting global allocator wraps
+//!   the system allocator and proves the warm
+//!   [`SynthesisService::estimate_seconds_cached`] path performs **zero**
+//!   heap allocations per probe (the unified single-probe hot path that
+//!   replaced the old `cache`/`report_cache` double bookkeeping).
+//! * **cold vs warm fleet** — the same workload through a cold store and
+//!   then again through the now-warm store on a fresh grid: the warm
+//!   makespan must be at least 2× better, every warm placement a hit.
+//! * **sharded serial ≡ parallel** — the 4-shard decomposition, serial vs
+//!   2 workers, byte-identical reports, node states *and* store counters
+//!   (cache entries publish at window barriers in shard order, so the
+//!   shared cache is a pure function of the window grid).
+//! * **speculative synthesis** — backlogged designs pre-priced against
+//!   every candidate device part; the eventual placements probe warm.
+//! * **incremental re-synthesis** — a revision sweep (same designs, small
+//!   structural delta) pays the delta cost, not the full CAD cost.
+//!
+//! The full run writes `BENCH_synth.json` at the repository root;
+//! `--smoke` runs a scaled-down pass (all assertions, no file).
+//!
+//! Usage: `bench_synth [--smoke]`
+
+use rhv_bench::{banner, section};
+use rhv_bitstream::hdl::HdlSpec;
+use rhv_bitstream::synth::SynthesisService;
+use rhv_core::case_study;
+use rhv_core::execreq::{Constraint, ExecReq, TaskPayload};
+use rhv_core::ids::{NodeId, TaskId};
+use rhv_core::node::Node;
+use rhv_core::task::Task;
+use rhv_params::param::{ParamKey, PeClass};
+use rhv_sched::FirstFitStrategy;
+use rhv_sim::shard::{ShardPlan, ShardedGridSimulator};
+use rhv_sim::sim::{GridSimulator, SimConfig};
+use rhv_sim::strategy::Strategy;
+use rhv_sim::{SimReport, StoreStats, SynthStore};
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Instant;
+
+/// System allocator with an allocation counter — the probe-path witness.
+struct CountingAlloc;
+
+static ALLOCATIONS: AtomicU64 = AtomicU64::new(0);
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.alloc(layout) }
+    }
+
+    unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.alloc_zeroed(layout) }
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.realloc(ptr, layout, new_size) }
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        unsafe { System.dealloc(ptr, layout) }
+    }
+}
+
+#[global_allocator]
+static ALLOC: CountingAlloc = CountingAlloc;
+
+/// A heterogeneous grid of case-study nodes (all three prototypes, cycled).
+fn grid_of(n: usize) -> Vec<Node> {
+    let protos = case_study::grid();
+    (0..n)
+        .map(|i| {
+            let mut node = protos[i % protos.len()].clone();
+            node.id = NodeId(i as u64);
+            node
+        })
+        .collect()
+}
+
+/// One HDL accelerator task.
+fn hdl_task(id: u64, arrival: f64, name: String, slices: u64, exec: f64) -> (f64, Task) {
+    let req = ExecReq::new(
+        PeClass::Fpga,
+        vec![Constraint::ge(ParamKey::Slices, slices)],
+        TaskPayload::HdlAccelerator {
+            spec_name: name.into(),
+            est_slices: slices,
+            accel_seconds: exec,
+        },
+    );
+    (arrival, Task::new(TaskId(id), req, exec))
+}
+
+/// ClustalW-style mixed workload: per job, `pairs` job-unique
+/// pairwise-alignment (PA-HMM) designs, then tasks on the fleet-shared
+/// guide-tree and progressive-alignment designs. `bump` adds a small
+/// structural delta to every design (a revision sweep for the incremental
+/// section).
+fn clustalw_workload(jobs: usize, pairs: usize, bump: u64) -> Vec<(f64, Task)> {
+    let mut out = Vec::new();
+    let mut id = 0u64;
+    for j in 0..jobs {
+        let at = j as f64 * 2.0;
+        for p in 0..pairs {
+            // Device-fraction designs (the case-study kernels demand
+            // 18k–31k Virtex-5 slices): one or two fit per device, so a
+            // burst of arrivals genuinely contends for fabric.
+            let slices = 6_000 + ((j * 13 + p * 7) % 48) as u64 * 250 + bump;
+            out.push(hdl_task(id, at, format!("pa_hmm_{j}_{p}"), slices, 8.0));
+            id += 1;
+        }
+        out.push(hdl_task(id, at + 0.5, "guide_tree".to_owned(), 4_000 + bump, 5.0));
+        id += 1;
+        out.push(hdl_task(
+            id,
+            at + 1.0,
+            "progressive_msa".to_owned(),
+            9_000 + bump,
+            12.0,
+        ));
+        id += 1;
+    }
+    out
+}
+
+fn mk_strategy() -> Box<dyn Strategy> {
+    Box::new(FirstFitStrategy::new())
+}
+
+/// The fully-warm fleet state: every HDL design in `workload` pre-priced
+/// on every fabric device in `nodes` (designs that do not synthesize for a
+/// part are skipped). Mirrors the kernel's spec construction, so every
+/// later placement probes warm.
+fn warm_store(nodes: &[Node], workload: &[(f64, Task)]) -> SynthStore {
+    let store = SynthStore::new();
+    let mut handle = store.handle();
+    for (_, task) in workload {
+        let TaskPayload::HdlAccelerator {
+            spec_name,
+            est_slices,
+            ..
+        } = &task.exec_req.payload
+        else {
+            continue;
+        };
+        let spec = HdlSpec::new(spec_name.clone(), est_slices * 4, est_slices * 2);
+        for node in nodes {
+            for rpe in node.rpes() {
+                let _ = handle.price(&spec, &rpe.device, 1.0);
+            }
+        }
+    }
+    store
+}
+
+/// One unsharded run against `store`; returns the report and wall time.
+fn run_unsharded(
+    nodes: Vec<Node>,
+    cfg: SimConfig,
+    workload: Vec<(f64, Task)>,
+    store: SynthStore,
+) -> (SimReport, f64) {
+    let wall = Instant::now();
+    let report = GridSimulator::new(nodes, cfg)
+        .with_synth_store(store)
+        .run(workload, &mut FirstFitStrategy::new());
+    (report, wall.elapsed().as_secs_f64())
+}
+
+fn assert_consistent(stats: &StoreStats) {
+    assert_eq!(
+        stats.probes(),
+        stats.hits + stats.misses + stats.delta_runs,
+        "store counters inconsistent: {stats:?}"
+    );
+}
+
+fn main() {
+    let smoke = std::env::args().any(|a| a == "--smoke");
+    banner(
+        "BENCH_synth",
+        "content-addressed fleet-wide synthesis cache: cold vs warm, \
+         speculative and incremental synthesis",
+    );
+    let (jobs, pairs, grid) = if smoke { (6, 4, 12) } else { (24, 8, 24) };
+
+    // ── 1. Allocation-free warm probes ────────────────────────────────
+    section("allocation-free warm probes");
+    let probe_nodes = grid_of(1);
+    let device = probe_nodes[0].rpes()[0].device.clone();
+    let spec = HdlSpec::new("pa_hmm_probe", 256, 128);
+    let mut svc = SynthesisService::new(1.0);
+    let full = svc
+        .estimate_seconds_cached(&spec, &device)
+        .expect("probe design fits the case-study fabric");
+    let probes: u64 = if smoke { 10_000 } else { 100_000 };
+    let before = ALLOCATIONS.load(Ordering::Relaxed);
+    for _ in 0..probes {
+        let s = svc
+            .estimate_seconds_cached(&spec, &device)
+            .expect("warm probe");
+        assert_eq!(s, 0.0, "a warm hit must charge nothing");
+    }
+    let allocs = ALLOCATIONS.load(Ordering::Relaxed) - before;
+    assert_eq!(
+        allocs, 0,
+        "warm estimate_seconds_cached allocated ({allocs} allocations over {probes} probes)"
+    );
+    println!("  {probes} warm probes, 0 heap allocations (first run priced {full:.1}s)");
+
+    // ── 2. Cold vs warm fleet ─────────────────────────────────────────
+    section("cold fleet vs warm fleet");
+    let workload = clustalw_workload(jobs, pairs, 0);
+    let n_tasks = workload.len();
+    let store = SynthStore::new();
+    let (cold, cold_wall) = run_unsharded(
+        grid_of(grid),
+        SimConfig::default(),
+        workload.clone(),
+        store.clone(),
+    );
+    let cold_stats = store.stats();
+    // The warm fleet has already synthesized every design for every part
+    // (the priming cost is excluded from the run's counters below).
+    let warm_fleet = warm_store(&grid_of(grid), &workload);
+    let primed = warm_fleet.stats();
+    let (warm, warm_wall) = run_unsharded(
+        grid_of(grid),
+        SimConfig::default(),
+        workload.clone(),
+        warm_fleet.clone(),
+    );
+    let warm_stats = warm_fleet.stats();
+    assert_eq!(cold.completed, n_tasks, "cold run dropped tasks");
+    assert_eq!(warm.completed, n_tasks, "warm run dropped tasks");
+    assert!(cold_stats.misses > 0, "a cold store cannot start warm");
+    assert!(
+        cold_stats.hits > 0,
+        "shared stages must hit within the cold run: {cold_stats:?}"
+    );
+    let warm_misses = warm_stats.misses - primed.misses;
+    let warm_hits = warm_stats.hits - primed.hits;
+    assert_eq!(
+        warm_misses, 0,
+        "a fully-warm fleet re-synthesized a design"
+    );
+    assert!(warm_hits > 0);
+    assert_consistent(&warm_stats);
+    let speedup = cold.makespan / warm.makespan;
+    assert!(
+        speedup >= 2.0,
+        "warm fleet must halve the makespan: cold {:.1}s vs warm {:.1}s",
+        cold.makespan,
+        warm.makespan
+    );
+    println!(
+        "  {n_tasks} tasks on {grid} nodes: cold makespan {:.1}s ({:.0} misses), \
+         warm makespan {:.1}s — {speedup:.1}x (wall {:.0} ms → {:.0} ms)",
+        cold.makespan,
+        cold_stats.misses as f64,
+        warm.makespan,
+        cold_wall * 1e3,
+        warm_wall * 1e3
+    );
+
+    // ── 3. Sharded serial ≡ parallel ──────────────────────────────────
+    section("sharded serial = parallel (byte-identity)");
+    let shards = 4;
+    let mut runs = Vec::new();
+    for workers in [1usize, 2] {
+        let sim = ShardedGridSimulator::new(
+            grid_of(grid),
+            SimConfig::default(),
+            ShardPlan::new(shards),
+            &mut mk_strategy,
+        )
+        .with_workers(workers);
+        let st = sim.synth_store().clone();
+        let run = sim.run(workload.clone());
+        runs.push((
+            format!("{:?}", run.report),
+            format!("{:?}", run.nodes),
+            st.stats(),
+        ));
+    }
+    assert_eq!(runs[0].0, runs[1].0, "P={shards}: merged report diverged");
+    assert_eq!(runs[0].1, runs[1].1, "P={shards}: node states diverged");
+    assert_eq!(
+        runs[0].2, runs[1].2,
+        "P={shards}: store counters diverged across worker counts"
+    );
+    assert!(runs[0].2.hits > 0, "sharded run never hit: {:?}", runs[0].2);
+    assert_consistent(&runs[0].2);
+    println!(
+        "  P={shards} serial vs 2 workers byte-identical; store: {} hits / {} misses",
+        runs[0].2.hits, runs[0].2.misses
+    );
+
+    // ── 4. Speculative synthesis ──────────────────────────────────────
+    section("speculative synthesis");
+    // A contended fleet: a quarter of the nodes, so arrivals backlog and
+    // the speculative pass has candidates to pre-price.
+    let tight = (grid / 4).max(3);
+    let mut spec_runs = Vec::new();
+    for speculative in [false, true] {
+        let cfg = SimConfig {
+            speculative_synth: speculative,
+            ..SimConfig::default()
+        };
+        let store = SynthStore::new();
+        let (report, _) = run_unsharded(grid_of(tight), cfg, workload.clone(), store.clone());
+        spec_runs.push((report, store.stats()));
+    }
+    let (base, base_stats) = &spec_runs[0];
+    let (spec, spec_stats) = &spec_runs[1];
+    assert!(
+        spec_stats.speculative > 0,
+        "a contended cold fleet must backlog (and so speculate): {spec_stats:?}"
+    );
+    assert_eq!(base_stats.speculative, 0);
+    assert_consistent(spec_stats);
+    println!(
+        "  {tight}-node contended fleet: makespan {:.1}s off → {:.1}s on \
+         ({} speculative runs, {:.0}s CAD saved)",
+        base.makespan, spec.makespan, spec_stats.speculative, spec_stats.seconds_saved
+    );
+
+    // ── 5. Incremental re-synthesis ───────────────────────────────────
+    section("incremental re-synthesis");
+    let store = SynthStore::new();
+    let (rev_a, _) = run_unsharded(
+        grid_of(grid),
+        SimConfig::default(),
+        clustalw_workload(jobs, pairs, 0),
+        store.clone(),
+    );
+    let after_a = store.stats();
+    // Revision sweep: every design grows by two slices — a small
+    // structural delta, so re-synthesis pays the delta cost.
+    let (rev_b, _) = run_unsharded(
+        grid_of(grid),
+        SimConfig::default(),
+        clustalw_workload(jobs, pairs, 2),
+        store.clone(),
+    );
+    let after_b = store.stats();
+    let delta_runs = after_b.delta_runs - after_a.delta_runs;
+    assert!(
+        delta_runs > 0,
+        "revised designs must re-synthesize incrementally: {after_b:?}"
+    );
+    assert!(after_b.seconds_saved > after_a.seconds_saved);
+    assert_consistent(&after_b);
+    assert!(
+        rev_b.makespan < rev_a.makespan,
+        "delta-priced revisions must finish sooner than the cold originals \
+         ({:.1}s vs {:.1}s)",
+        rev_b.makespan,
+        rev_a.makespan
+    );
+    println!(
+        "  revision sweep: {delta_runs} delta runs, makespan {:.1}s vs {:.1}s cold, \
+         {:.0}s CAD saved overall",
+        rev_b.makespan, rev_a.makespan, after_b.seconds_saved
+    );
+
+    if smoke {
+        println!("\nsmoke run — BENCH_synth.json left untouched");
+        return;
+    }
+
+    let json = format!(
+        "{{\n  \"bench\": \"synth_store\",\n  \"workload\": {{\n    \"jobs\": {jobs},\n    \
+         \"tasks\": {n_tasks},\n    \"nodes\": {grid}\n  }},\n  \"cold\": {{\n    \
+         \"makespan_seconds\": {cold_mk:.3},\n    \"wall_ms\": {cold_wall:.1},\n    \
+         \"misses\": {cold_misses},\n    \"hits\": {cold_hits}\n  }},\n  \"warm\": {{\n    \
+         \"makespan_seconds\": {warm_mk:.3},\n    \"wall_ms\": {warm_wall:.1},\n    \
+         \"hits\": {warm_hits}\n  }},\n  \"warm_speedup\": {speedup:.3},\n  \
+         \"serial_parallel_identical\": true,\n  \"alloc_free_warm_probes\": true,\n  \
+         \"speculation\": {{\n    \"speculative_runs\": {speculative},\n    \
+         \"makespan_off_seconds\": {mk_off:.3},\n    \"makespan_on_seconds\": {mk_on:.3}\n  }},\n  \
+         \"incremental\": {{\n    \"delta_runs\": {delta_runs},\n    \
+         \"revision_makespan_seconds\": {mk_rev:.3},\n    \
+         \"cold_makespan_seconds\": {mk_cold_rev:.3},\n    \
+         \"cad_seconds_saved\": {saved:.3}\n  }}\n}}\n",
+        cold_mk = cold.makespan,
+        cold_wall = cold_wall * 1e3,
+        cold_misses = cold_stats.misses,
+        cold_hits = cold_stats.hits,
+        warm_mk = warm.makespan,
+        warm_wall = warm_wall * 1e3,
+        warm_hits = warm_hits,
+        speculative = spec_stats.speculative,
+        mk_off = base.makespan,
+        mk_on = spec.makespan,
+        mk_rev = rev_b.makespan,
+        mk_cold_rev = rev_a.makespan,
+        saved = after_b.seconds_saved,
+    );
+    std::fs::write("BENCH_synth.json", &json).expect("write BENCH_synth.json");
+    println!("\nwrote BENCH_synth.json");
+}

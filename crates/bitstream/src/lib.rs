@@ -15,6 +15,10 @@
 //!   device-specific [`bitstream::Bitstream`] with area results and a
 //!   synthesis-time model (minutes of CAD runtime, proportional to design
 //!   size — these delays matter to scheduling).
+//! * [`store`] — the fleet-wide content-addressed synthesis cache: a
+//!   deterministic structural hash of the spec keys per-part results shared
+//!   by every kernel in a run, with speculative pre-synthesis and
+//!   incremental (delta) re-synthesis layered on top.
 //! * [`bitstream`] — a binary bitstream format (magic, device part, region,
 //!   payload CRC) built on `bytes`, with encode/parse round-trips.
 //! * [`transfer`] — time models for shipping bitstreams over grid links and
@@ -27,10 +31,12 @@
 
 pub mod bitstream;
 pub mod hdl;
+pub mod store;
 pub mod synth;
 pub mod transfer;
 
 pub use bitstream::{Bitstream, BitstreamError, BitstreamHeader};
 pub use hdl::{HdlLanguage, HdlSpec};
+pub use store::{DeltaOf, SpecHash, StoreStats, SynthHandle, SynthStore};
 pub use synth::{SynthError, SynthesisReport, SynthesisService};
 pub use transfer::{link_transfer_seconds, reconfiguration_seconds, TransferPlan};

@@ -1,0 +1,758 @@
+//! The fleet-wide content-addressed synthesis store.
+//!
+//! Synthesis is the dominant setup cost in the paper's user-defined-hardware
+//! scenario (Sec. III-B2), and a provider amortizes it by *reusing* results:
+//! the same design synthesized for the same part is the same bitstream, no
+//! matter which job, tenant, or front-end asked. [`SynthStore`] is that
+//! provider-side cache. It is **content-addressed**: the key is a
+//! deterministic structural hash of the full [`HdlSpec`] ([`SpecHash`]), not
+//! the design's name — two different designs that happen to share a name can
+//! never alias, and the same design resubmitted under any name still hits.
+//!
+//! Each entry maps `(SpecHash, device part)` to the [`SynthesisReport`] (and
+//! lazily the [`Bitstream`]) of one CAD run. On top of plain reuse the store
+//! implements **incremental re-synthesis**: when a spec misses but a
+//! different revision of the same `(name, part)` lineage is cached, and the
+//! structural change is small (at most [`MAX_DELTA_FRACTION`] of the spec's
+//! complexity), the run is priced as a delta — a floor cost plus a share of
+//! the full run proportional to the changed LUTs/registers — and the
+//! produced report records its ancestor in [`SynthesisReport::delta_of`].
+//!
+//! ## Sharing and determinism
+//!
+//! A [`SynthStore`] is cloneable (it is an `Arc` around the table) and hands
+//! out two kinds of [`SynthHandle`]:
+//!
+//! * [`SynthStore::handle`] — *auto-publish*: every result becomes visible
+//!   to every other handle immediately. This is the single-kernel mode used
+//!   by `GridSimulator`, `GridServices`, and the live front-end.
+//! * [`SynthStore::buffered_handle`] — *window-buffered*: results stay
+//!   private to the handle until [`SynthHandle::publish`] drains them into
+//!   the shared table. The sharded simulator gives each shard a buffered
+//!   handle and publishes at every exchange barrier **in ascending shard-id
+//!   order**, exactly like its cross-shard messages — so the set of entries
+//!   visible to a shard at any instant is a pure function of the window
+//!   structure, never of thread interleaving. Serial and parallel drives of
+//!   the same decomposition see byte-identical caches, and a buffered
+//!   single-shard run (which probes its own window-local results first)
+//!   behaves exactly like an auto-publish handle.
+//!
+//! Publication is first-publisher-wins per entry (two shards that both
+//! synthesized the same `(hash, part)` inside one window produced identical
+//! results; the lower shard id's copy is kept), and each *newly* published
+//! entry advances its `(name, part)` lineage head in log order — a dropped
+//! duplicate never rewinds the head.
+
+use crate::bitstream::{Bitstream, BitstreamHeader};
+use crate::hdl::{HdlLanguage, HdlSpec};
+use crate::synth::{estimate_report, SynthError, SynthesisReport};
+use rhv_params::fpga::FpgaDevice;
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+use std::sync::{Arc, Mutex};
+
+/// Largest fraction of a spec's structural complexity that may have changed
+/// against a cached ancestor for the run to be priced incrementally.
+pub const MAX_DELTA_FRACTION: f64 = 0.25;
+
+/// Cost floor of an incremental run, as a fraction of the full CAD run
+/// (tool startup, global routing checks — paid even for a one-LUT change).
+pub const DELTA_FLOOR: f64 = 0.1;
+
+/// Deterministic structural content hash of an [`HdlSpec`].
+///
+/// Covers every field that feeds the synthesis model — name, language,
+/// source lines, LUTs, registers, multipliers, BRAM, and target clock — so
+/// two specs that would synthesize differently can never collide on a
+/// shared name (FNV-1a over the little-endian field encoding; stable across
+/// runs, platforms, and processes, unlike `DefaultHasher`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct SpecHash(pub u64);
+
+impl SpecHash {
+    /// Hashes the structural content of `spec`.
+    pub fn of(spec: &HdlSpec) -> Self {
+        const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+        const PRIME: u64 = 0x0000_0100_0000_01b3;
+        let mut h = OFFSET;
+        let mut eat = |bytes: &[u8]| {
+            for &b in bytes {
+                h ^= u64::from(b);
+                h = h.wrapping_mul(PRIME);
+            }
+        };
+        eat(spec.name.as_bytes());
+        eat(&[
+            0xff, // separates the name from the fixed-width fields
+            match spec.language {
+                HdlLanguage::Vhdl => 0,
+                HdlLanguage::Verilog => 1,
+            },
+        ]);
+        eat(&spec.source_lines.to_le_bytes());
+        eat(&spec.luts.to_le_bytes());
+        eat(&spec.registers.to_le_bytes());
+        eat(&spec.multipliers.to_le_bytes());
+        eat(&spec.bram_kb.to_le_bytes());
+        eat(&spec.target_clock_mhz.to_bits().to_le_bytes());
+        SpecHash(h)
+    }
+}
+
+/// Lineage record of an incremental re-synthesis: which cached revision the
+/// run was delta-compiled against, and how much structure changed.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct DeltaOf {
+    /// Content hash of the ancestor revision.
+    pub ancestor: SpecHash,
+    /// LUT-count change against the ancestor (absolute).
+    pub changed_luts: u64,
+    /// Register-count change against the ancestor (absolute).
+    pub changed_registers: u64,
+}
+
+/// Store/handle activity counters (cumulative).
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct StoreStats {
+    /// Probes served from a cached entry (zero CAD seconds charged).
+    pub hits: u64,
+    /// Probes that paid a full CAD run.
+    pub misses: u64,
+    /// Entries produced by speculative synthesis (provider background work,
+    /// never charged to a task).
+    pub speculative: u64,
+    /// Probes that paid an incremental (delta) run instead of a full one.
+    pub delta_runs: u64,
+    /// CAD seconds avoided: the full-run cost of every hit, plus the
+    /// full-minus-delta difference of every incremental run.
+    pub seconds_saved: f64,
+}
+
+impl StoreStats {
+    /// Total pricing probes (speculation excluded).
+    pub fn probes(&self) -> u64 {
+        self.hits + self.misses + self.delta_runs
+    }
+
+    /// True when every counter is zero.
+    pub fn is_empty(&self) -> bool {
+        *self == StoreStats::default()
+    }
+
+    /// Adds `other` into `self`.
+    pub fn merge(&mut self, other: &StoreStats) {
+        self.hits += other.hits;
+        self.misses += other.misses;
+        self.speculative += other.speculative;
+        self.delta_runs += other.delta_runs;
+        self.seconds_saved += other.seconds_saved;
+    }
+}
+
+/// One cached synthesis result.
+#[derive(Debug, Clone)]
+struct StoreEntry {
+    /// Report as produced (its `synthesis_seconds` is the cost charged when
+    /// the entry was created — full or delta; hits re-clone it with zero).
+    report: SynthesisReport,
+    /// Device image, materialized lazily on the first `synthesize` call.
+    bitstream: Option<Bitstream>,
+    /// What a full CAD run costs for this `(spec, part)` — the saving a hit
+    /// banks, whatever the entry itself was priced at.
+    full_seconds: f64,
+}
+
+/// Nested `hash → part → entry`: both probes borrow their keys, so the hot
+/// path allocates nothing.
+type EntryMap = HashMap<u64, HashMap<String, StoreEntry>>;
+/// `name → part → latest hash`: the lineage heads delta pricing starts from.
+type LineageMap = HashMap<Arc<str>, HashMap<String, u64>>;
+
+#[derive(Debug, Default)]
+struct StoreInner {
+    entries: EntryMap,
+    lineage: LineageMap,
+    stats: StoreStats,
+}
+
+/// The shared, content-addressed synthesis cache (see module docs).
+///
+/// Cloning is cheap and aliases the same table; use [`SynthStore::handle`]
+/// or [`SynthStore::buffered_handle`] to obtain the handles kernels work
+/// through.
+#[derive(Debug, Clone, Default)]
+pub struct SynthStore {
+    inner: Arc<Mutex<StoreInner>>,
+}
+
+impl SynthStore {
+    /// An empty store.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// An auto-publish handle: results are globally visible immediately.
+    pub fn handle(&self) -> SynthHandle {
+        SynthHandle::new(self.clone(), false)
+    }
+
+    /// A window-buffered handle: results stay handle-local until
+    /// [`SynthHandle::publish`].
+    pub fn buffered_handle(&self) -> SynthHandle {
+        SynthHandle::new(self.clone(), true)
+    }
+
+    /// Cumulative published activity counters.
+    pub fn stats(&self) -> StoreStats {
+        self.inner.lock().unwrap().stats
+    }
+
+    /// Number of published `(hash, part)` entries.
+    pub fn len(&self) -> usize {
+        self.inner
+            .lock()
+            .unwrap()
+            .entries
+            .values()
+            .map(HashMap::len)
+            .sum()
+    }
+
+    /// True when no entry has been published.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+/// How a pricing probe was served.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Priced {
+    /// Warm: a cached entry served the probe; zero seconds charged.
+    Hit {
+        /// What the avoided full run would have cost.
+        full_seconds: f64,
+    },
+    /// Cold: a full CAD run was charged.
+    Full {
+        /// Seconds charged.
+        seconds: f64,
+    },
+    /// Incremental: a delta run against a cached ancestor was charged.
+    Delta {
+        /// Seconds charged (floor + proportional share of the full run).
+        seconds: f64,
+        /// What the avoided full run would have cost.
+        full_seconds: f64,
+    },
+}
+
+impl Priced {
+    /// CAD seconds the probe charges the task.
+    pub fn seconds(&self) -> f64 {
+        match *self {
+            Priced::Hit { .. } => 0.0,
+            Priced::Full { seconds } | Priced::Delta { seconds, .. } => seconds,
+        }
+    }
+}
+
+/// A kernel's connection to a [`SynthStore`].
+///
+/// Auto-publish handles forward every result (and its counters) to the
+/// shared table as it is produced; buffered handles accumulate them in a
+/// window-local buffer — probed *before* the shared table, so a handle
+/// always sees its own work — and an insertion-ordered log that
+/// [`SynthHandle::publish`] drains at the exchange barrier.
+#[derive(Debug, Clone)]
+pub struct SynthHandle {
+    store: SynthStore,
+    buffered: bool,
+    local_entries: EntryMap,
+    local_lineage: LineageMap,
+    /// `(hash, part)` in insertion order — the publication order, so the
+    /// shared table's content after a barrier is interleaving-independent.
+    log: Vec<(u64, String)>,
+    pending: StoreStats,
+}
+
+impl Default for SynthHandle {
+    /// A private, auto-publish handle on a fresh store (what
+    /// `SynthesisService::new` uses when no fleet store is wired in).
+    fn default() -> Self {
+        SynthStore::new().handle()
+    }
+}
+
+impl SynthHandle {
+    fn new(store: SynthStore, buffered: bool) -> Self {
+        SynthHandle {
+            store,
+            buffered,
+            local_entries: HashMap::new(),
+            local_lineage: HashMap::new(),
+            log: Vec::new(),
+            pending: StoreStats::default(),
+        }
+    }
+
+    /// The store this handle publishes to.
+    pub fn store(&self) -> &SynthStore {
+        &self.store
+    }
+
+    /// Prices `spec` on `device`: zero on a cached hit, a delta cost when a
+    /// close-enough ancestor revision is cached, the full CAD cost
+    /// otherwise. Misses insert the produced entry (locally when buffered).
+    /// A hit performs the hash, two borrowed-key map probes and a lock —
+    /// no allocation.
+    pub fn price(
+        &mut self,
+        spec: &HdlSpec,
+        device: &FpgaDevice,
+        cad_speed: f64,
+    ) -> Result<Priced, SynthError> {
+        self.price_inner(spec, device, cad_speed, false)
+            .map(|(p, _)| p)
+    }
+
+    /// [`SynthHandle::price`] plus a clone of the entry's report, its
+    /// `synthesis_seconds` set to the charged cost.
+    pub fn price_report(
+        &mut self,
+        spec: &HdlSpec,
+        device: &FpgaDevice,
+        cad_speed: f64,
+    ) -> Result<(Priced, SynthesisReport), SynthError> {
+        self.price_inner(spec, device, cad_speed, true)
+            .map(|(p, r)| (p, r.expect("report requested")))
+    }
+
+    fn price_inner(
+        &mut self,
+        spec: &HdlSpec,
+        device: &FpgaDevice,
+        cad_speed: f64,
+        want_report: bool,
+    ) -> Result<(Priced, Option<SynthesisReport>), SynthError> {
+        let hash = SpecHash::of(spec).0;
+        let part = device.part.as_str();
+
+        // Warm probe: window-local results first, then the shared table.
+        let cached = probe(&self.local_entries, hash, part)
+            .map(|e| (e.full_seconds, want_report.then(|| e.report.clone())))
+            .or_else(|| {
+                let inner = self.store.inner.lock().unwrap();
+                probe(&inner.entries, hash, part)
+                    .map(|e| (e.full_seconds, want_report.then(|| e.report.clone())))
+            });
+        if let Some((full_seconds, report)) = cached {
+            self.pending.hits += 1;
+            self.pending.seconds_saved += full_seconds;
+            self.flush_if_auto();
+            let report = report.map(|mut r| {
+                r.synthesis_seconds = 0.0;
+                r
+            });
+            return Ok((Priced::Hit { full_seconds }, report));
+        }
+
+        // Cold: a full estimate (errors propagate without touching state),
+        // discounted to a delta run when the lineage head is close enough.
+        let mut report = estimate_report(spec, device, cad_speed)?;
+        let full_seconds = report.synthesis_seconds;
+        let delta = self.delta_against(spec, hash, part, full_seconds);
+        let priced = match delta {
+            Some((seconds, delta_of)) => {
+                report.synthesis_seconds = seconds;
+                report.delta_of = Some(delta_of);
+                self.pending.delta_runs += 1;
+                self.pending.seconds_saved += full_seconds - seconds;
+                Priced::Delta {
+                    seconds,
+                    full_seconds,
+                }
+            }
+            None => {
+                self.pending.misses += 1;
+                Priced::Full {
+                    seconds: full_seconds,
+                }
+            }
+        };
+        let out = want_report.then(|| report.clone());
+        self.insert_local(hash, device.part.clone(), report, full_seconds);
+        self.flush_if_auto();
+        Ok((priced, out))
+    }
+
+    /// Speculative synthesis: pre-builds the entry for `(spec, device)` so a
+    /// later real probe hits warm. A no-op (returning `false`) when the
+    /// entry already exists or the spec does not synthesize for the part —
+    /// speculation must never surface an error or charge a task.
+    pub fn speculate(&mut self, spec: &HdlSpec, device: &FpgaDevice, cad_speed: f64) -> bool {
+        let hash = SpecHash::of(spec).0;
+        let part = device.part.as_str();
+        let known = probe(&self.local_entries, hash, part).is_some() || {
+            let inner = self.store.inner.lock().unwrap();
+            probe(&inner.entries, hash, part).is_some()
+        };
+        if known {
+            return false;
+        }
+        let Ok(report) = estimate_report(spec, device, cad_speed) else {
+            return false;
+        };
+        let full_seconds = report.synthesis_seconds;
+        self.pending.speculative += 1;
+        self.insert_local(hash, device.part.clone(), report, full_seconds);
+        self.flush_if_auto();
+        true
+    }
+
+    /// Returns the cached bitstream for the entry `(hash, part)`, building
+    /// it on first request. The entry must exist (i.e. the spec was just
+    /// priced through this handle).
+    ///
+    /// The image is stored back only where determinism allows: into the
+    /// window-local buffer, or into the shared table when this handle
+    /// auto-publishes (single-kernel mode). A buffered handle never mutates
+    /// the shared table mid-window.
+    pub fn materialize(
+        &mut self,
+        hash: SpecHash,
+        device: &FpgaDevice,
+        region_offset: u64,
+    ) -> Option<Bitstream> {
+        let part = device.part.as_str();
+        if let Some(e) = probe_mut(&mut self.local_entries, hash.0, part) {
+            return Some(
+                e.bitstream
+                    .get_or_insert_with(|| build_bitstream(&e.report, device, region_offset))
+                    .clone(),
+            );
+        }
+        let mut inner = self.store.inner.lock().unwrap();
+        let e = probe_mut(&mut inner.entries, hash.0, part)?;
+        if let Some(bit) = &e.bitstream {
+            return Some(bit.clone());
+        }
+        let bit = build_bitstream(&e.report, device, region_offset);
+        if !self.buffered {
+            e.bitstream = Some(bit.clone());
+        }
+        Some(bit)
+    }
+
+    /// Drains the window-local buffer into the shared table: entries in
+    /// insertion-log order (first publisher wins per entry), lineage heads
+    /// last-write-wins, counters merged. The sharded front-end calls this at
+    /// every exchange barrier in ascending shard-id order; auto-publish
+    /// handles call it after every operation.
+    pub fn publish(&mut self) {
+        if self.log.is_empty() && self.pending.is_empty() {
+            return;
+        }
+        let mut inner = self.store.inner.lock().unwrap();
+        for (hash, part) in self.log.drain(..) {
+            let Some(entry) = self
+                .local_entries
+                .get_mut(&hash)
+                .and_then(|parts| parts.remove(&part))
+            else {
+                continue;
+            };
+            // A duplicate of an already-published revision is dropped and
+            // must not rewind the lineage head either.
+            let known = inner
+                .entries
+                .get(&hash)
+                .is_some_and(|parts| parts.contains_key(&part));
+            if known {
+                continue;
+            }
+            inner
+                .lineage
+                .entry(entry.report.spec_name.clone())
+                .or_default()
+                .insert(part.clone(), hash);
+            inner.entries.entry(hash).or_default().insert(part, entry);
+        }
+        inner.stats.merge(&self.pending);
+        self.pending = StoreStats::default();
+        self.local_entries.clear();
+        self.local_lineage.clear();
+    }
+
+    /// Entries visible to this handle: published plus window-local.
+    pub fn len(&self) -> usize {
+        self.store.len()
+            + self
+                .local_entries
+                .values()
+                .map(HashMap::len)
+                .sum::<usize>()
+    }
+
+    /// True when neither the shared table nor the window-local buffer
+    /// holds any entry.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    fn flush_if_auto(&mut self) {
+        if !self.buffered {
+            self.publish();
+        }
+    }
+
+    /// Delta pricing against the latest cached revision of the same
+    /// `(name, part)` lineage, if one exists, differs from `hash`, and the
+    /// structural change is within [`MAX_DELTA_FRACTION`].
+    fn delta_against(
+        &self,
+        spec: &HdlSpec,
+        hash: u64,
+        part: &str,
+        full_seconds: f64,
+    ) -> Option<(f64, DeltaOf)> {
+        let head = self
+            .local_lineage
+            .get(&spec.name)
+            .and_then(|parts| parts.get(part))
+            .copied()
+            .or_else(|| {
+                let inner = self.store.inner.lock().unwrap();
+                inner
+                    .lineage
+                    .get(&spec.name)
+                    .and_then(|parts| parts.get(part))
+                    .copied()
+            })?;
+        if head == hash {
+            return None;
+        }
+        let ancestor = probe(&self.local_entries, head, part)
+            .map(|e| e.report.clone())
+            .or_else(|| {
+                let inner = self.store.inner.lock().unwrap();
+                probe(&inner.entries, head, part).map(|e| e.report.clone())
+            })?;
+        let changed_luts = spec.luts.abs_diff(ancestor.luts);
+        let changed_registers = spec.registers.abs_diff(ancestor.registers);
+        // Changed structure weighted like `HdlSpec::complexity`, relative to
+        // the new spec's total complexity.
+        let changed = changed_luts as f64
+            + 0.5 * changed_registers as f64
+            + 8.0 * spec.multipliers.abs_diff(ancestor.dsp_slices) as f64
+            + 2.0 * spec.bram_kb.abs_diff(ancestor.bram_kb) as f64;
+        let fraction = changed / spec.complexity().max(1.0);
+        if fraction > MAX_DELTA_FRACTION {
+            return None;
+        }
+        let seconds = full_seconds * (DELTA_FLOOR + (1.0 - DELTA_FLOOR) * fraction);
+        Some((
+            seconds,
+            DeltaOf {
+                ancestor: SpecHash(head),
+                changed_luts,
+                changed_registers,
+            },
+        ))
+    }
+
+    fn insert_local(&mut self, hash: u64, part: String, report: SynthesisReport, full: f64) {
+        self.local_lineage
+            .entry(report.spec_name.clone())
+            .or_default()
+            .insert(part.clone(), hash);
+        self.log.push((hash, part.clone()));
+        self.local_entries.entry(hash).or_default().insert(
+            part,
+            StoreEntry {
+                report,
+                bitstream: None,
+                full_seconds: full,
+            },
+        );
+    }
+}
+
+fn probe<'m>(map: &'m EntryMap, hash: u64, part: &str) -> Option<&'m StoreEntry> {
+    map.get(&hash).and_then(|parts| parts.get(part))
+}
+
+fn probe_mut<'m>(map: &'m mut EntryMap, hash: u64, part: &str) -> Option<&'m mut StoreEntry> {
+    map.get_mut(&hash).and_then(|parts| parts.get_mut(part))
+}
+
+fn build_bitstream(report: &SynthesisReport, device: &FpgaDevice, region_offset: u64) -> Bitstream {
+    let payload_len = (report.slices as f64 * device.bytes_per_slice()).ceil() as usize;
+    Bitstream::synthesize(
+        BitstreamHeader {
+            image: format!("{}@{}.bit", report.spec_name, device.part),
+            device_part: device.part.clone(),
+            region_offset,
+            region_slices: report.slices,
+            partial: device.partial_reconfig,
+        },
+        payload_len,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rhv_params::catalog::Catalog;
+
+    fn lx220() -> FpgaDevice {
+        Catalog::builtin().fpga("XC5VLX220").unwrap().clone()
+    }
+
+    fn spec(name: &str, luts: u64) -> HdlSpec {
+        HdlSpec::new(name, luts, luts / 2)
+    }
+
+    #[test]
+    fn hash_distinguishes_same_name_different_structure() {
+        let a = spec("pairalign", 40_000);
+        let mut b = spec("pairalign", 40_000);
+        b.target_clock_mhz = 133.0;
+        let c = spec("pairalign", 48_000);
+        assert_ne!(SpecHash::of(&a), SpecHash::of(&b));
+        assert_ne!(SpecHash::of(&a), SpecHash::of(&c));
+        assert_eq!(SpecHash::of(&a), SpecHash::of(&a.clone()));
+    }
+
+    #[test]
+    fn auto_handles_share_results_immediately() {
+        let store = SynthStore::new();
+        let (mut a, mut b) = (store.handle(), store.handle());
+        let s = spec("shared", 20_000);
+        let dev = lx220();
+        let first = a.price(&s, &dev, 1.0).unwrap();
+        assert!(matches!(first, Priced::Full { .. }));
+        let second = b.price(&s, &dev, 1.0).unwrap();
+        assert!(matches!(second, Priced::Hit { .. }));
+        assert_eq!(second.seconds(), 0.0);
+        let stats = store.stats();
+        assert_eq!((stats.hits, stats.misses), (1, 1));
+        assert!(stats.seconds_saved > 0.0);
+    }
+
+    #[test]
+    fn buffered_results_are_private_until_published() {
+        let store = SynthStore::new();
+        let (mut a, mut b) = (store.buffered_handle(), store.buffered_handle());
+        let s = spec("windowed", 20_000);
+        let dev = lx220();
+        assert!(matches!(a.price(&s, &dev, 1.0), Ok(Priced::Full { .. })));
+        // A re-probe through the same handle sees the local entry...
+        assert!(matches!(a.price(&s, &dev, 1.0), Ok(Priced::Hit { .. })));
+        // ...but a sibling handle does not until the barrier.
+        assert!(matches!(b.price(&s, &dev, 1.0), Ok(Priced::Full { .. })));
+        assert!(store.is_empty());
+        a.publish();
+        b.publish();
+        assert_eq!(store.len(), 1, "identical entries merge at the barrier");
+        let stats = store.stats();
+        assert_eq!((stats.hits, stats.misses), (1, 2));
+    }
+
+    #[test]
+    fn delta_pricing_applies_to_small_revisions_only() {
+        let store = SynthStore::new();
+        let mut h = store.handle();
+        let dev = lx220();
+        let v1 = spec("filter", 40_000);
+        let full = h.price(&v1, &dev, 1.0).unwrap().seconds();
+
+        // ~5% structural change: delta-priced, well under the full cost.
+        let mut v2 = v1.clone();
+        v2.luts += 2_000;
+        match h.price(&v2, &dev, 1.0).unwrap() {
+            Priced::Delta { seconds, .. } => {
+                assert!(seconds < 0.3 * full, "delta {seconds} vs full {full}")
+            }
+            other => panic!("expected delta, got {other:?}"),
+        }
+
+        // A rewrite (different name lineage) pays full.
+        let v3 = spec("filter2", 41_000);
+        assert!(matches!(h.price(&v3, &dev, 1.0), Ok(Priced::Full { .. })));
+
+        // A huge revision of the original lineage pays full too.
+        let mut v4 = v1.clone();
+        v4.luts *= 3;
+        assert!(matches!(h.price(&v4, &dev, 1.0), Ok(Priced::Full { .. })));
+
+        let stats = store.stats();
+        assert_eq!((stats.misses, stats.delta_runs), (3, 1));
+        // The delta run's report carries its lineage.
+        let (_, report) = h.price_report(&v2, &dev, 1.0).unwrap();
+        assert_eq!(
+            report.delta_of,
+            Some(DeltaOf {
+                ancestor: SpecHash::of(&v1),
+                changed_luts: 2_000,
+                changed_registers: 0,
+            })
+        );
+    }
+
+    #[test]
+    fn speculation_prewarms_and_never_errors() {
+        let store = SynthStore::new();
+        let mut h = store.handle();
+        let dev = lx220();
+        let s = spec("spec_me", 20_000);
+        assert!(h.speculate(&s, &dev, 1.0));
+        assert!(!h.speculate(&s, &dev, 1.0), "second speculation is a no-op");
+        // Way over the device: swallowed, nothing recorded.
+        assert!(!h.speculate(&spec("huge", 10_000_000), &dev, 1.0));
+        // The real probe lands warm.
+        assert!(matches!(h.price(&s, &dev, 1.0), Ok(Priced::Hit { .. })));
+        let stats = store.stats();
+        assert_eq!((stats.speculative, stats.hits, stats.misses), (1, 1, 0));
+    }
+
+    #[test]
+    fn publication_order_is_log_order_and_first_publisher_wins() {
+        let store = SynthStore::new();
+        let mut a = store.buffered_handle();
+        let mut b = store.buffered_handle();
+        let dev = lx220();
+        // Both shards synthesize revisions of the same lineage in one
+        // window; shard a publishes first (lower shard id).
+        let v1 = spec("lineage", 40_000);
+        let mut v2 = v1.clone();
+        v2.luts += 1_000;
+        a.price(&v1, &dev, 1.0).unwrap();
+        a.price(&v2, &dev, 1.0).unwrap();
+        b.price(&v1, &dev, 1.0).unwrap();
+        a.publish();
+        b.publish();
+        assert_eq!(store.len(), 2);
+        // The lineage head is v2 — the last publication in barrier order —
+        // so a third revision deltas against it.
+        let mut c = store.handle();
+        let mut v3 = v2.clone();
+        v3.luts += 500;
+        let (_, report) = c.price_report(&v3, &dev, 1.0).unwrap();
+        assert_eq!(report.delta_of.map(|d| d.ancestor), Some(SpecHash::of(&v2)));
+    }
+
+    #[test]
+    fn materialize_builds_once_and_returns_device_keyed_image() {
+        let store = SynthStore::new();
+        let mut h = store.handle();
+        let dev = lx220();
+        let s = spec("img", 20_000);
+        h.price(&s, &dev, 1.0).unwrap();
+        let bit = h.materialize(SpecHash::of(&s), &dev, 64).unwrap();
+        assert_eq!(bit.header.device_part, "XC5VLX220");
+        assert_eq!(bit.header.region_offset, 64);
+        // Second call returns the cached image (original offset preserved).
+        let again = h.materialize(SpecHash::of(&s), &dev, 128).unwrap();
+        assert_eq!(again.header.region_offset, 64);
+    }
+}

@@ -8,25 +8,26 @@
 //! [`SynthesisService`] plays that role: it takes a generic [`HdlSpec`] and
 //! a target [`FpgaDevice`], checks resource feasibility and timing closure,
 //! and emits a device-specific [`Bitstream`] plus a [`SynthesisReport`]
-//! (area results and CAD runtime). A result cache models the common
-//! provider optimization of reusing bitstreams for (spec, part) pairs
-//! already built.
+//! (area results and CAD runtime). Results are cached in a content-addressed
+//! [`crate::store::SynthStore`] — by default a private one, but a service
+//! built with [`SynthesisService::with_store`] shares the fleet-wide store,
+//! so bitstreams built for one job warm every other kernel in the run.
 
-use crate::bitstream::{Bitstream, BitstreamHeader};
+use crate::bitstream::Bitstream;
 use crate::hdl::HdlSpec;
+use crate::store::{DeltaOf, Priced, SpecHash, StoreStats, SynthHandle};
 use rhv_params::fpga::FpgaDevice;
 use serde::{Deserialize, Serialize};
-use std::collections::HashMap;
 use std::fmt;
 use std::sync::Arc;
 
 /// Area/timing results of a synthesis run.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct SynthesisReport {
-    /// Design name.
-    pub spec_name: String,
-    /// Target part.
-    pub device_part: String,
+    /// Design name (interned — reports are cached and cloned per probe).
+    pub spec_name: Arc<str>,
+    /// Target part (interned, same reason).
+    pub device_part: Arc<str>,
     /// Slices consumed.
     pub slices: u64,
     /// LUTs consumed.
@@ -44,6 +45,9 @@ pub struct SynthesisReport {
     pub synthesis_seconds: f64,
     /// Device utilization after placement, in `[0, 1]`.
     pub utilization: f64,
+    /// Set when this run was an incremental re-synthesis: the cached
+    /// ancestor revision it was delta-compiled against.
+    pub delta_of: Option<DeltaOf>,
 }
 
 /// Reasons a synthesis run fails.
@@ -93,18 +97,22 @@ impl std::error::Error for SynthError {}
 
 /// The provider's CAD-tool installation.
 ///
-/// `cad_speed` scales synthesis runtime (1.0 = the reference machine); the
-/// cache keys on `(spec name, device part)`.
+/// `cad_speed` scales synthesis runtime (1.0 = the reference machine).
+/// Results are keyed by the structural content hash of the spec
+/// ([`SpecHash`]) per device part — never by name alone, so two distinct
+/// designs sharing a name cannot alias.
 #[derive(Debug, Clone)]
 pub struct SynthesisService {
     cad_speed: f64,
-    cache: HashMap<(Arc<str>, String), (Bitstream, SynthesisReport)>,
-    /// Nested by spec name then part so the hot cache probe
-    /// ([`SynthesisService::estimate_seconds_cached`]) allocates nothing.
-    report_cache: HashMap<Arc<str>, HashMap<String, SynthesisReport>>,
-    /// Count of cache hits (for the ablation bench).
+    store: SynthHandle,
+    /// This service's activity against the store: hits, misses, speculative
+    /// and incremental runs, and CAD seconds saved. (The shared store
+    /// aggregates the fleet-wide totals across services.)
+    pub stats: StoreStats,
+    /// Count of cache hits (compat alias for `stats.hits`).
     pub cache_hits: u64,
-    /// Count of full synthesis runs.
+    /// Count of synthesis runs charged to tasks — full or incremental
+    /// (`stats.misses + stats.delta_runs`).
     pub full_runs: u64,
 }
 
@@ -115,106 +123,98 @@ impl Default for SynthesisService {
 }
 
 impl SynthesisService {
-    /// A service whose CAD tools run at `cad_speed` × the reference speed.
+    /// A service whose CAD tools run at `cad_speed` × the reference speed,
+    /// caching into a private store.
     pub fn new(cad_speed: f64) -> Self {
+        Self::with_store(cad_speed, SynthHandle::default())
+    }
+
+    /// A service caching into (and warm-probing) a shared store through
+    /// `store` — the fleet-wide configuration.
+    pub fn with_store(cad_speed: f64, store: SynthHandle) -> Self {
         SynthesisService {
             cad_speed: cad_speed.max(1e-6),
-            cache: HashMap::new(),
-            report_cache: HashMap::new(),
+            store,
+            stats: StoreStats::default(),
             cache_hits: 0,
             full_runs: 0,
         }
     }
 
+    /// Swaps the backing store handle (used when a kernel is wired into a
+    /// fleet store after construction). Previously cached private results
+    /// are dropped; per-service counters are kept.
+    pub fn set_store(&mut self, store: SynthHandle) {
+        self.store = store;
+    }
+
+    /// Publishes window-buffered results to the shared store (a no-op for
+    /// auto-publish handles; see [`SynthHandle::publish`]).
+    pub fn publish(&mut self) {
+        self.store.publish();
+    }
+
     /// Synthesizes `spec` for `device`, producing a partial bitstream at
     /// fabric offset `region_offset`.
     ///
-    /// Results are cached per `(spec, part)`; cache hits return a zero-cost
-    /// clone with `synthesis_seconds == 0.0` so schedulers see the saving.
+    /// Cache hits return a zero-cost clone with `synthesis_seconds == 0.0`
+    /// so schedulers see the saving; a miss with a close cached ancestor of
+    /// the same `(name, part)` lineage is charged the incremental cost.
     pub fn synthesize(
         &mut self,
         spec: &HdlSpec,
         device: &FpgaDevice,
         region_offset: u64,
     ) -> Result<(Bitstream, SynthesisReport), SynthError> {
-        let key = (spec.name.clone(), device.part.clone());
-        if let Some((bit, report)) = self.cache.get(&key) {
-            self.cache_hits += 1;
-            let mut r = report.clone();
-            r.synthesis_seconds = 0.0;
-            return Ok((bit.clone(), r));
-        }
-        let report = self.estimate(spec, device)?;
-        let payload_len = (report.slices as f64 * device.bytes_per_slice()).ceil() as usize;
-        let bitstream = Bitstream::synthesize(
-            BitstreamHeader {
-                image: format!("{}@{}.bit", spec.name, device.part),
-                device_part: device.part.clone(),
-                region_offset,
-                region_slices: report.slices,
-                partial: device.partial_reconfig,
-            },
-            payload_len,
-        );
-        self.full_runs += 1;
-        self.cache.insert(key, (bitstream.clone(), report.clone()));
+        let (priced, report) = self.store.price_report(spec, device, self.cad_speed)?;
+        self.tally(&priced);
+        let bitstream = self
+            .store
+            .materialize(SpecHash::of(spec), device, region_offset)
+            .expect("entry exists: the spec was just priced");
         Ok((bitstream, report))
     }
 
     /// Cache-aware estimation without materializing a bitstream image —
     /// what a simulator uses when only the CAD runtime matters. The first
-    /// call for a `(spec, part)` pair reports the full synthesis time and
-    /// counts as a run; repeats report zero and count as cache hits.
+    /// call for a `(spec, part)` pair reports the full (or incremental)
+    /// synthesis time and counts as a run; repeats report zero and count as
+    /// cache hits.
     pub fn estimate_cached(
         &mut self,
         spec: &HdlSpec,
         device: &FpgaDevice,
     ) -> Result<SynthesisReport, SynthError> {
-        if let Some(report) = self
-            .report_cache
-            .get(&spec.name)
-            .and_then(|parts| parts.get(device.part.as_str()))
-        {
-            let mut r = report.clone();
-            self.cache_hits += 1;
-            r.synthesis_seconds = 0.0;
-            return Ok(r);
-        }
-        let report = self.estimate(spec, device)?;
-        self.full_runs += 1;
-        self.report_cache
-            .entry(spec.name.clone())
-            .or_default()
-            .insert(device.part.clone(), report.clone());
+        let (priced, report) = self.store.price_report(spec, device, self.cad_speed)?;
+        self.tally(&priced);
         Ok(report)
     }
 
     /// The CAD runtime [`SynthesisService::estimate_cached`] would charge,
-    /// without cloning a report: zero on a cache hit, the full synthesis
-    /// time (cached for next time) on a miss. This is the dispatch hot
-    /// path's entry point — a hit costs two hash probes and no allocation.
+    /// without cloning a report: zero on a cache hit, the full (or delta)
+    /// synthesis time — cached for next time — on a miss. This is the
+    /// dispatch hot path's entry point: a hit costs the content hash, two
+    /// borrowed-key map probes and a store lock, and allocates nothing.
     pub fn estimate_seconds_cached(
         &mut self,
         spec: &HdlSpec,
         device: &FpgaDevice,
     ) -> Result<f64, SynthError> {
-        if self
-            .report_cache
-            .get(&spec.name)
-            .and_then(|parts| parts.get(device.part.as_str()))
-            .is_some()
-        {
-            self.cache_hits += 1;
-            return Ok(0.0);
+        let priced = self.store.price(spec, device, self.cad_speed)?;
+        self.tally(&priced);
+        Ok(priced.seconds())
+    }
+
+    /// Speculative synthesis: pre-builds the cache entry for
+    /// `(spec, device)` so a later placement probe hits warm. Never errors
+    /// and charges no task — an infeasible pairing is silently skipped.
+    /// Returns whether an entry was actually built.
+    pub fn speculate(&mut self, spec: &HdlSpec, device: &FpgaDevice) -> bool {
+        let built = self.store.speculate(spec, device, self.cad_speed);
+        if built {
+            self.stats.speculative += 1;
         }
-        let report = self.estimate(spec, device)?;
-        let seconds = report.synthesis_seconds;
-        self.full_runs += 1;
-        self.report_cache
-            .entry(spec.name.clone())
-            .or_default()
-            .insert(device.part.clone(), report);
-        Ok(seconds)
+        built
     }
 
     /// Area/timing estimation without producing an image (the quick feasibility
@@ -224,48 +224,81 @@ impl SynthesisService {
         spec: &HdlSpec,
         device: &FpgaDevice,
     ) -> Result<SynthesisReport, SynthError> {
-        let slices = spec.slice_demand();
-        check("slices", slices, device.slices)?;
-        check("LUTs", spec.luts, device.luts)?;
-        check("DSP slices", spec.multipliers, device.dsp_slices)?;
-        check("BRAM KB", spec.bram_kb, device.bram_kb)?;
-
-        // Timing: the achievable clock degrades as the device fills up
-        // (routing congestion), from 80% of the speed grade when empty to
-        // 50% when full.
-        let utilization = slices as f64 / device.slices as f64;
-        let achievable = device.speed_grade_mhz * (0.8 - 0.3 * utilization);
-        if spec.target_clock_mhz > achievable {
-            return Err(SynthError::TimingFailure {
-                requested_mhz: spec.target_clock_mhz,
-                achievable_mhz: achievable,
-            });
-        }
-
-        // CAD runtime: minutes, superlinear in complexity (place & route
-        // gets harder as utilization rises).
-        let base = 60.0 + spec.complexity() * 0.02;
-        let congestion = 1.0 + 2.0 * utilization * utilization;
-        let synthesis_seconds = base * congestion / self.cad_speed;
-
-        Ok(SynthesisReport {
-            spec_name: spec.name.to_string(),
-            device_part: device.part.clone(),
-            slices,
-            luts: spec.luts,
-            registers: spec.registers,
-            dsp_slices: spec.multipliers,
-            bram_kb: spec.bram_kb,
-            achieved_clock_mhz: spec.target_clock_mhz,
-            synthesis_seconds,
-            utilization,
-        })
+        estimate_report(spec, device, self.cad_speed)
     }
 
-    /// Number of cached (spec, part) results.
+    /// Number of cached (spec, part) results visible to this service.
     pub fn cache_len(&self) -> usize {
-        self.cache.len()
+        self.store.len()
     }
+
+    fn tally(&mut self, priced: &Priced) {
+        match *priced {
+            Priced::Hit { full_seconds } => {
+                self.stats.hits += 1;
+                self.stats.seconds_saved += full_seconds;
+                self.cache_hits += 1;
+            }
+            Priced::Full { .. } => {
+                self.stats.misses += 1;
+                self.full_runs += 1;
+            }
+            Priced::Delta {
+                seconds,
+                full_seconds,
+            } => {
+                self.stats.delta_runs += 1;
+                self.stats.seconds_saved += full_seconds - seconds;
+                self.full_runs += 1;
+            }
+        }
+    }
+}
+
+/// The pure synthesis model: area feasibility, timing closure, and the CAD
+/// runtime on a machine running at `cad_speed` × the reference speed.
+pub(crate) fn estimate_report(
+    spec: &HdlSpec,
+    device: &FpgaDevice,
+    cad_speed: f64,
+) -> Result<SynthesisReport, SynthError> {
+    let slices = spec.slice_demand();
+    check("slices", slices, device.slices)?;
+    check("LUTs", spec.luts, device.luts)?;
+    check("DSP slices", spec.multipliers, device.dsp_slices)?;
+    check("BRAM KB", spec.bram_kb, device.bram_kb)?;
+
+    // Timing: the achievable clock degrades as the device fills up
+    // (routing congestion), from 80% of the speed grade when empty to
+    // 50% when full.
+    let utilization = slices as f64 / device.slices as f64;
+    let achievable = device.speed_grade_mhz * (0.8 - 0.3 * utilization);
+    if spec.target_clock_mhz > achievable {
+        return Err(SynthError::TimingFailure {
+            requested_mhz: spec.target_clock_mhz,
+            achievable_mhz: achievable,
+        });
+    }
+
+    // CAD runtime: minutes, superlinear in complexity (place & route
+    // gets harder as utilization rises).
+    let base = 60.0 + spec.complexity() * 0.02;
+    let congestion = 1.0 + 2.0 * utilization * utilization;
+    let synthesis_seconds = base * congestion / cad_speed;
+
+    Ok(SynthesisReport {
+        spec_name: spec.name.clone(),
+        device_part: Arc::from(device.part.as_str()),
+        slices,
+        luts: spec.luts,
+        registers: spec.registers,
+        dsp_slices: spec.multipliers,
+        bram_kb: spec.bram_kb,
+        achieved_clock_mhz: spec.target_clock_mhz,
+        synthesis_seconds,
+        utilization,
+        delta_of: None,
+    })
 }
 
 fn check(resource: &'static str, required: u64, available: u64) -> Result<(), SynthError> {
@@ -283,6 +316,7 @@ fn check(resource: &'static str, required: u64, available: u64) -> Result<(), Sy
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::store::SynthStore;
     use rhv_params::catalog::Catalog;
 
     fn lx220() -> FpgaDevice {
@@ -322,6 +356,45 @@ mod tests {
         assert_eq!(svc.cache_hits, 1);
         assert_eq!(svc.full_runs, 1);
         assert_eq!(svc.cache_len(), 1);
+        assert_eq!(svc.stats.seconds_saved, r1.synthesis_seconds);
+    }
+
+    /// Regression: the cache used to key on `(spec.name, part)`, so two
+    /// different designs sharing a name aliased to one bitstream. The
+    /// content hash must keep them apart — and still hit on re-probe.
+    #[test]
+    fn same_name_different_designs_do_not_alias() {
+        let mut svc = SynthesisService::default();
+        let dev = lx220();
+        let small = HdlSpec::new("pairalign", 8_000, 4_000);
+        let large = pairalign_spec();
+        let (bit_s, r_s) = svc.synthesize(&small, &dev, 0).unwrap();
+        let (bit_l, r_l) = svc.synthesize(&large, &dev, 0).unwrap();
+        assert_eq!(svc.cache_hits, 0, "same name must not fake a hit");
+        assert_eq!(svc.full_runs, 2);
+        assert_eq!(svc.cache_len(), 2);
+        assert_ne!(r_s.slices, r_l.slices);
+        assert_ne!(bit_s.header.region_slices, bit_l.header.region_slices);
+        // Both revisions stay independently warm.
+        let (_, again) = svc.synthesize(&small, &dev, 0).unwrap();
+        assert_eq!(again.synthesis_seconds, 0.0);
+        assert_eq!(svc.cache_hits, 1);
+    }
+
+    /// Two services on one fleet store share results across kernels.
+    #[test]
+    fn fleet_store_is_shared_across_services() {
+        let store = SynthStore::new();
+        let mut a = SynthesisService::with_store(1.0, store.handle());
+        let mut b = SynthesisService::with_store(1.0, store.handle());
+        let dev = lx220();
+        let spec = pairalign_spec();
+        let t_a = a.estimate_seconds_cached(&spec, &dev).unwrap();
+        let t_b = b.estimate_seconds_cached(&spec, &dev).unwrap();
+        assert!(t_a > 0.0);
+        assert_eq!(t_b, 0.0, "service b rides service a's synthesis");
+        assert_eq!((b.cache_hits, b.full_runs), (1, 0));
+        assert_eq!(store.stats().probes(), 2);
     }
 
     #[test]

@@ -320,6 +320,35 @@ impl MatchIndex {
         (self.frag_fit_sum, self.frag_free_sum, self.frag_devices)
     }
 
+    /// The distinct device parts a fabric request could land on, with one
+    /// representative member PE per part: every RPE group whose capability
+    /// map satisfies `req` contributes its part list, deduplicated
+    /// case-insensitively across groups in index order.
+    ///
+    /// This is the speculative-synthesis driver — "which parts might this
+    /// backlogged task's design eventually be synthesized for?" — so it
+    /// deliberately ignores dynamic occupancy (a busy device now may be the
+    /// match later) and, unlike the query paths, records nothing in
+    /// [`MatchIndex::stats`]. Non-fabric requests yield nothing.
+    pub fn candidate_parts(&self, req: &ExecReq) -> Vec<(&str, PeRef)> {
+        let mut parts: Vec<(&str, PeRef)> = Vec::new();
+        if !matches!(req.pe_class, PeClass::Fpga | PeClass::Softcore) {
+            return parts;
+        }
+        for g in &self.rpe_groups {
+            if g.members.is_empty() || !req.satisfied_by(&g.caps) {
+                continue;
+            }
+            for (part, members) in &g.by_part {
+                let Some(&rep) = members.first() else { continue };
+                if parts.iter().all(|(p, _)| !p.eq_ignore_ascii_case(part)) {
+                    parts.push((part.as_str(), rep));
+                }
+            }
+        }
+        parts
+    }
+
     /// Re-files one PE after its dynamic state changed (acquire, release,
     /// configure, evict). Call this with the **post-mutation** node.
     pub fn refresh_pe(&mut self, node: &Node, pe_id: PeId) {
@@ -1008,6 +1037,36 @@ mod tests {
             refs,
             vec!["GPP_0 <-> Node_0", "GPP_1 <-> Node_0", "GPP_0 <-> Node_1"]
         );
+    }
+
+    #[test]
+    fn candidate_parts_enumerates_satisfying_fabric_parts_once() {
+        let nodes = case_study::grid();
+        let idx = MatchIndex::build(&nodes);
+        let hdl = case_study::tasks()
+            .into_iter()
+            .find(|t| matches!(t.exec_req.payload, TaskPayload::HdlAccelerator { .. }))
+            .expect("case study ships an HDL task");
+        let parts = idx.candidate_parts(&hdl.exec_req);
+        assert!(!parts.is_empty());
+        // Deduplicated case-insensitively, each with a live representative
+        // RPE of that part.
+        let mut lowered: Vec<String> = parts.iter().map(|(p, _)| p.to_lowercase()).collect();
+        lowered.sort();
+        let distinct = lowered.len();
+        lowered.dedup();
+        assert_eq!(lowered.len(), distinct);
+        for (part, rep) in &parts {
+            let node = nodes.iter().find(|n| n.id == rep.node).unwrap();
+            let device = &node.rpe(rep.pe).unwrap().device;
+            assert!(device.part.eq_ignore_ascii_case(part));
+        }
+        // Non-fabric requests enumerate nothing.
+        let sw = case_study::tasks()
+            .into_iter()
+            .find(|t| matches!(t.exec_req.pe_class, PeClass::Gpp))
+            .expect("case study ships a software task");
+        assert!(idx.candidate_parts(&sw.exec_req).is_empty());
     }
 
     #[test]

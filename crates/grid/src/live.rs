@@ -163,7 +163,35 @@ pub fn run_live(
     time_scale: f64,
 ) -> (rhv_sim::SimReport, Vec<(NodeId, u64)>) {
     run_live_sinked(
-        nodes, cfg, workload, graph, strategy, time_scale, None, None,
+        nodes, cfg, workload, graph, strategy, time_scale, None, None, None,
+    )
+}
+
+/// [`run_live`] backed by a shared fleet-wide synthesis store: the live
+/// kernel prices every HDL setup against `store` (publishing its own
+/// results as it goes), so designs synthesized by earlier runs — live,
+/// simulated or step-driven — are cache hits here, and vice versa. Hand
+/// the same store to successive runs to model a warm fleet.
+#[allow(clippy::too_many_arguments)]
+pub fn run_live_warm(
+    nodes: Vec<rhv_core::node::Node>,
+    cfg: rhv_sim::sim::SimConfig,
+    workload: Vec<Task>,
+    graph: Option<rhv_core::graph::TaskGraph>,
+    strategy: &mut dyn rhv_sim::Strategy,
+    time_scale: f64,
+    store: rhv_sim::SynthStore,
+) -> (rhv_sim::SimReport, Vec<(NodeId, u64)>) {
+    run_live_sinked(
+        nodes,
+        cfg,
+        workload,
+        graph,
+        strategy,
+        time_scale,
+        None,
+        None,
+        Some(store),
     )
 }
 
@@ -193,6 +221,7 @@ pub fn run_live_profiled(
         strategy,
         time_scale,
         Some(profiler.sink()),
+        None,
         None,
     );
     let profile = profiler.report(graph.as_ref());
@@ -228,6 +257,7 @@ pub fn run_live_faulted(
         time_scale,
         sink,
         Some(plan),
+        None,
     )
 }
 
@@ -313,6 +343,7 @@ pub fn run_live_with_telemetry(
         time_scale,
         Some(Box::new(sink)),
         None,
+        None,
     );
     stop.store(true, Ordering::Relaxed);
     let samples = reporter.join().expect("reporter panicked");
@@ -354,6 +385,7 @@ fn run_live_sinked(
     time_scale: f64,
     sink: Option<Box<dyn rhv_telemetry::TelemetrySink>>,
     plan: Option<&rhv_sim::FaultPlan>,
+    synth: Option<rhv_sim::SynthStore>,
 ) -> (rhv_sim::SimReport, Vec<(NodeId, u64)>) {
     use rhv_sim::{KernelEvent, LifecycleKernel, PendingCompletion};
     use std::collections::{BTreeMap, VecDeque};
@@ -368,6 +400,9 @@ fn run_live_sinked(
     }
     if let Some(s) = sink {
         kernel.set_sink(s);
+    }
+    if let Some(store) = synth {
+        kernel.set_synth_store(store.handle());
     }
     let name = strategy.name().to_owned();
 

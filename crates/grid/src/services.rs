@@ -75,6 +75,7 @@ pub struct GridServices {
     /// Billing rates.
     pub rates: Rates,
     monitor: Arc<Mutex<Monitor>>,
+    synth_store: rhv_sim::SynthStore,
 }
 
 impl GridServices {
@@ -85,7 +86,16 @@ impl GridServices {
             rms,
             rates: Rates::default(),
             monitor: Arc::new(Mutex::new(Monitor::new())),
+            synth_store: rhv_sim::SynthStore::new(),
         }
+    }
+
+    /// The façade-lifetime synthesis store: every job run — simulated,
+    /// synchronous or faulted — prices synthesis against it, so a design
+    /// synthesized for a device part in one job is a cache hit in the
+    /// next. Read its [`rhv_sim::StoreStats`] to bill saved CAD time.
+    pub fn synth_store(&self) -> &rhv_sim::SynthStore {
+        &self.synth_store
     }
 
     /// The shared monitor (job runs feed it through the kernel's telemetry
@@ -183,6 +193,7 @@ impl GridServices {
         let report = rhv_sim::sim::GridSimulator::new(nodes, cfg)
             .with_dependencies(graph)
             .with_sink(self.job_sink(sink))
+            .with_synth_store(self.synth_store.clone())
             .run(workload, strategy);
         for record in &report.records {
             self.jss.set_task_state(job, record.task, TaskState::Done);
@@ -243,7 +254,8 @@ impl GridServices {
             rhv_sim::sim::SimConfig::default(),
         )
         .with_dependencies(application.dependency_graph())
-        .with_sink(self.job_sink(sink));
+        .with_sink(self.job_sink(sink))
+        .with_synth_store(self.synth_store.handle());
         let mut pending: Vec<PendingCompletion> = Vec::new();
         for tid in application.task_ids() {
             let task = tasks.get(&tid)?.clone();
@@ -306,7 +318,8 @@ impl GridServices {
         let mut schedule: VecDeque<(f64, KernelEvent)> = plan.compile(&nodes).into();
         let mut kernel = LifecycleKernel::new(nodes, cfg)
             .with_dependencies(application.dependency_graph())
-            .with_sink(self.job_sink(sink));
+            .with_sink(self.job_sink(sink))
+            .with_synth_store(self.synth_store.handle());
         let mut pending: Vec<PendingCompletion> = Vec::new();
         for tid in application.task_ids() {
             let task = tasks.get(&tid)?.clone();

@@ -39,6 +39,7 @@ use crate::metrics::{power, SimReport, TaskRecord};
 use crate::network::NetworkModel;
 use crate::strategy::{Placement, Strategy};
 use rhv_bitstream::hdl::HdlSpec;
+use rhv_bitstream::store::{StoreStats, SynthHandle};
 use rhv_bitstream::synth::SynthesisService;
 use rhv_core::execreq::{Constraint, ExecReq, TaskPayload};
 use rhv_core::fabric::FitPolicy;
@@ -53,7 +54,8 @@ use rhv_params::param::{ParamKey, PeClass};
 use rhv_params::softcore::SoftcoreSpec;
 use rhv_telemetry::{
     CompletedSpan, FaultStats, FragSnapshot, LifecycleSpan, MatchStats, NodeEvent, NoopSink,
-    PlacedSpan, RejectReason, SetupPhases, SpanEvent, TelemetrySink, TimelineStats, WaitCause,
+    PlacedSpan, RejectReason, SetupPhases, SpanEvent, SynthStats, TelemetrySink, TimelineStats,
+    WaitCause,
 };
 use serde::{Deserialize, Serialize};
 use std::collections::{BTreeSet, HashMap, HashSet, VecDeque};
@@ -125,6 +127,12 @@ pub struct SimConfig {
     /// Retry policy for crash-lost executions. `None` preserves the legacy
     /// behavior: lost tasks re-queue immediately and indefinitely.
     pub retry: Option<RetryPolicy>,
+    /// Speculative synthesis: when an HDL task enters the backlog, pre-price
+    /// its design against every device part its request could land on
+    /// (per the match index's candidate groups), so the eventual placement
+    /// probes the synthesis store warm. Off by default — it changes setup
+    /// timing (first placements hit a pre-built entry).
+    pub speculative_synth: bool,
 }
 
 impl Default for SimConfig {
@@ -137,6 +145,7 @@ impl Default for SimConfig {
             cad_speed: 1.0,
             network: NetworkModel::default(),
             retry: None,
+            speculative_synth: false,
         }
     }
 }
@@ -540,6 +549,8 @@ pub struct LifecycleKernel {
     match_reported: MatchStats,
     cfg: SimConfig,
     synth: SynthesisService,
+    /// Synth-store activity already reported to the sink (deltas go out).
+    synth_reported: StoreStats,
     backlog: VecDeque<BacklogEntry>,
     records: Vec<TaskRecord>,
     rejected: usize,
@@ -613,6 +624,7 @@ impl LifecycleKernel {
             match_reported: MatchStats::default(),
             cfg,
             synth: SynthesisService::new(cad_speed),
+            synth_reported: StoreStats::default(),
             backlog: VecDeque::new(),
             records: Vec::new(),
             rejected: 0,
@@ -657,6 +669,34 @@ impl LifecycleKernel {
     pub fn with_sink(mut self, sink: Box<dyn TelemetrySink>) -> Self {
         self.set_sink(sink);
         self
+    }
+
+    /// Wires this kernel's synthesis service into a shared
+    /// [`rhv_bitstream::store::SynthStore`] through `store` — results
+    /// produced by any kernel on the same store warm every other kernel.
+    /// Sharded front-ends pass a buffered handle and publish at the
+    /// exchange barrier ([`LifecycleKernel::publish_synth`]); everyone else
+    /// passes an auto-publish handle.
+    pub fn set_synth_store(&mut self, store: SynthHandle) {
+        self.synth.set_store(store);
+    }
+
+    /// Builder form of [`LifecycleKernel::set_synth_store`].
+    pub fn with_synth_store(mut self, store: SynthHandle) -> Self {
+        self.set_synth_store(store);
+        self
+    }
+
+    /// Publishes window-buffered synthesis results to the shared store.
+    /// The sharded front-end calls this at every exchange barrier in
+    /// ascending shard-id order; a no-op on auto-publish handles.
+    pub fn publish_synth(&mut self) {
+        self.synth.publish();
+    }
+
+    /// This kernel's synthesis-store activity counters.
+    pub fn synth_stats(&self) -> StoreStats {
+        self.synth.stats
     }
 
     /// Emits one lifecycle span (cheap: span payloads are `Copy`, and the
@@ -713,6 +753,21 @@ impl LifecycleKernel {
                     },
                 );
                 self.fault_reported = fault_totals;
+            }
+            let synth_totals = self.synth.stats;
+            if synth_totals != self.synth_reported {
+                self.sink.synth_stats(
+                    at,
+                    SynthStats {
+                        store_hits: synth_totals.hits - self.synth_reported.hits,
+                        store_misses: synth_totals.misses - self.synth_reported.misses,
+                        speculative: synth_totals.speculative - self.synth_reported.speculative,
+                        delta_runs: synth_totals.delta_runs - self.synth_reported.delta_runs,
+                        seconds_saved: synth_totals.seconds_saved
+                            - self.synth_reported.seconds_saved,
+                    },
+                );
+                self.synth_reported = synth_totals;
             }
             let (largest_runs, free_slices, devices) = self.index.fragmentation_stats();
             self.sink.timeline(
@@ -1526,6 +1581,9 @@ impl LifecycleKernel {
             strategy.is_satisfiable(&task, &view)
         };
         if satisfiable {
+            if self.cfg.speculative_synth {
+                self.speculate_synth(&task);
+            }
             if self.sink.enabled() {
                 let cause = self.classify_wait(&task, now);
                 self.emit(task.id, now, SpanEvent::Queued { cause });
@@ -1545,6 +1603,37 @@ impl LifecycleKernel {
             self.spilled.push((arrival, task));
         } else {
             self.reject(task.id, now, RejectReason::Unsatisfiable);
+        }
+    }
+
+    /// Speculative synthesis (gated by [`SimConfig::speculative_synth`]):
+    /// a backlogged HDL design is pre-priced against every device part its
+    /// request could land on — the match index's candidate groups — so the
+    /// eventual placement probes the synthesis store warm. This is provider
+    /// background work: nothing is charged to the task, parts the design
+    /// does not synthesize for are silently skipped, and already-cached
+    /// parts are no-ops.
+    fn speculate_synth(&mut self, task: &Task) {
+        let TaskPayload::HdlAccelerator {
+            spec_name,
+            est_slices,
+            ..
+        } = &task.exec_req.payload
+        else {
+            return;
+        };
+        let spec = HdlSpec::new(spec_name.clone(), est_slices * 4, est_slices * 2);
+        // `synth` is disjoint from `index`/`nodes`, so the devices stay
+        // borrowed while the store fills.
+        let (index, nodes, synth) = (&self.index, &self.nodes, &mut self.synth);
+        for (_, rep) in index.candidate_parts(&task.exec_req) {
+            let Some(pos) = index.node_pos(rep.node) else {
+                continue;
+            };
+            let Some(rpe) = nodes[pos].rpe(rep.pe) else {
+                continue;
+            };
+            synth.speculate(&spec, &rpe.device);
         }
     }
 

@@ -58,6 +58,7 @@ pub use kernel::{
     FaultEvent, KernelEvent, LifecycleKernel, PendingCompletion, PlacementError, RetryPolicy,
 };
 pub use metrics::{SimReport, TaskRecord};
+pub use rhv_bitstream::store::{StoreStats, SynthStore};
 pub use shard::{ShardPlan, ShardStats, ShardedGridSimulator, ShardedRun};
 pub use sim::{ChurnEvent, GridSimulator, SimConfig};
 pub use strategy::{Placement, Strategy};

@@ -48,6 +48,7 @@ use crate::kernel::{ChurnEvent, FaultEvent, KernelEvent, KernelTally, LifecycleK
 use crate::kernel::{PendingCompletion, SimConfig};
 use crate::metrics::SimReport;
 use crate::strategy::Strategy;
+use rhv_bitstream::store::SynthStore;
 use rhv_core::graph::TaskGraph;
 use rhv_core::ids::{NodeId, TaskId};
 use rhv_core::node::Node;
@@ -271,6 +272,7 @@ pub struct ShardedGridSimulator {
     epoch: f64,
     workers: usize,
     dependency_driven: bool,
+    synth_store: SynthStore,
 }
 
 impl ShardedGridSimulator {
@@ -288,6 +290,7 @@ impl ShardedGridSimulator {
         for node in nodes {
             parts[plan.node_shard(node.id)].push(node);
         }
+        let synth_store = SynthStore::new();
         let shards = parts
             .into_iter()
             .map(|part| {
@@ -295,6 +298,15 @@ impl ShardedGridSimulator {
                 // Spill-over only exists between siblings: a lone shard
                 // rejects inline, exactly like the unsharded simulator.
                 kernel.set_spill(p > 1);
+                // Siblings buffer synthesis results until the barrier so
+                // cache visibility is a pure function of the window grid;
+                // a lone shard publishes inline, exactly like the
+                // unsharded simulator.
+                kernel.set_synth_store(if p > 1 {
+                    synth_store.buffered_handle()
+                } else {
+                    synth_store.handle()
+                });
                 Shard {
                     kernel,
                     queue: EventQueue::new(),
@@ -313,7 +325,32 @@ impl ShardedGridSimulator {
             epoch: 0.25,
             workers: 1,
             dependency_driven: false,
+            synth_store,
         }
+    }
+
+    /// Replaces the fleet-wide synthesis store (default: a fresh private
+    /// one) and re-wires every shard's handle. Hand the same store to
+    /// successive runs to model a warm fleet: results published by earlier
+    /// runs price as cache hits. Purely a cost-model warm-up between runs —
+    /// within one run, visibility still advances only at window barriers,
+    /// so results stay byte-identical for every worker count.
+    pub fn with_synth_store(mut self, store: SynthStore) -> Self {
+        let p = self.plan.shards();
+        self.synth_store = store;
+        for shard in &mut self.shards {
+            shard.kernel.set_synth_store(if p > 1 {
+                self.synth_store.buffered_handle()
+            } else {
+                self.synth_store.handle()
+            });
+        }
+        self
+    }
+
+    /// The fleet-wide synthesis store backing this simulator's kernels.
+    pub fn synth_store(&self) -> &SynthStore {
+        &self.synth_store
     }
 
     /// Sets the exchange-window length in simulated seconds (default 0.25).
@@ -423,8 +460,11 @@ impl ShardedGridSimulator {
 
         let name = self.shards[0].strategy.name().to_owned();
         let mut tally: Option<KernelTally> = None;
-        for (i, shard) in self.shards.into_iter().enumerate() {
+        for (i, mut shard) in self.shards.into_iter().enumerate() {
             stats.events_per_shard[i] = shard.events;
+            // Final synthesis barrier: flush anything buffered after the
+            // last exchange so the shared store's stats cover the run.
+            shard.kernel.publish_synth();
             let t = shard.kernel.finish_tally();
             match &mut tally {
                 Some(acc) => acc.merge(t),
@@ -546,6 +586,14 @@ fn exchange(shards: &mut [&mut Shard], end: f64, dependency_driven: bool, stats:
     let p = shards.len();
     if p <= 1 {
         return;
+    }
+    // 0. Publish buffered synthesis results in ascending shard order —
+    //    first publisher wins per entry, so the shared cache's contents
+    //    after each barrier are a pure function of the window grid,
+    //    independent of worker count. (A lone shard publishes inline via
+    //    its auto handle; see `ShardedGridSimulator::new`.)
+    for shard in shards.iter_mut() {
+        shard.kernel.publish_synth();
     }
     // 1. Collect spill-overs, plus backlog entries stranded by membership
     //    loss since the previous barrier.

@@ -78,6 +78,17 @@ impl GridSimulator {
         self
     }
 
+    /// Backs the kernel's synthesis service with `store` — an
+    /// auto-publishing handle, so results are visible fleet-wide the
+    /// moment they are priced (see
+    /// [`rhv_bitstream::store::SynthStore`]). Hand the same store to
+    /// successive simulators (or to [`crate::shard::ShardedGridSimulator`])
+    /// to model a warm fleet.
+    pub fn with_synth_store(mut self, store: rhv_bitstream::store::SynthStore) -> Self {
+        self.kernel.set_synth_store(store.handle());
+        self
+    }
+
     /// Current node states (read-only view for inspection).
     pub fn nodes(&self) -> &[Node] {
         self.kernel.nodes()

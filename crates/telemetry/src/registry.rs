@@ -13,7 +13,8 @@
 
 use crate::sink::TelemetrySink;
 use crate::span::{
-    FaultStats, LifecycleSpan, MatchStats, NodeEvent, SpanEvent, TimelineStats, WaitCause,
+    FaultStats, LifecycleSpan, MatchStats, NodeEvent, SpanEvent, SynthStats, TimelineStats,
+    WaitCause,
 };
 use rhv_core::node::Node;
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -369,6 +370,14 @@ pub struct MetricsSink {
     reconfigurations: Arc<Counter>,
     synth_cache_hits: Arc<Counter>,
     synth_cache_misses: Arc<Counter>,
+    synth_store_hits: Arc<Counter>,
+    synth_store_misses: Arc<Counter>,
+    synth_speculative: Arc<Counter>,
+    synth_delta: Arc<Counter>,
+    synth_seconds_saved: Arc<Gauge>,
+    /// Running sum behind the `rhv_synth_seconds_saved` gauge (deltas in,
+    /// absolute out).
+    synth_saved_acc: f64,
     node_joins: Arc<Counter>,
     node_leaves: Arc<Counter>,
     node_crashes: Arc<Counter>,
@@ -433,6 +442,27 @@ impl MetricsSink {
             ),
             synth_cache_hits: c("rhv_synth_cache_hits_total", "CAD cache hits"),
             synth_cache_misses: c("rhv_synth_cache_misses_total", "Full CAD synthesis runs"),
+            synth_store_hits: c(
+                "rhv_synth_store_hits_total",
+                "Synthesis-store probes served warm",
+            ),
+            synth_store_misses: c(
+                "rhv_synth_store_misses_total",
+                "Synthesis-store probes that paid a full CAD run",
+            ),
+            synth_speculative: c(
+                "rhv_synth_speculative_total",
+                "Store entries pre-built by speculative synthesis",
+            ),
+            synth_delta: c(
+                "rhv_synth_delta_total",
+                "Store probes that paid an incremental (delta) CAD run",
+            ),
+            synth_seconds_saved: registry.gauge(
+                "rhv_synth_seconds_saved",
+                "CAD seconds avoided by store hits and incremental runs",
+            ),
+            synth_saved_acc: 0.0,
             node_joins: c("rhv_node_joins_total", "Nodes joined"),
             node_leaves: c("rhv_node_leaves_total", "Nodes left"),
             node_crashes: c("rhv_node_crashes_total", "Nodes crashed"),
@@ -616,6 +646,15 @@ impl TelemetrySink for MetricsSink {
         self.fallbacks.add(stats.fallbacks);
         self.churn_noops.add(stats.churn_noops);
         self.blacklisted.set(stats.blacklisted as f64);
+    }
+
+    fn synth_stats(&mut self, _at: f64, stats: SynthStats) {
+        self.synth_store_hits.add(stats.store_hits);
+        self.synth_store_misses.add(stats.store_misses);
+        self.synth_speculative.add(stats.speculative);
+        self.synth_delta.add(stats.delta_runs);
+        self.synth_saved_acc += stats.seconds_saved;
+        self.synth_seconds_saved.set(self.synth_saved_acc);
     }
 
     fn timeline(&mut self, _at: f64, stats: TimelineStats) {
@@ -884,6 +923,41 @@ mod tests {
         assert!(text.contains("rhv_churn_noops_total 3"));
         assert!(text.contains("rhv_blacklisted_nodes 2"));
         assert!(text.contains("# TYPE rhv_retry_delay_seconds histogram"));
+    }
+
+    #[test]
+    fn synth_stats_accumulate_and_export() {
+        let reg = MetricsRegistry::new();
+        let mut sink = MetricsSink::new(reg.clone());
+        sink.synth_stats(
+            0.0,
+            SynthStats {
+                store_hits: 3,
+                store_misses: 2,
+                speculative: 4,
+                delta_runs: 1,
+                seconds_saved: 100.5,
+            },
+        );
+        sink.synth_stats(
+            1.0,
+            SynthStats {
+                store_hits: 1,
+                seconds_saved: 20.0,
+                ..SynthStats::default()
+            },
+        );
+        assert_eq!(sink.synth_store_hits.get(), 4);
+        assert_eq!(sink.synth_store_misses.get(), 2);
+        assert_eq!(sink.synth_speculative.get(), 4);
+        assert_eq!(sink.synth_delta.get(), 1);
+        assert_eq!(sink.synth_seconds_saved.get(), 120.5); // gauge: running sum
+        let text = crate::prometheus::render(&reg);
+        assert!(text.contains("rhv_synth_store_hits_total 4"));
+        assert!(text.contains("rhv_synth_store_misses_total 2"));
+        assert!(text.contains("rhv_synth_speculative_total 4"));
+        assert!(text.contains("rhv_synth_delta_total 1"));
+        assert!(text.contains("rhv_synth_seconds_saved 120.5"));
     }
 
     #[test]

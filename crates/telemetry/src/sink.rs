@@ -12,7 +12,7 @@
 //! building any span that would allocate, and all span payloads except the
 //! rare `PlacementFailed { reason }` are plain `Copy` data on the stack.
 
-use crate::span::{FaultStats, LifecycleSpan, MatchStats, NodeEvent, TimelineStats};
+use crate::span::{FaultStats, LifecycleSpan, MatchStats, NodeEvent, SynthStats, TimelineStats};
 use rhv_core::node::Node;
 use std::sync::{Arc, Mutex};
 
@@ -56,6 +56,15 @@ pub trait TelemetrySink: Send {
     /// [`grid_state`](TelemetrySink::grid_state), only when something
     /// changed.
     fn fault_stats(&mut self, at: f64, stats: FaultStats) {
+        let _ = (at, stats);
+    }
+
+    /// Synthesis-store activity (store hits/misses, speculative and
+    /// incremental runs, CAD seconds saved) since the previous report —
+    /// deltas, not totals. Emitted with the same cadence as
+    /// [`grid_state`](TelemetrySink::grid_state), only when something
+    /// changed.
+    fn synth_stats(&mut self, at: f64, stats: SynthStats) {
         let _ = (at, stats);
     }
 
@@ -262,6 +271,12 @@ impl TelemetrySink for FanoutSink {
     fn fault_stats(&mut self, at: f64, stats: FaultStats) {
         for s in &mut self.sinks {
             s.fault_stats(at, stats);
+        }
+    }
+
+    fn synth_stats(&mut self, at: f64, stats: SynthStats) {
+        for s in &mut self.sinks {
+            s.synth_stats(at, stats);
         }
     }
 

@@ -222,6 +222,31 @@ pub struct FaultStats {
     pub blacklisted: u64,
 }
 
+/// Synthesis-store activity since the previous report, emitted by the
+/// kernel alongside [`grid state`](crate::sink::TelemetrySink::grid_state).
+/// All fields are **deltas**, so sinks aggregate by summing (the
+/// `seconds_saved` gauge a sink exposes is the running sum of the deltas).
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct SynthStats {
+    /// Pricing probes served warm from the content-addressed store.
+    pub store_hits: u64,
+    /// Probes that paid a full CAD run.
+    pub store_misses: u64,
+    /// Entries pre-built by speculative synthesis.
+    pub speculative: u64,
+    /// Probes that paid an incremental (delta) run.
+    pub delta_runs: u64,
+    /// CAD seconds avoided by hits and incremental runs.
+    pub seconds_saved: f64,
+}
+
+impl SynthStats {
+    /// True when nothing happened since the previous report.
+    pub fn is_empty(&self) -> bool {
+        *self == SynthStats::default()
+    }
+}
+
 /// A successful placement: the task's future on its PE is fully priced at
 /// the dispatch instant (this is a simulator — setup and execution windows
 /// are known once the placement is applied).

@@ -40,12 +40,16 @@ elif [ "$1" = "bench-smoke" ]; then
     # naive scan and fallbacks < hits; bench_engine asserts wheel == heap
     # reports; bench_faults asserts conservation, recovery counters and
     # wheel == heap under the churn storm; bench_shards asserts sharded
-    # serial == parallel and P=1 == unsharded byte-identity).
+    # serial == parallel and P=1 == unsharded byte-identity; bench_synth
+    # asserts synthesis-store hits > 0, counters consistent with the full
+    # runs, warm fleet >= 2x cold, allocation-free warm probes, and
+    # sharded serial == parallel store-counter identity).
     cargo bench --offline -p rhv-bench --bench match_index
     cargo run --offline -q --release -p rhv-bench --bin bench_matchmaker -- --smoke
     cargo run --offline -q --release -p rhv-bench --bin bench_engine -- --smoke
     cargo run --offline -q --release -p rhv-bench --bin bench_faults -- --smoke
     cargo run --offline -q --release -p rhv-bench --bin bench_shards -- --smoke
+    cargo run --offline -q --release -p rhv-bench --bin bench_synth -- --smoke
 elif [ "$1" = "obs-smoke" ]; then
     # Mirrors `make obs-smoke` for offline containers: obs_report renders
     # and schema-validates a small deterministic profiled run, then

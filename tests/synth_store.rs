@@ -1,0 +1,244 @@
+//! Integration: the fleet-wide synthesis store under sharding.
+//!
+//! The store is a shared cost-model cache, so it must be invisible to the
+//! determinism contract `shard_identity` checks: for arbitrary grids,
+//! workloads and decompositions, a **warm** store (every design already
+//! priced on every fabric part) must leave a threaded run byte-identical
+//! to the serial run, and a warm single-shard run byte-identical to the
+//! warm unsharded [`GridSimulator`]. Speculative synthesis is provider
+//! background work — when it cannot add anything (entry already cached, or
+//! the design does not synthesize for the part), it must not perturb
+//! placement at all.
+
+use proptest::prelude::*;
+use rhv_bitstream::hdl::HdlSpec;
+use rhv_core::case_study;
+use rhv_core::execreq::TaskPayload;
+use rhv_core::ids::NodeId;
+use rhv_core::node::Node;
+use rhv_core::task::Task;
+use rhv_sched::FirstFitStrategy;
+use rhv_sim::shard::{ShardPlan, ShardedGridSimulator};
+use rhv_sim::sim::{GridSimulator, SimConfig};
+use rhv_sim::strategy::Strategy;
+use rhv_sim::workload::WorkloadSpec;
+use rhv_sim::{StoreStats, SynthStore};
+
+/// A heterogeneous grid of case-study nodes (all three prototypes, cycled).
+fn grid_of(n: usize) -> Vec<Node> {
+    let protos = case_study::grid();
+    (0..n)
+        .map(|i| {
+            let mut node = protos[i % protos.len()].clone();
+            node.id = NodeId(i as u64);
+            node
+        })
+        .collect()
+}
+
+fn mk_strategy() -> Box<dyn Strategy> {
+    Box::new(FirstFitStrategy::new())
+}
+
+/// The spec the kernel rebuilds from an HDL payload at placement time —
+/// must stay in lockstep with `LifecycleKernel`'s construction so a warmed
+/// store actually hits.
+fn spec_of(task: &Task) -> Option<HdlSpec> {
+    match &task.exec_req.payload {
+        TaskPayload::HdlAccelerator {
+            spec_name,
+            est_slices,
+            ..
+        } => Some(HdlSpec::new(spec_name.clone(), est_slices * 4, est_slices * 2)),
+        _ => None,
+    }
+}
+
+/// Pre-prices every HDL design in `workload` on every fabric device in
+/// `nodes` — the fully-warm fleet state. Pricing is deterministic, so two
+/// stores warmed from identical inputs hold identical entries (designs
+/// that do not synthesize for a part are skipped on both sides).
+fn warm_store(nodes: &[Node], workload: &[(f64, Task)], cad_speed: f64) -> SynthStore {
+    let store = SynthStore::new();
+    let mut handle = store.handle();
+    for (_, task) in workload {
+        let Some(spec) = spec_of(task) else { continue };
+        for node in nodes {
+            for rpe in node.rpes() {
+                let _ = handle.price(&spec, &rpe.device, cad_speed);
+            }
+        }
+    }
+    store
+}
+
+struct WarmRun {
+    report: String,
+    nodes: String,
+    stats: StoreStats,
+}
+
+/// One warm-fleet sharded run: the store is pre-warmed from the identical
+/// (deterministic) inputs every compared run uses, so runs differing only
+/// in `workers` or `speculative` probe identically-primed stores.
+fn run_sharded_warm(
+    n_nodes: usize,
+    n_tasks: usize,
+    seed: u64,
+    shards: usize,
+    workers: usize,
+    speculative: bool,
+) -> WarmRun {
+    let horizon = 60.0;
+    let workload =
+        WorkloadSpec::default_for_grid(n_tasks, n_tasks as f64 / horizon, seed).generate();
+    let nodes = grid_of(n_nodes);
+    let cfg = SimConfig {
+        speculative_synth: speculative,
+        ..SimConfig::default()
+    };
+    let store = warm_store(&nodes, &workload, cfg.cad_speed);
+    let warm_misses = store.stats().misses;
+    let run = ShardedGridSimulator::new(nodes, cfg, ShardPlan::new(shards), &mut mk_strategy)
+        .with_workers(workers)
+        .with_synth_store(store.clone())
+        .run(workload);
+    let mut stats = store.stats();
+    // Report only what the run itself did: the warm-up's misses are the
+    // priming cost, not the run's.
+    stats.misses -= warm_misses;
+    WarmRun {
+        report: format!("{:?}", run.report),
+        nodes: format!("{:?}", run.nodes),
+        stats,
+    }
+}
+
+#[test]
+fn warm_store_turns_every_placement_into_a_hit() {
+    let warm = run_sharded_warm(24, 120, 7, 4, 1, false);
+    assert!(warm.stats.hits > 0, "warm fleet never hit: {:?}", warm.stats);
+    assert_eq!(
+        warm.stats.misses, 0,
+        "a warmed design re-synthesized: kernel and warm-up spec construction diverged"
+    );
+    assert!(warm.stats.seconds_saved > 0.0);
+}
+
+#[test]
+fn cold_sharded_run_populates_and_reuses_the_shared_store() {
+    let horizon = 60.0;
+    let workload = WorkloadSpec::default_for_grid(160, 160.0 / horizon, 11).generate();
+    let nodes = grid_of(16);
+    let sim = ShardedGridSimulator::new(
+        nodes,
+        SimConfig::default(),
+        ShardPlan::new(4),
+        &mut mk_strategy,
+    );
+    let store = sim.synth_store().clone();
+    let run = sim.run(workload);
+    run.report.check_invariants().unwrap();
+    let stats = store.stats();
+    assert!(!store.is_empty(), "no entries published");
+    assert!(stats.misses > 0, "a cold store cannot start warm");
+    assert!(
+        stats.hits > 0,
+        "repeated kernels across shards never reused a published entry: {stats:?}"
+    );
+    assert_eq!(stats.probes(), stats.hits + stats.misses + stats.delta_runs);
+}
+
+#[test]
+fn speculation_on_a_cold_fleet_prewarms_future_placements() {
+    let horizon = 60.0;
+    let workload = WorkloadSpec::default_for_grid(160, 160.0 / horizon, 13).generate();
+    let nodes = grid_of(12);
+    let cfg = SimConfig {
+        speculative_synth: true,
+        ..SimConfig::default()
+    };
+    let sim = ShardedGridSimulator::new(nodes, cfg, ShardPlan::new(2), &mut mk_strategy);
+    let store = sim.synth_store().clone();
+    let run = sim.run(workload);
+    run.report.check_invariants().unwrap();
+    let stats = store.stats();
+    assert!(
+        stats.speculative > 0,
+        "a contended cold fleet must backlog (and so speculate): {stats:?}"
+    );
+    assert!(stats.hits > 0);
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(5))]
+
+    /// Warm-fleet identity: for arbitrary grids, workloads, decompositions
+    /// and worker counts, a threaded run over an identically-primed store
+    /// is byte-identical to the serial run — including the store's own
+    /// counters.
+    #[test]
+    fn warm_sharded_runs_are_worker_count_invariant(
+        n_nodes in 12usize..32,
+        n_tasks in 60usize..140,
+        seed in 0u64..1_000,
+        shards in proptest::sample::select(vec![2usize, 4, 8]),
+        workers in 2usize..6,
+    ) {
+        let serial = run_sharded_warm(n_nodes, n_tasks, seed, shards, 1, false);
+        let threaded = run_sharded_warm(n_nodes, n_tasks, seed, shards, workers, false);
+        prop_assert_eq!(serial.report, threaded.report);
+        prop_assert_eq!(serial.nodes, threaded.nodes);
+        prop_assert_eq!(serial.stats, threaded.stats);
+    }
+
+    /// A warm single-shard run replays the warm unsharded simulator byte
+    /// for byte.
+    #[test]
+    fn warm_single_shard_replays_warm_grid_simulator(
+        n_nodes in 12usize..32,
+        n_tasks in 60usize..140,
+        seed in 0u64..1_000,
+    ) {
+        let horizon = 60.0;
+        let workload =
+            WorkloadSpec::default_for_grid(n_tasks, n_tasks as f64 / horizon, seed).generate();
+        let nodes = grid_of(n_nodes);
+        let cfg = SimConfig::default();
+        let reference = {
+            let store = warm_store(&nodes, &workload, cfg.cad_speed);
+            let (report, nodes) = GridSimulator::new(nodes.clone(), cfg.clone())
+                .with_synth_store(store)
+                .run_with_faults(
+                    workload.clone(),
+                    Vec::new(),
+                    Vec::new(),
+                    &mut FirstFitStrategy::new(),
+                );
+            (format!("{report:?}"), format!("{nodes:?}"))
+        };
+        let sharded = run_sharded_warm(n_nodes, n_tasks, seed, 1, 1, false);
+        prop_assert_eq!(sharded.report, reference.0);
+        prop_assert_eq!(sharded.nodes, reference.1);
+    }
+
+    /// Speculation that cannot add anything — every cacheable (design,
+    /// part) pair is already stored, and the rest do not synthesize — must
+    /// never change placement: the run with speculation enabled is
+    /// byte-identical to the run without it.
+    #[test]
+    fn impotent_speculation_never_changes_placement(
+        n_nodes in 12usize..32,
+        n_tasks in 60usize..140,
+        seed in 0u64..1_000,
+        shards in proptest::sample::select(vec![1usize, 2, 4]),
+    ) {
+        let off = run_sharded_warm(n_nodes, n_tasks, seed, shards, 1, false);
+        let on = run_sharded_warm(n_nodes, n_tasks, seed, shards, 1, true);
+        prop_assert_eq!(off.report, on.report);
+        prop_assert_eq!(off.nodes, on.nodes);
+        // Identical placement implies identical charged work.
+        prop_assert_eq!(off.stats.hits, on.stats.hits);
+        prop_assert_eq!(off.stats.misses, on.stats.misses);
+    }
+}
