@@ -28,7 +28,9 @@ telemetry-smoke:
 # (bench_matchmaker asserts indexed == naive, bench_engine asserts
 # wheel == heap, bench_faults asserts conservation + recovery counters
 # under the churn storm, bench_shards asserts sharded serial == parallel
-# and P=1 == unsharded; all BENCH_*.json files left untouched).
+# and P=1 == unsharded, bench_qos asserts tier-ordered draining,
+# reservation admission holds, scavenger preemption conservation and the
+# cost/wait Pareto ordering; all BENCH_*.json files left untouched).
 # Offline containers run the same steps via:
 #   devtools/offline-check.sh bench-smoke
 bench-smoke:
@@ -38,6 +40,7 @@ bench-smoke:
 	cargo run -q --release -p rhv-bench --bin bench_faults -- --smoke
 	cargo run -q --release -p rhv-bench --bin bench_shards -- --smoke
 	cargo run -q --release -p rhv-bench --bin bench_synth -- --smoke
+	cargo run -q --release -p rhv-bench --bin bench_qos -- --smoke
 
 # Profiler smoke: obs_report over a small deterministic ClustalW-at-scale
 # run with the `obs_report/v1` JSON schema validated by the internal

@@ -174,7 +174,12 @@ struct SplitResult {
 /// the kernel pass, splitting wall time into kernel work vs queue traffic,
 /// and counting per-instant batch sizes. The produced report must equal
 /// the un-instrumented wheel run's — the timers may not perturb outcomes.
-fn kernel_split_benchmark(n_nodes: usize, n_tasks: usize, seed: u64, expected: &str) -> SplitResult {
+fn kernel_split_benchmark(
+    n_nodes: usize,
+    n_tasks: usize,
+    seed: u64,
+    expected: &str,
+) -> SplitResult {
     let workload = WorkloadSpec::default_for_grid(n_tasks, 50.0, seed).generate();
     let churn = vec![
         (20.0, ChurnEvent::Crash(NodeId(7))),

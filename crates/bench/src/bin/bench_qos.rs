@@ -1,0 +1,439 @@
+//! **QoS / reservations benchmark**: the advance-reservation ledger and
+//! tier-ordered lifecycle kernel ([`rhv_sim::ReservationStore`],
+//! [`rhv_core::qos::QosClass`]) under contended mixed-tier workloads.
+//!
+//! Four sections, every one asserting its claim before quoting a number:
+//!
+//! * **tier-ordered vs tier-blind draining** — the bugfix headline: the
+//!   same contended workload through the legacy FIFO backlog (every task
+//!   best-effort) and through the class-ordered drain. Guaranteed tasks
+//!   must wait no longer than they did blind, and no longer than the
+//!   scavengers sharing the queue.
+//! * **overbooking sweep** — a phantom reservation blocks an increasing
+//!   fraction of the fleet's fabric over a fixed horizon: zero admission
+//!   holds at factor 0, holds (and makespan) grow with the booked
+//!   fraction, and every task is conserved at every point.
+//! * **scavenger-preemption storm** — mis-estimating scavengers saturate
+//!   the fabric before reserved windows open; the kernel revokes their
+//!   placements, the guaranteed tasks dispatch inside their windows, and
+//!   every preempted task re-enters and finishes (conservation).
+//! * **cost/makespan Pareto** — the bill for the whole workload at each
+//!   [`QosTier`] against the waits its scheduling class observed: prices
+//!   must order best-effort < standard < premium while premium buys the
+//!   shortest waits — paying more moves along the Pareto front, not off it.
+//!
+//! The full run writes `BENCH_qos.json` at the repository root;
+//! `--smoke` runs a scaled-down pass (all assertions, no file).
+//!
+//! Usage: `bench_qos [--smoke]`
+
+use rhv_bench::{banner, section};
+use rhv_core::case_study;
+use rhv_core::execreq::{Constraint, ExecReq, TaskPayload};
+use rhv_core::ids::{NodeId, TaskId};
+use rhv_core::node::Node;
+use rhv_core::qos::QosClass;
+use rhv_core::task::Task;
+use rhv_grid::cost::{estimate, QosTier, Rates};
+use rhv_params::param::{ParamKey, PeClass};
+use rhv_sched::FirstFitStrategy;
+use rhv_sim::sim::{GridSimulator, SimConfig};
+use rhv_sim::{ReservationRequest, SimReport};
+use rhv_telemetry::span::{LifecycleSpan, SpanEvent, WaitCause};
+use rhv_telemetry::SpanCollector;
+use std::collections::HashMap;
+use std::time::Instant;
+
+/// A heterogeneous grid of case-study nodes (all three prototypes, cycled).
+fn grid_of(n: usize) -> Vec<Node> {
+    let protos = case_study::grid();
+    (0..n)
+        .map(|i| {
+            let mut node = protos[i % protos.len()].clone();
+            node.id = NodeId(i as u64);
+            node
+        })
+        .collect()
+}
+
+/// Total fabric slices across the grid — the reservation ledger's capacity.
+fn fabric_slices(nodes: &[Node]) -> u64 {
+    nodes
+        .iter()
+        .flat_map(Node::rpes)
+        .map(|r| r.device.slices)
+        .sum()
+}
+
+/// One HDL accelerator task at a QoS class. `est` is the *declared*
+/// runtime (what admission reasons over); `exec` is what it really runs.
+fn qos_task(
+    id: u64,
+    arrival: f64,
+    name: String,
+    slices: u64,
+    exec: f64,
+    est: f64,
+    qos: QosClass,
+) -> (f64, Task) {
+    let req = ExecReq::new(
+        PeClass::Fpga,
+        vec![Constraint::ge(ParamKey::Slices, slices)],
+        TaskPayload::HdlAccelerator {
+            spec_name: name.into(),
+            est_slices: slices,
+            accel_seconds: exec,
+        },
+    );
+    (arrival, Task::new(TaskId(id), req, est).with_qos(qos))
+}
+
+/// A contended mixed-tier workload: trios (one task per class) arriving
+/// every second, device-fraction designs so arrivals genuinely queue.
+fn qos_workload(n: usize) -> Vec<(f64, Task)> {
+    (0..n)
+        .map(|i| {
+            let class = QosClass::ALL[i % 3];
+            let slices = 8_000 + (i % 5) as u64 * 2_000;
+            let exec = 6.0 + (i % 4) as f64 * 2.0;
+            let at = (i / 3) as f64;
+            qos_task(
+                i as u64,
+                at,
+                format!("qos_kernel_{}", i % 7),
+                slices,
+                exec,
+                exec,
+                class,
+            )
+        })
+        .collect()
+}
+
+/// The same workload with every class erased to best-effort — the
+/// tier-blind baseline (exactly the legacy FIFO backlog).
+fn erase_tiers(workload: &[(f64, Task)]) -> Vec<(f64, Task)> {
+    workload
+        .iter()
+        .map(|(at, t)| (*at, t.clone().with_qos(QosClass::BestEffort)))
+        .collect()
+}
+
+/// One traced run; `reservations` (even an empty list) arms the QoS path.
+fn run_traced(
+    nodes: Vec<Node>,
+    workload: Vec<(f64, Task)>,
+    reservations: Option<&[ReservationRequest]>,
+) -> (SimReport, Vec<LifecycleSpan>) {
+    let trace = SpanCollector::new();
+    let mut sim =
+        GridSimulator::new(nodes, SimConfig::default()).with_sink(Box::new(trace.clone()));
+    if let Some(requests) = reservations {
+        sim = sim.with_reservations(requests);
+    }
+    let report = sim.run(workload, &mut FirstFitStrategy::new());
+    (report, trace.spans())
+}
+
+fn hold_spans(spans: &[LifecycleSpan]) -> usize {
+    spans
+        .iter()
+        .filter(|s| {
+            matches!(
+                s.event,
+                SpanEvent::Queued {
+                    cause: WaitCause::ReservationHold
+                }
+            )
+        })
+        .count()
+}
+
+fn preempt_spans(spans: &[LifecycleSpan]) -> usize {
+    spans
+        .iter()
+        .filter(|s| matches!(s.event, SpanEvent::Preempted { .. }))
+        .count()
+}
+
+fn requeue_spans(spans: &[LifecycleSpan]) -> usize {
+    spans
+        .iter()
+        .filter(|s| {
+            matches!(
+                s.event,
+                SpanEvent::Queued {
+                    cause: WaitCause::Preempted
+                }
+            )
+        })
+        .count()
+}
+
+/// Mean dispatch wait per class, ordered as [`QosClass::ALL`].
+fn tier_waits(report: &SimReport, classes: &HashMap<TaskId, QosClass>) -> [f64; 3] {
+    let mut sum = [0.0f64; 3];
+    let mut n = [0usize; 3];
+    for r in &report.records {
+        let class = classes[&r.task];
+        let i = QosClass::ALL
+            .iter()
+            .position(|c| *c == class)
+            .expect("class in ALL");
+        sum[i] += r.dispatched - r.arrival;
+        n[i] += 1;
+    }
+    std::array::from_fn(|i| if n[i] == 0 { 0.0 } else { sum[i] / n[i] as f64 })
+}
+
+fn main() {
+    let smoke = std::env::args().any(|a| a == "--smoke");
+    banner(
+        "BENCH_qos",
+        "advance reservations, tier-ordered scheduling, scavenger \
+         preemption, and the price of a promise",
+    );
+    let (tasks, grid) = if smoke { (24, 3) } else { (96, 6) };
+    let workload = qos_workload(tasks);
+    let classes: HashMap<TaskId, QosClass> = workload.iter().map(|(_, t)| (t.id, t.qos)).collect();
+
+    // ── 1. Tier-ordered vs tier-blind draining ────────────────────────
+    section("tier-ordered vs tier-blind draining");
+    let wall = Instant::now();
+    let (blind, _) = run_traced(grid_of(grid), erase_tiers(&workload), None);
+    let (tiered, tiered_spans) = run_traced(grid_of(grid), workload.clone(), None);
+    let drain_wall = wall.elapsed().as_secs_f64();
+    assert_eq!(blind.completed, tasks, "blind run dropped tasks");
+    assert_eq!(tiered.completed, tasks, "tiered run dropped tasks");
+    assert_eq!(
+        hold_spans(&tiered_spans),
+        0,
+        "no ledger, so nothing may be held for admission"
+    );
+    let blind_waits = tier_waits(&blind, &classes);
+    let waits = tier_waits(&tiered, &classes);
+    let (g, s) = (waits[0], waits[2]);
+    assert!(
+        g <= blind_waits[0] + 1e-9,
+        "class order must not slow guaranteed tasks down: {g:.2}s tiered \
+         vs {:.2}s blind",
+        blind_waits[0]
+    );
+    assert!(
+        g <= s + 1e-9,
+        "guaranteed tasks may not wait behind scavengers: {g:.2}s vs {s:.2}s"
+    );
+    println!(
+        "  {tasks} tasks on {grid} nodes: guaranteed wait {:.2}s blind -> {g:.2}s \
+         tiered; scavenger {s:.2}s (wall {:.0} ms)",
+        blind_waits[0],
+        drain_wall * 1e3
+    );
+
+    // ── 2. Overbooking sweep ──────────────────────────────────────────
+    section("overbooking sweep");
+    let horizon = 25.0;
+    let capacity = fabric_slices(&grid_of(grid));
+    // Holds appear once free fabric drops below a design's demand
+    // (8k–16k slices here), so the interesting factors sit around that
+    // admission threshold: at 0.96 only the largest designs are held,
+    // at 1.0 every unreserved dispatch is.
+    let factors: &[f64] = if smoke {
+        &[0.0, 1.0]
+    } else {
+        &[0.0, 0.5, 0.96, 1.0]
+    };
+    let mut sweep = Vec::new();
+    for &factor in factors {
+        let booked = (capacity as f64 * factor) as u64;
+        let mut requests = Vec::new();
+        if booked > 0 {
+            // A phantom window: booked fabric no arriving task will consume,
+            // so unreserved dispatches must schedule around it.
+            requests.push(ReservationRequest {
+                task: TaskId(1_000_000),
+                start: 0.0,
+                end: horizon,
+                slices: booked,
+            });
+        }
+        let (report, spans) = run_traced(grid_of(grid), workload.clone(), Some(&requests));
+        assert_eq!(
+            report.completed + report.rejected,
+            tasks,
+            "factor {factor}: conservation broken"
+        );
+        assert_eq!(report.rejected, 0, "factor {factor}: no deadlines set");
+        sweep.push((factor, hold_spans(&spans), report.makespan));
+    }
+    assert_eq!(sweep[0].1, 0, "an empty ledger must hold nothing");
+    let last = *sweep.last().expect("sweep has points");
+    assert!(
+        last.1 > 0,
+        "booking the whole fabric must hold unreserved dispatches"
+    );
+    // Makespan is deliberately not asserted monotone: holding dispatches
+    // serializes cold CAD runs, so later twins hit the warm cache and a
+    // heavily-booked sweep point can finish *sooner* than the free one.
+    for (factor, holds, makespan) in &sweep {
+        println!(
+            "  booked {:>3.0}% of {capacity} slices over [0, {horizon}s): \
+             {holds} admission holds, makespan {makespan:.1}s",
+            factor * 100.0
+        );
+    }
+
+    // ── 3. Scavenger-preemption storm ─────────────────────────────────
+    section("scavenger-preemption storm");
+    // Mis-estimating scavengers (declared 0.5s, run 40s) saturate the
+    // fabric before the reserved windows open at t=2.
+    // 20k-slice designs: the one-cycle case-study fabric places at most
+    // six at once, so the scavenger wave genuinely saturates it.
+    let storm_nodes = grid_of(3);
+    let (scavs, guars) = if smoke { (10, 2) } else { (14, 3) };
+    let mut storm = Vec::new();
+    for i in 0..scavs {
+        storm.push(qos_task(
+            i as u64,
+            0.0,
+            format!("scav_{i}"),
+            20_000,
+            40.0,
+            0.5,
+            QosClass::Scavenger,
+        ));
+    }
+    let mut requests = Vec::new();
+    for i in 0..guars {
+        let id = (scavs + i) as u64;
+        storm.push(qos_task(
+            id,
+            0.0,
+            format!("guar_{i}"),
+            20_000,
+            4.0,
+            4.0,
+            QosClass::Guaranteed,
+        ));
+        requests.push(ReservationRequest {
+            task: TaskId(id),
+            start: 2.0,
+            end: 30.0,
+            slices: 20_000,
+        });
+    }
+    let n_storm = storm.len();
+    let (report, spans) = run_traced(storm_nodes, storm, Some(&requests));
+    assert_eq!(
+        report.completed + report.rejected,
+        n_storm,
+        "storm broke conservation"
+    );
+    assert_eq!(report.rejected, 0, "preemption must re-queue, not reject");
+    let preempted = preempt_spans(&spans);
+    let requeued = requeue_spans(&spans);
+    assert!(
+        preempted > 0,
+        "reserved windows over a saturated fabric must preempt"
+    );
+    assert_eq!(
+        preempted, requeued,
+        "every revoked placement re-enters the backlog exactly once"
+    );
+    let mut guar_dispatch: f64 = 0.0;
+    for r in &report.records {
+        if r.task.0 >= scavs as u64 {
+            assert!(
+                r.dispatched >= 2.0,
+                "task {} dispatched at {:.2}s, before its window opened",
+                r.task,
+                r.dispatched
+            );
+            guar_dispatch = guar_dispatch.max(r.dispatched);
+        }
+    }
+    println!(
+        "  {scavs} scavengers + {guars} reserved tasks: {preempted} placements \
+         revoked, all {guars} guaranteed dispatched by {guar_dispatch:.1}s, \
+         makespan {:.1}s, every task finished",
+        report.makespan
+    );
+
+    // ── 4. Cost/makespan Pareto ───────────────────────────────────────
+    section("cost/makespan pareto");
+    let rates = Rates::default();
+    let tiers = [QosTier::BestEffort, QosTier::Standard, QosTier::Premium];
+    // Bill the whole workload at each tier; pair the price with the wait
+    // the tier's scheduling class observed in the tiered run of section 1
+    // (ALL is guaranteed-first, tiers rank premium last — reverse).
+    let costs: Vec<f64> = tiers
+        .iter()
+        .map(|&tier| {
+            workload
+                .iter()
+                .map(|(_, t)| estimate(t, &rates, tier).total())
+                .sum()
+        })
+        .collect();
+    let pareto: Vec<(&str, f64, f64)> = vec![
+        ("best_effort", costs[0], waits[2]),
+        ("standard", costs[1], waits[1]),
+        ("premium", costs[2], waits[0]),
+    ];
+    assert!(
+        costs[0] < costs[1] && costs[1] < costs[2],
+        "tier prices must order best-effort < standard < premium: {costs:?}"
+    );
+    assert!(
+        pareto[2].2 <= pareto[0].2 + 1e-9,
+        "premium must buy a wait no worse than best-effort: {:.2}s vs {:.2}s",
+        pareto[2].2,
+        pareto[0].2
+    );
+    for (tier, cost, wait) in &pareto {
+        println!("  {tier:<11} cost {cost:>8.2}, mean dispatch wait {wait:.2}s");
+    }
+
+    if smoke {
+        println!("\nsmoke run — BENCH_qos.json left untouched");
+        return;
+    }
+
+    let sweep_json: Vec<String> = sweep
+        .iter()
+        .map(|(factor, holds, makespan)| {
+            format!(
+                "    {{ \"factor\": {factor:.2}, \"holds\": {holds}, \
+                 \"makespan_seconds\": {makespan:.3} }}"
+            )
+        })
+        .collect();
+    let pareto_json: Vec<String> = pareto
+        .iter()
+        .map(|(tier, cost, wait)| {
+            format!(
+                "    {{ \"tier\": \"{tier}\", \"cost\": {cost:.3}, \
+                 \"mean_wait_seconds\": {wait:.3} }}"
+            )
+        })
+        .collect();
+    let json = format!(
+        "{{\n  \"bench\": \"qos\",\n  \"workload\": {{\n    \"tasks\": {tasks},\n    \
+         \"nodes\": {grid}\n  }},\n  \"tier_drain\": {{\n    \
+         \"blind_guaranteed_wait_seconds\": {bg:.3},\n    \
+         \"tiered_guaranteed_wait_seconds\": {tg:.3},\n    \
+         \"tiered_scavenger_wait_seconds\": {ts:.3}\n  }},\n  \
+         \"overbooking_sweep\": [\n{sweep}\n  ],\n  \"preemption_storm\": {{\n    \
+         \"scavengers\": {scavs},\n    \"reserved\": {guars},\n    \
+         \"preemptions\": {preempted},\n    \"requeued\": {requeued},\n    \
+         \"makespan_seconds\": {storm_mk:.3}\n  }},\n  \"pareto\": [\n{pareto}\n  ]\n}}\n",
+        bg = blind_waits[0],
+        tg = g,
+        ts = s,
+        sweep = sweep_json.join(",\n"),
+        storm_mk = report.makespan,
+        pareto = pareto_json.join(",\n"),
+    );
+    std::fs::write("BENCH_qos.json", &json).expect("write BENCH_qos.json");
+    println!("\nwrote BENCH_qos.json");
+}

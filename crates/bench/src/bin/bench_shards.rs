@@ -34,6 +34,7 @@ use rhv_core::execreq::{Constraint, ExecReq, TaskPayload};
 use rhv_core::ids::NodeId;
 use rhv_core::ids::TaskId;
 use rhv_core::node::Node;
+use rhv_core::task::Task;
 use rhv_params::gpp::GppSpec;
 use rhv_params::param::{ParamKey, PeClass};
 use rhv_sched::FirstFitStrategy;
@@ -42,7 +43,6 @@ use rhv_sim::sim::{GridSimulator, SimConfig};
 use rhv_sim::strategy::Strategy;
 use rhv_sim::FaultPlan;
 use rhv_telemetry::{MetricsRegistry, ShardedCollector};
-use rhv_core::task::Task;
 use std::time::Instant;
 
 /// GPP capability classes in the grid ("flavors").
@@ -403,7 +403,11 @@ fn main() {
         (100_000, 1_000_000, &[1, 2, 4, 8])
     };
     let per_slot = service_per_slot(n_nodes) + 1;
-    let (storm_nodes, storm_tasks) = if smoke { (1_024, 8_192) } else { (20_000, 200_000) };
+    let (storm_nodes, storm_tasks) = if smoke {
+        (1_024, 8_192)
+    } else {
+        (20_000, 200_000)
+    };
     let storm_per_slot = service_per_slot(storm_nodes) + 1;
     let (aligned_nodes, aligned_tasks) = if smoke { (512, 4_096) } else { (1_600, 16_000) };
     let aligned_per_slot = service_per_slot(aligned_nodes) + 1;
@@ -432,7 +436,12 @@ fn main() {
     aligned_sweep(aligned_nodes, aligned_tasks, aligned_per_slot, sweep);
 
     section("churn storm (10% churn, retry policy, spans compared)");
-    let s = storm(storm_nodes, storm_tasks, storm_per_slot, *sweep.last().unwrap());
+    let s = storm(
+        storm_nodes,
+        storm_tasks,
+        storm_per_slot,
+        *sweep.last().unwrap(),
+    );
 
     if smoke {
         println!("\nsmoke run — BENCH_shards.json left untouched");

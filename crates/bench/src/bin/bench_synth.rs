@@ -119,7 +119,13 @@ fn clustalw_workload(jobs: usize, pairs: usize, bump: u64) -> Vec<(f64, Task)> {
             out.push(hdl_task(id, at, format!("pa_hmm_{j}_{p}"), slices, 8.0));
             id += 1;
         }
-        out.push(hdl_task(id, at + 0.5, "guide_tree".to_owned(), 4_000 + bump, 5.0));
+        out.push(hdl_task(
+            id,
+            at + 0.5,
+            "guide_tree".to_owned(),
+            4_000 + bump,
+            5.0,
+        ));
         id += 1;
         out.push(hdl_task(
             id,
@@ -250,10 +256,7 @@ fn main() {
     );
     let warm_misses = warm_stats.misses - primed.misses;
     let warm_hits = warm_stats.hits - primed.hits;
-    assert_eq!(
-        warm_misses, 0,
-        "a fully-warm fleet re-synthesized a design"
-    );
+    assert_eq!(warm_misses, 0, "a fully-warm fleet re-synthesized a design");
     assert!(warm_hits > 0);
     assert_consistent(&warm_stats);
     let speedup = cold.makespan / warm.makespan;

@@ -222,6 +222,18 @@ impl SynthStore {
     pub fn is_empty(&self) -> bool {
         self.len() == 0
     }
+
+    /// True when a published entry exists for `spec` on *any* device part —
+    /// the cost model's "would this design synthesize warm somewhere"
+    /// probe: read-only, no stats charged, no entry materialized.
+    pub fn is_warm(&self, spec: &HdlSpec) -> bool {
+        self.inner
+            .lock()
+            .unwrap()
+            .entries
+            .get(&SpecHash::of(spec).0)
+            .is_some_and(|parts| !parts.is_empty())
+    }
 }
 
 /// How a pricing probe was served.
@@ -485,12 +497,7 @@ impl SynthHandle {
 
     /// Entries visible to this handle: published plus window-local.
     pub fn len(&self) -> usize {
-        self.store.len()
-            + self
-                .local_entries
-                .values()
-                .map(HashMap::len)
-                .sum::<usize>()
+        self.store.len() + self.local_entries.values().map(HashMap::len).sum::<usize>()
     }
 
     /// True when neither the shared table nor the window-local buffer

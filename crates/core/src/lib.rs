@@ -58,6 +58,7 @@ pub mod levels;
 pub mod matchindex;
 pub mod matchmaker;
 pub mod node;
+pub mod qos;
 pub mod reqspec;
 pub mod state;
 pub mod task;
@@ -71,6 +72,7 @@ pub use levels::AbstractionLevel;
 pub use matchindex::{GridView, IndexStatsSnapshot, MatchIndex};
 pub use matchmaker::{Candidate, Matchmaker, PeRef};
 pub use node::{GppResource, Node, RpeResource};
+pub use qos::QosClass;
 pub use reqspec::{exec_req_from_spec, format_spec, parse_spec};
 pub use state::{ConfigKind, GppState, LoadedConfig, RpeState};
 pub use task::{DataIn, DataOut, Task};

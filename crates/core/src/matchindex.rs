@@ -340,7 +340,9 @@ impl MatchIndex {
                 continue;
             }
             for (part, members) in &g.by_part {
-                let Some(&rep) = members.first() else { continue };
+                let Some(&rep) = members.first() else {
+                    continue;
+                };
                 if parts.iter().all(|(p, _)| !p.eq_ignore_ascii_case(part)) {
                     parts.push((part.as_str(), rep));
                 }
@@ -1249,11 +1251,13 @@ mod tests {
         }
         // An impossible requirement: probe and enumeration agree on `None`.
         let mut task = case_study::tasks().remove(0);
-        task.exec_req.constraints.push(crate::execreq::Constraint::new(
-            rhv_params::param::ParamKey::Cores,
-            crate::execreq::ConstraintOp::Ge,
-            u64::MAX,
-        ));
+        task.exec_req
+            .constraints
+            .push(crate::execreq::Constraint::new(
+                rhv_params::param::ParamKey::Cores,
+                crate::execreq::ConstraintOp::Ge,
+                u64::MAX,
+            ));
         assert!(view.first_candidate(&task.exec_req, live).is_none());
         assert!(view.candidates(&task, live).is_empty());
     }

@@ -1,0 +1,107 @@
+//! QoS classes — the scheduling half of the Fig. 9 cost/QoS user service.
+//!
+//! The grid front-end (`rhv-grid`) sells three *tiers* that scale the bill;
+//! this module defines the three *classes* that the `LifecycleKernel`
+//! actually schedules by:
+//!
+//! * [`QosClass::Guaranteed`] — deadline-guaranteed work, backed by an
+//!   advance reservation on fabric slices. Drains first and may preempt
+//!   scavenger placements when its reserved window opens.
+//! * [`QosClass::BestEffort`] — the default. Queues like everyone else;
+//!   byte-identical to the pre-QoS scheduler when no other class is
+//!   present.
+//! * [`QosClass::Scavenger`] — opportunistic background work. Drains last
+//!   and is the only class the kernel will preempt to honor a reservation.
+//!
+//! The class rides on [`crate::task::Task`] (`#[serde(default)]`, so old
+//! traces deserialize as best-effort) and is deliberately independent of
+//! the billing tier enum: billing is a front-end concern, scheduling a
+//! kernel one.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// The scheduling class a task is admitted under.
+#[derive(
+    Debug, Clone, Copy, Default, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
+)]
+pub enum QosClass {
+    /// Deadline-guaranteed: reservation-backed, drains first, may preempt
+    /// scavenger placements when its reserved window opens.
+    Guaranteed,
+    /// Best effort — the default class; queues FIFO like the pre-QoS
+    /// scheduler.
+    #[default]
+    BestEffort,
+    /// Scavenger: background work that drains last and may be preempted
+    /// by reserved tasks.
+    Scavenger,
+}
+
+impl QosClass {
+    /// All classes in drain order (highest priority first).
+    pub const ALL: [QosClass; 3] = [
+        QosClass::Guaranteed,
+        QosClass::BestEffort,
+        QosClass::Scavenger,
+    ];
+
+    /// Stable label for metrics/series names.
+    pub fn label(self) -> &'static str {
+        match self {
+            QosClass::Guaranteed => "guaranteed",
+            QosClass::BestEffort => "best-effort",
+            QosClass::Scavenger => "scavenger",
+        }
+    }
+
+    /// Position in [`Self::ALL`] — also the drain priority (0 drains
+    /// first).
+    pub fn index(self) -> usize {
+        match self {
+            QosClass::Guaranteed => 0,
+            QosClass::BestEffort => 1,
+            QosClass::Scavenger => 2,
+        }
+    }
+}
+
+impl fmt::Display for QosClass {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_is_best_effort() {
+        assert_eq!(QosClass::default(), QosClass::BestEffort);
+    }
+
+    #[test]
+    fn labels_are_stable_and_distinct() {
+        let labels: Vec<_> = QosClass::ALL.iter().map(|c| c.label()).collect();
+        assert_eq!(labels, vec!["guaranteed", "best-effort", "scavenger"]);
+        for (i, c) in QosClass::ALL.iter().enumerate() {
+            assert_eq!(c.index(), i);
+        }
+    }
+
+    #[test]
+    fn drain_order_is_priority_order() {
+        assert!(QosClass::Guaranteed.index() < QosClass::BestEffort.index());
+        assert!(QosClass::BestEffort.index() < QosClass::Scavenger.index());
+    }
+
+    #[test]
+    fn serde_round_trip() {
+        for c in QosClass::ALL {
+            let json = serde_json::to_string(&c).unwrap();
+            let back: QosClass = serde_json::from_str(&json).unwrap();
+            assert_eq!(c, back);
+        }
+    }
+}

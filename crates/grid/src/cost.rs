@@ -40,13 +40,22 @@ impl Default for Rates {
 }
 
 /// QoS tier requested with a submission; scales the bill and the promise.
+///
+/// Tiers map onto the kernel's scheduling classes
+/// ([`rhv_core::qos::QosClass`], see [`QosTier::qos_class`]): submissions
+/// are stamped with the class and the lifecycle kernel drains its backlog
+/// in class order, so the tier buys *scheduling* behavior, not just a
+/// price multiplier.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Serialize, Deserialize)]
 pub enum QosTier {
-    /// Best effort — queue like everyone else.
+    /// Discounted scavenger class: drained last, and placements on fabric
+    /// may be preempted when a reserved window opens for a premium task.
     BestEffort,
-    /// Standard service.
+    /// Standard service: drained after premium tasks, never preempted.
     Standard,
-    /// Premium: front-of-queue, billed at a multiplier.
+    /// Premium, billed at a multiplier: drained first every scheduling
+    /// pass, eligible for advance reservations, and entitled to preempt
+    /// scavenger placements inside a booked window.
     Premium,
 }
 
@@ -57,6 +66,15 @@ impl QosTier {
             QosTier::BestEffort => 0.8,
             QosTier::Standard => 1.0,
             QosTier::Premium => 1.8,
+        }
+    }
+
+    /// The kernel scheduling class this tier buys.
+    pub fn qos_class(self) -> rhv_core::qos::QosClass {
+        match self {
+            QosTier::BestEffort => rhv_core::qos::QosClass::Scavenger,
+            QosTier::Standard => rhv_core::qos::QosClass::BestEffort,
+            QosTier::Premium => rhv_core::qos::QosClass::Guaranteed,
         }
     }
 }
@@ -81,8 +99,24 @@ impl CostEstimate {
     }
 }
 
-/// Estimates the cost of one task at a QoS tier.
+/// Estimates the cost of one task at a QoS tier, assuming a cold
+/// synthesis cache (see [`estimate_with_store`]).
 pub fn estimate(task: &Task, rates: &Rates, tier: QosTier) -> CostEstimate {
+    estimate_with_store(task, rates, tier, None)
+}
+
+/// Estimates the cost of one task at a QoS tier against a synthesis cache.
+///
+/// The flat [`Rates::synthesis_fee`] bills a CAD run — so it is only
+/// charged when one would actually happen. An HDL design already published
+/// in `store` (for any device part) synthesizes warm and the fee is
+/// waived; with no store (or a cold one) the fee applies.
+pub fn estimate_with_store(
+    task: &Task,
+    rates: &Rates,
+    tier: QosTier,
+    store: Option<&rhv_bitstream::store::SynthStore>,
+) -> CostEstimate {
     let bytes = task.input_bytes() + task.output_bytes();
     let mut transfer = bytes as f64 / 1e6 * rates.transfer_per_mb;
     let (execution, services) = match &task.exec_req.payload {
@@ -98,8 +132,20 @@ pub fn estimate(task: &Task, rates: &Rates, tier: QosTier) -> CostEstimate {
             let seconds = mega_ops / 300.0; // nominal soft-core MIPS
             (seconds * rates.softcore_second, 0.0)
         }
-        TaskPayload::HdlAccelerator { accel_seconds, .. } => {
-            (accel_seconds * rates.fpga_second, rates.synthesis_fee)
+        TaskPayload::HdlAccelerator {
+            spec_name,
+            est_slices,
+            accel_seconds,
+        } => {
+            // The same spec shape the kernel prices against the store, so
+            // a quote's warm/cold verdict matches the eventual placement.
+            let spec =
+                rhv_bitstream::hdl::HdlSpec::new(spec_name.clone(), est_slices * 4, est_slices * 2);
+            let fee = match store {
+                Some(store) if store.is_warm(&spec) => 0.0,
+                _ => rates.synthesis_fee,
+            };
+            (accel_seconds * rates.fpga_second, fee)
         }
         TaskPayload::GpuKernel { accel_seconds, .. } => (accel_seconds * rates.gpu_second, 0.0),
         TaskPayload::Bitstream {
@@ -145,6 +191,46 @@ mod tests {
         let bit = estimate(&tasks[3], &rates, QosTier::Standard);
         assert_eq!(bit.services, 0.0, "bitstream users bring their own CAD");
         assert!(bit.transfer > 0.0);
+    }
+
+    #[test]
+    fn warm_store_waives_the_synthesis_fee() {
+        use rhv_bitstream::hdl::HdlSpec;
+        use rhv_bitstream::store::SynthStore;
+        let rates = Rates::default();
+        let tasks = case_study::tasks();
+        let task = &tasks[1];
+        let TaskPayload::HdlAccelerator {
+            spec_name,
+            est_slices,
+            ..
+        } = &task.exec_req.payload
+        else {
+            panic!("case-study task 1 is the HDL accelerator");
+        };
+        let store = SynthStore::new();
+        let cold = estimate_with_store(task, &rates, QosTier::Standard, Some(&store));
+        assert_eq!(cold.services, rates.synthesis_fee, "cold store bills CAD");
+        // Publish the design (any part suffices): the next quote is warm.
+        let spec = HdlSpec::new(spec_name.clone(), est_slices * 4, est_slices * 2);
+        let device = rhv_params::Catalog::builtin()
+            .fpga("XC5VLX220")
+            .expect("builtin part")
+            .clone();
+        store
+            .handle()
+            .price(&spec, &device, 1.0)
+            .expect("design fits the part");
+        assert!(store.is_warm(&spec));
+        let warm = estimate_with_store(task, &rates, QosTier::Standard, Some(&store));
+        assert_eq!(warm.services, 0.0, "warm store waives the fee");
+        assert_eq!(warm.execution, cold.execution);
+        assert!(warm.total() < cold.total());
+        // `estimate` (no store) still quotes worst-case cold.
+        assert_eq!(
+            estimate(task, &rates, QosTier::Standard).services,
+            rates.synthesis_fee
+        );
     }
 
     #[test]

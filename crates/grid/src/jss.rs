@@ -154,10 +154,19 @@ impl JobSubmissionSystem {
         self.jobs.get_mut(&id)
     }
 
-    /// Updates a task's state inside a job.
+    /// Updates a task's state inside a job. Returns `false` — without
+    /// mutating anything — when either the job or the task id is unknown,
+    /// so a stray update for a foreign task can never corrupt `states`
+    /// (and thereby flip `Job::status()`).
     pub fn set_task_state(&mut self, job: JobId, task: TaskId, state: TaskState) -> bool {
         match self.jobs.get_mut(&job) {
-            Some(j) => j.states.insert(task, state).is_some(),
+            Some(j) => match j.states.get_mut(&task) {
+                Some(slot) => {
+                    *slot = state;
+                    true
+                }
+                None => false,
+            },
             None => false,
         }
     }
@@ -204,6 +213,26 @@ mod tests {
         let id = jss.submit(app, tasks).unwrap();
         jss.set_task_state(id, TaskId(2), TaskState::Rejected);
         assert_eq!(jss.job(id).unwrap().status(), JobStatus::Failed);
+    }
+
+    #[test]
+    fn unknown_task_state_update_is_rejected_without_mutation() {
+        let mut jss = JobSubmissionSystem::new();
+        let (app, tasks) = app_for_case_study();
+        let id = jss.submit(app, tasks).unwrap();
+        // A stray Rejected update for a task never part of the job must
+        // not be recorded — previously it corrupted `states` and flipped
+        // the whole job to Failed.
+        assert!(!jss.set_task_state(id, TaskId(99), TaskState::Rejected));
+        let job = jss.job(id).unwrap();
+        assert_eq!(job.states.len(), job.tasks.len());
+        assert!(!job.states.contains_key(&TaskId(99)));
+        assert_eq!(job.status(), JobStatus::InProgress);
+        // Unknown job ids are equally inert.
+        assert!(!jss.set_task_state(JobId(77), TaskId(0), TaskState::Done));
+        // Known ids still update and report success.
+        assert!(jss.set_task_state(id, TaskId(0), TaskState::Done));
+        assert_eq!(jss.job(id).unwrap().states[&TaskId(0)], TaskState::Done);
     }
 
     #[test]

@@ -47,6 +47,28 @@ pub enum UserQuery {
     Monitor(TaskId),
 }
 
+/// The answer to a shadow-schedule admission probe
+/// ([`GridServices::probe_admission`]).
+#[derive(Debug, Clone)]
+pub enum AdmissionDecision {
+    /// The window fits: the booking that would be installed (pass it to
+    /// [`GridServices::reserve`] to commit), and the bill at the probed
+    /// tier.
+    Accept {
+        /// The reservation the probe admitted.
+        request: rhv_sim::ReservationRequest,
+        /// Itemized price at the probed tier.
+        quote: CostEstimate,
+    },
+    /// The window cannot be honoured.
+    Deny {
+        /// Why admission failed.
+        reason: rhv_sim::AdmissionDeny,
+        /// What the task would have cost had it fit.
+        quote: CostEstimate,
+    },
+}
+
 /// The grid's response (Fig. 9's arrows back to the user).
 #[derive(Debug, Clone)]
 pub enum ServiceResponse {
@@ -76,17 +98,32 @@ pub struct GridServices {
     pub rates: Rates,
     monitor: Arc<Mutex<Monitor>>,
     synth_store: rhv_sim::SynthStore,
+    /// The shadow schedule: a reservation ledger sized to the RMS fleet's
+    /// total fabric, probed (read-only) by admission queries and booked by
+    /// committed reservations.
+    reservations: rhv_sim::ReservationStore,
+    /// Committed bookings, handed to job runs so the lifecycle kernel
+    /// honours them.
+    booked: Vec<rhv_sim::ReservationRequest>,
 }
 
 impl GridServices {
     /// Builds the façade over an RMS.
     pub fn new(rms: ResourceManagementSystem) -> Self {
+        let fabric: u64 = rms
+            .nodes()
+            .iter()
+            .flat_map(|n| n.rpes())
+            .map(|r| r.device.slices)
+            .sum();
         GridServices {
             jss: JobSubmissionSystem::new(),
             rms,
             rates: Rates::default(),
             monitor: Arc::new(Mutex::new(Monitor::new())),
             synth_store: rhv_sim::SynthStore::new(),
+            reservations: rhv_sim::ReservationStore::new(fabric),
+            booked: Vec::new(),
         }
     }
 
@@ -104,6 +141,55 @@ impl GridServices {
         self.monitor.clone()
     }
 
+    /// Shadow-schedule admission probe: would reserving `task`'s fabric
+    /// demand over `[start, end)` be admitted against the current ledger?
+    ///
+    /// Observationally pure — nothing is booked, the ledger and every
+    /// counter are untouched; probing twice answers identically. The
+    /// returned quote prices the task at `tier` against the façade's
+    /// synthesis store, so an already-synthesized design quotes without
+    /// the CAD fee.
+    pub fn probe_admission(
+        &self,
+        task: &Task,
+        start: f64,
+        end: f64,
+        tier: QosTier,
+    ) -> AdmissionDecision {
+        let quote = cost::estimate_with_store(task, &self.rates, tier, Some(&self.synth_store));
+        let request = rhv_sim::ReservationRequest {
+            task: task.id,
+            start,
+            end,
+            slices: task.exec_req.slice_demand().unwrap_or(0),
+        };
+        match self
+            .reservations
+            .probe(request.start, request.end, request.slices)
+        {
+            Ok(()) => AdmissionDecision::Accept { request, quote },
+            Err(reason) => AdmissionDecision::Deny { reason, quote },
+        }
+    }
+
+    /// Commits a booking the probe admitted (or denies it with the same
+    /// typed reason the probe would give). Booked reservations are handed
+    /// to every subsequent job run, where the lifecycle kernel holds the
+    /// window open and drains tiers in class order.
+    pub fn reserve(
+        &mut self,
+        request: rhv_sim::ReservationRequest,
+    ) -> Result<rhv_sim::ReservationId, rhv_sim::AdmissionDeny> {
+        let id = self.reservations.reserve(request)?;
+        self.booked.push(request);
+        Ok(id)
+    }
+
+    /// The shadow schedule admission probes run against.
+    pub fn reservations(&self) -> &rhv_sim::ReservationStore {
+        &self.reservations
+    }
+
     /// The kernel-facing telemetry sink for a job run: the monitor adapter,
     /// optionally fanned out with a caller-provided sink.
     fn job_sink(&self, extra: Option<Box<dyn TelemetrySink>>) -> Box<dyn TelemetrySink> {
@@ -119,9 +205,15 @@ impl GridServices {
         match query {
             UserQuery::Submit {
                 application,
-                tasks,
-                qos: _,
+                mut tasks,
+                qos,
             } => {
+                // The tier buys scheduling, not just a price multiplier:
+                // stamp its kernel class on every task so the lifecycle
+                // kernel drains the backlog in tier order.
+                for task in &mut tasks {
+                    task.qos = qos.qos_class();
+                }
                 // Intake is not recorded here: the lifecycle kernel emits
                 // the Submitted span when the job runs, and the monitor
                 // receives it through the sink adapter (only the kernel
@@ -138,9 +230,11 @@ impl GridServices {
             UserQuery::ListResources => {
                 ServiceResponse::Resources(Monitor::snapshot(self.rms.nodes()))
             }
-            UserQuery::CostEstimate { task, qos } => {
-                ServiceResponse::Price(cost::estimate(&task, &self.rates, qos))
-            }
+            UserQuery::CostEstimate { task, qos } => ServiceResponse::Price(
+                // Quoted against the façade's synthesis store: a design
+                // already synthesized for the fleet skips the CAD fee.
+                cost::estimate_with_store(&task, &self.rates, qos, Some(&self.synth_store)),
+            ),
             UserQuery::Monitor(task) => {
                 let mut history = self.monitor.lock().task_history(task);
                 history.extend(self.rms.monitor().task_history(task));
@@ -190,11 +284,17 @@ impl GridServices {
         // The kernel emits every lifecycle event into the monitor (and any
         // extra sink) as the run progresses — nothing is re-derived from
         // the report afterwards.
-        let report = rhv_sim::sim::GridSimulator::new(nodes, cfg)
+        let mut simulator = rhv_sim::sim::GridSimulator::new(nodes, cfg)
             .with_dependencies(graph)
             .with_sink(self.job_sink(sink))
-            .with_synth_store(self.synth_store.clone())
-            .run(workload, strategy);
+            .with_synth_store(self.synth_store.clone());
+        // Committed bookings travel into the run: the kernel holds their
+        // windows open and enforces tier-ordered draining. Without any,
+        // the run stays on the reservation-free legacy path.
+        if !self.booked.is_empty() {
+            simulator = simulator.with_reservations(&self.booked);
+        }
+        let report = simulator.run(workload, strategy);
         for record in &report.records {
             self.jss.set_task_state(job, record.task, TaskState::Done);
         }
@@ -472,6 +572,105 @@ mod tests {
             }
             other => panic!("unexpected {other:?}"),
         }
+    }
+
+    #[test]
+    fn admission_probe_is_typed_pure_and_priced() {
+        let mut svc = services();
+        let task = case_study::tasks()[1].clone();
+        let first = svc.probe_admission(&task, 0.0, 10.0, QosTier::Premium);
+        let AdmissionDecision::Accept { request, quote } = first else {
+            panic!("empty ledger admits: {first:?}");
+        };
+        assert_eq!(request.task, task.id);
+        assert!(request.slices > 0, "HDL task claims fabric");
+        assert!(quote.total() > 0.0);
+        // Pure: the probe booked nothing, and asking again answers the same.
+        assert!(svc.reservations().is_empty());
+        match svc.probe_admission(&task, 0.0, 10.0, QosTier::Premium) {
+            AdmissionDecision::Accept { request: again, .. } => {
+                assert_eq!(again.slices, request.slices)
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        // Fill the window; the same probe now denies with a typed reason.
+        let capacity = svc.reservations().capacity();
+        svc.reserve(rhv_sim::ReservationRequest {
+            task: rhv_core::ids::TaskId(99),
+            start: 0.0,
+            end: 10.0,
+            slices: capacity,
+        })
+        .expect("full-capacity window books on an empty ledger");
+        match svc.probe_admission(&task, 0.0, 10.0, QosTier::Premium) {
+            AdmissionDecision::Deny {
+                reason: rhv_sim::AdmissionDeny::NoHeadroom { .. },
+                quote,
+            } => assert!(quote.total() > 0.0),
+            other => panic!("unexpected {other:?}"),
+        }
+        // A disjoint window is still open.
+        match svc.probe_admission(&task, 10.0, 20.0, QosTier::Premium) {
+            AdmissionDecision::Accept { .. } => {}
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    /// Shadow-probe purity, observed end to end: two identical grids run
+    /// the same job, but one is admission-probed heavily first. The
+    /// resulting simulation reports are byte-identical — probing the
+    /// shadow schedule perturbs nothing a run can observe.
+    #[test]
+    fn admission_probes_leave_job_runs_byte_identical() {
+        use rhv_sched::FirstFitStrategy;
+        let run = |probes: usize| {
+            let mut svc = services();
+            let tasks = case_study::tasks();
+            for i in 0..probes {
+                for task in &tasks {
+                    let _ = svc.probe_admission(task, i as f64, i as f64 + 5.0, QosTier::Premium);
+                }
+            }
+            let job = match svc.handle(submit_query()) {
+                ServiceResponse::Accepted(j) => j,
+                other => panic!("unexpected {other:?}"),
+            };
+            // Probe again mid-flight, between submission and the run.
+            for task in &tasks {
+                let _ = svc.probe_admission(task, 0.0, 50.0, QosTier::BestEffort);
+            }
+            let mut strategy = FirstFitStrategy::new();
+            svc.run_job_simulated(job, &mut strategy, rhv_sim::sim::SimConfig::default())
+                .expect("job exists")
+        };
+        let clean = run(0);
+        let probed = run(25);
+        assert_eq!(
+            format!("{clean:?}"),
+            format!("{probed:?}"),
+            "admission probes must be observationally pure"
+        );
+    }
+
+    #[test]
+    fn submission_tier_stamps_the_scheduling_class() {
+        use rhv_core::qos::QosClass;
+        let mut svc = services();
+        let job = match svc.handle(UserQuery::Submit {
+            application: Application::new(vec![Group::seq([0, 1, 2, 3])]),
+            tasks: case_study::tasks(),
+            qos: QosTier::Premium,
+        }) {
+            ServiceResponse::Accepted(j) => j,
+            other => panic!("unexpected {other:?}"),
+        };
+        let stamped = svc.jss.job(job).expect("job exists");
+        assert!(stamped
+            .tasks
+            .values()
+            .all(|t| t.qos == QosClass::Guaranteed));
+        // Premium jobs still run to completion through the kernel.
+        assert_eq!(svc.run_job(job), Some(JobStatus::Completed));
     }
 
     #[test]

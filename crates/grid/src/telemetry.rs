@@ -53,7 +53,9 @@ impl TelemetrySink for MonitorSink {
                 m.record_at(span.at, Event::TaskRejected(t))
             }
             SpanEvent::Completed(_) => m.record_at(span.at, Event::TaskCompleted(t)),
-            SpanEvent::ChurnEvicted { pe } => m.record_at(span.at, Event::TaskEvicted(t, pe.node)),
+            SpanEvent::ChurnEvicted { pe } | SpanEvent::Preempted { pe } => {
+                m.record_at(span.at, Event::TaskEvicted(t, pe.node))
+            }
             SpanEvent::RetryScheduled { .. } => m.record_at(span.at, Event::TaskRetryScheduled(t)),
             SpanEvent::Degraded { .. } => m.record_at(span.at, Event::TaskDegraded(t)),
         }

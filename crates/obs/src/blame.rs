@@ -180,7 +180,9 @@ fn fold_task(task: TaskId, seq: &[&LifecycleSpan]) -> TaskBlame {
                         b.reconfig += p.setup.reconfig;
                         b.exec += interval - p.setup.total();
                     }
-                    Some(SpanEvent::ChurnEvicted { .. }) => b.lost += interval,
+                    Some(SpanEvent::ChurnEvicted { .. }) | Some(SpanEvent::Preempted { .. }) => {
+                        b.lost += interval
+                    }
                     _ => b.unattributed += interval,
                 }
             }
@@ -196,6 +198,7 @@ fn fold_task(task: TaskId, seq: &[&LifecycleSpan]) -> TaskBlame {
             }
             SpanEvent::PlacementFailed { .. }
             | SpanEvent::ChurnEvicted { .. }
+            | SpanEvent::Preempted { .. }
             | SpanEvent::Degraded { .. } => b.unattributed += interval,
         }
     }

@@ -183,7 +183,7 @@ impl TelemetrySink for TimelineRecorder {
                 let slot = self.running_slot(c.pe.pe.is_rpe(), c.pe.pe.is_gpu());
                 *slot = slot.saturating_sub(1);
             }
-            SpanEvent::ChurnEvicted { pe } => {
+            SpanEvent::ChurnEvicted { pe } | SpanEvent::Preempted { pe } => {
                 let slot = self.running_slot(pe.pe.is_rpe(), pe.pe.is_gpu());
                 *slot = slot.saturating_sub(1);
             }

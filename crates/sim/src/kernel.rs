@@ -37,6 +37,7 @@
 
 use crate::metrics::{power, SimReport, TaskRecord};
 use crate::network::NetworkModel;
+use crate::reserve::{ReservationRequest, ReservationStore};
 use crate::strategy::{Placement, Strategy};
 use rhv_bitstream::hdl::HdlSpec;
 use rhv_bitstream::store::{StoreStats, SynthHandle};
@@ -48,17 +49,18 @@ use rhv_core::ids::{ConfigId, NodeId, PeId, TaskId};
 use rhv_core::matchindex::{GridView, IndexStatsSnapshot, MatchIndex};
 use rhv_core::matchmaker::{HostingMode, MatchOptions, PeRef};
 use rhv_core::node::Node;
+use rhv_core::qos::QosClass;
 use rhv_core::state::ConfigKind;
 use rhv_core::task::Task;
 use rhv_params::param::{ParamKey, PeClass};
 use rhv_params::softcore::SoftcoreSpec;
 use rhv_telemetry::{
     CompletedSpan, FaultStats, FragSnapshot, LifecycleSpan, MatchStats, NodeEvent, NoopSink,
-    PlacedSpan, RejectReason, SetupPhases, SpanEvent, SynthStats, TelemetrySink, TimelineStats,
-    WaitCause,
+    PlacedSpan, QosStats, RejectReason, SetupPhases, SpanEvent, SynthStats, TelemetrySink,
+    TimelineStats, WaitCause,
 };
 use serde::{Deserialize, Serialize};
-use std::collections::{BTreeSet, HashMap, HashSet, VecDeque};
+use std::collections::{BTreeMap, BTreeSet, HashMap, HashSet, VecDeque};
 use std::fmt;
 
 /// Capacity-class dirty bits: set when a kernel mutation *frees* capacity of
@@ -536,6 +538,49 @@ impl KernelTally {
     }
 }
 
+/// A scavenger placement currently on fabric — a preemption candidate
+/// (reservation runs only). Keyed by task id in the kernel's candidate map,
+/// so victims revoke in deterministic ascending-id order.
+#[derive(Debug, Clone, Copy)]
+struct InflightScav {
+    pe: PeRef,
+    config: ConfigId,
+    /// Membership epoch at placement time: a candidate whose node has since
+    /// crashed is dropped, not revoked (the churn path owns that loss).
+    epoch: u64,
+}
+
+/// The kernel's QoS/reservation state. Everything in here stays inert — and
+/// every check gated — until a reservation ledger is installed or a
+/// non-best-effort task arrives, so legacy runs remain byte-identical.
+#[derive(Default)]
+struct QosState {
+    /// The advance-reservation ledger (`None`: no reservations this run).
+    store: Option<ReservationStore>,
+    /// A non-best-effort task was submitted: tier-ordered draining is on.
+    seen: bool,
+    /// Scavenger fabric placements in flight — the preemption victim pool.
+    inflight_scav: BTreeMap<TaskId, InflightScav>,
+    /// Tasks revoked by preemption, awaiting their stale completion (at
+    /// most one outstanding completion exists per task, so set semantics
+    /// suffice).
+    preempted: HashSet<TaskId>,
+    preemptions: u64,
+    admission_denied: u64,
+    /// Reservation consumptions to broadcast at the next shard barrier
+    /// (recorded in spill mode only).
+    consumed_log: Vec<TaskId>,
+    /// QoS totals already reported to the sink (deltas go out).
+    reported: QosStats,
+}
+
+impl QosState {
+    /// True once any QoS machinery is observable (tiered drain, stats).
+    fn enabled(&self) -> bool {
+        self.seen || self.store.is_some()
+    }
+}
+
 /// The shared task-lifecycle state machine (see the module docs).
 pub struct LifecycleKernel {
     nodes: Vec<Node>,
@@ -608,6 +653,8 @@ pub struct LifecycleKernel {
     /// across exchange windows to decide when queued tasks need a fresh
     /// local-satisfiability check.
     membership_rev: u64,
+    /// Reservations, QoS classes and preemption (see [`crate::reserve`]).
+    qos: QosState,
 }
 
 impl LifecycleKernel {
@@ -656,6 +703,7 @@ impl LifecycleKernel {
             spilled: Vec::new(),
             shard_finished: Vec::new(),
             membership_rev: 0,
+            qos: QosState::default(),
         }
     }
 
@@ -768,6 +816,31 @@ impl LifecycleKernel {
                     },
                 );
                 self.synth_reported = synth_totals;
+            }
+            if self.qos.enabled() {
+                let mut queue_depth = [0u64; 3];
+                for e in &self.backlog {
+                    queue_depth[e.task.qos.index()] += 1;
+                }
+                let qos_totals = QosStats {
+                    reservations_active: self.qos.store.as_ref().map_or(0, |s| s.active_at(at)),
+                    preemptions: self.qos.preemptions,
+                    admission_denied: self.qos.admission_denied,
+                    queue_depth,
+                };
+                if qos_totals != self.qos.reported {
+                    // Counters go out as deltas; the gauges are absolute.
+                    self.sink.qos_stats(
+                        at,
+                        QosStats {
+                            preemptions: qos_totals.preemptions - self.qos.reported.preemptions,
+                            admission_denied: qos_totals.admission_denied
+                                - self.qos.reported.admission_denied,
+                            ..qos_totals
+                        },
+                    );
+                    self.qos.reported = qos_totals;
+                }
             }
             let (largest_runs, free_slices, devices) = self.index.fragmentation_stats();
             self.sink.timeline(
@@ -960,6 +1033,67 @@ impl LifecycleKernel {
         moved
     }
 
+    // ---- reservations & QoS (see `crate::reserve`) ---------------------
+
+    /// Installs advance reservations: builds the ledger over this kernel's
+    /// total fabric slices and books every request **unchecked** —
+    /// front-ends admit against the fleet (shadow probe), the kernel's
+    /// ledger is authoritative. Enables the QoS machinery: tier-ordered
+    /// backlog draining, reserved-window admission at dispatch, and
+    /// scavenger preemption when a booked window opens.
+    pub fn set_reservations(&mut self, requests: &[ReservationRequest]) {
+        let capacity: u64 = self
+            .nodes
+            .iter()
+            .flat_map(Node::rpes)
+            .map(|r| r.device.slices)
+            .sum();
+        let mut store = ReservationStore::new(capacity);
+        for req in requests {
+            store.install(*req);
+        }
+        self.qos.store = Some(store);
+    }
+
+    /// Builder form of [`LifecycleKernel::set_reservations`].
+    pub fn with_reservations(mut self, requests: &[ReservationRequest]) -> Self {
+        self.set_reservations(requests);
+        self
+    }
+
+    /// The reservation ledger, when this kernel runs with reservations.
+    pub fn reservations(&self) -> Option<&ReservationStore> {
+        self.qos.store.as_ref()
+    }
+
+    /// Scavenger placements revoked for reserved tasks so far.
+    pub fn preemptions(&self) -> u64 {
+        self.qos.preemptions
+    }
+
+    /// Dispatch admissions denied by reserved windows so far.
+    pub fn admission_denied(&self) -> u64 {
+        self.qos.admission_denied
+    }
+
+    /// Drains the consumed-reservation log kept in spill mode. The shard
+    /// barrier broadcasts these ids so sibling ledgers release the same
+    /// windows — reservation events cross shards only through the exchange,
+    /// like every other cross-shard effect.
+    pub fn take_consumed(&mut self) -> Vec<TaskId> {
+        std::mem::take(&mut self.qos.consumed_log)
+    }
+
+    /// Releases reservations consumed on sibling shards (delivered at the
+    /// barrier in ascending shard order).
+    pub fn apply_remote_consumed(&mut self, ids: &[TaskId]) {
+        if let Some(store) = &mut self.qos.store {
+            for &id in ids {
+                store.consume(id);
+            }
+        }
+    }
+
     /// Submits a task at time `now`.
     ///
     /// If a dependency graph is set and the task has incomplete
@@ -1049,6 +1183,30 @@ impl LifecycleKernel {
             unload_after,
             epoch,
         } = *pending.running;
+        // A preempted task's resources were already handed to the reserved
+        // task at revocation time: nothing to release, no record to emit.
+        // Its stale completion is intercepted here — the same delivery-time
+        // recognition the churn path uses — and the task re-enters the
+        // queue with its original arrival stamp (checked *before* the epoch
+        // test: a node crash after the revocation must not double-count the
+        // loss).
+        if !self.qos.preempted.is_empty() && self.qos.preempted.remove(&task.id) {
+            if self.sink.enabled() {
+                self.emit(
+                    task.id,
+                    now,
+                    SpanEvent::Queued {
+                        cause: WaitCause::Preempted,
+                    },
+                );
+            }
+            self.backlog.push_back(BacklogEntry {
+                arrival: record.arrival,
+                task,
+                tried: false,
+            });
+            return None;
+        }
         // A completion placed under an older membership epoch ran on a node
         // incarnation that has since crashed: the execution is lost (there
         // is nothing to release — the fresh incarnation, if any, never
@@ -1057,6 +1215,9 @@ impl LifecycleKernel {
         // placed *after* the rejoin matches the current epoch and counts as
         // the success it is.
         if self.epochs.get(&pe.node).copied() != Some(epoch) {
+            if self.qos.store.is_some() {
+                self.qos.inflight_scav.remove(&task.id);
+            }
             self.failures += 1;
             self.emit(task.id, now, SpanEvent::ChurnEvicted { pe });
             match self.cfg.retry {
@@ -1078,6 +1239,9 @@ impl LifecycleKernel {
             return None;
         }
         let finished = task.id;
+        if self.qos.store.is_some() {
+            self.qos.inflight_scav.remove(&finished);
+        }
         self.emit(
             finished,
             now,
@@ -1332,11 +1496,13 @@ impl LifecycleKernel {
     }
 
     /// The earliest instant at which the kernel has timer-driven work: a
-    /// parked retry coming due, or — while tasks still queue — a blacklist
-    /// parole expiring. A clock-owning front-end schedules a
-    /// [`KernelEvent::Wakeup`] (or calls [`LifecycleKernel::wake`]) at this
-    /// time; without it a parked task would sit forever once the event
-    /// stream runs dry.
+    /// parked retry coming due, — while tasks still queue — a blacklist
+    /// parole expiring, or a reservation window boundary passing (a start
+    /// unblocks a booked task held for its window; an end returns the held
+    /// slices to everyone queued behind the reservation). A clock-owning
+    /// front-end schedules a [`KernelEvent::Wakeup`] (or calls
+    /// [`LifecycleKernel::wake`]) at this time; without it a parked task
+    /// would sit forever once the event stream runs dry.
     pub fn next_wakeup(&self) -> Option<f64> {
         let parked = self
             .parked
@@ -1348,10 +1514,14 @@ impl LifecycleKernel {
         } else {
             None
         };
-        match (parked, parole) {
-            (Some(a), Some(b)) => Some(a.min(b)),
-            (a, b) => a.or(b),
-        }
+        let boundary = match &self.qos.store {
+            Some(s) if !self.backlog.is_empty() => s.next_boundary(self.last_now),
+            _ => None,
+        };
+        [parked, parole, boundary]
+            .into_iter()
+            .flatten()
+            .min_by(|a, b| a.partial_cmp(b).expect("finite wakeup times"))
     }
 
     /// Timer wakeup for step-driven front-ends: releases parked retries due
@@ -1571,8 +1741,19 @@ impl LifecycleKernel {
         strategy: &mut dyn Strategy,
         out: &mut Vec<PendingCompletion>,
     ) {
-        let Some(task) = self.try_dispatch(task, arrival, now, strategy, out) else {
-            return;
+        if task.qos != QosClass::BestEffort {
+            // Every task enters through here (submission, parked release,
+            // remote arrival): one site arms the tier-ordered machinery.
+            self.qos.seen = true;
+        }
+        let held_for_reservation = self.admission_hold(&task, now);
+        let task = if held_for_reservation {
+            task
+        } else {
+            match self.dispatch_with_preemption(task, arrival, now, strategy, out) {
+                None => return,
+                Some(task) => task,
+            }
         };
         let satisfiable = {
             // Deliberately health-blind: a blacklist is temporary, so it
@@ -1584,7 +1765,16 @@ impl LifecycleKernel {
             if self.cfg.speculative_synth {
                 self.speculate_synth(&task);
             }
-            if self.sink.enabled() {
+            if held_for_reservation {
+                self.qos.admission_denied += 1;
+                self.emit(
+                    task.id,
+                    now,
+                    SpanEvent::Queued {
+                        cause: WaitCause::ReservationHold,
+                    },
+                );
+            } else if self.sink.enabled() {
                 let cause = self.classify_wait(&task, now);
                 self.emit(task.id, now, SpanEvent::Queued { cause });
             }
@@ -1693,43 +1883,90 @@ impl LifecycleKernel {
         // missed; those bits also persist into the next pass, which is
         // conservative but never skips a dispatchable task.
         let dirty = std::mem::take(&mut self.dirty);
-        let mut remaining = VecDeque::new();
-        while let Some(entry) = self.backlog.pop_front() {
-            let BacklogEntry {
+        if !self.qos.enabled() {
+            let mut remaining = VecDeque::new();
+            while let Some(entry) = self.backlog.pop_front() {
+                if let Some(kept) = self.drain_entry(entry, dirty, now, strategy, out) {
+                    remaining.push_back(kept);
+                }
+            }
+            self.backlog = remaining;
+            return;
+        }
+        // Tier-ordered drain: guaranteed tasks see freed capacity first,
+        // then best-effort, then scavengers — FIFO within each class. The
+        // surviving queue keeps its original arrival order so tier priority
+        // is a property of *examination order*, not a queue reshuffle.
+        let mut entries: Vec<Option<BacklogEntry>> = self.backlog.drain(..).map(Some).collect();
+        for class in QosClass::ALL {
+            for slot in entries.iter_mut() {
+                if slot.as_ref().map(|e| e.task.qos) != Some(class) {
+                    continue;
+                }
+                let entry = slot.take().expect("slot checked non-empty");
+                *slot = self.drain_entry(entry, dirty, now, strategy, out);
+            }
+        }
+        self.backlog = entries.into_iter().flatten().collect();
+    }
+
+    /// One backlog entry through one drain pass: deadline enforcement,
+    /// dirty-class skip, reserved-window admission, dispatch (with
+    /// preemption for entitled tasks), and the idle-config-eviction retry.
+    /// Returns the entry to keep queued, or `None` when the task left the
+    /// backlog (dispatched or rejected).
+    fn drain_entry(
+        &mut self,
+        entry: BacklogEntry,
+        dirty: u8,
+        now: f64,
+        strategy: &mut dyn Strategy,
+        out: &mut Vec<PendingCompletion>,
+    ) -> Option<BacklogEntry> {
+        let BacklogEntry {
+            arrival,
+            task,
+            tried,
+        } = entry;
+        // A deadline bounds *queueing* too, not just retry backoff: a task
+        // parked behind `NoFreeSlices` past its budget is rejected here
+        // rather than dispatched late (or held forever).
+        if let Some(deadline) = self.cfg.retry.and_then(|p| p.deadline) {
+            if now > arrival + deadline {
+                self.attempts.remove(&task.id);
+                self.reject(task.id, now, RejectReason::DeadlineExceeded);
+                return None;
+            }
+        }
+        if tried && (dirty | self.dirty) & class_mask(&task) == 0 {
+            self.backlog_skipped += 1;
+            return Some(BacklogEntry {
                 arrival,
                 task,
                 tried,
-            } = entry;
-            if tried && (dirty | self.dirty) & class_mask(&task) == 0 {
-                self.backlog_skipped += 1;
-                remaining.push_back(BacklogEntry {
-                    arrival,
-                    task,
-                    tried,
-                });
-                continue;
-            }
-            let Some(task) = self.try_dispatch(task, arrival, now, strategy, out) else {
-                continue;
-            };
-            // Make room by evicting idle configurations — but only the
-            // minimum, on fabric this task could actually use, so resident
-            // configurations keep their reuse value.
-            let task = if self.cfg.evict_idle_configs && self.evict_for(&task) {
-                match self.try_dispatch(task, arrival, now, strategy, out) {
-                    None => continue,
-                    Some(task) => task,
-                }
-            } else {
-                task
-            };
-            remaining.push_back(BacklogEntry {
+            });
+        }
+        if self.admission_hold(&task, now) {
+            return Some(BacklogEntry {
                 arrival,
                 task,
                 tried: true,
             });
         }
-        self.backlog = remaining;
+        let task = self.dispatch_with_preemption(task, arrival, now, strategy, out)?;
+        // Make room by evicting idle configurations — but only the
+        // minimum, on fabric this task could actually use, so resident
+        // configurations keep their reuse value.
+        let task = if self.cfg.evict_idle_configs && self.evict_for(&task) {
+            self.dispatch_with_preemption(task, arrival, now, strategy, out)?
+        } else {
+            task
+        };
+        Some(BacklogEntry {
+            arrival,
+            task,
+            tried: true,
+        })
     }
 
     /// Targeted eviction: on each RPE that statically matches `task`, unload
@@ -1789,6 +2026,112 @@ impl LifecycleKernel {
         made_room
     }
 
+    /// Reserved-window admission: true when `task` must wait instead of
+    /// dispatching — either its own booked window has not opened yet, or it
+    /// holds no booking and its fabric demand would eat into slices the
+    /// grid promised to someone else over the task's expected runtime.
+    /// Always false without a reservation ledger.
+    fn admission_hold(&self, task: &Task, now: f64) -> bool {
+        let Some(store) = &self.qos.store else {
+            return false;
+        };
+        if let Some(r) = store.reservation_for(task.id) {
+            return now < r.start;
+        }
+        match task.exec_req.slice_demand() {
+            Some(demand) => !store.headroom(now, now + task.t_estimated.max(0.0), demand),
+            None => false,
+        }
+    }
+
+    /// Dispatch with reserved-window enforcement: when a deadline-guaranteed
+    /// task whose booked window is open cannot place, scavenger fabric
+    /// placements are revoked one at a time — ascending task id, minimum
+    /// victim count — retrying the dispatch after each, until the task fits
+    /// or no victims remain. Without a ledger (or for any other task) this
+    /// is exactly [`LifecycleKernel::try_dispatch`].
+    fn dispatch_with_preemption(
+        &mut self,
+        task: Task,
+        arrival: f64,
+        now: f64,
+        strategy: &mut dyn Strategy,
+        out: &mut Vec<PendingCompletion>,
+    ) -> Option<Task> {
+        let mut task = self.try_dispatch(task, arrival, now, strategy, out)?;
+        let entitled = task.qos == QosClass::Guaranteed
+            && self
+                .qos
+                .store
+                .as_ref()
+                .is_some_and(|s| s.window_open(task.id, now));
+        if !entitled {
+            return Some(task);
+        }
+        while self.preempt_one_scavenger(now) {
+            task = self.try_dispatch(task, arrival, now, strategy, out)?;
+        }
+        Some(task)
+    }
+
+    /// Revokes the lowest-id viable scavenger placement: releases and
+    /// unloads its configuration (the point is free slices, not reuse
+    /// value), marks the task preempted — its in-flight completion is
+    /// intercepted on delivery and the task re-queued there — and emits the
+    /// `Preempted` span. Candidates whose node crashed since placement are
+    /// discarded, not revoked (the churn path owns that loss). Returns true
+    /// when a placement was revoked.
+    fn preempt_one_scavenger(&mut self, now: f64) -> bool {
+        while let Some((&id, &info)) = self.qos.inflight_scav.iter().next() {
+            self.qos.inflight_scav.remove(&id);
+            if self.epochs.get(&info.pe.node).copied() != Some(info.epoch) {
+                continue;
+            }
+            let Some(pos) = self.index.node_pos(info.pe.node) else {
+                continue;
+            };
+            let rpe = self.nodes[pos]
+                .rpe_mut(info.pe.pe)
+                .expect("preemption victim's RPE exists");
+            rpe.state
+                .release(info.config)
+                .expect("victim config was acquired");
+            rpe.state.unload(info.config).expect("idle config unloads");
+            self.index.refresh_pe(&self.nodes[pos], info.pe.pe);
+            self.dirty |= DIRTY_FABRIC | DIRTY_GPP;
+            self.qos.preempted.insert(id);
+            self.qos.preemptions += 1;
+            self.emit(id, now, SpanEvent::Preempted { pe: info.pe });
+            return true;
+        }
+        false
+    }
+
+    /// QoS bookkeeping for one successful dispatch (reservation runs only):
+    /// a placed task's booking is consumed — the promise is kept, the
+    /// window stops blocking everyone else — and a scavenger placement on
+    /// fabric registers as a preemption candidate.
+    fn note_dispatched(&mut self, task: &Task, applied: &Applied) {
+        let Some(store) = &mut self.qos.store else {
+            return;
+        };
+        if store.consume(task.id) && self.spill {
+            self.qos.consumed_log.push(task.id);
+        }
+        if task.qos == QosClass::Scavenger && applied.pe.pe.is_rpe() {
+            if let Some(config) = applied.config {
+                self.qos.inflight_scav.insert(
+                    task.id,
+                    InflightScav {
+                        pe: applied.pe,
+                        config,
+                        epoch: applied.epoch,
+                    },
+                );
+            }
+        }
+    }
+
     /// Attempts to place and start `task`. The task is consumed on success
     /// (it moves into the scheduled completion without cloning) and on an
     /// infeasible placement (rejected); it is handed back unconsumed when
@@ -1829,6 +2172,9 @@ impl LifecycleKernel {
                         reused: applied.reused,
                     }),
                 );
+                if self.qos.enabled() {
+                    self.note_dispatched(&task, &applied);
+                }
                 out.push(applied.into_pending(task));
                 None
             }
@@ -2377,6 +2723,248 @@ mod tests {
         assert_eq!(report.rejected, 0);
     }
 
+    /// One-RPE node (XC5VLX30, 4,800 slices) for the QoS scenarios.
+    fn fabric_node(id: u64) -> Node {
+        use rhv_params::catalog::Catalog;
+        let mut node = Node::new(rhv_core::ids::NodeId(id));
+        node.add_rpe(Catalog::builtin().fpga("XC5VLX30").unwrap().clone());
+        node
+    }
+
+    /// HDL task claiming 3,000 slices: two never fit the LX30 at once.
+    fn qos_hdl_task(id: u64, accel_seconds: f64, t_estimated: f64, qos: QosClass) -> Task {
+        Task::new(
+            TaskId(id),
+            ExecReq::new(
+                PeClass::Fpga,
+                vec![Constraint::ge(ParamKey::Slices, 3_000u64)],
+                TaskPayload::HdlAccelerator {
+                    spec_name: format!("qos-acc-{id}").into(),
+                    est_slices: 3_000,
+                    accel_seconds,
+                },
+            ),
+            t_estimated,
+        )
+        .with_qos(qos)
+    }
+
+    /// Interleaves kernel-requested wakeups (parked retries, reservation
+    /// boundaries) with completion delivery until both run dry — the same
+    /// ordering the event-queue front-end produces.
+    fn pump_with_wakeups(
+        kernel: &mut LifecycleKernel,
+        pending: &mut Vec<PendingCompletion>,
+        strategy: &mut dyn Strategy,
+    ) {
+        loop {
+            let next_done = pending
+                .iter()
+                .map(PendingCompletion::finish)
+                .min_by(|a, b| a.partial_cmp(b).unwrap());
+            match (kernel.next_wakeup(), next_done) {
+                (Some(w), None) => {
+                    pending.extend(kernel.wake(w, strategy));
+                }
+                (Some(w), Some(d)) if w <= d => {
+                    pending.extend(kernel.wake(w, strategy));
+                }
+                (_, Some(_)) => {
+                    let p = pop_earliest(pending).unwrap();
+                    let now = p.finish();
+                    pending.extend(kernel.complete(p, now, strategy));
+                }
+                (None, None) => break,
+            }
+        }
+    }
+
+    /// The satellite regression: deadlines used to be checked only when a
+    /// *retry* released, so a task that never crashed — merely parked in
+    /// the backlog behind `NoFreeSlices` — could dispatch arbitrarily late.
+    /// The drain now rejects a past-deadline entry instead of placing it.
+    #[test]
+    fn deadline_is_enforced_at_backlog_dispatch_not_just_retry_release() {
+        let cfg = SimConfig {
+            retry: Some(RetryPolicy {
+                deadline: Some(5.0),
+                ..RetryPolicy::default()
+            }),
+            ..SimConfig::default()
+        };
+        let mut strategy = FirstFit::new();
+        let mut kernel = LifecycleKernel::new(vec![fabric_node(0)], cfg);
+        let mut pending = Vec::new();
+        // Saturate the fabric far past the queued task's deadline.
+        pending.extend(kernel.submit(
+            qos_hdl_task(0, 100.0, 100.0, QosClass::BestEffort),
+            0.0,
+            &mut strategy,
+        ));
+        assert_eq!(pending.len(), 1);
+        pending.extend(kernel.submit(
+            qos_hdl_task(1, 1.0, 1.0, QosClass::BestEffort),
+            0.0,
+            &mut strategy,
+        ));
+        assert_eq!(kernel.backlog_len(), 1, "no free slices: task 1 queues");
+        pump_with_wakeups(&mut kernel, &mut pending, &mut strategy);
+        let (report, _) = kernel.finish("first-fit");
+        report.check_invariants().unwrap();
+        assert_eq!(report.completed, 1, "only the saturator ran");
+        assert_eq!(report.rejected, 1, "task 1 rejected, not dispatched late");
+        assert_eq!(report.records.len(), 1);
+        assert_eq!(report.records[0].task, TaskId(0));
+    }
+
+    /// Tier order is examination order: when fabric frees, a guaranteed
+    /// task submitted *after* a scavenger dispatches first. No reservation
+    /// ledger involved — classes alone reorder the drain.
+    #[test]
+    fn backlog_drains_guaranteed_before_scavenger_regardless_of_fifo_order() {
+        let mut strategy = FirstFit::new();
+        let mut kernel = LifecycleKernel::new(vec![fabric_node(0)], SimConfig::default());
+        let mut pending = Vec::new();
+        pending.extend(kernel.submit(
+            qos_hdl_task(0, 10.0, 10.0, QosClass::BestEffort),
+            0.0,
+            &mut strategy,
+        ));
+        assert_eq!(pending.len(), 1);
+        // FIFO order: scavenger first, guaranteed second.
+        pending.extend(kernel.submit(
+            qos_hdl_task(1, 1.0, 1.0, QosClass::Scavenger),
+            0.0,
+            &mut strategy,
+        ));
+        pending.extend(kernel.submit(
+            qos_hdl_task(2, 1.0, 1.0, QosClass::Guaranteed),
+            0.0,
+            &mut strategy,
+        ));
+        assert_eq!(kernel.backlog_len(), 2);
+        pump_with_wakeups(&mut kernel, &mut pending, &mut strategy);
+        let (report, _) = kernel.finish("first-fit");
+        report.check_invariants().unwrap();
+        assert_eq!(report.completed, 3);
+        let order: Vec<TaskId> = report.records.iter().map(|r| r.task).collect();
+        assert_eq!(
+            order,
+            vec![TaskId(0), TaskId(2), TaskId(1)],
+            "guaranteed task 2 overtakes scavenger task 1"
+        );
+    }
+
+    /// Reserved-window admission: a booked task is held until its window
+    /// opens (typed `ReservationHold`, counted), and an unreserved task
+    /// whose estimated run would eat promised headroom is held too. Both
+    /// dispatch once the window opens/clears — nothing is lost.
+    #[test]
+    fn reservations_hold_admission_until_the_window_opens() {
+        let mut strategy = FirstFit::new();
+        let mut kernel = LifecycleKernel::new(vec![fabric_node(0)], SimConfig::default())
+            .with_reservations(&[ReservationRequest {
+                task: TaskId(1),
+                start: 10.0,
+                end: 20.0,
+                slices: 3_000,
+            }]);
+        let mut pending = Vec::new();
+        // Unreserved, estimated to run 100 s from t=0: overlaps the booked
+        // window, and 3,000 + 3,000 > 4,800 — denied admission for now.
+        pending.extend(kernel.submit(
+            qos_hdl_task(9, 1.0, 100.0, QosClass::BestEffort),
+            0.0,
+            &mut strategy,
+        ));
+        assert!(pending.is_empty());
+        assert_eq!(kernel.admission_denied(), 1);
+        // The reservation's own task, before its window: held.
+        pending.extend(kernel.submit(
+            qos_hdl_task(1, 1.0, 1.0, QosClass::Guaranteed),
+            1.0,
+            &mut strategy,
+        ));
+        assert!(pending.is_empty());
+        assert_eq!(kernel.admission_denied(), 2);
+        assert_eq!(kernel.backlog_len(), 2);
+        assert_eq!(
+            kernel.next_wakeup(),
+            Some(10.0),
+            "the window boundary is a timer"
+        );
+        pump_with_wakeups(&mut kernel, &mut pending, &mut strategy);
+        assert_eq!(kernel.preemptions(), 0);
+        let (report, _) = kernel.finish("first-fit");
+        report.check_invariants().unwrap();
+        assert_eq!(report.completed, 2);
+        assert_eq!(report.rejected, 0);
+        // The guaranteed task went first once its window opened.
+        let order: Vec<TaskId> = report.records.iter().map(|r| r.task).collect();
+        assert_eq!(order, vec![TaskId(1), TaskId(9)]);
+    }
+
+    /// The preemption path end to end: a scavenger that under-estimated its
+    /// runtime squats on fabric a guaranteed task reserved; when the window
+    /// opens the scavenger placement is revoked, the guaranteed task
+    /// dispatches, and the scavenger re-enters the queue (original arrival
+    /// stamp) when its stale completion delivers. Conservation holds.
+    #[test]
+    fn reserved_window_preempts_scavenger_and_conserves_both_tasks() {
+        let mut strategy = FirstFit::new();
+        let mut kernel = LifecycleKernel::new(vec![fabric_node(0)], SimConfig::default())
+            .with_reservations(&[ReservationRequest {
+                task: TaskId(2),
+                start: 5.0,
+                end: 1_000.0,
+                slices: 3_000,
+            }]);
+        let mut pending = Vec::new();
+        // The scavenger claims to run 1 s (its estimated window misses the
+        // reservation) but actually runs 100 s.
+        pending.extend(kernel.submit(
+            qos_hdl_task(1, 100.0, 1.0, QosClass::Scavenger),
+            0.0,
+            &mut strategy,
+        ));
+        assert_eq!(pending.len(), 1, "mis-estimated scavenger is admitted");
+        // The guaranteed task arrives before its window: held.
+        pending.extend(kernel.submit(
+            qos_hdl_task(2, 2.0, 2.0, QosClass::Guaranteed),
+            0.0,
+            &mut strategy,
+        ));
+        assert_eq!(kernel.admission_denied(), 1);
+        assert_eq!(kernel.next_wakeup(), Some(5.0));
+        // The boundary wake opens the window: the scavenger is revoked and
+        // the guaranteed task placed in the same pass.
+        pending.extend(kernel.wake(5.0, &mut strategy));
+        assert_eq!(kernel.preemptions(), 1);
+        assert_eq!(
+            pending.len(),
+            2,
+            "guaranteed placement plus the scavenger's stale completion"
+        );
+        pump_with_wakeups(&mut kernel, &mut pending, &mut strategy);
+        let (report, _) = kernel.finish("first-fit");
+        report.check_invariants().unwrap();
+        assert_eq!(report.completed, 2, "the preempted scavenger also finished");
+        assert_eq!(report.rejected, 0);
+        let scav = report
+            .records
+            .iter()
+            .find(|r| r.task == TaskId(1))
+            .expect("scavenger completed");
+        assert_eq!(scav.arrival, 0.0, "re-queue keeps the original arrival");
+        // The guaranteed task ran inside its window.
+        let guar = report
+            .records
+            .iter()
+            .find(|r| r.task == TaskId(2))
+            .expect("guaranteed completed");
+        assert!(guar.dispatched >= 5.0);
+    }
+
     #[test]
     fn infeasible_placement_is_a_typed_error_not_a_panic() {
         use rhv_core::ids::{NodeId, PeId};
@@ -2779,7 +3367,92 @@ mod proptests {
         )
     }
 
+    fn fabric_node(id: u64) -> Node {
+        let mut node = Node::new(NodeId(id));
+        node.add_rpe(
+            Catalog::builtin()
+                .fpga("XC5VLX30")
+                .expect("catalog FPGA")
+                .clone(),
+        );
+        node
+    }
+
     proptest! {
+        /// Conservation under QoS: for any mix of tiers, runtime estimates
+        /// (honest or not) and advance bookings — including windows that
+        /// trigger scavenger preemption and admission holds — every
+        /// submitted task ends completed or typed-rejected. Nothing is
+        /// lost in the preemption/re-queue round trip, and the run always
+        /// terminates (reservation boundaries are finite timers).
+        #[test]
+        fn qos_preemption_conserves_every_task(
+            specs in prop::collection::vec(
+                (0..3usize, 500..4_000u64, 0.5..4.0f64, 0.5..20.0f64, prop::bool::ANY),
+                1..20,
+            ),
+            windows in prop::collection::vec((0.0..15.0f64, 1.0..25.0f64), 0..3),
+        ) {
+            use rhv_core::qos::QosClass;
+            let mut workload: Vec<(f64, Task)> = Vec::new();
+            for (i, &(class, slices, accel, t_est, fabric)) in specs.iter().enumerate() {
+                let qos = QosClass::ALL[class];
+                let task = if fabric {
+                    Task::new(
+                        TaskId(i as u64),
+                        ExecReq::new(
+                            PeClass::Fpga,
+                            vec![Constraint::ge(ParamKey::Slices, slices)],
+                            TaskPayload::HdlAccelerator {
+                                spec_name: format!("prop-acc-{i}").into(),
+                                est_slices: slices,
+                                accel_seconds: accel,
+                            },
+                        ),
+                        t_est,
+                    )
+                } else {
+                    software_task(i as u64)
+                };
+                // Deterministic staggered arrivals keep instants distinct.
+                workload.push((i as f64 * 0.5, task.with_qos(qos)));
+            }
+            // Book a window for up to three guaranteed fabric tasks.
+            let mut reservations = Vec::new();
+            let mut guaranteed = workload.iter().filter(|(_, t)| {
+                t.qos == QosClass::Guaranteed
+                    && matches!(t.exec_req.payload, TaskPayload::HdlAccelerator { .. })
+            });
+            for &(start, dur) in &windows {
+                let Some((_, t)) = guaranteed.next() else { break };
+                let TaskPayload::HdlAccelerator { est_slices, .. } = &t.exec_req.payload else {
+                    unreachable!("filtered to HDL tasks");
+                };
+                reservations.push(ReservationRequest {
+                    task: t.id,
+                    start,
+                    end: start + dur,
+                    slices: *est_slices,
+                });
+            }
+            let n = workload.len();
+            let report = crate::sim::GridSimulator::new(
+                vec![fabric_node(0), fabric_node(1), gpp_node(2)],
+                SimConfig::default(),
+            )
+            .with_reservations(&reservations)
+            .run(workload, &mut FirstFit);
+            report.check_invariants().expect("report invariants");
+            prop_assert_eq!(
+                report.completed + report.rejected,
+                n,
+                "conservation: {} completed + {} rejected != {} submitted",
+                report.completed,
+                report.rejected,
+                n
+            );
+        }
+
         /// Under any interleaving of joins (including duplicates), leaves,
         /// crashes (including of unknown nodes), submissions and
         /// completions: the node set never holds two nodes with the same

@@ -25,6 +25,9 @@
 //!   recovery experiments;
 //! * [`strategy`] — the `Strategy` trait scheduling policies implement
 //!   (implementations live in `rhv-sched`);
+//! * [`reserve`] — advance reservations on fabric slices: the slotted
+//!   schedule, the typed-admission reservation ledger and the shadow
+//!   probe the QoS tiers are enforced with;
 //! * [`kernel`] — `LifecycleKernel`: the clock-agnostic task state machine
 //!   (matchmaking → setup (synthesis / transfer / reconfiguration) →
 //!   execution → completion, with configuration reuse, idle-config
@@ -45,6 +48,7 @@ pub mod faults;
 pub mod kernel;
 pub mod metrics;
 pub mod network;
+pub mod reserve;
 pub mod shard;
 pub mod sim;
 pub mod strategy;
@@ -58,6 +62,10 @@ pub use kernel::{
     FaultEvent, KernelEvent, LifecycleKernel, PendingCompletion, PlacementError, RetryPolicy,
 };
 pub use metrics::{SimReport, TaskRecord};
+pub use reserve::{
+    AdmissionDeny, Reservation, ReservationId, ReservationRequest, ReservationStore,
+    SlottedSchedule,
+};
 pub use rhv_bitstream::store::{StoreStats, SynthStore};
 pub use shard::{ShardPlan, ShardStats, ShardedGridSimulator, ShardedRun};
 pub use sim::{ChurnEvent, GridSimulator, SimConfig};

@@ -1,0 +1,460 @@
+//! Advance reservations over fabric slices — the QoS subsystem's ledger.
+//!
+//! The paper's QoS tiers promise more than a price multiplier: a
+//! deadline-guaranteed task can book a *time window* on the grid's
+//! reconfigurable fabric ahead of arrival, and the scheduler must (a) hold
+//! that capacity against best-effort traffic and (b) answer "would this
+//! reservation fit?" without perturbing the running schedule. This module
+//! is the bookkeeping half of that promise; the enforcement half lives in
+//! [`crate::kernel::LifecycleKernel`].
+//!
+//! * [`SlottedSchedule`] — reserved slices per fixed-width time slot, the
+//!   O(window) headroom structure both booking and admission share.
+//! * [`ReservationStore`] — the reservation ledger over one schedule:
+//!   typed admission ([`AdmissionDeny`]), booking, cancellation, and the
+//!   *shadow probe* — a clone of the schedule answers "would it fit?" so a
+//!   denied (or merely curious) probe provably never mutates state.
+//! * [`ReservationRequest`] — the plain-data booking spec front-ends pass
+//!   to simulators and the kernel.
+//!
+//! Capacity is aggregate: the store tracks total reserved slices against
+//! total fabric slices, not per-device placement — the matchmaker still
+//! decides *where* a reserved task lands; the store decides *whether* the
+//! grid promised that capacity to someone else first.
+
+use rhv_core::ids::TaskId;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// Identifier of one booked reservation.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize, Default,
+)]
+pub struct ReservationId(pub u64);
+
+/// A booking spec: `slices` of fabric over `[start, end)` for `task`.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ReservationRequest {
+    /// The task the window is held for.
+    pub task: TaskId,
+    /// Window start (sim seconds, inclusive).
+    pub start: f64,
+    /// Window end (sim seconds, exclusive).
+    pub end: f64,
+    /// Fabric slices held.
+    pub slices: u64,
+}
+
+/// One booked reservation.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Reservation {
+    /// Ledger id.
+    pub id: ReservationId,
+    /// The task the window is held for.
+    pub task: TaskId,
+    /// Window start (inclusive).
+    pub start: f64,
+    /// Window end (exclusive).
+    pub end: f64,
+    /// Fabric slices held.
+    pub slices: u64,
+}
+
+/// Why an admission probe (or booking) was denied — the typed half of the
+/// accept/deny answer the services façade returns with its quote.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum AdmissionDeny {
+    /// The window is empty or inverted (`end <= start`).
+    EmptyWindow,
+    /// Zero slices: nothing to reserve.
+    ZeroSlices,
+    /// The demand alone exceeds the grid's total fabric.
+    ExceedsCapacity {
+        /// Slices asked for.
+        asked: u64,
+        /// Total fabric slices.
+        capacity: u64,
+    },
+    /// Prior reservations leave too little headroom somewhere in the
+    /// window.
+    NoHeadroom {
+        /// Peak already-reserved slices over the window.
+        peak_reserved: u64,
+        /// Slices asked for.
+        asked: u64,
+        /// Total fabric slices.
+        capacity: u64,
+    },
+}
+
+impl std::fmt::Display for AdmissionDeny {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            AdmissionDeny::EmptyWindow => write!(f, "empty reservation window"),
+            AdmissionDeny::ZeroSlices => write!(f, "zero-slice reservation"),
+            AdmissionDeny::ExceedsCapacity { asked, capacity } => {
+                write!(f, "{asked} slices exceed total fabric of {capacity}")
+            }
+            AdmissionDeny::NoHeadroom {
+                peak_reserved,
+                asked,
+                capacity,
+            } => write!(
+                f,
+                "peak reserved {peak_reserved} + {asked} exceeds fabric of {capacity}"
+            ),
+        }
+    }
+}
+
+/// Reserved slices per fixed-width time slot. A window `[start, end)`
+/// charges every slot it overlaps; headroom queries take the peak over the
+/// same slots — conservative at slot granularity, exact at slot width → 0.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct SlottedSchedule {
+    width: f64,
+    slots: BTreeMap<i64, u64>,
+}
+
+impl SlottedSchedule {
+    /// An empty schedule with `width`-second slots (clamped to a positive
+    /// width).
+    pub fn new(width: f64) -> Self {
+        SlottedSchedule {
+            width: if width > 0.0 { width } else { 1.0 },
+            slots: BTreeMap::new(),
+        }
+    }
+
+    /// Slot width in seconds.
+    pub fn width(&self) -> f64 {
+        self.width
+    }
+
+    /// Slot indices overlapped by `[start, end)` (empty for inverted
+    /// windows).
+    fn slot_range(&self, start: f64, end: f64) -> std::ops::Range<i64> {
+        if end <= start {
+            return 0..0;
+        }
+        let first = (start / self.width).floor() as i64;
+        // `end` is exclusive: a window ending exactly on a slot boundary
+        // does not charge the next slot.
+        let last = ((end / self.width).ceil() as i64).max(first + 1);
+        first..last
+    }
+
+    /// Peak reserved slices over the slots `[start, end)` overlaps.
+    pub fn peak(&self, start: f64, end: f64) -> u64 {
+        self.slot_range(start, end)
+            .map(|s| self.slots.get(&s).copied().unwrap_or(0))
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// Would `slices` more fit in every overlapped slot under `capacity`?
+    pub fn fits(&self, start: f64, end: f64, slices: u64, capacity: u64) -> bool {
+        self.peak(start, end).saturating_add(slices) <= capacity
+    }
+
+    /// Charges `slices` to every overlapped slot.
+    pub fn add(&mut self, start: f64, end: f64, slices: u64) {
+        for s in self.slot_range(start, end) {
+            *self.slots.entry(s).or_insert(0) += slices;
+        }
+    }
+
+    /// Releases `slices` from every overlapped slot (saturating; empty
+    /// slots are dropped so the map stays proportional to live bookings).
+    pub fn remove(&mut self, start: f64, end: f64, slices: u64) {
+        for s in self.slot_range(start, end) {
+            if let Some(v) = self.slots.get_mut(&s) {
+                *v = v.saturating_sub(slices);
+                if *v == 0 {
+                    self.slots.remove(&s);
+                }
+            }
+        }
+    }
+
+    /// True when no slot holds any reservation.
+    pub fn is_empty(&self) -> bool {
+        self.slots.is_empty()
+    }
+}
+
+/// The reservation ledger: bookings over one [`SlottedSchedule`] bounded by
+/// an aggregate fabric capacity.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct ReservationStore {
+    capacity: u64,
+    schedule: SlottedSchedule,
+    by_id: BTreeMap<ReservationId, Reservation>,
+    by_task: BTreeMap<TaskId, ReservationId>,
+    next: u64,
+}
+
+impl ReservationStore {
+    /// An empty store over `capacity` total fabric slices, with 1-second
+    /// schedule slots.
+    pub fn new(capacity: u64) -> Self {
+        Self::with_slot_width(capacity, 1.0)
+    }
+
+    /// An empty store with an explicit slot width.
+    pub fn with_slot_width(capacity: u64, width: f64) -> Self {
+        ReservationStore {
+            capacity,
+            schedule: SlottedSchedule::new(width),
+            by_id: BTreeMap::new(),
+            by_task: BTreeMap::new(),
+            next: 0,
+        }
+    }
+
+    /// Total fabric slices the ledger books against.
+    pub fn capacity(&self) -> u64 {
+        self.capacity
+    }
+
+    /// Live bookings.
+    pub fn len(&self) -> usize {
+        self.by_id.len()
+    }
+
+    /// True when nothing is booked.
+    pub fn is_empty(&self) -> bool {
+        self.by_id.is_empty()
+    }
+
+    /// Bookings whose window contains `now`.
+    pub fn active_at(&self, now: f64) -> u64 {
+        self.by_id
+            .values()
+            .filter(|r| r.start <= now && now < r.end)
+            .count() as u64
+    }
+
+    /// Typed admission check for a request, **without booking** — the
+    /// shadow probe. The answer is computed on a *clone* of the slotted
+    /// schedule, so by construction the probe cannot mutate the ledger;
+    /// a debug assertion pins the clone's verdict to the live schedule's.
+    pub fn probe(&self, start: f64, end: f64, slices: u64) -> Result<(), AdmissionDeny> {
+        self.check(start, end, slices)?;
+        let shadow = self.schedule.clone();
+        let fits = shadow.fits(start, end, slices, self.capacity);
+        debug_assert_eq!(
+            fits,
+            self.schedule.fits(start, end, slices, self.capacity),
+            "shadow schedule diverged from the live one"
+        );
+        if fits {
+            Ok(())
+        } else {
+            Err(AdmissionDeny::NoHeadroom {
+                peak_reserved: self.schedule.peak(start, end),
+                asked: slices,
+                capacity: self.capacity,
+            })
+        }
+    }
+
+    fn check(&self, start: f64, end: f64, slices: u64) -> Result<(), AdmissionDeny> {
+        if end <= start {
+            return Err(AdmissionDeny::EmptyWindow);
+        }
+        if slices == 0 {
+            return Err(AdmissionDeny::ZeroSlices);
+        }
+        if slices > self.capacity {
+            return Err(AdmissionDeny::ExceedsCapacity {
+                asked: slices,
+                capacity: self.capacity,
+            });
+        }
+        Ok(())
+    }
+
+    /// Books a reservation after a successful probe.
+    pub fn reserve(&mut self, req: ReservationRequest) -> Result<ReservationId, AdmissionDeny> {
+        self.probe(req.start, req.end, req.slices)?;
+        Ok(self.install(req))
+    }
+
+    /// Books a reservation **unchecked** — the kernel-side authoritative
+    /// install for requests already admitted by a front-end (a shard's
+    /// local fabric may be smaller than the fleet the probe priced).
+    pub fn install(&mut self, req: ReservationRequest) -> ReservationId {
+        let id = ReservationId(self.next);
+        self.next += 1;
+        self.schedule.add(req.start, req.end, req.slices);
+        self.by_id.insert(
+            id,
+            Reservation {
+                id,
+                task: req.task,
+                start: req.start,
+                end: req.end,
+                slices: req.slices,
+            },
+        );
+        self.by_task.insert(req.task, id);
+        id
+    }
+
+    /// Cancels a booking; true when it existed.
+    pub fn cancel(&mut self, id: ReservationId) -> bool {
+        let Some(r) = self.by_id.remove(&id) else {
+            return false;
+        };
+        self.schedule.remove(r.start, r.end, r.slices);
+        self.by_task.remove(&r.task);
+        true
+    }
+
+    /// Releases the booking held for `task` — called when the task
+    /// actually places (the promise is kept; the window stops blocking
+    /// everyone else). True when a booking was consumed.
+    pub fn consume(&mut self, task: TaskId) -> bool {
+        match self.by_task.get(&task).copied() {
+            Some(id) => self.cancel(id),
+            None => false,
+        }
+    }
+
+    /// The booking held for `task`, if any.
+    pub fn reservation_for(&self, task: TaskId) -> Option<&Reservation> {
+        self.by_task.get(&task).and_then(|id| self.by_id.get(id))
+    }
+
+    /// True when `task` holds a booking whose window contains `now`.
+    pub fn window_open(&self, task: TaskId, now: f64) -> bool {
+        self.reservation_for(task)
+            .is_some_and(|r| r.start <= now && now < r.end)
+    }
+
+    /// Would `demand` unreserved slices fit over `[start, end)` next to
+    /// everything already booked?
+    pub fn headroom(&self, start: f64, end: f64, demand: u64) -> bool {
+        if end <= start {
+            return true;
+        }
+        self.schedule.fits(start, end, demand, self.capacity)
+    }
+
+    /// The earliest window boundary (start or end) strictly after `after`
+    /// — the kernel's reservation-driven wakeup time.
+    pub fn next_boundary(&self, after: f64) -> Option<f64> {
+        self.by_id
+            .values()
+            .flat_map(|r| [r.start, r.end])
+            .filter(|&t| t > after)
+            .min_by(|a, b| a.partial_cmp(b).expect("finite window bounds"))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn req(task: u64, start: f64, end: f64, slices: u64) -> ReservationRequest {
+        ReservationRequest {
+            task: TaskId(task),
+            start,
+            end,
+            slices,
+        }
+    }
+
+    #[test]
+    fn slotted_schedule_charges_overlapped_slots_only() {
+        let mut s = SlottedSchedule::new(1.0);
+        s.add(1.5, 3.5, 10);
+        assert_eq!(s.peak(0.0, 1.0), 0, "slot 0 untouched");
+        assert_eq!(s.peak(1.0, 2.0), 10);
+        assert_eq!(s.peak(3.0, 4.0), 10, "partial overlap charges the slot");
+        assert_eq!(s.peak(4.0, 5.0), 0);
+        // Exclusive end: a window ending on a boundary spares the next slot.
+        let mut t = SlottedSchedule::new(1.0);
+        t.add(0.0, 2.0, 5);
+        assert_eq!(t.peak(2.0, 3.0), 0);
+        t.remove(0.0, 2.0, 5);
+        assert!(t.is_empty(), "removal drops empty slots");
+    }
+
+    #[test]
+    fn probe_is_typed_and_booking_consumes_headroom() {
+        let mut store = ReservationStore::new(100);
+        assert_eq!(store.probe(5.0, 5.0, 10), Err(AdmissionDeny::EmptyWindow));
+        assert_eq!(store.probe(0.0, 1.0, 0), Err(AdmissionDeny::ZeroSlices));
+        assert_eq!(
+            store.probe(0.0, 1.0, 101),
+            Err(AdmissionDeny::ExceedsCapacity {
+                asked: 101,
+                capacity: 100
+            })
+        );
+        store.reserve(req(1, 0.0, 10.0, 60)).expect("fits");
+        assert_eq!(
+            store.probe(5.0, 6.0, 50),
+            Err(AdmissionDeny::NoHeadroom {
+                peak_reserved: 60,
+                asked: 50,
+                capacity: 100
+            })
+        );
+        assert!(store.probe(5.0, 6.0, 40).is_ok(), "under the peak fits");
+        assert!(store.probe(10.0, 11.0, 100).is_ok(), "after the window");
+        assert!(store.headroom(5.0, 6.0, 40));
+        assert!(!store.headroom(5.0, 6.0, 41));
+    }
+
+    #[test]
+    fn probe_never_mutates_the_ledger() {
+        let mut store = ReservationStore::new(100);
+        store.reserve(req(1, 0.0, 10.0, 60)).unwrap();
+        let before = store.clone();
+        let _ = store.probe(0.0, 10.0, 50);
+        let _ = store.probe(0.0, 10.0, 10);
+        assert_eq!(store, before, "probes are observationally pure");
+    }
+
+    #[test]
+    fn consume_frees_the_window_and_tracks_tasks() {
+        let mut store = ReservationStore::new(100);
+        store.reserve(req(7, 2.0, 8.0, 80)).unwrap();
+        assert!(store.window_open(TaskId(7), 2.0));
+        assert!(!store.window_open(TaskId(7), 1.0), "not open before start");
+        assert!(!store.window_open(TaskId(7), 8.0), "end is exclusive");
+        assert_eq!(store.active_at(5.0), 1);
+        assert!(!store.headroom(3.0, 4.0, 30));
+        assert!(store.consume(TaskId(7)));
+        assert!(!store.consume(TaskId(7)), "second consume is a no-op");
+        assert!(store.headroom(3.0, 4.0, 100), "window released");
+        assert!(store.is_empty());
+    }
+
+    #[test]
+    fn next_boundary_walks_starts_and_ends() {
+        let mut store = ReservationStore::new(100);
+        store.reserve(req(1, 4.0, 9.0, 10)).unwrap();
+        store.reserve(req(2, 6.0, 7.0, 10)).unwrap();
+        assert_eq!(store.next_boundary(0.0), Some(4.0));
+        assert_eq!(store.next_boundary(4.0), Some(6.0));
+        assert_eq!(store.next_boundary(6.0), Some(7.0));
+        assert_eq!(store.next_boundary(7.0), Some(9.0));
+        assert_eq!(store.next_boundary(9.0), None);
+    }
+
+    #[test]
+    fn install_is_unchecked_but_cancel_still_balances() {
+        let mut store = ReservationStore::new(10);
+        // Authoritative install may overbook a small local fabric.
+        let id = store.install(req(3, 0.0, 5.0, 50));
+        assert_eq!(store.len(), 1);
+        assert!(!store.headroom(1.0, 2.0, 1));
+        assert!(store.cancel(id));
+        assert!(store.headroom(1.0, 2.0, 10));
+        assert!(!store.cancel(id));
+    }
+}

@@ -239,8 +239,12 @@ impl Shard {
             if self.next_wake.is_some_and(|w| w <= now) {
                 self.next_wake = None;
             }
-            self.kernel
-                .step_instant(&mut self.batch, now, &mut *self.strategy, &mut self.scheduled);
+            self.kernel.step_instant(
+                &mut self.batch,
+                now,
+                &mut *self.strategy,
+                &mut self.scheduled,
+            );
             for pending in self.scheduled.drain(..) {
                 self.queue
                     .push(pending.finish(), KernelEvent::Completion(pending));
@@ -390,6 +394,18 @@ impl ShardedGridSimulator {
         self
     }
 
+    /// Books advance fabric-slice reservations on every shard (see
+    /// [`LifecycleKernel::set_reservations`]). Each shard carries the full
+    /// booking list against its *local* fabric capacity; consumption is
+    /// broadcast at window barriers, so every ledger stays aligned and the
+    /// outcome is byte-identical for every worker count.
+    pub fn with_reservations(mut self, requests: &[crate::reserve::ReservationRequest]) -> Self {
+        for shard in &mut self.shards {
+            shard.kernel.set_reservations(requests);
+        }
+        self
+    }
+
     /// Number of shards.
     pub fn shard_count(&self) -> usize {
         self.plan.shards()
@@ -422,7 +438,9 @@ impl ShardedGridSimulator {
         let p = self.plan.shards();
         for (t, task) in workload {
             let s = self.plan.task_shard(task.id);
-            self.shards[s].queue.push(t, KernelEvent::Arrival(Box::new(task)));
+            self.shards[s]
+                .queue
+                .push(t, KernelEvent::Arrival(Box::new(task)));
         }
         for (t, ev) in churn {
             let s = self.churn_shard(&ev);
@@ -534,11 +552,7 @@ impl ShardedGridSimulator {
                 });
             }
             loop {
-                let t0 = earliest(
-                    cells
-                        .iter()
-                        .map(|c| c.lock().expect("shard lock").peek()),
-                );
+                let t0 = earliest(cells.iter().map(|c| c.lock().expect("shard lock").peek()));
                 let Some(t0) = t0 else {
                     done.store(true, Ordering::SeqCst);
                     start.wait();
@@ -615,9 +629,11 @@ fn exchange(shards: &mut [&mut Shard], end: f64, dependency_driven: bool, stats:
     // 2. Route: first statically capable sibling in ring order from the
     //    origin; no taker ⇒ the origin rejects formally.
     for (origin, arrival, task) in outbox {
-        let dest = (1..p)
-            .map(|k| (origin + k) % p)
-            .find(|&d| shards[d].kernel.can_statically_host(&task, &*shards[d].strategy));
+        let dest = (1..p).map(|k| (origin + k) % p).find(|&d| {
+            shards[d]
+                .kernel
+                .can_statically_host(&task, &*shards[d].strategy)
+        });
         match dest {
             Some(d) => {
                 stats.spills += 1;
@@ -635,7 +651,23 @@ fn exchange(shards: &mut [&mut Shard], end: f64, dependency_driven: bool, stats:
             }
         }
     }
-    // 3. Dependency broadcast: every shard's window completions reach every
+    // 3. Reservation-consumption broadcast: every shard books the full
+    //    reservation list, so a booking honoured on one shard must retire
+    //    the twin bookings on every sibling's ledger — otherwise siblings
+    //    keep holding headroom for a promise already kept. Applied in
+    //    ascending shard order; ledgers are identical after every barrier.
+    let consumed: Vec<Vec<TaskId>> = shards
+        .iter_mut()
+        .map(|s| s.kernel.take_consumed())
+        .collect();
+    for (d, shard) in shards.iter_mut().enumerate() {
+        for (s, ids) in consumed.iter().enumerate() {
+            if s != d {
+                shard.kernel.apply_remote_consumed(ids);
+            }
+        }
+    }
+    // 4. Dependency broadcast: every shard's window completions reach every
     //    sibling, concatenated in shard order.
     if dependency_driven {
         let finished: Vec<Vec<TaskId>> = shards
@@ -691,7 +723,10 @@ mod tests {
                 grid: &rhv_core::matchindex::GridView<'_>,
                 _now: f64,
             ) -> Option<crate::strategy::Placement> {
-                grid.candidates(task, self.0).first().copied().map(Into::into)
+                grid.candidates(task, self.0)
+                    .first()
+                    .copied()
+                    .map(Into::into)
             }
             fn is_satisfiable(
                 &self,
@@ -736,12 +771,11 @@ mod tests {
         };
         let collector = ShardedCollector::new(shards);
         let handles: Vec<SpanCollector> = (0..shards).map(|i| collector.shard(i)).collect();
-        let run = ShardedGridSimulator::new(nodes, cfg, ShardPlan::new(shards), &mut || {
-            mk_first_fit()
-        })
-        .with_workers(workers)
-        .with_sinks(&mut |i| Box::new(handles[i].clone()))
-        .run_with_faults(workload, Vec::new(), faults);
+        let run =
+            ShardedGridSimulator::new(nodes, cfg, ShardPlan::new(shards), &mut || mk_first_fit())
+                .with_workers(workers)
+                .with_sinks(&mut |i| Box::new(handles[i].clone()))
+                .run_with_faults(workload, Vec::new(), faults);
         let streams = (0..shards).map(|i| collector.shard(i).spans()).collect();
         (run, streams)
     }
@@ -754,7 +788,12 @@ mod tests {
         // cloning (KernelEvent is deliberately not Clone).
         let (_, faults_again) = storm_inputs(&nodes, 160, 11);
         let (reference, ref_nodes) = GridSimulator::new(nodes.clone(), SimConfig::default())
-            .run_with_faults(workload.clone(), Vec::new(), faults_again, &mut *mk_first_fit());
+            .run_with_faults(
+                workload.clone(),
+                Vec::new(),
+                faults_again,
+                &mut *mk_first_fit(),
+            );
         let run = ShardedGridSimulator::new(
             nodes,
             SimConfig::default(),
@@ -768,6 +807,101 @@ mod tests {
             "P=1 must replay the unsharded simulator"
         );
         assert_eq!(format!("{ref_nodes:?}"), format!("{:?}", run.nodes));
+    }
+
+    /// A tier-mixed workload plus bookings for its guaranteed fabric
+    /// tasks — the reservation analogue of `storm_inputs`.
+    fn qos_inputs(
+        tasks: usize,
+        seed: u64,
+    ) -> (Vec<(f64, Task)>, Vec<crate::reserve::ReservationRequest>) {
+        use crate::reserve::ReservationRequest;
+        use rhv_core::qos::QosClass;
+        let workload: Vec<(f64, Task)> =
+            WorkloadSpec::default_for_grid(tasks, tasks as f64 / 40.0, seed)
+                .generate()
+                .into_iter()
+                .enumerate()
+                .map(|(i, (at, t))| (at, t.with_qos(QosClass::ALL[i % 3])))
+                .collect();
+        let reservations: Vec<ReservationRequest> = workload
+            .iter()
+            .filter(|(_, t)| t.qos == QosClass::Guaranteed)
+            .filter_map(|(at, t)| {
+                t.exec_req.slice_demand().map(|slices| ReservationRequest {
+                    task: t.id,
+                    start: at + 1.0,
+                    end: at + 30.0,
+                    slices,
+                })
+            })
+            .take(8)
+            .collect();
+        (workload, reservations)
+    }
+
+    #[test]
+    fn reservations_preserve_serial_sharded_byte_identity() {
+        let nodes = grid_of(12);
+        let (workload, reservations) = qos_inputs(96, 13);
+        assert!(
+            !reservations.is_empty(),
+            "the seed must yield guaranteed fabric tasks"
+        );
+        // Reference: the unsharded simulator under the same bookings.
+        let reference = GridSimulator::new(nodes.clone(), SimConfig::default())
+            .with_reservations(&reservations)
+            .run(workload.clone(), &mut *mk_first_fit());
+        assert!(
+            reference.check_invariants().is_ok(),
+            "reference run conserves tasks"
+        );
+        // P=1 replays it byte for byte.
+        let single = ShardedGridSimulator::new(
+            nodes.clone(),
+            SimConfig::default(),
+            ShardPlan::new(1),
+            &mut mk_first_fit,
+        )
+        .with_reservations(&reservations)
+        .run(workload.clone());
+        assert_eq!(
+            format!("{reference:?}"),
+            format!("{:?}", single.report),
+            "P=1 with reservations must replay the unsharded simulator"
+        );
+        // P=3: consumption broadcasts at barriers keep every worker count
+        // byte-identical (the exchange is single-threaded either way).
+        let serial = ShardedGridSimulator::new(
+            nodes.clone(),
+            SimConfig::default(),
+            ShardPlan::new(3),
+            &mut mk_first_fit,
+        )
+        .with_reservations(&reservations)
+        .run(workload.clone());
+        for workers in [2, 4] {
+            let parallel = ShardedGridSimulator::new(
+                nodes.clone(),
+                SimConfig::default(),
+                ShardPlan::new(3),
+                &mut mk_first_fit,
+            )
+            .with_reservations(&reservations)
+            .with_workers(workers)
+            .run(workload.clone());
+            assert_eq!(
+                format!("{:?}", serial.report),
+                format!("{:?}", parallel.report),
+                "P=3 K={workers}: reserved run diverged"
+            );
+            assert_eq!(
+                format!("{:?}", serial.nodes),
+                format!("{:?}", parallel.nodes),
+                "P=3 K={workers}: node states diverged"
+            );
+        }
+        assert!(serial.report.check_invariants().is_ok());
     }
 
     #[test]

@@ -89,6 +89,15 @@ impl GridSimulator {
         self
     }
 
+    /// Books advance fabric-slice reservations before the run (see
+    /// [`LifecycleKernel::set_reservations`]): installing a ledger turns on
+    /// reserved-window admission, tier-ordered backlog draining and
+    /// scavenger preemption for the whole run.
+    pub fn with_reservations(mut self, requests: &[crate::reserve::ReservationRequest]) -> Self {
+        self.kernel.set_reservations(requests);
+        self
+    }
+
     /// Current node states (read-only view for inspection).
     pub fn nodes(&self) -> &[Node] {
         self.kernel.nodes()

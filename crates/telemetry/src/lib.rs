@@ -32,5 +32,5 @@ pub use registry::{Counter, Gauge, Histogram, Instrument, MetricsRegistry, Metri
 pub use sink::{FanoutSink, NoopSink, ShardedCollector, SpanCollector, TelemetrySink};
 pub use span::{
     CompletedSpan, FaultStats, FragSnapshot, LifecycleSpan, MatchStats, NodeEvent, PlacedSpan,
-    RejectReason, SetupPhases, SpanEvent, SynthStats, TimelineStats, WaitCause,
+    QosStats, RejectReason, SetupPhases, SpanEvent, SynthStats, TimelineStats, WaitCause,
 };

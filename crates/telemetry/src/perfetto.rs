@@ -288,6 +288,17 @@ pub fn to_chrome_trace_with_flows(
                     args: vec![("task".into(), format!("\"{t}\""))],
                 });
             }
+            SpanEvent::Preempted { pe } => {
+                let (pid, tid) = track(*pe);
+                events.push(TraceEvent {
+                    pid,
+                    tid,
+                    ts_us: us(t, "at", span.at)?,
+                    ph: Ph::Instant,
+                    name: format!("preempted:{t}"),
+                    args: vec![("task".into(), format!("\"{t}\""))],
+                });
+            }
         }
     }
 

@@ -13,10 +13,11 @@
 
 use crate::sink::TelemetrySink;
 use crate::span::{
-    FaultStats, LifecycleSpan, MatchStats, NodeEvent, SpanEvent, SynthStats, TimelineStats,
-    WaitCause,
+    FaultStats, LifecycleSpan, MatchStats, NodeEvent, QosStats, SpanEvent, SynthStats,
+    TimelineStats, WaitCause,
 };
 use rhv_core::node::Node;
+use rhv_core::qos::QosClass;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 
@@ -291,9 +292,16 @@ impl MetricsRegistry {
 
     /// Registers (or finds) a gauge.
     pub fn gauge(&self, name: &str, help: &str) -> Arc<Gauge> {
+        self.gauge_with(name, &[], help)
+    }
+
+    /// Registers (or finds) a gauge carrying fixed labels — one sample of a
+    /// labeled metric family (same family rules as
+    /// [`counter_with`](Self::counter_with)).
+    pub fn gauge_with(&self, name: &str, labels: &[(&str, &str)], help: &str) -> Arc<Gauge> {
         self.register_with(
             name,
-            &[],
+            labels,
             help,
             || Instrument::Gauge(Arc::new(Gauge::default())),
             |i| match i {
@@ -406,6 +414,11 @@ pub struct MetricsSink {
     frag_index: Arc<Gauge>,
     frag_free_slices: Arc<Gauge>,
     frag_index_hist: Arc<Histogram>,
+    reservations_active: Arc<Gauge>,
+    preemptions: Arc<Counter>,
+    admission_denied: Arc<Counter>,
+    /// One backlog-depth gauge per QoS class, `QosClass::ALL` order.
+    qos_queue_depth: [Arc<Gauge>; 3],
 }
 
 impl MetricsSink {
@@ -551,6 +564,25 @@ impl MetricsSink {
                 "Fragmentation index sampled at span boundaries",
                 &[0.05, 0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9],
             ),
+            reservations_active: registry.gauge(
+                "rhv_reservations_active",
+                "Reservations currently booked and not yet consumed or expired",
+            ),
+            preemptions: c(
+                "rhv_preemptions_total",
+                "Scavenger placements revoked to honor an opening reservation",
+            ),
+            admission_denied: c(
+                "rhv_admission_denied_total",
+                "Dispatches refused because they would overlap a reserved window",
+            ),
+            qos_queue_depth: QosClass::ALL.map(|class| {
+                registry.gauge_with(
+                    "rhv_qos_queue_depth",
+                    &[("class", class.label())],
+                    "Backlog depth by QoS class",
+                )
+            }),
             registry,
         }
     }
@@ -612,6 +644,10 @@ impl TelemetrySink for MetricsSink {
                 self.turnaround.observe(c.turnaround);
             }
             SpanEvent::ChurnEvicted { .. } => self.churn_evictions.inc(),
+            // Preemptions are counted through the QosStats delta report so
+            // the counter survives sharded merges; the span itself carries
+            // no extra aggregate.
+            SpanEvent::Preempted { .. } => {}
             SpanEvent::RetryScheduled { release, .. } => {
                 self.retry_delay.observe(release - span.at);
                 self.count_wait_cause(WaitCause::RetryBackoff);
@@ -655,6 +691,16 @@ impl TelemetrySink for MetricsSink {
         self.synth_delta.add(stats.delta_runs);
         self.synth_saved_acc += stats.seconds_saved;
         self.synth_seconds_saved.set(self.synth_saved_acc);
+    }
+
+    fn qos_stats(&mut self, _at: f64, stats: QosStats) {
+        self.reservations_active
+            .set(stats.reservations_active as f64);
+        self.preemptions.add(stats.preemptions);
+        self.admission_denied.add(stats.admission_denied);
+        for (gauge, depth) in self.qos_queue_depth.iter().zip(stats.queue_depth) {
+            gauge.set(depth as f64);
+        }
     }
 
     fn timeline(&mut self, _at: f64, stats: TimelineStats) {

@@ -12,7 +12,9 @@
 //! building any span that would allocate, and all span payloads except the
 //! rare `PlacementFailed { reason }` are plain `Copy` data on the stack.
 
-use crate::span::{FaultStats, LifecycleSpan, MatchStats, NodeEvent, SynthStats, TimelineStats};
+use crate::span::{
+    FaultStats, LifecycleSpan, MatchStats, NodeEvent, QosStats, SynthStats, TimelineStats,
+};
 use rhv_core::node::Node;
 use std::sync::{Arc, Mutex};
 
@@ -65,6 +67,15 @@ pub trait TelemetrySink: Send {
     /// [`grid_state`](TelemetrySink::grid_state), only when something
     /// changed.
     fn synth_stats(&mut self, at: f64, stats: SynthStats) {
+        let _ = (at, stats);
+    }
+
+    /// QoS/reservation activity: active-reservation and per-class backlog
+    /// gauges plus preemption and admission-denial deltas. Emitted with the
+    /// same cadence as [`grid_state`](TelemetrySink::grid_state), only when
+    /// the run uses reservations or a non-default QoS class and something
+    /// changed.
+    fn qos_stats(&mut self, at: f64, stats: QosStats) {
         let _ = (at, stats);
     }
 
@@ -277,6 +288,12 @@ impl TelemetrySink for FanoutSink {
     fn synth_stats(&mut self, at: f64, stats: SynthStats) {
         for s in &mut self.sinks {
             s.synth_stats(at, stats);
+        }
+    }
+
+    fn qos_stats(&mut self, at: f64, stats: QosStats) {
+        for s in &mut self.sinks {
+            s.qos_stats(at, stats);
         }
     }
 

@@ -75,9 +75,10 @@ impl MatchStats {
 ///
 /// `DependencyWait` and `RetryBackoff` are also implied by the dedicated
 /// `HeldOnDeps` / `RetryScheduled` span events; they appear here so a single
-/// vocabulary covers every waiting state. `ReservationHold` is reserved for
-/// the advance-reservation co-allocator (ROADMAP item 2) and is never
-/// emitted yet.
+/// vocabulary covers every waiting state. `ReservationHold` and `Preempted`
+/// are emitted by the advance-reservation co-allocator: the former when a
+/// dispatch would overlap a reserved window, the latter when a scavenger
+/// placement is revoked to honor an opening reservation.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
 pub enum WaitCause {
     /// Candidates of the right class exist but none has free capacity
@@ -93,20 +94,24 @@ pub enum WaitCause {
     /// The only nodes that could serve the task are currently blacklisted
     /// by the health tracker.
     Blacklisted,
-    /// The task's resources are promised to an advance reservation
-    /// (forward-compatible; not yet emitted).
+    /// The task's resources are promised to an advance reservation: a
+    /// dispatch right now would eat into a reserved window.
     ReservationHold,
+    /// The task's scavenger placement was revoked to honor an opening
+    /// reservation; it re-enters the backlog.
+    Preempted,
 }
 
 impl WaitCause {
     /// Every cause, in declaration order (stable export ordering).
-    pub const ALL: [WaitCause; 6] = [
+    pub const ALL: [WaitCause; 7] = [
         WaitCause::NoFreeSlices,
         WaitCause::NoCandidatePeClass,
         WaitCause::DependencyWait,
         WaitCause::RetryBackoff,
         WaitCause::Blacklisted,
         WaitCause::ReservationHold,
+        WaitCause::Preempted,
     ];
 
     /// This cause's slot in [`WaitCause::ALL`] — the index per-cause
@@ -127,6 +132,7 @@ impl WaitCause {
             WaitCause::RetryBackoff => "retry-backoff",
             WaitCause::Blacklisted => "blacklisted",
             WaitCause::ReservationHold => "reservation-hold",
+            WaitCause::Preempted => "preempted",
         }
     }
 }
@@ -247,6 +253,25 @@ impl SynthStats {
     }
 }
 
+/// QoS/reservation activity, emitted by the kernel alongside [`grid
+/// state`](crate::sink::TelemetrySink::grid_state) — but only once a run
+/// actually uses reservations or a non-default QoS class (legacy runs stay
+/// byte-identical and never see this report). `preemptions` and
+/// `admission_denied` are **deltas** (sinks sum); `reservations_active`
+/// and the per-class `queue_depth` are **absolute** (sinks set).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct QosStats {
+    /// Reservations currently booked and not yet consumed or expired.
+    pub reservations_active: u64,
+    /// Scavenger placements revoked to honor an opening reservation.
+    pub preemptions: u64,
+    /// Dispatches refused because they would overlap a reserved window.
+    pub admission_denied: u64,
+    /// Backlog depth per QoS class, in `rhv_core::qos::QosClass::ALL`
+    /// order (guaranteed, best-effort, scavenger).
+    pub queue_depth: [u64; 3],
+}
+
 /// A successful placement: the task's future on its PE is fully priced at
 /// the dispatch instant (this is a simulator — setup and execution windows
 /// are known once the placement is applied).
@@ -312,6 +337,13 @@ pub enum SpanEvent {
         /// The PE whose node crashed.
         pe: PeRef,
     },
+    /// The task's scavenger placement was revoked mid-flight so an
+    /// opening reservation could claim the fabric; the task re-enters
+    /// the backlog and will be re-dispatched from scratch.
+    Preempted {
+        /// The PE the placement was revoked from.
+        pe: PeRef,
+    },
     /// A crash-lost task was parked by the retry policy; it re-arrives at
     /// `release`.
     RetryScheduled {
@@ -341,6 +373,7 @@ impl SpanEvent {
             SpanEvent::Rejected { .. } => "rejected",
             SpanEvent::Completed(_) => "completed",
             SpanEvent::ChurnEvicted { .. } => "churn-evicted",
+            SpanEvent::Preempted { .. } => "preempted",
             SpanEvent::RetryScheduled { .. } => "retry-scheduled",
             SpanEvent::Degraded { .. } => "degraded",
         }
@@ -396,6 +429,7 @@ mod tests {
         };
         assert_eq!(SpanEvent::Submitted.label(), "submitted");
         assert_eq!(SpanEvent::ChurnEvicted { pe }.label(), "churn-evicted");
+        assert_eq!(SpanEvent::Preempted { pe }.label(), "preempted");
         assert_eq!(
             SpanEvent::PlacementFailed { reason: "x".into() }.label(),
             "placement-error"
@@ -438,6 +472,7 @@ mod tests {
                 "retry-backoff",
                 "blacklisted",
                 "reservation-hold",
+                "preempted",
             ]
         );
         let unique: std::collections::BTreeSet<&str> = labels.iter().copied().collect();

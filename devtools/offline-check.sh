@@ -43,13 +43,18 @@ elif [ "$1" = "bench-smoke" ]; then
     # serial == parallel and P=1 == unsharded byte-identity; bench_synth
     # asserts synthesis-store hits > 0, counters consistent with the full
     # runs, warm fleet >= 2x cold, allocation-free warm probes, and
-    # sharded serial == parallel store-counter identity).
+    # sharded serial == parallel store-counter identity; bench_qos asserts
+    # tier-ordered draining beats the tier-blind queue for guaranteed
+    # tasks, reservation overbooking holds admissions, scavenger
+    # preemption conserves every task, and tier prices order the
+    # cost/wait Pareto front).
     cargo bench --offline -p rhv-bench --bench match_index
     cargo run --offline -q --release -p rhv-bench --bin bench_matchmaker -- --smoke
     cargo run --offline -q --release -p rhv-bench --bin bench_engine -- --smoke
     cargo run --offline -q --release -p rhv-bench --bin bench_faults -- --smoke
     cargo run --offline -q --release -p rhv-bench --bin bench_shards -- --smoke
     cargo run --offline -q --release -p rhv-bench --bin bench_synth -- --smoke
+    cargo run --offline -q --release -p rhv-bench --bin bench_qos -- --smoke
 elif [ "$1" = "obs-smoke" ]; then
     # Mirrors `make obs-smoke` for offline containers: obs_report renders
     # and schema-validates a small deterministic profiled run, then

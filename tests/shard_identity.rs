@@ -171,10 +171,7 @@ fn sharded_storm_conserves_every_task() {
         assert_eq!(per_shard, storm.merged_spans.len());
         // The merged stream is time-ordered.
         assert!(
-            storm
-                .merged_spans
-                .windows(2)
-                .all(|w| w[0].at <= w[1].at),
+            storm.merged_spans.windows(2).all(|w| w[0].at <= w[1].at),
             "P={shards}: merged span stream out of order"
         );
     }

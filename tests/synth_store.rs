@@ -49,7 +49,11 @@ fn spec_of(task: &Task) -> Option<HdlSpec> {
             spec_name,
             est_slices,
             ..
-        } => Some(HdlSpec::new(spec_name.clone(), est_slices * 4, est_slices * 2)),
+        } => Some(HdlSpec::new(
+            spec_name.clone(),
+            est_slices * 4,
+            est_slices * 2,
+        )),
         _ => None,
     }
 }
@@ -117,7 +121,11 @@ fn run_sharded_warm(
 #[test]
 fn warm_store_turns_every_placement_into_a_hit() {
     let warm = run_sharded_warm(24, 120, 7, 4, 1, false);
-    assert!(warm.stats.hits > 0, "warm fleet never hit: {:?}", warm.stats);
+    assert!(
+        warm.stats.hits > 0,
+        "warm fleet never hit: {:?}",
+        warm.stats
+    );
     assert_eq!(
         warm.stats.misses, 0,
         "a warmed design re-synthesized: kernel and warm-up spec construction diverged"
